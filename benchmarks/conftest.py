@@ -1,0 +1,30 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures, prints
+the same rows/series the paper reports and saves the rendered text
+under ``benchmarks/results/`` so EXPERIMENTS.md can reference concrete
+artefacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered table and echo it to stdout."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

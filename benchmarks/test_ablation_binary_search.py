@@ -1,0 +1,43 @@
+"""Ablation A2 — binary-search tolerance.
+
+The paper bounds the binary search by ``log(Bmax − Bmin)`` iterations.
+This ablation sweeps the termination tolerance and records iteration
+counts against makespan quality: iterations grow logarithmically in
+``1/tolerance`` while the makespan saturates quickly.
+"""
+
+import math
+
+from repro.experiments import paper_taskset, tolerance_ablation
+from repro.utils import ascii_table
+
+TOLERANCES = (0.3, 0.1, 0.03, 0.01, 0.003, 0.001, 0.0003, 0.0001)
+
+
+def _run():
+    return tolerance_ablation(paper_taskset(), 4, 4, tolerances=TOLERANCES)
+
+
+def test_ablation_binary_search(benchmark, save_result):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = ascii_table(
+        ["Tolerance", "Iterations", "Makespan (s)", "Lower bound (s)"],
+        [
+            [f"{r.tolerance:g}", r.iterations, f"{r.makespan:.2f}", f"{r.lower_bound:.2f}"]
+            for r in rows
+        ],
+        title="Ablation A2: dual-approximation binary-search tolerance",
+    )
+    save_result("ablation_binary_search", text)
+
+    iters = [r.iterations for r in rows]
+    assert iters == sorted(iters)
+    # Logarithmic growth: each 10x tighter tolerance adds only a few
+    # iterations (log2(10) ~ 3.3).
+    for a, b, ta, tb in zip(iters, iters[1:], TOLERANCES, TOLERANCES[1:]):
+        expected = math.log2(ta / tb)
+        assert b - a <= expected + 2
+    # Quality saturates: the finest tolerance is no worse than the
+    # coarsest (and within its certified bound).
+    assert rows[-1].makespan <= rows[0].makespan + 1e-9
+    assert rows[-1].makespan <= 2 * rows[-1].lower_bound * 1.01

@@ -1,0 +1,48 @@
+"""Ablation A3 — SWDUAL variants vs the prior-work strategies.
+
+Compares the 2-approximation greedy step, the 3/2 DP refinement, and
+the related-work baselines (self-scheduling [10], equal-power [11],
+proportional [12], EFT, heterogeneous LPT) on the paper workload and
+on random instances, by makespan and by total idle time — the paper's
+two criteria.
+"""
+
+import numpy as np
+
+from repro.core import TaskSet
+from repro.experiments import paper_taskset, scheduler_ablation
+from repro.utils import ascii_table
+
+
+def _random_instance(seed: int, n: int = 50) -> TaskSet:
+    rng = np.random.default_rng(seed)
+    pbar = rng.uniform(0.2, 8.0, n)
+    return TaskSet(cpu_times=pbar * rng.uniform(0.8, 5.0, n), gpu_times=pbar)
+
+
+def _run():
+    paper_rows = scheduler_ablation(paper_taskset(), 4, 4)
+    random_rows = [scheduler_ablation(_random_instance(s), 3, 2) for s in range(5)]
+    return paper_rows, random_rows
+
+
+def test_ablation_schedulers(benchmark, save_result):
+    paper_rows, random_rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = ascii_table(
+        ["Scheduler", "Makespan (s)", "Total idle (s)"],
+        [[r.scheduler, f"{r.makespan:.2f}", f"{r.total_idle:.2f}"] for r in paper_rows],
+        title="Ablation A3: schedulers on the paper workload (4 GPUs + 4 CPUs)",
+    )
+    save_result("ablation_schedulers", text)
+
+    def makespan(rows, name):
+        return next(r.makespan for r in rows if r.scheduler == name)
+
+    # SWDUAL beats every related-work strategy on the paper workload.
+    for naive in ("self-scheduling", "equal-power", "proportional"):
+        assert makespan(paper_rows, "swdual-2approx") < makespan(paper_rows, naive)
+    # ... and on the majority of random instances (EFT/LPT are strong
+    # heuristics without guarantees; the naive three should lose).
+    for rows in random_rows:
+        assert makespan(rows, "swdual-2approx") <= makespan(rows, "equal-power")
+        assert makespan(rows, "swdual-2approx") <= makespan(rows, "self-scheduling") * 1.05

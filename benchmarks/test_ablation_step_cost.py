@@ -1,0 +1,69 @@
+"""Ablation A5 — cost of one dual-approximation step.
+
+Section III's cost analysis: the greedy step is O(n log n); the DP
+refinement is "important" (O(n² m k²) in general) but worthwhile for
+the tighter guarantee.  This ablation measures both steps' wall-clock
+cost as the task count grows, confirming the greedy's near-linear
+scaling and quantifying the DP's premium.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import TaskSet, dual_approx_dp_step, dual_approx_step, eft_upper_bound
+from repro.utils import ascii_table
+
+SIZES = (40, 160, 640, 2560)
+
+
+def _instance(n: int, seed: int = 0) -> TaskSet:
+    rng = np.random.default_rng(seed)
+    pbar = rng.uniform(0.5, 8.0, n)
+    return TaskSet(cpu_times=pbar * rng.uniform(1.1, 4.0, n), gpu_times=pbar)
+
+
+def _time_step(fn, tasks, lam, repeats=3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(tasks, 4, 4, lam)
+        best = min(best, time.perf_counter() - start)
+        assert result is not None
+    return best
+
+
+def _run():
+    rows = []
+    for n in SIZES:
+        tasks = _instance(n)
+        # A guess both steps accept (1.2x the EFT upper bound leaves
+        # room for the DP's conservative discretisation).
+        lam = 1.2 * eft_upper_bound(tasks, 4, 4)
+        greedy_t = _time_step(dual_approx_step, tasks, lam)
+        # Default resolution scales with n so the conservative rounding
+        # stays a small fraction of the capacity at every size.
+        dp_t = _time_step(dual_approx_dp_step, tasks, lam, repeats=1)
+        rows.append((n, greedy_t, dp_t))
+    return rows
+
+
+def test_ablation_step_cost(benchmark, save_result):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = ascii_table(
+        ["n tasks", "greedy step (ms)", "DP step (ms)", "DP / greedy"],
+        [
+            [n, f"{g * 1000:.2f}", f"{d * 1000:.2f}", f"{d / g:.1f}x"]
+            for n, g, d in rows
+        ],
+        title="Ablation A5: dual-approximation step cost (4 CPUs + 4 GPUs)",
+    )
+    save_result("ablation_step_cost", text)
+
+    # Greedy scales near-linearly: 64x more tasks < ~400x more time.
+    n0, g0, _ = rows[0]
+    n3, g3, _ = rows[-1]
+    assert g3 / g0 < (n3 / n0) * 8
+    # The DP step costs more than the greedy at every size.
+    for n, g, d in rows[1:]:
+        assert d > g

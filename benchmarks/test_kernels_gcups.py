@@ -1,0 +1,81 @@
+"""Kernel microbenchmarks — measured GCUPS of the live numpy kernels.
+
+Supports the DESIGN.md substitution argument: the numpy kernels
+standing in for the compared applications' SIMD/CUDA kernels are real
+implementations of the same algorithms, and their *relative* costs
+follow the expected pattern (batch/inter-sequence fastest, then the
+single-pair row sweep, then the emulated striped and wavefront kernels
+whose per-column Python overhead dominates at this scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    default_scheme,
+    sw_score_batch,
+    sw_score_rowsweep,
+    sw_score_striped,
+    sw_score_wavefront,
+)
+from repro.platform import measure_kernel_gcups
+from repro.sequences import small_database, standard_query_set
+from repro.utils import ascii_table
+
+SCHEME = default_scheme()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=40, mean_length=150, seed=21)
+    query = standard_query_set(count=1).scaled(0.08).materialize(seed=22)[0]
+    return query, list(db)
+
+
+KERNELS = {
+    "batch (SWIPE-like)": lambda q, subjects, s: sw_score_batch(q, subjects, s),
+    "rowsweep (SWPS3-like)": lambda q, subjects, s: np.array(
+        [sw_score_rowsweep(q, d, s) for d in subjects]
+    ),
+    "striped (Farrar-like)": lambda q, subjects, s: np.array(
+        [sw_score_striped(q, d, s) for d in subjects]
+    ),
+    "wavefront (CUDASW-like)": lambda q, subjects, s: np.array(
+        [sw_score_wavefront(q, d, s) for d in subjects]
+    ),
+}
+
+_measured: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_kernel_gcups(benchmark, name, workload):
+    query, subjects = workload
+    kernel = KERNELS[name]
+    benchmark.pedantic(
+        lambda: kernel(query, subjects, SCHEME), rounds=2, iterations=1
+    )
+    _measured[name] = measure_kernel_gcups(kernel, query, subjects, SCHEME)
+    assert _measured[name] > 0
+
+
+def test_kernel_gcups_report(benchmark, save_result, workload):
+    query, subjects = workload
+    # Ensure every kernel was measured (ordering safety).
+    for name, kernel in KERNELS.items():
+        if name not in _measured:
+            _measured[name] = measure_kernel_gcups(kernel, query, subjects, SCHEME)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [name, f"{rate * 1000:.2f} MCUPS"]
+        for name, rate in sorted(_measured.items(), key=lambda kv: -kv[1])
+    ]
+    text = ascii_table(
+        ["Kernel", "Measured rate"],
+        rows,
+        title="Live numpy kernel throughput (laptop-scale workload)",
+    )
+    save_result("kernels_gcups", text)
+    # The inter-sequence batch kernel must dominate, as SWIPE does on SSE.
+    fastest = max(_measured, key=_measured.get)
+    assert fastest == "batch (SWIPE-like)"

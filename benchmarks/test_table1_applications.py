@@ -1,0 +1,20 @@
+"""Table I — applications included in the comparison.
+
+Regenerates the application/version/command listing.  (The only
+"measurement" here is the spec lookup; the value is the emitted table,
+which the paper prints as configuration.)
+"""
+
+from repro.comparators import table1_rows
+from repro.utils import ascii_table
+
+
+def test_table1_applications(benchmark, save_result):
+    rows = benchmark.pedantic(table1_rows, rounds=3, iterations=1)
+    text = ascii_table(
+        ["Application", "Version", "Command line"],
+        rows,
+        title="Table I: Applications included in the comparison",
+    )
+    save_result("table1_applications", text)
+    assert [r[0] for r in rows] == ["SWIPE", "STRIPED", "SWPS3", "CUDASW++"]

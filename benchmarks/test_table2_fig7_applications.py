@@ -1,0 +1,35 @@
+"""Table II / Figure 7 — execution times of the compared applications.
+
+Workload: 40 standard queries (100-5000 aa, 102,000 residues total)
+against the UniProt profile.  SWPS3/STRIPED/SWIPE/CUDASW++ at 1-4
+workers, SWDUAL at 2-8 (GPUs first).  Prints the Table II rows and the
+Figure 7 series, measured next to the paper's numbers, and asserts the
+shape criteria (app ordering, SWDUAL's win at 4 workers, the
+CUDASW++/SWDUAL crossover).
+"""
+
+from repro.experiments import run_table2
+
+
+def test_table2_fig7(benchmark, save_result):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    save_result("table2_fig7_applications", result.table())
+
+    measured = result.measured
+    # Application ordering (Figure 7's vertical order) at every shared x.
+    for w in (1, 2, 3, 4):
+        assert (
+            measured["SWPS3"].value_at(w)
+            > measured["STRIPED"].value_at(w)
+            > measured["SWIPE"].value_at(w)
+            > measured["CUDASW++"].value_at(w)
+        )
+    # SWDUAL (mixed) wins at matched worker count 4 and keeps improving.
+    assert measured["SWDUAL"].value_at(4) < measured["CUDASW++"].value_at(4)
+    assert measured["SWDUAL"].is_decreasing()
+    # Crossover: 2 GPUs beat 1 GPU + 1 CPU, as in the paper.
+    assert measured["CUDASW++"].value_at(2) < measured["SWDUAL"].value_at(2)
+    # Baselines land within 15% of the published rows.
+    for name in ("SWPS3", "STRIPED", "SWIPE", "CUDASW++"):
+        for w, ratio in result.ratio_to_paper(name).items():
+            assert 0.85 <= ratio <= 1.15, (name, w)

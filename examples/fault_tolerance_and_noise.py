@@ -1,0 +1,80 @@
+"""Operational realities: prediction error and worker failures.
+
+Two things the paper's one-round master-slave design must survive in
+practice:
+
+1. the scheduler's task-time *predictions* are wrong by some factor —
+   this script sweeps the error level and shows where the one-round
+   plan stops paying off (ablation A4's crossover);
+2. a worker *dies* mid-run — the dynamic master re-queues its lost
+   task and the search still completes.
+
+Run with::
+
+    python examples/fault_tolerance_and_noise.py
+"""
+
+from repro.core import render_utilization, tasks_from_queries
+from repro.engine import (
+    DurationNoise,
+    simulate_plan,
+    simulate_self_scheduling,
+    simulate_swdual_rounds,
+    simulate_with_failures,
+)
+from repro.core import SWDualScheduler
+from repro.platform import PerformanceModel, idgraf_platform
+from repro.sequences import paper_database_profile, standard_query_set
+
+
+def noise_sweep() -> None:
+    print("== Prediction error sweep (4 GPUs + 4 CPUs, UniProt) " + "=" * 12)
+    perf = PerformanceModel(idgraf_platform(4, 4))
+    db = paper_database_profile("uniprot")
+    tasks = tasks_from_queries(standard_query_set(), db.total_residues, perf)
+    plan = SWDualScheduler().schedule_tasks(tasks, 4, 4).schedule
+
+    print(f"{'sigma':>6} {'one-round':>10} {'4-rounds':>10} {'self-sched':>11}")
+    for sigma in (0.0, 0.2, 0.4, 0.8):
+        one = rounds = dynamic = 0.0
+        seeds = (0, 1, 2)
+        for seed in seeds:
+            noise = DurationNoise(sigma, seed=seed)
+            one += simulate_plan(tasks, plan, perf.platform, perf, noise=noise).report.wall_seconds
+            rounds += simulate_swdual_rounds(
+                tasks, perf.platform, perf, rounds=4, noise=noise
+            ).report.wall_seconds
+            dynamic += simulate_self_scheduling(
+                tasks, perf.platform, perf, noise=noise
+            ).report.wall_seconds
+        n = len(seeds)
+        print(f"{sigma:>6.1f} {one / n:>9.1f}s {rounds / n:>9.1f}s {dynamic / n:>10.1f}s")
+    print("-> the one-round allocation tolerates moderate error; only "
+          "extreme\n   unpredictability favours dynamic self-scheduling.\n")
+
+
+def failure_demo() -> None:
+    print("== Worker failure recovery (2 GPUs + 2 CPUs, Ensembl Dog) " + "=" * 7)
+    perf = PerformanceModel(idgraf_platform(2, 2))
+    db = paper_database_profile("ensembl_dog")
+    tasks = tasks_from_queries(standard_query_set(), db.total_residues, perf)
+
+    healthy = simulate_with_failures(tasks, perf.platform, perf, failures={})
+    print(f"healthy run   : {healthy.report.wall_seconds:7.2f}s")
+
+    crashed = simulate_with_failures(
+        tasks, perf.platform, perf, failures={"gpu0": 8.0}
+    )
+    print(f"gpu0 dies @8s : {crashed.report.wall_seconds:7.2f}s "
+          f"(all {crashed.schedule.num_tasks} tasks still completed)")
+    print()
+    print(render_utilization(crashed.schedule))
+    survivors = [n for n in crashed.schedule.pe_names if n != "gpu0"]
+    moved = sum(len(crashed.schedule.tasks_on(n)) for n in survivors)
+    print(f"\ngpu0 finished {len(crashed.schedule.tasks_on('gpu0'))} tasks "
+          f"before dying; survivors absorbed the remaining {moved}.")
+
+
+if __name__ == "__main__":
+    noise_sweep()
+    failure_demo()

@@ -1,0 +1,25 @@
+"""repro — reproduction of *Fast Biological Sequence Comparison on
+Hybrid Platforms* (Kedad-Sidhoum et al., ICPP 2014).
+
+The package implements the paper's SWDUAL system end to end in Python:
+
+* :mod:`repro.sequences` — alphabets, FASTA and binary database
+  formats, substitution matrices, synthetic paper databases;
+* :mod:`repro.align` — Smith-Waterman/Gotoh kernels (scalar reference
+  plus SWIPE-, Farrar- and CUDASW-style vectorised kernels);
+* :mod:`repro.platform` — hybrid CPU+GPU platform models and the
+  calibrated performance model used for paper-scale simulation;
+* :mod:`repro.core` — the dual-approximation scheduler (greedy
+  knapsack, list scheduling, binary search, 3/2-approx DP refinement)
+  and baseline schedulers;
+* :mod:`repro.engine` — the master-slave execution engine (simulated
+  and live modes) and the top-level database-search API;
+* :mod:`repro.comparators` — models of the compared applications
+  (SWIPE, STRIPED, SWPS3, CUDASW++, SWDUAL);
+* :mod:`repro.experiments` — drivers that regenerate every table and
+  figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

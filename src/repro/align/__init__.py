@@ -1,0 +1,68 @@
+"""Alignment core: Smith-Waterman/Gotoh recurrences, traceback and the
+kernel family (scalar reference, row-sweep, SWIPE-like batch,
+Farrar-striped, GPU-style wavefront, banded)."""
+
+from repro.align.scoring import GapModel, ScoringScheme, default_scheme
+from repro.align.sw_scalar import (
+    NEG_INF,
+    sw_matrices_affine,
+    sw_matrix_linear,
+    sw_score,
+    sw_score_and_position,
+)
+from repro.align.sw_vector import rowsweep_rows, sw_score_rowsweep
+from repro.align.sw_batch import DEFAULT_CHUNK_CELLS, sw_score_batch
+from repro.align.sw_striped import DEFAULT_LANES, linear_as_affine, sw_score_striped
+from repro.align.sw_wavefront import sw_score_wavefront, wavefront_steps
+from repro.align.banded import sw_score_banded
+from repro.align.block_pipeline import (
+    PipelineStats,
+    pipeline_schedule,
+    sw_score_blocked,
+)
+from repro.align.linear_space import (
+    align_global_linear_space,
+    align_local_linear_space,
+)
+from repro.align.evalue import EValueModel, fit_evalue_model, sample_null_scores
+from repro.align.nw import ALIGNMENT_MODES, nw_matrix, nw_score
+from repro.align.traceback import AlignmentResult, align_local, traceback_local
+from repro.align.stats import CellUpdateCounter, cell_updates, gcups
+
+__all__ = [
+    "GapModel",
+    "ScoringScheme",
+    "default_scheme",
+    "NEG_INF",
+    "sw_matrix_linear",
+    "sw_matrices_affine",
+    "sw_score",
+    "sw_score_and_position",
+    "sw_score_rowsweep",
+    "rowsweep_rows",
+    "sw_score_batch",
+    "DEFAULT_CHUNK_CELLS",
+    "sw_score_striped",
+    "DEFAULT_LANES",
+    "linear_as_affine",
+    "sw_score_wavefront",
+    "wavefront_steps",
+    "sw_score_banded",
+    "sw_score_blocked",
+    "pipeline_schedule",
+    "PipelineStats",
+    "align_global_linear_space",
+    "align_local_linear_space",
+    "EValueModel",
+    "fit_evalue_model",
+    "sample_null_scores",
+    "nw_score",
+    "nw_matrix",
+    "ALIGNMENT_MODES",
+    "AlignmentResult",
+    "align_local",
+    "traceback_local",
+    "CellUpdateCounter",
+    "cell_updates",
+    "gcups",
+]

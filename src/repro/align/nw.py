@@ -1,0 +1,107 @@
+"""Global (Needleman-Wunsch) and semiglobal alignment scores.
+
+The paper's application is local alignment, but database-search
+pipelines routinely need the global and semiglobal variants (e.g. to
+post-process hits), and having them exercises the same recurrences with
+different boundary conditions — a useful cross-check on the SW kernels.
+
+Three modes:
+
+* ``global`` — both sequences aligned end to end; boundaries charge
+  leading gaps.
+* ``semiglobal`` — the query must align fully, but a prefix and suffix
+  of the *subject* may be skipped for free (query-in-subject search).
+* ``overlap`` — all end gaps free on both sequences (dovetail/free-shift
+  alignment, as used for assembly overlaps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme
+from repro.align.sw_scalar import NEG_INF
+from repro.sequences.sequence import Sequence
+
+__all__ = ["nw_score", "nw_matrix", "ALIGNMENT_MODES"]
+
+ALIGNMENT_MODES = ("global", "semiglobal", "overlap")
+
+
+def nw_matrix(
+    query: Sequence,
+    subject: Sequence,
+    scheme: ScoringScheme,
+    mode: str = "global",
+) -> np.ndarray:
+    """Fill the (affine or linear) DP matrix ``H`` for *mode*.
+
+    Returns the full ``(m+1, n+1)`` matrix; the score of the alignment
+    is mode-dependent (see :func:`nw_score`).
+    """
+    if mode not in ALIGNMENT_MODES:
+        raise ValueError(f"mode must be one of {ALIGNMENT_MODES}, got {mode!r}")
+    scheme.check_sequence(query, "query")
+    scheme.check_sequence(subject, "subject")
+    q, d = query.codes, subject.codes
+    m, n = len(q), len(d)
+    S = scheme.matrix.scores
+    H = np.zeros((m + 1, n + 1), dtype=np.int64)
+
+    # Boundary freedoms: skipping a *subject* prefix means the DP may
+    # start anywhere along row 0 (H[0, j] = 0); skipping a *query*
+    # prefix frees column 0.  Trailing freedoms are applied by
+    # nw_score's choice of score cell(s).
+    skip_subject_prefix = mode in ("semiglobal", "overlap")
+    skip_query_prefix = mode == "overlap"
+
+    if scheme.is_affine:
+        gs, ge = scheme.gaps.gap_open, scheme.gaps.gap_extend
+        E = np.full((m + 1, n + 1), np.int64(NEG_INF), dtype=np.int64)
+        F = np.full((m + 1, n + 1), np.int64(NEG_INF), dtype=np.int64)
+        for i in range(1, m + 1):
+            H[i, 0] = 0 if skip_query_prefix else -(gs + i * ge)
+        for j in range(1, n + 1):
+            H[0, j] = 0 if skip_subject_prefix else -(gs + j * ge)
+        for i in range(1, m + 1):
+            srow = S[q[i - 1]]
+            for j in range(1, n + 1):
+                E[i, j] = -ge + max(E[i, j - 1], H[i, j - 1] - gs)
+                F[i, j] = -ge + max(F[i - 1, j], H[i - 1, j] - gs)
+                H[i, j] = max(H[i - 1, j - 1] + srow[d[j - 1]], E[i, j], F[i, j])
+    else:
+        g = scheme.gaps.gap
+        for i in range(1, m + 1):
+            H[i, 0] = 0 if skip_query_prefix else i * g
+        for j in range(1, n + 1):
+            H[0, j] = 0 if skip_subject_prefix else j * g
+        for i in range(1, m + 1):
+            srow = S[q[i - 1]]
+            for j in range(1, n + 1):
+                H[i, j] = max(
+                    H[i - 1, j - 1] + srow[d[j - 1]],
+                    H[i, j - 1] + g,
+                    H[i - 1, j] + g,
+                )
+    return H
+
+
+def nw_score(
+    query: Sequence,
+    subject: Sequence,
+    scheme: ScoringScheme,
+    mode: str = "global",
+) -> int:
+    """Alignment score under *mode* (see module docstring).
+
+    ``global`` reads ``H[m, n]``; ``semiglobal`` takes the best cell of
+    the last row (free trailing subject gaps); ``overlap`` the best of
+    the last row and last column.
+    """
+    H = nw_matrix(query, subject, scheme, mode=mode)
+    m, n = len(query), len(subject)
+    if mode == "global":
+        return int(H[m, n])
+    if mode == "semiglobal":
+        return int(H[m, :].max())
+    return int(max(H[m, :].max(), H[:, n].max()))

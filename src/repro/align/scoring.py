@@ -1,0 +1,122 @@
+"""Scoring schemes: substitution matrix + gap model.
+
+The paper's Section II defines two gap models:
+
+* **linear** — every gap character costs ``g`` (Equation 1);
+* **affine** (Gotoh) — opening a gap costs ``Gs + Ge`` and each
+  extension costs ``Ge`` (Equations 2–4), reflecting that "in nature,
+  gaps tend to appear in groups".
+
+A :class:`ScoringScheme` bundles the substitution matrix with either
+model and is the single argument every kernel takes, so scoring is
+consistent across the scalar reference and all vectorised kernels.
+
+Sign conventions follow the paper: ``gap`` (linear) is the *score added*
+per gap (negative); ``gap_open``/``gap_extend`` (affine) are
+*penalties* (positive), subtracted as in Equations 3–4.  The widely
+used SWIPE/BLAST defaults are gap open 10, extend 1 with BLOSUM62.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sequences.matrices import BLOSUM62, SubstitutionMatrix
+from repro.sequences.sequence import Sequence
+
+__all__ = ["GapModel", "ScoringScheme", "default_scheme"]
+
+
+@dataclass(frozen=True)
+class GapModel:
+    """Gap parameters for one of the two models.
+
+    Exactly one of the following configurations is valid:
+
+    * linear: ``gap < 0``, ``gap_open`` and ``gap_extend`` both ``None``;
+    * affine: ``gap is None``, ``gap_open >= 0`` and ``gap_extend > 0``.
+    """
+
+    gap: int | None = None
+    gap_open: int | None = None
+    gap_extend: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.gap is not None:
+            if self.gap_open is not None or self.gap_extend is not None:
+                raise ValueError("linear model must not set gap_open/gap_extend")
+            if self.gap >= 0:
+                raise ValueError(f"linear gap score must be negative, got {self.gap}")
+        else:
+            if self.gap_open is None or self.gap_extend is None:
+                raise ValueError("affine model requires gap_open and gap_extend")
+            if self.gap_open < 0:
+                raise ValueError(f"gap_open penalty must be >= 0, got {self.gap_open}")
+            if self.gap_extend <= 0:
+                raise ValueError(
+                    f"gap_extend penalty must be > 0, got {self.gap_extend}"
+                )
+
+    @property
+    def is_affine(self) -> bool:
+        """True for the Gotoh affine-gap model."""
+        return self.gap is None
+
+    @classmethod
+    def linear(cls, gap: int) -> "GapModel":
+        """Linear model: each gap character adds score *gap* (< 0)."""
+        return cls(gap=gap)
+
+    @classmethod
+    def affine(cls, gap_open: int, gap_extend: int) -> "GapModel":
+        """Affine model with *penalties* ``Gs=gap_open``, ``Ge=gap_extend``."""
+        return cls(gap_open=gap_open, gap_extend=gap_extend)
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """Substitution matrix + gap model, the full scoring specification."""
+
+    matrix: SubstitutionMatrix
+    gaps: GapModel
+
+    def __post_init__(self) -> None:
+        if not self.matrix.is_symmetric:
+            raise ValueError(
+                f"matrix {self.matrix.name!r} is not symmetric; SW assumes "
+                "a symmetric substitution matrix"
+            )
+
+    @property
+    def alphabet(self):
+        """The alphabet of the underlying substitution matrix."""
+        return self.matrix.alphabet
+
+    @property
+    def is_affine(self) -> bool:
+        """True for the Gotoh affine-gap model."""
+        return self.gaps.is_affine
+
+    def check_sequence(self, seq: Sequence, role: str = "sequence") -> None:
+        """Raise if *seq* uses a different alphabet than the matrix."""
+        if seq.alphabet.name != self.alphabet.name:
+            raise ValueError(
+                f"{role} {seq.id!r} uses alphabet {seq.alphabet.name!r}, "
+                f"but the scoring matrix expects {self.alphabet.name!r}"
+            )
+
+    def profile(self, query: Sequence) -> np.ndarray:
+        """Query profile (``len(q) × alphabet``) for vectorised kernels."""
+        self.check_sequence(query, "query")
+        return self.matrix.profile(query.codes)
+
+    def max_pair_score(self) -> int:
+        """Largest single-residue substitution score (used for bounds)."""
+        return int(self.matrix.scores.max())
+
+
+def default_scheme() -> ScoringScheme:
+    """BLOSUM62 with affine gaps 10/1 — the SWIPE/CUDASW++ default."""
+    return ScoringScheme(matrix=BLOSUM62, gaps=GapModel.affine(10, 1))

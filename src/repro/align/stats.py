@@ -1,0 +1,74 @@
+"""Cell-update accounting: the GCUPS metric.
+
+The paper reports performance in **GCUPS** — billion (DP) cell updates
+per second — because it normalises wall-clock time by problem size:
+comparing a query of length ``|q|`` against a database of ``R`` total
+residues updates ``|q| × R`` cells regardless of implementation.  These
+helpers centralise that arithmetic so kernels, the simulator and the
+experiment reports all count the same thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["cell_updates", "gcups", "CellUpdateCounter"]
+
+
+def cell_updates(query_length: int | np.ndarray, database_residues: int) -> int | np.ndarray:
+    """DP cells updated when aligning query(s) against *database_residues*.
+
+    Accepts a scalar length or an array of lengths (returns the
+    elementwise product; sum it for a whole query set).
+    """
+    if np.any(np.asarray(query_length) < 0):
+        raise ValueError("query_length must be non-negative")
+    if database_residues < 0:
+        raise ValueError("database_residues must be non-negative")
+    return query_length * database_residues
+
+
+def gcups(cells: float, seconds: float) -> float:
+    """Billion cell updates per second for *cells* done in *seconds*."""
+    if cells < 0:
+        raise ValueError(f"cells must be >= 0, got {cells}")
+    if seconds <= 0:
+        raise ValueError(f"seconds must be > 0, got {seconds}")
+    return cells / seconds / 1e9
+
+
+@dataclass
+class CellUpdateCounter:
+    """Accumulates cell updates across many comparisons.
+
+    Workers carry one of these so the engine can report per-PE and
+    aggregate GCUPS exactly as the paper's Tables IV/V do.
+    """
+
+    total_cells: int = 0
+    comparisons: int = 0
+    _per_task: list[int] = field(default_factory=list, repr=False)
+
+    def add(self, query_length: int, database_residues: int) -> int:
+        """Record one query-vs-database comparison; returns its cells."""
+        cells = int(cell_updates(query_length, database_residues))
+        self.total_cells += cells
+        self.comparisons += 1
+        self._per_task.append(cells)
+        return cells
+
+    def merge(self, other: "CellUpdateCounter") -> None:
+        """Fold another counter into this one (master merging workers)."""
+        self.total_cells += other.total_cells
+        self.comparisons += other.comparisons
+        self._per_task.extend(other._per_task)
+
+    def gcups(self, seconds: float) -> float:
+        """Aggregate GCUPS over *seconds* of wall-clock time."""
+        return gcups(self.total_cells, seconds)
+
+    def per_task_cells(self) -> list[int]:
+        """Cells per recorded comparison, in recording order."""
+        return list(self._per_task)

@@ -1,0 +1,167 @@
+"""Inter-sequence batched Smith-Waterman (SWIPE-style).
+
+SWIPE's key idea (Rognes 2011) is *inter-sequence* SIMD: the vector
+lanes hold corresponding cells of **different database sequences**, so
+the DP recurrence needs no intra-row shuffles at all.  Here numpy rows
+play the role of SIMD lanes: database sequences are padded into a
+``(B, L)`` code matrix and the row-sweep of
+:mod:`repro.align.sw_vector` runs on all ``B`` of them simultaneously —
+O(m) Python iterations per batch regardless of how many subjects it
+holds.
+
+Padding safety: padded columns get a hugely negative substitution
+score, which zeroes their ``c`` contribution; values that leak into the
+padding through the gap chains are strictly below the true maximum (a
+trailing gap always loses at least ``Gs + Ge``), so the running best is
+unaffected.  Tests verify batch scores equal the scalar reference on
+ragged batches.
+
+Batches are processed in chunks to bound peak memory
+(:data:`DEFAULT_CHUNK_CELLS` DP cells per chunk).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence as SequenceABC
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme
+from repro.sequences.sequence import Sequence
+
+__all__ = ["sw_score_batch", "DEFAULT_CHUNK_CELLS"]
+
+_NEG = np.int64(-(2**40))
+#: Substitution score assigned to padding columns; large enough to kill
+#: any diagonal contribution, small enough never to overflow int64.
+_PAD_SCORE = np.int64(-(2**20))
+
+#: Default ceiling on (subjects × max length) cells held at once.
+DEFAULT_CHUNK_CELLS = 4_000_000
+
+
+def sw_score_batch(
+    query: Sequence,
+    subjects: SequenceABC[Sequence],
+    scheme: ScoringScheme,
+    chunk_cells: int = DEFAULT_CHUNK_CELLS,
+) -> np.ndarray:
+    """Best local score of *query* against every subject.
+
+    Parameters
+    ----------
+    query:
+        The query sequence.
+    subjects:
+        Database sequences (arbitrary, possibly very different lengths).
+    chunk_cells:
+        Upper bound on ``B × L`` per processed chunk; subjects are
+        sorted by length internally so padding waste stays small, and
+        results are returned in the original order.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` array of ``len(subjects)`` scores.
+    """
+    scheme.check_sequence(query, "query")
+    for s in subjects:
+        scheme.check_sequence(s, "subject")
+    if chunk_cells <= 0:
+        raise ValueError(f"chunk_cells must be positive, got {chunk_cells}")
+    n_subjects = len(subjects)
+    scores = np.zeros(n_subjects, dtype=np.int64)
+    if n_subjects == 0 or len(query) == 0:
+        return scores
+
+    # Sort by length so each chunk pads to a similar length (the same
+    # reason SWIPE sorts its database).
+    order = sorted(range(n_subjects), key=lambda i: len(subjects[i]))
+    profile = _padded_profile(query, scheme)
+
+    start = 0
+    while start < n_subjects:
+        # Grow the chunk while the padded cell count stays in budget.
+        end = start + 1
+        max_len = max(1, len(subjects[order[start]]))
+        while end < n_subjects:
+            cand_len = max(max_len, len(subjects[order[end]]))
+            if (end - start + 1) * cand_len > chunk_cells:
+                break
+            max_len = cand_len
+            end += 1
+        idx = order[start:end]
+        batch_scores = _score_chunk(query, [subjects[i] for i in idx], profile, scheme, max_len)
+        scores[idx] = batch_scores
+        start = end
+    return scores
+
+
+def _padded_profile(query: Sequence, scheme: ScoringScheme) -> np.ndarray:
+    """Query profile with an extra padding column of :data:`_PAD_SCORE`."""
+    base = scheme.profile(query).astype(np.int64)
+    profile = np.full((base.shape[0], base.shape[1] + 1), _PAD_SCORE, dtype=np.int64)
+    profile[:, :-1] = base
+    return profile
+
+
+def _score_chunk(
+    query: Sequence,
+    subjects: list[Sequence],
+    profile: np.ndarray,
+    scheme: ScoringScheme,
+    max_len: int,
+) -> np.ndarray:
+    pad_code = scheme.alphabet.size  # the extra profile column
+    B = len(subjects)
+    L = max(max_len, 1)
+    codes = np.full((B, L), pad_code, dtype=np.int64)
+    for b, s in enumerate(subjects):
+        codes[b, : len(s)] = s.codes
+    if scheme.is_affine:
+        return _affine_chunk(query.codes, codes, profile, scheme)
+    return _linear_chunk(query.codes, codes, profile, scheme)
+
+
+def _affine_chunk(
+    q: np.ndarray, codes: np.ndarray, profile: np.ndarray, scheme: ScoringScheme
+) -> np.ndarray:
+    gs = np.int64(scheme.gaps.gap_open)
+    ge = np.int64(scheme.gaps.gap_extend)
+    B, L = codes.shape
+    j_ge = np.arange(1, L + 1, dtype=np.int64) * ge
+    k_ge = np.arange(0, L, dtype=np.int64) * ge
+    H_prev = np.zeros((B, L + 1), dtype=np.int64)
+    F_prev = np.full((B, L), _NEG, dtype=np.int64)
+    best = np.zeros(B, dtype=np.int64)
+    b_buf = np.empty((B, L), dtype=np.int64)
+    for i in range(len(q)):
+        srow = profile[i][codes]  # (B, L) substitution scores
+        F = np.maximum(F_prev, H_prev[:, 1:] - gs) - ge
+        c = np.maximum(np.maximum(H_prev[:, :-1] + srow, F), 0)
+        b_buf[:, 0] = 0
+        b_buf[:, 1:] = c[:, :-1]
+        E = np.maximum.accumulate(b_buf - gs + k_ge, axis=1) - j_ge
+        H = np.zeros((B, L + 1), dtype=np.int64)
+        np.maximum(c, E, out=H[:, 1:])
+        np.maximum(best, c.max(axis=1), out=best)
+        H_prev, F_prev = H, F
+    return best
+
+
+def _linear_chunk(
+    q: np.ndarray, codes: np.ndarray, profile: np.ndarray, scheme: ScoringScheme
+) -> np.ndarray:
+    g = np.int64(scheme.gaps.gap)
+    B, L = codes.shape
+    j_g = np.arange(1, L + 1, dtype=np.int64) * g
+    H_prev = np.zeros((B, L + 1), dtype=np.int64)
+    best = np.zeros(B, dtype=np.int64)
+    for i in range(len(q)):
+        srow = profile[i][codes]
+        c = np.maximum(np.maximum(H_prev[:, :-1] + srow, H_prev[:, 1:] + g), 0)
+        H = np.zeros((B, L + 1), dtype=np.int64)
+        H[:, 1:] = np.maximum.accumulate(c - j_g, axis=1) + j_g
+        np.maximum(best, c.max(axis=1), out=best)
+        H_prev = H
+    return best

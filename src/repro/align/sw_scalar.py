@@ -1,0 +1,124 @@
+"""Scalar reference implementation of Smith-Waterman.
+
+Direct transcriptions of the paper's recurrences:
+
+* Equation 1 — linear-gap local alignment (:func:`sw_matrix_linear`);
+* Equations 2–4 — Gotoh affine-gap local alignment
+  (:func:`sw_matrices_affine`), with ``E``/``F`` tracking gaps in each
+  sequence and a first gap costing ``Gs + Ge``.
+
+These run in O(m·n) Python/NumPy-row time and are the ground truth every
+vectorised kernel (:mod:`repro.align.sw_vector`, ``sw_batch``,
+``sw_striped``, ``sw_wavefront``) is validated against, so they favour
+clarity over speed.  ``H`` matrices use ``int32``; ``E``/``F``
+boundaries use a large negative sentinel that cannot overflow when a
+penalty is subtracted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme
+from repro.sequences.sequence import Sequence
+
+__all__ = [
+    "NEG_INF",
+    "sw_matrix_linear",
+    "sw_matrices_affine",
+    "sw_score",
+    "sw_score_and_position",
+]
+
+#: Effectively minus infinity for int32 DP cells; chosen so that
+#: subtracting any realistic penalty cannot wrap around.
+NEG_INF = np.int32(-(2**30))
+
+
+def sw_matrix_linear(query: Sequence, subject: Sequence, scheme: ScoringScheme) -> np.ndarray:
+    """Fill the similarity matrix ``H`` of the paper's Equation 1.
+
+    Returns the full ``(m+1, n+1)`` matrix with the zero boundary row
+    and column, suitable for traceback.
+    """
+    if scheme.is_affine:
+        raise ValueError("sw_matrix_linear requires a linear-gap scheme")
+    scheme.check_sequence(query, "query")
+    scheme.check_sequence(subject, "subject")
+    g = scheme.gaps.gap
+    q, d = query.codes, subject.codes
+    m, n = len(q), len(d)
+    S = scheme.matrix.scores
+    H = np.zeros((m + 1, n + 1), dtype=np.int32)
+    for i in range(1, m + 1):
+        srow = S[q[i - 1]]
+        for j in range(1, n + 1):
+            H[i, j] = max(
+                H[i - 1, j - 1] + srow[d[j - 1]],
+                H[i, j - 1] + g,
+                H[i - 1, j] + g,
+                0,
+            )
+    return H
+
+
+def sw_matrices_affine(
+    query: Sequence, subject: Sequence, scheme: ScoringScheme
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fill the Gotoh matrices ``H``, ``E``, ``F`` (Equations 2–4).
+
+    ``E[i, j]`` is the best score of an alignment of the prefixes ending
+    with a gap in the *query* (horizontal move); ``F`` with a gap in the
+    *subject* (vertical move).  Boundary ``E``/``F`` values are
+    :data:`NEG_INF` so a gap can never start from outside the matrix.
+    """
+    if not scheme.is_affine:
+        raise ValueError("sw_matrices_affine requires an affine-gap scheme")
+    scheme.check_sequence(query, "query")
+    scheme.check_sequence(subject, "subject")
+    gs = scheme.gaps.gap_open
+    ge = scheme.gaps.gap_extend
+    q, d = query.codes, subject.codes
+    m, n = len(q), len(d)
+    S = scheme.matrix.scores
+    H = np.zeros((m + 1, n + 1), dtype=np.int32)
+    E = np.full((m + 1, n + 1), NEG_INF, dtype=np.int32)
+    F = np.full((m + 1, n + 1), NEG_INF, dtype=np.int32)
+    for i in range(1, m + 1):
+        srow = S[q[i - 1]]
+        for j in range(1, n + 1):
+            # Equation 3: gap in the query, extending along the subject.
+            E[i, j] = -ge + max(E[i, j - 1], H[i, j - 1] - gs)
+            # Equation 4: gap in the subject, extending along the query.
+            F[i, j] = -ge + max(F[i - 1, j], H[i - 1, j] - gs)
+            # Equation 2.
+            H[i, j] = max(
+                H[i - 1, j - 1] + srow[d[j - 1]],
+                E[i, j],
+                F[i, j],
+                0,
+            )
+    return H, E, F
+
+
+def sw_score(query: Sequence, subject: Sequence, scheme: ScoringScheme) -> int:
+    """Best local alignment score (the *similarity* of Section II-A)."""
+    return sw_score_and_position(query, subject, scheme)[0]
+
+
+def sw_score_and_position(
+    query: Sequence, subject: Sequence, scheme: ScoringScheme
+) -> tuple[int, tuple[int, int]]:
+    """Best local score plus the (i, j) cell it occurs in.
+
+    The position indexes the DP matrix (1-based over residues); ties are
+    broken toward the smallest ``i`` then ``j``, matching
+    ``np.argmax`` on the row-major matrix.
+    """
+    if scheme.is_affine:
+        H, _, _ = sw_matrices_affine(query, subject, scheme)
+    else:
+        H = sw_matrix_linear(query, subject, scheme)
+    flat = int(np.argmax(H))
+    i, j = divmod(flat, H.shape[1])
+    return int(H[i, j]), (i, j)

@@ -1,0 +1,120 @@
+"""Row-sweep vectorised Smith-Waterman (score-only).
+
+The DP recurrences look inherently sequential along a row because
+``E[i,j]`` depends on ``E[i,j-1]`` (Equation 3).  The sweep here removes
+that serial chain with a *max-plus prefix scan*: inside row *i*, let
+
+``c[j] = max(H[i-1,j-1] + S_ij, F[i,j], 0)``
+
+be the part of ``H[i,j]`` that does not involve ``E``.  Unfolding
+Equation 3 (and using ``Gs >= 0``) gives
+
+``E[i,j] = max_{k < j} ( b[k] - Gs - (j-k)·Ge )``,  ``b[0]=0, b[k]=c[k]``
+
+which is a running maximum of ``b[k] - Gs + k·Ge`` shifted by
+``-j·Ge`` — one :func:`numpy.maximum.accumulate` per row.  ``F`` only
+reads row *i−1*, so a full row is a handful of vector operations and the
+kernel does O(m) Python iterations instead of O(m·n).
+
+The same trick applies to the linear-gap model with
+``H[i,j] = max_{k<=j} ( c[k] + (j-k)·g )``.
+
+This is the library's workhorse single-pair kernel; the batched
+(SWIPE-like) variant in :mod:`repro.align.sw_batch` applies the same
+sweep across many database sequences at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme
+from repro.sequences.sequence import Sequence
+
+__all__ = ["sw_score_rowsweep", "rowsweep_rows"]
+
+_NEG = np.int64(-(2**40))
+
+
+def sw_score_rowsweep(query: Sequence, subject: Sequence, scheme: ScoringScheme) -> int:
+    """Best local alignment score via the row-sweep kernel.
+
+    Produces exactly the scores of
+    :func:`repro.align.sw_scalar.sw_score` (validated by tests), in
+    O(m) vector operations.
+    """
+    best = 0
+    for _, row_best in rowsweep_rows(query, subject, scheme):
+        if row_best > best:
+            best = row_best
+    return int(best)
+
+
+def rowsweep_rows(query: Sequence, subject: Sequence, scheme: ScoringScheme):
+    """Yield ``(H_row, row_best)`` for each query row ``i = 1..m``.
+
+    ``H_row`` is the ``int64`` row of the similarity matrix *including*
+    the boundary cell ``H[i,0] = 0``; consumers that only need the final
+    score use :func:`sw_score_rowsweep`.  Exposed separately so tests
+    can compare entire matrices against the scalar reference and so
+    linear-space consumers can stream rows.
+    """
+    scheme.check_sequence(query, "query")
+    scheme.check_sequence(subject, "subject")
+    q, d = query.codes, subject.codes
+    m, n = len(q), len(d)
+    profile = scheme.matrix.scores.astype(np.int64)[:, d] if n else None
+    if m == 0 or n == 0:
+        for i in range(m):
+            yield np.zeros(n + 1, dtype=np.int64), 0
+        return
+
+    if scheme.is_affine:
+        yield from _affine_rows(q, profile, n, scheme)
+    else:
+        yield from _linear_rows(q, profile, n, scheme)
+
+
+def _affine_rows(q: np.ndarray, profile: np.ndarray, n: int, scheme: ScoringScheme):
+    gs = np.int64(scheme.gaps.gap_open)
+    ge = np.int64(scheme.gaps.gap_extend)
+    j_ge = np.arange(1, n + 1, dtype=np.int64) * ge  # j·Ge for j=1..n
+    k_ge = np.arange(0, n, dtype=np.int64) * ge  # k·Ge for k=0..n-1
+    H_prev = np.zeros(n + 1, dtype=np.int64)
+    F_prev = np.full(n + 1, _NEG, dtype=np.int64)
+    for i in range(len(q)):
+        srow = profile[q[i]]
+        # Equation 4 vectorised: F depends only on row i-1.
+        F = np.maximum(F_prev[1:], H_prev[1:] - gs) - ge
+        # E-free part of H.
+        c = np.maximum(np.maximum(H_prev[:-1] + srow, F), 0)
+        # Equation 3 as a prefix scan: b[k] = c[k] (k>=1), b[0]=0 boundary.
+        b = np.empty(n, dtype=np.int64)
+        b[0] = 0
+        b[1:] = c[:-1]
+        E = np.maximum.accumulate(b - gs + k_ge) - j_ge
+        H_row = np.empty(n + 1, dtype=np.int64)
+        H_row[0] = 0
+        np.maximum(c, E, out=H_row[1:])
+        F_row = np.empty(n + 1, dtype=np.int64)
+        F_row[0] = _NEG
+        F_row[1:] = F
+        yield H_row, int(c.max(initial=0))
+        H_prev, F_prev = H_row, F_row
+
+
+def _linear_rows(q: np.ndarray, profile: np.ndarray, n: int, scheme: ScoringScheme):
+    g = np.int64(scheme.gaps.gap)
+    j_g = np.arange(1, n + 1, dtype=np.int64) * g
+    H_prev = np.zeros(n + 1, dtype=np.int64)
+    for i in range(len(q)):
+        srow = profile[q[i]]
+        # Part of H[i,j] independent of the horizontal chain.
+        c = np.maximum(np.maximum(H_prev[:-1] + srow, H_prev[1:] + g), 0)
+        # H[i,j] = max_{k<=j} ( c[k] + (j-k)·g ).
+        H = np.maximum.accumulate(c - j_g) + j_g
+        H_row = np.empty(n + 1, dtype=np.int64)
+        H_row[0] = 0
+        H_row[1:] = H
+        yield H_row, int(c.max(initial=0))
+        H_prev = H_row

@@ -1,0 +1,240 @@
+"""Local-alignment traceback: reconstruct the alignment itself.
+
+Score-only kernels answer "how similar"; the traceback answers "how do
+they align" (the paper's Figure 1 rendering).  Given the filled DP
+matrices of :mod:`repro.align.sw_scalar`, :func:`traceback_local`
+follows the recurrence backwards from the maximum cell and produces an
+:class:`AlignmentResult` with the aligned strings, coordinates, CIGAR
+string and identity statistics.
+
+For the affine model the walk is a small state machine over the
+``H``/``E``/``F`` matrices (a gap, once opened, must be walked through
+its own matrix so open/extend charges are attributed correctly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme
+from repro.align.sw_scalar import sw_matrices_affine, sw_matrix_linear
+from repro.sequences.sequence import Sequence
+
+__all__ = ["AlignmentResult", "align_local", "traceback_local"]
+
+GAP_CHAR = "-"
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """A reconstructed local alignment.
+
+    Coordinates are 0-based, end-exclusive residue offsets into the
+    original sequences.
+    """
+
+    score: int
+    query_id: str
+    subject_id: str
+    aligned_query: str
+    aligned_subject: str
+    query_start: int
+    query_end: int
+    subject_start: int
+    subject_end: int
+
+    def __post_init__(self) -> None:
+        if len(self.aligned_query) != len(self.aligned_subject):
+            raise ValueError("aligned strings must have equal length")
+
+    @property
+    def length(self) -> int:
+        """Alignment length including gap columns."""
+        return len(self.aligned_query)
+
+    @property
+    def matches(self) -> int:
+        """Number of identical residue columns."""
+        return sum(
+            a == b and a != GAP_CHAR
+            for a, b in zip(self.aligned_query, self.aligned_subject)
+        )
+
+    @property
+    def identity(self) -> float:
+        """Fraction of identical columns (0 for an empty alignment)."""
+        return self.matches / self.length if self.length else 0.0
+
+    @property
+    def gaps(self) -> int:
+        """Total gap characters across both rows."""
+        return self.aligned_query.count(GAP_CHAR) + self.aligned_subject.count(
+            GAP_CHAR
+        )
+
+    def cigar(self) -> str:
+        """CIGAR string (``M`` aligned, ``I`` insertion to subject /
+        gap in query, ``D`` deletion / gap in subject)."""
+        if not self.length:
+            return ""
+        ops = []
+        for a, b in zip(self.aligned_query, self.aligned_subject):
+            if a == GAP_CHAR:
+                ops.append("I")
+            elif b == GAP_CHAR:
+                ops.append("D")
+            else:
+                ops.append("M")
+        out = []
+        run_op, run_len = ops[0], 1
+        for op in ops[1:]:
+            if op == run_op:
+                run_len += 1
+            else:
+                out.append(f"{run_len}{run_op}")
+                run_op, run_len = op, 1
+        out.append(f"{run_len}{run_op}")
+        return "".join(out)
+
+    def pretty(self, width: int = 60) -> str:
+        """Figure-1-style rendering with a midline of ``|`` for matches."""
+        mid = "".join(
+            "|" if a == b and a != GAP_CHAR else " "
+            for a, b in zip(self.aligned_query, self.aligned_subject)
+        )
+        blocks = []
+        for start in range(0, self.length, width):
+            blocks.append(
+                "\n".join(
+                    (
+                        self.aligned_query[start : start + width],
+                        mid[start : start + width],
+                        self.aligned_subject[start : start + width],
+                    )
+                )
+            )
+        header = (
+            f"score={self.score} identity={self.identity:.1%} "
+            f"q[{self.query_start}:{self.query_end}] "
+            f"s[{self.subject_start}:{self.subject_end}]"
+        )
+        return header + "\n" + "\n\n".join(blocks)
+
+
+def align_local(
+    query: Sequence, subject: Sequence, scheme: ScoringScheme
+) -> AlignmentResult:
+    """Compute matrices and trace back the optimal local alignment."""
+    if scheme.is_affine:
+        H, E, F = sw_matrices_affine(query, subject, scheme)
+    else:
+        H = sw_matrix_linear(query, subject, scheme)
+        E = F = None
+    return traceback_local(query, subject, scheme, H, E, F)
+
+
+def traceback_local(
+    query: Sequence,
+    subject: Sequence,
+    scheme: ScoringScheme,
+    H: np.ndarray,
+    E: np.ndarray | None = None,
+    F: np.ndarray | None = None,
+) -> AlignmentResult:
+    """Trace the optimal local alignment back from the max cell of *H*.
+
+    For affine schemes the matching ``E``/``F`` matrices from
+    :func:`~repro.align.sw_scalar.sw_matrices_affine` are required.
+    """
+    if scheme.is_affine and (E is None or F is None):
+        raise ValueError("affine traceback requires the E and F matrices")
+    q_text, s_text = query.text, subject.text
+    flat = int(np.argmax(H))
+    i, j = divmod(flat, H.shape[1])
+    score = int(H[i, j])
+    end_i, end_j = i, j
+    aligned_q: list[str] = []
+    aligned_s: list[str] = []
+
+    if score > 0:
+        if scheme.is_affine:
+            i, j = _walk_affine(q_text, s_text, scheme, H, E, F, i, j, aligned_q, aligned_s)
+        else:
+            i, j = _walk_linear(q_text, s_text, scheme, H, i, j, aligned_q, aligned_s)
+
+    return AlignmentResult(
+        score=score,
+        query_id=query.id,
+        subject_id=subject.id,
+        aligned_query="".join(reversed(aligned_q)),
+        aligned_subject="".join(reversed(aligned_s)),
+        query_start=i,
+        query_end=end_i,
+        subject_start=j,
+        subject_end=end_j,
+    )
+
+
+def _walk_linear(q_text, s_text, scheme, H, i, j, aligned_q, aligned_s):
+    g = scheme.gaps.gap
+    S = scheme.matrix
+    while i > 0 and j > 0 and H[i, j] != 0:
+        if H[i, j] == H[i - 1, j - 1] + S.score(q_text[i - 1], s_text[j - 1]):
+            aligned_q.append(q_text[i - 1])
+            aligned_s.append(s_text[j - 1])
+            i, j = i - 1, j - 1
+        elif H[i, j] == H[i, j - 1] + g:
+            aligned_q.append(GAP_CHAR)
+            aligned_s.append(s_text[j - 1])
+            j -= 1
+        elif H[i, j] == H[i - 1, j] + g:
+            aligned_q.append(q_text[i - 1])
+            aligned_s.append(GAP_CHAR)
+            i -= 1
+        else:  # pragma: no cover - matrices inconsistent with scheme
+            raise RuntimeError(f"inconsistent DP matrix at cell ({i}, {j})")
+    return i, j
+
+
+def _walk_affine(q_text, s_text, scheme, H, E, F, i, j, aligned_q, aligned_s):
+    gs, ge = scheme.gaps.gap_open, scheme.gaps.gap_extend
+    S = scheme.matrix
+    state = "H"
+    while i > 0 and j > 0:
+        if state == "H":
+            if H[i, j] == 0:
+                break
+            if H[i, j] == H[i - 1, j - 1] + S.score(q_text[i - 1], s_text[j - 1]):
+                aligned_q.append(q_text[i - 1])
+                aligned_s.append(s_text[j - 1])
+                i, j = i - 1, j - 1
+            elif H[i, j] == E[i, j]:
+                state = "E"
+            elif H[i, j] == F[i, j]:
+                state = "F"
+            else:  # pragma: no cover
+                raise RuntimeError(f"inconsistent H matrix at cell ({i}, {j})")
+        elif state == "E":
+            # Gap in the query, consuming a subject residue.
+            aligned_q.append(GAP_CHAR)
+            aligned_s.append(s_text[j - 1])
+            if E[i, j] == E[i, j - 1] - ge:
+                j -= 1  # stay in E: extend the gap
+            elif E[i, j] == H[i, j - 1] - gs - ge:
+                j -= 1
+                state = "H"
+            else:  # pragma: no cover
+                raise RuntimeError(f"inconsistent E matrix at cell ({i}, {j})")
+        else:  # state == "F": gap in the subject, consuming a query residue
+            aligned_q.append(q_text[i - 1])
+            aligned_s.append(GAP_CHAR)
+            if F[i, j] == F[i - 1, j] - ge:
+                i -= 1
+            elif F[i, j] == H[i - 1, j] - gs - ge:
+                i -= 1
+                state = "H"
+            else:  # pragma: no cover
+                raise RuntimeError(f"inconsistent F matrix at cell ({i}, {j})")
+    return i, j

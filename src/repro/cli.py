@@ -1,0 +1,288 @@
+"""Command-line interface.
+
+Subcommands mirror the system's surfaces::
+
+    swdual convert  IN.fasta OUT.swdb     # FASTA -> binary format
+    swdual info     DB.swdb               # database statistics
+    swdual align    Q.fasta S.fasta       # pairwise local alignment
+    swdual search   QUERIES.fasta DB      # live master-slave search
+    swdual simulate [--db uniprot ...]    # paper-scale simulated run
+    swdual experiment {table2,table3,table4,table5,ablations}
+
+``swdual simulate`` and ``swdual experiment`` regenerate the paper's
+numbers from the calibrated models; ``swdual search`` runs real kernels
+on real FASTA/swdb files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.utils import ascii_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="swdual",
+        description="SWDUAL: fast biological sequence comparison on hybrid platforms",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_convert = sub.add_parser("convert", help="convert FASTA to the .swdb binary format")
+    p_convert.add_argument("fasta")
+    p_convert.add_argument("swdb")
+
+    p_info = sub.add_parser("info", help="print statistics of a database file")
+    p_info.add_argument("database", help=".swdb or FASTA file")
+
+    p_align = sub.add_parser("align", help="pairwise local alignment of two FASTA records")
+    p_align.add_argument("query", help="FASTA file (first record is used)")
+    p_align.add_argument("subject", help="FASTA file (first record is used)")
+    p_align.add_argument(
+        "--matrix", default="blosum62", help="substitution matrix name"
+    )
+    p_align.add_argument("--gap-open", type=int, default=10)
+    p_align.add_argument("--gap-extend", type=int, default=1)
+    p_align.add_argument(
+        "--linear-space",
+        action="store_true",
+        help="use the Myers-Miller linear-space traceback",
+    )
+
+    p_search = sub.add_parser("search", help="live master-slave database search")
+    p_search.add_argument("queries", help="FASTA file of query sequences")
+    p_search.add_argument("database", help=".swdb or FASTA database")
+    p_search.add_argument("--cpus", type=int, default=1, help="CPU workers")
+    p_search.add_argument("--gpus", type=int, default=1, help="GPU-role workers")
+    p_search.add_argument(
+        "--policy", default="swdual", choices=("swdual", "swdual-dp", "self")
+    )
+    p_search.add_argument("--top", type=int, default=5, help="hits per query")
+    p_search.add_argument("--json", action="store_true", help="emit a JSON report")
+    p_search.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        help="use N worker processes instead of threads (self-scheduling)",
+    )
+
+    p_sim = sub.add_parser("simulate", help="paper-scale simulated search")
+    p_sim.add_argument("--db", default="uniprot", help="paper database key")
+    p_sim.add_argument("--workers", type=int, default=8)
+    p_sim.add_argument("--policy", default="swdual")
+    p_sim.add_argument(
+        "--queries",
+        default="standard",
+        choices=("standard", "homogeneous", "heterogeneous"),
+    )
+    p_sim.add_argument(
+        "--gantt", action="store_true", help="print an ASCII Gantt chart"
+    )
+    p_sim.add_argument("--json", action="store_true", help="emit a JSON report")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument(
+        "which", choices=("table2", "table3", "table4", "table5", "ablations", "robustness", "all")
+    )
+    return parser
+
+
+def _cmd_convert(args) -> int:
+    from repro.sequences import read_fasta, write_binary_db
+
+    seqs = read_fasta(args.fasta)
+    count = write_binary_db(seqs, args.swdb)
+    print(f"wrote {count} sequences to {args.swdb}")
+    return 0
+
+
+def _load_db(path: str):
+    from repro.sequences import SequenceDatabase
+
+    if path.endswith(".swdb"):
+        return SequenceDatabase.from_binary(path)
+    return SequenceDatabase.from_fasta(path)
+
+
+def _cmd_info(args) -> int:
+    stats = _load_db(args.database).stats()
+    print(
+        ascii_table(
+            ["Database", "Seqs", "Min", "Max", "Mean", "Residues"],
+            [stats.as_row()],
+        )
+    )
+    return 0
+
+
+def _cmd_align(args) -> int:
+    from repro.align import GapModel, ScoringScheme, align_local
+    from repro.align.linear_space import align_local_linear_space
+    from repro.sequences import matrix_by_name, read_fasta
+
+    queries = read_fasta(args.query)
+    subjects = read_fasta(args.subject)
+    if not queries or not subjects:
+        print("error: both FASTA files must contain at least one record")
+        return 1
+    scheme = ScoringScheme(
+        matrix=matrix_by_name(args.matrix),
+        gaps=GapModel.affine(args.gap_open, args.gap_extend),
+    )
+    aligner = align_local_linear_space if args.linear_space else align_local
+    result = aligner(queries[0], subjects[0], scheme)
+    print(result.pretty())
+    print(f"CIGAR: {result.cigar()}")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from repro.engine import live_search
+    from repro.sequences import read_fasta
+
+    queries = read_fasta(args.queries)
+    database = _load_db(args.database)
+    if args.processes:
+        from repro.engine import process_search
+
+        report = process_search(
+            queries, database, num_workers=args.processes, top_hits=args.top
+        )
+    else:
+        report = live_search(
+            queries,
+            database,
+            num_cpu_workers=args.cpus,
+            num_gpu_workers=args.gpus,
+            policy=args.policy,
+            top_hits=args.top,
+        )
+    if args.json:
+        from repro.engine import report_to_json
+
+        print(report_to_json(report))
+        return 0
+    print(report.summary())
+    for qr in report.query_results:
+        hits = ", ".join(f"{h.subject_id}:{h.score}" for h in qr.hits[: args.top])
+        print(f"  {qr.query_id}: {hits}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.engine import simulate_search
+    from repro.platform import swdual_worker_mix
+    from repro.sequences import (
+        heterogeneous_query_set,
+        homogeneous_query_set,
+        paper_database_profile,
+        standard_query_set,
+    )
+
+    qsets = {
+        "standard": standard_query_set,
+        "homogeneous": homogeneous_query_set,
+        "heterogeneous": heterogeneous_query_set,
+    }
+    queries = qsets[args.queries]()
+    database = paper_database_profile(args.db)
+    gpus, cpus = swdual_worker_mix(args.workers)
+    outcome = simulate_search(queries, database, gpus, cpus, policy=args.policy)
+    if args.json:
+        from repro.engine import report_to_json
+
+        print(report_to_json(outcome.report))
+        return 0
+    print(outcome.report.summary())
+    print(f"scheduler: {outcome.report.scheduler_info}")
+    for ws in outcome.report.worker_stats:
+        print(
+            f"  {ws.name:6} {ws.kind:4} tasks={ws.tasks_executed:3} "
+            f"busy={ws.busy_seconds:9.2f}s "
+            f"util={ws.utilization(outcome.report.wall_seconds):6.1%}"
+        )
+    if args.gantt:
+        from repro.core import render_gantt
+
+        print()
+        print(render_gantt(outcome.schedule))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro import experiments as ex
+
+    if args.which == "all":
+        summary = ex.run_all()
+        print(summary.render())
+        print()
+        print("Shape checks:")
+        for name, ok in summary.shape_checks().items():
+            print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        return 0
+    if args.which == "table2":
+        print(ex.run_table2().table())
+    elif args.which == "table3":
+        print(ex.run_table3().table())
+    elif args.which == "table4":
+        result = ex.run_table4(worker_counts=(2, 4, 8))
+        print(result.times.table())
+        print()
+        print(result.gcups.table())
+    elif args.which == "table5":
+        result = ex.run_table5(worker_counts=(2, 4, 8))
+        print(result.times.table())
+        print()
+        print(result.gcups.table())
+    elif args.which == "robustness":
+        from repro.platform import PerformanceModel, idgraf_platform
+
+        perf = PerformanceModel(idgraf_platform(4, 4))
+        print("A4: robustness to prediction error (4 GPUs + 4 CPUs)")
+        for row in ex.robustness_ablation(ex.paper_taskset(), perf):
+            print(
+                f"  sigma={row.sigma:<4g} one-round={row.one_round:7.1f}s "
+                f"2-rounds={row.rounds2:7.1f}s 4-rounds={row.rounds4:7.1f}s "
+                f"self={row.self_scheduling:7.1f}s  winner={row.best_policy()}"
+            )
+    else:
+        tasks = ex.paper_taskset()
+        print("A1: knapsack GPU-filling order")
+        for row in ex.knapsack_order_ablation(tasks, 4, 4):
+            print(f"  {row.order:14} makespan={row.makespan:8.2f}s")
+        print("A2: binary-search tolerance")
+        for row in ex.tolerance_ablation(tasks, 4, 4):
+            print(
+                f"  tol={row.tolerance:<6} iters={row.iterations:2} "
+                f"makespan={row.makespan:8.2f}s"
+            )
+        print("A3: scheduler comparison")
+        for row in ex.scheduler_ablation(tasks, 4, 4):
+            print(
+                f"  {row.scheduler:16} makespan={row.makespan:8.2f}s "
+                f"idle={row.total_idle:8.2f}s"
+            )
+    return 0
+
+
+_COMMANDS = {
+    "convert": _cmd_convert,
+    "align": _cmd_align,
+    "info": _cmd_info,
+    "search": _cmd_search,
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

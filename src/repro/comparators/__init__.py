@@ -1,0 +1,31 @@
+"""Models of the compared applications: SWIPE, STRIPED, SWPS3,
+CUDASW++ (Table I baselines) and SWDUAL itself."""
+
+from repro.comparators.base import ComparatorApp, ComparatorSpec
+from repro.comparators.swdual_app import SWDualApp
+from repro.comparators.apps import (
+    ALL_APPS,
+    BASELINE_APPS,
+    CUDASW,
+    LIVE_KERNELS,
+    STRIPED,
+    SWDUAL,
+    SWIPE,
+    SWPS3,
+    table1_rows,
+)
+
+__all__ = [
+    "ComparatorApp",
+    "ComparatorSpec",
+    "SWDualApp",
+    "SWIPE",
+    "STRIPED",
+    "SWPS3",
+    "CUDASW",
+    "SWDUAL",
+    "BASELINE_APPS",
+    "ALL_APPS",
+    "LIVE_KERNELS",
+    "table1_rows",
+]

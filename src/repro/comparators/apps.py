@@ -1,0 +1,168 @@
+"""The concrete compared applications (Tables I and II).
+
+Four external baselines plus SWDUAL itself.  Each baseline's spec
+embeds the Table I command line and the Table II measured times its
+scaling model is derived from; the live kernel is the numpy
+implementation of the same algorithmic idea:
+
+========  ===========================  =============================
+app       algorithmic idea             live kernel
+========  ===========================  =============================
+SWIPE     inter-sequence SIMD          :func:`repro.align.sw_batch.sw_score_batch`
+STRIPED   Farrar striped intra-SIMD    :func:`repro.align.sw_striped.sw_score_striped`
+SWPS3     vectorised Farrar port       :func:`repro.align.sw_vector.sw_score_rowsweep`
+CUDASW++  GPU anti-diagonal kernels    :func:`repro.align.sw_wavefront.sw_score_wavefront`
+========  ===========================  =============================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.sw_batch import sw_score_batch
+from repro.align.sw_striped import sw_score_striped
+from repro.align.sw_vector import sw_score_rowsweep
+from repro.align.sw_wavefront import sw_score_wavefront
+from repro.comparators.base import ComparatorApp, ComparatorSpec
+from repro.comparators.swdual_app import SWDualApp
+from repro.platform.calibration import (
+    CPU_HALF_LENGTH,
+    CPU_TASK_OVERHEAD_S,
+    GPU_HALF_LENGTH,
+    GPU_TASK_OVERHEAD_S,
+)
+from repro.platform.pe import PEKind
+
+__all__ = [
+    "SWIPE",
+    "STRIPED",
+    "SWPS3",
+    "CUDASW",
+    "SWDUAL",
+    "BASELINE_APPS",
+    "ALL_APPS",
+    "LIVE_KERNELS",
+    "table1_rows",
+]
+
+
+def _efficiency_from_measured(measured: dict[int, float]) -> dict[int, float]:
+    """Per-worker efficiency ``eff(k) = T1 / (k·Tk)`` from a Table II row."""
+    t1 = measured[1]
+    return {k: t1 / (k * t) for k, t in measured.items() if k > 1}
+
+
+def _spec(name, version, command, kind, measured, half, overhead) -> ComparatorSpec:
+    return ComparatorSpec(
+        name=name,
+        version=version,
+        command=command,
+        kind=kind,
+        t1_seconds=measured[1],
+        half_length=half,
+        task_overhead_s=overhead,
+        efficiency_table=_efficiency_from_measured(measured),
+        measured_seconds=dict(measured),
+    )
+
+
+#: Table II measured seconds per worker count, straight from the paper.
+_MEASURED = {
+    "SWPS3": {1: 69208.2, 2: 36174.09, 3: 25206.563, 4: 18904.31},
+    "STRIPED": {1: 7190.0, 2: 3615.38, 3: 1369.33, 4: 1027.28},
+    "SWIPE": {1: 2367.24, 2: 1199.47, 3: 816.61, 4: 610.23},
+    "CUDASW++": {1: 785.26, 2: 445.611, 3: 350.09, 4: 292.157},
+}
+
+SWIPE = ComparatorApp(
+    _spec(
+        "SWIPE",
+        "1.0",
+        "./swipe -a $T -i $Q -d $D",
+        PEKind.CPU,
+        _MEASURED["SWIPE"],
+        CPU_HALF_LENGTH,
+        CPU_TASK_OVERHEAD_S,
+    )
+)
+
+STRIPED = ComparatorApp(
+    _spec(
+        "STRIPED",
+        "",
+        "./striped -T $T $Q $D",
+        PEKind.CPU,
+        _MEASURED["STRIPED"],
+        CPU_HALF_LENGTH,
+        CPU_TASK_OVERHEAD_S,
+    )
+)
+
+SWPS3 = ComparatorApp(
+    _spec(
+        "SWPS3",
+        "20080605",
+        "./swps3 -j $T $Q $D",
+        PEKind.CPU,
+        _MEASURED["SWPS3"],
+        CPU_HALF_LENGTH,
+        CPU_TASK_OVERHEAD_S,
+    )
+)
+
+CUDASW = ComparatorApp(
+    _spec(
+        "CUDASW++",
+        "2.0",
+        "./cudasw -use_gpus $T -query $Q -db $D",
+        PEKind.GPU,
+        _MEASURED["CUDASW++"],
+        GPU_HALF_LENGTH,
+        GPU_TASK_OVERHEAD_S,
+    )
+)
+
+SWDUAL = SWDualApp()
+
+#: The CPU/GPU-only applications of Table I, in Table II order.
+BASELINE_APPS = [SWPS3, STRIPED, SWIPE, CUDASW]
+
+#: Everything compared in Figure 7, in plot-legend order.
+ALL_APPS = BASELINE_APPS + [SWDUAL]
+
+
+def _swps3_kernel(query, subjects, scheme):
+    return np.array(
+        [sw_score_rowsweep(query, s, scheme) for s in subjects], dtype=np.int64
+    )
+
+
+def _striped_kernel(query, subjects, scheme):
+    return np.array(
+        [sw_score_striped(query, s, scheme) for s in subjects], dtype=np.int64
+    )
+
+
+def _cudasw_kernel(query, subjects, scheme):
+    return np.array(
+        [sw_score_wavefront(query, s, scheme) for s in subjects], dtype=np.int64
+    )
+
+
+#: App name -> live numpy kernel scoring a query against many subjects.
+LIVE_KERNELS = {
+    "SWIPE": lambda q, subjects, scheme: sw_score_batch(q, subjects, scheme),
+    "STRIPED": _striped_kernel,
+    "SWPS3": _swps3_kernel,
+    "CUDASW++": _cudasw_kernel,
+}
+
+
+def table1_rows() -> list[list[str]]:
+    """The rows of Table I (application, version, command line)."""
+    rows = [
+        [app.spec.name, app.spec.version, app.spec.command]
+        for app in BASELINE_APPS
+    ]
+    rows.sort(key=lambda r: ["SWIPE", "STRIPED", "SWPS3", "CUDASW++"].index(r[0]))
+    return rows

@@ -1,0 +1,156 @@
+"""Comparator application models (the rows of Table I).
+
+Each compared application is modelled by:
+
+* its **command line** and version (Table I, reproduced verbatim);
+* a **rate model** whose peak is calibrated from the application's own
+  single-worker time in Table II (see
+  :mod:`repro.platform.calibration`);
+* its **measured scaling table** — per-worker efficiency derived from
+  Table II's multi-worker columns (``eff(k) = T1 / (k · Tk)``),
+  geometric extrapolation beyond the measured counts.  These apps are
+  external comparators; pinning their scaling to their own published
+  measurements is calibration of the *baseline*, never of the
+  contribution (SWDUAL's curve is emergent — see DESIGN.md §6);
+* its **allocation behaviour** — all four baselines balance work
+  dynamically across homogeneous workers, modelled as self-scheduling
+  of the query tasks;
+* a **live kernel** — the numpy kernel implementing the same
+  algorithmic idea, used by live mode and the kernel microbenchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.simulation import SimulationOutcome, simulate_self_scheduling
+from repro.core.task import TaskSet
+from repro.platform.calibration import peak_from_workload_time
+from repro.platform.cluster import HybridPlatform
+from repro.platform.pe import PEKind, ProcessingElement, RateModel
+from repro.platform.perfmodel import PerformanceModel
+from repro.sequences.database import DatabaseProfile
+from repro.sequences.queries import QuerySet
+
+__all__ = ["ComparatorSpec", "ComparatorApp"]
+
+
+@dataclass(frozen=True)
+class ComparatorSpec:
+    """Static description of one compared application."""
+
+    name: str
+    version: str
+    command: str
+    kind: PEKind
+    #: Single-worker wall-clock seconds on the UniProt workload (Table II).
+    t1_seconds: float
+    #: Rate-model shape parameters (class defaults unless stated).
+    half_length: float
+    task_overhead_s: float
+    #: Measured per-worker efficiency ``{k: T1/(k·Tk)}`` from Table II.
+    efficiency_table: dict[int, float] = field(default_factory=dict)
+    #: Reference wall-clock seconds per worker count (Table II row).
+    measured_seconds: dict[int, float] = field(default_factory=dict)
+
+
+class ComparatorApp:
+    """Executable model of a compared application."""
+
+    def __init__(self, spec: ComparatorSpec):
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        """Application name as listed in Table I."""
+        return self.spec.name
+
+    def rate_model(self) -> RateModel:
+        """Single-worker rate model calibrated to the app's own T1."""
+        peak = peak_from_workload_time(
+            self.spec.t1_seconds, self.spec.half_length, self.spec.task_overhead_s
+        )
+        return RateModel(
+            peak_gcups=peak,
+            half_length=self.spec.half_length,
+            task_overhead_s=self.spec.task_overhead_s,
+        )
+
+    def efficiency(self, workers: int) -> float:
+        """Per-worker efficiency at *workers*, from the measured table.
+
+        Beyond the largest measured count the per-step ratio of the last
+        two entries extrapolates geometrically (clamped to [0.05, -]).
+        STRIPED's published superlinear step is kept as measured.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        table = self.spec.efficiency_table
+        if workers == 1 or not table:
+            return 1.0
+        if workers in table:
+            return table[workers]
+        ks = sorted(table)
+        last = ks[-1]
+        if workers < last:
+            # Interpolate between the nearest measured counts.
+            below = max(k for k in ks if k < workers)
+            above = min(k for k in ks if k > workers)
+            frac = (workers - below) / (above - below)
+            lo = table.get(below, 1.0)
+            return lo + frac * (table[above] - lo)
+        prev = table[ks[-2]] if len(ks) >= 2 else 1.0
+        step = table[last] / prev if prev > 0 else 1.0
+        eff = table[last] * (step ** (workers - last))
+        return max(0.05, eff)
+
+    def platform(self, workers: int) -> HybridPlatform:
+        """Homogeneous platform of *workers* PEs of the app's class,
+        with the scaling efficiency folded into the per-PE rate."""
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        rate = self.rate_model().scaled(self.efficiency(workers))
+        pes = tuple(
+            ProcessingElement(
+                name=f"{self.spec.kind.value}{i}", kind=self.spec.kind, rate=rate
+            )
+            for i in range(workers)
+        )
+        return HybridPlatform(pes=pes, name=f"{self.spec.name}_{workers}w")
+
+    def simulate(
+        self, queries: QuerySet, database: DatabaseProfile, workers: int
+    ) -> SimulationOutcome:
+        """Simulate the app searching *database* with *workers*.
+
+        All four baseline applications balance their work dynamically
+        (threads pulling chunks / GPUs pulling queries), modelled as
+        self-scheduling of the query tasks.
+        """
+        platform = self.platform(workers)
+        perf = PerformanceModel(
+            platform,
+            cpu_parallel_efficiency=1.0,  # scaling already in the PE rate
+            gpu_parallel_efficiency=1.0,
+            gpu_cpu_service_fraction=0.0,
+        )
+        # Homogeneous platform: both class columns carry the same times
+        # (the simulator charges durations through the PE rate models).
+        pe = platform.pes[0]
+        seconds = [
+            pe.rate.task_seconds(int(q), database.total_residues)
+            for q in queries.lengths
+        ]
+        tasks = TaskSet(
+            cpu_times=seconds,
+            gpu_times=seconds,
+            query_ids=[f"{queries.name}_q{j:02d}" for j in range(len(queries))],
+            query_lengths=queries.lengths,
+            db_residues=database.total_residues,
+        )
+        return simulate_self_scheduling(
+            tasks, platform, perf, label=f"{self.spec.name}({workers}w)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ComparatorApp({self.spec.name!r})"

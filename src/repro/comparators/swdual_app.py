@@ -1,0 +1,67 @@
+"""SWDUAL as a comparator application.
+
+Wraps the full pipeline — worker mix of Section V-A, calibrated hybrid
+platform, dual-approximation allocation, simulated master–slave
+execution — behind the same ``simulate(queries, database, workers)``
+interface the baseline apps expose, so Figure 7/Table II drivers treat
+all five applications uniformly.
+
+Unlike the baselines, nothing here is pinned to SWDUAL's own published
+numbers: the platform rates come from the *baselines'* single-worker
+times and SWDUAL's multi-worker curve is emergent from the scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.engine.search import simulate_search
+from repro.engine.simulation import SimulationOutcome
+from repro.platform.cluster import swdual_worker_mix
+from repro.sequences.database import DatabaseProfile
+from repro.sequences.queries import QuerySet
+
+__all__ = ["SWDualApp"]
+
+
+class SWDualApp:
+    """The paper's contribution, as a Table I-style application."""
+
+    class _Spec:
+        name = "SWDUAL"
+        version = "1.0"
+        command = "./swdual master ... ; ./swdual worker ..."
+        measured_seconds = {
+            2: 543.28,
+            3: 472.84,
+            4: 271.98,
+            5: 266.69,
+            6: 239.04,
+            7: 183.12,
+            8: 142.98,
+        }
+
+    spec = _Spec()
+
+    def __init__(self, policy: str = "swdual", max_gpus: int = 4):
+        if max_gpus < 1:
+            raise ValueError(f"max_gpus must be >= 1, got {max_gpus}")
+        self.policy = policy
+        self.max_gpus = max_gpus
+
+    @property
+    def name(self) -> str:
+        """Application name for reports."""
+        return self.spec.name
+
+    def worker_mix(self, workers: int) -> tuple[int, int]:
+        """The Section V-A (gpus, cpus) composition for *workers*."""
+        return swdual_worker_mix(workers, max_gpus=self.max_gpus)
+
+    def simulate(
+        self, queries: QuerySet, database: DatabaseProfile, workers: int
+    ) -> SimulationOutcome:
+        """Run SWDUAL with the paper's worker mix for *workers*."""
+        gpus, cpus = self.worker_mix(workers)
+        return simulate_search(queries, database, gpus, cpus, policy=self.policy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SWDualApp(policy={self.policy!r})"

@@ -1,0 +1,76 @@
+"""The paper's primary contribution: the SWDUAL dual-approximation
+scheduler (knapsack split, list scheduling, binary search, 3/2 DP
+refinement) plus baseline strategies and makespan bounds."""
+
+from repro.core.task import Task, TaskSet, tasks_from_queries
+from repro.core.schedule import Schedule, ScheduledTask
+from repro.core.listsched import list_schedule, lpt_order
+from repro.core.knapsack import KnapsackResult, dp_min_knapsack, greedy_min_knapsack
+from repro.core.bounds import (
+    area_lower_bound,
+    eft_upper_bound,
+    makespan_bounds,
+    max_task_lower_bound,
+)
+from repro.core.dual_approx import DualApproxStep, build_class_schedule, dual_approx_step
+from repro.core.dual_approx_dp import dual_approx_dp_step, make_dp_step
+from repro.core.binary_search import DualApproxResult, dual_approx_schedule
+from repro.core.baselines import (
+    BASELINES,
+    earliest_finish_time,
+    equal_power_split,
+    hetero_lpt,
+    proportional_split,
+    self_scheduling,
+)
+from repro.core.gantt import render_gantt, render_utilization
+from repro.core.instances import (
+    INSTANCE_FAMILIES,
+    accelerated_instance,
+    anticorrelated_instance,
+    bimodal_instance,
+    uniform_instance,
+)
+from repro.core.optimal import OptimalSearchBudgetExceeded, optimal_makespan
+from repro.core.swdual import SWDualPlan, SWDualScheduler
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "tasks_from_queries",
+    "Schedule",
+    "ScheduledTask",
+    "list_schedule",
+    "lpt_order",
+    "KnapsackResult",
+    "greedy_min_knapsack",
+    "dp_min_knapsack",
+    "max_task_lower_bound",
+    "area_lower_bound",
+    "eft_upper_bound",
+    "makespan_bounds",
+    "DualApproxStep",
+    "dual_approx_step",
+    "build_class_schedule",
+    "dual_approx_dp_step",
+    "make_dp_step",
+    "DualApproxResult",
+    "dual_approx_schedule",
+    "BASELINES",
+    "self_scheduling",
+    "equal_power_split",
+    "proportional_split",
+    "earliest_finish_time",
+    "hetero_lpt",
+    "SWDualPlan",
+    "SWDualScheduler",
+    "render_gantt",
+    "uniform_instance",
+    "accelerated_instance",
+    "anticorrelated_instance",
+    "bimodal_instance",
+    "INSTANCE_FAMILIES",
+    "optimal_makespan",
+    "OptimalSearchBudgetExceeded",
+    "render_utilization",
+]

@@ -1,0 +1,196 @@
+"""Baseline scheduling strategies from the related work.
+
+Section I describes how prior hybrid approaches distribute work:
+
+* assume multi-cores and accelerators have the **same processing
+  power** [11] → :func:`equal_power_split` (round-robin over all PEs);
+* split **proportionally to theoretical computing power** [12] →
+  :func:`proportional_split`;
+* assign **one work unit at a time** in a Self-Scheduling strategy
+  [10] → :func:`self_scheduling` (dynamic, earliest-available PE).
+
+Two classic heterogeneous heuristics round out the comparison set for
+the scheduler ablation: :func:`hetero_lpt` (earliest-finish-time in LPT
+order — a HEFT-style greedy for independent tasks) and
+:func:`earliest_finish_time` with arbitrary order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.schedule import Schedule, ScheduledTask
+from repro.core.task import TaskSet
+
+__all__ = [
+    "self_scheduling",
+    "equal_power_split",
+    "proportional_split",
+    "hetero_lpt",
+    "earliest_finish_time",
+    "BASELINES",
+]
+
+
+def _class_names(m: int, k: int) -> tuple[list[str], list[str]]:
+    return [f"cpu{i}" for i in range(m)], [f"gpu{i}" for i in range(k)]
+
+
+def _check_platform(tasks: TaskSet, m: int, k: int) -> None:
+    if m < 0 or k < 0 or (m == 0 and k == 0):
+        raise ValueError(f"invalid platform size m={m}, k={k}")
+    if len(tasks) == 0:
+        raise ValueError("empty task set")
+
+
+def self_scheduling(
+    tasks: TaskSet, m: int, k: int, order: Sequence[int] | None = None
+) -> Schedule:
+    """Dynamic self-scheduling: hand the next task to whichever PE
+    becomes available first (its class decides the task's duration).
+
+    This is the one-work-unit-at-a-time strategy the paper attributes
+    to the hybrid-grid prior work; it balances load well but ignores
+    *which* tasks profit most from GPUs.
+    """
+    _check_platform(tasks, m, k)
+    cpu_names, gpu_names = _class_names(m, k)
+    # Heap of (available_at, tie, name, is_gpu).
+    heap = [(0.0, i, name, False) for i, name in enumerate(cpu_names)]
+    heap += [(0.0, m + i, name, True) for i, name in enumerate(gpu_names)]
+    heapq.heapify(heap)
+    order = range(len(tasks)) if order is None else order
+    slots = []
+    for j in order:
+        avail, tie, name, is_gpu = heapq.heappop(heap)
+        d = tasks[j].time_on(is_gpu)
+        slots.append(ScheduledTask(task_index=j, pe_name=name, start=avail, end=avail + d))
+        heapq.heappush(heap, (avail + d, tie, name, is_gpu))
+    return Schedule(
+        slots=slots,
+        pe_names=cpu_names + gpu_names,
+        num_tasks=len(tasks),
+        label="self-scheduling",
+    )
+
+
+def equal_power_split(tasks: TaskSet, m: int, k: int) -> Schedule:
+    """Static round-robin assuming every PE is equally fast [11].
+
+    Task ``j`` goes to PE ``j mod (m+k)``; within a PE tasks run
+    back-to-back in index order.
+    """
+    _check_platform(tasks, m, k)
+    cpu_names, gpu_names = _class_names(m, k)
+    names = cpu_names + gpu_names
+    loads = {name: 0.0 for name in names}
+    slots = []
+    for j in range(len(tasks)):
+        name = names[j % len(names)]
+        is_gpu = name in gpu_names
+        d = tasks[j].time_on(is_gpu)
+        start = loads[name]
+        slots.append(ScheduledTask(task_index=j, pe_name=name, start=start, end=start + d))
+        loads[name] = start + d
+    return Schedule(slots=slots, pe_names=names, num_tasks=len(tasks), label="equal-power")
+
+
+def proportional_split(tasks: TaskSet, m: int, k: int) -> Schedule:
+    """Static split proportional to theoretical class throughput [12].
+
+    The class speed ratio is estimated from the task set itself (mean
+    ``p/p̄``); tasks are dealt out, in index order, so each class
+    receives work proportional to its aggregate speed, then spread
+    round-robin within the class.
+    """
+    _check_platform(tasks, m, k)
+    cpu_names, gpu_names = _class_names(m, k)
+    if m == 0 or k == 0:
+        return self_scheduling(tasks, m, k)  # degenerate: single class
+    speedup = float(np.mean(tasks.cpu_times / tasks.gpu_times))
+    gpu_power = k * speedup
+    total_power = m + gpu_power
+    gpu_share = gpu_power / total_power
+    n = len(tasks)
+    names = cpu_names + gpu_names
+    loads = {name: 0.0 for name in names}
+    slots = []
+    gpu_credit = 0.0
+    cpu_i = gpu_i = 0
+    for j in range(n):
+        gpu_credit += gpu_share
+        if gpu_credit >= 1.0:
+            gpu_credit -= 1.0
+            name = gpu_names[gpu_i % k]
+            gpu_i += 1
+            is_gpu = True
+        else:
+            name = cpu_names[cpu_i % m]
+            cpu_i += 1
+            is_gpu = False
+        d = tasks[j].time_on(is_gpu)
+        start = loads[name]
+        slots.append(ScheduledTask(task_index=j, pe_name=name, start=start, end=start + d))
+        loads[name] = start + d
+    return Schedule(slots=slots, pe_names=names, num_tasks=n, label="proportional")
+
+
+def earliest_finish_time(
+    tasks: TaskSet, m: int, k: int, order: Sequence[int] | None = None
+) -> Schedule:
+    """Greedy EFT: each task (in *order*) goes where it finishes first."""
+    _check_platform(tasks, m, k)
+    cpu_names, gpu_names = _class_names(m, k)
+    cpu_loads = np.zeros(max(m, 1))
+    gpu_loads = np.zeros(max(k, 1))
+    slots = []
+    order = range(len(tasks)) if order is None else order
+    for j in order:
+        t = tasks[j]
+        cpu_finish = cpu_loads.min() + t.cpu_time if m else np.inf
+        gpu_finish = gpu_loads.min() + t.gpu_time if k else np.inf
+        if gpu_finish <= cpu_finish:
+            i = int(np.argmin(gpu_loads))
+            start = float(gpu_loads[i])
+            gpu_loads[i] = gpu_finish
+            slots.append(
+                ScheduledTask(task_index=j, pe_name=gpu_names[i], start=start, end=float(gpu_finish))
+            )
+        else:
+            i = int(np.argmin(cpu_loads))
+            start = float(cpu_loads[i])
+            cpu_loads[i] = cpu_finish
+            slots.append(
+                ScheduledTask(task_index=j, pe_name=cpu_names[i], start=start, end=float(cpu_finish))
+            )
+    return Schedule(
+        slots=slots,
+        pe_names=cpu_names + gpu_names,
+        num_tasks=len(tasks),
+        label="eft",
+    )
+
+
+def hetero_lpt(tasks: TaskSet, m: int, k: int) -> Schedule:
+    """EFT in decreasing ``min(p, p̄)`` order — heterogeneous LPT."""
+    order = np.argsort(-np.minimum(tasks.cpu_times, tasks.gpu_times), kind="stable")
+    schedule = earliest_finish_time(tasks, m, k, order=list(order))
+    return Schedule(
+        slots=[s for name in schedule.pe_names for s in schedule.timeline(name)],
+        pe_names=schedule.pe_names,
+        num_tasks=len(tasks),
+        label="hetero-lpt",
+    )
+
+
+#: Name -> callable registry for the scheduler-comparison ablation.
+BASELINES = {
+    "self-scheduling": self_scheduling,
+    "equal-power": equal_power_split,
+    "proportional": proportional_split,
+    "eft": earliest_finish_time,
+    "hetero-lpt": hetero_lpt,
+}

@@ -1,0 +1,120 @@
+"""Binary search driving the dual-approximation guesses (Section III).
+
+Starting from ``[Bmin, Bmax]`` (:mod:`repro.core.bounds`), each
+iteration tries the midpoint ``λ``:
+
+* the step answers "NO"  → ``λ`` becomes the new lower bound;
+* the step returns a schedule (of makespan ``<= g·λ``) → ``λ`` becomes
+  the new upper bound.
+
+The number of iterations is bounded by ``log((Bmax - Bmin)/tolerance)``
+— the paper's ``log(Bmax - Bmin)`` with the termination granularity
+made explicit.  The best (smallest-makespan) schedule seen anywhere in
+the search is returned; on termination the lower bound certifies
+``C_max <= g · OPT / (1 - tolerance)`` for the returned schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.bounds import makespan_bounds
+from repro.core.dual_approx import DualApproxStep, dual_approx_step
+from repro.core.schedule import Schedule
+from repro.core.task import TaskSet
+
+__all__ = ["DualApproxResult", "dual_approx_schedule"]
+
+StepFn = Callable[[TaskSet, int, int, float], DualApproxStep | None]
+
+
+@dataclass(frozen=True)
+class DualApproxResult:
+    """Outcome of the full binary search."""
+
+    schedule: Schedule
+    #: Lower bound on the optimal makespan (final Bmin).  Exact for the
+    #: greedy 2-approx step; for the DP step a "NO" can be conservative
+    #: by the area-discretisation ε, making this bound approximate.
+    lower_bound: float
+    #: Final accepted guess (final Bmax).
+    final_guess: float
+    #: Number of dual-approximation steps executed.
+    iterations: int
+    #: Trace of ``(λ, accepted)`` per step, in execution order.
+    trace: tuple[tuple[float, bool], ...] = field(default=())
+
+    @property
+    def optimality_gap(self) -> float:
+        """``makespan / lower_bound`` — an upper bound on the
+        approximation ratio actually achieved."""
+        return self.schedule.makespan / self.lower_bound if self.lower_bound else float("inf")
+
+
+def dual_approx_schedule(
+    tasks: TaskSet,
+    m: int,
+    k: int,
+    tolerance: float = 1e-3,
+    max_iterations: int = 60,
+    step_fn: StepFn = dual_approx_step,
+) -> DualApproxResult:
+    """Run the dual-approximation binary search to convergence.
+
+    Parameters
+    ----------
+    tasks:
+        The task set with its ``(p, p̄)`` vectors.
+    m / k:
+        CPU / GPU counts.
+    tolerance:
+        Relative width ``(hi - lo)/lo`` at which the search stops.
+    max_iterations:
+        Hard cap on steps (the log bound makes this generous).
+    step_fn:
+        The dual-approximation step — the 2-approx by default; the
+        3/2 DP variant plugs in here.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    if max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+
+    lo, hi = makespan_bounds(tasks, m, k)
+    # An exact dual-approximation never answers NO above OPT; the DP
+    # step's area discretisation can be conservative near the boundary,
+    # so inflate Bmax geometrically until it accepts.
+    first = step_fn(tasks, m, k, hi)
+    inflations = 0
+    while first is None and inflations < 20:
+        hi *= 1.1
+        inflations += 1
+        first = step_fn(tasks, m, k, hi)
+    if first is None:  # pragma: no cover - would mean a broken step
+        raise RuntimeError(
+            f"dual-approximation step rejected the upper bound λ={hi}"
+        )
+    best_schedule = first.schedule
+    trace: list[tuple[float, bool]] = [(hi, True)]
+    iterations = 1
+
+    while iterations < max_iterations and (hi - lo) > tolerance * max(lo, 1e-12):
+        lam = (lo + hi) / 2.0
+        step = step_fn(tasks, m, k, lam)
+        iterations += 1
+        if step is None:
+            trace.append((lam, False))
+            lo = lam
+        else:
+            trace.append((lam, True))
+            hi = lam
+            if step.schedule.makespan < best_schedule.makespan:
+                best_schedule = step.schedule
+    return DualApproxResult(
+        schedule=best_schedule,
+        lower_bound=lo,
+        final_guess=hi,
+        iterations=iterations,
+        trace=tuple(trace),
+    )

@@ -1,0 +1,110 @@
+"""Makespan bounds for the binary search.
+
+The dual-approximation binary search (Section III) needs an initial
+interval ``[Bmin, Bmax]`` guaranteed to contain the optimal makespan:
+
+* ``Bmin`` — the larger of (a) the biggest single-task lower bound
+  ``max_j min(p_j, p̄_j)`` and (b) the *fractional area bound*: even if
+  tasks were divisible, the loads ``W_C <= mλ`` and ``W_G <= kλ`` must
+  both hold, and the best fractional split is found by moving tasks to
+  the GPU in ratio order (the continuous relaxation of the knapsack).
+* ``Bmax`` — the makespan of any feasible schedule; we use greedy
+  earliest-finish-time, which is cheap and always valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.task import TaskSet
+
+__all__ = ["max_task_lower_bound", "area_lower_bound", "makespan_bounds", "eft_upper_bound"]
+
+
+def max_task_lower_bound(tasks: TaskSet) -> float:
+    """``max_j min(p_j, p̄_j)``: some PE must run each task entirely."""
+    return float(np.minimum(tasks.cpu_times, tasks.gpu_times).max())
+
+
+def area_lower_bound(tasks: TaskSet, m: int, k: int) -> float:
+    """Fractional-assignment area bound.
+
+    Sweeps the knapsack's ratio order: after moving a prefix (by best
+    ``p/p̄`` first, fractionally at the breakpoint) to the GPUs, the
+    makespan is at least ``max(W_C / m, W_G / k)``; the sweep's minimum
+    over all prefixes is a valid lower bound because the continuous
+    relaxation's optimum moves exactly a ratio-order prefix.
+
+    Handles ``m == 0`` or ``k == 0`` (single-class platforms) by pure
+    area division.
+    """
+    if m < 0 or k < 0 or (m == 0 and k == 0):
+        raise ValueError(f"invalid platform size m={m}, k={k}")
+    p, pbar = tasks.cpu_times, tasks.gpu_times
+    if k == 0:
+        return float(p.sum() / m)
+    if m == 0:
+        return float(pbar.sum() / k)
+    order = np.lexsort((np.arange(len(tasks)), -(p / pbar)))
+    # Prefix i..: first i tasks (ratio order) on GPU, rest on CPU.
+    p_sorted = p[order]
+    pbar_sorted = pbar[order]
+    gpu_prefix = np.concatenate([[0.0], np.cumsum(pbar_sorted)])
+    cpu_suffix = np.concatenate([[0.0], np.cumsum(p_sorted)])
+    total_cpu = cpu_suffix[-1]
+    best = np.inf
+    for i in range(len(tasks) + 1):
+        wg = gpu_prefix[i] / k
+        wc = (total_cpu - cpu_suffix[i]) / m
+        lam = max(wg, wc)
+        # Fractional interpolation with the next task at the breakpoint.
+        if i < len(tasks) and wg < wc:
+            # Move a fraction f of the next task: areas cross where
+            # (gpu_prefix[i] + f·p̄)/k == (W_C - f·p)/m.
+            num = wc - wg
+            den = pbar_sorted[i] / k + p_sorted[i] / m
+            f = min(1.0, num / den) if den > 0 else 0.0
+            lam = max(
+                (gpu_prefix[i] + f * pbar_sorted[i]) / k,
+                (total_cpu - cpu_suffix[i] - f * p_sorted[i]) / m,
+            )
+        best = min(best, lam)
+        if wg >= wc:
+            break  # further prefixes only grow the GPU side
+    return float(best)
+
+
+def eft_upper_bound(tasks: TaskSet, m: int, k: int) -> float:
+    """Makespan of greedy earliest-finish-time — a valid ``Bmax``.
+
+    Tasks are taken in decreasing ``min(p, p̄)`` and placed where they
+    finish earliest, respecting the class-specific times.
+    """
+    if m < 0 or k < 0 or (m == 0 and k == 0):
+        raise ValueError(f"invalid platform size m={m}, k={k}")
+    p, pbar = tasks.cpu_times, tasks.gpu_times
+    cpu_loads = np.zeros(max(m, 1))
+    gpu_loads = np.zeros(max(k, 1))
+    order = np.argsort(-np.minimum(p, pbar), kind="stable")
+    for j in order:
+        cpu_finish = (cpu_loads.min() + p[j]) if m else np.inf
+        gpu_finish = (gpu_loads.min() + pbar[j]) if k else np.inf
+        # Tie-break toward the GPU, matching baselines.earliest_finish_time
+        # so this bound equals that schedule's makespan.
+        if gpu_finish <= cpu_finish:
+            gpu_loads[np.argmin(gpu_loads)] = gpu_finish
+        else:
+            cpu_loads[np.argmin(cpu_loads)] = cpu_finish
+    loads = []
+    if m:
+        loads.append(cpu_loads.max())
+    if k:
+        loads.append(gpu_loads.max())
+    return float(max(loads))
+
+
+def makespan_bounds(tasks: TaskSet, m: int, k: int) -> tuple[float, float]:
+    """``(Bmin, Bmax)`` for the binary search; ``Bmin <= OPT <= Bmax``."""
+    lo = max(max_task_lower_bound(tasks), area_lower_bound(tasks, m, k))
+    hi = eft_upper_bound(tasks, m, k)
+    return lo, max(hi, lo)

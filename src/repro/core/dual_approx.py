@@ -1,0 +1,179 @@
+"""One step of the 2-dual-approximation (Section III).
+
+Given a guess ``λ``, either build a schedule of makespan at most ``2λ``
+or answer "NO" (correctly certifying that no schedule of length ``≤ λ``
+exists):
+
+1. Feasibility pre-checks from the properties of a λ-schedule: every
+   task must fit on *some* PE within λ; a task with ``p_j > λ`` is
+   **forced to a GPU**, one with ``p̄_j > λ`` is **forced to a CPU**.
+2. The greedy minimisation knapsack fills the GPUs in decreasing
+   ``p_j/p̄_j`` order up to area ``kλ`` (overflowing with the last task
+   ``j_last``, per Figure 4).
+3. If the remaining CPU area exceeds ``mλ`` — or the forced-GPU area
+   alone exceeds ``kλ`` — answer "NO"; both follow because the greedy's
+   CPU area is no larger than that of any assignment a λ-schedule could
+   use (ratio-prefix exchange argument).
+4. Otherwise list-schedule each class: GPUs in selection order (so
+   ``j_last`` lands last, as Proposition 1's analysis requires), CPUs
+   in LPT order (any order satisfies the 2λ bound; LPT just packs
+   better in practice).
+
+Proposition 1 then gives ``C_max <= 2λ`` — asserted by the test suite
+on randomised instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.knapsack import KnapsackResult, greedy_min_knapsack
+from repro.core.listsched import list_schedule, lpt_order
+from repro.core.schedule import Schedule
+from repro.core.task import TaskSet
+
+__all__ = ["DualApproxStep", "dual_approx_step", "build_class_schedule"]
+
+
+@dataclass(frozen=True)
+class DualApproxStep:
+    """Successful step outcome: the schedule plus the split diagnostics."""
+
+    schedule: Schedule
+    knapsack: KnapsackResult
+    guess: float
+
+
+def _pe_names(m: int, k: int) -> tuple[list[str], list[str]]:
+    return [f"cpu{i}" for i in range(m)], [f"gpu{i}" for i in range(k)]
+
+
+def build_class_schedule(
+    tasks: TaskSet,
+    on_cpu: np.ndarray,
+    m: int,
+    k: int,
+    gpu_order: np.ndarray | None = None,
+    cpu_order: np.ndarray | None = None,
+    label: str = "schedule",
+) -> Schedule:
+    """List-schedule a CPU/GPU split onto concrete PEs.
+
+    ``gpu_order``/``cpu_order`` give the within-class scheduling order
+    as arrays of global task indices (defaults: LPT for both).
+    """
+    on_cpu = np.asarray(on_cpu, dtype=bool)
+    if on_cpu.shape != (len(tasks),):
+        raise ValueError("on_cpu mask shape mismatch")
+    p, pbar = tasks.cpu_times, tasks.gpu_times
+    cpu_names, gpu_names = _pe_names(m, k)
+    cpu_idx = np.flatnonzero(on_cpu)
+    gpu_idx = np.flatnonzero(~on_cpu)
+    if cpu_idx.size and m == 0:
+        raise ValueError("tasks assigned to CPUs but platform has none")
+    if gpu_idx.size and k == 0:
+        raise ValueError("tasks assigned to GPUs but platform has none")
+    if cpu_order is None:
+        cpu_order = cpu_idx[lpt_order(p[cpu_idx])]
+    if gpu_order is None:
+        gpu_order = gpu_idx[lpt_order(pbar[gpu_idx])]
+    slots = list_schedule(list(cpu_order), list(p[cpu_order]), cpu_names)
+    slots += list_schedule(list(gpu_order), list(pbar[gpu_order]), gpu_names)
+    return Schedule(
+        slots=slots,
+        pe_names=cpu_names + gpu_names,
+        num_tasks=len(tasks),
+        label=label,
+    )
+
+
+def dual_approx_step(
+    tasks: TaskSet, m: int, k: int, lam: float
+) -> DualApproxStep | None:
+    """Run one guess of the 2-dual-approximation.
+
+    Returns the built step (schedule of makespan ``<= 2λ``) or ``None``
+    for a certified "NO".
+    """
+    if lam <= 0:
+        raise ValueError(f"guess λ must be positive, got {lam}")
+    if m < 0 or k < 0 or (m == 0 and k == 0):
+        raise ValueError(f"invalid platform size m={m}, k={k}")
+    p, pbar = tasks.cpu_times, tasks.gpu_times
+
+    # A λ-schedule runs every task somewhere (on an available class)
+    # within λ.
+    if m and k:
+        per_task_best = np.minimum(p, pbar)
+    else:
+        per_task_best = p if k == 0 else pbar
+    if (per_task_best > lam).any():
+        return None
+
+    # Single-class platforms degenerate to plain list scheduling.
+    if k == 0:
+        if (p > lam).any() or p.sum() > m * lam:
+            return None
+        schedule = build_class_schedule(
+            tasks, np.ones(len(tasks), bool), m, k, label=f"dual2(λ={lam:.3g})"
+        )
+        return DualApproxStep(
+            schedule=schedule,
+            knapsack=KnapsackResult(
+                on_cpu=np.ones(len(tasks), bool),
+                cpu_area=float(p.sum()),
+                gpu_area=0.0,
+            ),
+            guess=lam,
+        )
+    if m == 0:
+        if (pbar > lam).any() or pbar.sum() > k * lam:
+            return None
+        schedule = build_class_schedule(
+            tasks, np.zeros(len(tasks), bool), m, k, label=f"dual2(λ={lam:.3g})"
+        )
+        return DualApproxStep(
+            schedule=schedule,
+            knapsack=KnapsackResult(
+                on_cpu=np.zeros(len(tasks), bool),
+                cpu_area=0.0,
+                gpu_area=float(pbar.sum()),
+            ),
+            guess=lam,
+        )
+
+    forced_gpu = p > lam
+    forced_cpu = pbar > lam
+    if (forced_gpu & forced_cpu).any():
+        return None  # the task fits nowhere within λ
+    if float(pbar[forced_gpu].sum()) > k * lam:
+        return None  # forced GPU load alone refutes the guess
+
+    result = greedy_min_knapsack(
+        p, pbar, capacity=k * lam, forced_gpu=forced_gpu, forced_cpu=forced_cpu
+    )
+    if result.cpu_area > m * lam + 1e-9:
+        return None
+
+    # GPU side in greedy selection order: forced tasks first, then the
+    # ratio order; j_last therefore runs last (Proposition 1's case
+    # analysis removes it from the area bound).
+    gpu_idx = np.flatnonzero(~result.on_cpu)
+    ratio = p / pbar
+    selection_rank = np.lexsort((np.arange(len(tasks)), -ratio))
+    rank_of = np.empty(len(tasks), dtype=np.int64)
+    rank_of[selection_rank] = np.arange(len(tasks))
+    # forced first (rank -1), then ratio rank.
+    keys = np.where(forced_gpu[gpu_idx], -1, rank_of[gpu_idx])
+    gpu_order = gpu_idx[np.argsort(keys, kind="stable")]
+    schedule = build_class_schedule(
+        tasks,
+        result.on_cpu,
+        m,
+        k,
+        gpu_order=gpu_order,
+        label=f"dual2(λ={lam:.3g})",
+    )
+    return DualApproxStep(schedule=schedule, knapsack=result, guess=lam)

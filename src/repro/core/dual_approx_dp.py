@@ -1,0 +1,190 @@
+"""The 3/2-dual-approximation step (the DP refinement of Section III).
+
+The paper notes that replacing the greedy knapsack with a dynamic
+program that additionally constrains the number of *big* tasks brings
+the guarantee from ``2·OPT`` down to ``3/2·OPT`` (the algorithm of
+Kedad-Sidhoum, Monna, Mounié & Trystram, HeteroPar 2013), at a cost of
+``O(n² m k²)`` per step in general and ``O(m n log n)`` in the paper's
+special case where every task is GPU-accelerated.
+
+The structural facts for a guess ``λ``:
+
+* in any λ-schedule, a machine holds at most **one** task longer than
+  ``λ/2`` on its class, so at most ``m`` tasks with ``p_j > λ/2`` sit
+  on CPUs and at most ``k`` tasks with ``p̄_j > λ/2`` on GPUs;
+* if an assignment satisfies the two area caps **and** those two big
+  counts, laying out each class big-tasks-first (one per machine) and
+  then list-scheduling the small ones gives makespan ``<= 3λ/2``:
+  every big task ends by ``λ``, and a small task (``<= λ/2``) starts
+  no later than ``area/machines <= λ``.
+
+The DP therefore minimises the CPU area subject to (GPU area ``<= kλ``,
+``#bigCPU <= m``, ``#bigGPU <= k``), with the GPU area discretised
+(conservative rounding up, so feasibility is never overstated; the
+guarantee holds up to the discretisation ε).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dual_approx import DualApproxStep, build_class_schedule
+from repro.core.knapsack import KnapsackResult
+from repro.core.listsched import lpt_order
+from repro.core.schedule import Schedule
+from repro.core.task import TaskSet
+
+__all__ = ["dual_approx_dp_step", "make_dp_step"]
+
+
+def dual_approx_dp_step(
+    tasks: TaskSet,
+    m: int,
+    k: int,
+    lam: float,
+    resolution: int | None = None,
+) -> DualApproxStep | None:
+    """One guess of the 3/2 dual approximation; ``None`` means "NO".
+
+    Parameters
+    ----------
+    resolution:
+        GPU-area discretisation (units of ``kλ / resolution``).  Higher
+        is tighter but slower; the DP runs in
+        O(n · resolution · m · k) with vectorised inner loops.  The
+        default scales with the task count (``max(200, 10·n)``) so the
+        total conservative rounding error stays a small fraction of the
+        capacity.
+    """
+    if lam <= 0:
+        raise ValueError(f"guess λ must be positive, got {lam}")
+    if m <= 0 or k <= 0:
+        raise ValueError(
+            "the DP refinement targets hybrid platforms (m >= 1 and k >= 1); "
+            f"got m={m}, k={k}"
+        )
+    if resolution is not None and resolution < 1:
+        raise ValueError(f"resolution must be >= 1, got {resolution}")
+    p, pbar = tasks.cpu_times, tasks.gpu_times
+    n = len(tasks)
+    if resolution is None:
+        resolution = max(200, 10 * n)
+
+    if (np.minimum(p, pbar) > lam).any():
+        return None
+    forced_gpu = p > lam
+    forced_cpu = pbar > lam
+    if (forced_gpu & forced_cpu).any():
+        return None
+
+    big_cpu = p > lam / 2.0  # big if placed on a CPU
+    big_gpu = pbar > lam / 2.0  # big if placed on a GPU
+
+    capacity = k * lam
+    unit = capacity / resolution
+    # Conservative rounding up (epsilon guards exact unit multiples);
+    # weights > resolution mean "does not fit at all".
+    weights = np.minimum(
+        np.ceil(pbar / unit - 1e-9).astype(np.int64), resolution + 1
+    )
+
+    INF = np.float64(np.inf)
+    # dp[u, b, g]: min CPU area with u GPU units, b big-CPU tasks on
+    # CPUs, g big-GPU tasks on GPUs.
+    m_cap = min(m, int(big_cpu.sum()))
+    g_cap = min(k, int(big_gpu.sum()))
+    dp = np.full((resolution + 1, m_cap + 1, g_cap + 1), INF)
+    dp[0, 0, 0] = 0.0
+    # choice[j] mirrors dp's shape: True where GPU was chosen.
+    choices = np.zeros((n, resolution + 1, m_cap + 1, g_cap + 1), dtype=bool)
+
+    for j in range(n):
+        w = int(weights[j])
+        # CPU option: shift the big-CPU axis if this task is big there.
+        if forced_gpu[j]:
+            dp_cpu = np.full_like(dp, INF)
+        elif big_cpu[j]:
+            dp_cpu = np.full_like(dp, INF)
+            if m_cap >= 1:
+                dp_cpu[:, 1:, :] = dp[:, :-1, :] + p[j]
+        else:
+            dp_cpu = dp + p[j]
+        # GPU option: shift the area axis (and big-GPU axis if big).
+        dp_gpu = np.full_like(dp, INF)
+        if not forced_cpu[j] and w <= resolution:
+            if big_gpu[j]:
+                if g_cap >= 1:
+                    dp_gpu[w:, :, 1:] = dp[: resolution + 1 - w, :, :-1]
+            else:
+                dp_gpu[w:, :, :] = dp[: resolution + 1 - w, :, :]
+        take_gpu = dp_gpu < dp_cpu
+        choices[j] = take_gpu
+        dp = np.where(take_gpu, dp_gpu, dp_cpu)
+
+    if not np.isfinite(dp).any():
+        return None
+    flat = int(np.argmin(dp))
+    u, b, g = np.unravel_index(flat, dp.shape)
+    best_wc = float(dp[u, b, g])
+    if best_wc > m * lam + 1e-9:
+        return None
+
+    # Backtrack the assignment.
+    on_cpu = np.ones(n, dtype=bool)
+    for j in range(n - 1, -1, -1):
+        if choices[j, u, b, g]:
+            on_cpu[j] = False
+            u -= int(weights[j])
+            if big_gpu[j]:
+                g -= 1
+        else:
+            if big_cpu[j]:
+                b -= 1
+
+    schedule = _big_first_schedule(tasks, on_cpu, m, k, lam)
+    return DualApproxStep(
+        schedule=schedule,
+        knapsack=KnapsackResult(
+            on_cpu=on_cpu,
+            cpu_area=float(p[on_cpu].sum()),
+            gpu_area=float(pbar[~on_cpu].sum()),
+        ),
+        guess=lam,
+    )
+
+
+def _big_first_schedule(
+    tasks: TaskSet, on_cpu: np.ndarray, m: int, k: int, lam: float
+) -> Schedule:
+    """Big-tasks-first layout yielding the 3λ/2 bound.
+
+    Within each class, tasks longer than λ/2 are scheduled first (LPT
+    among themselves, landing one per machine since their count is
+    capped by the machine count), then the small ones via list
+    scheduling in LPT order.
+    """
+    p, pbar = tasks.cpu_times, tasks.gpu_times
+    cpu_idx = np.flatnonzero(on_cpu)
+    gpu_idx = np.flatnonzero(~on_cpu)
+    cpu_big_first = cpu_idx[lpt_order(p[cpu_idx])] if cpu_idx.size else cpu_idx
+    gpu_big_first = gpu_idx[lpt_order(pbar[gpu_idx])] if gpu_idx.size else gpu_idx
+    # LPT order already places all >λ/2 tasks before the small ones.
+    return build_class_schedule(
+        tasks,
+        on_cpu,
+        m,
+        k,
+        cpu_order=cpu_big_first,
+        gpu_order=gpu_big_first,
+        label=f"dual3/2(λ={lam:.3g})",
+    )
+
+
+def make_dp_step(resolution: int | None = None):
+    """A step function with a fixed DP resolution, pluggable into
+    :func:`repro.core.binary_search.dual_approx_schedule`."""
+
+    def step(tasks: TaskSet, m: int, k: int, lam: float):
+        return dual_approx_dp_step(tasks, m, k, lam, resolution=resolution)
+
+    return step

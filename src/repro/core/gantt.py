@@ -1,0 +1,60 @@
+"""ASCII Gantt-chart rendering for schedules.
+
+The paper's analysis is all about where the idle time sits (Figures 4
+and 5 are Gantt sketches); this module renders any
+:class:`~repro.core.schedule.Schedule` as a fixed-width text chart so
+examples, the CLI and EXPERIMENTS.md can show allocations directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+
+__all__ = ["render_gantt", "render_utilization"]
+
+_IDLE_CHAR = "."
+
+
+def render_gantt(schedule: Schedule, width: int = 72) -> str:
+    """Render per-PE timelines; digits are ``task_index % 10``.
+
+    Idle stretches show as ``.`` so fill/drain and tail imbalance are
+    visible at a glance.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return "(empty schedule)"
+    lines = []
+    for name, slots in schedule.gantt_rows():
+        cells = [_IDLE_CHAR] * width
+        for start, end, task in slots:
+            a = int(start / makespan * (width - 1))
+            b = max(a + 1, int(round(end / makespan * (width - 1))))
+            mark = str(task % 10)
+            for x in range(a, min(b, width)):
+                cells[x] = mark
+        lines.append(f"{name:>8} |{''.join(cells)}|")
+    scale = f"{'':>8}  0{'':{max(0, width - 12)}}{makespan:10.2f}s"
+    lines.append(scale)
+    return "\n".join(lines)
+
+
+def render_utilization(schedule: Schedule, width: int = 40) -> str:
+    """Render per-PE busy fractions as horizontal bars."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return "(empty schedule)"
+    lines = []
+    for name in schedule.pe_names:
+        frac = schedule.busy_time(name) / makespan
+        bar = "#" * int(round(width * frac))
+        lines.append(f"{name:>8} [{bar:<{width}}] {frac:6.1%}")
+    lines.append(
+        f"{'total':>8} idle {schedule.total_idle_time:.2f}s of "
+        f"{len(schedule.pe_names) * makespan:.2f}s PE-seconds"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Random scheduling-instance generators.
+
+The ablations and the scheduler test-suite need task sets with
+controlled structure.  Four families, all seeded:
+
+* :func:`uniform_instance` — independent ``p`` and ``p̄`` (the fully
+  general case; not all tasks accelerated);
+* :func:`accelerated_instance` — every task faster on a GPU (the
+  paper's special case for SW);
+* :func:`anticorrelated_instance` — GPU speedup *decreases* with task
+  size (big tasks barely accelerate), the adversarial regime for
+  ratio-ordered knapsacks;
+* :func:`bimodal_instance` — a few huge tasks among many small ones
+  (the heterogeneous-query-set shape of Section V-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.task import TaskSet
+from repro.utils import ensure_rng
+
+__all__ = [
+    "uniform_instance",
+    "accelerated_instance",
+    "anticorrelated_instance",
+    "bimodal_instance",
+    "INSTANCE_FAMILIES",
+]
+
+
+def uniform_instance(
+    n: int,
+    seed: int | np.random.Generator | None = None,
+    lo: float = 0.1,
+    hi: float = 10.0,
+) -> TaskSet:
+    """Independent uniform ``p`` and ``p̄`` in ``[lo, hi]``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0 < lo < hi:
+        raise ValueError(f"need 0 < lo < hi, got ({lo}, {hi})")
+    rng = ensure_rng(seed)
+    return TaskSet(
+        cpu_times=rng.uniform(lo, hi, n),
+        gpu_times=rng.uniform(lo, hi, n),
+    )
+
+
+def accelerated_instance(
+    n: int,
+    seed: int | np.random.Generator | None = None,
+    min_speedup: float = 1.0,
+    max_speedup: float = 4.0,
+) -> TaskSet:
+    """Every task GPU-accelerated by a uniform factor in
+    ``[min_speedup, max_speedup]``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 1.0 <= min_speedup <= max_speedup:
+        raise ValueError(
+            f"need 1 <= min_speedup <= max_speedup, got "
+            f"({min_speedup}, {max_speedup})"
+        )
+    rng = ensure_rng(seed)
+    pbar = rng.uniform(0.1, 5.0, n)
+    speedup = rng.uniform(min_speedup, max_speedup, n)
+    return TaskSet(cpu_times=pbar * speedup, gpu_times=pbar)
+
+
+def anticorrelated_instance(
+    n: int,
+    seed: int | np.random.Generator | None = None,
+) -> TaskSet:
+    """Big tasks accelerate poorly: ``speedup ≈ 0.5 + 10/p``.
+
+    Ratio-ordered filling then diverges sharply from size-ordered
+    filling — the regime where Section III's priority rule earns its
+    keep (ablation A1 uses this family).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = ensure_rng(seed)
+    p = rng.uniform(1.0, 20.0, n)
+    speedup = 0.5 + 10.0 / p
+    return TaskSet(cpu_times=p, gpu_times=p / speedup)
+
+
+def bimodal_instance(
+    n: int,
+    seed: int | np.random.Generator | None = None,
+    huge_fraction: float = 0.1,
+    huge_scale: float = 20.0,
+) -> TaskSet:
+    """Mostly small tasks with a ``huge_fraction`` of ``huge_scale``×
+    bigger ones (Section V-C's heterogeneous shape)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0 <= huge_fraction <= 1:
+        raise ValueError(f"huge_fraction must be in [0, 1], got {huge_fraction}")
+    if huge_scale < 1:
+        raise ValueError(f"huge_scale must be >= 1, got {huge_scale}")
+    rng = ensure_rng(seed)
+    pbar = rng.uniform(0.2, 1.0, n)
+    huge = rng.random(n) < huge_fraction
+    pbar = np.where(huge, pbar * huge_scale, pbar)
+    speedup = rng.uniform(1.2, 3.5, n)
+    return TaskSet(cpu_times=pbar * speedup, gpu_times=pbar)
+
+
+#: Name -> generator(n, seed) registry for sweeping experiments.
+INSTANCE_FAMILIES = {
+    "uniform": uniform_instance,
+    "accelerated": accelerated_instance,
+    "anticorrelated": anticorrelated_instance,
+    "bimodal": bimodal_instance,
+}

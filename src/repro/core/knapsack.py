@@ -1,0 +1,222 @@
+"""The minimisation knapsack of Section III.
+
+Choosing which tasks run on the GPUs is formulated (Equations 5–7) as::
+
+    W*_C = min Σ p_j x_j          (CPU workload)
+    s.t.  Σ p̄_j (1 - x_j) <= kλ  (GPU area cap)
+          x_j in {0, 1}
+
+Two solvers are provided:
+
+* :func:`greedy_min_knapsack` — the paper's O(n log n) greedy: sort by
+  decreasing ``p_j / p̄_j`` (best relative GPU speedup first) and fill
+  the GPUs "up to getting a computational area larger than kλ"
+  (Figure 4).  The overflow of the last selected task ``j_last`` is
+  what the Proposition 1 analysis absorbs.
+* :func:`dp_min_knapsack` — an exact dynamic program over a discretised
+  GPU area, used by the 3/2-approximation refinement and by the
+  knapsack-ordering ablation as the optimum reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KnapsackResult", "greedy_min_knapsack", "dp_min_knapsack"]
+
+
+@dataclass(frozen=True)
+class KnapsackResult:
+    """Outcome of a knapsack split.
+
+    ``on_cpu`` is the ``x_j`` vector (True = CPU).  ``last_gpu_task``
+    is the paper's ``j_last`` — the final task the greedy placed on the
+    GPUs (None if the GPU side is empty or the solver was exact).
+    """
+
+    on_cpu: np.ndarray
+    cpu_area: float
+    gpu_area: float
+    last_gpu_task: int | None = None
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.on_cpu, dtype=bool)
+        arr.setflags(write=False)
+        object.__setattr__(self, "on_cpu", arr)
+
+
+def _validate(p: np.ndarray, pbar: np.ndarray, capacity: float) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(p, dtype=np.float64)
+    pbar = np.asarray(pbar, dtype=np.float64)
+    if p.shape != pbar.shape or p.ndim != 1:
+        raise ValueError(f"p and pbar must be equal-length vectors, got {p.shape} / {pbar.shape}")
+    if (p <= 0).any() or (pbar <= 0).any():
+        raise ValueError("processing times must be positive")
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    return p, pbar
+
+
+def greedy_min_knapsack(
+    p: np.ndarray,
+    pbar: np.ndarray,
+    capacity: float,
+    forced_gpu: np.ndarray | None = None,
+    forced_cpu: np.ndarray | None = None,
+) -> KnapsackResult:
+    """The paper's greedy: fill GPUs in ratio order until area >= kλ.
+
+    Parameters
+    ----------
+    p / pbar:
+        CPU / GPU processing-time vectors.
+    capacity:
+        GPU area budget ``kλ``.
+    forced_gpu:
+        Boolean mask of tasks that *must* go to the GPUs (the dual
+        approximation forces tasks with ``p_j > λ``); they are charged
+        against the capacity first, regardless of ratio.
+    forced_cpu:
+        Boolean mask of tasks the greedy must never move to the GPUs
+        (the dual approximation pins tasks with ``p̄_j > λ`` to CPUs so
+        the GPU makespan bound survives).
+
+    Notes
+    -----
+    Following Figure 4, the greedy keeps adding while the accumulated
+    GPU area is **below** the capacity, so it finishes with
+    ``gpu_area >= capacity`` (unless it runs out of tasks) and the last
+    selected task overflows — the 2λ analysis handles that overflow.
+    """
+    p, pbar = _validate(p, pbar, capacity)
+    n = p.size
+    on_cpu = np.ones(n, dtype=bool)
+    if forced_gpu is not None:
+        forced_gpu = np.asarray(forced_gpu, dtype=bool)
+        if forced_gpu.shape != (n,):
+            raise ValueError("forced_gpu mask shape mismatch")
+    else:
+        forced_gpu = np.zeros(n, dtype=bool)
+    if forced_cpu is not None:
+        forced_cpu = np.asarray(forced_cpu, dtype=bool)
+        if forced_cpu.shape != (n,):
+            raise ValueError("forced_cpu mask shape mismatch")
+        if (forced_cpu & forced_gpu).any():
+            raise ValueError("a task cannot be forced to both classes")
+    else:
+        forced_cpu = np.zeros(n, dtype=bool)
+
+    gpu_area = 0.0
+    last = None
+    for j in np.flatnonzero(forced_gpu):
+        on_cpu[j] = False
+        gpu_area += pbar[j]
+        last = int(j)
+
+    # Decreasing p/pbar, ties by index for determinism.
+    ratio = p / pbar
+    order = np.lexsort((np.arange(n), -ratio))
+    for j in order:
+        if gpu_area >= capacity:
+            break
+        if forced_gpu[j] or forced_cpu[j]:
+            continue
+        on_cpu[j] = False
+        gpu_area += pbar[j]
+        last = int(j)
+
+    cpu_area = float(p[on_cpu].sum())
+    return KnapsackResult(
+        on_cpu=on_cpu,
+        cpu_area=cpu_area,
+        gpu_area=float(gpu_area),
+        last_gpu_task=last,
+    )
+
+
+def dp_min_knapsack(
+    p: np.ndarray,
+    pbar: np.ndarray,
+    capacity: float,
+    resolution: int = 200,
+    forced_gpu: np.ndarray | None = None,
+    forced_cpu: np.ndarray | None = None,
+) -> KnapsackResult | None:
+    """Exact (discretised) minimisation knapsack.
+
+    Minimises the CPU area subject to the GPU area cap, with the GPU
+    area discretised into *resolution* units of ``capacity /
+    resolution`` (each task's GPU time is rounded **up**, so the
+    returned split never violates the true capacity).
+
+    Returns ``None`` when no assignment fits (e.g. forced-GPU tasks
+    already exceed the capacity).
+    """
+    p, pbar = _validate(p, pbar, capacity)
+    if resolution < 1:
+        raise ValueError(f"resolution must be >= 1, got {resolution}")
+    n = p.size
+    forced_gpu = (
+        np.zeros(n, dtype=bool) if forced_gpu is None else np.asarray(forced_gpu, bool)
+    )
+    forced_cpu = (
+        np.zeros(n, dtype=bool) if forced_cpu is None else np.asarray(forced_cpu, bool)
+    )
+    if forced_gpu.shape != (n,) or forced_cpu.shape != (n,):
+        raise ValueError("forced mask shape mismatch")
+    if (forced_gpu & forced_cpu).any():
+        raise ValueError("a task cannot be forced to both classes")
+
+    if capacity == 0:
+        if forced_gpu.any():
+            return None
+        on_cpu = np.ones(n, dtype=bool)
+        return KnapsackResult(on_cpu=on_cpu, cpu_area=float(p.sum()), gpu_area=0.0)
+
+    unit = capacity / resolution
+    # Conservative rounding up, with a tiny epsilon so exact multiples
+    # of the unit do not spill into the next bucket through float noise.
+    weights = np.ceil(pbar / unit - 1e-9).astype(np.int64)
+    cap_units = resolution
+
+    INF = np.inf
+    # dp[u] = min CPU area using exactly <= u GPU units so far.
+    dp = np.full(cap_units + 1, INF)
+    dp[0] = 0.0
+    choice = np.zeros((n, cap_units + 1), dtype=bool)  # True = placed on GPU
+    for j in range(n):
+        w, pj = int(weights[j]), p[j]
+        if forced_cpu[j]:
+            dp = dp + pj
+            continue
+        # Option GPU: dp_gpu[u] = dp[u - w]; option CPU: dp[u] + pj.
+        dp_gpu = np.full(cap_units + 1, INF)
+        if w <= cap_units:
+            dp_gpu[w:] = dp[: cap_units + 1 - w]
+        if forced_gpu[j]:
+            new_dp = dp_gpu
+            choice[j] = dp_gpu < INF
+        else:
+            dp_cpu = dp + pj
+            choice[j] = dp_gpu < dp_cpu
+            new_dp = np.where(choice[j], dp_gpu, dp_cpu)
+        dp = new_dp
+    if not np.isfinite(dp).any():
+        return None
+    u = int(np.argmin(dp))
+    # Backtrack.
+    on_cpu = np.ones(n, dtype=bool)
+    for j in range(n - 1, -1, -1):
+        if forced_cpu[j]:
+            continue
+        if choice[j, u]:
+            on_cpu[j] = False
+            u -= int(weights[j])
+    gpu_area = float(pbar[~on_cpu].sum())
+    return KnapsackResult(
+        on_cpu=on_cpu,
+        cpu_area=float(p[on_cpu].sum()),
+        gpu_area=gpu_area,
+    )

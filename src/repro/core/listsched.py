@@ -1,0 +1,74 @@
+"""List scheduling: place tasks on the least-loaded machine.
+
+Section III uses list scheduling twice — to lay the knapsack's CPU
+tasks onto the ``m`` CPUs and the GPU tasks onto the ``k`` GPUs ("the
+scheduling on the CPUs after the allocation of the greedy knapsack is
+done with a list scheduling algorithm assigning the tasks on an
+available processor of the corresponding type").  The classic Graham
+bound makes it safe inside the dual-approximation argument.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.schedule import ScheduledTask
+
+__all__ = ["list_schedule", "lpt_order"]
+
+
+def list_schedule(
+    task_indices: Sequence[int],
+    durations: Sequence[float],
+    machine_names: Sequence[str],
+) -> list[ScheduledTask]:
+    """Assign tasks, in the given order, each to the least-loaded machine.
+
+    Parameters
+    ----------
+    task_indices:
+        Global task indices, in scheduling order.
+    durations:
+        Matching processing times (same length as *task_indices*).
+    machine_names:
+        The machines of one class; ties broken by declaration order.
+
+    Returns
+    -------
+    list[ScheduledTask]
+        One slot per task, with start/end times.
+    """
+    if len(task_indices) != len(durations):
+        raise ValueError(
+            f"{len(task_indices)} tasks but {len(durations)} durations"
+        )
+    if not machine_names:
+        if task_indices:
+            raise ValueError("cannot schedule tasks on zero machines")
+        return []
+    for d in durations:
+        if d <= 0:
+            raise ValueError(f"durations must be positive, got {d}")
+    # Heap of (load, tie_break, machine); tie_break keeps determinism.
+    heap = [(0.0, i, name) for i, name in enumerate(machine_names)]
+    heapq.heapify(heap)
+    slots = []
+    for j, d in zip(task_indices, durations):
+        load, tie, name = heapq.heappop(heap)
+        slots.append(
+            ScheduledTask(task_index=int(j), pe_name=name, start=load, end=load + float(d))
+        )
+        heapq.heappush(heap, (load + float(d), tie, name))
+    return slots
+
+
+def lpt_order(durations: np.ndarray) -> np.ndarray:
+    """Indices sorted by decreasing duration (Longest Processing Time).
+
+    Ties resolve by increasing index, so the order is deterministic.
+    """
+    durations = np.asarray(durations, dtype=np.float64)
+    return np.lexsort((np.arange(durations.size), -durations))

@@ -1,0 +1,122 @@
+"""Exact optimal makespan via branch-and-bound (small instances).
+
+The dual approximation certifies factors relative to a *lower bound*;
+for small instances we can compute the true optimum and measure the
+achieved ratio exactly.  The solver branches on tasks in decreasing
+``min(p, p̄)`` order, assigning each to one machine of either class,
+with three prunings:
+
+* **incumbent** — partial loads already at/above the best makespan;
+* **area bound** — remaining work spread perfectly over each class
+  cannot beat the incumbent (uses the fractional ratio-prefix bound of
+  :func:`repro.core.bounds.area_lower_bound` on the remaining tasks);
+* **machine symmetry** — within a class, only the first machine of any
+  set with equal load is tried.
+
+Exponential in the worst case; intended for ``n ≲ 18`` (tests and the
+optimality-gap experiment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.task import TaskSet
+
+__all__ = ["optimal_makespan", "OptimalSearchBudgetExceeded"]
+
+
+class OptimalSearchBudgetExceeded(RuntimeError):
+    """Raised when the node budget runs out before the search finishes."""
+
+
+def optimal_makespan(
+    tasks: TaskSet,
+    m: int,
+    k: int,
+    node_budget: int = 2_000_000,
+    upper_bound: float | None = None,
+) -> float:
+    """Exact optimal makespan of *tasks* on ``m`` CPUs and ``k`` GPUs.
+
+    Parameters
+    ----------
+    node_budget:
+        Maximum search nodes; exceeding it raises
+        :class:`OptimalSearchBudgetExceeded` (guards against misuse on
+        large instances).
+    upper_bound:
+        Optional known-feasible makespan to seed the incumbent (e.g.
+        from the dual approximation), tightening pruning.
+    """
+    if m < 0 or k < 0 or (m == 0 and k == 0):
+        raise ValueError(f"invalid platform size m={m}, k={k}")
+    n = len(tasks)
+    p = tasks.cpu_times
+    pbar = tasks.gpu_times
+    order = np.argsort(-np.minimum(p if m else np.inf, pbar if k else np.inf), kind="stable")
+    p_sorted = p[order]
+    pbar_sorted = pbar[order]
+    # Suffix sums of the per-class areas for the area pruning.
+    suffix_p = np.concatenate([np.cumsum(p_sorted[::-1])[::-1], [0.0]])
+    suffix_pbar = np.concatenate([np.cumsum(pbar_sorted[::-1])[::-1], [0.0]])
+    suffix_best = np.concatenate(
+        [np.cumsum(np.minimum(p_sorted, pbar_sorted)[::-1])[::-1], [0.0]]
+    )
+
+    cpu_loads = [0.0] * m
+    gpu_loads = [0.0] * k
+    if upper_bound is None:
+        from repro.core.bounds import eft_upper_bound
+
+        upper_bound = eft_upper_bound(tasks, m, k)
+    best = [float(upper_bound) + 1e-12]
+    nodes = [0]
+
+    def lower_bound_remaining(i: int) -> float:
+        # Perfectly divisible remainder over all machines (weak but
+        # cheap): every remaining task contributes at least min(p, p̄).
+        current = max(max(cpu_loads, default=0.0), max(gpu_loads, default=0.0))
+        spread = (sum(cpu_loads) + sum(gpu_loads) + suffix_best[i]) / (m + k)
+        return max(current, spread)
+
+    def rec(i: int) -> None:
+        nodes[0] += 1
+        if nodes[0] > node_budget:
+            raise OptimalSearchBudgetExceeded(
+                f"exceeded {node_budget} nodes at depth {i}/{n}"
+            )
+        if i == n:
+            makespan = max(max(cpu_loads, default=0.0), max(gpu_loads, default=0.0))
+            if makespan < best[0]:
+                best[0] = makespan
+            return
+        if lower_bound_remaining(i) >= best[0]:
+            return
+        # CPU placements (symmetry: skip machines equal to a previous).
+        tried: set[float] = set()
+        for c in range(m):
+            load = cpu_loads[c]
+            if load in tried:
+                continue
+            tried.add(load)
+            if load + p_sorted[i] >= best[0]:
+                continue
+            cpu_loads[c] = load + p_sorted[i]
+            rec(i + 1)
+            cpu_loads[c] = load
+        tried = set()
+        for g in range(k):
+            load = gpu_loads[g]
+            if load in tried:
+                continue
+            tried.add(load)
+            if load + pbar_sorted[i] >= best[0]:
+                continue
+            gpu_loads[g] = load + pbar_sorted[i]
+            rec(i + 1)
+            gpu_loads[g] = load
+        return
+
+    rec(0)
+    return float(best[0])

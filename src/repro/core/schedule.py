@@ -1,0 +1,190 @@
+"""Schedule representation: Gantt-chart data, makespan and idle time.
+
+A :class:`Schedule` is the scheduler's output and the simulator's
+input: for every PE, an ordered list of :class:`ScheduledTask` slots
+with explicit start/end times.  The paper's quality criteria are the
+**makespan** (global completion time) and the **idle time** on each PE
+("the objective is to obtain fast execution time and minimize the idle
+time on each PE"), so both are first-class here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.task import TaskSet
+
+__all__ = ["ScheduledTask", "Schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task occurrence on one PE's timeline."""
+
+    task_index: int
+    pe_name: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(
+                f"invalid slot [{self.start}, {self.end}] for task "
+                f"{self.task_index}"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Slot length in seconds."""
+        return self.end - self.start
+
+
+class Schedule:
+    """Per-PE timelines for a task set.
+
+    Parameters
+    ----------
+    slots:
+        All scheduled tasks; each task index must appear exactly once.
+    pe_names:
+        Every PE of the platform (also those left idle), so idle-time
+        accounting covers unused workers.
+    num_tasks:
+        Expected task count (validates completeness).
+    """
+
+    def __init__(
+        self,
+        slots: list[ScheduledTask],
+        pe_names: list[str],
+        num_tasks: int,
+        label: str = "schedule",
+    ):
+        self.label = label
+        self._pe_names = list(pe_names)
+        if len(set(self._pe_names)) != len(self._pe_names):
+            raise ValueError(f"duplicate PE names: {self._pe_names}")
+        self._timelines: dict[str, list[ScheduledTask]] = {
+            name: [] for name in self._pe_names
+        }
+        seen: set[int] = set()
+        for slot in slots:
+            if slot.pe_name not in self._timelines:
+                raise ValueError(f"slot on unknown PE {slot.pe_name!r}")
+            if slot.task_index in seen:
+                raise ValueError(f"task {slot.task_index} scheduled twice")
+            if not 0 <= slot.task_index < num_tasks:
+                raise ValueError(
+                    f"task index {slot.task_index} out of range [0, {num_tasks})"
+                )
+            seen.add(slot.task_index)
+            self._timelines[slot.pe_name].append(slot)
+        if len(seen) != num_tasks:
+            missing = sorted(set(range(num_tasks)) - seen)
+            raise ValueError(f"tasks not scheduled: {missing[:10]}")
+        for name in self._pe_names:
+            self._timelines[name].sort(key=lambda s: s.start)
+            prev_end = 0.0
+            for slot in self._timelines[name]:
+                if slot.start < prev_end - 1e-9:
+                    raise ValueError(
+                        f"overlapping slots on {name!r} at t={slot.start}"
+                    )
+                prev_end = slot.end
+        self.num_tasks = num_tasks
+
+    # -- metrics ---------------------------------------------------------
+
+    @property
+    def pe_names(self) -> list[str]:
+        """All PE names, including idle ones."""
+        return list(self._pe_names)
+
+    def timeline(self, pe_name: str) -> list[ScheduledTask]:
+        """Ordered slots of one PE."""
+        return list(self._timelines[pe_name])
+
+    @property
+    def makespan(self) -> float:
+        """Global completion time ``C_max``."""
+        ends = [
+            tl[-1].end for tl in self._timelines.values() if tl
+        ]
+        return max(ends) if ends else 0.0
+
+    def completion_time(self, pe_name: str) -> float:
+        """When the given PE finishes its last task (0 if idle)."""
+        tl = self._timelines[pe_name]
+        return tl[-1].end if tl else 0.0
+
+    def busy_time(self, pe_name: str) -> float:
+        """Total processing seconds on one PE."""
+        return sum(s.duration for s in self._timelines[pe_name])
+
+    def idle_time(self, pe_name: str, horizon: float | None = None) -> float:
+        """Seconds the PE is idle before *horizon* (default: makespan).
+
+        This is the paper's idle-time criterion: gaps plus the tail
+        after the PE's last task until the global completion time.
+        """
+        horizon = self.makespan if horizon is None else horizon
+        return max(0.0, horizon - self.busy_time(pe_name))
+
+    @property
+    def total_idle_time(self) -> float:
+        """Sum of idle time across all PEs (paper's balance criterion)."""
+        return sum(self.idle_time(name) for name in self._pe_names)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average busy fraction over all PEs within the makespan."""
+        ms = self.makespan
+        if ms == 0:
+            return 0.0
+        return float(
+            np.mean([self.busy_time(n) / ms for n in self._pe_names])
+        )
+
+    def assignment_vector(self) -> dict[int, str]:
+        """Map task index -> PE name."""
+        return {
+            slot.task_index: name
+            for name, tl in self._timelines.items()
+            for slot in tl
+        }
+
+    def tasks_on(self, pe_name: str) -> list[int]:
+        """Task indices scheduled on one PE, in start order."""
+        return [s.task_index for s in self._timelines[pe_name]]
+
+    def verify_against(self, tasks: TaskSet, gpu_names: set[str]) -> None:
+        """Check every slot's duration matches the task's class time.
+
+        Raises ``ValueError`` on any inconsistency — used by tests and
+        by the engine before executing a schedule.
+        """
+        for name, tl in self._timelines.items():
+            is_gpu = name in gpu_names
+            for slot in tl:
+                expected = tasks[slot.task_index].time_on(is_gpu)
+                if abs(slot.duration - expected) > 1e-6 * max(1.0, expected):
+                    raise ValueError(
+                        f"slot duration {slot.duration} != task time "
+                        f"{expected} for task {slot.task_index} on {name!r}"
+                    )
+
+    def gantt_rows(self) -> list[tuple[str, list[tuple[float, float, int]]]]:
+        """Rows of ``(pe_name, [(start, end, task_index), ...])`` for
+        plotting / ASCII Gantt rendering."""
+        return [
+            (name, [(s.start, s.end, s.task_index) for s in self._timelines[name]])
+            for name in self._pe_names
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule({self.label!r}, tasks={self.num_tasks}, "
+            f"pes={len(self._pe_names)}, makespan={self.makespan:.2f}s)"
+        )

@@ -1,0 +1,115 @@
+"""High-level SWDUAL scheduler API.
+
+Ties the pieces of Section III together behind one call: build the
+task set, run the dual-approximation binary search (2-approx greedy
+step by default, 3/2 DP step on request) and return the schedule with
+its diagnostics.  This is what the master of the execution engine uses
+to allocate tasks, and what the benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.binary_search import DualApproxResult, dual_approx_schedule
+from repro.core.dual_approx import dual_approx_step
+from repro.core.dual_approx_dp import make_dp_step
+from repro.core.schedule import Schedule
+from repro.core.task import TaskSet, tasks_from_queries
+from repro.platform.cluster import HybridPlatform
+from repro.platform.perfmodel import PerformanceModel
+from repro.sequences.queries import QuerySet
+
+__all__ = ["SWDualScheduler", "SWDualPlan"]
+
+
+@dataclass(frozen=True)
+class SWDualPlan:
+    """A complete SWDUAL allocation: schedule + search diagnostics."""
+
+    schedule: Schedule
+    result: DualApproxResult
+    tasks: TaskSet
+
+    @property
+    def makespan(self) -> float:
+        """Planned ``C_max`` in seconds."""
+        return self.schedule.makespan
+
+    @property
+    def lower_bound(self) -> float:
+        """Certified lower bound on the optimal makespan."""
+        return self.result.lower_bound
+
+    def summary(self) -> str:
+        """One-line human-readable description of the plan."""
+        s = self.schedule
+        return (
+            f"{s.label}: makespan {s.makespan:.2f}s, "
+            f"lower bound {self.lower_bound:.2f}s "
+            f"(gap x{self.result.optimality_gap:.3f}), "
+            f"{self.result.iterations} guesses, "
+            f"total idle {s.total_idle_time:.2f}s"
+        )
+
+
+class SWDualScheduler:
+    """The SWDUAL allocation policy.
+
+    Parameters
+    ----------
+    variant:
+        ``"2approx"`` (greedy knapsack step, the implementation the
+        paper evaluates) or ``"3/2dp"`` (the DP refinement).
+    tolerance:
+        Binary-search relative termination width.
+    dp_resolution:
+        GPU-area discretisation for the DP variant (``None`` scales it
+        with the task count).
+    """
+
+    VARIANTS = ("2approx", "3/2dp")
+
+    def __init__(
+        self,
+        variant: str = "2approx",
+        tolerance: float = 1e-3,
+        dp_resolution: int | None = None,
+    ):
+        if variant not in self.VARIANTS:
+            raise ValueError(
+                f"variant must be one of {self.VARIANTS}, got {variant!r}"
+            )
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        self.variant = variant
+        self.tolerance = tolerance
+        self.dp_resolution = dp_resolution
+        self._step = (
+            dual_approx_step if variant == "2approx" else make_dp_step(dp_resolution)
+        )
+
+    def schedule_tasks(self, tasks: TaskSet, m: int, k: int) -> SWDualPlan:
+        """Schedule an explicit task set on ``m`` CPUs and ``k`` GPUs."""
+        result = dual_approx_schedule(
+            tasks, m, k, tolerance=self.tolerance, step_fn=self._step
+        )
+        return SWDualPlan(schedule=result.schedule, result=result, tasks=tasks)
+
+    def schedule_queries(
+        self,
+        queries: QuerySet,
+        db_residues: int,
+        perf: PerformanceModel,
+    ) -> SWDualPlan:
+        """Schedule a query set against a database on *perf*'s platform."""
+        platform = perf.platform
+        tasks = tasks_from_queries(queries, db_residues, perf)
+        return self.schedule_tasks(tasks, platform.num_cpus, platform.num_gpus)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SWDualScheduler(variant={self.variant!r}, tol={self.tolerance})"
+
+
+def _platform_counts(platform: HybridPlatform) -> tuple[int, int]:
+    return platform.num_cpus, platform.num_gpus

@@ -1,0 +1,195 @@
+"""The task model of Section III.
+
+A *task* is the comparison of one query sequence against the whole
+database (Section II-C: "each task is equivalent to the comparison of
+one task of the query set to the database").  Every task ``T_j``
+carries two processing times: ``p_j`` on a CPU and ``p̄_j`` on a GPU.
+
+:class:`TaskSet` stores them as parallel numpy arrays — the shape the
+knapsack and list-scheduling code consume directly — and records the
+query metadata needed to execute the task later (live mode) or account
+its cell updates (GCUPS reporting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.perfmodel import PerformanceModel
+from repro.sequences.queries import QuerySet
+
+__all__ = ["Task", "TaskSet", "tasks_from_queries"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One query-vs-database comparison with its two processing times."""
+
+    index: int
+    query_id: str
+    query_length: int
+    cpu_time: float
+    gpu_time: float
+
+    def __post_init__(self) -> None:
+        if self.query_length <= 0:
+            raise ValueError(f"query_length must be positive, got {self.query_length}")
+        if self.cpu_time <= 0 or self.gpu_time <= 0:
+            raise ValueError(
+                f"processing times must be positive, got "
+                f"({self.cpu_time}, {self.gpu_time})"
+            )
+
+    @property
+    def acceleration(self) -> float:
+        """The knapsack priority ratio ``p_j / p̄_j`` (> 1 means the
+        task is faster on a GPU)."""
+        return self.cpu_time / self.gpu_time
+
+    def time_on(self, is_gpu: bool) -> float:
+        """Processing time on the given PE class."""
+        return self.gpu_time if is_gpu else self.cpu_time
+
+
+class TaskSet:
+    """An indexed collection of tasks with vectorised access.
+
+    Parameters
+    ----------
+    cpu_times / gpu_times:
+        The ``p_j`` / ``p̄_j`` vectors (equal length, positive).
+    query_ids / query_lengths:
+        Optional metadata (synthesised when omitted).
+    db_residues:
+        Database size the tasks run against (cell accounting).
+    """
+
+    def __init__(
+        self,
+        cpu_times: np.ndarray,
+        gpu_times: np.ndarray,
+        query_ids: list[str] | None = None,
+        query_lengths: np.ndarray | None = None,
+        db_residues: int = 0,
+    ):
+        p = np.asarray(cpu_times, dtype=np.float64)
+        pbar = np.asarray(gpu_times, dtype=np.float64)
+        if p.ndim != 1 or p.size == 0:
+            raise ValueError("cpu_times must be a non-empty 1-D array")
+        if p.shape != pbar.shape:
+            raise ValueError(
+                f"cpu_times and gpu_times differ in shape: {p.shape} vs {pbar.shape}"
+            )
+        if (p <= 0).any() or (pbar <= 0).any():
+            raise ValueError("all processing times must be positive")
+        if db_residues < 0:
+            raise ValueError(f"db_residues must be >= 0, got {db_residues}")
+        n = p.size
+        if query_ids is None:
+            query_ids = [f"q{j}" for j in range(n)]
+        if len(query_ids) != n:
+            raise ValueError(f"expected {n} query_ids, got {len(query_ids)}")
+        if query_lengths is None:
+            query_lengths = np.ones(n, dtype=np.int64)
+        query_lengths = np.asarray(query_lengths, dtype=np.int64)
+        if query_lengths.shape != (n,):
+            raise ValueError("query_lengths shape mismatch")
+        if (query_lengths <= 0).any():
+            raise ValueError("query lengths must be positive")
+        p.setflags(write=False)
+        pbar.setflags(write=False)
+        query_lengths.setflags(write=False)
+        self._p = p
+        self._pbar = pbar
+        self._ids = list(query_ids)
+        self._lengths = query_lengths
+        self.db_residues = int(db_residues)
+
+    # -- vectorised views ----------------------------------------------
+
+    @property
+    def cpu_times(self) -> np.ndarray:
+        """``p_j`` vector (read-only)."""
+        return self._p
+
+    @property
+    def gpu_times(self) -> np.ndarray:
+        """``p̄_j`` vector (read-only)."""
+        return self._pbar
+
+    @property
+    def query_lengths(self) -> np.ndarray:
+        """Residue length per query (read-only)."""
+        return self._lengths
+
+    @property
+    def query_ids(self) -> list[str]:
+        """Query identifiers in task order."""
+        return list(self._ids)
+
+    @property
+    def acceleration(self) -> np.ndarray:
+        """Ratio vector ``p_j / p̄_j``."""
+        return self._p / self._pbar
+
+    @property
+    def all_accelerated(self) -> bool:
+        """True when every task is faster on a GPU — the paper's special
+        case with the cheaper 3/2-approximation."""
+        return bool((self._pbar <= self._p).all())
+
+    @property
+    def total_cells(self) -> int:
+        """Total DP cells across all tasks (query lengths × database)."""
+        return int(self._lengths.sum()) * self.db_residues
+
+    # -- container protocol ---------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._p.size)
+
+    def __getitem__(self, j: int) -> Task:
+        if not 0 <= j < len(self):
+            raise IndexError(f"task {j} out of range [0, {len(self)})")
+        return Task(
+            index=j,
+            query_id=self._ids[j],
+            query_length=int(self._lengths[j]),
+            cpu_time=float(self._p[j]),
+            gpu_time=float(self._pbar[j]),
+        )
+
+    def __iter__(self):
+        for j in range(len(self)):
+            yield self[j]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskSet(n={len(self)}, accelerated={self.all_accelerated}, "
+            f"db_residues={self.db_residues})"
+        )
+
+
+def tasks_from_queries(
+    queries: QuerySet,
+    db_residues: int,
+    perf: PerformanceModel,
+) -> TaskSet:
+    """Build the task set for a query set against a database.
+
+    Uses the performance model's ``(p, p̄)`` predictions — the same
+    numbers the simulated execution engine charges, so the scheduler's
+    assumptions and the simulator agree.
+    """
+    if db_residues <= 0:
+        raise ValueError(f"db_residues must be positive, got {db_residues}")
+    p, pbar = perf.task_times(queries.lengths, db_residues)
+    return TaskSet(
+        cpu_times=p,
+        gpu_times=pbar,
+        query_ids=[f"{queries.name}_q{j:02d}" for j in range(len(queries))],
+        query_lengths=queries.lengths,
+        db_residues=db_residues,
+    )

@@ -1,0 +1,79 @@
+"""Master–slave execution engine: protocol, workers, master, simulated
+and live execution, result merging, and the top-level search API."""
+
+from repro.engine.messages import (
+    Message,
+    MessageLog,
+    MessageType,
+    ProtocolError,
+    assign_tasks,
+    register,
+    register_ack,
+    shutdown,
+    task_done,
+)
+from repro.engine.results import (
+    Hit,
+    QueryResult,
+    SearchReport,
+    WorkerStats,
+    filter_hits,
+    merge_query_results,
+)
+from repro.engine.worker import KernelWorker, TaskExecution, default_cpu_kernel
+from repro.engine.master import Master
+from repro.engine.simulation import (
+    DurationNoise,
+    SimulationOutcome,
+    simulate_plan,
+    simulate_self_scheduling,
+    simulate_swdual_rounds,
+    simulate_with_failures,
+)
+from repro.engine.search import SIM_POLICIES, live_search, simulate_search
+from repro.engine.transport import process_search
+from repro.engine.sharded import shard_database, sharded_search
+from repro.engine.serialize import (
+    report_to_dict,
+    report_to_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "MessageLog",
+    "ProtocolError",
+    "register",
+    "register_ack",
+    "assign_tasks",
+    "task_done",
+    "shutdown",
+    "Hit",
+    "QueryResult",
+    "WorkerStats",
+    "SearchReport",
+    "filter_hits",
+    "merge_query_results",
+    "KernelWorker",
+    "TaskExecution",
+    "default_cpu_kernel",
+    "Master",
+    "SimulationOutcome",
+    "DurationNoise",
+    "simulate_plan",
+    "simulate_self_scheduling",
+    "simulate_swdual_rounds",
+    "simulate_with_failures",
+    "SIM_POLICIES",
+    "simulate_search",
+    "live_search",
+    "process_search",
+    "shard_database",
+    "sharded_search",
+    "report_to_dict",
+    "report_to_json",
+    "schedule_to_dict",
+    "schedule_to_json",
+]

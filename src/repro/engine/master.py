@@ -1,0 +1,236 @@
+"""The master of the master–slave model (live mode).
+
+Implements the Figure 6 master column: receive parameters, acquire
+sequences, register the slaves, allocate tasks with the configured
+policy (SWDUAL's one-round dual-approximation allocation by default,
+or dynamic self-scheduling), dispatch, and merge the results.
+
+The live transport runs each worker on its own thread: numpy kernels
+release the GIL for their heavy loops, so CPU-class workers genuinely
+overlap.  The master's allocation uses per-task time *predictions* —
+from a measured live calibration or a supplied performance model — and
+the report carries real wall-clock numbers, so prediction quality is
+itself observable.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import threading
+import time
+
+import numpy as np
+
+from repro.core.swdual import SWDualScheduler
+from repro.core.task import TaskSet
+from repro.engine.messages import (
+    MessageLog,
+    ProtocolError,
+    assign_tasks,
+    register,
+    register_ack,
+    shutdown,
+    task_done,
+)
+from repro.engine.results import SearchReport, WorkerStats
+from repro.engine.worker import KernelWorker
+from repro.sequences.sequence import Sequence
+
+__all__ = ["Master"]
+
+
+class Master:
+    """Live-mode master.
+
+    Parameters
+    ----------
+    queries:
+        The query set (real sequences).
+    policy:
+        ``"swdual"`` (one-round dual-approximation allocation),
+        ``"swdual-dp"`` (3/2 variant) or ``"self"`` (dynamic
+        self-scheduling).
+    measured_gcups:
+        Optional map ``worker name -> measured GCUPS`` used to predict
+        task times for the static policies; unmeasured workers get the
+        mean of the measured ones (or 1.0 if none).
+    """
+
+    POLICIES = ("swdual", "swdual-dp", "self")
+
+    def __init__(
+        self,
+        queries: list[Sequence],
+        policy: str = "swdual",
+        measured_gcups: dict[str, float] | None = None,
+    ):
+        if not queries:
+            raise ValueError("master needs at least one query")
+        if policy not in self.POLICIES:
+            raise ValueError(f"policy must be one of {self.POLICIES}, got {policy!r}")
+        self.queries = list(queries)
+        self.policy = policy
+        self.measured_gcups = dict(measured_gcups or {})
+        self.log = MessageLog()
+        self._workers: list[KernelWorker] = []
+
+    # -- registration (Figure 6: "Register slaves") ---------------------
+
+    def register_worker(self, worker: KernelWorker) -> None:
+        """Accept a worker registration."""
+        if any(w.name == worker.name for w in self._workers):
+            raise ProtocolError(f"worker {worker.name!r} already registered")
+        self._workers.append(worker)
+        self.log.record(register(worker.name, worker.kind))
+        self.log.record(register_ack(worker.name))
+
+    @property
+    def workers(self) -> list[KernelWorker]:
+        """Registered workers, in registration order."""
+        return list(self._workers)
+
+    # -- allocation ------------------------------------------------------
+
+    def _predicted_taskset(self) -> TaskSet:
+        db_residues = self._workers[0].database.total_residues
+        lengths = np.array([len(q) for q in self.queries], dtype=np.int64)
+        rates = {}
+        default = (
+            float(np.mean(list(self.measured_gcups.values())))
+            if self.measured_gcups
+            else 1.0
+        )
+        for w in self._workers:
+            rates[w.name] = self.measured_gcups.get(w.name, default)
+        cpu_rates = [rates[w.name] for w in self._workers if w.kind == "cpu"]
+        gpu_rates = [rates[w.name] for w in self._workers if w.kind == "gpu"]
+        cpu_rate = float(np.mean(cpu_rates)) if cpu_rates else default
+        gpu_rate = float(np.mean(gpu_rates)) if gpu_rates else default
+        cells = lengths * db_residues
+        return TaskSet(
+            cpu_times=cells / (cpu_rate * 1e9),
+            gpu_times=cells / (gpu_rate * 1e9),
+            query_ids=[q.id for q in self.queries],
+            query_lengths=lengths,
+            db_residues=db_residues,
+        )
+
+    def _static_allocation(self) -> dict[str, list[int]]:
+        """One-round allocation via the dual-approximation scheduler."""
+        cpus = [w for w in self._workers if w.kind == "cpu"]
+        gpus = [w for w in self._workers if w.kind == "gpu"]
+        tasks = self._predicted_taskset()
+        variant = "3/2dp" if self.policy == "swdual-dp" else "2approx"
+        plan = SWDualScheduler(variant).schedule_tasks(tasks, len(cpus), len(gpus))
+        # The scheduler names PEs cpu{i}/gpu{i}; map back to workers.
+        mapping = {f"cpu{i}": w.name for i, w in enumerate(cpus)}
+        mapping |= {f"gpu{i}": w.name for i, w in enumerate(gpus)}
+        batches: dict[str, list[int]] = {w.name: [] for w in self._workers}
+        for pe_name in plan.schedule.pe_names:
+            batches[mapping[pe_name]] = plan.schedule.tasks_on(pe_name)
+        self._scheduler_info = plan.summary()
+        return batches
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> SearchReport:
+        """Allocate, dispatch to worker threads, merge and report."""
+        if not self._workers:
+            raise ProtocolError("no workers registered")
+        self._scheduler_info = self.policy
+        db0 = self._workers[0].database.total_residues
+        for w in self._workers:
+            if w.database.total_residues != db0:
+                raise ProtocolError(
+                    "workers hold different databases; the master and all "
+                    "slaves must acquire the same sequences (Figure 6)"
+                )
+
+        executions: dict[int, object] = {}
+        lock = threading.Lock()
+        start = time.perf_counter()
+
+        if self.policy in ("swdual", "swdual-dp"):
+            batches = self._static_allocation()
+            for name, batch in batches.items():
+                self.log.record(assign_tasks(name, batch))
+            threads = [
+                threading.Thread(
+                    target=self._run_batch,
+                    args=(w, batches[w.name], executions, lock),
+                    name=f"worker-{w.name}",
+                )
+                for w in self._workers
+            ]
+        else:
+            shared: queue_mod.Queue = queue_mod.Queue()
+            for j in range(len(self.queries)):
+                shared.put(j)
+            threads = [
+                threading.Thread(
+                    target=self._run_dynamic,
+                    args=(w, shared, executions, lock),
+                    name=f"worker-{w.name}",
+                )
+                for w in self._workers
+            ]
+
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = max(time.perf_counter() - start, 1e-9)
+
+        for w in self._workers:
+            self.log.record(shutdown(w.name))
+        missing = set(range(len(self.queries))) - set(executions)
+        if missing:
+            raise ProtocolError(f"tasks never completed: {sorted(missing)}")
+
+        stats = tuple(
+            WorkerStats(
+                name=w.name,
+                kind=w.kind,
+                tasks_executed=w.counter.comparisons,
+                busy_seconds=sum(
+                    e.elapsed for e in executions.values() if e.worker == w.name
+                ),
+                cells=w.counter.total_cells,
+            )
+            for w in self._workers
+        )
+        results = tuple(executions[j].execution.result for j in range(len(self.queries)))
+        return SearchReport(
+            label=f"live-{self.policy}",
+            wall_seconds=wall,
+            total_cells=sum(w.counter.total_cells for w in self._workers),
+            worker_stats=stats,
+            query_results=results,
+            scheduler_info=self._scheduler_info,
+        )
+
+    class _Done:
+        def __init__(self, worker: str, execution):
+            self.worker = worker
+            self.execution = execution
+            self.elapsed = execution.elapsed
+
+    def _run_batch(self, worker, batch, executions, lock) -> None:
+        for j in batch:
+            execution = worker.execute(self.queries[j])
+            with lock:
+                executions[j] = self._Done(worker.name, execution)
+                self.log.record(task_done(worker.name, j, execution.elapsed))
+
+    def _run_dynamic(self, worker, shared, executions, lock) -> None:
+        while True:
+            try:
+                j = shared.get_nowait()
+            except queue_mod.Empty:
+                return
+            with lock:
+                self.log.record(assign_tasks(worker.name, [j]))
+            execution = worker.execute(self.queries[j])
+            with lock:
+                executions[j] = self._Done(worker.name, execution)
+                self.log.record(task_done(worker.name, j, execution.elapsed))

@@ -1,0 +1,114 @@
+"""The master–slave message protocol (Figure 6).
+
+The paper's lifecycle: workers *register* with the master; the master
+*allocates* tasks (one round, or iteratively for dynamic policies);
+workers *execute* and *send results*; the master *merges* and presents
+them.  We reify each arrow of Figure 6 as a message type so both the
+simulated and the live transports run the identical protocol and the
+tests can assert on complete message traces.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "MessageType",
+    "Message",
+    "register",
+    "register_ack",
+    "assign_tasks",
+    "task_done",
+    "shutdown",
+    "ProtocolError",
+    "MessageLog",
+]
+
+
+class ProtocolError(RuntimeError):
+    """Raised when the master/worker conversation violates the protocol."""
+
+
+class MessageType(enum.Enum):
+    """The arrows of Figure 6."""
+
+    REGISTER = "register"  # worker -> master
+    REGISTER_ACK = "register_ack"  # master -> worker
+    ASSIGN_TASKS = "assign_tasks"  # master -> worker (allocation)
+    TASK_DONE = "task_done"  # worker -> master (results)
+    SHUTDOWN = "shutdown"  # master -> worker
+
+
+_SEQ = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message with a global sequence number."""
+
+    type: MessageType
+    sender: str
+    recipient: str
+    payload: Any = None
+    seq: int = field(default_factory=lambda: next(_SEQ))
+
+
+def register(worker: str, kind: str) -> Message:
+    """Worker announces itself and its PE class."""
+    return Message(MessageType.REGISTER, worker, "master", payload={"kind": kind})
+
+
+def register_ack(worker: str) -> Message:
+    """Master confirms the registration."""
+    return Message(MessageType.REGISTER_ACK, "master", worker)
+
+
+def assign_tasks(worker: str, task_indices: list[int]) -> Message:
+    """Master allocates an ordered batch of tasks to a worker."""
+    return Message(
+        MessageType.ASSIGN_TASKS,
+        "master",
+        worker,
+        payload={"tasks": list(task_indices)},
+    )
+
+
+def task_done(worker: str, task_index: int, elapsed: float, result: Any = None) -> Message:
+    """Worker reports one completed task with its result payload."""
+    return Message(
+        MessageType.TASK_DONE,
+        worker,
+        "master",
+        payload={"task": task_index, "elapsed": elapsed, "result": result},
+    )
+
+
+def shutdown(worker: str) -> Message:
+    """Master tells a worker the run is over."""
+    return Message(MessageType.SHUTDOWN, "master", worker)
+
+
+class MessageLog:
+    """Ordered record of every message exchanged during a run."""
+
+    def __init__(self):
+        self._messages: list[Message] = []
+
+    def record(self, message: Message) -> Message:
+        """Append a message; returns it for chaining."""
+        self._messages.append(message)
+        return message
+
+    def all(self) -> list[Message]:
+        """Every message, in exchange order."""
+        return list(self._messages)
+
+    def of_type(self, mtype: MessageType) -> list[Message]:
+        """Messages of one type, in order."""
+        return [m for m in self._messages if m.type is mtype]
+
+    def __len__(self) -> int:
+        return len(self._messages)

@@ -1,0 +1,184 @@
+"""Search results and execution reports.
+
+The master merges per-task results into a :class:`SearchReport` — the
+object the paper's tables are printed from: wall-clock seconds, GCUPS,
+per-PE utilisation, and (in live mode) the actual best-hit lists per
+query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.stats import gcups
+
+__all__ = [
+    "Hit",
+    "QueryResult",
+    "WorkerStats",
+    "SearchReport",
+    "filter_hits",
+    "merge_query_results",
+]
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One database hit: a subject, its SW similarity score, and (when
+    the engine was given an E-value model) the hit's E-value."""
+
+    subject_id: str
+    score: int
+    evalue: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.score < 0:
+            raise ValueError(f"SW scores are non-negative, got {self.score}")
+        if self.evalue is not None and self.evalue < 0:
+            raise ValueError(f"E-values are non-negative, got {self.evalue}")
+
+    def format(self) -> str:
+        """``subject:score`` with the E-value appended when present."""
+        if self.evalue is None:
+            return f"{self.subject_id}:{self.score}"
+        return f"{self.subject_id}:{self.score} (E={self.evalue:.2g})"
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Best hits of one query against the database (sorted by score)."""
+
+    query_id: str
+    hits: tuple[Hit, ...]
+
+    def __post_init__(self) -> None:
+        scores = [h.score for h in self.hits]
+        if scores != sorted(scores, reverse=True):
+            raise ValueError("hits must be sorted by decreasing score")
+
+    @property
+    def best(self) -> Hit | None:
+        """Top hit, or None when the hit list is empty."""
+        return self.hits[0] if self.hits else None
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """Per-worker execution accounting."""
+
+    name: str
+    kind: str
+    tasks_executed: int
+    busy_seconds: float
+    cells: int
+
+    def utilization(self, wall_seconds: float) -> float:
+        """Busy fraction of the run's wall-clock time."""
+        if wall_seconds <= 0:
+            raise ValueError(f"wall_seconds must be positive, got {wall_seconds}")
+        return self.busy_seconds / wall_seconds
+
+
+@dataclass(frozen=True)
+class SearchReport:
+    """Merged outcome of one database search run."""
+
+    label: str
+    wall_seconds: float
+    total_cells: int
+    worker_stats: tuple[WorkerStats, ...]
+    query_results: tuple[QueryResult, ...] = ()
+    scheduler_info: str = ""
+
+    def __post_init__(self) -> None:
+        if self.wall_seconds <= 0:
+            raise ValueError(f"wall_seconds must be positive, got {self.wall_seconds}")
+        if self.total_cells < 0:
+            raise ValueError("total_cells must be >= 0")
+
+    @property
+    def gcups(self) -> float:
+        """Aggregate GCUPS — the paper's Tables IV/V metric."""
+        return gcups(self.total_cells, self.wall_seconds)
+
+    @property
+    def total_idle_seconds(self) -> float:
+        """Sum over workers of (wall − busy) — the balance criterion."""
+        return sum(
+            max(0.0, self.wall_seconds - w.busy_seconds) for w in self.worker_stats
+        )
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average busy fraction across workers."""
+        if not self.worker_stats:
+            return 0.0
+        return float(
+            np.mean([w.utilization(self.wall_seconds) for w in self.worker_stats])
+        )
+
+    def result_for(self, query_id: str) -> QueryResult:
+        """Result of one query; raises ``KeyError`` if absent."""
+        for qr in self.query_results:
+            if qr.query_id == query_id:
+                return qr
+        raise KeyError(f"no result for query {query_id!r}")
+
+    def summary(self) -> str:
+        """One-line report: seconds, GCUPS, utilisation."""
+        return (
+            f"{self.label}: {self.wall_seconds:.2f}s, {self.gcups:.2f} GCUPS, "
+            f"{len(self.worker_stats)} workers, "
+            f"utilisation {self.mean_utilization:.1%}"
+        )
+
+
+def filter_hits(
+    result: QueryResult,
+    min_score: int | None = None,
+    max_evalue: float | None = None,
+    top: int | None = None,
+) -> QueryResult:
+    """Apply the cutoffs real search tools expose (score floor,
+    E-value ceiling, hit-count cap) to one query's hit list.
+
+    ``max_evalue`` requires hits annotated with E-values (hits lacking
+    one are dropped under that cutoff so significance filtering can
+    never pass an unassessed hit).
+    """
+    if top is not None and top < 0:
+        raise ValueError(f"top must be >= 0, got {top}")
+    hits = list(result.hits)
+    if min_score is not None:
+        hits = [h for h in hits if h.score >= min_score]
+    if max_evalue is not None:
+        hits = [h for h in hits if h.evalue is not None and h.evalue <= max_evalue]
+    if top is not None:
+        hits = hits[:top]
+    return QueryResult(query_id=result.query_id, hits=tuple(hits))
+
+
+def merge_query_results(parts: list[QueryResult], top: int | None = None) -> QueryResult:
+    """Merge per-shard hit lists for one query (the master's merge step
+    when the database itself is partitioned across workers).
+
+    Duplicate subject ids keep their best-scoring entry; the merged
+    list is re-sorted by score and optionally truncated.
+    """
+    if not parts:
+        raise ValueError("nothing to merge")
+    query_ids = {p.query_id for p in parts}
+    if len(query_ids) != 1:
+        raise ValueError(f"cannot merge results of different queries: {query_ids}")
+    best: dict[str, Hit] = {}
+    for part in parts:
+        for hit in part.hits:
+            current = best.get(hit.subject_id)
+            if current is None or hit.score > current.score:
+                best[hit.subject_id] = hit
+    merged = sorted(best.values(), key=lambda h: (-h.score, h.subject_id))
+    if top is not None:
+        merged = merged[:top]
+    return QueryResult(query_id=parts[0].query_id, hits=tuple(merged))

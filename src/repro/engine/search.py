@@ -1,0 +1,139 @@
+"""Top-level database-search API.
+
+Two entry points mirroring DESIGN.md's execution modes:
+
+* :func:`simulate_search` — paper-scale runs on virtual time driven by
+  the calibrated performance model (the mode behind every table and
+  figure benchmark);
+* :func:`live_search` — real kernels on a real (small) database via the
+  threaded master–slave engine, returning actual SW hits.
+"""
+
+from __future__ import annotations
+
+from repro.align.scoring import ScoringScheme, default_scheme
+from repro.align.sw_wavefront import sw_score_wavefront
+from repro.core.baselines import BASELINES
+from repro.core.swdual import SWDualScheduler
+from repro.core.task import tasks_from_queries
+from repro.engine.master import Master
+from repro.engine.results import SearchReport
+from repro.engine.simulation import (
+    SimulationOutcome,
+    simulate_plan,
+    simulate_self_scheduling,
+)
+from repro.engine.worker import KernelWorker, default_cpu_kernel
+from repro.platform.cluster import idgraf_platform
+from repro.platform.perfmodel import PerformanceModel
+from repro.sequences.database import DatabaseProfile, SequenceDatabase
+from repro.sequences.queries import QuerySet
+from repro.sequences.sequence import Sequence
+
+__all__ = ["simulate_search", "live_search", "SIM_POLICIES"]
+
+#: Allocation policies accepted by :func:`simulate_search`.
+SIM_POLICIES = ("swdual", "swdual-dp", "self") + tuple(BASELINES)
+
+
+def simulate_search(
+    queries: QuerySet,
+    database: DatabaseProfile,
+    num_gpus: int,
+    num_cpus: int,
+    policy: str = "swdual",
+    perf: PerformanceModel | None = None,
+    tolerance: float = 1e-3,
+) -> SimulationOutcome:
+    """Simulate a database search on a hybrid platform.
+
+    Parameters
+    ----------
+    queries / database:
+        The workload (lengths are all the simulator needs).
+    num_gpus / num_cpus:
+        Platform shape; rate models default to the paper calibration.
+    policy:
+        ``"swdual"``, ``"swdual-dp"``, ``"self"``, or any baseline name
+        from :data:`repro.core.baselines.BASELINES`.
+    perf:
+        Override the performance model (ablation hook).
+    """
+    if policy not in SIM_POLICIES:
+        raise ValueError(f"policy must be one of {SIM_POLICIES}, got {policy!r}")
+    perf = perf or PerformanceModel(idgraf_platform(num_gpus, num_cpus))
+    platform = perf.platform
+    tasks = tasks_from_queries(queries, database.total_residues, perf)
+    m, k = platform.num_cpus, platform.num_gpus
+
+    if policy == "self":
+        return simulate_self_scheduling(tasks, platform, perf)
+    if policy in ("swdual", "swdual-dp"):
+        variant = "2approx" if policy == "swdual" else "3/2dp"
+        plan = SWDualScheduler(variant, tolerance=tolerance).schedule_tasks(tasks, m, k)
+        # The scheduler's abstract cpu{i}/gpu{i} names match
+        # idgraf_platform's PE names by construction.
+        return simulate_plan(tasks, plan.schedule, platform, perf, label=policy)
+    baseline_schedule = BASELINES[policy](tasks, m, k)
+    return simulate_plan(tasks, baseline_schedule, platform, perf, label=policy)
+
+
+def live_search(
+    queries: list[Sequence],
+    database: SequenceDatabase,
+    num_cpu_workers: int = 1,
+    num_gpu_workers: int = 1,
+    policy: str = "swdual",
+    scheme: ScoringScheme | None = None,
+    measured_gcups: dict[str, float] | None = None,
+    top_hits: int = 10,
+    evalue_model=None,
+) -> SearchReport:
+    """Run a real search through the threaded master–slave engine.
+
+    GPU-class workers use the wavefront (CUDASW-style) kernel, CPU-class
+    workers the batch (SWIPE-style) kernel; both produce identical
+    scores (kernel-equivalence tests), so results are independent of
+    the allocation.  Pass an
+    :class:`~repro.align.evalue.EValueModel` to annotate hits with
+    E-values.
+    """
+    if num_cpu_workers < 0 or num_gpu_workers < 0:
+        raise ValueError("worker counts must be non-negative")
+    if num_cpu_workers + num_gpu_workers == 0:
+        raise ValueError("need at least one worker")
+    scheme = scheme or default_scheme()
+
+    def gpu_kernel(query, subjects, sch):
+        import numpy as np
+
+        return np.array(
+            [sw_score_wavefront(query, s, sch) for s in subjects], dtype=np.int64
+        )
+
+    master = Master(queries, policy=policy, measured_gcups=measured_gcups)
+    for i in range(num_gpu_workers):
+        master.register_worker(
+            KernelWorker(
+                name=f"gpu{i}",
+                kind="gpu",
+                database=database,
+                scheme=scheme,
+                kernel=gpu_kernel,
+                top_hits=top_hits,
+                evalue_model=evalue_model,
+            )
+        )
+    for i in range(num_cpu_workers):
+        master.register_worker(
+            KernelWorker(
+                name=f"cpu{i}",
+                kind="cpu",
+                database=database,
+                scheme=scheme,
+                kernel=default_cpu_kernel,
+                top_hits=top_hits,
+                evalue_model=evalue_model,
+            )
+        )
+    return master.run()

@@ -1,0 +1,91 @@
+"""JSON serialisation of schedules and search reports.
+
+Experiment results need to leave the process — for the CLI's ``--json``
+mode, for archiving benchmark artefacts, and for plotting outside
+Python.  Plain ``dict``/JSON keeps consumers dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.schedule import Schedule
+from repro.engine.results import SearchReport
+
+__all__ = [
+    "schedule_to_dict",
+    "report_to_dict",
+    "report_to_json",
+    "schedule_to_json",
+]
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Schedule as a JSON-safe dict (label, makespan, per-PE slots)."""
+    return {
+        "label": schedule.label,
+        "num_tasks": schedule.num_tasks,
+        "makespan": schedule.makespan,
+        "total_idle": schedule.total_idle_time,
+        "mean_utilization": schedule.mean_utilization,
+        "timelines": {
+            name: [
+                {
+                    "task": slot.task_index,
+                    "start": slot.start,
+                    "end": slot.end,
+                }
+                for slot in schedule.timeline(name)
+            ]
+            for name in schedule.pe_names
+        },
+    }
+
+
+def report_to_dict(report: SearchReport) -> dict[str, Any]:
+    """Search report as a JSON-safe dict."""
+    return {
+        "label": report.label,
+        "wall_seconds": report.wall_seconds,
+        "gcups": report.gcups,
+        "total_cells": report.total_cells,
+        "total_idle_seconds": report.total_idle_seconds,
+        "mean_utilization": report.mean_utilization,
+        "scheduler_info": report.scheduler_info,
+        "workers": [
+            {
+                "name": w.name,
+                "kind": w.kind,
+                "tasks": w.tasks_executed,
+                "busy_seconds": w.busy_seconds,
+                "cells": w.cells,
+                "utilization": w.utilization(report.wall_seconds),
+            }
+            for w in report.worker_stats
+        ],
+        "queries": [
+            {
+                "query_id": qr.query_id,
+                "hits": [
+                    {
+                        "subject_id": h.subject_id,
+                        "score": h.score,
+                        **({"evalue": h.evalue} if h.evalue is not None else {}),
+                    }
+                    for h in qr.hits
+                ],
+            }
+            for qr in report.query_results
+        ],
+    }
+
+
+def report_to_json(report: SearchReport, indent: int | None = 2) -> str:
+    """Search report rendered as a JSON string."""
+    return json.dumps(report_to_dict(report), indent=indent)
+
+
+def schedule_to_json(schedule: Schedule, indent: int | None = 2) -> str:
+    """Schedule rendered as a JSON string."""
+    return json.dumps(schedule_to_dict(schedule), indent=indent)

@@ -1,0 +1,141 @@
+"""Sharded-database search: partition the database across workers.
+
+SWDUAL parallelises at task granularity (one query × the whole
+database per worker); CUDASW++'s multi-GPU mode instead splits the
+*database* so every device scores every query against its own shard —
+a different decomposition with a different merge step.  This module
+implements that mode on the live engine: the database is cut into
+residue-balanced shards, each ``(query, shard)`` cell is a work unit
+dispatched by self-scheduling, and the master fuses per-shard hit
+lists with :func:`repro.engine.results.merge_query_results`.
+
+The merged hits are identical to an unsharded search (tested), because
+SW scores are per subject and the merge keeps the best entry per
+subject id.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.align.scoring import ScoringScheme, default_scheme
+from repro.engine.results import QueryResult, SearchReport, WorkerStats, merge_query_results
+from repro.engine.worker import KernelWorker
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.sequence import Sequence
+
+__all__ = ["shard_database", "sharded_search"]
+
+
+def shard_database(database: SequenceDatabase, num_shards: int) -> list[SequenceDatabase]:
+    """Split a database into residue-balanced contiguous shards.
+
+    A greedy sweep closes a shard once it holds its fair share of
+    residues; every shard is non-empty for ``num_shards <= len(db)``.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > len(database):
+        raise ValueError(
+            f"cannot cut {len(database)} sequences into {num_shards} shards"
+        )
+    sequences = list(database)
+    shards: list[SequenceDatabase] = []
+    idx = 0
+    for shard_i in range(num_shards):
+        shards_left = num_shards - shard_i
+        # Re-target on the residues still unassigned, so one oversized
+        # early sequence cannot starve the later shards.
+        remaining_residues = sum(len(s) for s in sequences[idx:])
+        target = remaining_residues / shards_left
+        current: list[Sequence] = []
+        acc = 0
+        while idx < len(sequences):
+            seqs_left_after = len(sequences) - idx - 1
+            if current and acc >= target:
+                break
+            if current and seqs_left_after < shards_left - 1:
+                break  # keep one sequence per remaining shard
+            current.append(sequences[idx])
+            acc += len(sequences[idx])
+            idx += 1
+        shards.append(
+            SequenceDatabase(f"{database.name}_shard{shard_i}", current)
+        )
+    assert idx == len(sequences)
+    return shards
+
+
+def sharded_search(
+    queries: list[Sequence],
+    database: SequenceDatabase,
+    num_workers: int = 2,
+    scheme: ScoringScheme | None = None,
+    top_hits: int = 10,
+) -> SearchReport:
+    """Search with the database partitioned across *num_workers*.
+
+    Each worker owns one shard; ``(query, shard)`` cells are pulled
+    from a shared queue (each worker only ever serves its own shard's
+    cells), and per-shard results are merged per query.
+    """
+    if not queries:
+        raise ValueError("need at least one query")
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    scheme = scheme or default_scheme()
+    shards = shard_database(database, num_workers)
+    workers = [
+        KernelWorker(
+            name=f"shard{i}",
+            kind="cpu",
+            database=shard,
+            scheme=scheme,
+            top_hits=top_hits,
+        )
+        for i, shard in enumerate(shards)
+    ]
+
+    partials: dict[int, list[QueryResult]] = {j: [] for j in range(len(queries))}
+    busy = {w.name: 0.0 for w in workers}
+    lock = threading.Lock()
+    start = time.perf_counter()
+
+    def run_worker(worker: KernelWorker) -> None:
+        for j, query in enumerate(queries):
+            execution = worker.execute(query)
+            with lock:
+                partials[j].append(execution.result)
+                busy[worker.name] += execution.elapsed
+
+    threads = [
+        threading.Thread(target=run_worker, args=(w,), name=w.name) for w in workers
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = max(time.perf_counter() - start, 1e-9)
+
+    merged = tuple(
+        merge_query_results(partials[j], top=top_hits) for j in range(len(queries))
+    )
+    stats = tuple(
+        WorkerStats(
+            name=w.name,
+            kind=w.kind,
+            tasks_executed=w.counter.comparisons,
+            busy_seconds=busy[w.name],
+            cells=w.counter.total_cells,
+        )
+        for w in workers
+    )
+    return SearchReport(
+        label="sharded",
+        wall_seconds=wall,
+        total_cells=sum(w.counter.total_cells for w in workers),
+        worker_stats=stats,
+        query_results=merged,
+        scheduler_info=f"database split into {num_workers} shards",
+    )

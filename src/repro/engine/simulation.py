@@ -1,0 +1,386 @@
+"""Discrete-event simulation of the master–slave execution.
+
+Runs the full Figure 6 protocol on virtual time: workers register, the
+master allocates (either a one-round static plan or iterative
+self-scheduling), workers execute tasks whose durations come from the
+calibrated performance model, results flow back and are merged.  The
+output is a :class:`~repro.engine.results.SearchReport` — the same
+object live runs produce — plus the as-executed schedule and the
+complete message log.
+
+This is the execution mode behind every paper-scale benchmark
+(DESIGN.md substitution table: the GPUs are rate models, everything
+else — scheduling, protocol, merging — is the real code path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.schedule import Schedule, ScheduledTask
+from repro.core.task import TaskSet
+from repro.engine.messages import (
+    MessageLog,
+    assign_tasks,
+    register,
+    register_ack,
+    shutdown,
+    task_done,
+)
+from repro.engine.results import SearchReport, WorkerStats
+from repro.platform.cluster import HybridPlatform
+from repro.platform.perfmodel import PerformanceModel
+from repro.platform.simclock import EventQueue, SimClock
+
+__all__ = [
+    "SimulationOutcome",
+    "DurationNoise",
+    "simulate_plan",
+    "simulate_self_scheduling",
+    "simulate_swdual_rounds",
+    "simulate_with_failures",
+]
+
+
+@dataclass(frozen=True)
+class SimulationOutcome:
+    """Everything a simulated run produces."""
+
+    report: SearchReport
+    schedule: Schedule
+    log: MessageLog
+
+
+class DurationNoise:
+    """Multiplicative lognormal error between predicted and actual
+    task durations.
+
+    The scheduler plans with the performance model's *predictions*; the
+    real machine never matches them exactly.  ``sigma`` is the standard
+    deviation of ``ln(actual / predicted)``; the distribution is
+    mean-one (``exp(σ²/2)`` corrected) so noise changes variance, not
+    total work.  Draws are seeded and consumed in task order, so runs
+    are reproducible and different policies face the same errors when
+    given the same seed.
+    """
+
+    def __init__(self, sigma: float, seed: int = 0):
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+
+    def factor(self, task_index: int) -> float:
+        """The actual/predicted ratio for one task.
+
+        Derived from ``(seed, task_index)`` alone, so it is independent
+        of the order policies execute tasks in — different policies
+        face identical per-task errors.
+        """
+        if self.sigma == 0:
+            return 1.0
+        rng = np.random.default_rng((self.seed, int(task_index)))
+        return float(rng.lognormal(mean=-self.sigma**2 / 2, sigma=self.sigma))
+
+
+def _task_cells(tasks: TaskSet) -> np.ndarray:
+    return tasks.query_lengths * tasks.db_residues
+
+
+def _register_all(platform: HybridPlatform, log: MessageLog) -> None:
+    for pe in platform:
+        log.record(register(pe.name, pe.kind.value))
+        log.record(register_ack(pe.name))
+
+
+def _final_report(
+    label: str,
+    tasks: TaskSet,
+    platform: HybridPlatform,
+    slots: list[ScheduledTask],
+    log: MessageLog,
+    scheduler_info: str,
+) -> SimulationOutcome:
+    for pe in platform:
+        log.record(shutdown(pe.name))
+    schedule = Schedule(
+        slots=slots,
+        pe_names=[pe.name for pe in platform],
+        num_tasks=len(tasks),
+        label=label,
+    )
+    cells = _task_cells(tasks)
+    stats = []
+    for pe in platform:
+        indices = schedule.tasks_on(pe.name)
+        stats.append(
+            WorkerStats(
+                name=pe.name,
+                kind=pe.kind.value,
+                tasks_executed=len(indices),
+                busy_seconds=schedule.busy_time(pe.name),
+                cells=int(cells[indices].sum()) if indices else 0,
+            )
+        )
+    report = SearchReport(
+        label=label,
+        wall_seconds=schedule.makespan,
+        total_cells=int(cells.sum()),
+        worker_stats=tuple(stats),
+        scheduler_info=scheduler_info,
+    )
+    return SimulationOutcome(report=report, schedule=schedule, log=log)
+
+
+def simulate_plan(
+    tasks: TaskSet,
+    plan: Schedule,
+    platform: HybridPlatform,
+    perf: PerformanceModel,
+    label: str = "static-plan",
+    noise: DurationNoise | None = None,
+) -> SimulationOutcome:
+    """Execute a one-round static allocation (the SWDUAL mode).
+
+    The master sends each worker its entire batch up front ("that can
+    be done only once at the beginning of the execution", Section IV);
+    each worker then runs its tasks back-to-back.  Durations are
+    re-derived from the performance model (times *noise* when given —
+    the plan was built on predictions, the "machine" runs the actuals).
+    """
+    if plan.num_tasks != len(tasks):
+        raise ValueError(
+            f"plan covers {plan.num_tasks} tasks, task set has {len(tasks)}"
+        )
+    log = MessageLog()
+    _register_all(platform, log)
+
+    clock = SimClock()
+    events = EventQueue()
+    slots: list[ScheduledTask] = []
+    for pe in platform:
+        batch = plan.tasks_on(pe.name)
+        log.record(assign_tasks(pe.name, batch))
+        t = 0.0
+        for j in batch:
+            d = perf.task_seconds(pe, tasks[j].query_length, tasks.db_residues)
+            if noise is not None:
+                d *= noise.factor(j)
+            slots.append(ScheduledTask(task_index=j, pe_name=pe.name, start=t, end=t + d))
+            events.push(t + d, "task_done", (pe.name, j, d))
+            t += d
+    while events:
+        ev = events.pop()
+        clock.advance_to(ev.time)
+        name, j, d = ev.payload
+        log.record(task_done(name, j, d))
+    return _final_report(label, tasks, platform, slots, log, plan.label)
+
+
+def simulate_self_scheduling(
+    tasks: TaskSet,
+    platform: HybridPlatform,
+    perf: PerformanceModel,
+    order: list[int] | None = None,
+    label: str = "self-scheduling",
+    noise: DurationNoise | None = None,
+) -> SimulationOutcome:
+    """Execute with dynamic one-task-at-a-time allocation.
+
+    Whenever a worker goes idle the master hands it the next task from
+    the queue — the Self-Scheduling strategy of the prior work the
+    paper compares against ([10]), and the allocation policy of the
+    CPU-only comparator applications.  Dynamic allocation absorbs
+    duration *noise* naturally, which the robustness ablation
+    quantifies.
+    """
+    log = MessageLog()
+    _register_all(platform, log)
+    queue = list(range(len(tasks))) if order is None else list(order)
+    if sorted(queue) != list(range(len(tasks))):
+        raise ValueError("order must be a permutation of all task indices")
+
+    clock = SimClock()
+    events = EventQueue()
+    slots: list[ScheduledTask] = []
+
+    def dispatch(pe, at: float) -> None:
+        if not queue:
+            return
+        j = queue.pop(0)
+        log.record(assign_tasks(pe.name, [j]))
+        d = perf.task_seconds(pe, tasks[j].query_length, tasks.db_residues)
+        if noise is not None:
+            d *= noise.factor(j)
+        slots.append(ScheduledTask(task_index=j, pe_name=pe.name, start=at, end=at + d))
+        events.push(at + d, "task_done", (pe, j, d))
+
+    for pe in platform:
+        dispatch(pe, 0.0)
+    while events:
+        ev = events.pop()
+        clock.advance_to(ev.time)
+        pe, j, d = ev.payload
+        log.record(task_done(pe.name, j, d))
+        dispatch(pe, clock.now)
+    return _final_report(label, tasks, platform, slots, log, "self-scheduling")
+
+
+def simulate_with_failures(
+    tasks: TaskSet,
+    platform: HybridPlatform,
+    perf: PerformanceModel,
+    failures: dict[str, float],
+    label: str = "self-scheduling+failures",
+) -> SimulationOutcome:
+    """Dynamic self-scheduling with worker failures.
+
+    ``failures`` maps PE names to the virtual time they die.  A dead
+    worker's in-flight task is lost; the master detects the failure,
+    puts the task back at the head of the queue and redistributes it to
+    the surviving workers — the fault-tolerance behaviour a long-running
+    master–slave search needs (the paper's runs take hours on SWPS3).
+
+    Raises :class:`~repro.engine.messages.ProtocolError` if every
+    worker dies with tasks remaining.
+    """
+    from repro.engine.messages import ProtocolError
+
+    for name, t in failures.items():
+        if t < 0:
+            raise ValueError(f"failure time for {name!r} must be >= 0, got {t}")
+        # Validate the PE exists.
+        platform.pe_by_name(name)
+    log = MessageLog()
+    _register_all(platform, log)
+    queue = list(range(len(tasks)))
+    clock = SimClock()
+    events = EventQueue()
+    slots: list[ScheduledTask] = []
+    dead: set[str] = set()
+    idle: set[str] = set()
+    in_flight: dict[str, tuple[int, int]] = {}  # pe -> (slot position, task)
+    pe_by_name = {pe.name: pe for pe in platform}
+
+    for name, t in failures.items():
+        events.push(t, "failure", name)
+
+    def dispatch(pe, at: float) -> None:
+        if pe.name in dead:
+            return
+        if not queue:
+            idle.add(pe.name)
+            return
+        idle.discard(pe.name)
+        j = queue.pop(0)
+        log.record(assign_tasks(pe.name, [j]))
+        d = perf.task_seconds(pe, tasks[j].query_length, tasks.db_residues)
+        slots.append(ScheduledTask(task_index=j, pe_name=pe.name, start=at, end=at + d))
+        in_flight[pe.name] = (len(slots) - 1, j)
+        events.push(at + d, "task_done", (pe, j, d))
+
+    for pe in platform:
+        dispatch(pe, 0.0)
+
+    completed: set[int] = set()
+    while events:
+        ev = events.pop()
+        clock.advance_to(ev.time)
+        if ev.tag == "failure":
+            name = ev.payload
+            dead.add(name)
+            idle.discard(name)
+            if name in in_flight:
+                slot_pos, j = in_flight.pop(name)
+                slots[slot_pos] = None  # the work is lost
+                queue.insert(0, j)
+            if queue and not (set(pe_by_name) - dead):
+                raise ProtocolError(
+                    f"all workers dead with {len(queue)} tasks remaining"
+                )
+            for name2 in sorted(idle):
+                dispatch(pe_by_name[name2], clock.now)
+            continue
+        pe, j, d = ev.payload
+        if pe.name in dead or in_flight.get(pe.name, (None, None))[1] != j:
+            continue  # completion from a dead worker: discarded
+        in_flight.pop(pe.name, None)
+        completed.add(j)
+        log.record(task_done(pe.name, j, d))
+        dispatch(pe, clock.now)
+
+    if len(completed) != len(tasks):
+        raise ProtocolError(
+            f"only {len(completed)}/{len(tasks)} tasks completed"
+        )
+    live_slots = [s for s in slots if s is not None]
+    return _final_report(label, tasks, platform, live_slots, log, label)
+
+
+def simulate_swdual_rounds(
+    tasks: TaskSet,
+    platform: HybridPlatform,
+    perf: PerformanceModel,
+    rounds: int,
+    noise: DurationNoise | None = None,
+    label: str | None = None,
+) -> SimulationOutcome:
+    """Iterative SWDUAL: allocate in *rounds* waves with barriers.
+
+    Section IV: allocation "can be done only once at the beginning of
+    the execution or iteratively until all tasks are executed".  Each
+    round runs the dual-approximation on its share of the tasks
+    (interleaved by index so every round spans the length spectrum) and
+    the next round starts when the previous one fully completes.  More
+    rounds bound the damage of prediction error (*noise*) at the cost
+    of barrier idle time — quantified by the robustness ablation.
+    """
+    from repro.core.swdual import SWDualScheduler
+
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if rounds > len(tasks):
+        raise ValueError(
+            f"more rounds ({rounds}) than tasks ({len(tasks)})"
+        )
+    label = label or f"swdual-{rounds}rounds"
+    log = MessageLog()
+    _register_all(platform, log)
+    m, k = platform.num_cpus, platform.num_gpus
+    scheduler = SWDualScheduler("2approx")
+
+    pe_available = {pe.name: 0.0 for pe in platform}
+    slots: list[ScheduledTask] = []
+    for r in range(rounds):
+        indices = [j for j in range(len(tasks)) if j % rounds == r]
+        sub = TaskSet(
+            cpu_times=tasks.cpu_times[indices],
+            gpu_times=tasks.gpu_times[indices],
+            query_ids=[tasks.query_ids[j] for j in indices],
+            query_lengths=tasks.query_lengths[indices],
+            db_residues=tasks.db_residues,
+        )
+        plan = scheduler.schedule_tasks(sub, m, k).schedule
+        barrier = max(pe_available.values())
+        round_end = barrier
+        for pe in platform:
+            batch = [indices[local] for local in plan.tasks_on(pe.name)]
+            if batch:
+                log.record(assign_tasks(pe.name, batch))
+            t = barrier
+            for j in batch:
+                d = perf.task_seconds(pe, tasks[j].query_length, tasks.db_residues)
+                if noise is not None:
+                    d *= noise.factor(j)
+                slots.append(
+                    ScheduledTask(task_index=j, pe_name=pe.name, start=t, end=t + d)
+                )
+                log.record(task_done(pe.name, j, d))
+                t += d
+            pe_available[pe.name] = t
+            round_end = max(round_end, t)
+        for pe in platform:
+            pe_available[pe.name] = round_end  # barrier
+    return _final_report(label, tasks, platform, slots, log, label)

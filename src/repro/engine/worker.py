@@ -1,0 +1,169 @@
+"""Workers (the paper's slaves).
+
+A worker owns a copy of the database (Figure 6: workers "acquire the
+same sequences that master received"), a scoring scheme and a kernel,
+and executes tasks — one task is one query against the whole database.
+The kernel choice mirrors the worker's role: CPU workers default to the
+SWIPE-style batch kernel, GPU workers to the CUDASW-style wavefront
+kernel (see the comparator modules).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme
+from repro.align.stats import CellUpdateCounter
+from repro.align.sw_batch import sw_score_batch
+from repro.engine.results import Hit, QueryResult
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.sequence import Sequence
+
+__all__ = ["KernelWorker", "default_cpu_kernel", "TaskExecution"]
+
+#: kernel(query, subjects, scheme) -> int64 scores array.
+Kernel = Callable[[Sequence, list[Sequence], ScoringScheme], np.ndarray]
+
+
+def default_cpu_kernel(query: Sequence, subjects: list[Sequence], scheme: ScoringScheme) -> np.ndarray:
+    """The SWIPE-style inter-sequence batch kernel (fastest in numpy)."""
+    return sw_score_batch(query, subjects, scheme)
+
+
+class TaskExecution:
+    """Outcome of one executed task.
+
+    ``alignments`` is populated (with
+    :class:`~repro.align.traceback.AlignmentResult` objects for the top
+    hits) only when the worker was built with ``align_top > 0``.
+    """
+
+    def __init__(self, query_id: str, elapsed: float, cells: int, result: QueryResult):
+        if elapsed < 0:
+            raise ValueError(f"elapsed must be >= 0, got {elapsed}")
+        self.query_id = query_id
+        self.elapsed = elapsed
+        self.cells = cells
+        self.result = result
+        self.alignments: list = []
+
+
+class KernelWorker:
+    """A live worker executing real alignment kernels.
+
+    Parameters
+    ----------
+    name / kind:
+        Worker identity; *kind* is ``"cpu"`` or ``"gpu"`` (role only —
+        both run on the host in live mode, per the DESIGN.md
+        substitution).
+    database:
+        The worker's copy of the database.
+    scheme:
+        Scoring scheme shared with the master.
+    kernel:
+        Scoring kernel; defaults to the batch kernel.
+    top_hits:
+        How many best hits to report per query.
+    evalue_model:
+        Optional :class:`repro.align.evalue.EValueModel`; when given,
+        every reported hit carries its E-value for the search space
+        ``len(query) × database residues``.
+    align_top:
+        Reconstruct the actual alignment (linear space) for the best
+        *align_top* hits of each query; results are attached to the
+        returned :class:`TaskExecution` (0 disables, the default — full
+        tracebacks cost another pass over the top subjects).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        database: SequenceDatabase,
+        scheme: ScoringScheme,
+        kernel: Kernel | None = None,
+        top_hits: int = 10,
+        evalue_model=None,
+        align_top: int = 0,
+    ):
+        if kind not in ("cpu", "gpu"):
+            raise ValueError(f"kind must be 'cpu' or 'gpu', got {kind!r}")
+        if top_hits < 1:
+            raise ValueError(f"top_hits must be >= 1, got {top_hits}")
+        self.name = name
+        self.kind = kind
+        self.database = database
+        self.scheme = scheme
+        if align_top < 0:
+            raise ValueError(f"align_top must be >= 0, got {align_top}")
+        self.kernel = kernel or default_cpu_kernel
+        self.top_hits = top_hits
+        self.evalue_model = evalue_model
+        self.align_top = align_top
+        self.counter = CellUpdateCounter()
+        self._subjects = list(database)
+        self._by_id = {s.id: s for s in self._subjects}
+
+    def execute(self, query: Sequence) -> TaskExecution:
+        """Score *query* against the whole database; returns the result
+        with real wall-clock timing and cell accounting."""
+        start = time.perf_counter()
+        scores = self.kernel(query, self._subjects, self.scheme)
+        elapsed = time.perf_counter() - start
+        if len(scores) != len(self._subjects):
+            raise RuntimeError(
+                f"kernel returned {len(scores)} scores for "
+                f"{len(self._subjects)} subjects"
+            )
+        cells = self.counter.add(len(query), self.database.total_residues)
+        # Deterministic ranking: score descending, subject id ascending
+        # (matches results.merge_query_results, so sharded and
+        # unsharded searches agree hit-for-hit).
+        top = sorted(
+            range(len(scores)),
+            key=lambda i: (-int(scores[i]), self._subjects[i].id),
+        )[: self.top_hits]
+        hits = tuple(
+            Hit(
+                subject_id=self._subjects[i].id,
+                score=int(scores[i]),
+                evalue=(
+                    float(
+                        self.evalue_model.evalue(
+                            int(scores[i]),
+                            len(query),
+                            self.database.total_residues,
+                        )
+                    )
+                    if self.evalue_model is not None
+                    else None
+                ),
+            )
+            for i in top
+        )
+        execution = TaskExecution(
+            query_id=query.id,
+            elapsed=elapsed,
+            cells=cells,
+            result=QueryResult(query_id=query.id, hits=hits),
+        )
+        if self.align_top:
+            from repro.align.linear_space import align_local_linear_space
+
+            alignments = []
+            for hit in hits[: self.align_top]:
+                alignment = align_local_linear_space(
+                    query, self._by_id[hit.subject_id], self.scheme
+                )
+                if alignment.score != hit.score:  # pragma: no cover
+                    raise RuntimeError(
+                        f"traceback score {alignment.score} != kernel score "
+                        f"{hit.score} for {hit.subject_id!r}"
+                    )
+                alignments.append(alignment)
+            execution.alignments = alignments
+        return execution

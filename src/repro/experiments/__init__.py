@@ -1,0 +1,71 @@
+"""Experiment drivers regenerating every table and figure of Section V,
+plus the design-choice ablations."""
+
+from repro.experiments.report import ExperimentResult, Series
+from repro.experiments.table2 import (
+    BASELINE_WORKER_COUNTS,
+    SWDUAL_WORKER_COUNTS,
+    run_table2,
+)
+from repro.experiments.table3 import Table3Result, run_table3
+from repro.experiments.table4 import (
+    FIGURE8_WORKER_COUNTS,
+    PAPER_TABLE4,
+    TABLE4_WORKER_COUNTS,
+    run_table4,
+)
+from repro.experiments.table5 import (
+    FIGURE9_WORKER_COUNTS,
+    PAPER_TABLE5,
+    TABLE5_WORKER_COUNTS,
+    run_table5,
+)
+from repro.experiments.summary import EvaluationSummary, run_all
+from repro.experiments.sensitivity import (
+    DEFAULT_HALF_LENGTHS,
+    SensitivityRow,
+    gpu_half_length_sensitivity,
+)
+from repro.experiments.robustness import (
+    DEFAULT_SIGMAS,
+    RobustnessRow,
+    robustness_ablation,
+)
+from repro.experiments.ablations import (
+    KNAPSACK_ORDERS,
+    knapsack_order_ablation,
+    paper_taskset,
+    scheduler_ablation,
+    tolerance_ablation,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "run_table2",
+    "BASELINE_WORKER_COUNTS",
+    "SWDUAL_WORKER_COUNTS",
+    "run_table3",
+    "Table3Result",
+    "run_table4",
+    "PAPER_TABLE4",
+    "TABLE4_WORKER_COUNTS",
+    "FIGURE8_WORKER_COUNTS",
+    "run_table5",
+    "PAPER_TABLE5",
+    "TABLE5_WORKER_COUNTS",
+    "FIGURE9_WORKER_COUNTS",
+    "paper_taskset",
+    "knapsack_order_ablation",
+    "tolerance_ablation",
+    "scheduler_ablation",
+    "KNAPSACK_ORDERS",
+    "robustness_ablation",
+    "RobustnessRow",
+    "DEFAULT_SIGMAS",
+    "run_all",
+    "EvaluationSummary",
+    "gpu_half_length_sensitivity",
+    "SensitivityRow",
+    "DEFAULT_HALF_LENGTHS",
+]

@@ -1,0 +1,94 @@
+"""Experiment result containers and rendering.
+
+Every experiment driver returns an :class:`ExperimentResult` holding
+labelled series of (x, value) points, the matching numbers reported in
+the paper (when the paper reports them), and helpers to render the
+paper-style ASCII table and to check the *shape* criteria of
+DESIGN.md §4 (who wins, monotonicity, rough factors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils import ascii_table
+
+__all__ = ["Series", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled line of a figure / row of a table."""
+
+    label: str
+    points: dict[int, float]  # x (worker count, ...) -> value
+
+    def value_at(self, x: int) -> float:
+        """Value at *x*; raises ``KeyError`` when absent."""
+        return self.points[x]
+
+    @property
+    def xs(self) -> list[int]:
+        """Sorted x positions."""
+        return sorted(self.points)
+
+    def is_decreasing(self, strict: bool = False) -> bool:
+        """True when the series decreases along x (execution times
+        should, as workers are added)."""
+        values = [self.points[x] for x in self.xs]
+        pairs = zip(values, values[1:])
+        if strict:
+            return all(a > b for a, b in pairs)
+        return all(a >= b - 1e-12 for a, b in pairs)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    #: Measured (simulated) series, keyed by label.
+    measured: dict[str, Series]
+    #: The paper's reported series for the same cells (may be sparse).
+    paper: dict[str, Series] = field(default_factory=dict)
+    #: Column header for the x axis.
+    x_label: str = "workers"
+    #: Unit of the values (for rendering).
+    unit: str = "s"
+
+    def table(self, include_paper: bool = True) -> str:
+        """Paper-style ASCII table of measured (and paper) values."""
+        xs = sorted({x for s in self.measured.values() for x in s.xs})
+        headers = [self.x_label] + [str(x) for x in xs]
+        rows = []
+        for label, series in self.measured.items():
+            rows.append(
+                [label]
+                + [
+                    f"{series.points[x]:.2f}" if x in series.points else "-"
+                    for x in xs
+                ]
+            )
+            if include_paper and label in self.paper:
+                ref = self.paper[label]
+                rows.append(
+                    [f"  (paper {label})"]
+                    + [
+                        f"{ref.points[x]:.2f}" if x in ref.points else "-"
+                        for x in xs
+                    ]
+                )
+        return ascii_table(headers, rows, title=f"{self.experiment_id}: {self.title}")
+
+    def ratio_to_paper(self, label: str) -> dict[int, float]:
+        """measured/paper ratio per x where both exist."""
+        if label not in self.paper:
+            raise KeyError(f"no paper reference for {label!r}")
+        ref = self.paper[label]
+        got = self.measured[label]
+        return {
+            x: got.points[x] / ref.points[x]
+            for x in got.xs
+            if x in ref.points
+        }

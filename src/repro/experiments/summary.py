@@ -1,0 +1,122 @@
+"""Run the complete evaluation in one call.
+
+`run_all()` executes every table/figure driver and the ablations, and
+renders one combined report — what `swdual experiment all` prints and
+what EXPERIMENTS.md is refreshed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.ablations import (
+    knapsack_order_ablation,
+    paper_taskset,
+    scheduler_ablation,
+    tolerance_ablation,
+)
+from repro.experiments.robustness import robustness_ablation
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.utils import ascii_table
+
+__all__ = ["run_all", "EvaluationSummary"]
+
+
+@dataclass(frozen=True)
+class EvaluationSummary:
+    """Everything Section V produces, regenerated."""
+
+    table2: object
+    table3: object
+    table4: object
+    table5: object
+    ablation_text: str
+
+    def render(self) -> str:
+        """One combined plain-text report."""
+        parts = [
+            self.table2.table(),
+            self.table3.table(),
+            self.table4.times.table(),
+            self.table4.gcups.table(),
+            self.table5.times.table(),
+            self.table5.gcups.table(),
+            self.ablation_text,
+        ]
+        return "\n\n".join(parts)
+
+    def shape_checks(self) -> dict[str, bool]:
+        """The DESIGN.md §4 shape criteria as named booleans."""
+        t2 = self.table2.measured
+        checks = {
+            "app ordering SWPS3>STRIPED>SWIPE>CUDASW++": all(
+                t2["SWPS3"].value_at(w)
+                > t2["STRIPED"].value_at(w)
+                > t2["SWIPE"].value_at(w)
+                > t2["CUDASW++"].value_at(w)
+                for w in (1, 2, 3, 4)
+            ),
+            "SWDUAL wins at 4 workers": t2["SWDUAL"].value_at(4)
+            < t2["CUDASW++"].value_at(4),
+            "CUDASW++ wins at 2 workers": t2["CUDASW++"].value_at(2)
+            < t2["SWDUAL"].value_at(2),
+            "Table III matches spec": self.table3.matches_spec(),
+            "times decrease with workers": all(
+                s.is_decreasing() for s in self.table4.times.measured.values()
+            ),
+            "hom/het GCUPS within 25%": all(
+                abs(
+                    self.table5.gcups.measured["heterogeneous"].value_at(w)
+                    / self.table5.gcups.measured["homogeneous"].value_at(w)
+                    - 1.0
+                )
+                <= 0.25
+                for w in (2, 4, 8)
+            ),
+        }
+        return checks
+
+
+def run_all(seed: int = 2014) -> EvaluationSummary:
+    """Regenerate Tables II–V, Figures 7–9 and the A1–A4 ablations."""
+    tasks = paper_taskset()
+    from repro.platform import PerformanceModel, idgraf_platform
+
+    perf = PerformanceModel(idgraf_platform(4, 4))
+    a1 = knapsack_order_ablation(tasks, 4, 4)
+    a2 = tolerance_ablation(tasks, 4, 4)
+    a3 = scheduler_ablation(tasks, 4, 4)
+    a4 = robustness_ablation(tasks, perf, sigmas=(0.0, 0.2, 0.8), seeds=(0, 1))
+    ablation_text = "\n\n".join(
+        [
+            ascii_table(
+                ["A1: order", "makespan (s)"],
+                [[r.order, f"{r.makespan:.2f}"] for r in a1],
+            ),
+            ascii_table(
+                ["A2: tolerance", "iterations", "makespan (s)"],
+                [[f"{r.tolerance:g}", r.iterations, f"{r.makespan:.2f}"] for r in a2],
+            ),
+            ascii_table(
+                ["A3: scheduler", "makespan (s)", "idle (s)"],
+                [[r.scheduler, f"{r.makespan:.2f}", f"{r.total_idle:.2f}"] for r in a3],
+            ),
+            ascii_table(
+                ["A4: sigma", "one-round", "self-sched", "winner"],
+                [
+                    [f"{r.sigma:g}", f"{r.one_round:.1f}", f"{r.self_scheduling:.1f}", r.best_policy()]
+                    for r in a4
+                ],
+            ),
+        ]
+    )
+    return EvaluationSummary(
+        table2=run_table2(seed=seed),
+        table3=run_table3(seed=seed),
+        table4=run_table4(seed=seed, worker_counts=(2, 3, 4, 5, 6, 7, 8)),
+        table5=run_table5(seed=seed, worker_counts=(2, 3, 4, 5, 6, 7, 8)),
+        ablation_text=ablation_text,
+    )

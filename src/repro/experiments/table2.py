@@ -1,0 +1,60 @@
+"""Experiment: Table II / Figure 7 — the application comparison.
+
+40 standard queries against the UniProt profile; SWPS3, STRIPED, SWIPE
+and CUDASW++ at 1–4 workers, SWDUAL at 2–8 (GPUs first, then CPUs, per
+Section V-A).  The driver regenerates the wall-clock execution times
+and pairs them with the paper's reported values.
+"""
+
+from __future__ import annotations
+
+from repro.comparators.apps import BASELINE_APPS, SWDUAL
+from repro.experiments.report import ExperimentResult, Series
+from repro.sequences.queries import standard_query_set
+from repro.sequences.synthetic import paper_database_profile
+
+__all__ = ["run_table2", "BASELINE_WORKER_COUNTS", "SWDUAL_WORKER_COUNTS"]
+
+BASELINE_WORKER_COUNTS = (1, 2, 3, 4)
+SWDUAL_WORKER_COUNTS = (2, 3, 4, 5, 6, 7, 8)
+
+
+def run_table2(seed: int = 2014) -> ExperimentResult:
+    """Regenerate Table II / Figure 7.
+
+    Returns measured (simulated) execution times per application and
+    worker count, alongside the paper's reported times.
+    """
+    database = paper_database_profile("uniprot", seed=seed)
+    queries = standard_query_set()
+
+    measured: dict[str, Series] = {}
+    paper: dict[str, Series] = {}
+    for app in BASELINE_APPS:
+        measured[app.name] = Series(
+            label=app.name,
+            points={
+                w: app.simulate(queries, database, w).report.wall_seconds
+                for w in BASELINE_WORKER_COUNTS
+            },
+        )
+        paper[app.name] = Series(label=app.name, points=dict(app.spec.measured_seconds))
+
+    measured[SWDUAL.name] = Series(
+        label=SWDUAL.name,
+        points={
+            w: SWDUAL.simulate(queries, database, w).report.wall_seconds
+            for w in SWDUAL_WORKER_COUNTS
+        },
+    )
+    paper[SWDUAL.name] = Series(
+        label=SWDUAL.name, points=dict(SWDUAL.spec.measured_seconds)
+    )
+    return ExperimentResult(
+        experiment_id="Table II / Figure 7",
+        title="Execution times for the compared implementations (UniProt)",
+        measured=measured,
+        paper=paper,
+        x_label="workers",
+        unit="s",
+    )

@@ -1,0 +1,91 @@
+"""Experiment: Table IV / Figure 8 — SWDUAL across the five databases.
+
+40 standard queries against each of the five genomic databases;
+SWDUAL with 2, 4 and 8 workers for the table, 2–8 for the figure.
+Reports both wall-clock seconds and GCUPS, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comparators.apps import SWDUAL
+from repro.experiments.report import ExperimentResult, Series
+from repro.sequences.queries import standard_query_set
+from repro.sequences.synthetic import PAPER_DATABASE_ORDER, paper_database_profile
+
+__all__ = ["run_table4", "PAPER_TABLE4", "TABLE4_WORKER_COUNTS", "FIGURE8_WORKER_COUNTS"]
+
+TABLE4_WORKER_COUNTS = (2, 4, 8)
+FIGURE8_WORKER_COUNTS = (2, 3, 4, 5, 6, 7, 8)
+
+#: Table IV as printed: db -> workers -> (seconds, GCUPS).
+PAPER_TABLE4 = {
+    "ensembl_dog": {2: (78.36, 18.91), 4: (39.63, 37.39), 8: (20.45, 72.45)},
+    "ensembl_rat": {2: (75.85, 22.97), 4: (37.97, 45.89), 8: (20.17, 86.38)},
+    "refseq_mouse": {2: (84.40, 18.99), 4: (46.25, 34.66), 8: (23.59, 67.95)},
+    "refseq_human": {2: (95.09, 20.70), 4: (48.01, 41.00), 8: (24.82, 79.31)},
+    "uniprot": {2: (543.28, 35.81), 4: (271.98, 71.53), 8: (142.98, 136.06)},
+}
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Times and GCUPS per database and worker count."""
+
+    times: ExperimentResult
+    gcups: ExperimentResult
+
+
+def run_table4(
+    seed: int = 2014,
+    worker_counts: tuple[int, ...] = FIGURE8_WORKER_COUNTS,
+) -> Table4Result:
+    """Regenerate Table IV (and the Figure 8 curves).
+
+    Parameters
+    ----------
+    worker_counts:
+        Worker counts to simulate; the table uses (2, 4, 8), the figure
+        the full 2–8 range.
+    """
+    queries = standard_query_set()
+    time_series: dict[str, Series] = {}
+    gcups_series: dict[str, Series] = {}
+    paper_times: dict[str, Series] = {}
+    paper_gcups: dict[str, Series] = {}
+    for key in PAPER_DATABASE_ORDER:
+        database = paper_database_profile(key, seed=seed)
+        points_t: dict[int, float] = {}
+        points_g: dict[int, float] = {}
+        for w in worker_counts:
+            report = SWDUAL.simulate(queries, database, w).report
+            points_t[w] = report.wall_seconds
+            points_g[w] = report.gcups
+        label = database.name
+        time_series[label] = Series(label=label, points=points_t)
+        gcups_series[label] = Series(label=label, points=points_g)
+        paper_times[label] = Series(
+            label=label,
+            points={w: t for w, (t, _) in PAPER_TABLE4[key].items()},
+        )
+        paper_gcups[label] = Series(
+            label=label,
+            points={w: g for w, (_, g) in PAPER_TABLE4[key].items()},
+        )
+    return Table4Result(
+        times=ExperimentResult(
+            experiment_id="Table IV / Figure 8",
+            title="SWDUAL execution times on the five databases",
+            measured=time_series,
+            paper=paper_times,
+            unit="s",
+        ),
+        gcups=ExperimentResult(
+            experiment_id="Table IV (GCUPS)",
+            title="SWDUAL GCUPS on the five databases",
+            measured=gcups_series,
+            paper=paper_gcups,
+            unit="GCUPS",
+        ),
+    )

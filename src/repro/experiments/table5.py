@@ -1,0 +1,87 @@
+"""Experiment: Table V / Figure 9 — homogeneous vs heterogeneous sets.
+
+Section V-C verifies "that the allocation strategy ... is equally able
+to work with sequences ... that are similar in terms of size as well as
+tasks with very different sizes": 40 queries of 4,500–5,000 residues
+(homogeneous) and 40 of 4–35,213 residues (the UniProt extremes,
+heterogeneous), both against UniProt, SWDUAL with 2–8 workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comparators.apps import SWDUAL
+from repro.experiments.report import ExperimentResult, Series
+from repro.sequences.queries import (
+    QuerySet,
+    heterogeneous_query_set,
+    homogeneous_query_set,
+)
+from repro.sequences.synthetic import paper_database_profile
+
+__all__ = ["run_table5", "PAPER_TABLE5", "TABLE5_WORKER_COUNTS", "FIGURE9_WORKER_COUNTS"]
+
+TABLE5_WORKER_COUNTS = (2, 4, 8)
+FIGURE9_WORKER_COUNTS = (2, 3, 4, 5, 6, 7, 8)
+
+#: Table V as printed: set -> workers -> (seconds, GCUPS).
+PAPER_TABLE5 = {
+    "heterogeneous": {2: (3554.36, 37.55), 4: (1785.73, 74.74), 8: (908.45, 146.92)},
+    "homogeneous": {2: (998.27, 36.3), 4: (484.74, 74.76), 8: (249.69, 145.14)},
+}
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    """Times and GCUPS per query set and worker count."""
+
+    times: ExperimentResult
+    gcups: ExperimentResult
+
+
+def run_table5(
+    seed: int = 2014,
+    worker_counts: tuple[int, ...] = FIGURE9_WORKER_COUNTS,
+) -> Table5Result:
+    """Regenerate Table V (and the Figure 9 curves)."""
+    database = paper_database_profile("uniprot", seed=seed)
+    sets: dict[str, QuerySet] = {
+        "heterogeneous": heterogeneous_query_set(),
+        "homogeneous": homogeneous_query_set(),
+    }
+    time_series: dict[str, Series] = {}
+    gcups_series: dict[str, Series] = {}
+    paper_times: dict[str, Series] = {}
+    paper_gcups: dict[str, Series] = {}
+    for label, queries in sets.items():
+        points_t: dict[int, float] = {}
+        points_g: dict[int, float] = {}
+        for w in worker_counts:
+            report = SWDUAL.simulate(queries, database, w).report
+            points_t[w] = report.wall_seconds
+            points_g[w] = report.gcups
+        time_series[label] = Series(label=label, points=points_t)
+        gcups_series[label] = Series(label=label, points=points_g)
+        paper_times[label] = Series(
+            label=label, points={w: t for w, (t, _) in PAPER_TABLE5[label].items()}
+        )
+        paper_gcups[label] = Series(
+            label=label, points={w: g for w, (_, g) in PAPER_TABLE5[label].items()}
+        )
+    return Table5Result(
+        times=ExperimentResult(
+            experiment_id="Table V / Figure 9",
+            title="SWDUAL on homogeneous vs heterogeneous query sets (UniProt)",
+            measured=time_series,
+            paper=paper_times,
+            unit="s",
+        ),
+        gcups=ExperimentResult(
+            experiment_id="Table V (GCUPS)",
+            title="SWDUAL GCUPS on the two query sets",
+            measured=gcups_series,
+            paper=paper_gcups,
+            unit="GCUPS",
+        ),
+    )

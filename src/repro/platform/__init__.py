@@ -1,0 +1,50 @@
+"""Hybrid-platform substrate: PE models, calibrated performance model,
+Idgraf-like platform factory and discrete-event simulation utilities."""
+
+from repro.platform.pe import PEKind, ProcessingElement, RateModel
+from repro.platform.calibration import (
+    CPU_PARALLEL_EFFICIENCY,
+    CPU_TASK_OVERHEAD_S,
+    GPU_CPU_SERVICE_FRACTION,
+    GPU_PARALLEL_EFFICIENCY,
+    GPU_TASK_OVERHEAD_S,
+    PAPER,
+    PaperConstants,
+    cpu_rate_model,
+    gpu_rate_model,
+    peak_from_workload_time,
+    rate_model_for,
+)
+from repro.platform.cluster import HybridPlatform, idgraf_platform, swdual_worker_mix
+from repro.platform.perfmodel import (
+    PerformanceModel,
+    live_rate_model,
+    measure_kernel_gcups,
+)
+from repro.platform.simclock import Event, EventQueue, SimClock
+
+__all__ = [
+    "PEKind",
+    "ProcessingElement",
+    "RateModel",
+    "PAPER",
+    "PaperConstants",
+    "cpu_rate_model",
+    "gpu_rate_model",
+    "rate_model_for",
+    "peak_from_workload_time",
+    "CPU_PARALLEL_EFFICIENCY",
+    "GPU_PARALLEL_EFFICIENCY",
+    "GPU_CPU_SERVICE_FRACTION",
+    "CPU_TASK_OVERHEAD_S",
+    "GPU_TASK_OVERHEAD_S",
+    "HybridPlatform",
+    "idgraf_platform",
+    "swdual_worker_mix",
+    "PerformanceModel",
+    "measure_kernel_gcups",
+    "live_rate_model",
+    "Event",
+    "EventQueue",
+    "SimClock",
+]

@@ -1,0 +1,145 @@
+"""Calibration of the performance model against the paper's own data.
+
+We do not have the Idgraf machine (2× Xeon 2.67 GHz, 8× Tesla C2050) or
+CUDA, so per-task processing times come from rate models calibrated to
+the paper's single-worker measurements (DESIGN.md, substitution table):
+
+* **CPU class** (SWIPE-style SSE worker): Table II gives SWIPE on one
+  worker = 2,367.24 s for the standard workload (40 queries totalling
+  102,000 residues against the UniProt profile of 190,733,333
+  residues).
+* **GPU class** (CUDASW++-style worker): Table II gives CUDASW++ on one
+  GPU = 785.26 s for the same workload.
+
+With the saturating rate model ``rate(q) = peak·q/(q+h)`` the workload
+time has the closed form::
+
+    T  =  n·α  +  R_db · (Q_total + n·h) / (peak · 1e9)
+
+(`R_db` database residues, `Q_total` total query residues, `n` query
+count, `α` per-task overhead), so ``peak`` follows directly from the
+measured ``T``.  Half-lengths and overheads are fixed a priori: GPUs
+need long queries to fill (h ≈ 220 residues, launch+transfer overhead
+0.5 s/task), CPU SIMD saturates almost immediately (h ≈ 25, 0.2 s).
+
+Only the *single-worker baselines* are pinned this way.  SWDUAL's own
+multi-worker numbers are never used for calibration — its curve must
+emerge from the scheduler — while the baseline applications' scaling
+curves are taken from their own Table II columns (they are external
+comparators we reproduce, not the contribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.pe import PEKind, RateModel
+
+__all__ = [
+    "PAPER",
+    "PaperConstants",
+    "peak_from_workload_time",
+    "cpu_rate_model",
+    "gpu_rate_model",
+    "CPU_HALF_LENGTH",
+    "GPU_HALF_LENGTH",
+    "CPU_TASK_OVERHEAD_S",
+    "GPU_TASK_OVERHEAD_S",
+    "CPU_PARALLEL_EFFICIENCY",
+    "GPU_PARALLEL_EFFICIENCY",
+    "GPU_CPU_SERVICE_FRACTION",
+]
+
+
+@dataclass(frozen=True)
+class PaperConstants:
+    """Raw numbers lifted from the paper used for calibration."""
+
+    #: Table II column 1: single-worker wall-clock seconds, UniProt workload.
+    swipe_t1: float = 2367.24
+    striped_t1: float = 7190.0
+    swps3_t1: float = 69208.2
+    cudasw_t1: float = 785.26
+    #: Standard workload: 40 queries, 102,000 total residues (Section V).
+    query_count: int = 40
+    query_total_residues: int = 102_000
+    #: UniProt profile size implied by Table IV (see sequences.synthetic).
+    uniprot_residues: int = 190_733_333
+    #: Idgraf: 2×4-core Xeons, 8 Tesla C2050 (Section V).
+    idgraf_cpus: int = 8
+    idgraf_gpus: int = 8
+
+
+PAPER = PaperConstants()
+
+#: Query length at which each class reaches half its peak rate.
+CPU_HALF_LENGTH = 25.0
+GPU_HALF_LENGTH = 220.0
+
+#: Fixed per-task overhead (thread spawn / kernel launch + transfers).
+CPU_TASK_OVERHEAD_S = 0.2
+GPU_TASK_OVERHEAD_S = 0.5
+
+#: Per-additional-worker geometric efficiency within a class.  CPU from
+#: SWIPE's near-ideal 1->4 scaling (eff(4)=0.97 -> ~0.99/worker); GPUs
+#: on Idgraf are independent PCIe devices, so they keep a similar
+#: intrinsic factor (CUDASW++'s poorer scaling is modelled at the app
+#: level, not the platform level).
+CPU_PARALLEL_EFFICIENCY = 0.99
+GPU_PARALLEL_EFFICIENCY = 0.97
+
+#: Fraction of one CPU worker's throughput consumed by each active GPU
+#: worker (Section V-A: "each GPU worker actually needs some CPU time").
+GPU_CPU_SERVICE_FRACTION = 0.15
+
+
+def peak_from_workload_time(
+    measured_seconds: float,
+    half_length: float,
+    task_overhead_s: float,
+    db_residues: int = PAPER.uniprot_residues,
+    query_total: int = PAPER.query_total_residues,
+    query_count: int = PAPER.query_count,
+) -> float:
+    """Invert the closed-form workload time for the peak GCUPS.
+
+    See the module docstring for the formula.  Raises if the overheads
+    alone exceed the measured time.
+    """
+    compute_time = measured_seconds - query_count * task_overhead_s
+    if compute_time <= 0:
+        raise ValueError(
+            f"overheads ({query_count * task_overhead_s:.1f}s) exceed the "
+            f"measured time ({measured_seconds:.1f}s)"
+        )
+    effective_cells = db_residues * (query_total + query_count * half_length)
+    return effective_cells / (compute_time * 1e9)
+
+
+def cpu_rate_model() -> RateModel:
+    """CPU worker rate model calibrated to SWIPE's single-worker time."""
+    peak = peak_from_workload_time(
+        PAPER.swipe_t1, CPU_HALF_LENGTH, CPU_TASK_OVERHEAD_S
+    )
+    return RateModel(
+        peak_gcups=peak,
+        half_length=CPU_HALF_LENGTH,
+        task_overhead_s=CPU_TASK_OVERHEAD_S,
+    )
+
+
+def gpu_rate_model() -> RateModel:
+    """GPU worker rate model calibrated to CUDASW++'s single-GPU time."""
+    peak = peak_from_workload_time(
+        PAPER.cudasw_t1, GPU_HALF_LENGTH, GPU_TASK_OVERHEAD_S
+    )
+    return RateModel(
+        peak_gcups=peak,
+        half_length=GPU_HALF_LENGTH,
+        task_overhead_s=GPU_TASK_OVERHEAD_S,
+    )
+
+
+def rate_model_for(kind: PEKind) -> RateModel:
+    """The calibrated rate model for a PE class."""
+    return gpu_rate_model() if kind is PEKind.GPU else cpu_rate_model()

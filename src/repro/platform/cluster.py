@@ -1,0 +1,117 @@
+"""The hybrid platform: a set of CPU and GPU processing elements.
+
+Models the paper's testbed (Idgraf at Inria Grenoble: two 4-core Intel
+Xeon 2.67 GHz processors and eight Nvidia Tesla C2050 GPUs) and the
+worker configurations of Section V-A, where "the first four workers
+used on the SWDUAL execution were GPUs and the last four workers were
+CPUs": 2 workers = 1 GPU + 1 CPU, 3 = 2 GPU + 1 CPU, 4 = 3 GPU + 1 CPU,
+then 5–8 add CPUs next to the full 4 GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.calibration import cpu_rate_model, gpu_rate_model
+from repro.platform.pe import PEKind, ProcessingElement, RateModel
+
+__all__ = ["HybridPlatform", "idgraf_platform", "swdual_worker_mix"]
+
+
+def swdual_worker_mix(num_workers: int, max_gpus: int = 4) -> tuple[int, int]:
+    """The paper's (gpus, cpus) split for a SWDUAL worker count.
+
+    GPUs are added first (up to *max_gpus*, keeping at least one CPU),
+    then CPUs — Section V-A's configuration.
+    """
+    if num_workers < 2:
+        raise ValueError(
+            f"SWDUAL needs at least one CPU and one GPU (>=2 workers), "
+            f"got {num_workers}"
+        )
+    gpus = min(num_workers - 1, max_gpus)
+    cpus = num_workers - gpus
+    return gpus, cpus
+
+
+@dataclass(frozen=True)
+class HybridPlatform:
+    """An ordered collection of PEs: ``k`` GPUs and ``m`` CPUs.
+
+    The paper's notation: ``m`` CPUs, ``k`` GPUs (Section III).
+    """
+
+    pes: tuple[ProcessingElement, ...]
+    name: str = "hybrid"
+
+    def __post_init__(self) -> None:
+        if not self.pes:
+            raise ValueError("platform needs at least one processing element")
+        names = [pe.name for pe in self.pes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate PE names: {names}")
+
+    @property
+    def cpus(self) -> tuple[ProcessingElement, ...]:
+        """CPU workers, in declaration order."""
+        return tuple(pe for pe in self.pes if pe.kind is PEKind.CPU)
+
+    @property
+    def gpus(self) -> tuple[ProcessingElement, ...]:
+        """GPU workers, in declaration order."""
+        return tuple(pe for pe in self.pes if pe.kind is PEKind.GPU)
+
+    @property
+    def num_cpus(self) -> int:
+        """``m`` in the paper's notation."""
+        return len(self.cpus)
+
+    @property
+    def num_gpus(self) -> int:
+        """``k`` in the paper's notation."""
+        return len(self.gpus)
+
+    def __len__(self) -> int:
+        return len(self.pes)
+
+    def __iter__(self):
+        return iter(self.pes)
+
+    def pe_by_name(self, name: str) -> ProcessingElement:
+        """Look up a PE; raises ``KeyError`` for unknown names."""
+        for pe in self.pes:
+            if pe.name == name:
+                return pe
+        raise KeyError(f"no PE named {name!r} in platform {self.name!r}")
+
+
+def idgraf_platform(
+    num_gpus: int,
+    num_cpus: int,
+    cpu_rate: RateModel | None = None,
+    gpu_rate: RateModel | None = None,
+) -> HybridPlatform:
+    """Build an Idgraf-like platform with calibrated rate models.
+
+    Parameters
+    ----------
+    num_gpus / num_cpus:
+        Worker counts (either may be zero, but not both).
+    cpu_rate / gpu_rate:
+        Override the calibrated per-class rate models (used by the
+        ablations and by live-calibrated runs).
+    """
+    if num_gpus < 0 or num_cpus < 0:
+        raise ValueError("worker counts must be non-negative")
+    if num_gpus == 0 and num_cpus == 0:
+        raise ValueError("platform needs at least one worker")
+    cpu_rate = cpu_rate or cpu_rate_model()
+    gpu_rate = gpu_rate or gpu_rate_model()
+    pes = [
+        ProcessingElement(name=f"gpu{i}", kind=PEKind.GPU, rate=gpu_rate)
+        for i in range(num_gpus)
+    ] + [
+        ProcessingElement(name=f"cpu{i}", kind=PEKind.CPU, rate=cpu_rate)
+        for i in range(num_cpus)
+    ]
+    return HybridPlatform(pes=tuple(pes), name=f"idgraf_{num_gpus}g{num_cpus}c")

@@ -1,0 +1,108 @@
+"""Processing-element models.
+
+A :class:`ProcessingElement` (PE, the paper's term) is a CPU worker or a
+GPU worker with a *rate model* describing how fast it updates SW cells.
+The rate model is deliberately simple but captures the one effect the
+scheduling contribution depends on: **GPU throughput ramps up with
+query length** (a short query cannot fill a GPU, while a CPU SIMD
+kernel saturates quickly), so the CPU/GPU time ratio ``p_j / p̄_j``
+varies across tasks and the knapsack's ratio ordering has real work to
+do.
+
+The saturation form is ``rate(q) = peak · q / (q + half_length)`` —
+half the peak rate at ``q = half_length`` — plus a fixed per-task
+overhead (kernel launch, host/device transfer, thread spawn).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils import check_non_negative, check_positive
+
+__all__ = ["PEKind", "RateModel", "ProcessingElement"]
+
+
+class PEKind(enum.Enum):
+    """The two processor classes of the paper's platform model."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class RateModel:
+    """Throughput model of one PE class.
+
+    Parameters
+    ----------
+    peak_gcups:
+        Asymptotic cell-update rate in GCUPS for long queries.
+    half_length:
+        Query length (residues) at which the rate reaches half of peak.
+        0 gives a length-independent rate.
+    task_overhead_s:
+        Fixed seconds added per task (per query-vs-database comparison).
+    """
+
+    peak_gcups: float
+    half_length: float = 0.0
+    task_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("peak_gcups", self.peak_gcups)
+        check_non_negative("half_length", self.half_length)
+        check_non_negative("task_overhead_s", self.task_overhead_s)
+
+    def rate_gcups(self, query_length: int) -> float:
+        """Effective GCUPS for a query of *query_length* residues."""
+        if query_length <= 0:
+            raise ValueError(f"query_length must be positive, got {query_length}")
+        return self.peak_gcups * query_length / (query_length + self.half_length)
+
+    def task_seconds(
+        self, query_length: int, db_residues: int, efficiency: float = 1.0
+    ) -> float:
+        """Predicted wall-clock seconds for one comparison task.
+
+        Parameters
+        ----------
+        efficiency:
+            Multiplier < 1 models contention when several workers of the
+            same class are active (applied to the rate, not the
+            overhead).
+        """
+        if db_residues < 0:
+            raise ValueError(f"db_residues must be >= 0, got {db_residues}")
+        if not 0 < efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        cells = query_length * db_residues
+        rate = self.rate_gcups(query_length) * efficiency
+        return self.task_overhead_s + cells / (rate * 1e9)
+
+    def scaled(self, factor: float) -> "RateModel":
+        """A copy with the peak rate multiplied by *factor*."""
+        check_positive("factor", factor)
+        return RateModel(
+            peak_gcups=self.peak_gcups * factor,
+            half_length=self.half_length,
+            task_overhead_s=self.task_overhead_s,
+        )
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """One worker slot of the hybrid platform."""
+
+    name: str
+    kind: PEKind
+    rate: RateModel
+
+    @property
+    def is_gpu(self) -> bool:
+        """True for GPU workers."""
+        return self.kind is PEKind.GPU
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessingElement({self.name!r}, {self.kind.value}, {self.rate.peak_gcups:.1f} GCUPS)"

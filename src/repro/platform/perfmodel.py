@@ -1,0 +1,157 @@
+"""The performance model: per-task times on a concrete platform.
+
+Bridges the rate models of :mod:`repro.platform.pe` and the scheduler,
+adding the two platform-level effects the paper discusses:
+
+* **intra-class contention** — adding workers of one class is slightly
+  sublinear (memory bandwidth for CPUs, PCIe/host threads for GPUs);
+  modelled as a geometric per-worker efficiency;
+* **GPU CPU-service cost** — "each GPU worker actually needs some CPU
+  time to execute as fast as it can" (Section V-A); each active GPU
+  worker drains a fixed fraction of one CPU worker's throughput,
+  spread over the CPU workers.
+
+The scheduler consumes :meth:`PerformanceModel.task_times`, the pair of
+vectors ``(p_j, p̄_j)`` of Section III.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.calibration import (
+    CPU_PARALLEL_EFFICIENCY,
+    GPU_CPU_SERVICE_FRACTION,
+    GPU_PARALLEL_EFFICIENCY,
+)
+from repro.platform.cluster import HybridPlatform
+from repro.platform.pe import PEKind, ProcessingElement, RateModel
+
+__all__ = ["PerformanceModel", "measure_kernel_gcups", "live_rate_model"]
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Predicts task processing times on each PE of a platform.
+
+    Parameters
+    ----------
+    platform:
+        The hybrid platform being modelled.
+    cpu_parallel_efficiency / gpu_parallel_efficiency:
+        Geometric per-additional-worker efficiency within each class.
+    gpu_cpu_service_fraction:
+        CPU throughput fraction consumed per active GPU worker.
+    """
+
+    platform: HybridPlatform
+    cpu_parallel_efficiency: float = CPU_PARALLEL_EFFICIENCY
+    gpu_parallel_efficiency: float = GPU_PARALLEL_EFFICIENCY
+    gpu_cpu_service_fraction: float = GPU_CPU_SERVICE_FRACTION
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cpu_parallel_efficiency",
+            "gpu_parallel_efficiency",
+        ):
+            v = getattr(self, name)
+            if not 0 < v <= 1:
+                raise ValueError(f"{name} must be in (0, 1], got {v}")
+        if not 0 <= self.gpu_cpu_service_fraction < 1:
+            raise ValueError(
+                f"gpu_cpu_service_fraction must be in [0, 1), got "
+                f"{self.gpu_cpu_service_fraction}"
+            )
+
+    def class_efficiency(self, kind: PEKind) -> float:
+        """Effective rate multiplier for one worker of class *kind*."""
+        m = self.platform.num_cpus
+        k = self.platform.num_gpus
+        if kind is PEKind.GPU:
+            return self.gpu_parallel_efficiency ** max(0, k - 1)
+        eff = self.cpu_parallel_efficiency ** max(0, m - 1)
+        if m > 0 and k > 0:
+            service = self.gpu_cpu_service_fraction * k / m
+            eff *= max(0.05, 1.0 - service)
+        return eff
+
+    def task_seconds(
+        self, pe: ProcessingElement, query_length: int, db_residues: int
+    ) -> float:
+        """Predicted seconds for one comparison task on *pe*."""
+        return pe.rate.task_seconds(
+            query_length, db_residues, efficiency=self.class_efficiency(pe.kind)
+        )
+
+    def task_times(
+        self, query_lengths: np.ndarray, db_residues: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectors ``(p, p̄)`` — CPU and GPU seconds per task.
+
+        Requires the platform to have at least one PE of each class (the
+        scheduler's hybrid setting); single-class platforms should call
+        :meth:`task_seconds` directly.
+        """
+        lengths = np.asarray(query_lengths, dtype=np.int64)
+        if lengths.ndim != 1 or lengths.size == 0:
+            raise ValueError("query_lengths must be a non-empty 1-D array")
+        if (lengths <= 0).any():
+            raise ValueError("query lengths must be positive")
+        cpus, gpus = self.platform.cpus, self.platform.gpus
+        if not cpus or not gpus:
+            raise ValueError(
+                "task_times needs a hybrid platform with both CPU and GPU "
+                f"workers; {self.platform.name!r} has {len(cpus)} CPUs and "
+                f"{len(gpus)} GPUs"
+            )
+        p_cpu = self._times_for(cpus[0], lengths, db_residues)
+        p_gpu = self._times_for(gpus[0], lengths, db_residues)
+        return p_cpu, p_gpu
+
+    def _times_for(
+        self, pe: ProcessingElement, lengths: np.ndarray, db_residues: int
+    ) -> np.ndarray:
+        eff = self.class_efficiency(pe.kind)
+        rate = pe.rate.peak_gcups * lengths / (lengths + pe.rate.half_length)
+        return pe.rate.task_overhead_s + (lengths * db_residues) / (
+            rate * eff * 1e9
+        )
+
+
+def measure_kernel_gcups(
+    kernel,
+    query,
+    subjects,
+    scheme,
+    repeats: int = 1,
+) -> float:
+    """Measure the real GCUPS of a live kernel on actual sequences.
+
+    ``kernel(query, subjects, scheme)`` must score *query* against all
+    *subjects*.  Used by live-mode calibration so the simulator can also
+    be driven by measured (rather than paper-derived) rates.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    cells = len(query) * sum(len(s) for s in subjects)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        kernel(query, subjects, scheme)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    if best <= 0:  # pragma: no cover - clock resolution guard
+        best = 1e-9
+    return cells / best / 1e9
+
+
+def live_rate_model(measured_gcups: float, task_overhead_s: float = 0.0) -> RateModel:
+    """Rate model from a live measurement (length-independent)."""
+    return RateModel(
+        peak_gcups=measured_gcups,
+        half_length=0.0,
+        task_overhead_s=task_overhead_s,
+    )

@@ -1,0 +1,85 @@
+"""Discrete-event simulation clock and event queue.
+
+The master–slave engine's simulated mode (DESIGN.md §5) advances
+virtual time by popping the earliest pending event.  This module
+provides the minimal machinery: a monotonically advancing
+:class:`SimClock` and a heap-backed :class:`EventQueue` with stable FIFO
+ordering for simultaneous events (so simulation traces are fully
+deterministic).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["SimClock", "EventQueue", "Event"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence: a time, a tag and an arbitrary payload."""
+
+    time: float
+    tag: str
+    payload: Any = None
+
+
+class SimClock:
+    """Virtual wall clock; time only moves forward."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError(f"start time must be >= 0, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock to *t*; rejects travel into the past."""
+        if t < self._now - 1e-12:
+            raise ValueError(f"cannot move clock backwards: {t} < {self._now}")
+        self._now = max(self._now, float(t))
+
+
+class EventQueue:
+    """A time-ordered queue of :class:`Event` objects.
+
+    Events at equal times pop in insertion order (a strict tie-break
+    keeps simulated executions reproducible run to run).
+    """
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, tag: str, payload: Any = None) -> Event:
+        """Schedule an event; returns it."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(time=float(time), tag=tag, payload=payload)
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event; raises when empty."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> float:
+        """Time of the earliest event; raises when empty."""
+        if not self._heap:
+            raise IndexError("peek on empty EventQueue")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

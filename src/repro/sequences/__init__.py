@@ -1,0 +1,92 @@
+"""Sequence substrate: alphabets, sequences, IO formats, scoring
+matrices, and the synthetic databases/query sets used by the paper's
+experiments."""
+
+from repro.sequences.alphabet import DNA, PROTEIN, RNA, Alphabet, alphabet_by_name
+from repro.sequences.sequence import Sequence
+from repro.sequences.fasta import FastaError, iter_fasta, read_fasta, write_fasta
+from repro.sequences.binarydb import (
+    BinaryDatabaseReader,
+    BinaryDBError,
+    write_binary_db,
+)
+from repro.sequences.database import DatabaseProfile, DatabaseStats, SequenceDatabase
+from repro.sequences.matrices import (
+    BLOSUM50,
+    BLOSUM62,
+    PAM250,
+    SubstitutionMatrix,
+    format_ncbi_matrix,
+    match_mismatch_matrix,
+    matrix_by_name,
+    parse_ncbi_matrix,
+)
+from repro.sequences.synthetic import (
+    PAPER_DATABASE_ORDER,
+    PAPER_DATABASES,
+    DatabaseSpec,
+    paper_database_profile,
+    random_profile,
+    small_database,
+)
+from repro.sequences.mutate import homolog_family, mutate, plant_homologs
+from repro.sequences.seqstats import (
+    composition,
+    database_composition,
+    length_histogram,
+    sequence_entropy,
+)
+from repro.sequences.queries import (
+    PAPER_QUERY_COUNT,
+    QuerySet,
+    evenly_spaced_lengths,
+    heterogeneous_query_set,
+    homogeneous_query_set,
+    standard_query_set,
+)
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "RNA",
+    "PROTEIN",
+    "alphabet_by_name",
+    "Sequence",
+    "FastaError",
+    "iter_fasta",
+    "read_fasta",
+    "write_fasta",
+    "BinaryDatabaseReader",
+    "BinaryDBError",
+    "write_binary_db",
+    "SequenceDatabase",
+    "DatabaseProfile",
+    "DatabaseStats",
+    "SubstitutionMatrix",
+    "BLOSUM62",
+    "BLOSUM50",
+    "PAM250",
+    "match_mismatch_matrix",
+    "matrix_by_name",
+    "parse_ncbi_matrix",
+    "format_ncbi_matrix",
+    "DatabaseSpec",
+    "PAPER_DATABASES",
+    "PAPER_DATABASE_ORDER",
+    "paper_database_profile",
+    "random_profile",
+    "small_database",
+    "mutate",
+    "composition",
+    "database_composition",
+    "sequence_entropy",
+    "length_histogram",
+    "homolog_family",
+    "plant_homologs",
+    "QuerySet",
+    "PAPER_QUERY_COUNT",
+    "standard_query_set",
+    "homogeneous_query_set",
+    "heterogeneous_query_set",
+    "evenly_spaced_lengths",
+]

@@ -1,0 +1,158 @@
+"""Biological alphabets and residue encoding.
+
+Sequences are stored internally as ``uint8`` numpy arrays of *residue
+codes* (indices into an alphabet), not as Python strings.  This is the
+representation every alignment kernel consumes: a substitution matrix
+lookup then becomes a single fancy-indexing operation
+``S[q_codes[:, None], d_codes[None, :]]`` instead of per-character dict
+lookups (see the vectorisation guidance in the scientific-python
+optimisation notes).
+
+Three standard alphabets are provided:
+
+* :data:`DNA` — ``ACGT`` plus the ambiguity code ``N``.
+* :data:`RNA` — ``ACGU`` plus ``N``.
+* :data:`PROTEIN` — the 20 standard amino acids plus ``B``, ``Z``, ``X``
+  and ``*`` in the order used by the BLOSUM matrix files, so matrix rows
+  can be addressed directly by residue code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Alphabet", "DNA", "RNA", "PROTEIN", "alphabet_by_name"]
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered residue alphabet with encode/decode tables.
+
+    Parameters
+    ----------
+    name:
+        Short identifier (``"dna"``, ``"rna"``, ``"protein"``).
+    letters:
+        The residue letters in code order; code *i* is ``letters[i]``.
+    wildcard:
+        Letter unknown residues are mapped to when ``encode`` is called
+        with ``strict=False`` (e.g. ``"X"`` for proteins, ``"N"`` for
+        nucleotides).
+    """
+
+    name: str
+    letters: str
+    wildcard: str
+    _lut: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.letters)) != len(self.letters):
+            raise ValueError(f"duplicate letters in alphabet {self.name!r}: {self.letters!r}")
+        if self.wildcard not in self.letters:
+            raise ValueError(
+                f"wildcard {self.wildcard!r} not in alphabet {self.name!r}"
+            )
+        # Byte -> code lookup table; 255 marks an invalid byte.  Upper and
+        # lower case map to the same code.
+        lut = np.full(256, 255, dtype=np.uint8)
+        for code, letter in enumerate(self.letters):
+            lut[ord(letter.upper())] = code
+            lut[ord(letter.lower())] = code
+        lut.setflags(write=False)
+        object.__setattr__(self, "_lut", lut)
+
+    def __len__(self) -> int:
+        return len(self.letters)
+
+    @property
+    def size(self) -> int:
+        """Number of residues (codes run ``0 .. size-1``)."""
+        return len(self.letters)
+
+    @property
+    def wildcard_code(self) -> int:
+        """Residue code of the wildcard letter."""
+        return self.letters.index(self.wildcard)
+
+    def code_of(self, letter: str) -> int:
+        """Return the residue code for a single *letter*.
+
+        Raises ``ValueError`` for letters outside the alphabet.
+        """
+        if len(letter) != 1:
+            raise ValueError(f"expected a single character, got {letter!r}")
+        code = int(self._lut[ord(letter) & 0xFF]) if ord(letter) < 256 else 255
+        if code == 255:
+            raise ValueError(f"letter {letter!r} not in alphabet {self.name!r}")
+        return code
+
+    def encode(self, text: str | bytes, strict: bool = True) -> np.ndarray:
+        """Encode *text* into a ``uint8`` code array.
+
+        Parameters
+        ----------
+        text:
+            Residue letters (case-insensitive).
+        strict:
+            If true (default), unknown letters raise ``ValueError``;
+            otherwise they are replaced with the wildcard code.
+        """
+        if isinstance(text, str):
+            raw = text.encode("ascii", errors="strict")
+        else:
+            raw = bytes(text)
+        arr = np.frombuffer(raw, dtype=np.uint8)
+        codes = self._lut[arr]
+        bad = codes == 255
+        if bad.any():
+            if strict:
+                pos = int(np.argmax(bad))
+                raise ValueError(
+                    f"invalid letter {chr(arr[pos])!r} at position {pos} "
+                    f"for alphabet {self.name!r}"
+                )
+            codes = codes.copy()
+            codes[bad] = self.wildcard_code
+        return codes.astype(np.uint8, copy=not bad.any())
+
+    def decode(self, codes: np.ndarray) -> str:
+        """Decode a code array back into its letter string."""
+        codes = np.asarray(codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.size):
+            raise ValueError(
+                f"codes out of range [0, {self.size}) for alphabet {self.name!r}"
+            )
+        return "".join(self.letters[int(c)] for c in codes)
+
+    def is_valid(self, text: str) -> bool:
+        """True if every letter of *text* belongs to the alphabet."""
+        try:
+            self.encode(text, strict=True)
+        except ValueError:
+            return False
+        return True
+
+
+#: DNA alphabet, ``N`` is the ambiguity wildcard.
+DNA = Alphabet(name="dna", letters="ACGTN", wildcard="N")
+
+#: RNA alphabet, ``N`` is the ambiguity wildcard.
+RNA = Alphabet(name="rna", letters="ACGUN", wildcard="N")
+
+#: Protein alphabet in NCBI BLOSUM file order (24 symbols: the 20
+#: standard amino acids, ambiguity codes B/Z, unknown X, and stop ``*``).
+PROTEIN = Alphabet(name="protein", letters="ARNDCQEGHILKMFPSTWYVBZX*", wildcard="X")
+
+_BY_NAME = {a.name: a for a in (DNA, RNA, PROTEIN)}
+
+
+def alphabet_by_name(name: str) -> Alphabet:
+    """Look up a standard alphabet by its ``name`` attribute."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown alphabet {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

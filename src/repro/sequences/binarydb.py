@@ -1,0 +1,241 @@
+"""The SWDUAL binary database format.
+
+Section IV of the paper: FASTA files cannot be read at arbitrary
+positions, so SWDUAL introduces "a simple binary format ... with a few
+additional fields" that lets both the master and the workers "read
+sequences in any position inside the file, directly", and simplifies
+memory allocation because "all the sequences sizes are known
+beforehand".
+
+This module implements that format (``.swdb``).  Layout, little-endian:
+
+=========  =======================================================
+offset     contents
+=========  =======================================================
+0          magic ``b"SWDB"``
+4          ``u32`` format version (currently 1)
+8          ``u8`` alphabet name length, then the ASCII name
+...        ``u64`` sequence count ``n``
+...        index table: ``n`` records of
+           ``(u64 residue_offset, u32 residue_len,
+           u64 header_offset, u32 header_len)``
+...        header pool (ASCII, ``id`` + optional `` description``)
+...        residue pool (one byte per residue code)
+=========  =======================================================
+
+Because the index stores absolute offsets and lengths, reading sequence
+*i* is two ``seek``/``read`` pairs — no scanning, exactly the property
+the paper wants.  Total residue count is available without touching the
+pools, which is what the scheduler needs to size tasks.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from collections.abc import Iterable, Iterator, Sequence as SequenceABC
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sequences.alphabet import Alphabet, alphabet_by_name
+from repro.sequences.sequence import Sequence
+
+__all__ = ["write_binary_db", "BinaryDatabaseReader", "BinaryDBError", "MAGIC"]
+
+MAGIC = b"SWDB"
+_VERSION = 1
+_INDEX_RECORD = struct.Struct("<QIQI")
+_COUNT = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+
+class BinaryDBError(ValueError):
+    """Raised on malformed ``.swdb`` input."""
+
+
+def write_binary_db(
+    sequences: Iterable[Sequence],
+    path: str | os.PathLike,
+) -> int:
+    """Serialise *sequences* into a ``.swdb`` file.
+
+    All sequences must share one alphabet.  Returns the number of
+    records written.
+    """
+    seqs = list(sequences)
+    if not seqs:
+        raise ValueError("cannot write an empty binary database")
+    alphabet = seqs[0].alphabet
+    for s in seqs:
+        if s.alphabet.name != alphabet.name:
+            raise ValueError(
+                f"mixed alphabets in database: {alphabet.name!r} vs "
+                f"{s.alphabet.name!r} (sequence {s.id!r})"
+            )
+
+    name_bytes = alphabet.name.encode("ascii")
+    headers = []
+    for s in seqs:
+        header = s.id if not s.description else f"{s.id} {s.description}"
+        headers.append(header.encode("ascii"))
+
+    # Fixed-size prefix: magic + version + alphabet + count + index.
+    prefix_len = (
+        len(MAGIC)
+        + _U32.size
+        + 1
+        + len(name_bytes)
+        + _COUNT.size
+        + _INDEX_RECORD.size * len(seqs)
+    )
+    header_pool_len = sum(len(h) for h in headers)
+    residue_base = prefix_len + header_pool_len
+
+    with open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(_U32.pack(_VERSION))
+        fh.write(bytes([len(name_bytes)]))
+        fh.write(name_bytes)
+        fh.write(_COUNT.pack(len(seqs)))
+        header_off = prefix_len
+        residue_off = residue_base
+        for s, h in zip(seqs, headers):
+            fh.write(_INDEX_RECORD.pack(residue_off, len(s), header_off, len(h)))
+            header_off += len(h)
+            residue_off += len(s)
+        for h in headers:
+            fh.write(h)
+        for s in seqs:
+            fh.write(s.codes.tobytes())
+    return len(seqs)
+
+
+@dataclass(frozen=True)
+class _IndexEntry:
+    residue_offset: int
+    residue_len: int
+    header_offset: int
+    header_len: int
+
+
+class BinaryDatabaseReader(SequenceABC):
+    """Random-access reader over a ``.swdb`` file.
+
+    Behaves as an immutable sequence of :class:`Sequence` objects:
+    ``len(db)``, ``db[i]`` and iteration all work, and ``db[i]`` touches
+    only the bytes of record *i*.
+
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self._path = os.fspath(path)
+        self._fh: io.BufferedReader | None = open(self._path, "rb")
+        try:
+            self._alphabet, self._index = self._read_prefix(self._fh)
+        except Exception:
+            self._fh.close()
+            self._fh = None
+            raise
+
+    @staticmethod
+    def _read_prefix(fh: io.BufferedReader) -> tuple[Alphabet, list[_IndexEntry]]:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise BinaryDBError(f"bad magic {magic!r}; not a .swdb file")
+        (version,) = _U32.unpack(fh.read(_U32.size))
+        if version != _VERSION:
+            raise BinaryDBError(f"unsupported .swdb version {version}")
+        name_len = fh.read(1)
+        if not name_len:
+            raise BinaryDBError("truncated .swdb header")
+        name = fh.read(name_len[0]).decode("ascii")
+        alphabet = alphabet_by_name(name)
+        raw_count = fh.read(_COUNT.size)
+        if len(raw_count) != _COUNT.size:
+            raise BinaryDBError("truncated .swdb header (count)")
+        (count,) = _COUNT.unpack(raw_count)
+        index_bytes = fh.read(_INDEX_RECORD.size * count)
+        if len(index_bytes) != _INDEX_RECORD.size * count:
+            raise BinaryDBError("truncated .swdb index")
+        index = [
+            _IndexEntry(*_INDEX_RECORD.unpack_from(index_bytes, i * _INDEX_RECORD.size))
+            for i in range(count)
+        ]
+        return alphabet, index
+
+    # -- resource management -------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying file; further reads raise."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "BinaryDatabaseReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _file(self) -> io.BufferedReader:
+        if self._fh is None:
+            raise BinaryDBError(f"database {self._path!r} is closed")
+        return self._fh
+
+    # -- metadata (no pool reads) ---------------------------------------
+
+    @property
+    def path(self) -> str:
+        """Filesystem path of the database."""
+        return self._path
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """Alphabet shared by every record."""
+        return self._alphabet
+
+    def lengths(self) -> np.ndarray:
+        """Residue length of every record, from the index alone.
+
+        This is the only information the scheduler needs to size tasks,
+        so the (possibly huge) residue pool is never touched.
+        """
+        return np.array([e.residue_len for e in self._index], dtype=np.int64)
+
+    @property
+    def total_residues(self) -> int:
+        """Sum of all record lengths (the SW matrix column count)."""
+        return int(sum(e.residue_len for e in self._index))
+
+    # -- record access ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __getitem__(self, i: int) -> Sequence:
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(len(self)))]
+        if not -len(self) <= i < len(self):
+            raise IndexError(f"record {i} out of range [0, {len(self)})")
+        entry = self._index[i % len(self)] if i < 0 else self._index[i]
+        fh = self._file()
+        fh.seek(entry.header_offset)
+        header = fh.read(entry.header_len).decode("ascii")
+        fh.seek(entry.residue_offset)
+        raw = fh.read(entry.residue_len)
+        if len(raw) != entry.residue_len:
+            raise BinaryDBError(f"truncated residue pool for record {i}")
+        parts = header.split(None, 1)
+        return Sequence(
+            id=parts[0] if parts else f"seq{i}",
+            codes=np.frombuffer(raw, dtype=np.uint8),
+            alphabet=self._alphabet,
+            description=parts[1] if len(parts) > 1 else "",
+        )
+
+    def __iter__(self) -> Iterator[Sequence]:
+        for i in range(len(self)):
+            yield self[i]

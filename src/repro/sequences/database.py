@@ -1,0 +1,262 @@
+"""In-memory sequence database abstraction.
+
+A :class:`SequenceDatabase` is what workers search against: an ordered
+collection of sequences over one alphabet, plus the summary statistics
+the scheduler and the experiment reports need (sequence count, total
+residues, length distribution).  It converts to and from FASTA and the
+``.swdb`` binary format.
+
+For paper-scale *simulated* experiments, materialising half a million
+synthetic sequences would be wasteful: the scheduler only consumes the
+length distribution.  :class:`DatabaseProfile` carries exactly that —
+name, per-sequence lengths, alphabet — and any profile can be
+``materialize()``-d into a real database at reduced scale for live
+kernel runs.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequences.alphabet import PROTEIN, Alphabet
+from repro.sequences.binarydb import BinaryDatabaseReader, write_binary_db
+from repro.sequences.fasta import read_fasta, write_fasta
+from repro.sequences.sequence import Sequence
+from repro.utils import ensure_rng
+
+__all__ = ["SequenceDatabase", "DatabaseProfile", "DatabaseStats"]
+
+
+@dataclass(frozen=True)
+class DatabaseStats:
+    """Summary statistics of a database or profile.
+
+    Mirrors the columns of the paper's Table III (number of sequences,
+    smallest and longest sequence) plus totals used for GCUPS
+    accounting.
+    """
+
+    name: str
+    num_sequences: int
+    total_residues: int
+    min_length: int
+    max_length: int
+    mean_length: float
+
+    def as_row(self) -> list[object]:
+        """Row for :func:`repro.utils.ascii_table` (Table III layout)."""
+        return [
+            self.name,
+            self.num_sequences,
+            self.min_length,
+            self.max_length,
+            f"{self.mean_length:.1f}",
+            self.total_residues,
+        ]
+
+
+class SequenceDatabase:
+    """An ordered, single-alphabet collection of sequences.
+
+    Parameters
+    ----------
+    name:
+        Database label used in reports (e.g. ``"UniProt"``).
+    sequences:
+        The records, all over the same alphabet.
+    """
+
+    def __init__(self, name: str, sequences: Iterable[Sequence]):
+        self.name = name
+        self._sequences = list(sequences)
+        if not self._sequences:
+            raise ValueError(f"database {name!r} has no sequences")
+        alphabet = self._sequences[0].alphabet
+        for s in self._sequences:
+            if s.alphabet.name != alphabet.name:
+                raise ValueError(
+                    f"database {name!r} mixes alphabets "
+                    f"({alphabet.name!r} vs {s.alphabet.name!r})"
+                )
+        self._alphabet = alphabet
+        self._lengths = np.array([len(s) for s in self._sequences], dtype=np.int64)
+
+    # -- container protocol ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __getitem__(self, i: int) -> Sequence:
+        return self._sequences[i]
+
+    def __iter__(self) -> Iterator[Sequence]:
+        return iter(self._sequences)
+
+    # -- metadata ------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """Alphabet shared by every record."""
+        return self._alphabet
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-sequence residue counts (read-only view)."""
+        view = self._lengths.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def total_residues(self) -> int:
+        """Total residue count across all records."""
+        return int(self._lengths.sum())
+
+    def stats(self) -> DatabaseStats:
+        """Summary statistics (Table III row)."""
+        return DatabaseStats(
+            name=self.name,
+            num_sequences=len(self),
+            total_residues=self.total_residues,
+            min_length=int(self._lengths.min()),
+            max_length=int(self._lengths.max()),
+            mean_length=float(self._lengths.mean()),
+        )
+
+    def profile(self) -> "DatabaseProfile":
+        """Drop the residues, keep the scheduling-relevant shape."""
+        return DatabaseProfile(
+            name=self.name, lengths=self._lengths.copy(), alphabet=self._alphabet
+        )
+
+    # -- persistence -----------------------------------------------------
+
+    @classmethod
+    def from_fasta(
+        cls,
+        path: str | os.PathLike,
+        name: str | None = None,
+        alphabet: Alphabet = PROTEIN,
+    ) -> "SequenceDatabase":
+        """Load a database from a FASTA file."""
+        seqs = read_fasta(path, alphabet=alphabet)
+        return cls(name or os.path.splitext(os.path.basename(path))[0], seqs)
+
+    @classmethod
+    def from_binary(cls, path: str | os.PathLike, name: str | None = None) -> "SequenceDatabase":
+        """Load a database fully into memory from a ``.swdb`` file."""
+        with BinaryDatabaseReader(path) as reader:
+            seqs = list(reader)
+        return cls(name or os.path.splitext(os.path.basename(path))[0], seqs)
+
+    def to_fasta(self, path: str | os.PathLike, width: int = 60) -> int:
+        """Write all records as FASTA; returns record count."""
+        return write_fasta(self._sequences, path, width=width)
+
+    def to_binary(self, path: str | os.PathLike) -> int:
+        """Write all records in ``.swdb`` format; returns record count."""
+        return write_binary_db(self._sequences, path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SequenceDatabase({self.name!r}, n={len(self)}, "
+            f"residues={self.total_residues})"
+        )
+
+
+@dataclass(frozen=True)
+class DatabaseProfile:
+    """The scheduling-relevant shape of a database: name + lengths.
+
+    Paper-scale experiments (537,505 UniProt sequences) run against
+    profiles; live kernel runs materialise a down-scaled database with
+    the same length *distribution*.
+    """
+
+    name: str
+    lengths: np.ndarray
+    alphabet: Alphabet = PROTEIN
+    composition: np.ndarray | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        lengths = np.asarray(self.lengths, dtype=np.int64)
+        if lengths.ndim != 1 or lengths.size == 0:
+            raise ValueError("lengths must be a non-empty 1-D array")
+        if (lengths <= 0).any():
+            raise ValueError("all sequence lengths must be positive")
+        lengths = lengths.copy()
+        lengths.setflags(write=False)
+        object.__setattr__(self, "lengths", lengths)
+        if self.composition is not None:
+            comp = np.asarray(self.composition, dtype=np.float64)
+            if comp.shape != (self.alphabet.size,):
+                raise ValueError(
+                    f"composition must have shape ({self.alphabet.size},), "
+                    f"got {comp.shape}"
+                )
+            comp = comp / comp.sum()
+            comp.setflags(write=False)
+            object.__setattr__(self, "composition", comp)
+
+    @property
+    def num_sequences(self) -> int:
+        """Number of sequences in the profiled database."""
+        return int(self.lengths.size)
+
+    @property
+    def total_residues(self) -> int:
+        """Total residue count (SW matrix columns for one task)."""
+        return int(self.lengths.sum())
+
+    def stats(self) -> DatabaseStats:
+        """Summary statistics (Table III row)."""
+        return DatabaseStats(
+            name=self.name,
+            num_sequences=self.num_sequences,
+            total_residues=self.total_residues,
+            min_length=int(self.lengths.min()),
+            max_length=int(self.lengths.max()),
+            mean_length=float(self.lengths.mean()),
+        )
+
+    def scaled(self, fraction: float, seed: int | None = 0) -> "DatabaseProfile":
+        """Subsample a fraction of the sequences, preserving the length
+        distribution (used to build laptop-scale live workloads)."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        rng = ensure_rng(seed)
+        n = max(1, int(round(self.num_sequences * fraction)))
+        idx = rng.choice(self.num_sequences, size=n, replace=False)
+        return DatabaseProfile(
+            name=f"{self.name}@{fraction:g}",
+            lengths=self.lengths[np.sort(idx)],
+            alphabet=self.alphabet,
+            composition=self.composition,
+        )
+
+    def materialize(self, seed: int | None = 0) -> SequenceDatabase:
+        """Generate a concrete database with these lengths.
+
+        Residues are drawn i.i.d. from ``composition`` (uniform over the
+        20 standard amino acids when absent).  Wildcard/stop codes are
+        never emitted.
+        """
+        rng = ensure_rng(seed)
+        comp = self.composition
+        if comp is None:
+            comp = np.zeros(self.alphabet.size)
+            comp[:20] = 1.0 / 20.0  # standard residues only
+        seqs = []
+        for i, length in enumerate(self.lengths):
+            codes = rng.choice(self.alphabet.size, size=int(length), p=comp)
+            seqs.append(
+                Sequence(
+                    id=f"{self.name.replace(' ', '_')}_{i}",
+                    codes=codes.astype(np.uint8),
+                    alphabet=self.alphabet,
+                )
+            )
+        return SequenceDatabase(self.name, seqs)

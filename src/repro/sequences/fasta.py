@@ -1,0 +1,160 @@
+"""FASTA reading and writing.
+
+The paper's Section IV points out that FASTA files are plain text with
+sequences placed one after another, which makes random access to a
+specific sequence impossible — the motivation for the binary format in
+:mod:`repro.sequences.binarydb`.  This module provides the plain-text
+side: a tolerant streaming parser and a wrapping writer.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.sequences.alphabet import PROTEIN, Alphabet
+from repro.sequences.sequence import Sequence
+
+__all__ = ["read_fasta", "write_fasta", "iter_fasta", "FastaError"]
+
+
+class FastaError(ValueError):
+    """Raised on malformed FASTA input."""
+
+
+def _open_text(path_or_file: str | os.PathLike | io.TextIOBase):
+    """Return ``(file, should_close)`` for a path or open text file."""
+    if isinstance(path_or_file, (str, os.PathLike)):
+        return open(path_or_file, "r", encoding="ascii"), True
+    return path_or_file, False
+
+
+def iter_fasta(
+    path_or_file: str | os.PathLike | io.TextIOBase,
+    alphabet: Alphabet = PROTEIN,
+    strict: bool = False,
+) -> Iterator[Sequence]:
+    """Stream sequences from FASTA text.
+
+    Parameters
+    ----------
+    path_or_file:
+        Filesystem path or an open text file.
+    alphabet:
+        Alphabet used to encode residues.
+    strict:
+        If true, residues outside the alphabet raise
+        :class:`FastaError`; otherwise they become the wildcard
+        (real-world databases contain occasional odd letters such as
+        ``U``/``O`` in proteins).
+
+    Yields
+    ------
+    Sequence
+        One per FASTA record, in file order.
+    """
+    fh, should_close = _open_text(path_or_file)
+    try:
+        header: str | None = None
+        chunks: list[str] = []
+        lineno = 0
+        for line in fh:
+            lineno += 1
+            line = line.rstrip("\r\n")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    yield _make_record(header, chunks, alphabet, strict)
+                header = line[1:].strip()
+                if not header:
+                    raise FastaError(f"empty FASTA header at line {lineno}")
+                chunks = []
+            else:
+                if header is None:
+                    raise FastaError(
+                        f"sequence data before any '>' header at line {lineno}"
+                    )
+                chunks.append(line.strip())
+        if header is not None:
+            yield _make_record(header, chunks, alphabet, strict)
+    finally:
+        if should_close:
+            fh.close()
+
+
+def _make_record(
+    header: str, chunks: list[str], alphabet: Alphabet, strict: bool
+) -> Sequence:
+    parts = header.split(None, 1)
+    seq_id = parts[0]
+    description = parts[1] if len(parts) > 1 else ""
+    text = "".join(chunks)
+    try:
+        codes = alphabet.encode(text, strict=strict)
+    except ValueError as exc:
+        raise FastaError(f"record {seq_id!r}: {exc}") from exc
+    return Sequence(id=seq_id, codes=codes, alphabet=alphabet, description=description)
+
+
+def read_fasta(
+    path_or_file: str | os.PathLike | io.TextIOBase,
+    alphabet: Alphabet = PROTEIN,
+    strict: bool = False,
+) -> list[Sequence]:
+    """Read an entire FASTA file into a list (see :func:`iter_fasta`)."""
+    return list(iter_fasta(path_or_file, alphabet=alphabet, strict=strict))
+
+
+def write_fasta(
+    sequences: Iterable[Sequence],
+    path_or_file: str | os.PathLike | io.TextIOBase,
+    width: int = 60,
+) -> int:
+    """Write *sequences* in FASTA format.
+
+    Parameters
+    ----------
+    sequences:
+        Sequences to serialise.
+    path_or_file:
+        Destination path or open text file.
+    width:
+        Residues per line (0 disables wrapping).
+
+    Returns
+    -------
+    int
+        Number of records written.
+    """
+    if width < 0:
+        raise ValueError(f"width must be >= 0, got {width}")
+    if isinstance(path_or_file, (str, os.PathLike)):
+        fh = open(path_or_file, "w", encoding="ascii")
+        should_close = True
+    else:
+        fh = path_or_file
+        should_close = False
+    count = 0
+    try:
+        for seq in sequences:
+            header = seq.id if not seq.description else f"{seq.id} {seq.description}"
+            fh.write(f">{header}\n")
+            text = seq.text
+            if width == 0:
+                fh.write(text + "\n")
+            else:
+                for start in range(0, max(len(text), 1), width):
+                    fh.write(text[start : start + width] + "\n")
+            count += 1
+    finally:
+        if should_close:
+            fh.close()
+    return count
+
+
+def fasta_path_stem(path: str | os.PathLike) -> str:
+    """Return the filename stem used to derive binary-DB names."""
+    return Path(path).stem

@@ -1,0 +1,298 @@
+"""Substitution matrices for sequence comparison.
+
+The paper's experiments use protein database search, whose scoring is
+driven by a substitution matrix (CUDASW++ and SWIPE default to
+BLOSUM62).  This module embeds the standard **BLOSUM62** matrix in NCBI
+order, plus **BLOSUM50** and **PAM250** companions, and provides a
+builder for simple match/mismatch matrices (the paper's Figure 1
+example scores DNA with ``ma=+1, mi=-1``).
+
+All matrices are indexed by residue *code* (see
+:mod:`repro.sequences.alphabet`), so a query-profile lookup is a single
+numpy fancy-index.  Matrices are exposed as read-only ``int32`` arrays:
+``int32`` keeps the alignment kernels free of overflow concerns while
+still letting numpy vectorise cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequences.alphabet import DNA, PROTEIN, RNA, Alphabet
+
+__all__ = [
+    "SubstitutionMatrix",
+    "BLOSUM62",
+    "BLOSUM50",
+    "PAM250",
+    "match_mismatch_matrix",
+    "matrix_by_name",
+    "parse_ncbi_matrix",
+    "format_ncbi_matrix",
+]
+
+
+@dataclass(frozen=True)
+class SubstitutionMatrix:
+    """A residue-by-residue score matrix tied to an alphabet.
+
+    Parameters
+    ----------
+    name:
+        Matrix identifier (``"blosum62"``, ...).
+    alphabet:
+        The alphabet whose codes index the matrix.
+    scores:
+        Square ``(size, size)`` integer array; ``scores[a, b]`` is the
+        score of aligning residues with codes *a* and *b*.
+    """
+
+    name: str
+    alphabet: Alphabet
+    scores: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        scores = np.asarray(self.scores, dtype=np.int32)
+        n = self.alphabet.size
+        if scores.shape != (n, n):
+            raise ValueError(
+                f"matrix {self.name!r} has shape {scores.shape}, "
+                f"expected ({n}, {n}) for alphabet {self.alphabet.name!r}"
+            )
+        scores = scores.copy()
+        scores.setflags(write=False)
+        object.__setattr__(self, "scores", scores)
+
+    def score(self, a: str, b: str) -> int:
+        """Score a single residue pair given as letters."""
+        return int(
+            self.scores[self.alphabet.code_of(a), self.alphabet.code_of(b)]
+        )
+
+    def profile(self, query_codes: np.ndarray) -> np.ndarray:
+        """Build a *query profile*: row *i* holds the scores of query
+        position *i* against every alphabet residue.
+
+        This is the memory layout SWIPE/CUDASW++ precompute so the inner
+        DP loop performs one table lookup per cell; our vectorised
+        kernels index it as ``profile[:, d_codes]``.
+        """
+        query_codes = np.asarray(query_codes, dtype=np.uint8)
+        return self.scores[query_codes]
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when ``scores == scores.T`` (all standard matrices are)."""
+        return bool(np.array_equal(self.scores, self.scores.T))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SubstitutionMatrix({self.name!r}, alphabet={self.alphabet.name!r})"
+
+
+def _parse(rows: str) -> np.ndarray:
+    """Parse whitespace-separated integer rows into a square array."""
+    data = [[int(v) for v in line.split()] for line in rows.strip().splitlines()]
+    arr = np.array(data, dtype=np.int32)
+    if arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"matrix literal is not square: {arr.shape}")
+    return arr
+
+
+# NCBI BLOSUM62, residue order ARNDCQEGHILKMFPSTWYVBZX*.
+_BLOSUM62_ROWS = """
+ 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0 -2 -1  0 -4
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3 -1  0 -1 -4
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3  3  0 -1 -4
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3  4  1 -1 -4
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -3 -3 -2 -4
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2  0  3 -1 -4
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3 -1 -2 -1 -4
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3  0  0 -1 -4
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3 -3 -3 -1 -4
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1 -4 -3 -1 -4
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2  0  1 -1 -4
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1 -3 -1 -1 -4
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1 -3 -3 -1 -4
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2 -2 -1 -2 -4
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2  0  0  0 -4
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0 -1 -1  0 -4
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3 -4 -3 -2 -4
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1 -3 -2 -1 -4
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4 -3 -2 -1 -4
+-2 -1  3  4 -3  0  1 -1  0 -3 -4  0 -3 -3 -2  0 -1 -4 -3 -3  4  1 -1 -4
+-1  0  0  1 -3  3  4 -2  0 -3 -3  1 -1 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+ 0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -2  0  0 -2 -1 -1 -1 -1 -1 -4
+-4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4  1
+"""
+
+# BLOSUM50 (EMBOSS distribution), same residue order.
+_BLOSUM50_ROWS = """
+ 5 -2 -1 -2 -1 -1 -1  0 -2 -1 -2 -1 -1 -3 -1  1  0 -3 -2  0 -2 -1 -1 -5
+-2  7 -1 -2 -4  1  0 -3  0 -4 -3  3 -2 -3 -3 -1 -1 -3 -1 -3 -1  0 -1 -5
+-1 -1  7  2 -2  0  0  0  1 -3 -4  0 -2 -4 -2  1  0 -4 -2 -3  4  0 -1 -5
+-2 -2  2  8 -4  0  2 -1 -1 -4 -4 -1 -4 -5 -1  0 -1 -5 -3 -4  5  1 -1 -5
+-1 -4 -2 -4 13 -3 -3 -3 -3 -2 -2 -3 -2 -2 -4 -1 -1 -5 -3 -1 -3 -3 -2 -5
+-1  1  0  0 -3  7  2 -2  1 -3 -2  2  0 -4 -1  0 -1 -1 -1 -3  0  4 -1 -5
+-1  0  0  2 -3  2  6 -3  0 -4 -3  1 -2 -3 -1 -1 -1 -3 -2 -3  1  5 -1 -5
+ 0 -3  0 -1 -3 -2 -3  8 -2 -4 -4 -2 -3 -4 -2  0 -2 -3 -3 -4 -1 -2 -2 -5
+-2  0  1 -1 -3  1  0 -2 10 -4 -3  0 -1 -1 -2 -1 -2 -3  2 -4  0  0 -1 -5
+-1 -4 -3 -4 -2 -3 -4 -4 -4  5  2 -3  2  0 -3 -3 -1 -3 -1  4 -4 -3 -1 -5
+-2 -3 -4 -4 -2 -2 -3 -4 -3  2  5 -3  3  1 -4 -3 -1 -2 -1  1 -4 -3 -1 -5
+-1  3  0 -1 -3  2  1 -2  0 -3 -3  6 -2 -4 -1  0 -1 -3 -2 -3  0  1 -1 -5
+-1 -2 -2 -4 -2  0 -2 -3 -1  2  3 -2  7  0 -3 -2 -1 -1  0  1 -3 -1 -1 -5
+-3 -3 -4 -5 -2 -4 -3 -4 -1  0  1 -4  0  8 -4 -3 -2  1  4 -1 -4 -4 -2 -5
+-1 -3 -2 -1 -4 -1 -1 -2 -2 -3 -4 -1 -3 -4 10 -1 -1 -4 -3 -3 -2 -1 -2 -5
+ 1 -1  1  0 -1  0 -1  0 -1 -3 -3  0 -2 -3 -1  5  2 -4 -2 -2  0  0 -1 -5
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  2  5 -3 -2  0  0 -1  0 -5
+-3 -3 -4 -5 -5 -1 -3 -3 -3 -3 -2 -3 -1  1 -4 -4 -3 15  2 -3 -5 -2 -3 -5
+-2 -1 -2 -3 -3 -1 -2 -3  2 -1 -1 -2  0  4 -3 -2 -2  2  8 -1 -3 -2 -1 -5
+ 0 -3 -3 -4 -1 -3 -3 -4 -4  4  1 -3  1 -1 -3 -2  0 -3 -1  5 -4 -3 -1 -5
+-2 -1  4  5 -3  0  1 -1  0 -4 -4  0 -3 -4 -2  0  0 -5 -3 -4  5  2 -1 -5
+-1  0  0  1 -3  4  5 -2  0 -3 -3  1 -1 -4 -1  0 -1 -2 -2 -3  2  5 -1 -5
+-1 -1 -1 -1 -2 -1 -1 -2 -1 -1 -1 -1 -1 -2 -2 -1  0 -3 -1 -1 -1 -1 -1 -5
+-5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5  1
+"""
+
+# PAM250 (Dayhoff), same residue order.
+_PAM250_ROWS = """
+ 2 -2  0  0 -2  0  0  1 -1 -1 -2 -1 -1 -3  1  1  1 -6 -3  0  0  0  0 -8
+-2  6  0 -1 -4  1 -1 -3  2 -2 -3  3  0 -4  0  0 -1  2 -4 -2 -1  0 -1 -8
+ 0  0  2  2 -4  1  1  0  2 -2 -3  1 -2 -3  0  1  0 -4 -2 -2  2  1  0 -8
+ 0 -1  2  4 -5  2  3  1  1 -2 -4  0 -3 -6 -1  0  0 -7 -4 -2  3  3 -1 -8
+-2 -4 -4 -5 12 -5 -5 -3 -3 -2 -6 -5 -5 -4 -3  0 -2 -8  0 -2 -4 -5 -3 -8
+ 0  1  1  2 -5  4  2 -1  3 -2 -2  1 -1 -5  0 -1 -1 -5 -4 -2  1  3 -1 -8
+ 0 -1  1  3 -5  2  4  0  1 -2 -3  0 -2 -5 -1  0  0 -7 -4 -2  3  3 -1 -8
+ 1 -3  0  1 -3 -1  0  5 -2 -3 -4 -2 -3 -5  0  1  0 -7 -5 -1  0  0 -1 -8
+-1  2  2  1 -3  3  1 -2  6 -2 -2  0 -2 -2  0 -1 -1 -3  0 -2  1  2 -1 -8
+-1 -2 -2 -2 -2 -2 -2 -3 -2  5  2 -2  2  1 -2 -1  0 -5 -1  4 -2 -2 -1 -8
+-2 -3 -3 -4 -6 -2 -3 -4 -2  2  6 -3  4  2 -3 -3 -2 -2 -1  2 -3 -3 -1 -8
+-1  3  1  0 -5  1  0 -2  0 -2 -3  5  0 -5 -1  0  0 -3 -4 -2  1  0 -1 -8
+-1  0 -2 -3 -5 -1 -2 -3 -2  2  4  0  6  0 -2 -2 -1 -4 -2  2 -2 -2 -1 -8
+-3 -4 -3 -6 -4 -5 -5 -5 -2  1  2 -5  0  9 -5 -3 -3  0  7 -1 -4 -5 -2 -8
+ 1  0  0 -1 -3  0 -1  0  0 -2 -3 -1 -2 -5  6  1  0 -6 -5 -1 -1  0 -1 -8
+ 1  0  1  0  0 -1  0  1 -1 -1 -3  0 -2 -3  1  2  1 -2 -3 -1  0  0  0 -8
+ 1 -1  0  0 -2 -1  0  0 -1  0 -2  0 -1 -3  0  1  3 -5 -3  0  0 -1  0 -8
+-6  2 -4 -7 -8 -5 -7 -7 -3 -5 -2 -3 -4  0 -6 -2 -5 17  0 -6 -5 -6 -4 -8
+-3 -4 -2 -4  0 -4 -4 -5  0 -1 -1 -4 -2  7 -5 -3 -3  0 10 -2 -3 -4 -2 -8
+ 0 -2 -2 -2 -2 -2 -2 -1 -2  4  2 -2  2 -1 -1 -1  0 -6 -2  4 -2 -2 -1 -8
+ 0 -1  2  3 -4  1  3  0  1 -2 -3  1 -2 -4 -1  0  0 -5 -3 -2  3  2 -1 -8
+ 0  0  1  3 -5  3  3  0  2 -2 -3  0 -2 -5  0  0 -1 -6 -4 -2  2  3 -1 -8
+ 0 -1  0 -1 -3 -1 -1 -1 -1 -1 -1 -1 -1 -2 -1  0  0 -4 -2 -1 -1 -1 -1 -8
+-8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8  1
+"""
+
+#: Standard BLOSUM62 matrix (NCBI), the default for protein search.
+BLOSUM62 = SubstitutionMatrix("blosum62", PROTEIN, _parse(_BLOSUM62_ROWS))
+
+#: BLOSUM50 matrix, used by SSEARCH-style sensitive searches.
+BLOSUM50 = SubstitutionMatrix("blosum50", PROTEIN, _parse(_BLOSUM50_ROWS))
+
+#: Classic Dayhoff PAM250 matrix.
+PAM250 = SubstitutionMatrix("pam250", PROTEIN, _parse(_PAM250_ROWS))
+
+
+def match_mismatch_matrix(
+    alphabet: Alphabet = DNA,
+    match: int = 1,
+    mismatch: int = -1,
+    wildcard_score: int = 0,
+    name: str | None = None,
+) -> SubstitutionMatrix:
+    """Build a simple match/mismatch matrix (the paper's Figure 1 scoring).
+
+    Parameters
+    ----------
+    alphabet:
+        Alphabet to build the matrix for (default DNA).
+    match / mismatch:
+        Scores for identical / differing residues.
+    wildcard_score:
+        Score applied whenever either residue is the alphabet wildcard
+        (ambiguity codes should neither reward nor punish strongly).
+    """
+    if match <= mismatch:
+        raise ValueError(
+            f"match score ({match}) must exceed mismatch score ({mismatch})"
+        )
+    n = alphabet.size
+    scores = np.full((n, n), mismatch, dtype=np.int32)
+    np.fill_diagonal(scores, match)
+    w = alphabet.wildcard_code
+    scores[w, :] = wildcard_score
+    scores[:, w] = wildcard_score
+    return SubstitutionMatrix(
+        name or f"match{match}_mismatch{mismatch}", alphabet, scores
+    )
+
+
+def parse_ncbi_matrix(text: str, name: str = "custom") -> SubstitutionMatrix:
+    """Parse an NCBI-format substitution matrix file.
+
+    The format used by BLAST/SWIPE distributions: ``#`` comment lines,
+    a header row of residue letters, then one row per residue starting
+    with its letter.  The matrix is returned over an alphabet built
+    from the file's own letters (wildcard: ``X`` if present, else
+    ``N``, else the last letter), so any residue set round-trips.
+    """
+    rows = [
+        line for line in text.splitlines() if line.strip() and not line.lstrip().startswith("#")
+    ]
+    if not rows:
+        raise ValueError("matrix file has no content rows")
+    header = rows[0].split()
+    letters = "".join(header)
+    if any(len(h) != 1 for h in header):
+        raise ValueError(f"header must be single letters, got {header}")
+    n = len(header)
+    if len(rows) != n + 1:
+        raise ValueError(f"expected {n} matrix rows after the header, got {len(rows) - 1}")
+    scores = np.zeros((n, n), dtype=np.int32)
+    for i, line in enumerate(rows[1:]):
+        parts = line.split()
+        if len(parts) != n + 1:
+            raise ValueError(
+                f"row {i} has {len(parts) - 1} values, expected {n}"
+            )
+        if parts[0] != header[i]:
+            raise ValueError(
+                f"row {i} is labelled {parts[0]!r}, expected {header[i]!r}"
+            )
+        scores[i] = [int(v) for v in parts[1:]]
+    wildcard = "X" if "X" in letters else ("N" if "N" in letters else letters[-1])
+    alphabet = Alphabet(name=f"{name}_alphabet", letters=letters, wildcard=wildcard)
+    return SubstitutionMatrix(name=name, alphabet=alphabet, scores=scores)
+
+
+def format_ncbi_matrix(matrix: SubstitutionMatrix, comment: str | None = None) -> str:
+    """Serialise a matrix in NCBI format (inverse of
+    :func:`parse_ncbi_matrix`)."""
+    letters = matrix.alphabet.letters
+    lines = []
+    if comment:
+        lines.extend(f"# {line}" for line in comment.splitlines())
+    width = max(len(str(int(v))) for v in matrix.scores.ravel()) + 1
+    lines.append("  " + "".join(f"{c:>{width}}" for c in letters))
+    for i, letter in enumerate(letters):
+        values = "".join(f"{int(v):>{width}}" for v in matrix.scores[i])
+        lines.append(f"{letter} {values}")
+    return "\n".join(lines) + "\n"
+
+
+_NAMED = {m.name: m for m in (BLOSUM62, BLOSUM50, PAM250)}
+
+
+def matrix_by_name(name: str) -> SubstitutionMatrix:
+    """Look up one of the embedded matrices by name (case-insensitive)."""
+    try:
+        return _NAMED[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown matrix {name!r}; expected one of {sorted(_NAMED)}"
+        ) from None
+
+
+# RNA gets the same simple scoring as DNA by default.
+_ = RNA  # re-exported via alphabet; kept for discoverability

@@ -1,0 +1,137 @@
+"""Sequence mutation and homolog-family generation.
+
+Purely random databases have no true positives, which makes example
+searches uninformative.  This module evolves *homologs* of a parent
+sequence — substitutions drawn proportionally to exponentiated
+substitution-matrix scores (high-scoring exchanges are likelier, as in
+real evolution), plus geometric-length indels — so a database can be
+planted with detectable relatives of a query, and tests can assert that
+database search actually finds them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sequences.matrices import BLOSUM62, SubstitutionMatrix
+from repro.sequences.sequence import Sequence
+from repro.utils import ensure_rng
+
+__all__ = ["mutate", "homolog_family", "plant_homologs"]
+
+
+def _substitution_probs(matrix: SubstitutionMatrix, temperature: float) -> np.ndarray:
+    """Row-stochastic replacement matrix over the 20 standard residues:
+    ``P(b | a) ∝ exp(S[a, b] / temperature)`` with the diagonal zeroed
+    (a substitution must change the residue)."""
+    scores = matrix.scores[:20, :20].astype(np.float64)
+    logits = scores / temperature
+    logits = logits - logits.max(axis=1, keepdims=True)
+    probs = np.exp(logits)
+    np.fill_diagonal(probs, 0.0)
+    probs /= probs.sum(axis=1, keepdims=True)
+    return probs
+
+
+def mutate(
+    parent: Sequence,
+    divergence: float,
+    indel_rate: float = 0.1,
+    mean_indel_length: float = 2.0,
+    matrix: SubstitutionMatrix = BLOSUM62,
+    temperature: float = 2.0,
+    seed: int | np.random.Generator | None = None,
+    child_id: str | None = None,
+) -> Sequence:
+    """Evolve one homolog of *parent*.
+
+    Parameters
+    ----------
+    divergence:
+        Fraction of positions hit by a mutation event (0–1); of these,
+        ``indel_rate`` become indels, the rest substitutions.
+    mean_indel_length:
+        Geometric mean length of each indel.
+    temperature:
+        Substitution softness; lower = more conservative exchanges.
+    """
+    if not 0 <= divergence <= 1:
+        raise ValueError(f"divergence must be in [0, 1], got {divergence}")
+    if not 0 <= indel_rate <= 1:
+        raise ValueError(f"indel_rate must be in [0, 1], got {indel_rate}")
+    if mean_indel_length < 1:
+        raise ValueError(
+            f"mean_indel_length must be >= 1, got {mean_indel_length}"
+        )
+    if (parent.codes >= 20).any():
+        raise ValueError("mutate() requires standard-residue sequences")
+    rng = ensure_rng(seed)
+    probs = _substitution_probs(matrix, temperature)
+    geo_p = 1.0 / mean_indel_length
+
+    out: list[int] = []
+    for code in parent.codes:
+        if rng.random() >= divergence:
+            out.append(int(code))
+            continue
+        if rng.random() < indel_rate:
+            if rng.random() < 0.5:  # deletion of a short run
+                continue
+            # Insertion of a short random run (then keep the residue).
+            for _ in range(rng.geometric(geo_p)):
+                out.append(int(rng.integers(0, 20)))
+            out.append(int(code))
+        else:
+            out.append(int(rng.choice(20, p=probs[code])))
+    if not out:  # fully deleted: keep one residue so the child is valid
+        out.append(int(parent.codes[0]))
+    return Sequence(
+        id=child_id or f"{parent.id}_mut",
+        codes=np.array(out, dtype=np.uint8),
+        alphabet=parent.alphabet,
+        description=f"homolog of {parent.id} (divergence {divergence:g})",
+    )
+
+
+def homolog_family(
+    parent: Sequence,
+    size: int,
+    divergence: float = 0.3,
+    seed: int | np.random.Generator | None = None,
+    **kwargs,
+) -> list[Sequence]:
+    """Evolve *size* independent homologs of *parent*."""
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    rng = ensure_rng(seed)
+    return [
+        mutate(
+            parent,
+            divergence,
+            seed=rng,
+            child_id=f"{parent.id}_h{i:02d}",
+            **kwargs,
+        )
+        for i in range(size)
+    ]
+
+
+def plant_homologs(
+    background: list[Sequence],
+    parent: Sequence,
+    num_homologs: int,
+    divergence: float = 0.3,
+    seed: int | np.random.Generator | None = None,
+) -> list[Sequence]:
+    """Return *background* with homologs of *parent* planted at
+    deterministic pseudo-random positions (for search examples/tests)."""
+    if num_homologs < 0:
+        raise ValueError(f"num_homologs must be >= 0, got {num_homologs}")
+    rng = ensure_rng(seed)
+    family = homolog_family(parent, max(num_homologs, 1), divergence, seed=rng)[
+        :num_homologs
+    ]
+    merged = list(background)
+    for member in family:
+        merged.insert(int(rng.integers(0, len(merged) + 1)), member)
+    return merged

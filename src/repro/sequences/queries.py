@@ -1,0 +1,130 @@
+"""Query-set generators matching the paper's three workloads.
+
+Section V uses three sets of 40 query sequences:
+
+* the **standard set**, 100–5,000 residues, used for Tables II/IV and
+  Figures 7/8;
+* the **homogeneous set**, 4,500–5,000 residues (Section V-C);
+* the **heterogeneous set**, 4–35,213 residues — the extremes of the
+  UniProt database (Section V-C).
+
+Cross-checking the paper's own numbers shows the sets are uniform in
+length: with the per-database residue totals fixed by Table IV,
+Table V's ``time × GCUPS`` products imply total query lengths of
+≈190,000 (homogeneous) and ≈700,000 (heterogeneous) residues — exactly
+the sums of 40 lengths **evenly spaced** over [4,500, 5,000] and
+[4, 35,213].  We therefore generate evenly spaced lengths, which also
+keeps the workloads deterministic.
+
+Each generator returns a :class:`QuerySet`: named lengths that can be
+turned into tasks directly (simulated mode) or materialised into real
+sequences (live mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sequences.alphabet import PROTEIN, Alphabet
+from repro.sequences.sequence import Sequence
+from repro.sequences.synthetic import SWISSPROT_COMPOSITION
+from repro.utils import ensure_rng
+
+__all__ = [
+    "QuerySet",
+    "standard_query_set",
+    "homogeneous_query_set",
+    "heterogeneous_query_set",
+    "evenly_spaced_lengths",
+    "PAPER_QUERY_COUNT",
+]
+
+#: The paper always compares 40 query sequences.
+PAPER_QUERY_COUNT = 40
+
+
+@dataclass(frozen=True)
+class QuerySet:
+    """A named set of query sequences described by their lengths."""
+
+    name: str
+    lengths: np.ndarray
+    alphabet: Alphabet = PROTEIN
+
+    def __post_init__(self) -> None:
+        lengths = np.asarray(self.lengths, dtype=np.int64)
+        if lengths.ndim != 1 or lengths.size == 0:
+            raise ValueError("lengths must be a non-empty 1-D array")
+        if (lengths <= 0).any():
+            raise ValueError("all query lengths must be positive")
+        lengths = lengths.copy()
+        lengths.setflags(write=False)
+        object.__setattr__(self, "lengths", lengths)
+
+    def __len__(self) -> int:
+        return int(self.lengths.size)
+
+    @property
+    def total_residues(self) -> int:
+        """Sum of query lengths (the SW matrix row count per task sum)."""
+        return int(self.lengths.sum())
+
+    def materialize(self, seed: int | None = 0) -> list[Sequence]:
+        """Generate concrete random sequences with these lengths."""
+        rng = ensure_rng(seed)
+        comp = SWISSPROT_COMPOSITION if self.alphabet is PROTEIN else None
+        if comp is None:
+            comp = np.zeros(self.alphabet.size)
+            comp[: max(1, self.alphabet.size - 1)] = 1.0
+            comp /= comp.sum()
+        out = []
+        for i, length in enumerate(self.lengths):
+            codes = rng.choice(self.alphabet.size, size=int(length), p=comp)
+            out.append(
+                Sequence(
+                    id=f"{self.name}_q{i:02d}",
+                    codes=codes.astype(np.uint8),
+                    alphabet=self.alphabet,
+                )
+            )
+        return out
+
+    def scaled(self, fraction: float) -> "QuerySet":
+        """Shrink every query length by *fraction* (live-mode workloads).
+
+        Lengths never drop below 10 residues so kernels stay meaningful.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        lengths = np.maximum(10, np.rint(self.lengths * fraction)).astype(np.int64)
+        return QuerySet(f"{self.name}@{fraction:g}", lengths, self.alphabet)
+
+
+def evenly_spaced_lengths(count: int, lo: int, hi: int) -> np.ndarray:
+    """*count* integer lengths evenly spaced over ``[lo, hi]`` inclusive."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if lo > hi:
+        raise ValueError(f"lo {lo} > hi {hi}")
+    if count == 1:
+        return np.array([round((lo + hi) / 2)], dtype=np.int64)
+    return np.rint(np.linspace(lo, hi, count)).astype(np.int64)
+
+
+def standard_query_set(count: int = PAPER_QUERY_COUNT) -> QuerySet:
+    """The Tables II/IV workload: lengths 100–5,000 (total 102,000 for
+    the paper's 40 queries)."""
+    return QuerySet("standard", evenly_spaced_lengths(count, 100, 5_000))
+
+
+def homogeneous_query_set(count: int = PAPER_QUERY_COUNT) -> QuerySet:
+    """Section V-C homogeneous workload: lengths 4,500–5,000."""
+    return QuerySet("homogeneous", evenly_spaced_lengths(count, 4_500, 5_000))
+
+
+def heterogeneous_query_set(count: int = PAPER_QUERY_COUNT) -> QuerySet:
+    """Section V-C heterogeneous workload: lengths 4–35,213 (the UniProt
+    extremes)."""
+    return QuerySet("heterogeneous", evenly_spaced_lengths(count, 4, 35_213))

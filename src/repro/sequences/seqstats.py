@@ -1,0 +1,79 @@
+"""Sequence and database composition statistics.
+
+Used to validate the synthetic databases (does the generated
+composition match the Swiss-Prot background the generator was given?)
+and by examples to characterise workloads: residue composition, Shannon
+entropy, and length histograms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.sequence import Sequence
+
+__all__ = [
+    "composition",
+    "database_composition",
+    "sequence_entropy",
+    "length_histogram",
+]
+
+
+def composition(seq: Sequence) -> np.ndarray:
+    """Residue frequency vector over the sequence's alphabet (sums to 1;
+    all-zero for an empty sequence)."""
+    counts = np.bincount(seq.codes, minlength=seq.alphabet.size).astype(np.float64)
+    total = counts.sum()
+    return counts / total if total else counts
+
+
+def database_composition(database: SequenceDatabase) -> np.ndarray:
+    """Aggregate residue frequencies across a whole database."""
+    counts = np.zeros(database.alphabet.size, dtype=np.float64)
+    for seq in database:
+        counts += np.bincount(seq.codes, minlength=database.alphabet.size)
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("database has no residues")
+    return counts / total
+
+
+def sequence_entropy(seq: Sequence, base: float = 2.0) -> float:
+    """Shannon entropy of the residue distribution (bits by default).
+
+    Low-entropy sequences (repeats, low-complexity regions) inflate
+    chance alignment scores — the quantity SEG-style filters threshold.
+    """
+    if len(seq) == 0:
+        return 0.0
+    if base <= 1:
+        raise ValueError(f"base must be > 1, got {base}")
+    freqs = composition(seq)
+    nz = freqs[freqs > 0]
+    return float(-(nz * np.log(nz)).sum() / np.log(base))
+
+
+def length_histogram(
+    lengths: np.ndarray, num_bins: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of sequence lengths: ``(bin_edges, counts)``.
+
+    Bins are logarithmic when the spread exceeds two orders of
+    magnitude (protein databases are heavy-tailed), linear otherwise.
+    """
+    lengths = np.asarray(lengths)
+    if lengths.size == 0:
+        raise ValueError("no lengths to histogram")
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+    lo, hi = float(lengths.min()), float(lengths.max())
+    if lo <= 0:
+        raise ValueError("lengths must be positive")
+    if hi / lo > 100:
+        edges = np.geomspace(lo, hi, num_bins + 1)
+    else:
+        edges = np.linspace(lo, hi, num_bins + 1)
+    counts, _ = np.histogram(lengths, bins=edges)
+    return edges, counts

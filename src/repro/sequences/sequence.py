@@ -1,0 +1,124 @@
+"""The :class:`Sequence` value type.
+
+A sequence couples an identifier, an optional description, the encoded
+residue codes and the alphabet they were encoded with.  It is immutable
+(the code array is marked read-only) so sequences can be shared freely
+between the master, workers and kernels without defensive copies — the
+"views, not copies" rule from the optimisation guide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequences.alphabet import PROTEIN, Alphabet
+
+__all__ = ["Sequence"]
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """An immutable biological sequence.
+
+    Parameters
+    ----------
+    id:
+        Sequence identifier (the first word of a FASTA header).
+    codes:
+        ``uint8`` residue codes; stored read-only.
+    alphabet:
+        The :class:`~repro.sequences.alphabet.Alphabet` the codes index.
+    description:
+        Free-text remainder of the FASTA header (may be empty).
+    """
+
+    id: str
+    codes: np.ndarray
+    alphabet: Alphabet = PROTEIN
+    description: str = ""
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        codes = np.asarray(self.codes, dtype=np.uint8)
+        if codes.ndim != 1:
+            raise ValueError(f"codes must be 1-D, got shape {codes.shape}")
+        if codes.size and int(codes.max()) >= self.alphabet.size:
+            raise ValueError(
+                f"residue code {int(codes.max())} out of range for "
+                f"alphabet {self.alphabet.name!r} (size {self.alphabet.size})"
+            )
+        codes = codes.copy()
+        codes.setflags(write=False)
+        object.__setattr__(self, "codes", codes)
+        object.__setattr__(
+            self, "_hash", hash((self.id, self.alphabet.name, codes.tobytes()))
+        )
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_text(
+        cls,
+        id: str,
+        text: str,
+        alphabet: Alphabet = PROTEIN,
+        description: str = "",
+        strict: bool = True,
+    ) -> "Sequence":
+        """Build a sequence by encoding *text* with *alphabet*."""
+        return cls(
+            id=id,
+            codes=alphabet.encode(text, strict=strict),
+            alphabet=alphabet,
+            description=description,
+        )
+
+    # -- protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sequence):
+            return NotImplemented
+        return (
+            self.id == other.id
+            and self.alphabet.name == other.alphabet.name
+            and np.array_equal(self.codes, other.codes)
+        )
+
+    def __getitem__(self, item: slice) -> "Sequence":
+        """Slice a sequence; only slices (not scalar indices) are allowed."""
+        if not isinstance(item, slice):
+            raise TypeError("Sequence only supports slice indexing")
+        return Sequence(
+            id=self.id,
+            codes=self.codes[item],
+            alphabet=self.alphabet,
+            description=self.description,
+        )
+
+    # -- views --------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        """The residue letters as a string (decoded on demand)."""
+        return self.alphabet.decode(self.codes)
+
+    def reversed(self) -> "Sequence":
+        """Return the sequence with residue order reversed."""
+        return Sequence(
+            id=self.id,
+            codes=self.codes[::-1],
+            alphabet=self.alphabet,
+            description=self.description,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = self.text[:12] + ("..." if len(self) > 12 else "")
+        return f"Sequence(id={self.id!r}, len={len(self)}, {preview!r})"

@@ -1,0 +1,260 @@
+"""Synthetic stand-ins for the paper's five genomic databases.
+
+The paper searches 40 query sequences against UniProt, Ensembl Dog,
+Ensembl Rat, RefSeq Human and RefSeq Mouse (Table III).  We cannot ship
+those databases, so this module generates **seeded synthetic profiles**
+that match every property the experiments depend on:
+
+* the exact sequence counts of Table III;
+* the reported min/max sequence lengths (Table III; for UniProt,
+  Section V-C is explicit that the database spans 4 to 35,213 residues);
+* the **total residue count implied by the paper's own numbers**: each
+  Table IV row reports both seconds and GCUPS for the same run, so
+  ``cells = time × GCUPS`` is fixed, and with the standard query set
+  (total 102,000 residues, see :mod:`repro.sequences.queries`)
+  ``db_residues = cells / 102,000``.  The three worker counts of
+  Table IV agree on this value to 4 significant digits for every
+  database, which both validates the derivation and pins the target.
+
+Lengths follow a clipped lognormal (protein length distributions are
+heavy-tailed), rescaled so the total matches the implied residue count
+exactly; residue letters are drawn from the Swiss-Prot background
+composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sequences.alphabet import PROTEIN
+from repro.sequences.database import DatabaseProfile, SequenceDatabase
+from repro.utils import ensure_rng
+
+__all__ = [
+    "DatabaseSpec",
+    "PAPER_DATABASES",
+    "PAPER_DATABASE_ORDER",
+    "SWISSPROT_COMPOSITION",
+    "paper_database_profile",
+    "random_profile",
+    "small_database",
+]
+
+#: Swiss-Prot amino-acid background frequencies (percent), in PROTEIN
+#: alphabet order ARNDCQEGHILKMFPSTWYV; ambiguity/stop codes get 0.
+_SWISSPROT_PCT = [
+    8.25, 5.53, 4.06, 5.45, 1.37, 3.93, 6.75, 7.07, 2.27, 5.96,
+    9.66, 5.84, 2.42, 3.86, 4.70, 6.56, 5.34, 1.08, 2.92, 6.87,
+]
+
+SWISSPROT_COMPOSITION = np.zeros(PROTEIN.size)
+SWISSPROT_COMPOSITION[:20] = np.array(_SWISSPROT_PCT) / sum(_SWISSPROT_PCT)
+SWISSPROT_COMPOSITION.setflags(write=False)
+
+
+@dataclass(frozen=True)
+class DatabaseSpec:
+    """Shape parameters of one paper database.
+
+    ``total_residues`` is derived from Table IV as described in the
+    module docstring; ``min_length``/``max_length`` come from Table III
+    (UniProt from Section V-C).
+    """
+
+    name: str
+    num_sequences: int
+    min_length: int
+    max_length: int
+    total_residues: int
+
+    @property
+    def mean_length(self) -> float:
+        """Implied mean sequence length."""
+        return self.total_residues / self.num_sequences
+
+
+#: Table III databases with totals implied by Table IV (time × GCUPS).
+PAPER_DATABASES: dict[str, DatabaseSpec] = {
+    "ensembl_dog": DatabaseSpec("Ensembl Dog Proteins", 25_160, 100, 4_996, 14_526_471),
+    "ensembl_rat": DatabaseSpec("Ensembl Rat Proteins", 32_971, 100, 4_992, 17_081_373),
+    "refseq_human": DatabaseSpec("RefSeq Human Proteins", 34_705, 100, 4_981, 19_298_039),
+    "refseq_mouse": DatabaseSpec("RefSeq Mouse Proteins", 29_437, 100, 5_000, 15_714_706),
+    "uniprot": DatabaseSpec("UniProt", 537_505, 4, 35_213, 190_733_333),
+}
+
+#: Order the paper's tables list the databases in.
+PAPER_DATABASE_ORDER = [
+    "ensembl_dog",
+    "ensembl_rat",
+    "refseq_mouse",
+    "refseq_human",
+    "uniprot",
+]
+
+
+def _lognormal_lengths(
+    n: int,
+    total: int,
+    min_length: int,
+    max_length: int,
+    rng: np.random.Generator,
+    sigma: float = 0.55,
+    pin_extremes: bool = True,
+) -> np.ndarray:
+    """Draw *n* clipped-lognormal lengths summing exactly to *total*.
+
+    The draw is rescaled multiplicatively (a few fixed-point rounds to
+    absorb clipping bias), then the integer residual is spread one
+    residue at a time over entries that have slack.  With
+    ``pin_extremes`` the min and max lengths are forced to the exact
+    bounds so reported extremes match the paper's Table III (only
+    sensible when the bounds are observed extremes, not mere caps).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not min_length <= max_length:
+        raise ValueError(f"min_length {min_length} > max_length {max_length}")
+    if not n * min_length <= total <= n * max_length:
+        raise ValueError(
+            f"total {total} infeasible for {n} lengths in "
+            f"[{min_length}, {max_length}]"
+        )
+    mean = total / n
+    raw = rng.lognormal(mean=np.log(mean) - sigma**2 / 2.0, sigma=sigma, size=n)
+    lengths = np.clip(np.rint(raw), min_length, max_length).astype(np.int64)
+    for _ in range(30):
+        current = int(lengths.sum())
+        if current == total:
+            break
+        scale = total / current
+        lengths = np.clip(
+            np.rint(lengths * scale), min_length, max_length
+        ).astype(np.int64)
+    # Spread the remaining residual one unit at a time.
+    residual = total - int(lengths.sum())
+    step = 1 if residual > 0 else -1
+    guard = 0
+    while residual != 0:
+        if step > 0:
+            candidates = np.flatnonzero(lengths < max_length)
+        else:
+            candidates = np.flatnonzero(lengths > min_length)
+        take = min(abs(residual), candidates.size)
+        if take == 0:  # pragma: no cover - guarded by feasibility check
+            raise RuntimeError("length adjustment ran out of slack")
+        chosen = rng.choice(candidates, size=take, replace=False)
+        lengths[chosen] += step
+        residual -= step * take
+        guard += 1
+        if guard > 10_000:  # pragma: no cover
+            raise RuntimeError("length adjustment did not converge")
+    # Pin the extremes (swap total-preserving: move the delta elsewhere).
+    if pin_extremes and n >= 4:
+        lengths = _pin_extreme(lengths, int(np.argmin(lengths)), min_length, min_length, max_length, rng)
+        lengths = _pin_extreme(lengths, int(np.argmax(lengths)), max_length, min_length, max_length, rng)
+    assert int(lengths.sum()) == total
+    return lengths
+
+
+def _pin_extreme(
+    lengths: np.ndarray,
+    idx: int,
+    target: int,
+    min_length: int,
+    max_length: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Set ``lengths[idx] = target`` and re-spread the delta elsewhere."""
+    delta = int(lengths[idx]) - target  # residues to give back to others
+    lengths = lengths.copy()
+    lengths[idx] = target
+    step = 1 if delta > 0 else -1
+    while delta != 0:
+        if step > 0:
+            candidates = np.flatnonzero(lengths < max_length)
+        else:
+            candidates = np.flatnonzero(lengths > min_length)
+        candidates = candidates[candidates != idx]
+        if candidates.size == 0:  # pragma: no cover
+            raise RuntimeError("cannot pin extreme length: no slack")
+        take = min(abs(delta), candidates.size)
+        chosen = rng.choice(candidates, size=take, replace=False)
+        lengths[chosen] += step
+        delta -= step * take
+    return lengths
+
+
+def paper_database_profile(key: str, seed: int = 2014) -> DatabaseProfile:
+    """Build the seeded synthetic profile of one paper database.
+
+    Parameters
+    ----------
+    key:
+        One of ``PAPER_DATABASES`` keys (``"uniprot"``, ...).
+    seed:
+        Base RNG seed; the key is folded in so each database gets an
+        independent stream while remaining reproducible.
+    """
+    try:
+        spec = PAPER_DATABASES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown database {key!r}; expected one of {sorted(PAPER_DATABASES)}"
+        ) from None
+    rng = ensure_rng(abs(hash((seed, key))) % (2**63))
+    lengths = _lognormal_lengths(
+        spec.num_sequences,
+        spec.total_residues,
+        spec.min_length,
+        spec.max_length,
+        rng,
+    )
+    return DatabaseProfile(
+        name=spec.name,
+        lengths=lengths,
+        alphabet=PROTEIN,
+        composition=SWISSPROT_COMPOSITION,
+    )
+
+
+def random_profile(
+    name: str,
+    num_sequences: int,
+    mean_length: float,
+    min_length: int = 10,
+    max_length: int = 40_000,
+    seed: int | np.random.Generator | None = None,
+) -> DatabaseProfile:
+    """Generate an arbitrary synthetic profile (for tests/ablations)."""
+    rng = ensure_rng(seed)
+    total = int(round(num_sequences * mean_length))
+    total = min(max(total, num_sequences * min_length), num_sequences * max_length)
+    lengths = _lognormal_lengths(
+        num_sequences, total, min_length, max_length, rng, pin_extremes=False
+    )
+    return DatabaseProfile(
+        name=name,
+        lengths=lengths,
+        alphabet=PROTEIN,
+        composition=SWISSPROT_COMPOSITION,
+    )
+
+
+def small_database(
+    name: str = "toy",
+    num_sequences: int = 50,
+    mean_length: float = 120.0,
+    seed: int = 7,
+) -> SequenceDatabase:
+    """A materialised small database for live runs, examples and tests."""
+    profile = random_profile(
+        name,
+        num_sequences,
+        mean_length,
+        min_length=20,
+        max_length=max(60, int(mean_length * 4)),
+        seed=seed,
+    )
+    return profile.materialize(seed=seed + 1)

@@ -1,0 +1,26 @@
+"""Small shared utilities: validation, RNG handling, formatting.
+
+These helpers are deliberately tiny and dependency-free so every other
+subpackage can use them without import cycles.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+)
+from repro.utils.format import format_seconds, format_si, ascii_table
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "format_seconds",
+    "format_si",
+    "ascii_table",
+]

@@ -1,0 +1,69 @@
+"""Human-readable formatting for experiment reports.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers render them as plain-text tables resembling the paper's
+Tables II, IV and V.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_seconds", "format_si", "ascii_table"]
+
+_SI_PREFIXES = [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")]
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly: ``86.2 s``, ``12m 03s``, ``2h 05m``."""
+    if seconds < 0:
+        raise ValueError(f"seconds must be >= 0, got {seconds}")
+    if seconds < 120:
+        return f"{seconds:.2f} s"
+    minutes, secs = divmod(seconds, 60.0)
+    if minutes < 120:
+        return f"{int(minutes)}m {secs:04.1f}s"
+    hours, minutes = divmod(minutes, 60.0)
+    return f"{int(hours)}h {int(minutes):02d}m"
+
+
+def format_si(value: float, unit: str = "", digits: int = 2) -> str:
+    """Render *value* with an SI prefix: ``77.70 Tcell``, ``136.06 GCUPS``."""
+    for factor, prefix in _SI_PREFIXES:
+        if abs(value) >= factor:
+            return f"{value / factor:.{digits}f} {prefix}{unit}".rstrip()
+    return f"{value:.{digits}f} {unit}".rstrip()
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render *rows* as a fixed-width ASCII table.
+
+    All cells are stringified with ``str``; columns are right-aligned
+    except the first, which is left-aligned (matching the paper's table
+    style of a label column followed by numeric columns).
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for row in cells:
+        if len(row) != ncols:
+            raise ValueError(f"row has {len(row)} cells, expected {ncols}: {row!r}")
+    widths = [max(len(row[i]) for row in cells) for i in range(ncols)]
+
+    def render(row: list[str]) -> str:
+        out = [row[0].ljust(widths[0])]
+        out += [row[i].rjust(widths[i]) for i in range(1, ncols)]
+        return "  ".join(out)
+
+    sep = "-" * (sum(widths) + 2 * (ncols - 1))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render(cells[0]))
+    lines.append(sep)
+    lines.extend(render(row) for row in cells[1:])
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (synthetic databases, query
+sets, baseline schedulers with random tie-breaking, workload generators)
+accepts either an integer seed, an existing :class:`numpy.random.Generator`
+or ``None``.  Centralising the coercion here keeps experiments
+reproducible: the benchmark harness passes fixed seeds everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rng"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce *seed* into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS-entropy generator), an ``int`` seed, or an
+        existing generator (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int or numpy Generator, got {type(seed).__name__}")
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive *n* statistically independent child generators from *rng*.
+
+    Used when one seeded experiment needs several independent streams
+    (e.g. one per synthetic database) whose draws do not interleave.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,40 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["check_positive", "check_non_negative", "check_in_range", "check_type"]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return the value."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``; return the value."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, types: type | tuple[type, ...]) -> Any:
+    """Raise ``TypeError`` unless ``isinstance(value, types)``; return the value."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value

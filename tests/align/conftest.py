@@ -1,0 +1,40 @@
+"""Shared fixtures and strategies for alignment tests."""
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.align import GapModel, ScoringScheme, default_scheme
+from repro.sequences import BLOSUM62, DNA, PROTEIN, Sequence, match_mismatch_matrix
+
+
+@pytest.fixture(scope="session")
+def affine_scheme():
+    return default_scheme()
+
+
+@pytest.fixture(scope="session")
+def linear_scheme():
+    return ScoringScheme(matrix=BLOSUM62, gaps=GapModel.linear(-4))
+
+
+@pytest.fixture(scope="session")
+def dna_scheme():
+    # The paper's Figure 1 scoring: ma=+1, mi=-1, g=-2 (linear).
+    return ScoringScheme(
+        matrix=match_mismatch_matrix(DNA, match=1, mismatch=-1),
+        gaps=GapModel.linear(-2),
+    )
+
+
+def protein_seq(name="q"):
+    """Hypothesis strategy for a protein Sequence over the 20 standard
+    residues."""
+    return st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=60).map(
+        lambda t: Sequence.from_text(name, t)
+    )
+
+
+def random_protein(rng: np.random.Generator, n: int) -> Sequence:
+    codes = rng.integers(0, 20, n).astype(np.uint8)
+    return Sequence(id=f"r{n}", codes=codes, alphabet=PROTEIN)

@@ -1,0 +1,179 @@
+"""Tests for banded SW, NW modes and GCUPS accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import (
+    CellUpdateCounter,
+    cell_updates,
+    gcups,
+    nw_score,
+    sw_score,
+    sw_score_banded,
+)
+from repro.sequences import Sequence
+
+from .conftest import protein_seq, random_protein
+
+
+class TestBanded:
+    def test_full_band_is_exact(self, affine_scheme):
+        rng = np.random.default_rng(31)
+        for _ in range(10):
+            q = random_protein(rng, int(rng.integers(1, 50)))
+            s = random_protein(rng, int(rng.integers(1, 50)))
+            w = max(len(q), len(s))
+            assert sw_score_banded(q, s, affine_scheme, w) == sw_score(
+                q, s, affine_scheme
+            )
+
+    def test_full_band_exact_linear(self, linear_scheme):
+        rng = np.random.default_rng(32)
+        q = random_protein(rng, 40)
+        s = random_protein(rng, 35)
+        assert sw_score_banded(q, s, linear_scheme, 45) == sw_score(
+            q, s, linear_scheme
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"), w=st.integers(0, 20))
+    def test_lower_bound_property(self, affine_scheme, q, s, w):
+        assert sw_score_banded(q, s, affine_scheme, w) <= sw_score(
+            q, s, affine_scheme
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_monotone_in_bandwidth(self, affine_scheme, q, s):
+        scores = [sw_score_banded(q, s, affine_scheme, w) for w in (0, 3, 8, 60)]
+        assert scores == sorted(scores)
+
+    def test_band_zero_is_diagonal_only(self, affine_scheme):
+        q = Sequence.from_text("q", "ARND")
+        # Diagonal-only band on identical sequences still finds the
+        # full match.
+        assert sw_score_banded(q, q, affine_scheme, 0) == sw_score(
+            q, q, affine_scheme
+        )
+
+    def test_negative_bandwidth(self, affine_scheme):
+        q = Sequence.from_text("q", "AR")
+        with pytest.raises(ValueError, match="bandwidth"):
+            sw_score_banded(q, q, affine_scheme, -1)
+
+    def test_empty(self, affine_scheme):
+        q = Sequence.from_text("q", "")
+        s = Sequence.from_text("s", "ARND")
+        assert sw_score_banded(q, s, affine_scheme, 5) == 0
+
+    def test_band_excludes_offdiagonal_match(self, affine_scheme):
+        # Match sits far off the main diagonal; a narrow band misses it.
+        q = Sequence.from_text("q", "WWWWW")
+        s = Sequence.from_text("s", "PPPPPPPPPPPPPPPPPPPPWWWWW")
+        narrow = sw_score_banded(q, s, affine_scheme, 2)
+        wide = sw_score_banded(q, s, affine_scheme, 25)
+        assert wide == sw_score(q, s, affine_scheme)
+        assert narrow < wide
+
+
+class TestNWModes:
+    def test_global_identical(self, affine_scheme):
+        q = Sequence.from_text("q", "ARNDARND")
+        from repro.sequences import BLOSUM62
+
+        expected = sum(BLOSUM62.score(c, c) for c in q.text)
+        assert nw_score(q, q, affine_scheme, mode="global") == expected
+
+    def test_global_charges_end_gaps(self, affine_scheme):
+        q = Sequence.from_text("q", "ARND")
+        s = Sequence.from_text("s", "ARNDWWWW")
+        g = nw_score(q, s, affine_scheme, mode="global")
+        sg = nw_score(q, s, affine_scheme, mode="semiglobal")
+        assert sg > g  # trailing subject gaps free in semiglobal
+
+    def test_semiglobal_finds_embedded_query(self, affine_scheme):
+        q = Sequence.from_text("q", "ARND")
+        s = Sequence.from_text("s", "WWWWARNDWWWW")
+        from repro.sequences import BLOSUM62
+
+        expected = sum(BLOSUM62.score(c, c) for c in "ARND")
+        assert nw_score(q, s, affine_scheme, mode="semiglobal") == expected
+
+    def test_overlap_mode(self, affine_scheme):
+        # Suffix of query overlaps prefix of subject.
+        q = Sequence.from_text("q", "WWWWARND")
+        s = Sequence.from_text("s", "ARNDPPPP")
+        from repro.sequences import BLOSUM62
+
+        expected = sum(BLOSUM62.score(c, c) for c in "ARND")
+        assert nw_score(q, s, affine_scheme, mode="overlap") >= expected
+
+    def test_invalid_mode(self, affine_scheme):
+        q = Sequence.from_text("q", "AR")
+        with pytest.raises(ValueError, match="mode"):
+            nw_score(q, q, affine_scheme, mode="fancy")
+
+    def test_linear_global(self, dna_scheme):
+        from repro.sequences import DNA
+
+        q = Sequence.from_text("q", "ACGT", alphabet=DNA)
+        s = Sequence.from_text("s", "ACG", alphabet=DNA)
+        # 3 matches + one trailing gap (-2).
+        assert nw_score(q, s, dna_scheme, mode="global") == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_mode_ordering_property(self, affine_scheme, q, s):
+        g = nw_score(q, s, affine_scheme, mode="global")
+        sg = nw_score(q, s, affine_scheme, mode="semiglobal")
+        ov = nw_score(q, s, affine_scheme, mode="overlap")
+        local = sw_score(q, s, affine_scheme)
+        assert g <= sg <= ov <= local
+
+
+class TestStats:
+    def test_cell_updates_scalar(self):
+        assert cell_updates(100, 1000) == 100_000
+
+    def test_cell_updates_array(self):
+        lens = np.array([10, 20])
+        assert cell_updates(lens, 100).tolist() == [1000, 2000]
+
+    def test_cell_updates_validation(self):
+        with pytest.raises(ValueError):
+            cell_updates(-1, 10)
+        with pytest.raises(ValueError):
+            cell_updates(1, -10)
+
+    def test_gcups(self):
+        # The paper's headline: 77.7 Tcells less 543.28 s on 2 workers.
+        assert gcups(543.28 * 35.81e9, 543.28) == pytest.approx(35.81)
+
+    def test_gcups_validation(self):
+        with pytest.raises(ValueError):
+            gcups(-1, 1)
+        with pytest.raises(ValueError):
+            gcups(1, 0)
+
+    def test_counter_accumulates(self):
+        c = CellUpdateCounter()
+        c.add(100, 1000)
+        c.add(200, 1000)
+        assert c.total_cells == 300_000
+        assert c.comparisons == 2
+        assert c.per_task_cells() == [100_000, 200_000]
+
+    def test_counter_merge(self):
+        a, b = CellUpdateCounter(), CellUpdateCounter()
+        a.add(10, 10)
+        b.add(20, 10)
+        a.merge(b)
+        assert a.total_cells == 300
+        assert a.comparisons == 2
+
+    def test_counter_gcups(self):
+        c = CellUpdateCounter()
+        c.add(1000, 1_000_000)
+        assert c.gcups(1.0) == pytest.approx(1.0)

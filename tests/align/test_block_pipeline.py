@@ -1,0 +1,93 @@
+"""Tests for the Figure 2 block-pipelined kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import (
+    PipelineStats,
+    pipeline_schedule,
+    sw_score,
+    sw_score_blocked,
+)
+from repro.sequences import Sequence
+
+from .conftest import protein_seq, random_protein
+
+
+class TestBlockedKernel:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        q=protein_seq("q"),
+        s=protein_seq("s"),
+        pes=st.integers(1, 6),
+        stripe=st.integers(1, 20),
+    )
+    def test_matches_scalar(self, affine_scheme, q, s, pes, stripe):
+        assert sw_score_blocked(
+            q, s, affine_scheme, num_pes=pes, stripe_rows=stripe
+        ) == sw_score(q, s, affine_scheme)
+
+    def test_linear_scheme_converted(self, linear_scheme):
+        rng = np.random.default_rng(3)
+        q = random_protein(rng, 40)
+        s = random_protein(rng, 55)
+        assert sw_score_blocked(q, s, linear_scheme, num_pes=3) == sw_score(
+            q, s, linear_scheme
+        )
+
+    def test_single_pe_degenerates(self, affine_scheme):
+        rng = np.random.default_rng(4)
+        q = random_protein(rng, 25)
+        s = random_protein(rng, 30)
+        assert sw_score_blocked(q, s, affine_scheme, num_pes=1) == sw_score(
+            q, s, affine_scheme
+        )
+
+    def test_more_pes_than_columns(self, affine_scheme):
+        q = Sequence.from_text("q", "ARND")
+        s = Sequence.from_text("s", "AR")
+        assert sw_score_blocked(q, s, affine_scheme, num_pes=16) == sw_score(
+            q, s, affine_scheme
+        )
+
+    def test_empty(self, affine_scheme):
+        q = Sequence.from_text("q", "")
+        s = Sequence.from_text("s", "ARND")
+        assert sw_score_blocked(q, s, affine_scheme) == 0
+
+    def test_validation(self, affine_scheme):
+        q = Sequence.from_text("q", "AR")
+        with pytest.raises(ValueError, match="num_pes"):
+            sw_score_blocked(q, q, affine_scheme, num_pes=0)
+
+
+class TestPipelineSchedule:
+    def test_span_formula(self):
+        stats = pipeline_schedule(stripes=10, num_pes=4, tile_seconds=2.0)
+        assert stats.span_seconds == (10 + 4 - 1) * 2.0
+        assert stats.busy_seconds_per_pe == (20.0,) * 4
+
+    def test_efficiency_improves_with_stripes(self):
+        # The paper's imbalance remark: more stripes per PE -> better.
+        small = pipeline_schedule(stripes=4, num_pes=4, tile_seconds=1.0)
+        big = pipeline_schedule(stripes=64, num_pes=4, tile_seconds=1.0)
+        assert big.efficiency > small.efficiency
+        assert big.efficiency > 0.9
+
+    def test_single_pe_is_perfect(self):
+        stats = pipeline_schedule(stripes=7, num_pes=1, tile_seconds=1.0)
+        assert stats.efficiency == pytest.approx(1.0)
+        assert stats.idle_seconds == pytest.approx(0.0)
+
+    def test_fill_drain_idle(self):
+        stats = pipeline_schedule(stripes=4, num_pes=4, tile_seconds=1.0)
+        # span 7, busy 4 each -> idle 3 per PE.
+        assert stats.idle_seconds == pytest.approx(12.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pipeline_schedule(0, 4, 1.0)
+        with pytest.raises(ValueError):
+            pipeline_schedule(4, 4, 0.0)

@@ -1,0 +1,97 @@
+"""Tests for E-value statistics."""
+
+import numpy as np
+import pytest
+
+from repro.align import EValueModel, default_scheme, fit_evalue_model, sample_null_scores
+
+
+@pytest.fixture(scope="module")
+def model():
+    return fit_evalue_model(
+        default_scheme(), query_length=80, subject_length=120, samples=120, seed=3
+    )
+
+
+class TestNullSampling:
+    def test_shape_and_nonneg(self):
+        scores = sample_null_scores(default_scheme(), 50, 80, samples=30, seed=1)
+        assert scores.shape == (30,)
+        assert (scores >= 0).all()
+
+    def test_deterministic(self):
+        a = sample_null_scores(default_scheme(), 40, 60, samples=10, seed=7)
+        b = sample_null_scores(default_scheme(), 40, 60, samples=10, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_null_scores(default_scheme(), 40, 60, samples=1)
+        with pytest.raises(ValueError):
+            sample_null_scores(default_scheme(), 0, 60)
+
+
+class TestModel:
+    def test_parameters_positive(self, model):
+        assert model.lambda_ > 0
+        assert model.K > 0
+
+    def test_evalue_decreases_with_score(self, model):
+        e_low = model.evalue(30, 100, 100_000)
+        e_high = model.evalue(80, 100, 100_000)
+        assert e_high < e_low
+
+    def test_evalue_scales_with_search_space(self, model):
+        small = model.evalue(50, 100, 10_000)
+        big = model.evalue(50, 100, 1_000_000)
+        assert big == pytest.approx(100 * small)
+
+    def test_typical_null_score_has_large_evalue(self, model):
+        # The median null score should be expected by chance in a
+        # search space the size of the sampling space.
+        scores = sample_null_scores(
+            default_scheme(), 80, 120, samples=120, seed=3
+        )
+        median = float(np.median(scores))
+        e = model.evalue(median, 80, 120)
+        assert e > 0.2
+
+    def test_huge_score_is_significant(self, model):
+        e = model.evalue(500, 80, 120)
+        assert e < 1e-10
+
+    def test_bit_score_monotone(self, model):
+        assert model.bit_score(100) > model.bit_score(50)
+
+    def test_pvalue_bounds(self, model):
+        p = model.pvalue(60, 100, 100_000)
+        assert 0.0 <= p <= 1.0
+
+    def test_pvalue_approximates_small_evalue(self, model):
+        e = model.evalue(300, 100, 1000)
+        p = model.pvalue(300, 100, 1000)
+        if e < 1e-3:
+            assert p == pytest.approx(e, rel=1e-2)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            EValueModel(lambda_=0, K=1, sample_query_length=1, sample_subject_length=1)
+        with pytest.raises(ValueError):
+            model.evalue(10, 0, 100)
+
+
+class TestCalibrationQuality:
+    def test_gumbel_fit_tail(self):
+        # About the right fraction of null scores should exceed the
+        # score whose fitted E-value is 10% of the sample count.
+        scheme = default_scheme()
+        model = fit_evalue_model(scheme, 60, 100, samples=200, seed=11)
+        scores = sample_null_scores(scheme, 60, 100, samples=200, seed=99)
+        # Score with expected 20 chance hits in 200 trials of the
+        # sampling space: E(s) per pair * 200 = 20 -> per-pair P ~ 0.1.
+        target_p = 0.1
+        s_star = (
+            np.log(model.K * 60 * 100 / target_p) / model.lambda_
+        )
+        frac = float((scores >= s_star).mean())
+        assert 0.02 <= frac <= 0.35  # loose: 200 samples, extreme tail

@@ -1,0 +1,153 @@
+"""Cross-kernel equivalence: every vectorised kernel must reproduce the
+scalar reference exactly, for both gap models.
+
+This is the load-bearing test of the alignment subsystem: the SWIPE-,
+STRIPED- and CUDASW-style kernels are only faithful stand-ins for the
+compared applications if they compute the same similarity scores.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.align import (
+    GapModel,
+    ScoringScheme,
+    default_scheme,
+    rowsweep_rows,
+    sw_matrices_affine,
+    sw_score,
+    sw_score_batch,
+    sw_score_rowsweep,
+    sw_score_striped,
+    sw_score_wavefront,
+)
+from repro.sequences import BLOSUM62, PROTEIN, Sequence
+
+from .conftest import protein_seq, random_protein
+
+AFFINE = default_scheme()
+LINEAR = ScoringScheme(matrix=BLOSUM62, gaps=GapModel.linear(-4))
+SCHEMES = {"affine": AFFINE, "linear": LINEAR}
+
+
+@pytest.fixture(params=sorted(SCHEMES), ids=str, scope="module")
+def scheme(request):
+    return SCHEMES[request.param]
+
+
+KERNELS = {
+    "rowsweep": lambda q, s, sch: sw_score_rowsweep(q, s, sch),
+    "striped": lambda q, s, sch: sw_score_striped(q, s, sch, lanes=4),
+    "striped_wide": lambda q, s, sch: sw_score_striped(q, s, sch, lanes=16),
+    "wavefront": lambda q, s, sch: sw_score_wavefront(q, s, sch),
+    "batch": lambda q, s, sch: int(sw_score_batch(q, [s], sch)[0]),
+}
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS), ids=str)
+class TestKernelEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_matches_scalar(self, kernel, scheme, q, s):
+        assert KERNELS[kernel](q, s, scheme) == sw_score(q, s, scheme)
+
+    def test_single_residue(self, kernel, scheme):
+        q = Sequence.from_text("q", "W")
+        s = Sequence.from_text("s", "W")
+        assert KERNELS[kernel](q, s, scheme) == 11
+
+    def test_no_similarity(self, kernel, scheme):
+        q = Sequence.from_text("q", "WWWW")
+        s = Sequence.from_text("s", "PPPP")
+        assert KERNELS[kernel](q, s, scheme) == sw_score(q, s, scheme)
+
+    def test_long_random_pair(self, kernel, scheme):
+        rng = np.random.default_rng(1234)
+        q = random_protein(rng, 150)
+        s = random_protein(rng, 200)
+        assert KERNELS[kernel](q, s, scheme) == sw_score(q, s, scheme)
+
+
+class TestKernelEdgeCases:
+    def test_empty_sequences(self):
+        q = Sequence.from_text("q", "")
+        s = Sequence.from_text("s", "ARND")
+        assert sw_score_rowsweep(q, s, AFFINE) == 0
+        assert sw_score_rowsweep(s, q, AFFINE) == 0
+        assert sw_score_striped(q, s, AFFINE) == 0
+        assert sw_score_wavefront(q, s, AFFINE) == 0
+        assert sw_score_batch(q, [s], AFFINE).tolist() == [0]
+
+    def test_striped_lane_validation(self):
+        q = Sequence.from_text("q", "ARND")
+        with pytest.raises(ValueError, match="lanes"):
+            sw_score_striped(q, q, AFFINE, lanes=0)
+
+    def test_striped_more_lanes_than_query(self):
+        q = Sequence.from_text("q", "AR")
+        s = Sequence.from_text("s", "ARND")
+        assert sw_score_striped(q, s, AFFINE, lanes=16) == sw_score(q, s, AFFINE)
+
+    def test_rowsweep_rows_match_scalar_matrix(self):
+        rng = np.random.default_rng(5)
+        q = random_protein(rng, 12)
+        s = random_protein(rng, 17)
+        H_ref, _, _ = sw_matrices_affine(q, s, AFFINE)
+        rows = [row for row, _ in rowsweep_rows(q, s, AFFINE)]
+        assert len(rows) == len(q)
+        for i, row in enumerate(rows, start=1):
+            assert np.array_equal(row, H_ref[i].astype(np.int64))
+
+
+class TestBatch:
+    def test_empty_database(self):
+        q = Sequence.from_text("q", "ARND")
+        assert sw_score_batch(q, [], AFFINE).size == 0
+
+    def test_order_preserved_across_chunks(self):
+        rng = np.random.default_rng(7)
+        db = [random_protein(rng, int(n)) for n in rng.integers(1, 90, size=40)]
+        q = random_protein(rng, 60)
+        got = sw_score_batch(q, db, AFFINE, chunk_cells=1500)
+        ref = np.array([sw_score(q, s, AFFINE) for s in db])
+        assert np.array_equal(got, ref)
+
+    def test_chunk_cells_validation(self):
+        q = Sequence.from_text("q", "ARND")
+        with pytest.raises(ValueError, match="chunk_cells"):
+            sw_score_batch(q, [q], AFFINE, chunk_cells=0)
+
+    def test_tiny_chunks_one_sequence_each(self):
+        rng = np.random.default_rng(9)
+        db = [random_protein(rng, 30) for _ in range(5)]
+        q = random_protein(rng, 25)
+        got = sw_score_batch(q, db, AFFINE, chunk_cells=1)
+        ref = np.array([sw_score(q, s, AFFINE) for s in db])
+        assert np.array_equal(got, ref)
+
+    def test_linear_scheme_batch(self):
+        rng = np.random.default_rng(11)
+        db = [random_protein(rng, int(n)) for n in rng.integers(1, 50, size=20)]
+        q = random_protein(rng, 40)
+        got = sw_score_batch(q, db, LINEAR)
+        ref = np.array([sw_score(q, s, LINEAR) for s in db])
+        assert np.array_equal(got, ref)
+
+
+class TestWavefront:
+    def test_step_count(self):
+        q = Sequence.from_text("q", "ARND")
+        s = Sequence.from_text("s", "ARNDAR")
+        from repro.align import wavefront_steps
+
+        steps = list(wavefront_steps(q, s, AFFINE))
+        assert len(steps) == len(q) + len(s) - 1
+
+    def test_running_max_equals_score(self):
+        rng = np.random.default_rng(13)
+        q = random_protein(rng, 30)
+        s = random_protein(rng, 40)
+        from repro.align import wavefront_steps
+
+        assert max(wavefront_steps(q, s, AFFINE)) == sw_score(q, s, AFFINE)

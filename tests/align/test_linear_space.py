@@ -1,0 +1,116 @@
+"""Tests for linear-space (Hirschberg/Myers-Miller) alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.align import (
+    align_global_linear_space,
+    align_local_linear_space,
+    align_local,
+    nw_score,
+    sw_score,
+)
+from repro.align.linear_space import _score_alignment
+from repro.sequences import Sequence
+
+from .conftest import protein_seq, random_protein
+
+
+class TestGlobalLinearSpace:
+    @settings(max_examples=30, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_score_matches_nw(self, affine_scheme, q, s):
+        res = align_global_linear_space(q, s, affine_scheme)
+        assert res.score == nw_score(q, s, affine_scheme, mode="global")
+
+    @settings(max_examples=30, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_alignment_rescoring_consistent(self, affine_scheme, q, s):
+        res = align_global_linear_space(q, s, affine_scheme)
+        assert (
+            _score_alignment(res.aligned_query, res.aligned_subject, affine_scheme)
+            == res.score
+        )
+
+    def test_alignment_covers_both_sequences(self, affine_scheme):
+        rng = np.random.default_rng(5)
+        q = random_protein(rng, 33)
+        s = random_protein(rng, 47)
+        res = align_global_linear_space(q, s, affine_scheme)
+        assert res.aligned_query.replace("-", "") == q.text
+        assert res.aligned_subject.replace("-", "") == s.text
+
+    def test_identical_sequences(self, affine_scheme):
+        q = Sequence.from_text("q", "ARNDCQEGHILK")
+        res = align_global_linear_space(q, q, affine_scheme)
+        assert res.aligned_query == q.text
+        assert res.aligned_subject == q.text
+        assert res.identity == 1.0
+
+    def test_long_sequences(self, affine_scheme):
+        # Longer than any base case: exercises deep recursion.
+        rng = np.random.default_rng(6)
+        q = random_protein(rng, 200)
+        s = random_protein(rng, 180)
+        res = align_global_linear_space(q, s, affine_scheme)
+        assert res.score == nw_score(q, s, affine_scheme, mode="global")
+
+    def test_single_residue_cases(self, affine_scheme):
+        a = Sequence.from_text("a", "W")
+        b = Sequence.from_text("b", "WARND")
+        res = align_global_linear_space(a, b, affine_scheme)
+        assert res.score == nw_score(a, b, affine_scheme, mode="global")
+
+    def test_linear_gap_scheme(self, linear_scheme):
+        rng = np.random.default_rng(7)
+        q = random_protein(rng, 30)
+        s = random_protein(rng, 30)
+        res = align_global_linear_space(q, s, linear_scheme)
+        assert res.score == nw_score(q, s, linear_scheme, mode="global")
+
+
+class TestLocalLinearSpace:
+    @settings(max_examples=30, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_score_matches_quadratic(self, affine_scheme, q, s):
+        res = align_local_linear_space(q, s, affine_scheme)
+        assert res.score == sw_score(q, s, affine_scheme)
+
+    @settings(max_examples=25, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_alignment_rescoring(self, affine_scheme, q, s):
+        res = align_local_linear_space(q, s, affine_scheme)
+        if res.score > 0:
+            assert (
+                _score_alignment(
+                    res.aligned_query, res.aligned_subject, affine_scheme
+                )
+                == res.score
+            )
+
+    def test_coordinates_consistent(self, affine_scheme):
+        rng = np.random.default_rng(9)
+        q = random_protein(rng, 60)
+        s = random_protein(rng, 70)
+        res = align_local_linear_space(q, s, affine_scheme)
+        assert res.aligned_query.replace("-", "") == q.text[
+            res.query_start : res.query_end
+        ]
+        assert res.aligned_subject.replace("-", "") == s.text[
+            res.subject_start : res.subject_end
+        ]
+
+    def test_no_similarity(self, affine_scheme):
+        q = Sequence.from_text("q", "WWWW")
+        s = Sequence.from_text("s", "PPPP")
+        res = align_local_linear_space(q, s, affine_scheme)
+        assert res.score == 0
+        assert res.length == 0
+
+    def test_matches_quadratic_result(self, affine_scheme):
+        q = Sequence.from_text("q", "PPPARNDCQEGPPP")
+        s = Sequence.from_text("s", "WWARNDCQEGWW")
+        linear = align_local_linear_space(q, s, affine_scheme)
+        quadratic = align_local(q, s, affine_scheme)
+        assert linear.score == quadratic.score

@@ -1,0 +1,73 @@
+"""Tests for gap models and scoring schemes."""
+
+import pytest
+
+from repro.align import GapModel, ScoringScheme, default_scheme
+from repro.sequences import BLOSUM62, DNA, Sequence
+
+
+class TestGapModel:
+    def test_linear(self):
+        g = GapModel.linear(-3)
+        assert not g.is_affine
+        assert g.gap == -3
+
+    def test_linear_requires_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            GapModel.linear(2)
+
+    def test_affine(self):
+        g = GapModel.affine(10, 1)
+        assert g.is_affine
+        assert g.gap_open == 10
+        assert g.gap_extend == 1
+
+    def test_affine_requires_both(self):
+        with pytest.raises(ValueError, match="requires"):
+            GapModel(gap_open=10)
+
+    def test_affine_penalty_signs(self):
+        with pytest.raises(ValueError, match="gap_open"):
+            GapModel.affine(-1, 1)
+        with pytest.raises(ValueError, match="gap_extend"):
+            GapModel.affine(10, 0)
+
+    def test_linear_excludes_affine_fields(self):
+        with pytest.raises(ValueError, match="must not set"):
+            GapModel(gap=-2, gap_open=10, gap_extend=1)
+
+    def test_zero_open_is_valid_affine(self):
+        # Gs = 0 is the linear-equivalent affine model.
+        g = GapModel.affine(0, 2)
+        assert g.is_affine
+
+
+class TestScoringScheme:
+    def test_default_scheme(self):
+        s = default_scheme()
+        assert s.matrix is BLOSUM62
+        assert s.is_affine
+        assert s.gaps.gap_open == 10
+        assert s.gaps.gap_extend == 1
+
+    def test_alphabet_delegation(self):
+        assert default_scheme().alphabet.name == "protein"
+
+    def test_check_sequence_mismatch(self):
+        s = default_scheme()
+        dna = Sequence.from_text("d", "ACGT", alphabet=DNA)
+        with pytest.raises(ValueError, match="alphabet"):
+            s.check_sequence(dna)
+
+    def test_profile_shape(self):
+        s = default_scheme()
+        q = Sequence.from_text("q", "ARND")
+        assert s.profile(q).shape == (4, 24)
+
+    def test_profile_wrong_alphabet(self):
+        s = default_scheme()
+        with pytest.raises(ValueError):
+            s.profile(Sequence.from_text("d", "ACGT", alphabet=DNA))
+
+    def test_max_pair_score(self):
+        assert default_scheme().max_pair_score() == 11  # W-W in BLOSUM62

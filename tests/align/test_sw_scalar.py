@@ -1,0 +1,181 @@
+"""Tests for the scalar Smith-Waterman reference (Equations 1-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.align import (
+    GapModel,
+    ScoringScheme,
+    nw_score,
+    sw_matrices_affine,
+    sw_matrix_linear,
+    sw_score,
+    sw_score_and_position,
+)
+from repro.sequences import BLOSUM62, DNA, Sequence, match_mismatch_matrix
+
+from .conftest import protein_seq
+
+
+def dna(text, name="s"):
+    return Sequence.from_text(name, text, alphabet=DNA)
+
+
+class TestPaperFigure1:
+    """The worked example of the paper's Figure 1."""
+
+    SCHEME = ScoringScheme(
+        matrix=match_mismatch_matrix(DNA, match=1, mismatch=-1),
+        gaps=GapModel.linear(-2),
+    )
+
+    def test_global_score_is_4(self):
+        # ACTTGTCCG / A-TTGTCAG: 7 matches, 1 mismatch, 1 gap = +4.
+        s = dna("ACTTGTCCG")
+        t = dna("ATTGTCAG")
+        assert nw_score(s, t, self.SCHEME, mode="global") == 4
+
+    def test_local_score_at_least_global(self):
+        s = dna("ACTTGTCCG")
+        t = dna("ATTGTCAG")
+        assert sw_score(s, t, self.SCHEME) >= 4
+
+
+class TestLinearMatrix:
+    SCHEME = ScoringScheme(
+        matrix=match_mismatch_matrix(DNA, match=1, mismatch=-1),
+        gaps=GapModel.linear(-2),
+    )
+
+    def test_boundary_rows_zero(self):
+        H = sw_matrix_linear(dna("ACG"), dna("AC"), self.SCHEME)
+        assert (H[0, :] == 0).all()
+        assert (H[:, 0] == 0).all()
+
+    def test_identical_diagonal(self):
+        H = sw_matrix_linear(dna("ACGT"), dna("ACGT"), self.SCHEME)
+        assert H[4, 4] == 4
+
+    def test_all_mismatches_zero(self):
+        assert sw_score(dna("AAAA"), dna("TTTT"), self.SCHEME) == 0
+
+    def test_internal_gap(self):
+        # ACGTACGT vs ACGTTACGT: 8 matches with one 1-residue gap (-2).
+        assert sw_score(dna("ACGTACGT"), dna("ACGTTACGT"), self.SCHEME) == 6
+
+    def test_rejects_affine_scheme(self):
+        from repro.align import default_scheme
+
+        q = Sequence.from_text("q", "AR")
+        with pytest.raises(ValueError, match="linear-gap"):
+            sw_matrix_linear(q, q, default_scheme())
+
+    def test_never_negative(self):
+        H = sw_matrix_linear(dna("ACGTTGCA"), dna("TTGGAACC"), self.SCHEME)
+        assert (H >= 0).all()
+
+
+class TestAffineMatrices:
+    def test_identical_protein(self, affine_scheme):
+        q = Sequence.from_text("q", "ARND")
+        H, E, F = sw_matrices_affine(q, q, affine_scheme)
+        assert H[4, 4] == 4 + 5 + 6 + 6  # self scores A,R,N,D
+
+    def test_gap_costs_open_plus_extend(self):
+        # Force a gap of length 2: X + Y vs X + ZZ + Y with residues
+        # chosen so cross-matches cannot beat the gapped alignment.
+        scheme = ScoringScheme(
+            matrix=match_mismatch_matrix(DNA, match=5, mismatch=-8),
+            gaps=GapModel.affine(3, 1),
+        )
+        q = dna("ACGTGTCA")
+        s = dna("ACGTTTGTCA")  # 'TT' inserted in the middle
+        # 8 matches (+40) minus one gap of length 2 (3 + 2*1 = 5).
+        assert sw_score(q, s, scheme) == 40 - 5
+
+    def test_affine_groups_gaps(self):
+        # One gap of length 2 must beat two separate length-1 gaps:
+        # with Gs=10, Ge=1 a 2-gap costs 12, two 1-gaps cost 22.
+        scheme = ScoringScheme(
+            matrix=match_mismatch_matrix(DNA, match=5, mismatch=-8),
+            gaps=GapModel.affine(10, 1),
+        )
+        q = dna("ACGTGTCA")
+        s = dna("ACGTTTGTCA")
+        assert sw_score(q, s, scheme) == 40 - 12
+
+    def test_rejects_linear_scheme(self, linear_scheme):
+        q = Sequence.from_text("q", "AR")
+        with pytest.raises(ValueError, match="affine-gap"):
+            sw_matrices_affine(q, q, linear_scheme)
+
+    def test_h_never_negative_e_f_can_be(self, affine_scheme):
+        q = Sequence.from_text("q", "ARNDC")
+        s = Sequence.from_text("s", "WWYVL")
+        H, E, F = sw_matrices_affine(q, s, affine_scheme)
+        assert (H >= 0).all()
+        assert (E[1:, 1:] < 0).any()
+
+    def test_score_and_position(self, affine_scheme):
+        q = Sequence.from_text("q", "ARND")
+        score, (i, j) = sw_score_and_position(q, q, affine_scheme)
+        assert score == 21
+        assert (i, j) == (4, 4)
+
+    def test_empty_query(self, affine_scheme):
+        q = Sequence.from_text("q", "")
+        s = Sequence.from_text("s", "ARND")
+        assert sw_score(q, s, affine_scheme) == 0
+
+    def test_alphabet_mismatch_rejected(self, affine_scheme):
+        q = Sequence.from_text("q", "ARND")
+        s = dna("ACGT")
+        with pytest.raises(ValueError, match="alphabet"):
+            sw_score(q, s, affine_scheme)
+
+
+class TestScoreProperties:
+    """Hypothesis invariants of the SW similarity."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_symmetry(self, affine_scheme, q, s):
+        assert sw_score(q, s, affine_scheme) == sw_score(s, q, affine_scheme)
+
+    @settings(max_examples=30, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_non_negative(self, affine_scheme, q, s):
+        assert sw_score(q, s, affine_scheme) >= 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(q=protein_seq("q"))
+    def test_self_score_is_diagonal_sum(self, affine_scheme, q):
+        expected = sum(BLOSUM62.score(c, c) for c in q.text)
+        assert sw_score(q, q, affine_scheme) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_reversal_invariance(self, affine_scheme, q, s):
+        assert sw_score(q, s, affine_scheme) == sw_score(
+            q.reversed(), s.reversed(), affine_scheme
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(q=protein_seq("q"), s1=protein_seq("a"), s2=protein_seq("b"))
+    def test_concatenation_monotone(self, affine_scheme, q, s1, s2):
+        joined = Sequence(
+            id="ab",
+            codes=np.concatenate([s1.codes, s2.codes]),
+            alphabet=s1.alphabet,
+        )
+        assert sw_score(q, joined, affine_scheme) >= max(
+            sw_score(q, s1, affine_scheme), sw_score(q, s2, affine_scheme)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_local_at_least_global(self, affine_scheme, q, s):
+        assert sw_score(q, s, affine_scheme) >= max(
+            0, nw_score(q, s, affine_scheme, mode="global")
+        )

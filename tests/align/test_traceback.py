@@ -1,0 +1,145 @@
+"""Tests for local-alignment traceback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.align import AlignmentResult, align_local, sw_score
+from repro.sequences import Sequence
+
+from .conftest import protein_seq, random_protein
+
+
+def rescore(result, scheme):
+    """Independently re-score an alignment from its aligned strings."""
+    total = 0
+    in_gap_q = in_gap_s = False
+    for a, b in zip(result.aligned_query, result.aligned_subject):
+        if a == "-":
+            total -= scheme.gaps.gap_extend + (
+                0 if in_gap_q else scheme.gaps.gap_open
+            )
+            in_gap_q, in_gap_s = True, False
+        elif b == "-":
+            total -= scheme.gaps.gap_extend + (
+                0 if in_gap_s else scheme.gaps.gap_open
+            )
+            in_gap_q, in_gap_s = False, True
+        else:
+            total += scheme.matrix.score(a, b)
+            in_gap_q = in_gap_s = False
+    return total
+
+
+class TestAlignLocal:
+    def test_identical(self, affine_scheme):
+        q = Sequence.from_text("q", "ARNDC")
+        res = align_local(q, q, affine_scheme)
+        assert res.aligned_query == "ARNDC"
+        assert res.aligned_subject == "ARNDC"
+        assert res.identity == 1.0
+        assert res.cigar() == "5M"
+        assert (res.query_start, res.query_end) == (0, 5)
+
+    def test_score_matches_sw(self, affine_scheme):
+        rng = np.random.default_rng(21)
+        q = random_protein(rng, 35)
+        s = random_protein(rng, 42)
+        res = align_local(q, s, affine_scheme)
+        assert res.score == sw_score(q, s, affine_scheme)
+
+    def test_gap_in_alignment(self, affine_scheme):
+        q = Sequence.from_text("q", "MKVLAWFRMKVLAW")
+        s = Sequence.from_text("s", "MKVLAWFFFRMKVLAW")
+        res = align_local(q, s, affine_scheme)
+        assert "-" in res.aligned_query
+        assert rescore(res, affine_scheme) == res.score
+
+    def test_coordinates_consistent(self, affine_scheme):
+        q = Sequence.from_text("q", "PPPPARNDCPPPP")
+        s = Sequence.from_text("s", "WWARNDCWW")
+        res = align_local(q, s, affine_scheme)
+        # The aligned region of the query must equal the slice it claims.
+        assert res.aligned_query.replace("-", "") == q.text[
+            res.query_start : res.query_end
+        ]
+        assert res.aligned_subject.replace("-", "") == s.text[
+            res.subject_start : res.subject_end
+        ]
+
+    def test_empty_alignment_when_no_similarity(self, affine_scheme):
+        q = Sequence.from_text("q", "WWWW")
+        s = Sequence.from_text("s", "PPPP")
+        res = align_local(q, s, affine_scheme)
+        assert res.score == 0
+        assert res.length == 0
+        assert res.cigar() == ""
+        assert res.identity == 0.0
+
+    def test_linear_scheme_traceback(self, linear_scheme):
+        rng = np.random.default_rng(3)
+        q = random_protein(rng, 30)
+        s = random_protein(rng, 30)
+        res = align_local(q, s, linear_scheme)
+        assert res.score == sw_score(q, s, linear_scheme)
+
+    @settings(max_examples=25, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_property_rescoring(self, affine_scheme, q, s):
+        res = align_local(q, s, affine_scheme)
+        if res.score > 0:
+            assert rescore(res, affine_scheme) == res.score
+
+    @settings(max_examples=25, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"))
+    def test_property_coordinates(self, affine_scheme, q, s):
+        res = align_local(q, s, affine_scheme)
+        assert res.aligned_query.replace("-", "") == q.text[
+            res.query_start : res.query_end
+        ]
+        assert res.aligned_subject.replace("-", "") == s.text[
+            res.subject_start : res.subject_end
+        ]
+
+
+class TestAlignmentResult:
+    def make(self, aq, asub, score=10):
+        return AlignmentResult(
+            score=score,
+            query_id="q",
+            subject_id="s",
+            aligned_query=aq,
+            aligned_subject=asub,
+            query_start=0,
+            query_end=len(aq.replace("-", "")),
+            subject_start=0,
+            subject_end=len(asub.replace("-", "")),
+        )
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            self.make("AR", "A")
+
+    def test_cigar_runs(self):
+        res = self.make("AR-ND", "ARN-D")
+        assert res.cigar() == "2M1I1D1M"
+
+    def test_matches_and_identity(self):
+        res = self.make("ARND", "ARNC")
+        assert res.matches == 3
+        assert res.identity == 0.75
+
+    def test_gap_count(self):
+        res = self.make("A-ND", "AR-D")
+        assert res.gaps == 2
+
+    def test_pretty_contains_midline(self):
+        res = self.make("ARND", "ARNC")
+        out = res.pretty()
+        assert "|||" in out
+        assert "score=10" in out
+
+    def test_pretty_wraps(self):
+        res = self.make("A" * 100, "A" * 100)
+        out = res.pretty(width=40)
+        assert out.count("AAAA") >= 2

@@ -1,0 +1,150 @@
+"""Tests for the comparator application models."""
+
+import numpy as np
+import pytest
+
+from repro.align import default_scheme, sw_score
+from repro.comparators import (
+    ALL_APPS,
+    BASELINE_APPS,
+    CUDASW,
+    LIVE_KERNELS,
+    STRIPED,
+    SWDUAL,
+    SWIPE,
+    SWPS3,
+    table1_rows,
+)
+from repro.sequences import (
+    paper_database_profile,
+    small_database,
+    standard_query_set,
+)
+
+
+@pytest.fixture(scope="module")
+def uniprot():
+    return paper_database_profile("uniprot")
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return standard_query_set()
+
+
+class TestSpecs:
+    def test_table1_rows(self):
+        rows = table1_rows()
+        assert [r[0] for r in rows] == ["SWIPE", "STRIPED", "SWPS3", "CUDASW++"]
+        assert rows[0][2] == "./swipe -a $T -i $Q -d $D"
+        assert rows[3][1] == "2.0"
+
+    def test_single_worker_time_reproduced(self, uniprot, queries):
+        # Each baseline's T1 is a calibration target, so the simulated
+        # single-worker time must match Table II almost exactly.
+        for app in BASELINE_APPS:
+            sim = app.simulate(queries, uniprot, 1).report.wall_seconds
+            assert sim == pytest.approx(app.spec.t1_seconds, rel=1e-3), app.name
+
+    def test_multi_worker_shape(self, uniprot, queries):
+        # Simulated multi-worker times track the measured ones within
+        # 15% (self-scheduling adds end-of-run imbalance).
+        for app in BASELINE_APPS:
+            for w, measured in app.spec.measured_seconds.items():
+                sim = app.simulate(queries, uniprot, w).report.wall_seconds
+                assert sim == pytest.approx(measured, rel=0.15), (app.name, w)
+
+    def test_efficiency_interpolation_and_extrapolation(self):
+        assert SWIPE.efficiency(1) == 1.0
+        assert SWIPE.efficiency(4) == pytest.approx(
+            2367.24 / (4 * 610.23), rel=1e-6
+        )
+        # Beyond the table: monotone geometric continuation.
+        assert 0.05 <= CUDASW.efficiency(8) <= CUDASW.efficiency(4)
+        with pytest.raises(ValueError):
+            SWIPE.efficiency(0)
+
+    def test_platform_kind(self):
+        assert all(pe.is_gpu for pe in CUDASW.platform(2))
+        assert not any(pe.is_gpu for pe in SWPS3.platform(2))
+
+
+class TestFigure7Shape:
+    """The qualitative claims of Figure 7 / Section V-A."""
+
+    @pytest.fixture(scope="class")
+    def times(self, uniprot, queries):
+        out = {}
+        for app in BASELINE_APPS:
+            out[app.name] = {
+                w: app.simulate(queries, uniprot, w).report.wall_seconds
+                for w in (1, 2, 4)
+            }
+        out["SWDUAL"] = {
+            w: SWDUAL.simulate(queries, uniprot, w).report.wall_seconds
+            for w in (2, 4, 8)
+        }
+        return out
+
+    def test_app_ordering_preserved(self, times):
+        # SWPS3 slowest, then STRIPED, then SWIPE, then CUDASW++.
+        for w in (1, 2, 4):
+            assert (
+                times["SWPS3"][w]
+                > times["STRIPED"][w]
+                > times["SWIPE"][w]
+                > times["CUDASW++"][w]
+            )
+
+    def test_swdual_wins_at_four_workers(self, times):
+        # The paper's headline: at 4 workers SWDUAL (3 GPUs + 1 CPU)
+        # beats every other application at 4 workers.
+        for name in ("SWPS3", "STRIPED", "SWIPE", "CUDASW++"):
+            assert times["SWDUAL"][4] < times[name][4], name
+
+    def test_swdual_reduction_vs_swipe(self, times):
+        # Paper: ~55% reduction vs SWIPE at matched worker counts.
+        reduction = 1 - times["SWDUAL"][4] / times["SWIPE"][4]
+        assert reduction > 0.45
+
+    def test_swdual_monotone_decreasing(self, times):
+        assert times["SWDUAL"][2] > times["SWDUAL"][4] > times["SWDUAL"][8]
+
+    def test_all_apps_decrease_with_workers(self, times):
+        for name, series in times.items():
+            ws = sorted(series)
+            values = [series[w] for w in ws]
+            assert values == sorted(values, reverse=True), name
+
+
+class TestLiveKernels:
+    def test_kernels_registered_for_all_baselines(self):
+        assert set(LIVE_KERNELS) == {a.name for a in BASELINE_APPS}
+
+    @pytest.mark.parametrize("name", sorted(LIVE_KERNELS))
+    def test_live_kernel_matches_reference(self, name):
+        scheme = default_scheme()
+        db = small_database(num_sequences=6, mean_length=40, seed=8)
+        query = standard_query_set(count=1).scaled(0.01).materialize(seed=9)[0]
+        scores = LIVE_KERNELS[name](query, list(db), scheme)
+        expected = np.array([sw_score(query, s, scheme) for s in db])
+        assert np.array_equal(np.asarray(scores), expected), name
+
+
+class TestSWDualApp:
+    def test_worker_mix(self):
+        assert SWDUAL.worker_mix(2) == (1, 1)
+        assert SWDUAL.worker_mix(8) == (4, 4)
+
+    def test_simulate_runs(self, uniprot):
+        out = SWDUAL.simulate(standard_query_set(), uniprot, 4)
+        assert out.report.wall_seconds > 0
+        assert len(out.report.worker_stats) == 4
+
+    def test_validation(self):
+        from repro.comparators import SWDualApp
+
+        with pytest.raises(ValueError):
+            SWDualApp(max_gpus=0)
+        with pytest.raises(ValueError):
+            SWDUAL.simulate(standard_query_set(), paper_database_profile("ensembl_dog"), 1)

@@ -1,0 +1,43 @@
+"""Shared fixtures/strategies for scheduler tests."""
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import TaskSet
+
+
+def random_taskset(rng: np.random.Generator, n: int) -> TaskSet:
+    """Random heterogeneous task set (not necessarily accelerated)."""
+    return TaskSet(
+        cpu_times=rng.uniform(0.1, 10.0, n),
+        gpu_times=rng.uniform(0.1, 10.0, n),
+    )
+
+
+def accelerated_taskset(rng: np.random.Generator, n: int) -> TaskSet:
+    """Task set where every task is faster on a GPU (the paper's case)."""
+    pbar = rng.uniform(0.1, 5.0, n)
+    speedup = rng.uniform(1.0, 4.0, n)
+    return TaskSet(cpu_times=pbar * speedup, gpu_times=pbar)
+
+
+@st.composite
+def taskset_strategy(draw, max_n=25, accelerated=False):
+    """Hypothesis strategy producing a TaskSet."""
+    n = draw(st.integers(1, max_n))
+    times = st.floats(0.1, 50.0, allow_nan=False, allow_infinity=False)
+    pbar = draw(st.lists(times, min_size=n, max_size=n))
+    if accelerated:
+        factors = draw(
+            st.lists(st.floats(1.0, 5.0), min_size=n, max_size=n)
+        )
+        p = [b * f for b, f in zip(pbar, factors)]
+    else:
+        p = draw(st.lists(times, min_size=n, max_size=n))
+    return TaskSet(cpu_times=np.array(p), gpu_times=np.array(pbar))
+
+
+@st.composite
+def platform_strategy(draw, max_m=5, max_k=5):
+    return draw(st.integers(1, max_m)), draw(st.integers(1, max_k))

@@ -1,0 +1,138 @@
+"""Tests for makespan bounds and baseline schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BASELINES,
+    TaskSet,
+    area_lower_bound,
+    earliest_finish_time,
+    eft_upper_bound,
+    equal_power_split,
+    hetero_lpt,
+    makespan_bounds,
+    max_task_lower_bound,
+    proportional_split,
+    self_scheduling,
+)
+
+from .conftest import accelerated_taskset, random_taskset, taskset_strategy
+
+
+class TestBounds:
+    def test_max_task_bound(self):
+        ts = TaskSet([5.0, 2.0], [1.0, 8.0])
+        assert max_task_lower_bound(ts) == 2.0
+
+    def test_area_bound_single_class(self):
+        ts = TaskSet([4.0, 4.0], [1.0, 1.0])
+        assert area_lower_bound(ts, m=2, k=0) == pytest.approx(4.0)
+        assert area_lower_bound(ts, m=0, k=2) == pytest.approx(1.0)
+
+    def test_area_bound_hybrid_balanced(self):
+        # Two identical tasks, one CPU one GPU: fractional optimum
+        # splits so both sides finish together.
+        ts = TaskSet([2.0, 2.0], [2.0, 2.0])
+        assert area_lower_bound(ts, 1, 1) == pytest.approx(2.0)
+
+    def test_invalid_platform(self):
+        ts = TaskSet([1.0], [1.0])
+        with pytest.raises(ValueError):
+            area_lower_bound(ts, 0, 0)
+        with pytest.raises(ValueError):
+            eft_upper_bound(ts, 0, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=taskset_strategy(max_n=20), m=st.integers(1, 4), k=st.integers(1, 4))
+    def test_property_bounds_ordered(self, tasks, m, k):
+        lo, hi = makespan_bounds(tasks, m, k)
+        assert 0 < lo <= hi
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks=taskset_strategy(max_n=14), m=st.integers(1, 3), k=st.integers(1, 3))
+    def test_property_every_baseline_within_bounds(self, tasks, m, k):
+        lo, _ = makespan_bounds(tasks, m, k)
+        for name, fn in BASELINES.items():
+            sched = fn(tasks, m, k)
+            assert sched.makespan >= lo - 1e-9, name
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks=taskset_strategy(max_n=15), m=st.integers(1, 3), k=st.integers(1, 3))
+    def test_property_eft_upper_bound_is_achievable(self, tasks, m, k):
+        hi = eft_upper_bound(tasks, m, k)
+        sched = hetero_lpt(tasks, m, k)
+        assert sched.makespan <= hi + 1e-9
+
+
+class TestBaselines:
+    def setup_method(self):
+        self.rng = np.random.default_rng(42)
+
+    def test_all_baselines_schedule_every_task(self):
+        tasks = random_taskset(self.rng, 25)
+        for name, fn in BASELINES.items():
+            sched = fn(tasks, 2, 3)
+            assert sched.num_tasks == 25, name
+            assert len(sched.assignment_vector()) == 25, name
+
+    def test_self_scheduling_no_early_idle(self):
+        # With dynamic assignment, no PE idles while tasks remain: each
+        # PE's last task starts before every other PE's completion.
+        tasks = random_taskset(self.rng, 30)
+        sched = self_scheduling(tasks, 2, 2)
+        completions = {n: sched.completion_time(n) for n in sched.pe_names}
+        for name in sched.pe_names:
+            tl = sched.timeline(name)
+            if not tl:
+                continue
+            last_start = tl[-1].start
+            for other, done in completions.items():
+                if other != name:
+                    assert last_start <= done + 1e-9
+
+    def test_equal_power_round_robin(self):
+        tasks = TaskSet([1.0] * 4, [1.0] * 4)
+        sched = equal_power_split(tasks, 2, 2)
+        assignment = sched.assignment_vector()
+        assert assignment[0] == "cpu0"
+        assert assignment[1] == "cpu1"
+        assert assignment[2] == "gpu0"
+        assert assignment[3] == "gpu1"
+
+    def test_proportional_sends_more_to_faster_class(self):
+        # GPUs 4x faster: they should receive ~80% of tasks (1 CPU, 1 GPU).
+        tasks = TaskSet([4.0] * 20, [1.0] * 20)
+        sched = proportional_split(tasks, 1, 1)
+        gpu_count = sum(
+            1 for pe in sched.assignment_vector().values() if pe.startswith("gpu")
+        )
+        assert 14 <= gpu_count <= 18
+
+    def test_eft_prefers_faster_pe(self):
+        tasks = TaskSet([10.0], [1.0])
+        sched = earliest_finish_time(tasks, 1, 1)
+        assert sched.assignment_vector()[0] == "gpu0"
+
+    def test_hetero_lpt_beats_or_matches_arbitrary_eft_often(self):
+        # Not a theorem, but on accelerated instances LPT ordering
+        # should not lose badly; check it stays within 1.5x.
+        tasks = accelerated_taskset(self.rng, 40)
+        a = earliest_finish_time(tasks, 2, 2).makespan
+        b = hetero_lpt(tasks, 2, 2).makespan
+        assert b <= 1.5 * a
+
+    def test_invalid_platform_rejected(self):
+        tasks = TaskSet([1.0], [1.0])
+        for fn in (self_scheduling, equal_power_split, proportional_split):
+            with pytest.raises(ValueError):
+                fn(tasks, 0, 0)
+
+    def test_custom_order_self_scheduling(self):
+        tasks = TaskSet([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        sched = self_scheduling(tasks, 1, 1, order=[2, 1, 0])
+        # Task 2 starts first (t=0).
+        assignment = {s.task_index: s for n in sched.pe_names for s in sched.timeline(n)}
+        assert assignment[2].start == 0.0

@@ -1,0 +1,250 @@
+"""Tests for the dual-approximation steps and binary search.
+
+The load-bearing properties:
+
+* the 2-approx step never returns a schedule longer than ``2λ``;
+* the 3/2 DP step never exceeds ``1.5λ``;
+* a "NO" from the 2-approx step is never wrong (validated against a
+  brute-force optimal makespan on small instances);
+* the binary search converges and its result beats the baselines'
+  worst cases.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TaskSet,
+    dual_approx_dp_step,
+    dual_approx_schedule,
+    dual_approx_step,
+    make_dp_step,
+    makespan_bounds,
+)
+
+from .conftest import random_taskset, taskset_strategy
+
+
+def brute_force_makespan(tasks: TaskSet, m: int, k: int) -> float:
+    """Exact optimal makespan by enumerating all class assignments and
+    machine partitions (tiny instances only)."""
+    n = len(tasks)
+    p, pbar = tasks.cpu_times, tasks.gpu_times
+    best = np.inf
+
+    def partition_makespan(durations, machines):
+        # Optimal multiprocessor scheduling by enumeration over machine
+        # choices (durations tiny).
+        if not durations:
+            return 0.0
+        best_inner = [np.inf]
+        loads = [0.0] * machines
+
+        def rec(i):
+            if i == len(durations):
+                best_inner[0] = min(best_inner[0], max(loads))
+                return
+            if max(loads) >= best_inner[0]:
+                return
+            for mach in range(machines):
+                loads[mach] += durations[i]
+                rec(i + 1)
+                loads[mach] -= durations[i]
+                if loads[mach] == 0.0:
+                    break  # symmetry: first empty machine only
+        rec(0)
+        return best_inner[0]
+
+    for mask in itertools.product([0, 1], repeat=n):
+        cpu_tasks = [p[j] for j in range(n) if mask[j]]
+        gpu_tasks = [pbar[j] for j in range(n) if not mask[j]]
+        cm = partition_makespan(cpu_tasks, m)
+        gm = partition_makespan(gpu_tasks, k)
+        best = min(best, max(cm, gm))
+    return float(best)
+
+
+class TestDualApproxStepGuarantee:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        tasks=taskset_strategy(max_n=20),
+        m=st.integers(1, 4),
+        k=st.integers(1, 4),
+        lam_factor=st.floats(0.05, 3.0),
+    )
+    def test_2lambda_guarantee(self, tasks, m, k, lam_factor):
+        lam = lam_factor * float(
+            np.maximum(tasks.cpu_times, tasks.gpu_times).max()
+        )
+        step = dual_approx_step(tasks, m, k, lam)
+        if step is not None:
+            assert step.schedule.makespan <= 2 * lam + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        tasks=taskset_strategy(max_n=12),
+        m=st.integers(1, 3),
+        k=st.integers(1, 3),
+        lam_factor=st.floats(0.1, 3.0),
+    )
+    def test_3half_lambda_guarantee(self, tasks, m, k, lam_factor):
+        lam = lam_factor * float(
+            np.maximum(tasks.cpu_times, tasks.gpu_times).max()
+        )
+        step = dual_approx_dp_step(tasks, m, k, lam)
+        if step is not None:
+            assert step.schedule.makespan <= 1.5 * lam + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 6),
+        m=st.integers(1, 2),
+        k=st.integers(1, 2),
+        seed=st.integers(0, 5000),
+        lam_factor=st.floats(0.3, 2.0),
+    )
+    def test_no_answers_are_correct(self, n, m, k, seed, lam_factor):
+        # A NO at λ must mean OPT > λ (checked by brute force).
+        rng = np.random.default_rng(seed)
+        tasks = random_taskset(rng, n)
+        opt = brute_force_makespan(tasks, m, k)
+        lam = lam_factor * opt
+        step = dual_approx_step(tasks, m, k, lam)
+        if step is None:
+            assert lam < opt - 1e-9
+
+    def test_accepts_above_opt(self):
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            tasks = random_taskset(rng, 5)
+            opt = brute_force_makespan(tasks, 2, 2)
+            step = dual_approx_step(tasks, 2, 2, opt * 1.0001)
+            assert step is not None
+            assert step.schedule.makespan <= 2 * opt * 1.0001 + 1e-9
+
+
+class TestDualApproxStepMechanics:
+    def test_forced_gpu_placement(self):
+        # Task 0 cannot run on a CPU within λ=5 (p=8), so it must be
+        # on the GPU even though its ratio is poor.
+        tasks = TaskSet([8.0, 2.0], [7.0, 0.5])
+        step = dual_approx_step(tasks, m=1, k=1, lam=7.5)
+        assert step is not None
+        assert not step.knapsack.on_cpu[0]
+
+    def test_forced_cpu_placement(self):
+        # Task 0 cannot run on a GPU within λ (pbar > λ).
+        tasks = TaskSet([3.0, 2.0], [8.0, 0.5])
+        step = dual_approx_step(tasks, m=1, k=1, lam=4.0)
+        assert step is not None
+        assert step.knapsack.on_cpu[0]
+
+    def test_no_when_task_fits_nowhere(self):
+        tasks = TaskSet([8.0], [9.0])
+        assert dual_approx_step(tasks, 1, 1, lam=7.0) is None
+
+    def test_no_when_forced_gpu_overflows(self):
+        # Both tasks forced to the single GPU; their area > kλ.
+        tasks = TaskSet([10.0, 10.0], [4.0, 4.0])
+        assert dual_approx_step(tasks, 1, 1, lam=5.0) is None
+
+    def test_no_when_cpu_area_too_big(self):
+        # GPU-pinned tasks fill capacity; the rest exceed mλ on CPUs.
+        tasks = TaskSet([3.0, 3.0, 3.0, 3.0], [1.0, 1.0, 10.0, 10.0])
+        assert dual_approx_step(tasks, 1, 1, lam=4.0) is None
+
+    def test_cpu_only_platform(self):
+        tasks = TaskSet([2.0, 3.0], [1.0, 1.0])
+        step = dual_approx_step(tasks, m=2, k=0, lam=3.0)
+        assert step is not None
+        assert step.knapsack.on_cpu.all()
+        assert dual_approx_step(tasks, 2, 0, lam=1.0) is None
+
+    def test_gpu_only_platform(self):
+        tasks = TaskSet([2.0, 3.0], [1.0, 1.0])
+        step = dual_approx_step(tasks, m=0, k=1, lam=2.0)
+        assert step is not None
+        assert not step.knapsack.on_cpu.any()
+
+    def test_invalid_inputs(self):
+        tasks = TaskSet([1.0], [1.0])
+        with pytest.raises(ValueError):
+            dual_approx_step(tasks, 1, 1, lam=0.0)
+        with pytest.raises(ValueError):
+            dual_approx_step(tasks, 0, 0, lam=1.0)
+
+    def test_jlast_runs_last_on_gpus(self):
+        rng = np.random.default_rng(5)
+        tasks = random_taskset(rng, 15)
+        lam = float(np.maximum(tasks.cpu_times, tasks.gpu_times).max()) * 1.5
+        step = dual_approx_step(tasks, 2, 2, lam)
+        if step is None or step.knapsack.last_gpu_task is None:
+            pytest.skip("degenerate instance")
+        jlast = step.knapsack.last_gpu_task
+        # j_last must be the last task to *start* among GPU tasks.
+        gpu_slots = [
+            s
+            for name in step.schedule.pe_names
+            if name.startswith("gpu")
+            for s in step.schedule.timeline(name)
+        ]
+        latest_start = max(gpu_slots, key=lambda s: s.start)
+        assert latest_start.task_index == jlast
+
+
+class TestBinarySearch:
+    def test_converges_and_improves(self):
+        rng = np.random.default_rng(7)
+        tasks = random_taskset(rng, 30)
+        result = dual_approx_schedule(tasks, 3, 2, tolerance=1e-4)
+        lo, hi = makespan_bounds(tasks, 3, 2)
+        assert result.lower_bound >= lo - 1e-9
+        assert result.schedule.makespan <= 2 * result.final_guess + 1e-9
+        assert result.iterations <= 60
+
+    def test_iteration_count_logarithmic(self):
+        rng = np.random.default_rng(9)
+        tasks = random_taskset(rng, 20)
+        r_fine = dual_approx_schedule(tasks, 2, 2, tolerance=1e-5)
+        r_coarse = dual_approx_schedule(tasks, 2, 2, tolerance=1e-1)
+        assert r_coarse.iterations < r_fine.iterations
+
+    def test_trace_records_all_steps(self):
+        rng = np.random.default_rng(13)
+        tasks = random_taskset(rng, 10)
+        result = dual_approx_schedule(tasks, 2, 2)
+        assert len(result.trace) == result.iterations
+        assert result.trace[0][1] is True  # Bmax accepted
+
+    def test_single_task(self):
+        tasks = TaskSet([5.0], [2.0])
+        result = dual_approx_schedule(tasks, 1, 1)
+        # One task: it lands on the GPU, makespan = 2.
+        assert result.schedule.makespan == pytest.approx(2.0)
+
+    def test_dp_step_pluggable(self):
+        rng = np.random.default_rng(17)
+        tasks = random_taskset(rng, 15)
+        r2 = dual_approx_schedule(tasks, 2, 2)
+        r32 = dual_approx_schedule(tasks, 2, 2, step_fn=make_dp_step())
+        # The 3/2 variant's guarantee is tighter relative to its final λ.
+        assert r32.schedule.makespan <= 1.5 * r32.final_guess + 1e-9
+        assert r2.schedule.makespan <= 2.0 * r2.final_guess + 1e-9
+
+    def test_validation(self):
+        tasks = TaskSet([1.0], [1.0])
+        with pytest.raises(ValueError):
+            dual_approx_schedule(tasks, 1, 1, tolerance=0)
+        with pytest.raises(ValueError):
+            dual_approx_schedule(tasks, 1, 1, max_iterations=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(tasks=taskset_strategy(max_n=15), m=st.integers(1, 3), k=st.integers(1, 3))
+    def test_property_result_within_2x_lower_bound(self, tasks, m, k):
+        result = dual_approx_schedule(tasks, m, k, tolerance=1e-3)
+        # C_max <= 2·Bmax and Bmax -> lower_bound, so the gap is ~2.
+        assert result.schedule.makespan <= 2 * result.lower_bound * (1 + 5e-3) + 1e-9

@@ -1,0 +1,60 @@
+"""Tests for ASCII Gantt rendering."""
+
+import pytest
+
+from repro.core import Schedule, ScheduledTask, render_gantt, render_utilization
+
+
+@pytest.fixture()
+def schedule():
+    return Schedule(
+        slots=[
+            ScheduledTask(0, "cpu0", 0.0, 4.0),
+            ScheduledTask(1, "gpu0", 0.0, 8.0),
+            ScheduledTask(2, "cpu0", 4.0, 6.0),
+        ],
+        pe_names=["cpu0", "gpu0"],
+        num_tasks=3,
+    )
+
+
+class TestGantt:
+    def test_one_row_per_pe(self, schedule):
+        out = render_gantt(schedule, width=40)
+        lines = out.splitlines()
+        assert len(lines) == 3  # 2 PEs + scale
+        assert lines[0].strip().startswith("cpu0")
+        assert lines[1].strip().startswith("gpu0")
+
+    def test_idle_marks(self, schedule):
+        out = render_gantt(schedule, width=40)
+        cpu_row = out.splitlines()[0]
+        # cpu0 finishes at 6 of 8: the tail must show idle dots.
+        assert "." in cpu_row
+
+    def test_task_digits_present(self, schedule):
+        out = render_gantt(schedule, width=40)
+        assert "0" in out.splitlines()[0]
+        assert "1" in out.splitlines()[1]
+
+    def test_scale_shows_makespan(self, schedule):
+        assert "8.00s" in render_gantt(schedule, width=40)
+
+    def test_width_validation(self, schedule):
+        with pytest.raises(ValueError):
+            render_gantt(schedule, width=5)
+
+
+class TestUtilization:
+    def test_fractions(self, schedule):
+        out = render_utilization(schedule, width=20)
+        assert "75.0%" in out  # cpu0: 6 of 8
+        assert "100.0%" in out  # gpu0
+
+    def test_total_idle_line(self, schedule):
+        out = render_utilization(schedule)
+        assert "idle 2.00s" in out
+
+    def test_width_validation(self, schedule):
+        with pytest.raises(ValueError):
+            render_utilization(schedule, width=0)

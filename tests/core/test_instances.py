@@ -1,0 +1,66 @@
+"""Tests for the scheduling-instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    INSTANCE_FAMILIES,
+    accelerated_instance,
+    anticorrelated_instance,
+    bimodal_instance,
+    uniform_instance,
+)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("name", sorted(INSTANCE_FAMILIES))
+    def test_shape_and_determinism(self, name):
+        gen = INSTANCE_FAMILIES[name]
+        a = gen(30, seed=7)
+        b = gen(30, seed=7)
+        assert len(a) == 30
+        assert np.array_equal(a.cpu_times, b.cpu_times)
+        assert np.array_equal(a.gpu_times, b.gpu_times)
+
+    @pytest.mark.parametrize("name", sorted(INSTANCE_FAMILIES))
+    def test_positive_times(self, name):
+        ts = INSTANCE_FAMILIES[name](50, seed=1)
+        assert (ts.cpu_times > 0).all()
+        assert (ts.gpu_times > 0).all()
+
+    def test_accelerated_property(self):
+        ts = accelerated_instance(100, seed=2)
+        assert ts.all_accelerated
+
+    def test_uniform_not_necessarily_accelerated(self):
+        ts = uniform_instance(200, seed=3)
+        assert not ts.all_accelerated  # overwhelmingly likely
+
+    def test_anticorrelated_structure(self):
+        ts = anticorrelated_instance(200, seed=4)
+        # Speedup decreases with CPU time: check rank correlation < 0.
+        speedup = ts.acceleration
+        p = ts.cpu_times
+        rank_corr = np.corrcoef(np.argsort(np.argsort(p)), np.argsort(np.argsort(speedup)))[0, 1]
+        assert rank_corr < -0.8
+
+    def test_bimodal_has_huge_tasks(self):
+        ts = bimodal_instance(300, seed=5, huge_fraction=0.1, huge_scale=20.0)
+        ratio = ts.gpu_times.max() / np.median(ts.gpu_times)
+        assert ratio > 10
+
+    def test_bimodal_zero_fraction(self):
+        ts = bimodal_instance(50, seed=6, huge_fraction=0.0)
+        assert ts.gpu_times.max() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_instance(0)
+        with pytest.raises(ValueError):
+            uniform_instance(5, lo=2.0, hi=1.0)
+        with pytest.raises(ValueError):
+            accelerated_instance(5, min_speedup=0.5)
+        with pytest.raises(ValueError):
+            bimodal_instance(5, huge_fraction=2.0)
+        with pytest.raises(ValueError):
+            bimodal_instance(5, huge_scale=0.5)

@@ -1,0 +1,215 @@
+"""Tests for the minimisation knapsack and list scheduling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    dp_min_knapsack,
+    greedy_min_knapsack,
+    list_schedule,
+    lpt_order,
+)
+
+
+class TestGreedyKnapsack:
+    def test_ratio_order_filling(self):
+        # Task 1 has the best p/pbar ratio and must be taken first.
+        p = np.array([2.0, 9.0, 4.0])
+        pbar = np.array([2.0, 3.0, 4.0])  # ratios 1, 3, 1
+        res = greedy_min_knapsack(p, pbar, capacity=2.0)
+        assert not res.on_cpu[1]  # best ratio on GPU
+        assert res.on_cpu[0] and res.on_cpu[2]
+        assert res.gpu_area == 3.0
+        assert res.last_gpu_task == 1
+
+    def test_overflow_past_capacity(self):
+        # Greedy keeps adding while area < capacity, so it finishes
+        # with area >= capacity (Figure 4's overflow).
+        p = np.array([4.0, 4.0, 4.0])
+        pbar = np.array([1.0, 1.0, 1.0])
+        res = greedy_min_knapsack(p, pbar, capacity=2.5)
+        assert res.gpu_area == pytest.approx(3.0)
+        assert (~res.on_cpu).sum() == 3
+
+    def test_zero_capacity(self):
+        p = np.array([1.0, 2.0])
+        pbar = np.array([1.0, 1.0])
+        res = greedy_min_knapsack(p, pbar, capacity=0.0)
+        assert res.on_cpu.all()
+        assert res.gpu_area == 0.0
+        assert res.last_gpu_task is None
+
+    def test_forced_gpu_counts_against_capacity(self):
+        p = np.array([10.0, 2.0])
+        pbar = np.array([3.0, 1.0])
+        forced = np.array([True, False])
+        res = greedy_min_knapsack(p, pbar, capacity=3.0, forced_gpu=forced)
+        assert not res.on_cpu[0]
+        assert res.on_cpu[1]  # capacity already reached by the forced task
+
+    def test_forced_cpu_skipped(self):
+        p = np.array([9.0, 2.0])
+        pbar = np.array([1.0, 1.0])
+        forced_cpu = np.array([True, False])
+        res = greedy_min_knapsack(p, pbar, capacity=10.0, forced_cpu=forced_cpu)
+        assert res.on_cpu[0]
+        assert not res.on_cpu[1]
+
+    def test_conflicting_forces_rejected(self):
+        p = np.array([1.0])
+        pbar = np.array([1.0])
+        with pytest.raises(ValueError, match="both classes"):
+            greedy_min_knapsack(
+                p, pbar, 1.0, forced_gpu=np.array([True]), forced_cpu=np.array([True])
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            greedy_min_knapsack(np.array([1.0]), np.array([1.0, 2.0]), 1.0)
+        with pytest.raises(ValueError):
+            greedy_min_knapsack(np.array([-1.0]), np.array([1.0]), 1.0)
+        with pytest.raises(ValueError):
+            greedy_min_knapsack(np.array([1.0]), np.array([1.0]), -1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(1, 20),
+        seed=st.integers(0, 10_000),
+        cap_frac=st.floats(0.0, 1.5),
+    )
+    def test_property_area_reached_or_exhausted(self, n, seed, cap_frac):
+        rng = np.random.default_rng(seed)
+        p = rng.uniform(0.1, 5.0, n)
+        pbar = rng.uniform(0.1, 5.0, n)
+        capacity = cap_frac * pbar.sum()
+        res = greedy_min_knapsack(p, pbar, capacity)
+        # Either the capacity was reached or every task is on the GPU.
+        assert res.gpu_area >= min(capacity, pbar.sum()) - 1e-9
+        assert res.cpu_area == pytest.approx(p[res.on_cpu].sum())
+
+
+class TestDPKnapsack:
+    def test_beats_or_matches_greedy_cpu_area_at_capacity(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            n = int(rng.integers(2, 15))
+            p = rng.uniform(0.1, 5.0, n)
+            pbar = rng.uniform(0.1, 5.0, n)
+            cap = float(rng.uniform(0.2, 1.0) * pbar.sum())
+            dp = dp_min_knapsack(p, pbar, cap, resolution=500)
+            assert dp is not None
+            # DP respects the capacity strictly.
+            assert dp.gpu_area <= cap + 1e-9
+
+    def test_exact_small_instance(self):
+        # Optimal: put task 0 (pbar=2) on GPU, saving p=10.
+        p = np.array([10.0, 1.0])
+        pbar = np.array([2.0, 2.0])
+        res = dp_min_knapsack(p, pbar, capacity=2.0, resolution=100)
+        assert not res.on_cpu[0]
+        assert res.on_cpu[1]
+        assert res.cpu_area == 1.0
+
+    def test_infeasible_forced(self):
+        p = np.array([1.0])
+        pbar = np.array([5.0])
+        res = dp_min_knapsack(
+            p, pbar, capacity=1.0, forced_gpu=np.array([True])
+        )
+        assert res is None
+
+    def test_zero_capacity(self):
+        p = np.array([1.0, 2.0])
+        pbar = np.array([1.0, 1.0])
+        res = dp_min_knapsack(p, pbar, capacity=0.0)
+        assert res.on_cpu.all()
+        res2 = dp_min_knapsack(
+            p, pbar, capacity=0.0, forced_gpu=np.array([True, False])
+        )
+        assert res2 is None
+
+    def test_forced_cpu(self):
+        p = np.array([10.0, 1.0])
+        pbar = np.array([1.0, 1.0])
+        res = dp_min_knapsack(
+            p, pbar, capacity=10.0, forced_cpu=np.array([True, False])
+        )
+        assert res.on_cpu[0]
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            dp_min_knapsack(np.array([1.0]), np.array([1.0]), 1.0, resolution=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 12), seed=st.integers(0, 10_000))
+    def test_property_dp_no_worse_than_greedy_at_inflated_capacity(self, n, seed):
+        # Conservative rounding can cost up to one unit per task, so
+        # give the DP the greedy's used area plus that slack; then its
+        # (exact) optimum cannot be worse than the greedy's split.
+        rng = np.random.default_rng(seed)
+        p = rng.uniform(0.5, 5.0, n)
+        pbar = rng.uniform(0.5, 5.0, n)
+        cap = float(0.6 * pbar.sum())
+        greedy = greedy_min_knapsack(p, pbar, cap)
+        resolution = 800
+        inflated = greedy.gpu_area * (1 + (n + 1) / resolution) + 1e-9
+        dp = dp_min_knapsack(p, pbar, inflated, resolution=resolution)
+        assert dp is not None
+        assert dp.cpu_area <= greedy.cpu_area + 1e-6
+
+
+class TestListSchedule:
+    def test_least_loaded_placement(self):
+        slots = list_schedule([0, 1, 2], [4.0, 3.0, 2.0], ["a", "b"])
+        by_task = {s.task_index: s for s in slots}
+        assert by_task[0].pe_name == "a"
+        assert by_task[1].pe_name == "b"
+        # Task 2 goes to b (load 3) not a (load 4).
+        assert by_task[2].pe_name == "b"
+        assert by_task[2].start == 3.0
+
+    def test_deterministic_tie_break(self):
+        slots = list_schedule([0, 1], [1.0, 1.0], ["a", "b"])
+        assert slots[0].pe_name == "a"
+        assert slots[1].pe_name == "b"
+
+    def test_empty_tasks(self):
+        assert list_schedule([], [], ["a"]) == []
+        assert list_schedule([], [], []) == []
+
+    def test_no_machines_with_tasks(self):
+        with pytest.raises(ValueError, match="zero machines"):
+            list_schedule([0], [1.0], [])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            list_schedule([0, 1], [1.0], ["a"])
+
+    def test_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            list_schedule([0], [0.0], ["a"])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 30),
+        machines=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_graham_bound(self, n, machines, seed):
+        rng = np.random.default_rng(seed)
+        d = rng.uniform(0.1, 5.0, n)
+        names = [f"m{i}" for i in range(machines)]
+        slots = list_schedule(list(range(n)), list(d), names)
+        makespan = max(s.end for s in slots)
+        # Graham: Cmax <= area/m + max duration.
+        assert makespan <= d.sum() / machines + d.max() + 1e-9
+
+    def test_lpt_order(self):
+        order = lpt_order(np.array([1.0, 5.0, 3.0]))
+        assert order.tolist() == [1, 2, 0]
+
+    def test_lpt_order_ties_stable(self):
+        order = lpt_order(np.array([2.0, 2.0, 2.0]))
+        assert order.tolist() == [0, 1, 2]

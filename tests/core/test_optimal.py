@@ -1,0 +1,112 @@
+"""Tests for the exact branch-and-bound scheduler."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    OptimalSearchBudgetExceeded,
+    TaskSet,
+    dual_approx_schedule,
+    hetero_lpt,
+    optimal_makespan,
+)
+
+from .conftest import random_taskset
+
+
+def brute_force(tasks: TaskSet, m: int, k: int) -> float:
+    """Independent exhaustive check (assignments + machine loads)."""
+    n = len(tasks)
+    p, pbar = tasks.cpu_times, tasks.gpu_times
+    best = np.inf
+
+    def pack(durations, machines):
+        if not durations:
+            return 0.0
+        best_inner = [np.inf]
+        loads = [0.0] * machines
+
+        def rec(i):
+            if i == len(durations):
+                best_inner[0] = min(best_inner[0], max(loads))
+                return
+            if max(loads) >= best_inner[0]:
+                return
+            for mach in range(machines):
+                loads[mach] += durations[i]
+                rec(i + 1)
+                loads[mach] -= durations[i]
+                if loads[mach] == 0.0:
+                    break
+        rec(0)
+        return best_inner[0]
+
+    for mask in itertools.product([0, 1], repeat=n):
+        cm = pack([p[j] for j in range(n) if mask[j]], m)
+        gm = pack([pbar[j] for j in range(n) if not mask[j]], k)
+        best = min(best, max(cm, gm))
+    return float(best)
+
+
+class TestOptimalMakespan:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 7),
+        m=st.integers(1, 2),
+        k=st.integers(1, 2),
+        seed=st.integers(0, 5000),
+    )
+    def test_matches_brute_force(self, n, m, k, seed):
+        rng = np.random.default_rng(seed)
+        tasks = random_taskset(rng, n)
+        assert optimal_makespan(tasks, m, k) == pytest.approx(
+            brute_force(tasks, m, k)
+        )
+
+    def test_single_task(self):
+        tasks = TaskSet([5.0], [2.0])
+        assert optimal_makespan(tasks, 1, 1) == 2.0
+
+    def test_upper_bound_seed_does_not_change_result(self):
+        rng = np.random.default_rng(3)
+        tasks = random_taskset(rng, 8)
+        plain = optimal_makespan(tasks, 2, 2)
+        seeded = optimal_makespan(tasks, 2, 2, upper_bound=plain * 1.5)
+        assert seeded == pytest.approx(plain)
+
+    def test_dual_approx_within_guarantee_of_optimum(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            tasks = random_taskset(rng, 10)
+            opt = optimal_makespan(tasks, 2, 2)
+            got = dual_approx_schedule(tasks, 2, 2).schedule.makespan
+            assert opt - 1e-9 <= got <= 2 * opt + 1e-9
+
+    def test_lpt_never_beats_optimum(self):
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            tasks = random_taskset(rng, 9)
+            opt = optimal_makespan(tasks, 2, 1)
+            assert hetero_lpt(tasks, 2, 1).makespan >= opt - 1e-9
+
+    def test_budget_exceeded(self):
+        rng = np.random.default_rng(11)
+        tasks = random_taskset(rng, 16)
+        with pytest.raises(OptimalSearchBudgetExceeded):
+            optimal_makespan(tasks, 3, 3, node_budget=50)
+
+    def test_validation(self):
+        tasks = TaskSet([1.0], [1.0])
+        with pytest.raises(ValueError):
+            optimal_makespan(tasks, 0, 0)
+
+    def test_cpu_only(self):
+        tasks = TaskSet([3.0, 3.0, 2.0], [99.0, 99.0, 99.0])
+        # m=2, k=1: optimum splits 3/3+2 or uses GPU? GPU times are
+        # terrible, so optimum = 5 on CPUs... actually {3},{3,2} -> 5,
+        # or {3,2},{3} -> 5; with the GPU idle.
+        assert optimal_makespan(tasks, 2, 1) == pytest.approx(5.0)

@@ -1,0 +1,104 @@
+"""Tests for the high-level SWDUAL scheduler API."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BASELINES,
+    SWDualScheduler,
+    TaskSet,
+    tasks_from_queries,
+)
+from repro.platform import PerformanceModel, idgraf_platform
+from repro.sequences import PAPER_DATABASES, standard_query_set
+
+from .conftest import accelerated_taskset, random_taskset
+
+UNIPROT = PAPER_DATABASES["uniprot"].total_residues
+
+
+@pytest.fixture(scope="module")
+def paper_plan():
+    pm = PerformanceModel(idgraf_platform(4, 4))
+    return SWDualScheduler("2approx").schedule_queries(
+        standard_query_set(), UNIPROT, pm
+    )
+
+
+class TestSWDualScheduler:
+    def test_variant_validation(self):
+        with pytest.raises(ValueError, match="variant"):
+            SWDualScheduler("4approx")
+        with pytest.raises(ValueError, match="tolerance"):
+            SWDualScheduler(tolerance=0)
+
+    def test_plan_close_to_lower_bound(self, paper_plan):
+        # On the paper workload the plan lands well under the 2x
+        # guarantee — the binary search pushes it near-optimal.
+        assert paper_plan.makespan <= 1.15 * paper_plan.lower_bound
+
+    def test_plan_completeness(self, paper_plan):
+        assert paper_plan.schedule.num_tasks == 40
+        assert len(paper_plan.schedule.assignment_vector()) == 40
+
+    def test_schedule_durations_match_tasks(self, paper_plan):
+        gpu_names = {n for n in paper_plan.schedule.pe_names if n.startswith("gpu")}
+        paper_plan.schedule.verify_against(paper_plan.tasks, gpu_names)
+
+    def test_long_queries_favour_gpu(self, paper_plan):
+        # With ratio-ordered filling, the longest queries (best GPU
+        # speedup) must be on GPUs; the shortest land on CPUs.
+        assignment = paper_plan.schedule.assignment_vector()
+        lengths = paper_plan.tasks.query_lengths
+        longest = int(np.argmax(lengths))
+        assert assignment[longest].startswith("gpu")
+
+    def test_beats_all_baselines_on_paper_workload(self, paper_plan):
+        pm = PerformanceModel(idgraf_platform(4, 4))
+        tasks = tasks_from_queries(standard_query_set(), UNIPROT, pm)
+        for name, fn in BASELINES.items():
+            if name in ("eft", "hetero-lpt"):
+                continue  # near-optimal greedy heuristics can tie
+            baseline = fn(tasks, 4, 4)
+            assert paper_plan.makespan < baseline.makespan, name
+
+    def test_low_idle_time(self, paper_plan):
+        # The paper: "the execution on each of the processing elements
+        # finished with almost no idle time."
+        s = paper_plan.schedule
+        assert s.mean_utilization > 0.85
+
+    def test_dp_variant_runs(self):
+        pm = PerformanceModel(idgraf_platform(2, 2))
+        plan = SWDualScheduler("3/2dp").schedule_queries(
+            standard_query_set(count=10), UNIPROT, pm
+        )
+        assert plan.schedule.num_tasks == 10
+        assert plan.makespan <= 1.5 * plan.result.final_guess + 1e-9
+
+    def test_summary_string(self, paper_plan):
+        text = paper_plan.summary()
+        assert "makespan" in text
+        assert "lower bound" in text
+
+    def test_schedule_tasks_direct(self):
+        rng = np.random.default_rng(3)
+        tasks = random_taskset(rng, 20)
+        plan = SWDualScheduler().schedule_tasks(tasks, 2, 2)
+        assert plan.schedule.makespan <= 2 * plan.result.final_guess + 1e-9
+
+    def test_accelerated_instances(self):
+        rng = np.random.default_rng(5)
+        tasks = accelerated_taskset(rng, 30)
+        assert tasks.all_accelerated
+        plan = SWDualScheduler().schedule_tasks(tasks, 4, 4)
+        assert plan.makespan <= 1.2 * plan.lower_bound * 2  # sanity
+
+    def test_more_workers_never_hurt_much(self):
+        # Adding GPUs to the platform must not increase the makespan.
+        pm_small = PerformanceModel(idgraf_platform(1, 1))
+        pm_big = PerformanceModel(idgraf_platform(4, 4))
+        qs = standard_query_set()
+        small = SWDualScheduler().schedule_queries(qs, UNIPROT, pm_small)
+        big = SWDualScheduler().schedule_queries(qs, UNIPROT, pm_big)
+        assert big.makespan < small.makespan

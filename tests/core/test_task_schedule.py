@@ -1,0 +1,192 @@
+"""Tests for the task model and schedule representation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Schedule, ScheduledTask, Task, TaskSet, tasks_from_queries
+from repro.platform import PerformanceModel, idgraf_platform
+from repro.sequences import standard_query_set
+
+
+class TestTask:
+    def test_acceleration(self):
+        t = Task(index=0, query_id="q", query_length=10, cpu_time=6.0, gpu_time=2.0)
+        assert t.acceleration == 3.0
+
+    def test_time_on(self):
+        t = Task(index=0, query_id="q", query_length=10, cpu_time=6.0, gpu_time=2.0)
+        assert t.time_on(is_gpu=True) == 2.0
+        assert t.time_on(is_gpu=False) == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Task(index=0, query_id="q", query_length=0, cpu_time=1, gpu_time=1)
+        with pytest.raises(ValueError):
+            Task(index=0, query_id="q", query_length=1, cpu_time=0, gpu_time=1)
+
+
+class TestTaskSet:
+    def test_basic(self):
+        ts = TaskSet([2.0, 4.0], [1.0, 1.0])
+        assert len(ts) == 2
+        assert ts.acceleration.tolist() == [2.0, 4.0]
+        assert ts.all_accelerated
+
+    def test_not_all_accelerated(self):
+        ts = TaskSet([2.0, 0.5], [1.0, 1.0])
+        assert not ts.all_accelerated
+
+    def test_indexing(self):
+        ts = TaskSet([2.0, 4.0], [1.0, 3.0], query_ids=["a", "b"])
+        assert ts[1].query_id == "b"
+        assert ts[1].gpu_time == 3.0
+        with pytest.raises(IndexError):
+            ts[2]
+
+    def test_iteration(self):
+        ts = TaskSet([2.0, 4.0], [1.0, 3.0])
+        assert [t.index for t in ts] == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TaskSet([], [])
+        with pytest.raises(ValueError, match="shape"):
+            TaskSet([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="positive"):
+            TaskSet([0.0], [1.0])
+        with pytest.raises(ValueError, match="query_ids"):
+            TaskSet([1.0], [1.0], query_ids=["a", "b"])
+
+    def test_arrays_readonly(self):
+        ts = TaskSet([2.0], [1.0])
+        with pytest.raises(ValueError):
+            ts.cpu_times[0] = 5.0
+
+    def test_total_cells(self):
+        ts = TaskSet([1.0], [1.0], query_lengths=np.array([100]), db_residues=1000)
+        assert ts.total_cells == 100_000
+
+    def test_from_queries(self):
+        pm = PerformanceModel(idgraf_platform(2, 2))
+        qs = standard_query_set(count=5)
+        ts = tasks_from_queries(qs, 1_000_000, pm)
+        assert len(ts) == 5
+        assert ts.db_residues == 1_000_000
+        assert (ts.query_lengths == qs.lengths).all()
+
+    def test_from_queries_validation(self):
+        pm = PerformanceModel(idgraf_platform(1, 1))
+        with pytest.raises(ValueError):
+            tasks_from_queries(standard_query_set(count=2), 0, pm)
+
+
+class TestSchedule:
+    def make(self, slots, pes=("cpu0", "gpu0"), n=None):
+        n = n if n is not None else len(slots)
+        return Schedule(slots=slots, pe_names=list(pes), num_tasks=n)
+
+    def test_makespan_and_idle(self):
+        s = self.make(
+            [
+                ScheduledTask(0, "cpu0", 0.0, 4.0),
+                ScheduledTask(1, "gpu0", 0.0, 10.0),
+            ]
+        )
+        assert s.makespan == 10.0
+        assert s.idle_time("cpu0") == 6.0
+        assert s.idle_time("gpu0") == 0.0
+        assert s.total_idle_time == 6.0
+
+    def test_gap_counts_as_idle(self):
+        s = self.make(
+            [
+                ScheduledTask(0, "cpu0", 0.0, 2.0),
+                ScheduledTask(1, "cpu0", 5.0, 6.0),
+            ],
+            pes=("cpu0",),
+        )
+        assert s.idle_time("cpu0") == pytest.approx(3.0)
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            self.make(
+                [
+                    ScheduledTask(0, "cpu0", 0.0, 1.0),
+                    ScheduledTask(0, "gpu0", 0.0, 1.0),
+                ],
+                n=1,
+            )
+
+    def test_missing_task_rejected(self):
+        with pytest.raises(ValueError, match="not scheduled"):
+            self.make([ScheduledTask(0, "cpu0", 0.0, 1.0)], n=2)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            self.make(
+                [
+                    ScheduledTask(0, "cpu0", 0.0, 2.0),
+                    ScheduledTask(1, "cpu0", 1.0, 3.0),
+                ]
+            )
+
+    def test_unknown_pe_rejected(self):
+        with pytest.raises(ValueError, match="unknown PE"):
+            self.make([ScheduledTask(0, "tpu0", 0.0, 1.0)])
+
+    def test_mean_utilization(self):
+        s = self.make(
+            [
+                ScheduledTask(0, "cpu0", 0.0, 5.0),
+                ScheduledTask(1, "gpu0", 0.0, 10.0),
+            ]
+        )
+        assert s.mean_utilization == pytest.approx(0.75)
+
+    def test_assignment_vector(self):
+        s = self.make(
+            [
+                ScheduledTask(0, "cpu0", 0.0, 1.0),
+                ScheduledTask(1, "gpu0", 0.0, 1.0),
+            ]
+        )
+        assert s.assignment_vector() == {0: "cpu0", 1: "gpu0"}
+
+    def test_verify_against(self):
+        ts = TaskSet([4.0, 7.0], [1.0, 2.0])
+        s = self.make(
+            [
+                ScheduledTask(0, "cpu0", 0.0, 4.0),
+                ScheduledTask(1, "gpu0", 0.0, 2.0),
+            ]
+        )
+        s.verify_against(ts, gpu_names={"gpu0"})
+        bad = self.make(
+            [
+                ScheduledTask(0, "cpu0", 0.0, 4.0),
+                ScheduledTask(1, "gpu0", 0.0, 3.0),
+            ]
+        )
+        with pytest.raises(ValueError, match="duration"):
+            bad.verify_against(ts, gpu_names={"gpu0"})
+
+    def test_gantt_rows(self):
+        s = self.make(
+            [
+                ScheduledTask(0, "cpu0", 0.0, 1.0),
+                ScheduledTask(1, "gpu0", 2.0, 3.0),
+            ]
+        )
+        rows = dict(s.gantt_rows())
+        assert rows["gpu0"] == [(2.0, 3.0, 1)]
+
+    def test_slot_validation(self):
+        with pytest.raises(ValueError):
+            ScheduledTask(0, "cpu0", -1.0, 1.0)
+        with pytest.raises(ValueError):
+            ScheduledTask(0, "cpu0", 2.0, 1.0)
+
+    def test_empty_platform_idle(self):
+        s = self.make([ScheduledTask(0, "cpu0", 0.0, 1.0)], pes=("cpu0", "cpu1"))
+        assert s.idle_time("cpu1") == 1.0
+        assert s.completion_time("cpu1") == 0.0

@@ -1,0 +1,95 @@
+"""Hypothesis property tests on engine invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TaskSet
+from repro.engine import (
+    ProtocolError,
+    simulate_self_scheduling,
+    simulate_with_failures,
+)
+from repro.engine.sharded import shard_database
+from repro.platform import PerformanceModel, RateModel, HybridPlatform, PEKind, ProcessingElement
+from repro.sequences import small_database
+
+
+def tiny_platform(m: int, k: int) -> HybridPlatform:
+    cpu = RateModel(peak_gcups=1.0)
+    gpu = RateModel(peak_gcups=3.0)
+    pes = tuple(
+        [ProcessingElement(f"gpu{i}", PEKind.GPU, gpu) for i in range(k)]
+        + [ProcessingElement(f"cpu{i}", PEKind.CPU, cpu) for i in range(m)]
+    )
+    return HybridPlatform(pes=pes)
+
+
+def taskset(rng: np.random.Generator, n: int) -> TaskSet:
+    lengths = rng.integers(50, 500, n)
+    return TaskSet(
+        cpu_times=lengths / 10.0,
+        gpu_times=lengths / 30.0,
+        query_lengths=lengths,
+        db_residues=1_000_000,
+    )
+
+
+class TestSimulationProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 25),
+        m=st.integers(1, 3),
+        k=st.integers(1, 3),
+        seed=st.integers(0, 1000),
+    )
+    def test_self_scheduling_conserves_work(self, n, m, k, seed):
+        rng = np.random.default_rng(seed)
+        tasks = taskset(rng, n)
+        platform = tiny_platform(m, k)
+        perf = PerformanceModel(platform)
+        out = simulate_self_scheduling(tasks, platform, perf)
+        # Busy time equals the sum of executed slot durations; each
+        # task appears exactly once; makespan >= longest busy PE.
+        total_busy = sum(out.schedule.busy_time(p) for p in out.schedule.pe_names)
+        slot_total = sum(
+            s.duration for p in out.schedule.pe_names for s in out.schedule.timeline(p)
+        )
+        assert total_busy == pytest.approx(slot_total)
+        assert len(out.schedule.assignment_vector()) == n
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(2, 20),
+        fail_frac=st.floats(0.05, 0.9),
+        seed=st.integers(0, 1000),
+    )
+    def test_failures_never_lose_tasks(self, n, fail_frac, seed):
+        rng = np.random.default_rng(seed)
+        tasks = taskset(rng, n)
+        platform = tiny_platform(2, 2)
+        perf = PerformanceModel(platform)
+        healthy = simulate_self_scheduling(tasks, platform, perf)
+        fail_time = fail_frac * healthy.report.wall_seconds
+        # Kill one worker mid-run; everything still completes.
+        out = simulate_with_failures(
+            tasks, platform, perf, failures={"gpu0": fail_time}
+        )
+        assert len(out.schedule.assignment_vector()) == n
+        for slot in out.schedule.timeline("gpu0"):
+            assert slot.start < fail_time + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(num_shards=st.integers(1, 10), seed=st.integers(0, 100))
+    def test_sharding_partitions_database(self, num_shards, seed):
+        db = small_database(num_sequences=12, mean_length=40, seed=seed)
+        if num_shards > len(db):
+            with pytest.raises(ValueError):
+                shard_database(db, num_shards)
+            return
+        shards = shard_database(db, num_shards)
+        assert len(shards) == num_shards
+        ids = [s.id for shard in shards for s in shard]
+        assert ids == [s.id for s in db]
+        assert sum(s.total_residues for s in shards) == db.total_residues

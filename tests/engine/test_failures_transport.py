@@ -1,0 +1,147 @@
+"""Tests for failure injection and the process transport."""
+
+import numpy as np
+import pytest
+
+from repro.align import fit_evalue_model, default_scheme
+from repro.core import tasks_from_queries
+from repro.engine import (
+    ProtocolError,
+    live_search,
+    process_search,
+    simulate_self_scheduling,
+    simulate_with_failures,
+)
+from repro.platform import PerformanceModel, idgraf_platform
+from repro.sequences import (
+    paper_database_profile,
+    small_database,
+    standard_query_set,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    perf = PerformanceModel(idgraf_platform(2, 2))
+    db = paper_database_profile("ensembl_dog")
+    tasks = tasks_from_queries(standard_query_set(), db.total_residues, perf)
+    return perf, tasks
+
+
+class TestFailureInjection:
+    def test_no_failures_matches_self_scheduling(self, setup):
+        perf, tasks = setup
+        plain = simulate_self_scheduling(tasks, perf.platform, perf)
+        with_none = simulate_with_failures(tasks, perf.platform, perf, failures={})
+        assert with_none.report.wall_seconds == pytest.approx(
+            plain.report.wall_seconds
+        )
+
+    def test_all_tasks_complete_despite_failure(self, setup):
+        perf, tasks = setup
+        out = simulate_with_failures(
+            tasks, perf.platform, perf, failures={"gpu0": 5.0}
+        )
+        assert out.schedule.num_tasks == len(tasks)
+        assert len(out.schedule.assignment_vector()) == len(tasks)
+
+    def test_dead_worker_takes_no_tasks_after_failure(self, setup):
+        perf, tasks = setup
+        out = simulate_with_failures(
+            tasks, perf.platform, perf, failures={"gpu0": 5.0}
+        )
+        for slot in out.schedule.timeline("gpu0"):
+            assert slot.start < 5.0
+
+    def test_failure_slows_the_run(self, setup):
+        perf, tasks = setup
+        healthy = simulate_with_failures(tasks, perf.platform, perf, failures={})
+        degraded = simulate_with_failures(
+            tasks, perf.platform, perf, failures={"gpu0": 1.0, "gpu1": 1.0}
+        )
+        assert degraded.report.wall_seconds > healthy.report.wall_seconds
+
+    def test_lost_task_rerun_elsewhere(self, setup):
+        perf, tasks = setup
+        out = simulate_with_failures(
+            tasks, perf.platform, perf, failures={"gpu0": 5.0}
+        )
+        # Whatever gpu0 was running at t=5 must appear on another PE.
+        assignment = out.schedule.assignment_vector()
+        assert all(0 <= j < len(tasks) for j in assignment)
+        # gpu0's timeline slots all completed before the failure.
+        for slot in out.schedule.timeline("gpu0"):
+            assert slot.end <= 5.0 + 1e-9 or assignment[slot.task_index] != "gpu0"
+
+    def test_all_workers_dead_raises(self, setup):
+        perf, tasks = setup
+        failures = {pe.name: 0.5 for pe in perf.platform}
+        with pytest.raises(ProtocolError, match="dead"):
+            simulate_with_failures(tasks, perf.platform, perf, failures=failures)
+
+    def test_validation(self, setup):
+        perf, tasks = setup
+        with pytest.raises(ValueError):
+            simulate_with_failures(
+                tasks, perf.platform, perf, failures={"gpu0": -1.0}
+            )
+        with pytest.raises(KeyError):
+            simulate_with_failures(
+                tasks, perf.platform, perf, failures={"tpu9": 1.0}
+            )
+
+
+class TestProcessTransport:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        db = small_database(num_sequences=12, mean_length=50, seed=21)
+        queries = standard_query_set(count=3).scaled(0.015).materialize(seed=22)
+        return db, queries
+
+    def test_results_match_threaded_engine(self, workload):
+        db, queries = workload
+        proc = process_search(queries, db, num_workers=2, top_hits=4)
+        ref = live_search(queries, db, 1, 0, policy="self", top_hits=4)
+        for q in queries:
+            a = [(h.subject_id, h.score) for h in proc.result_for(q.id).hits]
+            b = [(h.subject_id, h.score) for h in ref.result_for(q.id).hits]
+            assert a == b
+
+    def test_worker_accounting(self, workload):
+        db, queries = workload
+        report = process_search(queries, db, num_workers=2)
+        assert sum(w.tasks_executed for w in report.worker_stats) == len(queries)
+        expected = sum(len(q) for q in queries) * db.total_residues
+        assert report.total_cells == expected
+
+    def test_validation(self, workload):
+        db, queries = workload
+        with pytest.raises(ValueError):
+            process_search([], db)
+        with pytest.raises(ValueError):
+            process_search(queries, db, num_workers=0)
+
+
+class TestEvalueIntegration:
+    def test_hits_carry_evalues(self):
+        db = small_database(num_sequences=10, mean_length=60, seed=31)
+        queries = standard_query_set(count=2).scaled(0.02).materialize(seed=32)
+        model = fit_evalue_model(
+            default_scheme(), query_length=60, subject_length=60, samples=40, seed=33
+        )
+        report = live_search(
+            queries, db, 1, 0, policy="self", top_hits=3, evalue_model=model
+        )
+        for qr in report.query_results:
+            for hit in qr.hits:
+                assert hit.evalue is not None
+                assert hit.evalue >= 0
+                assert "E=" in hit.format()
+
+    def test_no_model_no_evalues(self):
+        db = small_database(num_sequences=5, mean_length=40, seed=41)
+        queries = standard_query_set(count=1).scaled(0.01).materialize(seed=42)
+        report = live_search(queries, db, 1, 0, policy="self", top_hits=2)
+        for hit in report.query_results[0].hits:
+            assert hit.evalue is None
+            assert "E=" not in hit.format()

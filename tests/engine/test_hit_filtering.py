@@ -1,0 +1,83 @@
+"""Tests for hit filtering and shard merging."""
+
+import pytest
+
+from repro.engine import Hit, QueryResult, filter_hits, merge_query_results
+
+
+@pytest.fixture()
+def result():
+    return QueryResult(
+        "q",
+        (
+            Hit("a", 100, evalue=1e-20),
+            Hit("b", 60, evalue=1e-6),
+            Hit("c", 30, evalue=0.5),
+            Hit("d", 10),  # no E-value annotation
+        ),
+    )
+
+
+class TestFilterHits:
+    def test_min_score(self, result):
+        out = filter_hits(result, min_score=50)
+        assert [h.subject_id for h in out.hits] == ["a", "b"]
+
+    def test_max_evalue(self, result):
+        out = filter_hits(result, max_evalue=1e-3)
+        assert [h.subject_id for h in out.hits] == ["a", "b"]
+
+    def test_max_evalue_drops_unannotated(self, result):
+        out = filter_hits(result, max_evalue=1000.0)
+        assert "d" not in [h.subject_id for h in out.hits]
+
+    def test_top(self, result):
+        out = filter_hits(result, top=2)
+        assert len(out.hits) == 2
+
+    def test_combined(self, result):
+        out = filter_hits(result, min_score=20, max_evalue=1.0, top=1)
+        assert [h.subject_id for h in out.hits] == ["a"]
+
+    def test_no_filters_identity(self, result):
+        assert filter_hits(result).hits == result.hits
+
+    def test_validation(self, result):
+        with pytest.raises(ValueError):
+            filter_hits(result, top=-1)
+
+
+class TestMergeQueryResults:
+    def test_merge_disjoint_shards(self):
+        a = QueryResult("q", (Hit("s1", 50), Hit("s2", 20)))
+        b = QueryResult("q", (Hit("s3", 40),))
+        merged = merge_query_results([a, b])
+        assert [h.subject_id for h in merged.hits] == ["s1", "s3", "s2"]
+
+    def test_duplicates_keep_best(self):
+        a = QueryResult("q", (Hit("s1", 50),))
+        b = QueryResult("q", (Hit("s1", 70),))
+        merged = merge_query_results([a, b])
+        assert merged.hits == (Hit("s1", 70),)
+
+    def test_top_truncation(self):
+        a = QueryResult("q", (Hit("s1", 50), Hit("s2", 20)))
+        b = QueryResult("q", (Hit("s3", 40),))
+        merged = merge_query_results([a, b], top=2)
+        assert len(merged.hits) == 2
+
+    def test_tie_break_deterministic(self):
+        a = QueryResult("q", (Hit("zz", 50),))
+        b = QueryResult("q", (Hit("aa", 50),))
+        merged = merge_query_results([a, b])
+        assert [h.subject_id for h in merged.hits] == ["aa", "zz"]
+
+    def test_mixed_queries_rejected(self):
+        a = QueryResult("q1", ())
+        b = QueryResult("q2", ())
+        with pytest.raises(ValueError, match="different queries"):
+            merge_query_results([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="nothing"):
+            merge_query_results([])

@@ -1,0 +1,140 @@
+"""Tests for the live master-slave engine (real kernels, threads)."""
+
+import numpy as np
+import pytest
+
+from repro.align import default_scheme, sw_score
+from repro.engine import (
+    KernelWorker,
+    Master,
+    MessageType,
+    ProtocolError,
+    live_search,
+)
+from repro.sequences import small_database, standard_query_set
+
+
+@pytest.fixture(scope="module")
+def workload():
+    database = small_database(num_sequences=20, mean_length=60, seed=5)
+    queries = standard_query_set(count=4).scaled(0.02).materialize(seed=6)
+    return database, queries
+
+
+class TestKernelWorker:
+    def test_execute_returns_sorted_hits(self, workload):
+        database, queries = workload
+        worker = KernelWorker("cpu0", "cpu", database, default_scheme(), top_hits=5)
+        execution = worker.execute(queries[0])
+        scores = [h.score for h in execution.result.hits]
+        assert scores == sorted(scores, reverse=True)
+        assert len(scores) == 5
+
+    def test_scores_match_scalar_reference(self, workload):
+        database, queries = workload
+        worker = KernelWorker("cpu0", "cpu", database, default_scheme(), top_hits=3)
+        execution = worker.execute(queries[0])
+        scheme = default_scheme()
+        by_id = {s.id: s for s in database}
+        for hit in execution.result.hits:
+            assert hit.score == sw_score(queries[0], by_id[hit.subject_id], scheme)
+
+    def test_cells_accounting(self, workload):
+        database, queries = workload
+        worker = KernelWorker("cpu0", "cpu", database, default_scheme())
+        execution = worker.execute(queries[0])
+        assert execution.cells == len(queries[0]) * database.total_residues
+        assert worker.counter.total_cells == execution.cells
+
+    def test_validation(self, workload):
+        database, _ = workload
+        with pytest.raises(ValueError):
+            KernelWorker("w", "tpu", database, default_scheme())
+        with pytest.raises(ValueError):
+            KernelWorker("w", "cpu", database, default_scheme(), top_hits=0)
+
+
+class TestMaster:
+    def test_duplicate_registration_rejected(self, workload):
+        database, queries = workload
+        master = Master(queries)
+        worker = KernelWorker("cpu0", "cpu", database, default_scheme())
+        master.register_worker(worker)
+        with pytest.raises(ProtocolError, match="already registered"):
+            master.register_worker(
+                KernelWorker("cpu0", "cpu", database, default_scheme())
+            )
+
+    def test_run_without_workers(self, workload):
+        _, queries = workload
+        with pytest.raises(ProtocolError, match="no workers"):
+            Master(queries).run()
+
+    def test_mismatched_databases_rejected(self, workload):
+        database, queries = workload
+        other = small_database(num_sequences=5, mean_length=30, seed=9)
+        master = Master(queries)
+        master.register_worker(KernelWorker("a", "cpu", database, default_scheme()))
+        master.register_worker(KernelWorker("b", "cpu", other, default_scheme()))
+        with pytest.raises(ProtocolError, match="different databases"):
+            master.run()
+
+    def test_policy_validation(self, workload):
+        _, queries = workload
+        with pytest.raises(ValueError):
+            Master(queries, policy="chaos")
+        with pytest.raises(ValueError):
+            Master([])
+
+
+class TestLiveSearch:
+    def test_all_queries_answered(self, workload):
+        database, queries = workload
+        report = live_search(queries, database, 1, 1, policy="swdual")
+        assert len(report.query_results) == len(queries)
+        assert {qr.query_id for qr in report.query_results} == {
+            q.id for q in queries
+        }
+
+    def test_results_independent_of_policy_and_workers(self, workload):
+        database, queries = workload
+        a = live_search(queries, database, 1, 1, policy="swdual")
+        b = live_search(queries, database, 2, 0, policy="self")
+        for q in queries:
+            ha = [(h.subject_id, h.score) for h in a.result_for(q.id).hits]
+            hb = [(h.subject_id, h.score) for h in b.result_for(q.id).hits]
+            assert ha == hb
+
+    def test_gpu_and_cpu_kernels_agree(self, workload):
+        database, queries = workload
+        gpu_only = live_search(queries, database, 0, 1, policy="self")
+        cpu_only = live_search(queries, database, 1, 0, policy="self")
+        for q in queries:
+            assert [
+                (h.subject_id, h.score) for h in gpu_only.result_for(q.id).hits
+            ] == [(h.subject_id, h.score) for h in cpu_only.result_for(q.id).hits]
+
+    def test_cells_total(self, workload):
+        database, queries = workload
+        report = live_search(queries, database, 1, 0, policy="self")
+        expected = sum(len(q) for q in queries) * database.total_residues
+        assert report.total_cells == expected
+
+    def test_validation(self, workload):
+        database, queries = workload
+        with pytest.raises(ValueError):
+            live_search(queries, database, 0, 0)
+        with pytest.raises(ValueError):
+            live_search(queries, database, -1, 1)
+
+    def test_swdual_static_allocation_covers_all(self, workload):
+        database, queries = workload
+        report = live_search(
+            queries,
+            database,
+            num_cpu_workers=2,
+            num_gpu_workers=1,
+            policy="swdual",
+            measured_gcups={"cpu0": 1.0, "cpu1": 1.0, "gpu0": 3.0},
+        )
+        assert sum(w.tasks_executed for w in report.worker_stats) == len(queries)

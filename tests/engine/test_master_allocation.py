@@ -1,0 +1,61 @@
+"""Tests for the live master's prediction-driven static allocation."""
+
+import pytest
+
+from repro.align import default_scheme
+from repro.engine import KernelWorker, Master
+from repro.sequences import small_database, standard_query_set
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db = small_database(num_sequences=20, mean_length=60, seed=81)
+    queries = standard_query_set(count=8).scaled(0.02).materialize(seed=82)
+    return db, queries
+
+
+def build_master(db, queries, measured, policy="swdual"):
+    master = Master(queries, policy=policy, measured_gcups=measured)
+    master.register_worker(KernelWorker("gpu0", "gpu", db, default_scheme()))
+    master.register_worker(KernelWorker("cpu0", "cpu", db, default_scheme()))
+    return master
+
+
+class TestPredictedAllocation:
+    def test_faster_class_gets_more_work(self, setup):
+        db, queries = setup
+        master = build_master(db, queries, {"gpu0": 10.0, "cpu0": 1.0})
+        batches = master._static_allocation()
+        assert len(batches["gpu0"]) > len(batches["cpu0"])
+        assert sorted(batches["gpu0"] + batches["cpu0"]) == list(range(len(queries)))
+
+    def test_balanced_rates_split_work(self, setup):
+        db, queries = setup
+        master = build_master(db, queries, {"gpu0": 1.0, "cpu0": 1.0})
+        batches = master._static_allocation()
+        assert batches["gpu0"] and batches["cpu0"]
+
+    def test_unmeasured_workers_get_mean_rate(self, setup):
+        db, queries = setup
+        # Only gpu0 measured: cpu0 inherits the mean (same value), so
+        # the allocation behaves like the balanced case.
+        master = build_master(db, queries, {"gpu0": 2.0})
+        tasks = master._predicted_taskset()
+        assert tasks.cpu_times == pytest.approx(tasks.gpu_times)
+
+    def test_no_measurements_defaults_to_equal(self, setup):
+        db, queries = setup
+        master = build_master(db, queries, None)
+        tasks = master._predicted_taskset()
+        assert tasks.cpu_times == pytest.approx(tasks.gpu_times)
+
+    def test_predictions_scale_with_query_length(self, setup):
+        db, queries = setup
+        master = build_master(db, queries, {"gpu0": 4.0, "cpu0": 1.0})
+        tasks = master._predicted_taskset()
+        lengths = tasks.query_lengths
+        # Longer query -> proportionally longer prediction.
+        i, j = int(lengths.argmin()), int(lengths.argmax())
+        assert tasks.cpu_times[j] / tasks.cpu_times[i] == pytest.approx(
+            lengths[j] / lengths[i]
+        )

@@ -1,0 +1,110 @@
+"""Tests for the protocol messages and result containers."""
+
+import pytest
+
+from repro.engine import (
+    Hit,
+    MessageLog,
+    MessageType,
+    QueryResult,
+    SearchReport,
+    WorkerStats,
+    assign_tasks,
+    register,
+    register_ack,
+    shutdown,
+    task_done,
+)
+
+
+class TestMessages:
+    def test_register_payload(self):
+        m = register("gpu0", "gpu")
+        assert m.type is MessageType.REGISTER
+        assert m.sender == "gpu0"
+        assert m.recipient == "master"
+        assert m.payload == {"kind": "gpu"}
+
+    def test_assign_tasks_copies_list(self):
+        batch = [1, 2]
+        m = assign_tasks("cpu0", batch)
+        batch.append(3)
+        assert m.payload["tasks"] == [1, 2]
+
+    def test_sequence_numbers_increase(self):
+        a = register("w", "cpu")
+        b = register_ack("w")
+        assert b.seq > a.seq
+
+    def test_task_done_payload(self):
+        m = task_done("cpu0", 7, 1.5, result="hits")
+        assert m.payload == {"task": 7, "elapsed": 1.5, "result": "hits"}
+
+    def test_log_filtering(self):
+        log = MessageLog()
+        log.record(register("w", "cpu"))
+        log.record(register_ack("w"))
+        log.record(shutdown("w"))
+        assert len(log) == 3
+        assert len(log.of_type(MessageType.REGISTER)) == 1
+        assert [m.type for m in log.all()] == [
+            MessageType.REGISTER,
+            MessageType.REGISTER_ACK,
+            MessageType.SHUTDOWN,
+        ]
+
+
+class TestResults:
+    def test_hit_validation(self):
+        with pytest.raises(ValueError):
+            Hit("s", -1)
+
+    def test_query_result_sorted(self):
+        QueryResult("q", (Hit("a", 9), Hit("b", 5)))
+        with pytest.raises(ValueError, match="sorted"):
+            QueryResult("q", (Hit("a", 5), Hit("b", 9)))
+
+    def test_best_hit(self):
+        qr = QueryResult("q", (Hit("a", 9), Hit("b", 5)))
+        assert qr.best.subject_id == "a"
+        assert QueryResult("q", ()).best is None
+
+    def test_worker_stats_utilization(self):
+        ws = WorkerStats("cpu0", "cpu", 3, busy_seconds=5.0, cells=100)
+        assert ws.utilization(10.0) == 0.5
+        with pytest.raises(ValueError):
+            ws.utilization(0.0)
+
+    def make_report(self):
+        return SearchReport(
+            label="test",
+            wall_seconds=10.0,
+            total_cells=20_000_000_000,
+            worker_stats=(
+                WorkerStats("a", "cpu", 1, 8.0, 10_000_000_000),
+                WorkerStats("b", "gpu", 1, 10.0, 10_000_000_000),
+            ),
+            query_results=(QueryResult("q0", (Hit("s", 3),)),),
+        )
+
+    def test_report_gcups(self):
+        assert self.make_report().gcups == pytest.approx(2.0)
+
+    def test_report_idle(self):
+        assert self.make_report().total_idle_seconds == pytest.approx(2.0)
+
+    def test_report_mean_utilization(self):
+        assert self.make_report().mean_utilization == pytest.approx(0.9)
+
+    def test_result_lookup(self):
+        report = self.make_report()
+        assert report.result_for("q0").best.score == 3
+        with pytest.raises(KeyError):
+            report.result_for("nope")
+
+    def test_report_validation(self):
+        with pytest.raises(ValueError):
+            SearchReport("x", 0.0, 0, ())
+
+    def test_summary(self):
+        assert "GCUPS" in self.make_report().summary()

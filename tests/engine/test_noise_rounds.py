@@ -1,0 +1,147 @@
+"""Tests for duration noise and iterative (multi-round) SWDUAL."""
+
+import numpy as np
+import pytest
+
+from repro.core import SWDualScheduler, tasks_from_queries
+from repro.engine import (
+    DurationNoise,
+    simulate_plan,
+    simulate_self_scheduling,
+    simulate_swdual_rounds,
+)
+from repro.platform import PerformanceModel, idgraf_platform
+from repro.sequences import paper_database_profile, standard_query_set
+
+
+@pytest.fixture(scope="module")
+def setup():
+    perf = PerformanceModel(idgraf_platform(2, 2))
+    db = paper_database_profile("ensembl_rat")
+    tasks = tasks_from_queries(standard_query_set(), db.total_residues, perf)
+    return perf, tasks
+
+
+class TestDurationNoise:
+    def test_zero_sigma_identity(self):
+        noise = DurationNoise(0.0, seed=1)
+        assert noise.factor(0) == 1.0
+        assert noise.factor(99) == 1.0
+
+    def test_deterministic_and_order_independent(self):
+        a = DurationNoise(0.3, seed=2)
+        b = DurationNoise(0.3, seed=2)
+        assert a.factor(5) == b.factor(5)
+        # Query in a different order: same factors.
+        assert a.factor(7) == DurationNoise(0.3, seed=2).factor(7)
+
+    def test_different_tasks_differ(self):
+        noise = DurationNoise(0.3, seed=3)
+        factors = {noise.factor(j) for j in range(20)}
+        assert len(factors) == 20
+
+    def test_mean_one_correction(self):
+        noise = DurationNoise(0.5, seed=4)
+        factors = np.array([noise.factor(j) for j in range(4000)])
+        assert factors.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DurationNoise(-0.1)
+
+
+class TestNoisyExecution:
+    def test_plan_makespan_degrades_with_noise(self, setup):
+        perf, tasks = setup
+        plan = SWDualScheduler().schedule_tasks(tasks, 2, 2).schedule
+        clean = simulate_plan(tasks, plan, perf.platform, perf)
+        noisy = [
+            simulate_plan(
+                tasks, plan, perf.platform, perf, noise=DurationNoise(0.6, seed=s)
+            ).report.wall_seconds
+            for s in range(5)
+        ]
+        assert np.mean(noisy) > clean.report.wall_seconds
+
+    def test_self_scheduling_invariant_holds_under_noise(self, setup):
+        # The no-early-idle property of dynamic allocation is exactly
+        # what absorbs prediction error; it must survive noise.
+        perf, tasks = setup
+        out = simulate_self_scheduling(
+            tasks, perf.platform, perf, noise=DurationNoise(0.8, seed=3)
+        )
+        sched = out.schedule
+        completions = {n: sched.completion_time(n) for n in sched.pe_names}
+        for name in sched.pe_names:
+            tl = sched.timeline(name)
+            if tl:
+                others = [c for n, c in completions.items() if n != name]
+                assert tl[-1].start <= min(others) + 1e-9
+
+    def test_same_noise_same_factors_across_policies(self, setup):
+        # Different policies see identical per-task errors for a seed:
+        # busy time per task is policy-independent on the same PE class.
+        perf, tasks = setup
+        noise = DurationNoise(0.5, seed=9)
+        plan = SWDualScheduler().schedule_tasks(tasks, 2, 2).schedule
+        static = simulate_plan(tasks, plan, perf.platform, perf, noise=noise)
+        dyn = simulate_self_scheduling(tasks, perf.platform, perf, noise=noise)
+        static_assign = static.schedule.assignment_vector()
+        dyn_assign = dyn.schedule.assignment_vector()
+        static_durations = {
+            s.task_index: s.duration
+            for n in static.schedule.pe_names
+            for s in static.schedule.timeline(n)
+        }
+        dyn_durations = {
+            s.task_index: s.duration
+            for n in dyn.schedule.pe_names
+            for s in dyn.schedule.timeline(n)
+        }
+        for j in range(len(tasks)):
+            if static_assign[j][:3] == dyn_assign[j][:3]:  # same class
+                assert static_durations[j] == pytest.approx(dyn_durations[j])
+
+
+class TestSWDualRounds:
+    def test_one_round_matches_plan_shape(self, setup):
+        perf, tasks = setup
+        one = simulate_swdual_rounds(tasks, perf.platform, perf, rounds=1)
+        plan = SWDualScheduler().schedule_tasks(tasks, 2, 2).schedule
+        static = simulate_plan(tasks, plan, perf.platform, perf)
+        assert one.report.wall_seconds == pytest.approx(
+            static.report.wall_seconds, rel=0.02
+        )
+
+    def test_all_tasks_executed(self, setup):
+        perf, tasks = setup
+        out = simulate_swdual_rounds(tasks, perf.platform, perf, rounds=4)
+        assert out.schedule.num_tasks == len(tasks)
+        assert len(out.schedule.assignment_vector()) == len(tasks)
+
+    def test_rounds_add_barrier_cost_when_clean(self, setup):
+        perf, tasks = setup
+        one = simulate_swdual_rounds(tasks, perf.platform, perf, rounds=1)
+        four = simulate_swdual_rounds(tasks, perf.platform, perf, rounds=4)
+        assert four.report.wall_seconds >= one.report.wall_seconds
+
+    def test_rounds_respect_barriers(self, setup):
+        perf, tasks = setup
+        out = simulate_swdual_rounds(tasks, perf.platform, perf, rounds=2)
+        # Round-1 tasks (odd indices, r=1 chunk) never start before all
+        # round-0 sibling starts... simpler: no slot of round 1 starts
+        # before the latest round-0 completion on its own PE timeline
+        # is consistent by construction; here check global barrier:
+        slots = [
+            s for name in out.schedule.pe_names for s in out.schedule.timeline(name)
+        ]
+        round0_end = max(s.end for s in slots if s.task_index % 2 == 0)
+        round1_start = min(s.start for s in slots if s.task_index % 2 == 1)
+        assert round1_start >= round0_end - 1e-9
+
+    def test_validation(self, setup):
+        perf, tasks = setup
+        with pytest.raises(ValueError):
+            simulate_swdual_rounds(tasks, perf.platform, perf, rounds=0)
+        with pytest.raises(ValueError):
+            simulate_swdual_rounds(tasks, perf.platform, perf, rounds=1000)

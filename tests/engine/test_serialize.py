@@ -1,0 +1,82 @@
+"""Tests for JSON serialisation of schedules and reports."""
+
+import json
+
+import pytest
+
+from repro.core import Schedule, ScheduledTask
+from repro.engine import (
+    Hit,
+    QueryResult,
+    SearchReport,
+    WorkerStats,
+    report_to_dict,
+    report_to_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+
+
+@pytest.fixture()
+def schedule():
+    return Schedule(
+        slots=[
+            ScheduledTask(0, "cpu0", 0.0, 2.0),
+            ScheduledTask(1, "gpu0", 0.0, 3.0),
+        ],
+        pe_names=["cpu0", "gpu0"],
+        num_tasks=2,
+        label="demo",
+    )
+
+
+@pytest.fixture()
+def report():
+    return SearchReport(
+        label="run",
+        wall_seconds=3.0,
+        total_cells=3_000_000_000,
+        worker_stats=(
+            WorkerStats("cpu0", "cpu", 1, 2.0, 1_000_000_000),
+            WorkerStats("gpu0", "gpu", 1, 3.0, 2_000_000_000),
+        ),
+        query_results=(
+            QueryResult("q0", (Hit("s1", 42, evalue=1e-5), Hit("s2", 10))),
+        ),
+        scheduler_info="dual2",
+    )
+
+
+class TestScheduleSerialization:
+    def test_fields(self, schedule):
+        d = schedule_to_dict(schedule)
+        assert d["label"] == "demo"
+        assert d["num_tasks"] == 2
+        assert d["makespan"] == 3.0
+        assert d["timelines"]["gpu0"] == [{"task": 1, "start": 0.0, "end": 3.0}]
+
+    def test_json_roundtrip(self, schedule):
+        parsed = json.loads(schedule_to_json(schedule))
+        assert parsed == schedule_to_dict(schedule)
+
+
+class TestReportSerialization:
+    def test_fields(self, report):
+        d = report_to_dict(report)
+        assert d["label"] == "run"
+        assert d["gcups"] == pytest.approx(1.0)
+        assert d["workers"][0]["utilization"] == pytest.approx(2 / 3)
+
+    def test_evalue_included_only_when_present(self, report):
+        d = report_to_dict(report)
+        hits = d["queries"][0]["hits"]
+        assert hits[0]["evalue"] == 1e-5
+        assert "evalue" not in hits[1]
+
+    def test_json_parses(self, report):
+        parsed = json.loads(report_to_json(report))
+        assert parsed["queries"][0]["query_id"] == "q0"
+
+    def test_compact_json(self, report):
+        text = report_to_json(report, indent=None)
+        assert "\n" not in text

@@ -1,0 +1,102 @@
+"""Tests for sharded search and top-hit alignment reconstruction."""
+
+import pytest
+
+from repro.align import default_scheme
+from repro.engine import (
+    KernelWorker,
+    live_search,
+    shard_database,
+    sharded_search,
+)
+from repro.sequences import small_database, standard_query_set
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=24, mean_length=80, seed=71)
+    queries = standard_query_set(count=3).scaled(0.02).materialize(seed=72)
+    return db, queries
+
+
+class TestShardDatabase:
+    def test_covers_all_sequences(self, workload):
+        db, _ = workload
+        shards = shard_database(db, 5)
+        assert sum(len(s) for s in shards) == len(db)
+        ids = [seq.id for shard in shards for seq in shard]
+        assert ids == [seq.id for seq in db]
+
+    def test_residue_balance(self, workload):
+        db, _ = workload
+        shards = shard_database(db, 4)
+        sizes = [s.total_residues for s in shards]
+        assert max(sizes) < 2.5 * min(sizes)
+
+    def test_single_shard_is_whole_db(self, workload):
+        db, _ = workload
+        shards = shard_database(db, 1)
+        assert len(shards) == 1
+        assert len(shards[0]) == len(db)
+
+    def test_validation(self, workload):
+        db, _ = workload
+        with pytest.raises(ValueError):
+            shard_database(db, 0)
+        with pytest.raises(ValueError):
+            shard_database(db, len(db) + 1)
+
+
+class TestShardedSearch:
+    def test_matches_unsharded(self, workload):
+        db, queries = workload
+        sharded = sharded_search(queries, db, num_workers=3, top_hits=5)
+        plain = live_search(queries, db, 1, 0, policy="self", top_hits=5)
+        for q in queries:
+            a = [(h.subject_id, h.score) for h in sharded.result_for(q.id).hits]
+            b = [(h.subject_id, h.score) for h in plain.result_for(q.id).hits]
+            assert a == b
+
+    def test_cells_cover_whole_database(self, workload):
+        db, queries = workload
+        report = sharded_search(queries, db, num_workers=4)
+        expected = sum(len(q) for q in queries) * db.total_residues
+        assert report.total_cells == expected
+
+    def test_each_worker_scored_every_query(self, workload):
+        db, queries = workload
+        report = sharded_search(queries, db, num_workers=3)
+        for ws in report.worker_stats:
+            assert ws.tasks_executed == len(queries)
+
+    def test_validation(self, workload):
+        db, queries = workload
+        with pytest.raises(ValueError):
+            sharded_search([], db)
+        with pytest.raises(ValueError):
+            sharded_search(queries, db, num_workers=0)
+
+
+class TestAlignTop:
+    def test_alignments_match_hit_scores(self, workload):
+        db, queries = workload
+        worker = KernelWorker(
+            "w", "cpu", db, default_scheme(), top_hits=5, align_top=3
+        )
+        execution = worker.execute(queries[0])
+        assert len(execution.alignments) == 3
+        for hit, alignment in zip(execution.result.hits, execution.alignments):
+            assert alignment.score == hit.score
+            assert alignment.subject_id == hit.subject_id
+            assert alignment.query_id == queries[0].id
+
+    def test_align_top_zero_default(self, workload):
+        db, queries = workload
+        worker = KernelWorker("w", "cpu", db, default_scheme())
+        execution = worker.execute(queries[0])
+        assert execution.alignments == []
+
+    def test_validation(self, workload):
+        db, _ = workload
+        with pytest.raises(ValueError):
+            KernelWorker("w", "cpu", db, default_scheme(), align_top=-1)

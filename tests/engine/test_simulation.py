@@ -1,0 +1,140 @@
+"""Tests for the discrete-event master-slave simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import SWDualScheduler, TaskSet, tasks_from_queries
+from repro.engine import (
+    MessageType,
+    simulate_plan,
+    simulate_search,
+    simulate_self_scheduling,
+)
+from repro.platform import PerformanceModel, idgraf_platform
+from repro.sequences import paper_database_profile, standard_query_set
+
+
+@pytest.fixture(scope="module")
+def setup():
+    perf = PerformanceModel(idgraf_platform(2, 2))
+    queries = standard_query_set(count=12)
+    database = paper_database_profile("ensembl_dog")
+    tasks = tasks_from_queries(queries, database.total_residues, perf)
+    return perf, queries, database, tasks
+
+
+class TestSimulatePlan:
+    def test_matches_planned_makespan(self, setup):
+        perf, queries, database, tasks = setup
+        plan = SWDualScheduler().schedule_tasks(tasks, 2, 2)
+        outcome = simulate_plan(tasks, plan.schedule, perf.platform, perf)
+        assert outcome.report.wall_seconds == pytest.approx(
+            plan.schedule.makespan, rel=1e-9
+        )
+
+    def test_protocol_trace_complete(self, setup):
+        perf, queries, database, tasks = setup
+        plan = SWDualScheduler().schedule_tasks(tasks, 2, 2)
+        outcome = simulate_plan(tasks, plan.schedule, perf.platform, perf)
+        log = outcome.log
+        n_workers = len(perf.platform)
+        assert len(log.of_type(MessageType.REGISTER)) == n_workers
+        assert len(log.of_type(MessageType.REGISTER_ACK)) == n_workers
+        assert len(log.of_type(MessageType.ASSIGN_TASKS)) == n_workers
+        assert len(log.of_type(MessageType.TASK_DONE)) == len(tasks)
+        assert len(log.of_type(MessageType.SHUTDOWN)) == n_workers
+
+    def test_task_done_in_time_order(self, setup):
+        perf, queries, database, tasks = setup
+        plan = SWDualScheduler().schedule_tasks(tasks, 2, 2)
+        outcome = simulate_plan(tasks, plan.schedule, perf.platform, perf)
+        dones = outcome.log.of_type(MessageType.TASK_DONE)
+        # The simulation pops events in time order; completion messages
+        # of any single worker must preserve its batch order.
+        per_worker: dict[str, list[int]] = {}
+        for m in dones:
+            per_worker.setdefault(m.sender, []).append(m.payload["task"])
+        for name, order in per_worker.items():
+            assert order == outcome.schedule.tasks_on(name)
+
+    def test_cells_accounted(self, setup):
+        perf, queries, database, tasks = setup
+        plan = SWDualScheduler().schedule_tasks(tasks, 2, 2)
+        outcome = simulate_plan(tasks, plan.schedule, perf.platform, perf)
+        assert outcome.report.total_cells == tasks.total_cells
+        assert sum(w.cells for w in outcome.report.worker_stats) == tasks.total_cells
+
+    def test_plan_size_mismatch(self, setup):
+        perf, queries, database, tasks = setup
+        plan = SWDualScheduler().schedule_tasks(tasks, 2, 2)
+        small = TaskSet([1.0], [1.0])
+        with pytest.raises(ValueError, match="plan covers"):
+            simulate_plan(small, plan.schedule, perf.platform, perf)
+
+
+class TestSelfScheduling:
+    def test_no_worker_idles_while_queue_nonempty(self, setup):
+        perf, queries, database, tasks = setup
+        outcome = simulate_self_scheduling(tasks, perf.platform, perf)
+        sched = outcome.schedule
+        # Every worker's last task must start no later than any other
+        # worker's completion (otherwise it idled with work remaining).
+        completions = [sched.completion_time(n) for n in sched.pe_names]
+        for name in sched.pe_names:
+            tl = sched.timeline(name)
+            if tl:
+                assert tl[-1].start <= min(
+                    c for n, c in zip(sched.pe_names, completions) if n != name
+                ) + 1e-9
+
+    def test_custom_order(self, setup):
+        perf, queries, database, tasks = setup
+        order = list(range(len(tasks)))[::-1]
+        outcome = simulate_self_scheduling(tasks, perf.platform, perf, order=order)
+        first_assigned = outcome.log.of_type(MessageType.ASSIGN_TASKS)[0]
+        assert first_assigned.payload["tasks"] == [len(tasks) - 1]
+
+    def test_bad_order_rejected(self, setup):
+        perf, queries, database, tasks = setup
+        with pytest.raises(ValueError, match="permutation"):
+            simulate_self_scheduling(tasks, perf.platform, perf, order=[0, 0])
+
+
+class TestSimulateSearch:
+    def test_swdual_beats_self(self):
+        db = paper_database_profile("uniprot")
+        qs = standard_query_set()
+        sw = simulate_search(qs, db, 4, 4, policy="swdual")
+        ss = simulate_search(qs, db, 4, 4, policy="self")
+        assert sw.report.wall_seconds < ss.report.wall_seconds
+
+    def test_all_policies_run(self):
+        db = paper_database_profile("ensembl_dog")
+        qs = standard_query_set(count=8)
+        from repro.engine import SIM_POLICIES
+
+        times = {}
+        for policy in SIM_POLICIES:
+            out = simulate_search(qs, db, 2, 2, policy=policy)
+            times[policy] = out.report.wall_seconds
+            assert out.report.total_cells == qs.total_residues * db.total_residues
+        assert times["swdual"] <= times["equal-power"]
+
+    def test_unknown_policy(self):
+        db = paper_database_profile("ensembl_dog")
+        with pytest.raises(ValueError, match="policy"):
+            simulate_search(standard_query_set(count=2), db, 1, 1, policy="magic")
+
+    def test_gcups_scale_with_workers(self):
+        db = paper_database_profile("uniprot")
+        qs = standard_query_set()
+        g2 = simulate_search(qs, db, 1, 1).report.gcups
+        g8 = simulate_search(qs, db, 4, 4).report.gcups
+        assert g8 > 2.5 * g2
+
+    def test_deterministic(self):
+        db = paper_database_profile("ensembl_rat")
+        qs = standard_query_set(count=10)
+        a = simulate_search(qs, db, 2, 2).report.wall_seconds
+        b = simulate_search(qs, db, 2, 2).report.wall_seconds
+        assert a == b

@@ -1,0 +1,197 @@
+"""Tests for the experiment drivers (the table/figure regeneration).
+
+These assert the DESIGN.md shape criteria rather than absolute numbers:
+who wins, monotonicity, approximate factors against the paper.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    Series,
+    knapsack_order_ablation,
+    paper_taskset,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    scheduler_ablation,
+    tolerance_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2()
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return run_table4(worker_counts=(2, 4, 8))
+
+
+@pytest.fixture(scope="module")
+def table5():
+    return run_table5(worker_counts=(2, 4, 8))
+
+
+class TestSeries:
+    def test_decreasing(self):
+        s = Series("x", {1: 3.0, 2: 2.0, 3: 2.0})
+        assert s.is_decreasing()
+        assert not s.is_decreasing(strict=True)
+
+    def test_value_at(self):
+        s = Series("x", {1: 3.0})
+        assert s.value_at(1) == 3.0
+        with pytest.raises(KeyError):
+            s.value_at(2)
+
+    def test_experiment_result_table(self):
+        r = ExperimentResult(
+            experiment_id="T",
+            title="t",
+            measured={"a": Series("a", {1: 1.0})},
+            paper={"a": Series("a", {1: 2.0})},
+        )
+        out = r.table()
+        assert "T: t" in out
+        assert "(paper a)" in out
+
+    def test_ratio_to_paper(self):
+        r = ExperimentResult(
+            experiment_id="T",
+            title="t",
+            measured={"a": Series("a", {1: 1.0})},
+            paper={"a": Series("a", {1: 2.0})},
+        )
+        assert r.ratio_to_paper("a") == {1: 0.5}
+        with pytest.raises(KeyError):
+            r.ratio_to_paper("b")
+
+
+class TestTable2(object):
+    def test_all_apps_present(self, table2):
+        assert set(table2.measured) == {
+            "SWPS3",
+            "STRIPED",
+            "SWIPE",
+            "CUDASW++",
+            "SWDUAL",
+        }
+
+    def test_baselines_within_15pct_of_paper(self, table2):
+        for name in ("SWPS3", "STRIPED", "SWIPE", "CUDASW++"):
+            for w, ratio in table2.ratio_to_paper(name).items():
+                assert 0.85 <= ratio <= 1.15, (name, w)
+
+    def test_swdual_within_2x_of_paper(self, table2):
+        for w, ratio in table2.ratio_to_paper("SWDUAL").items():
+            assert 0.5 <= ratio <= 2.0, w
+
+    def test_series_decreasing(self, table2):
+        for name, series in table2.measured.items():
+            assert series.is_decreasing(), name
+
+    def test_crossover_swdual_vs_cudasw(self, table2):
+        # Figure 7: CUDASW++ wins at 2 workers, SWDUAL wins at 4.
+        sw = table2.measured["SWDUAL"]
+        cu = table2.measured["CUDASW++"]
+        assert cu.value_at(2) < sw.value_at(2)
+        assert sw.value_at(4) < cu.value_at(4)
+
+
+class TestTable3:
+    def test_matches_spec(self):
+        result = run_table3()
+        assert result.matches_spec()
+        assert "UniProt" in result.table()
+
+    def test_five_rows(self):
+        assert len(run_table3().stats) == 5
+
+
+class TestTable4:
+    def test_five_databases(self, table4):
+        assert len(table4.times.measured) == 5
+
+    def test_times_decrease_with_workers(self, table4):
+        for name, series in table4.times.measured.items():
+            assert series.is_decreasing(strict=True), name
+
+    def test_gcups_increase_with_workers(self, table4):
+        for name, series in table4.gcups.measured.items():
+            values = [series.points[w] for w in series.xs]
+            assert values == sorted(values), name
+
+    def test_uniprot_dominates_times(self, table4):
+        # UniProt is ~10x bigger than the others; its times must be the
+        # largest at every worker count.
+        uni = table4.times.measured["UniProt"]
+        for name, series in table4.times.measured.items():
+            if name == "UniProt":
+                continue
+            for w in (2, 4, 8):
+                assert uni.value_at(w) > series.value_at(w), (name, w)
+
+    def test_times_within_2x_of_paper(self, table4):
+        for name in table4.times.measured:
+            for w, ratio in table4.times.ratio_to_paper(name).items():
+                assert 0.5 <= ratio <= 2.0, (name, w)
+
+    def test_gcups_roughly_double_2_to_4_to_8(self, table4):
+        for name, series in table4.gcups.measured.items():
+            assert 1.6 <= series.value_at(4) / series.value_at(2) <= 2.4, name
+            assert 1.3 <= series.value_at(8) / series.value_at(4) <= 2.2, name
+
+
+class TestTable5:
+    def test_both_sets_present(self, table5):
+        assert set(table5.times.measured) == {"heterogeneous", "homogeneous"}
+
+    def test_heterogeneous_takes_longer(self, table5):
+        # ~3.7x more residues in the heterogeneous set.
+        het = table5.times.measured["heterogeneous"]
+        hom = table5.times.measured["homogeneous"]
+        for w in (2, 4, 8):
+            assert het.value_at(w) > 2.5 * hom.value_at(w)
+
+    def test_gcups_similar_for_both_sets(self, table5):
+        # Section V-C's point: the allocation handles both shapes; the
+        # achieved GCUPS of the two sets stay within ~25%.
+        het = table5.gcups.measured["heterogeneous"]
+        hom = table5.gcups.measured["homogeneous"]
+        for w in (2, 4, 8):
+            assert het.value_at(w) / hom.value_at(w) == pytest.approx(1.0, abs=0.25)
+
+    def test_times_within_2x_of_paper(self, table5):
+        for name in table5.times.measured:
+            for w, ratio in table5.times.ratio_to_paper(name).items():
+                assert 0.4 <= ratio <= 2.0, (name, w)
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def tasks(self):
+        return paper_taskset()
+
+    def test_ratio_order_is_best_or_tied(self, tasks):
+        rows = knapsack_order_ablation(tasks, 4, 4)
+        by_name = {r.order: r.makespan for r in rows}
+        best = min(by_name.values())
+        assert by_name["ratio (paper)"] == pytest.approx(best, rel=1e-9)
+
+    def test_tolerance_iterations_monotone(self, tasks):
+        rows = tolerance_ablation(tasks, 4, 4)
+        iters = [r.iterations for r in rows]
+        assert iters == sorted(iters)
+        makespans = [r.makespan for r in rows]
+        assert makespans[-1] <= makespans[0] + 1e-9
+
+    def test_scheduler_ablation_sorted_and_swdual_beats_naive(self, tasks):
+        rows = scheduler_ablation(tasks, 4, 4)
+        makespans = [r.makespan for r in rows]
+        assert makespans == sorted(makespans)
+        by_name = {r.scheduler: r.makespan for r in rows}
+        for naive in ("self-scheduling", "equal-power", "proportional"):
+            assert by_name["swdual-2approx"] < by_name[naive]

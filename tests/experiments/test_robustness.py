@@ -1,0 +1,47 @@
+"""Tests for the A4 robustness ablation."""
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_SIGMAS,
+    paper_taskset,
+    robustness_ablation,
+)
+from repro.platform import PerformanceModel, idgraf_platform
+
+
+@pytest.fixture(scope="module")
+def rows():
+    perf = PerformanceModel(idgraf_platform(4, 4))
+    return robustness_ablation(
+        paper_taskset(), perf, sigmas=(0.0, 0.2, 0.8), seeds=(0, 1)
+    )
+
+
+class TestRobustness:
+    def test_one_row_per_sigma(self, rows):
+        assert [r.sigma for r in rows] == [0.0, 0.2, 0.8]
+
+    def test_clean_case_one_round_wins(self, rows):
+        clean = rows[0]
+        assert clean.best_policy() == "one-round"
+        assert clean.one_round < clean.self_scheduling
+
+    def test_static_degrades_with_noise(self, rows):
+        assert rows[-1].one_round > rows[0].one_round
+
+    def test_crossover_under_heavy_noise(self, rows):
+        # At sigma=0.8 the static plan's lead over self-scheduling is
+        # gone (the dynamic policy absorbs the error).
+        heavy = rows[-1]
+        assert heavy.self_scheduling < heavy.one_round
+
+    def test_validation(self):
+        perf = PerformanceModel(idgraf_platform(1, 1))
+        with pytest.raises(ValueError):
+            robustness_ablation(paper_taskset(), perf, sigmas=())
+        with pytest.raises(ValueError):
+            robustness_ablation(paper_taskset(), perf, seeds=())
+
+    def test_default_sigmas_sorted(self):
+        assert list(DEFAULT_SIGMAS) == sorted(DEFAULT_SIGMAS)

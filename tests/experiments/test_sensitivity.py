@@ -1,0 +1,35 @@
+"""Tests for the calibration-sensitivity ablation."""
+
+import pytest
+
+from repro.experiments import gpu_half_length_sensitivity
+from repro.platform import PAPER
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return gpu_half_length_sensitivity(half_lengths=(50.0, 220.0, 800.0))
+
+    def test_t1_anchor_preserved(self, rows):
+        # Whatever the half-length, the derived peak must reproduce
+        # CUDASW++'s single-worker time: higher h -> higher peak.
+        peaks = [r.gpu_peak_gcups for r in rows]
+        assert peaks == sorted(peaks)
+        assert peaks[0] > 20
+
+    def test_crossover_robust(self, rows):
+        assert all(r.crossover_holds for r in rows)
+
+    def test_headline_stability(self, rows):
+        t8 = [r.swdual_8w for r in rows]
+        assert max(t8) / min(t8) < 1.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gpu_half_length_sensitivity(half_lengths=())
+        with pytest.raises(ValueError):
+            gpu_half_length_sensitivity(half_lengths=(-1.0,))
+
+    def test_paper_t1_constant_used(self):
+        assert PAPER.cudasw_t1 == 785.26

@@ -1,0 +1,37 @@
+"""Tests for the run-everything evaluation driver."""
+
+import pytest
+
+from repro.experiments import EvaluationSummary, run_all
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return run_all()
+
+
+class TestRunAll:
+    def test_all_shape_checks_pass(self, summary):
+        checks = summary.shape_checks()
+        failing = [name for name, ok in checks.items() if not ok]
+        assert not failing, failing
+
+    def test_render_contains_all_sections(self, summary):
+        text = summary.render()
+        assert "Table II" in text
+        assert "Table III" in text
+        assert "Table IV" in text
+        assert "Table V" in text
+        assert "A1: order" in text
+        assert "A4: sigma" in text
+
+    def test_deterministic(self, summary):
+        again = run_all()
+        assert again.table2.measured["SWDUAL"].points == summary.table2.measured[
+            "SWDUAL"
+        ].points
+
+    def test_seed_changes_database_not_shape(self):
+        other = run_all(seed=99)
+        checks = other.shape_checks()
+        assert all(checks.values()), checks

@@ -1,0 +1,185 @@
+"""Tests for paper calibration, platform factory and performance model."""
+
+import numpy as np
+import pytest
+
+from repro.platform import (
+    PAPER,
+    PEKind,
+    PerformanceModel,
+    RateModel,
+    cpu_rate_model,
+    gpu_rate_model,
+    idgraf_platform,
+    live_rate_model,
+    measure_kernel_gcups,
+    peak_from_workload_time,
+    swdual_worker_mix,
+)
+from repro.sequences import PAPER_DATABASES, standard_query_set
+
+
+class TestCalibration:
+    def test_cpu_model_reproduces_swipe_t1(self):
+        cpu = cpu_rate_model()
+        R = PAPER.uniprot_residues
+        total = sum(
+            cpu.task_seconds(int(q), R) for q in standard_query_set().lengths
+        )
+        assert total == pytest.approx(PAPER.swipe_t1, rel=1e-6)
+
+    def test_gpu_model_reproduces_cudasw_t1(self):
+        gpu = gpu_rate_model()
+        R = PAPER.uniprot_residues
+        total = sum(
+            gpu.task_seconds(int(q), R) for q in standard_query_set().lengths
+        )
+        assert total == pytest.approx(PAPER.cudasw_t1, rel=1e-6)
+
+    def test_gpu_faster_than_cpu_for_standard_queries(self):
+        cpu, gpu = cpu_rate_model(), gpu_rate_model()
+        R = PAPER.uniprot_residues
+        for q in standard_query_set().lengths:
+            assert gpu.task_seconds(int(q), R) < cpu.task_seconds(int(q), R)
+
+    def test_tiny_queries_favour_cpu(self):
+        # The GPU ramp means a 4-residue query (heterogeneous set
+        # minimum) runs faster on a CPU — the general scheduling case.
+        cpu, gpu = cpu_rate_model(), gpu_rate_model()
+        R = PAPER.uniprot_residues
+        assert cpu.task_seconds(4, R) < gpu.task_seconds(4, R)
+
+    def test_peak_inversion_guards(self):
+        with pytest.raises(ValueError, match="exceed"):
+            peak_from_workload_time(1.0, 0.0, 10.0)
+
+    def test_paper_db_constant_matches_synthetic(self):
+        assert (
+            PAPER.uniprot_residues
+            == PAPER_DATABASES["uniprot"].total_residues
+        )
+
+
+class TestPlatformFactory:
+    def test_idgraf_counts(self):
+        p = idgraf_platform(4, 4)
+        assert p.num_gpus == 4
+        assert p.num_cpus == 4
+        assert len(p) == 8
+
+    def test_gpu_only(self):
+        p = idgraf_platform(2, 0)
+        assert p.num_cpus == 0
+        assert p.num_gpus == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            idgraf_platform(0, 0)
+        with pytest.raises(ValueError):
+            idgraf_platform(-1, 2)
+
+    def test_pe_lookup(self):
+        p = idgraf_platform(1, 1)
+        assert p.pe_by_name("gpu0").is_gpu
+        with pytest.raises(KeyError):
+            p.pe_by_name("tpu0")
+
+    def test_worker_mix_matches_section5a(self):
+        # 2 -> 1G+1C, 3 -> 2G+1C, 4 -> 3G+1C, 5 -> 4G+1C, 8 -> 4G+4C.
+        assert swdual_worker_mix(2) == (1, 1)
+        assert swdual_worker_mix(3) == (2, 1)
+        assert swdual_worker_mix(4) == (3, 1)
+        assert swdual_worker_mix(5) == (4, 1)
+        assert swdual_worker_mix(8) == (4, 4)
+
+    def test_worker_mix_minimum(self):
+        with pytest.raises(ValueError, match="at least"):
+            swdual_worker_mix(1)
+
+
+class TestPerformanceModel:
+    def test_single_worker_efficiency_is_one(self):
+        pm = PerformanceModel(idgraf_platform(1, 1), gpu_cpu_service_fraction=0.0)
+        assert pm.class_efficiency(PEKind.GPU) == 1.0
+        assert pm.class_efficiency(PEKind.CPU) == 1.0
+
+    def test_efficiency_decreases_with_workers(self):
+        pm1 = PerformanceModel(idgraf_platform(1, 1))
+        pm4 = PerformanceModel(idgraf_platform(4, 4))
+        assert pm4.class_efficiency(PEKind.GPU) < pm1.class_efficiency(PEKind.GPU)
+        assert pm4.class_efficiency(PEKind.CPU) < pm1.class_efficiency(PEKind.CPU)
+
+    def test_gpu_service_drains_cpu(self):
+        base = PerformanceModel(
+            idgraf_platform(4, 4), gpu_cpu_service_fraction=0.0
+        )
+        drained = PerformanceModel(
+            idgraf_platform(4, 4), gpu_cpu_service_fraction=0.2
+        )
+        assert drained.class_efficiency(PEKind.CPU) < base.class_efficiency(
+            PEKind.CPU
+        )
+        assert drained.class_efficiency(PEKind.GPU) == base.class_efficiency(
+            PEKind.GPU
+        )
+
+    def test_task_times_vectors(self):
+        pm = PerformanceModel(idgraf_platform(2, 2))
+        lengths = np.array([100, 1000, 5000])
+        # Paper-scale database: the GPU wins on every standard-range task.
+        p, pbar = pm.task_times(lengths, PAPER.uniprot_residues)
+        assert p.shape == pbar.shape == (3,)
+        assert (pbar < p).all()
+
+    def test_task_times_matches_scalar(self):
+        pm = PerformanceModel(idgraf_platform(2, 3))
+        lengths = np.array([123, 4567])
+        p, pbar = pm.task_times(lengths, 5_000_000)
+        cpu0 = pm.platform.cpus[0]
+        gpu0 = pm.platform.gpus[0]
+        for i, q in enumerate(lengths):
+            assert p[i] == pytest.approx(pm.task_seconds(cpu0, int(q), 5_000_000))
+            assert pbar[i] == pytest.approx(pm.task_seconds(gpu0, int(q), 5_000_000))
+
+    def test_task_times_requires_hybrid(self):
+        pm = PerformanceModel(idgraf_platform(2, 0))
+        with pytest.raises(ValueError, match="hybrid"):
+            pm.task_times(np.array([100]), 1000)
+
+    def test_task_times_validation(self):
+        pm = PerformanceModel(idgraf_platform(1, 1))
+        with pytest.raises(ValueError):
+            pm.task_times(np.array([0]), 1000)
+        with pytest.raises(ValueError):
+            pm.task_times(np.array([]), 1000)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(idgraf_platform(1, 1), cpu_parallel_efficiency=0)
+        with pytest.raises(ValueError):
+            PerformanceModel(idgraf_platform(1, 1), gpu_cpu_service_fraction=1.0)
+
+
+class TestLiveMeasurement:
+    def test_measure_kernel_gcups(self):
+        from repro.align import default_scheme, sw_score_batch
+        from repro.sequences import small_database, standard_query_set
+
+        db = small_database(num_sequences=10, mean_length=60, seed=3)
+        query = standard_query_set(count=1).scaled(0.02).materialize(seed=1)[0]
+        rate = measure_kernel_gcups(
+            lambda q, subjects, sch: sw_score_batch(q, list(subjects), sch),
+            query,
+            list(db),
+            default_scheme(),
+        )
+        assert rate > 0
+
+    def test_live_rate_model(self):
+        r = live_rate_model(3.5, task_overhead_s=0.1)
+        assert r.peak_gcups == 3.5
+        assert r.rate_gcups(10) == 3.5
+
+    def test_measure_repeats_validation(self):
+        with pytest.raises(ValueError):
+            measure_kernel_gcups(lambda *a: None, None, [], None, repeats=0)

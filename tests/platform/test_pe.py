@@ -1,0 +1,71 @@
+"""Tests for PE and rate models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.platform import PEKind, ProcessingElement, RateModel
+
+
+class TestRateModel:
+    def test_rate_saturates(self):
+        r = RateModel(peak_gcups=20.0, half_length=100.0)
+        assert r.rate_gcups(100) == pytest.approx(10.0)
+        assert r.rate_gcups(10_000) == pytest.approx(20.0 * 10_000 / 10_100)
+
+    def test_zero_half_length_is_flat(self):
+        r = RateModel(peak_gcups=5.0)
+        assert r.rate_gcups(1) == 5.0
+        assert r.rate_gcups(100_000) == 5.0
+
+    def test_task_seconds(self):
+        r = RateModel(peak_gcups=1.0, half_length=0.0, task_overhead_s=2.0)
+        # 1e9 cells at 1 GCUPS = 1 s, plus 2 s overhead.
+        assert r.task_seconds(1000, 1_000_000) == pytest.approx(3.0)
+
+    def test_efficiency_slows_rate_not_overhead(self):
+        r = RateModel(peak_gcups=1.0, task_overhead_s=2.0)
+        t_full = r.task_seconds(1000, 1_000_000, efficiency=1.0)
+        t_half = r.task_seconds(1000, 1_000_000, efficiency=0.5)
+        assert t_half == pytest.approx(2.0 + 2 * (t_full - 2.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateModel(peak_gcups=0)
+        with pytest.raises(ValueError):
+            RateModel(peak_gcups=1, half_length=-1)
+        with pytest.raises(ValueError):
+            RateModel(peak_gcups=1).rate_gcups(0)
+        with pytest.raises(ValueError):
+            RateModel(peak_gcups=1).task_seconds(1, -5)
+        with pytest.raises(ValueError):
+            RateModel(peak_gcups=1).task_seconds(1, 5, efficiency=0)
+
+    def test_scaled(self):
+        r = RateModel(peak_gcups=10.0, half_length=5.0, task_overhead_s=1.0)
+        s = r.scaled(2.0)
+        assert s.peak_gcups == 20.0
+        assert s.half_length == 5.0
+        assert s.task_overhead_s == 1.0
+
+    @given(
+        q1=st.integers(1, 10_000),
+        q2=st.integers(1, 10_000),
+        half=st.floats(0, 1000),
+    )
+    def test_rate_monotone_in_length(self, q1, q2, half):
+        r = RateModel(peak_gcups=10.0, half_length=half)
+        lo, hi = sorted((q1, q2))
+        assert r.rate_gcups(lo) <= r.rate_gcups(hi) + 1e-12
+
+    @given(q=st.integers(1, 100_000))
+    def test_rate_bounded_by_peak(self, q):
+        r = RateModel(peak_gcups=10.0, half_length=50.0)
+        assert 0 < r.rate_gcups(q) <= 10.0
+
+
+class TestProcessingElement:
+    def test_is_gpu(self):
+        r = RateModel(peak_gcups=1.0)
+        assert ProcessingElement("g", PEKind.GPU, r).is_gpu
+        assert not ProcessingElement("c", PEKind.CPU, r).is_gpu

@@ -1,0 +1,73 @@
+"""Tests for the discrete-event clock and queue."""
+
+import pytest
+
+from repro.platform import EventQueue, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        c = SimClock()
+        c.advance_to(5.0)
+        assert c.now == 5.0
+
+    def test_no_time_travel(self):
+        c = SimClock(start=10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            c.advance_to(4.0)
+
+    def test_advance_to_same_time_ok(self):
+        c = SimClock(start=3.0)
+        c.advance_to(3.0)
+        assert c.now == 3.0
+
+    def test_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop().tag for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        q.push(1.0, "third")
+        assert [q.pop().tag for _ in range(3)] == ["first", "second", "third"]
+
+    def test_peek(self):
+        q = EventQueue()
+        q.push(7.0, "x")
+        assert q.peek_time() == 7.0
+        assert len(q) == 1
+
+    def test_payload(self):
+        q = EventQueue()
+        q.push(1.0, "t", payload={"k": 1})
+        assert q.pop().payload == {"k": 1}
+
+    def test_empty_errors(self):
+        q = EventQueue()
+        with pytest.raises(IndexError):
+            q.pop()
+        with pytest.raises(IndexError):
+            q.peek_time()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "x")
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, "x")
+        assert q

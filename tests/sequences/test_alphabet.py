@@ -1,0 +1,108 @@
+"""Unit and property tests for residue alphabets."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sequences import DNA, PROTEIN, RNA, Alphabet, alphabet_by_name
+
+
+class TestAlphabetBasics:
+    def test_sizes(self):
+        assert DNA.size == 5
+        assert RNA.size == 5
+        assert PROTEIN.size == 24
+
+    def test_len_matches_size(self):
+        for a in (DNA, RNA, PROTEIN):
+            assert len(a) == a.size
+
+    def test_protein_is_blosum_order(self):
+        assert PROTEIN.letters == "ARNDCQEGHILKMFPSTWYVBZX*"
+
+    def test_wildcards(self):
+        assert DNA.wildcard == "N"
+        assert PROTEIN.wildcard == "X"
+        assert PROTEIN.wildcard_code == PROTEIN.letters.index("X")
+
+    def test_code_of_roundtrip(self):
+        for a in (DNA, RNA, PROTEIN):
+            for i, letter in enumerate(a.letters):
+                assert a.code_of(letter) == i
+
+    def test_code_of_lowercase(self):
+        assert PROTEIN.code_of("a") == PROTEIN.code_of("A")
+
+    def test_code_of_invalid_letter(self):
+        with pytest.raises(ValueError, match="not in alphabet"):
+            DNA.code_of("Z")
+
+    def test_code_of_multichar(self):
+        with pytest.raises(ValueError, match="single character"):
+            DNA.code_of("AC")
+
+    def test_lookup_by_name(self):
+        assert alphabet_by_name("dna") is DNA
+        assert alphabet_by_name("PROTEIN") is PROTEIN
+
+    def test_lookup_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown alphabet"):
+            alphabet_by_name("klingon")
+
+    def test_duplicate_letters_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Alphabet(name="bad", letters="AAC", wildcard="C")
+
+    def test_wildcard_must_be_member(self):
+        with pytest.raises(ValueError, match="wildcard"):
+            Alphabet(name="bad", letters="ACGT", wildcard="N")
+
+
+class TestEncodeDecode:
+    def test_encode_simple(self):
+        codes = DNA.encode("ACGT")
+        assert codes.dtype == np.uint8
+        assert codes.tolist() == [0, 1, 2, 3]
+
+    def test_encode_case_insensitive(self):
+        assert np.array_equal(DNA.encode("acgt"), DNA.encode("ACGT"))
+
+    def test_encode_strict_rejects_unknown(self):
+        with pytest.raises(ValueError, match="invalid letter"):
+            DNA.encode("ACGTZ", strict=True)
+
+    def test_encode_lenient_maps_to_wildcard(self):
+        codes = DNA.encode("ACZT", strict=False)
+        assert codes[2] == DNA.wildcard_code
+
+    def test_encode_bytes_input(self):
+        assert np.array_equal(DNA.encode(b"ACGT"), DNA.encode("ACGT"))
+
+    def test_encode_empty(self):
+        assert DNA.encode("").size == 0
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            DNA.decode(np.array([200], dtype=np.uint8))
+
+    def test_is_valid(self):
+        assert PROTEIN.is_valid("ARND")
+        assert not PROTEIN.is_valid("ARND1")
+
+
+@given(st.text(alphabet="ACGTN", max_size=200))
+def test_dna_roundtrip(text):
+    assert DNA.decode(DNA.encode(text)) == text.upper()
+
+
+@given(st.text(alphabet="ARNDCQEGHILKMFPSTWYVBZX*", max_size=200))
+def test_protein_roundtrip(text):
+    assert PROTEIN.decode(PROTEIN.encode(text)) == text.upper()
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=100))
+def test_lenient_encode_never_raises(text):
+    codes = PROTEIN.encode(text, strict=False)
+    assert codes.size == len(text.encode("ascii"))
+    assert (codes < PROTEIN.size).all()

@@ -1,0 +1,155 @@
+"""Tests for the SWDUAL binary database format."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequences import (
+    BinaryDBError,
+    BinaryDatabaseReader,
+    DNA,
+    Sequence,
+    write_binary_db,
+)
+
+
+def make_seqs(texts, alphabet=DNA):
+    return [
+        Sequence.from_text(f"s{i}", t, alphabet=alphabet, description=f"desc {i}")
+        for i, t in enumerate(texts)
+    ]
+
+
+class TestWriteRead:
+    def test_roundtrip(self, tmp_path):
+        seqs = make_seqs(["ACGT", "A", "GGGTTTAAA"])
+        path = tmp_path / "db.swdb"
+        assert write_binary_db(seqs, path) == 3
+        with BinaryDatabaseReader(path) as db:
+            assert len(db) == 3
+            assert list(db) == seqs
+
+    def test_random_access_matches_sequential(self, tmp_path):
+        seqs = make_seqs(["ACGT" * k for k in range(1, 20)])
+        path = tmp_path / "db.swdb"
+        write_binary_db(seqs, path)
+        with BinaryDatabaseReader(path) as db:
+            # Read out of order; the paper's motivation for the format.
+            assert db[17] == seqs[17]
+            assert db[0] == seqs[0]
+            assert db[5] == seqs[5]
+
+    def test_negative_index(self, tmp_path):
+        seqs = make_seqs(["AC", "GT", "TT"])
+        path = tmp_path / "db.swdb"
+        write_binary_db(seqs, path)
+        with BinaryDatabaseReader(path) as db:
+            assert db[-1] == seqs[-1]
+
+    def test_index_out_of_range(self, tmp_path):
+        path = tmp_path / "db.swdb"
+        write_binary_db(make_seqs(["AC"]), path)
+        with BinaryDatabaseReader(path) as db:
+            with pytest.raises(IndexError):
+                db[1]
+
+    def test_slice_access(self, tmp_path):
+        seqs = make_seqs(["AC", "GT", "TT", "AA"])
+        path = tmp_path / "db.swdb"
+        write_binary_db(seqs, path)
+        with BinaryDatabaseReader(path) as db:
+            assert db[1:3] == seqs[1:3]
+
+    def test_lengths_without_pool_reads(self, tmp_path):
+        seqs = make_seqs(["A" * 5, "C" * 9])
+        path = tmp_path / "db.swdb"
+        write_binary_db(seqs, path)
+        with BinaryDatabaseReader(path) as db:
+            assert db.lengths().tolist() == [5, 9]
+            assert db.total_residues == 14
+
+    def test_alphabet_preserved(self, tmp_path):
+        path = tmp_path / "db.swdb"
+        write_binary_db(make_seqs(["ACGT"]), path)
+        with BinaryDatabaseReader(path) as db:
+            assert db.alphabet.name == "dna"
+
+    def test_description_preserved(self, tmp_path):
+        path = tmp_path / "db.swdb"
+        write_binary_db(make_seqs(["ACGT"]), path)
+        with BinaryDatabaseReader(path) as db:
+            assert db[0].description == "desc 0"
+
+
+class TestErrors:
+    def test_empty_database_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            write_binary_db([], tmp_path / "x.swdb")
+
+    def test_mixed_alphabets_rejected(self, tmp_path):
+        from repro.sequences import PROTEIN
+
+        seqs = [
+            Sequence.from_text("a", "ACGT", alphabet=DNA),
+            Sequence.from_text("b", "ARND", alphabet=PROTEIN),
+        ]
+        with pytest.raises(ValueError, match="mixed alphabets"):
+            write_binary_db(seqs, tmp_path / "x.swdb")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.swdb"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(BinaryDBError, match="bad magic"):
+            BinaryDatabaseReader(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.swdb"
+        path.write_bytes(b"SWDB" + struct.pack("<I", 99) + b"\x00" * 32)
+        with pytest.raises(BinaryDBError, match="version"):
+            BinaryDatabaseReader(path)
+
+    def test_truncated_index(self, tmp_path):
+        path = tmp_path / "db.swdb"
+        write_binary_db(make_seqs(["ACGT", "GGGG"]), path)
+        data = path.read_bytes()
+        path.write_bytes(data[:30])
+        with pytest.raises(BinaryDBError, match="truncated"):
+            BinaryDatabaseReader(path)
+
+    def test_use_after_close(self, tmp_path):
+        path = tmp_path / "db.swdb"
+        write_binary_db(make_seqs(["ACGT"]), path)
+        db = BinaryDatabaseReader(path)
+        db.close()
+        with pytest.raises(BinaryDBError, match="closed"):
+            db[0]
+
+    def test_truncated_residue_pool(self, tmp_path):
+        path = tmp_path / "db.swdb"
+        write_binary_db(make_seqs(["ACGTACGT"]), path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])
+        with BinaryDatabaseReader(path) as db:
+            with pytest.raises(BinaryDBError, match="truncated residue"):
+                db[0]
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(
+        st.text(alphabet="ACGTN", min_size=0, max_size=64),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_property_roundtrip(tmp_path_factory, texts):
+    tmp = tmp_path_factory.mktemp("swdb")
+    seqs = make_seqs(texts)
+    path = tmp / "db.swdb"
+    write_binary_db(seqs, path)
+    with BinaryDatabaseReader(path) as db:
+        assert list(db) == seqs
+        assert np.array_equal(db.lengths(), np.array([len(t) for t in texts]))

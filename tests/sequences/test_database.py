@@ -1,0 +1,143 @@
+"""Tests for SequenceDatabase / DatabaseProfile."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import (
+    DatabaseProfile,
+    PROTEIN,
+    Sequence,
+    SequenceDatabase,
+    small_database,
+)
+
+
+def toy_db():
+    seqs = [
+        Sequence.from_text("a", "ARND"),
+        Sequence.from_text("b", "CQ"),
+        Sequence.from_text("c", "EGHILK"),
+    ]
+    return SequenceDatabase("toy", seqs)
+
+
+class TestSequenceDatabase:
+    def test_len_and_iteration(self):
+        db = toy_db()
+        assert len(db) == 3
+        assert [s.id for s in db] == ["a", "b", "c"]
+
+    def test_lengths(self):
+        assert toy_db().lengths.tolist() == [4, 2, 6]
+
+    def test_total_residues(self):
+        assert toy_db().total_residues == 12
+
+    def test_stats(self):
+        stats = toy_db().stats()
+        assert stats.num_sequences == 3
+        assert stats.min_length == 2
+        assert stats.max_length == 6
+        assert stats.mean_length == 4.0
+        assert stats.total_residues == 12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no sequences"):
+            SequenceDatabase("empty", [])
+
+    def test_mixed_alphabets_rejected(self):
+        from repro.sequences import DNA
+
+        seqs = [
+            Sequence.from_text("a", "ARND"),
+            Sequence.from_text("b", "ACGT", alphabet=DNA),
+        ]
+        with pytest.raises(ValueError, match="mixes alphabets"):
+            SequenceDatabase("bad", seqs)
+
+    def test_lengths_readonly(self):
+        with pytest.raises(ValueError):
+            toy_db().lengths[0] = 1
+
+    def test_profile_matches(self):
+        db = toy_db()
+        profile = db.profile()
+        assert profile.num_sequences == len(db)
+        assert profile.total_residues == db.total_residues
+        assert np.array_equal(profile.lengths, db.lengths)
+
+    def test_fasta_roundtrip(self, tmp_path):
+        db = toy_db()
+        path = tmp_path / "db.fasta"
+        db.to_fasta(path)
+        again = SequenceDatabase.from_fasta(path, name="toy")
+        assert list(again) == list(db)
+
+    def test_binary_roundtrip(self, tmp_path):
+        db = toy_db()
+        path = tmp_path / "db.swdb"
+        db.to_binary(path)
+        again = SequenceDatabase.from_binary(path, name="toy")
+        assert list(again) == list(db)
+
+
+class TestDatabaseProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            DatabaseProfile("bad", np.array([3, 0]))
+        with pytest.raises(ValueError, match="non-empty"):
+            DatabaseProfile("bad", np.array([], dtype=np.int64))
+
+    def test_composition_normalised(self):
+        comp = np.zeros(PROTEIN.size)
+        comp[:20] = 2.0
+        p = DatabaseProfile("x", np.array([5]), composition=comp)
+        assert p.composition.sum() == pytest.approx(1.0)
+
+    def test_composition_shape_checked(self):
+        with pytest.raises(ValueError, match="composition"):
+            DatabaseProfile("x", np.array([5]), composition=np.ones(3))
+
+    def test_scaled_preserves_bounds(self):
+        p = DatabaseProfile("x", np.arange(1, 101))
+        s = p.scaled(0.25, seed=1)
+        assert s.num_sequences == 25
+        assert s.lengths.min() >= 1
+        assert s.lengths.max() <= 100
+
+    def test_scaled_fraction_validation(self):
+        p = DatabaseProfile("x", np.array([5]))
+        with pytest.raises(ValueError):
+            p.scaled(0.0)
+        with pytest.raises(ValueError):
+            p.scaled(1.5)
+
+    def test_materialize_matches_lengths(self):
+        p = DatabaseProfile("x", np.array([7, 13, 2]))
+        db = p.materialize(seed=3)
+        assert db.lengths.tolist() == [7, 13, 2]
+        assert db.alphabet is PROTEIN
+
+    def test_materialize_deterministic(self):
+        p = DatabaseProfile("x", np.array([9, 9]))
+        a = p.materialize(seed=5)
+        b = p.materialize(seed=5)
+        assert list(a) == list(b)
+
+    def test_materialize_no_wildcards(self):
+        p = DatabaseProfile("x", np.array([500]))
+        db = p.materialize(seed=1)
+        assert "X" not in db[0].text
+        assert "*" not in db[0].text
+
+
+class TestSmallDatabase:
+    def test_shape(self):
+        db = small_database(num_sequences=10, mean_length=50, seed=2)
+        assert len(db) == 10
+        assert db.total_residues == 500
+
+    def test_deterministic(self):
+        a = small_database(seed=11)
+        b = small_database(seed=11)
+        assert list(a) == list(b)

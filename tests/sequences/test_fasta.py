@@ -1,0 +1,133 @@
+"""Tests for FASTA reading/writing."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sequences import (
+    DNA,
+    FastaError,
+    PROTEIN,
+    Sequence,
+    read_fasta,
+    write_fasta,
+)
+
+SAMPLE = """>q1 first protein
+ARNDC
+QEGHI
+>q2
+LKMFP
+"""
+
+
+class TestRead:
+    def test_basic_parse(self):
+        seqs = read_fasta(io.StringIO(SAMPLE))
+        assert [s.id for s in seqs] == ["q1", "q2"]
+        assert seqs[0].text == "ARNDCQEGHI"
+        assert seqs[0].description == "first protein"
+        assert seqs[1].description == ""
+
+    def test_multiline_concatenation(self):
+        assert len(read_fasta(io.StringIO(SAMPLE))[0]) == 10
+
+    def test_blank_lines_skipped(self):
+        text = ">a\nAR\n\nND\n\n>b\nCC\n"
+        seqs = read_fasta(io.StringIO(text))
+        assert seqs[0].text == "ARND"
+        assert seqs[1].text == "CC"
+
+    def test_crlf_endings(self):
+        text = ">a desc\r\nARND\r\n"
+        seqs = read_fasta(io.StringIO(text))
+        assert seqs[0].text == "ARND"
+        assert seqs[0].description == "desc"
+
+    def test_data_before_header(self):
+        with pytest.raises(FastaError, match="before any"):
+            read_fasta(io.StringIO("ARND\n>a\nARND\n"))
+
+    def test_empty_header(self):
+        with pytest.raises(FastaError, match="empty FASTA header"):
+            read_fasta(io.StringIO(">\nARND\n"))
+
+    def test_strict_rejects_bad_residue(self):
+        with pytest.raises(FastaError, match="q1"):
+            read_fasta(io.StringIO(">q1\nAR1D\n"), strict=True)
+
+    def test_lenient_wildcards_bad_residue(self):
+        seqs = read_fasta(io.StringIO(">q1\nARJD\n"), strict=False)
+        assert seqs[0].text == "ARXD"
+
+    def test_empty_file(self):
+        assert read_fasta(io.StringIO("")) == []
+
+    def test_record_with_no_residues(self):
+        seqs = read_fasta(io.StringIO(">empty\n>b\nAR\n"))
+        assert len(seqs[0]) == 0
+        assert seqs[1].text == "AR"
+
+    def test_file_path(self, tmp_path):
+        p = tmp_path / "db.fasta"
+        p.write_text(SAMPLE)
+        seqs = read_fasta(p)
+        assert len(seqs) == 2
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        original = read_fasta(io.StringIO(SAMPLE))
+        buf = io.StringIO()
+        count = write_fasta(original, buf)
+        assert count == 2
+        buf.seek(0)
+        again = read_fasta(buf)
+        assert again == original
+
+    def test_wrapping(self):
+        seq = Sequence.from_text("q", "A" * 130)
+        buf = io.StringIO()
+        write_fasta([seq], buf, width=60)
+        lines = buf.getvalue().splitlines()
+        assert lines[0] == ">q"
+        assert [len(x) for x in lines[1:]] == [60, 60, 10]
+
+    def test_no_wrapping(self):
+        seq = Sequence.from_text("q", "A" * 130)
+        buf = io.StringIO()
+        write_fasta([seq], buf, width=0)
+        assert len(buf.getvalue().splitlines()) == 2
+
+    def test_negative_width(self):
+        with pytest.raises(ValueError):
+            write_fasta([], io.StringIO(), width=-1)
+
+    def test_write_to_path(self, tmp_path):
+        p = tmp_path / "out.fasta"
+        seq = Sequence.from_text("q", "ACGT", alphabet=DNA)
+        write_fasta([seq], p)
+        assert read_fasta(p, alphabet=DNA) == [seq]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.text(alphabet="abcdefgh123", min_size=1, max_size=8),
+            st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=120),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_property_roundtrip(records):
+    seqs = [
+        Sequence.from_text(f"{rid}_{i}", text, alphabet=PROTEIN)
+        for i, (rid, text) in enumerate(records)
+    ]
+    buf = io.StringIO()
+    write_fasta(seqs, buf, width=17)
+    buf.seek(0)
+    assert read_fasta(buf) == seqs

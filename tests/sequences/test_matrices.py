@@ -1,0 +1,122 @@
+"""Tests for substitution matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sequences import (
+    BLOSUM50,
+    BLOSUM62,
+    DNA,
+    PAM250,
+    PROTEIN,
+    SubstitutionMatrix,
+    match_mismatch_matrix,
+    matrix_by_name,
+)
+
+ALL_STANDARD = [BLOSUM62, BLOSUM50, PAM250]
+
+
+class TestStandardMatrices:
+    @pytest.mark.parametrize("matrix", ALL_STANDARD, ids=lambda m: m.name)
+    def test_symmetric(self, matrix):
+        assert matrix.is_symmetric
+
+    @pytest.mark.parametrize("matrix", ALL_STANDARD, ids=lambda m: m.name)
+    def test_shape(self, matrix):
+        assert matrix.scores.shape == (24, 24)
+
+    @pytest.mark.parametrize("matrix", ALL_STANDARD, ids=lambda m: m.name)
+    def test_diagonal_dominates_row(self, matrix):
+        # A residue should never score higher against a different
+        # residue than against itself (true for all standard matrices,
+        # excluding ambiguity/stop codes).
+        scores = matrix.scores[:20, :20]
+        diag = np.diag(scores)
+        assert (scores <= diag[:, None]).all()
+
+    @pytest.mark.parametrize("matrix", ALL_STANDARD, ids=lambda m: m.name)
+    def test_diagonal_positive(self, matrix):
+        assert (np.diag(matrix.scores)[:20] > 0).all()
+
+    def test_blosum62_spot_values(self):
+        # Well-known values of the NCBI BLOSUM62 matrix.
+        assert BLOSUM62.score("A", "A") == 4
+        assert BLOSUM62.score("W", "W") == 11
+        assert BLOSUM62.score("C", "C") == 9
+        assert BLOSUM62.score("A", "R") == -1
+        assert BLOSUM62.score("W", "V") == -3
+        assert BLOSUM62.score("E", "Z") == 4
+        assert BLOSUM62.score("*", "*") == 1
+        assert BLOSUM62.score("A", "*") == -4
+
+    def test_blosum50_spot_values(self):
+        assert BLOSUM50.score("W", "W") == 15
+        assert BLOSUM50.score("C", "C") == 13
+        assert BLOSUM50.score("A", "A") == 5
+
+    def test_pam250_spot_values(self):
+        assert PAM250.score("W", "W") == 17
+        assert PAM250.score("C", "C") == 12
+        assert PAM250.score("F", "Y") == 7
+
+    def test_scores_readonly(self):
+        with pytest.raises(ValueError):
+            BLOSUM62.scores[0, 0] = 99
+
+    def test_matrix_by_name(self):
+        assert matrix_by_name("BLOSUM62") is BLOSUM62
+        assert matrix_by_name("pam250") is PAM250
+
+    def test_matrix_by_name_unknown(self):
+        with pytest.raises(ValueError, match="unknown matrix"):
+            matrix_by_name("blosum999")
+
+
+class TestProfile:
+    def test_profile_shape(self):
+        q = PROTEIN.encode("ARND")
+        prof = BLOSUM62.profile(q)
+        assert prof.shape == (4, 24)
+
+    def test_profile_rows_match_scores(self):
+        q = PROTEIN.encode("AW")
+        prof = BLOSUM62.profile(q)
+        assert np.array_equal(prof[0], BLOSUM62.scores[PROTEIN.code_of("A")])
+        assert np.array_equal(prof[1], BLOSUM62.scores[PROTEIN.code_of("W")])
+
+    def test_profile_empty_query(self):
+        prof = BLOSUM62.profile(PROTEIN.encode(""))
+        assert prof.shape == (0, 24)
+
+
+class TestMatchMismatch:
+    def test_figure1_scoring(self):
+        # The paper's Figure 1 example uses ma=+1, mi=-1 on DNA.
+        m = match_mismatch_matrix(DNA, match=1, mismatch=-1)
+        assert m.score("A", "A") == 1
+        assert m.score("A", "C") == -1
+
+    def test_wildcard_rows(self):
+        m = match_mismatch_matrix(DNA, match=2, mismatch=-3, wildcard_score=0)
+        assert m.score("N", "A") == 0
+        assert m.score("A", "N") == 0
+        assert m.score("N", "N") == 0
+
+    def test_match_must_exceed_mismatch(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            match_mismatch_matrix(DNA, match=-1, mismatch=-1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            SubstitutionMatrix("bad", DNA, np.zeros((3, 3), dtype=np.int32))
+
+    @given(
+        match=st.integers(min_value=1, max_value=10),
+        mismatch=st.integers(min_value=-10, max_value=0),
+    )
+    def test_property_symmetric(self, match, mismatch):
+        m = match_mismatch_matrix(DNA, match=match, mismatch=mismatch)
+        assert m.is_symmetric

@@ -1,0 +1,79 @@
+"""Tests for NCBI matrix file parsing/formatting."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import (
+    BLOSUM50,
+    BLOSUM62,
+    PAM250,
+    format_ncbi_matrix,
+    parse_ncbi_matrix,
+)
+
+SMALL = """# test matrix
+   A  C  G
+A  2 -1 -1
+C -1  2 -1
+G -1 -1  2
+"""
+
+
+class TestParse:
+    def test_small_matrix(self):
+        m = parse_ncbi_matrix(SMALL, name="tiny")
+        assert m.name == "tiny"
+        assert m.alphabet.letters == "ACG"
+        assert m.score("A", "A") == 2
+        assert m.score("A", "C") == -1
+
+    def test_comments_ignored(self):
+        m = parse_ncbi_matrix("# one\n# two\n" + SMALL)
+        assert m.alphabet.size == 3
+
+    def test_wildcard_selection(self):
+        assert parse_ncbi_matrix(SMALL).alphabet.wildcard == "G"  # last letter
+        with_n = SMALL.replace("G", "N")
+        assert parse_ncbi_matrix(with_n).alphabet.wildcard == "N"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no content"):
+            parse_ncbi_matrix("# only comments\n")
+
+    def test_row_count_checked(self):
+        broken = "\n".join(SMALL.splitlines()[:-1])
+        with pytest.raises(ValueError, match="expected 3 matrix rows"):
+            parse_ncbi_matrix(broken)
+
+    def test_row_label_checked(self):
+        swapped = SMALL.replace("C -1  2 -1", "T -1  2 -1")
+        with pytest.raises(ValueError, match="labelled"):
+            parse_ncbi_matrix(swapped)
+
+    def test_value_count_checked(self):
+        broken = SMALL.replace("A  2 -1 -1", "A  2 -1")
+        with pytest.raises(ValueError, match="values"):
+            parse_ncbi_matrix(broken)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("matrix", [BLOSUM62, BLOSUM50, PAM250], ids=lambda m: m.name)
+    def test_standard_matrices(self, matrix):
+        text = format_ncbi_matrix(matrix, comment=f"{matrix.name} roundtrip")
+        again = parse_ncbi_matrix(text, name=matrix.name)
+        assert np.array_equal(again.scores, matrix.scores)
+        assert again.alphabet.letters == matrix.alphabet.letters
+
+    def test_comment_written(self):
+        text = format_ncbi_matrix(BLOSUM62, comment="hello\nworld")
+        assert text.startswith("# hello\n# world\n")
+
+    def test_parseable_by_alignment(self):
+        # A parsed matrix works end to end in an alignment.
+        from repro.align import GapModel, ScoringScheme, sw_score
+        from repro.sequences import Sequence
+
+        m = parse_ncbi_matrix(SMALL, name="tiny")
+        scheme = ScoringScheme(matrix=m, gaps=GapModel.linear(-2))
+        q = Sequence.from_text("q", "ACG", alphabet=m.alphabet)
+        assert sw_score(q, q, scheme) == 6

@@ -1,0 +1,116 @@
+"""Tests for homolog generation."""
+
+import numpy as np
+import pytest
+
+from repro.align import default_scheme, sw_score
+from repro.sequences import (
+    Sequence,
+    homolog_family,
+    mutate,
+    plant_homologs,
+    small_database,
+)
+
+
+@pytest.fixture(scope="module")
+def parent():
+    rng = np.random.default_rng(17)
+    codes = rng.integers(0, 20, 200).astype(np.uint8)
+    return Sequence(id="parent", codes=codes)
+
+
+class TestMutate:
+    def test_zero_divergence_is_identity(self, parent):
+        child = mutate(parent, divergence=0.0, seed=1)
+        assert child.codes.tolist() == parent.codes.tolist()
+
+    def test_deterministic(self, parent):
+        a = mutate(parent, 0.3, seed=5)
+        b = mutate(parent, 0.3, seed=5)
+        assert a.codes.tolist() == b.codes.tolist()
+
+    def test_divergence_changes_sequence(self, parent):
+        child = mutate(parent, 0.5, seed=2)
+        assert child.codes.tolist() != parent.codes.tolist()
+
+    def test_child_id_and_description(self, parent):
+        child = mutate(parent, 0.2, seed=3, child_id="kid")
+        assert child.id == "kid"
+        assert "parent" in child.description
+
+    def test_only_standard_residues(self, parent):
+        child = mutate(parent, 0.9, indel_rate=0.3, seed=4)
+        assert (child.codes < 20).all()
+
+    def test_similarity_decreases_with_divergence(self, parent):
+        scheme = default_scheme()
+        close = mutate(parent, 0.1, seed=6)
+        far = mutate(parent, 0.7, seed=6)
+        assert sw_score(parent, close, scheme) > sw_score(parent, far, scheme)
+
+    def test_homolog_detectable_vs_background(self, parent):
+        # A 30%-diverged homolog must massively outscore unrelated
+        # sequences of similar composition.
+        scheme = default_scheme()
+        rng = np.random.default_rng(8)
+        homolog = mutate(parent, 0.3, seed=7)
+        unrelated = Sequence(
+            id="bg", codes=rng.integers(0, 20, len(parent)).astype(np.uint8)
+        )
+        assert sw_score(parent, homolog, scheme) > 3 * sw_score(
+            parent, unrelated, scheme
+        )
+
+    def test_validation(self, parent):
+        with pytest.raises(ValueError):
+            mutate(parent, divergence=1.5)
+        with pytest.raises(ValueError):
+            mutate(parent, 0.2, indel_rate=2.0)
+        with pytest.raises(ValueError):
+            mutate(parent, 0.2, mean_indel_length=0.5)
+
+    def test_nonstandard_residues_rejected(self):
+        seq = Sequence.from_text("x", "ARNDX")  # X is code 22
+        with pytest.raises(ValueError, match="standard-residue"):
+            mutate(seq, 0.1)
+
+
+class TestFamilyAndPlanting:
+    def test_family_size_and_ids(self, parent):
+        family = homolog_family(parent, size=5, seed=9)
+        assert len(family) == 5
+        assert len({m.id for m in family}) == 5
+
+    def test_family_members_differ(self, parent):
+        family = homolog_family(parent, size=3, divergence=0.4, seed=10)
+        texts = {m.text for m in family}
+        assert len(texts) == 3
+
+    def test_family_validation(self, parent):
+        with pytest.raises(ValueError):
+            homolog_family(parent, size=0)
+
+    def test_plant_homologs(self, parent):
+        background = list(small_database(num_sequences=10, seed=11))
+        merged = plant_homologs(background, parent, num_homologs=3, seed=12)
+        assert len(merged) == 13
+        planted = [s for s in merged if s.id.startswith("parent_h")]
+        assert len(planted) == 3
+
+    def test_plant_zero(self, parent):
+        background = list(small_database(num_sequences=4, seed=13))
+        merged = plant_homologs(background, parent, num_homologs=0, seed=14)
+        assert len(merged) == 4
+
+    def test_search_finds_planted_homolog(self, parent):
+        # End-to-end: a live search ranks the planted homolog first.
+        from repro.engine import live_search
+        from repro.sequences import SequenceDatabase
+
+        background = list(small_database(num_sequences=15, mean_length=150, seed=15))
+        merged = plant_homologs(background, parent, num_homologs=2, seed=16)
+        database = SequenceDatabase("planted", merged)
+        report = live_search([parent], database, 1, 0, policy="self", top_hits=3)
+        best = report.result_for("parent").best
+        assert best.subject_id.startswith("parent_h")

@@ -1,0 +1,96 @@
+"""Tests for sequence/database statistics."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import (
+    PROTEIN,
+    Sequence,
+    composition,
+    database_composition,
+    length_histogram,
+    paper_database_profile,
+    sequence_entropy,
+)
+from repro.sequences.synthetic import SWISSPROT_COMPOSITION
+
+
+class TestComposition:
+    def test_uniform_sequence(self):
+        s = Sequence.from_text("s", "ARND")
+        freqs = composition(s)
+        assert freqs.sum() == pytest.approx(1.0)
+        assert freqs[PROTEIN.code_of("A")] == pytest.approx(0.25)
+
+    def test_empty_sequence(self):
+        s = Sequence.from_text("s", "")
+        assert composition(s).sum() == 0.0
+
+    def test_database_composition_matches_generator(self):
+        # Materialised synthetic databases should follow the Swiss-Prot
+        # background they were drawn from.
+        profile = paper_database_profile("ensembl_dog").scaled(0.01, seed=1)
+        db = profile.materialize(seed=2)
+        freqs = database_composition(db)
+        # Compare the 20 standard residues (chi-by-eye tolerance).
+        assert np.abs(freqs[:20] - SWISSPROT_COMPOSITION[:20]).max() < 0.01
+
+    def test_database_composition_sums_to_one(self):
+        from repro.sequences import small_database
+
+        freqs = database_composition(small_database(seed=4))
+        assert freqs.sum() == pytest.approx(1.0)
+
+
+class TestEntropy:
+    def test_single_letter_zero(self):
+        s = Sequence.from_text("s", "AAAAAA")
+        assert sequence_entropy(s) == pytest.approx(0.0)
+
+    def test_uniform_max(self):
+        s = Sequence.from_text("s", "ARND")
+        assert sequence_entropy(s) == pytest.approx(2.0)  # log2(4)
+
+    def test_empty(self):
+        assert sequence_entropy(Sequence.from_text("s", "")) == 0.0
+
+    def test_base_e(self):
+        s = Sequence.from_text("s", "AR")
+        assert sequence_entropy(s, base=np.e) == pytest.approx(np.log(2))
+
+    def test_base_validation(self):
+        with pytest.raises(ValueError):
+            sequence_entropy(Sequence.from_text("s", "AR"), base=1.0)
+
+    def test_low_complexity_below_random(self):
+        rng = np.random.default_rng(5)
+        random_seq = Sequence(
+            id="r", codes=rng.integers(0, 20, 200).astype(np.uint8)
+        )
+        repeat = Sequence.from_text("p", "PQ" * 100)
+        assert sequence_entropy(repeat) < sequence_entropy(random_seq)
+
+
+class TestLengthHistogram:
+    def test_linear_bins_for_narrow_spread(self):
+        edges, counts = length_histogram(np.array([10, 20, 30, 40]), num_bins=3)
+        assert len(edges) == 4
+        assert counts.sum() == 4
+        # Linear: equal spacing.
+        assert np.allclose(np.diff(edges), np.diff(edges)[0])
+
+    def test_log_bins_for_wide_spread(self):
+        lengths = np.array([4, 50, 600, 35_000])
+        edges, counts = length_histogram(lengths, num_bins=4)
+        assert counts.sum() == 4
+        # Logarithmic: equal ratios.
+        ratios = edges[1:] / edges[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            length_histogram(np.array([]))
+        with pytest.raises(ValueError):
+            length_histogram(np.array([1, 2]), num_bins=0)
+        with pytest.raises(ValueError):
+            length_histogram(np.array([0, 2]))

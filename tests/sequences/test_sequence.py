@@ -1,0 +1,83 @@
+"""Unit tests for the Sequence value type."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import DNA, PROTEIN, Sequence
+
+
+class TestConstruction:
+    def test_from_text(self):
+        s = Sequence.from_text("q1", "ARND", description="test protein")
+        assert s.id == "q1"
+        assert len(s) == 4
+        assert s.text == "ARND"
+        assert s.description == "test protein"
+
+    def test_codes_are_readonly(self):
+        s = Sequence.from_text("q1", "ARND")
+        with pytest.raises(ValueError):
+            s.codes[0] = 3
+
+    def test_codes_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Sequence(id="bad", codes=np.array([99], dtype=np.uint8), alphabet=DNA)
+
+    def test_2d_codes_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Sequence(id="bad", codes=np.zeros((2, 2), dtype=np.uint8))
+
+    def test_input_array_not_aliased(self):
+        codes = np.zeros(4, dtype=np.uint8)
+        s = Sequence(id="q", codes=codes)
+        codes[0] = 5
+        assert s.codes[0] == 0
+
+    def test_strict_from_text(self):
+        with pytest.raises(ValueError):
+            Sequence.from_text("q", "AJ1", alphabet=DNA)
+
+    def test_lenient_from_text(self):
+        s = Sequence.from_text("q", "AZZT", alphabet=DNA, strict=False)
+        assert s.text == "ANNT"
+
+
+class TestProtocol:
+    def test_equality(self):
+        a = Sequence.from_text("q", "ARND")
+        b = Sequence.from_text("q", "ARND")
+        c = Sequence.from_text("q", "ARNDC")
+        assert a == b
+        assert a != c
+        assert a != "ARND"
+
+    def test_hash_consistency(self):
+        a = Sequence.from_text("q", "ARND")
+        b = Sequence.from_text("q", "ARND")
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_alphabet_distinguishes(self):
+        a = Sequence.from_text("q", "ACGT", alphabet=DNA)
+        b = Sequence.from_text("q", "ACGT", alphabet=PROTEIN)
+        assert a != b
+
+    def test_slice(self):
+        s = Sequence.from_text("q", "ARNDC")
+        assert s[1:3].text == "RN"
+        assert s[1:3].id == "q"
+
+    def test_scalar_index_rejected(self):
+        s = Sequence.from_text("q", "ARNDC")
+        with pytest.raises(TypeError):
+            s[0]
+
+    def test_reversed(self):
+        s = Sequence.from_text("q", "ARNDC")
+        assert s.reversed().text == "CDNRA"
+        assert s.reversed().reversed() == s
+
+    def test_empty_sequence(self):
+        s = Sequence.from_text("q", "")
+        assert len(s) == 0
+        assert s.text == ""

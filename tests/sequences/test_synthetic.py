@@ -1,0 +1,149 @@
+"""Tests for synthetic paper databases and query sets."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import (
+    PAPER_DATABASE_ORDER,
+    PAPER_DATABASES,
+    evenly_spaced_lengths,
+    heterogeneous_query_set,
+    homogeneous_query_set,
+    paper_database_profile,
+    random_profile,
+    standard_query_set,
+)
+from repro.sequences.synthetic import SWISSPROT_COMPOSITION, _lognormal_lengths
+from repro.utils import ensure_rng
+
+
+class TestPaperDatabases:
+    def test_registry_has_five_databases(self):
+        assert len(PAPER_DATABASES) == 5
+        assert set(PAPER_DATABASE_ORDER) == set(PAPER_DATABASES)
+
+    @pytest.mark.parametrize("key", ["ensembl_dog", "refseq_mouse"])
+    def test_profile_matches_spec(self, key):
+        spec = PAPER_DATABASES[key]
+        profile = paper_database_profile(key)
+        assert profile.num_sequences == spec.num_sequences
+        assert profile.total_residues == spec.total_residues
+        assert profile.lengths.min() == spec.min_length
+        assert profile.lengths.max() == spec.max_length
+
+    def test_table3_counts(self):
+        # Sequence counts straight from Table III.
+        assert PAPER_DATABASES["uniprot"].num_sequences == 537_505
+        assert PAPER_DATABASES["ensembl_dog"].num_sequences == 25_160
+        assert PAPER_DATABASES["ensembl_rat"].num_sequences == 32_971
+        assert PAPER_DATABASES["refseq_human"].num_sequences == 34_705
+        assert PAPER_DATABASES["refseq_mouse"].num_sequences == 29_437
+
+    def test_uniprot_extremes_from_section5c(self):
+        spec = PAPER_DATABASES["uniprot"]
+        assert spec.min_length == 4
+        assert spec.max_length == 35_213
+
+    def test_deterministic(self):
+        a = paper_database_profile("ensembl_dog", seed=1)
+        b = paper_database_profile("ensembl_dog", seed=1)
+        assert np.array_equal(a.lengths, b.lengths)
+
+    def test_different_seeds_differ(self):
+        a = paper_database_profile("ensembl_dog", seed=1)
+        b = paper_database_profile("ensembl_dog", seed=2)
+        assert not np.array_equal(a.lengths, b.lengths)
+
+    def test_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown database"):
+            paper_database_profile("genbank")
+
+    def test_composition_is_normalised(self):
+        assert SWISSPROT_COMPOSITION.sum() == pytest.approx(1.0)
+        assert SWISSPROT_COMPOSITION[20:].sum() == 0.0
+
+
+class TestLognormalLengths:
+    def test_exact_total(self):
+        rng = ensure_rng(0)
+        lengths = _lognormal_lengths(1000, 350_000, 10, 5000, rng)
+        assert lengths.sum() == 350_000
+        assert lengths.min() >= 10
+        assert lengths.max() <= 5000
+
+    def test_extremes_pinned(self):
+        rng = ensure_rng(0)
+        lengths = _lognormal_lengths(500, 200_000, 50, 9000, rng)
+        assert lengths.min() == 50
+        assert lengths.max() == 9000
+
+    def test_infeasible_total(self):
+        rng = ensure_rng(0)
+        with pytest.raises(ValueError, match="infeasible"):
+            _lognormal_lengths(10, 5, 10, 100, rng)
+
+    def test_tight_bounds(self):
+        rng = ensure_rng(0)
+        lengths = _lognormal_lengths(10, 100, 10, 10, rng)
+        assert (lengths == 10).all()
+
+
+class TestQuerySets:
+    def test_standard_total_is_102000(self):
+        # 40 lengths evenly spaced over [100, 5000] sum to 102,000 —
+        # the value the Table IV GCUPS figures imply.
+        qs = standard_query_set()
+        assert len(qs) == 40
+        assert qs.total_residues == 102_000
+        assert qs.lengths.min() == 100
+        assert qs.lengths.max() == 5_000
+
+    def test_homogeneous_range(self):
+        qs = homogeneous_query_set()
+        assert qs.lengths.min() == 4_500
+        assert qs.lengths.max() == 5_000
+        assert qs.total_residues == 190_000
+
+    def test_heterogeneous_range(self):
+        qs = heterogeneous_query_set()
+        assert qs.lengths.min() == 4
+        assert qs.lengths.max() == 35_213
+
+    def test_materialize(self):
+        qs = standard_query_set(count=5)
+        seqs = qs.materialize(seed=0)
+        assert [len(s) for s in seqs] == qs.lengths.tolist()
+        assert len({s.id for s in seqs}) == 5
+
+    def test_scaled(self):
+        qs = standard_query_set()
+        s = qs.scaled(0.1)
+        assert s.lengths.max() == 500
+        assert s.lengths.min() >= 10
+
+    def test_evenly_spaced_endpoints(self):
+        lengths = evenly_spaced_lengths(7, 10, 100)
+        assert lengths[0] == 10
+        assert lengths[-1] == 100
+        assert (np.diff(lengths) >= 0).all()
+
+    def test_evenly_spaced_single(self):
+        assert evenly_spaced_lengths(1, 10, 20).tolist() == [15]
+
+    def test_evenly_spaced_validation(self):
+        with pytest.raises(ValueError):
+            evenly_spaced_lengths(0, 1, 2)
+        with pytest.raises(ValueError):
+            evenly_spaced_lengths(3, 5, 1)
+
+
+class TestRandomProfile:
+    def test_shape(self):
+        p = random_profile("x", 100, 200.0, seed=3)
+        assert p.num_sequences == 100
+        assert abs(p.total_residues - 20_000) <= 1
+
+    def test_deterministic(self):
+        a = random_profile("x", 50, 100.0, seed=9)
+        b = random_profile("x", 50, 100.0, seed=9)
+        assert np.array_equal(a.lengths, b.lengths)

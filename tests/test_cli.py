@@ -1,0 +1,123 @@
+"""Tests for the swdual command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sequences import small_database, standard_query_set, write_fasta
+
+
+@pytest.fixture()
+def files(tmp_path):
+    db = small_database(num_sequences=8, mean_length=50, seed=3)
+    queries = standard_query_set(count=2).scaled(0.01).materialize(seed=4)
+    db_path = tmp_path / "db.fasta"
+    q_path = tmp_path / "q.fasta"
+    db.to_fasta(db_path)
+    write_fasta(queries, q_path)
+    return str(q_path), str(db_path), tmp_path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.db == "uniprot"
+        assert args.workers == 8
+
+
+class TestCommands:
+    def test_convert_and_info(self, files, capsys):
+        q, db, tmp = files
+        swdb = str(tmp / "db.swdb")
+        assert main(["convert", db, swdb]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 8 sequences" in out
+        assert main(["info", swdb]) == 0
+        out = capsys.readouterr().out
+        assert "8" in out
+
+    def test_info_fasta(self, files, capsys):
+        _, db, _ = files
+        assert main(["info", db]) == 0
+        assert "Residues" in capsys.readouterr().out
+
+    def test_search(self, files, capsys):
+        q, db, _ = files
+        assert main(["search", q, db, "--cpus", "1", "--gpus", "0",
+                     "--policy", "self", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "GCUPS" in out
+        assert "standard@0.01_q00" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--db", "ensembl_dog", "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "swdual" in out
+        assert "util=" in out
+
+    def test_search_json(self, files, capsys):
+        import json
+
+        q, db, _ = files
+        assert main(["search", q, db, "--cpus", "1", "--gpus", "0",
+                     "--policy", "self", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["label"] == "live-self"
+        assert len(parsed["queries"]) == 2
+
+    def test_simulate_json(self, capsys):
+        import json
+
+        assert main(["simulate", "--db", "ensembl_dog", "--workers", "2",
+                     "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["label"] == "swdual"
+        assert parsed["gcups"] > 0
+
+    def test_align(self, files, capsys):
+        q, db, _ = files
+        assert main(["align", q, db]) == 0
+        out = capsys.readouterr().out
+        assert "score=" in out
+        assert "CIGAR:" in out
+
+    def test_align_linear_space(self, files, capsys):
+        q, db, _ = files
+        assert main(["align", q, db, "--linear-space"]) == 0
+        assert "CIGAR:" in capsys.readouterr().out
+
+    def test_align_missing_records(self, tmp_path, capsys):
+        empty = tmp_path / "empty.fasta"
+        empty.write_text("")
+        assert main(["align", str(empty), str(empty)]) == 1
+
+    def test_simulate_gantt(self, capsys):
+        assert main(
+            ["simulate", "--db", "ensembl_dog", "--workers", "2", "--gantt"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "|" in out  # gantt rows
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_experiment_ablations(self, capsys):
+        assert main(["experiment", "ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "A1" in out and "A2" in out and "A3" in out
+
+    def test_search_processes(self, files, capsys):
+        q, db, _ = files
+        assert main(["search", q, db, "--processes", "2", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "process-self" in out
+
+    def test_experiment_robustness(self, capsys):
+        assert main(["experiment", "robustness"]) == 0
+        out = capsys.readouterr().out
+        assert "A4" in out
+        assert "winner=" in out

@@ -1,0 +1,107 @@
+"""Tests for shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    ascii_table,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+    ensure_rng,
+    format_seconds,
+    format_si,
+    spawn_rng,
+)
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_negative_seed(self):
+        with pytest.raises(ValueError):
+            ensure_rng(-1)
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_independent(self):
+        children = spawn_rng(ensure_rng(0), 3)
+        assert len(children) == 3
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), -1)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 3) == 3
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+
+    def test_check_type(self):
+        assert check_type("x", 5, int) == 5
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "5", int)
+
+    def test_check_type_union(self):
+        assert check_type("x", 5.0, (int, float)) == 5.0
+
+
+class TestFormat:
+    def test_format_seconds_small(self):
+        assert format_seconds(86.2) == "86.20 s"
+
+    def test_format_seconds_minutes(self):
+        assert format_seconds(543.28) == "9m 03.3s"
+
+    def test_format_seconds_hours(self):
+        assert format_seconds(2 * 3600 + 5 * 60) == "2h 05m"
+
+    def test_format_seconds_negative(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1)
+
+    def test_format_si(self):
+        assert format_si(136.06e9, "CUPS") == "136.06 GCUPS"
+        assert format_si(77.7e12, "cell") == "77.70 Tcell"
+        assert format_si(12.0) == "12.00"
+
+    def test_ascii_table(self):
+        out = ascii_table(["App", "1", "2"], [["SWIPE", 2367.24, 1199.47]])
+        lines = out.splitlines()
+        assert "App" in lines[0]
+        assert "SWIPE" in lines[-1]
+
+    def test_ascii_table_title(self):
+        out = ascii_table(["a"], [["b"]], title="Table II")
+        assert out.startswith("Table II")
+
+    def test_ascii_table_ragged_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            ascii_table(["a", "b"], [["only-one"]])
