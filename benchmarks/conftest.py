@@ -15,6 +15,13 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark is a long-running test: mark the whole tree
+    ``slow`` so ``-m "not slow"`` skips it in mixed runs."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def save_result():
     """Persist a rendered table and echo it to stdout."""

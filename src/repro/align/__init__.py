@@ -11,9 +11,23 @@ from repro.align.sw_scalar import (
     sw_score_and_position,
 )
 from repro.align.sw_vector import rowsweep_rows, sw_score_rowsweep
-from repro.align.sw_batch import DEFAULT_CHUNK_CELLS, sw_score_batch
+from repro.align.sw_batch import (
+    DEFAULT_CHUNK_CELLS,
+    DTYPE_LADDER,
+    DtypeLevel,
+    QueryProfile,
+    clear_profile_cache,
+    query_profile,
+    sw_score_batch,
+    sw_score_packed,
+)
 from repro.align.sw_striped import DEFAULT_LANES, linear_as_affine, sw_score_striped
-from repro.align.sw_wavefront import sw_score_wavefront, wavefront_steps
+from repro.align.sw_wavefront import (
+    sw_score_wavefront,
+    sw_score_wavefront_batch,
+    sw_score_wavefront_packed,
+    wavefront_steps,
+)
 from repro.align.banded import sw_score_banded
 from repro.align.block_pipeline import (
     PipelineStats,
@@ -41,11 +55,19 @@ __all__ = [
     "sw_score_rowsweep",
     "rowsweep_rows",
     "sw_score_batch",
+    "sw_score_packed",
+    "QueryProfile",
+    "query_profile",
+    "clear_profile_cache",
+    "DTYPE_LADDER",
+    "DtypeLevel",
     "DEFAULT_CHUNK_CELLS",
     "sw_score_striped",
     "DEFAULT_LANES",
     "linear_as_affine",
     "sw_score_wavefront",
+    "sw_score_wavefront_batch",
+    "sw_score_wavefront_packed",
     "wavefront_steps",
     "sw_score_banded",
     "sw_score_blocked",

@@ -9,35 +9,184 @@ play the role of SIMD lanes: database sequences are padded into a
 O(m) Python iterations per batch regardless of how many subjects it
 holds.
 
-Padding safety: padded columns get a hugely negative substitution
-score, which zeroes their ``c`` contribution; values that leak into the
-padding through the gap chains are strictly below the true maximum (a
-trailing gap always loses at least ``Gs + Ge``), so the running best is
-unaffected.  Tests verify batch scores equal the scalar reference on
-ragged batches.
+Two further SWIPE techniques shape the hot path:
 
-Batches are processed in chunks to bound peak memory
-(:data:`DEFAULT_CHUNK_CELLS` DP cells per chunk).
+* **Packed-database reuse** — sorting, chunking and padding the
+  database is hoisted into :class:`~repro.sequences.packed.PackedDatabase`
+  and done once; :func:`sw_score_packed` scores any number of queries
+  against the same packing.  :func:`sw_score_batch` keeps the original
+  one-shot signature by packing transiently.
+* **Adaptive narrow-dtype scoring** — chunks are scored in ``int16``
+  first (4× less memory traffic than ``int64``), with a per-scheme
+  saturation ceiling checked after every DP row.  A chunk whose running
+  best reaches the ceiling is transparently re-scored in the next wider
+  dtype (``int32``, then exact ``int64``), mirroring SWIPE's 7-bit
+  score lanes with 16-bit overflow recovery.  Results are bit-for-bit
+  identical to the scalar reference at every level.
+
+Padding safety: padded columns get a strongly negative substitution
+score, which kills their diagonal contribution; values that leak into
+the padding through the gap chains are strictly below the true
+per-sequence maximum (a trailing gap always loses at least
+``Gs + Ge``), so the running best is unaffected.  In the narrow levels
+the pad score is a *moderate* negative (to stay in range) — leaked
+values then decay by the pad score per diagonal step instead, which is
+still strictly below the running best.  The gap-chain scan runs in a
+wider ``scan`` dtype because its ``k·Ge`` offsets grow with the chunk
+length; the scan result is clipped back into range (clipped values are
+negative and can never contribute to a local score).
+
+Saturation soundness: every DP value is bounded by the previous rows'
+best plus one substitution score, so with
+``ceiling = dtype_max - max_pair_score`` checked after each row, no
+wraparound can occur before the check fires.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Sequence as SequenceABC
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.align.scoring import ScoringScheme
+from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
 from repro.sequences.sequence import Sequence
 
-__all__ = ["sw_score_batch", "DEFAULT_CHUNK_CELLS"]
+__all__ = [
+    "sw_score_batch",
+    "sw_score_packed",
+    "QueryProfile",
+    "query_profile",
+    "clear_profile_cache",
+    "DTYPE_LADDER",
+    "DtypeLevel",
+    "DEFAULT_CHUNK_CELLS",
+]
 
-_NEG = np.int64(-(2**40))
-#: Substitution score assigned to padding columns; large enough to kill
-#: any diagonal contribution, small enough never to overflow int64.
-_PAD_SCORE = np.int64(-(2**20))
 
-#: Default ceiling on (subjects × max length) cells held at once.
-DEFAULT_CHUNK_CELLS = 4_000_000
+@dataclass(frozen=True)
+class DtypeLevel:
+    """One rung of the adaptive dtype ladder.
+
+    Parameters
+    ----------
+    dtype:
+        Element dtype of the DP matrices (H, F, substitution rows).
+    scan_dtype:
+        Dtype of the gap-chain prefix scan, whose ``k·Ge`` offsets grow
+        with the chunk length and need more headroom than *dtype*.
+    pad_score / neg:
+        Padding-column substitution score and the -infinity stand-in;
+        chosen so no arithmetic in the level can wrap (see module
+        docstring).
+    clamp_f:
+        Clamp the F gap chain at *neg* each row — required for narrow
+        dtypes where F could otherwise drift down by ``Ge`` per row
+        over a long query and wrap.
+    """
+
+    dtype: type
+    scan_dtype: type
+    pad_score: int
+    neg: int
+    clamp_f: bool
+
+    def ceiling(self, scheme: ScoringScheme) -> int | None:
+        """Saturation threshold for *scheme*, or ``None`` if exact."""
+        if self.dtype is np.int64:
+            return None
+        return int(np.iinfo(self.dtype).max) - max(scheme.max_pair_score(), 0)
+
+    def usable(self, scheme: ScoringScheme) -> bool:
+        """Whether this level can represent *scheme* at all."""
+        ceiling = self.ceiling(scheme)
+        if ceiling is None:
+            return True
+        if ceiling <= 0:
+            return False
+        # Substitution scores more negative than the pad score would
+        # break the padding-containment argument.
+        return int(scheme.matrix.scores.min()) >= self.pad_score
+
+
+#: Narrow-to-wide ladder: int16 (with int32 scan), int32, exact int64.
+DTYPE_LADDER: tuple[DtypeLevel, ...] = (
+    DtypeLevel(np.int16, np.int32, pad_score=-(2**13), neg=-(2**13), clamp_f=True),
+    DtypeLevel(np.int32, np.int64, pad_score=-(2**20), neg=-(2**20), clamp_f=False),
+    DtypeLevel(np.int64, np.int64, pad_score=-(2**20), neg=-(2**40), clamp_f=False),
+)
+
+
+class QueryProfile:
+    """Cached, padded query profiles for every ladder dtype.
+
+    The base profile (``len(q) × alphabet``) is built once from the
+    scoring matrix; each ladder level gets a lazily-materialised copy
+    with one extra padding column holding the level's pad score.
+    """
+
+    __slots__ = ("query", "scheme", "_base", "_padded")
+
+    def __init__(self, query: Sequence, scheme: ScoringScheme):
+        scheme.check_sequence(query, "query")
+        self.query = query
+        self.scheme = scheme
+        self._base = scheme.profile(query)
+        self._padded: dict[type, np.ndarray] = {}
+
+    def padded(self, level: DtypeLevel) -> np.ndarray:
+        """``(len(q), alphabet+1)`` profile in the level's dtype."""
+        cached = self._padded.get(level.dtype)
+        if cached is None:
+            base = self._base
+            cached = np.full(
+                (base.shape[0], base.shape[1] + 1), level.pad_score, dtype=level.dtype
+            )
+            cached[:, :-1] = base
+            cached.setflags(write=False)
+            self._padded[level.dtype] = cached
+        return cached
+
+
+_PROFILE_CACHE: OrderedDict[tuple, QueryProfile] = OrderedDict()
+_PROFILE_CACHE_SIZE = 64
+
+
+def _scheme_key(scheme: ScoringScheme) -> tuple:
+    gaps = scheme.gaps
+    return (
+        scheme.matrix.name,
+        scheme.alphabet.name,
+        gaps.gap,
+        gaps.gap_open,
+        gaps.gap_extend,
+        scheme.matrix.scores.tobytes(),
+    )
+
+
+def query_profile(query: Sequence, scheme: ScoringScheme) -> QueryProfile:
+    """The cached :class:`QueryProfile` for ``(query, scheme)``.
+
+    Backed by a small process-wide LRU so repeated searches with the
+    same queries (the live engine's workload) build each profile once.
+    """
+    key = (query, _scheme_key(scheme))
+    cached = _PROFILE_CACHE.get(key)
+    if cached is not None:
+        _PROFILE_CACHE.move_to_end(key)
+        return cached
+    profile = QueryProfile(query, scheme)
+    _PROFILE_CACHE[key] = profile
+    while len(_PROFILE_CACHE) > _PROFILE_CACHE_SIZE:
+        _PROFILE_CACHE.popitem(last=False)
+    return profile
+
+
+def clear_profile_cache() -> None:
+    """Drop all cached query profiles (benchmark hygiene)."""
+    _PROFILE_CACHE.clear()
 
 
 def sw_score_batch(
@@ -45,8 +194,14 @@ def sw_score_batch(
     subjects: SequenceABC[Sequence],
     scheme: ScoringScheme,
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
+    levels: tuple[DtypeLevel, ...] | None = None,
 ) -> np.ndarray:
     """Best local score of *query* against every subject.
+
+    Packs *subjects* transiently and delegates to
+    :func:`sw_score_packed`; callers that reuse one database across
+    queries should build a
+    :class:`~repro.sequences.packed.PackedDatabase` once instead.
 
     Parameters
     ----------
@@ -55,113 +210,188 @@ def sw_score_batch(
     subjects:
         Database sequences (arbitrary, possibly very different lengths).
     chunk_cells:
-        Upper bound on ``B × L`` per processed chunk; subjects are
-        sorted by length internally so padding waste stays small, and
-        results are returned in the original order.
+        Upper bound on ``B × L`` per processed chunk.
+    levels:
+        Override the dtype ladder (benchmarks; ``None`` = full ladder).
 
     Returns
     -------
     numpy.ndarray
-        ``int64`` array of ``len(subjects)`` scores.
+        ``int64`` array of ``len(subjects)`` scores, in input order.
     """
-    scheme.check_sequence(query, "query")
     for s in subjects:
         scheme.check_sequence(s, "subject")
-    if chunk_cells <= 0:
-        raise ValueError(f"chunk_cells must be positive, got {chunk_cells}")
-    n_subjects = len(subjects)
-    scores = np.zeros(n_subjects, dtype=np.int64)
-    if n_subjects == 0 or len(query) == 0:
+    packed = PackedDatabase(list(subjects), chunk_cells=chunk_cells)
+    return sw_score_packed(query, packed, scheme, levels=levels)
+
+
+def sw_score_packed(
+    query: Sequence,
+    packed: PackedDatabase,
+    scheme: ScoringScheme,
+    levels: tuple[DtypeLevel, ...] | None = None,
+) -> np.ndarray:
+    """Best local score of *query* against a pre-packed database.
+
+    The packing (sorted/chunked/padded code matrices) is reused across
+    calls; the query profile is served from the process-wide cache.
+    Scores are exact ``int64`` regardless of which ladder level each
+    chunk was computed at.
+    """
+    scheme.check_sequence(query, "query")
+    if packed.alphabet is not None and packed.alphabet.name != scheme.alphabet.name:
+        raise ValueError(
+            f"packed database uses alphabet {packed.alphabet.name!r}, but "
+            f"the scoring matrix expects {scheme.alphabet.name!r}"
+        )
+    scores = np.zeros(packed.num_sequences, dtype=np.int64)
+    if packed.num_sequences == 0 or len(query) == 0:
         return scores
-
-    # Sort by length so each chunk pads to a similar length (the same
-    # reason SWIPE sorts its database).
-    order = sorted(range(n_subjects), key=lambda i: len(subjects[i]))
-    profile = _padded_profile(query, scheme)
-
-    start = 0
-    while start < n_subjects:
-        # Grow the chunk while the padded cell count stays in budget.
-        end = start + 1
-        max_len = max(1, len(subjects[order[start]]))
-        while end < n_subjects:
-            cand_len = max(max_len, len(subjects[order[end]]))
-            if (end - start + 1) * cand_len > chunk_cells:
-                break
-            max_len = cand_len
-            end += 1
-        idx = order[start:end]
-        batch_scores = _score_chunk(query, [subjects[i] for i in idx], profile, scheme, max_len)
-        scores[idx] = batch_scores
-        start = end
+    profile = query_profile(query, scheme)
+    for chunk in packed.chunks:
+        scores[chunk.indices] = _score_chunk_adaptive(
+            query, chunk.codes, profile, scheme, levels
+        )
     return scores
 
 
-def _padded_profile(query: Sequence, scheme: ScoringScheme) -> np.ndarray:
-    """Query profile with an extra padding column of :data:`_PAD_SCORE`."""
-    base = scheme.profile(query).astype(np.int64)
-    profile = np.full((base.shape[0], base.shape[1] + 1), _PAD_SCORE, dtype=np.int64)
-    profile[:, :-1] = base
-    return profile
-
-
-def _score_chunk(
+def _score_chunk_adaptive(
     query: Sequence,
-    subjects: list[Sequence],
-    profile: np.ndarray,
+    codes: np.ndarray,
+    profile: QueryProfile,
     scheme: ScoringScheme,
-    max_len: int,
+    levels: tuple[DtypeLevel, ...] | None,
 ) -> np.ndarray:
-    pad_code = scheme.alphabet.size  # the extra profile column
-    B = len(subjects)
-    L = max(max_len, 1)
-    codes = np.full((B, L), pad_code, dtype=np.int64)
-    for b, s in enumerate(subjects):
-        codes[b, : len(s)] = s.codes
-    if scheme.is_affine:
-        return _affine_chunk(query.codes, codes, profile, scheme)
-    return _linear_chunk(query.codes, codes, profile, scheme)
+    """Score one chunk, climbing the ladder on saturation."""
+    kernel = _affine_chunk if scheme.is_affine else _linear_chunk
+    ladder = DTYPE_LADDER if levels is None else levels
+    gap_step = abs(
+        scheme.gaps.gap_extend if scheme.is_affine else scheme.gaps.gap
+    )
+    best = None
+    for level in ladder:
+        if not level.usable(scheme):
+            continue
+        # The prefix scan carries k·gap offsets up to L·gap; skip a
+        # level whose scan dtype lacks the headroom for this chunk.
+        if level.dtype is not np.int64 and (
+            codes.shape[1] * gap_step + np.iinfo(level.dtype).max
+            >= np.iinfo(level.scan_dtype).max
+        ):
+            continue
+        best, saturated = kernel(query.codes, codes, profile.padded(level), scheme, level)
+        if not saturated:
+            return best
+    if best is None:
+        raise ValueError("no usable dtype level for this scoring scheme")
+    return best  # forced-narrow benchmark runs may end saturated
 
 
 def _affine_chunk(
-    q: np.ndarray, codes: np.ndarray, profile: np.ndarray, scheme: ScoringScheme
-) -> np.ndarray:
-    gs = np.int64(scheme.gaps.gap_open)
-    ge = np.int64(scheme.gaps.gap_extend)
+    q: np.ndarray,
+    codes: np.ndarray,
+    profile: np.ndarray,
+    scheme: ScoringScheme,
+    level: DtypeLevel,
+) -> tuple[np.ndarray, bool]:
+    dt = np.dtype(level.dtype)
+    scan = np.dtype(level.scan_dtype)
+    gs = dt.type(scheme.gaps.gap_open)
+    ge = dt.type(scheme.gaps.gap_extend)
+    gs_scan = scan.type(scheme.gaps.gap_open)
+    neg = dt.type(level.neg)
+    ceiling = level.ceiling(scheme)
     B, L = codes.shape
-    j_ge = np.arange(1, L + 1, dtype=np.int64) * ge
-    k_ge = np.arange(0, L, dtype=np.int64) * ge
-    H_prev = np.zeros((B, L + 1), dtype=np.int64)
-    F_prev = np.full((B, L), _NEG, dtype=np.int64)
-    best = np.zeros(B, dtype=np.int64)
-    b_buf = np.empty((B, L), dtype=np.int64)
+
+    j_ge = np.arange(1, L + 1, dtype=scan) * scan.type(scheme.gaps.gap_extend)
+    k_ge = np.arange(0, L, dtype=scan) * scan.type(scheme.gaps.gap_extend)
+    H_prev = np.zeros((B, L + 1), dtype=dt)
+    H_next = np.zeros((B, L + 1), dtype=dt)
+    F_prev = np.full((B, L), neg, dtype=dt)
+    F_next = np.empty((B, L), dtype=dt)
+    best = np.zeros(B, dtype=dt)
+    row_max = np.empty(B, dtype=dt)
+    srow = np.empty((B, L), dtype=dt)
+    c = np.empty((B, L), dtype=dt)
+    e_scan = np.empty((B, L), dtype=scan)
+    e_cast = np.empty((B, L), dtype=dt) if scan != dt else None
+
     for i in range(len(q)):
-        srow = profile[i][codes]  # (B, L) substitution scores
-        F = np.maximum(F_prev, H_prev[:, 1:] - gs) - ge
-        c = np.maximum(np.maximum(H_prev[:, :-1] + srow, F), 0)
-        b_buf[:, 0] = 0
-        b_buf[:, 1:] = c[:, :-1]
-        E = np.maximum.accumulate(b_buf - gs + k_ge, axis=1) - j_ge
-        H = np.zeros((B, L + 1), dtype=np.int64)
-        np.maximum(c, E, out=H[:, 1:])
-        np.maximum(best, c.max(axis=1), out=best)
-        H_prev, F_prev = H, F
-    return best
+        np.take(profile[i], codes, out=srow)
+        # F chain (vertical gaps).
+        np.subtract(H_prev[:, 1:], gs, out=F_next)
+        np.maximum(F_next, F_prev, out=F_next)
+        F_next -= ge
+        if level.clamp_f:
+            np.maximum(F_next, neg, out=F_next)
+        # Candidate cells: diagonal vs F vs zero.
+        np.add(H_prev[:, :-1], srow, out=c)
+        np.maximum(c, F_next, out=c)
+        np.maximum(c, 0, out=c)
+        # E chain (horizontal gaps) via prefix scan in the wide dtype.
+        e_scan[:, 0] = 0
+        e_scan[:, 1:] = c[:, :-1]
+        e_scan -= gs_scan
+        e_scan += k_ge
+        np.maximum.accumulate(e_scan, axis=1, out=e_scan)
+        e_scan -= j_ge
+        if e_cast is None:
+            np.maximum(c, e_scan, out=H_next[:, 1:])
+        else:
+            np.maximum(e_scan, level.neg, out=e_scan)  # clip before narrowing
+            np.copyto(e_cast, e_scan, casting="unsafe")
+            np.maximum(c, e_cast, out=H_next[:, 1:])
+        c.max(axis=1, out=row_max)
+        np.maximum(best, row_max, out=best)
+        if ceiling is not None and int(best.max()) >= ceiling:
+            return best.astype(np.int64), True
+        H_prev, H_next = H_next, H_prev
+        F_prev, F_next = F_next, F_prev
+    return best.astype(np.int64), False
 
 
 def _linear_chunk(
-    q: np.ndarray, codes: np.ndarray, profile: np.ndarray, scheme: ScoringScheme
-) -> np.ndarray:
-    g = np.int64(scheme.gaps.gap)
+    q: np.ndarray,
+    codes: np.ndarray,
+    profile: np.ndarray,
+    scheme: ScoringScheme,
+    level: DtypeLevel,
+) -> tuple[np.ndarray, bool]:
+    dt = np.dtype(level.dtype)
+    scan = np.dtype(level.scan_dtype)
+    g = dt.type(scheme.gaps.gap)
+    neg = level.neg
+    ceiling = level.ceiling(scheme)
     B, L = codes.shape
-    j_g = np.arange(1, L + 1, dtype=np.int64) * g
-    H_prev = np.zeros((B, L + 1), dtype=np.int64)
-    best = np.zeros(B, dtype=np.int64)
+
+    j_g = np.arange(1, L + 1, dtype=scan) * scan.type(scheme.gaps.gap)
+    H_prev = np.zeros((B, L + 1), dtype=dt)
+    H_next = np.zeros((B, L + 1), dtype=dt)
+    best = np.zeros(B, dtype=dt)
+    row_max = np.empty(B, dtype=dt)
+    srow = np.empty((B, L), dtype=dt)
+    c = np.empty((B, L), dtype=dt)
+    up = np.empty((B, L), dtype=dt)
+    h_scan = np.empty((B, L), dtype=scan)
+
     for i in range(len(q)):
-        srow = profile[i][codes]
-        c = np.maximum(np.maximum(H_prev[:, :-1] + srow, H_prev[:, 1:] + g), 0)
-        H = np.zeros((B, L + 1), dtype=np.int64)
-        H[:, 1:] = np.maximum.accumulate(c - j_g, axis=1) + j_g
-        np.maximum(best, c.max(axis=1), out=best)
-        H_prev = H
-    return best
+        np.take(profile[i], codes, out=srow)
+        np.add(H_prev[:, 1:], g, out=up)
+        np.add(H_prev[:, :-1], srow, out=c)
+        np.maximum(c, up, out=c)
+        np.maximum(c, 0, out=c)
+        # H via the same prefix-scan trick (gap chains along the row).
+        np.subtract(c, j_g, out=h_scan)
+        np.maximum.accumulate(h_scan, axis=1, out=h_scan)
+        h_scan += j_g
+        if scan == dt:
+            H_next[:, 1:] = h_scan
+        else:
+            np.maximum(h_scan, neg, out=h_scan)  # clip before narrowing
+            np.copyto(H_next[:, 1:], h_scan, casting="unsafe")
+        c.max(axis=1, out=row_max)
+        np.maximum(best, row_max, out=best)
+        if ceiling is not None and int(best.max()) >= ceiling:
+            return best.astype(np.int64), True
+        H_prev, H_next = H_next, H_prev
+    return best.astype(np.int64), False

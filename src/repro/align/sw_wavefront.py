@@ -12,18 +12,41 @@ Here each diagonal is one vectorised numpy update, making the kernel an
 executable model of the GPU algorithm: O(m+n) sequential steps of
 O(diag) parallel work.  It is validated against the scalar reference
 and backs the CUDASW++ comparator's live mode.
+
+:func:`sw_score_wavefront_packed` is the batched variant the live
+engine's GPU-class workers use: subjects come pre-padded in
+:class:`~repro.sequences.packed.PackedDatabase` chunks and the
+anti-diagonal sweep advances over the whole ``(B, L)`` chunk at once —
+``m + L`` Python steps per chunk instead of ``Σ(m + n_b)`` per-subject
+loops, exactly how a CUDA kernel batches many pairwise comparisons into
+one launch.  Padded columns use the packed pad code, whose profile
+column is strongly negative; leaked gap-chain values stay strictly
+below each sequence's true best (same containment argument as the batch
+kernel).
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence as SequenceABC
+
 import numpy as np
 
 from repro.align.scoring import ScoringScheme
+from repro.align.sw_batch import DTYPE_LADDER, query_profile
+from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
 from repro.sequences.sequence import Sequence
 
-__all__ = ["sw_score_wavefront", "wavefront_steps"]
+__all__ = [
+    "sw_score_wavefront",
+    "sw_score_wavefront_batch",
+    "sw_score_wavefront_packed",
+    "wavefront_steps",
+]
 
 _NEG = np.int64(-(2**40))
+
+#: The exact int64 ladder level — the batched wavefront computes wide.
+_INT64_LEVEL = DTYPE_LADDER[-1]
 
 
 def sw_score_wavefront(query: Sequence, subject: Sequence, scheme: ScoringScheme) -> int:
@@ -33,6 +56,100 @@ def sw_score_wavefront(query: Sequence, subject: Sequence, scheme: ScoringScheme
         if diag_best > best:
             best = diag_best
     return int(best)
+
+
+def sw_score_wavefront_batch(
+    query: Sequence,
+    subjects: SequenceABC[Sequence],
+    scheme: ScoringScheme,
+    chunk_cells: int = DEFAULT_CHUNK_CELLS,
+) -> np.ndarray:
+    """Wavefront scores for many subjects via a transient packing.
+
+    Callers that reuse one database across queries should build a
+    :class:`~repro.sequences.packed.PackedDatabase` once and call
+    :func:`sw_score_wavefront_packed` instead.
+    """
+    for s in subjects:
+        scheme.check_sequence(s, "subject")
+    packed = PackedDatabase(list(subjects), chunk_cells=chunk_cells)
+    return sw_score_wavefront_packed(query, packed, scheme)
+
+
+def sw_score_wavefront_packed(
+    query: Sequence, packed: PackedDatabase, scheme: ScoringScheme
+) -> np.ndarray:
+    """Anti-diagonal scores of *query* against a pre-packed database.
+
+    One ``m + L`` diagonal sweep per chunk scores every subject row
+    simultaneously; results are exact ``int64`` and identical to
+    :func:`sw_score_wavefront` per pair.
+    """
+    scheme.check_sequence(query, "query")
+    if packed.alphabet is not None and packed.alphabet.name != scheme.alphabet.name:
+        raise ValueError(
+            f"packed database uses alphabet {packed.alphabet.name!r}, but "
+            f"the scoring matrix expects {scheme.alphabet.name!r}"
+        )
+    scores = np.zeros(packed.num_sequences, dtype=np.int64)
+    if packed.num_sequences == 0 or len(query) == 0:
+        return scores
+    profile = query_profile(query, scheme).padded(_INT64_LEVEL)
+    for chunk in packed.chunks:
+        scores[chunk.indices] = _wavefront_chunk(query.codes, chunk.codes, profile, scheme)
+    return scores
+
+
+def _wavefront_chunk(
+    q: np.ndarray, codes: np.ndarray, profile: np.ndarray, scheme: ScoringScheme
+) -> np.ndarray:
+    """Batched anti-diagonal sweep over one padded ``(B, L)`` chunk.
+
+    Index *i* of the per-diagonal arrays holds cell ``(i, t - i)`` of
+    every subject's DP matrix, exactly as in :func:`wavefront_steps`,
+    with a leading batch axis.
+    """
+    m = len(q)
+    B, L = codes.shape
+    if scheme.is_affine:
+        gs = np.int64(scheme.gaps.gap_open)
+        ge = np.int64(scheme.gaps.gap_extend)
+        affine = True
+    else:
+        g = np.int64(scheme.gaps.gap)
+        affine = False
+
+    H_m1 = np.zeros((B, m + 1), dtype=np.int64)  # diagonal t-1
+    H_m2 = np.zeros((B, m + 1), dtype=np.int64)  # diagonal t-2
+    E_m1 = np.full((B, m + 1), _NEG, dtype=np.int64)
+    F_m1 = np.full((B, m + 1), _NEG, dtype=np.int64)
+    best = np.zeros(B, dtype=np.int64)
+
+    for t in range(2, m + L + 1):
+        lo = max(1, t - L)
+        hi = min(m, t - 1)
+        i_idx = np.arange(lo, hi + 1)
+        # sub[b, k] = profile[i_idx[k]-1, codes[b, t - i_idx[k] - 1]]
+        sub = profile[(i_idx - 1)[None, :], codes[:, t - 1 - i_idx]]
+        diag = H_m2[:, lo - 1 : hi] + sub
+        H = np.zeros((B, m + 1), dtype=np.int64)
+        E = np.full((B, m + 1), _NEG, dtype=np.int64)
+        F = np.full((B, m + 1), _NEG, dtype=np.int64)
+        if affine:
+            E_new = np.maximum(E_m1[:, lo : hi + 1], H_m1[:, lo : hi + 1] - gs) - ge
+            F_new = np.maximum(F_m1[:, lo - 1 : hi], H_m1[:, lo - 1 : hi] - gs) - ge
+            H_new = np.maximum(np.maximum(diag, E_new), np.maximum(F_new, 0))
+            E[:, lo : hi + 1] = E_new
+            F[:, lo : hi + 1] = F_new
+        else:
+            left = H_m1[:, lo : hi + 1] + g
+            up = H_m1[:, lo - 1 : hi] + g
+            H_new = np.maximum(np.maximum(diag, left), np.maximum(up, 0))
+        H[:, lo : hi + 1] = H_new
+        np.maximum(best, H_new.max(axis=1), out=best)
+        H_m2 = H_m1
+        H_m1, E_m1, F_m1 = H, E, F
+    return best
 
 
 def wavefront_steps(query: Sequence, subject: Sequence, scheme: ScoringScheme):

@@ -8,6 +8,7 @@ Subcommands mirror the system's surfaces::
     swdual search   QUERIES.fasta DB      # live master-slave search
     swdual simulate [--db uniprot ...]    # paper-scale simulated run
     swdual experiment {table2,table3,table4,table5,ablations}
+    swdual bench kernels                  # real kernel GCUPS -> JSON
 
 ``swdual simulate`` and ``swdual experiment`` regenerate the paper's
 numbers from the calibrated models; ``swdual search`` runs real kernels
@@ -87,6 +88,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "which", choices=("table2", "table3", "table4", "table5", "ablations", "robustness", "all")
     )
+
+    p_bench = sub.add_parser(
+        "bench", help="measure real kernel GCUPS on this machine"
+    )
+    p_bench.add_argument("which", choices=("kernels",))
+    p_bench.add_argument(
+        "--out",
+        default="BENCH_kernels.json",
+        help="JSON report path ('-' to skip writing)",
+    )
+    p_bench.add_argument("--subjects", type=int, default=300, help="database size")
+    p_bench.add_argument("--min-len", type=int, default=100)
+    p_bench.add_argument("--max-len", type=int, default=400)
+    p_bench.add_argument("--query-len", type=int, default=300)
+    p_bench.add_argument("--queries", type=int, default=4, help="queries per pass")
+    p_bench.add_argument("--repeats", type=int, default=3, help="best-of repeats")
     return parser
 
 
@@ -268,6 +285,39 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.platform import run_kernel_bench, write_bench_report
+
+    report = run_kernel_bench(
+        num_subjects=args.subjects,
+        min_len=args.min_len,
+        max_len=args.max_len,
+        query_len=args.query_len,
+        num_queries=args.queries,
+        repeats=args.repeats,
+    )
+    gcups = report["gcups"]
+    rows = [
+        ["seed int64 per-call", f"{gcups['seed_int64_per_call']:.4f}"],
+        ["packed + dtype ladder", f"{gcups['packed_ladder']:.4f}"],
+    ]
+    rows += [
+        [f"packed pinned {name}", f"{value:.4f}"]
+        for name, value in gcups["levels"].items()
+    ]
+    rows += [
+        ["wavefront per-subject", f"{gcups['wavefront_per_subject']:.4f}"],
+        ["wavefront batched", f"{gcups['wavefront_batched']:.4f}"],
+    ]
+    print(ascii_table(["Kernel path", "GCUPS"], rows))
+    print(f"speedup packed vs seed:    {report['speedup_packed_vs_seed']:.2f}x")
+    print(f"speedup wavefront batched: {report['speedup_wavefront_batched']:.2f}x")
+    if args.out != "-":
+        write_bench_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "convert": _cmd_convert,
     "align": _cmd_align,
@@ -275,6 +325,7 @@ _COMMANDS = {
     "search": _cmd_search,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
+    "bench": _cmd_bench,
 }
 
 

@@ -21,7 +21,7 @@ from repro.engine.results import (
     merge_query_results,
 )
 from repro.engine.worker import KernelWorker, TaskExecution, default_cpu_kernel
-from repro.engine.master import Master
+from repro.engine.master import Master, predict_static_allocation
 from repro.engine.simulation import (
     DurationNoise,
     SimulationOutcome,
@@ -30,8 +30,14 @@ from repro.engine.simulation import (
     simulate_swdual_rounds,
     simulate_with_failures,
 )
-from repro.engine.search import SIM_POLICIES, live_search, simulate_search
-from repro.engine.transport import process_search
+from repro.engine.search import (
+    LIVE_EXECUTION_MODES,
+    SIM_POLICIES,
+    calibrate_live,
+    live_search,
+    simulate_search,
+)
+from repro.engine.transport import PROCESS_POLICIES, process_search
 from repro.engine.sharded import shard_database, sharded_search
 from repro.engine.serialize import (
     report_to_dict,
@@ -60,6 +66,7 @@ __all__ = [
     "TaskExecution",
     "default_cpu_kernel",
     "Master",
+    "predict_static_allocation",
     "SimulationOutcome",
     "DurationNoise",
     "simulate_plan",
@@ -67,8 +74,11 @@ __all__ = [
     "simulate_swdual_rounds",
     "simulate_with_failures",
     "SIM_POLICIES",
+    "LIVE_EXECUTION_MODES",
+    "PROCESS_POLICIES",
     "simulate_search",
     "live_search",
+    "calibrate_live",
     "process_search",
     "shard_database",
     "sharded_search",

@@ -36,7 +36,69 @@ from repro.engine.results import SearchReport, WorkerStats
 from repro.engine.worker import KernelWorker
 from repro.sequences.sequence import Sequence
 
-__all__ = ["Master"]
+__all__ = ["Master", "predict_static_allocation"]
+
+
+def predict_static_allocation(
+    queries: list[Sequence],
+    db_residues: int,
+    workers: list[tuple[str, str]],
+    policy: str,
+    measured_gcups: dict[str, float] | None = None,
+) -> tuple[dict[str, list[int]], str]:
+    """One-round SWDUAL allocation of queries to named live workers.
+
+    Shared by the threaded master and the process transport so both
+    execution modes allocate identically.
+
+    Parameters
+    ----------
+    queries / db_residues:
+        The workload; task areas are ``len(query) × db_residues``.
+    workers:
+        ``(name, kind)`` pairs, kind in ``{"cpu", "gpu"}``.
+    policy:
+        ``"swdual"`` or ``"swdual-dp"``.
+    measured_gcups:
+        Optional rates keyed by worker *name* or by *class*
+        (``"cpu"``/``"gpu"``); unmeasured workers get the mean of the
+        measured ones (or 1.0 if none).
+
+    Returns
+    -------
+    (batches, summary):
+        Query indices per worker name, plus the scheduler summary line.
+    """
+    measured = dict(measured_gcups or {})
+    lengths = np.array([len(q) for q in queries], dtype=np.int64)
+    default = float(np.mean(list(measured.values()))) if measured else 1.0
+    rates = {
+        name: measured.get(name, measured.get(kind, default))
+        for name, kind in workers
+    }
+    cpu_rates = [rates[name] for name, kind in workers if kind == "cpu"]
+    gpu_rates = [rates[name] for name, kind in workers if kind == "gpu"]
+    cpu_rate = float(np.mean(cpu_rates)) if cpu_rates else default
+    gpu_rate = float(np.mean(gpu_rates)) if gpu_rates else default
+    cells = lengths * db_residues
+    tasks = TaskSet(
+        cpu_times=cells / (cpu_rate * 1e9),
+        gpu_times=cells / (gpu_rate * 1e9),
+        query_ids=[q.id for q in queries],
+        query_lengths=lengths,
+        db_residues=db_residues,
+    )
+    cpus = [name for name, kind in workers if kind == "cpu"]
+    gpus = [name for name, kind in workers if kind == "gpu"]
+    variant = "3/2dp" if policy == "swdual-dp" else "2approx"
+    plan = SWDualScheduler(variant).schedule_tasks(tasks, len(cpus), len(gpus))
+    # The scheduler names PEs cpu{i}/gpu{i}; map back to worker names.
+    mapping = {f"cpu{i}": name for i, name in enumerate(cpus)}
+    mapping |= {f"gpu{i}": name for i, name in enumerate(gpus)}
+    batches: dict[str, list[int]] = {name: [] for name, _ in workers}
+    for pe_name in plan.schedule.pe_names:
+        batches[mapping[pe_name]] = plan.schedule.tasks_on(pe_name)
+    return batches, plan.summary()
 
 
 class Master:
@@ -51,9 +113,11 @@ class Master:
         ``"swdual-dp"`` (3/2 variant) or ``"self"`` (dynamic
         self-scheduling).
     measured_gcups:
-        Optional map ``worker name -> measured GCUPS`` used to predict
-        task times for the static policies; unmeasured workers get the
-        mean of the measured ones (or 1.0 if none).
+        Optional map of measured GCUPS used to predict task times for
+        the static policies, keyed by worker name or by class
+        (``"cpu"``/``"gpu"``, e.g. straight from
+        :func:`repro.engine.search.calibrate_live`); unmeasured workers
+        get the mean of the measured ones (or 1.0 if none).
     """
 
     POLICIES = ("swdual", "swdual-dp", "self")
@@ -91,44 +155,16 @@ class Master:
 
     # -- allocation ------------------------------------------------------
 
-    def _predicted_taskset(self) -> TaskSet:
-        db_residues = self._workers[0].database.total_residues
-        lengths = np.array([len(q) for q in self.queries], dtype=np.int64)
-        rates = {}
-        default = (
-            float(np.mean(list(self.measured_gcups.values())))
-            if self.measured_gcups
-            else 1.0
-        )
-        for w in self._workers:
-            rates[w.name] = self.measured_gcups.get(w.name, default)
-        cpu_rates = [rates[w.name] for w in self._workers if w.kind == "cpu"]
-        gpu_rates = [rates[w.name] for w in self._workers if w.kind == "gpu"]
-        cpu_rate = float(np.mean(cpu_rates)) if cpu_rates else default
-        gpu_rate = float(np.mean(gpu_rates)) if gpu_rates else default
-        cells = lengths * db_residues
-        return TaskSet(
-            cpu_times=cells / (cpu_rate * 1e9),
-            gpu_times=cells / (gpu_rate * 1e9),
-            query_ids=[q.id for q in self.queries],
-            query_lengths=lengths,
-            db_residues=db_residues,
-        )
-
     def _static_allocation(self) -> dict[str, list[int]]:
         """One-round allocation via the dual-approximation scheduler."""
-        cpus = [w for w in self._workers if w.kind == "cpu"]
-        gpus = [w for w in self._workers if w.kind == "gpu"]
-        tasks = self._predicted_taskset()
-        variant = "3/2dp" if self.policy == "swdual-dp" else "2approx"
-        plan = SWDualScheduler(variant).schedule_tasks(tasks, len(cpus), len(gpus))
-        # The scheduler names PEs cpu{i}/gpu{i}; map back to workers.
-        mapping = {f"cpu{i}": w.name for i, w in enumerate(cpus)}
-        mapping |= {f"gpu{i}": w.name for i, w in enumerate(gpus)}
-        batches: dict[str, list[int]] = {w.name: [] for w in self._workers}
-        for pe_name in plan.schedule.pe_names:
-            batches[mapping[pe_name]] = plan.schedule.tasks_on(pe_name)
-        self._scheduler_info = plan.summary()
+        batches, summary = predict_static_allocation(
+            self.queries,
+            self._workers[0].database.total_residues,
+            [(w.name, w.kind) for w in self._workers],
+            self.policy,
+            self.measured_gcups,
+        )
+        self._scheduler_info = summary
         return batches
 
     # -- execution ---------------------------------------------------------

@@ -12,7 +12,8 @@ Two entry points mirroring DESIGN.md's execution modes:
 from __future__ import annotations
 
 from repro.align.scoring import ScoringScheme, default_scheme
-from repro.align.sw_wavefront import sw_score_wavefront
+from repro.align.sw_batch import sw_score_packed
+from repro.align.sw_wavefront import sw_score_wavefront_packed
 from repro.core.baselines import BASELINES
 from repro.core.swdual import SWDualScheduler
 from repro.core.task import tasks_from_queries
@@ -23,14 +24,24 @@ from repro.engine.simulation import (
     simulate_plan,
     simulate_self_scheduling,
 )
-from repro.engine.worker import KernelWorker, default_cpu_kernel
+from repro.engine.worker import KernelWorker
 from repro.platform.cluster import idgraf_platform
-from repro.platform.perfmodel import PerformanceModel
+from repro.platform.perfmodel import PerformanceModel, measure_kernel_gcups
 from repro.sequences.database import DatabaseProfile, SequenceDatabase
+from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
 from repro.sequences.queries import QuerySet
 from repro.sequences.sequence import Sequence
 
-__all__ = ["simulate_search", "live_search", "SIM_POLICIES"]
+__all__ = [
+    "simulate_search",
+    "live_search",
+    "calibrate_live",
+    "SIM_POLICIES",
+    "LIVE_EXECUTION_MODES",
+]
+
+#: Execution backends accepted by :func:`live_search`.
+LIVE_EXECUTION_MODES = ("threads", "processes")
 
 #: Allocation policies accepted by :func:`simulate_search`.
 SIM_POLICIES = ("swdual", "swdual-dp", "self") + tuple(BASELINES)
@@ -78,6 +89,38 @@ def simulate_search(
     return simulate_plan(tasks, baseline_schedule, platform, perf, label=policy)
 
 
+def calibrate_live(
+    database: SequenceDatabase,
+    scheme: ScoringScheme | None = None,
+    chunk_cells: int = DEFAULT_CHUNK_CELLS,
+    repeats: int = 1,
+    packed: PackedDatabase | None = None,
+) -> dict[str, float]:
+    """Measure this machine's real GCUPS for both live kernel roles.
+
+    Probes the packed batch kernel (CPU role) and the batched wavefront
+    kernel (GPU role) against *database* with its longest sequence as
+    the query, returning ``{"cpu": gcups, "gpu": gcups}`` — directly
+    usable as ``measured_gcups`` for :func:`live_search` or
+    :class:`~repro.engine.master.Master`, so the static allocation is
+    driven by measured rather than paper-derived rates.
+    """
+    scheme = scheme or default_scheme()
+    if packed is None:
+        packed = PackedDatabase.from_database(database, chunk_cells=chunk_cells)
+    probe = max(database, key=len)
+    subjects = list(database)
+    rates = {}
+    for role, kernel in (
+        ("cpu", lambda q, _s, sch: sw_score_packed(q, packed, sch)),
+        ("gpu", lambda q, _s, sch: sw_score_wavefront_packed(q, packed, sch)),
+    ):
+        rates[role] = measure_kernel_gcups(
+            kernel, probe, subjects, scheme, repeats=repeats
+        )
+    return rates
+
+
 def live_search(
     queries: list[Sequence],
     database: SequenceDatabase,
@@ -88,27 +131,63 @@ def live_search(
     measured_gcups: dict[str, float] | None = None,
     top_hits: int = 10,
     evalue_model=None,
+    execution: str = "threads",
+    chunk_cells: int = DEFAULT_CHUNK_CELLS,
+    calibrate: bool = False,
 ) -> SearchReport:
-    """Run a real search through the threaded master–slave engine.
+    """Run a real search through the live master–slave engine.
 
-    GPU-class workers use the wavefront (CUDASW-style) kernel, CPU-class
-    workers the batch (SWIPE-style) kernel; both produce identical
-    scores (kernel-equivalence tests), so results are independent of
-    the allocation.  Pass an
-    :class:`~repro.align.evalue.EValueModel` to annotate hits with
+    GPU-class workers use the batched wavefront (CUDASW-style) kernel,
+    CPU-class workers the packed batch (SWIPE-style) kernel; both
+    produce identical scores (kernel-equivalence tests), so results are
+    independent of the allocation.  The database is packed **once** and
+    shared by every worker — per-task work is pure kernel time.  Pass
+    an :class:`~repro.align.evalue.EValueModel` to annotate hits with
     E-values.
+
+    Parameters
+    ----------
+    execution:
+        ``"threads"`` (default) runs workers on threads in this
+        process; ``"processes"`` runs each worker as an OS process over
+        the pickled pipe protocol (true parallelism for the CPU-bound
+        kernels — see :func:`repro.engine.transport.process_search`).
+    calibrate:
+        Measure real per-class GCUPS first (:func:`calibrate_live`) and
+        feed them to the allocator; ignored when *measured_gcups* is
+        given.  E-value annotation is not supported over the process
+        transport.
     """
     if num_cpu_workers < 0 or num_gpu_workers < 0:
         raise ValueError("worker counts must be non-negative")
     if num_cpu_workers + num_gpu_workers == 0:
         raise ValueError("need at least one worker")
+    if execution not in LIVE_EXECUTION_MODES:
+        raise ValueError(
+            f"execution must be one of {LIVE_EXECUTION_MODES}, got {execution!r}"
+        )
     scheme = scheme or default_scheme()
+    packed = PackedDatabase.from_database(database, chunk_cells=chunk_cells)
+    if measured_gcups is None and calibrate:
+        measured_gcups = calibrate_live(database, scheme, packed=packed)
 
-    def gpu_kernel(query, subjects, sch):
-        import numpy as np
+    if execution == "processes":
+        from repro.engine.transport import process_search
 
-        return np.array(
-            [sw_score_wavefront(query, s, sch) for s in subjects], dtype=np.int64
+        if evalue_model is not None:
+            raise ValueError(
+                "evalue_model is not supported with execution='processes'"
+            )
+        return process_search(
+            queries,
+            database,
+            num_workers=num_cpu_workers,
+            num_gpu_workers=num_gpu_workers,
+            scheme=scheme,
+            top_hits=top_hits,
+            policy=policy,
+            measured_gcups=measured_gcups,
+            chunk_cells=chunk_cells,
         )
 
     master = Master(queries, policy=policy, measured_gcups=measured_gcups)
@@ -119,7 +198,7 @@ def live_search(
                 kind="gpu",
                 database=database,
                 scheme=scheme,
-                kernel=gpu_kernel,
+                packed=packed,
                 top_hits=top_hits,
                 evalue_model=evalue_model,
             )
@@ -131,7 +210,7 @@ def live_search(
                 kind="cpu",
                 database=database,
                 scheme=scheme,
-                kernel=default_cpu_kernel,
+                packed=packed,
                 top_hits=top_hits,
                 evalue_model=evalue_model,
             )

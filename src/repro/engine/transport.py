@@ -6,12 +6,19 @@ connect to the master").  The threaded live engine
 (:mod:`repro.engine.master`) shares one address space; this module
 provides the distributed-fidelity variant: each worker is a real OS
 process connected by a pipe, exchanging the same protocol messages
-(pickled), with the worker loading its own copy of the database —
-exactly Figure 6's "acquire sequences" step happening per process.
+(pickled), with the worker loading — and packing **once** — its own
+copy of the database: exactly Figure 6's "acquire sequences" step
+happening per process.  Because each worker owns a whole interpreter,
+the CPU-bound kernels escape the GIL and genuinely run in parallel.
 
-Use :func:`process_search` for a drop-in (slower to start, truly
-parallel) alternative to :func:`repro.engine.search.live_search` with
-dynamic self-scheduling.
+:func:`process_search` supports the same worker roles and allocation
+policies as the threaded engine: CPU-class workers run the packed
+batch kernel, GPU-class workers the batched wavefront, and tasks are
+assigned either by dynamic self-scheduling (``"self"``) or by the
+one-round SWDUAL allocation (``"swdual"``/``"swdual-dp"``) computed
+with :func:`repro.engine.master.predict_static_allocation`.  It backs
+:func:`repro.engine.search.live_search`'s ``execution="processes"``
+mode.
 """
 
 from __future__ import annotations
@@ -20,12 +27,17 @@ import multiprocessing as mp
 from dataclasses import dataclass
 
 from repro.align.scoring import ScoringScheme, default_scheme
+from repro.engine.master import predict_static_allocation
 from repro.engine.messages import MessageLog, ProtocolError, assign_tasks, register, register_ack, shutdown, task_done
 from repro.engine.results import Hit, QueryResult, SearchReport, WorkerStats
 from repro.sequences.database import SequenceDatabase
+from repro.sequences.packed import DEFAULT_CHUNK_CELLS
 from repro.sequences.sequence import Sequence
 
-__all__ = ["process_search"]
+__all__ = ["process_search", "PROCESS_POLICIES"]
+
+#: Allocation policies accepted by :func:`process_search`.
+PROCESS_POLICIES = ("self", "swdual", "swdual-dp")
 
 
 @dataclass
@@ -36,15 +48,22 @@ class _WireTask:
     query: Sequence
 
 
-def _worker_main(conn, name: str, kind: str, db_sequences, alphabet_name, scheme, top_hits):
+def _worker_main(conn, name: str, kind: str, db_sequences, scheme, top_hits, chunk_cells):
     """Worker process entry point: register, serve tasks, exit on
-    shutdown.  Runs the same KernelWorker logic as the threaded mode."""
+    shutdown.  Runs the same KernelWorker logic as the threaded mode —
+    the worker packs its database copy once at startup, then every task
+    is pure kernel time on the packed fast path."""
     from repro.engine.worker import KernelWorker
     from repro.sequences.database import SequenceDatabase
 
     database = SequenceDatabase(name="worker-copy", sequences=db_sequences)
     worker = KernelWorker(
-        name=name, kind=kind, database=database, scheme=scheme, top_hits=top_hits
+        name=name,
+        kind=kind,
+        database=database,
+        scheme=scheme,
+        top_hits=top_hits,
+        chunk_cells=chunk_cells,
     )
     conn.send(("register", name, kind))
     while True:
@@ -66,30 +85,49 @@ def process_search(
     queries: list[Sequence],
     database: SequenceDatabase,
     num_workers: int = 2,
+    num_gpu_workers: int = 0,
     scheme: ScoringScheme | None = None,
     top_hits: int = 5,
     start_method: str = "fork",
+    policy: str = "self",
+    measured_gcups: dict[str, float] | None = None,
+    chunk_cells: int = DEFAULT_CHUNK_CELLS,
 ) -> SearchReport:
-    """Search with real worker *processes* (dynamic self-scheduling).
+    """Search with real worker *processes*.
 
     Parameters
     ----------
-    num_workers:
-        CPU-class worker processes to spawn.
+    num_workers / num_gpu_workers:
+        CPU-class (batch kernel) and GPU-class (batched wavefront)
+        worker processes to spawn.
     start_method:
         Multiprocessing start method (``fork`` keeps startup cheap on
         Linux).
+    policy:
+        ``"self"`` for dynamic self-scheduling over the pipe set, or
+        ``"swdual"``/``"swdual-dp"`` for the one-round static
+        allocation (each worker then self-paces through its own batch).
+    measured_gcups:
+        Rates for the static policies, keyed by worker name
+        (``proc0``/``gproc0``…) or class (``"cpu"``/``"gpu"``).
 
     Results are identical to the threaded engine's (same kernels); only
     the transport differs.
     """
     if not queries:
         raise ValueError("need at least one query")
-    if num_workers < 1:
-        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if num_workers < 0 or num_gpu_workers < 0:
+        raise ValueError("worker counts must be non-negative")
+    if num_workers + num_gpu_workers == 0:
+        raise ValueError("need at least one worker")
+    if policy not in PROCESS_POLICIES:
+        raise ValueError(f"policy must be one of {PROCESS_POLICIES}, got {policy!r}")
     scheme = scheme or default_scheme()
     ctx = mp.get_context(start_method)
     log = MessageLog()
+
+    roster = [(f"proc{i}", "cpu") for i in range(num_workers)]
+    roster += [(f"gproc{i}", "gpu") for i in range(num_gpu_workers)]
 
     pipes = []
     processes = []
@@ -97,12 +135,11 @@ def process_search(
     import time as _time
 
     start = _time.perf_counter()
-    for i in range(num_workers):
+    for name, kind in roster:
         parent_conn, child_conn = ctx.Pipe()
-        name = f"proc{i}"
         proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, name, "cpu", db_sequences, database.alphabet.name, scheme, top_hits),
+            args=(child_conn, name, kind, db_sequences, scheme, top_hits, chunk_cells),
             name=name,
             daemon=True,
         )
@@ -111,6 +148,7 @@ def process_search(
         pipes.append(parent_conn)
         processes.append(proc)
 
+    scheduler_info = f"self-scheduling over process pipes ({len(roster)} workers)"
     try:
         # Registration round.
         for conn in pipes:
@@ -120,24 +158,42 @@ def process_search(
             log.record(register(name, kind))
             log.record(register_ack(name))
 
-        # Dynamic self-scheduling over the pipe set.
-        queue = list(range(len(queries)))
+        # Task queues: one shared (self-scheduling) or one per worker
+        # (static allocation); each worker pulls its next task over the
+        # same pipe protocol either way.
+        if policy == "self":
+            shared = list(range(len(queries)))
+            per_worker = {name: shared for name, _ in roster}
+        else:
+            batches, scheduler_info = predict_static_allocation(
+                queries,
+                database.total_residues,
+                roster,
+                policy,
+                measured_gcups,
+            )
+            for name, batch in batches.items():
+                log.record(assign_tasks(name, batch))
+            per_worker = {name: list(batches[name]) for name, _ in roster}
+
         in_flight = {}
         results: dict[int, QueryResult] = {}
-        busy = {f"proc{i}": 0.0 for i in range(num_workers)}
-        executed = {f"proc{i}": 0 for i in range(num_workers)}
+        busy = {name: 0.0 for name, _ in roster}
+        executed = {name: 0 for name, _ in roster}
 
         def dispatch(i: int) -> bool:
+            name = roster[i][0]
+            queue = per_worker[name]
             if not queue:
                 return False
             j = queue.pop(0)
-            name = f"proc{i}"
-            log.record(assign_tasks(name, [j]))
+            if policy == "self":
+                log.record(assign_tasks(name, [j]))
             pipes[i].send(("task", _WireTask(index=j, query=queries[j])))
             in_flight[i] = j
             return True
 
-        for i in range(num_workers):
+        for i in range(len(roster)):
             dispatch(i)
         import multiprocessing.connection as mpc
 
@@ -164,7 +220,7 @@ def process_search(
         cells_by_worker = {}
         for i, conn in enumerate(pipes):
             conn.send(("shutdown",))
-            log.record(shutdown(f"proc{i}"))
+            log.record(shutdown(roster[i][0]))
             tag, name, total_cells, comparisons = conn.recv()
             cells_by_worker[name] = total_cells
     finally:
@@ -177,10 +233,11 @@ def process_search(
     missing = set(range(len(queries))) - set(results)
     if missing:  # pragma: no cover
         raise ProtocolError(f"tasks never completed: {sorted(missing)}")
+    kinds = dict(roster)
     stats = tuple(
         WorkerStats(
             name=name,
-            kind="cpu",
+            kind=kinds[name],
             tasks_executed=executed[name],
             busy_seconds=busy[name],
             cells=cells_by_worker[name],
@@ -188,10 +245,10 @@ def process_search(
         for name in sorted(busy)
     )
     return SearchReport(
-        label="process-self",
+        label=f"process-{policy}",
         wall_seconds=wall,
         total_cells=sum(cells_by_worker.values()),
         worker_stats=stats,
         query_results=tuple(results[j] for j in range(len(queries))),
-        scheduler_info="self-scheduling over process pipes",
+        scheduler_info=scheduler_info,
     )

@@ -4,8 +4,14 @@ A worker owns a copy of the database (Figure 6: workers "acquire the
 same sequences that master received"), a scoring scheme and a kernel,
 and executes tasks — one task is one query against the whole database.
 The kernel choice mirrors the worker's role: CPU workers default to the
-SWIPE-style batch kernel, GPU workers to the CUDASW-style wavefront
-kernel (see the comparator modules).
+SWIPE-style batch kernel, GPU workers to the CUDASW-style batched
+wavefront kernel (see the comparator modules).
+
+Database preprocessing is hoisted out of the task hot path: each worker
+holds (or shares) a :class:`~repro.sequences.packed.PackedDatabase`
+built **once**, so per-task work is pure kernel time — no re-sorting or
+re-padding per query, and query profiles come from the process-wide
+cache in :mod:`repro.align.sw_batch`.
 """
 
 from __future__ import annotations
@@ -17,9 +23,11 @@ import numpy as np
 
 from repro.align.scoring import ScoringScheme
 from repro.align.stats import CellUpdateCounter
-from repro.align.sw_batch import sw_score_batch
+from repro.align.sw_batch import sw_score_batch, sw_score_packed
+from repro.align.sw_wavefront import sw_score_wavefront_packed
 from repro.engine.results import Hit, QueryResult
 from repro.sequences.database import SequenceDatabase
+from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
 from repro.sequences.sequence import Sequence
 
 __all__ = ["KernelWorker", "default_cpu_kernel", "TaskExecution"]
@@ -29,7 +37,12 @@ Kernel = Callable[[Sequence, list[Sequence], ScoringScheme], np.ndarray]
 
 
 def default_cpu_kernel(query: Sequence, subjects: list[Sequence], scheme: ScoringScheme) -> np.ndarray:
-    """The SWIPE-style inter-sequence batch kernel (fastest in numpy)."""
+    """The SWIPE-style inter-sequence batch kernel (fastest in numpy).
+
+    One-shot convenience signature; it re-packs *subjects* per call.
+    Workers built without an explicit kernel use the packed fast path
+    instead.
+    """
     return sw_score_batch(query, subjects, scheme)
 
 
@@ -65,7 +78,16 @@ class KernelWorker:
     scheme:
         Scoring scheme shared with the master.
     kernel:
-        Scoring kernel; defaults to the batch kernel.
+        Explicit ``kernel(query, subjects, scheme)`` callable.  When
+        omitted the worker uses the packed fast path: the SWIPE-style
+        batch kernel for ``kind="cpu"``, the batched wavefront for
+        ``kind="gpu"``, both reusing the worker's packed database.
+    packed:
+        A pre-built :class:`~repro.sequences.packed.PackedDatabase` to
+        share with other workers (must pack *database*); built locally
+        when omitted.
+    chunk_cells:
+        Cell budget for a locally built packing.
     top_hits:
         How many best hits to report per query.
     evalue_model:
@@ -86,6 +108,8 @@ class KernelWorker:
         database: SequenceDatabase,
         scheme: ScoringScheme,
         kernel: Kernel | None = None,
+        packed: PackedDatabase | None = None,
+        chunk_cells: int = DEFAULT_CHUNK_CELLS,
         top_hits: int = 10,
         evalue_model=None,
         align_top: int = 0,
@@ -100,7 +124,17 @@ class KernelWorker:
         self.scheme = scheme
         if align_top < 0:
             raise ValueError(f"align_top must be >= 0, got {align_top}")
-        self.kernel = kernel or default_cpu_kernel
+        if packed is not None and packed.num_sequences != len(database):
+            raise ValueError(
+                f"packed database holds {packed.num_sequences} sequences, "
+                f"worker database holds {len(database)}"
+            )
+        self.kernel = kernel
+        self.packed = (
+            packed
+            if packed is not None
+            else PackedDatabase.from_database(database, chunk_cells=chunk_cells)
+        )
         self.top_hits = top_hits
         self.evalue_model = evalue_model
         self.align_top = align_top
@@ -108,11 +142,19 @@ class KernelWorker:
         self._subjects = list(database)
         self._by_id = {s.id: s for s in self._subjects}
 
+    def _score(self, query: Sequence) -> np.ndarray:
+        """Run the configured kernel (packed fast path by default)."""
+        if self.kernel is not None:
+            return self.kernel(query, self._subjects, self.scheme)
+        if self.kind == "gpu":
+            return sw_score_wavefront_packed(query, self.packed, self.scheme)
+        return sw_score_packed(query, self.packed, self.scheme)
+
     def execute(self, query: Sequence) -> TaskExecution:
         """Score *query* against the whole database; returns the result
         with real wall-clock timing and cell accounting."""
         start = time.perf_counter()
-        scores = self.kernel(query, self._subjects, self.scheme)
+        scores = self._score(query)
         elapsed = time.perf_counter() - start
         if len(scores) != len(self._subjects):
             raise RuntimeError(

@@ -15,6 +15,11 @@ from repro.platform.calibration import (
     peak_from_workload_time,
     rate_model_for,
 )
+from repro.platform.benchkernels import (
+    build_bench_workload,
+    run_kernel_bench,
+    write_bench_report,
+)
 from repro.platform.cluster import HybridPlatform, idgraf_platform, swdual_worker_mix
 from repro.platform.perfmodel import (
     PerformanceModel,
@@ -44,6 +49,9 @@ __all__ = [
     "PerformanceModel",
     "measure_kernel_gcups",
     "live_rate_model",
+    "build_bench_workload",
+    "run_kernel_bench",
+    "write_bench_report",
     "Event",
     "EventQueue",
     "SimClock",

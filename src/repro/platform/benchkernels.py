@@ -1,0 +1,197 @@
+"""Kernel micro-benchmarks behind ``swdual bench kernels``.
+
+Measures real GCUPS of the live scoring paths on a synthetic protein
+workload, contrasting the seed-era hot path (re-pack the database on
+every call, score everything in int64) with the packed fast path (pack
+once, adaptive narrow-dtype ladder, cached query profiles) and the two
+wavefront variants (per-subject Python loop vs the batched chunk
+sweep).  The result dictionary is what ``BENCH_kernels.json`` records:
+per-kernel/per-dtype GCUPS plus the headline
+``speedup_packed_vs_seed`` ratio.
+
+Numbers are machine-dependent — the JSON is a provenance artifact, not
+a fixture; tests only assert on the report's *shape* and on cheap
+relative sanity properties.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme, default_scheme
+from repro.align.sw_batch import (
+    DTYPE_LADDER,
+    clear_profile_cache,
+    sw_score_batch,
+    sw_score_packed,
+)
+from repro.align.sw_wavefront import sw_score_wavefront, sw_score_wavefront_packed
+from repro.sequences.alphabet import PROTEIN
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
+from repro.sequences.sequence import Sequence
+from repro.utils import ensure_rng
+
+__all__ = ["build_bench_workload", "run_kernel_bench", "write_bench_report"]
+
+
+def build_bench_workload(
+    num_subjects: int = 300,
+    min_len: int = 100,
+    max_len: int = 400,
+    query_len: int = 300,
+    num_queries: int = 4,
+    seed: int = 0,
+) -> tuple[list[Sequence], SequenceDatabase]:
+    """Deterministic synthetic workload (uniform standard residues)."""
+    if num_subjects < 1 or num_queries < 1:
+        raise ValueError("need at least one subject and one query")
+    if not 1 <= min_len <= max_len:
+        raise ValueError(f"bad length range [{min_len}, {max_len}]")
+    rng = ensure_rng(seed)
+
+    def draw(sid: str, length: int) -> Sequence:
+        codes = rng.integers(0, 20, size=length).astype(np.uint8)
+        return Sequence(id=sid, codes=codes, alphabet=PROTEIN)
+
+    subjects = [
+        draw(f"bench_s{i}", int(rng.integers(min_len, max_len + 1)))
+        for i in range(num_subjects)
+    ]
+    queries = [draw(f"bench_q{i}", query_len) for i in range(num_queries)]
+    return queries, SequenceDatabase(name="bench", sequences=subjects)
+
+
+def _time_pass(fn, repeats: int) -> float:
+    """Best-of-*repeats* wall time of one full ``fn()`` pass."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return max(best, 1e-9)
+
+
+def run_kernel_bench(
+    num_subjects: int = 300,
+    min_len: int = 100,
+    max_len: int = 400,
+    query_len: int = 300,
+    num_queries: int = 4,
+    repeats: int = 3,
+    wavefront_subjects: int = 25,
+    chunk_cells: int = DEFAULT_CHUNK_CELLS,
+    scheme: ScoringScheme | None = None,
+    seed: int = 0,
+) -> dict:
+    """Run the kernel micro-benchmark suite; returns the report dict.
+
+    Four measurements on the same workload:
+
+    ``seed_int64_per_call``
+        The pre-packed-database hot path: every call re-packs the
+        subject list, rebuilds the query profile (cache cleared) and
+        scores in int64 — what repeated queries against one database
+        used to cost.
+    ``packed_ladder``
+        The fast path: one shared :class:`PackedDatabase`, the adaptive
+        int16-first dtype ladder, warm profile cache.
+    ``levels``
+        GCUPS with the ladder pinned to each usable dtype level, to
+        expose where the narrow-dtype win comes from.
+    ``wavefront_per_subject`` / ``wavefront_batched``
+        The GPU-role kernel scored subject-by-subject (old live-engine
+        closure) vs whole-chunk anti-diagonal sweeps, on a subject
+        subset (the Python-loop variant is far too slow for the full
+        set).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    scheme = scheme or default_scheme()
+    queries, database = build_bench_workload(
+        num_subjects, min_len, max_len, query_len, num_queries, seed
+    )
+    subjects = list(database)
+    cells = sum(len(q) for q in queries) * database.total_residues
+    int64_level = DTYPE_LADDER[-1]
+
+    def seed_pass() -> None:
+        for q in queries:
+            clear_profile_cache()
+            sw_score_batch(q, subjects, scheme, chunk_cells=chunk_cells, levels=(int64_level,))
+
+    seed_gcups = cells / _time_pass(seed_pass, repeats) / 1e9
+
+    packed = PackedDatabase.from_database(database, chunk_cells=chunk_cells)
+    clear_profile_cache()
+
+    def packed_pass() -> None:
+        for q in queries:
+            sw_score_packed(q, packed, scheme)
+
+    packed_pass()  # warm the profile cache: steady-state repeated-query cost
+    packed_gcups = cells / _time_pass(packed_pass, repeats) / 1e9
+
+    levels = {}
+    for level in DTYPE_LADDER:
+        if not level.usable(scheme):
+            continue
+        name = np.dtype(level.dtype).name
+
+        def level_pass(level=level) -> None:
+            for q in queries:
+                sw_score_packed(q, packed, scheme, levels=(level,))
+
+        levels[name] = cells / _time_pass(level_pass, repeats) / 1e9
+
+    wf_subjects = subjects[: max(1, wavefront_subjects)]
+    wf_db = SequenceDatabase(name="bench-wf", sequences=wf_subjects)
+    wf_packed = PackedDatabase.from_database(wf_db, chunk_cells=chunk_cells)
+    wf_cells = len(queries[0]) * wf_db.total_residues
+
+    def wf_loop_pass() -> None:
+        for s in wf_subjects:
+            sw_score_wavefront(queries[0], s, scheme)
+
+    def wf_batched_pass() -> None:
+        sw_score_wavefront_packed(queries[0], wf_packed, scheme)
+
+    wf_loop_gcups = wf_cells / _time_pass(wf_loop_pass, repeats) / 1e9
+    wf_batched_gcups = wf_cells / _time_pass(wf_batched_pass, repeats) / 1e9
+
+    return {
+        "bench": "kernels",
+        "workload": {
+            "num_subjects": num_subjects,
+            "min_len": min_len,
+            "max_len": max_len,
+            "query_len": query_len,
+            "num_queries": num_queries,
+            "repeats": repeats,
+            "wavefront_subjects": len(wf_subjects),
+            "db_residues": database.total_residues,
+            "cells_per_pass": cells,
+            "chunk_cells": chunk_cells,
+            "seed": seed,
+        },
+        "gcups": {
+            "seed_int64_per_call": seed_gcups,
+            "packed_ladder": packed_gcups,
+            "levels": levels,
+            "wavefront_per_subject": wf_loop_gcups,
+            "wavefront_batched": wf_batched_gcups,
+        },
+        "speedup_packed_vs_seed": packed_gcups / seed_gcups,
+        "speedup_wavefront_batched": wf_batched_gcups / wf_loop_gcups,
+    }
+
+
+def write_bench_report(report: dict, path: str) -> str:
+    """Write a benchmark report dict as pretty JSON; returns *path*."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -11,6 +11,7 @@ from repro.sequences.binarydb import (
     write_binary_db,
 )
 from repro.sequences.database import DatabaseProfile, DatabaseStats, SequenceDatabase
+from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedChunk, PackedDatabase
 from repro.sequences.matrices import (
     BLOSUM50,
     BLOSUM62,
@@ -62,6 +63,9 @@ __all__ = [
     "SequenceDatabase",
     "DatabaseProfile",
     "DatabaseStats",
+    "PackedDatabase",
+    "PackedChunk",
+    "DEFAULT_CHUNK_CELLS",
     "SubstitutionMatrix",
     "BLOSUM62",
     "BLOSUM50",

@@ -1,0 +1,216 @@
+"""Packed database representation for the batched kernels.
+
+SWIPE (Rognes 2011) preprocesses the database once — sequences sorted
+by length, converted to residue codes, grouped so SIMD lanes hold
+similar-length subjects — and then reuses that layout for every query.
+The seed reproduction paid that cost on *every* ``sw_score_batch``
+call; a :class:`PackedDatabase` hoists it out of the query hot path:
+
+* subjects are **sorted by length once**, so each chunk pads to a
+  similar length and padding waste stays small;
+* chunk boundaries are chosen so ``B × L`` (subjects × padded length)
+  never exceeds a cell budget, bounding peak DP memory;
+* each chunk's ``(B, L)`` code matrix is **materialised once**, stored
+  read-only in the narrowest dtype that can hold the pad code, and
+  shared by every query and every worker thread without copies.
+
+Kernels that consume the packed layout live in
+:mod:`repro.align.sw_batch` (inter-sequence batch) and
+:mod:`repro.align.sw_wavefront` (batched anti-diagonal); the packed
+format itself is pure sequence-layer data and has no kernel knowledge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence as SequenceABC
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequences.alphabet import Alphabet
+from repro.sequences.sequence import Sequence
+
+__all__ = ["PackedChunk", "PackedDatabase", "DEFAULT_CHUNK_CELLS"]
+
+#: Default ceiling on (subjects × padded length) cells held at once.
+DEFAULT_CHUNK_CELLS = 4_000_000
+
+
+@dataclass(frozen=True)
+class PackedChunk:
+    """One padded code matrix plus its bookkeeping.
+
+    Parameters
+    ----------
+    codes:
+        ``(B, L)`` read-only matrix of residue codes; positions past a
+        subject's true length hold the pad code (``alphabet.size``),
+        which kernels map to a strongly negative substitution score.
+    indices:
+        Positions of the ``B`` subjects in the original database order
+        (scores computed on this chunk scatter back through it).
+    lengths:
+        True (unpadded) length of each subject row.
+    """
+
+    codes: np.ndarray = field(repr=False)
+    indices: np.ndarray = field(repr=False)
+    lengths: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        for name in ("codes", "indices", "lengths"):
+            arr = getattr(self, name)
+            arr.setflags(write=False)
+
+    @property
+    def num_sequences(self) -> int:
+        """Number of subject rows (``B``)."""
+        return int(self.codes.shape[0])
+
+    @property
+    def max_len(self) -> int:
+        """Padded row length (``L``)."""
+        return int(self.codes.shape[1])
+
+    @property
+    def padded_cells(self) -> int:
+        """Cells in the padded matrix, ``B × L``."""
+        return int(self.codes.size)
+
+    @property
+    def residues(self) -> int:
+        """True residues held by the chunk (no padding)."""
+        return int(self.lengths.sum())
+
+
+class PackedDatabase:
+    """Sorted, chunked, padded code matrices built once per database.
+
+    Parameters
+    ----------
+    subjects:
+        The database sequences (any lengths, single alphabet).  An
+        empty collection packs to zero chunks.
+    chunk_cells:
+        Upper bound on ``B × L`` per chunk.
+    name:
+        Label for reports.
+    """
+
+    def __init__(
+        self,
+        subjects: SequenceABC[Sequence],
+        chunk_cells: int = DEFAULT_CHUNK_CELLS,
+        name: str = "packed",
+    ):
+        if chunk_cells <= 0:
+            raise ValueError(f"chunk_cells must be positive, got {chunk_cells}")
+        self.name = name
+        self.chunk_cells = int(chunk_cells)
+        self._subjects = tuple(subjects)
+        alphabet: Alphabet | None = None
+        for s in self._subjects:
+            if alphabet is None:
+                alphabet = s.alphabet
+            elif s.alphabet.name != alphabet.name:
+                raise ValueError(
+                    f"packed database {name!r} mixes alphabets "
+                    f"({alphabet.name!r} vs {s.alphabet.name!r})"
+                )
+        self._alphabet = alphabet
+        self._chunks = self._pack()
+
+    @classmethod
+    def from_database(
+        cls, database, chunk_cells: int = DEFAULT_CHUNK_CELLS
+    ) -> "PackedDatabase":
+        """Pack a :class:`~repro.sequences.database.SequenceDatabase`."""
+        return cls(list(database), chunk_cells=chunk_cells, name=database.name)
+
+    def _pack(self) -> tuple[PackedChunk, ...]:
+        n = len(self._subjects)
+        if n == 0:
+            return ()
+        pad_code = self.pad_code
+        code_dtype = np.uint8 if pad_code <= np.iinfo(np.uint8).max else np.int32
+        order = sorted(range(n), key=lambda i: len(self._subjects[i]))
+        chunks = []
+        start = 0
+        while start < n:
+            end = start + 1
+            max_len = max(1, len(self._subjects[order[start]]))
+            while end < n:
+                cand_len = max(max_len, len(self._subjects[order[end]]))
+                if (end - start + 1) * cand_len > self.chunk_cells:
+                    break
+                max_len = cand_len
+                end += 1
+            idx = np.array(order[start:end], dtype=np.int64)
+            members = [self._subjects[i] for i in idx]
+            codes = np.full((len(members), max_len), pad_code, dtype=code_dtype)
+            for b, s in enumerate(members):
+                codes[b, : len(s)] = s.codes
+            lengths = np.array([len(s) for s in members], dtype=np.int64)
+            chunks.append(PackedChunk(codes=codes, indices=idx, lengths=lengths))
+            start = end
+        return tuple(chunks)
+
+    # -- container protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._subjects)
+
+    def __iter__(self):
+        return iter(self._subjects)
+
+    def __getitem__(self, i: int) -> Sequence:
+        return self._subjects[i]
+
+    # -- metadata ------------------------------------------------------
+
+    @property
+    def subjects(self) -> tuple[Sequence, ...]:
+        """The packed sequences, in original database order."""
+        return self._subjects
+
+    @property
+    def alphabet(self) -> Alphabet | None:
+        """Shared alphabet (``None`` for an empty packing)."""
+        return self._alphabet
+
+    @property
+    def pad_code(self) -> int:
+        """Code used for padded positions: one past the alphabet."""
+        return self._alphabet.size if self._alphabet is not None else 0
+
+    @property
+    def chunks(self) -> tuple[PackedChunk, ...]:
+        """The padded chunks, shortest subjects first."""
+        return self._chunks
+
+    @property
+    def num_sequences(self) -> int:
+        """Number of packed sequences."""
+        return len(self._subjects)
+
+    @property
+    def total_residues(self) -> int:
+        """True residues across all sequences."""
+        return sum(len(s) for s in self._subjects)
+
+    @property
+    def padded_cells(self) -> int:
+        """Total padded matrix cells across all chunks."""
+        return sum(c.padded_cells for c in self._chunks)
+
+    @property
+    def pack_efficiency(self) -> float:
+        """Residues ÷ padded cells — 1.0 means no padding waste."""
+        padded = self.padded_cells
+        return self.total_residues / padded if padded else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PackedDatabase({self.name!r}, n={self.num_sequences}, "
+            f"chunks={len(self._chunks)}, efficiency={self.pack_efficiency:.2f})"
+        )

@@ -11,6 +11,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.align import (
+    DTYPE_LADDER,
     GapModel,
     ScoringScheme,
     default_scheme,
@@ -18,11 +19,14 @@ from repro.align import (
     sw_matrices_affine,
     sw_score,
     sw_score_batch,
+    sw_score_packed,
     sw_score_rowsweep,
     sw_score_striped,
     sw_score_wavefront,
+    sw_score_wavefront_batch,
+    sw_score_wavefront_packed,
 )
-from repro.sequences import BLOSUM62, PROTEIN, Sequence
+from repro.sequences import BLOSUM62, PROTEIN, PackedDatabase, Sequence
 
 from .conftest import protein_seq, random_protein
 
@@ -133,6 +137,85 @@ class TestBatch:
         got = sw_score_batch(q, db, LINEAR)
         ref = np.array([sw_score(q, s, LINEAR) for s in db])
         assert np.array_equal(got, ref)
+
+
+class TestDtypeLadder:
+    """The adaptive int16→int32→int64 ladder must be bit-for-bit exact."""
+
+    @pytest.mark.parametrize("level", DTYPE_LADDER, ids=lambda lv: np.dtype(lv.dtype).name)
+    def test_each_level_matches_scalar(self, scheme, level):
+        rng = np.random.default_rng(31)
+        db = [random_protein(rng, int(n)) for n in rng.integers(1, 70, size=25)]
+        q = random_protein(rng, 50)
+        got = sw_score_batch(q, db, scheme, chunk_cells=1500, levels=(level,))
+        ref = np.array([sw_score(q, s, scheme) for s in db])
+        assert np.array_equal(got, ref)
+
+    def test_int16_saturation_recovers_exact(self, scheme):
+        # An all-W pair scores 11 per matched residue: length 3200 gives
+        # 35200, past the int16 ceiling (32767 - 11), so the ladder must
+        # detect saturation and transparently re-score in a wider dtype.
+        rng = np.random.default_rng(32)
+        shorts = [random_protein(rng, int(n)) for n in rng.integers(5, 45, size=4)]
+        db = shorts + [
+            Sequence.from_text("wlong", "W" * 3200),
+            Sequence.from_text("wmid", "W" * 1500),
+        ]
+        q = Sequence.from_text("q", "W" * 3200)
+        got = sw_score_batch(q, db, scheme)
+        ref = [sw_score(q, s, scheme) for s in shorts] + [11 * 3200, 11 * 1500]
+        assert got.tolist() == ref
+        assert got.max() > np.iinfo(np.int16).max  # really saturated int16
+
+    def test_forced_narrow_level_on_saturating_pair_stays_capped(self):
+        # Pinning the ladder to int16 on a saturating workload cannot be
+        # exact, but it must not wrap around either (soundness bound).
+        q = Sequence.from_text("q", "W" * 3200)
+        got = sw_score_batch(q, [q], AFFINE, levels=(DTYPE_LADDER[0],))
+        assert 0 < int(got[0]) <= np.iinfo(np.int16).max
+
+    def test_no_usable_level_raises(self):
+        q = Sequence.from_text("q", "ARND")
+        with pytest.raises(ValueError, match="usable"):
+            sw_score_batch(q, [q], AFFINE, levels=())
+
+    def test_ladder_and_int64_agree_on_random_db(self, scheme):
+        rng = np.random.default_rng(33)
+        db = [random_protein(rng, int(n)) for n in rng.integers(1, 80, size=30)]
+        q = random_protein(rng, 60)
+        ladder = sw_score_batch(q, db, scheme, chunk_cells=2000)
+        exact = sw_score_batch(q, db, scheme, chunk_cells=2000, levels=(DTYPE_LADDER[-1],))
+        assert np.array_equal(ladder, exact)
+
+
+class TestWavefrontBatched:
+    """The whole-chunk anti-diagonal kernel vs its per-subject original."""
+
+    def test_matches_scalar_on_ragged_db(self, scheme):
+        rng = np.random.default_rng(41)
+        db = [random_protein(rng, int(n)) for n in rng.integers(1, 50, size=15)]
+        q = random_protein(rng, 35)
+        got = sw_score_wavefront_batch(q, db, scheme, chunk_cells=600)
+        ref = np.array([sw_score(q, s, scheme) for s in db])
+        assert np.array_equal(got, ref)
+
+    def test_packed_reuse_matches_batch_kernel(self, scheme):
+        rng = np.random.default_rng(42)
+        db = [random_protein(rng, int(n)) for n in rng.integers(1, 40, size=12)]
+        packed = PackedDatabase(db, chunk_cells=500)
+        for n in (20, 33):
+            q = random_protein(rng, n)
+            assert np.array_equal(
+                sw_score_wavefront_packed(q, packed, scheme),
+                sw_score_packed(q, packed, scheme),
+            )
+
+    def test_empty_inputs(self):
+        q = Sequence.from_text("q", "ARND")
+        assert sw_score_wavefront_batch(q, [], AFFINE).size == 0
+        empty_q = Sequence.from_text("e", "")
+        s = Sequence.from_text("s", "ARND")
+        assert sw_score_wavefront_batch(empty_q, [s], AFFINE).tolist() == [0]
 
 
 class TestWavefront:

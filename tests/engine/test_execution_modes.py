@@ -1,0 +1,119 @@
+"""Execution backends of the live engine: threads vs processes, live
+calibration, and the shared static-allocation predictor."""
+
+import pytest
+
+from repro.engine import (
+    LIVE_EXECUTION_MODES,
+    calibrate_live,
+    live_search,
+    predict_static_allocation,
+    process_search,
+)
+from repro.sequences import small_database, standard_query_set
+
+
+@pytest.fixture(scope="module")
+def workload():
+    database = small_database(num_sequences=16, mean_length=50, seed=15)
+    queries = standard_query_set(count=4).scaled(0.02).materialize(seed=16)
+    return database, queries
+
+
+def hits_of(report):
+    return [
+        [(h.subject_id, h.score) for h in qr.hits] for qr in report.query_results
+    ]
+
+
+class TestProcessExecution:
+    def test_processes_match_threads(self, workload):
+        database, queries = workload
+        threaded = live_search(queries, database, 2, 0, policy="self")
+        processed = live_search(
+            queries, database, 2, 0, policy="self", execution="processes"
+        )
+        assert processed.label == "process-self"
+        assert hits_of(processed) == hits_of(threaded)
+
+    def test_gpu_process_workers_static_policy(self, workload):
+        database, queries = workload
+        threaded = live_search(queries, database, 1, 1, policy="swdual")
+        processed = live_search(
+            queries,
+            database,
+            1,
+            1,
+            policy="swdual",
+            execution="processes",
+            measured_gcups={"cpu": 1.0, "gpu": 2.0},
+        )
+        assert processed.label == "process-swdual"
+        assert hits_of(processed) == hits_of(threaded)
+        kinds = {w.name: w.kind for w in processed.worker_stats}
+        assert kinds == {"proc0": "cpu", "gproc0": "gpu"}
+        assert (
+            sum(w.tasks_executed for w in processed.worker_stats) == len(queries)
+        )
+
+    def test_execution_mode_validation(self, workload):
+        database, queries = workload
+        assert LIVE_EXECUTION_MODES == ("threads", "processes")
+        with pytest.raises(ValueError, match="execution"):
+            live_search(queries, database, 1, 0, execution="carrier-pigeon")
+
+    def test_evalue_model_rejected_over_processes(self, workload):
+        database, queries = workload
+        with pytest.raises(ValueError, match="evalue_model"):
+            live_search(
+                queries,
+                database,
+                1,
+                0,
+                execution="processes",
+                evalue_model=object(),
+            )
+
+    def test_process_search_policy_validation(self, workload):
+        database, queries = workload
+        with pytest.raises(ValueError, match="policy"):
+            process_search(queries, database, num_workers=1, policy="chaos")
+
+
+class TestCalibrateLive:
+    def test_returns_positive_rates_for_both_roles(self, workload):
+        database, _ = workload
+        rates = calibrate_live(database)
+        assert set(rates) == {"cpu", "gpu"}
+        assert all(v > 0 for v in rates.values())
+
+    def test_feeds_live_search(self, workload):
+        database, queries = workload
+        report = live_search(
+            queries, database, 1, 1, policy="swdual", calibrate=True
+        )
+        assert sum(w.tasks_executed for w in report.worker_stats) == len(queries)
+
+
+class TestPredictStaticAllocation:
+    def test_covers_all_queries_once(self, workload):
+        _, queries = workload
+        workers = [("a", "cpu"), ("b", "cpu"), ("c", "gpu")]
+        batches, summary = predict_static_allocation(
+            queries, 10_000, workers, "swdual", {"cpu": 1.0, "gpu": 3.0}
+        )
+        assert set(batches) == {"a", "b", "c"}
+        assigned = sorted(j for batch in batches.values() for j in batch)
+        assert assigned == list(range(len(queries)))
+        assert summary
+
+    def test_class_keys_equal_name_keys(self, workload):
+        _, queries = workload
+        workers = [("w0", "cpu"), ("w1", "gpu")]
+        by_class, _ = predict_static_allocation(
+            queries, 10_000, workers, "swdual", {"cpu": 1.0, "gpu": 4.0}
+        )
+        by_name, _ = predict_static_allocation(
+            queries, 10_000, workers, "swdual", {"w0": 1.0, "w1": 4.0}
+        )
+        assert by_class == by_name

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.align import default_scheme
-from repro.engine import KernelWorker, Master
+from repro.engine import KernelWorker, Master, predict_static_allocation
 from repro.sequences import small_database, standard_query_set
 
 
@@ -37,25 +37,37 @@ class TestPredictedAllocation:
 
     def test_unmeasured_workers_get_mean_rate(self, setup):
         db, queries = setup
+        workers = [("gpu0", "gpu"), ("cpu0", "cpu")]
         # Only gpu0 measured: cpu0 inherits the mean (same value), so
         # the allocation behaves like the balanced case.
-        master = build_master(db, queries, {"gpu0": 2.0})
-        tasks = master._predicted_taskset()
-        assert tasks.cpu_times == pytest.approx(tasks.gpu_times)
+        partial, _ = predict_static_allocation(
+            queries, db.total_residues, workers, "swdual", {"gpu0": 2.0}
+        )
+        balanced, _ = predict_static_allocation(
+            queries, db.total_residues, workers, "swdual", {"gpu0": 2.0, "cpu0": 2.0}
+        )
+        assert partial == balanced
 
     def test_no_measurements_defaults_to_equal(self, setup):
         db, queries = setup
-        master = build_master(db, queries, None)
-        tasks = master._predicted_taskset()
-        assert tasks.cpu_times == pytest.approx(tasks.gpu_times)
+        workers = [("gpu0", "gpu"), ("cpu0", "cpu")]
+        default, _ = predict_static_allocation(
+            queries, db.total_residues, workers, "swdual", None
+        )
+        balanced, _ = predict_static_allocation(
+            queries, db.total_residues, workers, "swdual", {"gpu0": 1.0, "cpu0": 1.0}
+        )
+        assert default == balanced
 
     def test_predictions_scale_with_query_length(self, setup):
         db, queries = setup
-        master = build_master(db, queries, {"gpu0": 4.0, "cpu0": 1.0})
-        tasks = master._predicted_taskset()
-        lengths = tasks.query_lengths
-        # Longer query -> proportionally longer prediction.
-        i, j = int(lengths.argmin()), int(lengths.argmax())
-        assert tasks.cpu_times[j] / tasks.cpu_times[i] == pytest.approx(
-            lengths[j] / lengths[i]
+        # Rates scale task predictions linearly, so doubling both rates
+        # must leave the allocation unchanged.
+        workers = [("gpu0", "gpu"), ("cpu0", "cpu")]
+        a, _ = predict_static_allocation(
+            queries, db.total_residues, workers, "swdual", {"gpu0": 4.0, "cpu0": 1.0}
         )
+        b, _ = predict_static_allocation(
+            queries, db.total_residues, workers, "swdual", {"gpu0": 8.0, "cpu0": 2.0}
+        )
+        assert a == b

@@ -1,0 +1,128 @@
+"""Tests for the packed-database layout and its reuse across queries."""
+
+import numpy as np
+import pytest
+
+from repro.align import default_scheme, sw_score, sw_score_batch, sw_score_packed
+from repro.sequences import DNA, PROTEIN, PackedDatabase, Sequence
+
+
+def random_db(rng, n, lo=1, hi=90):
+    return [
+        Sequence(
+            id=f"s{i}",
+            codes=rng.integers(0, 20, int(length)).astype(np.uint8),
+            alphabet=PROTEIN,
+        )
+        for i, length in enumerate(rng.integers(lo, hi, size=n))
+    ]
+
+
+class TestPacking:
+    def test_chunks_respect_cell_budget(self):
+        rng = np.random.default_rng(3)
+        packed = PackedDatabase(random_db(rng, 50), chunk_cells=2000)
+        assert len(packed.chunks) > 1
+        for chunk in packed.chunks:
+            assert chunk.padded_cells <= 2000
+
+    def test_single_subject_may_exceed_budget(self):
+        # A subject longer than the budget still gets a (singleton) chunk.
+        rng = np.random.default_rng(4)
+        subject = random_db(rng, 1, lo=500, hi=501)[0]
+        packed = PackedDatabase([subject], chunk_cells=100)
+        assert len(packed.chunks) == 1
+        assert packed.chunks[0].num_sequences == 1
+
+    def test_sorted_by_length_within_and_across_chunks(self):
+        rng = np.random.default_rng(5)
+        packed = PackedDatabase(random_db(rng, 40), chunk_cells=1500)
+        all_lengths = np.concatenate([c.lengths for c in packed.chunks])
+        assert np.array_equal(all_lengths, np.sort(all_lengths))
+
+    def test_indices_cover_database_exactly_once(self):
+        rng = np.random.default_rng(6)
+        db = random_db(rng, 30)
+        packed = PackedDatabase(db, chunk_cells=1200)
+        indices = np.concatenate([c.indices for c in packed.chunks])
+        assert sorted(indices.tolist()) == list(range(len(db)))
+
+    def test_codes_match_subjects_and_padding(self):
+        rng = np.random.default_rng(7)
+        db = random_db(rng, 12)
+        packed = PackedDatabase(db, chunk_cells=800)
+        for chunk in packed.chunks:
+            for b, i in enumerate(chunk.indices):
+                n = int(chunk.lengths[b])
+                assert np.array_equal(chunk.codes[b, :n], db[i].codes)
+                assert (chunk.codes[b, n:] == packed.pad_code).all()
+
+    def test_codes_read_only(self):
+        rng = np.random.default_rng(8)
+        packed = PackedDatabase(random_db(rng, 5))
+        with pytest.raises(ValueError):
+            packed.chunks[0].codes[0, 0] = 1
+
+    def test_metadata(self):
+        rng = np.random.default_rng(9)
+        db = random_db(rng, 15)
+        packed = PackedDatabase(db, chunk_cells=1000, name="meta")
+        assert packed.num_sequences == len(db) == len(packed)
+        assert packed.total_residues == sum(len(s) for s in db)
+        assert packed.padded_cells >= packed.total_residues
+        assert 0 < packed.pack_efficiency <= 1.0
+        assert packed.subjects == tuple(db)
+        assert list(packed) == db
+        assert packed[0] is db[0]
+
+    def test_empty_database(self):
+        packed = PackedDatabase([])
+        assert packed.chunks == ()
+        assert packed.alphabet is None
+        assert packed.pack_efficiency == 1.0
+
+    def test_validation(self):
+        q = Sequence.from_text("q", "ARND")
+        with pytest.raises(ValueError, match="chunk_cells"):
+            PackedDatabase([q], chunk_cells=0)
+        d = Sequence.from_text("d", "ACGT", alphabet=DNA)
+        with pytest.raises(ValueError, match="alphabet"):
+            PackedDatabase([q, d])
+
+
+class TestReuse:
+    """One packing must serve many queries with exact scores."""
+
+    def test_two_queries_one_packing_match_fresh_batch(self):
+        rng = np.random.default_rng(21)
+        db = random_db(rng, 25)
+        scheme = default_scheme()
+        packed = PackedDatabase(db, chunk_cells=2000)
+        for n in (30, 55):
+            q = Sequence(
+                id=f"q{n}",
+                codes=rng.integers(0, 20, n).astype(np.uint8),
+                alphabet=PROTEIN,
+            )
+            reused = sw_score_packed(q, packed, scheme)
+            fresh = sw_score_batch(q, db, scheme)
+            assert np.array_equal(reused, fresh)
+
+    def test_packed_scores_match_scalar_across_chunks(self):
+        rng = np.random.default_rng(22)
+        db = random_db(rng, 20)
+        q = Sequence(
+            id="q", codes=rng.integers(0, 20, 40).astype(np.uint8), alphabet=PROTEIN
+        )
+        scheme = default_scheme()
+        packed = PackedDatabase(db, chunk_cells=500)  # force many chunks
+        got = sw_score_packed(q, packed, scheme)
+        ref = np.array([sw_score(q, s, scheme) for s in db], dtype=np.int64)
+        assert np.array_equal(got, ref)
+
+    def test_alphabet_mismatch_rejected(self):
+        rng = np.random.default_rng(23)
+        packed = PackedDatabase(random_db(rng, 4))
+        dna_q = Sequence.from_text("q", "ACGT", alphabet=DNA)
+        with pytest.raises(ValueError, match="alphabet"):
+            sw_score_packed(dna_q, packed, default_scheme())

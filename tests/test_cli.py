@@ -121,3 +121,40 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "A4" in out
         assert "winner=" in out
+
+    def test_bench_kernels(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        args = [
+            "bench", "kernels",
+            "--subjects", "12", "--min-len", "10", "--max-len", "40",
+            "--query-len", "20", "--queries", "1", "--repeats", "1",
+            "--out", str(out_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "packed + dtype ladder" in out
+        assert "speedup packed vs seed" in out
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert report["bench"] == "kernels"
+        gcups = report["gcups"]
+        for key in (
+            "seed_int64_per_call",
+            "packed_ladder",
+            "wavefront_per_subject",
+            "wavefront_batched",
+        ):
+            assert gcups[key] > 0
+        assert set(gcups["levels"]) == {"int16", "int32", "int64"}
+        assert report["speedup_packed_vs_seed"] > 0
+
+    def test_bench_no_write(self, capsys):
+        args = [
+            "bench", "kernels",
+            "--subjects", "6", "--min-len", "5", "--max-len", "20",
+            "--query-len", "10", "--queries", "1", "--repeats", "1",
+            "--out", "-",
+        ]
+        assert main(args) == 0
+        assert "wrote" not in capsys.readouterr().out
