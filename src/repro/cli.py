@@ -9,10 +9,14 @@ Subcommands mirror the system's surfaces::
     swdual simulate [--db uniprot ...]    # paper-scale simulated run
     swdual experiment {table2,table3,table4,table5,ablations}
     swdual bench kernels                  # real kernel GCUPS -> JSON
+    swdual serve    DB                    # resident search service (TCP)
+    swdual query    QUERIES.fasta         # submit queries to a service
+    swdual stats                          # snapshot a running service
 
 ``swdual simulate`` and ``swdual experiment`` regenerate the paper's
 numbers from the calibrated models; ``swdual search`` runs real kernels
-on real FASTA/swdb files.
+on real FASTA/swdb files; ``swdual serve`` keeps a warm worker pool
+resident and serves queries over the NDJSON protocol (docs/service.md).
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.utils import ascii_table
 
 __all__ = ["main", "build_parser"]
@@ -29,6 +34,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="swdual",
         description="SWDUAL: fast biological sequence comparison on hybrid platforms",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -104,6 +112,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--query-len", type=int, default=300)
     p_bench.add_argument("--queries", type=int, default=4, help="queries per pass")
     p_bench.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the resident search service on a database"
+    )
+    p_serve.add_argument("database", help=".swdb or FASTA database")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7731, help="0 = ephemeral")
+    p_serve.add_argument("--cpus", type=int, default=1, help="CPU-role workers")
+    p_serve.add_argument("--gpus", type=int, default=1, help="GPU-role workers")
+    p_serve.add_argument("--backend", default="threads", choices=("threads", "processes"))
+    p_serve.add_argument(
+        "--policy", default="swdual", choices=("swdual", "swdual-dp", "self")
+    )
+    p_serve.add_argument("--top", type=int, default=5, help="hits per query")
+    p_serve.add_argument(
+        "--queue-size", type=int, default=64, help="admission queue capacity"
+    )
+    p_serve.add_argument(
+        "--batch-size", type=int, default=8, help="micro-batch cap per dispatch"
+    )
+    p_serve.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="measure real per-role GCUPS at startup (cached per database)",
+    )
+
+    p_query = sub.add_parser(
+        "query", help="submit FASTA queries to a running service"
+    )
+    p_query.add_argument("queries", help="FASTA file of query sequences")
+    p_query.add_argument("--host", default="127.0.0.1")
+    p_query.add_argument("--port", type=int, default=7731)
+    p_query.add_argument("--top", type=int, default=None, help="hits per query")
+    p_query.add_argument("--json", action="store_true", help="one JSON line per result")
+
+    p_stats = sub.add_parser("stats", help="snapshot a running service's metrics")
+    p_stats.add_argument("--host", default="127.0.0.1")
+    p_stats.add_argument("--port", type=int, default=7731)
+    p_stats.add_argument("--json", action="store_true", help="emit raw JSON")
     return parser
 
 
@@ -318,6 +365,115 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import SearchService
+
+    database = _load_db(args.database)
+    service = SearchService(
+        database,
+        host=args.host,
+        port=args.port,
+        num_cpu_workers=args.cpus,
+        num_gpu_workers=args.gpus,
+        backend=args.backend,
+        policy=args.policy,
+        top_hits=args.top,
+        max_queue=args.queue_size,
+        max_batch=args.batch_size,
+        calibrate=args.calibrate,
+    )
+    service.start()
+    host, port = service.address
+    print(
+        f"serving {database.name} ({len(database)} seqs, "
+        f"{database.total_residues} residues) on {host}:{port} "
+        f"[{args.backend}, {args.cpus} cpu + {args.gpus} gpu workers, "
+        f"policy {args.policy}]"
+    )
+    print("Ctrl-C (or the 'shutdown' verb) drains and exits.")
+    service.serve_forever()
+    print("service stopped")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json as json_mod
+
+    from repro.sequences import read_fasta
+    from repro.service import SearchClient
+
+    queries = read_fasta(args.queries)
+    if not queries:
+        print("error: no query records found", file=sys.stderr)
+        return 1
+    failures = 0
+    with SearchClient(args.host, args.port) as client:
+        for q in queries:
+            client.submit(q, top=args.top)
+        for outcome in client.collect(len(queries)):
+            if args.json:
+                print(json_mod.dumps(outcome))
+                if outcome["type"] != "result":
+                    failures += 1
+                continue
+            if outcome["type"] == "result":
+                hits = ", ".join(f"{sid}:{score}" for sid, score in outcome["hits"])
+                print(
+                    f"  {outcome['id']}: {hits}  "
+                    f"({outcome['latency_s'] * 1e3:.1f} ms, "
+                    f"queue {outcome['queue_wait_s'] * 1e3:.1f} ms, "
+                    f"{outcome['worker']})"
+                )
+            elif outcome["type"] == "rejected":
+                failures += 1
+                print(
+                    f"  {outcome['id']}: REJECTED ({outcome['reason']}; "
+                    f"retry after {outcome['retry_after_s']:.2f}s)"
+                )
+            else:
+                failures += 1
+                print(f"  {outcome.get('id', '?')}: ERROR {outcome['reason']}")
+    return 1 if failures else 0
+
+
+def _cmd_stats(args) -> int:
+    import json as json_mod
+
+    from repro.service import SearchClient
+
+    with SearchClient(args.host, args.port) as client:
+        snapshot = client.stats()
+    if args.json:
+        print(json_mod.dumps(snapshot, indent=2))
+        return 0
+    req = snapshot["requests"]
+    print(
+        f"uptime {snapshot['uptime_s']:.1f}s — "
+        f"{req['received']} received, {req['completed']} completed, "
+        f"{req['rejected']} rejected, {req['errors']} errors, "
+        f"queue {req['queue_depth']}, in-flight {req['in_flight']}"
+    )
+    print(
+        f"latency mean {snapshot['latency']['mean_s'] * 1e3:.1f} ms "
+        f"(max {snapshot['latency']['max_s'] * 1e3:.1f} ms), "
+        f"queue wait mean {snapshot['queue_wait']['mean_s'] * 1e3:.1f} ms, "
+        f"throughput {snapshot['throughput_qps']:.2f} q/s"
+    )
+    rows = [
+        [
+            kind,
+            role["workers"],
+            role["tasks"],
+            f"{role['busy_seconds']:.2f}",
+            f"{role['gcups']:.3f}",
+            f"{role['utilization']:.1%}",
+        ]
+        for kind, role in snapshot["roles"].items()
+    ]
+    print(ascii_table(["Role", "Workers", "Tasks", "Busy s", "GCUPS", "Util"], rows))
+    return 0
+
+
 _COMMANDS = {
     "convert": _cmd_convert,
     "align": _cmd_align,
@@ -326,13 +482,25 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
+    "stats": _cmd_stats,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Argument errors exit with argparse's status 2; runtime errors from
+    a subcommand (missing files, bad values, unreachable service)
+    print one line to stderr and return 2 instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (OSError, ValueError) as exc:
+        print(f"swdual {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

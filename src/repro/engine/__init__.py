@@ -34,10 +34,11 @@ from repro.engine.search import (
     LIVE_EXECUTION_MODES,
     SIM_POLICIES,
     calibrate_live,
+    clear_calibration_cache,
     live_search,
     simulate_search,
 )
-from repro.engine.transport import PROCESS_POLICIES, process_search
+from repro.engine.transport import PROCESS_POLICIES, ProcessWorkerPool, process_search
 from repro.engine.sharded import shard_database, sharded_search
 from repro.engine.serialize import (
     report_to_dict,
@@ -76,9 +77,11 @@ __all__ = [
     "SIM_POLICIES",
     "LIVE_EXECUTION_MODES",
     "PROCESS_POLICIES",
+    "ProcessWorkerPool",
     "simulate_search",
     "live_search",
     "calibrate_live",
+    "clear_calibration_cache",
     "process_search",
     "shard_database",
     "sharded_search",

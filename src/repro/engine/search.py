@@ -36,6 +36,7 @@ __all__ = [
     "simulate_search",
     "live_search",
     "calibrate_live",
+    "clear_calibration_cache",
     "SIM_POLICIES",
     "LIVE_EXECUTION_MODES",
 ]
@@ -89,12 +90,33 @@ def simulate_search(
     return simulate_plan(tasks, baseline_schedule, platform, perf, label=policy)
 
 
+#: Memoised calibrate_live() results, keyed by
+#: (database fingerprint, scheme key, chunk_cells, repeats).
+_CALIBRATION_CACHE: dict[tuple, dict[str, float]] = {}
+
+
+def _scheme_key(scheme: ScoringScheme) -> tuple:
+    """Hashable identity of a scoring scheme for cache keying."""
+    return (
+        scheme.matrix.name,
+        scheme.gaps.gap,
+        scheme.gaps.gap_open,
+        scheme.gaps.gap_extend,
+    )
+
+
+def clear_calibration_cache() -> None:
+    """Drop every memoised :func:`calibrate_live` measurement."""
+    _CALIBRATION_CACHE.clear()
+
+
 def calibrate_live(
     database: SequenceDatabase,
     scheme: ScoringScheme | None = None,
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
     repeats: int = 1,
     packed: PackedDatabase | None = None,
+    use_cache: bool = True,
 ) -> dict[str, float]:
     """Measure this machine's real GCUPS for both live kernel roles.
 
@@ -104,8 +126,17 @@ def calibrate_live(
     usable as ``measured_gcups`` for :func:`live_search` or
     :class:`~repro.engine.master.Master`, so the static allocation is
     driven by measured rather than paper-derived rates.
+
+    Measurements are cached per (database content fingerprint, scoring
+    scheme, ``chunk_cells``, ``repeats``) for the life of the process,
+    so repeated service startups and tests skip redundant calibration
+    runs against the same database; pass ``use_cache=False`` to force a
+    fresh probe (the fresh result still refreshes the cache).
     """
     scheme = scheme or default_scheme()
+    key = (database.fingerprint(), _scheme_key(scheme), chunk_cells, repeats)
+    if use_cache and key in _CALIBRATION_CACHE:
+        return dict(_CALIBRATION_CACHE[key])
     if packed is None:
         packed = PackedDatabase.from_database(database, chunk_cells=chunk_cells)
     probe = max(database, key=len)
@@ -118,6 +149,7 @@ def calibrate_live(
         rates[role] = measure_kernel_gcups(
             kernel, probe, subjects, scheme, repeats=repeats
         )
+    _CALIBRATION_CACHE[key] = dict(rates)
     return rates
 
 

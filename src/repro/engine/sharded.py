@@ -79,12 +79,18 @@ def sharded_search(
     Each worker owns one shard; ``(query, shard)`` cells are pulled
     from a shared queue (each worker only ever serves its own shard's
     cells), and per-shard results are merged per query.
+
+    Asking for more shards than the database has sequences clamps the
+    worker count to ``len(database)`` (every shard must be non-empty),
+    so oversized deployments still return results identical to an
+    unsharded search.
     """
     if not queries:
         raise ValueError("need at least one query")
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
     scheme = scheme or default_scheme()
+    num_workers = min(num_workers, len(database))
     shards = shard_database(database, num_workers)
     workers = [
         KernelWorker(

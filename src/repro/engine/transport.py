@@ -11,20 +11,38 @@ copy of the database: exactly Figure 6's "acquire sequences" step
 happening per process.  Because each worker owns a whole interpreter,
 the CPU-bound kernels escape the GIL and genuinely run in parallel.
 
-:func:`process_search` supports the same worker roles and allocation
-policies as the threaded engine: CPU-class workers run the packed
-batch kernel, GPU-class workers the batched wavefront, and tasks are
-assigned either by dynamic self-scheduling (``"self"``) or by the
-one-round SWDUAL allocation (``"swdual"``/``"swdual-dp"``) computed
-with :func:`repro.engine.master.predict_static_allocation`.  It backs
-:func:`repro.engine.search.live_search`'s ``execution="processes"``
-mode.
+Two surfaces:
+
+* :class:`ProcessWorkerPool` — a **persistent** pool: spawn the worker
+  processes once (each packs its database copy at startup), then run
+  any number of query batches against the warm pool before closing it.
+  This is what the resident search service
+  (:mod:`repro.service.server`) keeps alive between requests, so
+  per-query cost is pure kernel time — no process spawn, no database
+  re-pack.
+* :func:`process_search` — the one-shot convenience wrapper (spawn,
+  run one batch, tear down) backing
+  :func:`repro.engine.search.live_search`'s ``execution="processes"``
+  mode.
+
+Both support the same worker roles and allocation policies as the
+threaded engine: CPU-class workers run the packed batch kernel,
+GPU-class workers the batched wavefront, and tasks are assigned either
+by dynamic self-scheduling (``"self"``) or by the one-round SWDUAL
+allocation (``"swdual"``/``"swdual-dp"``) computed with
+:func:`repro.engine.master.predict_static_allocation`.
+
+Worker teardown is exception-safe: every path through
+:meth:`ProcessWorkerPool.close` (and hence :func:`process_search`)
+ends in a ``finally`` block that terminates and joins any child still
+alive, so a mid-search failure cannot leak orphan processes.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 
 from repro.align.scoring import ScoringScheme, default_scheme
 from repro.engine.master import predict_static_allocation
@@ -34,9 +52,10 @@ from repro.sequences.database import SequenceDatabase
 from repro.sequences.packed import DEFAULT_CHUNK_CELLS
 from repro.sequences.sequence import Sequence
 
-__all__ = ["process_search", "PROCESS_POLICIES"]
+__all__ = ["ProcessWorkerPool", "process_search", "PROCESS_POLICIES"]
 
-#: Allocation policies accepted by :func:`process_search`.
+#: Allocation policies accepted by :func:`process_search` and
+#: :meth:`ProcessWorkerPool.run_batch`.
 PROCESS_POLICIES = ("self", "swdual", "swdual-dp")
 
 
@@ -81,6 +100,315 @@ def _worker_main(conn, name: str, kind: str, db_sequences, scheme, top_hits, chu
         conn.send(("done", name, wire.index, execution.elapsed, execution.cells, hits))
 
 
+class ProcessWorkerPool:
+    """A persistent pool of worker *processes* over pickled pipes.
+
+    The pool is spawned once (:meth:`start`), each worker acquiring and
+    packing its own database copy at startup, and then serves any
+    number of :meth:`run_batch` calls before :meth:`close` — the
+    resident-runtime pattern of XKaapi-style systems: device/process
+    setup is amortised across the pool's whole lifetime instead of
+    being paid per search.
+
+    Parameters
+    ----------
+    database:
+        The database every worker loads (once, at spawn).
+    num_cpu_workers / num_gpu_workers:
+        CPU-class (packed batch kernel) and GPU-class (batched
+        wavefront) worker processes.
+    scheme / top_hits / chunk_cells:
+        Kernel configuration, fixed for the pool's lifetime.
+    start_method:
+        Multiprocessing start method (``fork`` keeps startup cheap on
+        Linux).
+
+    Use as a context manager (``with ProcessWorkerPool(...) as pool``)
+    or pair :meth:`start` with :meth:`close` in a ``finally`` block;
+    either way teardown terminates and joins every child, even after a
+    mid-batch failure.
+    """
+
+    def __init__(
+        self,
+        database: SequenceDatabase,
+        num_cpu_workers: int = 2,
+        num_gpu_workers: int = 0,
+        scheme: ScoringScheme | None = None,
+        top_hits: int = 5,
+        start_method: str = "fork",
+        chunk_cells: int = DEFAULT_CHUNK_CELLS,
+    ):
+        if num_cpu_workers < 0 or num_gpu_workers < 0:
+            raise ValueError("worker counts must be non-negative")
+        if num_cpu_workers + num_gpu_workers == 0:
+            raise ValueError("need at least one worker")
+        self.database = database
+        self.scheme = scheme or default_scheme()
+        self.top_hits = top_hits
+        self.start_method = start_method
+        self.chunk_cells = chunk_cells
+        self.roster: list[tuple[str, str]] = [
+            (f"proc{i}", "cpu") for i in range(num_cpu_workers)
+        ] + [(f"gproc{i}", "gpu") for i in range(num_gpu_workers)]
+        self.log = MessageLog()
+        #: Lifetime cells per worker, filled in by a graceful close.
+        self.lifetime_cells: dict[str, int] = {}
+        self._pipes: list = []
+        self._processes: list = []
+        self._started = False
+        self._closed = False
+        self._broken = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.roster)
+
+    @property
+    def started(self) -> bool:
+        return self._started and not self._closed and not self._broken
+
+    def start(self) -> None:
+        """Spawn and register every worker process.
+
+        On any failure mid-startup the already-spawned children are
+        terminated and joined before the exception propagates.
+        """
+        if self._started:
+            raise ProtocolError("pool already started")
+        ctx = mp.get_context(self.start_method)
+        db_sequences = list(self.database)
+        try:
+            for name, kind in self.roster:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, name, kind, db_sequences, self.scheme, self.top_hits, self.chunk_cells),
+                    name=name,
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._pipes.append(parent_conn)
+                self._processes.append(proc)
+            # Registration round.
+            for conn in self._pipes:
+                tag, name, kind = conn.recv()
+                if tag != "register":  # pragma: no cover
+                    raise ProtocolError(f"expected register, got {tag!r}")
+                self.log.record(register(name, kind))
+                self.log.record(register_ack(name))
+        except BaseException:
+            self._broken = True
+            self._terminate_all()
+            raise
+        self._started = True
+
+    def _terminate_all(self) -> None:
+        """Force-stop every child: terminate, join, kill stragglers."""
+        for conn in self._pipes:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in self._processes:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._processes:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - terminate ignored
+                proc.kill()
+                proc.join(timeout=5)
+
+    def close(self) -> None:
+        """Shut the pool down.
+
+        Gracefully when possible (shutdown round collecting each
+        worker's lifetime cell accounting into
+        :attr:`lifetime_cells`); always ending in a ``finally`` that
+        terminates/joins whatever is still alive, so no orphan
+        processes survive — even when a batch failed mid-flight.
+        Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._started and not self._broken:
+                for i, conn in enumerate(self._pipes):
+                    conn.send(("shutdown",))
+                    self.log.record(shutdown(self.roster[i][0]))
+                    tag, name, total_cells, comparisons = conn.recv()
+                    if tag != "bye":  # pragma: no cover
+                        raise ProtocolError(f"expected bye, got {tag!r}")
+                    self.lifetime_cells[name] = total_cells
+        except (OSError, EOFError, ProtocolError):  # pragma: no cover
+            self._broken = True
+        finally:
+            self._terminate_all()
+
+    # -- execution -----------------------------------------------------
+
+    def run_batch(
+        self,
+        queries: list[Sequence],
+        policy: str = "self",
+        measured_gcups: dict[str, float] | None = None,
+        on_result=None,
+    ) -> SearchReport:
+        """Run one batch of queries on the warm pool.
+
+        Parameters
+        ----------
+        queries:
+            Real sequences, one task each (query × whole database).
+        policy:
+            ``"self"`` for dynamic self-scheduling over the pipe set,
+            or ``"swdual"``/``"swdual-dp"`` for the one-round static
+            allocation.
+        measured_gcups:
+            Rates for the static policies, keyed by worker name
+            (``proc0``/``gproc0``…) or class (``"cpu"``/``"gpu"``).
+        on_result:
+            Optional ``on_result(index, query_result, worker_name,
+            elapsed)`` callback invoked as each task's ``done`` message
+            arrives — the streaming hook the search service uses to
+            push results to clients before the batch finishes.  Must
+            not raise.
+
+        Returns the same :class:`SearchReport` shape as the threaded
+        engine; ``wall_seconds`` covers only this batch (the pool is
+        already warm).  A failure (e.g. a worker process dying) marks
+        the pool broken and force-terminates every child before the
+        error propagates.
+        """
+        if not queries:
+            raise ValueError("need at least one query")
+        if policy not in PROCESS_POLICIES:
+            raise ValueError(f"policy must be one of {PROCESS_POLICIES}, got {policy!r}")
+        if not self._started:
+            raise ProtocolError("pool not started")
+        if self._closed or self._broken:
+            raise ProtocolError("pool is closed")
+        try:
+            return self._run_batch(queries, policy, measured_gcups, on_result)
+        except (EOFError, OSError) as exc:
+            self._broken = True
+            self._terminate_all()
+            raise ProtocolError(f"worker pipe failed mid-batch: {exc}") from exc
+        except BaseException:
+            self._broken = True
+            self._terminate_all()
+            raise
+
+    def _run_batch(self, queries, policy, measured_gcups, on_result) -> SearchReport:
+        import multiprocessing.connection as mpc
+
+        roster, pipes = self.roster, self._pipes
+        start = time.perf_counter()
+        scheduler_info = f"self-scheduling over process pipes ({len(roster)} workers)"
+
+        # Task queues: one shared (self-scheduling) or one per worker
+        # (static allocation); each worker pulls its next task over the
+        # same pipe protocol either way.
+        if policy == "self":
+            shared = list(range(len(queries)))
+            per_worker = {name: shared for name, _ in roster}
+        else:
+            batches, scheduler_info = predict_static_allocation(
+                queries,
+                self.database.total_residues,
+                roster,
+                policy,
+                measured_gcups,
+            )
+            for name, batch in batches.items():
+                self.log.record(assign_tasks(name, batch))
+            per_worker = {name: list(batches[name]) for name, _ in roster}
+
+        in_flight: dict[int, int] = {}
+        results: dict[int, QueryResult] = {}
+        busy = {name: 0.0 for name, _ in roster}
+        executed = {name: 0 for name, _ in roster}
+        cells_by_worker = {name: 0 for name, _ in roster}
+
+        def dispatch(i: int) -> bool:
+            name = roster[i][0]
+            queue = per_worker[name]
+            if not queue:
+                return False
+            j = queue.pop(0)
+            if policy == "self":
+                self.log.record(assign_tasks(name, [j]))
+            pipes[i].send(("task", _WireTask(index=j, query=queries[j])))
+            in_flight[i] = j
+            return True
+
+        for i in range(len(roster)):
+            dispatch(i)
+
+        while in_flight:
+            ready = mpc.wait([pipes[i] for i in in_flight], timeout=60)
+            if not ready:  # pragma: no cover - hung worker guard
+                raise ProtocolError("worker processes unresponsive")
+            for conn in ready:
+                i = pipes.index(conn)
+                try:
+                    tag, name, j, elapsed, cells, hits = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise ProtocolError(
+                        f"worker {roster[i][0]} died mid-batch"
+                    ) from exc
+                if tag != "done":  # pragma: no cover
+                    raise ProtocolError(f"expected done, got {tag!r}")
+                self.log.record(task_done(name, j, elapsed))
+                result = QueryResult(
+                    query_id=queries[j].id,
+                    hits=tuple(Hit(subject_id=sid, score=s) for sid, s in hits),
+                )
+                results[j] = result
+                busy[name] += elapsed
+                executed[name] += 1
+                cells_by_worker[name] += cells
+                del in_flight[i]
+                if on_result is not None:
+                    on_result(j, result, name, elapsed)
+                dispatch(i)
+
+        wall = max(time.perf_counter() - start, 1e-9)
+        missing = set(range(len(queries))) - set(results)
+        if missing:  # pragma: no cover
+            raise ProtocolError(f"tasks never completed: {sorted(missing)}")
+        kinds = dict(roster)
+        stats = tuple(
+            WorkerStats(
+                name=name,
+                kind=kinds[name],
+                tasks_executed=executed[name],
+                busy_seconds=busy[name],
+                cells=cells_by_worker[name],
+            )
+            for name in sorted(busy)
+        )
+        return SearchReport(
+            label=f"process-{policy}",
+            wall_seconds=wall,
+            total_cells=sum(cells_by_worker.values()),
+            worker_stats=stats,
+            query_results=tuple(results[j] for j in range(len(queries))),
+            scheduler_info=scheduler_info,
+        )
+
+
 def process_search(
     queries: list[Sequence],
     database: SequenceDatabase,
@@ -93,7 +421,12 @@ def process_search(
     measured_gcups: dict[str, float] | None = None,
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
 ) -> SearchReport:
-    """Search with real worker *processes*.
+    """One-shot search with real worker *processes*.
+
+    Spawns a :class:`ProcessWorkerPool`, runs a single batch, and
+    tears the pool down; ``wall_seconds`` therefore includes process
+    spawn and database packing — the cost the persistent pool (and the
+    search service built on it) amortises away.
 
     Parameters
     ----------
@@ -116,139 +449,22 @@ def process_search(
     """
     if not queries:
         raise ValueError("need at least one query")
-    if num_workers < 0 or num_gpu_workers < 0:
-        raise ValueError("worker counts must be non-negative")
-    if num_workers + num_gpu_workers == 0:
-        raise ValueError("need at least one worker")
     if policy not in PROCESS_POLICIES:
         raise ValueError(f"policy must be one of {PROCESS_POLICIES}, got {policy!r}")
-    scheme = scheme or default_scheme()
-    ctx = mp.get_context(start_method)
-    log = MessageLog()
-
-    roster = [(f"proc{i}", "cpu") for i in range(num_workers)]
-    roster += [(f"gproc{i}", "gpu") for i in range(num_gpu_workers)]
-
-    pipes = []
-    processes = []
-    db_sequences = list(database)
-    import time as _time
-
-    start = _time.perf_counter()
-    for name, kind in roster:
-        parent_conn, child_conn = ctx.Pipe()
-        proc = ctx.Process(
-            target=_worker_main,
-            args=(child_conn, name, kind, db_sequences, scheme, top_hits, chunk_cells),
-            name=name,
-            daemon=True,
-        )
-        proc.start()
-        child_conn.close()
-        pipes.append(parent_conn)
-        processes.append(proc)
-
-    scheduler_info = f"self-scheduling over process pipes ({len(roster)} workers)"
+    start = time.perf_counter()
+    pool = ProcessWorkerPool(
+        database,
+        num_cpu_workers=num_workers,
+        num_gpu_workers=num_gpu_workers,
+        scheme=scheme,
+        top_hits=top_hits,
+        start_method=start_method,
+        chunk_cells=chunk_cells,
+    )
+    pool.start()
     try:
-        # Registration round.
-        for conn in pipes:
-            tag, name, kind = conn.recv()
-            if tag != "register":  # pragma: no cover
-                raise ProtocolError(f"expected register, got {tag!r}")
-            log.record(register(name, kind))
-            log.record(register_ack(name))
-
-        # Task queues: one shared (self-scheduling) or one per worker
-        # (static allocation); each worker pulls its next task over the
-        # same pipe protocol either way.
-        if policy == "self":
-            shared = list(range(len(queries)))
-            per_worker = {name: shared for name, _ in roster}
-        else:
-            batches, scheduler_info = predict_static_allocation(
-                queries,
-                database.total_residues,
-                roster,
-                policy,
-                measured_gcups,
-            )
-            for name, batch in batches.items():
-                log.record(assign_tasks(name, batch))
-            per_worker = {name: list(batches[name]) for name, _ in roster}
-
-        in_flight = {}
-        results: dict[int, QueryResult] = {}
-        busy = {name: 0.0 for name, _ in roster}
-        executed = {name: 0 for name, _ in roster}
-
-        def dispatch(i: int) -> bool:
-            name = roster[i][0]
-            queue = per_worker[name]
-            if not queue:
-                return False
-            j = queue.pop(0)
-            if policy == "self":
-                log.record(assign_tasks(name, [j]))
-            pipes[i].send(("task", _WireTask(index=j, query=queries[j])))
-            in_flight[i] = j
-            return True
-
-        for i in range(len(roster)):
-            dispatch(i)
-        import multiprocessing.connection as mpc
-
-        while in_flight:
-            ready = mpc.wait([pipes[i] for i in in_flight], timeout=60)
-            if not ready:  # pragma: no cover - hung worker guard
-                raise ProtocolError("worker processes unresponsive")
-            for conn in ready:
-                i = pipes.index(conn)
-                tag, name, j, elapsed, cells, hits = conn.recv()
-                if tag != "done":  # pragma: no cover
-                    raise ProtocolError(f"expected done, got {tag!r}")
-                log.record(task_done(name, j, elapsed))
-                results[j] = QueryResult(
-                    query_id=queries[j].id,
-                    hits=tuple(Hit(subject_id=sid, score=s) for sid, s in hits),
-                )
-                busy[name] += elapsed
-                executed[name] += 1
-                del in_flight[i]
-                dispatch(i)
-
-        # Shutdown round with final accounting.
-        cells_by_worker = {}
-        for i, conn in enumerate(pipes):
-            conn.send(("shutdown",))
-            log.record(shutdown(roster[i][0]))
-            tag, name, total_cells, comparisons = conn.recv()
-            cells_by_worker[name] = total_cells
+        report = pool.run_batch(queries, policy=policy, measured_gcups=measured_gcups)
     finally:
-        for proc in processes:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover
-                proc.terminate()
-    wall = max(_time.perf_counter() - start, 1e-9)
-
-    missing = set(range(len(queries))) - set(results)
-    if missing:  # pragma: no cover
-        raise ProtocolError(f"tasks never completed: {sorted(missing)}")
-    kinds = dict(roster)
-    stats = tuple(
-        WorkerStats(
-            name=name,
-            kind=kinds[name],
-            tasks_executed=executed[name],
-            busy_seconds=busy[name],
-            cells=cells_by_worker[name],
-        )
-        for name in sorted(busy)
-    )
-    return SearchReport(
-        label=f"process-{policy}",
-        wall_seconds=wall,
-        total_cells=sum(cells_by_worker.values()),
-        worker_stats=stats,
-        query_results=tuple(results[j] for j in range(len(queries))),
-        scheduler_info=scheduler_info,
-    )
+        pool.close()
+    wall = max(time.perf_counter() - start, 1e-9)
+    return replace(report, wall_seconds=wall)

@@ -16,6 +16,7 @@ kernel runs.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
@@ -84,6 +85,7 @@ class SequenceDatabase:
                 )
         self._alphabet = alphabet
         self._lengths = np.array([len(s) for s in self._sequences], dtype=np.int64)
+        self._fingerprint: str | None = None
 
     # -- container protocol ------------------------------------------
 
@@ -125,6 +127,26 @@ class SequenceDatabase:
             max_length=int(self._lengths.max()),
             mean_length=float(self._lengths.mean()),
         )
+
+    def fingerprint(self) -> str:
+        """Content hash of the database (ids, residues, alphabet).
+
+        Stable across processes and runs — unlike ``id()`` or the
+        display ``name`` — so it can key caches of per-database derived
+        data (e.g. :func:`repro.engine.search.calibrate_live` results).
+        Sequences are immutable, so the digest is computed once and
+        memoised.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(self._alphabet.name.encode())
+            for s in self._sequences:
+                digest.update(b"\x00")
+                digest.update(s.id.encode())
+                digest.update(b"\x01")
+                digest.update(s.codes.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def profile(self) -> "DatabaseProfile":
         """Drop the residues, keep the scheduling-relevant shape."""

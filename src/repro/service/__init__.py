@@ -1,0 +1,41 @@
+"""Persistent SWDUAL search service.
+
+The paper's SWDUAL master is a one-shot batch scheduler: allocate,
+run, exit.  This package turns it into a *resident* runtime in the
+style of hybrid-platform systems like XKaapi: the database is loaded
+and packed once, a pool of CPU-role and GPU-role workers stays warm
+(:mod:`repro.service.pool`), and concurrent clients submit queries
+over a newline-delimited-JSON TCP protocol
+(:mod:`repro.service.protocol`).  Incoming queries land in a bounded
+admission queue; a scheduler loop drains it in micro-batches, assigns
+each batch across the warm pool with the SWDUAL dual-approximation
+allocator, and streams per-query results back as they complete
+(:mod:`repro.service.server`).  :mod:`repro.service.client` is the
+matching client; ``swdual serve`` / ``swdual query`` / ``swdual
+stats`` are the CLI surfaces.
+"""
+
+from repro.service.client import SearchClient
+from repro.service.pool import POOL_BACKENDS, WarmPool
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    WireError,
+    decode_message,
+    encode_message,
+    read_message,
+)
+from repro.service.server import SearchService
+from repro.service.stats import ServiceStats
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "POOL_BACKENDS",
+    "SearchClient",
+    "SearchService",
+    "ServiceStats",
+    "WarmPool",
+    "WireError",
+    "decode_message",
+    "encode_message",
+    "read_message",
+]

@@ -1,0 +1,178 @@
+"""Client for the resident search service.
+
+:class:`SearchClient` speaks the NDJSON protocol of
+:mod:`repro.service.server` over one TCP connection.  Submissions are
+pipelined: :meth:`submit` writes a ``query`` line and returns
+immediately; results stream back in *completion* order and are
+collected with :meth:`collect` (or the :meth:`search` convenience,
+which submits a whole list and waits for every response).  Because a
+single connection multiplexes query responses with ``stats``/``pong``
+replies, the client keeps a small buffer of out-of-band messages so
+interleaved verbs never lose a result.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.sequences.sequence import Sequence
+from repro.service import protocol
+
+__all__ = ["SearchClient", "ServiceUnavailable"]
+
+
+class ServiceUnavailable(ConnectionError):
+    """The server closed the connection before answering."""
+
+
+class SearchClient:
+    """One connection to a running :class:`SearchService`.
+
+    Parameters
+    ----------
+    host / port:
+        The service address (``service.address`` on the server side).
+    timeout:
+        Socket timeout in seconds for connect and reads.
+
+    Use as a context manager, or pair :meth:`connect` / :meth:`close`.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._reader = None
+        self._pending: list[dict] = []
+        self._submitted = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def connect(self) -> "SearchClient":
+        if self._sock is not None:
+            raise RuntimeError("client already connected")
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._reader = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._sock = None
+        self._reader = None
+
+    def __enter__(self) -> "SearchClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        if self._sock is None:
+            raise RuntimeError("client is not connected")
+        self._sock.sendall(protocol.encode_message(message))
+
+    def _read(self) -> dict:
+        message = protocol.read_message(self._reader)
+        if message is None:
+            raise ServiceUnavailable("server closed the connection")
+        return message
+
+    def _next_of_types(self, types: tuple[str, ...]) -> dict:
+        """Next message whose type is in *types*, buffering others."""
+        for i, message in enumerate(self._pending):
+            if message.get("type") in types:
+                return self._pending.pop(i)
+        while True:
+            message = self._read()
+            if message.get("type") in types:
+                return message
+            self._pending.append(message)
+
+    # -- queries -------------------------------------------------------
+
+    def submit(
+        self,
+        sequence: "Sequence | str",
+        id: str | None = None,
+        top: int | None = None,
+    ) -> str:
+        """Submit one query without waiting; returns the id used.
+
+        *sequence* is a :class:`~repro.sequences.sequence.Sequence`
+        (its ``id`` is the default query id) or a plain residue string.
+        """
+        if isinstance(sequence, Sequence):
+            text = sequence.text
+            if id is None:
+                id = sequence.id
+        else:
+            text = sequence
+        if id is None:
+            self._submitted += 1
+            id = f"c{self._submitted}"
+        self._send(protocol.query_request(text, id=id, top=top))
+        return id
+
+    def collect(self, count: int) -> list[dict]:
+        """Wait for *count* query outcomes (``result`` / ``rejected`` /
+        ``error`` messages), in the order the server produced them."""
+        return [
+            self._next_of_types(("result", "rejected", "error"))
+            for _ in range(count)
+        ]
+
+    def search(
+        self,
+        sequences: "list[Sequence | str]",
+        top: int | None = None,
+    ) -> list[dict]:
+        """Submit every sequence, then gather all outcomes.
+
+        Outcomes are re-ordered to match *sequences* (correlated by
+        id); duplicate ids come back in completion order.
+        """
+        ids = [self.submit(s, top=top) for s in sequences]
+        outcomes = self.collect(len(ids))
+        by_id: dict[str, list[dict]] = {}
+        for outcome in outcomes:
+            by_id.setdefault(str(outcome.get("id")), []).append(outcome)
+        ordered = []
+        for qid in ids:
+            bucket = by_id.get(qid)
+            if bucket:
+                ordered.append(bucket.pop(0))
+            else:  # pragma: no cover - server answered an unknown id
+                raise ServiceUnavailable(f"no response for query {qid!r}")
+        return ordered
+
+    def query(self, sequence: "Sequence | str", top: int | None = None) -> dict:
+        """Submit one query and wait for its outcome."""
+        self.submit(sequence, top=top)
+        return self.collect(1)[0]
+
+    # -- control verbs -------------------------------------------------
+
+    def stats(self) -> dict:
+        """Fetch a :class:`ServiceStats` snapshot."""
+        self._send({"verb": "stats"})
+        return self._next_of_types(("stats",))["stats"]
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        self._send({"verb": "ping"})
+        return self._next_of_types(("pong",)).get("type") == "pong"
+
+    def shutdown_server(self) -> None:
+        """Ask the server to drain and exit (waits for its ``bye``)."""
+        self._send({"verb": "shutdown"})
+        self._next_of_types(("bye",))

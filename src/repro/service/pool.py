@@ -1,0 +1,308 @@
+"""Warm worker pool: resident CPU-role + GPU-role workers.
+
+A :class:`WarmPool` does the expensive setup exactly once — load the
+database, build the shared :class:`~repro.sequences.packed.PackedDatabase`
+(threads backend) or let every worker process pack its own copy
+(processes backend), optionally calibrate real per-role GCUPS — and
+then serves any number of query batches.  Per-batch allocation uses
+the same SWDUAL dual-approximation machinery as the one-shot engines
+(:func:`repro.engine.master.predict_static_allocation`), so the
+resident service schedules exactly like the paper's master; only the
+amortisation changes.
+
+Backends:
+
+``threads``
+    :class:`~repro.engine.worker.KernelWorker` per role on threads in
+    this process, all sharing one packed database (numpy kernels
+    release the GIL on their heavy loops).
+``processes``
+    Delegates to :class:`repro.engine.transport.ProcessWorkerPool` —
+    one OS process per worker over the pickled pipe protocol, true
+    parallelism for CPU-bound kernels.
+
+Both produce the same :class:`~repro.engine.results.SearchReport`
+per batch and support the ``on_result`` streaming callback.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import threading
+import time
+
+from repro.align.scoring import ScoringScheme, default_scheme
+from repro.engine.master import predict_static_allocation
+from repro.engine.messages import ProtocolError
+from repro.engine.results import QueryResult, SearchReport, WorkerStats
+from repro.engine.search import calibrate_live
+from repro.engine.transport import PROCESS_POLICIES, ProcessWorkerPool
+from repro.engine.worker import KernelWorker
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
+from repro.sequences.sequence import Sequence
+
+__all__ = ["WarmPool", "POOL_BACKENDS"]
+
+#: Execution backends a :class:`WarmPool` supports.
+POOL_BACKENDS = ("threads", "processes")
+
+
+class WarmPool:
+    """A persistent pool of live workers behind one ``run_batch`` API.
+
+    Parameters
+    ----------
+    database:
+        The database every worker searches (loaded/packed once).
+    num_cpu_workers / num_gpu_workers:
+        Role mix of the pool.
+    backend:
+        ``"threads"`` or ``"processes"`` (see module docstring).
+    policy:
+        Per-batch allocation: ``"swdual"`` (default) or ``"swdual-dp"``
+        for the one-round dual-approximation split, ``"self"`` for
+        dynamic self-scheduling.  A single-worker pool always
+        self-schedules (the allocator needs both classes to split).
+    measured_gcups / calibrate:
+        Rates driving the static allocation, keyed by worker name or
+        class; with ``calibrate=True`` (and no explicit rates) the pool
+        measures them at :meth:`start` via the cached
+        :func:`~repro.engine.search.calibrate_live`.
+    scheme / top_hits / chunk_cells / start_method:
+        Kernel and transport configuration, fixed for the pool's
+        lifetime.
+    """
+
+    def __init__(
+        self,
+        database: SequenceDatabase,
+        num_cpu_workers: int = 1,
+        num_gpu_workers: int = 1,
+        backend: str = "threads",
+        policy: str = "swdual",
+        scheme: ScoringScheme | None = None,
+        measured_gcups: dict[str, float] | None = None,
+        calibrate: bool = False,
+        top_hits: int = 5,
+        chunk_cells: int = DEFAULT_CHUNK_CELLS,
+        start_method: str = "fork",
+    ):
+        if backend not in POOL_BACKENDS:
+            raise ValueError(f"backend must be one of {POOL_BACKENDS}, got {backend!r}")
+        if policy not in PROCESS_POLICIES:
+            raise ValueError(f"policy must be one of {PROCESS_POLICIES}, got {policy!r}")
+        if num_cpu_workers < 0 or num_gpu_workers < 0:
+            raise ValueError("worker counts must be non-negative")
+        if num_cpu_workers + num_gpu_workers == 0:
+            raise ValueError("need at least one worker")
+        self.database = database
+        self.backend = backend
+        self.policy = policy
+        self.scheme = scheme or default_scheme()
+        self.measured_gcups = dict(measured_gcups) if measured_gcups else None
+        self.calibrate = calibrate
+        self.top_hits = top_hits
+        self.chunk_cells = chunk_cells
+        self.start_method = start_method
+        self.num_cpu_workers = num_cpu_workers
+        self.num_gpu_workers = num_gpu_workers
+        self._workers: list[KernelWorker] = []
+        self._proc_pool: ProcessWorkerPool | None = None
+        self._batch_lock = threading.Lock()
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "WarmPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def started(self) -> bool:
+        return self._started and not self._closed
+
+    @property
+    def roster(self) -> list[tuple[str, str]]:
+        """``(name, kind)`` of every worker, CPU roles first."""
+        if self.backend == "processes":
+            pool = self._proc_pool
+            if pool is not None:
+                return list(pool.roster)
+            return [(f"proc{i}", "cpu") for i in range(self.num_cpu_workers)] + [
+                (f"gproc{i}", "gpu") for i in range(self.num_gpu_workers)
+            ]
+        return [(f"cpu{i}", "cpu") for i in range(self.num_cpu_workers)] + [
+            (f"gpu{i}", "gpu") for i in range(self.num_gpu_workers)
+        ]
+
+    def start(self) -> None:
+        """Do the one-time warm-up: spawn workers, pack, calibrate."""
+        if self._started:
+            raise ProtocolError("pool already started")
+        if self.backend == "processes":
+            self._proc_pool = ProcessWorkerPool(
+                self.database,
+                num_cpu_workers=self.num_cpu_workers,
+                num_gpu_workers=self.num_gpu_workers,
+                scheme=self.scheme,
+                top_hits=self.top_hits,
+                start_method=self.start_method,
+                chunk_cells=self.chunk_cells,
+            )
+            self._proc_pool.start()
+            if self.calibrate and self.measured_gcups is None:
+                self.measured_gcups = calibrate_live(
+                    self.database, self.scheme, chunk_cells=self.chunk_cells
+                )
+        else:
+            packed = PackedDatabase.from_database(
+                self.database, chunk_cells=self.chunk_cells
+            )
+            if self.calibrate and self.measured_gcups is None:
+                self.measured_gcups = calibrate_live(
+                    self.database,
+                    self.scheme,
+                    chunk_cells=self.chunk_cells,
+                    packed=packed,
+                )
+            self._workers = [
+                KernelWorker(
+                    name=name,
+                    kind=kind,
+                    database=self.database,
+                    scheme=self.scheme,
+                    packed=packed,
+                    top_hits=self.top_hits,
+                )
+                for name, kind in self.roster
+            ]
+        self._started = True
+
+    def close(self) -> None:
+        """Release the pool (terminates worker processes); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._workers = []
+        if self._proc_pool is not None:
+            self._proc_pool.close()
+
+    # -- execution -----------------------------------------------------
+
+    def run_batch(self, queries: list[Sequence], on_result=None) -> SearchReport:
+        """Search one batch of queries on the warm pool.
+
+        ``on_result(index, query_result, worker_name, elapsed)`` is
+        invoked as each query completes (streaming hook; must not
+        raise).  Batches are serialised on an internal lock — the pool
+        is one shared resource, concurrency comes from the workers
+        inside it.
+        """
+        if not queries:
+            raise ValueError("need at least one query")
+        if not self._started:
+            raise ProtocolError("pool not started")
+        if self._closed:
+            raise ProtocolError("pool is closed")
+        with self._batch_lock:
+            if self.backend == "processes":
+                return self._proc_pool.run_batch(
+                    queries,
+                    policy=self._effective_policy(),
+                    measured_gcups=self.measured_gcups,
+                    on_result=on_result,
+                )
+            return self._run_batch_threads(queries, on_result)
+
+    def _effective_policy(self) -> str:
+        """Single-worker pools self-schedule: the dual-approximation
+        split needs at least one worker of each class to be
+        meaningful."""
+        if len(self.roster) == 1:
+            return "self"
+        return self.policy
+
+    def _run_batch_threads(self, queries, on_result) -> SearchReport:
+        workers = self._workers
+        roster = [(w.name, w.kind) for w in workers]
+        policy = self._effective_policy()
+        start = time.perf_counter()
+
+        if policy == "self":
+            scheduler_info = f"self-scheduling over warm threads ({len(workers)} workers)"
+            shared: queue_mod.Queue = queue_mod.Queue()
+            for j in range(len(queries)):
+                shared.put(j)
+
+            def batch_for(worker):
+                while True:
+                    try:
+                        yield shared.get_nowait()
+                    except queue_mod.Empty:
+                        return
+
+        else:
+            batches, scheduler_info = predict_static_allocation(
+                queries,
+                self.database.total_residues,
+                roster,
+                policy,
+                self.measured_gcups,
+            )
+
+            def batch_for(worker):
+                yield from batches[worker.name]
+
+        lock = threading.Lock()
+        results: dict[int, QueryResult] = {}
+        busy = {w.name: 0.0 for w in workers}
+        executed = {w.name: 0 for w in workers}
+        cells = {w.name: 0 for w in workers}
+
+        def run_worker(worker: KernelWorker) -> None:
+            for j in batch_for(worker):
+                execution = worker.execute(queries[j])
+                with lock:
+                    results[j] = execution.result
+                    busy[worker.name] += execution.elapsed
+                    executed[worker.name] += 1
+                    cells[worker.name] += execution.cells
+                if on_result is not None:
+                    on_result(j, execution.result, worker.name, execution.elapsed)
+
+        threads = [
+            threading.Thread(target=run_worker, args=(w,), name=f"warm-{w.name}")
+            for w in workers
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = max(time.perf_counter() - start, 1e-9)
+
+        missing = set(range(len(queries))) - set(results)
+        if missing:  # pragma: no cover - worker thread died
+            raise ProtocolError(f"tasks never completed: {sorted(missing)}")
+        stats = tuple(
+            WorkerStats(
+                name=w.name,
+                kind=w.kind,
+                tasks_executed=executed[w.name],
+                busy_seconds=busy[w.name],
+                cells=cells[w.name],
+            )
+            for w in workers
+        )
+        return SearchReport(
+            label=f"warm-{policy}",
+            wall_seconds=wall,
+            total_cells=sum(cells.values()),
+            worker_stats=stats,
+            query_results=tuple(results[j] for j in range(len(queries))),
+            scheduler_info=scheduler_info,
+        )

@@ -1,0 +1,178 @@
+"""Wire protocol of the search service: newline-delimited JSON.
+
+Every message — in either direction — is one JSON object encoded as
+UTF-8 on a single line, terminated by ``\\n``.  JSON (rather than the
+pickle used on the trusted in-host worker pipes) keeps the TCP surface
+safe to expose and trivially scriptable (``nc`` + a text editor is a
+working client).
+
+Client → server requests carry a ``verb``:
+
+``query``
+    ``{"verb": "query", "id": "q1", "sequence": "MKV...", "top": 5}``
+    — submit one query sequence.  ``id`` is optional (the server
+    assigns ``q<n>``); ``top`` is optional and capped at the service's
+    configured hit-list depth.
+``stats``
+    ``{"verb": "stats"}`` — request a :class:`ServiceStats` snapshot.
+``ping``
+    ``{"verb": "ping"}`` — liveness probe.
+``shutdown``
+    ``{"verb": "shutdown"}`` — ask the server to drain and exit.
+
+Server → client responses carry a ``type``; see the ``*_response``
+helpers below for the exact shapes.  Responses to ``query`` stream
+back in *completion* order, not submission order — clients correlate
+by ``id``.  When the admission queue is full the server answers
+``{"type": "rejected", ..., "retry_after_s": ...}`` instead of
+blocking the connection (bounded backpressure).
+
+The module is dependency-free on purpose: server, client, tests, and
+third-party tools all speak through these helpers.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "REQUEST_VERBS",
+    "RESPONSE_TYPES",
+    "WireError",
+    "bye_response",
+    "decode_message",
+    "encode_message",
+    "error_response",
+    "pong_response",
+    "query_request",
+    "read_message",
+    "rejected_response",
+    "result_response",
+    "stats_response",
+]
+
+#: Hard per-line size cap (bytes, newline included) — bounds the memory
+#: one connection can pin and rejects accidental binary streams early.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Verbs a client may send.
+REQUEST_VERBS = ("query", "stats", "ping", "shutdown")
+
+#: Types a server may answer with.
+RESPONSE_TYPES = ("result", "rejected", "error", "stats", "pong", "bye")
+
+
+class WireError(ValueError):
+    """A malformed, oversized, or non-JSON protocol line."""
+
+
+def encode_message(message: dict) -> bytes:
+    """Serialise one message to its wire form (one JSON line).
+
+    ``ensure_ascii`` stays on, so the payload itself can never contain
+    a raw newline and line-framing is unambiguous.
+    """
+    if not isinstance(message, dict):
+        raise WireError(f"messages are JSON objects, got {type(message).__name__}")
+    line = json.dumps(message, separators=(",", ":")).encode("ascii")
+    if len(line) + 1 > MAX_LINE_BYTES:
+        raise WireError(f"message of {len(line)} bytes exceeds {MAX_LINE_BYTES}")
+    return line + b"\n"
+
+
+def decode_message(line: bytes | str) -> dict:
+    """Parse one wire line into a message dict."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise WireError(f"line of {len(line)} bytes exceeds {MAX_LINE_BYTES}")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(f"line is not UTF-8: {exc}") from exc
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise WireError(f"line is not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise WireError(f"messages are JSON objects, got {type(message).__name__}")
+    return message
+
+
+def read_message(stream) -> dict | None:
+    """Read one message from a binary stream; ``None`` at EOF.
+
+    *stream* is anything with ``readline(limit)`` semantics (e.g.
+    ``socket.makefile("rb")``).  A line longer than
+    :data:`MAX_LINE_BYTES` raises :class:`WireError` instead of being
+    silently split.
+    """
+    line = stream.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise WireError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    return decode_message(line)
+
+
+# -- request/response constructors ------------------------------------
+
+
+def query_request(sequence: str, id: str | None = None, top: int | None = None) -> dict:
+    """Build a ``query`` request."""
+    message = {"verb": "query", "sequence": sequence}
+    if id is not None:
+        message["id"] = id
+    if top is not None:
+        message["top"] = top
+    return message
+
+
+def result_response(
+    id: str,
+    hits: list[tuple[str, int]],
+    latency_s: float,
+    queue_wait_s: float,
+    worker: str,
+) -> dict:
+    """One completed query: hit list plus service-side timing."""
+    return {
+        "type": "result",
+        "id": id,
+        "hits": [[subject, int(score)] for subject, score in hits],
+        "latency_s": latency_s,
+        "queue_wait_s": queue_wait_s,
+        "worker": worker,
+    }
+
+
+def rejected_response(id: str, reason: str, retry_after_s: float) -> dict:
+    """Backpressure: the admission queue had no room for this query."""
+    return {
+        "type": "rejected",
+        "id": id,
+        "reason": reason,
+        "retry_after_s": retry_after_s,
+    }
+
+
+def error_response(reason: str, id: str | None = None) -> dict:
+    """A request the server could not act on (bad verb, bad sequence)."""
+    message = {"type": "error", "reason": reason}
+    if id is not None:
+        message["id"] = id
+    return message
+
+
+def stats_response(snapshot: dict) -> dict:
+    """A :meth:`ServiceStats.snapshot` payload."""
+    return {"type": "stats", "stats": snapshot}
+
+
+def pong_response() -> dict:
+    return {"type": "pong"}
+
+
+def bye_response(reason: str = "shutting down") -> dict:
+    """Sent before the server closes a connection on shutdown."""
+    return {"type": "bye", "reason": reason}

@@ -1,0 +1,477 @@
+"""The resident search server.
+
+:class:`SearchService` is the paper's master turned into a long-lived
+runtime: one database, one warm worker pool, many clients.  The moving
+parts:
+
+* **Admission** — every client connection runs on its own thread,
+  reading NDJSON requests.  A ``query`` request is parsed into a
+  :class:`_PendingQuery` and offered to a *bounded* queue with
+  ``put_nowait``: if the queue is full the client immediately gets a
+  ``rejected`` response with a ``retry_after_s`` hint derived from the
+  observed service rate — bounded backpressure instead of unbounded
+  buffering or a hung connection.
+* **Micro-batching scheduler** — one loop thread blocks on the queue,
+  then drains up to ``max_batch`` more waiting queries, and hands the
+  batch to the warm pool, which allocates it across CPU-role and
+  GPU-role workers with the SWDUAL dual-approximation allocator.
+  Batching amortises allocation and dispatch; its size bounds the
+  scheduling latency a query can pick up behind a batch.
+* **Streaming results** — the pool's ``on_result`` hook fires per
+  completed query, and the result line is written to the owning
+  connection right away (completion order, correlated by ``id``), so a
+  short query never waits for the batch's long tail to be reported.
+* **Stats** — every stage records into a :class:`ServiceStats`
+  (request counts, latency, queue wait, per-role busy/cells/GCUPS),
+  served by the ``stats`` verb.
+* **Graceful shutdown** — on SIGINT or a ``shutdown`` verb the
+  listener closes, admission starts rejecting, the scheduler drains
+  what was already admitted, the pool joins its workers, and open
+  connections get a ``bye``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import queue as queue_mod
+import signal
+import socket
+import threading
+import time
+
+from repro.align.scoring import ScoringScheme
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.packed import DEFAULT_CHUNK_CELLS
+from repro.sequences.sequence import Sequence
+from repro.service import protocol
+from repro.service.pool import WarmPool
+from repro.service.stats import ServiceStats
+
+__all__ = ["SearchService"]
+
+#: Fallback retry hint (seconds) before any latency has been observed.
+_DEFAULT_RETRY_AFTER_S = 0.05
+
+
+class _ClientConnection:
+    """One accepted socket: framed reads, lock-guarded writes.
+
+    The connection thread reads requests while the scheduler thread
+    streams results back, so every write goes through :meth:`send`
+    under the per-connection lock (NDJSON lines must not interleave).
+    """
+
+    def __init__(self, sock: socket.socket, peer: str):
+        self.sock = sock
+        self.peer = peer
+        self.reader = sock.makefile("rb")
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    def send(self, message: dict) -> bool:
+        """Write one message; False (never an exception) on a dead peer."""
+        payload = protocol.encode_message(message)
+        with self._send_lock:
+            if self._closed:
+                return False
+            try:
+                self.sock.sendall(payload)
+                return True
+            except OSError:
+                self._closed = True
+                return False
+
+    def close(self) -> None:
+        with self._send_lock:
+            self._closed = True
+        with contextlib.suppress(OSError):
+            self.sock.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            self.sock.close()
+
+
+class _PendingQuery:
+    """An admitted query waiting in (or drained from) the queue."""
+
+    __slots__ = ("id", "sequence", "top", "conn", "submitted_at")
+
+    def __init__(self, id: str, sequence: Sequence, top: int, conn: _ClientConnection):
+        self.id = id
+        self.sequence = sequence
+        self.top = top
+        self.conn = conn
+        self.submitted_at = time.perf_counter()
+
+
+class SearchService:
+    """A long-running SWDUAL search service on one database.
+
+    Parameters
+    ----------
+    database:
+        The database to serve (packed once by the warm pool).
+    host / port:
+        TCP bind address; ``port=0`` picks an ephemeral port (read the
+        bound one from :attr:`port` after :meth:`start`).
+    num_cpu_workers / num_gpu_workers / backend / policy /
+    measured_gcups / calibrate / scheme / top_hits / chunk_cells:
+        Warm-pool configuration — see :class:`repro.service.pool.WarmPool`.
+    max_queue:
+        Admission-queue capacity; a full queue answers ``rejected``
+        (bounded backpressure) instead of buffering without limit.
+    max_batch:
+        Micro-batch cap: how many waiting queries one scheduler pass
+        may drain into a single pool batch.
+    """
+
+    def __init__(
+        self,
+        database: SequenceDatabase,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        num_cpu_workers: int = 1,
+        num_gpu_workers: int = 1,
+        backend: str = "threads",
+        policy: str = "swdual",
+        scheme: ScoringScheme | None = None,
+        measured_gcups: dict[str, float] | None = None,
+        calibrate: bool = False,
+        top_hits: int = 5,
+        chunk_cells: int = DEFAULT_CHUNK_CELLS,
+        max_queue: int = 64,
+        max_batch: int = 8,
+    ):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.database = database
+        self.host = host
+        self.port = port
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.top_hits = top_hits
+        self.pool = WarmPool(
+            database,
+            num_cpu_workers=num_cpu_workers,
+            num_gpu_workers=num_gpu_workers,
+            backend=backend,
+            policy=policy,
+            scheme=scheme,
+            measured_gcups=measured_gcups,
+            calibrate=calibrate,
+            top_hits=top_hits,
+            chunk_cells=chunk_cells,
+        )
+        self.stats = ServiceStats(self.pool.roster)
+        self._queue: queue_mod.Queue[_PendingQuery] = queue_mod.Queue(maxsize=max_queue)
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
+        self._gate = threading.Event()
+        self._gate.set()
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = False
+        self._sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._scheduler_thread: threading.Thread | None = None
+        self._connections: set[_ClientConnection] = set()
+        self._conn_lock = threading.Lock()
+        self._conn_threads: list[threading.Thread] = []
+        self._query_counter = 0
+        self._counter_lock = threading.Lock()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "SearchService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return (self.host, self.port)
+
+    def start(self) -> None:
+        """Warm the pool, bind the socket, start accept + scheduler."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self.pool.start()
+        try:
+            self._sock = socket.create_server(
+                (self.host, self.port), backlog=16, reuse_port=False
+            )
+        except BaseException:
+            self.pool.close()
+            raise
+        # A plain close() does not interrupt a thread blocked in
+        # accept() on Linux; a short timeout lets the accept loop poll
+        # the stopping flag instead (accepted sockets stay blocking).
+        self._sock.settimeout(0.2)
+        self.port = self._sock.getsockname()[1]
+        self._started = True
+        self._scheduler_thread = threading.Thread(
+            target=self._scheduler_loop, name="swdual-scheduler", daemon=True
+        )
+        self._scheduler_thread.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="swdual-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Drain and stop: close the listener, let the scheduler finish
+        everything already admitted, join workers, say ``bye`` to open
+        connections.  Idempotent and callable from any thread
+        (including a connection thread serving the ``shutdown``
+        verb)."""
+        with self._shutdown_lock:
+            if self._shutdown_done:
+                self._stopped.wait(timeout)
+                return
+            self._shutdown_done = True
+        self._stopping.set()
+        self._gate.set()  # a held scheduler must be able to drain
+        if self._sock is not None:
+            with contextlib.suppress(OSError):
+                self._sock.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout)
+        if self._scheduler_thread is not None:
+            self._scheduler_thread.join(timeout=timeout)
+        self.pool.close()
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            conn.send(protocol.bye_response())
+            conn.close()
+        current = threading.current_thread()
+        for t in self._conn_threads:
+            if t is not current:
+                t.join(timeout=5)
+        self._stopped.set()
+
+    def serve_forever(self) -> None:
+        """Block until the service stops (SIGINT or ``shutdown`` verb).
+
+        Installs a SIGINT handler when running on the main thread so
+        Ctrl-C triggers the same graceful drain as the protocol verb.
+        """
+        if not self._started:
+            self.start()
+        if threading.current_thread() is threading.main_thread():
+            previous = signal.getsignal(signal.SIGINT)
+
+            def _on_sigint(signum, frame):
+                threading.Thread(target=self.shutdown, daemon=True).start()
+
+            signal.signal(signal.SIGINT, _on_sigint)
+            try:
+                self._stopped.wait()
+            finally:
+                signal.signal(signal.SIGINT, previous)
+        else:
+            self._stopped.wait()
+
+    # -- test/maintenance hooks -----------------------------------------
+
+    def hold(self) -> None:
+        """Pause the scheduler *before* it dispatches its next batch.
+
+        Admission keeps running, so the bounded queue fills — this is
+        how tests (and drills) provoke deterministic backpressure.
+        """
+        self._gate.clear()
+
+    def release(self) -> None:
+        """Resume a held scheduler."""
+        self._gate.set()
+
+    # -- admission (connection threads) ---------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, addr = self._sock.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return  # listener closed
+            conn = _ClientConnection(sock, f"{addr[0]}:{addr[1]}")
+            with self._conn_lock:
+                self._connections.add(conn)
+            t = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"swdual-conn-{conn.peer}",
+                daemon=True,
+            )
+            self._conn_threads.append(t)
+            t.start()
+
+    def _serve_connection(self, conn: _ClientConnection) -> None:
+        try:
+            while True:
+                try:
+                    message = protocol.read_message(conn.reader)
+                except protocol.WireError as exc:
+                    self.stats.record_error()
+                    conn.send(protocol.error_response(str(exc)))
+                    continue
+                except (OSError, ValueError):
+                    return  # connection torn down under the reader
+                if message is None:
+                    return  # client hung up
+                self._dispatch_request(conn, message)
+        finally:
+            conn.close()
+            with self._conn_lock:
+                self._connections.discard(conn)
+
+    def _dispatch_request(self, conn: _ClientConnection, message: dict) -> None:
+        verb = message.get("verb")
+        if verb == "query":
+            self._admit_query(conn, message)
+        elif verb == "stats":
+            conn.send(protocol.stats_response(self._snapshot()))
+        elif verb == "ping":
+            conn.send(protocol.pong_response())
+        elif verb == "shutdown":
+            conn.send(protocol.bye_response())
+            # Shut down from a separate thread: this connection thread
+            # is itself joined by shutdown().
+            threading.Thread(target=self.shutdown, daemon=True).start()
+        else:
+            self.stats.record_error()
+            conn.send(
+                protocol.error_response(
+                    f"unknown verb {verb!r}; expected one of {list(protocol.REQUEST_VERBS)}"
+                )
+            )
+
+    def _next_query_id(self) -> str:
+        with self._counter_lock:
+            self._query_counter += 1
+            return f"q{self._query_counter}"
+
+    def _retry_after_s(self) -> float:
+        """Backpressure hint: roughly one mean batch drain, floored."""
+        mean = self.stats.mean_latency_s()
+        if mean <= 0:
+            return _DEFAULT_RETRY_AFTER_S
+        return max(_DEFAULT_RETRY_AFTER_S, mean)
+
+    def _admit_query(self, conn: _ClientConnection, message: dict) -> None:
+        query_id = str(message.get("id") or self._next_query_id())
+        text = message.get("sequence")
+        if not isinstance(text, str) or not text:
+            self.stats.record_error()
+            conn.send(
+                protocol.error_response("query needs a non-empty 'sequence'", query_id)
+            )
+            return
+        top = message.get("top")
+        if top is None:
+            top = self.top_hits
+        if not isinstance(top, int) or top < 1:
+            self.stats.record_error()
+            conn.send(protocol.error_response("'top' must be a positive integer", query_id))
+            return
+        top = min(top, self.top_hits)
+        if self._stopping.is_set():
+            self.stats.record_rejected()
+            conn.send(
+                protocol.rejected_response(query_id, "shutting down", self._retry_after_s())
+            )
+            return
+        try:
+            sequence = Sequence.from_text(
+                query_id, text, alphabet=self.database.alphabet
+            )
+        except ValueError as exc:
+            self.stats.record_error()
+            conn.send(protocol.error_response(str(exc), query_id))
+            return
+        pending = _PendingQuery(query_id, sequence, top, conn)
+        try:
+            self._queue.put_nowait(pending)
+        except queue_mod.Full:
+            self.stats.record_rejected()
+            conn.send(
+                protocol.rejected_response(
+                    query_id, "admission queue full", self._retry_after_s()
+                )
+            )
+            return
+        self.stats.record_received()
+
+    # -- scheduling (the drain loop) -------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue_mod.Empty:
+                if self._stopping.is_set():
+                    return
+                continue
+            batch = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue_mod.Empty:
+                    break
+            # The hold() hook parks the loop here — after draining, so
+            # admission sees a genuinely bounded system — and
+            # shutdown() re-opens the gate to let the drain finish.
+            self._gate.wait()
+            with self._in_flight_lock:
+                self._in_flight += len(batch)
+            try:
+                self._run_one_batch(batch)
+            finally:
+                with self._in_flight_lock:
+                    self._in_flight -= len(batch)
+
+    def _run_one_batch(self, batch: list[_PendingQuery]) -> None:
+        dispatched_at = time.perf_counter()
+        queue_waits = [dispatched_at - p.submitted_at for p in batch]
+
+        def on_result(index: int, result, worker_name: str, elapsed: float) -> None:
+            pending = batch[index]
+            now = time.perf_counter()
+            latency = now - pending.submitted_at
+            hits = [(h.subject_id, h.score) for h in result.hits[: pending.top]]
+            # Record before streaming: a client that has seen its
+            # result must also see it counted in a stats snapshot.
+            self.stats.record_result(latency, queue_waits[index])
+            pending.conn.send(
+                protocol.result_response(
+                    pending.id,
+                    hits,
+                    latency_s=latency,
+                    queue_wait_s=queue_waits[index],
+                    worker=worker_name,
+                )
+            )
+
+        try:
+            report = self.pool.run_batch([p.sequence for p in batch], on_result=on_result)
+        except Exception as exc:  # pragma: no cover - pool failure path
+            for pending in batch:
+                self.stats.record_error()
+                pending.conn.send(
+                    protocol.error_response(f"batch failed: {exc}", pending.id)
+                )
+            return
+        self.stats.record_batch(report)
+
+    def _snapshot(self) -> dict:
+        with self._in_flight_lock:
+            in_flight = self._in_flight
+        return self.stats.snapshot(queue_depth=self._queue.qsize(), in_flight=in_flight)

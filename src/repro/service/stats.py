@@ -1,0 +1,155 @@
+"""Service-level metrics: requests, latency, queue wait, role GCUPS.
+
+:class:`ServiceStats` is the one mutable, lock-guarded object the
+server threads update — admission threads record accepted/rejected
+submissions, the scheduler loop records batches and per-query
+completions.  :meth:`ServiceStats.snapshot` freezes everything into a
+plain JSON-able dict served by the ``stats`` protocol verb, so
+operators can watch utilisation exactly the way the paper's tables
+report it (busy seconds, cells, GCUPS — here per worker *role*).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.align.stats import gcups
+
+__all__ = ["ServiceStats"]
+
+
+class _RoleCounters:
+    """Accumulated work of one worker role (cpu/gpu)."""
+
+    __slots__ = ("workers", "tasks", "busy_seconds", "cells")
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self.tasks = 0
+        self.busy_seconds = 0.0
+        self.cells = 0
+
+
+class ServiceStats:
+    """Thread-safe counters for one :class:`SearchService` lifetime.
+
+    Parameters
+    ----------
+    roster:
+        ``(name, kind)`` pairs of the warm pool, fixing which roles
+        exist and how many workers each has (for utilisation).
+    """
+
+    def __init__(self, roster: list[tuple[str, str]]):
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._received = 0
+        self._completed = 0
+        self._rejected = 0
+        self._errors = 0
+        self._batches = 0
+        self._batched_queries = 0
+        self._latency_total = 0.0
+        self._latency_max = 0.0
+        self._queue_wait_total = 0.0
+        self._queue_wait_max = 0.0
+        self._roles: dict[str, _RoleCounters] = {}
+        for _name, kind in roster:
+            role = self._roles.setdefault(kind, _RoleCounters(0))
+            role.workers += 1
+
+    # -- recording (called by server threads) ---------------------------
+
+    def record_received(self) -> None:
+        """A query made it into the admission queue."""
+        with self._lock:
+            self._received += 1
+
+    def record_rejected(self) -> None:
+        """A query was bounced by backpressure."""
+        with self._lock:
+            self._rejected += 1
+
+    def record_error(self) -> None:
+        """A request the server could not act on."""
+        with self._lock:
+            self._errors += 1
+
+    def record_result(self, latency_s: float, queue_wait_s: float) -> None:
+        """One query completed and was streamed back."""
+        with self._lock:
+            self._completed += 1
+            self._latency_total += latency_s
+            self._latency_max = max(self._latency_max, latency_s)
+            self._queue_wait_total += queue_wait_s
+            self._queue_wait_max = max(self._queue_wait_max, queue_wait_s)
+
+    def record_batch(self, report) -> None:
+        """Fold one batch's :class:`SearchReport` into the role totals."""
+        with self._lock:
+            self._batches += 1
+            self._batched_queries += len(report.query_results)
+            for ws in report.worker_stats:
+                role = self._roles.setdefault(ws.kind, _RoleCounters(1))
+                role.tasks += ws.tasks_executed
+                role.busy_seconds += ws.busy_seconds
+                role.cells += ws.cells
+
+    # -- reading ---------------------------------------------------------
+
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end latency of completed queries (0 when none)."""
+        with self._lock:
+            if not self._completed:
+                return 0.0
+            return self._latency_total / self._completed
+
+    def snapshot(self, queue_depth: int = 0, in_flight: int = 0) -> dict:
+        """Freeze the counters into a JSON-able dict.
+
+        *queue_depth* (queries waiting for admission→dispatch) and
+        *in_flight* (dispatched, not yet completed) are instantaneous
+        gauges the server reads off its queue at snapshot time.
+        """
+        with self._lock:
+            uptime = max(time.monotonic() - self._started, 1e-9)
+            completed = self._completed
+            roles = {}
+            for kind, role in sorted(self._roles.items()):
+                busy = role.busy_seconds
+                roles[kind] = {
+                    "workers": role.workers,
+                    "tasks": role.tasks,
+                    "busy_seconds": busy,
+                    "cells": role.cells,
+                    "gcups": gcups(role.cells, busy) if busy > 0 else 0.0,
+                    "utilization": busy / (role.workers * uptime) if role.workers else 0.0,
+                }
+            return {
+                "uptime_s": uptime,
+                "requests": {
+                    "received": self._received,
+                    "completed": completed,
+                    "rejected": self._rejected,
+                    "errors": self._errors,
+                    "queue_depth": queue_depth,
+                    "in_flight": in_flight,
+                },
+                "batches": {
+                    "count": self._batches,
+                    "mean_size": (
+                        self._batched_queries / self._batches if self._batches else 0.0
+                    ),
+                },
+                "latency": {
+                    "mean_s": self._latency_total / completed if completed else 0.0,
+                    "max_s": self._latency_max,
+                },
+                "queue_wait": {
+                    "mean_s": self._queue_wait_total / completed if completed else 0.0,
+                    "max_s": self._queue_wait_max,
+                },
+                "roles": roles,
+                "throughput_qps": completed / uptime,
+            }

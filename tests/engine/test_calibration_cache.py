@@ -1,0 +1,105 @@
+"""Calibration memoisation: repeated calibrate_live() calls against the
+same database content skip the measurement entirely."""
+
+import pytest
+
+from repro.align import GapModel, ScoringScheme, default_scheme
+from repro.engine import calibrate_live, clear_calibration_cache
+from repro.sequences import SequenceDatabase, matrix_by_name, small_database
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_calibration_cache()
+    yield
+    clear_calibration_cache()
+
+
+@pytest.fixture()
+def db():
+    return small_database(num_sequences=6, mean_length=30, seed=51)
+
+
+def _count_measurements(monkeypatch):
+    import repro.engine.search as search_mod
+
+    calls = {"n": 0}
+    real = search_mod.measure_kernel_gcups
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(search_mod, "measure_kernel_gcups", counting)
+    return calls
+
+
+class TestCalibrationCache:
+    def test_second_call_is_cached(self, db, monkeypatch):
+        calls = _count_measurements(monkeypatch)
+        first = calibrate_live(db)
+        assert calls["n"] == 2  # one probe per role
+        second = calibrate_live(db)
+        assert calls["n"] == 2
+        assert second == first
+
+    def test_same_content_different_object_hits_cache(self, db, monkeypatch):
+        calls = _count_measurements(monkeypatch)
+        calibrate_live(db)
+        clone = SequenceDatabase("same-content-other-name", list(db))
+        calibrate_live(clone)
+        assert calls["n"] == 2
+
+    def test_different_database_misses(self, db, monkeypatch):
+        calls = _count_measurements(monkeypatch)
+        calibrate_live(db)
+        other = small_database(num_sequences=6, mean_length=30, seed=52)
+        calibrate_live(other)
+        assert calls["n"] == 4
+
+    def test_different_scheme_misses(self, db, monkeypatch):
+        calls = _count_measurements(monkeypatch)
+        calibrate_live(db, default_scheme())
+        other = ScoringScheme(
+            matrix=matrix_by_name("blosum62"), gaps=GapModel.affine(12, 2)
+        )
+        calibrate_live(db, other)
+        assert calls["n"] == 4
+
+    def test_use_cache_false_remeasures_and_refreshes(self, db, monkeypatch):
+        calls = _count_measurements(monkeypatch)
+        calibrate_live(db)
+        calibrate_live(db, use_cache=False)
+        assert calls["n"] == 4
+        calibrate_live(db)  # refreshed entry serves this one
+        assert calls["n"] == 4
+
+    def test_cached_result_is_a_copy(self, db):
+        first = calibrate_live(db)
+        first["cpu"] = -1.0
+        assert calibrate_live(db)["cpu"] != -1.0
+
+    def test_rates_look_sane(self, db):
+        rates = calibrate_live(db)
+        assert set(rates) == {"cpu", "gpu"}
+        assert all(v > 0 for v in rates.values())
+
+
+class TestFingerprint:
+    def test_stable_and_content_addressed(self, db):
+        clone = SequenceDatabase("other-name", list(db))
+        assert db.fingerprint() == clone.fingerprint()
+        assert db.fingerprint() == db.fingerprint()
+
+    def test_changes_with_content(self, db):
+        shorter = SequenceDatabase("subset", list(db)[:-1])
+        assert db.fingerprint() != shorter.fingerprint()
+
+    def test_changes_with_ids(self, db):
+        from repro.sequences import Sequence
+
+        renamed = SequenceDatabase(
+            db.name,
+            [Sequence(id=f"renamed_{s.id}", codes=s.codes) for s in db],
+        )
+        assert db.fingerprint() != renamed.fingerprint()

@@ -1,0 +1,96 @@
+"""Sharded-search merge determinism: tie ordering and shard-count
+edge cases must reproduce the unsharded hit lists exactly."""
+
+import numpy as np
+import pytest
+
+from repro.engine import live_search, sharded_search
+from repro.sequences import PROTEIN, Sequence, SequenceDatabase, small_database, standard_query_set
+
+
+def _hits(report, query_id):
+    return [(h.subject_id, h.score) for h in report.result_for(query_id).hits]
+
+
+@pytest.fixture(scope="module")
+def tie_workload():
+    """A database full of duplicated sequences → guaranteed score ties
+    that land in different shards."""
+    rng = np.random.default_rng(55)
+    base = [
+        Sequence(id=f"uniq{i}", codes=rng.integers(0, 20, size=40).astype(np.uint8))
+        for i in range(4)
+    ]
+    # Three copies of each sequence under different ids, interleaved so
+    # duplicates are spread across contiguous shards.
+    clones = [
+        Sequence(id=f"tie{i}_{c}", codes=base[i % 4].codes)
+        for c in range(3)
+        for i in range(4)
+    ]
+    db = SequenceDatabase("ties", clones)
+    queries = [
+        Sequence(id=f"q{i}", codes=rng.integers(0, 20, size=60).astype(np.uint8))
+        for i in range(3)
+    ]
+    return db, queries
+
+
+class TestTieOrdering:
+    def test_sharded_equals_unsharded_under_ties(self, tie_workload):
+        db, queries = tie_workload
+        plain = live_search(queries, db, 1, 0, policy="self", top_hits=8)
+        for workers in (2, 3, 5):
+            sharded = sharded_search(queries, db, num_workers=workers, top_hits=8)
+            for q in queries:
+                assert _hits(sharded, q.id) == _hits(plain, q.id), (
+                    f"num_workers={workers}, query={q.id}"
+                )
+
+    def test_merge_is_deterministic_across_runs(self, tie_workload):
+        db, queries = tie_workload
+        first = sharded_search(queries, db, num_workers=4, top_hits=8)
+        second = sharded_search(queries, db, num_workers=4, top_hits=8)
+        for q in queries:
+            assert _hits(first, q.id) == _hits(second, q.id)
+
+    def test_ties_sorted_by_subject_id(self, tie_workload):
+        db, queries = tie_workload
+        report = sharded_search(queries, db, num_workers=3, top_hits=12)
+        for q in queries:
+            hits = _hits(report, q.id)
+            for (id_a, score_a), (id_b, score_b) in zip(hits, hits[1:]):
+                assert score_a >= score_b
+                if score_a == score_b:
+                    assert id_a < id_b
+
+
+class TestOversizedShardCounts:
+    def test_more_shards_than_sequences_clamps(self):
+        db = small_database(num_sequences=3, mean_length=40, seed=9)
+        queries = standard_query_set(count=2).scaled(0.01).materialize(seed=10)
+        plain = live_search(list(queries), db, 1, 0, policy="self", top_hits=3)
+        report = sharded_search(list(queries), db, num_workers=10, top_hits=3)
+        # Clamped to one worker per sequence.
+        assert len(report.worker_stats) == len(db)
+        for q in queries:
+            assert _hits(report, q.id) == _hits(plain, q.id)
+
+    def test_exactly_len_db_shards(self):
+        db = small_database(num_sequences=4, mean_length=30, seed=11)
+        queries = standard_query_set(count=2).scaled(0.01).materialize(seed=12)
+        plain = live_search(list(queries), db, 1, 0, policy="self", top_hits=4)
+        report = sharded_search(list(queries), db, num_workers=len(db), top_hits=4)
+        assert len(report.worker_stats) == len(db)
+        for q in queries:
+            assert _hits(report, q.id) == _hits(plain, q.id)
+
+    def test_single_sequence_database(self):
+        db = SequenceDatabase(
+            "one",
+            [Sequence(id="only", codes=np.arange(20, dtype=np.uint8) % 20)],
+        )
+        queries = standard_query_set(count=1).scaled(0.01).materialize(seed=13)
+        report = sharded_search(list(queries), db, num_workers=6, top_hits=1)
+        assert len(report.worker_stats) == 1
+        assert _hits(report, queries[0].id)[0][0] == "only"

@@ -1,0 +1,142 @@
+"""Persistent process-pool tests: batch reuse, exception-safe
+teardown (no orphan processes), and the warm-vs-cold latency win that
+motivates the resident service."""
+
+import time
+
+import pytest
+
+from repro.engine import ProcessWorkerPool, ProtocolError, live_search, process_search
+from repro.sequences import small_database, standard_query_set
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=12, mean_length=50, seed=41)
+    queries = list(standard_query_set(count=3).scaled(0.01).materialize(seed=42))
+    return db, queries
+
+
+def _hits(report):
+    return [
+        [(h.subject_id, h.score) for h in qr.hits] for qr in report.query_results
+    ]
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, workload):
+        db, _ = workload
+        with ProcessWorkerPool(db, num_cpu_workers=1) as pool:
+            with pytest.raises(ProtocolError, match="started"):
+                pool.start()
+
+    def test_close_is_idempotent(self, workload):
+        db, queries = workload
+        pool = ProcessWorkerPool(db, num_cpu_workers=1)
+        pool.start()
+        pool.run_batch(queries)
+        pool.close()
+        pool.close()
+        assert not pool.started
+
+    def test_batch_on_unstarted_pool(self, workload):
+        db, queries = workload
+        pool = ProcessWorkerPool(db, num_cpu_workers=1)
+        with pytest.raises(ProtocolError, match="not started"):
+            pool.run_batch(queries)
+
+    def test_batch_on_closed_pool(self, workload):
+        db, queries = workload
+        with ProcessWorkerPool(db, num_cpu_workers=1) as pool:
+            pass
+        with pytest.raises(ProtocolError, match="closed"):
+            pool.run_batch(queries)
+
+    def test_lifetime_cells_collected_on_graceful_close(self, workload):
+        db, queries = workload
+        pool = ProcessWorkerPool(db, num_cpu_workers=1)
+        pool.start()
+        pool.run_batch(queries)
+        pool.run_batch(queries)
+        pool.close()
+        expected = 2 * sum(len(q) for q in queries) * db.total_residues
+        assert sum(pool.lifetime_cells.values()) == expected
+
+
+class TestBatches:
+    def test_many_batches_match_threaded_engine(self, workload):
+        db, queries = workload
+        reference = live_search(
+            queries, db, num_cpu_workers=1, num_gpu_workers=0,
+            policy="self", top_hits=5,
+        )
+        with ProcessWorkerPool(db, num_cpu_workers=1, num_gpu_workers=1) as pool:
+            for policy in ("self", "swdual", "swdual-dp"):
+                report = pool.run_batch(queries, policy=policy)
+                assert _hits(report) == _hits(reference), policy
+
+    def test_streaming_callback(self, workload):
+        db, queries = workload
+        seen = []
+        with ProcessWorkerPool(db, num_cpu_workers=2) as pool:
+            pool.run_batch(
+                queries,
+                on_result=lambda j, result, worker, elapsed: seen.append(j),
+            )
+        assert sorted(seen) == list(range(len(queries)))
+
+
+class TestExceptionSafety:
+    def test_dead_worker_fails_batch_and_leaves_no_orphans(self, workload):
+        db, queries = workload
+        pool = ProcessWorkerPool(db, num_cpu_workers=2)
+        pool.start()
+        victims = list(pool._processes)
+        # Kill one worker mid-pool: the next batch must fail loudly...
+        victims[0].terminate()
+        victims[0].join(timeout=10)
+        with pytest.raises(ProtocolError):
+            pool.run_batch(queries)
+        # ...and every child must already be torn down (no orphans).
+        for proc in victims:
+            assert not proc.is_alive()
+        pool.close()  # still safe to call
+        for proc in victims:
+            assert not proc.is_alive()
+
+    def test_one_shot_search_leaves_no_processes(self, workload):
+        import multiprocessing as mp
+
+        db, queries = workload
+        before = set(id(c) for c in mp.active_children())
+        process_search(queries, db, num_workers=2, top_hits=3)
+        leftover = [c for c in mp.active_children() if id(c) not in before]
+        for child in leftover:  # pragma: no cover - only on leak
+            child.terminate()
+        assert not leftover
+
+
+class TestWarmLatency:
+    def test_warm_pool_beats_one_shot_by_2x(self, workload):
+        """The resident-runtime claim: on repeated queries a warm pool's
+        per-query latency must beat one-shot process_search (which pays
+        spawn + pack every call) by at least 2x."""
+        db, queries = workload
+        query = queries[0]
+
+        cold = min(
+            _timed(lambda: process_search([query], db, num_workers=1, top_hits=3))
+            for _ in range(3)
+        )
+        with ProcessWorkerPool(db, num_cpu_workers=1, top_hits=3) as pool:
+            pool.run_batch([query])  # warm-up round
+            warm = min(
+                _timed(lambda: pool.run_batch([query])) for _ in range(3)
+            )
+        assert warm * 2 <= cold, f"warm {warm * 1e3:.2f}ms vs cold {cold * 1e3:.2f}ms"
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

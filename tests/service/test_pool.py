@@ -1,0 +1,119 @@
+"""Warm-pool tests: both backends, batch reuse, streaming callback."""
+
+import pytest
+
+from repro.engine import ProtocolError, live_search
+from repro.service import WarmPool
+from repro.sequences import small_database, standard_query_set
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=16, mean_length=60, seed=21)
+    queries = list(standard_query_set(count=4).scaled(0.01).materialize(seed=22))
+    return db, queries
+
+
+def _hits(report):
+    return [
+        [(h.subject_id, h.score) for h in qr.hits] for qr in report.query_results
+    ]
+
+
+class TestValidation:
+    def test_bad_backend(self, workload):
+        db, _ = workload
+        with pytest.raises(ValueError, match="backend"):
+            WarmPool(db, backend="quantum")
+
+    def test_bad_policy(self, workload):
+        db, _ = workload
+        with pytest.raises(ValueError, match="policy"):
+            WarmPool(db, policy="chaos")
+
+    def test_no_workers(self, workload):
+        db, _ = workload
+        with pytest.raises(ValueError, match="worker"):
+            WarmPool(db, num_cpu_workers=0, num_gpu_workers=0)
+
+    def test_must_start_before_batch(self, workload):
+        db, queries = workload
+        pool = WarmPool(db, num_cpu_workers=1, num_gpu_workers=0)
+        with pytest.raises(ProtocolError, match="not started"):
+            pool.run_batch(queries)
+
+    def test_closed_pool_rejects_batches(self, workload):
+        db, queries = workload
+        with WarmPool(db, num_cpu_workers=1, num_gpu_workers=0) as pool:
+            pass
+        with pytest.raises(ProtocolError, match="closed"):
+            pool.run_batch(queries)
+
+    def test_empty_batch(self, workload):
+        db, _ = workload
+        with WarmPool(db, num_cpu_workers=1, num_gpu_workers=0) as pool:
+            with pytest.raises(ValueError, match="query"):
+                pool.run_batch([])
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+class TestBatches:
+    def test_matches_live_search(self, workload, backend):
+        db, queries = workload
+        reference = live_search(
+            queries, db, num_cpu_workers=1, num_gpu_workers=1,
+            policy="swdual", top_hits=5,
+        )
+        with WarmPool(
+            db, num_cpu_workers=1, num_gpu_workers=1, backend=backend, top_hits=5
+        ) as pool:
+            report = pool.run_batch(queries)
+        assert _hits(report) == _hits(reference)
+
+    def test_pool_survives_many_batches(self, workload, backend):
+        db, queries = workload
+        with WarmPool(
+            db, num_cpu_workers=1, num_gpu_workers=1, backend=backend, top_hits=5
+        ) as pool:
+            first = pool.run_batch(queries)
+            second = pool.run_batch(queries[:2])
+            third = pool.run_batch(list(reversed(queries)))
+        assert _hits(first)[:2] == _hits(second)
+        assert _hits(third) == list(reversed(_hits(first)))
+
+    def test_streaming_callback_sees_every_query(self, workload, backend):
+        db, queries = workload
+        seen = []
+        with WarmPool(
+            db, num_cpu_workers=1, num_gpu_workers=1, backend=backend, top_hits=5
+        ) as pool:
+            report = pool.run_batch(
+                queries,
+                on_result=lambda j, result, worker, elapsed: seen.append(
+                    (j, result.query_id, worker, elapsed)
+                ),
+            )
+        assert sorted(j for j, *_ in seen) == list(range(len(queries)))
+        for j, query_id, worker, elapsed in seen:
+            assert query_id == queries[j].id
+            assert report.query_results[j].query_id == query_id
+            assert elapsed >= 0
+
+    def test_worker_stats_account_all_tasks(self, workload, backend):
+        db, queries = workload
+        with WarmPool(
+            db, num_cpu_workers=1, num_gpu_workers=1, backend=backend
+        ) as pool:
+            report = pool.run_batch(queries)
+        assert sum(ws.tasks_executed for ws in report.worker_stats) == len(queries)
+        expected_cells = sum(len(q) for q in queries) * db.total_residues
+        assert report.total_cells == expected_cells
+
+
+class TestSingleWorkerFallback:
+    def test_single_worker_self_schedules(self, workload):
+        db, queries = workload
+        with WarmPool(db, num_cpu_workers=1, num_gpu_workers=0, policy="swdual") as pool:
+            report = pool.run_batch(queries)
+        assert "self" in report.label
+        assert len(report.query_results) == len(queries)

@@ -1,0 +1,95 @@
+"""Wire-protocol framing and message-shape tests."""
+
+import io
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    WireError,
+    decode_message,
+    encode_message,
+    read_message,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"verb": "query", "id": "q1", "sequence": "MKVL", "top": 3}
+        assert decode_message(encode_message(message)) == message
+
+    def test_one_line_per_message(self):
+        payload = encode_message({"verb": "ping"})
+        assert payload.endswith(b"\n")
+        assert payload.count(b"\n") == 1
+
+    def test_newlines_in_values_stay_escaped(self):
+        payload = encode_message({"type": "error", "reason": "line1\nline2"})
+        assert payload.count(b"\n") == 1
+        assert decode_message(payload)["reason"] == "line1\nline2"
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(WireError):
+            encode_message(["not", "a", "dict"])
+        with pytest.raises(WireError):
+            decode_message(b'["not", "a", "dict"]\n')
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(WireError):
+            decode_message(b"{nope}\n")
+
+    def test_non_utf8_rejected(self):
+        with pytest.raises(WireError):
+            decode_message(b"\xff\xfe{}\n")
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(WireError):
+            decode_message(b"x" * (MAX_LINE_BYTES + 1))
+        with pytest.raises(WireError):
+            encode_message({"sequence": "A" * MAX_LINE_BYTES})
+
+
+class TestStreamReading:
+    def test_reads_messages_in_order(self):
+        stream = io.BytesIO(
+            encode_message({"verb": "ping"}) + encode_message({"verb": "stats"})
+        )
+        assert read_message(stream)["verb"] == "ping"
+        assert read_message(stream)["verb"] == "stats"
+        assert read_message(stream) is None
+
+    def test_eof_returns_none(self):
+        assert read_message(io.BytesIO(b"")) is None
+
+    def test_oversized_stream_line_raises(self):
+        stream = io.BytesIO(b"{" + b"a" * (MAX_LINE_BYTES + 10) + b"}\n")
+        with pytest.raises(WireError):
+            read_message(stream)
+
+
+class TestMessageShapes:
+    def test_query_request_optional_fields(self):
+        assert protocol.query_request("MKV") == {"verb": "query", "sequence": "MKV"}
+        full = protocol.query_request("MKV", id="a", top=2)
+        assert full["id"] == "a" and full["top"] == 2
+
+    def test_result_response_casts_scores(self):
+        import numpy as np
+
+        message = protocol.result_response(
+            "q1", [("s1", np.int64(7))], latency_s=0.1, queue_wait_s=0.0, worker="cpu0"
+        )
+        assert message["hits"] == [["s1", 7]]
+        # Must survive the wire (numpy ints are not JSON-serialisable).
+        assert decode_message(encode_message(message))["hits"] == [["s1", 7]]
+
+    def test_rejected_response_has_retry_hint(self):
+        message = protocol.rejected_response("q1", "admission queue full", 0.25)
+        assert message["type"] == "rejected"
+        assert message["retry_after_s"] == 0.25
+
+    def test_known_verbs_and_types(self):
+        assert set(protocol.REQUEST_VERBS) == {"query", "stats", "ping", "shutdown"}
+        for t in ("result", "rejected", "error", "stats", "pong", "bye"):
+            assert t in protocol.RESPONSE_TYPES

@@ -1,0 +1,228 @@
+"""End-to-end tests of the resident search service.
+
+Covers the acceptance bar for the service subsystem: concurrent
+submissions from several client connections come back bit-identical to
+a direct ``live_search``, a full admission queue answers with
+backpressure instead of hanging, ``stats`` reports request counts and
+per-role utilisation, and shutdown drains cleanly.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import live_search
+from repro.service import SearchClient, SearchService
+from repro.sequences import small_database, standard_query_set
+
+TOP = 5
+
+
+@pytest.fixture(scope="module")
+def db():
+    return small_database(num_sequences=20, mean_length=60, seed=31)
+
+
+@pytest.fixture(scope="module")
+def queries(db):
+    return list(standard_query_set(count=8).scaled(0.01).materialize(seed=32))
+
+
+@pytest.fixture(scope="module")
+def reference(db, queries):
+    """Ground truth: a direct one-shot live search of the same queries."""
+    report = live_search(
+        queries, db, num_cpu_workers=1, num_gpu_workers=1,
+        policy="swdual", top_hits=TOP,
+    )
+    return {
+        qr.query_id: [[h.subject_id, h.score] for h in qr.hits]
+        for qr in report.query_results
+    }
+
+
+@pytest.fixture()
+def service(db):
+    svc = SearchService(
+        db,
+        num_cpu_workers=1,
+        num_gpu_workers=1,
+        top_hits=TOP,
+        max_queue=32,
+        max_batch=4,
+    )
+    svc.start()
+    yield svc
+    svc.shutdown()
+
+
+class TestEndToEnd:
+    def test_concurrent_clients_match_live_search(self, service, queries, reference):
+        """≥ 8 concurrent queries over multiple connections, every
+        result bit-identical to the direct engine."""
+        outcomes: dict[str, list[dict]] = {}
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def client_run(chunk):
+            try:
+                with SearchClient(*service.address) as client:
+                    outs = client.search(chunk, top=TOP)
+                with lock:
+                    for q, out in zip(chunk, outs):
+                        outcomes.setdefault(q.id, []).append(out)
+            except BaseException as exc:  # pragma: no cover
+                with lock:
+                    errors.append(exc)
+
+        # 3 connections × (8, 8, 4) submissions = 20 concurrent queries.
+        chunks = [queries, list(reversed(queries)), queries[:4]]
+        threads = [threading.Thread(target=client_run, args=(c,)) for c in chunks]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert sum(len(v) for v in outcomes.values()) == 20
+        for query_id, outs in outcomes.items():
+            for out in outs:
+                assert out["type"] == "result", out
+                assert out["hits"] == reference[query_id]
+                assert out["latency_s"] >= out["queue_wait_s"] >= 0
+
+    def test_single_query_roundtrip(self, service, queries, reference):
+        with SearchClient(*service.address) as client:
+            out = client.query(queries[0])
+        assert out["type"] == "result"
+        assert out["id"] == queries[0].id
+        assert out["hits"] == reference[queries[0].id]
+
+    def test_top_truncates_but_never_exceeds_service_cap(self, service, queries):
+        with SearchClient(*service.address) as client:
+            short = client.query(queries[0], top=2)
+            long = client.query(queries[0], top=50)
+        assert len(short["hits"]) == 2
+        assert len(long["hits"]) == TOP  # capped at the pool's depth
+
+    def test_plain_text_submission(self, service, queries, reference):
+        with SearchClient(*service.address) as client:
+            out = client.query(queries[0].text)
+        assert out["hits"] == reference[queries[0].id]
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_instead_of_hanging(self, db, queries):
+        svc = SearchService(
+            db, num_cpu_workers=1, num_gpu_workers=0,
+            top_hits=TOP, max_queue=3, max_batch=2,
+        )
+        svc.start()
+        try:
+            svc.hold()  # park the scheduler: admissions can only queue
+            n = 12  # > max_queue + max_batch, so rejections are certain
+            with SearchClient(*svc.address) as client:
+                for i in range(n):
+                    client.submit(queries[i % len(queries)], id=f"bp{i}")
+                svc.release()
+                outs = client.collect(n)
+            rejected = [o for o in outs if o["type"] == "rejected"]
+            completed = [o for o in outs if o["type"] == "result"]
+            # Every submission got an answer, none hung.
+            assert len(rejected) + len(completed) == n
+            assert rejected, "full queue must produce backpressure responses"
+            for out in rejected:
+                assert out["reason"] == "admission queue full"
+                assert out["retry_after_s"] > 0
+            # Everything that was admitted completed after release.
+            assert completed
+            snapshot = svc.stats.snapshot()
+            assert snapshot["requests"]["rejected"] == len(rejected)
+            assert snapshot["requests"]["completed"] == len(completed)
+        finally:
+            svc.shutdown()
+
+
+class TestStatsVerb:
+    def test_stats_reports_counts_and_role_utilisation(self, service, queries):
+        import time
+
+        with SearchClient(*service.address) as client:
+            client.search(queries, top=TOP)
+            # Batch/role accounting lands just after the last streamed
+            # result; give the scheduler thread a moment to fold it in.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                snapshot = client.stats()
+                done = sum(r["tasks"] for r in snapshot["roles"].values())
+                if done >= len(queries):
+                    break
+                time.sleep(0.02)
+        requests = snapshot["requests"]
+        assert requests["received"] >= len(queries)
+        assert requests["completed"] >= len(queries)
+        assert requests["rejected"] == 0
+        assert snapshot["latency"]["mean_s"] > 0
+        assert snapshot["batches"]["count"] >= 1
+        roles = snapshot["roles"]
+        assert set(roles) == {"cpu", "gpu"}
+        for role in roles.values():
+            assert role["workers"] == 1
+            assert 0.0 <= role["utilization"] <= 1.0
+        executed = sum(role["tasks"] for role in roles.values())
+        assert executed >= len(queries)
+
+    def test_ping(self, service):
+        with SearchClient(*service.address) as client:
+            assert client.ping()
+
+
+class TestProtocolErrors:
+    def test_bad_sequence_text(self, service):
+        with SearchClient(*service.address) as client:
+            out = client.query("NOT A SEQUENCE !!!")
+        assert out["type"] == "error"
+
+    def test_unknown_verb(self, service):
+        import socket
+
+        from repro.service import protocol
+
+        with socket.create_connection(service.address, timeout=10) as sock:
+            sock.sendall(protocol.encode_message({"verb": "dance"}))
+            reader = sock.makefile("rb")
+            out = protocol.read_message(reader)
+        assert out["type"] == "error"
+        assert "dance" in out["reason"]
+
+    def test_malformed_line(self, service):
+        import socket
+
+        from repro.service import protocol
+
+        with socket.create_connection(service.address, timeout=10) as sock:
+            sock.sendall(b"this is not json\n")
+            reader = sock.makefile("rb")
+            out = protocol.read_message(reader)
+        assert out["type"] == "error"
+
+
+class TestShutdown:
+    def test_shutdown_verb_drains_and_stops(self, db, queries):
+        svc = SearchService(db, num_cpu_workers=1, num_gpu_workers=0, top_hits=TOP)
+        svc.start()
+        with SearchClient(*svc.address) as client:
+            assert client.query(queries[0])["type"] == "result"
+            client.shutdown_server()
+        svc._stopped.wait(timeout=30)
+        assert svc._stopped.is_set()
+        assert not svc.pool.started
+        # Idempotent from another thread too.
+        svc.shutdown()
+
+    def test_queries_after_shutdown_are_rejected(self, db, queries):
+        svc = SearchService(db, num_cpu_workers=1, num_gpu_workers=0, top_hits=TOP)
+        svc.start()
+        address = svc.address
+        svc.shutdown()
+        with pytest.raises(OSError):
+            SearchClient(*address, timeout=2).connect()

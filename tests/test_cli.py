@@ -158,3 +158,89 @@ class TestCommands:
         ]
         assert main(args) == 0
         assert "wrote" not in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"swdual {__version__}" in capsys.readouterr().out
+
+    def test_unknown_command_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_flag_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["search", "--no-such-flag"])
+        assert exc.value.code == 2
+
+    def test_missing_database_file_returns_2(self, capsys):
+        assert main(["info", "/nonexistent/db.fasta"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unreachable_service_returns_2(self, capsys):
+        # Nothing listens on this port: connection must fail cleanly.
+        assert main(["stats", "--port", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_simulate_db_returns_2(self, capsys):
+        assert main(["simulate", "--db", "not_a_db"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    def test_serve_query_stats_roundtrip(self, files, capsys, monkeypatch):
+        """Drive serve/query/stats through the CLI entry point against a
+        service running in a background thread."""
+        import threading
+
+        from repro.service import SearchClient
+
+        q, db, _ = files
+        started = threading.Event()
+        address = {}
+
+        from repro.service import SearchService
+
+        real_start = SearchService.start
+
+        def capturing_start(self):
+            real_start(self)
+            address["addr"] = self.address
+            started.set()
+
+        monkeypatch.setattr(SearchService, "start", capturing_start)
+        server = threading.Thread(
+            target=main, args=(["serve", db, "--port", "0", "--gpus", "0"],)
+        )
+        server.start()
+        try:
+            assert started.wait(timeout=30)
+            host, port = address["addr"]
+            rc = main(["query", q, "--host", host, "--port", str(port), "--top", "2"])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "standard@0.01_q00" in out
+            rc = main(["stats", "--host", host, "--port", str(port)])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "completed" in out
+            assert "cpu" in out
+        finally:
+            host, port = address["addr"]
+            with SearchClient(host, port) as client:
+                client.shutdown_server()
+            server.join(timeout=30)
+        assert not server.is_alive()
+        assert "service stopped" in capsys.readouterr().out
+
+    def test_query_no_records(self, tmp_path, capsys):
+        empty = tmp_path / "empty.fasta"
+        empty.write_text("")
+        assert main(["query", str(empty), "--port", "1"]) == 1
