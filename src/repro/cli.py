@@ -12,6 +12,7 @@ Subcommands mirror the system's surfaces::
     swdual serve    DB                    # resident search service (TCP)
     swdual query    QUERIES.fasta         # submit queries to a service
     swdual stats                          # snapshot a running service
+    swdual trace    --queries Q --db DB   # traced run -> Chrome trace + timeline
 
 ``swdual simulate`` and ``swdual experiment`` regenerate the paper's
 numbers from the calibrated models; ``swdual search`` runs real kernels
@@ -151,6 +152,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--host", default="127.0.0.1")
     p_stats.add_argument("--port", type=int, default=7731)
     p_stats.add_argument("--json", action="store_true", help="emit raw JSON")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one traced batch and export Chrome-trace + schedule-timeline JSON",
+    )
+    p_trace.add_argument("--queries", required=True, help="FASTA file of query sequences")
+    p_trace.add_argument("--db", required=True, help=".swdb or FASTA database")
+    p_trace.add_argument("--cpus", type=int, default=1, help="CPU-role workers")
+    p_trace.add_argument("--gpus", type=int, default=1, help="GPU-role workers")
+    p_trace.add_argument(
+        "--backend", default="threads", choices=("threads", "processes")
+    )
+    p_trace.add_argument(
+        "--policy", default="swdual", choices=("swdual", "swdual-dp", "self")
+    )
+    p_trace.add_argument("--top", type=int, default=5, help="hits per query")
+    p_trace.add_argument(
+        "--out",
+        default="trace",
+        help="output prefix (writes PREFIX.chrome.json and PREFIX.timeline.json)",
+    )
     return parser
 
 
@@ -359,6 +381,12 @@ def _cmd_bench(args) -> int:
     print(ascii_table(["Kernel path", "GCUPS"], rows))
     print(f"speedup packed vs seed:    {report['speedup_packed_vs_seed']:.2f}x")
     print(f"speedup wavefront batched: {report['speedup_wavefront_batched']:.2f}x")
+    telemetry = report["telemetry"]
+    print(
+        f"telemetry overhead: {telemetry['overhead_disabled_pct']:+.2f}% disabled, "
+        f"{telemetry['overhead_enabled_pct']:+.2f}% enabled "
+        f"({telemetry['spans_per_pass']} spans/pass)"
+    )
     if args.out != "-":
         write_bench_report(report, args.out)
         print(f"wrote {args.out}")
@@ -453,11 +481,18 @@ def _cmd_stats(args) -> int:
         f"{req['rejected']} rejected, {req['errors']} errors, "
         f"queue {req['queue_depth']}, in-flight {req['in_flight']}"
     )
+    lat = snapshot["latency"]
+    wait = snapshot["queue_wait"]
     print(
-        f"latency mean {snapshot['latency']['mean_s'] * 1e3:.1f} ms "
-        f"(max {snapshot['latency']['max_s'] * 1e3:.1f} ms), "
-        f"queue wait mean {snapshot['queue_wait']['mean_s'] * 1e3:.1f} ms, "
+        f"latency mean {lat['mean_s'] * 1e3:.1f} ms "
+        f"(p50 {lat['p50_s'] * 1e3:.1f} / p90 {lat['p90_s'] * 1e3:.1f} / "
+        f"p99 {lat['p99_s'] * 1e3:.1f} / max {lat['max_s'] * 1e3:.1f} ms), "
         f"throughput {snapshot['throughput_qps']:.2f} q/s"
+    )
+    print(
+        f"queue wait mean {wait['mean_s'] * 1e3:.1f} ms "
+        f"(p50 {wait['p50_s'] * 1e3:.1f} / p90 {wait['p90_s'] * 1e3:.1f} / "
+        f"p99 {wait['p99_s'] * 1e3:.1f} / max {wait['max_s'] * 1e3:.1f} ms)"
     )
     rows = [
         [
@@ -474,6 +509,60 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.sequences import read_fasta
+    from repro.service import ServiceStats, WarmPool
+    from repro.telemetry import tracing
+    from repro.telemetry.export import (
+        schedule_timeline,
+        write_chrome_trace,
+        write_schedule_timeline,
+    )
+
+    queries = read_fasta(args.queries)
+    if not queries:
+        print("error: no query records found", file=sys.stderr)
+        return 1
+    database = _load_db(args.db)
+    tracing.drain()  # start from an empty buffer: one batch, one trace
+    with tracing.enabled_tracing():
+        with WarmPool(
+            database,
+            num_cpu_workers=args.cpus,
+            num_gpu_workers=args.gpus,
+            backend=args.backend,
+            policy=args.policy,
+            top_hits=args.top,
+        ) as pool:
+            stats = ServiceStats(pool.roster)
+            report = pool.run_batch(queries)
+            stats.record_batch(report)
+        spans = tracing.drain()
+    chrome_path = f"{args.out}.chrome.json"
+    timeline_path = f"{args.out}.timeline.json"
+    write_chrome_trace(spans, chrome_path)
+    write_schedule_timeline(spans, timeline_path)
+    timeline = schedule_timeline(spans)
+    snapshot = stats.snapshot()
+    print(
+        f"traced {len(queries)} queries against {database.name} on "
+        f"{args.cpus} cpu + {args.gpus} gpu workers "
+        f"({args.backend}, {args.policy})"
+    )
+    print(f"wrote {chrome_path} ({len(spans)} spans)")
+    print(f"wrote {timeline_path} (makespan {timeline['makespan_s'] * 1e3:.1f} ms)")
+    rows = []
+    for kind in sorted(set(timeline["roles"]) | set(snapshot["roles"])):
+        span_busy = timeline["roles"].get(kind, {}).get("busy_seconds", 0.0)
+        stat_busy = snapshot["roles"].get(kind, {}).get("busy_seconds", 0.0)
+        drift = abs(span_busy - stat_busy) / stat_busy * 100 if stat_busy else 0.0
+        rows.append(
+            [kind, f"{span_busy * 1e3:.2f}", f"{stat_busy * 1e3:.2f}", f"{drift:.2f}%"]
+        )
+    print(ascii_table(["Role", "Trace busy ms", "Stats busy ms", "Drift"], rows))
+    return 0
+
+
 _COMMANDS = {
     "convert": _cmd_convert,
     "align": _cmd_align,
@@ -485,6 +574,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "query": _cmd_query,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
 }
 
 

@@ -23,6 +23,7 @@ from repro.core.bounds import makespan_bounds
 from repro.core.dual_approx import DualApproxStep, dual_approx_step
 from repro.core.schedule import Schedule
 from repro.core.task import TaskSet
+from repro.telemetry import tracing
 
 __all__ = ["DualApproxResult", "dual_approx_schedule"]
 
@@ -81,6 +82,25 @@ def dual_approx_schedule(
     if max_iterations < 1:
         raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
 
+    search_span = tracing.span(
+        "sched.binary_search", tasks=len(tasks), m=m, k=k, tolerance=tolerance
+    )
+    with search_span as sp:
+        result = _binary_search(tasks, m, k, tolerance, max_iterations, step_fn)
+        if sp is not None:
+            sp.attrs["iterations"] = result.iterations
+            sp.attrs["lower_bound"] = result.lower_bound
+    return result
+
+
+def _binary_search(
+    tasks: TaskSet,
+    m: int,
+    k: int,
+    tolerance: float,
+    max_iterations: int,
+    step_fn: StepFn,
+) -> DualApproxResult:
     lo, hi = makespan_bounds(tasks, m, k)
     # An exact dual-approximation never answers NO above OPT; the DP
     # step's area discretisation can be conservative near the boundary,

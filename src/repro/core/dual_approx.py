@@ -33,6 +33,7 @@ from repro.core.knapsack import KnapsackResult, greedy_min_knapsack
 from repro.core.listsched import list_schedule, lpt_order
 from repro.core.schedule import Schedule
 from repro.core.task import TaskSet
+from repro.telemetry import tracing
 
 __all__ = ["DualApproxStep", "dual_approx_step", "build_class_schedule"]
 
@@ -79,8 +80,11 @@ def build_class_schedule(
         cpu_order = cpu_idx[lpt_order(p[cpu_idx])]
     if gpu_order is None:
         gpu_order = gpu_idx[lpt_order(pbar[gpu_idx])]
-    slots = list_schedule(list(cpu_order), list(p[cpu_order]), cpu_names)
-    slots += list_schedule(list(gpu_order), list(pbar[gpu_order]), gpu_names)
+    with tracing.span(
+        "sched.listsched", cpu_tasks=int(cpu_idx.size), gpu_tasks=int(gpu_idx.size)
+    ):
+        slots = list_schedule(list(cpu_order), list(p[cpu_order]), cpu_names)
+        slots += list_schedule(list(gpu_order), list(pbar[gpu_order]), gpu_names)
     return Schedule(
         slots=slots,
         pe_names=cpu_names + gpu_names,
@@ -151,9 +155,10 @@ def dual_approx_step(
     if float(pbar[forced_gpu].sum()) > k * lam:
         return None  # forced GPU load alone refutes the guess
 
-    result = greedy_min_knapsack(
-        p, pbar, capacity=k * lam, forced_gpu=forced_gpu, forced_cpu=forced_cpu
-    )
+    with tracing.span("sched.knapsack", tasks=len(tasks), guess=lam):
+        result = greedy_min_knapsack(
+            p, pbar, capacity=k * lam, forced_gpu=forced_gpu, forced_cpu=forced_cpu
+        )
     if result.cpu_area > m * lam + 1e-9:
         return None
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import queue as queue_mod
 import threading
-import time
 
 import numpy as np
 
@@ -35,6 +34,7 @@ from repro.engine.messages import (
 from repro.engine.results import SearchReport, WorkerStats
 from repro.engine.worker import KernelWorker
 from repro.sequences.sequence import Sequence
+from repro.telemetry import tracing
 
 __all__ = ["Master", "predict_static_allocation"]
 
@@ -69,6 +69,21 @@ def predict_static_allocation(
     (batches, summary):
         Query indices per worker name, plus the scheduler summary line.
     """
+    with tracing.span(
+        "sched.allocate", policy=policy, tasks=len(queries), workers=len(workers)
+    ):
+        return _predict_static_allocation(
+            queries, db_residues, workers, policy, measured_gcups
+        )
+
+
+def _predict_static_allocation(
+    queries: list[Sequence],
+    db_residues: int,
+    workers: list[tuple[str, str]],
+    policy: str,
+    measured_gcups: dict[str, float] | None = None,
+) -> tuple[dict[str, list[int]], str]:
     measured = dict(measured_gcups or {})
     lengths = np.array([len(q) for q in queries], dtype=np.int64)
     default = float(np.mean(list(measured.values()))) if measured else 1.0
@@ -184,7 +199,7 @@ class Master:
 
         executions: dict[int, object] = {}
         lock = threading.Lock()
-        start = time.perf_counter()
+        start = tracing.clock()
 
         if self.policy in ("swdual", "swdual-dp"):
             batches = self._static_allocation()
@@ -211,11 +226,14 @@ class Master:
                 for w in self._workers
             ]
 
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        wall = max(time.perf_counter() - start, 1e-9)
+        with tracing.span(
+            "master.run", policy=self.policy, tasks=len(self.queries), workers=len(threads)
+        ):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        wall = max(tracing.clock() - start, 1e-9)
 
         for w in self._workers:
             self.log.record(shutdown(w.name))

@@ -41,7 +41,6 @@ alive, so a mid-search failure cannot leak orphan processes.
 from __future__ import annotations
 
 import multiprocessing as mp
-import time
 from dataclasses import dataclass, replace
 
 from repro.align.scoring import ScoringScheme, default_scheme
@@ -51,6 +50,7 @@ from repro.engine.results import Hit, QueryResult, SearchReport, WorkerStats
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.packed import DEFAULT_CHUNK_CELLS
 from repro.sequences.sequence import Sequence
+from repro.telemetry import tracing
 
 __all__ = ["ProcessWorkerPool", "process_search", "PROCESS_POLICIES"]
 
@@ -67,14 +67,26 @@ class _WireTask:
     query: Sequence
 
 
-def _worker_main(conn, name: str, kind: str, db_sequences, scheme, top_hits, chunk_cells):
+def _worker_main(
+    conn, name: str, kind: str, db_sequences, scheme, top_hits, chunk_cells, trace: bool
+):
     """Worker process entry point: register, serve tasks, exit on
     shutdown.  Runs the same KernelWorker logic as the threaded mode —
     the worker packs its database copy once at startup, then every task
-    is pure kernel time on the packed fast path."""
+    is pure kernel time on the packed fast path.
+
+    With *trace* set (the master had tracing enabled at spawn), the
+    child enables its own span recording and ships the serialized spans
+    of each task back inside the ``done`` message — the master ingests
+    them, so one process ends up holding the whole execution's trace.
+    ``perf_counter`` is ``CLOCK_MONOTONIC`` on Linux (one epoch for all
+    processes), so child spans line up with the master's timeline.
+    """
     from repro.engine.worker import KernelWorker
     from repro.sequences.database import SequenceDatabase
 
+    if trace:
+        tracing.enable()
     database = SequenceDatabase(name="worker-copy", sequences=db_sequences)
     worker = KernelWorker(
         name=name,
@@ -97,7 +109,10 @@ def _worker_main(conn, name: str, kind: str, db_sequences, scheme, top_hits, chu
         wire: _WireTask = message[1]
         execution = worker.execute(wire.query)
         hits = [(h.subject_id, h.score) for h in execution.result.hits]
-        conn.send(("done", name, wire.index, execution.elapsed, execution.cells, hits))
+        spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
+        conn.send(
+            ("done", name, wire.index, execution.elapsed, execution.cells, hits, spans)
+        )
 
 
 class ProcessWorkerPool:
@@ -187,12 +202,15 @@ class ProcessWorkerPool:
             raise ProtocolError("pool already started")
         ctx = mp.get_context(self.start_method)
         db_sequences = list(self.database)
+        # Capture the tracing flag once: children spawned while tracing
+        # is on record and ship spans for the pool's whole lifetime.
+        trace = tracing.enabled()
         try:
             for name, kind in self.roster:
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(child_conn, name, kind, db_sequences, self.scheme, self.top_hits, self.chunk_cells),
+                    args=(child_conn, name, kind, db_sequences, self.scheme, self.top_hits, self.chunk_cells, trace),
                     name=name,
                     daemon=True,
                 )
@@ -314,77 +332,83 @@ class ProcessWorkerPool:
         import multiprocessing.connection as mpc
 
         roster, pipes = self.roster, self._pipes
-        start = time.perf_counter()
+        start = tracing.clock()
+        batch_span = tracing.span(
+            "pool.batch", backend="processes", policy=policy, size=len(queries)
+        )
         scheduler_info = f"self-scheduling over process pipes ({len(roster)} workers)"
 
-        # Task queues: one shared (self-scheduling) or one per worker
-        # (static allocation); each worker pulls its next task over the
-        # same pipe protocol either way.
-        if policy == "self":
-            shared = list(range(len(queries)))
-            per_worker = {name: shared for name, _ in roster}
-        else:
-            batches, scheduler_info = predict_static_allocation(
-                queries,
-                self.database.total_residues,
-                roster,
-                policy,
-                measured_gcups,
-            )
-            for name, batch in batches.items():
-                self.log.record(assign_tasks(name, batch))
-            per_worker = {name: list(batches[name]) for name, _ in roster}
-
-        in_flight: dict[int, int] = {}
-        results: dict[int, QueryResult] = {}
-        busy = {name: 0.0 for name, _ in roster}
-        executed = {name: 0 for name, _ in roster}
-        cells_by_worker = {name: 0 for name, _ in roster}
-
-        def dispatch(i: int) -> bool:
-            name = roster[i][0]
-            queue = per_worker[name]
-            if not queue:
-                return False
-            j = queue.pop(0)
+        with batch_span:
+            # Task queues: one shared (self-scheduling) or one per worker
+            # (static allocation); each worker pulls its next task over the
+            # same pipe protocol either way.
             if policy == "self":
-                self.log.record(assign_tasks(name, [j]))
-            pipes[i].send(("task", _WireTask(index=j, query=queries[j])))
-            in_flight[i] = j
-            return True
-
-        for i in range(len(roster)):
-            dispatch(i)
-
-        while in_flight:
-            ready = mpc.wait([pipes[i] for i in in_flight], timeout=60)
-            if not ready:  # pragma: no cover - hung worker guard
-                raise ProtocolError("worker processes unresponsive")
-            for conn in ready:
-                i = pipes.index(conn)
-                try:
-                    tag, name, j, elapsed, cells, hits = conn.recv()
-                except (EOFError, OSError) as exc:
-                    raise ProtocolError(
-                        f"worker {roster[i][0]} died mid-batch"
-                    ) from exc
-                if tag != "done":  # pragma: no cover
-                    raise ProtocolError(f"expected done, got {tag!r}")
-                self.log.record(task_done(name, j, elapsed))
-                result = QueryResult(
-                    query_id=queries[j].id,
-                    hits=tuple(Hit(subject_id=sid, score=s) for sid, s in hits),
+                shared = list(range(len(queries)))
+                per_worker = {name: shared for name, _ in roster}
+            else:
+                batches, scheduler_info = predict_static_allocation(
+                    queries,
+                    self.database.total_residues,
+                    roster,
+                    policy,
+                    measured_gcups,
                 )
-                results[j] = result
-                busy[name] += elapsed
-                executed[name] += 1
-                cells_by_worker[name] += cells
-                del in_flight[i]
-                if on_result is not None:
-                    on_result(j, result, name, elapsed)
+                for name, batch in batches.items():
+                    self.log.record(assign_tasks(name, batch))
+                per_worker = {name: list(batches[name]) for name, _ in roster}
+
+            in_flight: dict[int, int] = {}
+            results: dict[int, QueryResult] = {}
+            busy = {name: 0.0 for name, _ in roster}
+            executed = {name: 0 for name, _ in roster}
+            cells_by_worker = {name: 0 for name, _ in roster}
+
+            def dispatch(i: int) -> bool:
+                name = roster[i][0]
+                queue = per_worker[name]
+                if not queue:
+                    return False
+                j = queue.pop(0)
+                if policy == "self":
+                    self.log.record(assign_tasks(name, [j]))
+                pipes[i].send(("task", _WireTask(index=j, query=queries[j])))
+                in_flight[i] = j
+                return True
+
+            for i in range(len(roster)):
                 dispatch(i)
 
-        wall = max(time.perf_counter() - start, 1e-9)
+            while in_flight:
+                ready = mpc.wait([pipes[i] for i in in_flight], timeout=60)
+                if not ready:  # pragma: no cover - hung worker guard
+                    raise ProtocolError("worker processes unresponsive")
+                for conn in ready:
+                    i = pipes.index(conn)
+                    try:
+                        tag, name, j, elapsed, cells, hits, spans = conn.recv()
+                    except (EOFError, OSError) as exc:
+                        raise ProtocolError(
+                            f"worker {roster[i][0]} died mid-batch"
+                        ) from exc
+                    if tag != "done":  # pragma: no cover
+                        raise ProtocolError(f"expected done, got {tag!r}")
+                    if spans:
+                        tracing.ingest(spans)
+                    self.log.record(task_done(name, j, elapsed))
+                    result = QueryResult(
+                        query_id=queries[j].id,
+                        hits=tuple(Hit(subject_id=sid, score=s) for sid, s in hits),
+                    )
+                    results[j] = result
+                    busy[name] += elapsed
+                    executed[name] += 1
+                    cells_by_worker[name] += cells
+                    del in_flight[i]
+                    if on_result is not None:
+                        on_result(j, result, name, elapsed)
+                    dispatch(i)
+
+        wall = max(tracing.clock() - start, 1e-9)
         missing = set(range(len(queries))) - set(results)
         if missing:  # pragma: no cover
             raise ProtocolError(f"tasks never completed: {sorted(missing)}")
@@ -451,7 +475,7 @@ def process_search(
         raise ValueError("need at least one query")
     if policy not in PROCESS_POLICIES:
         raise ValueError(f"policy must be one of {PROCESS_POLICIES}, got {policy!r}")
-    start = time.perf_counter()
+    start = tracing.clock()
     pool = ProcessWorkerPool(
         database,
         num_cpu_workers=num_workers,
@@ -466,5 +490,5 @@ def process_search(
         report = pool.run_batch(queries, policy=policy, measured_gcups=measured_gcups)
     finally:
         pool.close()
-    wall = max(time.perf_counter() - start, 1e-9)
+    wall = max(tracing.clock() - start, 1e-9)
     return replace(report, wall_seconds=wall)

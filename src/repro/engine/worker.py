@@ -16,7 +16,6 @@ cache in :mod:`repro.align.sw_batch`.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable
 
 import numpy as np
@@ -29,6 +28,7 @@ from repro.engine.results import Hit, QueryResult
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
 from repro.sequences.sequence import Sequence
+from repro.telemetry import tracing
 
 __all__ = ["KernelWorker", "default_cpu_kernel", "TaskExecution"]
 
@@ -152,10 +152,29 @@ class KernelWorker:
 
     def execute(self, query: Sequence) -> TaskExecution:
         """Score *query* against the whole database; returns the result
-        with real wall-clock timing and cell accounting."""
-        start = time.perf_counter()
-        scores = self._score(query)
-        elapsed = time.perf_counter() - start
+        with real wall-clock timing and cell accounting.
+
+        The kernel call is wrapped in a ``task.kernel`` telemetry span
+        (worker name/kind, query id, cell count) when tracing is on —
+        the span the schedule-timeline export is built from.  The
+        ``elapsed`` the engine accounts busy-seconds with reads the
+        same :func:`repro.telemetry.clock` the span does, so the trace
+        and the stats agree by construction.
+        """
+        if tracing.enabled():
+            cm = tracing.span(
+                "task.kernel",
+                worker=self.name,
+                kind=self.kind,
+                query=query.id,
+                cells=len(query) * self.database.total_residues,
+            )
+        else:
+            cm = tracing.NULL_SPAN
+        start = tracing.clock()
+        with cm:
+            scores = self._score(query)
+        elapsed = tracing.clock() - start
         if len(scores) != len(self._subjects):
             raise RuntimeError(
                 f"kernel returned {len(scores)} scores for "

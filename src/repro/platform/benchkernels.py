@@ -33,6 +33,7 @@ from repro.sequences.alphabet import PROTEIN
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
 from repro.sequences.sequence import Sequence
+from repro.telemetry import tracing
 from repro.utils import ensure_rng
 
 __all__ = ["build_bench_workload", "run_kernel_bench", "write_bench_report"]
@@ -162,6 +163,8 @@ def run_kernel_bench(
     wf_loop_gcups = wf_cells / _time_pass(wf_loop_pass, repeats) / 1e9
     wf_batched_gcups = wf_cells / _time_pass(wf_batched_pass, repeats) / 1e9
 
+    telemetry = _telemetry_guard(queries, packed, database, scheme, repeats)
+
     return {
         "bench": "kernels",
         "workload": {
@@ -186,6 +189,60 @@ def run_kernel_bench(
         },
         "speedup_packed_vs_seed": packed_gcups / seed_gcups,
         "speedup_wavefront_batched": wf_batched_gcups / wf_loop_gcups,
+        "telemetry": telemetry,
+    }
+
+
+def _telemetry_guard(queries, packed, database, scheme, repeats: int) -> dict:
+    """Measure the tracing overhead on the packed hot path.
+
+    Runs the same instrumented pass the live engine uses (one
+    ``task.kernel`` span per query, guarded by ``tracing.enabled()``)
+    three ways: plain (no instrumentation), instrumented-but-disabled
+    (the production default), and instrumented-with-tracing-on.  The
+    reported percentages are the guard ``swdual bench kernels`` prints:
+    disabled must be ~0%, enabled must stay small (<3% on a quiet
+    machine; spans wrap per-task work, never per-cell loops).
+    """
+    cells_per_query = {q.id: len(q) * database.total_residues for q in queries}
+
+    def plain_pass() -> None:
+        for q in queries:
+            sw_score_packed(q, packed, scheme)
+
+    def instrumented_pass() -> None:
+        for q in queries:
+            if tracing.enabled():
+                cm = tracing.span(
+                    "task.kernel",
+                    worker="bench",
+                    kind="cpu",
+                    query=q.id,
+                    cells=cells_per_query[q.id],
+                )
+            else:
+                cm = tracing.NULL_SPAN
+            with cm:
+                sw_score_packed(q, packed, scheme)
+
+    was_enabled = tracing.enabled()
+    tracing.disable()
+    try:
+        baseline_s = _time_pass(plain_pass, repeats)
+        disabled_s = _time_pass(instrumented_pass, repeats)
+        with tracing.enabled_tracing():
+            enabled_s = _time_pass(instrumented_pass, repeats)
+            tracing.drain()  # don't leak bench spans into caller traces
+    finally:
+        if was_enabled:
+            tracing.enable()
+    return {
+        "baseline_s": baseline_s,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead_disabled_pct": (disabled_s / baseline_s - 1.0) * 100.0,
+        "overhead_enabled_pct": (enabled_s / baseline_s - 1.0) * 100.0,
+        "spans_per_pass": len(queries),
     }
 
 

@@ -167,6 +167,11 @@ class SearchClient:
         self._send({"verb": "stats"})
         return self._next_of_types(("stats",))["stats"]
 
+    def metrics(self) -> str:
+        """Fetch the service counters as Prometheus text exposition."""
+        self._send({"verb": "metrics"})
+        return self._next_of_types(("metrics",))["body"]
+
     def ping(self) -> bool:
         """Liveness probe."""
         self._send({"verb": "ping"})

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import queue as queue_mod
 import threading
-import time
 
 from repro.align.scoring import ScoringScheme, default_scheme
 from repro.engine.master import predict_static_allocation
@@ -41,6 +40,7 @@ from repro.engine.worker import KernelWorker
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
 from repro.sequences.sequence import Sequence
+from repro.telemetry import tracing
 
 __all__ = ["WarmPool", "POOL_BACKENDS"]
 
@@ -231,7 +231,10 @@ class WarmPool:
         workers = self._workers
         roster = [(w.name, w.kind) for w in workers]
         policy = self._effective_policy()
-        start = time.perf_counter()
+        start = tracing.clock()
+        batch_span = tracing.span(
+            "pool.batch", backend="threads", policy=policy, size=len(queries)
+        )
 
         if policy == "self":
             scheduler_info = f"self-scheduling over warm threads ({len(workers)} workers)"
@@ -279,11 +282,12 @@ class WarmPool:
             threading.Thread(target=run_worker, args=(w,), name=f"warm-{w.name}")
             for w in workers
         ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        wall = max(time.perf_counter() - start, 1e-9)
+        with batch_span:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        wall = max(tracing.clock() - start, 1e-9)
 
         missing = set(range(len(queries))) - set(results)
         if missing:  # pragma: no cover - worker thread died

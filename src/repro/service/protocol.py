@@ -15,6 +15,12 @@ Client → server requests carry a ``verb``:
     configured hit-list depth.
 ``stats``
     ``{"verb": "stats"}`` — request a :class:`ServiceStats` snapshot.
+``metrics``
+    ``{"verb": "metrics"}`` — request the same counters in Prometheus
+    text exposition format (returned as one JSON string field, so the
+    NDJSON framing is preserved).  Scrapers that cannot speak NDJSON
+    can instead send a raw ``GET /metrics`` line: the server sniffs it
+    before JSON parsing and answers plain HTTP one-shot style.
 ``ping``
     ``{"verb": "ping"}`` — liveness probe.
 ``shutdown``
@@ -37,6 +43,7 @@ import json
 
 __all__ = [
     "MAX_LINE_BYTES",
+    "PROMETHEUS_CONTENT_TYPE",
     "REQUEST_VERBS",
     "RESPONSE_TYPES",
     "WireError",
@@ -44,6 +51,7 @@ __all__ = [
     "decode_message",
     "encode_message",
     "error_response",
+    "metrics_response",
     "pong_response",
     "query_request",
     "read_message",
@@ -56,11 +64,14 @@ __all__ = [
 #: one connection can pin and rejects accidental binary streams early.
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
+#: Content type of the Prometheus text exposition format we emit.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 #: Verbs a client may send.
-REQUEST_VERBS = ("query", "stats", "ping", "shutdown")
+REQUEST_VERBS = ("query", "stats", "metrics", "ping", "shutdown")
 
 #: Types a server may answer with.
-RESPONSE_TYPES = ("result", "rejected", "error", "stats", "pong", "bye")
+RESPONSE_TYPES = ("result", "rejected", "error", "stats", "metrics", "pong", "bye")
 
 
 class WireError(ValueError):
@@ -167,6 +178,11 @@ def error_response(reason: str, id: str | None = None) -> dict:
 def stats_response(snapshot: dict) -> dict:
     """A :meth:`ServiceStats.snapshot` payload."""
     return {"type": "stats", "stats": snapshot}
+
+
+def metrics_response(text: str) -> dict:
+    """Prometheus text exposition, carried as one JSON string field."""
+    return {"type": "metrics", "content_type": PROMETHEUS_CONTENT_TYPE, "body": text}
 
 
 def pong_response() -> dict:

@@ -22,8 +22,11 @@ parts:
   connection right away (completion order, correlated by ``id``), so a
   short query never waits for the batch's long tail to be reported.
 * **Stats** — every stage records into a :class:`ServiceStats`
-  (request counts, latency, queue wait, per-role busy/cells/GCUPS),
-  served by the ``stats`` verb.
+  (request counts, latency/queue-wait histograms, per-role
+  busy/cells/GCUPS), served as a JSON snapshot by the ``stats`` verb
+  and as Prometheus text exposition by the ``metrics`` verb or a raw
+  ``GET /metrics`` one-shot (sniffed before JSON framing, so ``curl``
+  and a Prometheus scrape config work against the same port).
 * **Graceful shutdown** — on SIGINT or a ``shutdown`` verb the
   listener closes, admission starts rejecting, the scheduler drains
   what was already admitted, the pool joins its workers, and open
@@ -36,8 +39,8 @@ import contextlib
 import queue as queue_mod
 import signal
 import socket
+import sys
 import threading
-import time
 
 from repro.align.scoring import ScoringScheme
 from repro.sequences.database import SequenceDatabase
@@ -46,6 +49,7 @@ from repro.sequences.sequence import Sequence
 from repro.service import protocol
 from repro.service.pool import WarmPool
 from repro.service.stats import ServiceStats
+from repro.telemetry import tracing
 
 __all__ = ["SearchService"]
 
@@ -70,7 +74,10 @@ class _ClientConnection:
 
     def send(self, message: dict) -> bool:
         """Write one message; False (never an exception) on a dead peer."""
-        payload = protocol.encode_message(message)
+        return self.send_raw(protocol.encode_message(message))
+
+    def send_raw(self, payload: bytes) -> bool:
+        """Write raw bytes (the HTTP one-shot path); False on a dead peer."""
         with self._send_lock:
             if self._closed:
                 return False
@@ -100,7 +107,7 @@ class _PendingQuery:
         self.sequence = sequence
         self.top = top
         self.conn = conn
-        self.submitted_at = time.perf_counter()
+        self.submitted_at = tracing.clock()
 
 
 class SearchService:
@@ -215,6 +222,14 @@ class SearchService:
         self._sock.settimeout(0.2)
         self.port = self._sock.getsockname()[1]
         self._started = True
+        roster = ", ".join(f"{name}({kind})" for name, kind in self.pool.roster)
+        print(
+            f"swdual serve: listening on {self.host}:{self.port} "
+            f"backend={self.pool.backend} policy={self.pool.policy} "
+            f"workers=[{roster}]",
+            file=sys.stderr,
+            flush=True,
+        )
         self._scheduler_thread = threading.Thread(
             target=self._scheduler_loop, name="swdual-scheduler", daemon=True
         )
@@ -318,27 +333,66 @@ class SearchService:
         try:
             while True:
                 try:
-                    message = protocol.read_message(conn.reader)
+                    line = conn.reader.readline(protocol.MAX_LINE_BYTES + 1)
+                except (OSError, ValueError):
+                    return  # connection torn down under the reader
+                if not line:
+                    return  # client hung up
+                if line.startswith(b"GET "):
+                    # A one-shot HTTP scrape (curl / Prometheus) rather
+                    # than an NDJSON session: answer and close.
+                    self._serve_http_get(conn, line)
+                    return
+                try:
+                    message = protocol.decode_message(line)
                 except protocol.WireError as exc:
                     self.stats.record_error()
                     conn.send(protocol.error_response(str(exc)))
                     continue
-                except (OSError, ValueError):
-                    return  # connection torn down under the reader
-                if message is None:
-                    return  # client hung up
                 self._dispatch_request(conn, message)
         finally:
             conn.close()
             with self._conn_lock:
                 self._connections.discard(conn)
 
+    def _serve_http_get(self, conn: _ClientConnection, request_line: bytes) -> None:
+        """Answer one plain-HTTP GET (the ``/metrics`` scrape one-shot)."""
+        parts = request_line.split()
+        target = parts[1].decode("latin-1", "replace") if len(parts) >= 2 else ""
+        # Drain the request headers (best effort) so the peer can see a
+        # clean close after the response.
+        with contextlib.suppress(OSError, ValueError):
+            while True:
+                header = conn.reader.readline(protocol.MAX_LINE_BYTES + 1)
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            status = "200 OK"
+            content_type = protocol.PROMETHEUS_CONTENT_TYPE
+            body = self._prometheus().encode("utf-8")
+        else:
+            status = "404 Not Found"
+            content_type = "text/plain; charset=utf-8"
+            body = b"only /metrics is served over HTTP\n"
+        head = (
+            f"HTTP/1.0 {status}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        conn.send_raw(head + body)
+
     def _dispatch_request(self, conn: _ClientConnection, message: dict) -> None:
         verb = message.get("verb")
         if verb == "query":
-            self._admit_query(conn, message)
+            with tracing.span("service.admit", peer=conn.peer):
+                self._admit_query(conn, message)
         elif verb == "stats":
             conn.send(protocol.stats_response(self._snapshot()))
+        elif verb == "metrics":
+            conn.send(protocol.metrics_response(self._prometheus()))
         elif verb == "ping":
             conn.send(protocol.pong_response())
         elif verb == "shutdown":
@@ -433,32 +487,33 @@ class SearchService:
             with self._in_flight_lock:
                 self._in_flight += len(batch)
             try:
-                self._run_one_batch(batch)
+                with tracing.span("service.batch", size=len(batch)):
+                    self._run_one_batch(batch)
             finally:
                 with self._in_flight_lock:
                     self._in_flight -= len(batch)
 
     def _run_one_batch(self, batch: list[_PendingQuery]) -> None:
-        dispatched_at = time.perf_counter()
+        dispatched_at = tracing.clock()
         queue_waits = [dispatched_at - p.submitted_at for p in batch]
 
         def on_result(index: int, result, worker_name: str, elapsed: float) -> None:
             pending = batch[index]
-            now = time.perf_counter()
-            latency = now - pending.submitted_at
+            latency = tracing.clock() - pending.submitted_at
             hits = [(h.subject_id, h.score) for h in result.hits[: pending.top]]
             # Record before streaming: a client that has seen its
             # result must also see it counted in a stats snapshot.
             self.stats.record_result(latency, queue_waits[index])
-            pending.conn.send(
-                protocol.result_response(
-                    pending.id,
-                    hits,
-                    latency_s=latency,
-                    queue_wait_s=queue_waits[index],
-                    worker=worker_name,
+            with tracing.span("service.stream", query=pending.id, worker=worker_name):
+                pending.conn.send(
+                    protocol.result_response(
+                        pending.id,
+                        hits,
+                        latency_s=latency,
+                        queue_wait_s=queue_waits[index],
+                        worker=worker_name,
+                    )
                 )
-            )
 
         try:
             report = self.pool.run_batch([p.sequence for p in batch], on_result=on_result)
@@ -475,3 +530,10 @@ class SearchService:
         with self._in_flight_lock:
             in_flight = self._in_flight
         return self.stats.snapshot(queue_depth=self._queue.qsize(), in_flight=in_flight)
+
+    def _prometheus(self) -> str:
+        with self._in_flight_lock:
+            in_flight = self._in_flight
+        return self.stats.prometheus(
+            queue_depth=self._queue.qsize(), in_flight=in_flight
+        )

@@ -1,34 +1,59 @@
 """Service-level metrics: requests, latency, queue wait, role GCUPS.
 
-:class:`ServiceStats` is the one mutable, lock-guarded object the
-server threads update — admission threads record accepted/rejected
-submissions, the scheduler loop records batches and per-query
-completions.  :meth:`ServiceStats.snapshot` freezes everything into a
-plain JSON-able dict served by the ``stats`` protocol verb, so
-operators can watch utilisation exactly the way the paper's tables
-report it (busy seconds, cells, GCUPS — here per worker *role*).
+:class:`ServiceStats` is the one object the server threads record into
+— admission threads count accepted/rejected submissions, the scheduler
+loop records batches and per-query completions.  Since the telemetry
+subsystem landed, the counters live in a per-service
+:class:`~repro.telemetry.metrics.MetricsRegistry`: every request
+counter is a :class:`~repro.telemetry.metrics.Counter`, latency and
+queue wait are fixed-bucket
+:class:`~repro.telemetry.metrics.Histogram` families (so snapshots
+carry real p50/p90/p99 percentiles, not just mean/max), and per-role
+busy/cells/tasks are labelled counters.  The same registry renders
+straight to Prometheus text exposition for the ``metrics`` protocol
+verb and the ``GET /metrics`` one-shot
+(:func:`repro.telemetry.export.prometheus_text`).
+
+:meth:`ServiceStats.snapshot` freezes everything into a plain
+JSON-able dict served by the ``stats`` protocol verb, so operators can
+watch utilisation exactly the way the paper's tables report it (busy
+seconds, cells, GCUPS — here per worker *role*).
 """
 
 from __future__ import annotations
 
-import threading
 import time
 
 from repro.align.stats import gcups
+from repro.telemetry.export import prometheus_text
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = ["ServiceStats"]
 
 
-class _RoleCounters:
-    """Accumulated work of one worker role (cpu/gpu)."""
+class _RoleMetrics:
+    """Registry-backed accumulated work of one worker role (cpu/gpu)."""
 
     __slots__ = ("workers", "tasks", "busy_seconds", "cells")
 
-    def __init__(self, workers: int):
-        self.workers = workers
-        self.tasks = 0
-        self.busy_seconds = 0.0
-        self.cells = 0
+    def __init__(self, registry: MetricsRegistry, kind: str):
+        labels = {"role": kind}
+        self.workers: Gauge = registry.gauge(
+            "swdual_role_workers", "Warm-pool workers of this role.", labels
+        )
+        self.tasks: Counter = registry.counter(
+            "swdual_role_tasks_total", "Tasks executed by this role.", labels
+        )
+        self.busy_seconds: Counter = registry.counter(
+            "swdual_role_busy_seconds_total",
+            "Kernel busy seconds accumulated by this role.",
+            labels,
+        )
+        self.cells: Counter = registry.counter(
+            "swdual_role_cells_total",
+            "Smith-Waterman cell updates computed by this role.",
+            labels,
+        )
 
 
 class ServiceStats:
@@ -39,71 +64,112 @@ class ServiceStats:
     roster:
         ``(name, kind)`` pairs of the warm pool, fixing which roles
         exist and how many workers each has (for utilisation).
+
+    Every mutating method delegates to its own lock-guarded telemetry
+    metric, so concurrent recorders never contend on one global lock
+    and :meth:`snapshot` can run while records land (tested under a
+    thread hammer).
     """
 
     def __init__(self, roster: list[tuple[str, str]]):
-        self._lock = threading.Lock()
         self._started = time.monotonic()
-        self._received = 0
-        self._completed = 0
-        self._rejected = 0
-        self._errors = 0
-        self._batches = 0
-        self._batched_queries = 0
-        self._latency_total = 0.0
-        self._latency_max = 0.0
-        self._queue_wait_total = 0.0
-        self._queue_wait_max = 0.0
-        self._roles: dict[str, _RoleCounters] = {}
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self._received = reg.counter(
+            "swdual_requests_received_total", "Queries admitted to the queue."
+        )
+        self._completed = reg.counter(
+            "swdual_requests_completed_total", "Queries completed and streamed back."
+        )
+        self._rejected = reg.counter(
+            "swdual_requests_rejected_total", "Queries bounced by backpressure."
+        )
+        self._errors = reg.counter(
+            "swdual_requests_errors_total", "Requests the server could not act on."
+        )
+        self._batches = reg.counter(
+            "swdual_batches_total", "Micro-batches dispatched to the warm pool."
+        )
+        self._batched_queries = reg.counter(
+            "swdual_batched_queries_total", "Queries dispatched inside micro-batches."
+        )
+        self._latency: Histogram = reg.histogram(
+            "swdual_request_latency_seconds",
+            "End-to-end latency of completed queries (submit to stream-back).",
+        )
+        self._queue_wait: Histogram = reg.histogram(
+            "swdual_queue_wait_seconds",
+            "Admission-queue wait of completed queries (submit to dispatch).",
+        )
+        self._uptime = reg.gauge(
+            "swdual_uptime_seconds", "Seconds since the service started."
+        )
+        self._queue_depth = reg.gauge(
+            "swdual_queue_depth", "Queries waiting in the admission queue."
+        )
+        self._in_flight = reg.gauge(
+            "swdual_in_flight", "Queries dispatched but not yet completed."
+        )
+        self._roles: dict[str, _RoleMetrics] = {}
         for _name, kind in roster:
-            role = self._roles.setdefault(kind, _RoleCounters(0))
-            role.workers += 1
+            role = self._role(kind)
+            role.workers.inc()
+
+    def _role(self, kind: str) -> _RoleMetrics:
+        role = self._roles.get(kind)
+        if role is None:
+            # Roles are fixed at construction in practice; creation here
+            # is effectively single-threaded (init or first batch).
+            role = self._roles.setdefault(kind, _RoleMetrics(self.registry, kind))
+        return role
 
     # -- recording (called by server threads) ---------------------------
 
     def record_received(self) -> None:
         """A query made it into the admission queue."""
-        with self._lock:
-            self._received += 1
+        self._received.inc()
 
     def record_rejected(self) -> None:
         """A query was bounced by backpressure."""
-        with self._lock:
-            self._rejected += 1
+        self._rejected.inc()
 
     def record_error(self) -> None:
         """A request the server could not act on."""
-        with self._lock:
-            self._errors += 1
+        self._errors.inc()
 
     def record_result(self, latency_s: float, queue_wait_s: float) -> None:
         """One query completed and was streamed back."""
-        with self._lock:
-            self._completed += 1
-            self._latency_total += latency_s
-            self._latency_max = max(self._latency_max, latency_s)
-            self._queue_wait_total += queue_wait_s
-            self._queue_wait_max = max(self._queue_wait_max, queue_wait_s)
+        self._completed.inc()
+        self._latency.observe(latency_s)
+        self._queue_wait.observe(queue_wait_s)
 
     def record_batch(self, report) -> None:
         """Fold one batch's :class:`SearchReport` into the role totals."""
-        with self._lock:
-            self._batches += 1
-            self._batched_queries += len(report.query_results)
-            for ws in report.worker_stats:
-                role = self._roles.setdefault(ws.kind, _RoleCounters(1))
-                role.tasks += ws.tasks_executed
-                role.busy_seconds += ws.busy_seconds
-                role.cells += ws.cells
+        self._batches.inc()
+        self._batched_queries.inc(len(report.query_results))
+        for ws in report.worker_stats:
+            role = self._role(ws.kind)
+            role.tasks.inc(ws.tasks_executed)
+            role.busy_seconds.inc(ws.busy_seconds)
+            role.cells.inc(ws.cells)
 
     # -- reading ---------------------------------------------------------
 
     def mean_latency_s(self) -> float:
         """Mean end-to-end latency of completed queries (0 when none)."""
-        with self._lock:
-            if not self._completed:
-                return 0.0
-            return self._latency_total / self._completed
+        return self._latency.mean
+
+    def _set_gauges(self, queue_depth: int, in_flight: int) -> float:
+        uptime = max(time.monotonic() - self._started, 1e-9)
+        self._uptime.set(uptime)
+        self._queue_depth.set(queue_depth)
+        self._in_flight.set(in_flight)
+        return uptime
+
+    def prometheus(self, queue_depth: int = 0, in_flight: int = 0) -> str:
+        """The registry in Prometheus text exposition format."""
+        self._set_gauges(queue_depth, in_flight)
+        return prometheus_text(self.registry)
 
     def snapshot(self, queue_depth: int = 0, in_flight: int = 0) -> dict:
         """Freeze the counters into a JSON-able dict.
@@ -112,44 +178,53 @@ class ServiceStats:
         *in_flight* (dispatched, not yet completed) are instantaneous
         gauges the server reads off its queue at snapshot time.
         """
-        with self._lock:
-            uptime = max(time.monotonic() - self._started, 1e-9)
-            completed = self._completed
-            roles = {}
-            for kind, role in sorted(self._roles.items()):
-                busy = role.busy_seconds
-                roles[kind] = {
-                    "workers": role.workers,
-                    "tasks": role.tasks,
-                    "busy_seconds": busy,
-                    "cells": role.cells,
-                    "gcups": gcups(role.cells, busy) if busy > 0 else 0.0,
-                    "utilization": busy / (role.workers * uptime) if role.workers else 0.0,
-                }
-            return {
-                "uptime_s": uptime,
-                "requests": {
-                    "received": self._received,
-                    "completed": completed,
-                    "rejected": self._rejected,
-                    "errors": self._errors,
-                    "queue_depth": queue_depth,
-                    "in_flight": in_flight,
-                },
-                "batches": {
-                    "count": self._batches,
-                    "mean_size": (
-                        self._batched_queries / self._batches if self._batches else 0.0
-                    ),
-                },
-                "latency": {
-                    "mean_s": self._latency_total / completed if completed else 0.0,
-                    "max_s": self._latency_max,
-                },
-                "queue_wait": {
-                    "mean_s": self._queue_wait_total / completed if completed else 0.0,
-                    "max_s": self._queue_wait_max,
-                },
-                "roles": roles,
-                "throughput_qps": completed / uptime,
+        uptime = self._set_gauges(queue_depth, in_flight)
+        completed = self._latency.count
+        latency = self._latency.snapshot()
+        queue_wait = self._queue_wait.snapshot()
+        roles = {}
+        for kind in sorted(self._roles):
+            role = self._roles[kind]
+            workers = int(role.workers.value)
+            busy = role.busy_seconds.value
+            cells = int(role.cells.value)
+            roles[kind] = {
+                "workers": workers,
+                "tasks": int(role.tasks.value),
+                "busy_seconds": busy,
+                "cells": cells,
+                "gcups": gcups(cells, busy) if busy > 0 else 0.0,
+                "utilization": busy / (workers * uptime) if workers else 0.0,
             }
+        batches = self._batches.value
+        return {
+            "uptime_s": uptime,
+            "requests": {
+                "received": int(self._received.value),
+                "completed": completed,
+                "rejected": int(self._rejected.value),
+                "errors": int(self._errors.value),
+                "queue_depth": queue_depth,
+                "in_flight": in_flight,
+            },
+            "batches": {
+                "count": int(batches),
+                "mean_size": (self._batched_queries.value / batches if batches else 0.0),
+            },
+            "latency": {
+                "mean_s": latency["mean"],
+                "max_s": latency["max"],
+                "p50_s": latency["p50"],
+                "p90_s": latency["p90"],
+                "p99_s": latency["p99"],
+            },
+            "queue_wait": {
+                "mean_s": queue_wait["mean"],
+                "max_s": queue_wait["max"],
+                "p50_s": queue_wait["p50"],
+                "p90_s": queue_wait["p90"],
+                "p99_s": queue_wait["p99"],
+            },
+            "roles": roles,
+            "throughput_qps": completed / uptime,
+        }

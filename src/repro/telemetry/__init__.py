@@ -1,0 +1,76 @@
+"""Telemetry subsystem: structured tracing, metrics, exporters.
+
+The observability layer behind every timing number the repro reports:
+
+* :mod:`repro.telemetry.tracing` — zero-dependency spans with
+  parent/child nesting, the project-wide monotonic :func:`clock`, and
+  process-safe span buffers that worker processes ship back to the
+  master alongside results;
+* :mod:`repro.telemetry.metrics` — counters, gauges, and fixed-bucket
+  histograms in a :class:`MetricsRegistry` (the service's latency and
+  queue-wait percentiles live here);
+* :mod:`repro.telemetry.export` — Prometheus text exposition, Chrome
+  trace events, and schedule-timeline (Gantt) JSON writers.
+
+Tracing is off by default and costs one flag check when disabled;
+``swdual trace`` and the tests enable it around a run and drain the
+recorded spans afterwards.  See ``docs/observability.md``.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.telemetry.tracing import (
+    NULL_SPAN,
+    Span,
+    SpanBuffer,
+    clock,
+    disable,
+    drain,
+    enable,
+    enabled,
+    enabled_tracing,
+    ingest,
+    span,
+    spans_from_dicts,
+    spans_to_dicts,
+)
+from repro.telemetry.export import (
+    chrome_trace,
+    prometheus_text,
+    schedule_timeline,
+    write_chrome_trace,
+    write_schedule_timeline,
+)
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanBuffer",
+    "chrome_trace",
+    "clock",
+    "disable",
+    "drain",
+    "enable",
+    "enabled",
+    "enabled_tracing",
+    "get_registry",
+    "ingest",
+    "prometheus_text",
+    "schedule_timeline",
+    "span",
+    "spans_from_dicts",
+    "spans_to_dicts",
+    "write_chrome_trace",
+    "write_schedule_timeline",
+]

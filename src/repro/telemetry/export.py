@@ -1,0 +1,199 @@
+"""Telemetry exporters: Prometheus text, Chrome trace, schedule timeline.
+
+Three read-side surfaces over the telemetry primitives:
+
+* :func:`prometheus_text` renders a :class:`~repro.telemetry.metrics.MetricsRegistry`
+  in the Prometheus text exposition format (version 0.0.4) — what the
+  service's ``metrics`` verb and its ``GET /metrics`` one-shot serve.
+* :func:`chrome_trace` converts recorded spans into the Chrome trace
+  event format, loadable in ``chrome://tracing`` / Perfetto, so a
+  ``swdual trace`` run can be inspected frame by frame.
+* :func:`schedule_timeline` reduces the per-task kernel spans to the
+  paper's schedule picture: one lane per worker, one slot per task,
+  with per-role busy-second totals that must agree with the
+  :class:`~repro.service.stats.ServiceStats` accounting (the trace and
+  the stats are two views of the same clock readings).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.tracing import Span
+
+__all__ = [
+    "chrome_trace",
+    "prometheus_text",
+    "schedule_timeline",
+    "write_chrome_trace",
+    "write_schedule_timeline",
+]
+
+#: Span name the engine's workers use for task execution — the one
+#: span family the schedule timeline is built from.
+KERNEL_SPAN_NAME = "task.kernel"
+
+
+# -- Prometheus text exposition ----------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render *registry* in the Prometheus text exposition format.
+
+    Families are emitted once (``# HELP`` / ``# TYPE`` headers), with
+    every labelled member beneath; histograms expand into cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.  The
+    result always ends with a newline, as the format requires.
+    """
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for metric in registry.collect():
+        if metric.name not in seen_headers:
+            seen_headers.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            for bound, count in zip(metric.bounds, cumulative):
+                labels = _label_str(metric.labels, {"le": _format_value(bound)})
+                lines.append(f"{metric.name}_bucket{labels} {count}")
+            inf_labels = _label_str(metric.labels, {"le": "+Inf"})
+            lines.append(f"{metric.name}_bucket{inf_labels} {cumulative[-1]}")
+            base = _label_str(metric.labels)
+            lines.append(f"{metric.name}_sum{base} {repr(float(metric.sum))}")
+            lines.append(f"{metric.name}_count{base} {metric.count}")
+        elif isinstance(metric, (Counter, Gauge)):
+            labels = _label_str(metric.labels)
+            lines.append(f"{metric.name}{labels} {_format_value(metric.value)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- Chrome trace events -----------------------------------------------
+
+
+def chrome_trace(spans: list[Span]) -> dict:
+    """Convert spans to the Chrome trace event format (JSON object).
+
+    Each span becomes one complete (``"ph": "X"``) event; timestamps
+    are microseconds relative to the earliest span, so the trace opens
+    at t=0 in ``chrome://tracing`` / Perfetto.  Span attributes ride in
+    ``args``, the nesting ids included so tools can reconstruct the
+    parent/child tree.
+    """
+    events = []
+    origin = min((s.start_s for s in spans), default=0.0)
+    for s in spans:
+        end = s.end_s if s.end_s is not None else s.start_s
+        args = dict(s.attrs)
+        args["span_id"] = s.span_id
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (s.start_s - origin) * 1e6,
+                "dur": (end - s.start_s) * 1e6,
+                "pid": s.pid,
+                "tid": s.thread,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: list[Span], path: str) -> str:
+    """Write :func:`chrome_trace` output as JSON; returns *path*."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(spans), fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+# -- Schedule timeline (Gantt) -----------------------------------------
+
+
+def schedule_timeline(spans: list[Span]) -> dict:
+    """Reduce kernel spans to a schedule-timeline (Gantt) document.
+
+    Only spans named ``task.kernel`` (carrying ``worker``/``kind``
+    attributes, as :class:`~repro.engine.worker.KernelWorker` records
+    them) contribute.  The result has one lane per worker with its
+    slots in start order, per-lane and per-role busy-second totals, and
+    the observed makespan — the real-execution counterpart of the
+    paper's Figures 4/5 schedule sketches.
+    """
+    kernel_spans = [
+        s for s in spans if s.name == KERNEL_SPAN_NAME and s.end_s is not None
+    ]
+    if not kernel_spans:
+        return {"makespan_s": 0.0, "lanes": [], "roles": {}}
+    origin = min(s.start_s for s in kernel_spans)
+    lanes: dict[str, dict] = {}
+    for s in sorted(kernel_spans, key=lambda s: (s.start_s, s.span_id)):
+        worker = str(s.attrs.get("worker", s.thread))
+        kind = str(s.attrs.get("kind", "cpu"))
+        lane = lanes.setdefault(
+            worker, {"worker": worker, "kind": kind, "busy_seconds": 0.0, "slots": []}
+        )
+        lane["busy_seconds"] += s.duration_s
+        lane["slots"].append(
+            {
+                "query": s.attrs.get("query"),
+                "start_s": s.start_s - origin,
+                "end_s": s.end_s - origin,
+                "duration_s": s.duration_s,
+            }
+        )
+    roles: dict[str, dict] = {}
+    for lane in lanes.values():
+        role = roles.setdefault(
+            lane["kind"], {"workers": 0, "tasks": 0, "busy_seconds": 0.0}
+        )
+        role["workers"] += 1
+        role["tasks"] += len(lane["slots"])
+        role["busy_seconds"] += lane["busy_seconds"]
+    makespan = max(slot["end_s"] for lane in lanes.values() for slot in lane["slots"])
+    return {
+        "makespan_s": makespan,
+        "lanes": [lanes[w] for w in sorted(lanes)],
+        "roles": {k: roles[k] for k in sorted(roles)},
+    }
+
+
+def write_schedule_timeline(spans: list[Span], path: str) -> str:
+    """Write :func:`schedule_timeline` output as JSON; returns *path*."""
+    with open(path, "w") as fh:
+        json.dump(schedule_timeline(spans), fh, indent=2)
+        fh.write("\n")
+    return path

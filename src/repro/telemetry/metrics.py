@@ -1,0 +1,358 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Dependency-free metric primitives in the Prometheus data model, shared
+by the service stats (:mod:`repro.service.stats`) and anything else
+that wants operational counters.  All metrics are thread-safe (one
+small lock per metric), and histograms use **fixed upper-bound
+buckets** with Prometheus ``le`` semantics: an observation equal to a
+bucket bound lands in that bucket; values above the last bound land in
+the implicit ``+Inf`` overflow bucket.
+
+A :class:`MetricsRegistry` groups metrics into families (same name,
+different label sets) so :func:`repro.telemetry.export.prometheus_text`
+can render a valid text exposition.  ``registry.counter(...)`` is
+get-or-create: calling it twice with the same name and labels returns
+the same instance, so instrumentation sites never need to coordinate.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+#: Default histogram bounds for second-valued observations (latency,
+#: queue wait, kernel time): 1 ms .. 60 s plus the implicit +Inf.
+DEFAULT_TIME_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labels: dict | None) -> tuple:
+    if not labels:
+        return ()
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared identity/locking of all metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(labels or {})
+        self._lock = threading.Lock()
+
+
+class Counter(_Metric):
+    """Monotonically increasing value (float, so seconds accumulate)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        super().__init__(name, help, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, worker count)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        super().__init__(name, help, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    ``buckets`` are strictly increasing finite upper bounds; every
+    histogram implicitly ends with a ``+Inf`` overflow bucket.  An
+    observation ``v`` lands in the first bucket with ``v <= bound``
+    (so ``v == bound`` counts in that bucket, matching ``le``).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict | None = None,
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ):
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histograms need at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+        self._max = float("-inf")
+        self._min = float("inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # Binary search is overkill for ~15 buckets; linear scan is
+        # cache-friendly and branch-predictable.
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value > self._max:
+                self._max = value
+            if value < self._min:
+                self._min = value
+
+    # -- reading -------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        with self._lock:
+            return self._max if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        with self._lock:
+            return self._min if self._count else 0.0
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket counts (not cumulative), overflow last."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative_counts(self) -> list[int]:
+        """Cumulative counts per bound plus the +Inf total — exactly the
+        ``_bucket{le=...}`` series of the text exposition."""
+        with self._lock:
+            counts = list(self._counts)
+        cumulative, running = [], 0
+        for c in counts:
+            running += c
+            cumulative.append(running)
+        return cumulative
+
+    def percentile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation inside the winning bucket; observations in
+        the overflow bucket are estimated with the tracked maximum, so
+        the estimate never exceeds a value actually seen.  Returns 0.0
+        for an empty histogram.
+        """
+        if not 0 < q <= 1:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+            observed_max = self._max
+            observed_min = self._min
+        if not total:
+            return 0.0
+        rank = q * total
+        running = 0.0
+        for i, c in enumerate(counts):
+            if not c:
+                continue
+            lo = self.bounds[i - 1] if i > 0 else min(observed_min, self.bounds[0])
+            hi = self.bounds[i] if i < len(self.bounds) else observed_max
+            if running + c >= rank:
+                frac = (rank - running) / c
+                return min(lo + (hi - lo) * frac, observed_max)
+            running += c
+        return observed_max  # pragma: no cover - rank <= total always hits
+
+    def snapshot(self) -> dict:
+        """JSON-able summary with standard percentiles."""
+        with self._lock:
+            count = self._count
+        return {
+            "count": count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metrics, grouped into families.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the same
+    (name, labels) always yields the same instance, and re-requesting a
+    name with a different metric kind is an error (a name identifies
+    one family of one type, as Prometheus requires).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, tuple], _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labels: dict | None, **kwargs):
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            for (other_name, _), metric in self._metrics.items():
+                if other_name == name and not isinstance(metric, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {metric.kind}"
+                    )
+            metric = cls(name, help=help, labels=labels, **kwargs)
+            self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: dict | None = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: dict | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict | None = None,
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def collect(self) -> list[_Metric]:
+        """Every registered metric, family members adjacent, in a
+        stable order (registration order of the first family member)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        order: dict[str, int] = {}
+        for m in metrics:
+            order.setdefault(m.name, len(order))
+        return sorted(
+            metrics,
+            key=lambda m: (order[m.name], _label_key(m.labels)),
+        )
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every metric (for JSON surfaces/tests)."""
+        out: dict[str, object] = {}
+        for metric in self.collect():
+            suffix = "".join(
+                f"{{{','.join(f'{k}={v}' for k, v in _label_key(metric.labels))}}}"
+                if metric.labels
+                else ""
+            )
+            key = metric.name + suffix
+            if isinstance(metric, Histogram):
+                out[key] = metric.snapshot()
+            else:
+                out[key] = metric.value
+        return out
+
+
+#: Process-wide default registry (the service builds its own, so
+#: embedded and test instances never collide).
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY

@@ -1,0 +1,298 @@
+"""Zero-dependency structured tracing: spans, clocks, span buffers.
+
+The paper's entire evaluation is timing — per-task kernel seconds,
+per-PE busy time, makespan — so the repro needs one authoritative way
+to measure *where* time goes.  This module provides it:
+
+* :func:`clock` — the project's monotonic clock (``time.perf_counter``).
+  Every piece of busy-seconds accounting (worker kernels, batch walls,
+  service latency) reads this one clock, so numbers from different
+  layers are directly comparable.  On Linux ``perf_counter`` is
+  ``CLOCK_MONOTONIC``, which shares its epoch across processes — spans
+  recorded in worker processes line up with the master's on the same
+  timeline.
+* :class:`Span` — one timed region with a name, key/value attributes,
+  thread identity, process id, and parent/child nesting.
+* :func:`span` — the context manager that creates spans.  Nesting is
+  tracked with a :mod:`contextvars` variable, so it is correct across
+  threads (each thread nests independently) without any explicit
+  plumbing.
+* :class:`SpanBuffer` — a lock-guarded buffer finished spans land in.
+  Worker processes drain their local buffer after each task and ship
+  the serialized spans back to the master alongside the result
+  (:mod:`repro.engine.transport`), so one process ends up holding the
+  whole execution's trace.
+
+Tracing is **off by default** and must be no-op-cheap when off: a
+module-level flag is checked before any span object is allocated, so
+instrumented hot paths pay one attribute load and a branch.  Code with
+per-task attribute dictionaries guards even that::
+
+    if tracing.enabled():
+        cm = tracing.span("task.kernel", worker=name, query=q.id)
+    else:
+        cm = tracing.NULL_SPAN
+    with cm:
+        ...
+
+Enable with :func:`enable` (or the :func:`enabled_tracing` context
+manager), pull the recorded spans with :func:`drain`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "SpanBuffer",
+    "clock",
+    "drain",
+    "enable",
+    "disable",
+    "enabled",
+    "enabled_tracing",
+    "get_buffer",
+    "ingest",
+    "span",
+    "spans_from_dicts",
+    "spans_to_dicts",
+]
+
+#: The one monotonic clock every timing path reads.
+clock = time.perf_counter
+
+#: Module-level tracing flag — checked before any allocation.
+_ENABLED = False
+
+#: Monotonically increasing per-process span counter (``next`` on an
+#: ``itertools.count`` is atomic under the GIL).
+_IDS = itertools.count(1)
+
+#: The currently open span's id, per thread/context (for nesting).
+_CURRENT: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "swdual_current_span", default=None
+)
+
+
+class Span:
+    """One finished (or in-flight) timed region.
+
+    Times are :func:`clock` readings in seconds.  ``span_id`` and
+    ``parent_id`` are strings of the form ``"<pid>-<n>"`` so ids stay
+    unique when worker-process spans are merged into the master's
+    buffer.
+    """
+
+    __slots__ = (
+        "name",
+        "start_s",
+        "end_s",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "thread",
+        "pid",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float | None = None,
+        attrs: dict | None = None,
+        span_id: str | None = None,
+        parent_id: str | None = None,
+        thread: str | None = None,
+        pid: int | None = None,
+    ):
+        self.name = name
+        self.start_s = start_s
+        self.end_s = end_s
+        self.attrs = attrs if attrs is not None else {}
+        self.pid = os.getpid() if pid is None else pid
+        self.span_id = span_id if span_id is not None else f"{self.pid}-{next(_IDS)}"
+        self.parent_id = parent_id
+        self.thread = thread if thread is not None else threading.current_thread().name
+
+    @property
+    def duration_s(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return max(self.end_s - self.start_s, 0.0)
+
+    def to_dict(self) -> dict:
+        """Serialize for crossing a process boundary (JSON/pickle-safe)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attrs": dict(self.attrs),
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(**data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, "
+            f"attrs={self.attrs!r})"
+        )
+
+
+class SpanBuffer:
+    """Thread-safe buffer finished spans are appended to."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+
+    def append(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def extend(self, spans: list[Span]) -> None:
+        with self._lock:
+            self._spans.extend(spans)
+
+    def drain(self) -> list[Span]:
+        """Return and clear everything recorded so far."""
+        with self._lock:
+            spans, self._spans = self._spans, []
+        return spans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+#: The process-wide default buffer.
+_BUFFER = SpanBuffer()
+
+
+class _SpanContext:
+    """Live span context manager (only allocated when tracing is on)."""
+
+    __slots__ = ("span", "_token")
+
+    def __init__(self, name: str, attrs: dict):
+        self.span = Span(
+            name,
+            start_s=0.0,
+            attrs=attrs,
+            parent_id=_CURRENT.get(),
+        )
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT.set(self.span.span_id)
+        self.span.start_s = clock()
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span.end_s = clock()
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        _CURRENT.reset(self._token)
+        _BUFFER.append(self.span)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op span (use directly in hot paths to skip even the
+#: attribute-dict allocation when tracing is off).
+NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs):
+    """Open a span named *name* with the given attributes.
+
+    Returns a context manager; when tracing is disabled it is the
+    shared :data:`NULL_SPAN` and nothing is allocated beyond the
+    keyword dict at the call site.  When enabled, ``with span(...) as
+    s`` yields the live :class:`Span`, whose ``attrs`` may be updated
+    inside the block.
+    """
+    if not _ENABLED:
+        return NULL_SPAN
+    return _SpanContext(name, attrs)
+
+
+def enabled() -> bool:
+    """Is tracing currently on?"""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn span recording on (process-wide)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn span recording off; already-recorded spans are kept."""
+    global _ENABLED
+    _ENABLED = False
+
+
+@contextmanager
+def enabled_tracing():
+    """Enable tracing for a block, restoring the previous state after."""
+    previous = _ENABLED
+    enable()
+    try:
+        yield _BUFFER
+    finally:
+        if not previous:
+            disable()
+
+
+def get_buffer() -> SpanBuffer:
+    """The process-wide default span buffer."""
+    return _BUFFER
+
+
+def drain() -> list[Span]:
+    """Return and clear every span recorded in this process so far."""
+    return _BUFFER.drain()
+
+
+def ingest(spans: list[Span] | list[dict]) -> None:
+    """Merge spans (or their serialized dicts) into the local buffer —
+    how the master absorbs the spans worker processes ship back."""
+    _BUFFER.extend(
+        [s if isinstance(s, Span) else Span.from_dict(s) for s in spans]
+    )
+
+
+def spans_to_dicts(spans: list[Span]) -> list[dict]:
+    """Serialize spans for the wire (pickle/JSON-safe plain dicts)."""
+    return [s.to_dict() for s in spans]
+
+
+def spans_from_dicts(dicts: list[dict]) -> list[Span]:
+    """Inverse of :func:`spans_to_dicts`."""
+    return [Span.from_dict(d) for d in dicts]

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.align import (
-    PipelineStats,
     pipeline_schedule,
     sw_score,
     sw_score_blocked,

@@ -26,7 +26,7 @@ from repro.align import (
     sw_score_wavefront_batch,
     sw_score_wavefront_packed,
 )
-from repro.sequences import BLOSUM62, PROTEIN, PackedDatabase, Sequence
+from repro.sequences import BLOSUM62, PackedDatabase, Sequence
 
 from .conftest import protein_seq, random_protein
 

@@ -1,7 +1,6 @@
 """Tests for linear-space (Hirschberg/Myers-Miller) alignment."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro.align import (

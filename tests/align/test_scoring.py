@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.align import GapModel, ScoringScheme, default_scheme
+from repro.align import GapModel, default_scheme
 from repro.sequences import BLOSUM62, DNA, Sequence
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.align import default_scheme, sw_score
 from repro.comparators import (
-    ALL_APPS,
     BASELINE_APPS,
     CUDASW,
     LIVE_KERNELS,

@@ -1,7 +1,6 @@
 """Shared fixtures/strategies for scheduler tests."""
 
 import numpy as np
-import pytest
 from hypothesis import strategies as st
 
 from repro.core import TaskSet

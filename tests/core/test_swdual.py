@@ -6,7 +6,6 @@ import pytest
 from repro.core import (
     BASELINES,
     SWDualScheduler,
-    TaskSet,
     tasks_from_queries,
 )
 from repro.platform import PerformanceModel, idgraf_platform

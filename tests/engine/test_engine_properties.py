@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.core import TaskSet
 from repro.engine import (
-    ProtocolError,
     simulate_self_scheduling,
     simulate_with_failures,
 )

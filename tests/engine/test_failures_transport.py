@@ -1,6 +1,5 @@
 """Tests for failure injection and the process transport."""
 
-import numpy as np
 import pytest
 
 from repro.align import fit_evalue_model, default_scheme

@@ -1,13 +1,11 @@
 """Tests for the live master-slave engine (real kernels, threads)."""
 
-import numpy as np
 import pytest
 
 from repro.align import default_scheme, sw_score
 from repro.engine import (
     KernelWorker,
     Master,
-    MessageType,
     ProtocolError,
     live_search,
 )

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.engine import live_search, sharded_search
-from repro.sequences import PROTEIN, Sequence, SequenceDatabase, small_database, standard_query_set
+from repro.sequences import Sequence, SequenceDatabase, small_database, standard_query_set
 
 
 def _hits(report, query_id):

@@ -1,6 +1,5 @@
 """Tests for the discrete-event master-slave simulation."""
 
-import numpy as np
 import pytest
 
 from repro.core import SWDualScheduler, TaskSet, tasks_from_queries

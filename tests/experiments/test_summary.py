@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import EvaluationSummary, run_all
+from repro.experiments import run_all
 
 
 @pytest.fixture(scope="module")

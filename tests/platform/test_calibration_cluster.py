@@ -7,7 +7,6 @@ from repro.platform import (
     PAPER,
     PEKind,
     PerformanceModel,
-    RateModel,
     cpu_rate_model,
     gpu_rate_model,
     idgraf_platform,

@@ -90,6 +90,12 @@ class TestMessageShapes:
         assert message["retry_after_s"] == 0.25
 
     def test_known_verbs_and_types(self):
-        assert set(protocol.REQUEST_VERBS) == {"query", "stats", "ping", "shutdown"}
-        for t in ("result", "rejected", "error", "stats", "pong", "bye"):
+        assert set(protocol.REQUEST_VERBS) == {
+            "query",
+            "stats",
+            "metrics",
+            "ping",
+            "shutdown",
+        }
+        for t in ("result", "rejected", "error", "stats", "metrics", "pong", "bye"):
             assert t in protocol.RESPONSE_TYPES

@@ -226,3 +226,68 @@ class TestShutdown:
         svc.shutdown()
         with pytest.raises(OSError):
             SearchClient(*address, timeout=2).connect()
+
+
+class TestMetricsEndpoint:
+    def test_metrics_verb_returns_prometheus_text(self, service, queries):
+        from tests.telemetry.test_export import parse_prometheus
+
+        with SearchClient(*service.address) as client:
+            client.search(queries[:2], top=TOP)
+            text = client.metrics()
+        samples = parse_prometheus(text)  # raises on malformed exposition
+        assert samples["swdual_requests_completed_total"] >= 2
+        assert samples['swdual_role_workers{role="cpu"}'] == 1
+        assert samples['swdual_role_workers{role="gpu"}'] == 1
+        assert (
+            samples['swdual_request_latency_seconds_bucket{le="+Inf"}']
+            == samples["swdual_request_latency_seconds_count"]
+        )
+
+    def test_http_get_one_shot_serves_metrics(self, service):
+        import socket
+
+        from tests.telemetry.test_export import parse_prometheus
+
+        with socket.create_connection(service.address, timeout=10) as sock:
+            sock.sendall(b"GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n")
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.split(b"\r\n")
+        assert lines[0] == b"HTTP/1.0 200 OK"
+        assert b"Content-Type: text/plain; version=0.0.4; charset=utf-8" in lines
+        samples = parse_prometheus(body.decode())
+        assert "swdual_uptime_seconds" in samples
+
+    def test_http_get_unknown_path_is_404(self, service):
+        import socket
+
+        with socket.create_connection(service.address, timeout=10) as sock:
+            sock.sendall(b"GET /nope HTTP/1.0\r\n\r\n")
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        assert data.startswith(b"HTTP/1.0 404 Not Found\r\n")
+
+
+class TestStartupLine:
+    def test_serve_logs_bound_address_and_roster_to_stderr(self, db, capsys):
+        svc = SearchService(db, num_cpu_workers=2, num_gpu_workers=1, top_hits=TOP)
+        svc.start()
+        try:
+            err = capsys.readouterr().err
+            host, port = svc.address
+            assert f"listening on {host}:{port}" in err
+            assert "cpu0(cpu)" in err
+            assert "cpu1(cpu)" in err
+            assert "gpu0(gpu)" in err
+        finally:
+            svc.shutdown()

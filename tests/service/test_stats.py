@@ -1,0 +1,156 @@
+"""ServiceStats: percentile snapshots, Prometheus rendering, and
+consistency under concurrent recording."""
+
+import threading
+
+import pytest
+
+from repro.service import ServiceStats
+
+ROSTER = [("cpu0", "cpu"), ("cpu1", "cpu"), ("gpu0", "gpu")]
+
+
+class _FakeWorkerStats:
+    def __init__(self, kind, tasks, busy, cells):
+        self.kind = kind
+        self.tasks_executed = tasks
+        self.busy_seconds = busy
+        self.cells = cells
+
+
+class _FakeReport:
+    def __init__(self, worker_stats, num_queries):
+        self.worker_stats = worker_stats
+        self.query_results = [object()] * num_queries
+
+
+class TestSnapshot:
+    def test_empty_snapshot_shape(self):
+        snap = ServiceStats(ROSTER).snapshot()
+        assert snap["requests"] == {
+            "received": 0,
+            "completed": 0,
+            "rejected": 0,
+            "errors": 0,
+            "queue_depth": 0,
+            "in_flight": 0,
+        }
+        assert snap["latency"]["p50_s"] == 0.0
+        assert snap["queue_wait"]["p99_s"] == 0.0
+        assert snap["roles"]["cpu"]["workers"] == 2
+        assert snap["roles"]["gpu"]["workers"] == 1
+        assert snap["throughput_qps"] == 0.0
+
+    def test_latency_percentiles_from_histogram(self):
+        stats = ServiceStats(ROSTER)
+        for i in range(100):
+            stats.record_result(latency_s=0.001 * (i + 1), queue_wait_s=0.0005)
+        snap = stats.snapshot()
+        lat = snap["latency"]
+        assert lat["mean_s"] == pytest.approx(0.0505)
+        assert lat["max_s"] == pytest.approx(0.1)
+        assert 0.02 <= lat["p50_s"] <= 0.08
+        assert lat["p50_s"] <= lat["p90_s"] <= lat["p99_s"] <= lat["max_s"]
+        assert snap["queue_wait"]["max_s"] == pytest.approx(0.0005)
+
+    def test_record_batch_accumulates_roles(self):
+        stats = ServiceStats(ROSTER)
+        report = _FakeReport(
+            [
+                _FakeWorkerStats("cpu", 3, 0.5, 1_000_000),
+                _FakeWorkerStats("gpu", 2, 0.25, 2_000_000),
+            ],
+            num_queries=5,
+        )
+        stats.record_batch(report)
+        stats.record_batch(report)
+        snap = stats.snapshot()
+        assert snap["batches"] == {"count": 2, "mean_size": 5.0}
+        assert snap["roles"]["cpu"]["tasks"] == 6
+        assert snap["roles"]["cpu"]["busy_seconds"] == pytest.approx(1.0)
+        assert snap["roles"]["gpu"]["cells"] == 4_000_000
+        assert snap["roles"]["gpu"]["gcups"] > 0
+
+    def test_gauges_passed_through(self):
+        snap = ServiceStats(ROSTER).snapshot(queue_depth=3, in_flight=2)
+        assert snap["requests"]["queue_depth"] == 3
+        assert snap["requests"]["in_flight"] == 2
+
+
+class TestPrometheus:
+    def test_exposition_contains_all_families(self):
+        stats = ServiceStats(ROSTER)
+        stats.record_received()
+        stats.record_result(0.01, 0.001)
+        stats.record_rejected()
+        stats.record_error()
+        text = stats.prometheus(queue_depth=1, in_flight=1)
+        assert text.endswith("\n")
+        assert "# TYPE swdual_requests_received_total counter" in text
+        assert "swdual_requests_received_total 1" in text
+        assert "swdual_requests_completed_total 1" in text
+        assert "swdual_requests_rejected_total 1" in text
+        assert "swdual_requests_errors_total 1" in text
+        assert "# TYPE swdual_request_latency_seconds histogram" in text
+        assert 'swdual_request_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "swdual_request_latency_seconds_count 1" in text
+        assert 'swdual_role_workers{role="cpu"} 2' in text
+        assert 'swdual_role_workers{role="gpu"} 1' in text
+        assert "swdual_queue_depth 1" in text
+        assert "swdual_in_flight 1" in text
+
+    def test_instances_do_not_share_registries(self):
+        a, b = ServiceStats(ROSTER), ServiceStats(ROSTER)
+        a.record_received()
+        assert b.snapshot()["requests"]["received"] == 0
+
+
+class TestConcurrentRecording:
+    def test_snapshot_consistent_under_hammer(self):
+        """Threads hammer every record path while snapshot() runs; the
+        final totals must be exact and intermediate snapshots sane."""
+        stats = ServiceStats(ROSTER)
+        per_thread, num_threads = 300, 6
+        report = _FakeReport([_FakeWorkerStats("cpu", 1, 0.001, 1000)], 1)
+        stop = threading.Event()
+        snapshot_errors = []
+
+        def hammer():
+            for i in range(per_thread):
+                stats.record_received()
+                stats.record_result(0.001 * (i % 50 + 1), 0.0001 * (i % 10))
+                stats.record_rejected()
+                stats.record_error()
+                stats.record_batch(report)
+
+        def snapshotter():
+            while not stop.is_set():
+                try:
+                    snap = stats.snapshot()
+                    assert snap["requests"]["completed"] <= per_thread * num_threads
+                    lat = snap["latency"]
+                    assert 0.0 <= lat["p50_s"] <= lat["max_s"] + 1e-12
+                    stats.prometheus()
+                except Exception as exc:  # pragma: no cover
+                    snapshot_errors.append(exc)
+                    return
+
+        reader = threading.Thread(target=snapshotter)
+        writers = [threading.Thread(target=hammer) for _ in range(num_threads)]
+        reader.start()
+        for w in writers:
+            w.start()
+        for w in writers:
+            w.join()
+        stop.set()
+        reader.join()
+        assert not snapshot_errors
+        total = per_thread * num_threads
+        snap = stats.snapshot()
+        assert snap["requests"]["received"] == total
+        assert snap["requests"]["completed"] == total
+        assert snap["requests"]["rejected"] == total
+        assert snap["requests"]["errors"] == total
+        assert snap["batches"]["count"] == total
+        assert snap["roles"]["cpu"]["tasks"] == total
+        assert snap["roles"]["cpu"]["busy_seconds"] == pytest.approx(0.001 * total)

@@ -1,0 +1,164 @@
+"""Tests for the Prometheus / Chrome-trace / timeline exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry.export import (
+    chrome_trace,
+    prometheus_text,
+    schedule_timeline,
+    write_chrome_trace,
+    write_schedule_timeline,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Span
+
+
+def parse_prometheus(text: str) -> dict:
+    """Minimal text-exposition parser: {series-with-labels: value}.
+
+    Raises on structurally invalid lines, so using it in a test also
+    validates the format.
+    """
+    samples: dict[str, float] = {}
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        if not line or line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            assert len(parts) == 4
+            assert parts[3] in ("counter", "gauge", "histogram", "untyped")
+            continue
+        assert not line.startswith("#"), f"unknown comment line: {line!r}"
+        series, value = line.rsplit(" ", 1)
+        assert series not in samples, f"duplicate series {series!r}"
+        samples[series] = float(value)
+    return samples
+
+
+def make_span(name, start, end, **attrs):
+    return Span(name, start_s=start, end_s=end, attrs=attrs)
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("swdual_requests_total", "Requests.").inc(3)
+        reg.gauge("swdual_queue_depth").set(2)
+        samples = parse_prometheus(prometheus_text(reg))
+        assert samples["swdual_requests_total"] == 3
+        assert samples["swdual_queue_depth"] == 2
+
+    def test_labeled_family_emits_header_once(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks_total", "Tasks.", labels={"role": "cpu"}).inc(4)
+        reg.counter("tasks_total", "Tasks.", labels={"role": "gpu"}).inc(6)
+        text = prometheus_text(reg)
+        assert text.count("# TYPE tasks_total counter") == 1
+        assert text.count("# HELP tasks_total") == 1
+        samples = parse_prometheus(text)
+        assert samples['tasks_total{role="cpu"}'] == 4
+        assert samples['tasks_total{role="gpu"}'] == 6
+
+    def test_histogram_series_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        samples = parse_prometheus(prometheus_text(reg))
+        assert samples['lat_seconds_bucket{le="0.1"}'] == 1
+        assert samples['lat_seconds_bucket{le="1"}'] == 2
+        assert samples['lat_seconds_bucket{le="+Inf"}'] == 3
+        assert samples["lat_seconds_count"] == 3
+        assert samples["lat_seconds_sum"] == pytest.approx(5.55)
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels={"name": 'a"b\\c'}).inc()
+        text = prometheus_text(reg)
+        assert 'name="a\\"b\\\\c"' in text
+
+    def test_every_value_is_finite(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat_seconds", buckets=(0.1,)).observe(0.2)
+        for value in parse_prometheus(prometheus_text(reg)).values():
+            assert math.isfinite(value)
+
+
+class TestChromeTrace:
+    def test_events_relative_sorted_complete(self):
+        spans = [
+            make_span("b", 10.002, 10.005, worker="cpu0"),
+            make_span("a", 10.000, 10.010),
+        ]
+        doc = chrome_trace(spans)
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["a", "b"]
+        assert events[0]["ts"] == 0.0
+        assert events[1]["ts"] == pytest.approx(2000.0)
+        assert events[1]["dur"] == pytest.approx(3000.0)
+        assert all(e["ph"] == "X" for e in events)
+        assert events[1]["args"]["worker"] == "cpu0"
+        assert "span_id" in events[0]["args"]
+
+    def test_parent_id_rides_in_args(self):
+        parent = make_span("outer", 0.0, 1.0)
+        child = Span("inner", start_s=0.1, end_s=0.2, parent_id=parent.span_id)
+        doc = chrome_trace([parent, child])
+        inner = next(e for e in doc["traceEvents"] if e["name"] == "inner")
+        assert inner["args"]["parent_id"] == parent.span_id
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace([make_span("a", 0.0, 1.0)], str(path))
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 1
+
+
+class TestScheduleTimeline:
+    def test_empty_input(self):
+        assert schedule_timeline([]) == {"makespan_s": 0.0, "lanes": [], "roles": {}}
+
+    def test_non_kernel_spans_ignored(self):
+        spans = [make_span("sched.knapsack", 0.0, 1.0)]
+        assert schedule_timeline(spans)["lanes"] == []
+
+    def test_lanes_roles_and_makespan(self):
+        spans = [
+            make_span("task.kernel", 1.0, 1.4, worker="cpu0", kind="cpu", query="q0"),
+            make_span("task.kernel", 1.4, 1.6, worker="cpu0", kind="cpu", query="q2"),
+            make_span("task.kernel", 1.0, 1.9, worker="gpu0", kind="gpu", query="q1"),
+        ]
+        doc = schedule_timeline(spans)
+        assert doc["makespan_s"] == pytest.approx(0.9)
+        lanes = {lane["worker"]: lane for lane in doc["lanes"]}
+        assert set(lanes) == {"cpu0", "gpu0"}
+        assert lanes["cpu0"]["busy_seconds"] == pytest.approx(0.6)
+        assert [s["query"] for s in lanes["cpu0"]["slots"]] == ["q0", "q2"]
+        assert lanes["cpu0"]["slots"][0]["start_s"] == pytest.approx(0.0)
+        assert doc["roles"]["cpu"] == {
+            "workers": 1,
+            "tasks": 2,
+            "busy_seconds": pytest.approx(0.6),
+        }
+        assert doc["roles"]["gpu"]["busy_seconds"] == pytest.approx(0.9)
+
+    def test_role_busy_equals_lane_sum(self):
+        spans = [
+            make_span("task.kernel", 0.0, 0.5, worker="cpu0", kind="cpu", query="a"),
+            make_span("task.kernel", 0.0, 0.25, worker="cpu1", kind="cpu", query="b"),
+        ]
+        doc = schedule_timeline(spans)
+        lane_sum = sum(lane["busy_seconds"] for lane in doc["lanes"])
+        assert doc["roles"]["cpu"]["busy_seconds"] == pytest.approx(lane_sum)
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "timeline.json"
+        spans = [make_span("task.kernel", 0.0, 0.5, worker="cpu0", kind="cpu", query="a")]
+        write_schedule_timeline(spans, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["makespan_s"] == pytest.approx(0.5)

@@ -1,0 +1,119 @@
+"""Integration tests: the engine's instrumentation feeds the exporters.
+
+The acceptance bar for the telemetry subsystem: per-role kernel-span
+sums agree with the engine's own busy-seconds accounting (both read
+``tracing.clock`` around the same kernel call), spans recorded inside
+worker *processes* are shipped back to the master, and everything is
+silent when tracing is off.
+"""
+
+import os
+
+import pytest
+
+from repro.engine import live_search
+from repro.sequences import small_database, standard_query_set
+from repro.service import WarmPool
+from repro.telemetry import tracing
+from repro.telemetry.export import schedule_timeline
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing():
+    tracing.disable()
+    tracing.drain()
+    yield
+    tracing.disable()
+    tracing.drain()
+
+
+@pytest.fixture(scope="module")
+def db():
+    return small_database(num_sequences=16, mean_length=50, seed=7)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return list(standard_query_set(count=6).scaled(0.01).materialize(seed=8))
+
+
+def role_busy_from_report(report) -> dict:
+    busy: dict[str, float] = {}
+    for ws in report.worker_stats:
+        busy[ws.kind] = busy.get(ws.kind, 0.0) + ws.busy_seconds
+    return busy
+
+
+class TestDisabledByDefault:
+    def test_search_records_no_spans(self, db, queries):
+        live_search(queries, db, num_cpu_workers=1, num_gpu_workers=1)
+        assert tracing.drain() == []
+
+
+class TestThreadEngine:
+    def test_kernel_spans_match_busy_seconds(self, db, queries):
+        with tracing.enabled_tracing():
+            report = live_search(
+                queries, db, num_cpu_workers=2, num_gpu_workers=1, policy="swdual"
+            )
+            spans = tracing.drain()
+        timeline = schedule_timeline(spans)
+        busy = role_busy_from_report(report)
+        assert set(timeline["roles"]) == set(busy)
+        for kind, role in timeline["roles"].items():
+            # Both sides read tracing.clock around the same kernel call;
+            # the acceptance bar is ±5 %.
+            assert role["busy_seconds"] == pytest.approx(busy[kind], rel=0.05)
+        assert sum(r["tasks"] for r in timeline["roles"].values()) == len(queries)
+
+    def test_scheduler_spans_present_and_nested(self, db, queries):
+        with tracing.enabled_tracing():
+            live_search(queries, db, num_cpu_workers=1, num_gpu_workers=1, policy="swdual")
+            spans = tracing.drain()
+        names = {s.name for s in spans}
+        assert {
+            "master.run",
+            "sched.allocate",
+            "sched.binary_search",
+            "sched.knapsack",
+            "sched.listsched",
+            "task.kernel",
+        } <= names
+        by_id = {s.span_id: s for s in spans}
+        search = next(s for s in spans if s.name == "sched.binary_search")
+        assert by_id[search.parent_id].name == "sched.allocate"
+        assert search.attrs["iterations"] >= 1
+        knap = next(s for s in spans if s.name == "sched.knapsack")
+        assert by_id[knap.parent_id].name == "sched.binary_search"
+
+
+class TestProcessPool:
+    def test_worker_process_spans_shipped_to_master(self, db, queries):
+        with tracing.enabled_tracing():
+            with WarmPool(
+                db, num_cpu_workers=1, num_gpu_workers=1, backend="processes"
+            ) as pool:
+                report = pool.run_batch(queries)
+            spans = tracing.drain()
+        kernel = [s for s in spans if s.name == "task.kernel"]
+        assert len(kernel) == len(queries)
+        # Kernel spans were recorded inside the worker processes …
+        assert all(s.pid != os.getpid() for s in kernel)
+        # … and the batch span in the master, on the same timeline.
+        batch = next(s for s in spans if s.name == "pool.batch")
+        assert batch.pid == os.getpid()
+        assert all(
+            batch.start_s <= s.start_s and s.end_s <= batch.end_s + 1e-6
+            for s in kernel
+        )
+        timeline = schedule_timeline(spans)
+        busy = role_busy_from_report(report)
+        for kind, role in timeline["roles"].items():
+            assert role["busy_seconds"] == pytest.approx(busy[kind], rel=0.05)
+
+    def test_no_span_shipping_overhead_when_disabled(self, db, queries):
+        with WarmPool(
+            db, num_cpu_workers=1, num_gpu_workers=1, backend="processes"
+        ) as pool:
+            pool.run_batch(queries)
+        assert tracing.drain() == []

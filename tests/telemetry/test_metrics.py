@@ -1,0 +1,192 @@
+"""Unit tests for counters, gauges, histograms, and the registry."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("x_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_rejects_invalid_name(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("bad-name")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value == 4.0
+
+
+class TestHistogramBuckets:
+    def test_value_equal_to_bound_lands_in_that_bucket(self):
+        """Prometheus ``le`` semantics: v == bound counts in the bound's
+        bucket, not the next one up."""
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(2.0)
+        assert h.bucket_counts() == [0, 1, 0, 0]
+
+    def test_overflow_bucket_catches_values_above_last_bound(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(2.0000001)
+        h.observe(1e9)
+        assert h.bucket_counts() == [0, 0, 2]
+
+    def test_first_bucket_includes_everything_at_or_below(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.0)
+        h.observe(-5.0)
+        h.observe(1.0)
+        assert h.bucket_counts() == [3, 0, 0]
+
+    def test_cumulative_counts_match_exposition_series(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.cumulative_counts() == [1, 2, 3, 4]
+        assert h.cumulative_counts()[-1] == h.count
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("lat", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="finite"):
+            Histogram("lat", buckets=(1.0, float("inf")))
+
+    def test_default_buckets_are_the_time_buckets(self):
+        h = Histogram("lat")
+        assert h.bounds == DEFAULT_TIME_BUCKETS
+
+
+class TestHistogramSummary:
+    def test_empty_snapshot_is_all_zero(self):
+        snap = Histogram("lat", buckets=(1.0,)).snapshot()
+        assert snap == {
+            "count": 0,
+            "sum": 0.0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_sum_mean_min_max(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 9.5):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(12.0)
+        assert h.mean == pytest.approx(4.0)
+        assert h.min == 0.5
+        assert h.max == 9.5
+
+    def test_percentiles_bounded_by_observations(self):
+        h = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for v in (0.02, 0.03, 0.05, 0.5):
+            h.observe(v)
+        assert 0.02 <= h.percentile(0.5) <= 0.5
+        assert h.percentile(0.99) <= 0.5  # clamped to the observed max
+        assert h.percentile(1.0) == pytest.approx(0.5)
+
+    def test_percentiles_are_monotone_in_q(self):
+        h = Histogram("lat")
+        for i in range(100):
+            h.observe(0.001 * (i + 1))
+        p50, p90, p99 = h.percentile(0.5), h.percentile(0.9), h.percentile(0.99)
+        assert p50 <= p90 <= p99
+        assert 0.02 <= p50 <= 0.08  # true median is 0.0505
+
+    def test_percentile_rejects_bad_quantile(self):
+        h = Histogram("lat")
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total")
+        assert a is b
+
+    def test_labels_distinguish_family_members(self):
+        reg = MetricsRegistry()
+        cpu = reg.counter("tasks_total", labels={"role": "cpu"})
+        gpu = reg.counter("tasks_total", labels={"role": "gpu"})
+        assert cpu is not gpu
+        cpu.inc(3)
+        assert gpu.value == 0.0
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("x_total", labels={"role": "cpu"})
+
+    def test_collect_keeps_family_members_adjacent(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", labels={"role": "cpu"})
+        reg.gauge("b")
+        reg.counter("a_total", labels={"role": "gpu"})
+        names = [m.name for m in reg.collect()]
+        assert names == ["a_total", "a_total", "b"]
+
+    def test_snapshot_plain_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(2)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["a_total"] == 2.0
+        assert snap["lat"]["count"] == 1
+
+
+class TestConcurrency:
+    def test_histogram_observe_race_is_consistent(self):
+        """N threads observing concurrently: count, sum, and bucket
+        totals must all agree afterwards."""
+        h = Histogram("lat", buckets=(0.25, 0.5, 0.75))
+        per_thread, threads = 500, 8
+
+        def hammer(offset):
+            for i in range(per_thread):
+                h.observe((i % 10) / 10.0)
+
+        ts = [threading.Thread(target=hammer, args=(i,)) for i in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        total = per_thread * threads
+        assert h.count == total
+        assert sum(h.bucket_counts()) == total
+        assert h.cumulative_counts()[-1] == total
+        assert h.sum == pytest.approx(threads * per_thread * 0.45)

@@ -1,0 +1,178 @@
+"""Unit tests for the span/tracing primitives."""
+
+import os
+import threading
+
+import pytest
+
+from repro.telemetry import tracing
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing():
+    """Every test starts disabled with an empty buffer."""
+    tracing.disable()
+    tracing.drain()
+    yield
+    tracing.disable()
+    tracing.drain()
+
+
+class TestDisabledPath:
+    def test_disabled_returns_null_span_singleton(self):
+        assert tracing.span("x", a=1) is tracing.NULL_SPAN
+        assert tracing.span("y") is tracing.NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        with tracing.span("x", a=1):
+            pass
+        assert tracing.drain() == []
+
+    def test_null_span_yields_none(self):
+        with tracing.span("x") as s:
+            assert s is None
+
+    def test_null_span_propagates_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with tracing.span("x"):
+                raise RuntimeError("boom")
+
+
+class TestEnabledPath:
+    def test_span_records_name_attrs_and_duration(self):
+        with tracing.enabled_tracing():
+            with tracing.span("task.kernel", worker="cpu0", query="q1") as s:
+                assert s.name == "task.kernel"
+            spans = tracing.drain()
+        assert len(spans) == 1
+        (span,) = spans
+        assert span.attrs == {"worker": "cpu0", "query": "q1"}
+        assert span.end_s is not None and span.end_s >= span.start_s
+        assert span.duration_s >= 0.0
+        assert span.pid == os.getpid()
+
+    def test_attrs_mutable_inside_block(self):
+        with tracing.enabled_tracing():
+            with tracing.span("sched.binary_search") as s:
+                s.attrs["iterations"] = 7
+            (span,) = tracing.drain()
+        assert span.attrs["iterations"] == 7
+
+    def test_exception_sets_error_attr_and_closes_span(self):
+        with tracing.enabled_tracing():
+            with pytest.raises(ValueError):
+                with tracing.span("x"):
+                    raise ValueError("boom")
+            (span,) = tracing.drain()
+        assert span.attrs["error"] == "ValueError"
+        assert span.end_s is not None
+
+    def test_enabled_tracing_restores_prior_state(self):
+        assert not tracing.enabled()
+        with tracing.enabled_tracing():
+            assert tracing.enabled()
+        assert not tracing.enabled()
+        tracing.enable()
+        with tracing.enabled_tracing():
+            pass
+        assert tracing.enabled()
+
+    def test_span_ids_unique_and_pid_prefixed(self):
+        with tracing.enabled_tracing():
+            for _ in range(5):
+                with tracing.span("x"):
+                    pass
+            spans = tracing.drain()
+        ids = [s.span_id for s in spans]
+        assert len(set(ids)) == 5
+        assert all(i.startswith(f"{os.getpid()}-") for i in ids)
+
+
+class TestNesting:
+    def test_parent_child_linkage(self):
+        with tracing.enabled_tracing():
+            with tracing.span("outer") as outer:
+                with tracing.span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+            spans = tracing.drain()
+        by_name = {s.name: s for s in spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_sibling_spans_share_parent(self):
+        with tracing.enabled_tracing():
+            with tracing.span("outer") as outer:
+                with tracing.span("a"):
+                    pass
+                with tracing.span("b"):
+                    pass
+            spans = tracing.drain()
+        children = [s for s in spans if s.name in ("a", "b")]
+        assert all(c.parent_id == outer.span_id for c in children)
+
+    def test_threads_nest_independently(self):
+        """Each thread has its own current-span context: a span opened
+        in one thread is never the parent of another thread's span."""
+        parents = {}
+
+        def worker(name):
+            with tracing.span(f"{name}.outer") as outer:
+                with tracing.span(f"{name}.inner") as inner:
+                    parents[name] = (outer.span_id, inner.parent_id)
+
+        with tracing.enabled_tracing():
+            threads = [
+                threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            spans = tracing.drain()
+        assert len(spans) == 8
+        for name, (outer_id, inner_parent) in parents.items():
+            assert inner_parent == outer_id
+        outer_ids = {s.span_id for s in spans if s.name.endswith(".outer")}
+        for s in spans:
+            if s.name.endswith(".outer"):
+                assert s.parent_id is None
+            else:
+                assert s.parent_id in outer_ids
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        with tracing.enabled_tracing():
+            with tracing.span("task.kernel", worker="cpu0", cells=123):
+                pass
+            spans = tracing.drain()
+        dicts = tracing.spans_to_dicts(spans)
+        back = tracing.spans_from_dicts(dicts)
+        assert len(back) == 1
+        assert back[0].name == spans[0].name
+        assert back[0].span_id == spans[0].span_id
+        assert back[0].attrs == spans[0].attrs
+        assert back[0].start_s == spans[0].start_s
+        assert back[0].end_s == spans[0].end_s
+        assert back[0].pid == spans[0].pid
+
+    def test_ingest_accepts_spans_and_dicts(self):
+        with tracing.enabled_tracing():
+            with tracing.span("x"):
+                pass
+            spans = tracing.drain()
+            tracing.ingest(spans)
+            tracing.ingest(tracing.spans_to_dicts(spans))
+            merged = tracing.drain()
+        assert len(merged) == 2
+        assert all(s.name == "x" for s in merged)
+
+    def test_buffer_drain_clears(self):
+        buf = tracing.get_buffer()
+        with tracing.enabled_tracing():
+            with tracing.span("x"):
+                pass
+            assert len(buf) == 1
+            assert len(tracing.drain()) == 1
+            assert len(buf) == 0
+            assert tracing.drain() == []

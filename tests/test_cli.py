@@ -148,6 +148,14 @@ class TestCommands:
             assert gcups[key] > 0
         assert set(gcups["levels"]) == {"int16", "int32", "int64"}
         assert report["speedup_packed_vs_seed"] > 0
+        telemetry = report["telemetry"]
+        assert telemetry["spans_per_pass"] == 1
+        for key in ("baseline_s", "disabled_s", "enabled_s"):
+            assert telemetry[key] > 0
+        # Overheads are noise-dominated at this toy size; just assert
+        # the guard numbers exist and printed.
+        assert "overhead_enabled_pct" in telemetry
+        assert "telemetry overhead:" in out
 
     def test_bench_no_write(self, capsys):
         args = [
@@ -244,3 +252,53 @@ class TestServiceCommands:
         empty = tmp_path / "empty.fasta"
         empty.write_text("")
         assert main(["query", str(empty), "--port", "1"]) == 1
+
+
+class TestTraceCommand:
+    def test_trace_writes_chrome_and_timeline(self, files, capsys):
+        import json
+        import re
+
+        q, db, tmp = files
+        prefix = str(tmp / "run")
+        rc = main(
+            ["trace", "--queries", q, "--db", db, "--cpus", "1", "--gpus", "1",
+             "--out", prefix]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"wrote {prefix}.chrome.json" in out
+        assert f"wrote {prefix}.timeline.json" in out
+
+        chrome = json.loads((tmp / "run.chrome.json").read_text())
+        names = {e["name"] for e in chrome["traceEvents"]}
+        assert "task.kernel" in names
+        assert "sched.binary_search" in names
+        assert all(e["ph"] == "X" for e in chrome["traceEvents"])
+
+        timeline = json.loads((tmp / "run.timeline.json").read_text())
+        assert timeline["makespan_s"] > 0
+        assert sum(r["tasks"] for r in timeline["roles"].values()) == 2
+        # Acceptance bar: per-role span sums agree with the ServiceStats
+        # busy-seconds within ±5% (the CLI prints the drift per role).
+        drifts = [float(m) for m in re.findall(r"(\d+\.\d+)%", out)]
+        assert drifts
+        assert all(d <= 5.0 for d in drifts)
+
+    def test_trace_missing_queries_errors(self, files, capsys):
+        _, db, tmp = files
+        empty = tmp / "empty.fasta"
+        empty.write_text("")
+        rc = main(["trace", "--queries", str(empty), "--db", db])
+        assert rc == 1
+        assert "no query records" in capsys.readouterr().err
+
+    def test_trace_leaves_tracing_disabled(self, files, tmp_path):
+        from repro.telemetry import tracing
+
+        q, db, _ = files
+        assert not tracing.enabled()
+        assert main(["trace", "--queries", q, "--db", db,
+                     "--out", str(tmp_path / "t")]) == 0
+        assert not tracing.enabled()
+        assert tracing.drain() == []
