@@ -16,8 +16,11 @@ from repro.align.sw_batch import (
     DTYPE_LADDER,
     DtypeLevel,
     QueryProfile,
+    attach_query_profiles,
+    clear_packed_cache,
     clear_profile_cache,
     query_profile,
+    share_query_profiles,
     sw_score_batch,
     sw_score_packed,
 )
@@ -59,6 +62,9 @@ __all__ = [
     "QueryProfile",
     "query_profile",
     "clear_profile_cache",
+    "clear_packed_cache",
+    "share_query_profiles",
+    "attach_query_profiles",
     "DTYPE_LADDER",
     "DtypeLevel",
     "DEFAULT_CHUNK_CELLS",

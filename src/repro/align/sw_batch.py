@@ -60,6 +60,9 @@ __all__ = [
     "QueryProfile",
     "query_profile",
     "clear_profile_cache",
+    "clear_packed_cache",
+    "share_query_profiles",
+    "attach_query_profiles",
     "DTYPE_LADDER",
     "DtypeLevel",
     "DEFAULT_CHUNK_CELLS",
@@ -136,6 +139,23 @@ class QueryProfile:
         self._base = scheme.profile(query)
         self._padded: dict[type, np.ndarray] = {}
 
+    @classmethod
+    def from_base(
+        cls, query: Sequence, scheme: ScoringScheme, base: np.ndarray
+    ) -> "QueryProfile":
+        """Wrap a pre-built base profile (e.g. a shared-memory view).
+
+        Skips the matrix gather that :meth:`__init__` performs; the
+        padded per-dtype copies are still materialised lazily in local
+        heap memory (they are small and dtype-specific).
+        """
+        self = cls.__new__(cls)
+        self.query = query
+        self.scheme = scheme
+        self._base = base
+        self._padded = {}
+        return self
+
     def padded(self, level: DtypeLevel) -> np.ndarray:
         """``(len(q), alphabet+1)`` profile in the level's dtype."""
         cached = self._padded.get(level.dtype)
@@ -189,12 +209,44 @@ def clear_profile_cache() -> None:
     _PROFILE_CACHE.clear()
 
 
+_PACKED_CACHE: OrderedDict[tuple, PackedDatabase] = OrderedDict()
+_PACKED_CACHE_SIZE = 8
+
+
+def clear_packed_cache() -> None:
+    """Drop all memoised transient packings (benchmark hygiene)."""
+    _PACKED_CACHE.clear()
+
+
+def _packed_for(
+    subjects: SequenceABC[Sequence], chunk_cells: int
+) -> PackedDatabase:
+    """Fingerprint-keyed memo for :func:`sw_score_batch`'s packing.
+
+    Mirrors ``calibrate_live``'s memo: callers that hand the same
+    subject list to the one-shot API twice (scripts, notebooks, tests)
+    reuse one packing instead of sorting/padding per call.  Sequences
+    are content-hashed, so the key is cheap and collision-safe.
+    """
+    key = (tuple(subjects), int(chunk_cells))
+    cached = _PACKED_CACHE.get(key)
+    if cached is not None:
+        _PACKED_CACHE.move_to_end(key)
+        return cached
+    packed = PackedDatabase(list(subjects), chunk_cells=chunk_cells)
+    _PACKED_CACHE[key] = packed
+    while len(_PACKED_CACHE) > _PACKED_CACHE_SIZE:
+        _PACKED_CACHE.popitem(last=False)
+    return packed
+
+
 def sw_score_batch(
     query: Sequence,
     subjects: SequenceABC[Sequence],
     scheme: ScoringScheme,
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
     levels: tuple[DtypeLevel, ...] | None = None,
+    reuse_packing: bool = True,
 ) -> np.ndarray:
     """Best local score of *query* against every subject.
 
@@ -213,6 +265,9 @@ def sw_score_batch(
         Upper bound on ``B × L`` per processed chunk.
     levels:
         Override the dtype ladder (benchmarks; ``None`` = full ladder).
+    reuse_packing:
+        Serve the transient packing from a small fingerprint-keyed memo
+        (default).  Benchmarks measuring the re-pack cost pass ``False``.
 
     Returns
     -------
@@ -221,7 +276,10 @@ def sw_score_batch(
     """
     for s in subjects:
         scheme.check_sequence(s, "subject")
-    packed = PackedDatabase(list(subjects), chunk_cells=chunk_cells)
+    if reuse_packing:
+        packed = _packed_for(subjects, chunk_cells)
+    else:
+        packed = PackedDatabase(list(subjects), chunk_cells=chunk_cells)
     return sw_score_packed(query, packed, scheme, levels=levels)
 
 
@@ -230,6 +288,8 @@ def sw_score_packed(
     packed: PackedDatabase,
     scheme: ScoringScheme,
     levels: tuple[DtypeLevel, ...] | None = None,
+    chunk_range: tuple[int, int] | None = None,
+    profile: QueryProfile | None = None,
 ) -> np.ndarray:
     """Best local score of *query* against a pre-packed database.
 
@@ -237,6 +297,19 @@ def sw_score_packed(
     calls; the query profile is served from the process-wide cache.
     Scores are exact ``int64`` regardless of which ladder level each
     chunk was computed at.
+
+    Parameters
+    ----------
+    chunk_range:
+        ``(lo, hi)`` half-open chunk-index range.  When given, only
+        chunks ``lo..hi-1`` are scored and the result is the
+        **concatenation of per-chunk row scores in packed row order**
+        (not scattered to database order) — the caller merges partial
+        maxima through each chunk's ``indices``.  ``None`` (default)
+        scores every chunk and scatters to database order.
+    profile:
+        Pre-built profile to use instead of the process-wide cache
+        (e.g. a shared-memory-backed :meth:`QueryProfile.from_base`).
     """
     scheme.check_sequence(query, "query")
     if packed.alphabet is not None and packed.alphabet.name != scheme.alphabet.name:
@@ -244,15 +317,88 @@ def sw_score_packed(
             f"packed database uses alphabet {packed.alphabet.name!r}, but "
             f"the scoring matrix expects {scheme.alphabet.name!r}"
         )
+    if chunk_range is not None:
+        lo, hi = chunk_range
+        if not (0 <= lo <= hi <= len(packed.chunks)):
+            raise ValueError(
+                f"chunk_range {chunk_range!r} outside 0..{len(packed.chunks)}"
+            )
+        chunks = packed.chunks[lo:hi]
+        rows = sum(c.num_sequences for c in chunks)
+        if rows == 0 or len(query) == 0:
+            return np.zeros(rows, dtype=np.int64)
+        if profile is None:
+            profile = query_profile(query, scheme)
+        return np.concatenate(
+            [
+                _score_chunk_adaptive(query, c.codes, profile, scheme, levels)
+                for c in chunks
+            ]
+        )
     scores = np.zeros(packed.num_sequences, dtype=np.int64)
     if packed.num_sequences == 0 or len(query) == 0:
         return scores
-    profile = query_profile(query, scheme)
+    if profile is None:
+        profile = query_profile(query, scheme)
     for chunk in packed.chunks:
         scores[chunk.indices] = _score_chunk_adaptive(
             query, chunk.codes, profile, scheme, levels
         )
     return scores
+
+
+def share_query_profiles(
+    queries: SequenceABC[Sequence], scheme: ScoringScheme, prefix: str | None = None
+):
+    """Export the base profiles of *queries* into one shared segment.
+
+    Returns the owning :class:`~repro.sequences.shm.SharedArena`; pass
+    its manifest (plus the queries, which are tiny) to
+    :func:`attach_query_profiles` in the worker.  Lives here rather
+    than in :mod:`repro.sequences.shm` because profiles are an
+    alignment-layer concept.
+    """
+    from repro.sequences.shm import SHM_PREFIX, SharedArena
+
+    arrays = {
+        f"profile{i}": query_profile(q, scheme)._base
+        for i, q in enumerate(queries)
+    }
+    arena = SharedArena.create(
+        arrays, prefix=SHM_PREFIX if prefix is None else prefix
+    )
+    arena.manifest["kind"] = "query_profiles"
+    arena.manifest["num_queries"] = len(queries)
+    return arena
+
+
+def attach_query_profiles(
+    manifest: dict,
+    queries: SequenceABC[Sequence],
+    scheme: ScoringScheme,
+    unregister: bool = True,
+):
+    """Attach shared base profiles; returns ``(arena, profiles)``.
+
+    ``profiles[i]`` is a :class:`QueryProfile` for ``queries[i]`` whose
+    base matrix is a zero-copy view into the arena (keep the arena open
+    while the profiles are in use).  *unregister* as in
+    :meth:`repro.sequences.shm.SharedArena.attach` (pass ``False`` from
+    fork children).
+    """
+    from repro.sequences.shm import SharedArena
+
+    if manifest.get("num_queries") != len(queries):
+        raise ValueError(
+            f"manifest holds {manifest.get('num_queries')} profiles for "
+            f"{len(queries)} queries"
+        )
+    arena = SharedArena.attach(manifest, unregister=unregister)
+    profiles = tuple(
+        QueryProfile.from_base(q, scheme, arena.array(f"profile{i}"))
+        for i, q in enumerate(queries)
+    )
+    return arena, profiles
 
 
 def _score_chunk_adaptive(

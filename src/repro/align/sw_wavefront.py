@@ -77,13 +77,26 @@ def sw_score_wavefront_batch(
 
 
 def sw_score_wavefront_packed(
-    query: Sequence, packed: PackedDatabase, scheme: ScoringScheme
+    query: Sequence,
+    packed: PackedDatabase,
+    scheme: ScoringScheme,
+    chunk_range: tuple[int, int] | None = None,
+    profile=None,
 ) -> np.ndarray:
     """Anti-diagonal scores of *query* against a pre-packed database.
 
     One ``m + L`` diagonal sweep per chunk scores every subject row
     simultaneously; results are exact ``int64`` and identical to
     :func:`sw_score_wavefront` per pair.
+
+    ``chunk_range=(lo, hi)`` restricts the sweep to chunks ``lo..hi-1``
+    and returns concatenated per-chunk row scores in packed row order
+    (the caller scatters through chunk ``indices``), matching the
+    contract of :func:`~repro.align.sw_batch.sw_score_packed` so the
+    two kernels are interchangeable at subtask granularity.  *profile*
+    optionally supplies a pre-built
+    :class:`~repro.align.sw_batch.QueryProfile` (e.g. shared-memory
+    backed) instead of the process-wide cache.
     """
     scheme.check_sequence(query, "query")
     if packed.alphabet is not None and packed.alphabet.name != scheme.alphabet.name:
@@ -91,12 +104,31 @@ def sw_score_wavefront_packed(
             f"packed database uses alphabet {packed.alphabet.name!r}, but "
             f"the scoring matrix expects {scheme.alphabet.name!r}"
         )
+    if chunk_range is not None:
+        lo, hi = chunk_range
+        if not (0 <= lo <= hi <= len(packed.chunks)):
+            raise ValueError(
+                f"chunk_range {chunk_range!r} outside 0..{len(packed.chunks)}"
+            )
+        chunks = packed.chunks[lo:hi]
+        rows = sum(c.num_sequences for c in chunks)
+        if rows == 0 or len(query) == 0:
+            return np.zeros(rows, dtype=np.int64)
+        qp = query_profile(query, scheme) if profile is None else profile
+        padded = qp.padded(_INT64_LEVEL)
+        return np.concatenate(
+            [
+                _wavefront_chunk(query.codes, c.codes, padded, scheme)
+                for c in chunks
+            ]
+        )
     scores = np.zeros(packed.num_sequences, dtype=np.int64)
     if packed.num_sequences == 0 or len(query) == 0:
         return scores
-    profile = query_profile(query, scheme).padded(_INT64_LEVEL)
+    qp = query_profile(query, scheme) if profile is None else profile
+    padded = qp.padded(_INT64_LEVEL)
     for chunk in packed.chunks:
-        scores[chunk.indices] = _wavefront_chunk(query.codes, chunk.codes, profile, scheme)
+        scores[chunk.indices] = _wavefront_chunk(query.codes, chunk.codes, padded, scheme)
     return scores
 
 

@@ -101,11 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="measure real kernel GCUPS on this machine"
     )
-    p_bench.add_argument("which", choices=("kernels",))
+    p_bench.add_argument(
+        "which",
+        choices=("kernels", "shm"),
+        help="'kernels' = raw kernel GCUPS; 'shm' = shared-memory data "
+        "plane + chunk dispatch vs the pickled whole-query baseline",
+    )
     p_bench.add_argument(
         "--out",
-        default="BENCH_kernels.json",
-        help="JSON report path ('-' to skip writing)",
+        default=None,
+        help="JSON report path (default BENCH_<which>.json; '-' to skip writing)",
     )
     p_bench.add_argument("--subjects", type=int, default=300, help="database size")
     p_bench.add_argument("--min-len", type=int, default=100)
@@ -113,6 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--query-len", type=int, default=300)
     p_bench.add_argument("--queries", type=int, default=4, help="queries per pass")
     p_bench.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    p_bench.add_argument(
+        "--workers", type=int, default=2, help="(shm) pool size for the warm-up scan"
+    )
 
     p_serve = sub.add_parser(
         "serve", help="run the resident search service on a database"
@@ -125,6 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--backend", default="threads", choices=("threads", "processes"))
     p_serve.add_argument(
         "--policy", default="swdual", choices=("swdual", "swdual-dp", "self")
+    )
+    p_serve.add_argument(
+        "--data-plane",
+        default="auto",
+        choices=("auto", "shm", "pickle"),
+        help="(processes) how the packed database reaches workers",
+    )
+    p_serve.add_argument(
+        "--dispatch",
+        default="query",
+        choices=("query", "chunk"),
+        help="(processes) dispatch whole queries or chunk ranges with stealing",
     )
     p_serve.add_argument("--top", type=int, default=5, help="hits per query")
     p_serve.add_argument(
@@ -355,6 +375,8 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.which == "shm":
+        return _cmd_bench_shm(args)
     from repro.platform import run_kernel_bench, write_bench_report
 
     report = run_kernel_bench(
@@ -387,9 +409,59 @@ def _cmd_bench(args) -> int:
         f"{telemetry['overhead_enabled_pct']:+.2f}% enabled "
         f"({telemetry['spans_per_pass']} spans/pass)"
     )
-    if args.out != "-":
-        write_bench_report(report, args.out)
-        print(f"wrote {args.out}")
+    out = args.out if args.out is not None else "BENCH_kernels.json"
+    if out != "-":
+        write_bench_report(report, out)
+        print(f"wrote {out}")
+    return 0
+
+
+def _cmd_bench_shm(args) -> int:
+    from repro.platform import run_shm_bench, write_bench_report
+
+    report = run_shm_bench(
+        num_subjects=args.subjects,
+        min_len=args.min_len,
+        max_len=args.max_len,
+        query_len=args.query_len,
+        num_queries=args.queries,
+        repeats=args.repeats,
+        max_workers=args.workers,
+    )
+    warm = report["warmup"]
+    rows = [
+        [
+            str(row["workers"]),
+            f"{row['pickle_s'] * 1e3:.1f}",
+            f"{row['shm_s'] * 1e3:.1f}",
+            f"{row['marginal_pickle_s'] * 1e3:.1f}",
+            f"{row['marginal_shm_s'] * 1e3:.1f}",
+        ]
+        for row in warm["scan"]
+    ]
+    print(
+        ascii_table(
+            ["Workers", "Pickle ms", "SHM ms", "+1 pickle ms", "+1 SHM ms"], rows
+        )
+    )
+    print(
+        f"per-additional-worker warm-up: pickle {warm['marginal_pickle_s'] * 1e3:.1f} ms, "
+        f"shm {warm['marginal_shm_s'] * 1e3:.1f} ms "
+        f"({warm['marginal_speedup']:.1f}x lower)"
+    )
+    for variant, batch in report["batch"].items():
+        print(
+            f"batch makespan p50/p99 ({variant}): pickled whole-query "
+            f"{batch['pickle']['p50_s'] * 1e3:.1f}/{batch['pickle']['p99_s'] * 1e3:.1f} ms, "
+            f"shm chunk dispatch "
+            f"{batch['shm_chunk']['p50_s'] * 1e3:.1f}/{batch['shm_chunk']['p99_s'] * 1e3:.1f} ms "
+            f"(p99 {batch['p99_speedup']:.2f}x, {batch['steals']} steals)"
+        )
+    print(f"scores bit-for-bit identical: {report['scores_identical']}")
+    out = args.out if args.out is not None else "BENCH_shm.json"
+    if out != "-":
+        write_bench_report(report, out)
+        print(f"wrote {out}")
     return 0
 
 
@@ -406,6 +478,8 @@ def _cmd_serve(args) -> int:
         backend=args.backend,
         policy=args.policy,
         top_hits=args.top,
+        data_plane=args.data_plane,
+        dispatch=args.dispatch,
         max_queue=args.queue_size,
         max_batch=args.batch_size,
         calibrate=args.calibrate,
@@ -499,13 +573,18 @@ def _cmd_stats(args) -> int:
             kind,
             role["workers"],
             role["tasks"],
+            role.get("steals", 0),
             f"{role['busy_seconds']:.2f}",
             f"{role['gcups']:.3f}",
             f"{role['utilization']:.1%}",
         ]
         for kind, role in snapshot["roles"].items()
     ]
-    print(ascii_table(["Role", "Workers", "Tasks", "Busy s", "GCUPS", "Util"], rows))
+    print(
+        ascii_table(
+            ["Role", "Workers", "Tasks", "Steals", "Busy s", "GCUPS", "Util"], rows
+        )
+    )
     return 0
 
 

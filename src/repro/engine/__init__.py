@@ -38,7 +38,16 @@ from repro.engine.search import (
     live_search,
     simulate_search,
 )
-from repro.engine.transport import PROCESS_POLICIES, ProcessWorkerPool, process_search
+from repro.engine.subtasks import ChunkScheduler, ScoreMerger, Subtask, plan_subtasks
+from repro.engine.transport import (
+    DATA_PLANES,
+    DISPATCH_MODES,
+    PROCESS_POLICIES,
+    ProcessWorkerPool,
+    process_search,
+    resolve_data_plane,
+    resolve_start_method,
+)
 from repro.engine.sharded import shard_database, sharded_search
 from repro.engine.serialize import (
     report_to_dict,
@@ -77,7 +86,15 @@ __all__ = [
     "SIM_POLICIES",
     "LIVE_EXECUTION_MODES",
     "PROCESS_POLICIES",
+    "DATA_PLANES",
+    "DISPATCH_MODES",
     "ProcessWorkerPool",
+    "resolve_start_method",
+    "resolve_data_plane",
+    "Subtask",
+    "plan_subtasks",
+    "ChunkScheduler",
+    "ScoreMerger",
     "simulate_search",
     "live_search",
     "calibrate_live",

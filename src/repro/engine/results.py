@@ -66,13 +66,23 @@ class QueryResult:
 
 @dataclass(frozen=True)
 class WorkerStats:
-    """Per-worker execution accounting."""
+    """Per-worker execution accounting.
+
+    ``tasks_executed`` counts whole queries this worker finished (in
+    chunk-granular dispatch: queries whose final subtask it completed,
+    so the pool-wide sum still equals the query count).  ``subtasks``
+    counts ``(query, chunk-range)`` units and is 0 for whole-query
+    dispatch; ``steals`` counts subtasks this worker took from another
+    worker's deque.
+    """
 
     name: str
     kind: str
     tasks_executed: int
     busy_seconds: float
     cells: int
+    subtasks: int = 0
+    steals: int = 0
 
     def utilization(self, wall_seconds: float) -> float:
         """Busy fraction of the run's wall-clock time."""

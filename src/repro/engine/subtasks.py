@@ -1,0 +1,353 @@
+"""Chunk-granular subtasks: sizing, per-worker deques, work stealing.
+
+The paper's master–slave loop dispatches one *query* at a time; with a
+handful of heavy queries that leaves the tail of a batch running on one
+worker while the rest of the pool idles.  This module splits the unit
+of dispatch to ``(query, chunk-range)`` subtasks over a shared
+:class:`~repro.sequences.packed.PackedDatabase`:
+
+* :func:`plan_subtasks` sizes ranges from the calibrated GCUPS model —
+  the target is roughly ``total_cells / (workers × oversubscribe)``
+  cells per subtask, never splitting below one packed chunk, so the
+  scheduler has enough grains to balance with but per-grain dispatch
+  overhead stays bounded.
+* :class:`ChunkScheduler` keeps a master-side deque per worker, seeded
+  by the same proportional-to-rate split ``predict_static_allocation``
+  uses for whole queries.  An idle worker first drains its own deque
+  (FIFO); when empty it **steals**: victim = the peer with the most
+  remaining estimated seconds (under the victim's own rate), loot = the
+  largest pending chunk-range on the victim's deque, taken from the
+  back — the classic steal-big-from-the-busiest policy of xkaapi-style
+  runtimes.  Cross-class steals (CPU taking GPU-queued work or vice
+  versa) re-cost the range with the dual-approximation ratio
+  ``p_j / p̄_j`` — i.e. the estimate is recomputed under the thief's
+  rate — before it migrates, so load accounting stays truthful.
+* :class:`ScoreMerger` folds partial per-chunk score vectors back into
+  whole-database score arrays in the master.  Every subject row lives
+  in exactly one chunk, so the fold is an indexed ``maximum`` scatter
+  onto a zero-initialised array, and the final ranking replicates
+  :meth:`~repro.engine.worker.KernelWorker.execute` exactly — results
+  are bit-for-bit identical to whole-query dispatch no matter how
+  ranges were split or stolen.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.results import Hit, QueryResult
+from repro.sequences.packed import PackedDatabase
+from repro.sequences.sequence import Sequence
+
+__all__ = [
+    "Subtask",
+    "plan_subtasks",
+    "ChunkScheduler",
+    "ScoreMerger",
+    "DEFAULT_OVERSUBSCRIBE",
+]
+
+#: Target grains per worker: enough to steal, few enough to stay cheap.
+DEFAULT_OVERSUBSCRIBE = 4
+
+
+@dataclass(frozen=True)
+class Subtask:
+    """One ``(query, chunk-range)`` unit of dispatch.
+
+    ``cells`` is the true DP area of the unit,
+    ``len(query) × residues(chunks[lo:hi])`` — the quantity both the
+    perf-model estimates and the telemetry account in.
+    """
+
+    sid: int
+    query_index: int
+    chunk_lo: int
+    chunk_hi: int
+    cells: int
+
+    @property
+    def num_chunks(self) -> int:
+        return self.chunk_hi - self.chunk_lo
+
+
+def plan_subtasks(
+    queries: list[Sequence],
+    packed: PackedDatabase,
+    num_workers: int,
+    oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+) -> list[Subtask]:
+    """Split every query into chunk-range subtasks of ~equal DP area.
+
+    The grain target is ``total_cells / (num_workers × oversubscribe)``;
+    chunk boundaries are never crossed (a chunk is the kernel's unit of
+    vectorisation), so a single huge chunk yields one subtask.
+    Subtasks are ordered by query then chunk range, and ``sid`` indexes
+    the returned list.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if oversubscribe < 1:
+        raise ValueError(f"oversubscribe must be >= 1, got {oversubscribe}")
+    chunk_residues = [c.residues for c in packed.chunks]
+    db_residues = sum(chunk_residues)
+    total_cells = sum(len(q) for q in queries) * db_residues
+    target = max(1, total_cells // (num_workers * oversubscribe))
+    out: list[Subtask] = []
+    for qi, q in enumerate(queries):
+        m = len(q)
+        lo = 0
+        acc = 0
+        for k, res in enumerate(chunk_residues):
+            acc += res
+            if m * acc >= target or k == len(chunk_residues) - 1:
+                out.append(
+                    Subtask(
+                        sid=len(out),
+                        query_index=qi,
+                        chunk_lo=lo,
+                        chunk_hi=k + 1,
+                        cells=m * acc,
+                    )
+                )
+                lo = k + 1
+                acc = 0
+        if not packed.chunks:
+            # Empty database: one degenerate subtask keeps the per-query
+            # completion countdown uniform.
+            out.append(
+                Subtask(sid=len(out), query_index=qi, chunk_lo=0, chunk_hi=0, cells=0)
+            )
+    return out
+
+
+class ChunkScheduler:
+    """Master-side per-worker deques with re-costed work stealing.
+
+    Parameters
+    ----------
+    subtasks:
+        The planned grains (:func:`plan_subtasks` order).
+    workers:
+        ``(name, kind)`` pairs, kind in ``{"cpu", "gpu"}``.
+    rates:
+        GCUPS per worker name (cells/s ÷ 1e9); missing workers get the
+        mean of the present ones (or 1.0).  Estimates only — actual
+        execution order adapts via stealing, and correctness never
+        depends on the rates.
+    """
+
+    def __init__(
+        self,
+        subtasks: list[Subtask],
+        workers: list[tuple[str, str]],
+        rates: dict[str, float] | None = None,
+    ):
+        if not workers:
+            raise ValueError("need at least one worker")
+        self._subtasks = list(subtasks)
+        self._kind = dict(workers)
+        measured = dict(rates or {})
+        default = (
+            float(np.mean(list(measured.values()))) if measured else 1.0
+        )
+        self._rate = {
+            name: float(measured.get(name, measured.get(kind, default)))
+            for name, kind in workers
+        }
+        self._deques: dict[str, deque[Subtask]] = {
+            name: deque() for name, _ in workers
+        }
+        self.steals: dict[str, int] = {name: 0 for name, _ in workers}
+        self._pending = len(self._subtasks)
+        self._seed()
+
+    def _est(self, sub: Subtask, name: str) -> float:
+        """Estimated seconds of *sub* on *name* (the ``p_j/p̄_j`` re-cost
+        is exactly this: cells divided by the owner-of-the-moment's
+        rate)."""
+        return sub.cells / (self._rate[name] * 1e9)
+
+    def _seed(self) -> None:
+        """Proportional-to-rate initial split (greedy min completion).
+
+        Mirrors the static SWDUAL allocation at subtask granularity:
+        every grain goes to the worker that would finish it earliest
+        given what is already queued — large grains first so the split
+        tracks the rate ratio, ties broken by worker order for
+        determinism.
+        """
+        names = list(self._deques)
+        load = {name: 0.0 for name in names}
+        order = sorted(
+            self._subtasks, key=lambda s: (-s.cells, s.sid)
+        )
+        for sub in order:
+            best = min(names, key=lambda n: (load[n] + self._est(sub, n), names.index(n)))
+            load[best] += self._est(sub, best)
+            self._deques[best].append(sub)
+        # Restore FIFO order inside each deque (by sid) so a worker
+        # sweeps its own queue in query/chunk order — better locality
+        # for the merger and deterministic traces.
+        for name in names:
+            self._deques[name] = deque(
+                sorted(self._deques[name], key=lambda s: s.sid)
+            )
+
+    # -- dispatch ------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Subtasks not yet handed out."""
+        return self._pending
+
+    def queue_depth(self) -> int:
+        """Subtasks currently sitting in deques (same as :attr:`pending`)."""
+        return sum(len(d) for d in self._deques.values())
+
+    def remaining_seconds(self, name: str) -> float:
+        """Estimated seconds queued on *name*'s deque, at its own rate."""
+        return sum(self._est(s, name) for s in self._deques[name])
+
+    def next_for(self, name: str) -> tuple[Subtask, bool] | None:
+        """Next subtask for *name*; ``(subtask, stolen)`` or ``None``.
+
+        Own deque drains FIFO.  When empty, steal the largest pending
+        range (back-of-deque preference among equals) from the victim
+        with the most remaining estimated seconds; the grain is
+        re-costed onto the thief implicitly by leaving the victim's
+        queue.  Returns ``None`` only when every deque is empty.
+        """
+        own = self._deques[name]
+        if own:
+            self._pending -= 1
+            return own.popleft(), False
+        victims = [
+            (n, d) for n, d in self._deques.items() if n != name and d
+        ]
+        if not victims:
+            return None
+        victim_name, victim = max(
+            victims, key=lambda nd: self.remaining_seconds(nd[0])
+        )
+        # Largest grain; scan from the back so equal-sized grains leave
+        # the cold end of the victim's queue.
+        loot_i = max(
+            range(len(victim)), key=lambda i: (victim[i].cells, i)
+        )
+        loot = victim[loot_i]
+        del victim[loot_i]
+        self.steals[name] += 1
+        self._pending -= 1
+        return loot, True
+
+    def steals_by_kind(self) -> dict[str, int]:
+        """Total steals aggregated by thief role (``cpu``/``gpu``)."""
+        out: dict[str, int] = {}
+        for name, n in self.steals.items():
+            out[self._kind[name]] = out.get(self._kind[name], 0) + n
+        return out
+
+
+class ScoreMerger:
+    """Folds partial chunk-range scores into whole-database results.
+
+    The master owns one zero-initialised ``int64`` score vector per
+    query plus a countdown of outstanding chunks; partial vectors
+    scatter through chunk ``indices`` with ``np.maximum`` (each subject
+    lives in exactly one chunk, so this is exact, and idempotent merge
+    order makes stolen/reordered completions safe).  When a query's
+    countdown hits zero, :meth:`result` ranks identically to
+    :meth:`~repro.engine.worker.KernelWorker.execute` — score
+    descending, subject id ascending — so chunk dispatch is bit-for-bit
+    compatible with whole-query dispatch.
+    """
+
+    def __init__(
+        self,
+        queries: list[Sequence],
+        packed: PackedDatabase,
+        top_hits: int = 10,
+        evalue_model=None,
+    ):
+        self._queries = list(queries)
+        self._packed = packed
+        self._subject_ids = [s.id for s in packed.subjects] if len(packed) else []
+        self._top_hits = top_hits
+        self._evalue_model = evalue_model
+        self._db_residues = packed.total_residues
+        n = packed.num_sequences
+        self._scores = [
+            np.zeros(n, dtype=np.int64) for _ in self._queries
+        ]
+        total_chunks = max(1, len(packed.chunks))
+        self._outstanding = [total_chunks for _ in self._queries]
+
+    def add(
+        self,
+        query_index: int,
+        chunk_lo: int,
+        chunk_hi: int,
+        part: np.ndarray,
+    ) -> bool:
+        """Merge one subtask's concatenated row scores.
+
+        *part* must be the row-order concatenation over chunks
+        ``chunk_lo..chunk_hi-1`` (the :func:`sw_score_packed`
+        ``chunk_range`` contract).  Returns ``True`` when the query is
+        complete.
+        """
+        if chunk_hi == chunk_lo:  # degenerate empty-database subtask
+            self._outstanding[query_index] = 0
+            return True
+        scores = self._scores[query_index]
+        off = 0
+        for chunk in self._packed.chunks[chunk_lo:chunk_hi]:
+            rows = chunk.num_sequences
+            np.maximum.at(scores, chunk.indices, part[off : off + rows])
+            off += rows
+        if off != len(part):
+            raise ValueError(
+                f"partial scores hold {len(part)} rows, chunks "
+                f"{chunk_lo}..{chunk_hi} hold {off}"
+            )
+        self._outstanding[query_index] -= chunk_hi - chunk_lo
+        if self._outstanding[query_index] < 0:
+            raise RuntimeError(
+                f"query {query_index} over-merged (duplicate subtask?)"
+            )
+        return self._outstanding[query_index] == 0
+
+    def done(self, query_index: int) -> bool:
+        return self._outstanding[query_index] == 0
+
+    def result(self, query_index: int) -> QueryResult:
+        """Final ranked result (only valid once :meth:`done`)."""
+        if not self.done(query_index):
+            raise RuntimeError(f"query {query_index} still has chunks pending")
+        query = self._queries[query_index]
+        scores = self._scores[query_index]
+        top = sorted(
+            range(len(scores)),
+            key=lambda i: (-int(scores[i]), self._subject_ids[i]),
+        )[: self._top_hits]
+        hits = tuple(
+            Hit(
+                subject_id=self._subject_ids[i],
+                score=int(scores[i]),
+                evalue=(
+                    float(
+                        self._evalue_model.evalue(
+                            int(scores[i]), len(query), self._db_residues
+                        )
+                    )
+                    if self._evalue_model is not None
+                    else None
+                ),
+            )
+            for i in top
+        )
+        return QueryResult(query_id=query.id, hits=hits)

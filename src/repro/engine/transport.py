@@ -6,142 +6,332 @@ connect to the master").  The threaded live engine
 (:mod:`repro.engine.master`) shares one address space; this module
 provides the distributed-fidelity variant: each worker is a real OS
 process connected by a pipe, exchanging the same protocol messages
-(pickled), with the worker loading — and packing **once** — its own
-copy of the database: exactly Figure 6's "acquire sequences" step
-happening per process.  Because each worker owns a whole interpreter,
-the CPU-bound kernels escape the GIL and genuinely run in parallel.
+(pickled).  Because each worker owns a whole interpreter, the
+CPU-bound kernels escape the GIL and genuinely run in parallel.
 
-Two surfaces:
+Two data planes move the database to the workers:
 
-* :class:`ProcessWorkerPool` — a **persistent** pool: spawn the worker
-  processes once (each packs its database copy at startup), then run
-  any number of query batches against the warm pool before closing it.
-  This is what the resident search service
-  (:mod:`repro.service.server`) keeps alive between requests, so
-  per-query cost is pure kernel time — no process spawn, no database
-  re-pack.
-* :func:`process_search` — the one-shot convenience wrapper (spawn,
-  run one batch, tear down) backing
-  :func:`repro.engine.search.live_search`'s ``execution="processes"``
-  mode.
+* ``shm`` (default where available) — the parent packs **once** and
+  exports the packed chunk matrices into one POSIX shared-memory
+  segment (:mod:`repro.sequences.shm`); each worker attaches read-only
+  ``np.ndarray`` views in O(mmap) time.  No chunk payload ever crosses
+  a pipe, no worker re-packs, and the whole pool shares one physical
+  copy of the code matrices.  Query-profile base matrices ride the
+  same plane per batch.  The pool owns the segment and unlinks it on
+  every teardown path (graceful close, mid-batch failure, worker
+  crash, ``__exit__``).
+* ``pickle`` — the original plane: sequences pickled down the pipe at
+  spawn, each worker packing its own copy.  Kept as the pure-heap
+  fallback for platforms without usable shared memory.
+
+Two dispatch granularities:
+
+* ``query`` — one task is one query against the whole database
+  (the paper's Figure 6 protocol, unchanged).
+* ``chunk`` — tasks are ``(query, chunk-range)`` subtasks sized by the
+  calibrated GCUPS model, with a master-side deque per worker and
+  re-costed work stealing (:mod:`repro.engine.subtasks`); partial
+  chunk maxima merge in the master, so results are bit-for-bit
+  identical to whole-query dispatch while stragglers shed their tails
+  to idle peers.
 
 Both support the same worker roles and allocation policies as the
 threaded engine: CPU-class workers run the packed batch kernel,
-GPU-class workers the batched wavefront, and tasks are assigned either
-by dynamic self-scheduling (``"self"``) or by the one-round SWDUAL
-allocation (``"swdual"``/``"swdual-dp"``) computed with
-:func:`repro.engine.master.predict_static_allocation`.
+GPU-class workers the batched wavefront, and whole-query tasks are
+assigned either by dynamic self-scheduling (``"self"``) or by the
+one-round SWDUAL allocation (``"swdual"``/``"swdual-dp"``) computed
+with :func:`repro.engine.master.predict_static_allocation`.
 
 Worker teardown is exception-safe: every path through
 :meth:`ProcessWorkerPool.close` (and hence :func:`process_search`)
 ends in a ``finally`` block that terminates and joins any child still
-alive, so a mid-search failure cannot leak orphan processes.
+alive and unlinks any shared segment the pool owns, so a mid-search
+failure can leak neither orphan processes nor ``/dev/shm`` segments.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 from dataclasses import dataclass, replace
 
 from repro.align.scoring import ScoringScheme, default_scheme
 from repro.engine.master import predict_static_allocation
 from repro.engine.messages import MessageLog, ProtocolError, assign_tasks, register, register_ack, shutdown, task_done
 from repro.engine.results import Hit, QueryResult, SearchReport, WorkerStats
+from repro.engine.subtasks import DEFAULT_OVERSUBSCRIBE, ChunkScheduler, ScoreMerger, plan_subtasks
 from repro.sequences.database import SequenceDatabase
-from repro.sequences.packed import DEFAULT_CHUNK_CELLS
+from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
 from repro.sequences.sequence import Sequence
 from repro.telemetry import tracing
+from repro.telemetry.metrics import MetricsRegistry, get_registry
 
-__all__ = ["ProcessWorkerPool", "process_search", "PROCESS_POLICIES"]
+__all__ = [
+    "ProcessWorkerPool",
+    "process_search",
+    "PROCESS_POLICIES",
+    "DATA_PLANES",
+    "DISPATCH_MODES",
+    "resolve_start_method",
+    "resolve_data_plane",
+]
 
 #: Allocation policies accepted by :func:`process_search` and
 #: :meth:`ProcessWorkerPool.run_batch`.
 PROCESS_POLICIES = ("self", "swdual", "swdual-dp")
 
+#: How the database reaches the workers.
+DATA_PLANES = ("auto", "shm", "pickle")
+
+#: Unit of dispatch: whole queries or (query, chunk-range) subtasks.
+DISPATCH_MODES = ("query", "chunk")
+
+#: Environment override for ``start_method="auto"`` (used by the CI
+#: spawn job to exercise both methods without touching call sites).
+START_METHOD_ENV = "SWDUAL_START_METHOD"
+
+
+def resolve_start_method(method: str = "auto") -> str:
+    """Pick a multiprocessing start method that exists on this platform.
+
+    ``"auto"`` honours the ``SWDUAL_START_METHOD`` environment variable
+    first, then prefers ``fork`` (cheapest) where available, falling
+    back to the platform's first supported method (``spawn`` on
+    macOS/Windows).  An explicit *method* is validated against
+    :func:`multiprocessing.get_all_start_methods` instead of failing
+    deep inside ``get_context``.
+    """
+    available = mp.get_all_start_methods()
+    if method == "auto":
+        env = os.environ.get(START_METHOD_ENV, "").strip()
+        if env:
+            method = env
+        else:
+            return "fork" if "fork" in available else available[0]
+    if method not in available:
+        raise ValueError(
+            f"start method {method!r} not available here (have: {available})"
+        )
+    return method
+
+
+def resolve_data_plane(plane: str = "auto") -> str:
+    """``"shm"`` where POSIX shared memory works, else ``"pickle"``.
+
+    An explicit ``"shm"`` raises when the platform probe fails so
+    callers cannot silently run a different plane than they asked for.
+    """
+    from repro.sequences.shm import shm_available
+
+    if plane not in DATA_PLANES:
+        raise ValueError(f"data_plane must be one of {DATA_PLANES}, got {plane!r}")
+    if plane == "auto":
+        return "shm" if shm_available() else "pickle"
+    if plane == "shm" and not shm_available():
+        raise ValueError("data_plane='shm' requested but shared memory is unavailable")
+    return plane
+
 
 @dataclass
 class _WireTask:
-    """Task payload crossing the process boundary."""
+    """Whole-query task payload crossing the process boundary."""
 
     index: int
     query: Sequence
 
 
-def _worker_main(
-    conn, name: str, kind: str, db_sequences, scheme, top_hits, chunk_cells, trace: bool
-):
+def _worker_main(conn, name: str, kind: str, payload, scheme, top_hits, chunk_cells, trace: bool):
     """Worker process entry point: register, serve tasks, exit on
-    shutdown.  Runs the same KernelWorker logic as the threaded mode —
-    the worker packs its database copy once at startup, then every task
-    is pure kernel time on the packed fast path.
+    shutdown.
+
+    *payload* selects the data plane: ``("shm", manifest)`` attaches
+    the parent's packed database as read-only shared-memory views
+    (O(mmap), no copy); ``("pickle", sequences, db_name)`` packs a
+    private copy exactly as the original transport did.  Either way
+    every task afterwards is pure kernel time on the packed fast path,
+    and whole-query ranking replicates
+    :meth:`repro.engine.worker.KernelWorker.execute` bit for bit
+    (score descending, subject id ascending).
+
+    Chunk-granular batches arrive as a ``batch`` message (queries plus
+    an optional shared query-profile manifest) followed by ``sub``
+    messages naming ``(sid, query_index, chunk_lo, chunk_hi)``; the
+    worker answers each with a ``part`` message carrying the raw
+    concatenated row scores for the range — the master merges and
+    ranks.
 
     With *trace* set (the master had tracing enabled at spawn), the
     child enables its own span recording and ships the serialized spans
-    of each task back inside the ``done`` message — the master ingests
-    them, so one process ends up holding the whole execution's trace.
-    ``perf_counter`` is ``CLOCK_MONOTONIC`` on Linux (one epoch for all
-    processes), so child spans line up with the master's timeline.
+    of each task back inside the ``done``/``part`` message — the master
+    ingests them, so one process ends up holding the whole execution's
+    trace.  ``perf_counter`` is ``CLOCK_MONOTONIC`` on Linux (one epoch
+    for all processes), so child spans line up with the master's
+    timeline.
     """
-    from repro.engine.worker import KernelWorker
-    from repro.sequences.database import SequenceDatabase
+    import numpy as np
+
+    from repro.align.stats import CellUpdateCounter
+    from repro.align.sw_batch import attach_query_profiles, sw_score_packed
+    from repro.align.sw_wavefront import sw_score_wavefront_packed
 
     if trace:
         tracing.enable()
-    database = SequenceDatabase(name="worker-copy", sequences=db_sequences)
-    worker = KernelWorker(
-        name=name,
-        kind=kind,
-        database=database,
-        scheme=scheme,
-        top_hits=top_hits,
-        chunk_cells=chunk_cells,
-    )
-    conn.send(("register", name, kind))
+    setup_start = tracing.clock()
+    arena = None
+    untrack = True
+    if payload[0] == "shm":
+        from repro.sequences.shm import attach_packed
+
+        # Pool children share the parent's resource tracker (the fd is
+        # inherited under fork AND shipped in spawn preparation data),
+        # so they must not strip the owner's registration (see
+        # SharedArena.attach).
+        untrack = payload[2]
+        arena, packed = attach_packed(payload[1], unregister=untrack)
+        subject_ids = list(payload[1]["subject_ids"])
+    else:
+        sequences = payload[1]
+        packed = PackedDatabase(list(sequences), chunk_cells=chunk_cells, name=payload[2])
+        subject_ids = [s.id for s in sequences]
+    setup_seconds = tracing.clock() - setup_start
+    total_residues = packed.total_residues
+    chunk_residues = [c.residues for c in packed.chunks]
+    counter = CellUpdateCounter()
+
+    def score(query, chunk_range=None, profile=None):
+        if kind == "gpu":
+            return sw_score_wavefront_packed(
+                query, packed, scheme, chunk_range=chunk_range, profile=profile
+            )
+        return sw_score_packed(
+            query, packed, scheme, chunk_range=chunk_range, profile=profile
+        )
+
+    batch_queries: list[Sequence] | None = None
+    qp_arena = None
+    qp_profiles = None
+
+    def drop_batch():
+        nonlocal batch_queries, qp_arena, qp_profiles
+        if qp_arena is not None:
+            qp_arena.close()
+        batch_queries = qp_arena = qp_profiles = None
+
+    conn.send(("register", name, kind, setup_seconds))
     while True:
         message = conn.recv()
         tag = message[0]
         if tag == "shutdown":
-            conn.send(("bye", name, worker.counter.total_cells, worker.counter.comparisons))
+            drop_batch()
+            if arena is not None:
+                arena.close()
+            conn.send(("bye", name, counter.total_cells, counter.comparisons))
             conn.close()
             return
-        if tag != "task":  # pragma: no cover - protocol guard
-            raise ProtocolError(f"worker {name} got unexpected message {tag!r}")
-        wire: _WireTask = message[1]
-        execution = worker.execute(wire.query)
-        hits = [(h.subject_id, h.score) for h in execution.result.hits]
-        spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
-        conn.send(
-            ("done", name, wire.index, execution.elapsed, execution.cells, hits, spans)
-        )
+        if tag == "batch":
+            _, batch, qp_manifest = message
+            drop_batch()
+            batch_queries = batch
+            if qp_manifest is not None:
+                qp_arena, qp_profiles = attach_query_profiles(
+                    qp_manifest, batch, scheme, unregister=untrack
+                )
+            continue
+        if tag == "task":
+            wire: _WireTask = message[1]
+            query = wire.query
+            cells_est = len(query) * total_residues
+            cm = (
+                tracing.span(
+                    "task.kernel", worker=name, kind=kind, query=query.id, cells=cells_est
+                )
+                if tracing.enabled()
+                else tracing.NULL_SPAN
+            )
+            start = tracing.clock()
+            with cm:
+                scores = score(query)
+            elapsed = tracing.clock() - start
+            cells = counter.add(len(query), total_residues)
+            top = sorted(
+                range(len(scores)), key=lambda i: (-int(scores[i]), subject_ids[i])
+            )[:top_hits]
+            hits = [(subject_ids[i], int(scores[i])) for i in top]
+            spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
+            conn.send(("done", name, wire.index, elapsed, cells, hits, spans))
+            continue
+        if tag == "sub":
+            _, sid, qi, lo, hi = message
+            if batch_queries is None:  # pragma: no cover - protocol guard
+                raise ProtocolError(f"worker {name} got sub before batch")
+            query = batch_queries[qi]
+            profile = qp_profiles[qi] if qp_profiles is not None else None
+            range_residues = sum(chunk_residues[lo:hi])
+            cm = (
+                tracing.span(
+                    "task.subtask",
+                    worker=name,
+                    kind=kind,
+                    query=query.id,
+                    sid=sid,
+                    cells=len(query) * range_residues,
+                )
+                if tracing.enabled()
+                else tracing.NULL_SPAN
+            )
+            start = tracing.clock()
+            with cm:
+                part = score(query, chunk_range=(lo, hi), profile=profile)
+            elapsed = tracing.clock() - start
+            cells = counter.add(len(query), range_residues)
+            spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
+            conn.send(("part", name, sid, elapsed, cells, np.asarray(part), spans))
+            continue
+        raise ProtocolError(f"worker {name} got unexpected message {tag!r}")
 
 
 class ProcessWorkerPool:
-    """A persistent pool of worker *processes* over pickled pipes.
+    """A persistent pool of worker *processes*.
 
-    The pool is spawned once (:meth:`start`), each worker acquiring and
-    packing its own database copy at startup, and then serves any
-    number of :meth:`run_batch` calls before :meth:`close` — the
+    The pool is spawned once (:meth:`start`) and then serves any number
+    of :meth:`run_batch` calls before :meth:`close` — the
     resident-runtime pattern of XKaapi-style systems: device/process
     setup is amortised across the pool's whole lifetime instead of
-    being paid per search.
+    being paid per search.  On the ``shm`` data plane the parent packs
+    the database once and workers attach shared views, so adding a
+    worker costs an mmap instead of a pickle round-trip plus a re-pack.
 
     Parameters
     ----------
     database:
-        The database every worker loads (once, at spawn).
+        The database every worker sees (shared segment or private copy
+        depending on *data_plane*).
     num_cpu_workers / num_gpu_workers:
         CPU-class (packed batch kernel) and GPU-class (batched
         wavefront) worker processes.
     scheme / top_hits / chunk_cells:
         Kernel configuration, fixed for the pool's lifetime.
     start_method:
-        Multiprocessing start method (``fork`` keeps startup cheap on
-        Linux).
+        Multiprocessing start method; ``"auto"`` (default) picks the
+        cheapest available via :func:`resolve_start_method` and honours
+        the ``SWDUAL_START_METHOD`` environment variable.
+    data_plane:
+        ``"auto"`` (default: ``shm`` where available), ``"shm"``, or
+        ``"pickle"``.
+    dispatch:
+        ``"query"`` (whole-query tasks, the default) or ``"chunk"``
+        (chunk-range subtasks with work stealing).
+    oversubscribe:
+        Target subtask grains per worker in chunk dispatch.
+    registry:
+        :class:`~repro.telemetry.metrics.MetricsRegistry` receiving
+        ``swdual_steals_total``, ``swdual_shm_attach_seconds`` and
+        ``swdual_subtask_queue_depth`` (default: the process registry).
 
     Use as a context manager (``with ProcessWorkerPool(...) as pool``)
     or pair :meth:`start` with :meth:`close` in a ``finally`` block;
-    either way teardown terminates and joins every child, even after a
-    mid-batch failure.
+    either way teardown terminates and joins every child and unlinks
+    the pool's shared segment, even after a mid-batch failure.
     """
 
     def __init__(
@@ -151,26 +341,59 @@ class ProcessWorkerPool:
         num_gpu_workers: int = 0,
         scheme: ScoringScheme | None = None,
         top_hits: int = 5,
-        start_method: str = "fork",
+        start_method: str = "auto",
         chunk_cells: int = DEFAULT_CHUNK_CELLS,
+        data_plane: str = "auto",
+        dispatch: str = "query",
+        oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+        registry: MetricsRegistry | None = None,
     ):
         if num_cpu_workers < 0 or num_gpu_workers < 0:
             raise ValueError("worker counts must be non-negative")
         if num_cpu_workers + num_gpu_workers == 0:
             raise ValueError("need at least one worker")
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}")
         self.database = database
         self.scheme = scheme or default_scheme()
         self.top_hits = top_hits
-        self.start_method = start_method
+        self.start_method = resolve_start_method(start_method)
+        self.data_plane = resolve_data_plane(data_plane)
+        self.dispatch = dispatch
+        self.oversubscribe = oversubscribe
         self.chunk_cells = chunk_cells
+        self.registry = registry if registry is not None else get_registry()
         self.roster: list[tuple[str, str]] = [
             (f"proc{i}", "cpu") for i in range(num_cpu_workers)
         ] + [(f"gproc{i}", "gpu") for i in range(num_gpu_workers)]
         self.log = MessageLog()
         #: Lifetime cells per worker, filled in by a graceful close.
         self.lifetime_cells: dict[str, int] = {}
+        #: Per-worker database acquisition seconds (SHM attach or
+        #: pickle+re-pack), reported at registration.
+        self.setup_seconds: dict[str, float] = {}
+        #: Lifetime steals per worker name (chunk dispatch only).
+        self.steals: dict[str, int] = {name: 0 for name, _ in self.roster}
+        self._metric_steals = {
+            role: self.registry.counter(
+                "swdual_steals_total",
+                help="Subtasks taken from another worker's deque",
+                labels={"role": role},
+            )
+            for role in ("cpu", "gpu")
+        }
+        self._metric_attach = self.registry.histogram(
+            "swdual_shm_attach_seconds",
+            help="Per-worker shared-memory database attach time",
+        )
+        self._metric_depth = self.registry.gauge(
+            "swdual_subtask_queue_depth",
+            help="Subtasks currently queued across all worker deques",
+        )
         self._pipes: list = []
         self._processes: list = []
+        self._arena = None
+        self._packed: PackedDatabase | None = None
         self._started = False
         self._closed = False
         self._broken = False
@@ -192,16 +415,36 @@ class ProcessWorkerPool:
     def started(self) -> bool:
         return self._started and not self._closed and not self._broken
 
+    def _master_packed(self) -> PackedDatabase:
+        """The master's packed view (shared with workers on the shm
+        plane; built locally — with identical deterministic chunk
+        geometry — on the pickle plane)."""
+        if self._packed is None:
+            self._packed = PackedDatabase.from_database(
+                self.database, chunk_cells=self.chunk_cells
+            )
+        return self._packed
+
     def start(self) -> None:
         """Spawn and register every worker process.
 
         On any failure mid-startup the already-spawned children are
-        terminated and joined before the exception propagates.
+        terminated and joined — and the shared segment unlinked —
+        before the exception propagates.
         """
         if self._started:
             raise ProtocolError("pool already started")
         ctx = mp.get_context(self.start_method)
-        db_sequences = list(self.database)
+        if self.data_plane == "shm":
+            from repro.sequences.shm import share_packed
+
+            self._arena = share_packed(self._master_packed())
+            # unregister=False: workers share this process's resource
+            # tracker regardless of start method, and must not strip
+            # the owner's crash-path registration from it.
+            payload = ("shm", self._arena.manifest, False)
+        else:
+            payload = ("pickle", list(self.database), self.database.name)
         # Capture the tracing flag once: children spawned while tracing
         # is on record and ship spans for the pool's whole lifetime.
         trace = tracing.enabled()
@@ -210,7 +453,7 @@ class ProcessWorkerPool:
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(child_conn, name, kind, db_sequences, self.scheme, self.top_hits, self.chunk_cells, trace),
+                    args=(child_conn, name, kind, payload, self.scheme, self.top_hits, self.chunk_cells, trace),
                     name=name,
                     daemon=True,
                 )
@@ -220,11 +463,14 @@ class ProcessWorkerPool:
                 self._processes.append(proc)
             # Registration round.
             for conn in self._pipes:
-                tag, name, kind = conn.recv()
+                tag, name, kind, setup_seconds = conn.recv()
                 if tag != "register":  # pragma: no cover
                     raise ProtocolError(f"expected register, got {tag!r}")
                 self.log.record(register(name, kind))
                 self.log.record(register_ack(name))
+                self.setup_seconds[name] = setup_seconds
+                if self.data_plane == "shm":
+                    self._metric_attach.observe(setup_seconds)
         except BaseException:
             self._broken = True
             self._terminate_all()
@@ -232,7 +478,8 @@ class ProcessWorkerPool:
         self._started = True
 
     def _terminate_all(self) -> None:
-        """Force-stop every child: terminate, join, kill stragglers."""
+        """Force-stop every child and release the shared segment:
+        terminate, join, kill stragglers, unlink."""
         for conn in self._pipes:
             try:
                 conn.close()
@@ -246,6 +493,9 @@ class ProcessWorkerPool:
             if proc.is_alive():  # pragma: no cover - terminate ignored
                 proc.kill()
                 proc.join(timeout=5)
+        if self._arena is not None:
+            self._arena.close()  # idempotent; owner unlinks the segment
+            self._arena = None
 
     def close(self) -> None:
         """Shut the pool down.
@@ -253,9 +503,10 @@ class ProcessWorkerPool:
         Gracefully when possible (shutdown round collecting each
         worker's lifetime cell accounting into
         :attr:`lifetime_cells`); always ending in a ``finally`` that
-        terminates/joins whatever is still alive, so no orphan
-        processes survive — even when a batch failed mid-flight.
-        Idempotent.
+        terminates/joins whatever is still alive and unlinks the
+        pool-owned shared segment, so no orphan processes or
+        ``/dev/shm`` leaks survive — even when a batch failed
+        mid-flight.  Idempotent.
         """
         if self._closed:
             return
@@ -288,20 +539,23 @@ class ProcessWorkerPool:
         Parameters
         ----------
         queries:
-            Real sequences, one task each (query × whole database).
+            Real sequences; each is one whole-query task (``query``
+            dispatch) or split into chunk-range subtasks (``chunk``
+            dispatch).
         policy:
             ``"self"`` for dynamic self-scheduling over the pipe set,
             or ``"swdual"``/``"swdual-dp"`` for the one-round static
-            allocation.
+            allocation.  In chunk dispatch the policy seeds the initial
+            per-worker deques; stealing rebalances from there.
         measured_gcups:
-            Rates for the static policies, keyed by worker name
-            (``proc0``/``gproc0``…) or class (``"cpu"``/``"gpu"``).
+            Rates for the static policies / deque seeding, keyed by
+            worker name (``proc0``/``gproc0``…) or class
+            (``"cpu"``/``"gpu"``).
         on_result:
             Optional ``on_result(index, query_result, worker_name,
-            elapsed)`` callback invoked as each task's ``done`` message
-            arrives — the streaming hook the search service uses to
-            push results to clients before the batch finishes.  Must
-            not raise.
+            elapsed)`` callback invoked as each query completes — the
+            streaming hook the search service uses to push results to
+            clients before the batch finishes.  Must not raise.
 
         Returns the same :class:`SearchReport` shape as the threaded
         engine; ``wall_seconds`` covers only this batch (the pool is
@@ -318,6 +572,8 @@ class ProcessWorkerPool:
         if self._closed or self._broken:
             raise ProtocolError("pool is closed")
         try:
+            if self.dispatch == "chunk":
+                return self._run_batch_chunks(queries, policy, measured_gcups, on_result)
             return self._run_batch(queries, policy, measured_gcups, on_result)
         except (EOFError, OSError) as exc:
             self._broken = True
@@ -432,6 +688,152 @@ class ProcessWorkerPool:
             scheduler_info=scheduler_info,
         )
 
+    def _run_batch_chunks(self, queries, policy, measured_gcups, on_result) -> SearchReport:
+        """Chunk-granular batch: deque-seeded dispatch + work stealing.
+
+        The master plans ``(query, chunk-range)`` grains sized by the
+        calibrated GCUPS model, seeds one deque per worker
+        proportionally to its rate, and dispatches one grain per idle
+        pipe; an idle worker whose deque is empty steals the largest
+        pending range from the most-loaded peer (re-costed onto the
+        thief's rate, see :class:`~repro.engine.subtasks.ChunkScheduler`).
+        Workers return raw partial score vectors; the master merges
+        them (:class:`~repro.engine.subtasks.ScoreMerger`) and ranks
+        identically to whole-query dispatch — results are bit-for-bit
+        the same, only the schedule differs.
+        """
+        import multiprocessing.connection as mpc
+
+        roster, pipes = self.roster, self._pipes
+        kinds = dict(roster)
+        start = tracing.clock()
+        packed = self._master_packed()
+        subtasks = plan_subtasks(
+            queries, packed, len(roster), oversubscribe=self.oversubscribe
+        )
+        sched = ChunkScheduler(subtasks, roster, measured_gcups)
+        merger = ScoreMerger(queries, packed, top_hits=self.top_hits)
+        qp_arena = None
+        qp_manifest = None
+        if self.data_plane == "shm":
+            from repro.align.sw_batch import share_query_profiles
+
+            qp_arena = share_query_profiles(queries, self.scheme)
+            qp_manifest = qp_arena.manifest
+        batch_span = tracing.span(
+            "pool.batch",
+            backend="processes",
+            policy=policy,
+            size=len(queries),
+            dispatch="chunk",
+            subtasks=len(subtasks),
+        )
+        results: dict[int, QueryResult] = {}
+        busy = {name: 0.0 for name, _ in roster}
+        executed = {name: 0 for name, _ in roster}
+        subtasks_by = {name: 0 for name, _ in roster}
+        steals_by = {name: 0 for name, _ in roster}
+        cells_by_worker = {name: 0 for name, _ in roster}
+        query_busy = [0.0] * len(queries)
+        in_flight: dict[int, object] = {}
+
+        try:
+            with batch_span:
+                for conn in pipes:
+                    conn.send(("batch", list(queries), qp_manifest))
+
+                def dispatch(i: int) -> bool:
+                    name = roster[i][0]
+                    nxt = sched.next_for(name)
+                    self._metric_depth.set(sched.queue_depth())
+                    if nxt is None:
+                        return False
+                    sub, stolen = nxt
+                    if stolen:
+                        steals_by[name] += 1
+                        self.steals[name] += 1
+                        self._metric_steals[kinds[name]].inc()
+                    self.log.record(assign_tasks(name, [sub.sid]))
+                    pipes[i].send(
+                        ("sub", sub.sid, sub.query_index, sub.chunk_lo, sub.chunk_hi)
+                    )
+                    in_flight[i] = sub
+                    return True
+
+                for i in range(len(roster)):
+                    dispatch(i)
+
+                while in_flight:
+                    ready = mpc.wait([pipes[i] for i in in_flight], timeout=60)
+                    if not ready:  # pragma: no cover - hung worker guard
+                        raise ProtocolError("worker processes unresponsive")
+                    for conn in ready:
+                        i = pipes.index(conn)
+                        try:
+                            tag, name, sid, elapsed, cells, part, spans = conn.recv()
+                        except (EOFError, OSError) as exc:
+                            raise ProtocolError(
+                                f"worker {roster[i][0]} died mid-batch"
+                            ) from exc
+                        if tag != "part":  # pragma: no cover
+                            raise ProtocolError(f"expected part, got {tag!r}")
+                        if spans:
+                            tracing.ingest(spans)
+                        sub = in_flight.pop(i)
+                        if sub.sid != sid:  # pragma: no cover - protocol guard
+                            raise ProtocolError(
+                                f"worker {name} answered sid {sid}, expected {sub.sid}"
+                            )
+                        self.log.record(task_done(name, sid, elapsed))
+                        busy[name] += elapsed
+                        subtasks_by[name] += 1
+                        cells_by_worker[name] += cells
+                        query_busy[sub.query_index] += elapsed
+                        if merger.add(sub.query_index, sub.chunk_lo, sub.chunk_hi, part):
+                            executed[name] += 1
+                            result = merger.result(sub.query_index)
+                            results[sub.query_index] = result
+                            if on_result is not None:
+                                on_result(
+                                    sub.query_index,
+                                    result,
+                                    name,
+                                    query_busy[sub.query_index],
+                                )
+                        dispatch(i)
+        finally:
+            if qp_arena is not None:
+                qp_arena.close()
+
+        wall = max(tracing.clock() - start, 1e-9)
+        missing = set(range(len(queries))) - set(results)
+        if missing:  # pragma: no cover
+            raise ProtocolError(f"queries never completed: {sorted(missing)}")
+        total_steals = sum(steals_by.values())
+        stats = tuple(
+            WorkerStats(
+                name=name,
+                kind=kinds[name],
+                tasks_executed=executed[name],
+                busy_seconds=busy[name],
+                cells=cells_by_worker[name],
+                subtasks=subtasks_by[name],
+                steals=steals_by[name],
+            )
+            for name in sorted(busy)
+        )
+        return SearchReport(
+            label=f"process-{policy}",
+            wall_seconds=wall,
+            total_cells=sum(cells_by_worker.values()),
+            worker_stats=stats,
+            query_results=tuple(results[j] for j in range(len(queries))),
+            scheduler_info=(
+                f"chunk dispatch: {len(subtasks)} subtasks over "
+                f"{len(roster)} workers, {total_steals} steals"
+            ),
+        )
+
 
 def process_search(
     queries: list[Sequence],
@@ -440,17 +842,19 @@ def process_search(
     num_gpu_workers: int = 0,
     scheme: ScoringScheme | None = None,
     top_hits: int = 5,
-    start_method: str = "fork",
+    start_method: str = "auto",
     policy: str = "self",
     measured_gcups: dict[str, float] | None = None,
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
+    data_plane: str = "auto",
+    dispatch: str = "query",
 ) -> SearchReport:
     """One-shot search with real worker *processes*.
 
     Spawns a :class:`ProcessWorkerPool`, runs a single batch, and
     tears the pool down; ``wall_seconds`` therefore includes process
-    spawn and database packing — the cost the persistent pool (and the
-    search service built on it) amortises away.
+    spawn and database acquisition — the cost the persistent pool (and
+    the search service built on it) amortises away.
 
     Parameters
     ----------
@@ -458,8 +862,8 @@ def process_search(
         CPU-class (batch kernel) and GPU-class (batched wavefront)
         worker processes to spawn.
     start_method:
-        Multiprocessing start method (``fork`` keeps startup cheap on
-        Linux).
+        Multiprocessing start method (``"auto"`` picks the cheapest
+        available; see :func:`resolve_start_method`).
     policy:
         ``"self"`` for dynamic self-scheduling over the pipe set, or
         ``"swdual"``/``"swdual-dp"`` for the one-round static
@@ -467,6 +871,8 @@ def process_search(
     measured_gcups:
         Rates for the static policies, keyed by worker name
         (``proc0``/``gproc0``…) or class (``"cpu"``/``"gpu"``).
+    data_plane / dispatch:
+        See :class:`ProcessWorkerPool`.
 
     Results are identical to the threaded engine's (same kernels); only
     the transport differs.
@@ -484,6 +890,8 @@ def process_search(
         top_hits=top_hits,
         start_method=start_method,
         chunk_cells=chunk_cells,
+        data_plane=data_plane,
+        dispatch=dispatch,
     )
     pool.start()
     try:

@@ -20,6 +20,7 @@ from repro.platform.benchkernels import (
     run_kernel_bench,
     write_bench_report,
 )
+from repro.platform.benchshm import run_shm_bench
 from repro.platform.cluster import HybridPlatform, idgraf_platform, swdual_worker_mix
 from repro.platform.perfmodel import (
     PerformanceModel,
@@ -51,6 +52,7 @@ __all__ = [
     "live_rate_model",
     "build_bench_workload",
     "run_kernel_bench",
+    "run_shm_bench",
     "write_bench_report",
     "Event",
     "EventQueue",

@@ -1,0 +1,244 @@
+"""Data-plane + dispatch benchmark behind ``swdual bench shm``.
+
+Contrasts the original process transport — the whole database pickled
+to every worker at spawn, whole queries as the unit of dispatch — with
+the zero-copy plane and chunk-granular scheduler:
+
+* **Warm-up scan**: pool start time for growing worker counts on the
+  ``pickle`` vs ``shm`` data plane.  The headline number is the
+  *per-additional-worker* cost, measured directly as each worker's own
+  database-acquisition seconds (unpickle + re-pack vs SHM attach) so
+  fork/exec overhead common to both planes does not dilute the
+  comparison; full start() wall times are recorded alongside.
+* **Batch makespan**: repeated identical batches on a 1 CPU-role +
+  1 GPU-role pool, pickled whole-query dispatch vs shm chunk dispatch
+  with work stealing, both driven by the same live-calibrated GCUPS
+  rates.  Reported as p50/p99 of the per-batch wall time, plus the
+  steal count and a bit-for-bit comparison of every hit list (chunk
+  dispatch must be invisible in the scores, whatever was stolen).
+
+The result dictionary is what ``BENCH_shm.json`` records.  Numbers are
+machine-dependent — the JSON is a provenance artifact, not a fixture;
+tests only assert on the report's *shape*.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme, default_scheme
+from repro.platform.benchkernels import build_bench_workload
+from repro.sequences.shm import shm_available
+
+# NB: the engine layer imports repro.platform (perf model), so the
+# transport/calibration imports must stay inside the functions here.
+
+__all__ = ["run_shm_bench"]
+
+
+def _percentiles(samples: list[float]) -> dict:
+    arr = np.sort(np.asarray(samples, dtype=float))
+    return {
+        "samples": int(arr.size),
+        "mean_s": float(arr.mean()),
+        "p50_s": float(np.percentile(arr, 50)),
+        "p99_s": float(np.percentile(arr, 99)),
+        "min_s": float(arr[0]),
+        "max_s": float(arr[-1]),
+    }
+
+
+def _measure_start(
+    database, scheme, num_workers: int, plane: str, repeats: int, chunk_cells: int
+) -> tuple[float, float]:
+    """Best-of start() wall seconds and mean per-worker setup seconds."""
+    from repro.engine.transport import ProcessWorkerPool
+
+    best_wall = float("inf")
+    setups: list[float] = []
+    for _ in range(repeats):
+        pool = ProcessWorkerPool(
+            database,
+            num_cpu_workers=num_workers,
+            num_gpu_workers=0,
+            scheme=scheme,
+            chunk_cells=chunk_cells,
+            data_plane=plane,
+        )
+        start = time.perf_counter()
+        try:
+            pool.start()
+            best_wall = min(best_wall, time.perf_counter() - start)
+            setups.extend(pool.setup_seconds.values())
+        finally:
+            pool.close()
+    return best_wall, float(np.mean(setups))
+
+
+#: Chunk bound for the bench: small enough that the workload packs
+#: into dozens of chunks, so chunk-range subtasks have real boundaries
+#: to split and steal at (the library default packs this whole
+#: workload into one chunk, which degenerates to whole-query grains).
+BENCH_CHUNK_CELLS = 16_000
+
+#: Subtask grains per worker in the batch section — oversubscribed
+#: beyond the library default so the steal path is exercised hard.
+BENCH_OVERSUBSCRIBE = 8
+
+
+def run_shm_bench(
+    num_subjects: int = 300,
+    min_len: int = 100,
+    max_len: int = 400,
+    query_len: int = 300,
+    num_queries: int = 4,
+    repeats: int = 3,
+    max_workers: int = 2,
+    chunk_cells: int = BENCH_CHUNK_CELLS,
+    warmup_subjects: int | None = None,
+    scheme: ScoringScheme | None = None,
+    seed: int = 0,
+) -> dict:
+    """Run the data-plane/dispatch benchmark; returns the report dict.
+
+    The warm-up scan runs against a larger database
+    (*warmup_subjects*, default ``20 × num_subjects``): per-worker
+    attach cost is near-constant while the pickled plane's re-pack
+    scales with the database, and the scan should measure the regime
+    the shm plane exists for.  Requires a working ``/dev/shm``
+    (:func:`shm_available`); raises ``RuntimeError`` otherwise — there
+    is nothing to compare on a platform where the shm plane falls back
+    to pickling anyway.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if not shm_available():
+        raise RuntimeError("POSIX shared memory is not available on this platform")
+    from repro.engine.search import calibrate_live
+    from repro.engine.transport import ProcessWorkerPool
+
+    scheme = scheme or default_scheme()
+    queries, database = build_bench_workload(
+        num_subjects, min_len, max_len, query_len, num_queries, seed
+    )
+    if warmup_subjects is None:
+        warmup_subjects = num_subjects * 20
+    _, warmup_db = build_bench_workload(
+        warmup_subjects, min_len, max_len, query_len, num_queries, seed
+    )
+    rates = calibrate_live(database, scheme, chunk_cells=chunk_cells, repeats=repeats)
+
+    # -- warm-up scan ---------------------------------------------------
+    scan = []
+    for n in range(1, max_workers + 1):
+        pickle_wall, pickle_setup = _measure_start(
+            warmup_db, scheme, n, "pickle", repeats, chunk_cells
+        )
+        shm_wall, shm_setup = _measure_start(
+            warmup_db, scheme, n, "shm", repeats, chunk_cells
+        )
+        scan.append(
+            {
+                "workers": n,
+                "pickle_s": pickle_wall,
+                "shm_s": shm_wall,
+                "marginal_pickle_s": pickle_setup,
+                "marginal_shm_s": shm_setup,
+            }
+        )
+    head = scan[-1]
+    warmup = {
+        "scan": scan,
+        "marginal_pickle_s": head["marginal_pickle_s"],
+        "marginal_shm_s": head["marginal_shm_s"],
+        "marginal_speedup": head["marginal_pickle_s"] / max(head["marginal_shm_s"], 1e-9),
+    }
+
+    # -- batch makespan -------------------------------------------------
+    # Two variants of the same pickled-whole-query vs shm-chunk-dispatch
+    # comparison, both sides always driven by the same rate model:
+    # ``calibrated`` feeds live-measured GCUPS to both (the chunk seed
+    # is already near-optimal, so stealing is roughly a no-op on a
+    # quiet machine), ``miscalibrated`` swaps the cpu/gpu rates (the
+    # whole-query allocator commits the batch to the wrong split and
+    # eats the full mistake; the chunk scheduler seeds equally wrong
+    # but the idle fast worker steals the slow worker's queue back,
+    # grain by grain — the robustness the re-costed steal exists for).
+    samples = max(5, repeats)
+    modes = {"pickle": ("pickle", "query"), "shm_chunk": ("shm", "chunk")}
+    swapped = {"cpu": rates["gpu"], "gpu": rates["cpu"]}
+    hits: dict[str, list] = {}
+    batch: dict = {}
+    for variant, variant_rates in (("calibrated", rates), ("miscalibrated", swapped)):
+        pools = {
+            mode: ProcessWorkerPool(
+                database,
+                num_cpu_workers=1,
+                num_gpu_workers=1,
+                scheme=scheme,
+                top_hits=10,
+                chunk_cells=chunk_cells,
+                data_plane=plane,
+                dispatch=dispatch,
+                oversubscribe=BENCH_OVERSUBSCRIBE,
+            )
+            for mode, (plane, dispatch) in modes.items()
+        }
+        walls: dict[str, list[float]] = {mode: [] for mode in modes}
+        steals = 0
+        try:
+            for pool in pools.values():
+                pool.start()
+                # One untimed batch warms kernels and profile caches.
+                pool.run_batch(queries, policy="swdual", measured_gcups=variant_rates)
+            # Interleave the timed samples so machine drift (thermal,
+            # background load) hits both modes alike.
+            for _ in range(samples):
+                for mode, pool in pools.items():
+                    report = pool.run_batch(
+                        queries, policy="swdual", measured_gcups=variant_rates
+                    )
+                    walls[mode].append(report.wall_seconds)
+                    hits[f"{variant}:{mode}"] = [
+                        [(h.subject_id, h.score) for h in qr.hits]
+                        for qr in report.query_results
+                    ]
+            steals = sum(pools["shm_chunk"].steals.values())
+        finally:
+            for pool in pools.values():
+                pool.close()
+        makespans = {mode: _percentiles(walls[mode]) for mode in modes}
+        batch[variant] = {
+            "pickle": makespans["pickle"],
+            "shm_chunk": makespans["shm_chunk"],
+            "p99_speedup": makespans["pickle"]["p99_s"]
+            / max(makespans["shm_chunk"]["p99_s"], 1e-9),
+            "steals": steals,
+        }
+
+    return {
+        "bench": "shm",
+        "workload": {
+            "num_subjects": num_subjects,
+            "min_len": min_len,
+            "max_len": max_len,
+            "query_len": query_len,
+            "num_queries": num_queries,
+            "repeats": repeats,
+            "max_workers": max_workers,
+            "warmup_subjects": warmup_subjects,
+            "warmup_db_residues": warmup_db.total_residues,
+            "db_residues": database.total_residues,
+            "chunk_cells": chunk_cells,
+            "oversubscribe": BENCH_OVERSUBSCRIBE,
+            "seed": seed,
+        },
+        "rates_gcups": rates,
+        "warmup": warmup,
+        "batch": batch,
+        "scores_identical": all(h == hits["calibrated:pickle"] for h in hits.values()),
+    }

@@ -107,7 +107,8 @@ class PackedDatabase:
             raise ValueError(f"chunk_cells must be positive, got {chunk_cells}")
         self.name = name
         self.chunk_cells = int(chunk_cells)
-        self._subjects = tuple(subjects)
+        self._subjects: tuple[Sequence, ...] | None = tuple(subjects)
+        self._subject_ids: tuple[str, ...] | None = None
         alphabet: Alphabet | None = None
         for s in self._subjects:
             if alphabet is None:
@@ -126,6 +127,59 @@ class PackedDatabase:
     ) -> "PackedDatabase":
         """Pack a :class:`~repro.sequences.database.SequenceDatabase`."""
         return cls(list(database), chunk_cells=chunk_cells, name=database.name)
+
+    @classmethod
+    def from_chunks(
+        cls,
+        chunks: tuple[PackedChunk, ...],
+        alphabet: Alphabet | None,
+        subject_ids: SequenceABC[str],
+        chunk_cells: int = DEFAULT_CHUNK_CELLS,
+        name: str = "packed",
+    ) -> "PackedDatabase":
+        """Wrap pre-built chunks without re-packing.
+
+        This is how a worker process reconstructs the database from
+        shared-memory chunk views (:mod:`repro.sequences.shm`): the
+        chunk arrays are adopted as-is — externally-backed views are
+        fine — and :class:`Sequence` objects are only materialised
+        lazily if something actually iterates the subjects (the packed
+        kernels never do).
+        """
+        if chunk_cells <= 0:
+            raise ValueError(f"chunk_cells must be positive, got {chunk_cells}")
+        self = cls.__new__(cls)
+        self.name = name
+        self.chunk_cells = int(chunk_cells)
+        self._subjects = None
+        self._subject_ids = tuple(subject_ids)
+        self._alphabet = alphabet
+        self._chunks = tuple(chunks)
+        packed_rows = sum(c.num_sequences for c in self._chunks)
+        if packed_rows != len(self._subject_ids):
+            raise ValueError(
+                f"chunks hold {packed_rows} rows for "
+                f"{len(self._subject_ids)} subject ids"
+            )
+        return self
+
+    def _materialize_subjects(self) -> tuple[Sequence, ...]:
+        """Rebuild the subject tuple from the chunk matrices (lazy).
+
+        Rows are trimmed to their true lengths and scattered back to
+        original database order through each chunk's ``indices``.
+        """
+        out: list[Sequence | None] = [None] * len(self._subject_ids)
+        for chunk in self._chunks:
+            for b in range(chunk.num_sequences):
+                i = int(chunk.indices[b])
+                codes = np.asarray(
+                    chunk.codes[b, : int(chunk.lengths[b])], dtype=np.uint8
+                )
+                out[i] = Sequence(
+                    id=self._subject_ids[i], codes=codes, alphabet=self._alphabet
+                )
+        return tuple(out)
 
     def _pack(self) -> tuple[PackedChunk, ...]:
         n = len(self._subjects)
@@ -158,19 +212,23 @@ class PackedDatabase:
     # -- container protocol -------------------------------------------
 
     def __len__(self) -> int:
+        if self._subjects is None:
+            return len(self._subject_ids)
         return len(self._subjects)
 
     def __iter__(self):
-        return iter(self._subjects)
+        return iter(self.subjects)
 
     def __getitem__(self, i: int) -> Sequence:
-        return self._subjects[i]
+        return self.subjects[i]
 
     # -- metadata ------------------------------------------------------
 
     @property
     def subjects(self) -> tuple[Sequence, ...]:
         """The packed sequences, in original database order."""
+        if self._subjects is None:
+            self._subjects = self._materialize_subjects()
         return self._subjects
 
     @property
@@ -191,12 +249,12 @@ class PackedDatabase:
     @property
     def num_sequences(self) -> int:
         """Number of packed sequences."""
-        return len(self._subjects)
+        return len(self)
 
     @property
     def total_residues(self) -> int:
         """True residues across all sequences."""
-        return sum(len(s) for s in self._subjects)
+        return sum(int(c.lengths.sum()) for c in self._chunks)
 
     @property
     def padded_cells(self) -> int:

@@ -1,0 +1,325 @@
+"""Zero-copy shared-memory backing for packed databases.
+
+The process transport used to ship the whole database through the
+pickled pipe at spawn and let every worker pack its **own** copy — so
+warm-up time and resident memory grew linearly with the pool size.
+This module is the data plane that removes both costs: the parent
+packs once, copies the packed payload into one POSIX shared-memory
+segment (``multiprocessing.shared_memory``), and every worker attaches
+read-only ``np.ndarray`` views — no chunk payload ever crosses a pipe,
+and the kernel shares one physical copy of the code matrices across
+the whole pool.
+
+Two layers:
+
+* :class:`SharedArena` — a generic "named ndarray slots inside one SHM
+  segment" container with an explicit create/attach/close/unlink
+  lifecycle.  The creating side owns the segment and unlinks it; the
+  attaching side only closes its mapping.  A ``weakref.finalize``
+  safety net unlinks owner segments that are garbage-collected without
+  an explicit ``close`` (belt-and-braces for crash paths; the OS-level
+  resource tracker is the last resort for a SIGKILLed parent).
+* :func:`share_packed` / :func:`attach_packed` — the packed-database
+  payload on top of the arena: every chunk's ``codes`` / ``indices`` /
+  ``lengths`` arrays plus enough metadata to rebuild a
+  :class:`~repro.sequences.packed.PackedDatabase` in the attaching
+  process via :meth:`~repro.sequences.packed.PackedDatabase.from_chunks`.
+
+Platforms without a usable ``/dev/shm`` (or without the module at all)
+are detected by :func:`shm_available`; callers fall back to the
+pure-heap pickled path.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import weakref
+
+import numpy as np
+
+from repro.sequences.alphabet import alphabet_by_name
+from repro.sequences.packed import PackedChunk, PackedDatabase
+
+__all__ = [
+    "SHM_PREFIX",
+    "SharedArena",
+    "attach_packed",
+    "share_packed",
+    "shm_available",
+]
+
+#: Every segment this repo creates is named ``swdual_<pid>_<nonce>`` so
+#: leak checks (tests, CI) can sweep ``/dev/shm`` for the prefix.
+SHM_PREFIX = "swdual"
+
+_shm_probe: bool | None = None
+
+#: Segment names created (owned) by *this* process.  A same-process
+#: attach must NOT unregister them from the resource tracker — the
+#: owner's registration is the crash-path cleanup of last resort.
+_OWNED_NAMES: set[str] = set()
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory actually works on this platform.
+
+    Probes by creating (and immediately unlinking) a tiny segment the
+    first time it is called; the verdict is cached for the process.
+    """
+    global _shm_probe
+    if _shm_probe is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _shm_probe = True
+        except Exception:
+            _shm_probe = False
+    return _shm_probe
+
+
+def _new_segment_name(prefix: str) -> str:
+    return f"{prefix}_{os.getpid()}_{secrets.token_hex(6)}"
+
+
+def _unregister_attached(name: str) -> None:
+    """Detach an *attached* segment from this process's resource tracker.
+
+    ``SharedMemory(name=...)`` registers the segment with the resource
+    tracker even when this process does not own it; on Python < 3.13
+    (no ``track=False``) that makes the tracker unlink — and warn
+    about — segments the owner is still responsible for.  Attaching
+    sides therefore unregister right away; the creating side keeps its
+    registration as the crash-path cleanup of last resort.
+    """
+    try:  # pragma: no cover - platform dependent
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedArena:
+    """Named read-only ndarray slots inside one shared-memory segment.
+
+    Use :meth:`create` in the owning process and :meth:`attach` (with
+    the owner's :attr:`manifest`) everywhere else.  The manifest is a
+    plain picklable dict — it is the only thing that crosses a process
+    boundary; array payloads live in the segment itself.
+    """
+
+    def __init__(self, shm, manifest: dict, owner: bool):
+        self._shm = shm
+        self._manifest = manifest
+        self._owner = owner
+        self._closed = False
+        self._views: dict[str, np.ndarray] = {}
+        # Safety net: close (and for the owner, unlink) if the arena is
+        # dropped without an explicit close.  The unlink is pinned to
+        # the creating PID so a fork-inherited copy of an owner arena
+        # can never unlink the segment out from under the real owner.
+        self._finalizer = weakref.finalize(
+            self, SharedArena._cleanup, shm, owner, os.getpid()
+        )
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray], prefix: str = SHM_PREFIX) -> "SharedArena":
+        """Copy *arrays* into a fresh segment; returns the owning arena.
+
+        Slot order follows the dict; each array is stored C-contiguous
+        at an 64-byte aligned offset.
+        """
+        slots: dict[str, dict] = {}
+        offset = 0
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            offset = (offset + 63) & ~63
+            slots[name] = {
+                "offset": offset,
+                "shape": tuple(int(s) for s in arr.shape),
+                "dtype": np.dtype(arr.dtype).str,
+            }
+            offset += arr.nbytes
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1), name=_new_segment_name(prefix)
+        )
+        try:
+            for name, arr in arrays.items():
+                spec = slots[name]
+                view = np.ndarray(
+                    spec["shape"], dtype=np.dtype(spec["dtype"]),
+                    buffer=shm.buf, offset=spec["offset"],
+                )
+                view[...] = arr
+            manifest = {"segment": shm.name, "slots": slots}
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        _OWNED_NAMES.add(shm.name)
+        return cls(shm, manifest, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: dict, unregister: bool = True) -> "SharedArena":
+        """Attach to an existing segment described by *manifest*.
+
+        *unregister* controls resource-tracker hygiene: attaching
+        registers the segment with this process's tracker, which on
+        Python < 3.13 would double-clean (and warn about) a segment the
+        owner is responsible for — so by default we unregister right
+        away.  Pass ``unregister=False`` from multiprocessing children
+        of the owner: they share the owner's tracker (inherited under
+        fork, shipped in spawn preparation data), and unregistering
+        there would strip the owner's own crash-path registration.
+        Segments created by this very process are never unregistered,
+        whatever the flag says.
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=manifest["segment"], create=False)
+        if unregister and shm.name not in _OWNED_NAMES:
+            _unregister_attached(shm.name)
+        return cls(shm, manifest, owner=False)
+
+    # -- access --------------------------------------------------------
+
+    @property
+    def manifest(self) -> dict:
+        """Picklable description of the segment (pass to :meth:`attach`)."""
+        return self._manifest
+
+    @property
+    def name(self) -> str:
+        """OS-level segment name (``/dev/shm/<name>`` on Linux)."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the backing segment in bytes."""
+        return self._shm.size
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def array(self, slot: str) -> np.ndarray:
+        """Read-only ndarray view of one slot (zero-copy)."""
+        if self._closed:
+            raise ValueError(f"arena {self._shm.name!r} is closed")
+        view = self._views.get(slot)
+        if view is None:
+            spec = self._manifest["slots"][slot]
+            view = np.ndarray(
+                spec["shape"], dtype=np.dtype(spec["dtype"]),
+                buffer=self._shm.buf, offset=spec["offset"],
+            )
+            view.setflags(write=False)
+            self._views[slot] = view
+        return view
+
+    # -- lifecycle -----------------------------------------------------
+
+    @staticmethod
+    def _cleanup(shm, unlink: bool, pid: int | None = None) -> None:
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if unlink and (pid is None or pid == os.getpid()):
+            _OWNED_NAMES.discard(shm.name)
+            try:
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks the segment.
+
+        Idempotent, and safe to call with views still referenced (the
+        views die with the arena — callers must not use them after
+        close).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._views.clear()
+        self._finalizer.detach()
+        SharedArena._cleanup(self._shm, unlink=self._owner)
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        role = "owner" if self._owner else "attached"
+        return f"SharedArena({self._shm.name!r}, {role}, {self._shm.size}B)"
+
+
+def share_packed(packed: PackedDatabase, prefix: str = SHM_PREFIX) -> SharedArena:
+    """Export a packed database into shared memory.
+
+    The returned (owning) arena's :attr:`~SharedArena.manifest` carries
+    everything :func:`attach_packed` needs: per-chunk array slots plus
+    database metadata (name, alphabet, subject ids in original order).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for k, chunk in enumerate(packed.chunks):
+        arrays[f"codes{k}"] = chunk.codes
+        arrays[f"indices{k}"] = chunk.indices
+        arrays[f"lengths{k}"] = chunk.lengths
+    arena = SharedArena.create(arrays, prefix=prefix)
+    arena.manifest.update(
+        {
+            "kind": "packed_database",
+            "db_name": packed.name,
+            "chunk_cells": packed.chunk_cells,
+            "num_chunks": len(packed.chunks),
+            "num_sequences": packed.num_sequences,
+            "alphabet": packed.alphabet.name if packed.alphabet else None,
+            "subject_ids": [s.id for s in packed.subjects],
+        }
+    )
+    return arena
+
+
+def attach_packed(
+    manifest: dict, unregister: bool = True
+) -> tuple[SharedArena, PackedDatabase]:
+    """Rebuild a read-only packed database from a shared segment.
+
+    Returns ``(arena, packed)``; the packed database's chunk arrays are
+    views into the arena, so the arena must stay open for as long as
+    the packed database is used (close it afterwards — the segment
+    itself is unlinked by the owner).  *unregister* as in
+    :meth:`SharedArena.attach` (pass ``False`` from fork children).
+    """
+    arena = SharedArena.attach(manifest, unregister=unregister)
+    chunks = tuple(
+        PackedChunk(
+            codes=arena.array(f"codes{k}"),
+            indices=arena.array(f"indices{k}"),
+            lengths=arena.array(f"lengths{k}"),
+        )
+        for k in range(manifest["num_chunks"])
+    )
+    alphabet = (
+        alphabet_by_name(manifest["alphabet"]) if manifest["alphabet"] else None
+    )
+    packed = PackedDatabase.from_chunks(
+        chunks,
+        alphabet=alphabet,
+        subject_ids=manifest["subject_ids"],
+        chunk_cells=manifest["chunk_cells"],
+        name=manifest["db_name"],
+    )
+    return arena, packed

@@ -71,7 +71,16 @@ class WarmPool:
         :func:`~repro.engine.search.calibrate_live`.
     scheme / top_hits / chunk_cells / start_method:
         Kernel and transport configuration, fixed for the pool's
-        lifetime.
+        lifetime.  ``start_method="auto"`` resolves per platform (and
+        honours ``SWDUAL_START_METHOD``).
+    data_plane / dispatch:
+        Processes backend only: how the database reaches the workers
+        (``"auto"``/``"shm"``/``"pickle"``) and the unit of dispatch
+        (``"query"`` or ``"chunk"`` with work stealing) — see
+        :class:`~repro.engine.transport.ProcessWorkerPool`.
+    registry:
+        Metrics registry handed to the process pool (steal/attach/queue
+        metrics land next to the service's own).
     """
 
     def __init__(
@@ -86,7 +95,10 @@ class WarmPool:
         calibrate: bool = False,
         top_hits: int = 5,
         chunk_cells: int = DEFAULT_CHUNK_CELLS,
-        start_method: str = "fork",
+        start_method: str = "auto",
+        data_plane: str = "auto",
+        dispatch: str = "query",
+        registry=None,
     ):
         if backend not in POOL_BACKENDS:
             raise ValueError(f"backend must be one of {POOL_BACKENDS}, got {backend!r}")
@@ -105,6 +117,9 @@ class WarmPool:
         self.top_hits = top_hits
         self.chunk_cells = chunk_cells
         self.start_method = start_method
+        self.data_plane = data_plane
+        self.dispatch = dispatch
+        self.registry = registry
         self.num_cpu_workers = num_cpu_workers
         self.num_gpu_workers = num_gpu_workers
         self._workers: list[KernelWorker] = []
@@ -153,6 +168,9 @@ class WarmPool:
                 top_hits=self.top_hits,
                 start_method=self.start_method,
                 chunk_cells=self.chunk_cells,
+                data_plane=self.data_plane,
+                dispatch=self.dispatch,
+                registry=self.registry,
             )
             self._proc_pool.start()
             if self.calibrate and self.measured_gcups is None:

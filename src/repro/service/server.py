@@ -121,8 +121,12 @@ class SearchService:
         TCP bind address; ``port=0`` picks an ephemeral port (read the
         bound one from :attr:`port` after :meth:`start`).
     num_cpu_workers / num_gpu_workers / backend / policy /
-    measured_gcups / calibrate / scheme / top_hits / chunk_cells:
+    measured_gcups / calibrate / scheme / top_hits / chunk_cells /
+    start_method / data_plane / dispatch:
         Warm-pool configuration — see :class:`repro.service.pool.WarmPool`.
+        The pool records its transport metrics (steals, SHM attach
+        latency, subtask queue depth) into this service's stats
+        registry, so they appear on the same ``/metrics`` endpoint.
     max_queue:
         Admission-queue capacity; a full queue answers ``rejected``
         (bounded backpressure) instead of buffering without limit.
@@ -145,6 +149,9 @@ class SearchService:
         calibrate: bool = False,
         top_hits: int = 5,
         chunk_cells: int = DEFAULT_CHUNK_CELLS,
+        start_method: str = "auto",
+        data_plane: str = "auto",
+        dispatch: str = "query",
         max_queue: int = 64,
         max_batch: int = 8,
     ):
@@ -169,8 +176,14 @@ class SearchService:
             calibrate=calibrate,
             top_hits=top_hits,
             chunk_cells=chunk_cells,
+            start_method=start_method,
+            data_plane=data_plane,
+            dispatch=dispatch,
         )
         self.stats = ServiceStats(self.pool.roster)
+        # The pool only reads its registry at start(): point it at the
+        # service registry so transport metrics share the endpoint.
+        self.pool.registry = self.stats.registry
         self._queue: queue_mod.Queue[_PendingQuery] = queue_mod.Queue(maxsize=max_queue)
         self._in_flight = 0
         self._in_flight_lock = threading.Lock()

@@ -34,7 +34,7 @@ __all__ = ["ServiceStats"]
 class _RoleMetrics:
     """Registry-backed accumulated work of one worker role (cpu/gpu)."""
 
-    __slots__ = ("workers", "tasks", "busy_seconds", "cells")
+    __slots__ = ("workers", "tasks", "busy_seconds", "cells", "steals")
 
     def __init__(self, registry: MetricsRegistry, kind: str):
         labels = {"role": kind}
@@ -52,6 +52,11 @@ class _RoleMetrics:
         self.cells: Counter = registry.counter(
             "swdual_role_cells_total",
             "Smith-Waterman cell updates computed by this role.",
+            labels,
+        )
+        self.steals: Counter = registry.counter(
+            "swdual_role_steals_total",
+            "Chunk-range subtasks this role stole from a peer's queue.",
             labels,
         )
 
@@ -152,6 +157,9 @@ class ServiceStats:
             role.tasks.inc(ws.tasks_executed)
             role.busy_seconds.inc(ws.busy_seconds)
             role.cells.inc(ws.cells)
+            steals = getattr(ws, "steals", 0)
+            if steals:
+                role.steals.inc(steals)
 
     # -- reading ---------------------------------------------------------
 
@@ -191,6 +199,7 @@ class ServiceStats:
             roles[kind] = {
                 "workers": workers,
                 "tasks": int(role.tasks.value),
+                "steals": int(role.steals.value),
                 "busy_seconds": busy,
                 "cells": cells,
                 "gcups": gcups(cells, busy) if busy > 0 else 0.0,

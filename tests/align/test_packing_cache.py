@@ -1,0 +1,113 @@
+"""The one-shot batch API's transient-packing memo and the shared
+query-profile payload used by the process pool's chunk dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.align import default_scheme
+from repro.align.sw_batch import (
+    _PACKED_CACHE,
+    _packed_for,
+    attach_query_profiles,
+    clear_packed_cache,
+    query_profile,
+    share_query_profiles,
+    sw_score_batch,
+)
+from repro.sequences import small_database
+from repro.sequences.shm import shm_available
+
+
+@pytest.fixture
+def subjects():
+    return list(small_database(num_sequences=10, mean_length=40, seed=61))
+
+
+@pytest.fixture
+def queries():
+    return list(small_database(num_sequences=3, mean_length=25, seed=62))
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_packed_cache()
+    yield
+    clear_packed_cache()
+
+
+class TestPackedMemo:
+    def test_same_subjects_reuse_one_packing(self, subjects):
+        first = _packed_for(subjects, 2_000)
+        second = _packed_for(list(subjects), 2_000)
+        assert second is first
+        assert len(_PACKED_CACHE) == 1
+
+    def test_chunk_cells_is_part_of_the_key(self, subjects):
+        a = _packed_for(subjects, 2_000)
+        b = _packed_for(subjects, 4_000)
+        assert a is not b
+        assert len(_PACKED_CACHE) == 2
+
+    def test_sw_score_batch_hits_the_memo(self, subjects, queries):
+        scheme = default_scheme()
+        q = queries[0]
+        first = sw_score_batch(q, subjects, scheme)
+        assert len(_PACKED_CACHE) == 1
+        second = sw_score_batch(q, subjects, scheme)
+        assert len(_PACKED_CACHE) == 1
+        np.testing.assert_array_equal(first, second)
+
+    def test_reuse_packing_false_bypasses(self, subjects, queries):
+        scheme = default_scheme()
+        scores = sw_score_batch(
+            queries[0], subjects, scheme, reuse_packing=False
+        )
+        assert len(_PACKED_CACHE) == 0
+        np.testing.assert_array_equal(
+            scores, sw_score_batch(queries[0], subjects, scheme)
+        )
+
+    def test_clear_hook(self, subjects):
+        _packed_for(subjects, 2_000)
+        assert _PACKED_CACHE
+        clear_packed_cache()
+        assert not _PACKED_CACHE
+
+    def test_memo_is_bounded_lru(self, subjects):
+        for i in range(12):
+            _packed_for(subjects, 1_000 + i)
+        assert len(_PACKED_CACHE) == 8
+        # Oldest entries were evicted, newest kept.
+        assert (tuple(subjects), 1_011) in _PACKED_CACHE
+        assert (tuple(subjects), 1_000) not in _PACKED_CACHE
+
+
+@pytest.mark.skipif(not shm_available(), reason="POSIX shared memory unavailable")
+class TestSharedQueryProfiles:
+    def test_round_trip_matches_local_profiles(self, queries):
+        scheme = default_scheme()
+        arena = share_query_profiles(queries, scheme)
+        try:
+            attached, profiles = attach_query_profiles(
+                arena.manifest, queries, scheme, unregister=False
+            )
+            try:
+                assert len(profiles) == len(queries)
+                for q, prof in zip(queries, profiles):
+                    local = query_profile(q, scheme)
+                    np.testing.assert_array_equal(prof._base, local._base)
+            finally:
+                attached.close()
+        finally:
+            arena.close()
+
+    def test_query_count_mismatch_rejected(self, queries):
+        scheme = default_scheme()
+        arena = share_query_profiles(queries, scheme)
+        try:
+            with pytest.raises(ValueError, match="queries"):
+                attach_query_profiles(
+                    arena.manifest, queries[:-1], scheme, unregister=False
+                )
+        finally:
+            arena.close()

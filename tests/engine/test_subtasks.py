@@ -1,0 +1,256 @@
+"""Chunk-granular dispatch units: subtask planning, the stealing
+scheduler, and the bit-for-bit partial-maxima merge contract."""
+
+import numpy as np
+import pytest
+
+from repro.align import ScoringScheme, default_scheme
+from repro.align.scoring import GapModel
+from repro.align.sw_batch import DTYPE_LADDER, sw_score_packed
+from repro.engine import KernelWorker
+from repro.engine.subtasks import (
+    ChunkScheduler,
+    ScoreMerger,
+    Subtask,
+    plan_subtasks,
+)
+from repro.sequences import matrix_by_name, small_database
+from repro.sequences.alphabet import PROTEIN
+from repro.sequences.packed import PackedDatabase
+from repro.sequences.sequence import Sequence
+
+
+def _workload(seed=11, num=24, mean=40, chunk_cells=1_200):
+    db = small_database(num_sequences=num, mean_length=mean, seed=seed)
+    packed = PackedDatabase.from_database(db, chunk_cells=chunk_cells)
+    queries = list(small_database(num_sequences=3, mean_length=30, seed=seed + 1))
+    return db, packed, queries
+
+
+class TestPlanSubtasks:
+    def test_partitions_every_chunk_once_per_query(self):
+        _db, packed, queries = _workload()
+        subs = plan_subtasks(queries, packed, num_workers=2)
+        for qi in range(len(queries)):
+            ranges = sorted(
+                (s.chunk_lo, s.chunk_hi) for s in subs if s.query_index == qi
+            )
+            covered = []
+            for lo, hi in ranges:
+                assert lo < hi
+                covered.extend(range(lo, hi))
+            assert covered == list(range(len(packed.chunks)))
+
+    def test_cells_are_exact_dp_areas(self):
+        _db, packed, queries = _workload()
+        residues = [c.residues for c in packed.chunks]
+        for s in plan_subtasks(queries, packed, num_workers=3):
+            expected = len(queries[s.query_index]) * sum(
+                residues[s.chunk_lo : s.chunk_hi]
+            )
+            assert s.cells == expected
+
+    def test_sids_index_the_list(self):
+        _db, packed, queries = _workload()
+        subs = plan_subtasks(queries, packed, num_workers=2)
+        assert [s.sid for s in subs] == list(range(len(subs)))
+
+    def test_oversubscription_creates_more_grains(self):
+        _db, packed, queries = _workload()
+        few = plan_subtasks(queries, packed, num_workers=1, oversubscribe=1)
+        many = plan_subtasks(queries, packed, num_workers=1, oversubscribe=8)
+        assert len(many) > len(few)
+
+    def test_empty_database_degenerates(self):
+        packed = PackedDatabase([], name="empty")
+        queries = list(small_database(num_sequences=2, mean_length=10, seed=1))
+        subs = plan_subtasks(queries, packed, num_workers=2)
+        assert [(s.query_index, s.chunk_lo, s.chunk_hi) for s in subs] == [
+            (0, 0, 0),
+            (1, 0, 0),
+        ]
+
+    def test_validation(self):
+        _db, packed, queries = _workload()
+        with pytest.raises(ValueError, match="num_workers"):
+            plan_subtasks(queries, packed, num_workers=0)
+        with pytest.raises(ValueError, match="oversubscribe"):
+            plan_subtasks(queries, packed, num_workers=1, oversubscribe=0)
+
+
+class TestChunkScheduler:
+    def _subs(self, cells):
+        return [
+            Subtask(sid=i, query_index=0, chunk_lo=i, chunk_hi=i + 1, cells=c)
+            for i, c in enumerate(cells)
+        ]
+
+    def test_own_deque_drains_fifo(self):
+        sched = ChunkScheduler(self._subs([10, 10, 10]), [("w0", "cpu")])
+        sids = []
+        while (nxt := sched.next_for("w0")) is not None:
+            sub, stolen = nxt
+            assert not stolen
+            sids.append(sub.sid)
+        assert sids == [0, 1, 2]
+        assert sched.pending == 0
+
+    def test_seed_follows_rates(self):
+        subs = self._subs([100] * 12)
+        sched = ChunkScheduler(
+            subs,
+            [("fast", "cpu"), ("slow", "gpu")],
+            rates={"fast": 3.0, "slow": 1.0},
+        )
+        assert len(sched._deques["fast"]) == 9
+        assert len(sched._deques["slow"]) == 3
+
+    def test_idle_worker_steals_largest_from_most_loaded(self):
+        subs = self._subs([100] * 12)
+        sched = ChunkScheduler(
+            subs,
+            [("fast", "cpu"), ("slow", "gpu")],
+            rates={"fast": 1e9, "slow": 1e-9},
+        )
+        # Everything seeds to `fast`; `slow` must steal immediately.
+        sub, stolen = sched.next_for("slow")
+        assert stolen
+        assert sched.steals == {"fast": 0, "slow": 1}
+        assert sched.steals_by_kind() == {"cpu": 0, "gpu": 1}
+
+    def test_steal_prefers_largest_grain(self):
+        subs = self._subs([10, 500, 20])
+        sched = ChunkScheduler(
+            subs, [("a", "cpu"), ("b", "cpu")], rates={"a": 1e9, "b": 1e-9}
+        )
+        sub, stolen = sched.next_for("b")
+        assert stolen and sub.cells == 500
+
+    def test_exhaustion_returns_none(self):
+        sched = ChunkScheduler(self._subs([5]), [("a", "cpu"), ("b", "cpu")])
+        assert sched.next_for("a") is not None
+        assert sched.next_for("a") is None
+        assert sched.next_for("b") is None
+
+    def test_every_subtask_dispatched_exactly_once_under_stealing(self):
+        subs = self._subs(list(range(1, 30)))
+        sched = ChunkScheduler(
+            subs,
+            [("a", "cpu"), ("b", "gpu"), ("c", "cpu")],
+            rates={"a": 2.0, "b": 0.5, "c": 1.0},
+        )
+        seen = []
+        workers = ["c", "a", "b"]
+        i = 0
+        while sched.pending:
+            nxt = sched.next_for(workers[i % 3])
+            i += 1
+            if nxt is not None:
+                seen.append(nxt[0].sid)
+        assert sorted(seen) == [s.sid for s in subs]
+
+    def test_needs_workers(self):
+        with pytest.raises(ValueError, match="worker"):
+            ChunkScheduler([], [])
+
+
+class TestScoreMergerBitForBit:
+    """The tentpole contract: any chunk-range split, merged in any
+    order, reproduces whole-database scores and ranking exactly."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            default_scheme(),
+            ScoringScheme(
+                matrix=matrix_by_name("blosum62"),
+                gaps=GapModel.affine(5, 2),
+            ),
+        ],
+        ids=["default", "affine52"],
+    )
+    def test_random_splits_match_whole_database(self, seed, scheme):
+        rng = np.random.default_rng(seed)
+        db, packed, queries = _workload(seed=20 + seed)
+        merger = ScoreMerger(queries, packed, top_hits=8)
+        for qi, q in enumerate(queries):
+            # Random chunk-range split, merged in shuffled (stolen) order.
+            bounds = sorted(
+                rng.choice(
+                    range(1, len(packed.chunks)),
+                    size=min(3, len(packed.chunks) - 1),
+                    replace=False,
+                )
+            )
+            edges = [0, *bounds, len(packed.chunks)]
+            ranges = list(zip(edges[:-1], edges[1:]))
+            rng.shuffle(ranges)
+            done = False
+            for lo, hi in ranges:
+                part = sw_score_packed(q, packed, scheme, chunk_range=(lo, hi))
+                done = merger.add(qi, lo, hi, part)
+            assert done
+            np.testing.assert_array_equal(
+                merger._scores[qi], sw_score_packed(q, packed, scheme)
+            )
+
+    def test_ranking_matches_kernel_worker(self):
+        db, packed, queries = _workload(seed=33)
+        scheme = default_scheme()
+        worker = KernelWorker(
+            name="ref", kind="cpu", database=db, scheme=scheme,
+            packed=packed, top_hits=6,
+        )
+        merger = ScoreMerger(queries, packed, top_hits=6)
+        for qi, q in enumerate(queries):
+            for k in range(len(packed.chunks)):
+                part = sw_score_packed(q, packed, scheme, chunk_range=(k, k + 1))
+                merger.add(qi, k, k + 1, part)
+            expected = worker.execute(q).result
+            got = merger.result(qi)
+            assert [(h.subject_id, h.score) for h in got.hits] == [
+                (h.subject_id, h.score) for h in expected.hits
+            ]
+
+    def test_dtype_escalation_inside_a_range(self):
+        # An identical long query/subject pair saturates int16 (score
+        # ~ 3500 x 11 for a tryptophan run) so the ladder must escalate
+        # inside the chunk-range path exactly as it does whole-database.
+        scheme = default_scheme()
+        hot = Sequence.from_text("hot", "W" * 3500, alphabet=PROTEIN)
+        cold = list(small_database(num_sequences=6, mean_length=30, seed=9))
+        packed = PackedDatabase([hot, *cold], chunk_cells=4_000, name="esc")
+        assert len(packed.chunks) > 1
+        whole_exact = sw_score_packed(
+            hot, packed, scheme, levels=(DTYPE_LADDER[-1],)
+        )
+        assert whole_exact.max() > np.iinfo(np.int16).max  # escalation real
+        merger = ScoreMerger([hot], packed, top_hits=3)
+        for k in range(len(packed.chunks)):
+            part = sw_score_packed(hot, packed, scheme, chunk_range=(k, k + 1))
+            merger.add(0, k, k + 1, part)
+        np.testing.assert_array_equal(merger._scores[0], whole_exact)
+
+    def test_over_merge_rejected(self):
+        _db, packed, queries = _workload()
+        scheme = default_scheme()
+        merger = ScoreMerger(queries, packed, top_hits=3)
+        part = sw_score_packed(
+            queries[0], packed, scheme, chunk_range=(0, len(packed.chunks))
+        )
+        assert merger.add(0, 0, len(packed.chunks), part)
+        with pytest.raises(RuntimeError, match="over-merged"):
+            merger.add(0, 0, len(packed.chunks), part)
+
+    def test_result_before_done_rejected(self):
+        _db, packed, queries = _workload()
+        merger = ScoreMerger(queries, packed, top_hits=3)
+        with pytest.raises(RuntimeError, match="pending"):
+            merger.result(0)
+
+    def test_wrong_row_count_rejected(self):
+        _db, packed, queries = _workload()
+        merger = ScoreMerger(queries, packed, top_hits=3)
+        with pytest.raises(ValueError, match="rows"):
+            merger.add(0, 0, 1, np.zeros(packed.num_sequences + 5, dtype=np.int64))

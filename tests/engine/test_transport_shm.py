@@ -1,0 +1,242 @@
+"""Process-pool data planes and dispatch modes: shm vs pickle, query
+vs chunk dispatch with stealing, and the /dev/shm leak guarantees of
+every teardown path (close, ``__exit__``, worker crash, SIGTERM)."""
+
+import glob
+import os
+import signal
+
+import pytest
+
+from repro.engine import ProtocolError, live_search
+from repro.engine.transport import (
+    ProcessWorkerPool,
+    START_METHOD_ENV,
+    resolve_data_plane,
+    resolve_start_method,
+)
+from repro.sequences import small_database, standard_query_set
+from repro.sequences.shm import SHM_PREFIX, shm_available
+from repro.telemetry.export import prometheus_text
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Small enough that the 18-sequence workload packs into several
+#: chunks, so chunk dispatch has real ranges to split and steal.
+CHUNK_CELLS = 1_500
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _live_segments() -> set[str]:
+    return {os.path.basename(p) for p in glob.glob(f"/dev/shm/{SHM_PREFIX}*")}
+
+
+def _hits(report):
+    return [
+        [(h.subject_id, h.score) for h in qr.hits]
+        for qr in report.query_results
+    ]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=18, mean_length=50, seed=51)
+    queries = standard_query_set(count=3).scaled(0.015).materialize(seed=52)
+    return db, queries
+
+
+@pytest.fixture(scope="module")
+def reference_hits(workload):
+    db, queries = workload
+    return _hits(live_search(queries, db, 1, 0, policy="self", top_hits=4))
+
+
+class TestResolvers:
+    def test_auto_honours_env(self, monkeypatch):
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        assert resolve_start_method("auto") == "spawn"
+
+    def test_auto_prefers_fork_without_env(self, monkeypatch):
+        monkeypatch.delenv(START_METHOD_ENV, raising=False)
+        import multiprocessing as mp
+
+        if "fork" in mp.get_all_start_methods():
+            assert resolve_start_method("auto") == "fork"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="not available"):
+            resolve_start_method("teleport")
+
+    def test_data_plane_validation(self):
+        with pytest.raises(ValueError, match="data_plane"):
+            resolve_data_plane("carrier-pigeon")
+
+    @needs_shm
+    def test_auto_plane_prefers_shm(self):
+        assert resolve_data_plane("auto") == "shm"
+        assert resolve_data_plane("shm") == "shm"
+        assert resolve_data_plane("pickle") == "pickle"
+
+
+class TestPlanesAndDispatchIdentity:
+    """Scores must be bit-for-bit identical on every plane x dispatch
+    combination — the tentpole's correctness contract."""
+
+    @pytest.mark.parametrize("plane", ["pickle", pytest.param("shm", marks=needs_shm)])
+    @pytest.mark.parametrize("dispatch", ["query", "chunk"])
+    def test_matches_threaded_reference(
+        self, workload, reference_hits, plane, dispatch
+    ):
+        db, queries = workload
+        with ProcessWorkerPool(
+            db,
+            num_cpu_workers=2,
+            top_hits=4,
+            chunk_cells=CHUNK_CELLS,
+            data_plane=plane,
+            dispatch=dispatch,
+        ) as pool:
+            report = pool.run_batch(queries)
+        assert _hits(report) == reference_hits
+
+    @needs_shm
+    def test_chunk_dispatch_accounting(self, workload):
+        db, queries = workload
+        with ProcessWorkerPool(
+            db,
+            num_cpu_workers=2,
+            top_hits=4,
+            chunk_cells=CHUNK_CELLS,
+            data_plane="shm",
+            dispatch="chunk",
+        ) as pool:
+            report = pool.run_batch(queries)
+        # Whole-query completions still sum to the query count, the
+        # subtask grains exceed it, and the cell total is exact.
+        assert sum(w.tasks_executed for w in report.worker_stats) == len(queries)
+        assert sum(w.subtasks for w in report.worker_stats) > len(queries)
+        expected = sum(len(q) for q in queries) * db.total_residues
+        assert report.total_cells == expected
+        assert "chunk dispatch" in report.scheduler_info
+        assert "steals" in report.scheduler_info
+
+    @needs_shm
+    def test_skewed_rates_force_steals_and_metrics(self, workload):
+        db, queries = workload
+        registry = MetricsRegistry()
+        with ProcessWorkerPool(
+            db,
+            num_cpu_workers=1,
+            num_gpu_workers=1,
+            top_hits=4,
+            chunk_cells=CHUNK_CELLS,
+            data_plane="shm",
+            dispatch="chunk",
+            oversubscribe=8,
+            registry=registry,
+        ) as pool:
+            # Absurd rates seed every grain onto proc0; gproc0 can only
+            # make progress by stealing.
+            report = pool.run_batch(
+                queries,
+                policy="swdual",
+                measured_gcups={"cpu": 1e6, "gpu": 1e-6},
+            )
+            stolen = {w.name: w.steals for w in report.worker_stats}
+            assert stolen["gproc0"] > 0
+            assert pool.steals["gproc0"] == stolen["gproc0"]
+        text = prometheus_text(registry)
+        assert 'swdual_steals_total{role="gpu"}' in text
+        assert "swdual_shm_attach_seconds" in text
+        assert "swdual_subtask_queue_depth" in text
+        assert _hits(report) == _hits(
+            live_search(queries, db, 1, 0, policy="self", top_hits=4)
+        )
+
+    @pytest.mark.skipif(
+        "spawn" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="spawn unavailable",
+    )
+    def test_spawn_start_method(self, workload, reference_hits):
+        db, queries = workload
+        before = _live_segments()
+        with ProcessWorkerPool(
+            db,
+            num_cpu_workers=1,
+            top_hits=4,
+            chunk_cells=CHUNK_CELLS,
+            start_method="spawn",
+            dispatch="chunk",
+        ) as pool:
+            assert pool.start_method == "spawn"
+            report = pool.run_batch(queries)
+        assert _hits(report) == reference_hits
+        assert _live_segments() == before
+
+
+@needs_shm
+class TestLeakProofTeardown:
+    """No ``/dev/shm`` segment with our prefix may survive any exit
+    path — the issue's teardown acceptance criterion."""
+
+    def test_normal_close(self, workload):
+        db, queries = workload
+        before = _live_segments()
+        pool = ProcessWorkerPool(db, num_cpu_workers=2, data_plane="shm")
+        pool.start()
+        assert _live_segments() != before  # the segment really exists
+        pool.run_batch(queries)
+        pool.close()
+        assert _live_segments() == before
+
+    def test_context_manager_exit_on_error(self, workload):
+        db, queries = workload
+        before = _live_segments()
+        with pytest.raises(RuntimeError, match="boom"):
+            with ProcessWorkerPool(db, num_cpu_workers=1, data_plane="shm") as pool:
+                pool.run_batch(queries)
+                raise RuntimeError("boom")
+        assert _live_segments() == before
+
+    def test_worker_crash_mid_batch(self, workload):
+        db, queries = workload
+        before = _live_segments()
+        pool = ProcessWorkerPool(
+            db,
+            num_cpu_workers=2,
+            data_plane="shm",
+            dispatch="chunk",
+            chunk_cells=CHUNK_CELLS,
+        )
+        pool.start()
+        pool._processes[0].kill()  # simulate an abrupt worker death
+        with pytest.raises(ProtocolError):
+            pool.run_batch(queries)
+        pool.close()
+        assert _live_segments() == before
+        # A broken pool refuses further batches instead of hanging.
+        with pytest.raises(ProtocolError):
+            pool.run_batch(queries)
+
+    def test_worker_sigterm(self, workload):
+        db, queries = workload
+        before = _live_segments()
+        pool = ProcessWorkerPool(db, num_cpu_workers=2, data_plane="shm")
+        pool.start()
+        os.kill(pool._processes[1].pid, signal.SIGTERM)
+        pool._processes[1].join(timeout=5)
+        with pytest.raises(ProtocolError):
+            pool.run_batch(queries)
+        pool.close()
+        assert _live_segments() == before
+
+    def test_close_is_idempotent(self, workload):
+        db, _queries = workload
+        before = _live_segments()
+        pool = ProcessWorkerPool(db, num_cpu_workers=1, data_plane="shm")
+        pool.start()
+        pool.close()
+        pool.close()
+        assert _live_segments() == before

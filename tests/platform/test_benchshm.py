@@ -1,0 +1,66 @@
+"""Shape and validation tests for the ``swdual bench shm`` report.
+
+The timed sections run real pools, so the full-report test is marked
+``slow`` (deselect with ``-m "not slow"``); numbers are machine-
+dependent and never asserted on, only the report's structure.
+"""
+
+import pytest
+
+from repro.platform import run_shm_bench
+from repro.platform.benchshm import BENCH_CHUNK_CELLS, BENCH_OVERSUBSCRIBE
+from repro.sequences.shm import shm_available
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+class TestValidation:
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_shm_bench(repeats=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            run_shm_bench(max_workers=0)
+
+
+@needs_shm
+@pytest.mark.slow
+class TestReportShape:
+    def test_tiny_run_produces_full_report(self):
+        report = run_shm_bench(
+            num_subjects=30,
+            min_len=30,
+            max_len=60,
+            query_len=50,
+            num_queries=2,
+            repeats=1,
+            max_workers=1,
+            chunk_cells=2_000,
+            warmup_subjects=60,
+        )
+        assert report["bench"] == "shm"
+        wl = report["workload"]
+        assert wl["num_subjects"] == 30
+        assert wl["warmup_subjects"] == 60
+        assert wl["oversubscribe"] == BENCH_OVERSUBSCRIBE
+        assert set(report["rates_gcups"]) == {"cpu", "gpu"}
+        warm = report["warmup"]
+        assert len(warm["scan"]) == 1
+        assert warm["marginal_pickle_s"] > 0
+        assert warm["marginal_shm_s"] > 0
+        assert warm["marginal_speedup"] > 0
+        for variant in ("calibrated", "miscalibrated"):
+            section = report["batch"][variant]
+            for mode in ("pickle", "shm_chunk"):
+                pct = section[mode]
+                assert pct["samples"] >= 5
+                assert 0 < pct["p50_s"] <= pct["p99_s"] <= pct["max_s"]
+            assert section["p99_speedup"] > 0
+            assert section["steals"] >= 0
+        assert report["scores_identical"] is True
+
+    def test_default_chunk_bound_is_finer_than_library_default(self):
+        from repro.sequences.packed import DEFAULT_CHUNK_CELLS
+
+        assert BENCH_CHUNK_CELLS < DEFAULT_CHUNK_CELLS

@@ -1,0 +1,139 @@
+"""Shared-memory arena tests: round-trip fidelity, lifecycle (close /
+unlink / finalizer), resource-tracker hygiene, and the packed-database
+payload on top."""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.sequences import small_database
+from repro.sequences.packed import PackedDatabase
+from repro.sequences.shm import (
+    SHM_PREFIX,
+    SharedArena,
+    attach_packed,
+    share_packed,
+    shm_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _live_segments() -> set[str]:
+    return {
+        os.path.basename(p) for p in glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+    }
+
+
+@pytest.fixture
+def arrays():
+    rng = np.random.default_rng(7)
+    return {
+        "a": rng.integers(-100, 100, size=(13, 7), dtype=np.int64),
+        "b": rng.integers(0, 255, size=37, dtype=np.uint8).astype(np.uint8),
+        "c": np.array([], dtype=np.int32),
+    }
+
+
+class TestSharedArena:
+    def test_round_trip_values_and_dtypes(self, arrays):
+        with SharedArena.create(arrays) as owner:
+            attached = SharedArena.attach(owner.manifest)
+            try:
+                for name, arr in arrays.items():
+                    view = attached.array(name)
+                    assert view.dtype == arr.dtype
+                    assert view.shape == arr.shape
+                    np.testing.assert_array_equal(view, arr)
+            finally:
+                attached.close()
+
+    def test_views_are_read_only(self, arrays):
+        with SharedArena.create(arrays) as owner:
+            view = owner.array("a")
+            with pytest.raises(ValueError):
+                view[0, 0] = 1
+
+    def test_owner_close_unlinks_segment(self, arrays):
+        owner = SharedArena.create(arrays)
+        name = owner.name
+        assert name in _live_segments()
+        owner.close()
+        assert name not in _live_segments()
+
+    def test_close_is_idempotent(self, arrays):
+        owner = SharedArena.create(arrays)
+        owner.close()
+        owner.close()
+        assert owner.closed
+
+    def test_attacher_close_keeps_segment(self, arrays):
+        with SharedArena.create(arrays) as owner:
+            attached = SharedArena.attach(owner.manifest)
+            attached.close()
+            assert owner.name in _live_segments()
+            # The owner can still read after an attacher detached.
+            np.testing.assert_array_equal(owner.array("a"), arrays["a"])
+
+    def test_array_after_close_rejected(self, arrays):
+        owner = SharedArena.create(arrays)
+        owner.close()
+        with pytest.raises(ValueError, match="closed"):
+            owner.array("a")
+
+    def test_finalizer_unlinks_dropped_owner(self, arrays):
+        owner = SharedArena.create(arrays)
+        name = owner.name
+        del owner
+        assert name not in _live_segments()
+
+    def test_segment_names_carry_prefix_and_pid(self, arrays):
+        with SharedArena.create(arrays) as owner:
+            assert owner.name.startswith(f"{SHM_PREFIX}_{os.getpid()}_")
+
+    def test_attach_missing_segment_raises(self, arrays):
+        with SharedArena.create(arrays) as owner:
+            manifest = dict(owner.manifest)
+        manifest["segment"] = f"{SHM_PREFIX}_0_deadbeef0000"
+        with pytest.raises(FileNotFoundError):
+            SharedArena.attach(manifest)
+
+
+class TestPackedPayload:
+    def test_attach_packed_round_trip(self):
+        db = small_database(num_sequences=20, mean_length=40, seed=3)
+        packed = PackedDatabase.from_database(db, chunk_cells=2_000)
+        arena = share_packed(packed)
+        try:
+            attached_arena, rebuilt = attach_packed(arena.manifest)
+            try:
+                assert rebuilt.name == packed.name
+                assert rebuilt.chunk_cells == packed.chunk_cells
+                assert rebuilt.num_sequences == packed.num_sequences
+                assert rebuilt.total_residues == packed.total_residues
+                assert len(rebuilt.chunks) == len(packed.chunks)
+                for mine, theirs in zip(packed.chunks, rebuilt.chunks):
+                    np.testing.assert_array_equal(mine.codes, theirs.codes)
+                    np.testing.assert_array_equal(mine.indices, theirs.indices)
+                    np.testing.assert_array_equal(mine.lengths, theirs.lengths)
+                assert [s.id for s in rebuilt.subjects] == [
+                    s.id for s in packed.subjects
+                ]
+            finally:
+                attached_arena.close()
+        finally:
+            arena.close()
+
+    def test_no_segments_leak(self):
+        before = _live_segments()
+        db = small_database(num_sequences=8, mean_length=30, seed=5)
+        packed = PackedDatabase.from_database(db)
+        arena = share_packed(packed)
+        attached, _rebuilt = attach_packed(arena.manifest)
+        attached.close()
+        arena.close()
+        assert _live_segments() == before

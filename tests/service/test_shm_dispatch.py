@@ -1,0 +1,161 @@
+"""Service-layer integration of the shm data plane and chunk dispatch:
+steal telemetry in :class:`ServiceStats`, `WarmPool` pass-through to
+the process transport, and an end-to-end service on the chunk path."""
+
+import pytest
+
+from repro.engine import live_search
+from repro.service import SearchClient, SearchService, ServiceStats, WarmPool
+from repro.sequences import small_database, standard_query_set
+from repro.sequences.shm import shm_available
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+ROSTER = [("proc0", "cpu"), ("gproc0", "gpu")]
+
+
+class _FakeWorkerStats:
+    def __init__(self, kind, tasks, busy, cells, steals=0):
+        self.kind = kind
+        self.tasks_executed = tasks
+        self.busy_seconds = busy
+        self.cells = cells
+        self.steals = steals
+
+
+class _FakeReport:
+    def __init__(self, worker_stats, num_queries):
+        self.worker_stats = worker_stats
+        self.query_results = [object()] * num_queries
+
+
+class TestStealTelemetry:
+    def test_record_batch_accumulates_steals(self):
+        stats = ServiceStats(ROSTER)
+        report = _FakeReport(
+            [
+                _FakeWorkerStats("cpu", 2, 0.5, 1_000_000, steals=1),
+                _FakeWorkerStats("gpu", 1, 0.25, 500_000, steals=3),
+            ],
+            num_queries=3,
+        )
+        stats.record_batch(report)
+        stats.record_batch(report)
+        snap = stats.snapshot()
+        assert snap["roles"]["cpu"]["steals"] == 2
+        assert snap["roles"]["gpu"]["steals"] == 6
+
+    def test_whole_query_stats_report_zero_steals(self):
+        stats = ServiceStats(ROSTER)
+        stats.record_batch(
+            _FakeReport([_FakeWorkerStats("cpu", 2, 0.5, 1_000)], num_queries=2)
+        )
+        assert stats.snapshot()["roles"]["cpu"]["steals"] == 0
+
+    def test_prometheus_exposes_role_steals(self):
+        stats = ServiceStats(ROSTER)
+        stats.record_batch(
+            _FakeReport(
+                [_FakeWorkerStats("gpu", 1, 0.1, 1_000, steals=4)], num_queries=1
+            )
+        )
+        text = stats.prometheus()
+        assert "# TYPE swdual_role_steals_total counter" in text
+        assert 'swdual_role_steals_total{role="gpu"} 4' in text
+        assert 'swdual_role_steals_total{role="cpu"} 0' in text
+
+
+@needs_shm
+class TestWarmPoolPassThrough:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        db = small_database(num_sequences=16, mean_length=50, seed=71)
+        queries = standard_query_set(count=3).scaled(0.012).materialize(seed=72)
+        return db, queries
+
+    def test_chunk_dispatch_matches_threads_backend(self, workload):
+        db, queries = workload
+        with WarmPool(
+            db, 1, 1, backend="threads", policy="self", top_hits=4
+        ) as ref_pool:
+            ref = ref_pool.run_batch(queries)
+        with WarmPool(
+            db,
+            1,
+            1,
+            backend="processes",
+            policy="self",
+            top_hits=4,
+            chunk_cells=1_500,
+            data_plane="shm",
+            dispatch="chunk",
+        ) as pool:
+            report = pool.run_batch(queries)
+        for a, b in zip(ref.query_results, report.query_results):
+            assert [(h.subject_id, h.score) for h in a.hits] == [
+                (h.subject_id, h.score) for h in b.hits
+            ]
+
+    def test_registry_reaches_process_pool(self, workload):
+        db, queries = workload
+        stats = ServiceStats(ROSTER)
+        with WarmPool(
+            db,
+            1,
+            1,
+            backend="processes",
+            top_hits=4,
+            chunk_cells=1_500,
+            data_plane="shm",
+            dispatch="chunk",
+            registry=stats.registry,
+        ) as pool:
+            pool.run_batch(queries)
+        text = stats.prometheus()
+        # The transport's metrics land in the service registry.
+        assert "swdual_steals_total" in text
+        assert "swdual_shm_attach_seconds" in text
+        assert "swdual_subtask_queue_depth" in text
+
+
+@needs_shm
+class TestServiceOnChunkPath:
+    def test_end_to_end_results_and_stats(self):
+        db = small_database(num_sequences=16, mean_length=50, seed=81)
+        queries = list(
+            standard_query_set(count=4).scaled(0.012).materialize(seed=82)
+        )
+        ref = live_search(
+            queries, db, num_cpu_workers=1, num_gpu_workers=1,
+            policy="self", top_hits=4,
+        )
+        expected = {
+            qr.query_id: [[h.subject_id, h.score] for h in qr.hits]
+            for qr in ref.query_results
+        }
+        svc = SearchService(
+            db,
+            num_cpu_workers=1,
+            num_gpu_workers=1,
+            backend="processes",
+            policy="self",
+            top_hits=4,
+            chunk_cells=1_500,
+            data_plane="shm",
+            dispatch="chunk",
+        )
+        svc.start()
+        try:
+            with SearchClient(*svc.address) as client:
+                outs = client.search(queries, top=4)
+            for q, out in zip(queries, outs):
+                assert out["hits"] == expected[q.id]
+            snap = svc.stats.snapshot()
+            assert "steals" in snap["roles"]["cpu"]
+            text = svc.stats.prometheus()
+            assert "swdual_role_steals_total" in text
+            assert "swdual_steals_total" in text
+        finally:
+            svc.shutdown()
