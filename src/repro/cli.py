@@ -173,6 +173,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--port", type=int, default=7731)
     p_stats.add_argument("--json", action="store_true", help="emit raw JSON")
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection run: kill/stall/corrupt workers, "
+        "verify bit-identical recovery",
+    )
+    p_chaos.add_argument("--seed", type=int, default=7, help="fault-plan seed")
+    p_chaos.add_argument("--workers", type=int, default=4, help="worker processes")
+    p_chaos.add_argument("--faults", type=int, default=1, help="faults to inject")
+    p_chaos.add_argument(
+        "--kinds",
+        default="kill,stall,corrupt",
+        help="comma-separated fault kinds to draw from",
+    )
+    p_chaos.add_argument("--dispatch", default="query", choices=("query", "chunk"))
+    p_chaos.add_argument(
+        "--policy", default="self", choices=("self", "swdual", "swdual-dp")
+    )
+    p_chaos.add_argument("--queries", default=None, help="FASTA file (default: seeded workload)")
+    p_chaos.add_argument("--db", default=None, help=".swdb or FASTA database")
+    p_chaos.add_argument("--json", action="store_true", help="emit the full report as JSON")
+    p_chaos.add_argument(
+        "--out", default=None, help="write the recovery-event trace (JSON) here"
+    )
+
     p_trace = sub.add_parser(
         "trace",
         help="run one traced batch and export Chrome-trace + schedule-timeline JSON",
@@ -568,6 +592,14 @@ def _cmd_stats(args) -> int:
         f"(p50 {wait['p50_s'] * 1e3:.1f} / p90 {wait['p90_s'] * 1e3:.1f} / "
         f"p99 {wait['p99_s'] * 1e3:.1f} / max {wait['max_s'] * 1e3:.1f} ms)"
     )
+    recovery = snapshot.get("recovery")
+    if recovery:
+        print(
+            f"recovery: {recovery['worker_deaths']} worker deaths, "
+            f"{recovery['task_retries']} retries, "
+            f"{recovery['tasks_requeued']} requeued, "
+            f"{recovery['tasks_quarantined']} quarantined"
+        )
     rows = [
         [
             kind,
@@ -586,6 +618,52 @@ def _cmd_stats(args) -> int:
         )
     )
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    import json as json_mod
+
+    from repro.engine import run_chaos
+
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    queries = database = None
+    if args.queries is not None:
+        from repro.sequences import read_fasta
+
+        queries = read_fasta(args.queries)
+        if not queries:
+            print("error: no query records found", file=sys.stderr)
+            return 1
+    if args.db is not None:
+        database = _load_db(args.db)
+    report = run_chaos(
+        seed=args.seed,
+        num_workers=args.workers,
+        num_faults=args.faults,
+        kinds=kinds,
+        queries=queries,
+        database=database,
+        dispatch=args.dispatch,
+        policy=args.policy,
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json_mod.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        for event in report.events:
+            worker = event.get("worker") or "-"
+            task = event["task"] if event.get("task") is not None else "-"
+            print(
+                f"  [{event['seq']}] {event['kind']}: worker={worker} "
+                f"task={task} attempt={event.get('attempt') or '-'} "
+                f"{event.get('detail') or ''}".rstrip()
+            )
+    return 0 if report.survived else 1
 
 
 def _cmd_trace(args) -> int:
@@ -653,6 +731,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "query": _cmd_query,
     "stats": _cmd_stats,
+    "chaos": _cmd_chaos,
     "trace": _cmd_trace,
 }
 

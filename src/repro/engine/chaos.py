@@ -1,0 +1,168 @@
+"""Seeded end-to-end chaos runs for the supervised process transport.
+
+``swdual chaos`` (and the CI chaos job) need one entry point that:
+builds a workload, runs it fault-free for a reference answer, replays
+it under a seed-reproducible :class:`~repro.engine.faults.FaultPlan`
+(kills, stalls, corruptions), and reports whether every query survived
+with scores bit-identical to the fault-free run — plus the ordered
+recovery-event trace the run produced, as a JSON-able artifact.
+
+Nothing here is randomised at run time: the fault plan derives
+entirely from the seed, so a failing chaos run reproduces with the
+same ``--seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.faults import FaultPlan, RecoveryLog
+from repro.engine.results import SearchReport
+from repro.engine.transport import process_search
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.sequence import Sequence
+
+__all__ = ["ChaosReport", "run_chaos"]
+
+
+def _hit_table(report: SearchReport) -> list[list[tuple[str, int]]]:
+    return [
+        [(h.subject_id, h.score) for h in qr.hits] for qr in report.query_results
+    ]
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one seeded chaos run."""
+
+    seed: int
+    num_workers: int
+    dispatch: str
+    policy: str
+    num_queries: int
+    faults: list[dict]
+    identical: bool
+    quarantined: tuple[str, ...]
+    events: list[dict] = field(default_factory=list)
+    baseline_wall_seconds: float = 0.0
+    faulted_wall_seconds: float = 0.0
+
+    @property
+    def survived(self) -> bool:
+        """The acceptance bar: every query completed with scores
+        bit-identical to the fault-free run, nothing quarantined."""
+        return self.identical and not self.quarantined
+
+    def to_dict(self) -> dict:
+        """JSON-able payload — the CI artifact the chaos job uploads."""
+        return {
+            "seed": self.seed,
+            "num_workers": self.num_workers,
+            "dispatch": self.dispatch,
+            "policy": self.policy,
+            "num_queries": self.num_queries,
+            "faults": self.faults,
+            "identical": self.identical,
+            "survived": self.survived,
+            "quarantined": list(self.quarantined),
+            "baseline_wall_seconds": self.baseline_wall_seconds,
+            "faulted_wall_seconds": self.faulted_wall_seconds,
+            "events": self.events,
+        }
+
+    def summary(self) -> str:
+        verdict = "SURVIVED" if self.survived else "FAILED"
+        kinds = ", ".join(f["kind"] for f in self.faults) or "none"
+        return (
+            f"chaos seed={self.seed}: {verdict} — {len(self.faults)} fault(s) "
+            f"[{kinds}] over {self.num_workers} workers, "
+            f"{self.num_queries} queries, {len(self.events)} recovery event(s), "
+            f"{len(self.quarantined)} quarantined"
+        )
+
+
+def run_chaos(
+    seed: int = 7,
+    num_workers: int = 4,
+    num_faults: int = 1,
+    kinds: tuple[str, ...] = ("kill", "stall", "corrupt"),
+    queries: list[Sequence] | None = None,
+    database: SequenceDatabase | None = None,
+    dispatch: str = "query",
+    policy: str = "self",
+    heartbeat_timeout: float = 2.0,
+    max_retries: int = 2,
+    top_hits: int = 5,
+    start_method: str = "auto",
+) -> ChaosReport:
+    """One seeded kill-schedule, end to end.
+
+    Runs the workload twice on real worker processes — once clean for
+    the reference answer, once under ``FaultPlan.random(seed, ...)`` —
+    and compares every query's hit list bit for bit.  The default
+    workload (a small seeded database and query set) keeps the run
+    under a few seconds; pass *queries*/*database* to chaos-test a real
+    corpus.
+
+    The faulted run uses a short *heartbeat_timeout* so stall detection
+    fires promptly; determinism is unaffected because faults trigger on
+    task ordinals, never timers.
+    """
+    if queries is None or database is None:
+        from repro.sequences import small_database, standard_query_set
+
+        if database is None:
+            database = small_database(num_sequences=12, mean_length=50, seed=101)
+        if queries is None:
+            queries = list(
+                standard_query_set(count=4).scaled(0.015).materialize(seed=102)
+            )
+    worker_names = [f"proc{i}" for i in range(num_workers)]
+    plan = FaultPlan.random(
+        seed, worker_names, num_faults=num_faults, kinds=tuple(kinds)
+    )
+
+    baseline = process_search(
+        queries,
+        database,
+        num_workers=num_workers,
+        top_hits=top_hits,
+        policy=policy,
+        dispatch=dispatch,
+        start_method=start_method,
+    )
+    recovery = RecoveryLog()
+    faulted = process_search(
+        queries,
+        database,
+        num_workers=num_workers,
+        top_hits=top_hits,
+        policy=policy,
+        dispatch=dispatch,
+        start_method=start_method,
+        fault_plan=plan,
+        heartbeat_timeout=heartbeat_timeout,
+        max_retries=max_retries,
+        recovery_log=recovery,
+    )
+
+    return ChaosReport(
+        seed=seed,
+        num_workers=num_workers,
+        dispatch=dispatch,
+        policy=policy,
+        num_queries=len(queries),
+        faults=[
+            {
+                "worker": spec.worker,
+                "task_ordinal": spec.task_ordinal,
+                "kind": spec.kind,
+            }
+            for spec in plan.worker_faults
+        ],
+        identical=_hit_table(faulted) == _hit_table(baseline),
+        quarantined=faulted.quarantined,
+        events=recovery.to_dicts(),
+        baseline_wall_seconds=baseline.wall_seconds,
+        faulted_wall_seconds=faulted.wall_seconds,
+    )

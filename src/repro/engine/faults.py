@@ -1,0 +1,408 @@
+"""Deterministic fault injection and recovery bookkeeping.
+
+The live engine must survive the failures a production service sees —
+worker processes dying mid-kernel, wedging without exiting, or
+returning payloads mangled in transit — and the tests that prove it
+must be *deterministic*: a fault fires because a specific worker
+reached a specific task ordinal, never because a wall clock raced a
+scheduler.  This module supplies both halves:
+
+* :class:`FaultPlan` — a picklable, seed-reproducible description of
+  which worker faults on which task (``kill`` / ``stall`` /
+  ``corrupt``) plus which *tasks* are poison (fail on every worker,
+  exercising the quarantine path).  Plans cross the process boundary
+  at spawn, so injection works identically under ``fork`` and
+  ``spawn``.
+* :class:`FaultInjector` — the worker-side executor: counts the task
+  ordinals a worker has been handed and fires the planned fault at the
+  right one.  A firing injector also freezes the worker's heartbeat
+  thread, so a ``stall`` looks to the master exactly like a wedged
+  process (no progress *and* no heartbeats).
+* :class:`RecoveryLog` / :class:`RecoveryEvent` — the master's ordered
+  record of every recovery action (worker lost, task requeued,
+  retried, quarantined, allocation re-run), exported by ``swdual
+  chaos`` and asserted on by the fault tests.
+* The named failure surface: :class:`WorkerTimeoutError`,
+  :class:`WorkerCrashed`, :class:`AllWorkersDeadError`,
+  :class:`InjectedFault` — so callers can distinguish "a worker
+  stalled past its heartbeat timeout" from generic protocol trouble.
+
+Integrity checking uses :func:`payload_checksum` on both sides of the
+pipe: workers checksum the result payload before sending, the master
+re-checksums on receipt, and a mismatch (the ``corrupt`` fault flips
+the checksum after it is computed) requeues the task instead of
+surfacing a silently wrong score.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+from repro.engine.messages import ProtocolError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "TaskFault",
+    "FaultPlan",
+    "FaultInjector",
+    "RecoveryEvent",
+    "RecoveryLog",
+    "WorkerTimeoutError",
+    "WorkerCrashed",
+    "AllWorkersDeadError",
+    "InjectedFault",
+    "payload_checksum",
+]
+
+#: Worker-fault kinds a :class:`FaultSpec` may carry.
+FAULT_KINDS = ("kill", "stall", "corrupt")
+
+
+class WorkerTimeoutError(ProtocolError):
+    """A worker missed its heartbeat/response deadline.
+
+    Carries the worker's name, the task it was holding (query id, wire
+    index, or ``"register"``) and the timeout that expired, so the
+    operator-facing message names the stuck party instead of a bare
+    "processes unresponsive".
+    """
+
+    def __init__(self, worker: str, pending_task=None, timeout: float | None = None):
+        self.worker = worker
+        self.pending_task = pending_task
+        self.timeout = timeout
+        detail = f"worker {worker!r} timed out"
+        if timeout is not None:
+            detail += f" after {timeout:g}s"
+        if pending_task is not None:
+            detail += f" holding task {pending_task!r}"
+        super().__init__(detail)
+
+
+class WorkerCrashed(ProtocolError):
+    """A worker died (process exit, pipe EOF, or injected kill)."""
+
+    def __init__(self, worker: str, reason: str = "crash", pending_task=None):
+        self.worker = worker
+        self.reason = reason
+        self.pending_task = pending_task
+        detail = f"worker {worker!r} died ({reason})"
+        if pending_task is not None:
+            detail += f" holding task {pending_task!r}"
+        super().__init__(detail)
+
+
+class AllWorkersDeadError(ProtocolError):
+    """Every worker of a pool died with work still outstanding."""
+
+    def __init__(self, pending: int, last_worker: str | None = None):
+        self.pending = pending
+        self.last_worker = last_worker
+        detail = f"all workers dead with {pending} task(s) outstanding"
+        if last_worker is not None:
+            detail += f" (last casualty: {last_worker!r})"
+        super().__init__(detail)
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a worker by a planned task fault (poison task)."""
+
+
+def payload_checksum(payload) -> int:
+    """CRC32 integrity checksum of a result payload.
+
+    Accepts the whole-query hit list (``[(subject_id, score), ...]``)
+    or a numpy score vector (chunk-dispatch partial); both sides of the
+    pipe compute it over a canonical byte rendering, so any payload
+    mutation in between is detected.
+    """
+    if hasattr(payload, "tobytes"):
+        import numpy as np
+
+        return zlib.crc32(np.ascontiguousarray(payload).tobytes())
+    return zlib.crc32(repr(list(payload)).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned worker fault: at *task_ordinal* (0-based count of
+    tasks/subtasks this worker has been handed), do *kind*.
+
+    ``kill`` exits the worker process mid-task (``os._exit``), ``stall``
+    freezes heartbeats and sleeps ``stall_seconds`` (the master's
+    heartbeat timeout fires long before a sane default elapses), and
+    ``corrupt`` delivers a result whose integrity checksum does not
+    match its payload.
+    """
+
+    worker: str
+    task_ordinal: int
+    kind: str
+    exit_code: int = 13
+    stall_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.task_ordinal < 0:
+            raise ValueError(f"task_ordinal must be >= 0, got {self.task_ordinal}")
+        if self.stall_seconds <= 0:
+            raise ValueError(f"stall_seconds must be > 0, got {self.stall_seconds}")
+
+
+@dataclass(frozen=True)
+class TaskFault:
+    """A poison *task*: every execution attempt of it fails, on every
+    worker, until ``fail_times`` attempts have failed (``None`` = fail
+    forever, the quarantine-forcing default)."""
+
+    task_index: int
+    fail_times: int | None = None
+    message: str = "injected poison task"
+
+    def __post_init__(self) -> None:
+        if self.task_index < 0:
+            raise ValueError(f"task_index must be >= 0, got {self.task_index}")
+        if self.fail_times is not None and self.fail_times < 1:
+            raise ValueError(f"fail_times must be >= 1, got {self.fail_times}")
+
+
+class FaultPlan:
+    """A deterministic set of faults to inject into one run.
+
+    Parameters
+    ----------
+    worker_faults:
+        :class:`FaultSpec` list; at most one fault per
+        ``(worker, task_ordinal)`` pair.
+    task_faults:
+        :class:`TaskFault` list keyed by task index (the wire task
+        index in whole-query dispatch, the query index in chunk
+        dispatch); at most one per task.
+
+    Plans are immutable, picklable (they ride the spawn payload to
+    worker processes) and contain no wall-clock state: the same plan
+    against the same workload fires identically on every run.
+    """
+
+    def __init__(
+        self,
+        worker_faults: list[FaultSpec] | None = None,
+        task_faults: list[TaskFault] | None = None,
+    ):
+        self._worker_faults: dict[tuple[str, int], FaultSpec] = {}
+        for spec in worker_faults or []:
+            key = (spec.worker, spec.task_ordinal)
+            if key in self._worker_faults:
+                raise ValueError(f"duplicate fault for worker {key[0]!r} ordinal {key[1]}")
+            self._worker_faults[key] = spec
+        self._task_faults: dict[int, TaskFault] = {}
+        for fault in task_faults or []:
+            if fault.task_index in self._task_faults:
+                raise ValueError(f"duplicate poison task {fault.task_index}")
+            self._task_faults[fault.task_index] = fault
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def single(cls, worker: str, task_ordinal: int, kind: str, **kwargs) -> "FaultPlan":
+        """One worker fault, nothing else (the common test shape)."""
+        return cls([FaultSpec(worker, task_ordinal, kind, **kwargs)])
+
+    @classmethod
+    def poison(cls, task_index: int, fail_times: int | None = None) -> "FaultPlan":
+        """One poison task, nothing else."""
+        return cls(task_faults=[TaskFault(task_index, fail_times)])
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        workers: list[str],
+        num_faults: int = 1,
+        kinds: tuple[str, ...] = ("kill",),
+        max_ordinal: int = 3,
+    ) -> "FaultPlan":
+        """A seed-reproducible plan: *num_faults* faults over distinct
+        *workers*, ordinals drawn from ``[0, max_ordinal)``.
+
+        The same ``(seed, workers, num_faults, kinds, max_ordinal)``
+        always yields the same plan — the property the conformance
+        suite's seeded fault loop relies on.
+        """
+        if num_faults < 0:
+            raise ValueError(f"num_faults must be >= 0, got {num_faults}")
+        if num_faults > len(workers):
+            raise ValueError(
+                f"cannot fault {num_faults} distinct workers out of {len(workers)}"
+            )
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"kind must be one of {FAULT_KINDS}, got {kind!r}")
+        rng = random.Random(seed)
+        victims = rng.sample(sorted(workers), num_faults)
+        specs = [
+            FaultSpec(
+                worker=victim,
+                task_ordinal=rng.randrange(max_ordinal),
+                kind=rng.choice(list(kinds)),
+            )
+            for victim in victims
+        ]
+        return cls(specs)
+
+    # -- lookup ---------------------------------------------------------
+
+    @property
+    def worker_faults(self) -> tuple[FaultSpec, ...]:
+        return tuple(sorted(self._worker_faults.values(), key=lambda s: (s.worker, s.task_ordinal)))
+
+    @property
+    def task_faults(self) -> tuple[TaskFault, ...]:
+        return tuple(sorted(self._task_faults.values(), key=lambda f: f.task_index))
+
+    def worker_action(self, worker: str, task_ordinal: int) -> FaultSpec | None:
+        return self._worker_faults.get((worker, task_ordinal))
+
+    def task_action(self, task_index: int) -> TaskFault | None:
+        return self._task_faults.get(task_index)
+
+    def victims(self) -> tuple[str, ...]:
+        """Workers this plan faults, sorted."""
+        return tuple(sorted({spec.worker for spec in self._worker_faults.values()}))
+
+    def __len__(self) -> int:
+        return len(self._worker_faults) + len(self._task_faults)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultPlan(worker_faults={list(self.worker_faults)!r}, "
+            f"task_faults={list(self.task_faults)!r})"
+        )
+
+
+class FaultInjector:
+    """Worker-side fault executor.
+
+    One injector lives in each worker (process or thread), counting the
+    task ordinals the worker has been handed.  :meth:`next_task` is
+    called once per received task and returns the planned
+    :class:`FaultSpec` when this is the ordinal that faults;
+    :meth:`task_fault` reports whether the task itself is poison.
+
+    :attr:`frozen` is set while a stall is in progress so the worker's
+    heartbeat thread stops beating — to the master the worker looks
+    genuinely wedged, not merely slow.
+    """
+
+    def __init__(self, plan: FaultPlan | None, worker: str):
+        self.plan = plan
+        self.worker = worker
+        self.ordinal = 0
+        self.frozen = False
+        self._fail_counts: dict[int, int] = {}
+
+    def next_task(self) -> FaultSpec | None:
+        """Advance the ordinal counter; the fault planned for the task
+        just received, if any."""
+        ordinal = self.ordinal
+        self.ordinal += 1
+        if self.plan is None:
+            return None
+        return self.plan.worker_action(self.worker, ordinal)
+
+    def task_fault(self, task_index: int) -> TaskFault | None:
+        """The poison fault for *task_index* if it should fail this
+        attempt (honours ``fail_times``)."""
+        if self.plan is None:
+            return None
+        fault = self.plan.task_action(task_index)
+        if fault is None:
+            return None
+        seen = self._fail_counts.get(task_index, 0)
+        if fault.fail_times is not None and seen >= fault.fail_times:
+            return None
+        self._fail_counts[task_index] = seen + 1
+        return fault
+
+
+_EVENT_SEQ = itertools.count()
+
+#: Recovery event kinds (:class:`RecoveryEvent.kind`).
+RECOVERY_KINDS = (
+    "worker_lost",
+    "requeue",
+    "retry",
+    "quarantine",
+    "reallocate",
+)
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery action the master took."""
+
+    kind: str
+    worker: str | None = None
+    task: object = None
+    attempt: int = 0
+    detail: str = ""
+    seq: int = field(default_factory=lambda: next(_EVENT_SEQ))
+
+    def __post_init__(self) -> None:
+        if self.kind not in RECOVERY_KINDS:
+            raise ValueError(f"kind must be one of {RECOVERY_KINDS}, got {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "worker": self.worker,
+            "task": self.task,
+            "attempt": self.attempt,
+            "detail": self.detail,
+        }
+
+
+class RecoveryLog:
+    """Thread-safe ordered record of recovery events."""
+
+    def __init__(self):
+        self._events: list[RecoveryEvent] = []
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, worker=None, task=None, attempt: int = 0, detail: str = "") -> RecoveryEvent:
+        event = RecoveryEvent(kind=kind, worker=worker, task=task, attempt=attempt, detail=detail)
+        with self._lock:
+            self._events.append(event)
+        return event
+
+    def all(self) -> list[RecoveryEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def of_kind(self, kind: str) -> list[RecoveryEvent]:
+        return [e for e in self.all() if e.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        """Event totals by kind (absent kinds omitted)."""
+        out: dict[str, int] = {}
+        for event in self.all():
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def to_dicts(self) -> list[dict]:
+        """JSON-able event list (the chaos-trace artifact payload)."""
+        return [e.to_dict() for e in self.all()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

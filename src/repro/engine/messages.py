@@ -22,6 +22,8 @@ __all__ = [
     "register_ack",
     "assign_tasks",
     "task_done",
+    "task_failed",
+    "worker_lost",
     "shutdown",
     "ProtocolError",
     "MessageLog",
@@ -39,6 +41,8 @@ class MessageType(enum.Enum):
     REGISTER_ACK = "register_ack"  # master -> worker
     ASSIGN_TASKS = "assign_tasks"  # master -> worker (allocation)
     TASK_DONE = "task_done"  # worker -> master (results)
+    TASK_FAILED = "task_failed"  # worker -> master (task error / bad payload)
+    WORKER_LOST = "worker_lost"  # master bookkeeping (crash/stall detected)
     SHUTDOWN = "shutdown"  # master -> worker
 
 
@@ -83,6 +87,28 @@ def task_done(worker: str, task_index: int, elapsed: float, result: Any = None) 
         worker,
         "master",
         payload={"task": task_index, "elapsed": elapsed, "result": result},
+    )
+
+
+def task_failed(worker: str, task_index, reason: str) -> Message:
+    """Worker (or the master's integrity check) reports one failed
+    attempt at a task; the master requeues or quarantines it."""
+    return Message(
+        MessageType.TASK_FAILED,
+        worker,
+        "master",
+        payload={"task": task_index, "reason": reason},
+    )
+
+
+def worker_lost(worker: str, reason: str) -> Message:
+    """Master records that a worker died (crash, pipe EOF, or missed
+    heartbeat deadline) and left the roster."""
+    return Message(
+        MessageType.WORKER_LOST,
+        "master",
+        "master",
+        payload={"worker": worker, "reason": reason},
     )
 
 

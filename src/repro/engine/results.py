@@ -101,6 +101,10 @@ class SearchReport:
     worker_stats: tuple[WorkerStats, ...]
     query_results: tuple[QueryResult, ...] = ()
     scheduler_info: str = ""
+    #: Query ids abandoned after exhausting their retry budget (poison
+    #: tasks).  Each still has a placeholder entry (empty hit list) in
+    #: :attr:`query_results`, so positional indexing stays intact.
+    quarantined: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.wall_seconds <= 0:

@@ -53,6 +53,7 @@ def report_to_dict(report: SearchReport) -> dict[str, Any]:
         "total_idle_seconds": report.total_idle_seconds,
         "mean_utilization": report.mean_utilization,
         "scheduler_info": report.scheduler_info,
+        "quarantined": list(report.quarantined),
         "workers": [
             {
                 "name": w.name,

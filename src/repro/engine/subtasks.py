@@ -244,6 +244,60 @@ class ChunkScheduler:
         self._pending -= 1
         return loot, True
 
+    # -- recovery ------------------------------------------------------
+
+    def requeue(self, sub: Subtask, front: bool = True) -> None:
+        """Put a handed-out subtask back (its worker died or its result
+        failed the integrity check).
+
+        The grain lands on the deque of the worker with the least
+        estimated remaining work — the degraded equivalent of the
+        proportional seed — at the *front* for a first retry (fast
+        recovery) or the *back* for later attempts (schedule-level
+        backoff keeps a flaky grain from hogging the next idle worker).
+        """
+        if not self._deques:
+            raise ValueError("no workers left to requeue onto")
+        best = min(self._deques, key=lambda n: (self.remaining_seconds(n), n))
+        if front:
+            self._deques[best].appendleft(sub)
+        else:
+            self._deques[best].append(sub)
+        self._pending += 1
+
+    def remove_worker(self, name: str) -> int:
+        """Remove a dead worker from the schedule.
+
+        Its queued (not yet handed out) grains are redistributed across
+        the survivors' deques — each onto the least-loaded survivor, in
+        original sid order, so the steal machinery keeps operating on a
+        truthful load picture.  Returns the number of redistributed
+        grains.  Raises ``KeyError`` for an unknown worker; removing the
+        last worker while grains remain queued raises ``ValueError``
+        (the caller surfaces that as an all-workers-dead failure).
+        """
+        orphans = list(self._deques.pop(name))
+        self._rate.pop(name, None)
+        if orphans and not self._deques:
+            # Undo so the scheduler stays consistent for error reporting.
+            self._deques[name] = deque(orphans)
+            raise ValueError(f"cannot remove last worker {name!r} with work queued")
+        for sub in sorted(orphans, key=lambda s: s.sid):
+            best = min(self._deques, key=lambda n: (self.remaining_seconds(n), n))
+            self._deques[best].append(sub)
+        return len(orphans)
+
+    def purge_query(self, query_index: int) -> int:
+        """Drop every queued grain of one query (it was quarantined);
+        returns how many grains were removed."""
+        removed = 0
+        for name, d in self._deques.items():
+            kept = deque(s for s in d if s.query_index != query_index)
+            removed += len(d) - len(kept)
+            self._deques[name] = kept
+        self._pending -= removed
+        return removed
+
     def steals_by_kind(self) -> dict[str, int]:
         """Total steals aggregated by thief role (``cpu``/``gpu``)."""
         out: dict[str, int] = {}

@@ -1,4 +1,4 @@
-"""Process-based master–slave transport.
+"""Process-based master–slave transport with supervision.
 
 The paper's implementation runs the master and each worker as separate
 processes ("the workers are started either manually or automatically,
@@ -42,6 +42,24 @@ assigned either by dynamic self-scheduling (``"self"``) or by the
 one-round SWDUAL allocation (``"swdual"``/``"swdual-dp"``) computed
 with :func:`repro.engine.master.predict_static_allocation`.
 
+Supervision.  The master assumes workers *can* die: every worker runs
+a heartbeat thread (one beat per ``heartbeat_timeout/4``), results
+carry a CRC32 integrity checksum, and the master's batch loops wait on
+pipes *and* process sentinels with a short tick instead of a blocking
+60 s receive.  A worker that exits (sentinel + pipe EOF), wedges
+(missed heartbeat deadline) or returns a mangled payload (checksum
+mismatch) is removed from the roster; its in-flight task is requeued
+(first retry jumps the queue, later ones back off to the tail) until a
+capped retry budget is spent, after which the task is quarantined with
+an empty placeholder result rather than wedging the batch.  Under the
+static policies the dual-approximation allocation is re-run over the
+survivors for the dead worker's unstarted tasks; in chunk dispatch the
+orphaned grains re-enter the steal deques.  Every recovery action is
+recorded in :attr:`ProcessWorkerPool.recovery` (a
+:class:`~repro.engine.faults.RecoveryLog`) and counted in the
+telemetry registry.  Deterministic fault injection for tests rides the
+spawn payload as a :class:`~repro.engine.faults.FaultPlan`.
+
 Worker teardown is exception-safe: every path through
 :meth:`ProcessWorkerPool.close` (and hence :func:`process_search`)
 ends in a ``finally`` block that terminates and joins any child still
@@ -56,8 +74,27 @@ import os
 from dataclasses import dataclass, replace
 
 from repro.align.scoring import ScoringScheme, default_scheme
+from repro.engine.faults import (
+    AllWorkersDeadError,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    RecoveryLog,
+    WorkerTimeoutError,
+    payload_checksum,
+)
 from repro.engine.master import predict_static_allocation
-from repro.engine.messages import MessageLog, ProtocolError, assign_tasks, register, register_ack, shutdown, task_done
+from repro.engine.messages import (
+    MessageLog,
+    ProtocolError,
+    assign_tasks,
+    register,
+    register_ack,
+    shutdown,
+    task_done,
+    task_failed,
+    worker_lost,
+)
 from repro.engine.results import Hit, QueryResult, SearchReport, WorkerStats
 from repro.engine.subtasks import DEFAULT_OVERSUBSCRIBE, ChunkScheduler, ScoreMerger, plan_subtasks
 from repro.sequences.database import SequenceDatabase
@@ -72,6 +109,8 @@ __all__ = [
     "PROCESS_POLICIES",
     "DATA_PLANES",
     "DISPATCH_MODES",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "DEFAULT_MAX_RETRIES",
     "resolve_start_method",
     "resolve_data_plane",
 ]
@@ -89,6 +128,18 @@ DISPATCH_MODES = ("query", "chunk")
 #: Environment override for ``start_method="auto"`` (used by the CI
 #: spawn job to exercise both methods without touching call sites).
 START_METHOD_ENV = "SWDUAL_START_METHOD"
+
+#: Seconds without any message (result or heartbeat) from a worker
+#: holding a task before the master declares it wedged.
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+#: Failed attempts a task may accumulate before quarantine; attempt
+#: ``max_retries + 1`` is never dispatched.
+DEFAULT_MAX_RETRIES = 2
+
+#: XOR mask the ``corrupt`` fault applies to a result's checksum — the
+#: payload and its checksum then disagree, as after real wire damage.
+_CORRUPT_MASK = 0x5A5A5A5A
 
 
 def resolve_start_method(method: str = "auto") -> str:
@@ -140,7 +191,18 @@ class _WireTask:
     query: Sequence
 
 
-def _worker_main(conn, name: str, kind: str, payload, scheme, top_hits, chunk_cells, trace: bool):
+def _worker_main(
+    conn,
+    name: str,
+    kind: str,
+    payload,
+    scheme,
+    top_hits,
+    chunk_cells,
+    trace: bool,
+    fault_plan: FaultPlan | None = None,
+    hb_interval: float = DEFAULT_HEARTBEAT_TIMEOUT / 4.0,
+):
     """Worker process entry point: register, serve tasks, exit on
     shutdown.
 
@@ -160,6 +222,20 @@ def _worker_main(conn, name: str, kind: str, payload, scheme, top_hits, chunk_ce
     concatenated row scores for the range — the master merges and
     ranks.
 
+    A daemon heartbeat thread sends ``("hb", name)`` every
+    *hb_interval* seconds (sharing the pipe under a send lock), so the
+    master can tell "long kernel" from "wedged process".  Every
+    ``done``/``part`` message carries a CRC32
+    :func:`~repro.engine.faults.payload_checksum` of its result
+    payload.  A kernel failure (including an injected poison task)
+    becomes a ``fail`` message instead of a dead pipe.
+
+    When *fault_plan* is set, a :class:`~repro.engine.faults.FaultInjector`
+    counts the task ordinals this worker receives and fires the planned
+    fault: ``kill`` exits the process mid-task, ``stall`` freezes the
+    heartbeat thread and sleeps past any sane master timeout, and
+    ``corrupt`` flips the checksum after computing it.
+
     With *trace* set (the master had tracing enabled at spawn), the
     child enables its own span recording and ships the serialized spans
     of each task back inside the ``done``/``part`` message — the master
@@ -168,6 +244,9 @@ def _worker_main(conn, name: str, kind: str, payload, scheme, top_hits, chunk_ce
     for all processes), so child spans line up with the master's
     timeline.
     """
+    import threading
+    import time
+
     import numpy as np
 
     from repro.align.stats import CellUpdateCounter
@@ -176,6 +255,23 @@ def _worker_main(conn, name: str, kind: str, payload, scheme, top_hits, chunk_ce
 
     if trace:
         tracing.enable()
+    injector = FaultInjector(fault_plan, name)
+    send_lock = threading.Lock()
+    hb_stop = threading.Event()
+
+    def send(message) -> None:
+        with send_lock:
+            conn.send(message)
+
+    def beat() -> None:
+        while not hb_stop.wait(hb_interval):
+            if injector.frozen:
+                continue
+            try:
+                send(("hb", name))
+            except (OSError, ValueError):  # master gone; exit quietly
+                return
+
     setup_start = tracing.clock()
     arena = None
     untrack = True
@@ -207,6 +303,22 @@ def _worker_main(conn, name: str, kind: str, payload, scheme, top_hits, chunk_ce
             query, packed, scheme, chunk_range=chunk_range, profile=profile
         )
 
+    def fire_fault():
+        """Execute the planned fault for the task just received; the
+        spec is returned when result corruption should follow."""
+        spec = injector.next_task()
+        if spec is None:
+            return None
+        if spec.kind == "kill":
+            conn.close()
+            os._exit(spec.exit_code)
+        if spec.kind == "stall":
+            injector.frozen = True
+            time.sleep(spec.stall_seconds)
+            injector.frozen = False
+            return None
+        return spec  # corrupt: handled at send time
+
     batch_queries: list[Sequence] | None = None
     qp_arena = None
     qp_profiles = None
@@ -217,15 +329,17 @@ def _worker_main(conn, name: str, kind: str, payload, scheme, top_hits, chunk_ce
             qp_arena.close()
         batch_queries = qp_arena = qp_profiles = None
 
-    conn.send(("register", name, kind, setup_seconds))
+    send(("register", name, kind, setup_seconds))
+    threading.Thread(target=beat, name=f"{name}-hb", daemon=True).start()
     while True:
         message = conn.recv()
         tag = message[0]
         if tag == "shutdown":
+            hb_stop.set()
             drop_batch()
             if arena is not None:
                 arena.close()
-            conn.send(("bye", name, counter.total_cells, counter.comparisons))
+            send(("bye", name, counter.total_cells, counter.comparisons))
             conn.close()
             return
         if tag == "batch":
@@ -240,6 +354,7 @@ def _worker_main(conn, name: str, kind: str, payload, scheme, top_hits, chunk_ce
         if tag == "task":
             wire: _WireTask = message[1]
             query = wire.query
+            spec = fire_fault()
             cells_est = len(query) * total_residues
             cm = (
                 tracing.span(
@@ -249,16 +364,27 @@ def _worker_main(conn, name: str, kind: str, payload, scheme, top_hits, chunk_ce
                 else tracing.NULL_SPAN
             )
             start = tracing.clock()
-            with cm:
-                scores = score(query)
+            try:
+                with cm:
+                    poison = injector.task_fault(wire.index)
+                    if poison is not None:
+                        raise InjectedFault(poison.message)
+                    scores = score(query)
+            except Exception as exc:
+                spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
+                send(("fail", name, wire.index, f"{type(exc).__name__}: {exc}", spans))
+                continue
             elapsed = tracing.clock() - start
             cells = counter.add(len(query), total_residues)
             top = sorted(
                 range(len(scores)), key=lambda i: (-int(scores[i]), subject_ids[i])
             )[:top_hits]
             hits = [(subject_ids[i], int(scores[i])) for i in top]
+            checksum = payload_checksum(hits)
+            if spec is not None:
+                checksum ^= _CORRUPT_MASK
             spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
-            conn.send(("done", name, wire.index, elapsed, cells, hits, spans))
+            send(("done", name, wire.index, elapsed, cells, hits, spans, checksum))
             continue
         if tag == "sub":
             _, sid, qi, lo, hi = message
@@ -266,6 +392,7 @@ def _worker_main(conn, name: str, kind: str, payload, scheme, top_hits, chunk_ce
                 raise ProtocolError(f"worker {name} got sub before batch")
             query = batch_queries[qi]
             profile = qp_profiles[qi] if qp_profiles is not None else None
+            spec = fire_fault()
             range_residues = sum(chunk_residues[lo:hi])
             cm = (
                 tracing.span(
@@ -280,18 +407,30 @@ def _worker_main(conn, name: str, kind: str, payload, scheme, top_hits, chunk_ce
                 else tracing.NULL_SPAN
             )
             start = tracing.clock()
-            with cm:
-                part = score(query, chunk_range=(lo, hi), profile=profile)
+            try:
+                with cm:
+                    poison = injector.task_fault(qi)
+                    if poison is not None:
+                        raise InjectedFault(poison.message)
+                    part = score(query, chunk_range=(lo, hi), profile=profile)
+            except Exception as exc:
+                spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
+                send(("fail", name, sid, f"{type(exc).__name__}: {exc}", spans))
+                continue
             elapsed = tracing.clock() - start
             cells = counter.add(len(query), range_residues)
+            part = np.asarray(part)
+            checksum = payload_checksum(part)
+            if spec is not None:
+                checksum ^= _CORRUPT_MASK
             spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
-            conn.send(("part", name, sid, elapsed, cells, np.asarray(part), spans))
+            send(("part", name, sid, elapsed, cells, part, spans, checksum))
             continue
         raise ProtocolError(f"worker {name} got unexpected message {tag!r}")
 
 
 class ProcessWorkerPool:
-    """A persistent pool of worker *processes*.
+    """A persistent, supervised pool of worker *processes*.
 
     The pool is spawned once (:meth:`start`) and then serves any number
     of :meth:`run_batch` calls before :meth:`close` — the
@@ -300,6 +439,15 @@ class ProcessWorkerPool:
     being paid per search.  On the ``shm`` data plane the parent packs
     the database once and workers attach shared views, so adding a
     worker costs an mmap instead of a pickle round-trip plus a re-pack.
+
+    The pool survives worker death: a crashed, wedged, or corrupting
+    worker is removed from the roster mid-batch, its work is requeued
+    over the survivors (see the module docstring for the full fault
+    model) and later batches simply run on the smaller pool.  Only the
+    loss of the *last* worker raises
+    (:class:`~repro.engine.faults.AllWorkersDeadError`, or
+    :class:`~repro.engine.faults.WorkerTimeoutError` when the last
+    casualty was a heartbeat timeout).
 
     Parameters
     ----------
@@ -323,10 +471,28 @@ class ProcessWorkerPool:
         (chunk-range subtasks with work stealing).
     oversubscribe:
         Target subtask grains per worker in chunk dispatch.
+    heartbeat_timeout:
+        Seconds of silence (no result, no heartbeat) from a worker
+        holding a task before the master kills it and requeues its
+        work.  Workers beat every quarter of this.
+    max_retries:
+        Failed attempts a task may accumulate (worker death, ``fail``
+        message, checksum mismatch) before it is quarantined.
+    fault_plan:
+        Optional :class:`~repro.engine.faults.FaultPlan` shipped to
+        every worker at spawn — the deterministic chaos hook used by
+        the fault tests and ``swdual chaos``.
+    register_timeout:
+        Seconds to wait for each worker's registration message before
+        raising :class:`~repro.engine.faults.WorkerTimeoutError`.
     registry:
         :class:`~repro.telemetry.metrics.MetricsRegistry` receiving
-        ``swdual_steals_total``, ``swdual_shm_attach_seconds`` and
-        ``swdual_subtask_queue_depth`` (default: the process registry).
+        ``swdual_steals_total``, ``swdual_shm_attach_seconds``,
+        ``swdual_subtask_queue_depth`` and the recovery counters
+        (``swdual_worker_deaths_total``, ``swdual_task_retries_total``,
+        ``swdual_tasks_requeued_total``,
+        ``swdual_tasks_quarantined_total``, ``swdual_workers_alive``);
+        default: the process registry.
 
     Use as a context manager (``with ProcessWorkerPool(...) as pool``)
     or pair :meth:`start` with :meth:`close` in a ``finally`` block;
@@ -346,6 +512,10 @@ class ProcessWorkerPool:
         data_plane: str = "auto",
         dispatch: str = "query",
         oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        fault_plan: FaultPlan | None = None,
+        register_timeout: float = 60.0,
         registry: MetricsRegistry | None = None,
     ):
         if num_cpu_workers < 0 or num_gpu_workers < 0:
@@ -354,6 +524,10 @@ class ProcessWorkerPool:
             raise ValueError("need at least one worker")
         if dispatch not in DISPATCH_MODES:
             raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}")
+        if heartbeat_timeout <= 0:
+            raise ValueError(f"heartbeat_timeout must be > 0, got {heartbeat_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.database = database
         self.scheme = scheme or default_scheme()
         self.top_hits = top_hits
@@ -362,11 +536,17 @@ class ProcessWorkerPool:
         self.dispatch = dispatch
         self.oversubscribe = oversubscribe
         self.chunk_cells = chunk_cells
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_retries = max_retries
+        self.fault_plan = fault_plan
+        self.register_timeout = register_timeout
         self.registry = registry if registry is not None else get_registry()
         self.roster: list[tuple[str, str]] = [
             (f"proc{i}", "cpu") for i in range(num_cpu_workers)
         ] + [(f"gproc{i}", "gpu") for i in range(num_gpu_workers)]
         self.log = MessageLog()
+        #: Ordered record of every recovery action this pool took.
+        self.recovery = RecoveryLog()
         #: Lifetime cells per worker, filled in by a graceful close.
         self.lifetime_cells: dict[str, int] = {}
         #: Per-worker database acquisition seconds (SHM attach or
@@ -390,8 +570,29 @@ class ProcessWorkerPool:
             "swdual_subtask_queue_depth",
             help="Subtasks currently queued across all worker deques",
         )
+        self._metric_deaths = self.registry.counter(
+            "swdual_worker_deaths_total",
+            help="Workers removed from the roster (crash, stall, pipe EOF)",
+        )
+        self._metric_retries = self.registry.counter(
+            "swdual_task_retries_total",
+            help="Tasks re-dispatched after a failed attempt",
+        )
+        self._metric_requeued = self.registry.counter(
+            "swdual_tasks_requeued_total",
+            help="Failed task attempts returned to a queue",
+        )
+        self._metric_quarantined = self.registry.counter(
+            "swdual_tasks_quarantined_total",
+            help="Tasks abandoned after exhausting their retry budget",
+        )
+        self._metric_alive = self.registry.gauge(
+            "swdual_workers_alive",
+            help="Workers currently registered and believed healthy",
+        )
         self._pipes: list = []
         self._processes: list = []
+        self._dead: set[int] = set()
         self._arena = None
         self._packed: PackedDatabase | None = None
         self._started = False
@@ -415,6 +616,16 @@ class ProcessWorkerPool:
     def started(self) -> bool:
         return self._started and not self._closed and not self._broken
 
+    @property
+    def alive(self) -> list[int]:
+        """Roster indices of workers still believed healthy."""
+        return [i for i in range(len(self.roster)) if i not in self._dead]
+
+    @property
+    def alive_workers(self) -> list[str]:
+        """Names of workers still believed healthy."""
+        return [self.roster[i][0] for i in self.alive]
+
     def _master_packed(self) -> PackedDatabase:
         """The master's packed view (shared with workers on the shm
         plane; built locally — with identical deterministic chunk
@@ -430,7 +641,9 @@ class ProcessWorkerPool:
 
         On any failure mid-startup the already-spawned children are
         terminated and joined — and the shared segment unlinked —
-        before the exception propagates.
+        before the exception propagates.  A worker that never sends
+        its registration message within ``register_timeout`` raises
+        :class:`~repro.engine.faults.WorkerTimeoutError` naming it.
         """
         if self._started:
             raise ProtocolError("pool already started")
@@ -448,12 +661,24 @@ class ProcessWorkerPool:
         # Capture the tracing flag once: children spawned while tracing
         # is on record and ship spans for the pool's whole lifetime.
         trace = tracing.enabled()
+        hb_interval = self.heartbeat_timeout / 4.0
         try:
             for name, kind in self.roster:
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(child_conn, name, kind, payload, self.scheme, self.top_hits, self.chunk_cells, trace),
+                    args=(
+                        child_conn,
+                        name,
+                        kind,
+                        payload,
+                        self.scheme,
+                        self.top_hits,
+                        self.chunk_cells,
+                        trace,
+                        self.fault_plan,
+                        hb_interval,
+                    ),
                     name=name,
                     daemon=True,
                 )
@@ -462,7 +687,13 @@ class ProcessWorkerPool:
                 self._pipes.append(parent_conn)
                 self._processes.append(proc)
             # Registration round.
-            for conn in self._pipes:
+            for i, conn in enumerate(self._pipes):
+                if not conn.poll(self.register_timeout):
+                    raise WorkerTimeoutError(
+                        self.roster[i][0],
+                        pending_task="register",
+                        timeout=self.register_timeout,
+                    )
                 tag, name, kind, setup_seconds = conn.recv()
                 if tag != "register":  # pragma: no cover
                     raise ProtocolError(f"expected register, got {tag!r}")
@@ -476,10 +707,34 @@ class ProcessWorkerPool:
             self._terminate_all()
             raise
         self._started = True
+        self._metric_alive.set(len(self.alive))
+
+    def _lose_worker(self, i: int, reason: str) -> None:
+        """Remove worker *i* from the roster: kill whatever is left of
+        the process, close its pipe, and record the loss."""
+        name = self.roster[i][0]
+        self._dead.add(i)
+        proc = self._processes[i]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - terminate ignored
+                proc.kill()
+        proc.join(timeout=5)
+        try:
+            self._pipes[i].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self.log.record(worker_lost(name, reason))
+        self.recovery.record("worker_lost", worker=name, detail=reason)
+        self._metric_deaths.inc()
+        self._metric_alive.set(len(self.alive))
 
     def _terminate_all(self) -> None:
         """Force-stop every child and release the shared segment:
-        terminate, join, kill stragglers, unlink."""
+        terminate, join, kill stragglers, unlink.  Children that died
+        earlier (crashed or already reaped) join without error —
+        ``Process.join`` is idempotent."""
         for conn in self._pipes:
             try:
                 conn.close()
@@ -501,27 +756,48 @@ class ProcessWorkerPool:
         """Shut the pool down.
 
         Gracefully when possible (shutdown round collecting each
-        worker's lifetime cell accounting into
+        surviving worker's lifetime cell accounting into
         :attr:`lifetime_cells`); always ending in a ``finally`` that
         terminates/joins whatever is still alive and unlinks the
         pool-owned shared segment, so no orphan processes or
         ``/dev/shm`` leaks survive — even when a batch failed
-        mid-flight.  Idempotent.
+        mid-flight.  Workers that already died are skipped (their
+        processes were reaped when they were lost), and a worker that
+        wedges during shutdown is abandoned after a bounded wait
+        instead of blocking the pool forever.  Idempotent.
         """
         if self._closed:
             return
         self._closed = True
+        wait_budget = min(self.heartbeat_timeout, 10.0)
         try:
             if self._started and not self._broken:
                 for i, conn in enumerate(self._pipes):
-                    conn.send(("shutdown",))
-                    self.log.record(shutdown(self.roster[i][0]))
-                    tag, name, total_cells, comparisons = conn.recv()
-                    if tag != "bye":  # pragma: no cover
-                        raise ProtocolError(f"expected bye, got {tag!r}")
-                    self.lifetime_cells[name] = total_cells
-        except (OSError, EOFError, ProtocolError):  # pragma: no cover
-            self._broken = True
+                    if i in self._dead:
+                        continue
+                    name = self.roster[i][0]
+                    try:
+                        conn.send(("shutdown",))
+                        self.log.record(shutdown(name))
+                        deadline = tracing.clock() + wait_budget
+                        while True:
+                            remaining = deadline - tracing.clock()
+                            if remaining <= 0 or not conn.poll(remaining):
+                                raise WorkerTimeoutError(
+                                    name, pending_task="shutdown", timeout=wait_budget
+                                )
+                            message = conn.recv()
+                            if message[0] == "hb":  # pragma: no cover - timing
+                                continue
+                            tag, wname, total_cells, comparisons = message
+                            if tag != "bye":  # pragma: no cover
+                                raise ProtocolError(f"expected bye, got {tag!r}")
+                            self.lifetime_cells[wname] = total_cells
+                            break
+                    except (OSError, EOFError, ProtocolError):
+                        # This worker died or wedged during shutdown;
+                        # reap it below but keep closing the others.
+                        self._dead.add(i)
         finally:
             self._terminate_all()
 
@@ -559,9 +835,12 @@ class ProcessWorkerPool:
 
         Returns the same :class:`SearchReport` shape as the threaded
         engine; ``wall_seconds`` covers only this batch (the pool is
-        already warm).  A failure (e.g. a worker process dying) marks
-        the pool broken and force-terminates every child before the
-        error propagates.
+        already warm).  Worker deaths mid-batch are *recovered*: the
+        work is requeued over the survivors and the pool stays usable
+        (the report's ``quarantined`` field lists queries abandoned
+        after their retry budget).  Only an unrecoverable failure —
+        last worker lost, protocol violation — marks the pool broken
+        and force-terminates every child before the error propagates.
         """
         if not queries:
             raise ValueError("need at least one query")
@@ -571,6 +850,8 @@ class ProcessWorkerPool:
             raise ProtocolError("pool not started")
         if self._closed or self._broken:
             raise ProtocolError("pool is closed")
+        if not self.alive:
+            raise AllWorkersDeadError(len(queries))
         try:
             if self.dispatch == "chunk":
                 return self._run_batch_chunks(queries, policy, measured_gcups, on_result)
@@ -584,6 +865,37 @@ class ProcessWorkerPool:
             self._terminate_all()
             raise
 
+    # -- supervision helpers -------------------------------------------
+
+    def _tick(self) -> float:
+        """Supervision loop poll interval: responsive at small
+        heartbeat timeouts (fault tests), cheap at the default."""
+        return max(0.005, min(0.25, self.heartbeat_timeout / 8.0))
+
+    def _wait_objects(self) -> tuple[list, dict]:
+        """Connections + sentinels of live workers to block on, with a
+        map back to roster indices.  All live pipes are included (not
+        just those with work in flight) so idle workers' heartbeats
+        are drained instead of filling the pipe buffer."""
+        objs: list = []
+        owner: dict = {}
+        for i in self.alive:
+            conn = self._pipes[i]
+            objs.append(conn)
+            owner[id(conn)] = (i, "pipe")
+            sentinel = self._processes[i].sentinel
+            objs.append(sentinel)
+            owner[id(sentinel)] = (i, "sentinel")
+        return objs, owner
+
+    def _raise_no_workers(self, outstanding: int, last_loss) -> None:
+        """Every worker is gone with work pending: name the stall if
+        that is what took the last one, else report the extinction."""
+        name, reason, pending = last_loss if last_loss else (None, "", None)
+        if "heartbeat" in reason:
+            raise WorkerTimeoutError(name, pending_task=pending, timeout=self.heartbeat_timeout)
+        raise AllWorkersDeadError(outstanding, last_worker=name)
+
     def _run_batch(self, queries, policy, measured_gcups, on_result) -> SearchReport:
         import multiprocessing.connection as mpc
 
@@ -592,80 +904,193 @@ class ProcessWorkerPool:
         batch_span = tracing.span(
             "pool.batch", backend="processes", policy=policy, size=len(queries)
         )
-        scheduler_info = f"self-scheduling over process pipes ({len(roster)} workers)"
+        scheduler_info = f"self-scheduling over process pipes ({len(self.alive)} workers)"
+        n = len(queries)
 
-        with batch_span:
-            # Task queues: one shared (self-scheduling) or one per worker
-            # (static allocation); each worker pulls its next task over the
-            # same pipe protocol either way.
-            if policy == "self":
-                shared = list(range(len(queries)))
-                per_worker = {name: shared for name, _ in roster}
+        results: dict[int, QueryResult] = {}
+        attempts: dict[int, int] = {}
+        quarantined: set[int] = set()
+        busy = {name: 0.0 for name, _ in roster}
+        executed = {name: 0 for name, _ in roster}
+        cells_by_worker = {name: 0 for name, _ in roster}
+        in_flight: dict[int, int] = {}
+        last_seen: dict[int, float] = {i: tracing.clock() for i in self.alive}
+        last_loss: list = [None]  # (name, reason, pending task) of the latest casualty
+
+        shared: list[int] = []  # "self" policy / no-survivor parking queue
+        per_worker: dict[str, list[int]] = {}
+
+        def allocate(tasks: list[int], initial: bool) -> None:
+            """(Re-)run the allocation for *tasks* over live workers."""
+            nonlocal scheduler_info
+            alive_idx = self.alive
+            if policy == "self" or not alive_idx:
+                shared.extend(tasks)
+                return
+            sub_queries = [queries[j] for j in tasks]
+            alive_roster = [roster[i] for i in alive_idx]
+            batches, info = predict_static_allocation(
+                sub_queries,
+                self.database.total_residues,
+                alive_roster,
+                policy,
+                measured_gcups,
+            )
+            if initial:
+                scheduler_info = info
             else:
-                batches, scheduler_info = predict_static_allocation(
-                    queries,
-                    self.database.total_residues,
-                    roster,
-                    policy,
-                    measured_gcups,
+                self.recovery.record(
+                    "reallocate",
+                    detail=(
+                        f"re-ran {policy} allocation of {len(tasks)} task(s) "
+                        f"over {len(alive_roster)} survivor(s)"
+                    ),
                 )
-                for name, batch in batches.items():
-                    self.log.record(assign_tasks(name, batch))
-                per_worker = {name: list(batches[name]) for name, _ in roster}
+            for name, batch in batches.items():
+                assigned = [tasks[k] for k in batch]
+                if not assigned:
+                    continue
+                per_worker.setdefault(name, []).extend(assigned)
+                self.log.record(assign_tasks(name, assigned))
 
-            in_flight: dict[int, int] = {}
-            results: dict[int, QueryResult] = {}
-            busy = {name: 0.0 for name, _ in roster}
-            executed = {name: 0 for name, _ in roster}
-            cells_by_worker = {name: 0 for name, _ in roster}
+        def requeue(j: int, why: str) -> None:
+            """One failed attempt at task *j*: retry or quarantine."""
+            a = attempts.get(j, 0) + 1
+            attempts[j] = a
+            if a > self.max_retries:
+                quarantined.add(j)
+                self.recovery.record("quarantine", task=j, attempt=a, detail=why)
+                self._metric_quarantined.inc()
+                self.log.record(task_failed("master", j, f"quarantined: {why}"))
+                return
+            self.recovery.record("requeue", task=j, attempt=a, detail=why)
+            self._metric_requeued.inc()
+            front = a == 1  # first retry jumps the queue; later ones back off
+            if policy == "self" or not self.alive:
+                shared.insert(0, j) if front else shared.append(j)
+                return
+            alive_names = [roster[i][0] for i in self.alive]
+            best = min(alive_names, key=lambda nm: (len(per_worker.get(nm, [])), nm))
+            queue = per_worker.setdefault(best, [])
+            queue.insert(0, j) if front else queue.append(j)
+            self.log.record(assign_tasks(best, [j]))
 
-            def dispatch(i: int) -> bool:
-                name = roster[i][0]
-                queue = per_worker[name]
-                if not queue:
-                    return False
-                j = queue.pop(0)
-                if policy == "self":
-                    self.log.record(assign_tasks(name, [j]))
+        def lose(i: int, reason: str) -> None:
+            name = roster[i][0]
+            pending = in_flight.pop(i, None)
+            last_seen.pop(i, None)
+            self._lose_worker(i, reason)
+            last_loss[0] = (name, reason, pending)
+            if policy != "self":
+                orphans = per_worker.pop(name, [])
+                if orphans:
+                    allocate(orphans, initial=False)
+            if pending is not None:
+                requeue(pending, f"worker {name} lost: {reason}")
+
+        def dispatch(i: int) -> bool:
+            if i in self._dead or i in in_flight:
+                return False
+            name = roster[i][0]
+            queue = shared if policy == "self" else per_worker.get(name)
+            if not queue:
+                return False
+            j = queue.pop(0)
+            if policy == "self":
+                self.log.record(assign_tasks(name, [j]))
+            if attempts.get(j):
+                self.recovery.record("retry", worker=name, task=j, attempt=attempts[j])
+                self._metric_retries.inc()
+            try:
                 pipes[i].send(("task", _WireTask(index=j, query=queries[j])))
-                in_flight[i] = j
-                return True
+            except (OSError, ValueError):
+                in_flight[i] = j  # route the task through loss recovery
+                lose(i, "pipe broken on send")
+                return False
+            in_flight[i] = j
+            return True
 
-            for i in range(len(roster)):
-                dispatch(i)
-
-            while in_flight:
-                ready = mpc.wait([pipes[i] for i in in_flight], timeout=60)
-                if not ready:  # pragma: no cover - hung worker guard
-                    raise ProtocolError("worker processes unresponsive")
-                for conn in ready:
-                    i = pipes.index(conn)
-                    try:
-                        tag, name, j, elapsed, cells, hits, spans = conn.recv()
-                    except (EOFError, OSError) as exc:
-                        raise ProtocolError(
-                            f"worker {roster[i][0]} died mid-batch"
-                        ) from exc
-                    if tag != "done":  # pragma: no cover
-                        raise ProtocolError(f"expected done, got {tag!r}")
+        def pump(i: int, now: float) -> None:
+            """Drain every buffered message from worker *i*'s pipe."""
+            conn = pipes[i]
+            name = roster[i][0]
+            while i not in self._dead:
+                try:
+                    if not conn.poll(0):
+                        return
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    lose(i, "pipe EOF")
+                    return
+                last_seen[i] = now
+                tag = message[0]
+                if tag == "hb":
+                    continue
+                if tag == "fail":
+                    _, _, j, reason, spans = message
                     if spans:
                         tracing.ingest(spans)
-                    self.log.record(task_done(name, j, elapsed))
-                    result = QueryResult(
-                        query_id=queries[j].id,
-                        hits=tuple(Hit(subject_id=sid, score=s) for sid, s in hits),
-                    )
-                    results[j] = result
-                    busy[name] += elapsed
-                    executed[name] += 1
-                    cells_by_worker[name] += cells
+                    self.log.record(task_failed(name, j, reason))
+                    if in_flight.get(i) == j:
+                        del in_flight[i]
+                    requeue(j, reason)
+                    continue
+                if tag != "done":  # pragma: no cover
+                    raise ProtocolError(f"expected done, got {tag!r}")
+                _, _, j, elapsed, cells, hits, spans, checksum = message
+                if spans:
+                    tracing.ingest(spans)
+                if in_flight.get(i) == j:
                     del in_flight[i]
-                    if on_result is not None:
-                        on_result(j, result, name, elapsed)
+                if j in results or j in quarantined:  # pragma: no cover - stale
+                    continue
+                if payload_checksum(hits) != checksum:
+                    reason = f"payload checksum mismatch from {name}"
+                    self.log.record(task_failed(name, j, reason))
+                    requeue(j, reason)
+                    continue
+                self.log.record(task_done(name, j, elapsed))
+                result = QueryResult(
+                    query_id=queries[j].id,
+                    hits=tuple(Hit(subject_id=sid, score=s) for sid, s in hits),
+                )
+                results[j] = result
+                busy[name] += elapsed
+                executed[name] += 1
+                cells_by_worker[name] += cells
+                if on_result is not None:
+                    on_result(j, result, name, elapsed)
+
+        def outstanding() -> int:
+            return n - len(results) - len(quarantined)
+
+        tick = self._tick()
+        with batch_span:
+            allocate(list(range(n)), initial=True)
+            while outstanding() > 0:
+                if not self.alive:
+                    self._raise_no_workers(outstanding(), last_loss[0])
+                for i in list(self.alive):
                     dispatch(i)
+                objs, owner = self._wait_objects()
+                ready = mpc.wait(objs, timeout=tick)
+                now = tracing.clock()
+                for obj in ready:
+                    i, what = owner[id(obj)]
+                    if i in self._dead:
+                        continue
+                    pump(i, now)
+                    if what == "sentinel" and i not in self._dead:
+                        lose(i, "process exited")
+                for i in list(self.alive):
+                    if i in in_flight and now - last_seen.get(i, now) > self.heartbeat_timeout:
+                        lose(i, f"heartbeat timeout ({self.heartbeat_timeout:g}s)")
 
         wall = max(tracing.clock() - start, 1e-9)
-        missing = set(range(len(queries))) - set(results)
+        quarantined_ids = tuple(sorted(queries[j].id for j in quarantined))
+        for j in quarantined:
+            results[j] = QueryResult(query_id=queries[j].id, hits=())
+        missing = set(range(n)) - set(results)
         if missing:  # pragma: no cover
             raise ProtocolError(f"tasks never completed: {sorted(missing)}")
         kinds = dict(roster)
@@ -684,8 +1109,9 @@ class ProcessWorkerPool:
             wall_seconds=wall,
             total_cells=sum(cells_by_worker.values()),
             worker_stats=stats,
-            query_results=tuple(results[j] for j in range(len(queries))),
+            query_results=tuple(results[j] for j in range(n)),
             scheduler_info=scheduler_info,
+            quarantined=quarantined_ids,
         )
 
     def _run_batch_chunks(self, queries, policy, measured_gcups, on_result) -> SearchReport:
@@ -701,6 +1127,13 @@ class ProcessWorkerPool:
         them (:class:`~repro.engine.subtasks.ScoreMerger`) and ranks
         identically to whole-query dispatch — results are bit-for-bit
         the same, only the schedule differs.
+
+        Recovery mirrors whole-query dispatch at grain granularity: a
+        lost worker's deque re-enters the survivors' deques
+        (:meth:`~repro.engine.subtasks.ChunkScheduler.remove_worker`),
+        its in-flight grain is requeued, and a grain that exhausts its
+        retry budget quarantines its whole *query* (partial merges are
+        discarded; the query gets a placeholder result).
         """
         import multiprocessing.connection as mpc
 
@@ -708,10 +1141,11 @@ class ProcessWorkerPool:
         kinds = dict(roster)
         start = tracing.clock()
         packed = self._master_packed()
+        alive_roster = [roster[i] for i in self.alive]
         subtasks = plan_subtasks(
-            queries, packed, len(roster), oversubscribe=self.oversubscribe
+            queries, packed, len(alive_roster), oversubscribe=self.oversubscribe
         )
-        sched = ChunkScheduler(subtasks, roster, measured_gcups)
+        sched = ChunkScheduler(subtasks, alive_roster, measured_gcups)
         merger = ScoreMerger(queries, packed, top_hits=self.top_hits)
         qp_arena = None
         qp_manifest = None
@@ -728,85 +1162,195 @@ class ProcessWorkerPool:
             dispatch="chunk",
             subtasks=len(subtasks),
         )
+        n = len(queries)
         results: dict[int, QueryResult] = {}
+        attempts: dict[int, int] = {}  # keyed by sid
+        quarantined: set[int] = set()  # query indices
         busy = {name: 0.0 for name, _ in roster}
         executed = {name: 0 for name, _ in roster}
         subtasks_by = {name: 0 for name, _ in roster}
         steals_by = {name: 0 for name, _ in roster}
         cells_by_worker = {name: 0 for name, _ in roster}
-        query_busy = [0.0] * len(queries)
+        query_busy = [0.0] * n
         in_flight: dict[int, object] = {}
+        last_seen: dict[int, float] = {i: tracing.clock() for i in self.alive}
+        last_loss: list = [None]
 
+        def fail_sub(sub, why: str) -> None:
+            """One failed attempt at grain *sub*: requeue it, or
+            quarantine its whole query once the budget is spent."""
+            qi = sub.query_index
+            if qi in quarantined:
+                return
+            a = attempts.get(sub.sid, 0) + 1
+            attempts[sub.sid] = a
+            if a > self.max_retries:
+                quarantined.add(qi)
+                purged = sched.purge_query(qi)
+                self.recovery.record(
+                    "quarantine",
+                    task=qi,
+                    attempt=a,
+                    detail=f"grain {sub.sid}: {why} ({purged} sibling grain(s) purged)",
+                )
+                self._metric_quarantined.inc()
+                self.log.record(task_failed("master", qi, f"quarantined: {why}"))
+                return
+            self.recovery.record("requeue", task=sub.sid, attempt=a, detail=why)
+            self._metric_requeued.inc()
+            if self.alive:
+                sched.requeue(sub, front=(a == 1))
+
+        def lose(i: int, reason: str) -> None:
+            name = roster[i][0]
+            pending = in_flight.pop(i, None)
+            last_seen.pop(i, None)
+            self._lose_worker(i, reason)
+            last_loss[0] = (name, reason, pending.sid if pending is not None else None)
+            if self.alive:
+                try:
+                    moved = sched.remove_worker(name)
+                except KeyError:  # pragma: no cover - already removed
+                    moved = 0
+                if moved:
+                    self.recovery.record(
+                        "reallocate",
+                        worker=name,
+                        detail=f"{moved} queued grain(s) moved to survivors",
+                    )
+            if pending is not None:
+                fail_sub(pending, f"worker {name} lost: {reason}")
+
+        def dispatch(i: int) -> bool:
+            if i in self._dead or i in in_flight:
+                return False
+            name = roster[i][0]
+            nxt = sched.next_for(name)
+            self._metric_depth.set(sched.queue_depth())
+            if nxt is None:
+                return False
+            sub, stolen = nxt
+            if stolen:
+                steals_by[name] += 1
+                self.steals[name] += 1
+                self._metric_steals[kinds[name]].inc()
+            self.log.record(assign_tasks(name, [sub.sid]))
+            if attempts.get(sub.sid):
+                self.recovery.record(
+                    "retry", worker=name, task=sub.sid, attempt=attempts[sub.sid]
+                )
+                self._metric_retries.inc()
+            try:
+                pipes[i].send(
+                    ("sub", sub.sid, sub.query_index, sub.chunk_lo, sub.chunk_hi)
+                )
+            except (OSError, ValueError):
+                in_flight[i] = sub  # route the grain through loss recovery
+                lose(i, "pipe broken on send")
+                return False
+            in_flight[i] = sub
+            return True
+
+        def pump(i: int, now: float) -> None:
+            conn = pipes[i]
+            name = roster[i][0]
+            while i not in self._dead:
+                try:
+                    if not conn.poll(0):
+                        return
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    lose(i, "pipe EOF")
+                    return
+                last_seen[i] = now
+                tag = message[0]
+                if tag == "hb":
+                    continue
+                if tag == "fail":
+                    _, _, sid, reason, spans = message
+                    if spans:
+                        tracing.ingest(spans)
+                    self.log.record(task_failed(name, sid, reason))
+                    sub = in_flight.pop(i, None)
+                    if sub is None or sub.sid != sid:  # pragma: no cover - guard
+                        raise ProtocolError(
+                            f"worker {name} failed sid {sid} it was not holding"
+                        )
+                    fail_sub(sub, reason)
+                    continue
+                if tag != "part":  # pragma: no cover
+                    raise ProtocolError(f"expected part, got {tag!r}")
+                _, _, sid, elapsed, cells, part, spans, checksum = message
+                if spans:
+                    tracing.ingest(spans)
+                sub = in_flight.pop(i, None)
+                if sub is None or sub.sid != sid:  # pragma: no cover - guard
+                    raise ProtocolError(
+                        f"worker {name} answered sid {sid}, expected "
+                        f"{sub.sid if sub is not None else None}"
+                    )
+                if payload_checksum(part) != checksum:
+                    reason = f"payload checksum mismatch from {name}"
+                    self.log.record(task_failed(name, sid, reason))
+                    fail_sub(sub, reason)
+                    continue
+                self.log.record(task_done(name, sid, elapsed))
+                busy[name] += elapsed
+                subtasks_by[name] += 1
+                cells_by_worker[name] += cells
+                query_busy[sub.query_index] += elapsed
+                if sub.query_index in quarantined:
+                    continue  # discard parts of an abandoned query
+                if merger.add(sub.query_index, sub.chunk_lo, sub.chunk_hi, part):
+                    executed[name] += 1
+                    result = merger.result(sub.query_index)
+                    results[sub.query_index] = result
+                    if on_result is not None:
+                        on_result(
+                            sub.query_index,
+                            result,
+                            name,
+                            query_busy[sub.query_index],
+                        )
+
+        def outstanding() -> int:
+            return n - len(results) - len(quarantined)
+
+        tick = self._tick()
         try:
             with batch_span:
-                for conn in pipes:
-                    conn.send(("batch", list(queries), qp_manifest))
-
-                def dispatch(i: int) -> bool:
-                    name = roster[i][0]
-                    nxt = sched.next_for(name)
-                    self._metric_depth.set(sched.queue_depth())
-                    if nxt is None:
-                        return False
-                    sub, stolen = nxt
-                    if stolen:
-                        steals_by[name] += 1
-                        self.steals[name] += 1
-                        self._metric_steals[kinds[name]].inc()
-                    self.log.record(assign_tasks(name, [sub.sid]))
-                    pipes[i].send(
-                        ("sub", sub.sid, sub.query_index, sub.chunk_lo, sub.chunk_hi)
-                    )
-                    in_flight[i] = sub
-                    return True
-
-                for i in range(len(roster)):
-                    dispatch(i)
-
-                while in_flight:
-                    ready = mpc.wait([pipes[i] for i in in_flight], timeout=60)
-                    if not ready:  # pragma: no cover - hung worker guard
-                        raise ProtocolError("worker processes unresponsive")
-                    for conn in ready:
-                        i = pipes.index(conn)
-                        try:
-                            tag, name, sid, elapsed, cells, part, spans = conn.recv()
-                        except (EOFError, OSError) as exc:
-                            raise ProtocolError(
-                                f"worker {roster[i][0]} died mid-batch"
-                            ) from exc
-                        if tag != "part":  # pragma: no cover
-                            raise ProtocolError(f"expected part, got {tag!r}")
-                        if spans:
-                            tracing.ingest(spans)
-                        sub = in_flight.pop(i)
-                        if sub.sid != sid:  # pragma: no cover - protocol guard
-                            raise ProtocolError(
-                                f"worker {name} answered sid {sid}, expected {sub.sid}"
-                            )
-                        self.log.record(task_done(name, sid, elapsed))
-                        busy[name] += elapsed
-                        subtasks_by[name] += 1
-                        cells_by_worker[name] += cells
-                        query_busy[sub.query_index] += elapsed
-                        if merger.add(sub.query_index, sub.chunk_lo, sub.chunk_hi, part):
-                            executed[name] += 1
-                            result = merger.result(sub.query_index)
-                            results[sub.query_index] = result
-                            if on_result is not None:
-                                on_result(
-                                    sub.query_index,
-                                    result,
-                                    name,
-                                    query_busy[sub.query_index],
-                                )
+                for i in list(self.alive):
+                    try:
+                        pipes[i].send(("batch", list(queries), qp_manifest))
+                    except (OSError, ValueError):
+                        lose(i, "pipe broken on send")
+                while outstanding() > 0:
+                    if not self.alive:
+                        self._raise_no_workers(outstanding(), last_loss[0])
+                    for i in list(self.alive):
                         dispatch(i)
+                    objs, owner = self._wait_objects()
+                    ready = mpc.wait(objs, timeout=tick)
+                    now = tracing.clock()
+                    for obj in ready:
+                        i, what = owner[id(obj)]
+                        if i in self._dead:
+                            continue
+                        pump(i, now)
+                        if what == "sentinel" and i not in self._dead:
+                            lose(i, "process exited")
+                    for i in list(self.alive):
+                        if i in in_flight and now - last_seen.get(i, now) > self.heartbeat_timeout:
+                            lose(i, f"heartbeat timeout ({self.heartbeat_timeout:g}s)")
         finally:
             if qp_arena is not None:
                 qp_arena.close()
 
         wall = max(tracing.clock() - start, 1e-9)
-        missing = set(range(len(queries))) - set(results)
+        quarantined_ids = tuple(sorted(queries[qi].id for qi in quarantined))
+        for qi in quarantined:
+            results[qi] = QueryResult(query_id=queries[qi].id, hits=())
+        missing = set(range(n)) - set(results)
         if missing:  # pragma: no cover
             raise ProtocolError(f"queries never completed: {sorted(missing)}")
         total_steals = sum(steals_by.values())
@@ -827,11 +1371,12 @@ class ProcessWorkerPool:
             wall_seconds=wall,
             total_cells=sum(cells_by_worker.values()),
             worker_stats=stats,
-            query_results=tuple(results[j] for j in range(len(queries))),
+            query_results=tuple(results[j] for j in range(n)),
             scheduler_info=(
                 f"chunk dispatch: {len(subtasks)} subtasks over "
-                f"{len(roster)} workers, {total_steals} steals"
+                f"{len(alive_roster)} workers, {total_steals} steals"
             ),
+            quarantined=quarantined_ids,
         )
 
 
@@ -848,6 +1393,10 @@ def process_search(
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
     data_plane: str = "auto",
     dispatch: str = "query",
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    fault_plan: FaultPlan | None = None,
+    recovery_log: RecoveryLog | None = None,
 ) -> SearchReport:
     """One-shot search with real worker *processes*.
 
@@ -873,6 +1422,13 @@ def process_search(
         (``proc0``/``gproc0``…) or class (``"cpu"``/``"gpu"``).
     data_plane / dispatch:
         See :class:`ProcessWorkerPool`.
+    heartbeat_timeout / max_retries / fault_plan:
+        Supervision knobs, see :class:`ProcessWorkerPool`.
+    recovery_log:
+        When given, the pool's recovery events are appended to this
+        caller-owned :class:`~repro.engine.faults.RecoveryLog` (the
+        pool's own log dies with it) — the hook ``swdual chaos`` and
+        the fault tests use to inspect what recovery did.
 
     Results are identical to the threaded engine's (same kernels); only
     the transport differs.
@@ -892,11 +1448,23 @@ def process_search(
         chunk_cells=chunk_cells,
         data_plane=data_plane,
         dispatch=dispatch,
+        heartbeat_timeout=heartbeat_timeout,
+        max_retries=max_retries,
+        fault_plan=fault_plan,
     )
     pool.start()
     try:
         report = pool.run_batch(queries, policy=policy, measured_gcups=measured_gcups)
     finally:
         pool.close()
+        if recovery_log is not None:
+            for event in pool.recovery.all():
+                recovery_log.record(
+                    event.kind,
+                    worker=event.worker,
+                    task=event.task,
+                    attempt=event.attempt,
+                    detail=event.detail,
+                )
     wall = max(tracing.clock() - start, 1e-9)
     return replace(report, wall_seconds=wall)

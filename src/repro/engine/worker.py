@@ -99,6 +99,13 @@ class KernelWorker:
         *align_top* hits of each query; results are attached to the
         returned :class:`TaskExecution` (0 disables, the default — full
         tracebacks cost another pass over the top subjects).
+    fault_hook:
+        Optional ``fault_hook(query)`` called at the top of every
+        :meth:`execute` — the deterministic fault-injection seam for
+        the in-process (threaded) backends, mirroring what the process
+        transport's :class:`~repro.engine.faults.FaultInjector` does
+        across the pipe.  A hook simulates a task failure by raising
+        (e.g. :class:`~repro.engine.faults.InjectedFault`).
     """
 
     def __init__(
@@ -113,6 +120,7 @@ class KernelWorker:
         top_hits: int = 10,
         evalue_model=None,
         align_top: int = 0,
+        fault_hook=None,
     ):
         if kind not in ("cpu", "gpu"):
             raise ValueError(f"kind must be 'cpu' or 'gpu', got {kind!r}")
@@ -138,6 +146,7 @@ class KernelWorker:
         self.top_hits = top_hits
         self.evalue_model = evalue_model
         self.align_top = align_top
+        self.fault_hook = fault_hook
         self.counter = CellUpdateCounter()
         self._subjects = list(database)
         self._by_id = {s.id: s for s in self._subjects}
@@ -161,6 +170,8 @@ class KernelWorker:
         same :func:`repro.telemetry.clock` the span does, so the trace
         and the stats agree by construction.
         """
+        if self.fault_hook is not None:
+            self.fault_hook(query)
         if tracing.enabled():
             cm = tracing.span(
                 "task.kernel",

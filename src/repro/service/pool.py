@@ -27,15 +27,27 @@ per batch and support the ``on_result`` streaming callback.
 
 from __future__ import annotations
 
-import queue as queue_mod
 import threading
+from collections import deque
 
 from repro.align.scoring import ScoringScheme, default_scheme
+from repro.engine.faults import (
+    AllWorkersDeadError,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    RecoveryLog,
+)
 from repro.engine.master import predict_static_allocation
 from repro.engine.messages import ProtocolError
 from repro.engine.results import QueryResult, SearchReport, WorkerStats
 from repro.engine.search import calibrate_live
-from repro.engine.transport import PROCESS_POLICIES, ProcessWorkerPool
+from repro.engine.transport import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_MAX_RETRIES,
+    PROCESS_POLICIES,
+    ProcessWorkerPool,
+)
 from repro.engine.worker import KernelWorker
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
@@ -78,6 +90,20 @@ class WarmPool:
         (``"auto"``/``"shm"``/``"pickle"``) and the unit of dispatch
         (``"query"`` or ``"chunk"`` with work stealing) — see
         :class:`~repro.engine.transport.ProcessWorkerPool`.
+    heartbeat_timeout / max_retries:
+        Supervision knobs (see
+        :class:`~repro.engine.transport.ProcessWorkerPool`): how long a
+        silent worker may hold a task, and how many failed attempts a
+        task gets before quarantine.  Both backends honour
+        *max_retries*; heartbeats exist only across the process
+        boundary.
+    fault_plan:
+        Optional :class:`~repro.engine.faults.FaultPlan` for
+        deterministic fault injection.  On the processes backend it
+        rides the spawn payload; on the threads backend ``kill`` and
+        ``stall`` withdraw the victim worker from the pool (a thread
+        cannot crash the host process) and ``corrupt`` fails the
+        attempt, exercising the same requeue/quarantine machinery.
     registry:
         Metrics registry handed to the process pool (steal/attach/queue
         metrics land next to the service's own).
@@ -98,6 +124,9 @@ class WarmPool:
         start_method: str = "auto",
         data_plane: str = "auto",
         dispatch: str = "query",
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        fault_plan: FaultPlan | None = None,
         registry=None,
     ):
         if backend not in POOL_BACKENDS:
@@ -119,11 +148,17 @@ class WarmPool:
         self.start_method = start_method
         self.data_plane = data_plane
         self.dispatch = dispatch
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_retries = max_retries
+        self.fault_plan = fault_plan
         self.registry = registry
         self.num_cpu_workers = num_cpu_workers
         self.num_gpu_workers = num_gpu_workers
         self._workers: list[KernelWorker] = []
         self._proc_pool: ProcessWorkerPool | None = None
+        self._injectors: dict[str, FaultInjector] = {}
+        self._dead: set[str] = set()
+        self._recovery = RecoveryLog()
         self._batch_lock = threading.Lock()
         self._started = False
         self._closed = False
@@ -140,6 +175,21 @@ class WarmPool:
     @property
     def started(self) -> bool:
         return self._started and not self._closed
+
+    @property
+    def recovery(self) -> RecoveryLog:
+        """Ordered record of recovery actions the pool took (worker
+        loss, requeues, retries, quarantines)."""
+        if self.backend == "processes" and self._proc_pool is not None:
+            return self._proc_pool.recovery
+        return self._recovery
+
+    @property
+    def alive_workers(self) -> list[str]:
+        """Names of workers still believed healthy."""
+        if self.backend == "processes" and self._proc_pool is not None:
+            return self._proc_pool.alive_workers
+        return [w.name for w in self._workers if w.name not in self._dead]
 
     @property
     def roster(self) -> list[tuple[str, str]]:
@@ -170,6 +220,9 @@ class WarmPool:
                 chunk_cells=self.chunk_cells,
                 data_plane=self.data_plane,
                 dispatch=self.dispatch,
+                heartbeat_timeout=self.heartbeat_timeout,
+                max_retries=self.max_retries,
+                fault_plan=self.fault_plan,
                 registry=self.registry,
             )
             self._proc_pool.start()
@@ -199,6 +252,11 @@ class WarmPool:
                 )
                 for name, kind in self.roster
             ]
+            if self.fault_plan is not None:
+                self._injectors = {
+                    name: FaultInjector(self.fault_plan, name)
+                    for name, _ in self.roster
+                }
         self._started = True
 
     def close(self) -> None:
@@ -245,8 +303,25 @@ class WarmPool:
             return "self"
         return self.policy
 
+    def _registry_inc(self, name: str, help: str) -> None:
+        """Count a recovery action in the shared registry, when one is
+        attached (the service points the pool at its stats registry)."""
+        if self.registry is not None:
+            self.registry.counter(name, help=help).inc()
+
     def _run_batch_threads(self, queries, on_result) -> SearchReport:
-        workers = self._workers
+        """Threaded batch with the same recovery contract as the
+        process transport: a failed attempt (raising kernel, injected
+        poison, ``corrupt`` fault) requeues the task onto a survivor
+        until ``max_retries`` is spent, then quarantines it; an
+        injected ``kill``/``stall`` withdraws the victim worker and its
+        unstarted tasks re-enter the pool.  Losing the last worker with
+        work outstanding raises
+        :class:`~repro.engine.faults.AllWorkersDeadError`.
+        """
+        workers = [w for w in self._workers if w.name not in self._dead]
+        if not workers:
+            raise AllWorkersDeadError(len(queries))
         roster = [(w.name, w.kind) for w in workers]
         policy = self._effective_policy()
         start = tracing.clock()
@@ -254,19 +329,12 @@ class WarmPool:
             "pool.batch", backend="threads", policy=policy, size=len(queries)
         )
 
+        lock = threading.Lock()
+        own: dict[str, deque] = {name: deque() for name, _ in roster}
+        overflow: deque = deque()  # requeues + orphans, any survivor takes
         if policy == "self":
             scheduler_info = f"self-scheduling over warm threads ({len(workers)} workers)"
-            shared: queue_mod.Queue = queue_mod.Queue()
-            for j in range(len(queries)):
-                shared.put(j)
-
-            def batch_for(worker):
-                while True:
-                    try:
-                        yield shared.get_nowait()
-                    except queue_mod.Empty:
-                        return
-
+            overflow.extend(range(len(queries)))
         else:
             batches, scheduler_info = predict_static_allocation(
                 queries,
@@ -275,20 +343,108 @@ class WarmPool:
                 policy,
                 self.measured_gcups,
             )
+            for name, batch in batches.items():
+                own[name].extend(batch)
 
-            def batch_for(worker):
-                yield from batches[worker.name]
-
-        lock = threading.Lock()
         results: dict[int, QueryResult] = {}
+        attempts: dict[int, int] = {}
+        quarantined: set[int] = set()
         busy = {w.name: 0.0 for w in workers}
         executed = {w.name: 0 for w in workers}
         cells = {w.name: 0 for w in workers}
 
+        def take(name: str):
+            with lock:
+                mine = own.get(name)
+                if mine:
+                    return mine.popleft()
+                if overflow:
+                    return overflow.popleft()
+            return None
+
+        def requeue(j: int, why: str) -> None:
+            with lock:
+                a = attempts.get(j, 0) + 1
+                attempts[j] = a
+                if a > self.max_retries:
+                    quarantined.add(j)
+                    self._recovery.record("quarantine", task=j, attempt=a, detail=why)
+                    self._registry_inc(
+                        "swdual_tasks_quarantined_total",
+                        "Tasks abandoned after exhausting their retry budget",
+                    )
+                    return
+                self._recovery.record("requeue", task=j, attempt=a, detail=why)
+                self._registry_inc(
+                    "swdual_tasks_requeued_total",
+                    "Failed task attempts returned to a queue",
+                )
+                if a == 1:
+                    overflow.appendleft(j)
+                else:
+                    overflow.append(j)
+
+        def withdraw(worker: KernelWorker, reason: str, holding=None) -> None:
+            with lock:
+                self._dead.add(worker.name)
+                orphans = list(own.pop(worker.name, ()))
+                overflow.extend(orphans)
+            self._recovery.record("worker_lost", worker=worker.name, detail=reason)
+            self._registry_inc(
+                "swdual_worker_deaths_total",
+                "Workers removed from the roster (crash, stall, pipe EOF)",
+            )
+            if orphans:
+                self._recovery.record(
+                    "reallocate",
+                    worker=worker.name,
+                    detail=f"{len(orphans)} unstarted task(s) moved to survivors",
+                )
+            if holding is not None:
+                requeue(holding, f"worker {worker.name} lost: {reason}")
+
         def run_worker(worker: KernelWorker) -> None:
-            for j in batch_for(worker):
-                execution = worker.execute(queries[j])
+            injector = self._injectors.get(worker.name)
+            while True:
+                j = take(worker.name)
+                if j is None:
+                    return
+                if attempts.get(j):
+                    self._recovery.record(
+                        "retry", worker=worker.name, task=j, attempt=attempts[j]
+                    )
+                    self._registry_inc(
+                        "swdual_task_retries_total",
+                        "Tasks re-dispatched after a failed attempt",
+                    )
+                spec = injector.next_task() if injector is not None else None
+                if spec is not None and spec.kind in ("kill", "stall"):
+                    # A thread cannot crash the host process; the
+                    # faulted worker withdraws from the pool instead.
+                    withdraw(worker, f"injected {spec.kind}", holding=j)
+                    return
+                if injector is not None:
+                    def hook(query, _j=j, _inj=injector, _spec=spec):
+                        poison = _inj.task_fault(_j)
+                        if poison is not None:
+                            raise InjectedFault(poison.message)
+                        if _spec is not None:  # corrupt: the result
+                            # cannot be trusted, fail the attempt
+                            raise InjectedFault(
+                                f"injected corrupt result for task {_j}"
+                            )
+                    worker.fault_hook = hook
+                try:
+                    execution = worker.execute(queries[j])
+                except Exception as exc:
+                    requeue(j, f"{type(exc).__name__}: {exc}")
+                    continue
+                finally:
+                    if injector is not None:
+                        worker.fault_hook = None
                 with lock:
+                    if j in results or j in quarantined:  # pragma: no cover
+                        continue
                     results[j] = execution.result
                     busy[worker.name] += execution.elapsed
                     executed[worker.name] += 1
@@ -296,19 +452,39 @@ class WarmPool:
                 if on_result is not None:
                     on_result(j, execution.result, worker.name, execution.elapsed)
 
-        threads = [
-            threading.Thread(target=run_worker, args=(w,), name=f"warm-{w.name}")
-            for w in workers
-        ]
-        with batch_span:
+        def sweep(crew):
+            threads = [
+                threading.Thread(target=run_worker, args=(w,), name=f"warm-{w.name}")
+                for w in crew
+            ]
             for t in threads:
                 t.start()
             for t in threads:
                 t.join()
+
+        with batch_span:
+            crew = workers
+            while True:
+                sweep(crew)
+                with lock:
+                    outstanding = len(queries) - len(results) - len(quarantined)
+                if outstanding == 0:
+                    break
+                # A withdrawal can requeue its held task after every
+                # surviving thread already drained and exited; sweep
+                # the survivors again until nothing is left.
+                crew = [w for w in workers if w.name not in self._dead]
+                if not crew:
+                    raise AllWorkersDeadError(outstanding)
         wall = max(tracing.clock() - start, 1e-9)
 
+        quarantined_ids = tuple(sorted(queries[j].id for j in quarantined))
+        for j in quarantined:
+            results[j] = QueryResult(query_id=queries[j].id, hits=())
         missing = set(range(len(queries))) - set(results)
-        if missing:  # pragma: no cover - worker thread died
+        if missing:
+            if not self.alive_workers:
+                raise AllWorkersDeadError(len(missing))
             raise ProtocolError(f"tasks never completed: {sorted(missing)}")
         stats = tuple(
             WorkerStats(
@@ -327,4 +503,5 @@ class WarmPool:
             worker_stats=stats,
             query_results=tuple(results[j] for j in range(len(queries))),
             scheduler_info=scheduler_info,
+            quarantined=quarantined_ids,
         )

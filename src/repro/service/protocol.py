@@ -167,11 +167,18 @@ def rejected_response(id: str, reason: str, retry_after_s: float) -> dict:
     }
 
 
-def error_response(reason: str, id: str | None = None) -> dict:
-    """A request the server could not act on (bad verb, bad sequence)."""
+def error_response(reason: str, id: str | None = None, retryable: bool = False) -> dict:
+    """A request the server could not act on (bad verb, bad sequence).
+
+    ``retryable=True`` marks a transient, server-side failure — the
+    query was valid but could not be completed this time (worker loss,
+    quarantine); the client may safely resubmit the same request.
+    """
     message = {"type": "error", "reason": reason}
     if id is not None:
         message["id"] = id
+    if retryable:
+        message["retryable"] = True
     return message
 
 

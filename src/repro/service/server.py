@@ -43,6 +43,8 @@ import sys
 import threading
 
 from repro.align.scoring import ScoringScheme
+from repro.engine.faults import FaultPlan
+from repro.engine.transport import DEFAULT_HEARTBEAT_TIMEOUT, DEFAULT_MAX_RETRIES
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.packed import DEFAULT_CHUNK_CELLS
 from repro.sequences.sequence import Sequence
@@ -122,11 +124,17 @@ class SearchService:
         bound one from :attr:`port` after :meth:`start`).
     num_cpu_workers / num_gpu_workers / backend / policy /
     measured_gcups / calibrate / scheme / top_hits / chunk_cells /
-    start_method / data_plane / dispatch:
+    start_method / data_plane / dispatch / heartbeat_timeout /
+    max_retries / fault_plan:
         Warm-pool configuration — see :class:`repro.service.pool.WarmPool`.
         The pool records its transport metrics (steals, SHM attach
-        latency, subtask queue depth) into this service's stats
-        registry, so they appear on the same ``/metrics`` endpoint.
+        latency, subtask queue depth, recovery counters) into this
+        service's stats registry, so they appear on the same
+        ``/metrics`` endpoint.  A worker loss degrades the pool rather
+        than the protocol: every admitted query still gets a terminal
+        response — a ``result`` after recovery, or a *retryable*
+        ``error`` if the query was quarantined or the batch failed —
+        never a silent hang.
     max_queue:
         Admission-queue capacity; a full queue answers ``rejected``
         (bounded backpressure) instead of buffering without limit.
@@ -152,6 +160,9 @@ class SearchService:
         start_method: str = "auto",
         data_plane: str = "auto",
         dispatch: str = "query",
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        fault_plan: FaultPlan | None = None,
         max_queue: int = 64,
         max_batch: int = 8,
     ):
@@ -179,6 +190,9 @@ class SearchService:
             start_method=start_method,
             data_plane=data_plane,
             dispatch=dispatch,
+            heartbeat_timeout=heartbeat_timeout,
+            max_retries=max_retries,
+            fault_plan=fault_plan,
         )
         self.stats = ServiceStats(self.pool.roster)
         # The pool only reads its registry at start(): point it at the
@@ -530,13 +544,32 @@ class SearchService:
 
         try:
             report = self.pool.run_batch([p.sequence for p in batch], on_result=on_result)
-        except Exception as exc:  # pragma: no cover - pool failure path
+        except Exception as exc:
+            # Pool-level failure (e.g. every worker died): each query
+            # in the batch gets a terminal, retryable error instead of
+            # a hung connection.
             for pending in batch:
                 self.stats.record_error()
                 pending.conn.send(
-                    protocol.error_response(f"batch failed: {exc}", pending.id)
+                    protocol.error_response(
+                        f"batch failed: {exc}", pending.id, retryable=True
+                    )
                 )
             return
+        # Quarantined queries never fired on_result (their placeholder
+        # results are empty) — close them out with a retryable error.
+        if report.quarantined:
+            abandoned = set(report.quarantined)
+            for pending in batch:
+                if pending.id in abandoned:
+                    self.stats.record_error()
+                    pending.conn.send(
+                        protocol.error_response(
+                            "query abandoned after repeated worker failures",
+                            pending.id,
+                            retryable=True,
+                        )
+                    )
         self.stats.record_batch(report)
 
     def _snapshot(self) -> dict:

@@ -235,5 +235,37 @@ class ServiceStats:
                 "p99_s": queue_wait["p99"],
             },
             "roles": roles,
+            "recovery": self._recovery_snapshot(),
             "throughput_qps": completed / uptime,
+        }
+
+    def _recovery_snapshot(self) -> dict:
+        """Recovery counters the transport/pool records into this
+        registry (get-or-create: all zero when nothing ever failed)."""
+        reg = self.registry
+        return {
+            "worker_deaths": int(
+                reg.counter(
+                    "swdual_worker_deaths_total",
+                    "Workers removed from the roster (crash, stall, pipe EOF)",
+                ).value
+            ),
+            "task_retries": int(
+                reg.counter(
+                    "swdual_task_retries_total",
+                    "Tasks re-dispatched after a failed attempt",
+                ).value
+            ),
+            "tasks_requeued": int(
+                reg.counter(
+                    "swdual_tasks_requeued_total",
+                    "Failed task attempts returned to a queue",
+                ).value
+            ),
+            "tasks_quarantined": int(
+                reg.counter(
+                    "swdual_tasks_quarantined_total",
+                    "Tasks abandoned after exhausting their retry budget",
+                ).value
+            ),
         }

@@ -1,0 +1,115 @@
+"""Differential dispatch conformance: every execution path against the
+single-threaded reference.
+
+The same workload must produce **bit-identical hit tables** (subject
+ids, scores, order) no matter how it is executed: threaded or process
+workers, pickle or shared-memory data plane, whole-query or
+chunk-range dispatch, dynamic self-scheduling or the SWDUAL static
+allocation, and the warm service pool on either backend.  Ranking ties
+break deterministically (score desc, subject id asc), so the
+comparison is exact.
+"""
+
+import pytest
+
+from repro.engine import live_search, process_search
+from repro.sequences import small_database, standard_query_set
+from repro.sequences.shm import shm_available
+from repro.service.pool import WarmPool
+
+TOP_HITS = 4
+CHUNK_CELLS = 1_500
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _hits(report):
+    return [
+        [(h.subject_id, h.score) for h in qr.hits]
+        for qr in report.query_results
+    ]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=18, mean_length=50, seed=81)
+    queries = list(standard_query_set(count=3).scaled(0.015).materialize(seed=82))
+    return db, queries
+
+
+@pytest.fixture(scope="module")
+def reference(workload):
+    """One worker, one thread: the sequential reference hit table."""
+    db, queries = workload
+    return _hits(
+        live_search(queries, db, 1, 0, policy="self", top_hits=TOP_HITS)
+    )
+
+
+class TestThreadedDispatch:
+    @pytest.mark.parametrize("policy", ["self", "swdual", "swdual-dp"])
+    def test_live_search_policies(self, workload, reference, policy):
+        db, queries = workload
+        report = live_search(
+            queries,
+            db,
+            2,
+            1,
+            policy=policy,
+            top_hits=TOP_HITS,
+            measured_gcups={"cpu": 1.0, "gpu": 2.0},
+        )
+        assert _hits(report) == reference
+
+    @pytest.mark.parametrize("policy", ["self", "swdual"])
+    def test_warm_pool_threads(self, workload, reference, policy):
+        db, queries = workload
+        with WarmPool(
+            db,
+            num_cpu_workers=2,
+            num_gpu_workers=1,
+            backend="threads",
+            policy=policy,
+            measured_gcups={"cpu": 1.0, "gpu": 2.0},
+            top_hits=TOP_HITS,
+        ) as pool:
+            assert _hits(pool.run_batch(queries)) == reference
+
+
+class TestProcessDispatch:
+    @pytest.mark.parametrize(
+        "plane", ["pickle", pytest.param("shm", marks=needs_shm)]
+    )
+    @pytest.mark.parametrize("dispatch", ["query", "chunk"])
+    @pytest.mark.parametrize("policy", ["self", "swdual"])
+    def test_plane_dispatch_policy_grid(
+        self, workload, reference, plane, dispatch, policy
+    ):
+        db, queries = workload
+        report = process_search(
+            queries,
+            db,
+            num_workers=2,
+            top_hits=TOP_HITS,
+            policy=policy,
+            measured_gcups={"cpu": 1.0},
+            data_plane=plane,
+            dispatch=dispatch,
+            chunk_cells=CHUNK_CELLS,
+        )
+        assert _hits(report) == reference
+
+    def test_warm_pool_processes(self, workload, reference):
+        db, queries = workload
+        with WarmPool(
+            db,
+            num_cpu_workers=2,
+            num_gpu_workers=0,
+            backend="processes",
+            policy="self",
+            top_hits=TOP_HITS,
+            chunk_cells=CHUNK_CELLS,
+        ) as pool:
+            assert _hits(pool.run_batch(queries)) == reference

@@ -1,0 +1,128 @@
+"""Differential fault conformance (the issue's property test).
+
+Property: for any seeded :class:`~repro.engine.faults.FaultPlan`, a
+run that loses workers mid-batch — with the requeue, work-stealing and
+narrow-dtype-ladder machinery all engaged in recovery — produces
+scores **bit-identical** to the zero-fault run.  Faults may change
+which worker computes what and when; they must never change a single
+score or ranking.
+
+The loop is seeded (no wall-clock anywhere in the fault machinery), so
+a failure reproduces exactly from the printed seed.
+"""
+
+import pytest
+
+from repro.engine import process_search
+from repro.engine.faults import FaultPlan, RecoveryLog
+from repro.sequences import small_database, standard_query_set
+
+TOP_HITS = 4
+CHUNK_CELLS = 1_500
+#: Fast heartbeat so injected stalls are detected in ~a second.
+HEARTBEAT = 1.0
+
+
+def _hits(report):
+    return [
+        [(h.subject_id, h.score) for h in qr.hits]
+        for qr in report.query_results
+    ]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=14, mean_length=50, seed=91)
+    queries = list(standard_query_set(count=4).scaled(0.015).materialize(seed=92))
+    return db, queries
+
+
+@pytest.fixture(scope="module")
+def fault_free(workload):
+    db, queries = workload
+    return _hits(
+        process_search(
+            queries,
+            db,
+            num_workers=3,
+            top_hits=TOP_HITS,
+            chunk_cells=CHUNK_CELLS,
+        )
+    )
+
+
+class TestRandomFaultPlans:
+    """The seeded property loop: random plans, bit-identical recovery."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_query_dispatch_recovers_bit_identical(
+        self, workload, fault_free, seed
+    ):
+        db, queries = workload
+        plan = FaultPlan.random(
+            seed, ["proc0", "proc1", "proc2"], num_faults=1,
+            kinds=("kill", "stall", "corrupt"),
+        )
+        recovery = RecoveryLog()
+        report = process_search(
+            queries,
+            db,
+            num_workers=3,
+            top_hits=TOP_HITS,
+            chunk_cells=CHUNK_CELLS,
+            fault_plan=plan,
+            heartbeat_timeout=HEARTBEAT,
+            recovery_log=recovery,
+        )
+        assert report.quarantined == (), f"seed={seed}"
+        assert _hits(report) == fault_free, f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", [0, 3, 5])
+    def test_chunk_dispatch_recovers_bit_identical(
+        self, workload, fault_free, seed
+    ):
+        """Chunk grains + stealing + requeue after a fault: still exact."""
+        db, queries = workload
+        plan = FaultPlan.random(
+            seed, ["proc0", "proc1", "proc2"], num_faults=1,
+            kinds=("kill", "corrupt"), max_ordinal=1,
+        )
+        recovery = RecoveryLog()
+        report = process_search(
+            queries,
+            db,
+            num_workers=3,
+            top_hits=TOP_HITS,
+            chunk_cells=CHUNK_CELLS,
+            dispatch="chunk",
+            fault_plan=plan,
+            heartbeat_timeout=HEARTBEAT,
+            recovery_log=recovery,
+        )
+        assert report.quarantined == (), f"seed={seed}"
+        assert _hits(report) == fault_free, f"seed={seed}"
+
+    def test_two_faults_same_batch(self, workload, fault_free):
+        db, queries = workload
+        plan = FaultPlan.random(
+            11, ["proc0", "proc1", "proc2"], num_faults=2,
+            kinds=("kill", "corrupt"), max_ordinal=1,
+        )
+        report = process_search(
+            queries,
+            db,
+            num_workers=3,
+            top_hits=TOP_HITS,
+            chunk_cells=CHUNK_CELLS,
+            fault_plan=plan,
+            heartbeat_timeout=HEARTBEAT,
+        )
+        assert report.quarantined == ()
+        assert _hits(report) == fault_free
+
+    def test_plan_is_deterministic(self):
+        a = FaultPlan.random(42, ["w0", "w1"], num_faults=2)
+        b = FaultPlan.random(42, ["w0", "w1"], num_faults=2)
+        assert [
+            (s.worker, s.task_ordinal, s.kind) for s in a.worker_faults
+        ] == [(s.worker, s.task_ordinal, s.kind) for s in b.worker_faults]

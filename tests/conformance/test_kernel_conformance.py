@@ -1,0 +1,122 @@
+"""Differential kernel conformance: every scoring kernel against the
+scalar oracle.
+
+The scalar DP (:func:`repro.align.sw_scalar.sw_score`) is the ground
+truth — a direct transcription of the paper's recurrences.  Every
+optimised kernel (striped, row-sweep vector, wavefront, SWIPE-style
+batch, the packed fast paths, every rung of the narrow-dtype ladder)
+must reproduce its scores **bit for bit** on the same inputs; any
+divergence is a bug in the optimisation, never an acceptable
+approximation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.align.scoring import default_scheme
+from repro.align.sw_batch import (
+    DTYPE_LADDER,
+    sw_score_batch,
+    sw_score_packed,
+)
+from repro.align.sw_scalar import sw_score
+from repro.align.sw_striped import sw_score_striped
+from repro.align.sw_vector import sw_score_rowsweep
+from repro.align.sw_wavefront import (
+    sw_score_wavefront,
+    sw_score_wavefront_batch,
+    sw_score_wavefront_packed,
+)
+from repro.sequences import small_database, standard_query_set
+from repro.sequences.packed import PackedDatabase
+
+#: Small chunk budget so the packed paths exercise multi-chunk merging.
+CHUNK_CELLS = 1_500
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=16, mean_length=60, seed=71)
+    queries = standard_query_set(count=3).scaled(0.02).materialize(seed=72)
+    return db, list(queries)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return default_scheme()
+
+
+@pytest.fixture(scope="module")
+def oracle(workload, scheme):
+    """Scalar-DP scores: ``oracle[qi][si]``."""
+    db, queries = workload
+    subjects = list(db)
+    return [
+        [sw_score(q, s, scheme) for s in subjects] for q in queries
+    ]
+
+
+class TestPairwiseKernels:
+    """One query x one subject kernels vs the scalar oracle."""
+
+    @pytest.mark.parametrize("lanes", [1, 4, 8])
+    def test_striped(self, workload, scheme, oracle, lanes):
+        db, queries = workload
+        for qi, q in enumerate(queries):
+            for si, s in enumerate(db):
+                assert sw_score_striped(q, s, scheme, lanes=lanes) == oracle[qi][si]
+
+    def test_rowsweep(self, workload, scheme, oracle):
+        db, queries = workload
+        for qi, q in enumerate(queries):
+            for si, s in enumerate(db):
+                assert sw_score_rowsweep(q, s, scheme) == oracle[qi][si]
+
+    def test_wavefront(self, workload, scheme, oracle):
+        db, queries = workload
+        for qi, q in enumerate(queries):
+            for si, s in enumerate(db):
+                assert sw_score_wavefront(q, s, scheme) == oracle[qi][si]
+
+
+class TestBatchKernels:
+    """Whole-database kernels vs the scalar oracle."""
+
+    def test_swipe_batch(self, workload, scheme, oracle):
+        db, queries = workload
+        subjects = list(db)
+        for qi, q in enumerate(queries):
+            scores = sw_score_batch(q, subjects, scheme, chunk_cells=CHUNK_CELLS)
+            assert scores.dtype == np.int64
+            assert scores.tolist() == oracle[qi]
+
+    def test_wavefront_batch(self, workload, scheme, oracle):
+        db, queries = workload
+        subjects = list(db)
+        for qi, q in enumerate(queries):
+            scores = sw_score_wavefront_batch(
+                q, subjects, scheme, chunk_cells=CHUNK_CELLS
+            )
+            assert scores.tolist() == oracle[qi]
+
+    def test_packed_paths_share_one_packing(self, workload, scheme, oracle):
+        db, queries = workload
+        packed = PackedDatabase.from_database(db, chunk_cells=CHUNK_CELLS)
+        for qi, q in enumerate(queries):
+            assert sw_score_packed(q, packed, scheme).tolist() == oracle[qi]
+            assert (
+                sw_score_wavefront_packed(q, packed, scheme).tolist() == oracle[qi]
+            )
+
+    @pytest.mark.parametrize("level_index", range(len(DTYPE_LADDER)))
+    def test_every_ladder_rung(self, workload, scheme, oracle, level_index):
+        """Each narrow-dtype rung, forced alone (plus the wide rungs
+        above it as overflow fallback), matches the oracle exactly."""
+        db, queries = workload
+        subjects = list(db)
+        levels = DTYPE_LADDER[level_index:]
+        for qi, q in enumerate(queries):
+            scores = sw_score_batch(
+                q, subjects, scheme, chunk_cells=CHUNK_CELLS, levels=levels
+            )
+            assert scores.tolist() == oracle[qi]

@@ -1,0 +1,201 @@
+"""Unit tests for the fault-injection machinery and the supervised
+pool's failure surface: plan determinism and validation, injector
+ordinal counting, recovery-log bookkeeping, named timeout errors, and
+the teardown regressions (SIGKILL mid-batch, double-join)."""
+
+import os
+import pickle
+import signal
+
+import numpy as np
+import pytest
+
+from repro.engine import ProtocolError
+from repro.engine.faults import (
+    FAULT_KINDS,
+    AllWorkersDeadError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RecoveryLog,
+    TaskFault,
+    WorkerCrashed,
+    WorkerTimeoutError,
+    payload_checksum,
+)
+from repro.engine.transport import ProcessWorkerPool
+from repro.sequences import small_database, standard_query_set
+
+
+class TestFaultPlan:
+    def test_random_is_seed_deterministic(self):
+        workers = ["proc0", "proc1", "proc2"]
+        a = FaultPlan.random(9, workers, num_faults=2, kinds=FAULT_KINDS)
+        b = FaultPlan.random(9, workers, num_faults=2, kinds=FAULT_KINDS)
+        assert a.worker_faults == b.worker_faults
+        c = FaultPlan.random(10, workers, num_faults=2, kinds=FAULT_KINDS)
+        assert a.worker_faults != c.worker_faults or a.victims() != c.victims()
+
+    def test_random_faults_distinct_workers(self):
+        plan = FaultPlan.random(1, ["a", "b", "c"], num_faults=3)
+        assert plan.victims() == ("a", "b", "c")
+
+    def test_random_validation(self):
+        with pytest.raises(ValueError, match="distinct workers"):
+            FaultPlan.random(0, ["a"], num_faults=2)
+        with pytest.raises(ValueError, match="kind"):
+            FaultPlan.random(0, ["a"], kinds=("meteor",))
+
+    def test_duplicate_fault_rejected(self):
+        spec = FaultSpec("w", 0, "kill")
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan([spec, FaultSpec("w", 0, "stall")])
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(task_faults=[TaskFault(1), TaskFault(1)])
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec("w", 0, "explode")
+        with pytest.raises(ValueError, match="task_ordinal"):
+            FaultSpec("w", -1, "kill")
+        with pytest.raises(ValueError, match="fail_times"):
+            TaskFault(0, fail_times=0)
+
+    def test_plan_is_picklable(self):
+        """Plans ride the spawn payload to worker processes."""
+        plan = FaultPlan(
+            [FaultSpec("w", 1, "stall")], [TaskFault(2, fail_times=1)]
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.worker_action("w", 1).kind == "stall"
+        assert clone.task_action(2).fail_times == 1
+
+    def test_lookup_and_len(self):
+        plan = FaultPlan.single("w", 2, "corrupt")
+        assert plan.worker_action("w", 2).kind == "corrupt"
+        assert plan.worker_action("w", 1) is None
+        assert plan.worker_action("other", 2) is None
+        assert len(plan) == 1 and plan
+        assert not FaultPlan()
+
+
+class TestFaultInjector:
+    def test_counts_ordinals(self):
+        plan = FaultPlan.single("w", 2, "kill")
+        injector = FaultInjector(plan, "w")
+        assert injector.next_task() is None
+        assert injector.next_task() is None
+        assert injector.next_task().kind == "kill"
+        assert injector.next_task() is None
+
+    def test_other_worker_untouched(self):
+        injector = FaultInjector(FaultPlan.single("w", 0, "kill"), "other")
+        assert all(injector.next_task() is None for _ in range(4))
+
+    def test_poison_honours_fail_times(self):
+        injector = FaultInjector(FaultPlan.poison(5, fail_times=2), "w")
+        assert injector.task_fault(5) is not None
+        assert injector.task_fault(5) is not None
+        assert injector.task_fault(5) is None  # budget spent
+        assert injector.task_fault(6) is None
+
+    def test_poison_forever_by_default(self):
+        injector = FaultInjector(FaultPlan.poison(0), "w")
+        assert all(injector.task_fault(0) is not None for _ in range(10))
+
+
+class TestRecoveryLog:
+    def test_records_in_order_with_seq(self):
+        log = RecoveryLog()
+        log.record("worker_lost", worker="w0", detail="boom")
+        log.record("requeue", task=3, attempt=1)
+        log.record("retry", worker="w1", task=3, attempt=1)
+        kinds = [e.kind for e in log.all()]
+        assert kinds == ["worker_lost", "requeue", "retry"]
+        seqs = [e.seq for e in log.all()]
+        assert seqs == sorted(seqs)
+        assert log.counts() == {"worker_lost": 1, "requeue": 1, "retry": 1}
+        assert len(log.of_kind("requeue")) == 1
+        assert log.to_dicts()[0]["worker"] == "w0"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            RecoveryLog().record("shrug")
+
+
+class TestChecksum:
+    def test_detects_mutation(self):
+        hits = [("s1", 40), ("s2", 17)]
+        good = payload_checksum(hits)
+        assert payload_checksum([("s1", 41), ("s2", 17)]) != good
+        assert payload_checksum(hits) == good
+
+    def test_numpy_payloads(self):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        assert payload_checksum(a) == payload_checksum(a.copy())
+        assert payload_checksum(a) != payload_checksum(a[::-1].copy())
+
+
+class TestErrorSurface:
+    def test_timeout_error_names_the_worker(self):
+        err = WorkerTimeoutError("proc1", pending_task="q7", timeout=30.0)
+        assert isinstance(err, ProtocolError)
+        assert err.worker == "proc1"
+        assert err.pending_task == "q7"
+        assert "proc1" in str(err)
+        assert "q7" in str(err)
+        assert "30" in str(err)
+
+    def test_crash_and_all_dead(self):
+        crash = WorkerCrashed("proc0", reason="exit 13")
+        assert "proc0" in str(crash) and "exit 13" in str(crash)
+        dead = AllWorkersDeadError(4, last_worker="proc2")
+        assert dead.pending == 4
+        assert "proc2" in str(dead)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=12, mean_length=50, seed=61)
+    queries = list(standard_query_set(count=3).scaled(0.015).materialize(seed=62))
+    return db, queries
+
+
+class TestTeardownRegressions:
+    """The satellite regressions: reaping dead children must never
+    raise, and a SIGKILLed worker mid-batch must not cost any query."""
+
+    def test_sigkill_mid_batch_recovers(self, workload):
+        db, queries = workload
+        reference = None
+        with ProcessWorkerPool(
+            db, num_cpu_workers=2, top_hits=4, heartbeat_timeout=5.0
+        ) as pool:
+            reference = pool.run_batch(queries)
+            os.kill(pool._processes[0].pid, signal.SIGKILL)
+            report = pool.run_batch(queries)
+        assert [qr.hits for qr in report.query_results] == [
+            qr.hits for qr in reference.query_results
+        ]
+        assert report.quarantined == ()
+
+    def test_close_reaps_dead_children_without_raising(self, workload):
+        db, _queries = workload
+        pool = ProcessWorkerPool(db, num_cpu_workers=2, top_hits=4)
+        pool.start()
+        for proc in pool._processes:
+            proc.kill()
+            proc.join(timeout=5)
+        pool.close()  # must reap, not raise
+        pool.close()  # idempotent second close (double-join path)
+        assert all(not p.is_alive() for p in pool._processes)
+
+    def test_double_join_after_batch(self, workload):
+        db, queries = workload
+        pool = ProcessWorkerPool(db, num_cpu_workers=1, top_hits=4)
+        pool.start()
+        pool.run_batch(queries)
+        pool.close()
+        pool.close()
+        with pytest.raises(ProtocolError):
+            pool.run_batch(queries)

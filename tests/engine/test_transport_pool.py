@@ -87,17 +87,39 @@ class TestBatches:
 
 
 class TestExceptionSafety:
-    def test_dead_worker_fails_batch_and_leaves_no_orphans(self, workload):
+    def test_dead_worker_batch_recovers_and_leaves_no_orphans(self, workload):
         db, queries = workload
+        reference = live_search(
+            queries, db, num_cpu_workers=1, num_gpu_workers=0,
+            policy="self", top_hits=5,
+        )
         pool = ProcessWorkerPool(db, num_cpu_workers=2)
         pool.start()
         victims = list(pool._processes)
-        # Kill one worker mid-pool: the next batch must fail loudly...
+        # Kill one worker mid-pool: the batch must complete on the
+        # survivor, bit-identical to the fault-free run...
+        victims[0].terminate()
+        victims[0].join(timeout=10)
+        report = pool.run_batch(queries)
+        assert _hits(report) == _hits(reference)
+        assert report.quarantined == ()
+        assert pool.recovery.of_kind("worker_lost")
+        assert pool.alive_workers == ["proc1"]
+        # ...and teardown must reap the dead child without raising.
+        pool.close()
+        for proc in victims:
+            assert not proc.is_alive()
+
+    def test_last_worker_death_fails_loudly(self, workload):
+        db, queries = workload
+        pool = ProcessWorkerPool(db, num_cpu_workers=1)
+        pool.start()
+        victims = list(pool._processes)
         victims[0].terminate()
         victims[0].join(timeout=10)
         with pytest.raises(ProtocolError):
             pool.run_batch(queries)
-        # ...and every child must already be torn down (no orphans).
+        # Every child must already be torn down (no orphans).
         for proc in victims:
             assert not proc.is_alive()
         pool.close()  # still safe to call

@@ -1,0 +1,189 @@
+"""Service-level fault tolerance (the issue's satellite): when a
+worker dies mid-batch, every client sees its query *complete*
+(degraded service) or a *retryable error* — never a hung connection.
+
+All assertions run under a short client socket timeout, so a hang
+fails the test as ``socket.timeout`` instead of wedging the suite.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.engine.faults import FaultPlan, FaultSpec
+from repro.sequences import small_database
+from repro.service.server import SearchService
+
+#: Client-side socket timeout: the never-hang budget per response.
+CLIENT_TIMEOUT_S = 30.0
+
+QUERY_TEXT = "MKVLATTPRGDEWQ" * 3
+
+
+@pytest.fixture(scope="module")
+def database():
+    return small_database(num_sequences=12, mean_length=50, seed=41)
+
+
+def _client(port):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=CLIENT_TIMEOUT_S)
+    sock.settimeout(CLIENT_TIMEOUT_S)
+    return sock, sock.makefile("rwb")
+
+
+def _send(stream, message):
+    stream.write((json.dumps(message) + "\n").encode())
+    stream.flush()
+
+
+def _recv(stream):
+    line = stream.readline()
+    assert line, "server closed the connection mid-exchange"
+    return json.loads(line)
+
+
+class TestWorkerDeathDegradesGracefully:
+    def test_all_queries_complete_after_worker_loss(self, database):
+        """Kill one of three workers on its first task: every query
+        still gets a result, and the loss shows up in stats."""
+        plan = FaultPlan.single("cpu0", 0, "kill")
+        with SearchService(
+            database,
+            num_cpu_workers=2,
+            num_gpu_workers=1,
+            backend="threads",
+            policy="self",
+            fault_plan=plan,
+        ) as service:
+            sock, stream = _client(service.port)
+            try:
+                ids = [f"q{i}" for i in range(4)]
+                for qid in ids:
+                    _send(
+                        stream,
+                        {"verb": "query", "id": qid, "sequence": QUERY_TEXT},
+                    )
+                seen = {}
+                for _ in ids:
+                    resp = _recv(stream)
+                    seen[resp["id"]] = resp
+                assert set(seen) == set(ids)
+                assert all(r["type"] == "result" for r in seen.values())
+                assert all(r["hits"] for r in seen.values())
+                _send(stream, {"verb": "stats"})
+                stats = _recv(stream)["stats"]
+                assert stats["recovery"]["worker_deaths"] == 1
+                assert stats["recovery"]["task_retries"] >= 1
+            finally:
+                sock.close()
+
+    def test_poison_query_gets_retryable_error_not_hang(self, database):
+        """A query that fails on every worker is quarantined and the
+        client gets a terminal retryable error for it; the rest of the
+        batch completes normally."""
+        plan = FaultPlan.poison(1)  # second query in the batch
+        with SearchService(
+            database,
+            num_cpu_workers=2,
+            num_gpu_workers=0,
+            backend="threads",
+            policy="self",
+            fault_plan=plan,
+            max_batch=8,
+        ) as service:
+            service.hold()  # collect all queries into one batch
+            sock, stream = _client(service.port)
+            try:
+                ids = [f"q{i}" for i in range(4)]
+                for qid in ids:
+                    _send(
+                        stream,
+                        {"verb": "query", "id": qid, "sequence": QUERY_TEXT},
+                    )
+                service.release()
+                seen = {}
+                for _ in ids:
+                    resp = _recv(stream)
+                    seen[resp["id"]] = resp
+                assert set(seen) == set(ids)
+                errors = {i: r for i, r in seen.items() if r["type"] == "error"}
+                results = {i: r for i, r in seen.items() if r["type"] == "result"}
+                assert len(errors) == 1
+                (error,) = errors.values()
+                assert error["retryable"] is True
+                assert "abandoned" in error["reason"]
+                assert len(results) == 3
+            finally:
+                sock.close()
+
+    def test_total_worker_loss_is_retryable_error(self, database):
+        """Every worker dead: the batch fails, but each query still
+        gets a terminal retryable error instead of a hang."""
+        plan = FaultPlan([FaultSpec("cpu0", 0, "kill"), FaultSpec("cpu1", 0, "kill")])
+        with SearchService(
+            database,
+            num_cpu_workers=2,
+            num_gpu_workers=0,
+            backend="threads",
+            policy="self",
+            fault_plan=plan,
+            max_batch=8,
+        ) as service:
+            service.hold()
+            sock, stream = _client(service.port)
+            try:
+                ids = [f"q{i}" for i in range(3)]
+                for qid in ids:
+                    _send(
+                        stream,
+                        {"verb": "query", "id": qid, "sequence": QUERY_TEXT},
+                    )
+                service.release()
+                for _ in ids:
+                    resp = _recv(stream)
+                    assert resp["type"] == "error"
+                    assert resp["retryable"] is True
+                    assert "batch failed" in resp["reason"]
+            finally:
+                sock.close()
+
+    def test_service_survives_to_next_batch(self, database):
+        """After a worker loss, later batches keep completing on the
+        survivors (degraded capacity, full service).
+
+        The static allocation hands every worker its own queue, so the
+        victim deterministically receives (and faults on) a task.
+        """
+        plan = FaultPlan.single("cpu1", 0, "kill")
+        with SearchService(
+            database,
+            num_cpu_workers=2,
+            num_gpu_workers=1,
+            backend="threads",
+            policy="swdual",
+            measured_gcups={"cpu": 1.0, "gpu": 1.0},
+            fault_plan=plan,
+            max_batch=8,
+        ) as service:
+            service.hold()
+            sock, stream = _client(service.port)
+            try:
+                ids = [f"q{i}" for i in range(6)]
+                for qid in ids:
+                    _send(
+                        stream,
+                        {"verb": "query", "id": qid, "sequence": QUERY_TEXT},
+                    )
+                service.release()
+                for _ in ids:
+                    resp = _recv(stream)
+                    assert resp["type"] == "result"
+                assert service.pool.alive_workers == ["cpu0", "gpu0"]
+                # The degraded pool keeps serving.
+                _send(stream, {"verb": "query", "id": "after", "sequence": QUERY_TEXT})
+                resp = _recv(stream)
+                assert resp["type"] == "result"
+                assert resp["id"] == "after"
+            finally:
+                sock.close()
