@@ -1,14 +1,30 @@
-"""Banded Smith-Waterman (score-only heuristic).
+"""Banded Smith-Waterman (score-only heuristic) with z-drop.
 
-Restricting the DP to a diagonal band ``|i - j| <= w`` reduces work from
-O(m·n) to O(max(m, n)·w).  It is the classic speed/sensitivity knob in
-database search pipelines: exact whenever the optimal path stays inside
-the band (always true for ``w >= max(m, n)``), otherwise a lower bound
-on the true score — a property the test suite checks.
+Restricting the DP to a diagonal band ``|j - i - c| <= w`` (``c`` the
+*centre diagonal*, 0 by default) reduces work from O(m·n) to
+O(max(m, n)·w).  It is the classic speed/sensitivity knob in database
+search pipelines: exact whenever the optimal path stays inside the
+band (always true when the band covers the whole matrix), otherwise a
+lower bound on the true score — a property the test suite checks.
 
-The implementation keeps a sliding window of width ``2w + 1`` whose base
-shifts by one column per row, which aligns the window index of the
-*diagonal* neighbour across rows (``H_prev[k]`` is exactly
+Two KSW2-style extensions serve the filter cascade
+(:mod:`repro.align.pipeline`):
+
+* **band-width contract** — ``bandwidth=None`` (or any negative value,
+  matching KSW2's ``w = -1``) disables banding and the routine is
+  exact; any non-negative band half-width is clamped to the matrix
+  bounds, so a short subject with a huge band costs no more than the
+  full DP and degenerates to the exact score.
+* **z-drop early termination** — when ``zdrop`` is set, the row sweep
+  stops as soon as the best score of the current row falls more than
+  ``zdrop`` below the global best seen so far.  The returned score is
+  then the best prefix score: still a lower bound on the true local
+  score, and equal to it whenever the optimal alignment ends before
+  the drop-off (the common case for a true hit).
+
+The implementation keeps a sliding window of width ``2w + 1`` whose
+base shifts by one column per row, which aligns the window index of
+the *diagonal* neighbour across rows (``H_prev[k]`` is exactly
 ``H[i-1][j-1]`` for window slot ``k``).  Cells outside the band read a
 large negative sentinel, so gaps cannot cross the band edge.
 """
@@ -26,25 +42,48 @@ _NEG = np.int64(-(2**40))
 
 
 def sw_score_banded(
-    query: Sequence, subject: Sequence, scheme: ScoringScheme, bandwidth: int
+    query: Sequence,
+    subject: Sequence,
+    scheme: ScoringScheme,
+    bandwidth: int | None,
+    zdrop: int | None = None,
+    diag_center: int = 0,
 ) -> int:
-    """Best local score over paths within ``|i - j| <= bandwidth``.
+    """Best local score over paths within ``|j - i - diag_center| <= w``.
 
     Parameters
     ----------
     bandwidth:
-        Band half-width ``w`` (>= 0).  ``w >= max(len(query),
-        len(subject))`` makes the result exact.
+        Band half-width ``w``.  ``None`` or any negative value disables
+        banding (KSW2's ``w = -1`` contract) and the result is exact.
+        Non-negative widths are clamped to the matrix bounds, so a band
+        wider than the matrix is exact too (and costs no extra work).
+    zdrop:
+        Z-drop threshold (``None`` disables).  The row sweep terminates
+        early once the current row's best falls more than *zdrop* below
+        the global best; the result is a lower bound on the true score.
+    diag_center:
+        Diagonal ``j - i`` the band is centred on (0 = main diagonal).
+        A seed on diagonal ``d`` is covered by ``diag_center=d``.
     """
-    if bandwidth < 0:
-        raise ValueError(f"bandwidth must be >= 0, got {bandwidth}")
+    if zdrop is not None and zdrop < 0:
+        raise ValueError(f"zdrop must be >= 0 or None, got {zdrop}")
     scheme.check_sequence(query, "query")
     scheme.check_sequence(subject, "subject")
     q, d = query.codes, subject.codes
     m, n = len(q), len(d)
     if m == 0 or n == 0:
         return 0
-    w = min(bandwidth, max(m, n))
+    # Clamp the centre diagonal into the matrix (j - i spans [-m, n])
+    # and the half-width to the widest band that can still add
+    # coverage: with centre c the extreme in-matrix diagonals are
+    # n - c (top right) and m + c (bottom left).
+    c = min(max(int(diag_center), -m), n)
+    w_full = max(n - c, m + c)
+    if bandwidth is None or bandwidth < 0:
+        w = w_full
+    else:
+        w = min(bandwidth, w_full)
     W = 2 * w + 1
     S = scheme.matrix.scores.astype(np.int64)
     if scheme.is_affine:
@@ -55,20 +94,21 @@ def sw_score_banded(
         g = np.int64(scheme.gaps.gap)
         affine = False
 
-    # Window slot k of row i covers column j = (i - w) + k.
+    # Window slot k of row i covers column j = (i + c - w) + k.
     k_idx = np.arange(W, dtype=np.int64)
     ge_k = (k_idx * ge) if affine else None
     g_k = (k_idx * (-g)) if not affine else None  # -g > 0
 
     # Row 0 boundary: H = 0 where the window column is in [0, n].
     H_prev = np.full(W + 1, _NEG, dtype=np.int64)  # extra slot for "up"
-    cols0 = -w + k_idx  # row 0 base is -w
+    cols0 = (c - w) + k_idx  # row 0 base is c - w
     H_prev[:W][(cols0 >= 0) & (cols0 <= n)] = 0
     F_prev = np.full(W + 1, _NEG, dtype=np.int64)
     best = np.int64(0)
+    zcut = None if zdrop is None else np.int64(zdrop)
 
     for i in range(1, m + 1):
-        base = i - w  # column of window slot 0
+        base = i + c - w  # column of window slot 0
         cols = base + k_idx
         valid = (cols >= 1) & (cols <= n)
         sub = np.full(W, _NEG, dtype=np.int64)
@@ -77,26 +117,28 @@ def sw_score_banded(
         diag = H_prev[:W] + sub
         if affine:
             F = np.maximum(F_prev[1:], H_prev[1:] - gs) - ge
-            c = np.maximum(np.maximum(diag, F), 0)
-            c = np.where(valid, c, _NEG)
+            cc = np.maximum(np.maximum(diag, F), 0)
+            cc = np.where(valid, cc, _NEG)
             # E scan within the window (band edge blocks the chain).
-            u = np.where(valid, c - gs + ge_k, _NEG)
+            u = np.where(valid, cc - gs + ge_k, _NEG)
             run = np.maximum.accumulate(u)
             E = np.full(W, _NEG, dtype=np.int64)
             E[1:] = run[:-1] - ge_k[1:]
-            H = np.maximum(c, E)
+            H = np.maximum(cc, E)
         else:
             up = H_prev[1:] + g
-            c = np.maximum(np.maximum(diag, up), 0)
-            c = np.where(valid, c, _NEG)
-            u = np.where(valid, c + g_k, _NEG)
+            cc = np.maximum(np.maximum(diag, up), 0)
+            cc = np.where(valid, cc, _NEG)
+            u = np.where(valid, cc + g_k, _NEG)
             run = np.maximum.accumulate(u)
-            H = np.maximum(c, run - g_k)  # left-chain closure
+            H = np.maximum(cc, run - g_k)  # left-chain closure
         H = np.where(valid, H, _NEG)
         if valid.any():
             row_best = H[valid].max()
             if row_best > best:
                 best = row_best
+            elif zcut is not None and best - row_best > zcut:
+                break  # z-drop: the alignment has fallen off a cliff
         H_next = np.full(W + 1, _NEG, dtype=np.int64)
         H_next[:W] = H
         if affine:

@@ -1,0 +1,475 @@
+"""Two-stage heuristic search pipeline (BLAST/minimap2-style cascade).
+
+Raw GCUPS is the wrong lever once most of the database never comes
+near the reporting threshold: a full-scan search pays the whole
+O(m·n) DP matrix for every subject, hit or not.  This module trades a
+bounded amount of sensitivity for an order of magnitude less work via
+the classic three-step filter cascade:
+
+1. **k-mer / diagonal-seed prescreen** — a vectorised numpy scan over
+   every chunk of the :class:`~repro.sequences.packed.PackedDatabase`.
+   A :class:`KmerIndex` of the query is built once (and LRU-cached per
+   query/scheme, like the query profiles); each subject window's k-mer
+   is looked up with one gather, seeds are bucketed by diagonal with
+   one ``np.add.at``, and subjects failing the tunable ``min_seeds`` /
+   ``min_diag_score`` cutoffs are dropped without any DP at all.
+2. **banded Smith-Waterman with z-drop** — survivors get a
+   :func:`~repro.align.banded.sw_score_banded` pass, band centred on
+   the best seed diagonal, terminated early by the KSW2-style z-drop.
+   The banded score is a *lower bound* on the true score.
+3. **exact rescoring** — every candidate whose banded lower bound
+   reaches the reporting ``threshold`` is rescored with the exact
+   adaptive-dtype batch kernel (the same
+   :func:`~repro.align.sw_batch._score_chunk_adaptive` the full scan
+   uses), so every score the pipeline *reports* is **bit-identical to
+   the scalar oracle**.
+
+Exactness contract (the conformance suite pins this): a subject that
+survives all three stages carries its exact score; a filtered subject
+carries 0.  Reported hits (score >= ``threshold``) are therefore
+always exact — the heuristic can only *lose* a below-band hit, never
+mis-score one.  With the knobs at their permissive extreme
+(``min_seeds=0``, ``min_diag_score=0``, ``bandwidth=None``,
+``zdrop=None`` — see :meth:`PipelineConfig.exact`) nothing is
+filtered and the cascade degenerates to the exact full scan.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.align.banded import sw_score_banded
+from repro.align.scoring import ScoringScheme
+from repro.align.sw_batch import (
+    DtypeLevel,
+    QueryProfile,
+    _score_chunk_adaptive,
+    query_profile,
+)
+from repro.sequences.packed import PackedChunk, PackedDatabase
+from repro.sequences.sequence import Sequence
+
+__all__ = [
+    "PipelineConfig",
+    "StageCounts",
+    "KmerIndex",
+    "kmer_index",
+    "clear_kmer_cache",
+    "prescreen_chunk",
+    "pipeline_score_packed",
+    "STAGE_NAMES",
+]
+
+#: Stage counter names, in cascade order (wire + telemetry use these).
+STAGE_NAMES = (
+    "subjects_scanned",
+    "seeds_found",
+    "banded_survivors",
+    "rescored",
+    "reported",
+)
+
+#: Hard cap on the k-mer table (``(alphabet+1)**k`` entries).
+_MAX_TABLE = 1 << 24
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tuning knobs of the filter cascade (picklable, hashable).
+
+    Parameters
+    ----------
+    k:
+        Seed word length.  Queries shorter than *k* cannot be indexed
+        and bypass the prescreen entirely (every subject survives).
+    min_seeds:
+        Minimum number of seed matches (query k-mer occurrences summed
+        over every subject window) a subject needs to survive the
+        prescreen.  0 disables the seed-count cutoff.
+    min_diag_score:
+        Minimum ``k * (seeds on the best diagonal)`` — a crude
+        "longest gapless run" score proxy.  0 disables the cutoff.
+        This is the workhorse filter: total seed counts grow with
+        ``m * n`` and separate poorly, but same-diagonal seeds are
+        rare by chance (a random protein background virtually never
+        exceeds 3 on one diagonal) while even a 30%-diverged homolog
+        of a 100+ residue query produces dozens.  The default (12,
+        i.e. four 3-mer seeds on one diagonal) rejects essentially
+        all random subjects.
+    bandwidth:
+        Band half-width for the banded stage, centred on the best seed
+        diagonal.  ``None`` disables banding (the stage is exact).
+    zdrop:
+        Z-drop early-termination threshold for the banded stage;
+        ``None`` disables.
+    threshold:
+        Reporting cutoff: candidates whose banded lower bound reaches
+        it are rescored exactly; pipeline scores below it are not
+        guaranteed (filtered subjects carry 0).
+    """
+
+    k: int = 3
+    min_seeds: int = 2
+    min_diag_score: int = 12
+    bandwidth: int | None = 64
+    zdrop: int | None = 200
+    threshold: int = 50
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.min_seeds < 0:
+            raise ValueError(f"min_seeds must be >= 0, got {self.min_seeds}")
+        if self.min_diag_score < 0:
+            raise ValueError(
+                f"min_diag_score must be >= 0, got {self.min_diag_score}"
+            )
+        if self.zdrop is not None and self.zdrop < 0:
+            raise ValueError(f"zdrop must be >= 0 or None, got {self.zdrop}")
+        if self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {self.threshold}")
+
+    @classmethod
+    def exact(cls, threshold: int = 50, k: int = 3) -> "PipelineConfig":
+        """The permissive extreme: filters off, band off, z-drop off.
+
+        Every subject is rescored exactly, so the cascade returns the
+        same scores as the full scan for **all** subjects at or above
+        *threshold* — the configuration the conformance suite uses to
+        pin the exactness contract.
+        """
+        return cls(
+            k=k, min_seeds=0, min_diag_score=0, bandwidth=None, zdrop=None,
+            threshold=threshold,
+        )
+
+    @property
+    def filters_disabled(self) -> bool:
+        """True when the prescreen can never drop a subject."""
+        return self.min_seeds == 0 and self.min_diag_score == 0
+
+    @property
+    def band_disabled(self) -> bool:
+        """True when the banded stage is exact (no band, no z-drop)."""
+        return self.bandwidth is None and self.zdrop is None
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineConfig":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in dict(data).items() if k in names})
+
+
+@dataclass
+class StageCounts:
+    """Mutable per-stage tallies of one or more cascade runs.
+
+    ``subjects_scanned`` counts every subject the prescreen looked at;
+    ``seeds_found`` the total seed matches across them;
+    ``banded_survivors`` subjects that passed the prescreen (and got a
+    banded pass); ``rescored`` candidates promoted to the exact
+    kernel; ``reported`` final scores at or above the threshold.
+    """
+
+    subjects_scanned: int = 0
+    seeds_found: int = 0
+    banded_survivors: int = 0
+    rescored: int = 0
+    reported: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: int(getattr(self, name)) for name in STAGE_NAMES}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageCounts":
+        return cls(**{k: int(v) for k, v in dict(data).items() if k in STAGE_NAMES})
+
+    def merge(self, other: "StageCounts | dict | None") -> "StageCounts":
+        """Fold *other*'s tallies into self (returns self)."""
+        if other is None:
+            return self
+        if isinstance(other, dict):
+            other = StageCounts.from_dict(other)
+        for name in STAGE_NAMES:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def __add__(self, other: "StageCounts") -> "StageCounts":
+        return StageCounts(**self.as_dict()).merge(other)
+
+    def filter_rate(self) -> float:
+        """Fraction of scanned subjects dropped before any DP ran."""
+        if not self.subjects_scanned:
+            return 0.0
+        return 1.0 - self.banded_survivors / self.subjects_scanned
+
+
+class KmerIndex:
+    """Vectorised k-mer lookup tables of one query.
+
+    ``counts[code]`` is how many times the k-mer occurs in the query;
+    ``first_pos[code]`` its first query position (-1 when absent).
+    Codes use base ``alphabet.size + 1`` so the packed databases' pad
+    code is representable: a subject window that overlaps padding
+    yields a code containing the pad digit, which no query k-mer can
+    produce — pad windows therefore count zero seeds with no masking.
+    """
+
+    __slots__ = ("k", "base", "counts", "first_pos", "num_kmers")
+
+    def __init__(self, query: Sequence, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.base = query.alphabet.size + 1
+        table = self.base**k
+        if table > _MAX_TABLE:
+            raise ValueError(
+                f"k={k} over alphabet {query.alphabet.name!r} needs a "
+                f"{table}-entry table (cap {_MAX_TABLE}); use a smaller k"
+            )
+        m = len(query)
+        self.num_kmers = max(m - k + 1, 0)
+        self.counts = np.zeros(table, dtype=np.int32)
+        self.first_pos = np.full(table, -1, dtype=np.int64)
+        if self.num_kmers == 0:
+            return
+        codes = encode_kmers(query.codes, k, self.base)
+        # first occurrence wins: reversed accumulation leaves codes[0]
+        self.first_pos[codes[::-1]] = np.arange(
+            self.num_kmers - 1, -1, -1, dtype=np.int64
+        )
+        np.add.at(self.counts, codes, 1)
+
+
+def encode_kmers(codes: np.ndarray, k: int, base: int) -> np.ndarray:
+    """Radix-encode every length-*k* window of *codes* (1-D or 2-D).
+
+    Works on a single sequence (shape ``(L,)`` → ``(L-k+1,)``) and on
+    a packed chunk (shape ``(B, L)`` → ``(B, L-k+1)``) alike.
+    """
+    length = codes.shape[-1]
+    n = length - k + 1
+    if n <= 0:
+        return np.zeros(codes.shape[:-1] + (0,), dtype=np.int64)
+    out = codes[..., :n].astype(np.int64)
+    for t in range(1, k):
+        out *= base
+        out += codes[..., t : n + t]
+    return out
+
+
+_KMER_CACHE: OrderedDict[tuple, KmerIndex] = OrderedDict()
+_KMER_CACHE_SIZE = 64
+
+
+def kmer_index(query: Sequence, k: int) -> KmerIndex:
+    """Process-wide LRU-cached :class:`KmerIndex` (mirrors
+    :func:`repro.align.sw_batch.query_profile`)."""
+    key = (hash(query), query.alphabet.name, k)
+    cached = _KMER_CACHE.get(key)
+    if cached is not None:
+        _KMER_CACHE.move_to_end(key)
+        return cached
+    index = KmerIndex(query, k)
+    _KMER_CACHE[key] = index
+    while len(_KMER_CACHE) > _KMER_CACHE_SIZE:
+        _KMER_CACHE.popitem(last=False)
+    return index
+
+
+def clear_kmer_cache() -> None:
+    _KMER_CACHE.clear()
+
+
+def prescreen_chunk(
+    index: KmerIndex, codes: np.ndarray, query_len: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stage-1 seed scan of one packed chunk.
+
+    Parameters
+    ----------
+    index:
+        The query's :class:`KmerIndex`.
+    codes:
+        ``(B, L)`` packed chunk code matrix (pad code included).
+    query_len:
+        ``len(query)`` — sizes the diagonal bucket array.
+
+    Returns
+    -------
+    ``(nseeds, diag_best, diag_center)`` — per-subject total seed
+    matches, seed count on the best diagonal, and that diagonal
+    (``j - i`` convention, ready for ``sw_score_banded``'s
+    ``diag_center``).
+    """
+    B, L = codes.shape
+    n = L - index.k + 1
+    if n <= 0 or index.num_kmers == 0:
+        zeros = np.zeros(B, dtype=np.int64)
+        return zeros, zeros.copy(), zeros.copy()
+    sub = encode_kmers(codes, index.k, index.base)  # (B, n)
+    seeds = index.counts[sub]  # (B, n) query multiplicity per window
+    nseeds = seeds.sum(axis=1, dtype=np.int64)
+    # Diagonal bucketing: a window at subject position t whose k-mer
+    # first occurs at query position p seeds diagonal d = t - p, with
+    # d in [-(m-1), n-1].  One scatter-add over the hit positions.
+    qpos = index.first_pos[sub]  # (B, n), -1 where no match
+    rows, tpos = np.nonzero(seeds > 0)
+    diag_best = np.zeros(B, dtype=np.int64)
+    diag_center = np.zeros(B, dtype=np.int64)
+    if rows.size:
+        offset = query_len - 1  # shift diagonals to >= 0
+        buckets = np.zeros((B, n + query_len), dtype=np.int32)
+        diags = tpos - qpos[rows, tpos] + offset
+        np.add.at(buckets, (rows, diags), 1)
+        diag_best = buckets.max(axis=1).astype(np.int64)
+        diag_center = buckets.argmax(axis=1).astype(np.int64) - offset
+    return nseeds, diag_best, diag_center
+
+
+def _pipeline_chunk(
+    query: Sequence,
+    chunk: PackedChunk,
+    profile: QueryProfile,
+    scheme: ScoringScheme,
+    config: PipelineConfig,
+    index: KmerIndex | None,
+    levels: tuple[DtypeLevel, ...] | None,
+    counts: StageCounts | None,
+) -> np.ndarray:
+    """Run the full cascade over one chunk; per-row scores (packed
+    order).  Filtered subjects score 0; scores >= threshold exact."""
+    codes = chunk.codes
+    B = chunk.num_sequences
+    scores = np.zeros(B, dtype=np.int64)
+    if counts is not None:
+        counts.subjects_scanned += B
+
+    # Stage 1: prescreen (skipped when the query is shorter than k or
+    # the filters are disabled — everything survives).
+    diag_center = np.zeros(B, dtype=np.int64)
+    if index is not None and index.num_kmers > 0:
+        nseeds, diag_best, diag_center = prescreen_chunk(index, codes, len(query))
+        if counts is not None:
+            counts.seeds_found += int(nseeds.sum())
+        survivors = np.ones(B, dtype=bool)
+        if config.min_seeds > 0:
+            survivors &= nseeds >= config.min_seeds
+        if config.min_diag_score > 0:
+            survivors &= diag_best * index.k >= config.min_diag_score
+        survivor_rows = np.nonzero(survivors)[0]
+    else:
+        survivor_rows = np.arange(B)
+    if counts is not None:
+        counts.banded_survivors += len(survivor_rows)
+    if len(survivor_rows) == 0:
+        return scores
+
+    # Stage 2: banded z-drop lower bounds.  When band and z-drop are
+    # both off the stage would be an exact (but slow, per-sequence)
+    # full DP — skip straight to the batch rescorer instead.
+    if config.band_disabled:
+        candidates = survivor_rows
+    else:
+        lengths = chunk.lengths
+        candidates = []
+        for r in survivor_rows:
+            subject = Sequence(
+                id=f"r{r}",
+                codes=codes[r, : lengths[r]],
+                alphabet=query.alphabet,
+            )
+            lower = sw_score_banded(
+                query,
+                subject,
+                scheme,
+                config.bandwidth,
+                zdrop=config.zdrop,
+                diag_center=int(diag_center[r]),
+            )
+            if lower >= config.threshold:
+                candidates.append(r)
+        candidates = np.asarray(candidates, dtype=np.int64)
+    if counts is not None:
+        counts.rescored += len(candidates)
+    if len(candidates) == 0:
+        return scores
+
+    # Stage 3: exact rescore of the candidates with the same adaptive
+    # batch kernel the full scan uses — reported scores bit-identical.
+    scores[candidates] = _score_chunk_adaptive(
+        query, codes[candidates], profile, scheme, levels
+    )
+    if counts is not None:
+        counts.reported += int((scores[candidates] >= config.threshold).sum())
+    return scores
+
+
+def pipeline_score_packed(
+    query: Sequence,
+    packed: PackedDatabase,
+    scheme: ScoringScheme,
+    config: PipelineConfig,
+    levels: tuple[DtypeLevel, ...] | None = None,
+    chunk_range: tuple[int, int] | None = None,
+    profile: QueryProfile | None = None,
+    counts: StageCounts | None = None,
+) -> np.ndarray:
+    """Cascade score of *query* against a packed database.
+
+    Drop-in companion to
+    :func:`~repro.align.sw_batch.sw_score_packed` with the same
+    ``chunk_range`` contract — ``None`` scores every chunk and
+    scatters to database order; ``(lo, hi)`` returns the concatenation
+    of per-chunk row scores in packed row order, ready for the
+    chunk-dispatch merge.  *counts* (optional) accumulates the stage
+    tallies in place.
+
+    A filtered subject scores 0.  Any score at or above
+    ``config.threshold`` is bit-identical to the scalar oracle.
+    """
+    scheme.check_sequence(query, "query")
+    if packed.alphabet is not None and packed.alphabet.name != scheme.alphabet.name:
+        raise ValueError(
+            f"packed database uses alphabet {packed.alphabet.name!r}, but "
+            f"the scoring matrix expects {scheme.alphabet.name!r}"
+        )
+    index: KmerIndex | None = None
+    if not config.filters_disabled and len(query) >= config.k:
+        index = kmer_index(query, config.k)
+    if chunk_range is not None:
+        lo, hi = chunk_range
+        if not (0 <= lo <= hi <= len(packed.chunks)):
+            raise ValueError(
+                f"chunk_range {chunk_range!r} outside 0..{len(packed.chunks)}"
+            )
+        chunks = packed.chunks[lo:hi]
+        rows = sum(c.num_sequences for c in chunks)
+        if rows == 0 or len(query) == 0:
+            return np.zeros(rows, dtype=np.int64)
+        if profile is None:
+            profile = query_profile(query, scheme)
+        return np.concatenate(
+            [
+                _pipeline_chunk(
+                    query, c, profile, scheme, config, index, levels, counts
+                )
+                for c in chunks
+            ]
+        )
+    scores = np.zeros(packed.num_sequences, dtype=np.int64)
+    if packed.num_sequences == 0 or len(query) == 0:
+        return scores
+    if profile is None:
+        profile = query_profile(query, scheme)
+    for chunk in packed.chunks:
+        scores[chunk.indices] = _pipeline_chunk(
+            query, chunk, profile, scheme, config, index, levels, counts
+        )
+    return scores

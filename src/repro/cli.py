@@ -71,6 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", default="swdual", choices=("swdual", "swdual-dp", "self")
     )
     p_search.add_argument("--top", type=int, default=5, help="hits per query")
+    p_search.add_argument(
+        "--pipeline",
+        nargs="?",
+        const="default",
+        default=None,
+        choices=("exact", "sensitive", "default", "strict"),
+        help="run the heuristic filter cascade instead of the full "
+        "scan (optional sensitivity preset, default 'default')",
+    )
     p_search.add_argument("--json", action="store_true", help="emit a JSON report")
     p_search.add_argument(
         "--processes",
@@ -103,23 +112,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "which",
-        choices=("kernels", "shm"),
+        choices=("kernels", "shm", "pipeline"),
         help="'kernels' = raw kernel GCUPS; 'shm' = shared-memory data "
-        "plane + chunk dispatch vs the pickled whole-query baseline",
+        "plane + chunk dispatch vs the pickled whole-query baseline; "
+        "'pipeline' = heuristic filter cascade vs the exact full scan",
     )
     p_bench.add_argument(
         "--out",
         default=None,
         help="JSON report path (default BENCH_<which>.json; '-' to skip writing)",
     )
-    p_bench.add_argument("--subjects", type=int, default=300, help="database size")
+    p_bench.add_argument(
+        "--subjects",
+        type=int,
+        default=None,
+        help="database size (default 300; pipeline: 1500)",
+    )
     p_bench.add_argument("--min-len", type=int, default=100)
     p_bench.add_argument("--max-len", type=int, default=400)
-    p_bench.add_argument("--query-len", type=int, default=300)
-    p_bench.add_argument("--queries", type=int, default=4, help="queries per pass")
+    p_bench.add_argument(
+        "--query-len",
+        type=int,
+        default=None,
+        help="query length (default 300; pipeline: 250)",
+    )
+    p_bench.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="queries per pass (default 4; pipeline: 2)",
+    )
     p_bench.add_argument("--repeats", type=int, default=3, help="best-of repeats")
     p_bench.add_argument(
         "--workers", type=int, default=2, help="(shm) pool size for the warm-up scan"
+    )
+    p_bench.add_argument(
+        "--homologs",
+        type=int,
+        default=6,
+        help="(pipeline) homologs planted per query",
+    )
+    p_bench.add_argument(
+        "--threshold",
+        type=int,
+        default=100,
+        help="(pipeline) reporting score threshold",
+    )
+    p_bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="(pipeline) small fast run for CI: shape + exactness "
+        "checks only, no throughput target",
     )
 
     p_serve = sub.add_parser(
@@ -148,6 +191,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--top", type=int, default=5, help="hits per query")
     p_serve.add_argument(
+        "--pipeline",
+        nargs="?",
+        const="default",
+        default=None,
+        choices=("exact", "sensitive", "default", "strict"),
+        help="score queries with the heuristic filter cascade by "
+        "default (optional sensitivity preset; per-request 'pipeline' "
+        "flags still override)",
+    )
+    p_serve.add_argument(
         "--queue-size", type=int, default=64, help="admission queue capacity"
     )
     p_serve.add_argument(
@@ -166,6 +219,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--host", default="127.0.0.1")
     p_query.add_argument("--port", type=int, default=7731)
     p_query.add_argument("--top", type=int, default=None, help="hits per query")
+    p_pipe_group = p_query.add_mutually_exclusive_group()
+    p_pipe_group.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="ask the server to run the heuristic filter cascade",
+    )
+    p_pipe_group.add_argument(
+        "--exact",
+        action="store_true",
+        help="ask the server for the exact full scan",
+    )
     p_query.add_argument("--json", action="store_true", help="one JSON line per result")
 
     p_stats = sub.add_parser("stats", help="snapshot a running service's metrics")
@@ -275,11 +339,20 @@ def _cmd_search(args) -> int:
 
     queries = read_fasta(args.queries)
     database = _load_db(args.database)
+    pipeline = None
+    if args.pipeline is not None:
+        from repro.engine.pipeline import preset_config
+
+        pipeline = preset_config(args.pipeline)
     if args.processes:
         from repro.engine import process_search
 
         report = process_search(
-            queries, database, num_workers=args.processes, top_hits=args.top
+            queries,
+            database,
+            num_workers=args.processes,
+            top_hits=args.top,
+            pipeline=pipeline,
         )
     else:
         report = live_search(
@@ -289,6 +362,7 @@ def _cmd_search(args) -> int:
             num_gpu_workers=args.gpus,
             policy=args.policy,
             top_hits=args.top,
+            pipeline=pipeline,
         )
     if args.json:
         from repro.engine import report_to_json
@@ -299,6 +373,17 @@ def _cmd_search(args) -> int:
     for qr in report.query_results:
         hits = ", ".join(f"{h.subject_id}:{h.score}" for h in qr.hits[: args.top])
         print(f"  {qr.query_id}: {hits}")
+    if report.pipeline_stages:
+        s = report.pipeline_stages
+        scanned = s.get("subjects_scanned", 0)
+        survivors = s.get("banded_survivors", 0)
+        rate = 1.0 - survivors / scanned if scanned else 0.0
+        print(
+            f"pipeline [{args.pipeline}]: {scanned} scanned, "
+            f"{s.get('seeds_found', 0)} seeds, {survivors} banded, "
+            f"{s.get('rescored', 0)} rescored, {s.get('reported', 0)} reported "
+            f"({rate:.1%} filtered before DP)"
+        )
     return 0
 
 
@@ -401,14 +486,16 @@ def _cmd_experiment(args) -> int:
 def _cmd_bench(args) -> int:
     if args.which == "shm":
         return _cmd_bench_shm(args)
+    if args.which == "pipeline":
+        return _cmd_bench_pipeline(args)
     from repro.platform import run_kernel_bench, write_bench_report
 
     report = run_kernel_bench(
-        num_subjects=args.subjects,
+        num_subjects=args.subjects if args.subjects is not None else 300,
         min_len=args.min_len,
         max_len=args.max_len,
-        query_len=args.query_len,
-        num_queries=args.queries,
+        query_len=args.query_len if args.query_len is not None else 300,
+        num_queries=args.queries if args.queries is not None else 4,
         repeats=args.repeats,
     )
     gcups = report["gcups"]
@@ -444,11 +531,11 @@ def _cmd_bench_shm(args) -> int:
     from repro.platform import run_shm_bench, write_bench_report
 
     report = run_shm_bench(
-        num_subjects=args.subjects,
+        num_subjects=args.subjects if args.subjects is not None else 300,
         min_len=args.min_len,
         max_len=args.max_len,
-        query_len=args.query_len,
-        num_queries=args.queries,
+        query_len=args.query_len if args.query_len is not None else 300,
+        num_queries=args.queries if args.queries is not None else 4,
         repeats=args.repeats,
         max_workers=args.workers,
     )
@@ -489,10 +576,91 @@ def _cmd_bench_shm(args) -> int:
     return 0
 
 
+def _cmd_bench_pipeline(args) -> int:
+    from repro.platform import OracleDivergence, run_pipeline_bench, write_bench_report
+
+    if args.smoke:
+        workload = dict(
+            num_subjects=args.subjects if args.subjects is not None else 250,
+            num_queries=args.queries if args.queries is not None else 1,
+            query_len=args.query_len if args.query_len is not None else 200,
+            num_homologs=args.homologs,
+            repeats=1,
+        )
+    else:
+        workload = dict(
+            num_subjects=args.subjects if args.subjects is not None else 1500,
+            num_queries=args.queries if args.queries is not None else 2,
+            query_len=args.query_len if args.query_len is not None else 250,
+            num_homologs=args.homologs,
+            repeats=args.repeats,
+        )
+    try:
+        report = run_pipeline_bench(
+            min_len=args.min_len,
+            max_len=args.max_len,
+            threshold=args.threshold,
+            **workload,
+        )
+    except OracleDivergence as exc:
+        print(f"ORACLE DIVERGENCE: {exc}", file=sys.stderr)
+        return 2
+    full = report["fullscan"]
+    rows = [
+        [
+            "full scan (oracle)",
+            f"{full['seconds'] * 1e3:.1f}",
+            f"{full['gcups']:.4f}",
+            "1.00",
+            "-",
+            str(full["oracle_hits"]),
+            "-",
+        ]
+    ]
+    rows += [
+        [
+            f"pipeline {name}",
+            f"{r['seconds'] * 1e3:.1f}",
+            f"{r['effective_gcups']:.4f}",
+            f"{r['speedup_vs_fullscan']:.2f}",
+            f"{r['filter_rate']:.1%}",
+            str(r["hits_reported"]),
+            str(r["hits_lost"]),
+        ]
+        for name, r in report["presets"].items()
+    ]
+    print(
+        ascii_table(
+            [
+                "Search path",
+                "Pass ms",
+                "Eff GCUPS",
+                "Speedup",
+                "Filtered",
+                "Hits",
+                "Lost",
+            ],
+            rows,
+        )
+    )
+    print(f"best effective speedup vs full scan: {report['best_speedup']:.2f}x")
+    print("reported scores bit-identical to the exact oracle: True")
+    out = args.out if args.out is not None else "BENCH_pipeline.json"
+    if out != "-":
+        write_bench_report(report, out)
+        print(f"wrote {out}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.service import SearchService
 
     database = _load_db(args.database)
+    pipeline = None
+    if args.pipeline is not None:
+        from repro.engine.pipeline import preset_config
+
+        pipeline = preset_config(args.pipeline)
     service = SearchService(
         database,
         host=args.host,
@@ -507,14 +675,16 @@ def _cmd_serve(args) -> int:
         max_queue=args.queue_size,
         max_batch=args.batch_size,
         calibrate=args.calibrate,
+        pipeline=pipeline,
     )
     service.start()
     host, port = service.address
+    mode = f", pipeline {args.pipeline}" if args.pipeline is not None else ""
     print(
         f"serving {database.name} ({len(database)} seqs, "
         f"{database.total_residues} residues) on {host}:{port} "
         f"[{args.backend}, {args.cpus} cpu + {args.gpus} gpu workers, "
-        f"policy {args.policy}]"
+        f"policy {args.policy}{mode}]"
     )
     print("Ctrl-C (or the 'shutdown' verb) drains and exits.")
     service.serve_forever()
@@ -532,10 +702,11 @@ def _cmd_query(args) -> int:
     if not queries:
         print("error: no query records found", file=sys.stderr)
         return 1
+    pipeline = True if args.pipeline else (False if args.exact else None)
     failures = 0
     with SearchClient(args.host, args.port) as client:
         for q in queries:
-            client.submit(q, top=args.top)
+            client.submit(q, top=args.top, pipeline=pipeline)
         for outcome in client.collect(len(queries)):
             if args.json:
                 print(json_mod.dumps(outcome))
@@ -599,6 +770,16 @@ def _cmd_stats(args) -> int:
             f"{recovery['task_retries']} retries, "
             f"{recovery['tasks_requeued']} requeued, "
             f"{recovery['tasks_quarantined']} quarantined"
+        )
+    pipeline = snapshot.get("pipeline")
+    if pipeline and pipeline.get("subjects_scanned"):
+        print(
+            f"pipeline: {pipeline['subjects_scanned']} scanned, "
+            f"{pipeline['seeds_found']} seeds, "
+            f"{pipeline['banded_survivors']} banded, "
+            f"{pipeline['rescored']} rescored, "
+            f"{pipeline['reported']} reported "
+            f"({pipeline['filter_rate']:.1%} filtered before DP)"
         )
     rows = [
         [

@@ -1,0 +1,110 @@
+"""Engine-side plumbing for the heuristic search pipeline.
+
+The numerical cascade lives in :mod:`repro.align.pipeline`; this
+module owns everything the *engine* needs around it:
+
+* the canonical telemetry counter names for the five cascade stages
+  (``swdual_pipeline_<stage>_total``) and the helpers that fold
+  :class:`~repro.align.pipeline.StageCounts` into a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` — ServiceStats and
+  the Prometheus exposition read these counters, so the names are
+  pinned by a unit test;
+* named sensitivity presets (``strict`` / ``default`` /
+  ``sensitive`` / ``exact``) shared by the CLI flags and the pipeline
+  benchmark, so "several sensitivity settings" means the same thing
+  everywhere.
+
+Everything a worker process needs crosses the pipe as plain picklable
+values: a :class:`PipelineConfig` rides in the worker payload, and
+stage tallies ride back inside ``done``/``part`` messages as the
+dicts produced by :meth:`StageCounts.as_dict`.
+"""
+
+from __future__ import annotations
+
+from repro.align.pipeline import (
+    STAGE_NAMES,
+    PipelineConfig,
+    StageCounts,
+    pipeline_score_packed,
+)
+from repro.telemetry.metrics import Counter, MetricsRegistry
+
+__all__ = [
+    "PipelineConfig",
+    "StageCounts",
+    "pipeline_score_packed",
+    "STAGE_NAMES",
+    "STAGE_COUNTER_NAMES",
+    "STAGE_COUNTER_HELP",
+    "PIPELINE_PRESETS",
+    "preset_config",
+    "stage_counters",
+    "record_stage_counts",
+]
+
+#: Stage → Prometheus counter name.  These names are part of the
+#: observable surface (scrape configs depend on them); a unit test
+#: asserts they never drift.
+STAGE_COUNTER_NAMES: dict[str, str] = {
+    stage: f"swdual_pipeline_{stage}_total" for stage in STAGE_NAMES
+}
+
+STAGE_COUNTER_HELP: dict[str, str] = {
+    "subjects_scanned": "Subjects examined by the k-mer prescreen.",
+    "seeds_found": "k-mer seed matches found by the prescreen.",
+    "banded_survivors": "Subjects that survived the prescreen into the banded stage.",
+    "rescored": "Band candidates promoted to the exact rescoring kernel.",
+    "reported": "Exact rescored scores at or above the reporting threshold.",
+}
+
+#: Named sensitivity settings, permissive → strict.  ``exact`` is the
+#: conformance anchor (filters off — identical to the full scan);
+#: ``default`` is what ``--pipeline`` enables.
+PIPELINE_PRESETS: dict[str, PipelineConfig] = {
+    "exact": PipelineConfig.exact(),
+    "sensitive": PipelineConfig(
+        k=3, min_seeds=1, min_diag_score=9, bandwidth=96, zdrop=400, threshold=50
+    ),
+    "default": PipelineConfig(),
+    "strict": PipelineConfig(
+        k=3, min_seeds=3, min_diag_score=15, bandwidth=32, zdrop=100, threshold=50
+    ),
+}
+
+
+def preset_config(name: str, threshold: int | None = None) -> PipelineConfig:
+    """Look up a preset by name, optionally overriding the threshold."""
+    try:
+        config = PIPELINE_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown pipeline preset {name!r}; "
+            f"choose from {', '.join(sorted(PIPELINE_PRESETS))}"
+        ) from None
+    if threshold is not None and threshold != config.threshold:
+        config = PipelineConfig.from_dict({**config.as_dict(), "threshold": threshold})
+    return config
+
+
+def stage_counters(registry: MetricsRegistry) -> dict[str, Counter]:
+    """Get-or-create the five stage counters in *registry*."""
+    return {
+        stage: registry.counter(STAGE_COUNTER_NAMES[stage], STAGE_COUNTER_HELP[stage])
+        for stage in STAGE_NAMES
+    }
+
+
+def record_stage_counts(
+    registry: MetricsRegistry, counts: "StageCounts | dict | None"
+) -> None:
+    """Fold one run's stage tallies into *registry* (no-op on None)."""
+    if counts is None:
+        return
+    if isinstance(counts, StageCounts):
+        counts = counts.as_dict()
+    counters = stage_counters(registry)
+    for stage in STAGE_NAMES:
+        value = int(counts.get(stage, 0))
+        if value:
+            counters[stage].inc(value)

@@ -105,6 +105,10 @@ class SearchReport:
     #: tasks).  Each still has a placeholder entry (empty hit list) in
     #: :attr:`query_results`, so positional indexing stays intact.
     quarantined: tuple[str, ...] = ()
+    #: Aggregated filter-cascade stage tallies (the dict shape of
+    #: :meth:`repro.align.pipeline.StageCounts.as_dict`) when the run
+    #: used ``mode="pipeline"``; ``None`` for full-scan runs.
+    pipeline_stages: dict | None = None
 
     def __post_init__(self) -> None:
         if self.wall_seconds <= 0:

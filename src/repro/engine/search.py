@@ -166,6 +166,7 @@ def live_search(
     execution: str = "threads",
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
     calibrate: bool = False,
+    pipeline=None,
 ) -> SearchReport:
     """Run a real search through the live master–slave engine.
 
@@ -189,6 +190,12 @@ def live_search(
         feed them to the allocator; ignored when *measured_gcups* is
         given.  E-value annotation is not supported over the process
         transport.
+    pipeline:
+        Optional :class:`~repro.align.pipeline.PipelineConfig` — run
+        the heuristic filter cascade (``mode="pipeline"``) instead of
+        the full scan on every worker, whichever backend executes.
+        The report then carries aggregated stage tallies in
+        :attr:`~repro.engine.results.SearchReport.pipeline_stages`.
     """
     if num_cpu_workers < 0 or num_gpu_workers < 0:
         raise ValueError("worker counts must be non-negative")
@@ -220,11 +227,13 @@ def live_search(
             policy=policy,
             measured_gcups=measured_gcups,
             chunk_cells=chunk_cells,
+            pipeline=pipeline,
         )
 
     master = Master(queries, policy=policy, measured_gcups=measured_gcups)
+    workers = []
     for i in range(num_gpu_workers):
-        master.register_worker(
+        workers.append(
             KernelWorker(
                 name=f"gpu{i}",
                 kind="gpu",
@@ -233,10 +242,11 @@ def live_search(
                 packed=packed,
                 top_hits=top_hits,
                 evalue_model=evalue_model,
+                pipeline=pipeline,
             )
         )
     for i in range(num_cpu_workers):
-        master.register_worker(
+        workers.append(
             KernelWorker(
                 name=f"cpu{i}",
                 kind="cpu",
@@ -245,6 +255,19 @@ def live_search(
                 packed=packed,
                 top_hits=top_hits,
                 evalue_model=evalue_model,
+                pipeline=pipeline,
             )
         )
-    return master.run()
+    for worker in workers:
+        master.register_worker(worker)
+    report = master.run()
+    if pipeline is not None:
+        from dataclasses import replace
+
+        from repro.align.pipeline import StageCounts
+
+        stages = StageCounts()
+        for worker in workers:
+            stages.merge(worker.drain_stage_counts())
+        report = replace(report, pipeline_stages=stages.as_dict())
+    return report

@@ -95,6 +95,11 @@ from repro.engine.messages import (
     task_failed,
     worker_lost,
 )
+from repro.engine.pipeline import (
+    PipelineConfig,
+    StageCounts,
+    record_stage_counts,
+)
 from repro.engine.results import Hit, QueryResult, SearchReport, WorkerStats
 from repro.engine.subtasks import DEFAULT_OVERSUBSCRIBE, ChunkScheduler, ScoreMerger, plan_subtasks
 from repro.sequences.database import SequenceDatabase
@@ -202,6 +207,7 @@ def _worker_main(
     trace: bool,
     fault_plan: FaultPlan | None = None,
     hb_interval: float = DEFAULT_HEARTBEAT_TIMEOUT / 4.0,
+    pipeline=None,
 ):
     """Worker process entry point: register, serve tasks, exit on
     shutdown.
@@ -230,6 +236,17 @@ def _worker_main(
     payload.  A kernel failure (including an injected poison task)
     becomes a ``fail`` message instead of a dead pipe.
 
+    *pipeline* (an optional
+    :class:`~repro.align.pipeline.PipelineConfig`) selects the
+    heuristic filter cascade instead of the full scan; the master can
+    also retarget it per batch with a ``("pipeline", config_dict)``
+    message (``None`` payload reverts to full scan).  When the
+    cascade is active every ``done``/``part`` message carries the
+    task's stage tallies (:meth:`StageCounts.as_dict`) as its final
+    element, ``None`` otherwise — a requeued filter task therefore
+    re-counts only on the attempt that actually completes, exactly
+    like a scoring task.
+
     When *fault_plan* is set, a :class:`~repro.engine.faults.FaultInjector`
     counts the task ordinals this worker receives and fires the planned
     fault: ``kill`` exits the process mid-task, ``stall`` freezes the
@@ -249,9 +266,17 @@ def _worker_main(
 
     import numpy as np
 
+    from repro.align.pipeline import (
+        PipelineConfig,
+        StageCounts,
+        pipeline_score_packed,
+    )
     from repro.align.stats import CellUpdateCounter
     from repro.align.sw_batch import attach_query_profiles, sw_score_packed
     from repro.align.sw_wavefront import sw_score_wavefront_packed
+
+    if pipeline is not None and not isinstance(pipeline, PipelineConfig):
+        pipeline = PipelineConfig.from_dict(pipeline)
 
     if trace:
         tracing.enable()
@@ -294,7 +319,19 @@ def _worker_main(
     chunk_residues = [c.residues for c in packed.chunks]
     counter = CellUpdateCounter()
 
-    def score(query, chunk_range=None, profile=None):
+    def score(query, chunk_range=None, profile=None, counts=None):
+        # The cascade applies to every role: mixed rosters must score a
+        # chunk identically no matter which worker class picked it up.
+        if pipeline is not None:
+            return pipeline_score_packed(
+                query,
+                packed,
+                scheme,
+                pipeline,
+                chunk_range=chunk_range,
+                profile=profile,
+                counts=counts,
+            )
         if kind == "gpu":
             return sw_score_wavefront_packed(
                 query, packed, scheme, chunk_range=chunk_range, profile=profile
@@ -342,6 +379,12 @@ def _worker_main(
             send(("bye", name, counter.total_cells, counter.comparisons))
             conn.close()
             return
+        if tag == "pipeline":
+            config = message[1]
+            pipeline = (
+                None if config is None else PipelineConfig.from_dict(config)
+            )
+            continue
         if tag == "batch":
             _, batch, qp_manifest = message
             drop_batch()
@@ -364,12 +407,13 @@ def _worker_main(
                 else tracing.NULL_SPAN
             )
             start = tracing.clock()
+            stage_counts = StageCounts() if pipeline is not None else None
             try:
                 with cm:
                     poison = injector.task_fault(wire.index)
                     if poison is not None:
                         raise InjectedFault(poison.message)
-                    scores = score(query)
+                    scores = score(query, counts=stage_counts)
             except Exception as exc:
                 spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
                 send(("fail", name, wire.index, f"{type(exc).__name__}: {exc}", spans))
@@ -384,7 +428,10 @@ def _worker_main(
             if spec is not None:
                 checksum ^= _CORRUPT_MASK
             spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
-            send(("done", name, wire.index, elapsed, cells, hits, spans, checksum))
+            stages = stage_counts.as_dict() if stage_counts is not None else None
+            send(
+                ("done", name, wire.index, elapsed, cells, hits, spans, checksum, stages)
+            )
             continue
         if tag == "sub":
             _, sid, qi, lo, hi = message
@@ -407,12 +454,16 @@ def _worker_main(
                 else tracing.NULL_SPAN
             )
             start = tracing.clock()
+            stage_counts = StageCounts() if pipeline is not None else None
             try:
                 with cm:
                     poison = injector.task_fault(qi)
                     if poison is not None:
                         raise InjectedFault(poison.message)
-                    part = score(query, chunk_range=(lo, hi), profile=profile)
+                    part = score(
+                        query, chunk_range=(lo, hi), profile=profile,
+                        counts=stage_counts,
+                    )
             except Exception as exc:
                 spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
                 send(("fail", name, sid, f"{type(exc).__name__}: {exc}", spans))
@@ -424,7 +475,8 @@ def _worker_main(
             if spec is not None:
                 checksum ^= _CORRUPT_MASK
             spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
-            send(("part", name, sid, elapsed, cells, part, spans, checksum))
+            stages = stage_counts.as_dict() if stage_counts is not None else None
+            send(("part", name, sid, elapsed, cells, part, spans, checksum, stages))
             continue
         raise ProtocolError(f"worker {name} got unexpected message {tag!r}")
 
@@ -517,6 +569,7 @@ class ProcessWorkerPool:
         fault_plan: FaultPlan | None = None,
         register_timeout: float = 60.0,
         registry: MetricsRegistry | None = None,
+        pipeline: PipelineConfig | None = None,
     ):
         if num_cpu_workers < 0 or num_gpu_workers < 0:
             raise ValueError("worker counts must be non-negative")
@@ -541,6 +594,9 @@ class ProcessWorkerPool:
         self.fault_plan = fault_plan
         self.register_timeout = register_timeout
         self.registry = registry if registry is not None else get_registry()
+        #: Pool-default filter-cascade config; ``run_batch`` can
+        #: override it per batch (``pipeline=None`` forces full scan).
+        self.pipeline = pipeline
         self.roster: list[tuple[str, str]] = [
             (f"proc{i}", "cpu") for i in range(num_cpu_workers)
         ] + [(f"gproc{i}", "gpu") for i in range(num_gpu_workers)]
@@ -678,6 +734,7 @@ class ProcessWorkerPool:
                         trace,
                         self.fault_plan,
                         hb_interval,
+                        self.pipeline,
                     ),
                     name=name,
                     daemon=True,
@@ -803,12 +860,17 @@ class ProcessWorkerPool:
 
     # -- execution -----------------------------------------------------
 
+    #: Sentinel distinguishing "use the pool default" from an explicit
+    #: ``pipeline=None`` (force full scan) in :meth:`run_batch`.
+    _PIPELINE_DEFAULT = object()
+
     def run_batch(
         self,
         queries: list[Sequence],
         policy: str = "self",
         measured_gcups: dict[str, float] | None = None,
         on_result=None,
+        pipeline=_PIPELINE_DEFAULT,
     ) -> SearchReport:
         """Run one batch of queries on the warm pool.
 
@@ -832,6 +894,14 @@ class ProcessWorkerPool:
             elapsed)`` callback invoked as each query completes — the
             streaming hook the search service uses to push results to
             clients before the batch finishes.  Must not raise.
+        pipeline:
+            Per-batch filter-cascade override: a
+            :class:`~repro.align.pipeline.PipelineConfig` runs this
+            batch through the heuristic cascade, explicit ``None``
+            forces the full scan; omitted, the pool's construction
+            default applies.  Workers are retargeted with a
+            ``("pipeline", ...)`` control message before the batch, so
+            one warm pool serves both modes.
 
         Returns the same :class:`SearchReport` shape as the threaded
         engine; ``wall_seconds`` covers only this batch (the pool is
@@ -852,10 +922,16 @@ class ProcessWorkerPool:
             raise ProtocolError("pool is closed")
         if not self.alive:
             raise AllWorkersDeadError(len(queries))
+        if pipeline is ProcessWorkerPool._PIPELINE_DEFAULT:
+            pipeline = self.pipeline
+        if pipeline is not None and not isinstance(pipeline, PipelineConfig):
+            pipeline = PipelineConfig.from_dict(pipeline)
         try:
             if self.dispatch == "chunk":
-                return self._run_batch_chunks(queries, policy, measured_gcups, on_result)
-            return self._run_batch(queries, policy, measured_gcups, on_result)
+                return self._run_batch_chunks(
+                    queries, policy, measured_gcups, on_result, pipeline
+                )
+            return self._run_batch(queries, policy, measured_gcups, on_result, pipeline)
         except (EOFError, OSError) as exc:
             self._broken = True
             self._terminate_all()
@@ -896,7 +972,9 @@ class ProcessWorkerPool:
             raise WorkerTimeoutError(name, pending_task=pending, timeout=self.heartbeat_timeout)
         raise AllWorkersDeadError(outstanding, last_worker=name)
 
-    def _run_batch(self, queries, policy, measured_gcups, on_result) -> SearchReport:
+    def _run_batch(
+        self, queries, policy, measured_gcups, on_result, pipeline=None
+    ) -> SearchReport:
         import multiprocessing.connection as mpc
 
         roster, pipes = self.roster, self._pipes
@@ -904,6 +982,7 @@ class ProcessWorkerPool:
         batch_span = tracing.span(
             "pool.batch", backend="processes", policy=policy, size=len(queries)
         )
+        batch_stages = StageCounts()
         scheduler_info = f"self-scheduling over process pipes ({len(self.alive)} workers)"
         n = len(queries)
 
@@ -1037,7 +1116,7 @@ class ProcessWorkerPool:
                     continue
                 if tag != "done":  # pragma: no cover
                     raise ProtocolError(f"expected done, got {tag!r}")
-                _, _, j, elapsed, cells, hits, spans, checksum = message
+                _, _, j, elapsed, cells, hits, spans, checksum, stages = message
                 if spans:
                     tracing.ingest(spans)
                 if in_flight.get(i) == j:
@@ -1049,6 +1128,7 @@ class ProcessWorkerPool:
                     self.log.record(task_failed(name, j, reason))
                     requeue(j, reason)
                     continue
+                batch_stages.merge(stages)
                 self.log.record(task_done(name, j, elapsed))
                 result = QueryResult(
                     query_id=queries[j].id,
@@ -1066,6 +1146,12 @@ class ProcessWorkerPool:
 
         tick = self._tick()
         with batch_span:
+            retarget = ("pipeline", None if pipeline is None else pipeline.as_dict())
+            for i in list(self.alive):
+                try:
+                    pipes[i].send(retarget)
+                except (OSError, ValueError):
+                    lose(i, "pipe broken on send")
             allocate(list(range(n)), initial=True)
             while outstanding() > 0:
                 if not self.alive:
@@ -1104,6 +1190,8 @@ class ProcessWorkerPool:
             )
             for name in sorted(busy)
         )
+        if pipeline is not None:
+            record_stage_counts(self.registry, batch_stages)
         return SearchReport(
             label=f"process-{policy}",
             wall_seconds=wall,
@@ -1112,9 +1200,12 @@ class ProcessWorkerPool:
             query_results=tuple(results[j] for j in range(n)),
             scheduler_info=scheduler_info,
             quarantined=quarantined_ids,
+            pipeline_stages=batch_stages.as_dict() if pipeline is not None else None,
         )
 
-    def _run_batch_chunks(self, queries, policy, measured_gcups, on_result) -> SearchReport:
+    def _run_batch_chunks(
+        self, queries, policy, measured_gcups, on_result, pipeline=None
+    ) -> SearchReport:
         """Chunk-granular batch: deque-seeded dispatch + work stealing.
 
         The master plans ``(query, chunk-range)`` grains sized by the
@@ -1163,6 +1254,7 @@ class ProcessWorkerPool:
             subtasks=len(subtasks),
         )
         n = len(queries)
+        batch_stages = StageCounts()
         results: dict[int, QueryResult] = {}
         attempts: dict[int, int] = {}  # keyed by sid
         quarantined: set[int] = set()  # query indices
@@ -1280,7 +1372,7 @@ class ProcessWorkerPool:
                     continue
                 if tag != "part":  # pragma: no cover
                     raise ProtocolError(f"expected part, got {tag!r}")
-                _, _, sid, elapsed, cells, part, spans, checksum = message
+                _, _, sid, elapsed, cells, part, spans, checksum, stages = message
                 if spans:
                     tracing.ingest(spans)
                 sub = in_flight.pop(i, None)
@@ -1294,6 +1386,7 @@ class ProcessWorkerPool:
                     self.log.record(task_failed(name, sid, reason))
                     fail_sub(sub, reason)
                     continue
+                batch_stages.merge(stages)
                 self.log.record(task_done(name, sid, elapsed))
                 busy[name] += elapsed
                 subtasks_by[name] += 1
@@ -1319,8 +1412,12 @@ class ProcessWorkerPool:
         tick = self._tick()
         try:
             with batch_span:
+                retarget = (
+                    "pipeline", None if pipeline is None else pipeline.as_dict()
+                )
                 for i in list(self.alive):
                     try:
+                        pipes[i].send(retarget)
                         pipes[i].send(("batch", list(queries), qp_manifest))
                     except (OSError, ValueError):
                         lose(i, "pipe broken on send")
@@ -1366,6 +1463,8 @@ class ProcessWorkerPool:
             )
             for name in sorted(busy)
         )
+        if pipeline is not None:
+            record_stage_counts(self.registry, batch_stages)
         return SearchReport(
             label=f"process-{policy}",
             wall_seconds=wall,
@@ -1377,6 +1476,7 @@ class ProcessWorkerPool:
                 f"{len(alive_roster)} workers, {total_steals} steals"
             ),
             quarantined=quarantined_ids,
+            pipeline_stages=batch_stages.as_dict() if pipeline is not None else None,
         )
 
 
@@ -1397,6 +1497,7 @@ def process_search(
     max_retries: int = DEFAULT_MAX_RETRIES,
     fault_plan: FaultPlan | None = None,
     recovery_log: RecoveryLog | None = None,
+    pipeline: PipelineConfig | None = None,
 ) -> SearchReport:
     """One-shot search with real worker *processes*.
 
@@ -1451,6 +1552,7 @@ def process_search(
         heartbeat_timeout=heartbeat_timeout,
         max_retries=max_retries,
         fault_plan=fault_plan,
+        pipeline=pipeline,
     )
     pool.start()
     try:

@@ -20,6 +20,11 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.align.pipeline import (
+    PipelineConfig,
+    StageCounts,
+    pipeline_score_packed,
+)
 from repro.align.scoring import ScoringScheme
 from repro.align.stats import CellUpdateCounter
 from repro.align.sw_batch import sw_score_batch, sw_score_packed
@@ -106,6 +111,15 @@ class KernelWorker:
         transport's :class:`~repro.engine.faults.FaultInjector` does
         across the pipe.  A hook simulates a task failure by raising
         (e.g. :class:`~repro.engine.faults.InjectedFault`).
+    pipeline:
+        Optional :class:`~repro.align.pipeline.PipelineConfig`.  When
+        set, scoring runs the heuristic filter cascade instead of the
+        full scan — for **every** role (a gpu-role worker runs the
+        same cascade, so mixed rosters produce one consistent answer
+        regardless of which worker scored which chunk).  Stage tallies
+        accumulate in :attr:`stage_counts` (reset by the caller
+        between runs via :meth:`drain_stage_counts`).  An explicit
+        *kernel* takes precedence over the pipeline.
     """
 
     def __init__(
@@ -121,6 +135,7 @@ class KernelWorker:
         evalue_model=None,
         align_top: int = 0,
         fault_hook=None,
+        pipeline: PipelineConfig | None = None,
     ):
         if kind not in ("cpu", "gpu"):
             raise ValueError(f"kind must be 'cpu' or 'gpu', got {kind!r}")
@@ -147,14 +162,29 @@ class KernelWorker:
         self.evalue_model = evalue_model
         self.align_top = align_top
         self.fault_hook = fault_hook
+        self.pipeline = pipeline
+        self.stage_counts = StageCounts()
         self.counter = CellUpdateCounter()
         self._subjects = list(database)
         self._by_id = {s.id: s for s in self._subjects}
+
+    def drain_stage_counts(self) -> StageCounts:
+        """Take (and reset) the accumulated cascade stage tallies."""
+        counts, self.stage_counts = self.stage_counts, StageCounts()
+        return counts
 
     def _score(self, query: Sequence) -> np.ndarray:
         """Run the configured kernel (packed fast path by default)."""
         if self.kernel is not None:
             return self.kernel(query, self._subjects, self.scheme)
+        if self.pipeline is not None:
+            return pipeline_score_packed(
+                query,
+                self.packed,
+                self.scheme,
+                self.pipeline,
+                counts=self.stage_counts,
+            )
         if self.kind == "gpu":
             return sw_score_wavefront_packed(query, self.packed, self.scheme)
         return sw_score_packed(query, self.packed, self.scheme)

@@ -20,7 +20,13 @@ from repro.platform.benchkernels import (
     run_kernel_bench,
     write_bench_report,
 )
+from repro.platform.benchpipeline import (
+    OracleDivergence,
+    build_pipeline_workload,
+    run_pipeline_bench,
+)
 from repro.platform.benchshm import run_shm_bench
+from repro.platform.benchstamp import BENCH_SCHEMA_VERSION, bench_stamp, stamp_report
 from repro.platform.cluster import HybridPlatform, idgraf_platform, swdual_worker_mix
 from repro.platform.perfmodel import (
     PerformanceModel,
@@ -51,9 +57,15 @@ __all__ = [
     "measure_kernel_gcups",
     "live_rate_model",
     "build_bench_workload",
+    "build_pipeline_workload",
     "run_kernel_bench",
+    "run_pipeline_bench",
     "run_shm_bench",
     "write_bench_report",
+    "OracleDivergence",
+    "BENCH_SCHEMA_VERSION",
+    "bench_stamp",
+    "stamp_report",
     "Event",
     "EventQueue",
     "SimClock",

@@ -247,8 +247,15 @@ def _telemetry_guard(queries, packed, database, scheme, repeats: int) -> dict:
 
 
 def write_bench_report(report: dict, path: str) -> str:
-    """Write a benchmark report dict as pretty JSON; returns *path*."""
+    """Write a benchmark report dict as pretty JSON; returns *path*.
+
+    Every report is stamped with the run's provenance (schema version,
+    git revision, python/numpy versions, CPU count) on the way out —
+    see :mod:`repro.platform.benchstamp`.
+    """
+    from repro.platform.benchstamp import stamp_report
+
     with open(path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
+        json.dump(stamp_report(report), fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path

@@ -1,0 +1,234 @@
+"""Pipeline benchmark behind ``swdual bench pipeline``.
+
+Measures the *effective* throughput win of the heuristic filter
+cascade (:mod:`repro.align.pipeline`) over the exact full scan on a
+realistic workload: a large random protein background with a handful
+of mutated homologs of each query planted in it, so there are real
+hits to find (a pure random background would make every search come
+back empty and the "zero hits lost" check vacuous).
+
+The headline number is **effective GCUPS**: the cell count of the
+*full scan* divided by the *pipeline's* wall time — the throughput an
+operator observes for the same question ("score every subject"), which
+is exactly how BLAST-class tools report their speed.  Raw GCUPS of
+the pipeline itself would be meaningless, since its whole point is to
+never compute most of the cells.
+
+Each named sensitivity preset (``strict`` / ``default`` /
+``sensitive`` from :data:`repro.engine.pipeline.PIPELINE_PRESETS`) is
+measured and verified against the exact scan:
+
+* ``scores_exact`` — every hit the pipeline reports carries a score
+  bit-identical to the oracle (the cascade's hard contract; a
+  violation fails the benchmark loudly);
+* ``hits_lost`` — subjects the oracle reports at the threshold but
+  the heuristic filtered out (sensitivity cost; the planted homologs
+  make this measurable).
+
+The result dictionary is what ``BENCH_pipeline.json`` records; the
+numbers are machine-dependent provenance, not fixtures — tests assert
+on shape and on the exactness flags only.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.align.pipeline import StageCounts, clear_kmer_cache, pipeline_score_packed
+from repro.align.scoring import ScoringScheme, default_scheme
+from repro.align.sw_batch import clear_profile_cache, sw_score_packed
+from repro.engine.pipeline import PIPELINE_PRESETS, preset_config
+from repro.sequences.alphabet import PROTEIN
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.mutate import plant_homologs
+from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
+from repro.sequences.sequence import Sequence
+from repro.utils import ensure_rng
+
+__all__ = ["build_pipeline_workload", "run_pipeline_bench", "OracleDivergence"]
+
+#: Presets the benchmark sweeps, permissive -> strict.
+BENCH_PRESETS = ("sensitive", "default", "strict")
+
+
+class OracleDivergence(AssertionError):
+    """The pipeline reported a hit whose score differs from the exact
+    scalar-oracle score — a violation of the cascade's hard contract
+    (never acceptable, at any sensitivity)."""
+
+
+def build_pipeline_workload(
+    num_subjects: int = 1500,
+    min_len: int = 100,
+    max_len: int = 400,
+    query_len: int = 250,
+    num_queries: int = 2,
+    num_homologs: int = 6,
+    divergence: float = 0.2,
+    seed: int = 0,
+) -> tuple[list[Sequence], SequenceDatabase]:
+    """Random background with *num_homologs* mutated homologs of every
+    query planted in it — a workload where hits exist but are rare."""
+    if num_subjects < 1 or num_queries < 1:
+        raise ValueError("need at least one subject and one query")
+    if not 1 <= min_len <= max_len:
+        raise ValueError(f"bad length range [{min_len}, {max_len}]")
+    rng = ensure_rng(seed)
+
+    def draw(sid: str, length: int) -> Sequence:
+        codes = rng.integers(0, 20, size=length).astype(np.uint8)
+        return Sequence(id=sid, codes=codes, alphabet=PROTEIN)
+
+    subjects = [
+        draw(f"bg{i}", int(rng.integers(min_len, max_len + 1)))
+        for i in range(num_subjects)
+    ]
+    queries = [draw(f"pq{i}", query_len) for i in range(num_queries)]
+    for q in queries:
+        subjects = plant_homologs(subjects, q, num_homologs, divergence, seed=rng)
+    return queries, SequenceDatabase(name="bench-pipeline", sequences=subjects)
+
+
+def _time_pass(fn, repeats: int) -> float:
+    """Best-of-*repeats* wall time of one full ``fn()`` pass."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return max(best, 1e-9)
+
+
+def run_pipeline_bench(
+    num_subjects: int = 1500,
+    min_len: int = 100,
+    max_len: int = 400,
+    query_len: int = 250,
+    num_queries: int = 2,
+    num_homologs: int = 6,
+    divergence: float = 0.2,
+    threshold: int = 100,
+    repeats: int = 3,
+    chunk_cells: int = DEFAULT_CHUNK_CELLS,
+    scheme: ScoringScheme | None = None,
+    presets: tuple[str, ...] = BENCH_PRESETS,
+    seed: int = 0,
+) -> dict:
+    """Run the pipeline-vs-full-scan benchmark; returns the report dict.
+
+    Raises :class:`OracleDivergence` if any preset reports a hit whose
+    score differs from the exact kernel's — the check CI's smoke run
+    exists to keep honest.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    scheme = scheme or default_scheme()
+    queries, database = build_pipeline_workload(
+        num_subjects,
+        min_len,
+        max_len,
+        query_len,
+        num_queries,
+        num_homologs,
+        divergence,
+        seed,
+    )
+    packed = PackedDatabase.from_database(database, chunk_cells=chunk_cells)
+    cells = sum(len(q) for q in queries) * database.total_residues
+    clear_profile_cache()
+    clear_kmer_cache()
+
+    # -- exact full-scan baseline (the oracle) -------------------------
+    exact_scores = {q.id: sw_score_packed(q, packed, scheme) for q in queries}
+
+    def fullscan_pass() -> None:
+        for q in queries:
+            sw_score_packed(q, packed, scheme)
+
+    fullscan_s = _time_pass(fullscan_pass, repeats)
+    fullscan_gcups = cells / fullscan_s / 1e9
+    oracle_hits = {
+        q.id: np.flatnonzero(exact_scores[q.id] >= threshold) for q in queries
+    }
+    total_oracle_hits = int(sum(len(v) for v in oracle_hits.values()))
+
+    # -- the cascade at each sensitivity preset ------------------------
+    preset_reports = {}
+    for name in presets:
+        config = preset_config(name, threshold=threshold)
+        stages = StageCounts()
+        pipe_scores = {
+            q.id: pipeline_score_packed(
+                q, packed, scheme, config, counts=stages
+            )
+            for q in queries
+        }
+
+        def pipeline_pass(config=config) -> None:
+            for q in queries:
+                pipeline_score_packed(q, packed, scheme, config)
+
+        pipeline_s = _time_pass(pipeline_pass, repeats)
+
+        hits_lost = 0
+        for q in queries:
+            exact = exact_scores[q.id]
+            pipe = pipe_scores[q.id]
+            reported = np.flatnonzero(pipe >= threshold)
+            mismatched = reported[pipe[reported] != exact[reported]]
+            if mismatched.size:
+                idx = int(mismatched[0])
+                raise OracleDivergence(
+                    f"preset {name!r}: pipeline reported subject "
+                    f"{database[idx].id!r} at {int(pipe[idx])}, exact score "
+                    f"is {int(exact[idx])}"
+                )
+            hits_lost += int((pipe[oracle_hits[q.id]] < threshold).sum())
+
+        preset_reports[name] = {
+            "config": config.as_dict(),
+            "seconds": pipeline_s,
+            "effective_gcups": cells / pipeline_s / 1e9,
+            "speedup_vs_fullscan": fullscan_s / pipeline_s,
+            "stages": stages.as_dict(),
+            "filter_rate": stages.filter_rate(),
+            "hits_reported": int(
+                sum((pipe_scores[q.id] >= threshold).sum() for q in queries)
+            ),
+            "hits_lost": hits_lost,
+            "scores_exact": True,  # OracleDivergence would have raised
+        }
+
+    return {
+        "bench": "pipeline",
+        "workload": {
+            "num_subjects": num_subjects,
+            "min_len": min_len,
+            "max_len": max_len,
+            "query_len": query_len,
+            "num_queries": num_queries,
+            "num_homologs": num_homologs,
+            "divergence": divergence,
+            "db_sequences": len(database),
+            "db_residues": database.total_residues,
+            "cells_per_pass": cells,
+            "chunk_cells": chunk_cells,
+            "threshold": threshold,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "fullscan": {
+            "seconds": fullscan_s,
+            "gcups": fullscan_gcups,
+            "oracle_hits": total_oracle_hits,
+        },
+        "presets": preset_reports,
+        "best_speedup": max(
+            (r["speedup_vs_fullscan"] for r in preset_reports.values()),
+            default=0.0,
+        ),
+    }

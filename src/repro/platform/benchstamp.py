@@ -1,0 +1,85 @@
+"""Provenance stamp for benchmark artifacts.
+
+Every ``BENCH_*.json`` the CLI writes is a machine-dependent
+measurement, useless without knowing *what* produced it.
+:func:`bench_stamp` captures that context once — report schema
+version, the git revision of the working tree, interpreter and numpy
+versions, and the CPU budget — and :func:`stamp_report` folds it into
+a report dict under the ``"provenance"`` key.  The stamp is applied
+centrally in :func:`repro.platform.benchkernels.write_bench_report`,
+so the kernel, shared-memory and pipeline benchmarks all carry it
+without each writer remembering to.
+
+The git revision is best-effort: outside a repository (or without a
+``git`` binary) it records ``None`` rather than failing the benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import platform as platform_mod
+import subprocess
+import sys
+
+import numpy as np
+
+__all__ = ["BENCH_SCHEMA_VERSION", "bench_stamp", "stamp_report"]
+
+#: Version of the BENCH_*.json report envelope.  Bump when the shape
+#: of the provenance stamp (or the common report layout) changes.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _git_revision() -> str | None:
+    """The working tree's HEAD commit (``+dirty`` suffixed), or None."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if rev.returncode != 0:
+            return None
+        commit = rev.stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if dirty.returncode == 0 and dirty.stdout.strip():
+            commit += "+dirty"
+        return commit
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def bench_stamp() -> dict:
+    """Capture the provenance of a benchmark run on this machine."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_revision": _git_revision(),
+        "python_version": platform_mod.python_version(),
+        "python_implementation": platform_mod.python_implementation(),
+        "numpy_version": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "platform": platform_mod.platform(),
+        "machine": platform_mod.machine(),
+        "executable": sys.executable,
+    }
+
+
+def stamp_report(report: dict) -> dict:
+    """Return *report* with a ``"provenance"`` stamp merged in.
+
+    An existing ``"provenance"`` key is preserved untouched (re-writing
+    a previously stamped report must not re-date it to this machine).
+    """
+    if "provenance" in report:
+        return report
+    stamped = dict(report)
+    stamped["provenance"] = bench_stamp()
+    return stamped

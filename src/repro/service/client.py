@@ -105,11 +105,15 @@ class SearchClient:
         sequence: "Sequence | str",
         id: str | None = None,
         top: int | None = None,
+        pipeline: bool | None = None,
     ) -> str:
         """Submit one query without waiting; returns the id used.
 
         *sequence* is a :class:`~repro.sequences.sequence.Sequence`
         (its ``id`` is the default query id) or a plain residue string.
+        *pipeline* selects the heuristic filter cascade (``True``) or
+        the exact full scan (``False``); ``None`` (default) leaves the
+        choice to the server's configured default.
         """
         if isinstance(sequence, Sequence):
             text = sequence.text
@@ -120,7 +124,7 @@ class SearchClient:
         if id is None:
             self._submitted += 1
             id = f"c{self._submitted}"
-        self._send(protocol.query_request(text, id=id, top=top))
+        self._send(protocol.query_request(text, id=id, top=top, pipeline=pipeline))
         return id
 
     def collect(self, count: int) -> list[dict]:
@@ -135,13 +139,14 @@ class SearchClient:
         self,
         sequences: "list[Sequence | str]",
         top: int | None = None,
+        pipeline: bool | None = None,
     ) -> list[dict]:
         """Submit every sequence, then gather all outcomes.
 
         Outcomes are re-ordered to match *sequences* (correlated by
         id); duplicate ids come back in completion order.
         """
-        ids = [self.submit(s, top=top) for s in sequences]
+        ids = [self.submit(s, top=top, pipeline=pipeline) for s in sequences]
         outcomes = self.collect(len(ids))
         by_id: dict[str, list[dict]] = {}
         for outcome in outcomes:
@@ -155,9 +160,14 @@ class SearchClient:
                 raise ServiceUnavailable(f"no response for query {qid!r}")
         return ordered
 
-    def query(self, sequence: "Sequence | str", top: int | None = None) -> dict:
+    def query(
+        self,
+        sequence: "Sequence | str",
+        top: int | None = None,
+        pipeline: bool | None = None,
+    ) -> dict:
         """Submit one query and wait for its outcome."""
-        self.submit(sequence, top=top)
+        self.submit(sequence, top=top, pipeline=pipeline)
         return self.collect(1)[0]
 
     # -- control verbs -------------------------------------------------

@@ -40,6 +40,11 @@ from repro.engine.faults import (
 )
 from repro.engine.master import predict_static_allocation
 from repro.engine.messages import ProtocolError
+from repro.engine.pipeline import (
+    PipelineConfig,
+    StageCounts,
+    record_stage_counts,
+)
 from repro.engine.results import QueryResult, SearchReport, WorkerStats
 from repro.engine.search import calibrate_live
 from repro.engine.transport import (
@@ -107,6 +112,13 @@ class WarmPool:
     registry:
         Metrics registry handed to the process pool (steal/attach/queue
         metrics land next to the service's own).
+    pipeline:
+        Optional :class:`~repro.align.pipeline.PipelineConfig` — the
+        pool's default search mode.  :meth:`run_batch` can override it
+        per batch, so one warm pool serves full-scan and pipeline
+        queries side by side; batches that ran the cascade fold their
+        stage tallies into *registry* and the report's
+        ``pipeline_stages``.
     """
 
     def __init__(
@@ -128,6 +140,7 @@ class WarmPool:
         max_retries: int = DEFAULT_MAX_RETRIES,
         fault_plan: FaultPlan | None = None,
         registry=None,
+        pipeline: PipelineConfig | None = None,
     ):
         if backend not in POOL_BACKENDS:
             raise ValueError(f"backend must be one of {POOL_BACKENDS}, got {backend!r}")
@@ -152,6 +165,7 @@ class WarmPool:
         self.max_retries = max_retries
         self.fault_plan = fault_plan
         self.registry = registry
+        self.pipeline = pipeline
         self.num_cpu_workers = num_cpu_workers
         self.num_gpu_workers = num_gpu_workers
         self._workers: list[KernelWorker] = []
@@ -224,6 +238,7 @@ class WarmPool:
                 max_retries=self.max_retries,
                 fault_plan=self.fault_plan,
                 registry=self.registry,
+                pipeline=self.pipeline,
             )
             self._proc_pool.start()
             if self.calibrate and self.measured_gcups is None:
@@ -270,14 +285,23 @@ class WarmPool:
 
     # -- execution -----------------------------------------------------
 
-    def run_batch(self, queries: list[Sequence], on_result=None) -> SearchReport:
+    #: Sentinel distinguishing "use the pool default" from an explicit
+    #: ``pipeline=None`` (force full scan) in :meth:`run_batch`.
+    _PIPELINE_DEFAULT = object()
+
+    def run_batch(
+        self, queries: list[Sequence], on_result=None, pipeline=_PIPELINE_DEFAULT
+    ) -> SearchReport:
         """Search one batch of queries on the warm pool.
 
         ``on_result(index, query_result, worker_name, elapsed)`` is
         invoked as each query completes (streaming hook; must not
         raise).  Batches are serialised on an internal lock — the pool
         is one shared resource, concurrency comes from the workers
-        inside it.
+        inside it.  *pipeline* overrides the pool's default search
+        mode for this batch (a
+        :class:`~repro.align.pipeline.PipelineConfig` runs the filter
+        cascade, explicit ``None`` forces the full scan).
         """
         if not queries:
             raise ValueError("need at least one query")
@@ -285,6 +309,8 @@ class WarmPool:
             raise ProtocolError("pool not started")
         if self._closed:
             raise ProtocolError("pool is closed")
+        if pipeline is WarmPool._PIPELINE_DEFAULT:
+            pipeline = self.pipeline
         with self._batch_lock:
             if self.backend == "processes":
                 return self._proc_pool.run_batch(
@@ -292,8 +318,9 @@ class WarmPool:
                     policy=self._effective_policy(),
                     measured_gcups=self.measured_gcups,
                     on_result=on_result,
+                    pipeline=pipeline,
                 )
-            return self._run_batch_threads(queries, on_result)
+            return self._run_batch_threads(queries, on_result, pipeline)
 
     def _effective_policy(self) -> str:
         """Single-worker pools self-schedule: the dual-approximation
@@ -309,7 +336,7 @@ class WarmPool:
         if self.registry is not None:
             self.registry.counter(name, help=help).inc()
 
-    def _run_batch_threads(self, queries, on_result) -> SearchReport:
+    def _run_batch_threads(self, queries, on_result, pipeline=None) -> SearchReport:
         """Threaded batch with the same recovery contract as the
         process transport: a failed attempt (raising kernel, injected
         poison, ``corrupt`` fault) requeues the task onto a survivor
@@ -322,6 +349,11 @@ class WarmPool:
         workers = [w for w in self._workers if w.name not in self._dead]
         if not workers:
             raise AllWorkersDeadError(len(queries))
+        # Batches are serialised on the batch lock, so retargeting the
+        # shared workers' search mode per batch is race-free.
+        for w in workers:
+            w.pipeline = pipeline
+            w.drain_stage_counts()
         roster = [(w.name, w.kind) for w in workers]
         policy = self._effective_policy()
         start = tracing.clock()
@@ -496,6 +528,14 @@ class WarmPool:
             )
             for w in workers
         )
+        batch_stages = None
+        if pipeline is not None:
+            stages = StageCounts()
+            for w in workers:
+                stages.merge(w.drain_stage_counts())
+            if self.registry is not None:
+                record_stage_counts(self.registry, stages)
+            batch_stages = stages.as_dict()
         return SearchReport(
             label=f"warm-{policy}",
             wall_seconds=wall,
@@ -504,4 +544,5 @@ class WarmPool:
             query_results=tuple(results[j] for j in range(len(queries))),
             scheduler_info=scheduler_info,
             quarantined=quarantined_ids,
+            pipeline_stages=batch_stages,
         )

@@ -12,7 +12,9 @@ Client → server requests carry a ``verb``:
     ``{"verb": "query", "id": "q1", "sequence": "MKV...", "top": 5}``
     — submit one query sequence.  ``id`` is optional (the server
     assigns ``q<n>``); ``top`` is optional and capped at the service's
-    configured hit-list depth.
+    configured hit-list depth.  An optional boolean ``pipeline`` field
+    selects the heuristic filter cascade (``true``) or the exact full
+    scan (``false``) per query; omitted, the server default applies.
 ``stats``
     ``{"verb": "stats"}`` — request a :class:`ServiceStats` snapshot.
 ``metrics``
@@ -129,13 +131,25 @@ def read_message(stream) -> dict | None:
 # -- request/response constructors ------------------------------------
 
 
-def query_request(sequence: str, id: str | None = None, top: int | None = None) -> dict:
-    """Build a ``query`` request."""
+def query_request(
+    sequence: str,
+    id: str | None = None,
+    top: int | None = None,
+    pipeline: bool | None = None,
+) -> dict:
+    """Build a ``query`` request.
+
+    ``pipeline`` asks the server to score this query with the heuristic
+    filter cascade (``True``) or the exact full scan (``False``);
+    omitted (``None``) defers to the server's configured default.
+    """
     message = {"verb": "query", "sequence": sequence}
     if id is not None:
         message["id"] = id
     if top is not None:
         message["top"] = top
+    if pipeline is not None:
+        message["pipeline"] = bool(pipeline)
     return message
 
 

@@ -44,6 +44,7 @@ import threading
 
 from repro.align.scoring import ScoringScheme
 from repro.engine.faults import FaultPlan
+from repro.engine.pipeline import PIPELINE_PRESETS, PipelineConfig
 from repro.engine.transport import DEFAULT_HEARTBEAT_TIMEOUT, DEFAULT_MAX_RETRIES
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.packed import DEFAULT_CHUNK_CELLS
@@ -102,13 +103,21 @@ class _ClientConnection:
 class _PendingQuery:
     """An admitted query waiting in (or drained from) the queue."""
 
-    __slots__ = ("id", "sequence", "top", "conn", "submitted_at")
+    __slots__ = ("id", "sequence", "top", "conn", "pipeline", "submitted_at")
 
-    def __init__(self, id: str, sequence: Sequence, top: int, conn: _ClientConnection):
+    def __init__(
+        self,
+        id: str,
+        sequence: Sequence,
+        top: int,
+        conn: _ClientConnection,
+        pipeline: bool = False,
+    ):
         self.id = id
         self.sequence = sequence
         self.top = top
         self.conn = conn
+        self.pipeline = pipeline
         self.submitted_at = tracing.clock()
 
 
@@ -165,6 +174,7 @@ class SearchService:
         fault_plan: FaultPlan | None = None,
         max_queue: int = 64,
         max_batch: int = 8,
+        pipeline: PipelineConfig | None = None,
     ):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -176,6 +186,12 @@ class SearchService:
         self.max_queue = max_queue
         self.max_batch = max_batch
         self.top_hits = top_hits
+        # Whether queries run the filter cascade by default; a request
+        # may flip it per query with its ``pipeline`` field.  When the
+        # service was started without a config, opt-in requests use the
+        # "default" preset.
+        self.pipeline = pipeline
+        self._pipeline_config = pipeline or PIPELINE_PRESETS["default"]
         self.pool = WarmPool(
             database,
             num_cpu_workers=num_cpu_workers,
@@ -193,6 +209,7 @@ class SearchService:
             heartbeat_timeout=heartbeat_timeout,
             max_retries=max_retries,
             fault_plan=fault_plan,
+            pipeline=pipeline,
         )
         self.stats = ServiceStats(self.pool.roster)
         # The pool only reads its registry at start(): point it at the
@@ -464,6 +481,15 @@ class SearchService:
             conn.send(protocol.error_response("'top' must be a positive integer", query_id))
             return
         top = min(top, self.top_hits)
+        use_pipeline = message.get("pipeline")
+        if use_pipeline is None:
+            use_pipeline = self.pipeline is not None
+        if not isinstance(use_pipeline, bool):
+            self.stats.record_error()
+            conn.send(
+                protocol.error_response("'pipeline' must be a boolean", query_id)
+            )
+            return
         if self._stopping.is_set():
             self.stats.record_rejected()
             conn.send(
@@ -478,7 +504,7 @@ class SearchService:
             self.stats.record_error()
             conn.send(protocol.error_response(str(exc), query_id))
             return
-        pending = _PendingQuery(query_id, sequence, top, conn)
+        pending = _PendingQuery(query_id, sequence, top, conn, pipeline=use_pipeline)
         try:
             self._queue.put_nowait(pending)
         except queue_mod.Full:
@@ -514,13 +540,22 @@ class SearchService:
             with self._in_flight_lock:
                 self._in_flight += len(batch)
             try:
-                with tracing.span("service.batch", size=len(batch)):
-                    self._run_one_batch(batch)
+                # A drained batch may mix full-scan and pipeline
+                # queries; the pool runs one mode per batch, so split
+                # by flag (order within each group is preserved).
+                for use_pipeline in (False, True):
+                    group = [p for p in batch if p.pipeline is use_pipeline]
+                    if not group:
+                        continue
+                    with tracing.span(
+                        "service.batch", size=len(group), pipeline=use_pipeline
+                    ):
+                        self._run_one_batch(group, use_pipeline)
             finally:
                 with self._in_flight_lock:
                     self._in_flight -= len(batch)
 
-    def _run_one_batch(self, batch: list[_PendingQuery]) -> None:
+    def _run_one_batch(self, batch: list[_PendingQuery], use_pipeline: bool = False) -> None:
         dispatched_at = tracing.clock()
         queue_waits = [dispatched_at - p.submitted_at for p in batch]
 
@@ -543,7 +578,11 @@ class SearchService:
                 )
 
         try:
-            report = self.pool.run_batch([p.sequence for p in batch], on_result=on_result)
+            report = self.pool.run_batch(
+                [p.sequence for p in batch],
+                on_result=on_result,
+                pipeline=self._pipeline_config if use_pipeline else None,
+            )
         except Exception as exc:
             # Pool-level failure (e.g. every worker died): each query
             # in the batch gets a terminal, retryable error instead of

@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 
 from repro.align.stats import gcups
+from repro.engine.pipeline import STAGE_NAMES, stage_counters
 from repro.telemetry.export import prometheus_text
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
@@ -236,8 +237,24 @@ class ServiceStats:
             },
             "roles": roles,
             "recovery": self._recovery_snapshot(),
+            "pipeline": self._pipeline_snapshot(),
             "throughput_qps": completed / uptime,
         }
+
+    def _pipeline_snapshot(self) -> dict:
+        """Filter-cascade stage tallies the warm pool records into this
+        registry (get-or-create: all zero when the cascade never ran).
+
+        Adds the derived ``filter_rate``: the fraction of scanned
+        subjects the prescreen discarded before the banded stage.
+        """
+        counters = stage_counters(self.registry)
+        stages = {stage: int(counters[stage].value) for stage in STAGE_NAMES}
+        scanned = stages["subjects_scanned"]
+        stages["filter_rate"] = (
+            1.0 - stages["banded_survivors"] / scanned if scanned else 0.0
+        )
+        return stages
 
     def _recovery_snapshot(self) -> dict:
         """Recovery counters the transport/pool records into this

@@ -58,10 +58,14 @@ class TestBanded:
             q, q, affine_scheme
         )
 
-    def test_negative_bandwidth(self, affine_scheme):
-        q = Sequence.from_text("q", "AR")
-        with pytest.raises(ValueError, match="bandwidth"):
-            sw_score_banded(q, q, affine_scheme, -1)
+    def test_negative_bandwidth_disables_banding(self, affine_scheme):
+        # KSW2 contract: w = -1 (or None) turns the band off entirely,
+        # so the result is the exact local score.
+        q = Sequence.from_text("q", "ARNDCQEGHI")
+        s = Sequence.from_text("s", "PPPPPPPPARNDCQEGHI")
+        exact = sw_score(q, s, affine_scheme)
+        assert sw_score_banded(q, s, affine_scheme, -1) == exact
+        assert sw_score_banded(q, s, affine_scheme, None) == exact
 
     def test_empty(self, affine_scheme):
         q = Sequence.from_text("q", "")

@@ -1,0 +1,333 @@
+"""Unit tests of the filter-cascade building blocks.
+
+Covers the k-mer index, the vectorised prescreen, the cascade config,
+stage accounting, and the banded-stage edge cases (short subjects with
+wide bands, off-centre diagonals) the cascade relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import sw_score, sw_score_banded
+from repro.align.pipeline import (
+    STAGE_NAMES,
+    KmerIndex,
+    PipelineConfig,
+    StageCounts,
+    clear_kmer_cache,
+    encode_kmers,
+    kmer_index,
+    pipeline_score_packed,
+    prescreen_chunk,
+)
+from repro.align.scoring import default_scheme
+from repro.align.sw_batch import sw_score_packed
+from repro.sequences import PROTEIN, Sequence, SequenceDatabase
+from repro.sequences.packed import PackedDatabase
+
+from .conftest import protein_seq, random_protein
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return default_scheme()
+
+
+def _make_packed(rng, num=30, min_len=20, max_len=80, chunk_cells=1_500):
+    seqs = [
+        Sequence(
+            id=f"s{i}",
+            codes=rng.integers(0, 20, int(rng.integers(min_len, max_len + 1))).astype(
+                np.uint8
+            ),
+            alphabet=PROTEIN,
+        )
+        for i in range(num)
+    ]
+    db = SequenceDatabase("t", seqs)
+    return db, PackedDatabase.from_database(db, chunk_cells=chunk_cells)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = PipelineConfig()
+        assert cfg.k == 3 and cfg.bandwidth == 64
+
+    def test_exact_preset_disables_everything(self):
+        cfg = PipelineConfig.exact()
+        assert cfg.filters_disabled
+        assert cfg.band_disabled
+        assert cfg.zdrop is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must"):
+            PipelineConfig(k=0)
+        with pytest.raises(ValueError, match="min_seeds"):
+            PipelineConfig(min_seeds=-1)
+        with pytest.raises(ValueError, match="min_diag_score"):
+            PipelineConfig(min_diag_score=-1)
+        with pytest.raises(ValueError, match="threshold"):
+            PipelineConfig(threshold=0)
+
+    def test_roundtrip_dict(self):
+        cfg = PipelineConfig(k=4, min_seeds=1, bandwidth=None, zdrop=None)
+        assert PipelineConfig.from_dict(cfg.as_dict()) == cfg
+
+    def test_hashable_and_frozen(self):
+        cfg = PipelineConfig()
+        assert hash(cfg) == hash(PipelineConfig())
+        with pytest.raises(AttributeError):
+            cfg.k = 5
+
+
+class TestStageCounts:
+    def test_merge_and_add(self):
+        a = StageCounts(subjects_scanned=10, seeds_found=5)
+        b = StageCounts(subjects_scanned=3, reported=2)
+        a.merge(b)
+        assert a.subjects_scanned == 13 and a.reported == 2
+        c = a + b
+        assert c.subjects_scanned == 16
+        assert a.subjects_scanned == 13  # __add__ does not mutate
+
+    def test_merge_dict_and_none(self):
+        a = StageCounts()
+        a.merge(None)
+        a.merge({"subjects_scanned": 4, "rescored": 1})
+        assert a.subjects_scanned == 4 and a.rescored == 1
+
+    def test_dict_roundtrip_covers_all_stages(self):
+        d = StageCounts(*range(1, len(STAGE_NAMES) + 1)).as_dict()
+        assert tuple(d) == STAGE_NAMES
+        assert StageCounts.from_dict(d).as_dict() == d
+
+    def test_filter_rate(self):
+        assert StageCounts().filter_rate() == 0.0
+        assert StageCounts(subjects_scanned=10, banded_survivors=2).filter_rate() == pytest.approx(0.8)
+
+
+class TestKmerIndex:
+    def test_counts_and_first_pos(self):
+        q = Sequence.from_text("q", "ARNDARND")
+        idx = KmerIndex(q, 3)
+        codes = encode_kmers(q.codes, 3, idx.base)
+        # "ARN" occurs at 0 and 4; "RND" at 1 and 5.
+        arn = int(codes[0])
+        assert idx.counts[arn] == 2
+        assert idx.first_pos[arn] == 0
+
+    def test_query_shorter_than_k(self):
+        q = Sequence.from_text("q", "AR")
+        idx = KmerIndex(q, 3)
+        assert idx.num_kmers == 0
+
+    def test_table_cap(self):
+        q = Sequence.from_text("q", "ARND")
+        with pytest.raises(ValueError, match="cap"):
+            KmerIndex(q, 99)
+
+    def test_cache_returns_same_object(self):
+        clear_kmer_cache()
+        q = Sequence.from_text("q", "ARNDCQEGHI")
+        assert kmer_index(q, 3) is kmer_index(q, 3)
+        assert kmer_index(q, 4) is not kmer_index(q, 3)
+
+    def test_encode_2d(self):
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 20, (4, 10)).astype(np.uint8)
+        codes = encode_kmers(rows, 3, 21)
+        assert codes.shape == (4, 8)
+        flat = encode_kmers(rows[2], 3, 21)
+        assert np.array_equal(codes[2], flat)
+
+
+class TestPrescreen:
+    def test_identical_sequence_has_strong_diagonal(self):
+        rng = np.random.default_rng(5)
+        q = random_protein(rng, 40)
+        db = SequenceDatabase("t", [q])
+        packed = PackedDatabase.from_database(db)
+        idx = KmerIndex(q, 3)
+        nseeds, diag_best, diag_center = prescreen_chunk(
+            idx, packed.chunks[0].codes, len(q)
+        )
+        assert int(diag_best[0]) == 38  # every k-mer seeds diagonal 0
+        assert int(diag_center[0]) == 0
+
+    def test_pad_windows_count_zero_seeds(self):
+        # Short subject padded inside a wide chunk row: padding must
+        # contribute no seeds even when the pad code is in range.
+        rng = np.random.default_rng(6)
+        q = random_protein(rng, 30)
+        short = Sequence(id="short", codes=q.codes[:8].copy(), alphabet=PROTEIN)
+        long = random_protein(rng, 64)
+        db = SequenceDatabase("t", [short, long])
+        packed = PackedDatabase.from_database(db)
+        idx = KmerIndex(q, 3)
+        for chunk in packed.chunks:
+            nseeds, _, _ = prescreen_chunk(idx, chunk.codes, len(q))
+            for r, row_idx in enumerate(chunk.indices):
+                if db[int(row_idx)].id == "short":
+                    # Only genuine windows of the 8-residue prefix.
+                    direct = KmerIndex(q, 3)
+                    w = encode_kmers(q.codes[:8], 3, direct.base)
+                    assert int(nseeds[r]) == int(direct.counts[w].sum())
+
+    def test_random_background_rarely_passes_diag_filter(self):
+        rng = np.random.default_rng(7)
+        q = random_protein(rng, 60)
+        db, packed = _make_packed(rng, num=50, min_len=40, max_len=80)
+        idx = KmerIndex(q, 3)
+        best = []
+        for chunk in packed.chunks:
+            _, diag_best, _ = prescreen_chunk(idx, chunk.codes, len(q))
+            best.extend(diag_best.tolist())
+        # The default min_diag_score=12 means >= 4 seeds on one
+        # diagonal: essentially impossible for random subjects.
+        assert max(best) * 3 < 12
+
+
+class TestBandedEdgeCases:
+    """Satellite regression: band clamping at sequence edges."""
+
+    def test_short_subject_wide_band_is_exact(self, scheme):
+        # A subject far shorter than the bandwidth used to be able to
+        # mis-clamp the window; any wide band must degrade to exact.
+        rng = np.random.default_rng(8)
+        q = random_protein(rng, 50)
+        for n in (1, 2, 3, 5, 8):
+            s = random_protein(rng, n)
+            exact = sw_score(q, s, scheme)
+            for w in (n, 10, 64, 1000):
+                assert sw_score_banded(q, s, scheme, w) <= exact
+            assert sw_score_banded(q, s, scheme, 1000) == exact
+            assert sw_score_banded(q, s, scheme, None) == exact
+
+    def test_short_query_wide_band_is_exact(self, scheme):
+        rng = np.random.default_rng(9)
+        s = random_protein(rng, 50)
+        for m in (1, 2, 4):
+            q = random_protein(rng, m)
+            assert sw_score_banded(q, s, scheme, 500) == sw_score(q, s, scheme)
+
+    def test_diag_center_covers_offset_match(self, scheme):
+        # Match lives on diagonal +20; a narrow band centred there
+        # finds it, the same band on the main diagonal misses it.
+        q = Sequence.from_text("q", "WWWWW")
+        s = Sequence.from_text("s", "PPPPPPPPPPPPPPPPPPPPWWWWW")
+        exact = sw_score(q, s, scheme)
+        assert sw_score_banded(q, s, scheme, 2, diag_center=20) == exact
+        assert sw_score_banded(q, s, scheme, 2, diag_center=0) < exact
+
+    def test_diag_center_clamped_to_matrix(self, scheme):
+        q = Sequence.from_text("q", "ARNDC")
+        s = Sequence.from_text("s", "ARNDC")
+        exact = sw_score(q, s, scheme)
+        # Absurd centres must not crash; wide band stays exact.
+        for c in (-1000, 1000):
+            assert sw_score_banded(q, s, scheme, None, diag_center=c) == exact
+
+    def test_zdrop_is_lower_bound(self, scheme):
+        rng = np.random.default_rng(10)
+        for _ in range(20):
+            q = random_protein(rng, int(rng.integers(5, 40)))
+            s = random_protein(rng, int(rng.integers(5, 40)))
+            exact = sw_score(q, s, scheme)
+            for z in (0, 10, 100):
+                assert sw_score_banded(q, s, scheme, None, zdrop=z) <= exact
+
+    def test_zdrop_negative_rejected(self, scheme):
+        q = Sequence.from_text("q", "ARND")
+        with pytest.raises(ValueError, match="zdrop"):
+            sw_score_banded(q, q, scheme, 5, zdrop=-1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(q=protein_seq("q"), s=protein_seq("s"), c=st.integers(-25, 25))
+    def test_banded_center_lower_bound_property(self, scheme, q, s, c):
+        assert sw_score_banded(q, s, scheme, 6, diag_center=c) <= sw_score(
+            q, s, scheme
+        )
+
+
+class TestPipelineScorePacked:
+    def test_exact_config_matches_full_scan(self, scheme):
+        rng = np.random.default_rng(11)
+        db, packed = _make_packed(rng)
+        q = random_protein(rng, 40)
+        full = sw_score_packed(q, packed, scheme)
+        pipe = pipeline_score_packed(q, packed, scheme, PipelineConfig.exact())
+        assert np.array_equal(full, pipe)
+
+    def test_survivor_scores_are_exact(self, scheme):
+        rng = np.random.default_rng(12)
+        db, packed = _make_packed(rng)
+        # Plant the query itself so something survives.
+        q = list(db)[3]
+        full = sw_score_packed(q, packed, scheme)
+        counts = StageCounts()
+        pipe = pipeline_score_packed(
+            q, packed, scheme, PipelineConfig(threshold=50), counts=counts
+        )
+        reported = np.flatnonzero(pipe >= 50)
+        assert reported.size >= 1
+        assert np.array_equal(pipe[reported], full[reported])
+        assert counts.subjects_scanned == len(db)
+        assert counts.reported == reported.size
+
+    def test_filtered_subjects_carry_zero(self, scheme):
+        rng = np.random.default_rng(13)
+        db, packed = _make_packed(rng)
+        q = random_protein(rng, 40)
+        pipe = pipeline_score_packed(q, packed, scheme, PipelineConfig())
+        survivors = pipe != 0
+        full = sw_score_packed(q, packed, scheme)
+        assert np.array_equal(pipe[survivors], full[survivors])
+
+    def test_chunk_range_concatenates(self, scheme):
+        rng = np.random.default_rng(14)
+        db, packed = _make_packed(rng, chunk_cells=900)
+        assert len(packed.chunks) > 2
+        q = list(db)[0]
+        cfg = PipelineConfig(threshold=40)
+        whole = pipeline_score_packed(q, packed, scheme, cfg)
+        parts = []
+        for i in range(len(packed.chunks)):
+            parts.append(pipeline_score_packed(q, packed, scheme, cfg, chunk_range=(i, i + 1)))
+        stitched = np.zeros_like(whole)
+        offset = 0
+        for i, chunk in enumerate(packed.chunks):
+            stitched[chunk.indices] = parts[i]
+            offset += len(chunk.indices)
+        assert np.array_equal(whole, stitched)
+
+    def test_alphabet_mismatch_rejected(self, scheme):
+        rng = np.random.default_rng(15)
+        db, packed = _make_packed(rng)
+        from repro.sequences import DNA
+
+        q = Sequence.from_text("q", "ACGT", alphabet=DNA)
+        with pytest.raises(ValueError):
+            pipeline_score_packed(q, packed, scheme, PipelineConfig())
+
+    def test_short_query_bypasses_prescreen(self, scheme):
+        rng = np.random.default_rng(16)
+        db, packed = _make_packed(rng)
+        q = random_protein(rng, 2)  # shorter than k=3
+        full = sw_score_packed(q, packed, scheme)
+        cfg = PipelineConfig(threshold=1, bandwidth=None, zdrop=None)
+        pipe = pipeline_score_packed(q, packed, scheme, cfg)
+        reported = pipe >= 1
+        assert np.array_equal(pipe[reported], full[reported])
+
+    @settings(max_examples=10, deadline=None)
+    @given(q=protein_seq("q"))
+    def test_never_reports_wrong_score_property(self, scheme, q):
+        rng = np.random.default_rng(17)
+        db, packed = _make_packed(rng, num=12, min_len=10, max_len=40)
+        cfg = PipelineConfig(threshold=30)
+        pipe = pipeline_score_packed(q, packed, scheme, cfg)
+        full = sw_score_packed(q, packed, scheme)
+        reported = np.flatnonzero(pipe >= cfg.threshold)
+        assert np.array_equal(pipe[reported], full[reported])

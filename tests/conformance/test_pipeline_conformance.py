@@ -1,0 +1,197 @@
+"""Differential pipeline conformance: the heuristic cascade against
+the scalar oracle.
+
+The exactness contract (what "heuristic" is allowed to mean here):
+
+* **Exact knobs** — ``min_seeds=0``, ``min_diag_score=0``,
+  ``bandwidth=None``, ``zdrop=None`` (``PipelineConfig.exact()``):
+  nothing is filtered and every score is bit-identical to the scalar
+  DP, everywhere.
+* **Heuristic knobs** — any positive ``min_seeds`` /
+  ``min_diag_score`` can *lose* a subject before DP; a finite
+  ``bandwidth`` / ``zdrop`` can under-estimate the banded lower bound
+  and lose a candidate before rescoring.  Losing a hit is the
+  sensitivity trade; what is **never** acceptable is reporting a
+  wrong score: every subject the cascade reports (pipeline score
+  ``>= threshold``) must carry a score bit-identical to the scalar
+  oracle, on every backend, data plane and dispatch mode.
+
+This suite pins both directions on a homolog-planted workload where
+the true hits are unambiguous: no reported hit lost, and no reported
+score diverging.
+"""
+
+import numpy as np
+import pytest
+
+from repro.align.pipeline import PipelineConfig, pipeline_score_packed
+from repro.align.scoring import default_scheme
+from repro.align.sw_scalar import sw_score
+from repro.engine import live_search, process_search
+from repro.engine.pipeline import PIPELINE_PRESETS
+from repro.sequences import small_database, plant_homologs
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.packed import PackedDatabase
+from repro.sequences.shm import shm_available
+from repro.service.pool import WarmPool
+
+THRESHOLD = 60
+TOP_HITS = 6
+CHUNK_CELLS = 2_000
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+#: Every heuristic preset, with the suite's reporting threshold.
+PRESETS = {
+    name: PipelineConfig.from_dict({**cfg.as_dict(), "threshold": THRESHOLD})
+    for name, cfg in PIPELINE_PRESETS.items()
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Background + two homologs per query: real hits exist."""
+    db = small_database(num_sequences=20, mean_length=60, seed=91)
+    queries = [s for s in list(db)[:2]]
+    queries = [
+        q.__class__(id=f"q{i}", codes=q.codes, alphabet=q.alphabet)
+        for i, q in enumerate(queries)
+    ]
+    subjects = list(db)
+    for i, q in enumerate(queries):
+        subjects = plant_homologs(subjects, q, 2, divergence=0.15, seed=100 + i)
+    return SequenceDatabase("conf-pipeline", subjects), queries
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return default_scheme()
+
+
+@pytest.fixture(scope="module")
+def oracle(workload, scheme):
+    """Scalar-DP scores per query, keyed by subject id."""
+    db, queries = workload
+    return {
+        q.id: {s.id: sw_score(q, s, scheme) for s in db} for q in queries
+    }
+
+
+def _oracle_hits(oracle, qid):
+    """Subjects the exact search reports at THRESHOLD."""
+    return {sid for sid, score in oracle[qid].items() if score >= THRESHOLD}
+
+
+def _assert_no_hit_lost_or_misscored(report, oracle, db):
+    """Every reported hit is oracle-exact; every oracle hit that fits
+    the top list is present."""
+    for qr in report.query_results:
+        truth = oracle[qr.query_id]
+        reported = {h.subject_id: h.score for h in qr.hits if h.score >= THRESHOLD}
+        for sid, score in reported.items():
+            assert score == truth[sid], (
+                f"{qr.query_id}/{sid}: reported {score}, oracle {truth[sid]}"
+            )
+        expected = _oracle_hits(oracle, qr.query_id)
+        if len(expected) <= TOP_HITS:
+            assert set(reported) == expected, (
+                f"{qr.query_id}: lost hits {expected - set(reported)}"
+            )
+
+
+class TestKernelLevel:
+    """pipeline_score_packed against the scalar oracle directly."""
+
+    def test_exact_config_is_oracle_everywhere(self, workload, scheme, oracle):
+        db, queries = workload
+        packed = PackedDatabase.from_database(db, chunk_cells=CHUNK_CELLS)
+        subjects = list(db)
+        for q in queries:
+            scores = pipeline_score_packed(
+                q, packed, scheme, PipelineConfig.exact(threshold=THRESHOLD)
+            )
+            for i, s in enumerate(subjects):
+                assert int(scores[i]) == oracle[q.id][s.id]
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_no_reported_hit_lost(self, workload, scheme, oracle, preset):
+        db, queries = workload
+        packed = PackedDatabase.from_database(db, chunk_cells=CHUNK_CELLS)
+        subjects = list(db)
+        for q in queries:
+            scores = pipeline_score_packed(q, packed, scheme, PRESETS[preset])
+            reported = {
+                subjects[i].id: int(scores[i])
+                for i in np.flatnonzero(scores >= THRESHOLD)
+            }
+            # Bit-identical on everything reported...
+            for sid, score in reported.items():
+                assert score == oracle[q.id][sid]
+            # ...and nothing at/above threshold went missing.
+            assert set(reported) == _oracle_hits(oracle, q.id), preset
+
+
+class TestEngineBackends:
+    """The full engine, every execution mode, vs the oracle."""
+
+    @pytest.mark.parametrize("preset", ["default", "strict"])
+    def test_threads(self, workload, oracle, preset):
+        db, queries = workload
+        report = live_search(
+            queries, db, 2, 1, top_hits=TOP_HITS, pipeline=PRESETS[preset]
+        )
+        _assert_no_hit_lost_or_misscored(report, oracle, db)
+        assert report.pipeline_stages is not None
+        assert report.pipeline_stages["subjects_scanned"] == len(db) * len(queries)
+
+    @pytest.mark.parametrize(
+        "plane", ["pickle", pytest.param("shm", marks=needs_shm)]
+    )
+    @pytest.mark.parametrize("dispatch", ["query", "chunk"])
+    def test_processes(self, workload, oracle, plane, dispatch):
+        db, queries = workload
+        report = process_search(
+            queries,
+            db,
+            num_workers=2,
+            top_hits=TOP_HITS,
+            data_plane=plane,
+            dispatch=dispatch,
+            chunk_cells=CHUNK_CELLS,
+            pipeline=PRESETS["default"],
+        )
+        _assert_no_hit_lost_or_misscored(report, oracle, db)
+        assert report.pipeline_stages["subjects_scanned"] == len(db) * len(queries)
+
+    def test_pipeline_matches_fullscan_hits(self, workload):
+        """Above the threshold, pipeline and full scan agree hit-for-hit."""
+        db, queries = workload
+        full = live_search(queries, db, 1, 0, top_hits=TOP_HITS)
+        pipe = live_search(
+            queries, db, 1, 0, top_hits=TOP_HITS, pipeline=PRESETS["default"]
+        )
+        for fq, pq in zip(full.query_results, pipe.query_results):
+            f = [(h.subject_id, h.score) for h in fq.hits if h.score >= THRESHOLD]
+            p = [(h.subject_id, h.score) for h in pq.hits if h.score >= THRESHOLD]
+            assert f == p
+
+    def test_warm_pool_per_batch_toggle(self, workload, oracle):
+        """One pool serves exact and pipeline batches interleaved."""
+        db, queries = workload
+        with WarmPool(
+            db,
+            num_cpu_workers=2,
+            num_gpu_workers=0,
+            backend="threads",
+            top_hits=TOP_HITS,
+        ) as pool:
+            exact1 = pool.run_batch(queries)
+            piped = pool.run_batch(queries, pipeline=PRESETS["default"])
+            exact2 = pool.run_batch(queries, pipeline=None)
+        assert exact1.pipeline_stages is None
+        assert piped.pipeline_stages is not None
+        _assert_no_hit_lost_or_misscored(piped, oracle, db)
+        h = lambda r: [[(x.subject_id, x.score) for x in qr.hits] for qr in r.query_results]
+        assert h(exact1) == h(exact2)

@@ -1,0 +1,136 @@
+"""Engine-side pipeline plumbing: counter names, presets, registry
+recording, and the ServiceStats/Prometheus surface.
+
+The counter names are part of the observable surface — Prometheus
+scrape configs and dashboards reference them — so they are pinned
+verbatim here; renaming one is a breaking change, not a refactor.
+"""
+
+import pytest
+
+from repro.align.pipeline import StageCounts
+from repro.engine.pipeline import (
+    PIPELINE_PRESETS,
+    STAGE_COUNTER_HELP,
+    STAGE_COUNTER_NAMES,
+    STAGE_NAMES,
+    preset_config,
+    record_stage_counts,
+    stage_counters,
+)
+from repro.service import ServiceStats
+from repro.telemetry.export import prometheus_text
+from repro.telemetry.metrics import MetricsRegistry
+
+ROSTER = [("cpu0", "cpu")]
+
+
+class TestCounterNameStability:
+    def test_stage_names_pinned(self):
+        assert STAGE_NAMES == (
+            "subjects_scanned",
+            "seeds_found",
+            "banded_survivors",
+            "rescored",
+            "reported",
+        )
+
+    def test_counter_names_pinned(self):
+        assert STAGE_COUNTER_NAMES == {
+            "subjects_scanned": "swdual_pipeline_subjects_scanned_total",
+            "seeds_found": "swdual_pipeline_seeds_found_total",
+            "banded_survivors": "swdual_pipeline_banded_survivors_total",
+            "rescored": "swdual_pipeline_rescored_total",
+            "reported": "swdual_pipeline_reported_total",
+        }
+
+    def test_every_stage_has_help_text(self):
+        assert set(STAGE_COUNTER_HELP) == set(STAGE_NAMES)
+        assert all(STAGE_COUNTER_HELP[s] for s in STAGE_NAMES)
+
+    def test_exposition_uses_pinned_names(self):
+        registry = MetricsRegistry()
+        record_stage_counts(
+            registry, StageCounts(subjects_scanned=7, reported=1)
+        )
+        text = prometheus_text(registry)
+        assert "swdual_pipeline_subjects_scanned_total 7" in text
+        assert "swdual_pipeline_reported_total 1" in text
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert set(PIPELINE_PRESETS) == {"exact", "sensitive", "default", "strict"}
+
+    def test_exact_preset_filters_nothing(self):
+        cfg = PIPELINE_PRESETS["exact"]
+        assert cfg.filters_disabled and cfg.band_disabled and cfg.zdrop is None
+
+    def test_strictness_ordering(self):
+        s = PIPELINE_PRESETS
+        assert (
+            s["exact"].min_diag_score
+            < s["sensitive"].min_diag_score
+            < s["default"].min_diag_score
+            < s["strict"].min_diag_score
+        )
+        assert s["sensitive"].bandwidth > s["default"].bandwidth > s["strict"].bandwidth
+
+    def test_preset_config_threshold_override(self):
+        cfg = preset_config("default", threshold=77)
+        assert cfg.threshold == 77
+        base = preset_config("default")
+        assert base == PIPELINE_PRESETS["default"]
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown pipeline preset"):
+            preset_config("turbo")
+
+
+class TestRegistryRecording:
+    def test_record_accumulates(self):
+        registry = MetricsRegistry()
+        record_stage_counts(registry, StageCounts(subjects_scanned=5, seeds_found=9))
+        record_stage_counts(registry, {"subjects_scanned": 3})
+        record_stage_counts(registry, None)  # no-op
+        counters = stage_counters(registry)
+        assert counters["subjects_scanned"].value == 8
+        assert counters["seeds_found"].value == 9
+        assert counters["reported"].value == 0
+
+
+class TestServiceStatsSurface:
+    def test_snapshot_pipeline_section_zero_by_default(self):
+        snap = ServiceStats(ROSTER).snapshot()
+        assert snap["pipeline"] == {
+            "subjects_scanned": 0,
+            "seeds_found": 0,
+            "banded_survivors": 0,
+            "rescored": 0,
+            "reported": 0,
+            "filter_rate": 0.0,
+        }
+
+    def test_snapshot_reflects_recorded_counts(self):
+        stats = ServiceStats(ROSTER)
+        record_stage_counts(
+            stats.registry,
+            StageCounts(
+                subjects_scanned=100,
+                seeds_found=40,
+                banded_survivors=10,
+                rescored=4,
+                reported=2,
+            ),
+        )
+        snap = stats.snapshot()
+        assert snap["pipeline"]["subjects_scanned"] == 100
+        assert snap["pipeline"]["filter_rate"] == pytest.approx(0.9)
+
+    def test_prometheus_includes_stage_counters(self):
+        stats = ServiceStats(ROSTER)
+        record_stage_counts(stats.registry, StageCounts(subjects_scanned=12))
+        text = stats.prometheus()
+        for name in STAGE_COUNTER_NAMES.values():
+            assert name in text
+        assert "swdual_pipeline_subjects_scanned_total 12" in text

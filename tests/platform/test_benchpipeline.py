@@ -1,0 +1,127 @@
+"""Pipeline benchmark + provenance stamp: shape and invariants only
+(the numbers are machine-dependent)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.platform import (
+    BENCH_SCHEMA_VERSION,
+    bench_stamp,
+    build_pipeline_workload,
+    run_pipeline_bench,
+    stamp_report,
+    write_bench_report,
+)
+
+#: Tiny but hit-bearing configuration so the suite stays fast.
+SMOKE = dict(
+    num_subjects=60,
+    min_len=40,
+    max_len=120,
+    query_len=80,
+    num_queries=1,
+    num_homologs=3,
+    divergence=0.15,
+    threshold=60,
+    repeats=1,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_pipeline_bench(**SMOKE)
+
+
+class TestWorkload:
+    def test_homologs_planted(self):
+        queries, db = build_pipeline_workload(
+            num_subjects=20, num_queries=2, num_homologs=3
+        )
+        ids = [s.id for s in db]
+        for q in queries:
+            assert sum(1 for i in ids if i.startswith(f"{q.id}_h")) == 3
+
+    def test_deterministic(self):
+        q1, db1 = build_pipeline_workload(num_subjects=10, seed=5)
+        q2, db2 = build_pipeline_workload(num_subjects=10, seed=5)
+        assert [s.id for s in db1] == [s.id for s in db2]
+        assert all(
+            np.array_equal(a.codes, b.codes) for a, b in zip(db1, db2)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_pipeline_workload(num_subjects=0)
+        with pytest.raises(ValueError):
+            run_pipeline_bench(repeats=0)
+        with pytest.raises(ValueError):
+            run_pipeline_bench(threshold=0)
+
+
+class TestReportShape:
+    def test_top_level_keys(self, report):
+        assert report["bench"] == "pipeline"
+        assert set(report) >= {"workload", "fullscan", "presets", "best_speedup"}
+
+    def test_oracle_hits_exist(self, report):
+        # The planted homologs guarantee the zero-hits-lost check is
+        # not vacuous.
+        assert report["fullscan"]["oracle_hits"] >= 1
+
+    def test_presets_measured(self, report):
+        assert set(report["presets"]) == {"sensitive", "default", "strict"}
+        for r in report["presets"].values():
+            assert r["seconds"] > 0
+            assert r["effective_gcups"] > 0
+            assert 0.0 <= r["filter_rate"] <= 1.0
+            assert set(r["stages"]) == {
+                "subjects_scanned",
+                "seeds_found",
+                "banded_survivors",
+                "rescored",
+                "reported",
+            }
+
+    def test_scores_exact_everywhere(self, report):
+        # run_pipeline_bench raises OracleDivergence otherwise; the
+        # flag records that the check ran.
+        assert all(r["scores_exact"] for r in report["presets"].values())
+
+    def test_no_hits_lost_on_smoke_workload(self, report):
+        # Planted homologs at 15% divergence are far above the seed
+        # cutoffs of every preset.
+        assert all(r["hits_lost"] == 0 for r in report["presets"].values())
+
+    def test_json_serialisable(self, report):
+        json.dumps(report)
+
+
+class TestStamp:
+    def test_stamp_fields(self):
+        stamp = bench_stamp()
+        assert stamp["schema_version"] == BENCH_SCHEMA_VERSION
+        assert stamp["numpy_version"] == np.__version__
+        assert stamp["cpu_count"] >= 1
+        assert stamp["python_version"].count(".") == 2
+
+    def test_stamp_report_preserves_existing(self):
+        original = {"bench": "x", "provenance": {"schema_version": 0}}
+        assert stamp_report(original)["provenance"] == {"schema_version": 0}
+
+    def test_stamp_report_does_not_mutate(self):
+        report = {"bench": "x"}
+        stamped = stamp_report(report)
+        assert "provenance" not in report
+        assert stamped["provenance"]["schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_write_bench_report_stamps(self, tmp_path, report):
+        path = tmp_path / "BENCH_pipeline.json"
+        write_bench_report(report, str(path))
+        on_disk = json.loads(path.read_text())
+        prov = on_disk["provenance"]
+        assert prov["schema_version"] == BENCH_SCHEMA_VERSION
+        assert prov["numpy_version"] == np.__version__
+        assert prov["cpu_count"] >= 1
+        assert "python_version" in prov and "git_revision" in prov

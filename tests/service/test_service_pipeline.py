@@ -1,0 +1,183 @@
+"""Service-level pipeline behaviour: per-request flags, batch
+splitting by mode, the stats/metrics surface, and protocol
+validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.pipeline import PIPELINE_PRESETS, preset_config
+from repro.sequences import PROTEIN, Sequence, SequenceDatabase, plant_homologs
+from repro.service import SearchClient, SearchService
+from repro.service import protocol
+
+TOP = 5
+THRESHOLD = 60
+
+
+@pytest.fixture(scope="module")
+def db_and_query():
+    rng = np.random.default_rng(41)
+    background = [
+        Sequence(
+            id=f"bg{i}",
+            codes=rng.integers(0, 20, int(rng.integers(40, 100))).astype(np.uint8),
+            alphabet=PROTEIN,
+        )
+        for i in range(25)
+    ]
+    query = Sequence(
+        id="q", codes=rng.integers(0, 20, 70).astype(np.uint8), alphabet=PROTEIN
+    )
+    subjects = plant_homologs(background, query, 2, divergence=0.1, seed=rng)
+    return SequenceDatabase("svc-pipe", subjects), query
+
+
+@pytest.fixture()
+def service(db_and_query):
+    db, _ = db_and_query
+    svc = SearchService(
+        db,
+        num_cpu_workers=1,
+        num_gpu_workers=1,
+        top_hits=TOP,
+        pipeline=preset_config("default", threshold=THRESHOLD),
+    )
+    svc.start()
+    yield svc
+    svc.shutdown()
+
+
+@pytest.fixture()
+def fullscan_service(db_and_query):
+    db, _ = db_and_query
+    svc = SearchService(db, num_cpu_workers=1, num_gpu_workers=0, top_hits=TOP)
+    svc.start()
+    yield svc
+    svc.shutdown()
+
+
+def _hits_at_threshold(outcome):
+    return [(sid, score) for sid, score in outcome["hits"] if score >= THRESHOLD]
+
+
+def _stats_with_pipeline(client, deadline_s=5.0):
+    """Stage counts land when the batch finishes, a moment after its
+    results stream back — poll briefly instead of racing it."""
+    snap = client.stats()
+    end = time.monotonic() + deadline_s
+    while not snap["pipeline"]["subjects_scanned"] and time.monotonic() < end:
+        time.sleep(0.02)
+        snap = client.stats()
+    return snap
+
+
+class TestPerRequestFlag:
+    def test_default_follows_service_config(self, service, db_and_query):
+        _, query = db_and_query
+        with SearchClient(*service.address) as client:
+            piped = client.query(query)
+            exact = client.query(query, pipeline=False)
+            forced = client.query(query, pipeline=True)
+        assert piped["type"] == exact["type"] == forced["type"] == "result"
+        # Above the threshold the three agree exactly (homologs found
+        # either way, scores bit-identical).
+        assert _hits_at_threshold(piped) == _hits_at_threshold(exact)
+        assert piped["hits"] == forced["hits"]
+        assert len(_hits_at_threshold(piped)) >= 1
+
+    def test_opt_in_on_fullscan_service(self, fullscan_service, db_and_query):
+        """A service started without --pipeline still honours
+        per-request opt-in (with the default preset)."""
+        _, query = db_and_query
+        with SearchClient(*fullscan_service.address) as client:
+            exact = client.query(query)
+            piped = client.query(query, pipeline=True)
+            snap = _stats_with_pipeline(client)
+        assert piped["type"] == "result"
+        assert [h for h in piped["hits"] if h[1] >= 100] == [
+            h for h in exact["hits"] if h[1] >= 100
+        ]
+        assert snap["pipeline"]["subjects_scanned"] > 0
+
+    def test_mixed_batch_is_split_by_mode(self, service, db_and_query):
+        """Interleaved pipeline/full-scan submissions on one
+        connection all complete with consistent top hits."""
+        _, query = db_and_query
+        with SearchClient(*service.address) as client:
+            ids = []
+            for i in range(6):
+                ids.append(
+                    client.submit(query, id=f"m{i}", pipeline=bool(i % 2))
+                )
+            outcomes = client.collect(len(ids))
+        assert all(o["type"] == "result" for o in outcomes)
+        tops = {tuple(_hits_at_threshold(o)) for o in outcomes}
+        assert len(tops) == 1  # same query -> same reported hits
+
+    def test_non_boolean_pipeline_rejected(self, service):
+        with SearchClient(*service.address) as client:
+            client._send(
+                {"verb": "query", "sequence": "ARNDARND", "pipeline": "yes"}
+            )
+            outcome = client.collect(1)[0]
+        assert outcome["type"] == "error"
+        assert "pipeline" in outcome["reason"]
+
+
+class TestStatsSurface:
+    def test_stage_counts_visible_in_stats_and_metrics(self, service, db_and_query):
+        db, query = db_and_query
+        with SearchClient(*service.address) as client:
+            client.query(query)
+            snap = _stats_with_pipeline(client)
+            text = client.metrics()
+        pipe = snap["pipeline"]
+        assert pipe["subjects_scanned"] >= len(db)
+        assert pipe["reported"] >= 1
+        assert 0.0 <= pipe["filter_rate"] <= 1.0
+        assert "swdual_pipeline_subjects_scanned_total" in text
+        assert "swdual_pipeline_reported_total" in text
+
+
+class TestProtocolHelpers:
+    def test_query_request_pipeline_field(self):
+        assert "pipeline" not in protocol.query_request("ARND")
+        assert protocol.query_request("ARND", pipeline=True)["pipeline"] is True
+        assert protocol.query_request("ARND", pipeline=False)["pipeline"] is False
+
+
+class TestServeParity:
+    def test_pipeline_service_matches_presets(self, db_and_query):
+        """Service pipeline scores equal a direct kernel run with the
+        same preset config."""
+        from repro.align.pipeline import pipeline_score_packed
+        from repro.align.scoring import default_scheme
+        from repro.sequences.packed import PackedDatabase
+
+        db, query = db_and_query
+        config = preset_config("default", threshold=THRESHOLD)
+        packed = PackedDatabase.from_database(db)
+        scores = pipeline_score_packed(
+            query, packed, default_scheme(), config
+        )
+        subjects = list(db)
+        expected = sorted(
+            (
+                (subjects[i].id, int(scores[i]))
+                for i in np.flatnonzero(scores >= THRESHOLD)
+            ),
+            key=lambda t: (-t[1], t[0]),
+        )[:TOP]
+        svc = SearchService(
+            db, num_cpu_workers=1, num_gpu_workers=0, top_hits=TOP, pipeline=config
+        )
+        svc.start()
+        try:
+            with SearchClient(*svc.address) as client:
+                outcome = client.query(query)
+        finally:
+            svc.shutdown()
+        got = [(sid, score) for sid, score in outcome["hits"] if score >= THRESHOLD]
+        assert got == expected
