@@ -12,6 +12,7 @@ Subcommands mirror the system's surfaces::
     swdual serve    DB                    # resident search service (TCP)
     swdual query    QUERIES.fasta         # submit queries to a service
     swdual stats                          # snapshot a running service
+    swdual cluster  {serve,query,stats}   # sharded scatter-gather cluster
     swdual trace    --queries Q --db DB   # traced run -> Chrome trace + timeline
 
 ``swdual simulate`` and ``swdual experiment`` regenerate the paper's
@@ -112,10 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "which",
-        choices=("kernels", "shm", "pipeline"),
+        choices=("kernels", "shm", "pipeline", "router"),
         help="'kernels' = raw kernel GCUPS; 'shm' = shared-memory data "
         "plane + chunk dispatch vs the pickled whole-query baseline; "
-        "'pipeline' = heuristic filter cascade vs the exact full scan",
+        "'pipeline' = heuristic filter cascade vs the exact full scan; "
+        "'router' = N-shard scatter-gather cluster vs 1 shard",
     )
     p_bench.add_argument(
         "--out",
@@ -161,8 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--smoke",
         action="store_true",
-        help="(pipeline) small fast run for CI: shape + exactness "
-        "checks only, no throughput target",
+        help="(pipeline, router) small fast run for CI: shape + "
+        "exactness checks only, no throughput target",
+    )
+    p_bench.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="(router) shard count compared against the 1-shard baseline",
     )
 
     p_serve = sub.add_parser(
@@ -236,6 +244,101 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--host", default="127.0.0.1")
     p_stats.add_argument("--port", type=int, default=7731)
     p_stats.add_argument("--json", action="store_true", help="emit raw JSON")
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="scatter-gather router over sharded search services",
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+
+    p_cserve = cluster_sub.add_parser(
+        "serve", help="shard a database, run one service per shard + the router"
+    )
+    p_cserve.add_argument(
+        "database",
+        nargs="?",
+        default=None,
+        help=".swdb or FASTA database to shard (omit with --topology)",
+    )
+    p_cserve.add_argument(
+        "--shards", type=int, default=3, help="shard count (spawn mode)"
+    )
+    p_cserve.add_argument(
+        "--topology",
+        default=None,
+        help="TOML/JSON file of pre-started shard endpoints (adopt mode)",
+    )
+    p_cserve.add_argument("--host", default="127.0.0.1", help="router bind host")
+    p_cserve.add_argument(
+        "--port", type=int, default=7731, help="router port (0 = ephemeral)"
+    )
+    p_cserve.add_argument(
+        "--cpus", type=int, default=1, help="CPU-role workers per shard"
+    )
+    p_cserve.add_argument(
+        "--gpus", type=int, default=0, help="GPU-role workers per shard"
+    )
+    p_cserve.add_argument(
+        "--backend", default="threads", choices=("threads", "processes")
+    )
+    p_cserve.add_argument("--top", type=int, default=5, help="hits per query")
+    p_cserve.add_argument(
+        "--start-method",
+        default="auto",
+        choices=("auto", "fork", "spawn"),
+        help="multiprocessing start method for shard processes",
+    )
+    p_cserve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="automatic restart budget per crashed shard",
+    )
+    p_cserve.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=30.0,
+        help="seconds before a silent shard is dropped from a query's merge",
+    )
+    p_cserve.add_argument(
+        "--no-speculation",
+        action="store_true",
+        help="disable latency-weighted speculative top-k credit",
+    )
+
+    p_cquery = cluster_sub.add_parser(
+        "query", help="submit FASTA queries to a running cluster router"
+    )
+    p_cquery.add_argument("queries", help="FASTA file of query sequences")
+    p_cquery.add_argument("--host", default="127.0.0.1")
+    p_cquery.add_argument("--port", type=int, default=7731)
+    p_cquery.add_argument("--top", type=int, default=None, help="hits per query")
+    c_pipe_group = p_cquery.add_mutually_exclusive_group()
+    c_pipe_group.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="ask the shards to run the heuristic filter cascade",
+    )
+    c_pipe_group.add_argument(
+        "--exact",
+        action="store_true",
+        help="ask the shards for the exact full scan",
+    )
+    p_cquery.add_argument(
+        "--stream",
+        action="store_true",
+        help="print each shard's partial hit list as it arrives",
+    )
+    p_cquery.add_argument(
+        "--json", action="store_true", help="one JSON line per message"
+    )
+
+    p_cstats = cluster_sub.add_parser(
+        "stats", help="snapshot a running cluster router"
+    )
+    p_cstats.add_argument("--host", default="127.0.0.1")
+    p_cstats.add_argument("--port", type=int, default=7731)
+    p_cstats.add_argument("--json", action="store_true", help="emit raw JSON")
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -488,6 +591,8 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_shm(args)
     if args.which == "pipeline":
         return _cmd_bench_pipeline(args)
+    if args.which == "router":
+        return _cmd_bench_router(args)
     from repro.platform import run_kernel_bench, write_bench_report
 
     report = run_kernel_bench(
@@ -652,6 +757,56 @@ def _cmd_bench_pipeline(args) -> int:
     return 0
 
 
+def _cmd_bench_router(args) -> int:
+    from repro.platform import ClusterDivergence, run_router_bench, write_bench_report
+
+    if args.smoke:
+        workload = dict(
+            num_sequences=args.subjects if args.subjects is not None else 36,
+            mean_length=150,
+            num_queries=args.queries if args.queries is not None else 4,
+            query_scale=0.02,
+        )
+    else:
+        workload = dict(
+            num_sequences=args.subjects if args.subjects is not None else 120,
+            mean_length=400,
+            num_queries=args.queries if args.queries is not None else 8,
+            query_scale=0.05,
+        )
+    try:
+        report = run_router_bench(num_shards=args.shards, **workload)
+    except ClusterDivergence as exc:
+        print(f"CLUSTER DIVERGENCE: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        [
+            str(size["shards"]),
+            f"{size['seconds'] * 1e3:.1f}",
+            f"{size['aggregate_gcups']:.4f}",
+            f"{size['queries_per_s']:.2f}",
+            str(size["hits_identical"]),
+        ]
+        for size in report["sizes"].values()
+    ]
+    print(
+        ascii_table(
+            ["Shards", "Wall ms", "Agg GCUPS", "Queries/s", "Hits identical"], rows
+        )
+    )
+    print(
+        f"speedup at {args.shards} shards vs 1: {report['speedup']:.2f}x "
+        f"(scaling efficiency {report['scaling_efficiency']:.1%}; "
+        f"wall-clock scaling needs >= {args.shards} CPU cores)"
+    )
+    print("merged top-k bit-identical to the unsharded oracle: True")
+    out = args.out if args.out is not None else "BENCH_router.json"
+    if out != "-":
+        write_bench_report(report, out)
+        print(f"wrote {out}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.service import SearchService
 
@@ -801,6 +956,197 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    handlers = {
+        "serve": _cmd_cluster_serve,
+        "query": _cmd_cluster_query,
+        "stats": _cmd_cluster_stats,
+    }
+    return handlers[args.cluster_command](args)
+
+
+def _cmd_cluster_serve(args) -> int:
+    from repro.cluster import ScatterGatherRouter, ShardManager, load_topology
+
+    if (args.database is None) == (args.topology is None):
+        print(
+            "error: give a database to shard OR --topology, not both",
+            file=sys.stderr,
+        )
+        return 2
+    if args.topology is not None:
+        topology = load_topology(args.topology)
+        manager = ShardManager(topology=topology)
+        origin = f"adopted topology {topology.name} ({len(topology)} shards)"
+    else:
+        database = _load_db(args.database)
+        manager = ShardManager(
+            database=database,
+            num_shards=args.shards,
+            start_method=args.start_method,
+            max_restarts=args.max_restarts,
+            service_kwargs=dict(
+                num_cpu_workers=args.cpus,
+                num_gpu_workers=args.gpus,
+                backend=args.backend,
+                top_hits=args.top,
+            ),
+        )
+        origin = (
+            f"{database.name} ({len(database)} seqs, "
+            f"{database.total_residues} residues) cut into "
+            f"{len(manager.shard_names)} shards"
+        )
+    manager.start()
+    router = ScatterGatherRouter(
+        manager,
+        host=args.host,
+        port=args.port,
+        top_hits=args.top,
+        shard_timeout_s=args.shard_timeout,
+        speculative=not args.no_speculation,
+        owns_manager=True,
+    )
+    router.start()
+    host, port = router.address
+    print(f"cluster: {origin}")
+    print(f"router on {host}:{port} — existing clients work unchanged")
+    print("Ctrl-C (or the 'shutdown' verb) drains shards and exits.")
+    router.serve_forever()
+    print("cluster stopped")
+    return 0
+
+
+def _cmd_cluster_query(args) -> int:
+    import json as json_mod
+
+    from repro.sequences import read_fasta
+    from repro.service import SearchClient
+
+    queries = read_fasta(args.queries)
+    if not queries:
+        print("error: no query records found", file=sys.stderr)
+        return 1
+    pipeline = True if args.pipeline else (False if args.exact else None)
+    failures = 0
+    with SearchClient(args.host, args.port) as client:
+        for q in queries:
+            qid = client.submit(
+                q, top=args.top, pipeline=pipeline, stream=args.stream or None
+            )
+            for outcome in client.collect_stream(qid):
+                if args.json:
+                    print(json_mod.dumps(outcome))
+                    if outcome["type"] not in ("result", "partial"):
+                        failures += 1
+                    continue
+                if outcome["type"] == "partial":
+                    hits = ", ".join(
+                        f"{sid}:{score}" for sid, score in outcome["hits"]
+                    )
+                    print(
+                        f"    [{outcome['shard']}] {hits}  "
+                        f"({outcome['latency_s'] * 1e3:.1f} ms)"
+                    )
+                elif outcome["type"] == "result":
+                    hits = ", ".join(
+                        f"{sid}:{score}" for sid, score in outcome["hits"]
+                    )
+                    flag = ""
+                    if outcome.get("partial"):
+                        failures += 1
+                        flag = (
+                            f"  PARTIAL (missing "
+                            f"{', '.join(outcome.get('shards_failed', []))})"
+                        )
+                    print(
+                        f"  {outcome['id']}: {hits}  "
+                        f"({outcome['latency_s'] * 1e3:.1f} ms, "
+                        f"{outcome['worker']}){flag}"
+                    )
+                elif outcome["type"] == "rejected":
+                    failures += 1
+                    print(
+                        f"  {outcome['id']}: REJECTED ({outcome['reason']}; "
+                        f"retry after {outcome['retry_after_s']:.2f}s)"
+                    )
+                else:
+                    failures += 1
+                    print(f"  {outcome.get('id', '?')}: ERROR {outcome['reason']}")
+    return 1 if failures else 0
+
+
+def _cmd_cluster_stats(args) -> int:
+    import json as json_mod
+
+    from repro.service import SearchClient
+
+    with SearchClient(args.host, args.port) as client:
+        snapshot = client.stats()
+    if args.json:
+        print(json_mod.dumps(snapshot, indent=2))
+        return 0
+    if snapshot.get("kind") != "router":
+        print(
+            "error: endpoint is a single service, not a cluster router "
+            "(use 'swdual stats')",
+            file=sys.stderr,
+        )
+        return 1
+    req = snapshot["requests"]
+    print(
+        f"uptime {snapshot['uptime_s']:.1f}s — "
+        f"{req['received']} received, {req['completed']} completed "
+        f"({req['partial']} partial), {req['failed']} failed, "
+        f"{req['rejected']} rejected, {req['errors']} errors"
+    )
+    print(
+        f"upstream: {req['upstream_retries']} retries, "
+        f"{req['refinements']} speculative refinements; "
+        f"throughput {snapshot['throughput_qps']:.2f} q/s"
+    )
+    lat = snapshot["latency"]
+    print(
+        f"merged latency mean {lat['mean'] * 1e3:.1f} ms "
+        f"(p50 {lat['p50'] * 1e3:.1f} / p90 {lat['p90'] * 1e3:.1f} / "
+        f"p99 {lat['p99'] * 1e3:.1f} / max {lat['max'] * 1e3:.1f} ms)"
+    )
+    supervision = snapshot.get("supervision", {})
+    rows = []
+    for name, shard in snapshot["shards"].items():
+        state = supervision.get(name, {}).get("state", "-")
+        restarts = supervision.get(name, {}).get("restarts", 0)
+        ewma = shard.get("ewma_latency_s")
+        rows.append(
+            [
+                name,
+                shard.get("endpoint") or "-",
+                state,
+                str(shard["queries"]),
+                str(shard["failures"]),
+                str(restarts),
+                f"{ewma * 1e3:.1f}" if ewma is not None else "-",
+                str(shard["speculative_k"]),
+            ]
+        )
+    print(
+        ascii_table(
+            [
+                "Shard",
+                "Endpoint",
+                "State",
+                "Queries",
+                "Failures",
+                "Restarts",
+                "EWMA ms",
+                "Spec k",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     import json as json_mod
 
@@ -912,6 +1258,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "query": _cmd_query,
     "stats": _cmd_stats,
+    "cluster": _cmd_cluster,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
 }

@@ -1,0 +1,39 @@
+"""Cluster plane: many shard services behind one search endpoint.
+
+The service layer (:mod:`repro.service`) makes *one* process with a
+warm worker pool resident; this package scales that out the way
+SWAPHI-class systems do — by partitioning the **database** across N
+independent :class:`~repro.service.server.SearchService` processes and
+scatter-gathering each query over all of them:
+
+* :mod:`repro.cluster.topology` — which shard endpoints form one
+  logical cluster, loadable from TOML/JSON for pre-started shards.
+* :mod:`repro.cluster.manager` — :class:`ShardManager` cuts the
+  database with the engine's residue-balanced
+  :func:`~repro.engine.sharded.shard_database`, runs one service
+  process per shard, supervises and restarts them, and supports
+  drain-first rolling restarts.
+* :mod:`repro.cluster.router` — :class:`ScatterGatherRouter` speaks
+  the same NDJSON protocol as a single service, fans each query out
+  to every shard concurrently, and folds the per-shard hit lists with
+  :func:`~repro.engine.results.merge_query_results`, so the merged
+  top-k is bit-identical to an unsharded search.  Shard failures
+  degrade the result to ``partial`` instead of failing the query.
+
+CLI surfaces: ``swdual cluster serve / query / stats`` and ``swdual
+bench router``.
+"""
+
+from repro.cluster.manager import ShardManager
+from repro.cluster.router import RouterStats, ScatterGatherRouter, ShardFailure
+from repro.cluster.topology import ClusterTopology, ShardEndpoint, load_topology
+
+__all__ = [
+    "ClusterTopology",
+    "RouterStats",
+    "ScatterGatherRouter",
+    "ShardEndpoint",
+    "ShardFailure",
+    "ShardManager",
+    "load_topology",
+]

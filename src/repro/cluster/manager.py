@@ -1,0 +1,431 @@
+"""Shard lifecycle: partition the database, run one service per shard.
+
+:class:`ShardManager` turns one :class:`~repro.sequences.database.
+SequenceDatabase` into N independent :class:`~repro.service.server.
+SearchService` processes, each owning one residue-balanced shard cut
+by :func:`repro.engine.sharded.shard_database` (shard counts beyond
+``len(db)`` clamp-and-warn via
+:func:`repro.engine.sharded.clamp_shard_count`, the same rule the
+in-process sharded search applies).  Alternatively it *adopts* a
+:class:`~repro.cluster.topology.ClusterTopology` of pre-started
+endpoints (shards on other hosts) and only health-checks them.
+
+Supervision follows the warm-pool pattern one level up: a background
+thread polls shard liveness; a spawned shard that dies (crash,
+SIGKILL) is restarted from the parent's copy of its shard — up to
+``max_restarts`` times per shard — and the router is told about the
+new endpoint through the ``on_change`` callback.  Rolling restarts
+(:meth:`ShardManager.rolling_restart`) drain one shard at a time via
+the protocol's ``shutdown`` verb, restart it warm, and wait for its
+``ping`` before moving on, so a cluster can pick up a new database
+revision without ever losing more than one shard of capacity.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+
+from repro.cluster.topology import ClusterTopology, ShardEndpoint
+from repro.engine.sharded import clamp_shard_count, shard_database
+from repro.engine.transport import resolve_start_method
+from repro.sequences.database import SequenceDatabase
+from repro.service.client import SearchClient
+
+__all__ = ["ShardManager"]
+
+#: Child start-up allowance: pool warm-up dominates (spawn re-imports).
+_DEFAULT_SPAWN_TIMEOUT_S = 60.0
+
+
+def _shard_main(conn, database: SequenceDatabase, host: str, service_kwargs: dict) -> None:
+    """Child entry point: serve one shard until told to stop.
+
+    Reports ``("ready", port)`` (or ``("error", reason)``) on *conn*,
+    then blocks in ``serve_forever``.  SIGTERM triggers the same
+    graceful drain as the protocol's ``shutdown`` verb.
+    """
+    from repro.service.server import SearchService
+
+    try:
+        service = SearchService(database, host=host, port=0, **service_kwargs)
+        service.start()
+    except Exception as exc:  # pragma: no cover - startup failure path
+        with contextlib.suppress(OSError):
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        return
+    signal.signal(
+        signal.SIGTERM,
+        lambda signum, frame: threading.Thread(
+            target=service.shutdown, daemon=True
+        ).start(),
+    )
+    conn.send(("ready", service.port))
+    conn.close()
+    service.serve_forever()
+
+
+class _ManagedShard:
+    """Book-keeping for one shard: its data, process, and endpoint."""
+
+    __slots__ = ("name", "database", "process", "endpoint", "restarts", "state")
+
+    def __init__(self, name: str, database: SequenceDatabase | None):
+        self.name = name
+        self.database = database  # None for adopted (remote) shards
+        self.process = None
+        self.endpoint: ShardEndpoint | None = None
+        self.restarts = 0
+        self.state = "new"  # new -> up -> (draining|down|failed)
+
+    @property
+    def owned(self) -> bool:
+        return self.database is not None
+
+
+class ShardManager:
+    """Launch and supervise the shard services behind one router.
+
+    Exactly one of *database* (spawn mode: cut and serve locally) or
+    *topology* (adopt mode: health-check pre-started endpoints) must
+    be given.
+
+    Parameters
+    ----------
+    database / num_shards:
+        Spawn mode: the database to cut into ``num_shards`` shards
+        (clamped to ``len(database)`` with a warning) and serve, one
+        local process per shard.
+    topology:
+        Adopt mode: endpoints of already-running services.  Adopted
+        shards are pinged but cannot be restarted from here.
+    host:
+        Bind address for spawned shard services.
+    start_method:
+        ``multiprocessing`` start method for spawned shards (``auto``
+        resolves like the worker transport, honoring
+        ``SWDUAL_START_METHOD``).
+    service_kwargs:
+        Extra :class:`~repro.service.server.SearchService` settings
+        applied to every spawned shard (worker counts, backend,
+        pipeline config, ...).
+    max_restarts:
+        Per-shard automatic restart budget; once exhausted the shard
+        stays ``failed`` and queries degrade to partial results.
+    health_interval_s:
+        Supervisor poll period.
+    """
+
+    def __init__(
+        self,
+        database: SequenceDatabase | None = None,
+        num_shards: int = 2,
+        topology: ClusterTopology | None = None,
+        host: str = "127.0.0.1",
+        start_method: str = "auto",
+        service_kwargs: dict | None = None,
+        max_restarts: int = 3,
+        health_interval_s: float = 0.5,
+        spawn_timeout_s: float = _DEFAULT_SPAWN_TIMEOUT_S,
+        name: str = "cluster",
+    ):
+        if (database is None) == (topology is None):
+            raise ValueError("give exactly one of database= or topology=")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        self.name = name
+        self.host = host
+        self.start_method = resolve_start_method(start_method)
+        self.service_kwargs = dict(service_kwargs or {})
+        self.max_restarts = max_restarts
+        self.health_interval_s = health_interval_s
+        self.spawn_timeout_s = spawn_timeout_s
+        self._lock = threading.RLock()
+        # Serialises whole supervision passes against explicit restarts:
+        # without it, poll_once can observe the processless "down" gap
+        # inside restart_shard/close and spawn a duplicate process for
+        # the same shard (which then leaks and outlives the manager).
+        self._op_lock = threading.Lock()
+        self._shards: dict[str, _ManagedShard] = {}
+        self._on_change = None
+        self._stopping = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        self._started = False
+        if database is not None:
+            count = clamp_shard_count(database, num_shards)
+            for i, shard_db in enumerate(shard_database(database, count)):
+                shard = _ManagedShard(f"shard{i}", shard_db)
+                self._shards[shard.name] = shard
+        else:
+            self.name = topology.name
+            for endpoint in topology:
+                shard = _ManagedShard(endpoint.name, None)
+                shard.endpoint = endpoint
+                self._shards[shard.name] = shard
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "ShardManager":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def shard_names(self) -> list[str]:
+        return list(self._shards)
+
+    def on_change(self, callback) -> None:
+        """Register ``callback(shard_name)`` fired whenever a shard's
+        endpoint or availability changes (restart, death, drain)."""
+        self._on_change = callback
+
+    def _notify(self, shard_name: str) -> None:
+        callback = self._on_change
+        if callback is not None:
+            with contextlib.suppress(Exception):
+                callback(shard_name)
+
+    def start(self) -> None:
+        """Spawn (or verify) every shard, then start the supervisor."""
+        if self._started:
+            raise RuntimeError("manager already started")
+        self._started = True
+        try:
+            for shard in self._shards.values():
+                if shard.owned:
+                    self._spawn(shard)
+                else:
+                    shard.state = "up" if self._ping(shard.endpoint) else "down"
+        except BaseException:
+            self.close()
+            raise
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, name=f"{self.name}-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def close(self) -> None:
+        """Stop supervision and shut every owned shard down (drain
+        first, SIGTERM stragglers, join).  Idempotent."""
+        self._stopping.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=10)
+            self._supervisor = None
+        with self._op_lock:
+            with self._lock:
+                shards = list(self._shards.values())
+            for shard in shards:
+                self._stop_process(shard)
+
+    # -- spawning / stopping -------------------------------------------
+
+    def _spawn(self, shard: _ManagedShard) -> None:
+        ctx = mp.get_context(self.start_method)
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_shard_main,
+            args=(child_conn, shard.database, self.host, self.service_kwargs),
+            name=f"{self.name}-{shard.name}",
+            daemon=False,
+        )
+        process.start()
+        child_conn.close()
+        deadline = time.monotonic() + self.spawn_timeout_s
+        port = None
+        while time.monotonic() < deadline:
+            if parent_conn.poll(0.1):
+                try:
+                    status, payload = parent_conn.recv()
+                except EOFError:
+                    process.join(timeout=5)
+                    raise RuntimeError(
+                        f"{shard.name} died during startup"
+                    ) from None
+                if status != "ready":
+                    process.join(timeout=5)
+                    raise RuntimeError(f"{shard.name} failed to start: {payload}")
+                port = payload
+                break
+            if not process.is_alive():
+                raise RuntimeError(f"{shard.name} died during startup")
+        parent_conn.close()
+        if port is None:
+            process.terminate()
+            raise RuntimeError(
+                f"{shard.name} did not report a port within {self.spawn_timeout_s}s"
+            )
+        with self._lock:
+            shard.process = process
+            shard.endpoint = ShardEndpoint(shard.name, self.host, port)
+            shard.state = "up"
+
+    def _stop_process(self, shard: _ManagedShard, drain: bool = True) -> None:
+        process = shard.process
+        if process is None:
+            return
+        if drain and process.is_alive() and shard.endpoint is not None:
+            with contextlib.suppress(OSError, ConnectionError):
+                with SearchClient(*shard.endpoint.address, timeout=5.0) as client:
+                    client.shutdown_server()
+        process.join(timeout=5)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5)
+        if process.is_alive():  # pragma: no cover - last resort
+            process.kill()
+            process.join(timeout=5)
+        with self._lock:
+            shard.process = None
+            if shard.state not in ("failed", "draining"):
+                shard.state = "down"
+
+    # -- health / supervision ------------------------------------------
+
+    @staticmethod
+    def _ping(endpoint: ShardEndpoint | None, timeout: float = 2.0) -> bool:
+        if endpoint is None:
+            return False
+        try:
+            with SearchClient(*endpoint.address, timeout=timeout) as client:
+                return client.ping()
+        except (OSError, ConnectionError):
+            return False
+
+    def _supervise_loop(self) -> None:
+        while not self._stopping.wait(self.health_interval_s):
+            with contextlib.suppress(Exception):
+                self.poll_once()
+
+    def poll_once(self) -> list[str]:
+        """One supervision pass; returns names of shards acted upon.
+
+        Owned shards whose process died are restarted (until the
+        restart budget runs out); adopted shards are pinged and their
+        up/down state refreshed.
+        """
+        acted = []
+        with self._op_lock:
+            with self._lock:
+                shards = list(self._shards.values())
+            for shard in shards:
+                if self._stopping.is_set():
+                    break
+                if shard.owned:
+                    process = shard.process
+                    if shard.state in ("up", "down") and (
+                        process is None or not process.is_alive()
+                    ):
+                        acted.append(shard.name)
+                        self._restart_dead(shard)
+                else:
+                    was_up = shard.state == "up"
+                    alive = self._ping(shard.endpoint)
+                    shard.state = "up" if alive else "down"
+                    if was_up != alive:
+                        acted.append(shard.name)
+                        self._notify(shard.name)
+        return acted
+
+    def _restart_dead(self, shard: _ManagedShard) -> None:
+        if shard.process is not None:
+            shard.process.join(timeout=1)
+            shard.process = None
+        if shard.restarts >= self.max_restarts:
+            shard.state = "failed"
+            self._notify(shard.name)
+            return
+        shard.restarts += 1
+        shard.state = "down"
+        self._notify(shard.name)
+        try:
+            self._spawn(shard)
+        except RuntimeError:
+            shard.state = "failed"
+        self._notify(shard.name)
+
+    def restart_shard(self, name: str, drain: bool = True) -> ShardEndpoint:
+        """Restart one owned shard: drain (unless ``drain=False``),
+        stop, spawn warm, readmit.  Returns the new endpoint."""
+        shard = self._shards[name]
+        if not shard.owned:
+            raise ValueError(f"shard {name!r} is adopted; restart it where it runs")
+        with self._op_lock:
+            with self._lock:
+                shard.state = "draining"
+            self._notify(name)
+            self._stop_process(shard, drain=drain)
+            self._spawn(shard)
+            self._notify(name)
+        return shard.endpoint
+
+    def rolling_restart(self, settle_timeout_s: float = 30.0) -> None:
+        """Restart every owned shard one at a time, waiting for each
+        restarted shard to answer ``ping`` before draining the next —
+        the cluster never loses more than one shard of capacity."""
+        for name in self.shard_names:
+            if not self._shards[name].owned:
+                continue
+            endpoint = self.restart_shard(name, drain=True)
+            deadline = time.monotonic() + settle_timeout_s
+            while time.monotonic() < deadline:
+                if self._ping(endpoint):
+                    break
+                time.sleep(0.05)
+            else:  # pragma: no cover - settle timeout
+                raise RuntimeError(f"{name} did not settle after rolling restart")
+
+    # -- test / drill hooks --------------------------------------------
+
+    def pid(self, name: str) -> int | None:
+        """PID of an owned shard's process (None when not running)."""
+        process = self._shards[name].process
+        return process.pid if process is not None else None
+
+    def kill_shard(self, name: str) -> None:
+        """SIGKILL one owned shard (no drain) — the failure drill the
+        supervisor and router must absorb."""
+        pid = self.pid(name)
+        if pid is None:
+            raise ValueError(f"shard {name!r} has no running process")
+        os.kill(pid, signal.SIGKILL)
+
+    # -- introspection --------------------------------------------------
+
+    def endpoints(self) -> dict[str, ShardEndpoint | None]:
+        """Current ``{shard_name: endpoint}`` map (None before spawn)."""
+        with self._lock:
+            return {name: shard.endpoint for name, shard in self._shards.items()}
+
+    def topology(self) -> ClusterTopology:
+        """The live endpoints as a :class:`ClusterTopology`."""
+        with self._lock:
+            shards = tuple(
+                shard.endpoint
+                for shard in self._shards.values()
+                if shard.endpoint is not None
+            )
+        return ClusterTopology(name=self.name, shards=shards)
+
+    def snapshot(self) -> dict:
+        """JSON-able supervision state (folded into router stats)."""
+        with self._lock:
+            return {
+                name: {
+                    "endpoint": (
+                        f"{shard.endpoint.host}:{shard.endpoint.port}"
+                        if shard.endpoint
+                        else None
+                    ),
+                    "owned": shard.owned,
+                    "state": shard.state,
+                    "restarts": shard.restarts,
+                    "pid": shard.process.pid if shard.process is not None else None,
+                }
+                for name, shard in self._shards.items()
+            }

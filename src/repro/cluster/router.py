@@ -1,0 +1,837 @@
+"""Scatter-gather router: N shard services behind one endpoint.
+
+:class:`ScatterGatherRouter` listens on the same newline-JSON protocol
+as a single :class:`~repro.service.server.SearchService`, so existing
+clients (``swdual query``, :class:`~repro.service.client.SearchClient`,
+``nc``) work unchanged against a whole cluster.  Each ``query`` is
+fanned out to every shard concurrently, per-shard hit lists stream
+back as ``partial`` lines when the client asked for them, and the
+final ``result`` is folded with
+:func:`repro.engine.results.merge_query_results` — the same
+``(-score, subject_id)`` tie-ordering as the in-process sharded
+search, so a cluster's merged top-k is bit-identical to one unsharded
+service over the same database.
+
+Failure degrades instead of failing: a shard that rejects is retried
+per its ``retry_after_s`` hint through the shared
+:mod:`repro.service.retry` helper; a shard that times out or dies is
+dropped from the merge, the result is flagged ``partial`` (the
+``SearchReport.quarantined`` pattern lifted to the wire), and the
+:class:`~repro.cluster.manager.ShardManager` is nudged so its
+supervisor restarts the shard.  Only when *every* shard fails does the
+client see a retryable error — never a hang.
+
+Placement credit: the router keeps an EWMA of each shard's observed
+latency and, once warmed up, asks slower shard classes for a smaller
+*speculative* top-k (the heterogeneous-PE placement idea: don't make
+the fastest class wait for the deepest scan of the slowest).  A
+truncated shard whose lowest returned score could still reach the
+merged top-k is re-queried at full depth before the merge is final,
+so speculation never changes the reported hits (tested).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import signal
+import socket
+import sys
+import threading
+import time
+
+from repro.cluster.manager import ShardManager
+from repro.cluster.topology import ClusterTopology, ShardEndpoint
+from repro.engine.results import Hit, QueryResult, merge_query_results
+from repro.service import protocol
+from repro.service.client import SearchClient, ServiceUnavailable
+from repro.service.retry import RetryPolicy, run_with_retry
+from repro.service.server import _ClientConnection
+from repro.telemetry.export import prometheus_text
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+__all__ = ["RouterStats", "ScatterGatherRouter", "ShardFailure"]
+
+#: Fallback retry hint before the router has observed any latency.
+_DEFAULT_RETRY_AFTER_S = 0.05
+
+#: EWMA samples required before speculative top-k credit kicks in.
+_MIN_CREDIT_SAMPLES = 8
+
+
+class ShardFailure(ConnectionError):
+    """One shard could not answer (dead, unreachable, timed out)."""
+
+
+class RouterStats:
+    """Registry-backed router counters, per-shard series labelled."""
+
+    def __init__(self, shard_names: list[str]):
+        self._started = time.monotonic()
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self.received = reg.counter(
+            "swdual_router_queries_total", "Queries accepted by the router."
+        )
+        self.completed = reg.counter(
+            "swdual_router_completed_total", "Queries answered with a merged result."
+        )
+        self.partial = reg.counter(
+            "swdual_router_partial_total",
+            "Merged results missing at least one shard's contribution.",
+        )
+        self.failed = reg.counter(
+            "swdual_router_failed_total", "Queries every shard failed to answer."
+        )
+        self.rejected = reg.counter(
+            "swdual_router_rejected_total", "Queries bounced by router backpressure."
+        )
+        self.errors = reg.counter(
+            "swdual_router_errors_total", "Requests the router could not act on."
+        )
+        self.upstream_retries = reg.counter(
+            "swdual_router_upstream_retries_total",
+            "Shard submissions retried after a rejected/retryable outcome.",
+        )
+        self.refinements = reg.counter(
+            "swdual_router_refinements_total",
+            "Speculative-k shard queries re-issued at full depth.",
+        )
+        self.latency: Histogram = reg.histogram(
+            "swdual_router_latency_seconds",
+            "End-to-end latency of merged results (admit to stream-back).",
+        )
+        self.shards_up = reg.gauge(
+            "swdual_router_shards_up", "Shards that answered their last exchange."
+        )
+        self._shard_queries = {}
+        self._shard_failures = {}
+        self._shard_latency = {}
+        for name in shard_names:
+            labels = {"shard": name}
+            self._shard_queries[name] = reg.counter(
+                "swdual_router_shard_queries_total",
+                "Per-shard successful exchanges.",
+                labels,
+            )
+            self._shard_failures[name] = reg.counter(
+                "swdual_router_shard_failures_total",
+                "Per-shard failed exchanges (timeout, death, reject).",
+                labels,
+            )
+            self._shard_latency[name] = reg.histogram(
+                "swdual_router_shard_latency_seconds",
+                "Per-shard exchange latency as observed by the router.",
+                labels,
+            )
+
+    def record_shard_result(self, name: str, latency_s: float) -> None:
+        self._shard_queries[name].inc()
+        self._shard_latency[name].observe(latency_s)
+
+    def record_shard_failure(self, name: str) -> None:
+        self._shard_failures[name].inc()
+
+    def shard_snapshot(self, name: str) -> dict:
+        return {
+            "queries": int(self._shard_queries[name].value),
+            "failures": int(self._shard_failures[name].value),
+            "latency": self._shard_latency[name].snapshot(),
+        }
+
+    @property
+    def uptime_s(self) -> float:
+        return max(time.monotonic() - self._started, 1e-9)
+
+
+class _ShardLink:
+    """One persistent, lock-serialised connection to a shard service.
+
+    The lock admits one in-flight exchange at a time, so responses on
+    the connection always belong to the exchange that is waiting for
+    them; different shards' links are independent, which is what lets
+    one query's fan-out overlap another query's.
+    """
+
+    def __init__(self, name: str, timeout_s: float):
+        self.name = name
+        self.timeout_s = timeout_s
+        self.lock = threading.Lock()
+        self._client: SearchClient | None = None
+        self._stale = False
+
+    def invalidate(self) -> None:
+        """Force the next exchange to reconnect (endpoint changed);
+        wakes an in-flight exchange by closing the socket under it."""
+        self._stale = True
+        client = self._client
+        if client is not None:
+            with contextlib.suppress(Exception):
+                client.close()
+
+    def close(self) -> None:
+        with self.lock:
+            self._drop()
+
+    def _drop(self) -> None:
+        if self._client is not None:
+            with contextlib.suppress(Exception):
+                self._client.close()
+            self._client = None
+
+    def exchange(
+        self,
+        endpoint: ShardEndpoint | None,
+        sequence: str,
+        id: str,
+        top: int,
+        pipeline: bool | None,
+    ) -> dict:
+        """Submit one query and wait for its terminal outcome.
+
+        Raises :class:`ShardFailure` when the shard cannot be reached
+        or dies mid-exchange.  A submit-side connection error gets one
+        transparent reconnect (the server never saw the query); a
+        failure *after* submit is never retried here, because the
+        shard may still be computing — the caller decides whether a
+        duplicate scan is acceptable.
+        """
+        if endpoint is None:
+            raise ShardFailure(f"{self.name}: no endpoint (shard down)")
+        with self.lock:
+            for attempt in (1, 2):
+                if self._stale:
+                    self._drop()
+                    self._stale = False
+                if self._client is None:
+                    try:
+                        self._client = SearchClient(
+                            endpoint.host, endpoint.port, timeout=self.timeout_s
+                        ).connect()
+                    except OSError as exc:
+                        raise ShardFailure(f"{self.name}: connect failed: {exc}") from exc
+                try:
+                    self._client.submit(sequence, id=id, top=top, pipeline=pipeline)
+                except (OSError, ConnectionError) as exc:
+                    self._drop()
+                    if attempt == 2:
+                        raise ShardFailure(f"{self.name}: submit failed: {exc}") from exc
+                    continue
+                try:
+                    return self._client.collect(1)[0]
+                except TimeoutError as exc:
+                    self._drop()
+                    raise ShardFailure(
+                        f"{self.name}: no answer within {self.timeout_s}s"
+                    ) from exc
+                except (OSError, ServiceUnavailable) as exc:
+                    self._drop()
+                    raise ShardFailure(f"{self.name}: died mid-query: {exc}") from exc
+        raise ShardFailure(f"{self.name}: unreachable")  # pragma: no cover
+
+
+class ScatterGatherRouter:
+    """One logical search endpoint over many shard services.
+
+    Parameters
+    ----------
+    shards:
+        A started :class:`~repro.cluster.manager.ShardManager` (live
+        endpoints, supervision, restart nudges) or a static
+        :class:`~repro.cluster.topology.ClusterTopology` of adopted
+        endpoints.
+    host / port:
+        Router bind address (``port=0`` picks an ephemeral port).
+    top_hits:
+        Cap on per-query hit-list depth, like a single service's.
+    shard_timeout_s:
+        Per-exchange socket timeout; a shard silent for longer is
+        dropped from that query's merge (partial result, never a
+        hang).
+    retry:
+        Policy for resubmitting shard ``rejected`` / retryable
+        ``error`` outcomes (the shared :mod:`repro.service.retry`
+        helper).
+    speculative:
+        Enable latency-weighted speculative top-k credit.  Exactness
+        is preserved by the refinement round, so this is safe to keep
+        on; disable to make every shard always scan at full depth.
+    max_in_flight:
+        Router-level admission bound: queries beyond it are rejected
+        with a ``retry_after_s`` hint (bounded backpressure, matching
+        the single-service contract).
+    """
+
+    def __init__(
+        self,
+        shards: ShardManager | ClusterTopology,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        top_hits: int = 5,
+        shard_timeout_s: float = 30.0,
+        retry: RetryPolicy | None = None,
+        speculative: bool = True,
+        ewma_alpha: float = 0.2,
+        max_in_flight: int = 32,
+        owns_manager: bool = False,
+    ):
+        if top_hits < 1:
+            raise ValueError(f"top_hits must be >= 1, got {top_hits}")
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if not 0 < ewma_alpha <= 1:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.host = host
+        self.port = port
+        self.top_hits = top_hits
+        self.shard_timeout_s = shard_timeout_s
+        self.retry = retry or RetryPolicy()
+        self.speculative = speculative
+        self.ewma_alpha = ewma_alpha
+        self.owns_manager = owns_manager
+        if isinstance(shards, ShardManager):
+            self.manager: ShardManager | None = shards
+            self._static_endpoints: dict[str, ShardEndpoint] = {}
+            names = shards.shard_names
+            shards.on_change(self._on_shard_change)
+        else:
+            self.manager = None
+            self._static_endpoints = {e.name: e for e in shards}
+            names = [e.name for e in shards]
+        if not names:
+            raise ValueError("router needs at least one shard")
+        self.shard_names = names
+        self._links = {name: _ShardLink(name, shard_timeout_s) for name in names}
+        self.stats = RouterStats(names)
+        self.stats.shards_up.set(len(names))
+        # Latency EWMA per shard, feeding the speculative-k credit.
+        self._ewma: dict[str, float] = {}
+        self._samples: dict[str, int] = {name: 0 for name in names}
+        self._ewma_lock = threading.Lock()
+        self._admission = threading.Semaphore(max_in_flight)
+        self._query_counter = 0
+        self._counter_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = False
+        self._sock = None
+        self._accept_thread: threading.Thread | None = None
+        self._connections: set[_ClientConnection] = set()
+        self._conn_lock = threading.Lock()
+        self._conn_threads: list[threading.Thread] = []
+        self._query_threads: list[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "ScatterGatherRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("router already started")
+        self._sock = socket.create_server(
+            (self.host, self.port), backlog=16, reuse_port=False
+        )
+        self._sock.settimeout(0.2)
+        self.port = self._sock.getsockname()[1]
+        self._started = True
+        print(
+            f"swdual cluster: routing {len(self.shard_names)} shards "
+            f"on {self.host}:{self.port} "
+            f"[{', '.join(self.shard_names)}]",
+            file=sys.stderr,
+            flush=True,
+        )
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="swdual-router-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Close the listener, finish in-flight queries, say bye."""
+        with self._shutdown_lock:
+            if self._shutdown_done:
+                self._stopped.wait(timeout)
+                return
+            self._shutdown_done = True
+        self._stopping.set()
+        if self._sock is not None:
+            with contextlib.suppress(OSError):
+                self._sock.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout)
+        for t in list(self._query_threads):
+            t.join(timeout=timeout)
+        for link in self._links.values():
+            link.close()
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            conn.send(protocol.bye_response())
+            conn.close()
+        current = threading.current_thread()
+        for t in self._conn_threads:
+            if t is not current:
+                t.join(timeout=5)
+        if self.owns_manager and self.manager is not None:
+            self.manager.close()
+        self._stopped.set()
+
+    def serve_forever(self) -> None:
+        """Block until the router stops (``shutdown`` verb or SIGINT)."""
+        if not self._started:
+            self.start()
+        if threading.current_thread() is threading.main_thread():
+            previous = signal.getsignal(signal.SIGINT)
+
+            def _on_sigint(signum, frame):
+                threading.Thread(target=self.shutdown, daemon=True).start()
+
+            signal.signal(signal.SIGINT, _on_sigint)
+            try:
+                self._stopped.wait()
+            finally:
+                signal.signal(signal.SIGINT, previous)
+        else:
+            self._stopped.wait()
+
+    # -- shard plumbing -------------------------------------------------
+
+    def _endpoint(self, name: str) -> ShardEndpoint | None:
+        if self.manager is not None:
+            return self.manager.endpoints().get(name)
+        return self._static_endpoints.get(name)
+
+    def _on_shard_change(self, name: str) -> None:
+        """Manager callback: a shard moved or died — drop its link so
+        the next exchange reconnects to the fresh endpoint."""
+        link = self._links.get(name)
+        if link is not None:
+            link.invalidate()
+
+    def _nudge_supervisor(self) -> None:
+        """Ask the manager to look at its shards now (not at the next
+        poll tick) after the router observed a failure."""
+        manager = self.manager
+        if manager is None:
+            return
+
+        def poll() -> None:
+            with contextlib.suppress(Exception):
+                manager.poll_once()
+
+        threading.Thread(target=poll, daemon=True).start()
+
+    def _observe_latency(self, name: str, latency_s: float) -> None:
+        with self._ewma_lock:
+            prev = self._ewma.get(name)
+            self._ewma[name] = (
+                latency_s
+                if prev is None
+                else prev + self.ewma_alpha * (latency_s - prev)
+            )
+            self._samples[name] += 1
+
+    def _speculative_k(self, name: str, top: int) -> int:
+        """Latency-weighted speculative hit-list depth for one shard.
+
+        The fastest shard class always scans at full depth; a shard
+        whose EWMA latency is w× the fastest gets ``top/w`` (floored
+        at 1).  Until every shard has enough samples, everyone runs at
+        full depth.
+        """
+        if not self.speculative or len(self.shard_names) == 1:
+            return top
+        with self._ewma_lock:
+            if any(self._samples[n] < _MIN_CREDIT_SAMPLES for n in self.shard_names):
+                return top
+            fastest = min(self._ewma[n] for n in self.shard_names)
+            mine = self._ewma[name]
+        if mine <= 0 or fastest <= 0:
+            return top
+        weight = fastest / mine
+        return max(1, min(top, math.ceil(top * weight)))
+
+    # -- serving --------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, addr = self._sock.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            conn = _ClientConnection(sock, f"{addr[0]}:{addr[1]}")
+            with self._conn_lock:
+                self._connections.add(conn)
+            t = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"swdual-router-conn-{conn.peer}",
+                daemon=True,
+            )
+            self._conn_threads.append(t)
+            t.start()
+
+    def _serve_connection(self, conn: _ClientConnection) -> None:
+        try:
+            while True:
+                try:
+                    line = conn.reader.readline(protocol.MAX_LINE_BYTES + 1)
+                except (OSError, ValueError):
+                    return
+                if not line:
+                    return
+                if line.startswith(b"GET "):
+                    self._serve_http_get(conn, line)
+                    return
+                try:
+                    message = protocol.decode_message(line)
+                except protocol.WireError as exc:
+                    self.stats.errors.inc()
+                    conn.send(protocol.error_response(str(exc)))
+                    continue
+                self._dispatch_request(conn, message)
+        finally:
+            conn.close()
+            with self._conn_lock:
+                self._connections.discard(conn)
+
+    def _serve_http_get(self, conn: _ClientConnection, request_line: bytes) -> None:
+        parts = request_line.split()
+        target = parts[1].decode("latin-1", "replace") if len(parts) >= 2 else ""
+        with contextlib.suppress(OSError, ValueError):
+            while True:
+                header = conn.reader.readline(protocol.MAX_LINE_BYTES + 1)
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            status = "200 OK"
+            content_type = protocol.PROMETHEUS_CONTENT_TYPE
+            body = self._prometheus().encode("utf-8")
+        else:
+            status = "404 Not Found"
+            content_type = "text/plain; charset=utf-8"
+            body = b"only /metrics is served over HTTP\n"
+        head = (
+            f"HTTP/1.0 {status}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        conn.send_raw(head + body)
+
+    def _dispatch_request(self, conn: _ClientConnection, message: dict) -> None:
+        verb = message.get("verb")
+        if verb == "query":
+            self._admit_query(conn, message)
+        elif verb == "stats":
+            conn.send(protocol.stats_response(self.snapshot()))
+        elif verb == "metrics":
+            conn.send(protocol.metrics_response(self._prometheus()))
+        elif verb == "ping":
+            conn.send(protocol.pong_response())
+        elif verb == "shutdown":
+            conn.send(protocol.bye_response())
+            threading.Thread(target=self.shutdown, daemon=True).start()
+        else:
+            self.stats.errors.inc()
+            conn.send(
+                protocol.error_response(
+                    f"unknown verb {verb!r}; expected one of {list(protocol.REQUEST_VERBS)}"
+                )
+            )
+
+    def _next_query_id(self) -> str:
+        with self._counter_lock:
+            self._query_counter += 1
+            return f"r{self._query_counter}"
+
+    def _retry_after_s(self) -> float:
+        mean = self.stats.latency.mean
+        return max(_DEFAULT_RETRY_AFTER_S, mean)
+
+    def _admit_query(self, conn: _ClientConnection, message: dict) -> None:
+        query_id = str(message.get("id") or self._next_query_id())
+        text = message.get("sequence")
+        if not isinstance(text, str) or not text:
+            self.stats.errors.inc()
+            conn.send(
+                protocol.error_response("query needs a non-empty 'sequence'", query_id)
+            )
+            return
+        top = message.get("top")
+        if top is None:
+            top = self.top_hits
+        if not isinstance(top, int) or top < 1:
+            self.stats.errors.inc()
+            conn.send(protocol.error_response("'top' must be a positive integer", query_id))
+            return
+        top = min(top, self.top_hits)
+        pipeline = message.get("pipeline")
+        if pipeline is not None and not isinstance(pipeline, bool):
+            self.stats.errors.inc()
+            conn.send(protocol.error_response("'pipeline' must be a boolean", query_id))
+            return
+        stream = bool(message.get("stream", False))
+        if self._stopping.is_set():
+            self.stats.rejected.inc()
+            conn.send(
+                protocol.rejected_response(query_id, "shutting down", self._retry_after_s())
+            )
+            return
+        if not self._admission.acquire(blocking=False):
+            self.stats.rejected.inc()
+            conn.send(
+                protocol.rejected_response(
+                    query_id, "router at max in-flight queries", self._retry_after_s()
+                )
+            )
+            return
+        self.stats.received.inc()
+        t = threading.Thread(
+            target=self._run_query,
+            args=(conn, query_id, text, top, pipeline, stream),
+            name=f"swdual-router-query-{query_id}",
+            daemon=True,
+        )
+        self._query_threads.append(t)
+        t.start()
+        self._query_threads = [qt for qt in self._query_threads if qt.is_alive()]
+
+    # -- the scatter-gather core ----------------------------------------
+
+    def _ask_shard(
+        self, name: str, text: str, query_id: str, k: int, pipeline: bool | None
+    ) -> dict:
+        """One shard exchange with bounded retry of retryable outcomes."""
+        link = self._links[name]
+
+        def attempt() -> dict:
+            return link.exchange(self._endpoint(name), text, query_id, k, pipeline)
+
+        def on_retry(outcome, attempt_number, delay):
+            self.stats.upstream_retries.inc()
+
+        return run_with_retry(attempt, self.retry, on_retry=on_retry)
+
+    def _run_query(
+        self,
+        conn: _ClientConnection,
+        query_id: str,
+        text: str,
+        top: int,
+        pipeline: bool | None,
+        stream: bool,
+    ) -> None:
+        started = time.monotonic()
+        try:
+            parts: dict[str, tuple[QueryResult, int]] = {}
+            failed: dict[str, str] = {}
+            state_lock = threading.Lock()
+
+            def one_shard(name: str) -> None:
+                asked = self._speculative_k(name, top)
+                shard_started = time.monotonic()
+                try:
+                    outcome = self._ask_shard(name, text, query_id, asked, pipeline)
+                except ShardFailure as exc:
+                    with state_lock:
+                        failed[name] = str(exc)
+                    self.stats.record_shard_failure(name)
+                    self._nudge_supervisor()
+                    return
+                elapsed = time.monotonic() - shard_started
+                kind = outcome.get("type")
+                if kind == "result":
+                    hits = tuple(
+                        Hit(subject_id=str(s), score=int(score))
+                        for s, score in outcome.get("hits", [])
+                    )
+                    with state_lock:
+                        parts[name] = (QueryResult(query_id=query_id, hits=hits), asked)
+                    self.stats.record_shard_result(name, elapsed)
+                    self._observe_latency(name, elapsed)
+                    if stream:
+                        conn.send(
+                            protocol.partial_response(
+                                query_id,
+                                name,
+                                [(h.subject_id, h.score) for h in hits],
+                                latency_s=elapsed,
+                            )
+                        )
+                else:
+                    # Terminal rejected/error after the retry budget.
+                    with state_lock:
+                        failed[name] = (
+                            f"{kind}: {outcome.get('reason', 'unspecified')}"
+                        )
+                    self.stats.record_shard_failure(name)
+
+            threads = [
+                threading.Thread(target=one_shard, args=(name,), daemon=True)
+                for name in self.shard_names
+            ]
+            for t in threads:
+                t.start()
+            # The exchange itself is bounded by the shard socket
+            # timeout plus the retry budget; this join is the
+            # never-hang backstop above it.
+            deadline = (
+                self.shard_timeout_s * self.retry.max_attempts
+                + self.retry.max_delay_s * self.retry.max_attempts
+                + 5.0
+            )
+            for t in threads:
+                t.join(timeout=max(0.1, deadline - (time.monotonic() - started)))
+            with state_lock:
+                for name in self.shard_names:
+                    if name not in parts and name not in failed:
+                        failed[name] = "deadline exceeded"
+                        self.stats.record_shard_failure(name)
+                gathered = dict(parts)
+                failures = dict(failed)
+            if not gathered:
+                self.stats.failed.inc()
+                conn.send(
+                    protocol.error_response(
+                        f"all {len(self.shard_names)} shards failed: "
+                        + "; ".join(f"{n}: {r}" for n, r in sorted(failures.items())),
+                        query_id,
+                        retryable=True,
+                    )
+                )
+                return
+            merged = self._merge_with_refinement(
+                gathered, text, query_id, top, pipeline
+            )
+            latency = time.monotonic() - started
+            self.stats.latency.observe(latency)
+            self.stats.completed.inc()
+            partial = bool(failures)
+            if partial:
+                self.stats.partial.inc()
+            self._set_up_gauge(len(gathered))
+            conn.send(
+                protocol.result_response(
+                    query_id,
+                    [(h.subject_id, h.score) for h in merged.hits],
+                    latency_s=latency,
+                    queue_wait_s=0.0,
+                    worker=f"router[{len(gathered)}/{len(self.shard_names)}]",
+                    partial=partial if partial else None,
+                    shards_failed=sorted(failures) if failures else None,
+                )
+            )
+        finally:
+            self._admission.release()
+
+    def _merge_with_refinement(
+        self,
+        gathered: dict[str, tuple[QueryResult, int]],
+        text: str,
+        query_id: str,
+        top: int,
+        pipeline: bool | None,
+    ) -> QueryResult:
+        """Fold per-shard lists; re-query truncated shards whose hidden
+        hits could still reach the merged top-k (ties included), so a
+        speculative shallow ask never changes the reported list."""
+        merged = merge_query_results([qr for qr, _ in gathered.values()], top=top)
+        if not self.speculative:
+            return merged
+        while True:
+            kth_score = merged.hits[top - 1].score if len(merged.hits) >= top else None
+            needs_full = [
+                name
+                for name, (qr, asked) in gathered.items()
+                if asked < top
+                and len(qr.hits) == asked
+                and (kth_score is None or qr.hits[-1].score >= kth_score)
+            ]
+            if not needs_full:
+                return merged
+            for name in needs_full:
+                self.stats.refinements.inc()
+                try:
+                    outcome = self._ask_shard(name, text, query_id, top, pipeline)
+                except ShardFailure:
+                    # The shard answered the speculative round but died
+                    # before refinement; keep its truncated list — the
+                    # result is already at least as good as partial.
+                    gathered[name] = (gathered[name][0], top)
+                    self.stats.record_shard_failure(name)
+                    continue
+                if outcome.get("type") == "result":
+                    hits = tuple(
+                        Hit(subject_id=str(s), score=int(score))
+                        for s, score in outcome.get("hits", [])
+                    )
+                    gathered[name] = (QueryResult(query_id=query_id, hits=hits), top)
+                else:
+                    gathered[name] = (gathered[name][0], top)
+            merged = merge_query_results([qr for qr, _ in gathered.values()], top=top)
+
+    def _set_up_gauge(self, up: int) -> None:
+        self.stats.shards_up.set(up)
+
+    # -- introspection ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able router state: counters, latency, per-shard health,
+        speculative credit, and the manager's supervision view."""
+        shards = {}
+        with self._ewma_lock:
+            ewma = dict(self._ewma)
+            samples = dict(self._samples)
+        for name in self.shard_names:
+            endpoint = self._endpoint(name)
+            shard = self.stats.shard_snapshot(name)
+            shard["endpoint"] = (
+                f"{endpoint.host}:{endpoint.port}" if endpoint else None
+            )
+            shard["ewma_latency_s"] = ewma.get(name)
+            shard["samples"] = samples.get(name, 0)
+            shard["speculative_k"] = self._speculative_k(name, self.top_hits)
+            shards[name] = shard
+        snapshot = {
+            "kind": "router",
+            "uptime_s": self.stats.uptime_s,
+            "topology": {
+                "shards": len(self.shard_names),
+                "managed": self.manager is not None,
+            },
+            "requests": {
+                "received": int(self.stats.received.value),
+                "completed": int(self.stats.completed.value),
+                "partial": int(self.stats.partial.value),
+                "failed": int(self.stats.failed.value),
+                "rejected": int(self.stats.rejected.value),
+                "errors": int(self.stats.errors.value),
+                "upstream_retries": int(self.stats.upstream_retries.value),
+                "refinements": int(self.stats.refinements.value),
+            },
+            "latency": self.stats.latency.snapshot(),
+            "shards": shards,
+            "throughput_qps": self.stats.completed.value / self.stats.uptime_s,
+        }
+        if self.manager is not None:
+            snapshot["supervision"] = self.manager.snapshot()
+        return snapshot
+
+    def _prometheus(self) -> str:
+        return prometheus_text(self.stats.registry)

@@ -1,0 +1,136 @@
+"""Cluster topology: which shard endpoints make up one logical service.
+
+A topology is a named list of shard endpoints.  It either comes out of
+a :class:`~repro.cluster.manager.ShardManager` that spawned the shard
+processes itself, or is *adopted* from a TOML/JSON file describing
+pre-started services (e.g. shards running on other hosts)::
+
+    # cluster.toml
+    name = "uniprot-cluster"
+
+    [[shards]]
+    name = "shard0"
+    host = "10.0.0.11"
+    port = 7731
+
+    [[shards]]
+    name = "shard1"
+    host = "10.0.0.12"
+    port = 7731
+
+The equivalent JSON shape is ``{"name": ..., "shards": [{"name": ...,
+"host": ..., "port": ...}, ...]}``.  TOML parsing uses the stdlib
+``tomllib`` (Python >= 3.11); on older interpreters only JSON files
+are accepted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback
+    tomllib = None
+
+__all__ = ["ClusterTopology", "ShardEndpoint", "load_topology"]
+
+
+@dataclass(frozen=True)
+class ShardEndpoint:
+    """One shard's service address."""
+
+    name: str
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("shard endpoints need a non-empty name")
+        if not self.host:
+            raise ValueError(f"shard {self.name!r} needs a host")
+        if not 0 < self.port < 65536:
+            raise ValueError(f"shard {self.name!r} has invalid port {self.port}")
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """An ordered, uniquely-named set of shard endpoints."""
+
+    name: str
+    shards: tuple[ShardEndpoint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError(f"topology {self.name!r} has no shards")
+        names = [s.name for s in self.shards]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names in topology {self.name!r}: {names}")
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def endpoint(self, name: str) -> ShardEndpoint:
+        for shard in self.shards:
+            if shard.name == name:
+                return shard
+        raise KeyError(f"no shard named {name!r} in topology {self.name!r}")
+
+
+def _topology_from_dict(data: dict, default_name: str) -> ClusterTopology:
+    if not isinstance(data, dict):
+        raise ValueError(f"topology must be a mapping, got {type(data).__name__}")
+    raw_shards = data.get("shards")
+    if not isinstance(raw_shards, list) or not raw_shards:
+        raise ValueError("topology needs a non-empty 'shards' list")
+    shards = []
+    for i, raw in enumerate(raw_shards):
+        if not isinstance(raw, dict):
+            raise ValueError(f"shard entry {i} must be a mapping")
+        try:
+            port = int(raw["port"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"shard entry {i} needs an integer 'port'") from exc
+        shards.append(
+            ShardEndpoint(
+                name=str(raw.get("name") or f"shard{i}"),
+                host=str(raw.get("host") or "127.0.0.1"),
+                port=port,
+            )
+        )
+    return ClusterTopology(
+        name=str(data.get("name") or default_name), shards=tuple(shards)
+    )
+
+
+def load_topology(path: str | os.PathLike) -> ClusterTopology:
+    """Read a topology file; the format follows the extension
+    (``.toml`` vs anything else = JSON)."""
+    path = os.fspath(path)
+    default_name = os.path.splitext(os.path.basename(path))[0]
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if path.endswith(".toml"):
+        if tomllib is None:  # pragma: no cover - 3.10 fallback
+            raise ValueError(
+                "TOML topologies need Python >= 3.11 (tomllib); use JSON instead"
+            )
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, tomllib.TOMLDecodeError) as exc:
+            raise ValueError(f"invalid TOML topology {path}: {exc}") from exc
+    else:
+        try:
+            data = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"invalid JSON topology {path}: {exc}") from exc
+    return _topology_from_dict(data, default_name)

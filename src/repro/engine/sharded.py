@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 
 from repro.align.scoring import ScoringScheme, default_scheme
 from repro.engine.results import QueryResult, SearchReport, WorkerStats, merge_query_results
@@ -25,21 +26,42 @@ from repro.engine.worker import KernelWorker
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.sequence import Sequence
 
-__all__ = ["shard_database", "sharded_search"]
+__all__ = ["clamp_shard_count", "shard_database", "sharded_search"]
+
+
+def clamp_shard_count(database: SequenceDatabase, requested: int) -> int:
+    """Clamp a requested shard/worker count to ``len(database)``.
+
+    Every shard must be non-empty, so a deployment sized beyond the
+    database is clamped (with a ``UserWarning`` naming both numbers)
+    rather than refused — oversized clusters still come up and return
+    results identical to an unsharded search.  This is the single
+    clamp rule shared by :func:`shard_database`, :func:`sharded_search`
+    and the cluster plane's ``ShardManager``.
+    """
+    if requested < 1:
+        raise ValueError(f"shard count must be >= 1, got {requested}")
+    if requested > len(database):
+        warnings.warn(
+            f"requested {requested} shards but {database.name!r} has only "
+            f"{len(database)} sequences; clamping to {len(database)}",
+            UserWarning,
+            stacklevel=3,
+        )
+        return len(database)
+    return requested
 
 
 def shard_database(database: SequenceDatabase, num_shards: int) -> list[SequenceDatabase]:
     """Split a database into residue-balanced contiguous shards.
 
     A greedy sweep closes a shard once it holds its fair share of
-    residues; every shard is non-empty for ``num_shards <= len(db)``.
+    residues; every shard is non-empty.  ``num_shards > len(db)`` is
+    clamped (with a warning) by :func:`clamp_shard_count` — the same
+    rule :func:`sharded_search` applies — so callers can never receive
+    an empty shard.
     """
-    if num_shards < 1:
-        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
-    if num_shards > len(database):
-        raise ValueError(
-            f"cannot cut {len(database)} sequences into {num_shards} shards"
-        )
+    num_shards = clamp_shard_count(database, num_shards)
     sequences = list(database)
     shards: list[SequenceDatabase] = []
     idx = 0
@@ -81,16 +103,14 @@ def sharded_search(
     cells), and per-shard results are merged per query.
 
     Asking for more shards than the database has sequences clamps the
-    worker count to ``len(database)`` (every shard must be non-empty),
-    so oversized deployments still return results identical to an
-    unsharded search.
+    worker count to ``len(database)`` with a warning (see
+    :func:`clamp_shard_count`), so oversized deployments still return
+    results identical to an unsharded search.
     """
     if not queries:
         raise ValueError("need at least one query")
-    if num_workers < 1:
-        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
     scheme = scheme or default_scheme()
-    num_workers = min(num_workers, len(database))
+    num_workers = clamp_shard_count(database, num_workers)
     shards = shard_database(database, num_workers)
     workers = [
         KernelWorker(

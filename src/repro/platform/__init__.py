@@ -25,6 +25,7 @@ from repro.platform.benchpipeline import (
     build_pipeline_workload,
     run_pipeline_bench,
 )
+from repro.platform.benchrouter import ClusterDivergence, run_router_bench
 from repro.platform.benchshm import run_shm_bench
 from repro.platform.benchstamp import BENCH_SCHEMA_VERSION, bench_stamp, stamp_report
 from repro.platform.cluster import HybridPlatform, idgraf_platform, swdual_worker_mix
@@ -60,8 +61,10 @@ __all__ = [
     "build_pipeline_workload",
     "run_kernel_bench",
     "run_pipeline_bench",
+    "run_router_bench",
     "run_shm_bench",
     "write_bench_report",
+    "ClusterDivergence",
     "OracleDivergence",
     "BENCH_SCHEMA_VERSION",
     "bench_stamp",

@@ -1,0 +1,166 @@
+"""Router benchmark behind ``swdual bench router``.
+
+Measures the aggregate-throughput win of database sharding: the same
+workload is pushed through a 1-shard cluster (router + one service
+process, the scatter-gather baseline with all its wire overhead) and
+an N-shard cluster, each shard a real :class:`~repro.service.server.
+SearchService` process with one CPU worker.  Because every shard scans
+only its slice, N shards score the same total cell count in roughly
+1/N the wall time — **aggregate GCUPS** (total cells of the unsharded
+scan divided by wall time) is the headline number, exactly the metric
+SWAPHI-class multi-node papers report.
+
+Correctness is checked the same way the conformance tests do: the
+merged top-k of every cluster size must be bit-identical (subject ids
+*and* scores, tie-order included) to an unsharded in-process oracle.
+A divergence fails the benchmark loudly rather than producing a fast
+wrong number.
+
+The result dict is what ``BENCH_router.json`` records (benchstamped on
+write); numbers are machine-dependent provenance, not fixtures.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sequences.queries import standard_query_set
+from repro.sequences.synthetic import small_database
+
+__all__ = ["ClusterDivergence", "run_router_bench"]
+
+
+class ClusterDivergence(AssertionError):
+    """A cluster's merged top-k differed from the unsharded oracle —
+    a violation of the scatter-gather merge contract."""
+
+
+def _drive_cluster(
+    database,
+    queries,
+    num_shards: int,
+    top: int,
+    service_kwargs: dict,
+    start_method: str,
+) -> tuple[float, list[list[list]]]:
+    """Run the workload through one cluster size; returns (wall, hits).
+
+    Queries are pipelined through one connection (submit all, then
+    collect), so the router can keep every shard busy — the wall time
+    reflects aggregate cluster throughput, not per-query round trips.
+    """
+    # Imported here, not at module scope: repro.cluster sits above the
+    # engine, which imports this package — a top-level import would be
+    # circular.
+    from repro.cluster.manager import ShardManager
+    from repro.cluster.router import ScatterGatherRouter
+    from repro.service.client import SearchClient
+
+    with ShardManager(
+        database=database,
+        num_shards=num_shards,
+        service_kwargs=service_kwargs,
+        start_method=start_method,
+    ) as manager:
+        with ScatterGatherRouter(manager, top_hits=top) as router:
+            with SearchClient("127.0.0.1", router.port, timeout=120.0) as client:
+                # Warm every shard link (connect + first exchange)
+                # outside the timed window.
+                client.query(queries[0], top=top)
+                started = time.perf_counter()
+                ids = [client.submit(q, top=top) for q in queries]
+                outcomes = client.collect(len(ids))
+                wall = time.perf_counter() - started
+    by_id = {str(o.get("id")): o for o in outcomes}
+    hits = []
+    for qid in ids:
+        outcome = by_id[qid]
+        if outcome.get("type") != "result" or outcome.get("partial"):
+            raise ClusterDivergence(
+                f"{num_shards}-shard cluster degraded during the bench: {outcome}"
+            )
+        hits.append(outcome["hits"])
+    return wall, hits
+
+
+def run_router_bench(
+    num_sequences: int = 120,
+    mean_length: int = 400,
+    num_queries: int = 8,
+    query_scale: float = 0.05,
+    top: int = 5,
+    num_shards: int = 3,
+    start_method: str = "auto",
+    seed: int = 0,
+) -> dict:
+    """Benchmark an ``num_shards``-shard cluster against 1 shard.
+
+    Raises :class:`ClusterDivergence` if any cluster size reports a
+    merged top-k different from the unsharded in-process oracle.
+    """
+    if num_shards < 2:
+        raise ValueError(f"num_shards must be >= 2, got {num_shards}")
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    database = small_database(
+        num_sequences=num_sequences, mean_length=mean_length, seed=seed
+    )
+    queries = standard_query_set(count=num_queries).scaled(query_scale).materialize(
+        seed=seed + 1
+    )
+    service_kwargs = dict(
+        num_cpu_workers=1, num_gpu_workers=0, backend="threads", top_hits=top
+    )
+    cells = sum(len(q) for q in queries) * database.total_residues
+
+    from repro.engine.search import live_search
+
+    # -- unsharded in-process oracle -----------------------------------
+    report = live_search(
+        queries, database, num_cpu_workers=1, num_gpu_workers=0, top_hits=top
+    )
+    oracle = {
+        r.query_id: [[h.subject_id, h.score] for h in r.hits]
+        for r in report.query_results
+    }
+
+    sizes = {}
+    for shards in (1, num_shards):
+        wall, hits = _drive_cluster(
+            database, queries, shards, top, service_kwargs, start_method
+        )
+        for q, got in zip(queries, hits):
+            if got != oracle[q.id]:
+                raise ClusterDivergence(
+                    f"{shards}-shard top-{top} for {q.id!r} diverged from the "
+                    f"unsharded oracle: {got} != {oracle[q.id]}"
+                )
+        sizes[str(shards)] = {
+            "shards": shards,
+            "seconds": wall,
+            "aggregate_gcups": cells / wall / 1e9,
+            "queries_per_s": len(queries) / wall,
+            "hits_identical": True,  # ClusterDivergence would have raised
+        }
+
+    baseline = sizes["1"]
+    scaled = sizes[str(num_shards)]
+    return {
+        "bench": "router",
+        "workload": {
+            "num_sequences": num_sequences,
+            "mean_length": mean_length,
+            "db_residues": database.total_residues,
+            "num_queries": num_queries,
+            "query_scale": query_scale,
+            "top": top,
+            "cells_per_pass": cells,
+            "start_method": start_method,
+            "seed": seed,
+        },
+        "sizes": sizes,
+        "speedup": baseline["seconds"] / scaled["seconds"],
+        "scaling_efficiency": (
+            baseline["seconds"] / scaled["seconds"] / num_shards
+        ),
+    }

@@ -24,12 +24,14 @@ from repro.service.protocol import (
     encode_message,
     read_message,
 )
+from repro.service.retry import RetryPolicy, run_with_retry
 from repro.service.server import SearchService
 from repro.service.stats import ServiceStats
 
 __all__ = [
     "MAX_LINE_BYTES",
     "POOL_BACKENDS",
+    "RetryPolicy",
     "SearchClient",
     "SearchService",
     "ServiceStats",
@@ -38,4 +40,5 @@ __all__ = [
     "decode_message",
     "encode_message",
     "read_message",
+    "run_with_retry",
 ]

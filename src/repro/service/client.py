@@ -17,6 +17,7 @@ import socket
 
 from repro.sequences.sequence import Sequence
 from repro.service import protocol
+from repro.service.retry import RetryPolicy, is_retryable, run_with_retry
 
 __all__ = ["SearchClient", "ServiceUnavailable"]
 
@@ -106,6 +107,7 @@ class SearchClient:
         id: str | None = None,
         top: int | None = None,
         pipeline: bool | None = None,
+        stream: bool | None = None,
     ) -> str:
         """Submit one query without waiting; returns the id used.
 
@@ -113,7 +115,9 @@ class SearchClient:
         (its ``id`` is the default query id) or a plain residue string.
         *pipeline* selects the heuristic filter cascade (``True``) or
         the exact full scan (``False``); ``None`` (default) leaves the
-        choice to the server's configured default.
+        choice to the server's configured default.  *stream* asks a
+        cluster router to emit per-shard ``partial`` lines (collect
+        them with :meth:`collect_stream`).
         """
         if isinstance(sequence, Sequence):
             text = sequence.text
@@ -124,8 +128,24 @@ class SearchClient:
         if id is None:
             self._submitted += 1
             id = f"c{self._submitted}"
-        self._send(protocol.query_request(text, id=id, top=top, pipeline=pipeline))
+        self._send(
+            protocol.query_request(text, id=id, top=top, pipeline=pipeline, stream=stream)
+        )
         return id
+
+    def collect_stream(self, id: str):
+        """Yield messages for one streamed query: any ``partial`` lines
+        first, the terminal ``result``/``rejected``/``error`` last.
+
+        Only meaningful after :meth:`submit` with ``stream=True``
+        against a cluster router; a single service simply yields the
+        terminal message.
+        """
+        while True:
+            message = self._next_of_types(("partial", "result", "rejected", "error"))
+            yield message
+            if message.get("type") != "partial":
+                return
 
     def collect(self, count: int) -> list[dict]:
         """Wait for *count* query outcomes (``result`` / ``rejected`` /
@@ -140,11 +160,16 @@ class SearchClient:
         sequences: "list[Sequence | str]",
         top: int | None = None,
         pipeline: bool | None = None,
+        retry: RetryPolicy | None = None,
     ) -> list[dict]:
         """Submit every sequence, then gather all outcomes.
 
         Outcomes are re-ordered to match *sequences* (correlated by
-        id); duplicate ids come back in completion order.
+        id); duplicate ids come back in completion order.  With a
+        *retry* policy, outcomes the server marked retryable
+        (``rejected`` backpressure, retryable ``error``) are
+        resubmitted one by one after their ``retry_after_s`` hint —
+        see :mod:`repro.service.retry`.
         """
         ids = [self.submit(s, top=top, pipeline=pipeline) for s in sequences]
         outcomes = self.collect(len(ids))
@@ -152,12 +177,17 @@ class SearchClient:
         for outcome in outcomes:
             by_id.setdefault(str(outcome.get("id")), []).append(outcome)
         ordered = []
-        for qid in ids:
+        for qid, sequence in zip(ids, sequences):
             bucket = by_id.get(qid)
             if bucket:
-                ordered.append(bucket.pop(0))
+                outcome = bucket.pop(0)
             else:  # pragma: no cover - server answered an unknown id
                 raise ServiceUnavailable(f"no response for query {qid!r}")
+            if retry is not None and is_retryable(outcome):
+                outcome = self.query(
+                    sequence, top=top, pipeline=pipeline, retry=retry, id=qid
+                )
+            ordered.append(outcome)
         return ordered
 
     def query(
@@ -165,10 +195,24 @@ class SearchClient:
         sequence: "Sequence | str",
         top: int | None = None,
         pipeline: bool | None = None,
+        retry: RetryPolicy | None = None,
+        id: str | None = None,
     ) -> dict:
-        """Submit one query and wait for its outcome."""
-        self.submit(sequence, top=top, pipeline=pipeline)
-        return self.collect(1)[0]
+        """Submit one query and wait for its outcome.
+
+        With a *retry* policy, ``rejected`` and retryable ``error``
+        outcomes are resubmitted (honoring the server's
+        ``retry_after_s`` hint, jitter-capped) up to the policy's
+        attempt budget; the last outcome is returned either way.
+        """
+
+        def attempt() -> dict:
+            self.submit(sequence, top=top, pipeline=pipeline, id=id)
+            return self.collect(1)[0]
+
+        if retry is None:
+            return attempt()
+        return run_with_retry(attempt, retry)
 
     # -- control verbs -------------------------------------------------
 

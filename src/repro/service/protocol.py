@@ -54,6 +54,7 @@ __all__ = [
     "encode_message",
     "error_response",
     "metrics_response",
+    "partial_response",
     "pong_response",
     "query_request",
     "read_message",
@@ -72,8 +73,19 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: Verbs a client may send.
 REQUEST_VERBS = ("query", "stats", "metrics", "ping", "shutdown")
 
-#: Types a server may answer with.
-RESPONSE_TYPES = ("result", "rejected", "error", "stats", "metrics", "pong", "bye")
+#: Types a server may answer with.  ``partial`` is only emitted by the
+#: cluster router, and only to clients that asked for streaming
+#: (``"stream": true`` on the query) — see :func:`partial_response`.
+RESPONSE_TYPES = (
+    "result",
+    "partial",
+    "rejected",
+    "error",
+    "stats",
+    "metrics",
+    "pong",
+    "bye",
+)
 
 
 class WireError(ValueError):
@@ -136,12 +148,15 @@ def query_request(
     id: str | None = None,
     top: int | None = None,
     pipeline: bool | None = None,
+    stream: bool | None = None,
 ) -> dict:
     """Build a ``query`` request.
 
     ``pipeline`` asks the server to score this query with the heuristic
     filter cascade (``True``) or the exact full scan (``False``);
     omitted (``None``) defers to the server's configured default.
+    ``stream`` asks the cluster router to emit a ``partial`` line per
+    shard as each shard answers (single services ignore it).
     """
     message = {"verb": "query", "sequence": sequence}
     if id is not None:
@@ -150,6 +165,8 @@ def query_request(
         message["top"] = top
     if pipeline is not None:
         message["pipeline"] = bool(pipeline)
+    if stream is not None:
+        message["stream"] = bool(stream)
     return message
 
 
@@ -159,15 +176,44 @@ def result_response(
     latency_s: float,
     queue_wait_s: float,
     worker: str,
+    partial: bool | None = None,
+    shards_failed: list[str] | None = None,
 ) -> dict:
-    """One completed query: hit list plus service-side timing."""
-    return {
+    """One completed query: hit list plus service-side timing.
+
+    The cluster router sets ``partial=True`` (and names the
+    ``shards_failed``) when one or more shards could not contribute
+    before the deadline — the hit list then covers only the surviving
+    shards, mirroring ``SearchReport.quarantined`` degradation.
+    Single services omit both fields.
+    """
+    message = {
         "type": "result",
         "id": id,
         "hits": [[subject, int(score)] for subject, score in hits],
         "latency_s": latency_s,
         "queue_wait_s": queue_wait_s,
         "worker": worker,
+    }
+    if partial is not None:
+        message["partial"] = bool(partial)
+    if shards_failed:
+        message["shards_failed"] = list(shards_failed)
+    return message
+
+
+def partial_response(
+    id: str, shard: str, hits: list[tuple[str, int]], latency_s: float
+) -> dict:
+    """One shard's un-merged hit list, streamed by the router as the
+    shard answers (only when the query asked ``"stream": true``).  The
+    final merged ``result`` line still follows."""
+    return {
+        "type": "partial",
+        "id": id,
+        "shard": shard,
+        "hits": [[subject, int(score)] for subject, score in hits],
+        "latency_s": latency_s,
     }
 
 

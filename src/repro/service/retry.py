@@ -1,0 +1,112 @@
+"""Bounded, jittered retry of retryable service outcomes.
+
+The service answers backpressure with ``{"type": "rejected",
+"retry_after_s": ...}`` and transient worker loss with a *retryable*
+``error``.  Both direct clients (:class:`~repro.service.client.
+SearchClient`) and the cluster router resubmit such outcomes through
+this one helper, so the retry contract — honor the server's
+``retry_after_s`` hint, cap it, add bounded jitter so a herd of
+bounced clients does not resubmit in lockstep, give up after a fixed
+attempt budget — lives in exactly one place.
+
+The helper is transport-agnostic: it drives any zero-argument callable
+returning an outcome dict in the wire shape, and never retries
+outcomes the server marked terminal (a non-retryable ``error`` or a
+``result``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["RetryPolicy", "is_retryable", "retry_delay_s", "run_with_retry"]
+
+#: Hint used when a retryable outcome carries no ``retry_after_s``.
+_FALLBACK_RETRY_AFTER_S = 0.05
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How rejected / retryable outcomes are resubmitted.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries, the first submission included (``1`` = no retry).
+    jitter_cap_s:
+        Upper bound on the uniform random jitter added to every delay
+        (``0`` disables jitter — useful for deterministic tests).
+    max_delay_s:
+        Cap on the server's ``retry_after_s`` hint, so a pathological
+        hint can never park a client for minutes.
+    """
+
+    max_attempts: int = 3
+    jitter_cap_s: float = 0.05
+    max_delay_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.jitter_cap_s < 0:
+            raise ValueError(f"jitter_cap_s must be >= 0, got {self.jitter_cap_s}")
+        if self.max_delay_s <= 0:
+            raise ValueError(f"max_delay_s must be > 0, got {self.max_delay_s}")
+
+
+def is_retryable(outcome: dict) -> bool:
+    """Whether an outcome dict may be resubmitted verbatim.
+
+    ``rejected`` (backpressure) and ``error`` responses the server
+    explicitly flagged ``retryable`` qualify; results and terminal
+    errors never do.
+    """
+    kind = outcome.get("type")
+    if kind == "rejected":
+        return True
+    return kind == "error" and bool(outcome.get("retryable"))
+
+
+def retry_delay_s(
+    outcome: dict, policy: RetryPolicy, rng: random.Random | None = None
+) -> float:
+    """Delay before resubmitting *outcome*: the server's capped
+    ``retry_after_s`` hint plus bounded uniform jitter."""
+    hint = outcome.get("retry_after_s")
+    if not isinstance(hint, (int, float)) or hint < 0:
+        hint = _FALLBACK_RETRY_AFTER_S
+    delay = min(float(hint), policy.max_delay_s)
+    if policy.jitter_cap_s > 0:
+        delay += (rng or random).uniform(0.0, policy.jitter_cap_s)
+    return delay
+
+
+def run_with_retry(
+    attempt: Callable[[], dict],
+    policy: RetryPolicy | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: random.Random | None = None,
+    on_retry: Callable[[dict, int, float], None] | None = None,
+) -> dict:
+    """Run *attempt* until it yields a non-retryable outcome or the
+    attempt budget runs out; returns the last outcome either way.
+
+    *on_retry* (if given) observes ``(outcome, attempt_number,
+    delay_s)`` before each resubmission — the router uses it to count
+    upstream retries in its metrics.
+    """
+    policy = policy or RetryPolicy()
+    outcome = attempt()
+    for attempt_number in range(2, policy.max_attempts + 1):
+        if not is_retryable(outcome):
+            return outcome
+        delay = retry_delay_s(outcome, policy, rng)
+        if on_retry is not None:
+            on_retry(outcome, attempt_number, delay)
+        if delay > 0:
+            sleep(delay)
+        outcome = attempt()
+    return outcome

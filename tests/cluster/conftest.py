@@ -1,0 +1,53 @@
+"""Shared fixtures for the cluster-plane tests.
+
+Shard services run with one CPU worker and the threads backend — the
+smallest real :class:`~repro.service.server.SearchService` — so the
+cluster tests exercise true process fan-out without long warm-ups.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import live_search
+from repro.sequences import small_database, standard_query_set
+
+TOP = 5
+
+#: SearchService settings applied to every spawned shard in tests.
+SERVICE_KWARGS = dict(
+    num_cpu_workers=1, num_gpu_workers=0, backend="threads", top_hits=TOP
+)
+
+
+def wait_until(predicate, timeout_s=15.0, interval_s=0.05, message="condition"):
+    """Poll *predicate* until it holds or *timeout_s* elapses."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval_s)
+    raise AssertionError(f"timed out after {timeout_s}s waiting for {message}")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return small_database(num_sequences=24, mean_length=60, seed=41)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return list(standard_query_set(count=6).scaled(0.01).materialize(seed=42))
+
+
+@pytest.fixture(scope="module")
+def reference(db, queries):
+    """Unsharded in-process oracle over the same database."""
+    report = live_search(
+        queries, db, num_cpu_workers=1, num_gpu_workers=0,
+        policy="swdual", top_hits=TOP,
+    )
+    return {
+        qr.query_id: [[h.subject_id, h.score] for h in qr.hits]
+        for qr in report.query_results
+    }

@@ -1,0 +1,108 @@
+"""Acceptance: a 3-shard cluster answers bit-identically to one
+unsharded SearchService — exact full-scan and heuristic pipeline modes
+alike, score ties included.
+
+The oracle is a real (unsharded) service process answering the same
+wire queries, not an in-process search: this pins the whole stack —
+protocol, admission, shard scan, scatter-gather merge — to the single
+service's observable behaviour.
+"""
+
+import threading
+
+import pytest
+
+from repro.cluster import ScatterGatherRouter, ShardManager
+from repro.sequences import Sequence, SequenceDatabase, small_database
+from repro.service import SearchClient, SearchService
+
+from tests.cluster.conftest import SERVICE_KWARGS, TOP
+
+
+@pytest.fixture(scope="module")
+def tie_db():
+    """Duplicated sequences spread across shard cut points, so the
+    merge must reproduce the single service's tie ordering exactly."""
+    base = small_database(num_sequences=18, mean_length=50, seed=77)
+    clones = [
+        Sequence(id=f"dup{i}_{c}", codes=base[i].codes)
+        for c in range(2)
+        for i in range(6)
+    ]
+    return SequenceDatabase("conformance", list(base) + clones)
+
+
+@pytest.fixture(scope="module")
+def oracle_service(tie_db):
+    service = SearchService(tie_db, port=0, **SERVICE_KWARGS)
+    service.start()
+    yield service
+    service.shutdown()
+
+
+@pytest.fixture(scope="module")
+def cluster(tie_db):
+    with ShardManager(
+        database=tie_db, num_shards=3, service_kwargs=SERVICE_KWARGS
+    ) as manager:
+        with ScatterGatherRouter(manager, top_hits=TOP) as router:
+            yield router
+
+
+@pytest.fixture(scope="module")
+def conformance_queries(queries, tie_db):
+    # The standard query set plus a verbatim database sequence: a
+    # guaranteed perfect self-hit shared by every duplicate clone —
+    # the hardest tie the merge can face.
+    return list(queries[:4]) + [Sequence(id="selfhit", codes=tie_db[0].codes)]
+
+
+def _ask(port, sequence, pipeline):
+    with SearchClient("127.0.0.1", port, timeout=60.0) as client:
+        outcome = client.query(sequence, top=TOP, pipeline=pipeline)
+    assert outcome["type"] == "result", outcome
+    return outcome
+
+
+@pytest.mark.parametrize("pipeline", [False, True], ids=["exact", "pipeline"])
+def test_cluster_matches_unsharded_service(
+    oracle_service, cluster, conformance_queries, pipeline
+):
+    for q in conformance_queries:
+        expected = _ask(oracle_service.port, q, pipeline)
+        got = _ask(cluster.port, q, pipeline)
+        assert not got.get("partial"), got
+        assert got["hits"] == expected["hits"], (q.id, pipeline)
+
+
+def test_concurrent_clients_stay_conformant(
+    oracle_service, cluster, conformance_queries
+):
+    """Several clients hammering the router concurrently must each see
+    the oracle's exact hit lists (no cross-query state bleed)."""
+    expected = {
+        q.id: _ask(oracle_service.port, q, False)["hits"]
+        for q in conformance_queries
+    }
+    failures = []
+
+    def one_client(offset):
+        try:
+            with SearchClient("127.0.0.1", cluster.port, timeout=60.0) as client:
+                ordered = list(conformance_queries)
+                ordered = ordered[offset:] + ordered[:offset]
+                for q in ordered:
+                    outcome = client.query(q, top=TOP)
+                    if outcome["hits"] != expected[q.id]:
+                        failures.append((offset, q.id, outcome))
+        except Exception as exc:  # noqa: BLE001 - surfaced via failures
+            failures.append((offset, "exception", repr(exc)))
+
+    threads = [
+        threading.Thread(target=one_client, args=(i,)) for i in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not failures, failures

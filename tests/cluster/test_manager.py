@@ -1,0 +1,150 @@
+"""ShardManager lifecycle: spawn, supervise, restart, adopt."""
+
+import pytest
+
+from repro.cluster import ClusterTopology, ShardEndpoint, ShardManager
+from repro.sequences import small_database
+
+from tests.cluster.conftest import SERVICE_KWARGS, wait_until
+
+
+@pytest.fixture(scope="module")
+def manager(db):
+    with ShardManager(
+        database=db,
+        num_shards=2,
+        service_kwargs=SERVICE_KWARGS,
+        health_interval_s=0.2,
+    ) as m:
+        yield m
+
+
+class TestValidation:
+    def test_needs_exactly_one_source(self, db):
+        topo = ClusterTopology("t", (ShardEndpoint("s0", "127.0.0.1", 7731),))
+        with pytest.raises(ValueError, match="exactly one"):
+            ShardManager(database=db, topology=topo)
+        with pytest.raises(ValueError, match="exactly one"):
+            ShardManager()
+
+    def test_negative_restart_budget(self, db):
+        with pytest.raises(ValueError, match="max_restarts"):
+            ShardManager(database=db, max_restarts=-1)
+
+    def test_oversized_shard_count_clamps_and_warns(self):
+        tiny = small_database(num_sequences=3, mean_length=30, seed=7)
+        with pytest.warns(UserWarning, match="clamp"):
+            manager = ShardManager(database=tiny, num_shards=10)
+        # Never started, nothing to close — but close() must be safe.
+        assert len(manager.shard_names) == 3
+        manager.close()
+
+
+class TestSpawnedCluster:
+    def test_every_shard_serves(self, manager):
+        assert manager.shard_names == ["shard0", "shard1"]
+        endpoints = manager.endpoints()
+        assert all(e is not None for e in endpoints.values())
+        for endpoint in endpoints.values():
+            assert ShardManager._ping(endpoint)
+
+    def test_topology_roundtrip(self, manager):
+        topo = manager.topology()
+        assert [e.name for e in topo] == manager.shard_names
+        for name in manager.shard_names:
+            assert topo.endpoint(name) == manager.endpoints()[name]
+
+    def test_snapshot_shape(self, manager):
+        snap = manager.snapshot()
+        assert set(snap) == set(manager.shard_names)
+        for entry in snap.values():
+            assert entry["owned"] is True
+            assert entry["state"] == "up"
+            assert entry["pid"] is not None
+            assert entry["endpoint"] is not None
+
+    def test_kill_is_restarted_by_supervision(self, manager):
+        changed = []
+        manager.on_change(changed.append)
+        before = manager.snapshot()["shard1"]["restarts"]
+        old_pid = manager.pid("shard1")
+        manager.kill_shard("shard1")
+        wait_until(
+            lambda: (
+                manager.snapshot()["shard1"]["state"] == "up"
+                and manager.pid("shard1") not in (None, old_pid)
+            ),
+            message="supervisor restart of shard1",
+        )
+        snap = manager.snapshot()["shard1"]
+        assert snap["restarts"] == before + 1
+        assert ShardManager._ping(manager.endpoints()["shard1"])
+        assert "shard1" in changed
+        manager.on_change(None)
+
+    def test_rolling_restart_keeps_cluster_up(self, manager):
+        old_pids = {name: manager.pid(name) for name in manager.shard_names}
+        manager.rolling_restart(settle_timeout_s=30.0)
+        for name in manager.shard_names:
+            assert manager.pid(name) != old_pids[name]
+            assert ShardManager._ping(manager.endpoints()[name])
+            assert manager.snapshot()[name]["state"] == "up"
+
+
+class TestRestartBudget:
+    def test_exhausted_budget_marks_failed(self, db):
+        with ShardManager(
+            database=db,
+            num_shards=2,
+            service_kwargs=SERVICE_KWARGS,
+            max_restarts=0,
+            health_interval_s=0.1,
+        ) as manager:
+            manager.kill_shard("shard0")
+            wait_until(
+                lambda: manager.snapshot()["shard0"]["state"] == "failed",
+                message="shard0 to exhaust its restart budget",
+            )
+            # The other shard is untouched.
+            assert manager.snapshot()["shard1"]["state"] == "up"
+
+
+class TestAdoptedCluster:
+    def test_adopt_pings_and_tracks_liveness(self, manager):
+        adopted = ShardManager(topology=manager.topology(), health_interval_s=30.0)
+        try:
+            adopted.start()
+            snap = adopted.snapshot()
+            assert all(entry["state"] == "up" for entry in snap.values())
+            assert all(entry["owned"] is False for entry in snap.values())
+        finally:
+            adopted.close()
+        # Closing an adopted manager must not stop the real shards.
+        for endpoint in manager.endpoints().values():
+            assert ShardManager._ping(endpoint)
+
+    def test_adopted_dead_endpoint_goes_down(self):
+        # Nothing listens on this port (bound then released).
+        import socket
+
+        with socket.create_server(("127.0.0.1", 0)) as s:
+            port = s.getsockname()[1]
+        topo = ClusterTopology("t", (ShardEndpoint("ghost", "127.0.0.1", port),))
+        adopted = ShardManager(topology=topo, health_interval_s=30.0)
+        try:
+            adopted.start()
+            assert adopted.snapshot()["ghost"]["state"] == "down"
+        finally:
+            adopted.close()
+
+    def test_adopted_shards_cannot_be_restarted_here(self, manager):
+        adopted = ShardManager(topology=manager.topology(), health_interval_s=30.0)
+        try:
+            adopted.start()
+            name = manager.shard_names[0]
+            with pytest.raises(ValueError, match="adopted"):
+                adopted.restart_shard(name)
+            with pytest.raises(ValueError, match="no running process"):
+                adopted.kill_shard(name)
+        finally:
+            adopted.close()

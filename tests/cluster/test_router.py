@@ -1,0 +1,561 @@
+"""ScatterGatherRouter: fan-out, merge exactness, failure degradation.
+
+Two kinds of shard sit behind the router here: real spawned
+SearchService processes (end-to-end paths, SIGKILL drill) and scripted
+in-process NDJSON servers (deterministic reject/error/stall behaviour
+that a real service only shows under race-prone load).
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterTopology,
+    ScatterGatherRouter,
+    ShardEndpoint,
+    ShardManager,
+)
+from repro.cluster.router import ShardFailure
+from repro.engine import Hit, QueryResult, merge_query_results
+from repro.service import RetryPolicy, SearchClient
+
+from tests.cluster.conftest import SERVICE_KWARGS, TOP, wait_until
+
+
+# -- scripted shard ----------------------------------------------------
+
+
+class ScriptedShard:
+    """A minimal NDJSON shard whose query answers follow a script.
+
+    ``script`` is a callable ``(message_dict, query_number) -> dict |
+    None``; returning ``None`` leaves the query unanswered (stall).
+    Non-query verbs get just enough protocol to satisfy the manager.
+    """
+
+    def __init__(self, script):
+        self.script = script
+        self.queries_seen = 0
+        self._lock = threading.Lock()
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self._sock.settimeout(0.1)
+        self.port = self._sock.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._thread.start()
+
+    def endpoint(self, name):
+        return ShardEndpoint(name, "127.0.0.1", self.port)
+
+    def close(self):
+        self._stop.set()
+        self._sock.close()
+        self._thread.join(timeout=5)
+
+    def _accept_loop(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn):
+        try:
+            reader = conn.makefile("rb")
+            while not self._stop.is_set():
+                line = reader.readline()
+                if not line:
+                    return
+                message = json.loads(line)
+                if message.get("verb") == "ping":
+                    reply = {"type": "pong"}
+                elif message.get("verb") == "query":
+                    with self._lock:
+                        self.queries_seen += 1
+                        number = self.queries_seen
+                    reply = self.script(message, number)
+                    if reply is None:
+                        continue  # stall: never answer this query
+                else:
+                    reply = {"type": "error", "reason": "unsupported"}
+                conn.sendall(json.dumps(reply).encode() + b"\n")
+        except (OSError, ValueError):
+            pass
+        finally:
+            conn.close()
+
+
+def result_script(hits):
+    """A script that always answers with the same hit list."""
+
+    def script(message, number):
+        return {"type": "result", "id": message.get("id"), "hits": hits}
+
+    return script
+
+
+def scripted_router(shards, **kwargs):
+    """Router over a static topology of ScriptedShards."""
+    topo = ClusterTopology(
+        "scripted",
+        tuple(s.endpoint(f"shard{i}") for i, s in enumerate(shards)),
+    )
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=2, jitter_cap_s=0.0))
+    return ScatterGatherRouter(topo, **kwargs)
+
+
+# -- real-cluster fixtures ---------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cluster(db):
+    with ShardManager(
+        database=db,
+        num_shards=3,
+        service_kwargs=SERVICE_KWARGS,
+        health_interval_s=0.2,
+    ) as manager:
+        with ScatterGatherRouter(manager, top_hits=TOP) as router:
+            yield manager, router
+
+
+@pytest.fixture
+def client(cluster):
+    _, router = cluster
+    with SearchClient("127.0.0.1", router.port, timeout=30.0) as c:
+        yield c
+
+
+# -- construction ------------------------------------------------------
+
+
+class TestValidation:
+    def _topo(self):
+        return ClusterTopology("t", (ShardEndpoint("s0", "127.0.0.1", 7731),))
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError, match="top_hits"):
+            ScatterGatherRouter(self._topo(), top_hits=0)
+        with pytest.raises(ValueError, match="max_in_flight"):
+            ScatterGatherRouter(self._topo(), max_in_flight=0)
+        with pytest.raises(ValueError, match="ewma_alpha"):
+            ScatterGatherRouter(self._topo(), ewma_alpha=1.5)
+
+    def test_double_start_rejected(self):
+        shard = ScriptedShard(result_script([]))
+        try:
+            with scripted_router([shard]) as router:
+                with pytest.raises(RuntimeError, match="already started"):
+                    router.start()
+        finally:
+            shard.close()
+
+
+# -- end-to-end over real shards ---------------------------------------
+
+
+class TestFanOut:
+    def test_merged_topk_bit_identical_to_oracle(self, client, queries, reference):
+        for q in queries:
+            outcome = client.query(q, top=TOP)
+            assert outcome["type"] == "result"
+            assert not outcome.get("partial")
+            assert outcome["hits"] == reference[q.id], q.id
+
+    def test_worker_field_reports_fanout(self, client, queries):
+        outcome = client.query(queries[0], top=TOP)
+        assert outcome["worker"] == "router[3/3]"
+
+    def test_top_capped_at_router_limit(self, client, queries):
+        outcome = client.query(queries[0], top=TOP + 50)
+        assert outcome["type"] == "result"
+        assert len(outcome["hits"]) <= TOP
+
+    def test_streamed_partials_then_result(self, client, cluster, queries, reference):
+        manager, _ = cluster
+        qid = client.submit(queries[0], top=TOP, stream=True)
+        messages = list(client.collect_stream(qid))
+        partials, terminal = messages[:-1], messages[-1]
+        assert sorted(p["shard"] for p in partials) == manager.shard_names
+        assert all(p["type"] == "partial" for p in partials)
+        assert terminal["type"] == "result"
+        assert terminal["hits"] == reference[queries[0].id]
+        assert all(p["latency_s"] >= 0 for p in partials)
+
+    def test_protocol_errors(self, client):
+        client._send({"verb": "query"})  # no sequence
+        assert client.collect(1)[0]["type"] == "error"
+        client._send({"verb": "query", "sequence": "ACDE", "top": 0})
+        assert client.collect(1)[0]["type"] == "error"
+        client._send({"verb": "query", "sequence": "ACDE", "pipeline": "yes"})
+        assert client.collect(1)[0]["type"] == "error"
+        client._send({"verb": "frobnicate"})
+        outcome = client.collect(1)[0]
+        assert outcome["type"] == "error"
+        assert "unknown verb" in outcome["reason"]
+
+    def test_ping(self, client):
+        assert client.ping()
+
+
+class TestIntrospection:
+    def test_stats_snapshot(self, client, cluster, queries):
+        manager, _ = cluster
+        client.query(queries[0], top=TOP)
+        snapshot = client.stats()
+        assert snapshot["kind"] == "router"
+        assert snapshot["topology"] == {"shards": 3, "managed": True}
+        assert snapshot["requests"]["received"] >= 1
+        assert snapshot["requests"]["completed"] >= 1
+        assert set(snapshot["shards"]) == set(manager.shard_names)
+        for shard in snapshot["shards"].values():
+            assert shard["queries"] >= 1
+            assert shard["endpoint"] is not None
+        assert set(snapshot["supervision"]) == set(manager.shard_names)
+
+    def test_prometheus_metrics(self, client, queries):
+        client.query(queries[0], top=TOP)
+        body = client.metrics()
+        assert "swdual_router_queries_total" in body
+        assert 'swdual_router_shard_queries_total{shard="shard0"}' in body
+        assert "swdual_router_latency_seconds" in body
+
+
+class TestFailureDegradation:
+    def test_sigkill_mid_flight_degrades_to_partial_then_recovers(
+        self, db, queries, reference
+    ):
+        with ShardManager(
+            database=db,
+            num_shards=3,
+            service_kwargs=SERVICE_KWARGS,
+            health_interval_s=0.2,
+        ) as manager:
+            with ScatterGatherRouter(
+                manager, top_hits=TOP, shard_timeout_s=5.0,
+                retry=RetryPolicy(max_attempts=2, jitter_cap_s=0.0),
+            ) as router:
+                with SearchClient("127.0.0.1", router.port, timeout=60.0) as c:
+                    assert c.query(queries[0], top=TOP)["hits"] == (
+                        reference[queries[0].id]
+                    )
+                    victim_pid = manager.pid("shard1")
+                    manager.kill_shard("shard1")
+                    started = time.monotonic()
+                    outcome = c.query(queries[1], top=TOP, id="drill")
+                    elapsed = time.monotonic() - started
+                    # Never a hang: bounded by the shard timeout budget,
+                    # and in practice a dead TCP peer fails fast.
+                    assert elapsed < 30.0
+                    assert outcome["type"] == "result"
+                    assert outcome["partial"] is True
+                    assert outcome["shards_failed"] == ["shard1"]
+                    # Survivors' merged hits are the oracle's minus
+                    # anything only shard1 held — verify it is exactly
+                    # the merge over the two live shards.
+                    assert len(outcome["hits"]) >= 1
+                    # Supervisor brings shard1 back; full answers resume.
+                    wait_until(
+                        lambda: (
+                            manager.snapshot()["shard1"]["state"] == "up"
+                            and manager.pid("shard1") not in (None, victim_pid)
+                        ),
+                        timeout_s=30.0,
+                        message="shard1 restart",
+                    )
+                    wait_until(
+                        lambda: not c.query(queries[2], top=TOP).get("partial"),
+                        timeout_s=20.0,
+                        message="full (non-partial) answers to resume",
+                    )
+                    final = c.query(queries[3], top=TOP)
+                    assert final["hits"] == reference[queries[3].id]
+                    assert not final.get("partial")
+
+    def test_all_shards_down_is_retryable_error_not_hang(self):
+        # Bind-then-release two ports so nothing listens on them.
+        ports = []
+        for _ in range(2):
+            with socket.create_server(("127.0.0.1", 0)) as s:
+                ports.append(s.getsockname()[1])
+        topo = ClusterTopology(
+            "dead",
+            tuple(
+                ShardEndpoint(f"shard{i}", "127.0.0.1", p)
+                for i, p in enumerate(ports)
+            ),
+        )
+        with ScatterGatherRouter(
+            topo, top_hits=TOP, shard_timeout_s=2.0,
+            retry=RetryPolicy(max_attempts=1),
+        ) as router:
+            with SearchClient("127.0.0.1", router.port, timeout=30.0) as c:
+                started = time.monotonic()
+                outcome = c.query("ACDEFGHIKL", top=TOP)
+                assert time.monotonic() - started < 15.0
+                assert outcome["type"] == "error"
+                assert outcome["retryable"] is True
+                assert "all 2 shards failed" in outcome["reason"]
+
+
+class TestScriptedFailures:
+    def test_shard_reject_is_retried_per_hint(self):
+        def reject_once(message, number):
+            if number == 1:
+                return {
+                    "type": "rejected",
+                    "id": message.get("id"),
+                    "reason": "busy",
+                    "retry_after_s": 0.0,
+                }
+            return {"type": "result", "id": message.get("id"), "hits": [["s1", 9]]}
+
+        shard = ScriptedShard(reject_once)
+        try:
+            with scripted_router([shard], top_hits=TOP) as router:
+                with SearchClient("127.0.0.1", router.port, timeout=10.0) as c:
+                    outcome = c.query("ACDEFGHIKL", top=TOP)
+                assert outcome["type"] == "result"
+                assert outcome["hits"] == [["s1", 9]]
+                assert not outcome.get("partial")
+                assert shard.queries_seen == 2
+                assert router.stats.upstream_retries.value == 1
+        finally:
+            shard.close()
+
+    def test_terminal_shard_error_degrades_to_partial(self):
+        good = ScriptedShard(result_script([["good", 7]]))
+        bad = ScriptedShard(
+            lambda message, number: {
+                "type": "error",
+                "id": message.get("id"),
+                "reason": "shard exploded",
+                "retryable": False,
+            }
+        )
+        try:
+            with scripted_router([good, bad], top_hits=TOP) as router:
+                with SearchClient("127.0.0.1", router.port, timeout=10.0) as c:
+                    outcome = c.query("ACDEFGHIKL", top=TOP)
+                assert outcome["type"] == "result"
+                assert outcome["partial"] is True
+                assert outcome["shards_failed"] == ["shard1"]
+                assert outcome["hits"] == [["good", 7]]
+        finally:
+            good.close()
+            bad.close()
+
+    def test_stalled_shard_times_out_to_partial(self):
+        good = ScriptedShard(result_script([["good", 7]]))
+        stalled = ScriptedShard(lambda message, number: None)
+        try:
+            with scripted_router(
+                [good, stalled], top_hits=TOP, shard_timeout_s=0.5,
+                retry=RetryPolicy(max_attempts=1),
+            ) as router:
+                with SearchClient("127.0.0.1", router.port, timeout=30.0) as c:
+                    started = time.monotonic()
+                    outcome = c.query("ACDEFGHIKL", top=TOP)
+                    elapsed = time.monotonic() - started
+                assert elapsed < 10.0
+                assert outcome["type"] == "result"
+                assert outcome["partial"] is True
+                assert outcome["shards_failed"] == ["shard1"]
+                assert outcome["hits"] == [["good", 7]]
+        finally:
+            good.close()
+            stalled.close()
+
+    def test_backpressure_rejects_with_hint(self):
+        gate = threading.Event()
+
+        def gated(message, number):
+            gate.wait(timeout=30.0)
+            return {"type": "result", "id": message.get("id"), "hits": []}
+
+        shard = ScriptedShard(gated)
+        try:
+            with scripted_router([shard], top_hits=TOP, max_in_flight=1) as router:
+                with SearchClient("127.0.0.1", router.port, timeout=30.0) as held:
+                    held.submit("ACDEFGHIKL", top=TOP)
+                    wait_until(
+                        lambda: shard.queries_seen >= 1,
+                        message="first query to reach the shard",
+                    )
+                    with SearchClient("127.0.0.1", router.port, timeout=10.0) as c:
+                        bounced = c.query("ACDEFGHIKL", top=TOP)
+                    assert bounced["type"] == "rejected"
+                    assert bounced["retry_after_s"] > 0
+                    assert router.stats.rejected.value == 1
+                    gate.set()
+                    assert held.collect(1)[0]["type"] == "result"
+        finally:
+            gate.set()
+            shard.close()
+
+
+# -- speculative top-k credit ------------------------------------------
+
+
+class TestSpeculativeCredit:
+    def _router(self, names=("shard0", "shard1")):
+        topo = ClusterTopology(
+            "spec",
+            tuple(
+                ShardEndpoint(n, "127.0.0.1", 7731 + i)
+                for i, n in enumerate(names)
+            ),
+        )
+        return ScatterGatherRouter(topo, top_hits=8)
+
+    def _warm(self, router, latencies):
+        for name, latency in latencies.items():
+            for _ in range(8):
+                router._observe_latency(name, latency)
+
+    def test_full_depth_until_warm(self):
+        router = self._router()
+        assert router._speculative_k("shard0", 8) == 8
+        # One shard warm, the other cold: still full depth everywhere.
+        self._warm(router, {"shard0": 0.1})
+        assert router._speculative_k("shard1", 8) == 8
+
+    def test_slower_shard_gets_smaller_k(self):
+        router = self._router()
+        self._warm(router, {"shard0": 0.1, "shard1": 0.4})
+        assert router._speculative_k("shard0", 8) == 8  # fastest: full depth
+        assert router._speculative_k("shard1", 8) == 2  # 8 * (0.1/0.4)
+        # Floor at 1 even for extreme ratios.
+        router2 = self._router()
+        self._warm(router2, {"shard0": 0.001, "shard1": 10.0})
+        assert router2._speculative_k("shard1", 8) == 1
+
+    def test_disabled_speculation_always_full_depth(self):
+        topo = ClusterTopology(
+            "spec",
+            (
+                ShardEndpoint("shard0", "127.0.0.1", 7731),
+                ShardEndpoint("shard1", "127.0.0.1", 7732),
+            ),
+        )
+        router = ScatterGatherRouter(topo, top_hits=8, speculative=False)
+        self._warm(router, {"shard0": 0.1, "shard1": 0.4})
+        assert router._speculative_k("shard1", 8) == 8
+
+    def test_refinement_requeries_truncated_shard(self):
+        """A shallow shard whose lowest hit could still place must be
+        re-asked at full depth — and the final merge must match what a
+        full-depth scatter would have produced."""
+        full = {
+            "shard0": [("a", 50), ("b", 40), ("c", 30)],
+            "shard1": [("d", 45), ("e", 44), ("f", 43)],
+        }
+        router = self._router()
+        asked_at = {}
+
+        def fake_ask(name, text, query_id, k, pipeline):
+            asked_at[name] = k
+            return {
+                "type": "result",
+                "id": query_id,
+                "hits": [list(h) for h in full[name][:k]],
+            }
+
+        router._ask_shard = fake_ask
+        top = 3
+        # Speculation asked shard1 for only 1 hit; its lowest returned
+        # score (45) beats the provisional kth (30) → refinement.
+        gathered = {
+            "shard0": (
+                QueryResult(
+                    query_id="q",
+                    hits=tuple(Hit(subject_id=s, score=v) for s, v in full["shard0"]),
+                ),
+                top,
+            ),
+            "shard1": (
+                QueryResult(query_id="q", hits=(Hit(subject_id="d", score=45),)),
+                1,
+            ),
+        }
+        merged = router._merge_with_refinement(gathered, "SEQ", "q", top, None)
+        oracle = merge_query_results(
+            [
+                QueryResult(
+                    query_id="q",
+                    hits=tuple(Hit(subject_id=s, score=v) for s, v in hits),
+                )
+                for hits in full.values()
+            ],
+            top=top,
+        )
+        assert [(h.subject_id, h.score) for h in merged.hits] == [
+            (h.subject_id, h.score) for h in oracle.hits
+        ]
+        assert asked_at == {"shard1": top}
+        assert router.stats.refinements.value == 1
+
+    def test_refinement_failure_keeps_truncated_list(self):
+        router = self._router()
+
+        def dying_ask(name, text, query_id, k, pipeline):
+            raise ShardFailure(f"{name}: gone")
+
+        router._ask_shard = dying_ask
+        gathered = {
+            "shard0": (
+                QueryResult(
+                    query_id="q",
+                    hits=(Hit(subject_id="a", score=50), Hit(subject_id="b", score=40)),
+                ),
+                3,
+            ),
+            "shard1": (
+                QueryResult(query_id="q", hits=(Hit(subject_id="d", score=45),)),
+                1,
+            ),
+        }
+        merged = router._merge_with_refinement(gathered, "SEQ", "q", 3, None)
+        assert [(h.subject_id, h.score) for h in merged.hits] == [
+            ("a", 50), ("d", 45), ("b", 40),
+        ]
+
+    def test_satisfied_shallow_ask_skips_refinement(self):
+        """A truncated shard whose lowest score cannot reach the merged
+        top-k is left alone — no wasted full-depth re-query."""
+        router = self._router()
+
+        def must_not_call(name, text, query_id, k, pipeline):
+            raise AssertionError("refinement should not have fired")
+
+        router._ask_shard = must_not_call
+        gathered = {
+            "shard0": (
+                QueryResult(
+                    query_id="q",
+                    hits=(
+                        Hit(subject_id="a", score=50),
+                        Hit(subject_id="b", score=40),
+                        Hit(subject_id="c", score=30),
+                    ),
+                ),
+                3,
+            ),
+            # Asked for 1, returned 1, but its best (10) is below the
+            # provisional kth score (30): nothing hidden can place.
+            "shard1": (
+                QueryResult(query_id="q", hits=(Hit(subject_id="d", score=10),)),
+                1,
+            ),
+        }
+        merged = router._merge_with_refinement(gathered, "SEQ", "q", 3, None)
+        assert [h.subject_id for h in merged.hits] == ["a", "b", "c"]

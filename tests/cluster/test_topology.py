@@ -1,0 +1,108 @@
+"""Topology model and TOML/JSON loading for adopted clusters."""
+
+import pytest
+
+from repro.cluster import ClusterTopology, ShardEndpoint, load_topology
+
+
+class TestShardEndpoint:
+    def test_address(self):
+        e = ShardEndpoint("shard0", "10.0.0.1", 7731)
+        assert e.address == ("10.0.0.1", 7731)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name="", host="h", port=1),
+            dict(name="s", host="", port=1),
+            dict(name="s", host="h", port=0),
+            dict(name="s", host="h", port=65536),
+            dict(name="s", host="h", port=-7731),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ShardEndpoint(**kwargs)
+
+
+class TestClusterTopology:
+    def _two(self):
+        return (
+            ShardEndpoint("a", "127.0.0.1", 7731),
+            ShardEndpoint("b", "127.0.0.1", 7732),
+        )
+
+    def test_len_iter_lookup(self):
+        topo = ClusterTopology("t", self._two())
+        assert len(topo) == 2
+        assert [e.name for e in topo] == ["a", "b"]
+        assert topo.endpoint("b").port == 7732
+        with pytest.raises(KeyError):
+            topo.endpoint("missing")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no shards"):
+            ClusterTopology("t", ())
+
+    def test_duplicate_names_rejected(self):
+        dupe = (
+            ShardEndpoint("a", "127.0.0.1", 7731),
+            ShardEndpoint("a", "127.0.0.1", 7732),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterTopology("t", dupe)
+
+
+class TestLoadTopology:
+    def test_toml(self, tmp_path):
+        path = tmp_path / "cluster.toml"
+        path.write_text(
+            'name = "prod"\n'
+            "[[shards]]\n"
+            'name = "s0"\nhost = "10.0.0.11"\nport = 7731\n'
+            "[[shards]]\n"
+            'name = "s1"\nhost = "10.0.0.12"\nport = 7731\n'
+        )
+        topo = load_topology(path)
+        assert topo.name == "prod"
+        assert [e.name for e in topo] == ["s0", "s1"]
+        assert topo.endpoint("s0").host == "10.0.0.11"
+
+    def test_json(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text(
+            '{"name": "lab", "shards": ['
+            '{"name": "s0", "host": "127.0.0.1", "port": 7731},'
+            '{"name": "s1", "host": "127.0.0.1", "port": 7732}]}'
+        )
+        topo = load_topology(path)
+        assert topo.name == "lab"
+        assert len(topo) == 2
+
+    def test_defaults_filled_in(self, tmp_path):
+        """Missing name falls back to the file stem; missing shard
+        names/hosts get positional/loopback defaults."""
+        path = tmp_path / "mycluster.json"
+        path.write_text('{"shards": [{"port": 7731}, {"port": 7732}]}')
+        topo = load_topology(path)
+        assert topo.name == "mycluster"
+        assert [e.name for e in topo] == ["shard0", "shard1"]
+        assert all(e.host == "127.0.0.1" for e in topo)
+
+    @pytest.mark.parametrize(
+        "filename,body,match",
+        [
+            ("bad.toml", "name = [unclosed", "invalid TOML"),
+            ("bad.json", "{not json", "invalid JSON"),
+            ("empty.json", '{"name": "x"}', "non-empty 'shards'"),
+            ("list.json", "[1, 2]", "mapping"),
+            ("noport.json", '{"shards": [{"name": "s0"}]}', "integer 'port'"),
+            ("strport.json", '{"shards": [{"port": "abc"}]}', "integer 'port'"),
+            ("entry.json", '{"shards": ["s0"]}', "mapping"),
+        ],
+    )
+    def test_invalid_files(self, tmp_path, filename, body, match):
+        path = tmp_path / filename
+        path.write_text(body)
+        with pytest.raises(ValueError, match=match):
+            load_topology(path)

@@ -43,8 +43,13 @@ class TestShardDatabase:
         db, _ = workload
         with pytest.raises(ValueError):
             shard_database(db, 0)
-        with pytest.raises(ValueError):
-            shard_database(db, len(db) + 1)
+
+    def test_oversized_count_clamps_with_warning(self, workload):
+        db, _ = workload
+        with pytest.warns(UserWarning, match="clamping"):
+            shards = shard_database(db, len(db) + 1)
+        assert len(shards) == len(db)
+        assert all(len(s) == 1 for s in shards)
 
 
 class TestShardedSearch:

@@ -1,10 +1,12 @@
 """Sharded-search merge determinism: tie ordering and shard-count
 edge cases must reproduce the unsharded hit lists exactly."""
 
+import itertools
+
 import numpy as np
 import pytest
 
-from repro.engine import live_search, sharded_search
+from repro.engine import Hit, QueryResult, live_search, merge_query_results, sharded_search
 from repro.sequences import Sequence, SequenceDatabase, small_database, standard_query_set
 
 
@@ -63,6 +65,70 @@ class TestTieOrdering:
                 assert score_a >= score_b
                 if score_a == score_b:
                     assert id_a < id_b
+
+
+class TestPartialShardMerge:
+    """merge_query_results over shard *subsets* — the contract the
+    cluster router leans on when a shard dies and the result degrades
+    to partial: the survivors' merge must be exactly the full merge
+    with the lost shard's exclusive subjects removed, in the same
+    deterministic ``(-score, subject_id)`` order."""
+
+    def _parts(self):
+        def qr(*hits):
+            return QueryResult(
+                query_id="q",
+                hits=tuple(Hit(subject_id=s, score=v) for s, v in hits),
+            )
+
+        # Equal scores spread across parts: ties between different
+        # subject ids land in different "shards".
+        a = qr(("s_03", 90), ("s_10", 70), ("s_20", 70))
+        b = qr(("s_01", 90), ("s_11", 70), ("s_30", 50))
+        c = qr(("s_02", 90), ("s_12", 70), ("s_03", 60))
+        return a, b, c
+
+    def test_equal_scores_order_by_subject_id(self):
+        a, b, c = self._parts()
+        merged = merge_query_results([a, b, c], top=6)
+        assert [(h.subject_id, h.score) for h in merged.hits] == [
+            ("s_01", 90), ("s_02", 90), ("s_03", 90),
+            ("s_10", 70), ("s_11", 70), ("s_12", 70),
+        ]
+
+    def test_part_order_never_matters(self):
+        a, b, c = self._parts()
+        baseline = merge_query_results([a, b, c], top=8).hits
+        for permutation in itertools.permutations([a, b, c]):
+            assert merge_query_results(list(permutation), top=8).hits == baseline
+
+    def test_duplicate_subject_keeps_best_score(self):
+        a, b, c = self._parts()
+        merged = merge_query_results([a, c], top=10)
+        scores = {h.subject_id: h.score for h in merged.hits}
+        # s_03 appears in both parts (90 and 60): best wins, once.
+        assert scores["s_03"] == 90
+        assert [h.subject_id for h in merged.hits].count("s_03") == 1
+
+    def test_quarantined_shard_subset_merge(self):
+        """Dropping any one part (a quarantined/dead shard) yields the
+        merge of the survivors — same rule, smaller input — and stays
+        deterministically ordered."""
+        a, b, c = self._parts()
+        parts = {"a": a, "b": b, "c": c}
+        for lost in parts:
+            survivors = [p for name, p in parts.items() if name != lost]
+            merged = merge_query_results(survivors, top=10)
+            hits = [(h.subject_id, h.score) for h in merged.hits]
+            assert hits == sorted(hits, key=lambda h: (-h[1], h[0]))
+            surviving_subjects = {h.subject_id for p in survivors for h in p.hits}
+            assert {s for s, _ in hits} <= surviving_subjects
+
+    def test_mismatched_query_ids_rejected(self):
+        a = QueryResult(query_id="q1", hits=(Hit(subject_id="s", score=1),))
+        b = QueryResult(query_id="q2", hits=(Hit(subject_id="t", score=1),))
+        with pytest.raises(ValueError):
+            merge_query_results([a, b])
 
 
 class TestOversizedShardCounts:

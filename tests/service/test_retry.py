@@ -1,0 +1,185 @@
+"""The shared retry helper: policy validation, delay computation, the
+retry loop, and its integration into SearchClient against a live
+service under deterministic backpressure."""
+
+import random
+import threading
+
+import pytest
+
+from repro.sequences import small_database, standard_query_set
+from repro.service import RetryPolicy, SearchClient, SearchService
+from repro.service.retry import is_retryable, retry_delay_s, run_with_retry
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.jitter_cap_s > 0
+        assert policy.max_delay_s > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_attempts=0),
+            dict(jitter_cap_s=-0.1),
+            dict(max_delay_s=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestIsRetryable:
+    @pytest.mark.parametrize(
+        "outcome,expected",
+        [
+            ({"type": "rejected", "retry_after_s": 0.1}, True),
+            ({"type": "error", "retryable": True}, True),
+            ({"type": "error", "retryable": False}, False),
+            ({"type": "error"}, False),
+            ({"type": "result", "hits": []}, False),
+            ({}, False),
+        ],
+    )
+    def test_classification(self, outcome, expected):
+        assert is_retryable(outcome) is expected
+
+
+class TestRetryDelay:
+    def _policy(self, **kwargs):
+        kwargs.setdefault("jitter_cap_s", 0.0)
+        return RetryPolicy(**kwargs)
+
+    def test_server_hint_honored(self):
+        outcome = {"type": "rejected", "retry_after_s": 0.7}
+        assert retry_delay_s(outcome, self._policy()) == pytest.approx(0.7)
+
+    def test_hint_capped_at_max_delay(self):
+        outcome = {"type": "rejected", "retry_after_s": 600.0}
+        policy = self._policy(max_delay_s=1.5)
+        assert retry_delay_s(outcome, policy) == pytest.approx(1.5)
+
+    @pytest.mark.parametrize("hint", [None, -1.0, "soon"])
+    def test_missing_or_bad_hint_falls_back(self, hint):
+        outcome = {"type": "rejected", "retry_after_s": hint}
+        assert retry_delay_s(outcome, self._policy()) == pytest.approx(0.05)
+
+    def test_jitter_bounded_and_seedable(self):
+        outcome = {"type": "rejected", "retry_after_s": 0.2}
+        policy = RetryPolicy(jitter_cap_s=0.1)
+        rng = random.Random(5)
+        delays = [retry_delay_s(outcome, policy, rng) for _ in range(50)]
+        assert all(0.2 <= d <= 0.3 for d in delays)
+        assert len(set(delays)) > 1  # jitter actually applied
+        rng2 = random.Random(5)
+        assert delays == [retry_delay_s(outcome, policy, rng2) for _ in range(50)]
+
+
+class TestRunWithRetry:
+    def _outcomes(self, *outcomes):
+        it = iter(outcomes)
+        return lambda: next(it)
+
+    def test_terminal_outcome_returns_immediately(self):
+        slept = []
+        outcome = run_with_retry(
+            self._outcomes({"type": "result", "hits": []}),
+            RetryPolicy(max_attempts=5, jitter_cap_s=0.0),
+            sleep=slept.append,
+        )
+        assert outcome["type"] == "result"
+        assert slept == []
+
+    def test_retries_until_success(self):
+        slept = []
+        seen = []
+        outcome = run_with_retry(
+            self._outcomes(
+                {"type": "rejected", "retry_after_s": 0.2},
+                {"type": "error", "retryable": True, "retry_after_s": 0.4},
+                {"type": "result", "hits": [["s", 1]]},
+            ),
+            RetryPolicy(max_attempts=3, jitter_cap_s=0.0),
+            sleep=slept.append,
+            on_retry=lambda outcome, n, delay: seen.append((outcome["type"], n, delay)),
+        )
+        assert outcome["type"] == "result"
+        assert slept == [pytest.approx(0.2), pytest.approx(0.4)]
+        assert seen == [
+            ("rejected", 2, pytest.approx(0.2)),
+            ("error", 3, pytest.approx(0.4)),
+        ]
+
+    def test_budget_exhaustion_returns_last_outcome(self):
+        attempts = []
+
+        def attempt():
+            attempts.append(1)
+            return {"type": "rejected", "retry_after_s": 0.0}
+
+        outcome = run_with_retry(
+            attempt, RetryPolicy(max_attempts=3, jitter_cap_s=0.0), sleep=lambda s: None
+        )
+        assert outcome["type"] == "rejected"
+        assert len(attempts) == 3
+
+    def test_single_attempt_policy_never_retries(self):
+        attempts = []
+
+        def attempt():
+            attempts.append(1)
+            return {"type": "rejected", "retry_after_s": 0.0}
+
+        run_with_retry(attempt, RetryPolicy(max_attempts=1), sleep=lambda s: None)
+        assert len(attempts) == 1
+
+
+class TestClientIntegration:
+    def test_backpressure_is_retried_to_success(self):
+        """Hold the scheduler so the bounded queue rejects, then let a
+        retrying client win once the queue drains."""
+        db = small_database(num_sequences=10, mean_length=40, seed=91)
+        queries = list(standard_query_set(count=3).scaled(0.01).materialize(seed=92))
+        service = SearchService(
+            db, port=0, num_cpu_workers=1, num_gpu_workers=0,
+            backend="threads", top_hits=3, max_queue=1, max_batch=1,
+        )
+        service.start()
+        try:
+            service.hold()
+            with SearchClient("127.0.0.1", service.port, timeout=30.0) as filler:
+                # One query may sit in the parked scheduler's hand and
+                # one in the queue; the rest guarantee a full queue.
+                n = 4
+                for i in range(n):
+                    filler.submit(queries[i % len(queries)], id=f"f{i}", top=3)
+
+                with SearchClient("127.0.0.1", service.port, timeout=30.0) as c:
+                    bounced = c.query(queries[1], top=3)
+                    assert bounced["type"] == "rejected"
+                    assert bounced["retry_after_s"] >= 0
+
+                    # Release while the retrying client sleeps out a
+                    # delay; a later attempt must succeed.
+                    releaser = threading.Timer(0.3, service.release)
+                    releaser.start()
+                    try:
+                        outcome = c.query(
+                            queries[2],
+                            top=3,
+                            retry=RetryPolicy(
+                                max_attempts=50, jitter_cap_s=0.0, max_delay_s=0.1
+                            ),
+                        )
+                    finally:
+                        releaser.cancel()
+                        service.release()
+                    assert outcome["type"] == "result"
+                outcomes = filler.collect(n)
+                assert {o["type"] for o in outcomes} <= {"result", "rejected"}
+                assert any(o["type"] == "result" for o in outcomes)
+        finally:
+            service.shutdown()
