@@ -69,7 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--cpus", type=int, default=1, help="CPU workers")
     p_search.add_argument("--gpus", type=int, default=1, help="GPU-role workers")
     p_search.add_argument(
-        "--policy", default="swdual", choices=("swdual", "swdual-dp", "self")
+        "--policy",
+        default="swdual",
+        choices=("swdual", "swdual-dp", "affinity", "self"),
     )
     p_search.add_argument("--top", type=int, default=5, help="hits per query")
     p_search.add_argument(
@@ -105,7 +107,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument(
-        "which", choices=("table2", "table3", "table4", "table5", "ablations", "robustness", "all")
+        "which",
+        choices=(
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "ablations",
+            "robustness",
+            "scheduling",
+            "all",
+        ),
+    )
+    p_exp.add_argument(
+        "--timeline-dir",
+        default=None,
+        help="(scheduling) write per-cell schedule-timeline JSON here",
     )
 
     p_bench = sub.add_parser(
@@ -113,11 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "which",
-        choices=("kernels", "shm", "pipeline", "router"),
+        choices=("kernels", "shm", "pipeline", "router", "sched"),
         help="'kernels' = raw kernel GCUPS; 'shm' = shared-memory data "
         "plane + chunk dispatch vs the pickled whole-query baseline; "
         "'pipeline' = heuristic filter cascade vs the exact full scan; "
-        "'router' = N-shard scatter-gather cluster vs 1 shard",
+        "'router' = N-shard scatter-gather cluster vs 1 shard; "
+        "'sched' = oneshot vs rolling calibration under a "
+        "drifting-speed drill, plus the policy conformance grid",
     )
     p_bench.add_argument(
         "--out",
@@ -163,7 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--smoke",
         action="store_true",
-        help="(pipeline, router) small fast run for CI: shape + "
+        help="(pipeline, router, sched) small fast run for CI: shape + "
         "exactness checks only, no throughput target",
     )
     p_bench.add_argument(
@@ -183,7 +202,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--gpus", type=int, default=1, help="GPU-role workers")
     p_serve.add_argument("--backend", default="threads", choices=("threads", "processes"))
     p_serve.add_argument(
-        "--policy", default="swdual", choices=("swdual", "swdual-dp", "self")
+        "--policy",
+        default="swdual",
+        choices=("swdual", "swdual-dp", "affinity", "self"),
+    )
+    p_serve.add_argument(
+        "--calibration",
+        default="oneshot",
+        choices=("oneshot", "rolling"),
+        help="'rolling' re-estimates per-role GCUPS from telemetry and "
+        "re-runs the allocation per micro-batch",
     )
     p_serve.add_argument(
         "--data-plane",
@@ -555,6 +583,18 @@ def _cmd_experiment(args) -> int:
         print(result.times.table())
         print()
         print(result.gcups.table())
+    elif args.which == "scheduling":
+        print("A5: online scheduler plane (policy x calibration, drilled pool)")
+        for row in ex.scheduling_ablation(timeline_dir=args.timeline_dir):
+            print(
+                f"  {row.policy:10} {row.calibration:8} "
+                f"mean={row.mean_batch_s * 1e3:7.1f}ms "
+                f"p99={row.p99_batch_s * 1e3:7.1f}ms "
+                f"reallocs={row.reallocations:2} "
+                f"identical={row.scores_identical}"
+            )
+        if args.timeline_dir:
+            print(f"schedule timelines written under {args.timeline_dir}/")
     elif args.which == "robustness":
         from repro.platform import PerformanceModel, idgraf_platform
 
@@ -593,6 +633,8 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_pipeline(args)
     if args.which == "router":
         return _cmd_bench_router(args)
+    if args.which == "sched":
+        return _cmd_bench_sched(args)
     from repro.platform import run_kernel_bench, write_bench_report
 
     report = run_kernel_bench(
@@ -807,6 +849,61 @@ def _cmd_bench_router(args) -> int:
     return 0
 
 
+def _cmd_bench_sched(args) -> int:
+    from repro.platform import run_sched_bench, write_bench_report
+
+    report = run_sched_bench(
+        num_subjects=args.subjects if args.subjects is not None else 160,
+        min_len=args.min_len,
+        max_len=args.max_len,
+        query_len=args.query_len if args.query_len is not None else 150,
+        num_queries=args.queries if args.queries is not None else 6,
+        smoke=args.smoke,
+    )
+    oneshot = report["oneshot"]["batch_wall"]
+    rolling = report["rolling"]["batch_wall"]
+    rows = [
+        [
+            "oneshot (stale rates)",
+            f"{oneshot['mean_s'] * 1e3:.1f}",
+            f"{oneshot['p50_s'] * 1e3:.1f}",
+            f"{oneshot['p99_s'] * 1e3:.1f}",
+            "-",
+        ],
+        [
+            "rolling (live rates)",
+            f"{rolling['mean_s'] * 1e3:.1f}",
+            f"{rolling['p50_s'] * 1e3:.1f}",
+            f"{rolling['p99_s'] * 1e3:.1f}",
+            str(report["rolling"]["reallocations"]),
+        ],
+    ]
+    print(ascii_table(["Calibration", "Mean ms", "p50 ms", "p99 ms", "Reallocs"], rows))
+    drill = report["drill"]
+    print(
+        f"drill: {', '.join(drill['slowed_workers'])} slowed by "
+        f"{drill['slow_seconds'] * 1e3:.0f} ms/task over {drill['batches']} batches"
+    )
+    final = report["rolling"]["final_rates_gcups"]
+    print(
+        "rolling final rates: "
+        + ", ".join(f"{k}={v:.4f}" for k, v in sorted(final.items()))
+        + f" GCUPS (seeded {report['rates_initial_gcups']})"
+    )
+    print(f"p99 improvement rolling vs oneshot: {report['p99_improvement']:.2f}x")
+    policy_rows = [
+        [policy, f"{cell['wall_s'] * 1e3:.1f}"]
+        for policy, cell in report["policies"].items()
+    ]
+    print(ascii_table(["Policy", "Batch ms"], policy_rows))
+    print(f"scores bit-for-bit identical across all legs: {report['scores_identical']}")
+    out = args.out if args.out is not None else "BENCH_sched.json"
+    if out != "-":
+        write_bench_report(report, out)
+        print(f"wrote {out}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.service import SearchService
 
@@ -831,6 +928,7 @@ def _cmd_serve(args) -> int:
         max_batch=args.batch_size,
         calibrate=args.calibrate,
         pipeline=pipeline,
+        calibration=args.calibration,
     )
     service.start()
     host, port = service.address

@@ -414,10 +414,20 @@ class ScatterGatherRouter:
 
     def _on_shard_change(self, name: str) -> None:
         """Manager callback: a shard moved or died — drop its link so
-        the next exchange reconnects to the fresh endpoint."""
+        the next exchange reconnects to the fresh endpoint, and reset
+        its latency credit.  A restarted shard's EWMA described the old
+        process; trusting it could shallow-scan the replacement and
+        force a refinement round-trip on the very first query.  Zeroing
+        the sample count makes :meth:`_speculative_k` run everyone at
+        full depth (the conservative cold-start) until the newcomer
+        re-earns its credit."""
         link = self._links.get(name)
         if link is not None:
             link.invalidate()
+        with self._ewma_lock:
+            self._ewma.pop(name, None)
+            if name in self._samples:
+                self._samples[name] = 0
 
     def _nudge_supervisor(self) -> None:
         """Ask the manager to look at its shards now (not at the next

@@ -106,6 +106,14 @@ def dual_approx_step(
     if m < 0 or k < 0 or (m == 0 and k == 0):
         raise ValueError(f"invalid platform size m={m}, k={k}")
     p, pbar = tasks.cpu_times, tasks.gpu_times
+    # Ulp-scale tolerance on every λ comparison: a caller probing
+    # λ = OPT may hold a value one rounding away from the task time
+    # that realises it (e.g. an OPT recomputed through a different
+    # float path), and the exact strict checks would then force that
+    # task to the wrong class and certify a wrong "NO".  The slack is
+    # far below the 2λ guarantee's own headroom.
+    tol = 1e-12 * max(1.0, lam)
+    fit = lam + tol
 
     # A λ-schedule runs every task somewhere (on an available class)
     # within λ.
@@ -113,12 +121,12 @@ def dual_approx_step(
         per_task_best = np.minimum(p, pbar)
     else:
         per_task_best = p if k == 0 else pbar
-    if (per_task_best > lam).any():
+    if (per_task_best > fit).any():
         return None
 
     # Single-class platforms degenerate to plain list scheduling.
     if k == 0:
-        if (p > lam).any() or p.sum() > m * lam:
+        if (p > fit).any() or p.sum() > m * fit:
             return None
         schedule = build_class_schedule(
             tasks, np.ones(len(tasks), bool), m, k, label=f"dual2(λ={lam:.3g})"
@@ -133,7 +141,7 @@ def dual_approx_step(
             guess=lam,
         )
     if m == 0:
-        if (pbar > lam).any() or pbar.sum() > k * lam:
+        if (pbar > fit).any() or pbar.sum() > k * fit:
             return None
         schedule = build_class_schedule(
             tasks, np.zeros(len(tasks), bool), m, k, label=f"dual2(λ={lam:.3g})"
@@ -148,11 +156,11 @@ def dual_approx_step(
             guess=lam,
         )
 
-    forced_gpu = p > lam
-    forced_cpu = pbar > lam
+    forced_gpu = p > fit
+    forced_cpu = pbar > fit
     if (forced_gpu & forced_cpu).any():
         return None  # the task fits nowhere within λ
-    if float(pbar[forced_gpu].sum()) > k * lam:
+    if float(pbar[forced_gpu].sum()) > k * fit:
         return None  # forced GPU load alone refutes the guess
 
     with tracing.span("sched.knapsack", tasks=len(tasks), guess=lam):

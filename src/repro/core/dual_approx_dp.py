@@ -70,10 +70,14 @@ def dual_approx_dp_step(
     if resolution is None:
         resolution = max(200, 10 * n)
 
-    if (np.minimum(p, pbar) > lam).any():
+    # Same ulp-scale tolerance as the 2-approx step: a λ probed at
+    # exactly OPT may sit one rounding away from the task time that
+    # realises it, and strict checks would then certify a wrong "NO".
+    fit = lam + 1e-12 * max(1.0, lam)
+    if (np.minimum(p, pbar) > fit).any():
         return None
-    forced_gpu = p > lam
-    forced_cpu = pbar > lam
+    forced_gpu = p > fit
+    forced_cpu = pbar > fit
     if (forced_gpu & forced_cpu).any():
         return None
 

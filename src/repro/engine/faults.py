@@ -9,7 +9,7 @@ scheduler.  This module supplies both halves:
 
 * :class:`FaultPlan` — a picklable, seed-reproducible description of
   which worker faults on which task (``kill`` / ``stall`` /
-  ``corrupt``) plus which *tasks* are poison (fail on every worker,
+  ``corrupt`` / ``slow``) plus which *tasks* are poison (fail on every worker,
   exercising the quarantine path).  Plans cross the process boundary
   at spawn, so injection works identically under ``fork`` and
   ``spawn``.
@@ -60,7 +60,7 @@ __all__ = [
 ]
 
 #: Worker-fault kinds a :class:`FaultSpec` may carry.
-FAULT_KINDS = ("kill", "stall", "corrupt")
+FAULT_KINDS = ("kill", "stall", "corrupt", "slow")
 
 
 class WorkerTimeoutError(ProtocolError):
@@ -135,9 +135,13 @@ class FaultSpec:
 
     ``kill`` exits the worker process mid-task (``os._exit``), ``stall``
     freezes heartbeats and sleeps ``stall_seconds`` (the master's
-    heartbeat timeout fires long before a sane default elapses), and
+    heartbeat timeout fires long before a sane default elapses),
     ``corrupt`` delivers a result whose integrity checksum does not
-    match its payload.
+    match its payload, and ``slow`` stretches the task by
+    ``slow_seconds`` *inside* its timed section — the worker stays
+    healthy (heartbeats keep flowing, the result is correct) but its
+    measured rate collapses, which is how the scheduler-plane drills
+    fake a drifting per-class speed deterministically.
     """
 
     worker: str
@@ -145,6 +149,7 @@ class FaultSpec:
     kind: str
     exit_code: int = 13
     stall_seconds: float = 3600.0
+    slow_seconds: float = 0.05
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -153,6 +158,8 @@ class FaultSpec:
             raise ValueError(f"task_ordinal must be >= 0, got {self.task_ordinal}")
         if self.stall_seconds <= 0:
             raise ValueError(f"stall_seconds must be > 0, got {self.stall_seconds}")
+        if self.slow_seconds <= 0:
+            raise ValueError(f"slow_seconds must be > 0, got {self.slow_seconds}")
 
 
 @dataclass(frozen=True)
@@ -218,6 +225,33 @@ class FaultPlan:
     def poison(cls, task_index: int, fail_times: int | None = None) -> "FaultPlan":
         """One poison task, nothing else."""
         return cls(task_faults=[TaskFault(task_index, fail_times)])
+
+    @classmethod
+    def slowdown(
+        cls,
+        workers: list[str],
+        slow_seconds: float = 0.05,
+        from_ordinal: int = 0,
+        horizon: int = 4096,
+    ) -> "FaultPlan":
+        """A sustained drifting-speed drill: every task ordinal in
+        ``[from_ordinal, from_ordinal + horizon)`` on each named worker
+        runs ``slow_seconds`` long.  The victims stay healthy and
+        correct — only their measured rate collapses — so the drill
+        exercises calibration, not recovery.  *horizon* just needs to
+        exceed the tasks any victim could be handed in the run.
+        """
+        if from_ordinal < 0:
+            raise ValueError(f"from_ordinal must be >= 0, got {from_ordinal}")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        return cls(
+            [
+                FaultSpec(worker, ordinal, "slow", slow_seconds=slow_seconds)
+                for worker in workers
+                for ordinal in range(from_ordinal, from_ordinal + horizon)
+            ]
+        )
 
     @classmethod
     def random(

@@ -58,7 +58,11 @@ def predict_static_allocation(
     workers:
         ``(name, kind)`` pairs, kind in ``{"cpu", "gpu"}``.
     policy:
-        ``"swdual"`` or ``"swdual-dp"``.
+        ``"swdual"``, ``"swdual-dp"`` or ``"affinity"``.  Affinity
+        allocates whole queries exactly like ``"swdual"`` (the 2-approx
+        split) — its locality bias only exists at chunk granularity,
+        where the :class:`~repro.sched.affinity.AffinityTracker` steers
+        the :class:`~repro.engine.subtasks.ChunkScheduler`.
     measured_gcups:
         Optional rates keyed by worker *name* or by *class*
         (``"cpu"``/``"gpu"``); unmeasured workers get the mean of the
@@ -125,8 +129,9 @@ class Master:
         The query set (real sequences).
     policy:
         ``"swdual"`` (one-round dual-approximation allocation),
-        ``"swdual-dp"`` (3/2 variant) or ``"self"`` (dynamic
-        self-scheduling).
+        ``"swdual-dp"`` (3/2 variant), ``"affinity"`` (the 2-approx
+        split; locality bias applies at chunk granularity only) or
+        ``"self"`` (dynamic self-scheduling).
     measured_gcups:
         Optional map of measured GCUPS used to predict task times for
         the static policies, keyed by worker name or by class
@@ -135,7 +140,7 @@ class Master:
         get the mean of the measured ones (or 1.0 if none).
     """
 
-    POLICIES = ("swdual", "swdual-dp", "self")
+    POLICIES = ("swdual", "swdual-dp", "affinity", "self")
 
     def __init__(
         self,
@@ -201,7 +206,7 @@ class Master:
         lock = threading.Lock()
         start = tracing.clock()
 
-        if self.policy in ("swdual", "swdual-dp"):
+        if self.policy in ("swdual", "swdual-dp", "affinity"):
             batches = self._static_allocation()
             for name, batch in batches.items():
                 self.log.record(assign_tasks(name, batch))

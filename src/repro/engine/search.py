@@ -37,6 +37,7 @@ __all__ = [
     "live_search",
     "calibrate_live",
     "clear_calibration_cache",
+    "invalidate_calibration",
     "SIM_POLICIES",
     "LIVE_EXECUTION_MODES",
 ]
@@ -108,6 +109,24 @@ def _scheme_key(scheme: ScoringScheme) -> tuple:
 def clear_calibration_cache() -> None:
     """Drop every memoised :func:`calibrate_live` measurement."""
     _CALIBRATION_CACHE.clear()
+
+
+def invalidate_calibration(
+    database: SequenceDatabase,
+    scheme: ScoringScheme | None = None,
+    chunk_cells: int = DEFAULT_CHUNK_CELLS,
+    repeats: int = 1,
+) -> bool:
+    """Drop the memoised :func:`calibrate_live` entry for one target.
+
+    A resident service that retargets (new scoring scheme or pipeline
+    preset) must not allocate against rates measured for the old
+    target; this evicts the stale entry so the next calibration
+    re-measures.  Returns whether an entry was present.
+    """
+    scheme = scheme or default_scheme()
+    key = (database.fingerprint(), _scheme_key(scheme), chunk_cells, repeats)
+    return _CALIBRATION_CACHE.pop(key, None) is not None
 
 
 def calibrate_live(

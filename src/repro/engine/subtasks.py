@@ -138,6 +138,14 @@ class ChunkScheduler:
         mean of the present ones (or 1.0).  Estimates only — actual
         execution order adapts via stealing, and correctness never
         depends on the rates.
+    affinity:
+        Optional :class:`~repro.sched.affinity.AffinityTracker` (the
+        ``"affinity"`` policy).  Seeding then prefers the PE class that
+        last executed a grain's chunk range when that placement stays
+        within the tracker's slack of the load-balance optimum, thieves
+        prefer loot whose residency matches their own class, and every
+        hand-out updates the residency map.  Placement-only: merged
+        scores are identical with or without it.
     """
 
     def __init__(
@@ -145,11 +153,13 @@ class ChunkScheduler:
         subtasks: list[Subtask],
         workers: list[tuple[str, str]],
         rates: dict[str, float] | None = None,
+        affinity=None,
     ):
         if not workers:
             raise ValueError("need at least one worker")
         self._subtasks = list(subtasks)
         self._kind = dict(workers)
+        self._affinity = affinity
         measured = dict(rates or {})
         default = (
             float(np.mean(list(measured.values()))) if measured else 1.0
@@ -178,7 +188,10 @@ class ChunkScheduler:
         every grain goes to the worker that would finish it earliest
         given what is already queued — large grains first so the split
         tracks the rate ratio, ties broken by worker order for
-        determinism.
+        determinism.  With an affinity tracker, a grain whose chunk
+        range is resident on another class moves there when the
+        preferred class's best candidate finishes within the tracker's
+        slack of the optimum (bounded locality bias).
         """
         names = list(self._deques)
         load = {name: 0.0 for name in names}
@@ -187,6 +200,20 @@ class ChunkScheduler:
         )
         for sub in order:
             best = min(names, key=lambda n: (load[n] + self._est(sub, n), names.index(n)))
+            if self._affinity is not None:
+                preferred = self._affinity.preferred_kind(sub)
+                if preferred is not None and self._kind[best] != preferred:
+                    kin = [n for n in names if self._kind[n] == preferred]
+                    if kin:
+                        alt = min(
+                            kin,
+                            key=lambda n: (load[n] + self._est(sub, n), names.index(n)),
+                        )
+                        budget = (load[best] + self._est(sub, best)) * (
+                            1.0 + self._affinity.slack
+                        )
+                        if load[alt] + self._est(sub, alt) <= budget:
+                            best = alt
             load[best] += self._est(sub, best)
             self._deques[best].append(sub)
         # Restore FIFO order inside each deque (by sid) so a worker
@@ -224,7 +251,10 @@ class ChunkScheduler:
         own = self._deques[name]
         if own:
             self._pending -= 1
-            return own.popleft(), False
+            sub = own.popleft()
+            if self._affinity is not None:
+                self._affinity.record(sub, self._kind[name])
+            return sub, False
         victims = [
             (n, d) for n, d in self._deques.items() if n != name and d
         ]
@@ -234,14 +264,26 @@ class ChunkScheduler:
             victims, key=lambda nd: self.remaining_seconds(nd[0])
         )
         # Largest grain; scan from the back so equal-sized grains leave
-        # the cold end of the victim's queue.
-        loot_i = max(
-            range(len(victim)), key=lambda i: (victim[i].cells, i)
-        )
+        # the cold end of the victim's queue.  An affinity-aware thief
+        # first looks for the largest grain already resident on its own
+        # class (a free locality win) before falling back to the
+        # classic largest-overall loot.
+        candidates = range(len(victim))
+        if self._affinity is not None:
+            kin = [
+                i
+                for i in candidates
+                if self._affinity.preferred_kind(victim[i]) == self._kind[name]
+            ]
+            if kin:
+                candidates = kin
+        loot_i = max(candidates, key=lambda i: (victim[i].cells, i))
         loot = victim[loot_i]
         del victim[loot_i]
         self.steals[name] += 1
         self._pending -= 1
+        if self._affinity is not None:
+            self._affinity.record(loot, self._kind[name])
         return loot, True
 
     # -- recovery ------------------------------------------------------

@@ -122,7 +122,7 @@ __all__ = [
 
 #: Allocation policies accepted by :func:`process_search` and
 #: :meth:`ProcessWorkerPool.run_batch`.
-PROCESS_POLICIES = ("self", "swdual", "swdual-dp")
+PROCESS_POLICIES = ("self", "swdual", "swdual-dp", "affinity")
 
 #: How the database reaches the workers.
 DATA_PLANES = ("auto", "shm", "pickle")
@@ -250,8 +250,10 @@ def _worker_main(
     When *fault_plan* is set, a :class:`~repro.engine.faults.FaultInjector`
     counts the task ordinals this worker receives and fires the planned
     fault: ``kill`` exits the process mid-task, ``stall`` freezes the
-    heartbeat thread and sleeps past any sane master timeout, and
-    ``corrupt`` flips the checksum after computing it.
+    heartbeat thread and sleeps past any sane master timeout,
+    ``corrupt`` flips the checksum after computing it, and ``slow``
+    sleeps inside the task's timed section (a healthy worker whose
+    measured rate collapses — the drifting-speed drill).
 
     With *trace* set (the master had tracing enabled at spawn), the
     child enables its own span recording and ships the serialized spans
@@ -342,7 +344,8 @@ def _worker_main(
 
     def fire_fault():
         """Execute the planned fault for the task just received; the
-        spec is returned when result corruption should follow."""
+        spec is returned when it acts later — ``corrupt`` at send time,
+        ``slow`` inside the timed kernel section."""
         spec = injector.next_task()
         if spec is None:
             return None
@@ -354,7 +357,7 @@ def _worker_main(
             time.sleep(spec.stall_seconds)
             injector.frozen = False
             return None
-        return spec  # corrupt: handled at send time
+        return spec  # corrupt / slow: handled at the task site
 
     batch_queries: list[Sequence] | None = None
     qp_arena = None
@@ -414,6 +417,8 @@ def _worker_main(
                     if poison is not None:
                         raise InjectedFault(poison.message)
                     scores = score(query, counts=stage_counts)
+                    if spec is not None and spec.kind == "slow":
+                        time.sleep(spec.slow_seconds)
             except Exception as exc:
                 spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
                 send(("fail", name, wire.index, f"{type(exc).__name__}: {exc}", spans))
@@ -425,7 +430,7 @@ def _worker_main(
             )[:top_hits]
             hits = [(subject_ids[i], int(scores[i])) for i in top]
             checksum = payload_checksum(hits)
-            if spec is not None:
+            if spec is not None and spec.kind == "corrupt":
                 checksum ^= _CORRUPT_MASK
             spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
             stages = stage_counts.as_dict() if stage_counts is not None else None
@@ -464,6 +469,8 @@ def _worker_main(
                         query, chunk_range=(lo, hi), profile=profile,
                         counts=stage_counts,
                     )
+                    if spec is not None and spec.kind == "slow":
+                        time.sleep(spec.slow_seconds)
             except Exception as exc:
                 spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
                 send(("fail", name, sid, f"{type(exc).__name__}: {exc}", spans))
@@ -472,7 +479,7 @@ def _worker_main(
             cells = counter.add(len(query), range_residues)
             part = np.asarray(part)
             checksum = payload_checksum(part)
-            if spec is not None:
+            if spec is not None and spec.kind == "corrupt":
                 checksum ^= _CORRUPT_MASK
             spans = tracing.spans_to_dicts(tracing.drain()) if trace else []
             stages = stage_counts.as_dict() if stage_counts is not None else None
@@ -651,6 +658,10 @@ class ProcessWorkerPool:
         self._dead: set[int] = set()
         self._arena = None
         self._packed: PackedDatabase | None = None
+        #: Chunk-residency map behind the "affinity" policy; persists
+        #: across batches (locality outlives a micro-batch), created on
+        #: the first affinity batch.
+        self._affinity_tracker = None
         self._started = False
         self._closed = False
         self._broken = False
@@ -882,9 +893,13 @@ class ProcessWorkerPool:
             dispatch).
         policy:
             ``"self"`` for dynamic self-scheduling over the pipe set,
-            or ``"swdual"``/``"swdual-dp"`` for the one-round static
-            allocation.  In chunk dispatch the policy seeds the initial
-            per-worker deques; stealing rebalances from there.
+            ``"swdual"``/``"swdual-dp"`` for the one-round static
+            allocation, or ``"affinity"`` — the 2-approx split plus, in
+            chunk dispatch, a bounded locality bias toward the PE class
+            whose workers last executed each chunk range (the
+            :class:`~repro.sched.affinity.AffinityTracker` persists
+            across batches).  In chunk dispatch the policy seeds the
+            initial per-worker deques; stealing rebalances from there.
         measured_gcups:
             Rates for the static policies / deque seeding, keyed by
             worker name (``proc0``/``gproc0``…) or class
@@ -1236,7 +1251,18 @@ class ProcessWorkerPool:
         subtasks = plan_subtasks(
             queries, packed, len(alive_roster), oversubscribe=self.oversubscribe
         )
-        sched = ChunkScheduler(subtasks, alive_roster, measured_gcups)
+        if policy == "affinity" and self._affinity_tracker is None:
+            # Imported lazily: repro.sched pulls allocation helpers
+            # from the engine, which imports this module.
+            from repro.sched.affinity import AffinityTracker
+
+            self._affinity_tracker = AffinityTracker()
+        sched = ChunkScheduler(
+            subtasks,
+            alive_roster,
+            measured_gcups,
+            affinity=self._affinity_tracker if policy == "affinity" else None,
+        )
         merger = ScoreMerger(queries, packed, top_hits=self.top_hits)
         qp_arena = None
         qp_manifest = None

@@ -38,6 +38,11 @@ from repro.experiments.ablations import (
     scheduler_ablation,
     tolerance_ablation,
 )
+from repro.experiments.scheduling import (
+    SCHEDULING_POLICIES,
+    SchedulingRow,
+    scheduling_ablation,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -68,4 +73,7 @@ __all__ = [
     "gpu_half_length_sensitivity",
     "SensitivityRow",
     "DEFAULT_HALF_LENGTHS",
+    "scheduling_ablation",
+    "SchedulingRow",
+    "SCHEDULING_POLICIES",
 ]

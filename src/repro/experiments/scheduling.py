@@ -1,0 +1,142 @@
+"""A5 — online-scheduler policy ablation on the live engine.
+
+Every allocation policy (self / swdual / swdual-dp / affinity) crossed
+with both calibration modes (oneshot / rolling) on the same drilled
+warm pool: the GPU-role workers run every task ``slow_seconds`` long
+(:meth:`~repro.engine.faults.FaultPlan.slowdown`) while the starting
+rates still claim they are the fast class — the drift the rolling
+plane exists to absorb.  Each cell reports per-batch wall-time
+statistics, the reallocation count the incremental allocator recorded,
+and a bit-identical check of the final hit tables against the first
+cell (policies and calibration modes may only move *placement*, never
+scores).
+
+With *timeline_dir* set, each cell's per-task kernel spans are reduced
+to a schedule timeline (:func:`repro.telemetry.export.schedule_timeline`)
+and written as ``timeline_<policy>_<calibration>.json`` — the live
+counterpart of the paper's Figure 4/5 schedule sketches, showing the
+slow class draining as the rolling estimates catch up.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SchedulingRow", "SCHEDULING_POLICIES", "scheduling_ablation"]
+
+#: Policies the ablation crosses with the calibration modes.
+SCHEDULING_POLICIES = ("self", "swdual", "swdual-dp", "affinity")
+
+#: Stale starting rates: the GPU class claimed 4x faster than CPU.
+_STALE_RATES = {"cpu": 1.0, "gpu": 4.0}
+
+
+@dataclass(frozen=True)
+class SchedulingRow:
+    """One (policy, calibration) cell of the ablation grid."""
+
+    policy: str
+    calibration: str
+    mean_batch_s: float
+    p99_batch_s: float
+    reallocations: int
+    timeline_makespan_s: float
+    scores_identical: bool
+
+
+def scheduling_ablation(
+    policies: tuple[str, ...] = SCHEDULING_POLICIES,
+    num_subjects: int = 120,
+    num_queries: int = 5,
+    batches: int = 6,
+    warm_batches: int = 1,
+    slow_seconds: float = 0.03,
+    timeline_dir: str | None = None,
+    seed: int = 0,
+) -> list[SchedulingRow]:
+    """Run the grid; returns one row per (policy, calibration) cell.
+
+    Rows are ordered policy-major with ``oneshot`` before ``rolling``,
+    so consecutive pairs compare the calibration modes under one
+    policy.
+    """
+    from repro.engine.faults import FaultPlan
+    from repro.platform.benchkernels import build_bench_workload
+    from repro.sched import CALIBRATION_MODES, IncrementalAllocator, RollingCalibrator
+    from repro.service.pool import WarmPool
+    from repro.telemetry import tracing
+    from repro.telemetry.export import schedule_timeline, write_schedule_timeline
+
+    queries, database = build_bench_workload(
+        num_subjects, 60, 180, 140, num_queries, seed
+    )
+    horizon = (warm_batches + batches) * num_queries + 64
+    if timeline_dir is not None:
+        os.makedirs(timeline_dir, exist_ok=True)
+
+    rows: list[SchedulingRow] = []
+    reference: list | None = None
+    for policy in policies:
+        for calibration in CALIBRATION_MODES:
+            plan = FaultPlan.slowdown(
+                ["gpu0", "gpu1"], slow_seconds=slow_seconds, horizon=horizon
+            )
+            calibrator = allocator = None
+            if calibration == "rolling":
+                calibrator = RollingCalibrator(seed_rates=_STALE_RATES)
+                allocator = IncrementalAllocator(calibrator, fallback_rates=_STALE_RATES)
+            walls: list[float] = []
+            tracing.drain()  # each cell gets its own span window
+            with tracing.enabled_tracing():
+                with WarmPool(
+                    database,
+                    num_cpu_workers=2,
+                    num_gpu_workers=2,
+                    backend="threads",
+                    policy=policy,
+                    measured_gcups=dict(_STALE_RATES),
+                    top_hits=10,
+                    fault_plan=plan,
+                ) as pool:
+                    for i in range(warm_batches + batches):
+                        rates = (
+                            allocator.rates_for_batch()
+                            if allocator is not None
+                            else None
+                        )
+                        report = pool.run_batch(queries, measured_gcups=rates)
+                        if calibrator is not None:
+                            calibrator.observe_report(report)
+                        if i >= warm_batches:
+                            walls.append(report.wall_seconds)
+                spans = tracing.drain()
+            timeline = schedule_timeline(spans)
+            if timeline_dir is not None:
+                write_schedule_timeline(
+                    spans,
+                    os.path.join(
+                        timeline_dir, f"timeline_{policy}_{calibration}.json"
+                    ),
+                )
+            hits = [
+                [(h.subject_id, h.score) for h in qr.hits]
+                for qr in report.query_results
+            ]
+            if reference is None:
+                reference = hits
+            arr = np.asarray(walls, dtype=float)
+            rows.append(
+                SchedulingRow(
+                    policy=policy,
+                    calibration=calibration,
+                    mean_batch_s=float(arr.mean()),
+                    p99_batch_s=float(np.percentile(arr, 99)),
+                    reallocations=allocator.reallocations if allocator else 0,
+                    timeline_makespan_s=timeline["makespan_s"],
+                    scores_identical=hits == reference,
+                )
+            )
+    return rows

@@ -26,6 +26,7 @@ from repro.platform.benchpipeline import (
     run_pipeline_bench,
 )
 from repro.platform.benchrouter import ClusterDivergence, run_router_bench
+from repro.platform.benchsched import SCHED_BENCH_POLICIES, run_sched_bench
 from repro.platform.benchshm import run_shm_bench
 from repro.platform.benchstamp import BENCH_SCHEMA_VERSION, bench_stamp, stamp_report
 from repro.platform.cluster import HybridPlatform, idgraf_platform, swdual_worker_mix
@@ -62,6 +63,8 @@ __all__ = [
     "run_kernel_bench",
     "run_pipeline_bench",
     "run_router_bench",
+    "run_sched_bench",
+    "SCHED_BENCH_POLICIES",
     "run_shm_bench",
     "write_bench_report",
     "ClusterDivergence",

@@ -1,0 +1,207 @@
+"""Scheduler-plane benchmark behind ``swdual bench sched``.
+
+Contrasts one-shot vs rolling calibration under a **drifting-speed
+drill**: a warm threads pool of 2 CPU-role + 2 GPU-role workers whose
+GPU-role workers are slowed by an injected ``slow`` fault on every task
+(:meth:`~repro.engine.faults.FaultPlan.slowdown` — the victims stay
+healthy and bit-correct, only their measured rate collapses), while
+the allocator's starting rates still claim the GPU class is the fast
+one:
+
+* **oneshot** keeps trusting those stale rates for every batch — the
+  dual-approximation split keeps loading the slowed class, and each
+  batch eats the full sleep on its critical path;
+* **rolling** feeds each batch's :class:`~repro.engine.results.SearchReport`
+  aggregates to a :class:`~repro.sched.RollingCalibrator` and re-runs
+  the split per batch through an
+  :class:`~repro.sched.IncrementalAllocator` — after the warm batches
+  the estimates reflect the collapse and the work shifts to the
+  healthy class.
+
+Reported as p50/p99 of per-batch wall seconds for both legs, plus a
+**policy grid** (self / swdual / swdual-dp / affinity on an identical
+un-drilled pool) asserting every policy's hit tables are bit-for-bit
+identical — placement is the only thing any of this moves.
+
+The result dictionary is what ``BENCH_sched.json`` records.  Numbers
+are machine-dependent — the JSON is a provenance artifact, not a
+fixture; tests only assert on the report's *shape*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme, default_scheme
+from repro.platform.benchkernels import build_bench_workload
+
+# NB: the engine layer imports repro.platform (perf model), so the
+# engine/service imports must stay inside the functions here.
+
+__all__ = ["run_sched_bench", "SCHED_BENCH_POLICIES"]
+
+#: Allocation policies the policy-grid leg compares (all must produce
+#: bit-identical hit tables).
+SCHED_BENCH_POLICIES = ("self", "swdual", "swdual-dp", "affinity")
+
+#: Stale rates the drill starts from: the GPU class is claimed 4x
+#: faster, so a one-shot allocator keeps overloading the slowed class.
+STALE_RATES = {"cpu": 1.0, "gpu": 4.0}
+
+
+def _percentiles(samples: list[float]) -> dict:
+    arr = np.sort(np.asarray(samples, dtype=float))
+    return {
+        "samples": int(arr.size),
+        "mean_s": float(arr.mean()),
+        "p50_s": float(np.percentile(arr, 50)),
+        "p99_s": float(np.percentile(arr, 99)),
+        "min_s": float(arr[0]),
+        "max_s": float(arr[-1]),
+    }
+
+
+def _hit_tables(report) -> list:
+    return [[(h.subject_id, h.score) for h in qr.hits] for qr in report.query_results]
+
+
+def _drill_pool(database, scheme, slow_seconds: float, horizon: int):
+    """A fresh 2+2 threads pool whose GPU-role workers run every task
+    ``slow_seconds`` long."""
+    from repro.engine.faults import FaultPlan
+    from repro.service.pool import WarmPool
+
+    plan = FaultPlan.slowdown(
+        ["gpu0", "gpu1"], slow_seconds=slow_seconds, horizon=horizon
+    )
+    return WarmPool(
+        database,
+        num_cpu_workers=2,
+        num_gpu_workers=2,
+        backend="threads",
+        policy="swdual",
+        scheme=scheme,
+        measured_gcups=dict(STALE_RATES),
+        top_hits=10,
+        fault_plan=plan,
+    )
+
+
+def run_sched_bench(
+    num_subjects: int = 160,
+    min_len: int = 60,
+    max_len: int = 200,
+    query_len: int = 150,
+    num_queries: int = 6,
+    batches: int = 12,
+    warm_batches: int = 2,
+    slow_seconds: float = 0.04,
+    scheme: ScoringScheme | None = None,
+    seed: int = 0,
+    smoke: bool = False,
+) -> dict:
+    """Run the scheduler-plane benchmark; returns the report dict.
+
+    ``smoke=True`` shrinks the workload for CI (fewer batches and
+    queries, shorter sleeps) — shape and exactness checks still hold,
+    the p99 margin is just smaller.
+    """
+    if batches < 1:
+        raise ValueError(f"batches must be >= 1, got {batches}")
+    if warm_batches < 0:
+        raise ValueError(f"warm_batches must be >= 0, got {warm_batches}")
+    from repro.sched import IncrementalAllocator, RollingCalibrator
+
+    if smoke:
+        num_subjects = min(num_subjects, 80)
+        num_queries = min(num_queries, 4)
+        batches = min(batches, 5)
+        slow_seconds = min(slow_seconds, 0.02)
+    scheme = scheme or default_scheme()
+    queries, database = build_bench_workload(
+        num_subjects, min_len, max_len, query_len, num_queries, seed
+    )
+    # Every GPU-role task in the run must land inside the drill.
+    horizon = (warm_batches + batches) * num_queries + 64
+
+    hits: dict[str, list] = {}
+
+    # -- oneshot leg: every batch allocated with the stale rates --------
+    oneshot_walls: list[float] = []
+    with _drill_pool(database, scheme, slow_seconds, horizon) as pool:
+        for _ in range(warm_batches):
+            pool.run_batch(queries)
+        for _ in range(batches):
+            report = pool.run_batch(queries)
+            oneshot_walls.append(report.wall_seconds)
+        hits["oneshot"] = _hit_tables(report)
+
+    # -- rolling leg: identical pool + drill, live re-calibration -------
+    calibrator = RollingCalibrator(seed_rates=STALE_RATES)
+    allocator = IncrementalAllocator(calibrator, fallback_rates=STALE_RATES)
+    rolling_walls: list[float] = []
+    with _drill_pool(database, scheme, slow_seconds, horizon) as pool:
+        for _ in range(warm_batches):
+            report = pool.run_batch(queries, measured_gcups=allocator.rates_for_batch())
+            calibrator.observe_report(report)
+        for _ in range(batches):
+            report = pool.run_batch(queries, measured_gcups=allocator.rates_for_batch())
+            calibrator.observe_report(report)
+            rolling_walls.append(report.wall_seconds)
+        hits["rolling"] = _hit_tables(report)
+
+    # -- policy grid: same workload, no drill, every policy -------------
+    from repro.service.pool import WarmPool
+
+    policies: dict[str, dict] = {}
+    for policy in SCHED_BENCH_POLICIES:
+        with WarmPool(
+            database,
+            num_cpu_workers=2,
+            num_gpu_workers=2,
+            backend="threads",
+            policy=policy,
+            scheme=scheme,
+            measured_gcups=dict(STALE_RATES),
+            top_hits=10,
+        ) as pool:
+            report = pool.run_batch(queries)
+        hits[f"policy:{policy}"] = _hit_tables(report)
+        policies[policy] = {
+            "wall_s": report.wall_seconds,
+            "scheduler_info": report.scheduler_info,
+        }
+
+    oneshot = _percentiles(oneshot_walls)
+    rolling = _percentiles(rolling_walls)
+    reference = hits["oneshot"]
+    return {
+        "bench": "sched",
+        "workload": {
+            "num_subjects": num_subjects,
+            "min_len": min_len,
+            "max_len": max_len,
+            "query_len": query_len,
+            "num_queries": num_queries,
+            "db_residues": database.total_residues,
+            "seed": seed,
+            "smoke": smoke,
+        },
+        "drill": {
+            "slow_seconds": slow_seconds,
+            "slowed_workers": ["gpu0", "gpu1"],
+            "batches": batches,
+            "warm_batches": warm_batches,
+        },
+        "rates_initial_gcups": dict(STALE_RATES),
+        "oneshot": {"batch_wall": oneshot},
+        "rolling": {
+            "batch_wall": rolling,
+            "final_rates_gcups": calibrator.rates(),
+            "reallocations": allocator.reallocations,
+            "calibration": calibrator.snapshot(),
+        },
+        "p99_improvement": oneshot["p99_s"] / max(rolling["p99_s"], 1e-9),
+        "policies": policies,
+        "scores_identical": all(h == reference for h in hits.values()),
+    }

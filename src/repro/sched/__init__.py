@@ -1,0 +1,48 @@
+"""Online scheduler plane: rolling calibration, incremental
+dual-approximation allocation, affinity-aware placement.
+
+The paper's dual-approximation allocator is *offline*: it assumes all
+tasks and calibrated per-class rates ``(p_j, p̄_j)`` are known before
+the first dispatch.  The resident service sees neither — queries arrive
+continuously through a micro-batching queue, and per-class speeds drift
+(thermal throttling, co-tenants, a GPU falling back to a slow path).
+This package supplies the online counterparts:
+
+* :class:`~repro.sched.rolling.RollingCalibrator` — per-PE-class GCUPS
+  estimates maintained from the per-task span durations the telemetry
+  subsystem already records (EWMA + windowed percentiles, staleness
+  tracking, outlier rejection), replacing the one-shot
+  :func:`~repro.engine.search.calibrate_live` memo for resident
+  services.
+* :class:`~repro.sched.allocator.IncrementalAllocator` — re-runs the
+  dual-approximation assignment as each micro-batch forms, feeding the
+  calibrator's current rates through the same static-policy seam
+  (:func:`~repro.engine.master.predict_static_allocation`) both
+  execution backends already share.
+* :class:`~repro.sched.affinity.AffinityTracker` — the state behind
+  the ``"affinity"`` placement policy: prefer the PE class whose shm
+  arena already holds a chunk's data (XKaapi-style locality), as a
+  schedule-only bias — reported scores stay bit-identical under every
+  policy.
+"""
+
+from repro.sched.affinity import AFFINITY_SLACK, AffinityTracker
+from repro.sched.allocator import IncrementalAllocator
+from repro.sched.rolling import (
+    CALIBRATION_MODES,
+    DEFAULT_ALPHA,
+    DEFAULT_OUTLIER_FACTOR,
+    DEFAULT_WINDOW,
+    RollingCalibrator,
+)
+
+__all__ = [
+    "AFFINITY_SLACK",
+    "AffinityTracker",
+    "CALIBRATION_MODES",
+    "DEFAULT_ALPHA",
+    "DEFAULT_OUTLIER_FACTOR",
+    "DEFAULT_WINDOW",
+    "IncrementalAllocator",
+    "RollingCalibrator",
+]

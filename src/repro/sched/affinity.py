@@ -1,0 +1,96 @@
+"""Affinity-aware placement: prefer the class that already holds the data.
+
+With the shm data plane every worker *maps* the same
+:class:`~repro.sequences.shm.SharedArena`, but only the workers that
+recently executed a chunk range have it hot — page tables populated,
+packed rows in cache, query-profile gathers warm.  XKaapi-style
+runtimes (Bleuse et al.) exploit exactly this: placement prefers the
+processing element whose memory already holds a task's operands, and
+falls back to load balance when locality would cost too much.
+
+:class:`AffinityTracker` is the master-side residency map behind the
+``"affinity"`` policy: it remembers which PE class last executed each
+packed chunk, answers "where does this chunk range live?" for the
+:class:`~repro.engine.subtasks.ChunkScheduler`'s seeding and steal
+decisions, and counts how often placement honoured the preference.
+The bias is bounded — a preferred-class placement is taken only when
+its completion time stays within :data:`AFFINITY_SLACK` of the best
+candidate's — and **schedule-only**: scores are merged exactly
+(:class:`~repro.engine.subtasks.ScoreMerger`), so results stay
+bit-identical to every other policy no matter where a chunk ran.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AFFINITY_SLACK", "AffinityTracker"]
+
+#: How much estimated completion time a placement may give up to land
+#: on the class that already holds the data (fraction of the best
+#: candidate's completion time).
+AFFINITY_SLACK = 0.15
+
+
+class AffinityTracker:
+    """Chunk-index → PE-class residency map with hit accounting.
+
+    One tracker persists across a pool's batches (locality outlives a
+    micro-batch: the database is resident, so chunk residency earned in
+    batch *n* steers batch *n+1*).  Thread-safe — dispatch happens on
+    the supervision thread but batches of different services may share
+    a process.
+    """
+
+    def __init__(self, slack: float = AFFINITY_SLACK):
+        if slack < 0:
+            raise ValueError(f"slack must be >= 0, got {slack}")
+        self.slack = slack
+        self._resident: dict[int, str] = {}
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.Lock()
+
+    def preferred_kind(self, sub) -> str | None:
+        """The PE class holding the majority of *sub*'s chunk range hot
+        (``None`` when nothing is known yet, or on a tie)."""
+        with self._lock:
+            votes: dict[str, int] = {}
+            for chunk in range(sub.chunk_lo, sub.chunk_hi):
+                kind = self._resident.get(chunk)
+                if kind is not None:
+                    votes[kind] = votes.get(kind, 0) + 1
+        if not votes:
+            return None
+        best = max(votes.values())
+        winners = [kind for kind, n in votes.items() if n == best]
+        return winners[0] if len(winners) == 1 else None
+
+    def record(self, sub, kind: str) -> None:
+        """*sub* was handed to a worker of class *kind*: account the
+        placement against the prior preference, then update residency."""
+        preferred = self.preferred_kind(sub)
+        with self._lock:
+            if preferred is not None:
+                if preferred == kind:
+                    self._hits += 1
+                else:
+                    self._misses += 1
+            for chunk in range(sub.chunk_lo, sub.chunk_hi):
+                self._resident[chunk] = kind
+
+    @property
+    def chunks_tracked(self) -> int:
+        with self._lock:
+            return len(self._resident)
+
+    def snapshot(self) -> dict:
+        """JSON-able placement accounting (``hits`` = placements on the
+        preferred class, ``misses`` = load balance won instead)."""
+        with self._lock:
+            return {
+                "slack": self.slack,
+                "chunks_tracked": len(self._resident),
+                "hits": self._hits,
+                "misses": self._misses,
+            }

@@ -1,0 +1,105 @@
+"""Incremental dual-approximation allocation over rolling rates.
+
+The static seam both execution backends share —
+:func:`~repro.engine.master.predict_static_allocation` — is already
+re-entrant per batch; what made the paper's allocator *offline* was
+only that every batch consumed the same frozen calibration.
+:class:`IncrementalAllocator` closes the loop: as each micro-batch
+forms it reads the :class:`~repro.sched.rolling.RollingCalibrator`'s
+current per-class estimates, hands them to the same seam, and counts a
+**reallocation** whenever the rates actually moved since the previous
+batch — the signal operators watch to confirm the online plane is
+reacting to drift (exported as ``swdual_reallocations_total``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["RATE_CHANGE_TOLERANCE", "IncrementalAllocator"]
+
+#: Relative per-class rate change below which two consecutive batches
+#: are considered identically calibrated (no reallocation counted).
+RATE_CHANGE_TOLERANCE = 1e-3
+
+
+def _rates_differ(old: dict[str, float] | None, new: dict[str, float]) -> bool:
+    if old is None:
+        return bool(new)
+    if set(old) != set(new):
+        return True
+    for kind, rate in new.items():
+        prev = old[kind]
+        scale = max(abs(prev), abs(rate), 1e-12)
+        if abs(rate - prev) / scale > RATE_CHANGE_TOLERANCE:
+            return True
+    return False
+
+
+class IncrementalAllocator:
+    """Per-micro-batch dual-approximation allocation with live rates.
+
+    Parameters
+    ----------
+    calibrator:
+        The :class:`~repro.sched.rolling.RollingCalibrator` supplying
+        current per-class GCUPS.
+    fallback_rates:
+        Rates to use while the calibrator knows nothing at all (no
+        seeds, no observations) — e.g. an operator-supplied
+        ``measured_gcups``.  ``None`` lets the allocation seam fall
+        back to its uniform default.
+    """
+
+    def __init__(self, calibrator, fallback_rates: dict[str, float] | None = None):
+        self.calibrator = calibrator
+        self.fallback_rates = dict(fallback_rates) if fallback_rates else None
+        self._last_rates: dict[str, float] | None = None
+        self._reallocations = 0
+        self._batches = 0
+        self._lock = threading.Lock()
+
+    @property
+    def reallocations(self) -> int:
+        """Batches whose rates moved past the tolerance vs the batch
+        before them (the first rated batch counts: going from nothing
+        to an estimate *is* a reallocation)."""
+        with self._lock:
+            return self._reallocations
+
+    @property
+    def batches(self) -> int:
+        """Batches rated so far."""
+        with self._lock:
+            return self._batches
+
+    def rates_for_batch(self) -> dict[str, float] | None:
+        """Current rates for the batch being formed, counting a
+        reallocation when they differ from the previous batch's."""
+        rates = self.calibrator.rates()
+        if not rates:
+            rates = self.fallback_rates
+        with self._lock:
+            self._batches += 1
+            if rates is not None and _rates_differ(self._last_rates, rates):
+                self._reallocations += 1
+            self._last_rates = dict(rates) if rates is not None else None
+        return dict(rates) if rates is not None else None
+
+    def allocate(
+        self,
+        queries,
+        db_residues: int,
+        workers: list[tuple[str, str]],
+        policy: str = "swdual",
+    ) -> tuple[dict[str, list[int]], str]:
+        """Run one incremental allocation directly (the bench /
+        experiment entry point; the service reaches the same seam
+        through ``WarmPool.run_batch(measured_gcups=...)``)."""
+        # Imported lazily: repro.engine.__init__ pulls in the transport,
+        # which imports repro.sched for the affinity tracker.
+        from repro.engine.master import predict_static_allocation
+
+        return predict_static_allocation(
+            queries, db_residues, workers, policy, self.rates_for_batch()
+        )

@@ -1,0 +1,287 @@
+"""Rolling per-class calibration from observed task durations.
+
+One-shot :func:`~repro.engine.search.calibrate_live` measures each
+kernel once at pool start and memoises the result; every batch after
+that allocates against rates frozen at warm-up time.  A resident
+service already *measures* every task it runs — the worker protocol
+ships ``task.kernel`` / ``task.subtask`` spans (worker, PE class, DP
+cells, duration) back with each result, and the per-batch
+:class:`~repro.engine.results.SearchReport` carries the same numbers
+aggregated per worker.  :class:`RollingCalibrator` turns that stream
+into live per-class GCUPS estimates:
+
+* **EWMA** over accepted samples is the rate the allocator consumes —
+  recent batches dominate, so a drifting class (throttling GPU, noisy
+  co-tenant) is re-estimated within a few batches.
+* A bounded **window** of recent samples backs percentile readouts
+  (p50 is the robust midpoint operators compare against the EWMA) and
+  the outlier gate.
+* **Outlier rejection**: once the window holds enough history, a
+  sample further than ``outlier_factor×`` from the window median in
+  either direction is counted and dropped — one preempted task or
+  clock hiccup must not wrench the estimate.
+* **Staleness** is tracked per class as seconds since the last
+  accepted sample (on the shared monotonic tracing clock), exported to
+  the service's Prometheus registry so operators can see when an
+  estimate is running on fumes (e.g. the affinity policy starved a
+  class of work).
+
+Thread-safe; one instance serves a whole service lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from statistics import median
+
+from repro.telemetry import tracing
+
+__all__ = [
+    "CALIBRATION_MODES",
+    "DEFAULT_ALPHA",
+    "DEFAULT_OUTLIER_FACTOR",
+    "DEFAULT_WINDOW",
+    "MIN_SAMPLE_SECONDS",
+    "TASK_SPAN_NAMES",
+    "RollingCalibrator",
+]
+
+#: Calibration modes a resident service can run.
+CALIBRATION_MODES = ("oneshot", "rolling")
+
+#: EWMA smoothing: ~past 6 samples dominate the estimate.
+DEFAULT_ALPHA = 0.3
+
+#: Recent samples kept per class for percentiles + the outlier gate.
+DEFAULT_WINDOW = 64
+
+#: A sample this many × away from the window median (either way) is
+#: rejected as an outlier.
+DEFAULT_OUTLIER_FACTOR = 8.0
+
+#: Samples with fewer observed seconds than this carry more timer noise
+#: than signal and are ignored outright.
+MIN_SAMPLE_SECONDS = 1e-6
+
+#: Span names that carry per-task kernel timings (``attrs``: worker,
+#: kind, cells; duration from start/end on the shared clock).
+TASK_SPAN_NAMES = ("task.kernel", "task.subtask")
+
+#: Outlier rejection needs at least this much window history before it
+#: may veto a sample — early drift must be *learnable*.
+_MIN_GATE_HISTORY = 5
+
+
+class _ClassEstimate:
+    """Mutable per-PE-class state (guarded by the calibrator's lock)."""
+
+    __slots__ = ("ewma", "window", "samples", "outliers", "last_update")
+
+    def __init__(self, window: int):
+        self.ewma: float | None = None
+        self.window: deque[float] = deque(maxlen=window)
+        self.samples = 0
+        self.outliers = 0
+        self.last_update: float | None = None
+
+
+class RollingCalibrator:
+    """Live per-class GCUPS estimates from observed task durations.
+
+    Parameters
+    ----------
+    seed_rates:
+        Optional initial rates keyed by PE class (``"cpu"``/``"gpu"``)
+        — typically the one-shot ``calibrate_live`` result, so the very
+        first batch allocates no worse than the static path.  Seeds are
+        *fallbacks*: the first accepted observation of a class replaces
+        its seed entirely (seeding the EWMA with a stale rate would
+        slow convergence, which is the problem being solved).
+    alpha:
+        EWMA smoothing factor in ``(0, 1]``; higher tracks drift
+        faster, lower rides out noise.
+    window:
+        Recent samples retained per class for percentiles and the
+        outlier gate.
+    outlier_factor:
+        Rejection threshold as a multiple of the window median
+        (``> 1``); samples outside ``[median/f, median×f]`` are
+        dropped once the window holds ``5`` accepted samples.
+    """
+
+    def __init__(
+        self,
+        seed_rates: dict[str, float] | None = None,
+        alpha: float = DEFAULT_ALPHA,
+        window: int = DEFAULT_WINDOW,
+        outlier_factor: float = DEFAULT_OUTLIER_FACTOR,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if outlier_factor <= 1.0:
+            raise ValueError(f"outlier_factor must be > 1, got {outlier_factor}")
+        self.alpha = alpha
+        self.window_size = window
+        self.outlier_factor = outlier_factor
+        self._seed: dict[str, float] = dict(seed_rates or {})
+        self._classes: dict[str, _ClassEstimate] = {}
+        self._lock = threading.Lock()
+
+    # -- seeding -------------------------------------------------------
+
+    def set_seed(self, rates: dict[str, float] | None) -> None:
+        """(Re)place the fallback rates for classes never yet observed
+        — e.g. once the pool's one-shot calibration finishes."""
+        with self._lock:
+            self._seed = dict(rates or {})
+
+    # -- observing -----------------------------------------------------
+
+    def observe(self, kind: str, cells: float, seconds: float) -> bool:
+        """Fold one task execution into *kind*'s estimate.
+
+        Returns ``True`` when the sample was accepted, ``False`` when
+        it was ignored (degenerate) or rejected as an outlier.
+        """
+        if cells <= 0 or seconds < MIN_SAMPLE_SECONDS:
+            return False
+        gcups = cells / seconds / 1e9
+        with self._lock:
+            est = self._classes.get(kind)
+            if est is None:
+                est = self._classes.setdefault(kind, _ClassEstimate(self.window_size))
+            if len(est.window) >= _MIN_GATE_HISTORY:
+                mid = median(est.window)
+                if gcups > mid * self.outlier_factor or gcups < mid / self.outlier_factor:
+                    est.outliers += 1
+                    return False
+            est.window.append(gcups)
+            est.samples += 1
+            est.ewma = (
+                gcups
+                if est.ewma is None
+                else est.ewma + self.alpha * (gcups - est.ewma)
+            )
+            est.last_update = tracing.clock()
+            return True
+
+    def observe_spans(self, spans) -> int:
+        """Fold per-task kernel spans (:data:`TASK_SPAN_NAMES`) into
+        the estimates; other spans are skipped.  Accepts
+        :class:`~repro.telemetry.tracing.Span` objects or their dict
+        renderings (the cross-process wire form).  Returns how many
+        samples were accepted.
+        """
+        accepted = 0
+        for span in spans:
+            if isinstance(span, dict):
+                name = span.get("name")
+                attrs = span.get("attrs") or {}
+                duration = (span.get("end_s") or 0.0) - (span.get("start_s") or 0.0)
+            else:
+                name = span.name
+                attrs = span.attrs or {}
+                duration = span.duration_s
+            if name not in TASK_SPAN_NAMES:
+                continue
+            kind = attrs.get("kind")
+            cells = attrs.get("cells")
+            if kind is None or cells is None:
+                continue
+            if self.observe(kind, float(cells), float(duration)):
+                accepted += 1
+        return accepted
+
+    def observe_report(self, report) -> int:
+        """Fold a batch :class:`~repro.engine.results.SearchReport`'s
+        per-worker aggregates into the estimates — the tracing-off
+        fallback (one sample per busy worker per batch).  Returns how
+        many samples were accepted.
+        """
+        accepted = 0
+        for ws in report.worker_stats:
+            if ws.cells > 0 and ws.busy_seconds > 0:
+                if self.observe(ws.kind, float(ws.cells), float(ws.busy_seconds)):
+                    accepted += 1
+        return accepted
+
+    # -- reading -------------------------------------------------------
+
+    def rate(self, kind: str) -> float | None:
+        """Current estimate for *kind* in GCUPS: the EWMA when the
+        class has been observed, its seed otherwise, ``None`` when
+        neither exists."""
+        with self._lock:
+            est = self._classes.get(kind)
+            if est is not None and est.ewma is not None:
+                return est.ewma
+            return self._seed.get(kind)
+
+    def rates(self) -> dict[str, float]:
+        """All current per-class rates, shaped exactly like a
+        ``measured_gcups`` mapping (ready for
+        :func:`~repro.engine.master.predict_static_allocation`).
+        Classes with neither observations nor a seed are absent; an
+        empty dict means "no information" and callers should fall back
+        to their static default."""
+        with self._lock:
+            out = dict(self._seed)
+            for kind, est in self._classes.items():
+                if est.ewma is not None:
+                    out[kind] = est.ewma
+            return out
+
+    def percentile(self, kind: str, q: float = 50.0) -> float | None:
+        """Windowed percentile of *kind*'s accepted GCUPS samples
+        (``None`` until the class has been observed)."""
+        with self._lock:
+            est = self._classes.get(kind)
+            if est is None or not est.window:
+                return None
+            ordered = sorted(est.window)
+            if len(ordered) == 1:
+                return ordered[0]
+            pos = (q / 100.0) * (len(ordered) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(ordered) - 1)
+            frac = pos - lo
+            return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def staleness(self, now: float | None = None) -> dict[str, float]:
+        """Seconds since each observed class last accepted a sample
+        (shared monotonic clock); never-observed classes are absent."""
+        now = tracing.clock() if now is None else now
+        with self._lock:
+            return {
+                kind: max(0.0, now - est.last_update)
+                for kind, est in self._classes.items()
+                if est.last_update is not None
+            }
+
+    def snapshot(self) -> dict:
+        """JSON-able freeze of every class estimate (for stats/bench)."""
+        stale = self.staleness()
+        with self._lock:
+            classes = {}
+            for kind in sorted(self._classes):
+                est = self._classes[kind]
+                window = sorted(est.window)
+                classes[kind] = {
+                    "gcups": est.ewma,
+                    "p50_gcups": (
+                        window[len(window) // 2] if window else None
+                    ),
+                    "samples": est.samples,
+                    "outliers": est.outliers,
+                    "staleness_s": stale.get(kind),
+                }
+            return {
+                "alpha": self.alpha,
+                "window": self.window_size,
+                "outlier_factor": self.outlier_factor,
+                "seed_gcups": dict(self._seed),
+                "classes": classes,
+            }

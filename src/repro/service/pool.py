@@ -28,6 +28,7 @@ per batch and support the ``on_result`` streaming callback.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 
 from repro.align.scoring import ScoringScheme, default_scheme
@@ -46,7 +47,7 @@ from repro.engine.pipeline import (
     record_stage_counts,
 )
 from repro.engine.results import QueryResult, SearchReport, WorkerStats
-from repro.engine.search import calibrate_live
+from repro.engine.search import calibrate_live, invalidate_calibration
 from repro.engine.transport import (
     DEFAULT_HEARTBEAT_TIMEOUT,
     DEFAULT_MAX_RETRIES,
@@ -176,6 +177,9 @@ class WarmPool:
         self._batch_lock = threading.Lock()
         self._started = False
         self._closed = False
+        # Whether measured_gcups came from our own calibration (vs an
+        # explicit operator value) — decides what a retarget may drop.
+        self._auto_rates = False
 
     # -- lifecycle -----------------------------------------------------
 
@@ -245,6 +249,7 @@ class WarmPool:
                 self.measured_gcups = calibrate_live(
                     self.database, self.scheme, chunk_cells=self.chunk_cells
                 )
+                self._auto_rates = True
         else:
             packed = PackedDatabase.from_database(
                 self.database, chunk_cells=self.chunk_cells
@@ -256,6 +261,7 @@ class WarmPool:
                     chunk_cells=self.chunk_cells,
                     packed=packed,
                 )
+                self._auto_rates = True
             self._workers = [
                 KernelWorker(
                     name=name,
@@ -283,6 +289,89 @@ class WarmPool:
         if self._proc_pool is not None:
             self._proc_pool.close()
 
+    #: Sentinel distinguishing "leave this knob alone" from an explicit
+    #: value (including ``pipeline=None`` = full scan) in :meth:`retarget`.
+    _UNCHANGED = object()
+
+    def retarget(self, scheme=_UNCHANGED, pipeline=_UNCHANGED) -> bool:
+        """Point the resident pool at a new scoring scheme and/or
+        default pipeline preset.
+
+        Rates measured against the old target must not survive the
+        switch: the memoised :func:`~repro.engine.search.calibrate_live`
+        entry for the old ``(database, scheme)`` pair is evicted, and
+        any rates this pool auto-calibrated (or, on a scheme change,
+        operator-supplied rates too — they described the old kernels)
+        are dropped and, with ``calibrate=True``, re-measured against
+        the new target.  Returns whether anything changed.
+
+        A scheme change on a **started processes backend** raises
+        :class:`~repro.engine.messages.ProtocolError`: worker processes
+        received the scheme in their spawn payload and cannot be
+        retargeted in place — restart the pool instead.  The threads
+        backend rebuilds its workers around the already-packed database.
+        """
+        if self._closed:
+            raise ProtocolError("pool is closed")
+        changed_scheme = (
+            scheme is not WarmPool._UNCHANGED
+            and scheme is not None
+            and scheme != self.scheme
+        )
+        changed_pipeline = (
+            pipeline is not WarmPool._UNCHANGED and pipeline != self.pipeline
+        )
+        if not changed_scheme and not changed_pipeline:
+            return False
+        if changed_scheme and self._started and self.backend == "processes":
+            raise ProtocolError(
+                "cannot retarget scheme on a started processes pool: "
+                "workers received the scheme at spawn; restart the pool"
+            )
+        with self._batch_lock:
+            old_scheme = self.scheme
+            if changed_scheme:
+                self.scheme = scheme
+            if changed_pipeline:
+                self.pipeline = pipeline
+            if not self._started:
+                return True
+            # Evict the stale calibration memo for the old target so a
+            # restart or re-calibration against it re-measures.
+            invalidate_calibration(
+                self.database, old_scheme, chunk_cells=self.chunk_cells
+            )
+            if self._auto_rates or changed_scheme:
+                self.measured_gcups = None
+                self._auto_rates = False
+            if changed_scheme and self.backend == "threads" and self._workers:
+                packed = self._workers[0].packed
+                self._workers = [
+                    KernelWorker(
+                        name=name,
+                        kind=kind,
+                        database=self.database,
+                        scheme=self.scheme,
+                        packed=packed,
+                        top_hits=self.top_hits,
+                    )
+                    for name, kind in self.roster
+                ]
+            if self.calibrate and self.measured_gcups is None:
+                packed = (
+                    self._workers[0].packed
+                    if self.backend == "threads" and self._workers
+                    else None
+                )
+                self.measured_gcups = calibrate_live(
+                    self.database,
+                    self.scheme,
+                    chunk_cells=self.chunk_cells,
+                    packed=packed,
+                )
+                self._auto_rates = True
+        return True
+
     # -- execution -----------------------------------------------------
 
     #: Sentinel distinguishing "use the pool default" from an explicit
@@ -290,7 +379,11 @@ class WarmPool:
     _PIPELINE_DEFAULT = object()
 
     def run_batch(
-        self, queries: list[Sequence], on_result=None, pipeline=_PIPELINE_DEFAULT
+        self,
+        queries: list[Sequence],
+        on_result=None,
+        pipeline=_PIPELINE_DEFAULT,
+        measured_gcups: dict[str, float] | None = None,
     ) -> SearchReport:
         """Search one batch of queries on the warm pool.
 
@@ -302,6 +395,10 @@ class WarmPool:
         mode for this batch (a
         :class:`~repro.align.pipeline.PipelineConfig` runs the filter
         cascade, explicit ``None`` forces the full scan).
+        *measured_gcups* overrides the pool's rates for this batch's
+        allocation — the seam the rolling calibrator feeds, so a
+        resident service can re-run the dual-approximation split with
+        live estimates as each micro-batch forms.
         """
         if not queries:
             raise ValueError("need at least one query")
@@ -311,16 +408,17 @@ class WarmPool:
             raise ProtocolError("pool is closed")
         if pipeline is WarmPool._PIPELINE_DEFAULT:
             pipeline = self.pipeline
+        rates = measured_gcups if measured_gcups is not None else self.measured_gcups
         with self._batch_lock:
             if self.backend == "processes":
                 return self._proc_pool.run_batch(
                     queries,
                     policy=self._effective_policy(),
-                    measured_gcups=self.measured_gcups,
+                    measured_gcups=rates,
                     on_result=on_result,
                     pipeline=pipeline,
                 )
-            return self._run_batch_threads(queries, on_result, pipeline)
+            return self._run_batch_threads(queries, on_result, pipeline, rates)
 
     def _effective_policy(self) -> str:
         """Single-worker pools self-schedule: the dual-approximation
@@ -336,7 +434,9 @@ class WarmPool:
         if self.registry is not None:
             self.registry.counter(name, help=help).inc()
 
-    def _run_batch_threads(self, queries, on_result, pipeline=None) -> SearchReport:
+    def _run_batch_threads(
+        self, queries, on_result, pipeline=None, measured_gcups=None
+    ) -> SearchReport:
         """Threaded batch with the same recovery contract as the
         process transport: a failed attempt (raising kernel, injected
         poison, ``corrupt`` fault) requeues the task onto a survivor
@@ -373,7 +473,7 @@ class WarmPool:
                 self.database.total_residues,
                 roster,
                 policy,
-                self.measured_gcups,
+                measured_gcups,
             )
             for name, batch in batches.items():
                 own[name].extend(batch)
@@ -460,14 +560,20 @@ class WarmPool:
                         poison = _inj.task_fault(_j)
                         if poison is not None:
                             raise InjectedFault(poison.message)
-                        if _spec is not None:  # corrupt: the result
-                            # cannot be trusted, fail the attempt
+                        if _spec is not None and _spec.kind == "corrupt":
+                            # The result cannot be trusted, fail the
+                            # attempt.
                             raise InjectedFault(
                                 f"injected corrupt result for task {_j}"
                             )
                     worker.fault_hook = hook
                 try:
                     execution = worker.execute(queries[j])
+                    if spec is not None and spec.kind == "slow":
+                        # Drifting-speed drill: the task really takes
+                        # longer and its measured time says so.
+                        time.sleep(spec.slow_seconds)
+                        execution.elapsed += spec.slow_seconds
                 except Exception as exc:
                     requeue(j, f"{type(exc).__name__}: {exc}")
                     continue

@@ -46,6 +46,7 @@ from repro.align.scoring import ScoringScheme
 from repro.engine.faults import FaultPlan
 from repro.engine.pipeline import PIPELINE_PRESETS, PipelineConfig
 from repro.engine.transport import DEFAULT_HEARTBEAT_TIMEOUT, DEFAULT_MAX_RETRIES
+from repro.sched import CALIBRATION_MODES, IncrementalAllocator, RollingCalibrator
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.packed import DEFAULT_CHUNK_CELLS
 from repro.sequences.sequence import Sequence
@@ -150,6 +151,14 @@ class SearchService:
     max_batch:
         Micro-batch cap: how many waiting queries one scheduler pass
         may drain into a single pool batch.
+    calibration:
+        ``"oneshot"`` (default) trusts the start-up rates for the
+        service's lifetime; ``"rolling"`` keeps a
+        :class:`~repro.sched.RollingCalibrator` fed from per-task span
+        telemetry (or report aggregates) and re-runs the
+        dual-approximation split per micro-batch with the live
+        estimates via an :class:`~repro.sched.IncrementalAllocator`.
+        Scores are identical either way — only placement shifts.
     """
 
     def __init__(
@@ -175,11 +184,16 @@ class SearchService:
         max_queue: int = 64,
         max_batch: int = 8,
         pipeline: PipelineConfig | None = None,
+        calibration: str = "oneshot",
     ):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if calibration not in CALIBRATION_MODES:
+            raise ValueError(
+                f"calibration must be one of {CALIBRATION_MODES}, got {calibration!r}"
+            )
         self.database = database
         self.host = host
         self.port = port
@@ -192,6 +206,18 @@ class SearchService:
         # "default" preset.
         self.pipeline = pipeline
         self._pipeline_config = pipeline or PIPELINE_PRESETS["default"]
+        # Rolling calibration: live per-role rate estimates from span /
+        # report telemetry re-drive the dual-approximation split as
+        # each micro-batch forms, instead of trusting the one-shot
+        # start-up rates for the service's whole lifetime.
+        self.calibration = calibration
+        self._calibrator: RollingCalibrator | None = None
+        self._allocator: IncrementalAllocator | None = None
+        if calibration == "rolling":
+            self._calibrator = RollingCalibrator(seed_rates=measured_gcups)
+            self._allocator = IncrementalAllocator(
+                self._calibrator, fallback_rates=measured_gcups
+            )
         self.pool = WarmPool(
             database,
             num_cpu_workers=num_cpu_workers,
@@ -253,6 +279,10 @@ class SearchService:
         if self._started:
             raise RuntimeError("service already started")
         self.pool.start()
+        if self._calibrator is not None and self.pool.measured_gcups:
+            # Start-up calibration (or operator rates) seeds the
+            # rolling estimates; spans then take over.
+            self._calibrator.set_seed(self.pool.measured_gcups)
         try:
             self._sock = socket.create_server(
                 (self.host, self.port), backlog=16, reuse_port=False
@@ -270,7 +300,7 @@ class SearchService:
         print(
             f"swdual serve: listening on {self.host}:{self.port} "
             f"backend={self.pool.backend} policy={self.pool.policy} "
-            f"workers=[{roster}]",
+            f"calibration={self.calibration} workers=[{roster}]",
             file=sys.stderr,
             flush=True,
         )
@@ -350,6 +380,26 @@ class SearchService:
     def release(self) -> None:
         """Resume a held scheduler."""
         self._gate.set()
+
+    def retarget(self, scheme=WarmPool._UNCHANGED, pipeline=WarmPool._UNCHANGED) -> bool:
+        """Point the resident pool at a new scoring scheme and/or
+        default pipeline preset (see :meth:`WarmPool.retarget` — stale
+        calibration for the old target is evicted, not reused).
+        Returns whether anything changed."""
+        changed = self.pool.retarget(scheme=scheme, pipeline=pipeline)
+        if changed and pipeline is not WarmPool._UNCHANGED:
+            self.pipeline = pipeline
+            self._pipeline_config = pipeline or PIPELINE_PRESETS["default"]
+        if changed and self._calibrator is not None:
+            # Old-target estimates are as stale as the memo was: reseed
+            # from whatever the pool now believes and start over.
+            self._calibrator = RollingCalibrator(
+                seed_rates=self.pool.measured_gcups
+            )
+            self._allocator = IncrementalAllocator(
+                self._calibrator, fallback_rates=self.pool.measured_gcups
+            )
+        return changed
 
     # -- admission (connection threads) ---------------------------------
 
@@ -577,11 +627,18 @@ class SearchService:
                     )
                 )
 
+        batch_rates = None
+        if self._allocator is not None:
+            # Re-run the dual-approximation split with the calibrator's
+            # current estimates (falls back to the pool's static rates
+            # until the first samples land).
+            batch_rates = self._allocator.rates_for_batch()
         try:
             report = self.pool.run_batch(
                 [p.sequence for p in batch],
                 on_result=on_result,
                 pipeline=self._pipeline_config if use_pipeline else None,
+                measured_gcups=batch_rates,
             )
         except Exception as exc:
             # Pool-level failure (e.g. every worker died): each query
@@ -610,6 +667,27 @@ class SearchService:
                         )
                     )
         self.stats.record_batch(report)
+        if self._calibrator is not None:
+            self._observe_batch(report)
+
+    def _observe_batch(self, report) -> None:
+        """Feed one batch's telemetry to the rolling calibrator.
+
+        Prefers per-task spans (finer granularity, outlier-gated one
+        task at a time); when tracing is off, falls back to the
+        report's per-worker aggregates.  Drained spans are re-ingested
+        so trace export still sees them.
+        """
+        accepted = 0
+        if tracing.enabled():
+            spans = tracing.drain()
+            accepted = self._calibrator.observe_spans(spans)
+            tracing.ingest(spans)
+        if accepted == 0:
+            self._calibrator.observe_report(report)
+        self.stats.record_calibration(
+            self._calibrator.snapshot(), self._allocator.reallocations
+        )
 
     def _snapshot(self) -> dict:
         with self._in_flight_lock:

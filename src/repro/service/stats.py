@@ -120,6 +120,10 @@ class ServiceStats:
         for _name, kind in roster:
             role = self._role(kind)
             role.workers.inc()
+        # Last values folded into the monotonic calibration counters
+        # (counters can only inc; the calibrator reports totals).
+        self._calib_seen: dict[str, tuple[int, int]] = {}
+        self._realloc_seen = 0
 
     def _role(self, kind: str) -> _RoleMetrics:
         role = self._roles.get(kind)
@@ -161,6 +165,49 @@ class ServiceStats:
             steals = getattr(ws, "steals", 0)
             if steals:
                 role.steals.inc(steals)
+
+    def record_calibration(self, calibration: dict, reallocations: int) -> None:
+        """Fold one rolling-calibration snapshot into the registry.
+
+        *calibration* is :meth:`repro.sched.RollingCalibrator.snapshot`;
+        *reallocations* the allocator's running total of batches whose
+        rates moved enough to re-run the dual-approximation split.
+        Gauges track the live estimate and its staleness per role;
+        counters advance by the delta since the last fold.
+        """
+        reg = self.registry
+        for kind, cls in calibration.get("classes", {}).items():
+            labels = {"role": kind}
+            reg.gauge(
+                "swdual_calibrated_gcups",
+                "Rolling EWMA GCUPS estimate for this role.",
+                labels,
+            ).set(cls["gcups"])
+            reg.gauge(
+                "swdual_calibration_staleness_seconds",
+                "Seconds since this role's last accepted calibration sample.",
+                labels,
+            ).set(cls["staleness_s"])
+            seen_s, seen_o = self._calib_seen.get(kind, (0, 0))
+            if cls["samples"] > seen_s:
+                reg.counter(
+                    "swdual_calibration_samples_total",
+                    "Span/report samples accepted by the rolling calibrator.",
+                    labels,
+                ).inc(cls["samples"] - seen_s)
+            if cls["outliers"] > seen_o:
+                reg.counter(
+                    "swdual_calibration_outliers_total",
+                    "Calibration samples rejected by the outlier gate.",
+                    labels,
+                ).inc(cls["outliers"] - seen_o)
+            self._calib_seen[kind] = (cls["samples"], cls["outliers"])
+        if reallocations > self._realloc_seen:
+            reg.counter(
+                "swdual_reallocations_total",
+                "Micro-batches whose rates moved enough to re-run allocation.",
+            ).inc(reallocations - self._realloc_seen)
+            self._realloc_seen = reallocations
 
     # -- reading ---------------------------------------------------------
 
@@ -238,6 +285,7 @@ class ServiceStats:
             "roles": roles,
             "recovery": self._recovery_snapshot(),
             "pipeline": self._pipeline_snapshot(),
+            "calibration": self._calibration_snapshot(),
             "throughput_qps": completed / uptime,
         }
 
@@ -255,6 +303,50 @@ class ServiceStats:
             1.0 - stages["banded_survivors"] / scanned if scanned else 0.0
         )
         return stages
+
+    def _calibration_snapshot(self) -> dict:
+        """Rolling-calibration state the scheduler folds into this
+        registry (get-or-create: empty roles / zero reallocations when
+        the service runs one-shot calibration)."""
+        reg = self.registry
+        roles = {}
+        for kind in sorted(self._calib_seen):
+            labels = {"role": kind}
+            roles[kind] = {
+                "gcups": reg.gauge(
+                    "swdual_calibrated_gcups",
+                    "Rolling EWMA GCUPS estimate for this role.",
+                    labels,
+                ).value,
+                "staleness_s": reg.gauge(
+                    "swdual_calibration_staleness_seconds",
+                    "Seconds since this role's last accepted calibration sample.",
+                    labels,
+                ).value,
+                "samples": int(
+                    reg.counter(
+                        "swdual_calibration_samples_total",
+                        "Span/report samples accepted by the rolling calibrator.",
+                        labels,
+                    ).value
+                ),
+                "outliers": int(
+                    reg.counter(
+                        "swdual_calibration_outliers_total",
+                        "Calibration samples rejected by the outlier gate.",
+                        labels,
+                    ).value
+                ),
+            }
+        return {
+            "reallocations": int(
+                reg.counter(
+                    "swdual_reallocations_total",
+                    "Micro-batches whose rates moved enough to re-run allocation.",
+                ).value
+            ),
+            "roles": roles,
+        }
 
     def _recovery_snapshot(self) -> dict:
         """Recovery counters the transport/pool records into this

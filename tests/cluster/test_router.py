@@ -439,6 +439,23 @@ class TestSpeculativeCredit:
         self._warm(router2, {"shard0": 0.001, "shard1": 10.0})
         assert router2._speculative_k("shard1", 8) == 1
 
+    def test_restart_resets_credit_to_full_depth(self):
+        """A restarted shard's latency history described the dead
+        process: its credit must be forgotten so speculation runs the
+        replacement at full depth until it re-earns a shallow ask."""
+        router = self._router()
+        self._warm(router, {"shard0": 0.1, "shard1": 0.4})
+        assert router._speculative_k("shard1", 8) == 2
+        router._on_shard_change("shard1")
+        # The survivor keeps its credit; the replacement starts cold —
+        # and a cold shard anywhere forces full depth everywhere (no
+        # refinement round-trips against an unknown-speed process).
+        assert router._speculative_k("shard1", 8) == 8
+        assert router._speculative_k("shard0", 8) == 8
+        # Re-earning credit restores the shallow ask.
+        self._warm(router, {"shard1": 0.4})
+        assert router._speculative_k("shard1", 8) == 2
+
     def test_disabled_speculation_always_full_depth(self):
         topo = ClusterTopology(
             "spec",

@@ -49,7 +49,7 @@ def reference(workload):
 
 
 class TestThreadedDispatch:
-    @pytest.mark.parametrize("policy", ["self", "swdual", "swdual-dp"])
+    @pytest.mark.parametrize("policy", ["self", "swdual", "swdual-dp", "affinity"])
     def test_live_search_policies(self, workload, reference, policy):
         db, queries = workload
         report = live_search(
@@ -63,7 +63,7 @@ class TestThreadedDispatch:
         )
         assert _hits(report) == reference
 
-    @pytest.mark.parametrize("policy", ["self", "swdual"])
+    @pytest.mark.parametrize("policy", ["self", "swdual", "affinity"])
     def test_warm_pool_threads(self, workload, reference, policy):
         db, queries = workload
         with WarmPool(
@@ -77,13 +77,34 @@ class TestThreadedDispatch:
         ) as pool:
             assert _hits(pool.run_batch(queries)) == reference
 
+    def test_warm_pool_rolling_rates(self, workload, reference):
+        """Per-batch rate overrides (the rolling-calibration seam) may
+        move placement but never scores — even wildly wrong estimates
+        produce the reference hit table."""
+        db, queries = workload
+        with WarmPool(
+            db,
+            num_cpu_workers=2,
+            num_gpu_workers=1,
+            backend="threads",
+            policy="swdual",
+            measured_gcups={"cpu": 1.0, "gpu": 2.0},
+            top_hits=TOP_HITS,
+        ) as pool:
+            for rates in (
+                {"cpu": 1.0, "gpu": 2.0},
+                {"cpu": 50.0, "gpu": 0.01},
+                {"cpu": 0.01, "gpu": 50.0},
+            ):
+                assert _hits(pool.run_batch(queries, measured_gcups=rates)) == reference
+
 
 class TestProcessDispatch:
     @pytest.mark.parametrize(
         "plane", ["pickle", pytest.param("shm", marks=needs_shm)]
     )
     @pytest.mark.parametrize("dispatch", ["query", "chunk"])
-    @pytest.mark.parametrize("policy", ["self", "swdual"])
+    @pytest.mark.parametrize("policy", ["self", "swdual", "affinity"])
     def test_plane_dispatch_policy_grid(
         self, workload, reference, plane, dispatch, policy
     ):

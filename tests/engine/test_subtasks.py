@@ -153,6 +153,50 @@ class TestChunkScheduler:
         with pytest.raises(ValueError, match="worker"):
             ChunkScheduler([], [])
 
+    def test_whole_class_death_recosts_onto_survivors(self):
+        """Both GPU-role workers die mid-batch: their queued grains must
+        migrate to the CPU survivors — re-costed under CPU rates — and
+        every grain still dispatches exactly once."""
+        subs = self._subs([100] * 12)
+        sched = ChunkScheduler(
+            subs,
+            [("cpu0", "cpu"), ("cpu1", "cpu"), ("gpu0", "gpu"), ("gpu1", "gpu")],
+            rates={"cpu": 1.0, "gpu": 3.0},
+        )
+        # The fast class seeded most of the work; kill all of it.
+        gpu_queued = len(sched._deques["gpu0"]) + len(sched._deques["gpu1"])
+        assert gpu_queued > len(subs) // 2
+        # gpu0's orphans may transit through gpu1 before it too dies, so
+        # the sum of redistributions is at least the original backlog.
+        moved = sched.remove_worker("gpu0") + sched.remove_worker("gpu1")
+        assert moved >= gpu_queued
+        assert set(sched._deques) == {"cpu0", "cpu1"}
+        # Orphans spread across survivors, accounted at CPU rates: the
+        # two deques stay balanced within one grain.
+        assert abs(len(sched._deques["cpu0"]) - len(sched._deques["cpu1"])) <= 1
+        assert sched.pending == len(subs)
+        seen = []
+        i = 0
+        while sched.pending:
+            nxt = sched.next_for(["cpu0", "cpu1"][i % 2])
+            i += 1
+            if nxt is not None:
+                seen.append(nxt[0].sid)
+        assert sorted(seen) == [s.sid for s in subs]
+
+    def test_remove_unknown_worker_raises(self):
+        sched = ChunkScheduler(self._subs([5]), [("a", "cpu")])
+        with pytest.raises(KeyError):
+            sched.remove_worker("ghost")
+
+    def test_remove_last_worker_with_queued_work_rejected(self):
+        sched = ChunkScheduler(self._subs([5, 5]), [("a", "cpu")])
+        with pytest.raises(ValueError, match="last worker"):
+            sched.remove_worker("a")
+        # The refusal left the schedule intact.
+        assert sched.pending == 2
+        assert sched.next_for("a") is not None
+
 
 class TestScoreMergerBitForBit:
     """The tentpole contract: any chunk-range split, merged in any

@@ -1,0 +1,131 @@
+"""AffinityTracker semantics and its bounded steering of the
+ChunkScheduler's seeding and stealing.  Placement-only: conformance
+tests prove scores stay bit-identical; these tests prove the bias
+actually exists and actually stays bounded."""
+
+import pytest
+
+from repro.engine.subtasks import ChunkScheduler, Subtask
+from repro.sched import AffinityTracker
+from repro.sched.affinity import AFFINITY_SLACK
+
+
+def _sub(sid, lo, hi, cells=100, qi=0):
+    return Subtask(sid=sid, query_index=qi, chunk_lo=lo, chunk_hi=hi, cells=cells)
+
+
+class TestTracker:
+    def test_bad_slack(self):
+        with pytest.raises(ValueError, match="slack"):
+            AffinityTracker(slack=-0.1)
+
+    def test_default_slack(self):
+        assert AffinityTracker().slack == AFFINITY_SLACK
+
+    def test_unknown_range_has_no_preference(self):
+        assert AffinityTracker().preferred_kind(_sub(0, 0, 3)) is None
+
+    def test_majority_vote(self):
+        t = AffinityTracker()
+        t.record(_sub(0, 0, 2), "gpu")  # chunks 0,1 → gpu
+        t.record(_sub(1, 2, 3), "cpu")  # chunk 2 → cpu
+        assert t.preferred_kind(_sub(2, 0, 3)) == "gpu"
+
+    def test_tie_is_no_preference(self):
+        t = AffinityTracker()
+        t.record(_sub(0, 0, 1), "gpu")
+        t.record(_sub(1, 1, 2), "cpu")
+        assert t.preferred_kind(_sub(2, 0, 2)) is None
+
+    def test_residency_updates_on_record(self):
+        t = AffinityTracker()
+        t.record(_sub(0, 0, 2), "gpu")
+        t.record(_sub(1, 0, 2), "cpu")  # migrated: cpu owns it now
+        assert t.preferred_kind(_sub(2, 0, 2)) == "cpu"
+        assert t.chunks_tracked == 2
+
+    def test_hit_miss_accounting(self):
+        t = AffinityTracker()
+        t.record(_sub(0, 0, 1), "gpu")  # no prior preference: neither
+        t.record(_sub(1, 0, 1), "gpu")  # honoured → hit
+        t.record(_sub(2, 0, 1), "cpu")  # overridden → miss
+        snap = t.snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["chunks_tracked"] == 1
+        assert snap["slack"] == t.slack
+
+
+class TestSchedulerSeeding:
+    def test_generous_slack_pulls_grains_to_resident_class(self):
+        # Every chunk is hot on the GPU; with ample slack the seed must
+        # place every grain there even though load balance alone would
+        # split them.
+        tracker = AffinityTracker(slack=10.0)
+        subs = [_sub(i, i, i + 1) for i in range(4)]
+        for s in subs:
+            tracker.record(s, "gpu")
+        sched = ChunkScheduler(
+            subs,
+            [("c0", "cpu"), ("g0", "gpu")],
+            rates={"c0": 1.0, "g0": 1.0},
+            affinity=tracker,
+        )
+        assert len(sched._deques["g0"]) == 4
+        assert len(sched._deques["c0"]) == 0
+
+    def test_zero_slack_never_sacrifices_balance(self):
+        # GPU residency everywhere, but the CPU is 10x faster: with no
+        # slack the locality bias may not cost a microsecond, so every
+        # grain stays on the fast class.
+        tracker = AffinityTracker(slack=0.0)
+        subs = [_sub(i, i, i + 1) for i in range(4)]
+        for s in subs:
+            tracker.record(s, "gpu")
+        sched = ChunkScheduler(
+            subs,
+            [("c0", "cpu"), ("g0", "gpu")],
+            rates={"c0": 10.0, "g0": 1.0},
+            affinity=tracker,
+        )
+        assert len(sched._deques["c0"]) == 4
+
+    def test_handouts_update_residency(self):
+        tracker = AffinityTracker()
+        subs = [_sub(0, 0, 1)]
+        sched = ChunkScheduler(subs, [("c0", "cpu")], affinity=tracker)
+        sub, stolen = sched.next_for("c0")
+        assert not stolen
+        assert tracker.preferred_kind(sub) == "cpu"
+
+
+class TestSchedulerStealing:
+    def test_thief_prefers_kin_loot_over_largest(self):
+        # Everything seeds onto the fast CPU; the mid-sized grain's
+        # chunk is resident on the GPU class, so the GPU thief takes it
+        # instead of the classic largest-overall loot.
+        tracker = AffinityTracker()
+        subs = [_sub(0, 0, 1, cells=10), _sub(1, 1, 2, cells=500),
+                _sub(2, 2, 3, cells=20)]
+        tracker.record(subs[2], "gpu")
+        sched = ChunkScheduler(
+            subs,
+            [("a", "cpu"), ("b", "gpu")],
+            rates={"a": 1e9, "b": 1e-9},
+            affinity=tracker,
+        )
+        sub, stolen = sched.next_for("b")
+        assert stolen and sub.cells == 20
+        assert tracker.snapshot()["hits"] == 1
+
+    def test_thief_falls_back_to_largest_without_kin(self):
+        tracker = AffinityTracker()
+        subs = [_sub(0, 0, 1, cells=10), _sub(1, 1, 2, cells=500)]
+        sched = ChunkScheduler(
+            subs,
+            [("a", "cpu"), ("b", "gpu")],
+            rates={"a": 1e9, "b": 1e-9},
+            affinity=tracker,
+        )
+        sub, stolen = sched.next_for("b")
+        assert stolen and sub.cells == 500

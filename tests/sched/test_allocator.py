@@ -1,0 +1,99 @@
+"""IncrementalAllocator: rate plumbing, reallocation counting, and
+equivalence with the static allocation seam."""
+
+import pytest
+
+from repro.engine.master import predict_static_allocation
+from repro.sched import IncrementalAllocator, RollingCalibrator
+from repro.sched.allocator import RATE_CHANGE_TOLERANCE, _rates_differ
+from repro.sequences import small_database
+
+
+class TestRatesDiffer:
+    def test_none_to_something_differs(self):
+        assert _rates_differ(None, {"cpu": 1.0})
+        assert not _rates_differ(None, {})
+
+    def test_key_set_change_differs(self):
+        assert _rates_differ({"cpu": 1.0}, {"cpu": 1.0, "gpu": 2.0})
+
+    def test_within_tolerance_is_identical(self):
+        jitter = 1.0 + RATE_CHANGE_TOLERANCE / 2
+        assert not _rates_differ({"cpu": 1.0}, {"cpu": jitter})
+        assert _rates_differ({"cpu": 1.0}, {"cpu": 1.1})
+
+
+class TestRatesForBatch:
+    def test_calibrator_rates_win(self):
+        cal = RollingCalibrator(seed_rates={"cpu": 1.0})
+        alloc = IncrementalAllocator(cal, fallback_rates={"cpu": 9.0})
+        assert alloc.rates_for_batch() == {"cpu": 1.0}
+
+    def test_fallback_when_calibrator_empty(self):
+        alloc = IncrementalAllocator(
+            RollingCalibrator(), fallback_rates={"cpu": 9.0}
+        )
+        assert alloc.rates_for_batch() == {"cpu": 9.0}
+
+    def test_none_when_no_information(self):
+        alloc = IncrementalAllocator(RollingCalibrator())
+        assert alloc.rates_for_batch() is None
+        assert alloc.reallocations == 0
+        assert alloc.batches == 1
+
+    def test_first_rated_batch_counts_as_reallocation(self):
+        cal = RollingCalibrator(seed_rates={"cpu": 1.0, "gpu": 2.0})
+        alloc = IncrementalAllocator(cal)
+        alloc.rates_for_batch()
+        assert alloc.reallocations == 1
+
+    def test_stable_rates_do_not_count(self):
+        cal = RollingCalibrator(seed_rates={"cpu": 1.0, "gpu": 2.0})
+        alloc = IncrementalAllocator(cal)
+        for _ in range(4):
+            alloc.rates_for_batch()
+        assert alloc.reallocations == 1
+        assert alloc.batches == 4
+
+    def test_drift_counts_again(self):
+        cal = RollingCalibrator(seed_rates={"cpu": 1.0, "gpu": 2.0})
+        alloc = IncrementalAllocator(cal)
+        alloc.rates_for_batch()
+        assert cal.observe("gpu", cells=0.5e9, seconds=1.0)  # gpu now 0.5
+        alloc.rates_for_batch()
+        assert alloc.reallocations == 2
+
+    def test_returned_dict_is_a_copy(self):
+        cal = RollingCalibrator(seed_rates={"cpu": 1.0})
+        alloc = IncrementalAllocator(cal)
+        rates = alloc.rates_for_batch()
+        rates["cpu"] = -1.0
+        assert alloc.rates_for_batch() == {"cpu": 1.0}
+        assert alloc.reallocations == 1  # the mutation did not register
+
+
+class TestAllocate:
+    def test_matches_static_seam(self):
+        queries = list(small_database(num_sequences=4, mean_length=40, seed=7))
+        workers = [("cpu0", "cpu"), ("gpu0", "gpu")]
+        rates = {"cpu": 1.0, "gpu": 3.0}
+        alloc = IncrementalAllocator(RollingCalibrator(seed_rates=rates))
+        got, variant = alloc.allocate(queries, 10_000, workers, policy="swdual")
+        want, want_variant = predict_static_allocation(
+            queries, 10_000, workers, "swdual", rates
+        )
+        assert got == want
+        assert variant == want_variant
+
+    @pytest.mark.parametrize("policy", ["swdual", "swdual-dp", "affinity"])
+    def test_policies_accepted(self, policy):
+        queries = list(small_database(num_sequences=3, mean_length=30, seed=8))
+        alloc = IncrementalAllocator(
+            RollingCalibrator(seed_rates={"cpu": 1.0, "gpu": 2.0})
+        )
+        assignments, info = alloc.allocate(
+            queries, 5_000, [("cpu0", "cpu"), ("gpu0", "gpu")], policy=policy
+        )
+        placed = sorted(i for ids in assignments.values() for i in ids)
+        assert placed == list(range(len(queries)))
+        assert isinstance(info, str) and info

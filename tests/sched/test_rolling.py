@@ -1,0 +1,184 @@
+"""RollingCalibrator: EWMA convergence, outlier gating, seeds,
+percentiles, staleness, and the span/report ingestion paths."""
+
+import pytest
+
+from repro.sched import RollingCalibrator
+from repro.sched.rolling import (
+    CALIBRATION_MODES,
+    MIN_SAMPLE_SECONDS,
+    TASK_SPAN_NAMES,
+)
+from repro.telemetry import tracing
+from repro.telemetry.tracing import Span
+
+
+def _observe_gcups(cal, kind, gcups, n=1):
+    """Feed *n* samples that decode to exactly *gcups*."""
+    for _ in range(n):
+        assert cal.observe(kind, cells=gcups * 1e9, seconds=1.0)
+
+
+class TestConstruction:
+    def test_modes_exported(self):
+        assert CALIBRATION_MODES == ("oneshot", "rolling")
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_bad_alpha(self, alpha):
+        with pytest.raises(ValueError, match="alpha"):
+            RollingCalibrator(alpha=alpha)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            RollingCalibrator(window=1)
+
+    @pytest.mark.parametrize("factor", [1.0, 0.5])
+    def test_bad_outlier_factor(self, factor):
+        with pytest.raises(ValueError, match="outlier_factor"):
+            RollingCalibrator(outlier_factor=factor)
+
+
+class TestObserve:
+    def test_degenerate_samples_ignored(self):
+        cal = RollingCalibrator()
+        assert not cal.observe("cpu", cells=0, seconds=1.0)
+        assert not cal.observe("cpu", cells=-5, seconds=1.0)
+        assert not cal.observe("cpu", cells=1e9, seconds=MIN_SAMPLE_SECONDS / 2)
+        assert cal.rates() == {}
+        assert cal.rate("cpu") is None
+
+    def test_first_sample_sets_ewma_directly(self):
+        cal = RollingCalibrator(seed_rates={"cpu": 99.0})
+        _observe_gcups(cal, "cpu", 2.0)
+        # Seed does NOT blend into the estimate: first observation wins.
+        assert cal.rate("cpu") == pytest.approx(2.0)
+
+    def test_ewma_converges_toward_new_rate(self):
+        cal = RollingCalibrator(alpha=0.3)
+        _observe_gcups(cal, "gpu", 4.0)
+        _observe_gcups(cal, "gpu", 1.0, n=20)
+        rate = cal.rate("gpu")
+        assert 1.0 <= rate < 1.01  # drifted down, nearly converged
+
+    def test_ewma_update_rule(self):
+        cal = RollingCalibrator(alpha=0.5)
+        _observe_gcups(cal, "cpu", 2.0)
+        _observe_gcups(cal, "cpu", 4.0)
+        assert cal.rate("cpu") == pytest.approx(3.0)  # 2 + 0.5*(4-2)
+
+
+class TestOutlierGate:
+    def test_gate_inactive_until_history(self):
+        cal = RollingCalibrator(outlier_factor=8.0)
+        # 4 samples at 1.0, then a wild 1000x sample: still accepted —
+        # the gate needs 5 samples of history before it may veto.
+        _observe_gcups(cal, "cpu", 1.0, n=4)
+        assert cal.observe("cpu", cells=1000.0 * 1e9, seconds=1.0)
+        assert cal.snapshot()["classes"]["cpu"]["outliers"] == 0
+
+    def test_gate_rejects_both_directions(self):
+        cal = RollingCalibrator(outlier_factor=8.0)
+        _observe_gcups(cal, "cpu", 1.0, n=5)
+        assert not cal.observe("cpu", cells=100.0 * 1e9, seconds=1.0)  # too fast
+        assert not cal.observe("cpu", cells=0.01 * 1e9, seconds=1.0)  # too slow
+        snap = cal.snapshot()["classes"]["cpu"]
+        assert snap["outliers"] == 2
+        assert snap["samples"] == 5
+        assert cal.rate("cpu") == pytest.approx(1.0)  # estimate untouched
+
+    def test_gradual_drift_is_learnable(self):
+        # A real 3x slowdown arrives as samples within the gate: the
+        # estimate must follow it rather than reject it.
+        cal = RollingCalibrator(outlier_factor=8.0)
+        _observe_gcups(cal, "gpu", 3.0, n=6)
+        _observe_gcups(cal, "gpu", 1.0, n=20)
+        assert cal.rate("gpu") == pytest.approx(1.0, rel=0.02)
+
+
+class TestReading:
+    def test_rates_overlay_seed(self):
+        cal = RollingCalibrator(seed_rates={"cpu": 1.0, "gpu": 2.0})
+        assert cal.rates() == {"cpu": 1.0, "gpu": 2.0}
+        _observe_gcups(cal, "gpu", 5.0)
+        assert cal.rates() == {"cpu": 1.0, "gpu": 5.0}
+
+    def test_empty_means_no_information(self):
+        cal = RollingCalibrator()
+        assert cal.rates() == {}
+
+    def test_set_seed_replaces_fallbacks_only(self):
+        cal = RollingCalibrator()
+        _observe_gcups(cal, "cpu", 2.0)
+        cal.set_seed({"cpu": 9.0, "gpu": 4.0})
+        assert cal.rates() == {"cpu": 2.0, "gpu": 4.0}
+
+    def test_percentile_interpolates(self):
+        cal = RollingCalibrator()
+        for g in (1.0, 2.0, 3.0, 4.0):
+            _observe_gcups(cal, "cpu", g)
+        assert cal.percentile("cpu", 50.0) == pytest.approx(2.5)
+        assert cal.percentile("cpu", 0.0) == pytest.approx(1.0)
+        assert cal.percentile("cpu", 100.0) == pytest.approx(4.0)
+        assert cal.percentile("gpu") is None
+
+    def test_staleness_from_explicit_now(self):
+        cal = RollingCalibrator()
+        _observe_gcups(cal, "cpu", 1.0)
+        now = tracing.clock()
+        stale = cal.staleness(now=now + 5.0)
+        assert stale["cpu"] == pytest.approx(5.0, abs=1.0)
+        assert "gpu" not in stale
+
+    def test_snapshot_shape(self):
+        cal = RollingCalibrator(seed_rates={"gpu": 4.0})
+        _observe_gcups(cal, "cpu", 2.0, n=3)
+        snap = cal.snapshot()
+        assert snap["alpha"] == cal.alpha
+        assert snap["seed_gcups"] == {"gpu": 4.0}
+        cpu = snap["classes"]["cpu"]
+        assert cpu["gcups"] == pytest.approx(2.0)
+        assert cpu["p50_gcups"] == pytest.approx(2.0)
+        assert cpu["samples"] == 3
+        assert cpu["staleness_s"] >= 0.0
+
+
+class TestIngestion:
+    def _span(self, name, kind="gpu", cells=2e9, seconds=1.0, **extra):
+        attrs = {"kind": kind, "cells": cells, **extra}
+        return Span(name, start_s=10.0, end_s=10.0 + seconds, attrs=attrs)
+
+    def test_observe_spans_objects(self):
+        cal = RollingCalibrator()
+        spans = [
+            self._span("task.kernel", cells=2e9),
+            self._span("task.subtask", cells=3e9),
+            self._span("batch.run"),  # wrong name: skipped
+            Span("task.kernel", start_s=0.0, end_s=1.0, attrs={}),  # no kind/cells
+        ]
+        assert set(TASK_SPAN_NAMES) == {"task.kernel", "task.subtask"}
+        assert cal.observe_spans(spans) == 2
+        assert cal.snapshot()["classes"]["gpu"]["samples"] == 2
+
+    def test_observe_spans_wire_dicts(self):
+        cal = RollingCalibrator()
+        spans = [self._span("task.kernel", kind="cpu", cells=1.5e9).to_dict()]
+        assert cal.observe_spans(spans) == 1
+        assert cal.rate("cpu") == pytest.approx(1.5)
+
+    def test_observe_report(self):
+        from repro.engine.results import SearchReport, WorkerStats
+
+        report = SearchReport(
+            label="t",
+            wall_seconds=1.0,
+            total_cells=3_000_000_000,
+            worker_stats=(
+                WorkerStats("cpu0", "cpu", 1, busy_seconds=1.0, cells=1_000_000_000),
+                WorkerStats("gpu0", "gpu", 1, busy_seconds=0.5, cells=2_000_000_000),
+                WorkerStats("idle", "cpu", 0, busy_seconds=0.0, cells=0),
+            ),
+        )
+        cal = RollingCalibrator()
+        assert cal.observe_report(report) == 2  # the idle worker is skipped
+        assert cal.rate("cpu") == pytest.approx(1.0)
+        assert cal.rate("gpu") == pytest.approx(4.0)

@@ -1,0 +1,175 @@
+"""Resident-pool retargeting: scheme/pipeline switches must rebuild
+workers, evict the stale calibration memo, and drop rates measured
+against the old target."""
+
+import pytest
+
+from repro.align import GapModel, ScoringScheme
+from repro.engine import (
+    ProtocolError,
+    calibrate_live,
+    clear_calibration_cache,
+    invalidate_calibration,
+    live_search,
+)
+from repro.engine.pipeline import preset_config
+from repro.sequences import matrix_by_name, small_database, standard_query_set
+from repro.service import WarmPool
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_calibration_cache()
+    yield
+    clear_calibration_cache()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=12, mean_length=50, seed=61)
+    queries = list(standard_query_set(count=3).scaled(0.01).materialize(seed=62))
+    return db, queries
+
+
+def _hits(report):
+    return [
+        [(h.subject_id, h.score) for h in qr.hits] for qr in report.query_results
+    ]
+
+
+def _other_scheme():
+    return ScoringScheme(
+        matrix=matrix_by_name("blosum62"), gaps=GapModel.affine(12, 3)
+    )
+
+
+def _count_measurements(monkeypatch):
+    import repro.engine.search as search_mod
+
+    calls = {"n": 0}
+    real = search_mod.measure_kernel_gcups
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(search_mod, "measure_kernel_gcups", counting)
+    return calls
+
+
+class TestInvalidateCalibration:
+    def test_evicts_exactly_once(self, workload):
+        db, _ = workload
+        calibrate_live(db)
+        assert invalidate_calibration(db)
+        assert not invalidate_calibration(db)  # already gone
+
+    def test_scheme_scoped(self, workload):
+        db, _ = workload
+        calibrate_live(db)
+        assert not invalidate_calibration(db, _other_scheme())
+        assert invalidate_calibration(db)
+
+
+class TestRetarget:
+    def test_noop_returns_false(self, workload):
+        db, queries = workload
+        with WarmPool(db, num_cpu_workers=1, num_gpu_workers=0) as pool:
+            assert pool.retarget() is False
+            assert pool.retarget(scheme=pool.scheme, pipeline=None) is False
+
+    def test_closed_pool_rejected(self, workload):
+        db, _ = workload
+        with WarmPool(db, num_cpu_workers=1, num_gpu_workers=0) as pool:
+            pass
+        with pytest.raises(ProtocolError, match="closed"):
+            pool.retarget(scheme=_other_scheme())
+
+    def test_scheme_change_reprices_results(self, workload):
+        db, queries = workload
+        other = _other_scheme()
+        reference = live_search(
+            queries, db, 1, 0, policy="self", scheme=other, top_hits=5
+        )
+        with WarmPool(
+            db, num_cpu_workers=1, num_gpu_workers=1, backend="threads", top_hits=5
+        ) as pool:
+            before = pool.run_batch(queries)
+            packed_before = pool._workers[0].packed
+            assert pool.retarget(scheme=other) is True
+            after = pool.run_batch(queries)
+            # Workers were rebuilt around the same packed database.
+            assert pool._workers[0].packed is packed_before
+        assert _hits(after) == _hits(reference)
+        assert _hits(after) != _hits(before)
+
+    def test_scheme_change_drops_operator_rates(self, workload):
+        db, _ = workload
+        with WarmPool(
+            db,
+            num_cpu_workers=1,
+            num_gpu_workers=1,
+            measured_gcups={"cpu": 1.0, "gpu": 2.0},
+        ) as pool:
+            assert pool.retarget(scheme=_other_scheme()) is True
+            assert pool.measured_gcups is None
+
+    def test_pipeline_change_keeps_workers_and_operator_rates(self, workload):
+        db, queries = workload
+        with WarmPool(
+            db,
+            num_cpu_workers=1,
+            num_gpu_workers=1,
+            measured_gcups={"cpu": 1.0, "gpu": 2.0},
+        ) as pool:
+            workers_before = list(pool._workers)
+            assert pool.retarget(pipeline=preset_config("default")) is True
+            assert pool._workers == workers_before  # same objects, no rebuild
+            assert pool.measured_gcups == {"cpu": 1.0, "gpu": 2.0}
+            assert pool.pipeline is not None
+            assert len(pool.run_batch(queries).query_results) == len(queries)
+
+    def test_pipeline_change_invalidates_auto_rates(self, workload, monkeypatch):
+        db, _ = workload
+        calls = _count_measurements(monkeypatch)
+        with WarmPool(
+            db, num_cpu_workers=1, num_gpu_workers=1, calibrate=True
+        ) as pool:
+            assert calls["n"] == 2  # one probe per role at start
+            assert pool.retarget(pipeline=preset_config("default")) is True
+            # Auto-calibrated rates were evicted and re-measured (the
+            # memo entry for the unchanged scheme was dropped too, so
+            # the re-measurement is real, not a cache hit).
+            assert calls["n"] == 4
+            assert pool.measured_gcups is not None
+
+    def test_scheme_memo_evicted_for_old_target(self, workload, monkeypatch):
+        db, _ = workload
+        calls = _count_measurements(monkeypatch)
+        with WarmPool(
+            db, num_cpu_workers=1, num_gpu_workers=1, calibrate=True
+        ) as pool:
+            old_scheme = pool.scheme
+            assert calls["n"] == 2
+            pool.retarget(scheme=_other_scheme())
+            assert calls["n"] == 4  # re-measured against the new kernels
+            # The old target's memo is gone: calibrating it re-measures.
+            calibrate_live(db, old_scheme)
+            assert calls["n"] == 6
+
+    def test_started_processes_scheme_change_rejected(self, workload):
+        db, queries = workload
+        with WarmPool(
+            db, num_cpu_workers=1, num_gpu_workers=0, backend="processes"
+        ) as pool:
+            with pytest.raises(ProtocolError, match="restart"):
+                pool.retarget(scheme=_other_scheme())
+            # Pipeline-only retargeting stays legal on processes.
+            assert pool.retarget(pipeline=preset_config("default")) is True
+            assert len(pool.run_batch(queries).query_results) == len(queries)
+
+    def test_unstarted_pool_retargets_cheaply(self, workload):
+        db, _ = workload
+        pool = WarmPool(db, num_cpu_workers=1, num_gpu_workers=0)
+        assert pool.retarget(scheme=_other_scheme()) is True
+        assert pool.scheme == _other_scheme()

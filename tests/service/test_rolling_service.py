@@ -1,0 +1,107 @@
+"""Rolling calibration on the resident service: results stay exact,
+stats/metrics expose the live estimates, retargeting resets them."""
+
+import pytest
+
+from repro.engine import live_search
+from repro.engine.pipeline import preset_config
+from repro.service import SearchClient, SearchService
+from repro.sequences import small_database, standard_query_set
+
+TOP = 5
+
+
+@pytest.fixture(scope="module")
+def db():
+    return small_database(num_sequences=16, mean_length=50, seed=71)
+
+
+@pytest.fixture(scope="module")
+def queries(db):
+    return list(standard_query_set(count=4).scaled(0.01).materialize(seed=72))
+
+
+@pytest.fixture(scope="module")
+def reference(db, queries):
+    report = live_search(
+        queries, db, num_cpu_workers=1, num_gpu_workers=1,
+        policy="swdual", top_hits=TOP,
+    )
+    return {
+        qr.query_id: [[h.subject_id, h.score] for h in qr.hits]
+        for qr in report.query_results
+    }
+
+
+@pytest.fixture()
+def rolling_service(db):
+    svc = SearchService(
+        db,
+        num_cpu_workers=1,
+        num_gpu_workers=1,
+        top_hits=TOP,
+        calibration="rolling",
+        measured_gcups={"cpu": 1.0, "gpu": 2.0},
+    )
+    svc.start()
+    yield svc
+    svc.shutdown()
+
+
+class TestRollingService:
+    def test_bad_mode_rejected(self, db):
+        with pytest.raises(ValueError, match="calibration"):
+            SearchService(db, calibration="psychic")
+
+    def test_results_exact_and_estimates_live(
+        self, rolling_service, queries, reference
+    ):
+        with SearchClient(*rolling_service.address) as client:
+            for _ in range(3):  # several batches so estimates move
+                for q, out in zip(queries, client.search(queries, top=TOP)):
+                    assert out["type"] == "result"
+                    assert out["hits"] == reference[q.id]
+            snapshot = client.stats()
+            body = client.metrics()
+        calib = snapshot["calibration"]
+        # The seed rated the very first batch: at least one reallocation,
+        # and both roles have accepted real samples since.
+        assert calib["reallocations"] >= 1
+        assert set(calib["roles"]) == {"cpu", "gpu"}
+        for role in calib["roles"].values():
+            assert role["samples"] >= 1
+            assert role["gcups"] > 0
+            assert role["staleness_s"] >= 0
+        assert 'swdual_calibrated_gcups{role="cpu"}' in body
+        assert "swdual_calibration_staleness_seconds" in body
+        assert "swdual_calibration_samples_total" in body
+        assert "swdual_reallocations_total" in body
+
+    def test_retarget_resets_estimates(self, rolling_service, queries, reference):
+        with SearchClient(*rolling_service.address) as client:
+            client.search(queries[:2], top=TOP)
+        assert rolling_service._allocator.reallocations >= 1
+        old_allocator = rolling_service._allocator
+        assert rolling_service.retarget(pipeline=preset_config("default")) is True
+        # Fresh calibrator/allocator: estimates for the old target die
+        # with it, counters restart.
+        assert rolling_service._allocator is not old_allocator
+        assert rolling_service._allocator.reallocations == 0
+        with SearchClient(*rolling_service.address) as client:
+            outs = client.search(queries[:2], top=TOP)
+        assert all(out["type"] == "result" for out in outs)
+
+
+class TestOneshotService:
+    def test_oneshot_has_no_calibration_section_content(self, db, queries):
+        svc = SearchService(db, num_cpu_workers=1, num_gpu_workers=0, top_hits=TOP)
+        svc.start()
+        try:
+            with SearchClient(*svc.address) as client:
+                client.search(queries[:1], top=TOP)
+                snapshot = client.stats()
+            # Oneshot services never record rolling estimates.
+            calib = snapshot.get("calibration")
+            assert calib is None or calib["roles"] == {}
+        finally:
+            svc.shutdown()
