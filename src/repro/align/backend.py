@@ -1,0 +1,285 @@
+"""Runtime kernel-backend selection (the capability probe).
+
+Every kernel call site (``sw_score_batch``, ``sw_score_striped``,
+``sw_score_banded``, the pipeline's banded stage) consults this module
+to decide whether to run the numpy kernels or a compiled tier from
+:mod:`repro.align.compiled`.  Selection is a *capability probe*, not a
+hard dependency:
+
+1. ``numba`` — import-probe :mod:`numba`, warm-compile the tiny
+   self-check kernels once.  Any ``ImportError`` or compile failure
+   marks the tier unavailable with the reason recorded.
+2. ``cc`` — build/load the cached C kernels with the system compiler
+   (see :mod:`repro.align.compiled.cc_kernels`); no compiler, no tier.
+3. ``numpy`` — always available; the fallback of last resort.
+
+``auto`` (the default) picks the first tier that passes its probe *and*
+a warm self-check (the compiled score of a fixed tiny alignment must
+equal the known constant), so a toolchain that imports but miscompiles
+degrades to numpy instead of corrupting scores.  The resolved choice is
+exposed as a :class:`KernelBackendInfo` so operator surfaces (serve
+roster, ``swdual stats``, Prometheus) can show which tier is actually
+running and why a fallback happened.
+
+Selection knobs:
+
+* ``SWDUAL_KERNEL_BACKEND`` = ``auto`` | ``numba`` | ``cc`` | ``numpy``
+  (the ``--kernel-backend`` CLI flag sets the same knob); an explicit
+  compiled choice still falls back to numpy — with
+  ``fallback_reason`` recorded — rather than failing the process.
+* ``SWDUAL_DISABLE_BACKENDS`` — comma-separated tiers to treat as
+  unavailable (tests use this to force fallback paths in spawn
+  workers, where monkeypatching does not reach).
+
+Worker processes never receive a resolved backend object: only the
+*name* travels over spawn/pickle boundaries, and each process re-probes
+via :func:`set_active_backend` after it starts (a container image
+without numba can host workers for a master that has it, and vice
+versa).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "KernelBackendInfo",
+    "resolve_backend",
+    "backend_kernels",
+    "get_kernels",
+    "active_backend",
+    "set_active_backend",
+    "clear_backend_cache",
+]
+
+#: Accepted spellings for the env var / CLI flag.
+BACKEND_CHOICES = ("auto", "numba", "cc", "numpy")
+
+#: Probe order under ``auto``.
+_COMPILED_TIERS = ("numba", "cc")
+
+_ENV_BACKEND = "SWDUAL_KERNEL_BACKEND"
+_ENV_DISABLE = "SWDUAL_DISABLE_BACKENDS"
+
+
+@dataclass(frozen=True)
+class KernelBackendInfo:
+    """The outcome of one backend resolution."""
+
+    #: Resolved tier actually in use: "numba", "cc" or "numpy".
+    name: str
+    #: What was asked for ("auto" unless pinned by flag/env).
+    requested: str
+    #: Toolchain version of the resolved tier (numba version / compiler
+    #: banner), ``None`` for numpy.
+    version: str | None = None
+    #: Why a compiled tier was not used (probe failure chain), ``None``
+    #: when the request resolved cleanly.
+    fallback_reason: str | None = None
+
+    @property
+    def compiled(self) -> bool:
+        return self.name != "numpy"
+
+    def describe(self) -> str:
+        """One-line operator-facing summary."""
+        out = self.name
+        if self.version:
+            out += f" ({self.version})"
+        if self.fallback_reason:
+            out += f" [fallback: {self.fallback_reason}]"
+        return out
+
+
+# -- probes -------------------------------------------------------------
+
+
+def _disabled_tiers() -> frozenset[str]:
+    raw = os.environ.get(_ENV_DISABLE, "")
+    return frozenset(t.strip() for t in raw.split(",") if t.strip())
+
+
+def _probe(tier: str):
+    """Instantiate one compiled tier's adapter or raise."""
+    from repro.align import compiled
+
+    if tier == "numba":
+        return compiled.NumbaKernels()
+    if tier == "cc":
+        return compiled.CcKernels()
+    raise ValueError(f"unknown compiled tier {tier!r}")
+
+
+def _warm_check(kernels) -> None:
+    """Run fixed tiny alignments through every kernel entry point and
+    compare against known-good constants (warm-compiles numba's jitted
+    functions as a side effect — later calls are pure execution)."""
+    from repro.align.scoring import GapModel, ScoringScheme
+    from repro.align.sw_batch import DTYPE_LADDER, QueryProfile
+    from repro.sequences.alphabet import Alphabet
+    from repro.sequences.matrices import SubstitutionMatrix
+    from repro.sequences.sequence import Sequence
+
+    alphabet = Alphabet("warmcheck", "AB", "A")
+    matrix = SubstitutionMatrix(
+        "warm", alphabet, np.array([[4, -1], [-1, 4]], dtype=np.int64)
+    )
+    scheme = ScoringScheme(matrix=matrix, gaps=GapModel.affine(2, 1))
+    q = Sequence("wq", np.array([0, 1, 0], dtype=np.uint8), alphabet)
+    d = Sequence("wd", np.array([0, 1, 0], dtype=np.uint8), alphabet)
+    # Exact local score of ABA vs ABA: three matches on the diagonal.
+    expected = 12
+    got = kernels.pair(q, d, scheme)
+    if got != expected:
+        raise RuntimeError(f"pair self-check: got {got}, want {expected}")
+    got = kernels.banded(q, d, scheme, None, None, 0)
+    if got != expected:
+        raise RuntimeError(f"banded self-check: got {got}, want {expected}")
+    level = DTYPE_LADDER[0]
+    if kernels.chunk_supported(scheme, level):
+        codes = np.array([[0, 1, 0], [1, 1, 0]], dtype=np.uint8)
+        profile = QueryProfile(q, scheme).padded(level)
+        best, saturated = kernels.chunk(q.codes, codes, profile, scheme, level)
+        if saturated or best.tolist() != [12, 8]:
+            raise RuntimeError(
+                f"chunk self-check: got {best.tolist()} "
+                f"(saturated={saturated}), want [12, 8]"
+            )
+
+
+# -- resolution ---------------------------------------------------------
+
+# Memoised per (requested, disabled-set); cleared by clear_backend_cache.
+_RESOLVED: dict = {}
+# Adapter instances per resolved tier name.
+_KERNELS: dict = {}
+# The process-wide default backend (set_active_backend / first use).
+_ACTIVE: KernelBackendInfo | None = None
+
+
+def _try_tier(tier: str, disabled: frozenset[str]) -> tuple[object, str] | str:
+    """Probe one tier; returns ``(kernels, version)`` or a reason."""
+    if tier in disabled:
+        return f"{tier}: disabled via {_ENV_DISABLE}"
+    if tier in _KERNELS:
+        return _KERNELS[tier], _KERNELS[tier].version
+    try:
+        kernels = _probe(tier)
+        _warm_check(kernels)
+    except ImportError as exc:
+        return f"{tier}: not importable ({exc})"
+    except Exception as exc:  # compile/load/self-check failures
+        return f"{tier}: {exc}"
+    _KERNELS[tier] = kernels
+    return kernels, kernels.version
+
+
+def resolve_backend(requested: str | None = None) -> KernelBackendInfo:
+    """Resolve *requested* (or the env/default) to an available tier.
+
+    Results are memoised per requested name; the probe (including any
+    C compile or numba warm-up) runs at most once per process.
+    """
+    if requested is None:
+        requested = os.environ.get(_ENV_BACKEND, "auto") or "auto"
+    requested = requested.strip().lower()
+    if requested not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown kernel backend {requested!r}; choose from "
+            + "/".join(BACKEND_CHOICES)
+        )
+    disabled = _disabled_tiers()
+    key = (requested, disabled)
+    hit = _RESOLVED.get(key)
+    if hit is not None:
+        return hit
+    if requested == "numpy":
+        info = KernelBackendInfo(name="numpy", requested=requested)
+    else:
+        tiers = _COMPILED_TIERS if requested == "auto" else (requested,)
+        reasons = []
+        info = None
+        for tier in tiers:
+            outcome = _try_tier(tier, disabled)
+            if isinstance(outcome, str):
+                reasons.append(outcome)
+                continue
+            _kernels, version = outcome
+            info = KernelBackendInfo(
+                name=tier,
+                requested=requested,
+                version=version,
+                fallback_reason="; ".join(reasons) or None,
+            )
+            break
+        if info is None:
+            info = KernelBackendInfo(
+                name="numpy",
+                requested=requested,
+                fallback_reason="; ".join(reasons) or None,
+            )
+    _RESOLVED[key] = info
+    return info
+
+
+def backend_kernels(info: KernelBackendInfo | str | None):
+    """The compiled-kernel adapter for *info*, or ``None`` for numpy."""
+    if info is None:
+        info = active_backend()
+    elif isinstance(info, str):
+        info = resolve_backend(info)
+    if not info.compiled:
+        return None
+    kernels = _KERNELS.get(info.name)
+    if kernels is None:  # e.g. info crossed a process boundary by name
+        info = resolve_backend(info.name)
+        kernels = _KERNELS.get(info.name)
+    return kernels
+
+
+def get_kernels(backend: KernelBackendInfo | str | None = None):
+    """``(info, kernels-or-None)`` for one kernel call.
+
+    *backend* may be ``None`` (use the process-active backend), a
+    requested name, or an already-resolved :class:`KernelBackendInfo`.
+    """
+    if backend is None:
+        info = active_backend()
+    elif isinstance(backend, str):
+        info = resolve_backend(backend)
+    else:
+        info = backend
+    return info, backend_kernels(info)
+
+
+def active_backend() -> KernelBackendInfo:
+    """The process-wide default backend (resolving it on first use)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = resolve_backend(None)
+    return _ACTIVE
+
+
+def set_active_backend(backend: str | KernelBackendInfo | None) -> KernelBackendInfo:
+    """Pin the process-wide default backend (spawn workers call this
+    with the *name* they were handed — resolution happens locally)."""
+    global _ACTIVE
+    if backend is None:
+        _ACTIVE = None
+        return active_backend()
+    if isinstance(backend, str):
+        backend = resolve_backend(backend)
+    _ACTIVE = backend
+    return backend
+
+
+def clear_backend_cache() -> None:
+    """Drop all probe results and the active backend (tests)."""
+    global _ACTIVE
+    _ACTIVE = None
+    _RESOLVED.clear()
+    _KERNELS.clear()

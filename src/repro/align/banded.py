@@ -48,6 +48,7 @@ def sw_score_banded(
     bandwidth: int | None,
     zdrop: int | None = None,
     diag_center: int = 0,
+    backend=None,
 ) -> int:
     """Best local score over paths within ``|j - i - diag_center| <= w``.
 
@@ -65,6 +66,11 @@ def sw_score_banded(
     diag_center:
         Diagonal ``j - i`` the band is centred on (0 = main diagonal).
         A seed on diagonal ``d`` is covered by ``diag_center=d``.
+    backend:
+        Kernel backend override (name or resolved
+        :class:`~repro.align.backend.KernelBackendInfo`); ``None`` uses
+        the process-active backend.  Compiled tiers are row-for-row
+        identical, including the z-drop termination point.
     """
     if zdrop is not None and zdrop < 0:
         raise ValueError(f"zdrop must be >= 0 or None, got {zdrop}")
@@ -74,6 +80,13 @@ def sw_score_banded(
     m, n = len(q), len(d)
     if m == 0 or n == 0:
         return 0
+    from repro.align import backend as kernel_backend
+
+    _info, compiled = kernel_backend.get_kernels(backend)
+    if compiled is not None:
+        return compiled.banded(
+            query, subject, scheme, bandwidth, zdrop, diag_center
+        )
     # Clamp the centre diagonal into the matrix (j - i spans [-m, n])
     # and the half-width to the widest band that can still add
     # coverage: with centre c the extreme in-matrix diagonals are

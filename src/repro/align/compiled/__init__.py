@@ -1,0 +1,283 @@
+"""Compiled kernel tiers behind the kernel seam.
+
+The numpy kernels in :mod:`repro.align.sw_batch`,
+:mod:`repro.align.sw_striped` and :mod:`repro.align.banded` spend most
+of their time in interpreter-dispatched ufunc calls over short rows;
+this package provides drop-in compiled implementations of the same
+contracts, selected at runtime by :mod:`repro.align.backend`:
+
+* :mod:`~repro.align.compiled.numba_kernels` — ``@njit(cache=True,
+  nogil=True)`` versions of the loop kernels in
+  :mod:`~repro.align.compiled._impl` (importable only when numba is
+  installed; the capability probe falls back cleanly when it is not).
+* :mod:`~repro.align.compiled.cc_kernels` — the same kernels as C
+  source compiled once per machine with the system C compiler and
+  loaded through :mod:`ctypes` (covers containers without numba; the
+  ``.so`` is cached so spawn workers pay no recompile).
+
+Both tiers implement *bit-identical* semantics to the numpy kernels —
+including the adaptive dtype ladder's per-row saturation check and the
+padding-containment rules — which the conformance grid pins against
+the scalar oracle.  The adapters here (:class:`NumbaKernels`,
+:class:`CcKernels`) normalise the two calling conventions behind one
+small interface consumed by the kernel call sites:
+
+``chunk(q, codes, profile, scheme, level)``
+    The inter-sequence batch kernel for one packed chunk — the
+    ``sw_batch`` ladder-rung contract ``(best int64 array, saturated)``.
+``pair(query, subject, scheme)``
+    Exact pairwise affine score — the ``sw_striped`` contract (the
+    striped layout is a SIMD-emulation detail; the contract is the
+    exact local score, which the lazy-F fixpoint converges to).
+``banded(query, subject, scheme, bandwidth, zdrop, diag_center)``
+    The KSW2-style banded z-drop contract of ``align/banded.py``,
+    row-for-row identical including the early-termination point.
+
+Chunk kernels read the packed ``codes`` matrices and query profiles
+in place (a pointer for the C tier, a typed view for numba), so
+shared-memory-attached :class:`~repro.sequences.shm.SharedArena`
+views are consumed zero-copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme
+from repro.sequences.sequence import Sequence
+
+__all__ = ["CompiledKernels", "NumbaKernels", "CcKernels", "chunk_scratch"]
+
+
+def chunk_scratch(codes: np.ndarray, level) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Allocate the per-call DP scratch of one chunk kernel invocation.
+
+    ``H`` is the ``(B, L+1)`` row buffer (column 0 is the permanent
+    local-alignment boundary and stays 0), ``F`` the vertical gap
+    chain, ``best`` the exact ``int64`` output row.  Allocation is per
+    call — the buffers are the same size the numpy kernels allocate,
+    and keeping them caller-owned makes the kernels reentrant (the
+    threaded WarmPool calls them concurrently without the GIL).
+    """
+    B, L = codes.shape
+    H = np.zeros((B, L + 1), dtype=level.dtype)
+    F = np.full((B, L), level.neg, dtype=level.dtype)
+    best = np.zeros(B, dtype=np.int64)
+    return H, F, best
+
+
+def _gap_params(scheme: ScoringScheme) -> tuple[int, int, bool]:
+    """``(gs, ge, affine)`` with the linear→affine(0, -g) equivalence."""
+    if scheme.is_affine:
+        return int(scheme.gaps.gap_open), int(scheme.gaps.gap_extend), True
+    return 0, -int(scheme.gaps.gap), False
+
+
+class CompiledKernels:
+    """Shared adapter logic over one low-level kernel module."""
+
+    #: Resolved backend name ("numba" or "cc").
+    name: str = "compiled"
+    #: Toolchain version string for operator surfaces.
+    version: str | None = None
+
+    def chunk(
+        self,
+        q: np.ndarray,
+        codes: np.ndarray,
+        profile: np.ndarray,
+        scheme: ScoringScheme,
+        level,
+    ) -> tuple[np.ndarray, bool]:
+        """Ladder-rung chunk score — same contract as the numpy
+        ``_affine_chunk`` / ``_linear_chunk`` pair."""
+        raise NotImplementedError
+
+    def chunk_supported(self, scheme: ScoringScheme, level) -> bool:
+        """Whether :meth:`chunk` is bit-exact for this scheme × rung;
+        the dispatch falls back to the numpy kernel when not."""
+        return True
+
+    def pair(self, query: Sequence, subject: Sequence, scheme: ScoringScheme) -> int:
+        """Exact pairwise score (``sw_striped`` contract)."""
+        raise NotImplementedError
+
+    def banded(
+        self,
+        query: Sequence,
+        subject: Sequence,
+        scheme: ScoringScheme,
+        bandwidth: int | None,
+        zdrop: int | None,
+        diag_center: int,
+    ) -> int:
+        """Banded z-drop score (``align/banded.py`` contract).  The
+        caller has already validated arguments and handled the empty
+        cases; *bandwidth* semantics (None / negative = exact) match."""
+        raise NotImplementedError
+
+
+class NumbaKernels(CompiledKernels):
+    """Adapter over the ``@njit`` kernels (requires numba)."""
+
+    name = "numba"
+
+    def __init__(self):
+        from repro.align.compiled import numba_kernels as nk
+
+        self._nk = nk
+        self.version = nk.NUMBA_VERSION
+
+    def chunk(self, q, codes, profile, scheme, level):
+        gs, ge, affine = _gap_params(scheme)
+        ceiling = level.ceiling(scheme)
+        H, F, best = chunk_scratch(codes, level)
+        if affine:
+            saturated = self._nk.affine_chunk(
+                codes,
+                profile,
+                gs,
+                ge,
+                int(level.neg),
+                -1 if ceiling is None else int(ceiling),
+                bool(level.clamp_f),
+                H,
+                F,
+                best,
+            )
+        else:
+            saturated = self._nk.linear_chunk(
+                codes,
+                profile,
+                int(scheme.gaps.gap),
+                -1 if ceiling is None else int(ceiling),
+                H,
+                best,
+            )
+        return best, bool(saturated)
+
+    def pair(self, query, subject, scheme):
+        gs, ge, _ = _gap_params(scheme)
+        S = _matrix64(scheme)
+        return int(self._nk.pair_affine(query.codes, subject.codes, S, gs, ge))
+
+    def banded(self, query, subject, scheme, bandwidth, zdrop, diag_center):
+        S = _matrix64(scheme)
+        w, c = _band_geometry(query, subject, bandwidth, diag_center)
+        if scheme.is_affine:
+            return int(
+                self._nk.banded_affine(
+                    query.codes,
+                    subject.codes,
+                    S,
+                    int(scheme.gaps.gap_open),
+                    int(scheme.gaps.gap_extend),
+                    w,
+                    c,
+                    -1 if zdrop is None else int(zdrop),
+                )
+            )
+        return int(
+            self._nk.banded_linear(
+                query.codes,
+                subject.codes,
+                S,
+                int(scheme.gaps.gap),
+                w,
+                c,
+                -1 if zdrop is None else int(zdrop),
+            )
+        )
+
+
+class CcKernels(CompiledKernels):
+    """Adapter over the ctypes-loaded C kernels (requires a C compiler
+    once per machine; afterwards only the cached ``.so``)."""
+
+    name = "cc"
+
+    def __init__(self):
+        from repro.align.compiled import cc_kernels as ck
+
+        self._ck = ck.load()
+        self.version = self._ck.version
+
+    def chunk(self, q, codes, profile, scheme, level):
+        # The C tier owns its (lane-blocked) scratch layout; see
+        # cc_kernels.CcLibrary for the LANES interleave.
+        gs, ge, affine = _gap_params(scheme)
+        ceiling = level.ceiling(scheme)
+        if affine:
+            return self._ck.affine_chunk(
+                codes,
+                profile,
+                gs,
+                ge,
+                int(level.neg),
+                -1 if ceiling is None else int(ceiling),
+            )
+        return self._ck.linear_chunk(
+            codes,
+            profile,
+            int(scheme.gaps.gap),
+            int(level.neg),
+            -1 if ceiling is None else int(ceiling),
+        )
+
+    def chunk_supported(self, scheme, level):
+        from repro.align.compiled import cc_kernels as ck
+
+        gs, ge, _affine = _gap_params(scheme)
+        return ck.chunk_gaps_supported(gs, ge, level.dtype, int(level.neg))
+
+    def pair(self, query, subject, scheme):
+        gs, ge, _ = _gap_params(scheme)
+        S = _matrix64(scheme)
+        return int(self._ck.pair_affine(query.codes, subject.codes, S, gs, ge))
+
+    def banded(self, query, subject, scheme, bandwidth, zdrop, diag_center):
+        S = _matrix64(scheme)
+        w, c = _band_geometry(query, subject, bandwidth, diag_center)
+        if scheme.is_affine:
+            return int(
+                self._ck.banded_affine(
+                    query.codes,
+                    subject.codes,
+                    S,
+                    int(scheme.gaps.gap_open),
+                    int(scheme.gaps.gap_extend),
+                    w,
+                    c,
+                    -1 if zdrop is None else int(zdrop),
+                )
+            )
+        return int(
+            self._ck.banded_linear(
+                query.codes,
+                subject.codes,
+                S,
+                int(scheme.gaps.gap),
+                w,
+                c,
+                -1 if zdrop is None else int(zdrop),
+            )
+        )
+
+
+def _matrix64(scheme: ScoringScheme) -> np.ndarray:
+    """The substitution matrix as a C-contiguous int64 array."""
+    return np.ascontiguousarray(scheme.matrix.scores, dtype=np.int64)
+
+
+def _band_geometry(
+    query: Sequence, subject: Sequence, bandwidth: int | None, diag_center: int
+) -> tuple[int, int]:
+    """Clamped ``(w, c)`` exactly as ``sw_score_banded`` computes them."""
+    m, n = len(query), len(subject)
+    c = min(max(int(diag_center), -m), n)
+    w_full = max(n - c, m + c)
+    if bandwidth is None or bandwidth < 0:
+        w = w_full
+    else:
+        w = min(int(bandwidth), w_full)
+    return w, c

@@ -1,0 +1,336 @@
+"""Loop-form kernel implementations shared by the compiled tiers.
+
+These functions are written in the nopython subset numba can compile
+(plain loops over ndarrays, integer scalars, no Python objects) and
+are the *single source of truth* for the numba tier:
+:mod:`~repro.align.compiled.numba_kernels` applies
+``@njit(cache=True, nogil=True)`` to exactly these functions.  They
+also run as plain (slow) Python, which is how the test suite pins
+their bit-identity to the numpy kernels on containers without numba.
+
+Semantics mirror :mod:`repro.align.sw_batch` /
+:mod:`repro.align.banded` exactly:
+
+* ``best`` tracks the running maximum of the *candidate* cell value
+  ``c = max(diag + sub, F, 0)`` — the same quantity the numpy batch
+  kernel reduces — and the ladder saturation check fires after each
+  query row over the whole chunk, so a forced-narrow run aborts at the
+  same row with the same partial maxima.
+* The horizontal gap chain opens from the candidate ``c`` (not from
+  ``H = max(c, E)``), matching the numpy prefix-scan formulation;
+  the two are score-equivalent because re-opening from a gap end
+  never beats extending, and cell-identical because ``c >= 0`` always
+  dominates a negative chain value.
+* All stores into the narrow DP buffers are in-range until the
+  saturation check fires (every cell is bounded by the previous best
+  plus one substitution score — the ``sw_batch`` ceiling argument), so
+  the wrap-free guarantee carries over unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "affine_chunk",
+    "linear_chunk",
+    "pair_affine",
+    "banded_affine",
+    "banded_linear",
+]
+
+_NEG64 = -(2**40)
+
+
+def affine_chunk(codes, profile, gs, ge, neg, ceiling, clamp_f, H, F, best):
+    """Affine-gap chunk kernel, one ladder rung.
+
+    Parameters
+    ----------
+    codes : (B, L) int array (chunk code matrix, pad code included)
+    profile : (m, P) level-dtype padded query profile
+    gs, ge : positive gap-open / gap-extend penalties
+    neg : the level's -infinity stand-in (F clamp floor)
+    ceiling : saturation threshold, or -1 when the level is exact
+    clamp_f : clamp the F chain at *neg* each row (narrow levels)
+    H : (B, L+1) level-dtype buffer, caller-zeroed
+    F : (B, L) level-dtype buffer, caller-filled with *neg*
+    best : (B,) int64 output, caller-zeroed
+
+    Returns ``True`` when the running chunk best reached *ceiling*
+    (the caller climbs to the next rung), else ``False``.
+    """
+    B = codes.shape[0]
+    L = codes.shape[1]
+    m = profile.shape[0]
+    for i in range(m):
+        for b in range(B):
+            h_diag = 0
+            c_prev = 0
+            e = _NEG64
+            bb = best[b]
+            for j in range(L):
+                e -= ge
+                t = c_prev - gs - ge
+                if t > e:
+                    e = t
+                h_up = H[b, j + 1]
+                f = F[b, j]
+                t = h_up - gs
+                if t > f:
+                    f = t
+                f -= ge
+                if clamp_f and f < neg:
+                    f = neg
+                F[b, j] = f
+                c = h_diag + profile[i, codes[b, j]]
+                if f > c:
+                    c = f
+                if c < 0:
+                    c = 0
+                if c >= e:
+                    H[b, j + 1] = c
+                else:
+                    H[b, j + 1] = e
+                h_diag = h_up
+                c_prev = c
+                if c > bb:
+                    bb = c
+            best[b] = bb
+        if ceiling >= 0:
+            gmax = best[0]
+            for b in range(1, B):
+                if best[b] > gmax:
+                    gmax = best[b]
+            if gmax >= ceiling:
+                return True
+    return False
+
+
+def linear_chunk(codes, profile, g, ceiling, H, best):
+    """Linear-gap chunk kernel, one ladder rung (*g* is the negative
+    per-residue gap score).  Same buffer/return contract as
+    :func:`affine_chunk` (no F chain)."""
+    B = codes.shape[0]
+    L = codes.shape[1]
+    m = profile.shape[0]
+    for i in range(m):
+        for b in range(B):
+            h_diag = 0
+            h_run = _NEG64
+            bb = best[b]
+            for j in range(L):
+                h_up = H[b, j + 1]
+                c = h_diag + profile[i, codes[b, j]]
+                t = h_up + g
+                if t > c:
+                    c = t
+                if c < 0:
+                    c = 0
+                h_run += g
+                if c > h_run:
+                    h_run = c
+                H[b, j + 1] = h_run
+                h_diag = h_up
+                if c > bb:
+                    bb = c
+            best[b] = bb
+        if ceiling >= 0:
+            gmax = best[0]
+            for b in range(1, B):
+                if best[b] > gmax:
+                    gmax = best[b]
+            if gmax >= ceiling:
+                return True
+    return False
+
+
+def pair_affine(q, d, S, gs, ge):
+    """Exact pairwise affine local score (``sw_striped`` contract;
+    linear schemes are passed as ``affine(0, -g)``).  A gap of length
+    ``k`` costs ``gs + k*ge``, as in the striped kernel."""
+    m = q.shape[0]
+    n = d.shape[0]
+    H = np.zeros(n + 1, dtype=np.int64)
+    F = np.full(n, _NEG64, dtype=np.int64)
+    best = 0
+    for i in range(m):
+        h_diag = 0
+        e = _NEG64
+        qi = q[i]
+        for j in range(n):
+            h_up = H[j + 1]
+            f = F[j] - ge
+            t = h_up - gs - ge
+            if t > f:
+                f = t
+            F[j] = f
+            h = h_diag + S[qi, d[j]]
+            if e > h:
+                h = e
+            if f > h:
+                h = f
+            if h < 0:
+                h = 0
+            if h > best:
+                best = h
+            e -= ge
+            t = h - gs - ge
+            if t > e:
+                e = t
+            h_diag = h_up
+            H[j + 1] = h
+    return best
+
+
+def banded_affine(q, d, S, gs, ge, w, c, zdrop):
+    """Banded affine z-drop score; row-for-row identical to
+    ``sw_score_banded`` (including the break point).  *w*/*c* arrive
+    pre-clamped; ``zdrop < 0`` disables early termination."""
+    m = q.shape[0]
+    n = d.shape[0]
+    W = 2 * w + 1
+    H_prev = np.full(W + 1, _NEG64, dtype=np.int64)
+    H_next = np.full(W + 1, _NEG64, dtype=np.int64)
+    F_prev = np.full(W + 1, _NEG64, dtype=np.int64)
+    F_next = np.full(W + 1, _NEG64, dtype=np.int64)
+    for k in range(W):
+        col0 = (c - w) + k
+        if 0 <= col0 <= n:
+            H_prev[k] = 0
+    best = 0
+    for i in range(1, m + 1):
+        base = i + c - w
+        qi = q[i - 1]
+        run = _NEG64 * 2  # strictly below any computed u value
+        row_best = _NEG64
+        has_valid = False
+        for k in range(W):
+            col = base + k
+            valid = 1 <= col <= n
+            if valid:
+                sub = S[qi, d[col - 1]]
+            else:
+                sub = _NEG64
+            diag = H_prev[k] + sub
+            f = F_prev[k + 1]
+            t = H_prev[k + 1] - gs
+            if t > f:
+                f = t
+            f -= ge
+            F_next[k] = f
+            if valid:
+                cc = diag
+                if f > cc:
+                    cc = f
+                if cc < 0:
+                    cc = 0
+            else:
+                cc = _NEG64
+            if k == 0:
+                e = _NEG64
+            else:
+                e = run - k * ge
+            h = cc
+            if e > h:
+                h = e
+            if not valid:
+                h = _NEG64
+            H_next[k] = h
+            if valid:
+                has_valid = True
+                if h > row_best:
+                    row_best = h
+            if valid:
+                u = cc - gs + k * ge
+            else:
+                u = _NEG64
+            if u > run:
+                run = u
+        H_next[W] = _NEG64
+        F_next[W] = _NEG64
+        if has_valid:
+            if row_best > best:
+                best = row_best
+            elif zdrop >= 0 and best - row_best > zdrop:
+                break
+        tmp = H_prev
+        H_prev = H_next
+        H_next = tmp
+        tmp = F_prev
+        F_prev = F_next
+        F_next = tmp
+        if base <= 0 <= base + W - 1:
+            H_prev[-base] = 0
+    if best < 0:
+        return 0
+    return best
+
+
+def banded_linear(q, d, S, g, w, c, zdrop):
+    """Banded linear-gap z-drop score (*g* negative); same contract as
+    :func:`banded_affine`."""
+    m = q.shape[0]
+    n = d.shape[0]
+    W = 2 * w + 1
+    H_prev = np.full(W + 1, _NEG64, dtype=np.int64)
+    H_next = np.full(W + 1, _NEG64, dtype=np.int64)
+    for k in range(W):
+        col0 = (c - w) + k
+        if 0 <= col0 <= n:
+            H_prev[k] = 0
+    best = 0
+    for i in range(1, m + 1):
+        base = i + c - w
+        qi = q[i - 1]
+        run = _NEG64 * 2
+        row_best = _NEG64
+        has_valid = False
+        for k in range(W):
+            col = base + k
+            valid = 1 <= col <= n
+            if valid:
+                sub = S[qi, d[col - 1]]
+            else:
+                sub = _NEG64
+            diag = H_prev[k] + sub
+            if valid:
+                cc = diag
+                t = H_prev[k + 1] + g
+                if t > cc:
+                    cc = t
+                if cc < 0:
+                    cc = 0
+            else:
+                cc = _NEG64
+            gk = k * (-g)
+            if valid:
+                u = cc + gk
+            else:
+                u = _NEG64
+            if u > run:
+                run = u
+            h = run - gk
+            if cc > h:
+                h = cc
+            if not valid:
+                h = _NEG64
+            H_next[k] = h
+            if valid:
+                has_valid = True
+                if h > row_best:
+                    row_best = h
+        H_next[W] = _NEG64
+        if has_valid:
+            if row_best > best:
+                best = row_best
+            elif zdrop >= 0 and best - row_best > zdrop:
+                break
+        tmp = H_prev
+        H_prev = H_next
+        H_next = tmp
+        if base <= 0 <= base + W - 1:
+            H_prev[-base] = 0
+    if best < 0:
+        return 0
+    return best

@@ -1,0 +1,672 @@
+"""C kernel tier: generated C source, built once, loaded via ctypes.
+
+This tier exists for containers that have a system C compiler but no
+numba (the common CI shape).  The probe path is:
+
+1. :func:`build_library` renders the kernel C source (a deterministic
+   string — SWIPE-style lane-blocked chunk kernels for every dtype
+   rung × code dtype, plus the pairwise and banded kernels), hashes
+   it together with the compiler identity, and compiles it **once per
+   machine** into ``$SWDUAL_CC_CACHE_DIR`` (default
+   ``~/.cache/swdual-cc``, falling back to a per-user temp dir).  The
+   ``.so`` is written atomically, so concurrently-probing spawn
+   workers race benignly and every later process loads the cached
+   artifact without touching the compiler.
+2. :func:`load` binds the exported functions through :mod:`ctypes`
+   (calls release the GIL — the threaded WarmPool scales past one
+   core on this tier, same as numba's ``nogil=True``).
+
+The chunk kernels keep the numpy tier's exact semantics: candidates
+tracked per subject, the ladder saturation check after every query
+row over the whole chunk, F clamped at the level's ``neg`` on narrow
+rungs.  Subjects are processed in blocks of :data:`LANES` interleaved
+lanes (numpy rows → C stack lanes), which breaks the per-cell
+dependency chain and lets the compiler vectorise the lane loop —
+the same inter-sequence trick SWIPE uses, now actually compiled.
+Input matrices (chunk codes, query profile) are read through raw
+pointers, so shared-memory-attached views are consumed zero-copy;
+only the small per-call DP scratch is allocated locally.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+__all__ = ["build_library", "load", "clear_load_cache", "CcBuildError", "LANES"]
+
+#: Interleaved subject lanes per block, per ladder rung — sized so one
+#: lane block fills a 256-bit vector register (16 × int16, 8 × int32,
+#: 4 × int64), which is what lets the compiler auto-vectorise the lane
+#: loop.  Overhanging lanes replicate the chunk's last subject.
+LANES = {"i16": 16, "i32": 8, "i64": 4}
+
+_NEG64 = -(2**40)
+
+
+class CcBuildError(RuntimeError):
+    """The C tier could not be built or loaded on this machine."""
+
+
+# -- C source -----------------------------------------------------------
+
+_HEADER = r"""
+#include <stdint.h>
+
+#define NEG64 (-(1LL << 40))
+
+"""
+
+# One ladder rung of the inter-sequence affine chunk kernel.  DT is the
+# rung dtype, CT the packed code dtype, LN the lane count.  Scratch
+# layout is lane-blocked: H is (nblk, L+1, LN), F (nblk, L, LN), best
+# (nblk*LN,) int64 with lane s = blk*LN + l holding subject s (overhang
+# lanes replicate the last subject, so they never perturb the
+# saturation maximum).
+#
+# Unlike the numpy/numba formulations, ALL per-lane DP state lives in
+# the rung dtype so the lane loop vectorises as DT-wide SIMD: the E and
+# F chains are clamped at the level's ``neg`` every step.  That clamp
+# is value-identical — a chain value at or below ``neg`` is negative
+# and can never beat the zero-clamped candidate, and the adapter
+# refuses schemes whose gap penalties could make the clamped chains go
+# positive where the exact chains would not (``chunk_supported``).
+_AFFINE_CHUNK = r"""
+int64_t swdual_affine_chunk_{SUF}(
+    const {CT} *codes, int64_t B, int64_t L,
+    const {DT} *profile, int64_t m, int64_t P,
+    int64_t gs_, int64_t ge_, int64_t neg_, int64_t ceiling,
+    {DT} *H, {DT} *F, int64_t *best)
+{{
+    enum {{ LN = {LN} }};
+    if (B <= 0 || L <= 0 || m <= 0) return 0;
+    const {DT} gs = ({DT})gs_, ge = ({DT})ge_, neg = ({DT})neg_;
+    const {DT} egs = ({DT})(gs_ + ge_);
+    const int64_t nblk = (B + LN - 1) / LN;
+    for (int64_t i = 0; i < m; i++) {{
+        const {DT} *prof = profile + i * P;
+        for (int64_t blk = 0; blk < nblk; blk++) {{
+            {DT} * restrict Hb = H + blk * (L + 1) * LN;
+            {DT} * restrict Fb = F + blk * L * LN;
+            int64_t *bb = best + blk * LN;
+            const {CT} *crow[LN];
+            for (int l = 0; l < LN; l++) {{
+                int64_t s = blk * LN + l;
+                if (s >= B) s = B - 1;
+                crow[l] = codes + s * L;
+            }}
+            {DT} h_diag[LN], c_prev[LN], bloc[LN], e[LN];
+            for (int l = 0; l < LN; l++) {{
+                h_diag[l] = 0; c_prev[l] = 0; bloc[l] = 0; e[l] = neg;
+            }}
+            for (int64_t j = 0; j < L; j++) {{
+                {DT} * restrict h_up = Hb + (j + 1) * LN;
+                {DT} * restrict fj = Fb + j * LN;
+                {DT} sub[LN];
+                for (int l = 0; l < LN; l++) sub[l] = prof[crow[l][j]];
+                for (int l = 0; l < LN; l++) {{
+                    {DT} hu = h_up[l];
+                    {DT} f = fj[l];
+                    {DT} ft = ({DT})(hu - gs);
+                    f = f > ft ? f : ft;
+                    f = ({DT})(f - ge);
+                    f = f > neg ? f : neg;
+                    fj[l] = f;
+                    {DT} c = ({DT})(h_diag[l] + sub[l]);
+                    c = c > f ? c : f;
+                    c = c > 0 ? c : 0;
+                    {DT} ev = ({DT})(e[l] - ge);
+                    {DT} to = ({DT})(c_prev[l] - egs);
+                    ev = ev > to ? ev : to;
+                    ev = ev > neg ? ev : neg;
+                    e[l] = ev;
+                    h_up[l] = c >= ev ? c : ev;
+                    h_diag[l] = hu;
+                    c_prev[l] = c;
+                    {DT} bl = bloc[l];
+                    bloc[l] = c > bl ? c : bl;
+                }}
+            }}
+            for (int l = 0; l < LN; l++)
+                if ((int64_t)bloc[l] > bb[l]) bb[l] = (int64_t)bloc[l];
+        }}
+        if (ceiling >= 0) {{
+            int64_t gmax = best[0];
+            for (int64_t s = 1; s < nblk * LN; s++)
+                if (best[s] > gmax) gmax = best[s];
+            if (gmax >= ceiling) return 1;
+        }}
+    }}
+    return 0;
+}}
+"""
+
+_LINEAR_CHUNK = r"""
+int64_t swdual_linear_chunk_{SUF}(
+    const {CT} *codes, int64_t B, int64_t L,
+    const {DT} *profile, int64_t m, int64_t P,
+    int64_t g_, int64_t neg_, int64_t ceiling,
+    {DT} *H, int64_t *best)
+{{
+    enum {{ LN = {LN} }};
+    if (B <= 0 || L <= 0 || m <= 0) return 0;
+    const {DT} g = ({DT})g_, neg = ({DT})neg_;
+    const int64_t nblk = (B + LN - 1) / LN;
+    for (int64_t i = 0; i < m; i++) {{
+        const {DT} *prof = profile + i * P;
+        for (int64_t blk = 0; blk < nblk; blk++) {{
+            {DT} * restrict Hb = H + blk * (L + 1) * LN;
+            int64_t *bb = best + blk * LN;
+            const {CT} *crow[LN];
+            for (int l = 0; l < LN; l++) {{
+                int64_t s = blk * LN + l;
+                if (s >= B) s = B - 1;
+                crow[l] = codes + s * L;
+            }}
+            /* h_run is the running row gap chain; seeding it at neg is
+               below any candidate (c >= 0) so the seed never wins, and
+               after the first column it is >= 0, keeping DT arithmetic
+               wrap-free under the chunk_supported gap bound. */
+            {DT} h_diag[LN], bloc[LN], h_run[LN];
+            for (int l = 0; l < LN; l++) {{
+                h_diag[l] = 0; bloc[l] = 0; h_run[l] = neg;
+            }}
+            for (int64_t j = 0; j < L; j++) {{
+                {DT} * restrict h_up = Hb + (j + 1) * LN;
+                {DT} sub[LN];
+                for (int l = 0; l < LN; l++) sub[l] = prof[crow[l][j]];
+                for (int l = 0; l < LN; l++) {{
+                    {DT} hu = h_up[l];
+                    {DT} c = ({DT})(h_diag[l] + sub[l]);
+                    {DT} t = ({DT})(hu + g);
+                    c = c > t ? c : t;
+                    c = c > 0 ? c : 0;
+                    {DT} hr = ({DT})(h_run[l] + g);
+                    hr = hr > c ? hr : c;
+                    h_run[l] = hr;
+                    h_up[l] = hr;
+                    h_diag[l] = hu;
+                    {DT} bl = bloc[l];
+                    bloc[l] = c > bl ? c : bl;
+                }}
+            }}
+            for (int l = 0; l < LN; l++)
+                if ((int64_t)bloc[l] > bb[l]) bb[l] = (int64_t)bloc[l];
+        }}
+        if (ceiling >= 0) {{
+            int64_t gmax = best[0];
+            for (int64_t s = 1; s < nblk * LN; s++)
+                if (best[s] > gmax) gmax = best[s];
+            if (gmax >= ceiling) return 1;
+        }}
+    }}
+    return 0;
+}}
+"""
+
+_PAIR = r"""
+int64_t swdual_pair_affine(
+    const uint8_t *q, int64_t m, const uint8_t *d, int64_t n,
+    const int64_t *S, int64_t A, int64_t gs, int64_t ge,
+    int64_t *H, int64_t *F)
+{
+    int64_t best = 0;
+    for (int64_t i = 0; i < m; i++) {
+        int64_t h_diag = 0;
+        int64_t e = NEG64;
+        const int64_t *Sq = S + (int64_t)q[i] * A;
+        for (int64_t j = 0; j < n; j++) {
+            int64_t h_up = H[j + 1];
+            int64_t f = F[j] - ge;
+            int64_t t = h_up - gs - ge;
+            if (t > f) f = t;
+            F[j] = f;
+            int64_t h = h_diag + Sq[d[j]];
+            if (e > h) h = e;
+            if (f > h) h = f;
+            if (h < 0) h = 0;
+            if (h > best) best = h;
+            e -= ge;
+            t = h - gs - ge;
+            if (t > e) e = t;
+            h_diag = h_up;
+            H[j + 1] = h;
+        }
+    }
+    return best;
+}
+"""
+
+_BANDED = r"""
+int64_t swdual_banded_affine(
+    const uint8_t *q, int64_t m, const uint8_t *d, int64_t n,
+    const int64_t *S, int64_t A,
+    int64_t gs, int64_t ge, int64_t w, int64_t c, int64_t zdrop,
+    int64_t *H_prev, int64_t *H_next, int64_t *F_prev, int64_t *F_next)
+{
+    const int64_t W = 2 * w + 1;
+    for (int64_t k = 0; k <= W; k++) {
+        H_prev[k] = NEG64; H_next[k] = NEG64;
+        F_prev[k] = NEG64; F_next[k] = NEG64;
+    }
+    for (int64_t k = 0; k < W; k++) {
+        int64_t col0 = (c - w) + k;
+        if (col0 >= 0 && col0 <= n) H_prev[k] = 0;
+    }
+    int64_t best = 0;
+    for (int64_t i = 1; i <= m; i++) {
+        int64_t base = i + c - w;
+        const int64_t *Sq = S + (int64_t)q[i - 1] * A;
+        int64_t run = NEG64 * 2;
+        int64_t row_best = NEG64;
+        int has_valid = 0;
+        for (int64_t k = 0; k < W; k++) {
+            int64_t col = base + k;
+            int valid = (col >= 1 && col <= n);
+            int64_t sub = valid ? Sq[d[col - 1]] : NEG64;
+            int64_t diag = H_prev[k] + sub;
+            int64_t f = F_prev[k + 1];
+            int64_t t = H_prev[k + 1] - gs;
+            if (t > f) f = t;
+            f -= ge;
+            F_next[k] = f;
+            int64_t cc;
+            if (valid) {
+                cc = diag;
+                if (f > cc) cc = f;
+                if (cc < 0) cc = 0;
+            } else {
+                cc = NEG64;
+            }
+            int64_t e = (k == 0) ? NEG64 : run - k * ge;
+            int64_t h = cc;
+            if (e > h) h = e;
+            if (!valid) h = NEG64;
+            H_next[k] = h;
+            if (valid) {
+                has_valid = 1;
+                if (h > row_best) row_best = h;
+            }
+            int64_t u = valid ? cc - gs + k * ge : NEG64;
+            if (u > run) run = u;
+        }
+        H_next[W] = NEG64; F_next[W] = NEG64;
+        if (has_valid) {
+            if (row_best > best) best = row_best;
+            else if (zdrop >= 0 && best - row_best > zdrop) break;
+        }
+        int64_t *tmp;
+        tmp = H_prev; H_prev = H_next; H_next = tmp;
+        tmp = F_prev; F_prev = F_next; F_next = tmp;
+        if (base <= 0 && -base <= W - 1) H_prev[-base] = 0;
+    }
+    return best < 0 ? 0 : best;
+}
+
+int64_t swdual_banded_linear(
+    const uint8_t *q, int64_t m, const uint8_t *d, int64_t n,
+    const int64_t *S, int64_t A,
+    int64_t g, int64_t w, int64_t c, int64_t zdrop,
+    int64_t *H_prev, int64_t *H_next)
+{
+    const int64_t W = 2 * w + 1;
+    for (int64_t k = 0; k <= W; k++) {
+        H_prev[k] = NEG64; H_next[k] = NEG64;
+    }
+    for (int64_t k = 0; k < W; k++) {
+        int64_t col0 = (c - w) + k;
+        if (col0 >= 0 && col0 <= n) H_prev[k] = 0;
+    }
+    int64_t best = 0;
+    for (int64_t i = 1; i <= m; i++) {
+        int64_t base = i + c - w;
+        const int64_t *Sq = S + (int64_t)q[i - 1] * A;
+        int64_t run = NEG64 * 2;
+        int64_t row_best = NEG64;
+        int has_valid = 0;
+        for (int64_t k = 0; k < W; k++) {
+            int64_t col = base + k;
+            int valid = (col >= 1 && col <= n);
+            int64_t sub = valid ? Sq[d[col - 1]] : NEG64;
+            int64_t diag = H_prev[k] + sub;
+            int64_t cc;
+            if (valid) {
+                cc = diag;
+                int64_t t = H_prev[k + 1] + g;
+                if (t > cc) cc = t;
+                if (cc < 0) cc = 0;
+            } else {
+                cc = NEG64;
+            }
+            int64_t gk = k * (-g);
+            int64_t u = valid ? cc + gk : NEG64;
+            if (u > run) run = u;
+            int64_t h = run - gk;
+            if (cc > h) h = cc;
+            if (!valid) h = NEG64;
+            H_next[k] = h;
+            if (valid) {
+                has_valid = 1;
+                if (h > row_best) row_best = h;
+            }
+        }
+        H_next[W] = NEG64;
+        if (has_valid) {
+            if (row_best > best) best = row_best;
+            else if (zdrop >= 0 && best - row_best > zdrop) break;
+        }
+        int64_t *tmp = H_prev; H_prev = H_next; H_next = tmp;
+        if (base <= 0 && -base <= W - 1) H_prev[-base] = 0;
+    }
+    return best < 0 ? 0 : best;
+}
+"""
+
+#: (suffix, rung tag, DP dtype, code dtype) kernel variants — the three
+#: ladder rungs × the two packed-code dtypes.
+_VARIANTS = tuple(
+    (f"{dt_tag}_{ct_tag}", dt_tag, dt, ct)
+    for dt_tag, dt in (
+        ("i16", "int16_t"),
+        ("i32", "int32_t"),
+        ("i64", "int64_t"),
+    )
+    for ct_tag, ct in (("u8", "uint8_t"), ("i32", "int32_t"))
+)
+
+
+def c_source() -> str:
+    """The full deterministic kernel source (hashed for the cache)."""
+    parts = [_HEADER]
+    for suf, dt_tag, dt, ct in _VARIANTS:
+        ln = LANES[dt_tag]
+        parts.append(_AFFINE_CHUNK.format(SUF=suf, DT=dt, CT=ct, LN=ln))
+        parts.append(_LINEAR_CHUNK.format(SUF=suf, DT=dt, CT=ct, LN=ln))
+    parts.append(_PAIR)
+    parts.append(_BANDED)
+    return "".join(parts)
+
+
+# -- build --------------------------------------------------------------
+
+
+def _compiler() -> str:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    raise CcBuildError("no C compiler (cc/gcc/clang) on PATH")
+
+
+def _compiler_version(compiler: str) -> str:
+    try:
+        out = subprocess.run(
+            [compiler, "--version"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        ).stdout
+        return out.splitlines()[0].strip() if out else os.path.basename(compiler)
+    except Exception:  # pragma: no cover - cosmetic only
+        return os.path.basename(compiler)
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("SWDUAL_CC_CACHE_DIR")
+    if override:
+        return override
+    home = os.path.expanduser("~")
+    if home and home != "~" and os.access(home, os.W_OK):
+        return os.path.join(home, ".cache", "swdual-cc")
+    return os.path.join(tempfile.gettempdir(), f"swdual-cc-{os.getuid()}")
+
+
+_BASE_FLAGS = ["-O3", "-fPIC", "-shared", "-std=c11"]
+
+
+def build_library(force: bool = False) -> str:
+    """Compile (or reuse) the kernel ``.so``; returns its path.
+
+    The artifact name embeds a hash of the source, the compiler path
+    and the flags, so source or toolchain changes rebuild under a new
+    name while concurrent probes of the same state converge on one
+    file (writes are tempfile + atomic rename).
+    """
+    compiler = _compiler()
+    source = c_source()
+    tag = hashlib.sha256(
+        "\x00".join([source, compiler, " ".join(_BASE_FLAGS)]).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = os.path.join(cache, f"swdual_kernels_{tag}.so")
+    if not force and os.path.exists(lib_path):
+        return lib_path
+    try:
+        os.makedirs(cache, exist_ok=True)
+    except OSError as exc:
+        raise CcBuildError(f"cannot create cache dir {cache!r}: {exc}") from exc
+    src_path = os.path.join(cache, f"swdual_kernels_{tag}.c")
+    fd, tmp_src = tempfile.mkstemp(suffix=".c", dir=cache)
+    with os.fdopen(fd, "w") as fh:
+        fh.write(source)
+    os.replace(tmp_src, src_path)
+    fd, tmp_lib = tempfile.mkstemp(suffix=".so", dir=cache)
+    os.close(fd)
+    # -march=native maximises vector width; retry portable if the
+    # toolchain rejects it.
+    for extra in (["-march=native"], []):
+        cmd = [compiler, *_BASE_FLAGS, *extra, src_path, "-o", tmp_lib]
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=300
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            _unlink_quiet(tmp_lib)
+            raise CcBuildError(f"compiler invocation failed: {exc}") from exc
+        if proc.returncode == 0:
+            os.replace(tmp_lib, lib_path)
+            return lib_path
+    _unlink_quiet(tmp_lib)
+    raise CcBuildError(
+        f"compile failed ({compiler}): {proc.stderr.strip()[:500]}"
+    )
+
+
+def _unlink_quiet(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+# -- ctypes binding -----------------------------------------------------
+
+_I64 = ctypes.c_int64
+_I32 = ctypes.c_int32
+_PTR = ctypes.c_void_p
+
+_CHUNK_DTYPES = {
+    np.dtype(np.int16): "i16",
+    np.dtype(np.int32): "i32",
+    np.dtype(np.int64): "i64",
+}
+_CODE_DTYPES = {np.dtype(np.uint8): "u8", np.dtype(np.int32): "i32"}
+
+
+def _p(arr: np.ndarray) -> int:
+    """Raw data pointer of a C-contiguous array (zero-copy)."""
+    if not arr.flags["C_CONTIGUOUS"]:
+        raise ValueError("kernel inputs must be C-contiguous")
+    return arr.ctypes.data
+
+
+class CcLibrary:
+    """Bound kernel entry points of one loaded ``.so``."""
+
+    def __init__(self, lib_path: str, version: str):
+        self.path = lib_path
+        self.version = version
+        self._dll = ctypes.CDLL(lib_path)
+        chunk_sig_affine = [
+            _PTR, _I64, _I64, _PTR, _I64, _I64,
+            _I64, _I64, _I64, _I64, _PTR, _PTR, _PTR,
+        ]
+        chunk_sig_linear = [
+            _PTR, _I64, _I64, _PTR, _I64, _I64, _I64, _I64, _I64, _PTR, _PTR,
+        ]
+        self._affine = {}
+        self._linear = {}
+        for suf, _tag, _dt, _ct in _VARIANTS:
+            fn = getattr(self._dll, f"swdual_affine_chunk_{suf}")
+            fn.restype = _I64
+            fn.argtypes = chunk_sig_affine
+            self._affine[suf] = fn
+            fn = getattr(self._dll, f"swdual_linear_chunk_{suf}")
+            fn.restype = _I64
+            fn.argtypes = chunk_sig_linear
+            self._linear[suf] = fn
+        self._pair = self._dll.swdual_pair_affine
+        self._pair.restype = _I64
+        self._pair.argtypes = [_PTR, _I64, _PTR, _I64, _PTR, _I64, _I64, _I64, _PTR, _PTR]
+        self._banded_affine = self._dll.swdual_banded_affine
+        self._banded_affine.restype = _I64
+        self._banded_affine.argtypes = [
+            _PTR, _I64, _PTR, _I64, _PTR, _I64,
+            _I64, _I64, _I64, _I64, _I64, _PTR, _PTR, _PTR, _PTR,
+        ]
+        self._banded_linear = self._dll.swdual_banded_linear
+        self._banded_linear.restype = _I64
+        self._banded_linear.argtypes = [
+            _PTR, _I64, _PTR, _I64, _PTR, _I64,
+            _I64, _I64, _I64, _I64, _PTR, _PTR,
+        ]
+
+    @staticmethod
+    def _suffix(codes: np.ndarray, profile: np.ndarray) -> str:
+        try:
+            dt = _CHUNK_DTYPES[profile.dtype]
+        except KeyError:
+            raise ValueError(f"unsupported profile dtype {profile.dtype}") from None
+        try:
+            ct = _CODE_DTYPES[codes.dtype]
+        except KeyError:
+            raise ValueError(f"unsupported codes dtype {codes.dtype}") from None
+        return f"{dt}_{ct}"
+
+    @staticmethod
+    def _blocked_scratch(B: int, L: int, dtype, neg: int, affine: bool):
+        lanes = LANES[_CHUNK_DTYPES[np.dtype(dtype)]]
+        nblk = -(-B // lanes)
+        H = np.zeros(nblk * (L + 1) * lanes, dtype=dtype)
+        F = (
+            np.full(nblk * L * lanes, neg, dtype=dtype)
+            if affine
+            else None
+        )
+        best = np.zeros(nblk * lanes, dtype=np.int64)
+        return H, F, best
+
+    def affine_chunk(self, codes, profile, gs, ge, neg, ceiling):
+        """Ladder-rung chunk scores — returns ``(best int64, saturated)``."""
+        suf = self._suffix(codes, profile)
+        B, L = codes.shape
+        m, P = profile.shape
+        H, F, best = self._blocked_scratch(B, L, profile.dtype, neg, True)
+        saturated = self._affine[suf](
+            _p(codes), B, L, _p(profile), m, P,
+            int(gs), int(ge), int(neg), int(ceiling),
+            _p(H), _p(F), _p(best),
+        )
+        return best[:B].copy(), bool(saturated)
+
+    def linear_chunk(self, codes, profile, g, neg, ceiling):
+        suf = self._suffix(codes, profile)
+        B, L = codes.shape
+        m, P = profile.shape
+        H, _F, best = self._blocked_scratch(B, L, profile.dtype, neg, False)
+        saturated = self._linear[suf](
+            _p(codes), B, L, _p(profile), m, P,
+            int(g), int(neg), int(ceiling), _p(H), _p(best),
+        )
+        return best[:B].copy(), bool(saturated)
+
+    def pair_affine(self, q, d, S, gs, ge):
+        m, n = q.shape[0], d.shape[0]
+        if m == 0 or n == 0:
+            return 0
+        H = np.zeros(n + 1, dtype=np.int64)
+        F = np.full(n, _NEG64, dtype=np.int64)
+        return int(
+            self._pair(
+                _p(q), m, _p(d), n, _p(S), S.shape[0],
+                int(gs), int(ge), _p(H), _p(F),
+            )
+        )
+
+    def banded_affine(self, q, d, S, gs, ge, w, c, zdrop):
+        m, n = q.shape[0], d.shape[0]
+        W = 2 * int(w) + 1
+        bufs = [np.empty(W + 1, dtype=np.int64) for _ in range(4)]
+        return int(
+            self._banded_affine(
+                _p(q), m, _p(d), n, _p(S), S.shape[0],
+                int(gs), int(ge), int(w), int(c), int(zdrop),
+                *(_p(b) for b in bufs),
+            )
+        )
+
+    def banded_linear(self, q, d, S, g, w, c, zdrop):
+        m, n = q.shape[0], d.shape[0]
+        W = 2 * int(w) + 1
+        bufs = [np.empty(W + 1, dtype=np.int64) for _ in range(2)]
+        return int(
+            self._banded_linear(
+                _p(q), m, _p(d), n, _p(S), S.shape[0],
+                int(g), int(w), int(c), int(zdrop),
+                *(_p(b) for b in bufs),
+            )
+        )
+
+
+def chunk_gaps_supported(gs: int, ge: int, dtype, neg: int) -> bool:
+    """Whether the C chunk kernels' DT-domain gap chains are wrap-free.
+
+    The C tier keeps the E/F chains in the rung dtype, clamped at the
+    level's ``neg``; that is value-identical to the numpy kernels only
+    while every intermediate (``chain - ge``, ``c - (gs+ge)``) stays
+    representable.  Schemes with pathologically large penalties fail
+    this bound and are routed to the numpy kernel for that rung
+    instead (linear schemes pass ``gs=0, ge=|g|``).
+    """
+    top = int(np.iinfo(dtype).max)
+    head = top - abs(int(neg))
+    return gs <= head and ge <= head and gs + ge <= top
+
+
+_LOADED: CcLibrary | None = None
+
+
+def load() -> CcLibrary:
+    """Build (if needed) and bind the C kernels, memoised per process."""
+    global _LOADED
+    if _LOADED is None:
+        compiler = _compiler()
+        lib_path = build_library()
+        try:
+            _LOADED = CcLibrary(lib_path, _compiler_version(compiler))
+        except OSError as exc:
+            raise CcBuildError(f"cannot load {lib_path!r}: {exc}") from exc
+    return _LOADED
+
+
+def clear_load_cache() -> None:
+    """Forget the per-process binding (tests)."""
+    global _LOADED
+    _LOADED = None

@@ -1,0 +1,39 @@
+"""numba tier: ``@njit(cache=True, nogil=True)`` over the loop kernels.
+
+Importing this module requires numba; the capability probe in
+:mod:`repro.align.backend` import-probes it and falls back to the C
+tier / numpy when the import (or the warm compile) fails.  The jitted
+functions are exactly the loop kernels in
+:mod:`repro.align.compiled._impl` — one source of truth for the
+semantics, compiled here, interpreted (and tested) there.
+
+``cache=True`` persists the compiled machine code next to the source
+so spawn workers skip recompilation; ``nogil=True`` releases the GIL
+inside the DP loops so the threaded WarmPool scales across cores on
+this tier.
+"""
+
+from __future__ import annotations
+
+import numba
+
+from repro.align.compiled import _impl
+
+__all__ = [
+    "NUMBA_VERSION",
+    "affine_chunk",
+    "linear_chunk",
+    "pair_affine",
+    "banded_affine",
+    "banded_linear",
+]
+
+NUMBA_VERSION: str = numba.__version__
+
+_jit = numba.njit(cache=True, nogil=True)
+
+affine_chunk = _jit(_impl.affine_chunk)
+linear_chunk = _jit(_impl.linear_chunk)
+pair_affine = _jit(_impl.pair_affine)
+banded_affine = _jit(_impl.banded_affine)
+banded_linear = _jit(_impl.banded_linear)

@@ -342,6 +342,7 @@ def _pipeline_chunk(
     index: KmerIndex | None,
     levels: tuple[DtypeLevel, ...] | None,
     counts: StageCounts | None,
+    backend=None,
 ) -> np.ndarray:
     """Run the full cascade over one chunk; per-row scores (packed
     order).  Filtered subjects score 0; scores >= threshold exact."""
@@ -392,6 +393,7 @@ def _pipeline_chunk(
                 config.bandwidth,
                 zdrop=config.zdrop,
                 diag_center=int(diag_center[r]),
+                backend=backend,
             )
             if lower >= config.threshold:
                 candidates.append(r)
@@ -404,7 +406,7 @@ def _pipeline_chunk(
     # Stage 3: exact rescore of the candidates with the same adaptive
     # batch kernel the full scan uses — reported scores bit-identical.
     scores[candidates] = _score_chunk_adaptive(
-        query, codes[candidates], profile, scheme, levels
+        query, codes[candidates], profile, scheme, levels, backend
     )
     if counts is not None:
         counts.reported += int((scores[candidates] >= config.threshold).sum())
@@ -420,6 +422,7 @@ def pipeline_score_packed(
     chunk_range: tuple[int, int] | None = None,
     profile: QueryProfile | None = None,
     counts: StageCounts | None = None,
+    backend=None,
 ) -> np.ndarray:
     """Cascade score of *query* against a packed database.
 
@@ -458,7 +461,8 @@ def pipeline_score_packed(
         return np.concatenate(
             [
                 _pipeline_chunk(
-                    query, c, profile, scheme, config, index, levels, counts
+                    query, c, profile, scheme, config, index, levels, counts,
+                    backend,
                 )
                 for c in chunks
             ]
@@ -470,6 +474,6 @@ def pipeline_score_packed(
         profile = query_profile(query, scheme)
     for chunk in packed.chunks:
         scores[chunk.indices] = _pipeline_chunk(
-            query, chunk, profile, scheme, config, index, levels, counts
+            query, chunk, profile, scheme, config, index, levels, counts, backend
         )
     return scores

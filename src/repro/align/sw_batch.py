@@ -50,6 +50,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.align import backend as kernel_backend
 from repro.align.scoring import ScoringScheme
 from repro.sequences.packed import DEFAULT_CHUNK_CELLS, PackedDatabase
 from repro.sequences.sequence import Sequence
@@ -219,16 +220,19 @@ def clear_packed_cache() -> None:
 
 
 def _packed_for(
-    subjects: SequenceABC[Sequence], chunk_cells: int
+    subjects: SequenceABC[Sequence], chunk_cells: int, backend_name: str
 ) -> PackedDatabase:
     """Fingerprint-keyed memo for :func:`sw_score_batch`'s packing.
 
     Mirrors ``calibrate_live``'s memo: callers that hand the same
     subject list to the one-shot API twice (scripts, notebooks, tests)
     reuse one packing instead of sorting/padding per call.  Sequences
-    are content-hashed, so the key is cheap and collision-safe.
+    are content-hashed, so the key is cheap and collision-safe.  The
+    resolved kernel backend is part of the key (mirroring the PR 8
+    retarget eviction for schemes) so a backend switch mid-process
+    never serves state warmed under the other tier.
     """
-    key = (tuple(subjects), int(chunk_cells))
+    key = (tuple(subjects), int(chunk_cells), backend_name)
     cached = _PACKED_CACHE.get(key)
     if cached is not None:
         _PACKED_CACHE.move_to_end(key)
@@ -247,6 +251,7 @@ def sw_score_batch(
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
     levels: tuple[DtypeLevel, ...] | None = None,
     reuse_packing: bool = True,
+    backend: str | kernel_backend.KernelBackendInfo | None = None,
 ) -> np.ndarray:
     """Best local score of *query* against every subject.
 
@@ -268,6 +273,9 @@ def sw_score_batch(
     reuse_packing:
         Serve the transient packing from a small fingerprint-keyed memo
         (default).  Benchmarks measuring the re-pack cost pass ``False``.
+    backend:
+        Kernel backend override (name or resolved info); ``None`` uses
+        the process-active backend.
 
     Returns
     -------
@@ -276,11 +284,12 @@ def sw_score_batch(
     """
     for s in subjects:
         scheme.check_sequence(s, "subject")
+    info, _ = kernel_backend.get_kernels(backend)
     if reuse_packing:
-        packed = _packed_for(subjects, chunk_cells)
+        packed = _packed_for(subjects, chunk_cells, info.name)
     else:
         packed = PackedDatabase(list(subjects), chunk_cells=chunk_cells)
-    return sw_score_packed(query, packed, scheme, levels=levels)
+    return sw_score_packed(query, packed, scheme, levels=levels, backend=info)
 
 
 def sw_score_packed(
@@ -290,6 +299,7 @@ def sw_score_packed(
     levels: tuple[DtypeLevel, ...] | None = None,
     chunk_range: tuple[int, int] | None = None,
     profile: QueryProfile | None = None,
+    backend: str | kernel_backend.KernelBackendInfo | None = None,
 ) -> np.ndarray:
     """Best local score of *query* against a pre-packed database.
 
@@ -310,6 +320,10 @@ def sw_score_packed(
     profile:
         Pre-built profile to use instead of the process-wide cache
         (e.g. a shared-memory-backed :meth:`QueryProfile.from_base`).
+    backend:
+        Kernel backend override (name or resolved info); ``None`` uses
+        the process-active backend.  Scores are bit-identical across
+        backends — this only selects the implementation tier.
     """
     scheme.check_sequence(query, "query")
     if packed.alphabet is not None and packed.alphabet.name != scheme.alphabet.name:
@@ -331,7 +345,7 @@ def sw_score_packed(
             profile = query_profile(query, scheme)
         return np.concatenate(
             [
-                _score_chunk_adaptive(query, c.codes, profile, scheme, levels)
+                _score_chunk_adaptive(query, c.codes, profile, scheme, levels, backend)
                 for c in chunks
             ]
         )
@@ -342,7 +356,7 @@ def sw_score_packed(
         profile = query_profile(query, scheme)
     for chunk in packed.chunks:
         scores[chunk.indices] = _score_chunk_adaptive(
-            query, chunk.codes, profile, scheme, levels
+            query, chunk.codes, profile, scheme, levels, backend
         )
     return scores
 
@@ -407,8 +421,10 @@ def _score_chunk_adaptive(
     profile: QueryProfile,
     scheme: ScoringScheme,
     levels: tuple[DtypeLevel, ...] | None,
+    backend: str | kernel_backend.KernelBackendInfo | None = None,
 ) -> np.ndarray:
     """Score one chunk, climbing the ladder on saturation."""
+    _info, compiled = kernel_backend.get_kernels(backend)
     kernel = _affine_chunk if scheme.is_affine else _linear_chunk
     ladder = DTYPE_LADDER if levels is None else levels
     gap_step = abs(
@@ -420,12 +436,22 @@ def _score_chunk_adaptive(
             continue
         # The prefix scan carries k·gap offsets up to L·gap; skip a
         # level whose scan dtype lacks the headroom for this chunk.
+        # Compiled tiers have no prefix scan, but apply the same skip so
+        # every backend climbs the ladder identically (forced-narrow
+        # saturated runs must abort at the same rung everywhere).
         if level.dtype is not np.int64 and (
             codes.shape[1] * gap_step + np.iinfo(level.dtype).max
             >= np.iinfo(level.scan_dtype).max
         ):
             continue
-        best, saturated = kernel(query.codes, codes, profile.padded(level), scheme, level)
+        if compiled is not None and compiled.chunk_supported(scheme, level):
+            best, saturated = compiled.chunk(
+                query.codes, codes, profile.padded(level), scheme, level
+            )
+        else:
+            best, saturated = kernel(
+                query.codes, codes, profile.padded(level), scheme, level
+            )
         if not saturated:
             return best
     if best is None:

@@ -42,6 +42,7 @@ def sw_score_striped(
     subject: Sequence,
     scheme: ScoringScheme,
     lanes: int = DEFAULT_LANES,
+    backend=None,
 ) -> int:
     """Best local alignment score via the striped kernel.
 
@@ -49,6 +50,12 @@ def sw_score_striped(
     ----------
     lanes:
         Emulated SIMD width ``V`` (>= 1).
+    backend:
+        Kernel backend override (name or resolved
+        :class:`~repro.align.backend.KernelBackendInfo`); ``None`` uses
+        the process-active backend.  Compiled tiers run a loop-form
+        pairwise kernel — the striped layout is a SIMD-emulation detail
+        of the numpy tier, the contract is the exact local score.
     """
     if lanes < 1:
         raise ValueError(f"lanes must be >= 1, got {lanes}")
@@ -57,6 +64,11 @@ def sw_score_striped(
     m, n = len(query), len(subject)
     if m == 0 or n == 0:
         return 0
+    from repro.align import backend as kernel_backend
+
+    _info, compiled = kernel_backend.get_kernels(backend)
+    if compiled is not None:
+        return compiled.pair(query, subject, scheme)
     if scheme.is_affine:
         gs = np.int64(scheme.gaps.gap_open)
         ge = np.int64(scheme.gaps.gap_extend)

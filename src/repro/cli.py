@@ -83,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the heuristic filter cascade instead of the full "
         "scan (optional sensitivity preset, default 'default')",
     )
+    p_search.add_argument(
+        "--kernel-backend",
+        default=None,
+        choices=("auto", "numba", "cc", "numpy"),
+        help="alignment-kernel tier: 'auto' probes numba, then a C toolchain, then falls back to numpy",
+    )
     p_search.add_argument("--json", action="store_true", help="emit a JSON report")
     p_search.add_argument(
         "--processes",
@@ -191,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="(router) shard count compared against the 1-shard baseline",
     )
+    p_bench.add_argument(
+        "--kernel-backend",
+        default=None,
+        choices=("auto", "numba", "cc", "numpy"),
+        help="(kernels) pin the compiled tier the numpy baseline is "
+        "compared against; 'numpy' skips the comparison",
+    )
 
     p_serve = sub.add_parser(
         "serve", help="run the resident search service on a database"
@@ -246,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--calibrate",
         action="store_true",
         help="measure real per-role GCUPS at startup (cached per database)",
+    )
+    p_serve.add_argument(
+        "--kernel-backend",
+        default=None,
+        choices=("auto", "numba", "cc", "numpy"),
+        help="alignment-kernel tier: 'auto' probes numba, then a C toolchain, then falls back to numpy",
     )
 
     p_query = sub.add_parser(
@@ -484,6 +503,7 @@ def _cmd_search(args) -> int:
             num_workers=args.processes,
             top_hits=args.top,
             pipeline=pipeline,
+            kernel_backend=args.kernel_backend,
         )
     else:
         report = live_search(
@@ -494,6 +514,7 @@ def _cmd_search(args) -> int:
             policy=args.policy,
             top_hits=args.top,
             pipeline=pipeline,
+            backend=args.kernel_backend,
         )
     if args.json:
         from repro.engine import report_to_json
@@ -644,6 +665,7 @@ def _cmd_bench(args) -> int:
         query_len=args.query_len if args.query_len is not None else 300,
         num_queries=args.queries if args.queries is not None else 4,
         repeats=args.repeats,
+        kernel_backend=args.kernel_backend,
     )
     gcups = report["gcups"]
     rows = [
@@ -654,13 +676,33 @@ def _cmd_bench(args) -> int:
         [f"packed pinned {name}", f"{value:.4f}"]
         for name, value in gcups["levels"].items()
     ]
+    for backend_name, measured in gcups["backends"].items():
+        if backend_name == "numpy":
+            continue  # already printed as the packed/pinned rows above
+        rows.append(
+            [f"compiled [{backend_name}] ladder", f"{measured['packed_ladder']:.4f}"]
+        )
+        rows += [
+            [f"compiled [{backend_name}] {name}", f"{value:.4f}"]
+            for name, value in measured["levels"].items()
+        ]
     rows += [
         ["wavefront per-subject", f"{gcups['wavefront_per_subject']:.4f}"],
         ["wavefront batched", f"{gcups['wavefront_batched']:.4f}"],
     ]
     print(ascii_table(["Kernel path", "GCUPS"], rows))
+    kb = report["kernel_backend"]
+    backend_line = kb["name"] + (f" ({kb['version']})" if kb["version"] else "")
+    if kb["fallback_reason"]:
+        backend_line += f" [fallback: {kb['fallback_reason']}]"
+    print(f"kernel backend:            {backend_line}")
     print(f"speedup packed vs seed:    {report['speedup_packed_vs_seed']:.2f}x")
     print(f"speedup wavefront batched: {report['speedup_wavefront_batched']:.2f}x")
+    if report["speedup_compiled_vs_numpy"] is not None:
+        print(
+            f"speedup compiled vs numpy: "
+            f"{report['speedup_compiled_vs_numpy']:.2f}x (batch hot path)"
+        )
     telemetry = report["telemetry"]
     print(
         f"telemetry overhead: {telemetry['overhead_disabled_pct']:+.2f}% disabled, "
@@ -929,6 +971,7 @@ def _cmd_serve(args) -> int:
         calibrate=args.calibrate,
         pipeline=pipeline,
         calibration=args.calibration,
+        kernel_backend=args.kernel_backend,
     )
     service.start()
     host, port = service.address
@@ -1003,6 +1046,12 @@ def _cmd_stats(args) -> int:
         f"{req['rejected']} rejected, {req['errors']} errors, "
         f"queue {req['queue_depth']}, in-flight {req['in_flight']}"
     )
+    kb = snapshot.get("kernel_backend")
+    if kb:
+        line = kb["name"] + (f" ({kb['version']})" if kb.get("version") else "")
+        if kb.get("fallback_reason"):
+            line += f" [fallback: {kb['fallback_reason']}]"
+        print(f"kernel backend: {line} (requested {kb['requested']})")
     lat = snapshot["latency"]
     wait = snapshot["queue_wait"]
     print(

@@ -255,6 +255,7 @@ class Master:
                     e.elapsed for e in executions.values() if e.worker == w.name
                 ),
                 cells=w.counter.total_cells,
+                backend=w.backend_info.name,
             )
             for w in self._workers
         )

@@ -73,7 +73,9 @@ class WorkerStats:
     so the pool-wide sum still equals the query count).  ``subtasks``
     counts ``(query, chunk-range)`` units and is 0 for whole-query
     dispatch; ``steals`` counts subtasks this worker took from another
-    worker's deque.
+    worker's deque.  ``backend`` names the kernel tier the worker
+    resolved ("numba"/"cc"/"numpy"; "" for legacy producers) — process
+    workers re-probe after spawn, so this reflects their local outcome.
     """
 
     name: str
@@ -83,6 +85,7 @@ class WorkerStats:
     cells: int
     subtasks: int = 0
     steals: int = 0
+    backend: str = ""
 
     def utilization(self, wall_seconds: float) -> float:
         """Busy fraction of the run's wall-clock time."""

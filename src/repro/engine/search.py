@@ -11,6 +11,7 @@ Two entry points mirroring DESIGN.md's execution modes:
 
 from __future__ import annotations
 
+from repro.align import backend as kernel_backend
 from repro.align.scoring import ScoringScheme, default_scheme
 from repro.align.sw_batch import sw_score_packed
 from repro.align.sw_wavefront import sw_score_wavefront_packed
@@ -92,7 +93,10 @@ def simulate_search(
 
 
 #: Memoised calibrate_live() results, keyed by
-#: (database fingerprint, scheme key, chunk_cells, repeats).
+#: (database fingerprint, scheme key, chunk_cells, repeats, backend).
+#: The kernel backend is part of the key — compiled-tier GCUPS are a
+#: different machine rate, and allocating against a stale tier's
+#: measurement would mirror the retarget bug the fingerprint key fixed.
 _CALIBRATION_CACHE: dict[tuple, dict[str, float]] = {}
 
 
@@ -116,16 +120,26 @@ def invalidate_calibration(
     scheme: ScoringScheme | None = None,
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
     repeats: int = 1,
+    backend=None,
 ) -> bool:
     """Drop the memoised :func:`calibrate_live` entry for one target.
 
     A resident service that retargets (new scoring scheme or pipeline
     preset) must not allocate against rates measured for the old
     target; this evicts the stale entry so the next calibration
-    re-measures.  Returns whether an entry was present.
+    re-measures.  Returns whether an entry was present.  *backend* must
+    name the same kernel backend the entry was measured under (``None``
+    = the process-active one).
     """
     scheme = scheme or default_scheme()
-    key = (database.fingerprint(), _scheme_key(scheme), chunk_cells, repeats)
+    info, _ = kernel_backend.get_kernels(backend)
+    key = (
+        database.fingerprint(),
+        _scheme_key(scheme),
+        chunk_cells,
+        repeats,
+        info.name,
+    )
     return _CALIBRATION_CACHE.pop(key, None) is not None
 
 
@@ -136,6 +150,7 @@ def calibrate_live(
     repeats: int = 1,
     packed: PackedDatabase | None = None,
     use_cache: bool = True,
+    backend=None,
 ) -> dict[str, float]:
     """Measure this machine's real GCUPS for both live kernel roles.
 
@@ -147,13 +162,22 @@ def calibrate_live(
     driven by measured rather than paper-derived rates.
 
     Measurements are cached per (database content fingerprint, scoring
-    scheme, ``chunk_cells``, ``repeats``) for the life of the process,
-    so repeated service startups and tests skip redundant calibration
-    runs against the same database; pass ``use_cache=False`` to force a
-    fresh probe (the fresh result still refreshes the cache).
+    scheme, ``chunk_cells``, ``repeats``, resolved kernel backend) for
+    the life of the process, so repeated service startups and tests
+    skip redundant calibration runs against the same database; pass
+    ``use_cache=False`` to force a fresh probe (the fresh result still
+    refreshes the cache).  A backend switch changes the key, so rates
+    measured under numpy are never served to a compiled-tier run.
     """
     scheme = scheme or default_scheme()
-    key = (database.fingerprint(), _scheme_key(scheme), chunk_cells, repeats)
+    info, _ = kernel_backend.get_kernels(backend)
+    key = (
+        database.fingerprint(),
+        _scheme_key(scheme),
+        chunk_cells,
+        repeats,
+        info.name,
+    )
     if use_cache and key in _CALIBRATION_CACHE:
         return dict(_CALIBRATION_CACHE[key])
     if packed is None:
@@ -162,7 +186,7 @@ def calibrate_live(
     subjects = list(database)
     rates = {}
     for role, kernel in (
-        ("cpu", lambda q, _s, sch: sw_score_packed(q, packed, sch)),
+        ("cpu", lambda q, _s, sch: sw_score_packed(q, packed, sch, backend=info)),
         ("gpu", lambda q, _s, sch: sw_score_wavefront_packed(q, packed, sch)),
     ):
         rates[role] = measure_kernel_gcups(
@@ -186,6 +210,7 @@ def live_search(
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
     calibrate: bool = False,
     pipeline=None,
+    backend=None,
 ) -> SearchReport:
     """Run a real search through the live master–slave engine.
 
@@ -215,6 +240,11 @@ def live_search(
         the full scan on every worker, whichever backend executes.
         The report then carries aggregated stage tallies in
         :attr:`~repro.engine.results.SearchReport.pipeline_stages`.
+    backend:
+        Kernel backend request (``--kernel-backend`` /
+        ``SWDUAL_KERNEL_BACKEND``); ``None`` uses the process-active
+        one.  Thread workers resolve it here; process workers receive
+        the *name* and re-probe after spawn.
     """
     if num_cpu_workers < 0 or num_gpu_workers < 0:
         raise ValueError("worker counts must be non-negative")
@@ -225,9 +255,12 @@ def live_search(
             f"execution must be one of {LIVE_EXECUTION_MODES}, got {execution!r}"
         )
     scheme = scheme or default_scheme()
+    backend_info, _ = kernel_backend.get_kernels(backend)
     packed = PackedDatabase.from_database(database, chunk_cells=chunk_cells)
     if measured_gcups is None and calibrate:
-        measured_gcups = calibrate_live(database, scheme, packed=packed)
+        measured_gcups = calibrate_live(
+            database, scheme, packed=packed, backend=backend_info
+        )
 
     if execution == "processes":
         from repro.engine.transport import process_search
@@ -247,6 +280,7 @@ def live_search(
             measured_gcups=measured_gcups,
             chunk_cells=chunk_cells,
             pipeline=pipeline,
+            kernel_backend=backend_info.requested,
         )
 
     master = Master(queries, policy=policy, measured_gcups=measured_gcups)
@@ -262,6 +296,7 @@ def live_search(
                 top_hits=top_hits,
                 evalue_model=evalue_model,
                 pipeline=pipeline,
+                backend=backend_info,
             )
         )
     for i in range(num_cpu_workers):
@@ -275,6 +310,7 @@ def live_search(
                 top_hits=top_hits,
                 evalue_model=evalue_model,
                 pipeline=pipeline,
+                backend=backend_info,
             )
         )
     for worker in workers:

@@ -154,6 +154,7 @@ def sharded_search(
             tasks_executed=w.counter.comparisons,
             busy_seconds=busy[w.name],
             cells=w.counter.total_cells,
+            backend=w.backend_info.name,
         )
         for w in workers
     )

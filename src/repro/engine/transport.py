@@ -208,6 +208,7 @@ def _worker_main(
     fault_plan: FaultPlan | None = None,
     hb_interval: float = DEFAULT_HEARTBEAT_TIMEOUT / 4.0,
     pipeline=None,
+    kernel_backend: str | None = None,
 ):
     """Worker process entry point: register, serve tasks, exit on
     shutdown.
@@ -262,12 +263,20 @@ def _worker_main(
     trace.  ``perf_counter`` is ``CLOCK_MONOTONIC`` on Linux (one epoch
     for all processes), so child spans line up with the master's
     timeline.
+
+    *kernel_backend* is the **requested** backend name (never a
+    resolved object — those must not cross pickle/spawn boundaries):
+    each worker process runs its own capability probe here, so a child
+    whose environment lacks the compiled toolchain independently falls
+    back to numpy.  The locally resolved tier name rides back on the
+    ``register`` message for the master's roster accounting.
     """
     import threading
     import time
 
     import numpy as np
 
+    from repro.align import backend as backend_mod
     from repro.align.pipeline import (
         PipelineConfig,
         StageCounts,
@@ -276,6 +285,8 @@ def _worker_main(
     from repro.align.stats import CellUpdateCounter
     from repro.align.sw_batch import attach_query_profiles, sw_score_packed
     from repro.align.sw_wavefront import sw_score_wavefront_packed
+
+    backend_info = backend_mod.set_active_backend(kernel_backend)
 
     if pipeline is not None and not isinstance(pipeline, PipelineConfig):
         pipeline = PipelineConfig.from_dict(pipeline)
@@ -333,13 +344,19 @@ def _worker_main(
                 chunk_range=chunk_range,
                 profile=profile,
                 counts=counts,
+                backend=backend_info,
             )
         if kind == "gpu":
             return sw_score_wavefront_packed(
                 query, packed, scheme, chunk_range=chunk_range, profile=profile
             )
         return sw_score_packed(
-            query, packed, scheme, chunk_range=chunk_range, profile=profile
+            query,
+            packed,
+            scheme,
+            chunk_range=chunk_range,
+            profile=profile,
+            backend=backend_info,
         )
 
     def fire_fault():
@@ -369,7 +386,7 @@ def _worker_main(
             qp_arena.close()
         batch_queries = qp_arena = qp_profiles = None
 
-    send(("register", name, kind, setup_seconds))
+    send(("register", name, kind, setup_seconds, backend_info.name))
     threading.Thread(target=beat, name=f"{name}-hb", daemon=True).start()
     while True:
         message = conn.recv()
@@ -577,6 +594,7 @@ class ProcessWorkerPool:
         register_timeout: float = 60.0,
         registry: MetricsRegistry | None = None,
         pipeline: PipelineConfig | None = None,
+        kernel_backend: str | None = None,
     ):
         if num_cpu_workers < 0 or num_gpu_workers < 0:
             raise ValueError("worker counts must be non-negative")
@@ -604,6 +622,12 @@ class ProcessWorkerPool:
         #: Pool-default filter-cascade config; ``run_batch`` can
         #: override it per batch (``pipeline=None`` forces full scan).
         self.pipeline = pipeline
+        #: Requested kernel-backend *name* shipped to every worker at
+        #: spawn (never a resolved object — each process re-probes
+        #: locally); ``None`` lets workers use their own env/default.
+        self.kernel_backend = kernel_backend
+        #: Per-worker resolved kernel tier, reported at registration.
+        self.worker_backends: dict[str, str] = {}
         self.roster: list[tuple[str, str]] = [
             (f"proc{i}", "cpu") for i in range(num_cpu_workers)
         ] + [(f"gproc{i}", "gpu") for i in range(num_gpu_workers)]
@@ -746,6 +770,7 @@ class ProcessWorkerPool:
                         self.fault_plan,
                         hb_interval,
                         self.pipeline,
+                        self.kernel_backend,
                     ),
                     name=name,
                     daemon=True,
@@ -762,12 +787,13 @@ class ProcessWorkerPool:
                         pending_task="register",
                         timeout=self.register_timeout,
                     )
-                tag, name, kind, setup_seconds = conn.recv()
+                tag, name, kind, setup_seconds, worker_backend = conn.recv()
                 if tag != "register":  # pragma: no cover
                     raise ProtocolError(f"expected register, got {tag!r}")
                 self.log.record(register(name, kind))
                 self.log.record(register_ack(name))
                 self.setup_seconds[name] = setup_seconds
+                self.worker_backends[name] = worker_backend
                 if self.data_plane == "shm":
                     self._metric_attach.observe(setup_seconds)
         except BaseException:
@@ -1202,6 +1228,7 @@ class ProcessWorkerPool:
                 tasks_executed=executed[name],
                 busy_seconds=busy[name],
                 cells=cells_by_worker[name],
+                backend=self.worker_backends.get(name, ""),
             )
             for name in sorted(busy)
         )
@@ -1486,6 +1513,7 @@ class ProcessWorkerPool:
                 cells=cells_by_worker[name],
                 subtasks=subtasks_by[name],
                 steals=steals_by[name],
+                backend=self.worker_backends.get(name, ""),
             )
             for name in sorted(busy)
         )
@@ -1524,6 +1552,7 @@ def process_search(
     fault_plan: FaultPlan | None = None,
     recovery_log: RecoveryLog | None = None,
     pipeline: PipelineConfig | None = None,
+    kernel_backend: str | None = None,
 ) -> SearchReport:
     """One-shot search with real worker *processes*.
 
@@ -1556,6 +1585,10 @@ def process_search(
         caller-owned :class:`~repro.engine.faults.RecoveryLog` (the
         pool's own log dies with it) — the hook ``swdual chaos`` and
         the fault tests use to inspect what recovery did.
+    kernel_backend:
+        Requested kernel-backend *name* shipped to every worker; each
+        process re-probes and resolves it locally after spawn (see
+        :mod:`repro.align.backend`).
 
     Results are identical to the threaded engine's (same kernels); only
     the transport differs.
@@ -1579,6 +1612,7 @@ def process_search(
         max_retries=max_retries,
         fault_plan=fault_plan,
         pipeline=pipeline,
+        kernel_backend=kernel_backend,
     )
     pool.start()
     try:

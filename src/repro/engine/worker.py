@@ -20,6 +20,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.align import backend as kernel_backend
 from repro.align.pipeline import (
     PipelineConfig,
     StageCounts,
@@ -120,6 +121,17 @@ class KernelWorker:
         accumulate in :attr:`stage_counts` (reset by the caller
         between runs via :meth:`drain_stage_counts`).  An explicit
         *kernel* takes precedence over the pipeline.
+    backend:
+        Kernel backend for this worker's scoring calls: a requested
+        name (``"auto"``/``"numba"``/``"cc"``/``"numpy"``), an
+        already-resolved
+        :class:`~repro.align.backend.KernelBackendInfo`, or ``None``
+        for the process-active backend.  Resolution happens here, at
+        construction time, so two workers in one threaded roster can
+        run different tiers — and still merge bit-identically, because
+        every tier is conformant to the scalar oracle.  The resolved
+        tier is exposed as :attr:`backend_info` (the gpu-role wavefront
+        kernel stays numpy regardless; it has no compiled counterpart).
     """
 
     def __init__(
@@ -136,6 +148,7 @@ class KernelWorker:
         align_top: int = 0,
         fault_hook=None,
         pipeline: PipelineConfig | None = None,
+        backend=None,
     ):
         if kind not in ("cpu", "gpu"):
             raise ValueError(f"kind must be 'cpu' or 'gpu', got {kind!r}")
@@ -163,6 +176,7 @@ class KernelWorker:
         self.align_top = align_top
         self.fault_hook = fault_hook
         self.pipeline = pipeline
+        self.backend_info, _ = kernel_backend.get_kernels(backend)
         self.stage_counts = StageCounts()
         self.counter = CellUpdateCounter()
         self._subjects = list(database)
@@ -184,10 +198,13 @@ class KernelWorker:
                 self.scheme,
                 self.pipeline,
                 counts=self.stage_counts,
+                backend=self.backend_info,
             )
         if self.kind == "gpu":
             return sw_score_wavefront_packed(query, self.packed, self.scheme)
-        return sw_score_packed(query, self.packed, self.scheme)
+        return sw_score_packed(
+            query, self.packed, self.scheme, backend=self.backend_info
+        )
 
     def execute(self, query: Sequence) -> TaskExecution:
         """Score *query* against the whole database; returns the result

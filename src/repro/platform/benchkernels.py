@@ -87,10 +87,11 @@ def run_kernel_bench(
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
     scheme: ScoringScheme | None = None,
     seed: int = 0,
+    kernel_backend: str | None = None,
 ) -> dict:
     """Run the kernel micro-benchmark suite; returns the report dict.
 
-    Four measurements on the same workload:
+    Five measurements on the same workload:
 
     ``seed_int64_per_call``
         The pre-packed-database hot path: every call re-packs the
@@ -108,9 +109,19 @@ def run_kernel_bench(
         closure) vs whole-chunk anti-diagonal sweeps, on a subject
         subset (the Python-loop variant is far too slow for the full
         set).
+    ``backends``
+        The batch hot path (``packed_ladder`` plus per-dtype rungs)
+        measured side by side under the numpy tier and the resolved
+        compiled tier (*kernel_backend*; ``auto`` by default), with the
+        headline ``speedup_compiled_vs_numpy`` ratio.  The numpy
+        measurements above are always pinned to the numpy tier, so
+        historical reports stay comparable whatever backend is active.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    from repro.align import backend as kernel_backend_mod
+
+    backend_info, _ = kernel_backend_mod.get_kernels(kernel_backend)
     scheme = scheme or default_scheme()
     queries, database = build_bench_workload(
         num_subjects, min_len, max_len, query_len, num_queries, seed
@@ -122,31 +133,56 @@ def run_kernel_bench(
     def seed_pass() -> None:
         for q in queries:
             clear_profile_cache()
-            sw_score_batch(q, subjects, scheme, chunk_cells=chunk_cells, levels=(int64_level,))
+            sw_score_batch(
+                q,
+                subjects,
+                scheme,
+                chunk_cells=chunk_cells,
+                levels=(int64_level,),
+                backend="numpy",
+            )
 
     seed_gcups = cells / _time_pass(seed_pass, repeats) / 1e9
 
     packed = PackedDatabase.from_database(database, chunk_cells=chunk_cells)
     clear_profile_cache()
 
-    def packed_pass() -> None:
+    def ladder_pass(backend) -> None:
         for q in queries:
-            sw_score_packed(q, packed, scheme)
+            sw_score_packed(q, packed, scheme, backend=backend)
 
-    packed_pass()  # warm the profile cache: steady-state repeated-query cost
-    packed_gcups = cells / _time_pass(packed_pass, repeats) / 1e9
+    def ladder_levels(backend) -> dict:
+        out = {}
+        for level in DTYPE_LADDER:
+            if not level.usable(scheme):
+                continue
+            name = np.dtype(level.dtype).name
 
-    levels = {}
-    for level in DTYPE_LADDER:
-        if not level.usable(scheme):
-            continue
-        name = np.dtype(level.dtype).name
+            def level_pass(level=level) -> None:
+                for q in queries:
+                    sw_score_packed(
+                        q, packed, scheme, levels=(level,), backend=backend
+                    )
 
-        def level_pass(level=level) -> None:
-            for q in queries:
-                sw_score_packed(q, packed, scheme, levels=(level,))
+            out[name] = cells / _time_pass(level_pass, repeats) / 1e9
+        return out
 
-        levels[name] = cells / _time_pass(level_pass, repeats) / 1e9
+    ladder_pass("numpy")  # warm the profile cache: steady-state cost
+    packed_gcups = cells / _time_pass(lambda: ladder_pass("numpy"), repeats) / 1e9
+    levels = ladder_levels("numpy")
+
+    backends = {"numpy": {"packed_ladder": packed_gcups, "levels": levels}}
+    speedup_compiled = None
+    if backend_info.compiled:
+        ladder_pass(backend_info)  # warm (includes any JIT compilation)
+        compiled_gcups = (
+            cells / _time_pass(lambda: ladder_pass(backend_info), repeats) / 1e9
+        )
+        backends[backend_info.name] = {
+            "packed_ladder": compiled_gcups,
+            "levels": ladder_levels(backend_info),
+        }
+        speedup_compiled = compiled_gcups / packed_gcups
 
     wf_subjects = subjects[: max(1, wavefront_subjects)]
     wf_db = SequenceDatabase(name="bench-wf", sequences=wf_subjects)
@@ -184,11 +220,19 @@ def run_kernel_bench(
             "seed_int64_per_call": seed_gcups,
             "packed_ladder": packed_gcups,
             "levels": levels,
+            "backends": backends,
             "wavefront_per_subject": wf_loop_gcups,
             "wavefront_batched": wf_batched_gcups,
         },
+        "kernel_backend": {
+            "name": backend_info.name,
+            "requested": backend_info.requested,
+            "version": backend_info.version,
+            "fallback_reason": backend_info.fallback_reason,
+        },
         "speedup_packed_vs_seed": packed_gcups / seed_gcups,
         "speedup_wavefront_batched": wf_batched_gcups / wf_loop_gcups,
+        "speedup_compiled_vs_numpy": speedup_compiled,
         "telemetry": telemetry,
     }
 

@@ -31,6 +31,7 @@ import threading
 import time
 from collections import deque
 
+from repro.align import backend as kernel_backend_mod
 from repro.align.scoring import ScoringScheme, default_scheme
 from repro.engine.faults import (
     AllWorkersDeadError,
@@ -113,6 +114,11 @@ class WarmPool:
     registry:
         Metrics registry handed to the process pool (steal/attach/queue
         metrics land next to the service's own).
+    kernel_backend:
+        Requested kernel-backend name (``auto``/``numba``/``cc``/
+        ``numpy``; ``None`` = env default).  Resolved here for the
+        threads backend and for calibration; the processes backend
+        ships only the *name* and every worker re-probes after spawn.
     pipeline:
         Optional :class:`~repro.align.pipeline.PipelineConfig` — the
         pool's default search mode.  :meth:`run_batch` can override it
@@ -142,6 +148,7 @@ class WarmPool:
         fault_plan: FaultPlan | None = None,
         registry=None,
         pipeline: PipelineConfig | None = None,
+        kernel_backend: str | None = None,
     ):
         if backend not in POOL_BACKENDS:
             raise ValueError(f"backend must be one of {POOL_BACKENDS}, got {backend!r}")
@@ -167,6 +174,12 @@ class WarmPool:
         self.fault_plan = fault_plan
         self.registry = registry
         self.pipeline = pipeline
+        #: Requested kernel-backend name ("auto" by default); process
+        #: workers receive this name and re-probe after spawn.
+        self.kernel_backend = kernel_backend
+        #: The master-side resolution of that request (what the
+        #: threaded workers — and operator surfaces — actually run).
+        self.kernel_backend_info, _ = kernel_backend_mod.get_kernels(kernel_backend)
         self.num_cpu_workers = num_cpu_workers
         self.num_gpu_workers = num_gpu_workers
         self._workers: list[KernelWorker] = []
@@ -243,11 +256,15 @@ class WarmPool:
                 fault_plan=self.fault_plan,
                 registry=self.registry,
                 pipeline=self.pipeline,
+                kernel_backend=self.kernel_backend,
             )
             self._proc_pool.start()
             if self.calibrate and self.measured_gcups is None:
                 self.measured_gcups = calibrate_live(
-                    self.database, self.scheme, chunk_cells=self.chunk_cells
+                    self.database,
+                    self.scheme,
+                    chunk_cells=self.chunk_cells,
+                    backend=self.kernel_backend_info,
                 )
                 self._auto_rates = True
         else:
@@ -260,6 +277,7 @@ class WarmPool:
                     self.scheme,
                     chunk_cells=self.chunk_cells,
                     packed=packed,
+                    backend=self.kernel_backend_info,
                 )
                 self._auto_rates = True
             self._workers = [
@@ -270,6 +288,7 @@ class WarmPool:
                     scheme=self.scheme,
                     packed=packed,
                     top_hits=self.top_hits,
+                    backend=self.kernel_backend_info,
                 )
                 for name, kind in self.roster
             ]
@@ -339,7 +358,10 @@ class WarmPool:
             # Evict the stale calibration memo for the old target so a
             # restart or re-calibration against it re-measures.
             invalidate_calibration(
-                self.database, old_scheme, chunk_cells=self.chunk_cells
+                self.database,
+                old_scheme,
+                chunk_cells=self.chunk_cells,
+                backend=self.kernel_backend_info,
             )
             if self._auto_rates or changed_scheme:
                 self.measured_gcups = None
@@ -354,6 +376,7 @@ class WarmPool:
                         scheme=self.scheme,
                         packed=packed,
                         top_hits=self.top_hits,
+                        backend=self.kernel_backend_info,
                     )
                     for name, kind in self.roster
                 ]
@@ -368,6 +391,7 @@ class WarmPool:
                     self.scheme,
                     chunk_cells=self.chunk_cells,
                     packed=packed,
+                    backend=self.kernel_backend_info,
                 )
                 self._auto_rates = True
         return True
@@ -631,6 +655,7 @@ class WarmPool:
                 tasks_executed=executed[w.name],
                 busy_seconds=busy[w.name],
                 cells=cells[w.name],
+                backend=w.backend_info.name,
             )
             for w in workers
         )

@@ -185,6 +185,7 @@ class SearchService:
         max_batch: int = 8,
         pipeline: PipelineConfig | None = None,
         calibration: str = "oneshot",
+        kernel_backend: str | None = None,
     ):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -236,8 +237,10 @@ class SearchService:
             max_retries=max_retries,
             fault_plan=fault_plan,
             pipeline=pipeline,
+            kernel_backend=kernel_backend,
         )
         self.stats = ServiceStats(self.pool.roster)
+        self.stats.record_kernel_backend(self.pool.kernel_backend_info)
         # The pool only reads its registry at start(): point it at the
         # service registry so transport metrics share the endpoint.
         self.pool.registry = self.stats.registry
@@ -297,9 +300,11 @@ class SearchService:
         self.port = self._sock.getsockname()[1]
         self._started = True
         roster = ", ".join(f"{name}({kind})" for name, kind in self.pool.roster)
+        kernel_line = self.pool.kernel_backend_info.describe()
         print(
             f"swdual serve: listening on {self.host}:{self.port} "
             f"backend={self.pool.backend} policy={self.pool.policy} "
+            f"kernel={kernel_line} "
             f"calibration={self.calibration} workers=[{roster}]",
             file=sys.stderr,
             flush=True,

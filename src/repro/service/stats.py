@@ -124,6 +124,9 @@ class ServiceStats:
         # (counters can only inc; the calibrator reports totals).
         self._calib_seen: dict[str, tuple[int, int]] = {}
         self._realloc_seen = 0
+        # Resolved kernel backend (set by the server once the pool's
+        # capability probe ran); surfaces in snapshot() and Prometheus.
+        self._kernel_backend: dict | None = None
 
     def _role(self, kind: str) -> _RoleMetrics:
         role = self._roles.get(kind)
@@ -165,6 +168,28 @@ class ServiceStats:
             steals = getattr(ws, "steals", 0)
             if steals:
                 role.steals.inc(steals)
+
+    def record_kernel_backend(self, info) -> None:
+        """Publish the resolved kernel backend (a
+        :class:`~repro.align.backend.KernelBackendInfo`) as the
+        ``swdual_kernel_backend_info`` labelled gauge — the Prometheus
+        info-metric idiom: value 1, identity in the labels — and as a
+        ``kernel_backend`` block in :meth:`snapshot`."""
+        self._kernel_backend = {
+            "name": info.name,
+            "requested": info.requested,
+            "version": info.version,
+            "fallback_reason": info.fallback_reason,
+        }
+        self.registry.gauge(
+            "swdual_kernel_backend_info",
+            "Resolved alignment-kernel backend (identity in labels, value 1).",
+            {
+                "backend": info.name,
+                "requested": info.requested,
+                "version": info.version or "",
+            },
+        ).set(1)
 
     def record_calibration(self, calibration: dict, reallocations: int) -> None:
         """Fold one rolling-calibration snapshot into the registry.
@@ -286,6 +311,7 @@ class ServiceStats:
             "recovery": self._recovery_snapshot(),
             "pipeline": self._pipeline_snapshot(),
             "calibration": self._calibration_snapshot(),
+            "kernel_backend": self._kernel_backend,
             "throughput_qps": completed / uptime,
         }
 

@@ -1,0 +1,197 @@
+"""The kernel-backend capability probe (:mod:`repro.align.backend`).
+
+The probe must *never* fail the process: any requested tier that is
+missing, disabled, or miscompiling resolves to numpy with the reason
+recorded in :attr:`KernelBackendInfo.fallback_reason`.  These tests
+drive every resolution path — env knobs, explicit requests, forced
+fallbacks, memoisation — without assuming which compiled toolchains
+the running machine actually has.
+"""
+
+import pytest
+
+from repro.align import backend as backend_mod
+from repro.align.backend import (
+    BACKEND_CHOICES,
+    KernelBackendInfo,
+    active_backend,
+    clear_backend_cache,
+    get_kernels,
+    resolve_backend,
+    set_active_backend,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_probe(monkeypatch):
+    """Each test resolves from a clean slate and unset env knobs."""
+    monkeypatch.delenv("SWDUAL_KERNEL_BACKEND", raising=False)
+    monkeypatch.delenv("SWDUAL_DISABLE_BACKENDS", raising=False)
+    clear_backend_cache()
+    yield
+    clear_backend_cache()
+
+
+class TestResolution:
+    def test_numpy_always_resolves_cleanly(self):
+        info = resolve_backend("numpy")
+        assert info.name == "numpy"
+        assert info.requested == "numpy"
+        assert not info.compiled
+        assert info.fallback_reason is None
+        assert info.version is None
+
+    def test_auto_resolves_to_a_known_tier(self):
+        info = resolve_backend("auto")
+        assert info.name in BACKEND_CHOICES
+        assert info.requested == "auto"
+        if info.name == "numpy":
+            # auto only lands on numpy when every compiled probe failed,
+            # and it must say why.
+            assert info.fallback_reason
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("avx512")
+
+    def test_spelling_normalised(self):
+        assert resolve_backend("  NumPy ").name == "numpy"
+
+    def test_env_var_sets_default_request(self, monkeypatch):
+        monkeypatch.setenv("SWDUAL_KERNEL_BACKEND", "numpy")
+        assert resolve_backend(None).requested == "numpy"
+
+    def test_empty_env_var_means_auto(self, monkeypatch):
+        monkeypatch.setenv("SWDUAL_KERNEL_BACKEND", "")
+        assert resolve_backend(None).requested == "auto"
+
+
+class TestForcedFallback:
+    def test_disable_env_forces_numpy_under_auto(self, monkeypatch):
+        monkeypatch.setenv("SWDUAL_DISABLE_BACKENDS", "numba,cc")
+        info = resolve_backend("auto")
+        assert info.name == "numpy"
+        assert "disabled via SWDUAL_DISABLE_BACKENDS" in info.fallback_reason
+
+    def test_explicit_request_still_falls_back_with_reason(self, monkeypatch):
+        """A pinned --kernel-backend never crashes the process; the
+        refusal is recorded, not raised."""
+        monkeypatch.setenv("SWDUAL_DISABLE_BACKENDS", "cc")
+        info = resolve_backend("cc")
+        assert info.name == "numpy"
+        assert info.requested == "cc"
+        assert "cc" in info.fallback_reason
+
+    def test_import_error_degrades_to_numpy(self, monkeypatch):
+        def broken_probe(tier):
+            raise ImportError(f"No module named {tier!r}")
+
+        monkeypatch.setattr(backend_mod, "_probe", broken_probe)
+        info = resolve_backend("auto")
+        assert info.name == "numpy"
+        assert "not importable" in info.fallback_reason
+
+    def test_selfcheck_failure_degrades_to_numpy(self, monkeypatch):
+        """A toolchain that imports but miscompiles must not be used."""
+
+        class Miscompiled:
+            name = "cc"
+            version = "bad 0.0"
+
+            def pair(self, q, d, scheme):
+                return -1  # wrong on purpose
+
+        monkeypatch.setattr(backend_mod, "_probe", lambda tier: Miscompiled())
+        info = resolve_backend("auto")
+        assert info.name == "numpy"
+        assert "self-check" in info.fallback_reason
+
+
+class TestMemoisation:
+    def test_same_request_is_cached(self):
+        assert resolve_backend("numpy") is resolve_backend("numpy")
+
+    def test_disabled_set_is_part_of_the_key(self, monkeypatch):
+        before = resolve_backend("auto")
+        monkeypatch.setenv("SWDUAL_DISABLE_BACKENDS", "numba,cc")
+        after = resolve_backend("auto")
+        assert after.name == "numpy"
+        assert after is not before or before.name == "numpy"
+
+
+class TestActiveBackend:
+    def test_default_resolves_lazily(self):
+        assert active_backend().name in BACKEND_CHOICES
+
+    def test_set_by_name_mimics_spawn_worker(self):
+        """Spawn workers receive a *name* and re-probe locally."""
+        info = set_active_backend("numpy")
+        assert info.name == "numpy"
+        assert active_backend() is info
+
+    def test_set_none_resets_to_env_default(self):
+        set_active_backend("numpy")
+        reset = set_active_backend(None)
+        assert reset.requested == "auto"
+
+
+class TestGetKernels:
+    def test_none_uses_process_active(self):
+        set_active_backend("numpy")
+        info, kernels = get_kernels(None)
+        assert info.name == "numpy"
+        assert kernels is None
+
+    def test_string_request(self):
+        info, kernels = get_kernels("numpy")
+        assert (info.name, kernels) == ("numpy", None)
+
+    def test_resolved_info_passthrough(self):
+        info = resolve_backend("auto")
+        info2, kernels = get_kernels(info)
+        assert info2 is info
+        assert (kernels is None) == (not info.compiled)
+
+    def test_compiled_info_survives_cache_clear(self):
+        """An info object that crossed a process boundary by name must
+        re-bind its adapter even if this process never probed."""
+        info = resolve_backend("auto")
+        if not info.compiled:
+            pytest.skip("no compiled tier on this machine")
+        clear_backend_cache()
+        _, kernels = get_kernels(KernelBackendInfo(name=info.name, requested="auto"))
+        assert kernels is not None
+
+
+class TestDescribe:
+    def test_plain(self):
+        assert KernelBackendInfo("numpy", "numpy").describe() == "numpy"
+
+    def test_version_and_fallback(self):
+        line = KernelBackendInfo(
+            "numpy", "numba", version=None, fallback_reason="numba: not importable"
+        ).describe()
+        assert line == "numpy [fallback: numba: not importable]"
+        line = KernelBackendInfo("cc", "auto", version="gcc 13").describe()
+        assert line == "cc (gcc 13)"
+
+
+class TestCcGapGuard:
+    """The C tier's per-rung wrap guard (``chunk_gaps_supported``)."""
+
+    def test_ordinary_schemes_supported_on_every_rung(self):
+        import numpy as np
+
+        from repro.align.compiled.cc_kernels import chunk_gaps_supported
+
+        for dtype in (np.int16, np.int32, np.int64):
+            assert chunk_gaps_supported(10, 1, dtype, -30)
+
+    def test_pathological_gaps_rejected_on_narrow_rung_only(self):
+        import numpy as np
+
+        from repro.align.compiled.cc_kernels import chunk_gaps_supported
+
+        huge = 32_000  # gs+ge wraps int16 but not int32
+        assert not chunk_gaps_supported(huge, huge, np.int16, -30)
+        assert chunk_gaps_supported(huge, huge, np.int32, -30)

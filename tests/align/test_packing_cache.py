@@ -37,14 +37,22 @@ def fresh_cache():
 
 class TestPackedMemo:
     def test_same_subjects_reuse_one_packing(self, subjects):
-        first = _packed_for(subjects, 2_000)
-        second = _packed_for(list(subjects), 2_000)
+        first = _packed_for(subjects, 2_000, "numpy")
+        second = _packed_for(list(subjects), 2_000, "numpy")
         assert second is first
         assert len(_PACKED_CACHE) == 1
 
     def test_chunk_cells_is_part_of_the_key(self, subjects):
-        a = _packed_for(subjects, 2_000)
-        b = _packed_for(subjects, 4_000)
+        a = _packed_for(subjects, 2_000, "numpy")
+        b = _packed_for(subjects, 4_000, "numpy")
+        assert a is not b
+        assert len(_PACKED_CACHE) == 2
+
+    def test_backend_is_part_of_the_key(self, subjects):
+        # Mirrors the PR 8 retarget-eviction fix: switching the kernel
+        # backend must not serve a packing primed under the old one.
+        a = _packed_for(subjects, 2_000, "numpy")
+        b = _packed_for(subjects, 2_000, "cc")
         assert a is not b
         assert len(_PACKED_CACHE) == 2
 
@@ -68,18 +76,18 @@ class TestPackedMemo:
         )
 
     def test_clear_hook(self, subjects):
-        _packed_for(subjects, 2_000)
+        _packed_for(subjects, 2_000, "numpy")
         assert _PACKED_CACHE
         clear_packed_cache()
         assert not _PACKED_CACHE
 
     def test_memo_is_bounded_lru(self, subjects):
         for i in range(12):
-            _packed_for(subjects, 1_000 + i)
+            _packed_for(subjects, 1_000 + i, "numpy")
         assert len(_PACKED_CACHE) == 8
         # Oldest entries were evicted, newest kept.
-        assert (tuple(subjects), 1_011) in _PACKED_CACHE
-        assert (tuple(subjects), 1_000) not in _PACKED_CACHE
+        assert (tuple(subjects), 1_011, "numpy") in _PACKED_CACHE
+        assert (tuple(subjects), 1_000, "numpy") not in _PACKED_CACHE
 
 
 @pytest.mark.skipif(not shm_available(), reason="POSIX shared memory unavailable")

@@ -13,6 +13,8 @@ approximation.
 import numpy as np
 import pytest
 
+from repro.align.backend import resolve_backend
+from repro.align.banded import sw_score_banded
 from repro.align.scoring import default_scheme
 from repro.align.sw_batch import (
     DTYPE_LADDER,
@@ -32,6 +34,26 @@ from repro.sequences.packed import PackedDatabase
 
 #: Small chunk budget so the packed paths exercise multi-chunk merging.
 CHUNK_CELLS = 1_500
+
+
+def _available_backends() -> list[str]:
+    """Every kernel tier this machine can actually run, numpy first.
+
+    The grid adapts to the container: a box with numba runs the numba
+    column, a box with only a C compiler runs the cc column, a bare box
+    still pins the numpy column.  A tier whose probe falls back is
+    simply absent — the fallback *behaviour* is covered in
+    ``tests/align/test_backend.py``.
+    """
+    names = ["numpy"]
+    for tier in ("numba", "cc"):
+        if resolve_backend(tier).name == tier:
+            names.append(tier)
+    return names
+
+
+BACKENDS = _available_backends()
+COMPILED = [b for b in BACKENDS if b != "numpy"]
 
 
 @pytest.fixture(scope="module")
@@ -120,3 +142,174 @@ class TestBatchKernels:
                 q, subjects, scheme, chunk_cells=CHUNK_CELLS, levels=levels
             )
             assert scores.tolist() == oracle[qi]
+
+
+class TestBackendGrid:
+    """Every available kernel tier × dtype rung × dispatch plane against
+    the same scalar oracle.
+
+    The compiled tiers (numba and/or cc, whatever this machine has)
+    must be *bit-identical* to the numpy kernels — same scores, same
+    ladder promotions, same banded early-termination point — so any
+    mix of tiers across a worker roster merges cleanly.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pairwise_matches_oracle(self, workload, scheme, oracle, backend):
+        db, queries = workload
+        for qi, q in enumerate(queries):
+            for si, s in enumerate(db):
+                assert sw_score_striped(q, s, scheme, backend=backend) == (
+                    oracle[qi][si]
+                )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_banded_exact_matches_oracle(self, workload, scheme, oracle, backend):
+        db, queries = workload
+        for qi, q in enumerate(queries):
+            for si, s in enumerate(db):
+                got = sw_score_banded(q, s, scheme, None, backend=backend)
+                assert got == oracle[qi][si]
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    def test_banded_zdrop_matches_numpy_rowforrow(self, workload, scheme, backend):
+        """With a band and z-drop, the score is a lower bound — the
+        conformance target is the numpy kernel's *exact* behaviour,
+        early termination included."""
+        db, queries = workload
+        for q in queries:
+            for s in db:
+                for bandwidth, zdrop in ((4, 10), (8, 25), (2, 0)):
+                    ref = sw_score_banded(
+                        q, s, scheme, bandwidth, zdrop=zdrop, backend="numpy"
+                    )
+                    got = sw_score_banded(
+                        q, s, scheme, bandwidth, zdrop=zdrop, backend=backend
+                    )
+                    assert got == ref
+
+    @pytest.mark.parametrize("level_index", range(len(DTYPE_LADDER)))
+    @pytest.mark.parametrize("backend", COMPILED)
+    def test_batch_every_rung(self, workload, scheme, oracle, backend, level_index):
+        db, queries = workload
+        subjects = list(db)
+        levels = DTYPE_LADDER[level_index:]
+        for qi, q in enumerate(queries):
+            scores = sw_score_batch(
+                q,
+                subjects,
+                scheme,
+                chunk_cells=CHUNK_CELLS,
+                levels=levels,
+                backend=backend,
+            )
+            assert scores.dtype == np.int64
+            assert scores.tolist() == oracle[qi]
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    def test_packed_chunk_dispatch(self, workload, scheme, oracle, backend):
+        """The chunk-range dispatch plane (what subtask stealing uses)
+        under a compiled tier: per-chunk partials merged by max."""
+        db, queries = workload
+        packed = PackedDatabase.from_database(db, chunk_cells=CHUNK_CELLS)
+        for qi, q in enumerate(queries):
+            merged = np.zeros(packed.num_sequences, dtype=np.int64)
+            for k, chunk in enumerate(packed.chunks):
+                part = sw_score_packed(
+                    q, packed, scheme, chunk_range=(k, k + 1), backend=backend
+                )
+                np.maximum.at(merged, chunk.indices, part)
+            assert merged.tolist() == oracle[qi]
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    def test_ladder_saturation_promotes_identically(self, scheme, backend):
+        """A workload that saturates int16 must promote through the
+        ladder to the same exact scores under every tier."""
+        from repro.sequences.alphabet import PROTEIN
+        from repro.sequences.sequence import Sequence
+
+        hot = Sequence.from_text("hot", "W" * 3500, alphabet=PROTEIN)
+        cold = list(small_database(num_sequences=6, mean_length=30, seed=9))
+        subjects = [hot, *cold]
+        exact = sw_score_batch(
+            hot, subjects, scheme, chunk_cells=4_000, levels=(DTYPE_LADDER[-1],)
+        )
+        assert exact.max() > np.iinfo(np.int16).max  # promotion is real
+        got = sw_score_batch(
+            hot, subjects, scheme, chunk_cells=4_000, backend=backend
+        )
+        assert got.tolist() == exact.tolist()
+
+
+class TestMixedBackendMerge:
+    """Chunk-steal merges across *different* tiers in one roster.
+
+    A stolen subtask may be rescored by a worker running a different
+    kernel tier than the one that scored the neighbouring chunks; the
+    partial-maxima merge is only sound because every tier is bit-exact.
+    """
+
+    @pytest.mark.skipif(not COMPILED, reason="no compiled tier on this machine")
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_stolen_chunks_scored_by_other_tier_merge_bitexact(
+        self, workload, scheme, oracle, seed
+    ):
+        from repro.engine.subtasks import ScoreMerger
+
+        db, queries = workload
+        packed = PackedDatabase.from_database(db, chunk_cells=CHUNK_CELLS)
+        rng = np.random.default_rng(seed)
+        tiers = ["numpy", *COMPILED]
+        merger = ScoreMerger(list(queries), packed, top_hits=8)
+        for qi, q in enumerate(queries):
+            order = list(range(len(packed.chunks)))
+            rng.shuffle(order)  # stolen = arbitrary completion order
+            done = False
+            for k in order:
+                tier = tiers[int(rng.integers(len(tiers)))]
+                part = sw_score_packed(
+                    q, packed, scheme, chunk_range=(k, k + 1), backend=tier
+                )
+                done = merger.add(qi, k, k + 1, part)
+            assert done
+            assert merger._scores[qi].tolist() == oracle[qi]
+
+    @pytest.mark.skipif(not COMPILED, reason="no compiled tier on this machine")
+    def test_mixed_tier_worker_roster_identical_report(self, workload, scheme):
+        """Two threaded workers pinned to different tiers produce the
+        same ranked hits as an all-numpy roster."""
+        db, queries = workload
+
+        def run(backends):
+            from repro.engine.master import Master
+            from repro.engine.worker import KernelWorker
+
+            packed = PackedDatabase.from_database(db, chunk_cells=CHUNK_CELLS)
+            master = Master(list(queries), policy="swdual")
+            for i, b in enumerate(backends):
+                master.register_worker(
+                    KernelWorker(
+                        name=f"cpu{i}",
+                        kind="cpu",
+                        database=db,
+                        scheme=scheme,
+                        packed=packed,
+                        top_hits=6,
+                        backend=b,
+                    )
+                )
+            return master.run()
+
+        mixed = run(["numpy", COMPILED[0]])
+        pure = run(["numpy", "numpy"])
+        ranked_mixed = {
+            r.query_id: [(h.subject_id, h.score) for h in r.hits]
+            for r in mixed.query_results
+        }
+        ranked_pure = {
+            r.query_id: [(h.subject_id, h.score) for h in r.hits]
+            for r in pure.query_results
+        }
+        assert ranked_mixed == ranked_pure
+        backends_seen = {w.backend for w in mixed.worker_stats}
+        assert backends_seen == {"numpy", COMPILED[0]}

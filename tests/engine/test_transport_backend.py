@@ -1,0 +1,129 @@
+"""Kernel-backend resolution across the process transport.
+
+Only the *requested* backend name crosses the spawn/pickle boundary;
+every worker process re-runs the capability probe locally and reports
+its own outcome in the register message.  These tests force divergent
+outcomes with ``SWDUAL_DISABLE_BACKENDS`` (env vars are inherited by
+worker processes, so the knob reaches where monkeypatching cannot) and
+check that mixed masters/workers still merge bit-identically.
+"""
+
+import pytest
+
+from repro.align.backend import clear_backend_cache, resolve_backend
+from repro.engine import ProcessWorkerPool, live_search, process_search
+from repro.sequences import small_database, standard_query_set
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=12, mean_length=50, seed=41)
+    queries = list(standard_query_set(count=3).scaled(0.01).materialize(seed=42))
+    return db, queries
+
+
+@pytest.fixture(autouse=True)
+def _fresh_probe(monkeypatch):
+    monkeypatch.delenv("SWDUAL_KERNEL_BACKEND", raising=False)
+    monkeypatch.delenv("SWDUAL_DISABLE_BACKENDS", raising=False)
+    clear_backend_cache()
+    yield
+    clear_backend_cache()
+
+
+def _hits(report):
+    return [
+        [(h.subject_id, h.score) for h in qr.hits] for qr in report.query_results
+    ]
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_workers_reprobe_after_spawn_and_report_fallback(
+    workload, monkeypatch, start_method
+):
+    """Children disabled down to numpy must say so in WorkerStats, even
+    when the master's own probe resolved a compiled tier."""
+    db, queries = workload
+    master_info = resolve_backend("auto")  # master-side outcome, any tier
+    monkeypatch.setenv("SWDUAL_DISABLE_BACKENDS", "numba,cc")
+    report = process_search(
+        queries,
+        db,
+        num_workers=2,
+        start_method=start_method,
+        kernel_backend="auto",
+    )
+    backends = {w.backend for w in report.worker_stats}
+    assert backends == {"numpy"}
+    # The forced-fallback run still matches the in-process engine.
+    del master_info  # outcome is irrelevant to correctness — that's the point
+    threaded = live_search(queries, db, num_cpu_workers=1, num_gpu_workers=0,
+                           top_hits=5, policy="self", backend="numpy")
+    assert _hits(report) == _hits(threaded)
+
+
+def test_workers_report_their_local_tier(workload):
+    """Without forcing, each process worker's register message carries
+    the tier its *own* probe picked — the same one the master resolves
+    for this machine (identical container, identical outcome)."""
+    db, queries = workload
+    expected = resolve_backend("auto").name
+    pool = ProcessWorkerPool(db, num_cpu_workers=2, kernel_backend="auto")
+    pool.start()
+    try:
+        assert set(pool.worker_backends) == {name for name, _ in pool.roster}
+        assert set(pool.worker_backends.values()) == {expected}
+        report = pool.run_batch(queries)
+        assert {w.backend for w in report.worker_stats} == {expected}
+    finally:
+        pool.close()
+
+
+def test_mixed_master_worker_tiers_merge_bitexact(workload, monkeypatch):
+    """A numpy-forced pool must return exactly what an unforced pool
+    returns: scores are backend-independent by the conformance grid, so
+    a heterogeneous fleet (master on one tier, workers on another) is
+    semantically invisible."""
+    db, queries = workload
+    monkeypatch.setenv("SWDUAL_DISABLE_BACKENDS", "numba,cc")
+    forced = process_search(queries, db, num_workers=2, kernel_backend="auto")
+    monkeypatch.delenv("SWDUAL_DISABLE_BACKENDS")
+    unforced = process_search(queries, db, num_workers=2, kernel_backend="auto")
+    assert _hits(forced) == _hits(unforced)
+
+
+def test_data_planes_identical_across_tiers(workload, monkeypatch):
+    """shm-attached and pickled-copy workers, compiled and forced-numpy
+    tiers: four corners, one answer.  The compiled chunk kernels read
+    attached SharedArena views in place, so zero-copy must not change a
+    single score."""
+    from repro.sequences.shm import shm_available
+
+    if not shm_available():
+        pytest.skip("no POSIX shared memory on this platform")
+    db, queries = workload
+    corners = []
+    for plane in ("shm", "pickle"):
+        for disable in ("", "numba,cc"):
+            if disable:
+                monkeypatch.setenv("SWDUAL_DISABLE_BACKENDS", disable)
+            else:
+                monkeypatch.delenv("SWDUAL_DISABLE_BACKENDS", raising=False)
+            report = process_search(
+                queries, db, num_workers=2, data_plane=plane,
+                dispatch="chunk", kernel_backend="auto",
+            )
+            corners.append(_hits(report))
+    assert all(c == corners[0] for c in corners[1:])
+
+
+def test_requested_name_not_resolved_object_is_shipped(workload):
+    """The pool ships the requested *name*; pinning numpy on the master
+    pins every worker regardless of what the machine could run."""
+    db, queries = workload
+    pool = ProcessWorkerPool(db, num_cpu_workers=1, kernel_backend="numpy")
+    pool.start()
+    try:
+        assert set(pool.worker_backends.values()) == {"numpy"}
+    finally:
+        pool.close()

@@ -4,6 +4,7 @@ service under deterministic backpressure."""
 
 import random
 import threading
+import time
 
 import pytest
 
@@ -137,6 +138,14 @@ class TestRunWithRetry:
         assert len(attempts) == 1
 
 
+def _wait_until(condition, timeout_s: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not condition():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached within timeout")
+        time.sleep(0.005)
+
+
 class TestClientIntegration:
     def test_backpressure_is_retried_to_success(self):
         """Hold the scheduler so the bounded queue rejects, then let a
@@ -151,11 +160,22 @@ class TestClientIntegration:
         try:
             service.hold()
             with SearchClient("127.0.0.1", service.port, timeout=30.0) as filler:
-                # One query may sit in the parked scheduler's hand and
-                # one in the queue; the rest guarantee a full queue.
-                n = 4
-                for i in range(n):
-                    filler.submit(queries[i % len(queries)], id=f"f{i}", top=3)
+                # Submits are fire-and-forget and the held scheduler
+                # still makes exactly one pull before parking at the
+                # gate, so blindly submitting a burst races: the pull
+                # may drain the queue *after* the burst was admitted,
+                # leaving room for the query that must bounce.  Drive
+                # the service into its stable held state by observing
+                # it instead: one query pulled into the scheduler's
+                # hand, then one parked in the (now immovable) queue.
+                n = 2
+                filler.submit(queries[0], id="f0", top=3)
+                _wait_until(
+                    lambda: service.stats.snapshot()["requests"]["received"] >= 1
+                    and service._queue.empty()
+                )
+                filler.submit(queries[1], id="f1", top=3)
+                _wait_until(lambda: service._queue.full())
 
                 with SearchClient("127.0.0.1", service.port, timeout=30.0) as c:
                     bounced = c.query(queries[1], top=3)
