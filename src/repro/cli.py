@@ -292,6 +292,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--port", type=int, default=7731)
     p_stats.add_argument("--json", action="store_true", help="emit raw JSON")
 
+    p_db = sub.add_parser(
+        "db", help="administer a running service's live database"
+    )
+    db_sub = p_db.add_subparsers(dest="db_command", required=True)
+
+    p_dappend = db_sub.add_parser(
+        "append",
+        help="append FASTA sequences to the live database "
+        "(atomic generation swap, no restart)",
+    )
+    p_dappend.add_argument("sequences", help="FASTA file of sequences to append")
+    p_dappend.add_argument("--host", default="127.0.0.1")
+    p_dappend.add_argument("--port", type=int, default=7731)
+    p_dappend.add_argument(
+        "--json", action="store_true", help="emit the db_info answer as JSON"
+    )
+
+    p_dretire = db_sub.add_parser(
+        "retire", help="retire sequences from the live database by id"
+    )
+    p_dretire.add_argument("ids", nargs="+", help="sequence id(s) to retire")
+    p_dretire.add_argument("--host", default="127.0.0.1")
+    p_dretire.add_argument("--port", type=int, default=7731)
+    p_dretire.add_argument(
+        "--json", action="store_true", help="emit the db_info answer as JSON"
+    )
+
+    p_dinfo = db_sub.add_parser(
+        "info", help="show the database generation a service is serving"
+    )
+    p_dinfo.add_argument("--host", default="127.0.0.1")
+    p_dinfo.add_argument("--port", type=int, default=7731)
+    p_dinfo.add_argument("--json", action="store_true", help="emit raw JSON")
+
     p_cluster = sub.add_parser(
         "cluster",
         help="scatter-gather router over sharded search services",
@@ -1029,6 +1063,51 @@ def _cmd_query(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_db(args) -> int:
+    import json as json_mod
+
+    from repro.service import SearchClient
+
+    records = None
+    if args.db_command == "append":
+        from repro.sequences import read_fasta
+
+        records = read_fasta(args.sequences)
+        if not records:
+            print("error: no records found", file=sys.stderr)
+            return 1
+    with SearchClient(args.host, args.port) as client:
+        if args.db_command == "append":
+            answer = client.db_append(records)
+        elif args.db_command == "retire":
+            answer = client.db_retire(args.ids)
+        else:
+            answer = {"type": "db_info", "generation": client.db_info()}
+    if args.json:
+        print(json_mod.dumps(answer))
+        return 0 if answer.get("type") == "db_info" else 1
+    if answer.get("type") != "db_info":
+        print(f"error: {answer.get('reason', answer)}", file=sys.stderr)
+        return 1
+    gen = answer["generation"]
+    mutation = ""
+    if gen.get("appended"):
+        mutation = f" (+{gen['appended']} appended)"
+    elif gen.get("retired"):
+        mutation = f" (-{gen['retired']} retired)"
+    print(
+        f"generation {gen['ordinal']}{mutation}: "
+        f"{gen['num_sequences']} sequences, {gen['total_residues']} residues "
+        f"[{gen['name']} @ {gen['fingerprint'][:12]}]"
+    )
+    if answer.get("swapped"):
+        print(
+            "swap applied atomically; queries admitted before it "
+            "completed on the previous generation"
+        )
+    return 0
+
+
 def _cmd_stats(args) -> int:
     import json as json_mod
 
@@ -1052,6 +1131,15 @@ def _cmd_stats(args) -> int:
         if kb.get("fallback_reason"):
             line += f" [fallback: {kb['fallback_reason']}]"
         print(f"kernel backend: {line} (requested {kb['requested']})")
+    dbinfo = snapshot.get("database")
+    if dbinfo:
+        print(
+            f"database: generation {dbinfo['ordinal']} "
+            f"({dbinfo['num_sequences']} sequences, "
+            f"{dbinfo['total_residues']} residues, "
+            f"{dbinfo.get('swaps', 0)} live swaps) "
+            f"[{dbinfo['name']} @ {dbinfo['fingerprint'][:12]}]"
+        )
     lat = snapshot["latency"]
     wait = snapshot["queue_wait"]
     print(
@@ -1405,6 +1493,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "query": _cmd_query,
     "stats": _cmd_stats,
+    "db": _cmd_db,
     "cluster": _cmd_cluster,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,

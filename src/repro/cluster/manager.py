@@ -151,6 +151,9 @@ class ShardManager:
         # the same shard (which then leaks and outlives the manager).
         self._op_lock = threading.Lock()
         self._shards: dict[str, _ManagedShard] = {}
+        #: Database generation the owned shards serve; bumped by each
+        #: completed :meth:`rollout_database` (0 = the start-up cut).
+        self.generation = 0
         self._on_change = None
         self._stopping = threading.Event()
         self._supervisor: threading.Thread | None = None
@@ -380,6 +383,58 @@ class ShardManager:
             else:  # pragma: no cover - settle timeout
                 raise RuntimeError(f"{name} did not settle after rolling restart")
 
+    def rollout_database(
+        self, database: SequenceDatabase, settle_timeout_s: float = 30.0
+    ) -> int:
+        """Roll every owned shard onto a new database generation,
+        drain-first and one shard at a time.
+
+        The new *database* is re-cut into the existing shard count with
+        the same residue-balanced partitioner used at start-up
+        (:func:`~repro.engine.sharded.shard_database`), each shard's
+        parent-side copy is swapped to its new cut, and the shards are
+        then restarted in order — drain via the protocol's ``shutdown``
+        verb, spawn warm on the new cut, wait for ``ping`` — so the
+        cluster serves throughout and never loses more than one shard
+        of capacity.  Queries racing the rollout may see a mix of
+        generations across shards until the last shard settles (the
+        same partial-result contract as a shard failure).
+
+        Requires the new database to still fill the existing shard
+        count (the router's scatter set is fixed).  Returns the new
+        generation ordinal, also surfaced per shard in
+        :meth:`snapshot`.
+        """
+        with self._lock:
+            owned = [s for s in self._shards.values() if s.owned]
+        if not owned:
+            raise ValueError(
+                "no owned shards: adopted shards roll out where they run"
+            )
+        if clamp_shard_count(database, len(owned)) != len(owned):
+            raise ValueError(
+                f"database with {len(database)} sequence(s) cannot fill "
+                f"{len(owned)} shard(s)"
+            )
+        cuts = shard_database(database, len(owned))
+        with self._lock:
+            for shard, cut in zip(owned, cuts):
+                shard.database = cut  # picked up by the shard's respawn
+        for shard in owned:
+            endpoint = self.restart_shard(shard.name, drain=True)
+            deadline = time.monotonic() + settle_timeout_s
+            while time.monotonic() < deadline:
+                if self._ping(endpoint):
+                    break
+                time.sleep(0.05)
+            else:  # pragma: no cover - settle timeout
+                raise RuntimeError(
+                    f"{shard.name} did not settle during database rollout"
+                )
+        with self._lock:
+            self.generation += 1
+            return self.generation
+
     # -- test / drill hooks --------------------------------------------
 
     def pid(self, name: str) -> int | None:
@@ -425,6 +480,7 @@ class ShardManager:
                     "owned": shard.owned,
                     "state": shard.state,
                     "restarts": shard.restarts,
+                    "generation": self.generation if shard.owned else None,
                     "pid": shard.process.pid if shard.process is not None else None,
                 }
                 for name, shard in self._shards.items()

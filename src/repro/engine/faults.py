@@ -377,6 +377,7 @@ RECOVERY_KINDS = (
     "retry",
     "quarantine",
     "reallocate",
+    "db_retarget",
 )
 
 

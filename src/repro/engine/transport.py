@@ -405,6 +405,43 @@ def _worker_main(
                 None if config is None else PipelineConfig.from_dict(config)
             )
             continue
+        if tag == "retarget_db":
+            # Generation swap: attach/pack the new database, then drop
+            # the old mapping.  The new state is fully built before the
+            # old one is released, so a failure leaves the worker on
+            # the old generation — it reports the failure and the
+            # master retires it from the roster (its view of the data
+            # would otherwise diverge from the pool's).
+            new_payload = message[1]
+            drop_batch()
+            retarget_start = tracing.clock()
+            try:
+                if new_payload[0] == "shm":
+                    from repro.sequences.shm import attach_packed
+
+                    new_untrack = new_payload[2]
+                    new_arena, new_packed = attach_packed(
+                        new_payload[1], unregister=new_untrack
+                    )
+                    new_subject_ids = list(new_payload[1]["subject_ids"])
+                else:
+                    sequences = new_payload[1]
+                    new_packed = PackedDatabase(
+                        list(sequences), chunk_cells=chunk_cells, name=new_payload[2]
+                    )
+                    new_subject_ids = [s.id for s in sequences]
+                    new_arena, new_untrack = None, untrack
+            except Exception as exc:
+                send(("retarget_failed", name, f"{type(exc).__name__}: {exc}"))
+                continue
+            if arena is not None:
+                arena.close()
+            arena, packed, untrack = new_arena, new_packed, new_untrack
+            subject_ids = new_subject_ids
+            total_residues = packed.total_residues
+            chunk_residues = [c.residues for c in packed.chunks]
+            send(("retargeted", name, tracing.clock() - retarget_start))
+            continue
         if tag == "batch":
             _, batch, qp_manifest = message
             drop_batch()
@@ -894,6 +931,139 @@ class ProcessWorkerPool:
                         self._dead.add(i)
         finally:
             self._terminate_all()
+
+    # -- generation swap -----------------------------------------------
+
+    def retarget_database(self, database: SequenceDatabase, packed=None) -> float:
+        """Atomically move the warm pool onto a new database generation.
+
+        The new generation is fully materialised first — packed with
+        the pool's chunk geometry and, on the shm plane, copied into a
+        *fresh* shared segment — then every live worker is told to
+        re-attach with a ``retarget_db`` control message.  The old
+        generation's arena is wrapped in a
+        :class:`~repro.sequences.mutate_db.GenerationHandle` holding
+        one reference per worker plus the master's base reference;
+        each acknowledgement (or worker loss — a dead process's
+        mapping died with it) releases one, so the segment is unlinked
+        exactly when nobody can still be reading it: no torn reads,
+        and no ``/dev/shm`` leak even when a worker is SIGKILLed
+        mid-swap.
+
+        Callers serialise this against :meth:`run_batch` (the service
+        pool holds its batch lock across both), so no task is in
+        flight while workers re-attach.  A worker that fails or times
+        out re-attaching is removed from the roster exactly like a
+        mid-batch death; losing the *last* worker breaks the pool and
+        raises :class:`~repro.engine.faults.AllWorkersDeadError`.
+
+        *packed* optionally supplies a pre-built
+        :class:`~repro.sequences.packed.PackedDatabase` (it must use
+        the pool's ``chunk_cells``).  Returns the swap's wall seconds.
+        """
+        from repro.sequences.mutate_db import GenerationHandle
+
+        if not self._started:
+            raise ProtocolError("pool not started")
+        if self._closed or self._broken:
+            raise ProtocolError("pool is closed")
+        if not self.alive:
+            raise AllWorkersDeadError(0)
+        start = tracing.clock()
+        new_packed = (
+            packed
+            if packed is not None
+            else PackedDatabase.from_database(database, chunk_cells=self.chunk_cells)
+        )
+        if self.data_plane == "shm":
+            from repro.sequences.shm import share_packed
+
+            new_arena = share_packed(new_packed)
+            payload = ("shm", new_arena.manifest, False)
+        else:
+            new_arena = None
+            payload = ("pickle", list(database), database.name)
+
+        # From here on the pool *is* the new generation; the handle
+        # keeps the old arena alive until every worker has moved off it.
+        old_gen = GenerationHandle(self._arena)
+        self._arena = new_arena
+        self._packed = new_packed
+        self.database = database
+        # Residency is keyed to the old chunk geometry; a stale map
+        # would bias placement toward chunks that no longer exist.
+        self._affinity_tracker = None
+
+        pending: set[int] = set()
+        for i in self.alive:
+            old_gen.acquire()
+            try:
+                self._pipes[i].send(("retarget_db", payload))
+                pending.add(i)
+            except (OSError, BrokenPipeError):
+                self._lose_worker(i, "pipe closed during database retarget")
+                old_gen.release()
+        try:
+            deadline = tracing.clock() + max(self.register_timeout, self.heartbeat_timeout)
+            while pending:
+                progressed = False
+                for i in sorted(pending):
+                    conn = self._pipes[i]
+                    try:
+                        if not conn.poll(0.05):
+                            if not self._processes[i].is_alive():
+                                raise EOFError("process died during retarget")
+                            continue
+                        message = conn.recv()
+                    except (OSError, EOFError):
+                        self._lose_worker(i, "died during database retarget")
+                        pending.discard(i)
+                        old_gen.release()
+                        progressed = True
+                        continue
+                    tag = message[0]
+                    if tag == "hb":
+                        progressed = True
+                        continue
+                    if tag in ("done", "part", "fail"):
+                        # Stale result from a task withdrawn at the end
+                        # of the previous batch; the batch already
+                        # accounted for it.
+                        progressed = True
+                        continue
+                    if tag == "retargeted":
+                        _, wname, setup_seconds = message
+                        self.setup_seconds[wname] = setup_seconds
+                        if self.data_plane == "shm":
+                            self._metric_attach.observe(setup_seconds)
+                        pending.discard(i)
+                        old_gen.release()
+                        progressed = True
+                        continue
+                    reason = (
+                        f"retarget failed: {message[2]}"
+                        if tag == "retarget_failed"
+                        else f"unexpected {tag!r} during retarget"
+                    )
+                    self._lose_worker(i, reason)
+                    pending.discard(i)
+                    old_gen.release()
+                    progressed = True
+                if not progressed and tracing.clock() > deadline:
+                    for i in sorted(pending):
+                        self._lose_worker(i, "timed out during database retarget")
+                        old_gen.release()
+                    pending.clear()
+        finally:
+            old_gen.release()  # the master's base reference
+        if not self.alive:
+            self._broken = True
+            self._terminate_all()
+            raise AllWorkersDeadError(0)
+        self.recovery.record(
+            "db_retarget", detail=f"{database.name}:{len(database)}seqs"
+        )
+        return tracing.clock() - start
 
     # -- execution -----------------------------------------------------
 

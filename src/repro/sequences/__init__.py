@@ -31,6 +31,14 @@ from repro.sequences.synthetic import (
     small_database,
 )
 from repro.sequences.mutate import homolog_family, mutate, plant_homologs
+from repro.sequences.mutate_db import (
+    DatabaseGeneration,
+    GenerationHandle,
+    GenerationInfo,
+    MutationError,
+    apply_append,
+    apply_retire,
+)
 from repro.sequences.seqstats import (
     composition,
     database_composition,
@@ -87,6 +95,12 @@ __all__ = [
     "length_histogram",
     "homolog_family",
     "plant_homologs",
+    "DatabaseGeneration",
+    "GenerationHandle",
+    "GenerationInfo",
+    "MutationError",
+    "apply_append",
+    "apply_retire",
     "QuerySet",
     "PAPER_QUERY_COUNT",
     "standard_query_set",

@@ -1,0 +1,273 @@
+"""Generation-versioned mutable databases.
+
+The engine packs a database once and keeps it resident — in thread
+workers, in worker *processes*, and (on the shm data plane) in one
+shared-memory segment the whole pool maps.  That residency is why the
+service is fast, and also why it could not take a database update
+without a restart: every copy, cache, and calibration is keyed to the
+content that was packed at start-up.
+
+This module is the versioning layer that makes updates safe:
+
+* :func:`apply_append` / :func:`apply_retire` — the only two mutations,
+  both *pure*: they build a *new* :class:`SequenceDatabase` and never
+  touch the old one.  Appends go to the end, retires preserve order, so
+  a database reached through any interleaving of mutations is
+  element-for-element identical to one built directly from the final
+  sequence list — the invariant the swap-conformance suite pins down.
+* :class:`DatabaseGeneration` — an immutable (database, ordinal) pair.
+  Each mutation returns the next generation; the ordinal is the version
+  number operators see in ``db_info`` / ``swdual_db_generation``.
+* :class:`GenerationHandle` — a refcounted tie of one generation's
+  shared arena to its users.  The swap protocol acquires one reference
+  per attached worker before retargeting and releases as each worker
+  acknowledges (or dies); the arena is closed — and, for the owner,
+  unlinked — only at refcount zero.  No torn reads (nobody unmaps a
+  segment a worker may still be scoring from) and no ``/dev/shm``
+  leaks (the master's base reference is always released, even when a
+  worker was SIGKILLed mid-swap).
+
+The swap itself — draining in-flight queries on the old generation and
+atomically pointing warm pools at the new one — lives with the pools
+(:meth:`repro.engine.transport.ProcessWorkerPool.retarget_database`,
+:meth:`repro.service.pool.WarmPool.retarget_database`) and the service
+scheduler (:mod:`repro.service.server`); this module only defines what
+a generation *is* and when its arena may die.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+from dataclasses import asdict, dataclass
+
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.sequence import Sequence
+
+__all__ = [
+    "DatabaseGeneration",
+    "GenerationHandle",
+    "GenerationInfo",
+    "MutationError",
+    "apply_append",
+    "apply_retire",
+]
+
+
+class MutationError(ValueError):
+    """A database mutation that cannot be applied (unknown id on
+    retire, duplicate id on append, alphabet mismatch, empty result)."""
+
+
+@dataclass(frozen=True)
+class GenerationInfo:
+    """JSON-able identity of one database generation.
+
+    ``fingerprint`` is the content hash
+    (:meth:`~repro.sequences.database.SequenceDatabase.fingerprint`) —
+    two services whose info carries the same fingerprint serve
+    bit-identical databases, whatever mutation path led there.
+    ``appended``/``retired`` count the records of the mutation that
+    *produced* this generation (both 0 for generation 0).
+    """
+
+    ordinal: int
+    name: str
+    num_sequences: int
+    total_residues: int
+    fingerprint: str
+    appended: int = 0
+    retired: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GenerationInfo":
+        return cls(
+            ordinal=int(data["ordinal"]),
+            name=str(data["name"]),
+            num_sequences=int(data["num_sequences"]),
+            total_residues=int(data["total_residues"]),
+            fingerprint=str(data["fingerprint"]),
+            appended=int(data.get("appended", 0)),
+            retired=int(data.get("retired", 0)),
+        )
+
+
+def apply_append(
+    database: SequenceDatabase,
+    sequences: Iterable[Sequence],
+    name: str | None = None,
+) -> SequenceDatabase:
+    """A new database: *database*'s records plus *sequences* at the end.
+
+    Ids must be new (an existing id would make a later retire
+    ambiguous) and unique within the appended batch; alphabets must
+    match — the :class:`SequenceDatabase` constructor enforces the
+    latter, this function turns both into :class:`MutationError` so
+    admin surfaces can answer a clean protocol error.
+    """
+    additions = list(sequences)
+    if not additions:
+        raise MutationError("append needs at least one sequence")
+    existing = {s.id for s in database}
+    seen: set[str] = set()
+    for s in additions:
+        if s.id in existing:
+            raise MutationError(f"sequence id {s.id!r} already in the database")
+        if s.id in seen:
+            raise MutationError(f"duplicate sequence id {s.id!r} in append batch")
+        seen.add(s.id)
+    try:
+        return SequenceDatabase(
+            name or database.name, list(database) + additions
+        )
+    except ValueError as exc:  # alphabet mismatch
+        raise MutationError(str(exc)) from exc
+
+
+def apply_retire(
+    database: SequenceDatabase,
+    ids: Iterable[str],
+    name: str | None = None,
+) -> SequenceDatabase:
+    """A new database: *database*'s records minus the named ids, order
+    preserved.
+
+    Every id must exist, and at least one record must survive (an
+    empty :class:`SequenceDatabase` is invalid — retire everything by
+    tearing the service down instead).
+    """
+    victims = set(ids)
+    if not victims:
+        raise MutationError("retire needs at least one sequence id")
+    present = {s.id for s in database}
+    missing = sorted(victims - present)
+    if missing:
+        raise MutationError(f"cannot retire unknown sequence id(s): {missing}")
+    survivors = [s for s in database if s.id not in victims]
+    if not survivors:
+        raise MutationError("retire would leave the database empty")
+    return SequenceDatabase(name or database.name, survivors)
+
+
+class DatabaseGeneration:
+    """One immutable generation of a served database.
+
+    ``append``/``retire`` return the *next* generation (ordinal + 1)
+    without touching this one, so a service can keep queries draining
+    on the current generation while the successor is packed and shared.
+    """
+
+    __slots__ = ("database", "ordinal", "_appended", "_retired")
+
+    def __init__(
+        self,
+        database: SequenceDatabase,
+        ordinal: int = 0,
+        appended: int = 0,
+        retired: int = 0,
+    ):
+        if ordinal < 0:
+            raise ValueError(f"ordinal must be >= 0, got {ordinal}")
+        self.database = database
+        self.ordinal = ordinal
+        self._appended = appended
+        self._retired = retired
+
+    def info(self) -> GenerationInfo:
+        """Identity + provenance of this generation."""
+        return GenerationInfo(
+            ordinal=self.ordinal,
+            name=self.database.name,
+            num_sequences=len(self.database),
+            total_residues=self.database.total_residues,
+            fingerprint=self.database.fingerprint(),
+            appended=self._appended,
+            retired=self._retired,
+        )
+
+    def append(self, sequences: Iterable[Sequence]) -> "DatabaseGeneration":
+        """Next generation with *sequences* appended."""
+        additions = list(sequences)
+        return DatabaseGeneration(
+            apply_append(self.database, additions),
+            ordinal=self.ordinal + 1,
+            appended=len(additions),
+        )
+
+    def retire(self, ids: Iterable[str]) -> "DatabaseGeneration":
+        """Next generation with the named ids retired."""
+        victims = list(ids)
+        return DatabaseGeneration(
+            apply_retire(self.database, victims),
+            ordinal=self.ordinal + 1,
+            retired=len(victims),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DatabaseGeneration(#{self.ordinal}, {self.database.name!r}, "
+            f"n={len(self.database)})"
+        )
+
+
+class GenerationHandle:
+    """Refcounted lifetime of one generation's shared arena.
+
+    Created holding one *base* reference (the pool's own).  The swap
+    protocol acquires one reference per worker still attached to the
+    old generation and releases as each worker acknowledges the
+    retarget — or is lost mid-swap; a dead process's mapping dies with
+    it, so its reference must be dropped either way.  When the count
+    reaches zero the arena is closed, which for the owning side unlinks
+    the ``/dev/shm`` segment.  ``arena=None`` (the pickle plane, or a
+    threads pool) degrades to pure reference counting — useful for the
+    same drain bookkeeping without a segment to free.
+
+    Releasing below zero raises: that is always a protocol bug, and
+    silently absorbing it would hide double-release leaks.
+    """
+
+    __slots__ = ("_arena", "_count", "_lock")
+
+    def __init__(self, arena=None):
+        self._arena = arena
+        self._count = 1
+        self._lock = threading.Lock()
+
+    @property
+    def refcount(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def finalized(self) -> bool:
+        """Whether the count hit zero (and any arena was closed)."""
+        with self._lock:
+            return self._count == 0
+
+    def acquire(self) -> int:
+        """Add one reference; returns the new count."""
+        with self._lock:
+            if self._count == 0:
+                raise ValueError("generation already finalized")
+            self._count += 1
+            return self._count
+
+    def release(self) -> int:
+        """Drop one reference; at zero, close (owner: unlink) the
+        arena.  Returns the new count."""
+        with self._lock:
+            if self._count == 0:
+                raise ValueError("generation released more times than acquired")
+            self._count -= 1
+            count = self._count
+            arena, self._arena = (self._arena, None) if count == 0 else (None, self._arena)
+        if arena is not None:
+            arena.close()
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GenerationHandle(refs={self.refcount}, arena={self._arena!r})"

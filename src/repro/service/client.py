@@ -235,3 +235,37 @@ class SearchClient:
         """Ask the server to drain and exit (waits for its ``bye``)."""
         self._send({"verb": "shutdown"})
         self._next_of_types(("bye",))
+
+    # -- live database administration ----------------------------------
+
+    def db_append(self, sequences: "list[Sequence | tuple[str, str]]") -> dict:
+        """Append sequences to the live database; blocks until the new
+        generation is serving.
+
+        *sequences* are :class:`~repro.sequences.sequence.Sequence`
+        objects or ``(id, residues)`` pairs.  Returns the ``db_info``
+        message for the generation now serving (``"swapped": true``);
+        raises :class:`ServiceUnavailable` never — a mutation the
+        database cannot take comes back as an ``error`` message.
+        """
+        pairs = [
+            (s.id, s.text) if isinstance(s, Sequence) else (str(s[0]), str(s[1]))
+            for s in sequences
+        ]
+        self._send(protocol.db_append_request(pairs))
+        return self._next_of_types(("db_info", "error"))
+
+    def db_retire(self, ids: list[str]) -> dict:
+        """Retire sequences from the live database by id; blocks until
+        the new generation is serving.  Returns the ``db_info`` (or
+        ``error``) message."""
+        self._send(protocol.db_retire_request(list(ids)))
+        return self._next_of_types(("db_info", "error"))
+
+    def db_info(self) -> dict:
+        """The generation currently serving (``GenerationInfo`` dict)."""
+        self._send(protocol.db_info_request())
+        message = self._next_of_types(("db_info", "error"))
+        if message.get("type") == "error":  # pragma: no cover - defensive
+            raise ServiceUnavailable(message.get("reason", "db_info failed"))
+        return message["generation"]

@@ -396,6 +396,85 @@ class WarmPool:
                 self._auto_rates = True
         return True
 
+    def retarget_database(self, database: SequenceDatabase) -> float:
+        """Move the warm pool onto a new database generation.
+
+        The swap holds the batch lock, so it happens strictly *between*
+        batches — a running batch drains on the old generation first,
+        and every batch admitted after this returns runs on the new
+        one.  Every database-keyed memo dies with the old generation:
+        the :func:`~repro.engine.search.calibrate_live` entry (keyed by
+        database fingerprint), the backend-keyed packed/profile caches
+        in :mod:`repro.align.sw_batch`, the pipeline k-mer LRU, the
+        process pool's chunk-residency
+        :class:`~repro.sched.affinity.AffinityTracker`, and any rates
+        this pool auto-calibrated (operator-supplied rates survive —
+        they describe the hardware, not the data; with
+        ``calibrate=True`` the pool re-measures against the new
+        generation before returning).
+
+        Processes backend: delegates the worker re-attach to
+        :meth:`~repro.engine.transport.ProcessWorkerPool.retarget_database`
+        (fresh shared segment, refcounted old-arena finalization).
+        Threads backend: re-packs and rebuilds the
+        :class:`~repro.engine.worker.KernelWorker` ring around the new
+        packed database.  Returns the swap's wall seconds.
+        """
+        from repro.align.pipeline import clear_kmer_cache
+        from repro.align.sw_batch import clear_packed_cache, clear_profile_cache
+
+        if self._closed:
+            raise ProtocolError("pool is closed")
+        if not self._started:
+            # Not warm yet: start() will pack whatever is current.
+            self.database = database
+            return 0.0
+        start = tracing.clock()
+        with self._batch_lock:
+            invalidate_calibration(
+                self.database,
+                self.scheme,
+                chunk_cells=self.chunk_cells,
+                backend=self.kernel_backend_info,
+            )
+            clear_packed_cache()
+            clear_profile_cache()
+            clear_kmer_cache()
+            if self._auto_rates:
+                self.measured_gcups = None
+                self._auto_rates = False
+            if self.backend == "processes":
+                self._proc_pool.retarget_database(database)
+                self.database = database
+                packed = None
+            else:
+                packed = PackedDatabase.from_database(
+                    database, chunk_cells=self.chunk_cells
+                )
+                self.database = database
+                self._workers = [
+                    KernelWorker(
+                        name=name,
+                        kind=kind,
+                        database=database,
+                        scheme=self.scheme,
+                        packed=packed,
+                        top_hits=self.top_hits,
+                        backend=self.kernel_backend_info,
+                    )
+                    for name, kind in self.roster
+                ]
+            if self.calibrate and self.measured_gcups is None:
+                self.measured_gcups = calibrate_live(
+                    database,
+                    self.scheme,
+                    chunk_cells=self.chunk_cells,
+                    packed=packed,
+                    backend=self.kernel_backend_info,
+                )
+                self._auto_rates = True
+        return tracing.clock() - start
+
     # -- execution -----------------------------------------------------
 
     #: Sentinel distinguishing "use the pool default" from an explicit

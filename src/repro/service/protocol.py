@@ -27,6 +27,16 @@ Client → server requests carry a ``verb``:
     ``{"verb": "ping"}`` — liveness probe.
 ``shutdown``
     ``{"verb": "shutdown"}`` — ask the server to drain and exit.
+``db_append`` / ``db_retire`` / ``db_info``
+    Live database administration.  ``db_append`` carries
+    ``"sequences": [{"id": ..., "sequence": ...}, ...]``, ``db_retire``
+    carries ``"ids": [...]``; both swap the service onto a new database
+    generation (queries admitted before the swap complete on the old
+    one) and answer a ``db_info`` line describing the generation now
+    serving, with ``"swapped": true``.  ``db_info`` alone just reports
+    the current generation.  A mutation the database cannot take
+    (unknown id, duplicate id, alphabet mismatch) answers an ``error``
+    line and leaves the service untouched.
 
 Server → client responses carry a ``type``; see the ``*_response``
 helpers below for the exact shapes.  Responses to ``query`` stream
@@ -50,6 +60,10 @@ __all__ = [
     "RESPONSE_TYPES",
     "WireError",
     "bye_response",
+    "db_append_request",
+    "db_info_request",
+    "db_info_response",
+    "db_retire_request",
     "decode_message",
     "encode_message",
     "error_response",
@@ -71,7 +85,16 @@ MAX_LINE_BYTES = 4 * 1024 * 1024
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Verbs a client may send.
-REQUEST_VERBS = ("query", "stats", "metrics", "ping", "shutdown")
+REQUEST_VERBS = (
+    "query",
+    "stats",
+    "metrics",
+    "ping",
+    "shutdown",
+    "db_append",
+    "db_retire",
+    "db_info",
+)
 
 #: Types a server may answer with.  ``partial`` is only emitted by the
 #: cluster router, and only to clients that asked for streaming
@@ -85,6 +108,7 @@ RESPONSE_TYPES = (
     "metrics",
     "pong",
     "bye",
+    "db_info",
 )
 
 
@@ -250,6 +274,36 @@ def stats_response(snapshot: dict) -> dict:
 def metrics_response(text: str) -> dict:
     """Prometheus text exposition, carried as one JSON string field."""
     return {"type": "metrics", "content_type": PROMETHEUS_CONTENT_TYPE, "body": text}
+
+
+def db_append_request(sequences: list[tuple[str, str]]) -> dict:
+    """Build a ``db_append`` request from ``(id, residues)`` pairs."""
+    return {
+        "verb": "db_append",
+        "sequences": [{"id": sid, "sequence": text} for sid, text in sequences],
+    }
+
+
+def db_retire_request(ids: list[str]) -> dict:
+    """Build a ``db_retire`` request naming the sequence ids to drop."""
+    return {"verb": "db_retire", "ids": [str(i) for i in ids]}
+
+
+def db_info_request() -> dict:
+    """Build a ``db_info`` request (report the serving generation)."""
+    return {"verb": "db_info"}
+
+
+def db_info_response(info: dict, swapped: bool | None = None) -> dict:
+    """The generation now serving: the ``as_dict`` form of
+    :class:`~repro.sequences.mutate_db.GenerationInfo` (ordinal, name,
+    num_sequences, total_residues, fingerprint, appended, retired).
+    ``swapped=True`` marks the answer to a mutation that just landed,
+    as opposed to a plain ``db_info`` query."""
+    message = {"type": "db_info", "generation": dict(info)}
+    if swapped is not None:
+        message["swapped"] = bool(swapped)
+    return message
 
 
 def pong_response() -> dict:

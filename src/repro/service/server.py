@@ -48,6 +48,7 @@ from repro.engine.pipeline import PIPELINE_PRESETS, PipelineConfig
 from repro.engine.transport import DEFAULT_HEARTBEAT_TIMEOUT, DEFAULT_MAX_RETRIES
 from repro.sched import CALIBRATION_MODES, IncrementalAllocator, RollingCalibrator
 from repro.sequences.database import SequenceDatabase
+from repro.sequences.mutate_db import DatabaseGeneration, MutationError
 from repro.sequences.packed import DEFAULT_CHUNK_CELLS
 from repro.sequences.sequence import Sequence
 from repro.service import protocol
@@ -99,6 +100,27 @@ class _ClientConnection:
             self.sock.shutdown(socket.SHUT_RDWR)
         with contextlib.suppress(OSError):
             self.sock.close()
+
+
+class _PendingSwap:
+    """A database mutation waiting for its admission watermark.
+
+    The swap may only be applied once every query admitted before it
+    (``_admitted_seq`` at enqueue time) has *completed* — the barrier
+    that makes "admitted before the swap ⇒ scored on the old
+    generation" a hard guarantee rather than a race.  The requesting
+    connection thread blocks on ``done``; ``error`` carries the reason
+    when the swap could not be applied.
+    """
+
+    __slots__ = ("generation", "watermark", "done", "error", "swap_seconds")
+
+    def __init__(self, generation: DatabaseGeneration, watermark: int):
+        self.generation = generation
+        self.watermark = watermark
+        self.done = threading.Event()
+        self.error: str | None = None
+        self.swap_seconds = 0.0
 
 
 class _PendingQuery:
@@ -245,6 +267,22 @@ class SearchService:
         # service registry so transport metrics share the endpoint.
         self.pool.registry = self.stats.registry
         self._queue: queue_mod.Queue[_PendingQuery] = queue_mod.Queue(maxsize=max_queue)
+        # Generation plane.  ``_generation`` is what the pool currently
+        # serves; ``_tip`` is the newest *enqueued* generation (stacked
+        # mutations compose on it before the first one has applied).
+        # ``_admitted_seq``/``_processed_seq`` implement the swap
+        # barrier: admission increments the former under ``_admit_lock``
+        # only after a successful enqueue, the scheduler increments the
+        # latter as admitted queries finish, and a pending swap applies
+        # only once processed catches up with the watermark it captured.
+        self._generation = DatabaseGeneration(database)
+        self._tip = self._generation
+        self._admit_lock = threading.Lock()
+        self._admitted_seq = 0
+        self._processed_seq = 0
+        self._swap_lock = threading.Lock()
+        self._pending_swaps: list[_PendingSwap] = []
+        self.stats.record_generation(self._generation.info().as_dict())
         self._in_flight = 0
         self._in_flight_lock = threading.Lock()
         self._gate = threading.Event()
@@ -338,6 +376,9 @@ class SearchService:
             self._accept_thread.join(timeout=timeout)
         if self._scheduler_thread is not None:
             self._scheduler_thread.join(timeout=timeout)
+        # The scheduler is gone; any swap still queued can never reach
+        # its watermark — fail it so admin threads unblock.
+        self._fail_pending_swaps("service stopped before the swap applied")
         self.pool.close()
         with self._conn_lock:
             connections = list(self._connections)
@@ -405,6 +446,134 @@ class SearchService:
                 self._calibrator, fallback_rates=self.pool.measured_gcups
             )
         return changed
+
+    # -- live database administration -------------------------------------
+
+    @property
+    def generation(self) -> DatabaseGeneration:
+        """The generation the pool is currently serving."""
+        return self._generation
+
+    def _handle_db_admin(self, conn: _ClientConnection, verb: str, message: dict) -> None:
+        """Serve one ``db_append``/``db_retire``/``db_info`` request.
+
+        Mutations are validated and enqueued against ``_tip`` under the
+        swap lock (stacked mutations compose in arrival order, each on
+        its predecessor's database), then this connection thread blocks
+        until the scheduler has applied the swap at its admission
+        watermark — the ``db_info`` answer therefore describes a
+        generation that is already *serving*, so a client that queries
+        after seeing the ack always hits the new data.
+        """
+        if verb == "db_info":
+            conn.send(protocol.db_info_response(self._generation.info().as_dict()))
+            return
+        if self._stopping.is_set():
+            self.stats.record_error()
+            conn.send(protocol.error_response("shutting down", retryable=True))
+            return
+        with self._swap_lock:
+            try:
+                if verb == "db_append":
+                    raw = message.get("sequences")
+                    if not isinstance(raw, list) or not raw:
+                        raise MutationError(
+                            "db_append needs a non-empty 'sequences' list"
+                        )
+                    alphabet = self._tip.database.alphabet
+                    additions = []
+                    for entry in raw:
+                        if (
+                            not isinstance(entry, dict)
+                            or not isinstance(entry.get("id"), str)
+                            or not isinstance(entry.get("sequence"), str)
+                            or not entry["id"]
+                            or not entry["sequence"]
+                        ):
+                            raise MutationError(
+                                "each appended sequence needs a non-empty "
+                                "'id' and 'sequence'"
+                            )
+                        additions.append(
+                            Sequence.from_text(
+                                entry["id"], entry["sequence"], alphabet=alphabet
+                            )
+                        )
+                    new_generation = self._tip.append(additions)
+                else:
+                    ids = message.get("ids")
+                    if not isinstance(ids, list) or not ids:
+                        raise MutationError("db_retire needs a non-empty 'ids' list")
+                    new_generation = self._tip.retire([str(i) for i in ids])
+            except (MutationError, ValueError) as exc:
+                self.stats.record_error()
+                conn.send(protocol.error_response(str(exc)))
+                return
+            with self._admit_lock:
+                watermark = self._admitted_seq
+            swap = _PendingSwap(new_generation, watermark)
+            self._tip = new_generation
+            self._pending_swaps.append(swap)
+        while not swap.done.wait(0.5):
+            if self._stopped.is_set() and not swap.done.is_set():
+                swap.error = "service stopped before the swap applied"
+                break
+        if swap.error is not None:
+            self.stats.record_error()
+            conn.send(protocol.error_response(swap.error, retryable=True))
+            return
+        conn.send(
+            protocol.db_info_response(new_generation.info().as_dict(), swapped=True)
+        )
+
+    def _apply_ready_swaps(self) -> None:
+        """Scheduler-thread only: apply every pending swap whose
+        admission watermark has been fully processed.
+
+        Runs strictly between batches, so the pool retarget never
+        overlaps a running batch; queries drained later in this same
+        scheduler pass run on the new generation.
+        """
+        while True:
+            with self._admit_lock:
+                processed = self._processed_seq
+            swap = None
+            with self._swap_lock:
+                if self._pending_swaps and self._pending_swaps[0].watermark <= processed:
+                    swap = self._pending_swaps.pop(0)
+            if swap is None:
+                return
+            try:
+                swap.swap_seconds = self.pool.retarget_database(
+                    swap.generation.database
+                )
+                self._generation = swap.generation
+                self.database = swap.generation.database
+                self.stats.record_generation(
+                    swap.generation.info().as_dict(), swap.swap_seconds
+                )
+                if self._calibrator is not None:
+                    # Rolling estimates were measured against the old
+                    # generation's chunk geometry; reseed and restart.
+                    self._calibrator = RollingCalibrator(
+                        seed_rates=self.pool.measured_gcups
+                    )
+                    self._allocator = IncrementalAllocator(
+                        self._calibrator, fallback_rates=self.pool.measured_gcups
+                    )
+            except Exception as exc:
+                swap.error = f"database swap failed: {type(exc).__name__}: {exc}"
+            finally:
+                swap.done.set()
+
+    def _fail_pending_swaps(self, reason: str) -> None:
+        """Unblock every admin thread still waiting on a swap."""
+        with self._swap_lock:
+            swaps, self._pending_swaps = self._pending_swaps, []
+            self._tip = self._generation
+        for swap in swaps:
+            swap.error = reason
+            swap.done.set()
 
     # -- admission (connection threads) ---------------------------------
 
@@ -494,6 +663,8 @@ class SearchService:
             conn.send(protocol.metrics_response(self._prometheus()))
         elif verb == "ping":
             conn.send(protocol.pong_response())
+        elif verb in ("db_append", "db_retire", "db_info"):
+            self._handle_db_admin(conn, verb, message)
         elif verb == "shutdown":
             conn.send(protocol.bye_response())
             # Shut down from a separate thread: this connection thread
@@ -560,8 +731,15 @@ class SearchService:
             conn.send(protocol.error_response(str(exc), query_id))
             return
         pending = _PendingQuery(query_id, sequence, top, conn, pipeline=use_pipeline)
+        # Enqueue and count under one lock: a swap's watermark reads
+        # ``_admitted_seq`` under the same lock, so "admitted before
+        # the swap" is a total order, and a rejected query (which will
+        # never be processed) must not inflate the watermark — the
+        # barrier would wait for a completion that can never come.
         try:
-            self._queue.put_nowait(pending)
+            with self._admit_lock:
+                self._queue.put_nowait(pending)
+                self._admitted_seq += 1
         except queue_mod.Full:
             self.stats.record_rejected()
             conn.send(
@@ -576,6 +754,7 @@ class SearchService:
 
     def _scheduler_loop(self) -> None:
         while True:
+            self._apply_ready_swaps()
             try:
                 first = self._queue.get(timeout=0.05)
             except queue_mod.Empty:
@@ -609,6 +788,11 @@ class SearchService:
             finally:
                 with self._in_flight_lock:
                     self._in_flight -= len(batch)
+                # Every query leaving a batch — answered, quarantined,
+                # or failed — counts as processed: the swap barrier
+                # needs completions, not successes.
+                with self._admit_lock:
+                    self._processed_seq += len(batch)
 
     def _run_one_batch(self, batch: list[_PendingQuery], use_pipeline: bool = False) -> None:
         dispatched_at = tracing.clock()

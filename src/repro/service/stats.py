@@ -127,6 +127,17 @@ class ServiceStats:
         # Resolved kernel backend (set by the server once the pool's
         # capability probe ran); surfaces in snapshot() and Prometheus.
         self._kernel_backend: dict | None = None
+        # Serving database generation (set by the server at start and
+        # on every live append/retire swap).
+        self._generation: dict | None = None
+        self._swaps = reg.counter(
+            "swdual_db_swaps_total",
+            "Live database generation swaps applied (append/retire).",
+        )
+        self._swap_seconds = reg.histogram(
+            "swdual_db_swap_seconds",
+            "Wall seconds one generation swap took (pack + retarget).",
+        )
 
     def _role(self, kind: str) -> _RoleMetrics:
         role = self._roles.get(kind)
@@ -190,6 +201,36 @@ class ServiceStats:
                 "version": info.version or "",
             },
         ).set(1)
+
+    def record_generation(self, info: dict, swap_seconds: float | None = None) -> None:
+        """Publish the serving database generation.
+
+        *info* is the ``as_dict`` form of
+        :class:`~repro.sequences.mutate_db.GenerationInfo`.  The
+        ordinal lands on the ``swdual_db_generation`` gauge (labelled
+        with the database name and content fingerprint, so a scrape
+        can tell *which* data a given ordinal meant), sequence/residue
+        counts on their own gauges, and the whole dict becomes the
+        ``database`` block in :meth:`snapshot`.  *swap_seconds* is set
+        for live swaps (not the start-up generation) and feeds the
+        swap counter + duration histogram.
+        """
+        self._generation = dict(info)
+        self.registry.gauge(
+            "swdual_db_generation",
+            "Serving database generation ordinal.",
+        ).set(info.get("ordinal", 0))
+        self.registry.gauge(
+            "swdual_db_sequences",
+            "Sequences in the serving database generation.",
+        ).set(info.get("num_sequences", 0))
+        self.registry.gauge(
+            "swdual_db_residues",
+            "Residues in the serving database generation.",
+        ).set(info.get("total_residues", 0))
+        if swap_seconds is not None:
+            self._swaps.inc()
+            self._swap_seconds.observe(swap_seconds)
 
     def record_calibration(self, calibration: dict, reallocations: int) -> None:
         """Fold one rolling-calibration snapshot into the registry.
@@ -312,8 +353,18 @@ class ServiceStats:
             "pipeline": self._pipeline_snapshot(),
             "calibration": self._calibration_snapshot(),
             "kernel_backend": self._kernel_backend,
+            "database": self._database_snapshot(),
             "throughput_qps": completed / uptime,
         }
+
+    def _database_snapshot(self) -> dict | None:
+        """The serving generation plus swap totals (``None`` before the
+        server publishes its start-up generation)."""
+        if self._generation is None:
+            return None
+        block = dict(self._generation)
+        block["swaps"] = int(self._swaps.value)
+        return block
 
     def _pipeline_snapshot(self) -> dict:
         """Filter-cascade stage tallies the warm pool records into this

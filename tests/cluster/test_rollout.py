@@ -1,0 +1,109 @@
+"""Drain-first database rollout across a live sharded cluster: the
+manager re-cuts the new generation over the existing shards, restarts
+them one at a time, and surfaces the cluster generation in its
+snapshot."""
+
+import pytest
+
+from repro.cluster import ClusterTopology, ShardEndpoint, ShardManager
+from repro.sequences import Sequence, SequenceDatabase, small_database
+from repro.service import SearchClient
+
+from tests.cluster.conftest import SERVICE_KWARGS
+
+
+@pytest.fixture(scope="module")
+def db():
+    return small_database(num_sequences=24, mean_length=60, seed=41)
+
+
+@pytest.fixture()
+def manager(db):
+    with ShardManager(
+        database=db,
+        num_shards=2,
+        service_kwargs=SERVICE_KWARGS,
+        health_interval_s=0.2,
+    ) as m:
+        yield m
+
+
+def _cluster_census(manager):
+    """Total sequences served across all shards."""
+    total = 0
+    for endpoint in manager.endpoints().values():
+        with SearchClient(endpoint.host, endpoint.port) as client:
+            info = client.db_info()
+            total += info["num_sequences"]
+            stats = client.stats()
+            assert stats["database"]["ordinal"] == info["ordinal"]
+    return total
+
+
+class TestRollout:
+    def test_rollout_swaps_every_shard(self, manager, db):
+        assert manager.generation == 0
+        assert _cluster_census(manager) == len(db)
+        template = next(iter(db))
+        grown = SequenceDatabase(
+            db.name,
+            list(db)
+            + [
+                Sequence.from_text(
+                    f"roll_{i}", template.text, alphabet=template.alphabet
+                )
+                for i in range(4)
+            ],
+        )
+        assert manager.rollout_database(grown) == 1
+        assert manager.generation == 1
+        # Every shard restarted onto its cut of the new generation; the
+        # cuts partition the database exactly.
+        assert _cluster_census(manager) == len(grown)
+        for entry in manager.snapshot().values():
+            assert entry["generation"] == 1
+            assert entry["state"] == "up"
+        # A planted copy of a shard sequence is now searchable
+        # somewhere in the cluster.
+        found = []
+        for endpoint in manager.endpoints().values():
+            with SearchClient(endpoint.host, endpoint.port) as client:
+                out = client.query(template.text, top=5)
+                found.extend(h[0] for h in out["hits"])
+        assert "roll_0" in found or any(f.startswith("roll_") for f in found)
+
+    def test_second_rollout_keeps_counting(self, manager, db):
+        survivors = [s for s in db if s.id != next(iter(db)).id]
+        shrunk = SequenceDatabase(db.name, survivors)
+        assert manager.rollout_database(shrunk) == 1
+        assert manager.rollout_database(db) == 2
+        assert _cluster_census(manager) == len(db)
+
+    def test_too_small_database_rejected(self, manager):
+        lone = small_database(num_sequences=1, mean_length=30, seed=9)
+        with pytest.warns(UserWarning, match="clamp"):
+            with pytest.raises(ValueError, match="cannot fill"):
+                manager.rollout_database(lone)
+        assert manager.generation == 0
+
+    def test_adopted_only_manager_rejected(self, db):
+        topo = ClusterTopology(
+            "t", (ShardEndpoint("s0", "127.0.0.1", 7731),)
+        )
+        manager = ShardManager(topology=topo)
+        try:
+            with pytest.raises(ValueError, match="no owned shards"):
+                manager.rollout_database(db)
+        finally:
+            manager.close()
+
+    def test_snapshot_hides_generation_for_adopted_shards(self, db):
+        topo = ClusterTopology(
+            "t", (ShardEndpoint("s0", "127.0.0.1", 7731),)
+        )
+        manager = ShardManager(topology=topo)
+        try:
+            snap = manager.snapshot()
+            assert snap["s0"]["generation"] is None
+        finally:
+            manager.close()

@@ -1,0 +1,172 @@
+"""Swap conformance: a service that reached its database through any
+sequence of live append/retire swaps must answer every query
+**bit-identically** to a fresh service built directly on the final
+database — exact full scans and the heuristic pipeline alike, on every
+execution plane (thread workers, process workers over pickle, process
+workers over shared memory).
+
+Mutation schedules are seeded-random: each round appends a few novel
+sequences (ids no fresh-build could order differently) and retires a
+few survivors, so the final database is order-identical whichever path
+produced it (see ``apply_append``/``apply_retire``'s path-independence
+contract)."""
+
+import random
+
+import pytest
+
+from repro.sequences import Sequence, SequenceDatabase, small_database
+from repro.sequences import standard_query_set
+from repro.sequences.shm import shm_available
+from repro.service import SearchClient, SearchService
+
+TOP_HITS = 4
+CHUNK_CELLS = 1_500
+SWAP_ROUNDS = 4
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+PLANES = [
+    pytest.param({"backend": "threads", "num_gpu_workers": 1}, id="threads"),
+    pytest.param(
+        {"backend": "processes", "num_gpu_workers": 0, "data_plane": "pickle"},
+        id="processes-pickle",
+    ),
+    pytest.param(
+        {"backend": "processes", "num_gpu_workers": 0, "data_plane": "shm"},
+        id="processes-shm",
+        marks=needs_shm,
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=18, mean_length=50, seed=81)
+    queries = list(standard_query_set(count=3).scaled(0.015).materialize(seed=82))
+    return db, queries
+
+
+def _mutation_schedule(db, seed: int, rounds: int = SWAP_ROUNDS):
+    """Seeded random swap schedule; yields ("append", seqs) and
+    ("retire", ids) steps and returns via closure the running db."""
+    rng = random.Random(seed)
+    template = next(iter(db))
+    alive = [s.id for s in db]
+    steps = []
+    for round_no in range(rounds):
+        if round_no % 2 == 0 or len(alive) < 6:
+            count = rng.randint(1, 3)
+            fresh = [
+                Sequence.from_text(
+                    f"mut{seed}_{round_no}_{i}",
+                    "".join(
+                        rng.choice(template.alphabet.letters)
+                        for _ in range(rng.randint(30, 60))
+                    ),
+                    alphabet=template.alphabet,
+                )
+                for i in range(count)
+            ]
+            alive.extend(s.id for s in fresh)
+            steps.append(("append", fresh))
+        else:
+            count = rng.randint(1, min(3, len(alive) - 4))
+            victims = rng.sample(alive, count)
+            alive = [i for i in alive if i not in victims]
+            steps.append(("retire", victims))
+    return steps
+
+
+def _apply_schedule_directly(db, steps) -> SequenceDatabase:
+    """The oracle: build the final database without any service."""
+    records = list(db)
+    for verb, payload in steps:
+        if verb == "append":
+            records.extend(payload)
+        else:
+            victims = set(payload)
+            records = [s for s in records if s.id not in victims]
+    return SequenceDatabase(db.name, records)
+
+
+def _service(db, plane: dict) -> SearchService:
+    return SearchService(
+        db,
+        num_cpu_workers=2,
+        top_hits=TOP_HITS,
+        chunk_cells=CHUNK_CELLS,
+        max_batch=4,
+        **plane,
+    )
+
+
+def _answers(service, queries, pipeline: bool) -> list:
+    with SearchClient(*service.address) as client:
+        outs = client.search(queries, top=TOP_HITS, pipeline=pipeline)
+    for out in outs:
+        assert out["type"] == "result", out
+    return [(out["id"], out["hits"]) for out in outs]
+
+
+@pytest.mark.parametrize("plane", PLANES)
+@pytest.mark.parametrize("schedule_seed", [7, 19])
+def test_mutated_service_matches_fresh_service(workload, plane, schedule_seed):
+    db, queries = workload
+    steps = _mutation_schedule(db, schedule_seed)
+    final_db = _apply_schedule_directly(db, steps)
+
+    mutated = _service(db, plane)
+    mutated.start()
+    try:
+        with SearchClient(*mutated.address) as admin:
+            # Touch the pool before any swap so caches are warm — the
+            # swap must invalidate them, not serve generation-0 hits.
+            admin.search(queries[:1], top=TOP_HITS)
+            for verb, payload in steps:
+                if verb == "append":
+                    answer = admin.db_append(payload)
+                else:
+                    answer = admin.db_retire(payload)
+                assert answer["type"] == "db_info", answer
+                assert answer.get("swapped") is True
+            info = admin.db_info()
+        assert info["ordinal"] == len(steps)
+        assert info["fingerprint"] == final_db.fingerprint()
+        assert info["num_sequences"] == len(final_db)
+        mutated_exact = _answers(mutated, queries, pipeline=False)
+        mutated_pipeline = _answers(mutated, queries, pipeline=True)
+    finally:
+        mutated.shutdown()
+
+    fresh = _service(final_db, plane)
+    fresh.start()
+    try:
+        assert _answers(fresh, queries, pipeline=False) == mutated_exact
+        assert _answers(fresh, queries, pipeline=True) == mutated_pipeline
+    finally:
+        fresh.shutdown()
+
+
+@pytest.mark.parametrize("plane", PLANES)
+def test_appended_sequence_is_searchable_and_retired_is_gone(workload, plane):
+    """Directed sanity on top of the random schedules: an appended
+    exact copy of the query must score as a hit; after retiring it, it
+    must vanish from the hit table."""
+    db, queries = workload
+    query = queries[0]
+    copy = Sequence.from_text("planted_copy", query.text, alphabet=db.alphabet)
+    service = _service(db, plane)
+    service.start()
+    try:
+        with SearchClient(*service.address) as client:
+            client.db_append([copy])
+            hits = client.query(query, top=TOP_HITS)["hits"]
+            assert "planted_copy" in [h[0] for h in hits]
+            client.db_retire(["planted_copy"])
+            hits = client.query(query, top=TOP_HITS)["hits"]
+            assert "planted_copy" not in [h[0] for h in hits]
+    finally:
+        service.shutdown()

@@ -1,0 +1,203 @@
+"""Process-pool database retargeting: generation swaps on both data
+planes must be bit-identical to a fresh pool on the new database, must
+never leak a ``/dev/shm`` segment — across repeated swaps and a worker
+SIGKILLed mid-swap — and must drop stale affinity state."""
+
+import glob
+import os
+
+import pytest
+
+from repro.engine import AllWorkersDeadError, ProtocolError, live_search
+from repro.engine.transport import ProcessWorkerPool
+from repro.sequences import Sequence, small_database
+from repro.sequences import standard_query_set
+from repro.sequences.mutate_db import apply_append, apply_retire
+from repro.sequences.shm import SHM_PREFIX, shm_available
+
+CHUNK_CELLS = 1_500
+TOP_HITS = 4
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _live_segments() -> set[str]:
+    return {os.path.basename(p) for p in glob.glob(f"/dev/shm/{SHM_PREFIX}*")}
+
+
+def _hits(report):
+    return [
+        [(h.subject_id, h.score) for h in qr.hits]
+        for qr in report.query_results
+    ]
+
+
+def _reference(queries, db):
+    return _hits(live_search(queries, db, 1, 0, policy="self", top_hits=TOP_HITS))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = small_database(num_sequences=18, mean_length=50, seed=81)
+    queries = list(standard_query_set(count=3).scaled(0.015).materialize(seed=82))
+    return db, queries
+
+
+@pytest.fixture(scope="module")
+def mutated(workload):
+    """The generation after one append + one retire."""
+    db, _ = workload
+    template = next(iter(db))
+    extra = [
+        Sequence.from_text(f"gen1_{i}", template.text, alphabet=template.alphabet)
+        for i in range(3)
+    ]
+    return apply_retire(apply_append(db, extra), [template.id])
+
+
+class TestRetargetConformance:
+    @pytest.mark.parametrize(
+        "plane", ["pickle", pytest.param("shm", marks=needs_shm)]
+    )
+    def test_swap_matches_fresh_pool(self, workload, mutated, plane):
+        db, queries = workload
+        want = _reference(queries, mutated)
+        with ProcessWorkerPool(
+            db,
+            num_cpu_workers=2,
+            data_plane=plane,
+            chunk_cells=CHUNK_CELLS,
+            top_hits=TOP_HITS,
+        ) as pool:
+            before = _hits(pool.run_batch(queries))
+            seconds = pool.retarget_database(mutated)
+            assert seconds >= 0
+            after = _hits(pool.run_batch(queries))
+            assert pool.database is mutated
+            assert pool.alive_workers == ["proc0", "proc1"]
+            assert len(pool.recovery.of_kind("db_retarget")) == 1
+        assert after == want
+        assert after != before  # the mutation is visible
+
+    @needs_shm
+    def test_swap_with_chunk_dispatch_and_stealing(self, workload, mutated):
+        db, queries = workload
+        want = _reference(queries, mutated)
+        with ProcessWorkerPool(
+            db,
+            num_cpu_workers=2,
+            data_plane="shm",
+            dispatch="chunk",
+            chunk_cells=CHUNK_CELLS,
+            top_hits=TOP_HITS,
+        ) as pool:
+            pool.run_batch(queries)
+            pool.retarget_database(mutated)
+            assert _hits(pool.run_batch(queries)) == want
+
+    def test_unstarted_pool_rejected(self, workload, mutated):
+        db, _ = workload
+        pool = ProcessWorkerPool(db, num_cpu_workers=1, data_plane="pickle")
+        with pytest.raises(ProtocolError, match="not started"):
+            pool.retarget_database(mutated)
+
+    def test_closed_pool_rejected(self, workload, mutated):
+        db, _ = workload
+        with ProcessWorkerPool(
+            db, num_cpu_workers=1, data_plane="pickle"
+        ) as pool:
+            pass
+        with pytest.raises(ProtocolError, match="closed"):
+            pool.retarget_database(mutated)
+
+
+@needs_shm
+class TestLeakProofSwaps:
+    """The issue's leak criterion: repeated swaps — including one with a
+    worker SIGKILLed mid-swap — leave zero stale segments."""
+
+    def test_old_segment_unlinked_after_swap(self, workload, mutated):
+        db, queries = workload
+        before = _live_segments()
+        pool = ProcessWorkerPool(
+            db, num_cpu_workers=2, data_plane="shm", chunk_cells=CHUNK_CELLS
+        )
+        pool.start()
+        old_segments = _live_segments() - before
+        assert len(old_segments) == 1
+        pool.retarget_database(mutated)
+        now = _live_segments() - before
+        # The old generation's arena died at refcount zero; exactly the
+        # new generation's segment remains.
+        assert len(now) == 1
+        assert not (now & old_segments)
+        pool.run_batch(queries)
+        pool.close()
+        assert _live_segments() == before
+
+    def test_repeated_swaps_do_not_accumulate(self, workload):
+        db, queries = workload
+        template = next(iter(db))
+        before = _live_segments()
+        pool = ProcessWorkerPool(
+            db, num_cpu_workers=2, data_plane="shm", chunk_cells=CHUNK_CELLS
+        )
+        pool.start()
+        current = db
+        for round_no in range(4):
+            extra = [
+                Sequence.from_text(
+                    f"r{round_no}_{i}", template.text, alphabet=template.alphabet
+                )
+                for i in range(2)
+            ]
+            current = apply_append(current, extra)
+            if round_no % 2:
+                current = apply_retire(current, [f"r{round_no - 1}_0"])
+            pool.retarget_database(current)
+            assert len(_live_segments() - before) == 1
+            report = pool.run_batch(queries)
+            assert len(report.query_results) == len(queries)
+        pool.close()
+        assert _live_segments() == before
+
+    def test_sigkill_mid_swap_tolerated_and_leak_free(self, workload, mutated):
+        db, queries = workload
+        before = _live_segments()
+        pool = ProcessWorkerPool(
+            db,
+            num_cpu_workers=2,
+            data_plane="shm",
+            chunk_cells=CHUNK_CELLS,
+            top_hits=TOP_HITS,
+        )
+        pool.start()
+        # Dead before the retarget ack can ever arrive: the master must
+        # treat the loss like a mid-batch death, release the victim's
+        # generation reference, and finish the swap on the survivor.
+        pool._processes[0].kill()
+        pool._processes[0].join(timeout=10)
+        pool.retarget_database(mutated)
+        assert pool.alive_workers == ["proc1"]
+        assert len(_live_segments() - before) == 1
+        report = pool.run_batch(queries)
+        assert _hits(report) == _reference(queries, mutated)
+        pool.close()
+        assert _live_segments() == before
+
+    def test_losing_every_worker_breaks_pool_without_leaks(self, workload, mutated):
+        db, _ = workload
+        before = _live_segments()
+        pool = ProcessWorkerPool(
+            db, num_cpu_workers=2, data_plane="shm", chunk_cells=CHUNK_CELLS
+        )
+        pool.start()
+        for proc in pool._processes:
+            proc.kill()
+            proc.join(timeout=10)
+        with pytest.raises(AllWorkersDeadError):
+            pool.retarget_database(mutated)
+        pool.close()
+        assert _live_segments() == before

@@ -1,0 +1,210 @@
+"""The generation-versioned database plane: pure mutations
+(:func:`apply_append` / :func:`apply_retire`), generation ordinals and
+provenance, and the refcounted arena handle that makes shm swaps
+leak-proof."""
+
+import pytest
+
+from repro.sequences import DNA, Sequence, SequenceDatabase, small_database
+from repro.sequences.mutate_db import (
+    DatabaseGeneration,
+    GenerationHandle,
+    GenerationInfo,
+    MutationError,
+    apply_append,
+    apply_retire,
+)
+
+
+@pytest.fixture()
+def db():
+    return small_database(num_sequences=6, mean_length=30, seed=11)
+
+
+def _seq_like(db, sid: str) -> Sequence:
+    template = next(iter(db))
+    return Sequence.from_text(sid, template.text, alphabet=template.alphabet)
+
+
+class TestApplyAppend:
+    def test_appends_at_the_end(self, db):
+        extra = [_seq_like(db, "new_a"), _seq_like(db, "new_b")]
+        out = apply_append(db, extra)
+        assert [s.id for s in out] == [s.id for s in db] + ["new_a", "new_b"]
+        assert out.name == db.name
+        assert len(db) == 6  # the input is untouched
+
+    def test_custom_name(self, db):
+        out = apply_append(db, [_seq_like(db, "x")], name="renamed")
+        assert out.name == "renamed"
+
+    def test_empty_batch_rejected(self, db):
+        with pytest.raises(MutationError, match="at least one"):
+            apply_append(db, [])
+
+    def test_existing_id_rejected(self, db):
+        taken = next(iter(db)).id
+        with pytest.raises(MutationError, match="already in the database"):
+            apply_append(db, [_seq_like(db, taken)])
+
+    def test_duplicate_in_batch_rejected(self, db):
+        with pytest.raises(MutationError, match="duplicate"):
+            apply_append(db, [_seq_like(db, "twin"), _seq_like(db, "twin")])
+
+    def test_alphabet_mismatch_rejected(self, db):
+        dna = Sequence.from_text("dna_seq", "ACGTACGT", alphabet=DNA)
+        with pytest.raises(MutationError, match="alphabet"):
+            apply_append(db, [dna])
+
+    def test_mutation_error_is_a_value_error(self):
+        assert issubclass(MutationError, ValueError)
+
+
+class TestApplyRetire:
+    def test_retires_named_ids_order_preserved(self, db):
+        ids = [s.id for s in db]
+        out = apply_retire(db, [ids[1], ids[3]])
+        assert [s.id for s in out] == [ids[0], ids[2], ids[4], ids[5]]
+        assert len(db) == 6
+
+    def test_empty_id_list_rejected(self, db):
+        with pytest.raises(MutationError, match="at least one"):
+            apply_retire(db, [])
+
+    def test_unknown_id_rejected(self, db):
+        with pytest.raises(MutationError, match="unknown sequence id"):
+            apply_retire(db, ["nope"])
+
+    def test_emptying_the_database_rejected(self, db):
+        with pytest.raises(MutationError, match="empty"):
+            apply_retire(db, [s.id for s in db])
+
+    def test_duplicate_ids_collapse(self, db):
+        victim = next(iter(db)).id
+        out = apply_retire(db, [victim, victim])
+        assert len(out) == 5
+
+    def test_path_independence(self, db):
+        """Append-then-retire equals building the final list directly —
+        the invariant the swap-conformance suite leans on."""
+        extra = [_seq_like(db, "new_a"), _seq_like(db, "new_b")]
+        victim = next(iter(db)).id
+        stepped = apply_retire(apply_append(db, extra), [victim])
+        direct = SequenceDatabase(
+            db.name, [s for s in db if s.id != victim] + extra
+        )
+        assert stepped.fingerprint() == direct.fingerprint()
+
+
+class TestDatabaseGeneration:
+    def test_generation_zero(self, db):
+        gen = DatabaseGeneration(db)
+        info = gen.info()
+        assert info.ordinal == 0
+        assert info.name == db.name
+        assert info.num_sequences == len(db)
+        assert info.total_residues == db.total_residues
+        assert info.fingerprint == db.fingerprint()
+        assert info.appended == 0 and info.retired == 0
+
+    def test_negative_ordinal_rejected(self, db):
+        with pytest.raises(ValueError, match="ordinal"):
+            DatabaseGeneration(db, ordinal=-1)
+
+    def test_append_advances_ordinal(self, db):
+        gen0 = DatabaseGeneration(db)
+        gen1 = gen0.append([_seq_like(db, "x"), _seq_like(db, "y")])
+        assert gen1.ordinal == 1
+        assert gen1.info().appended == 2
+        assert gen1.info().retired == 0
+        # The old generation still serves its own database.
+        assert gen0.ordinal == 0
+        assert len(gen0.database) == 6
+        assert len(gen1.database) == 8
+
+    def test_retire_advances_ordinal(self, db):
+        gen0 = DatabaseGeneration(db)
+        victim = next(iter(db)).id
+        gen1 = gen0.retire([victim])
+        assert gen1.ordinal == 1
+        assert gen1.info().retired == 1
+        assert len(gen1.database) == 5
+
+    def test_stacked_mutations(self, db):
+        gen = DatabaseGeneration(db)
+        gen = gen.append([_seq_like(db, "x")])
+        gen = gen.retire(["x"])
+        gen = gen.append([_seq_like(db, "y")])
+        assert gen.ordinal == 3
+        assert gen.info().appended == 1  # provenance of the *last* step
+
+    def test_failed_mutation_leaves_generation_alone(self, db):
+        gen = DatabaseGeneration(db)
+        with pytest.raises(MutationError):
+            gen.retire(["nope"])
+        assert gen.ordinal == 0
+
+    def test_info_round_trips_through_dict(self, db):
+        info = DatabaseGeneration(db).append([_seq_like(db, "x")]).info()
+        assert GenerationInfo.from_dict(info.as_dict()) == info
+
+
+class _FakeArena:
+    def __init__(self):
+        self.closed = 0
+
+    def close(self):
+        self.closed += 1
+
+
+class TestGenerationHandle:
+    def test_starts_with_base_reference(self):
+        handle = GenerationHandle()
+        assert handle.refcount == 1
+        assert not handle.finalized
+
+    def test_release_to_zero_closes_arena(self):
+        arena = _FakeArena()
+        handle = GenerationHandle(arena)
+        handle.acquire()
+        assert handle.release() == 1
+        assert arena.closed == 0  # a worker still holds it
+        assert handle.release() == 0
+        assert arena.closed == 1
+        assert handle.finalized
+
+    def test_acquire_after_finalize_rejected(self):
+        handle = GenerationHandle()
+        handle.release()
+        with pytest.raises(ValueError, match="finalized"):
+            handle.acquire()
+
+    def test_double_release_raises(self):
+        handle = GenerationHandle(_FakeArena())
+        handle.release()
+        with pytest.raises(ValueError, match="more times than acquired"):
+            handle.release()
+
+    def test_none_arena_is_pure_refcounting(self):
+        handle = GenerationHandle(None)
+        handle.acquire()
+        handle.release()
+        assert handle.release() == 0
+        assert handle.finalized
+
+    def test_concurrent_release_closes_exactly_once(self):
+        import threading
+
+        arena = _FakeArena()
+        handle = GenerationHandle(arena)
+        for _ in range(15):
+            handle.acquire()
+        threads = [
+            threading.Thread(target=handle.release) for _ in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert handle.finalized
+        assert arena.closed == 1

@@ -1,0 +1,197 @@
+"""The live database-administration surface of the service: wire
+protocol for the ``db_*`` verbs, validation at the server edge, the
+stats/metrics generation surface, and the service-level ``/dev/shm``
+leak guarantee across swaps (including a worker SIGKILLed under a live
+service)."""
+
+import glob
+import os
+
+import pytest
+
+from repro.sequences import Sequence, small_database, standard_query_set
+from repro.sequences.shm import SHM_PREFIX, shm_available
+from repro.service import SearchClient, SearchService, protocol
+
+TOP = 4
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _live_segments() -> set[str]:
+    return {os.path.basename(p) for p in glob.glob(f"/dev/shm/{SHM_PREFIX}*")}
+
+
+@pytest.fixture(scope="module")
+def db():
+    return small_database(num_sequences=12, mean_length=40, seed=71)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return list(standard_query_set(count=2).scaled(0.012).materialize(seed=72))
+
+
+@pytest.fixture()
+def service(db):
+    svc = SearchService(
+        db, num_cpu_workers=1, num_gpu_workers=1, top_hits=TOP, max_batch=4
+    )
+    svc.start()
+    yield svc
+    svc.shutdown()
+
+
+class TestProtocol:
+    def test_admin_verbs_registered(self):
+        for verb in ("db_append", "db_retire", "db_info"):
+            assert verb in protocol.REQUEST_VERBS
+        assert "db_info" in protocol.RESPONSE_TYPES
+
+    def test_append_request_shape(self):
+        message = protocol.db_append_request([("a", "MKV"), ("b", "MRT")])
+        assert message == {
+            "verb": "db_append",
+            "sequences": [
+                {"id": "a", "sequence": "MKV"},
+                {"id": "b", "sequence": "MRT"},
+            ],
+        }
+
+    def test_retire_request_shape(self):
+        assert protocol.db_retire_request(["x", 7]) == {
+            "verb": "db_retire",
+            "ids": ["x", "7"],
+        }
+
+    def test_requests_survive_the_wire(self):
+        for message in (
+            protocol.db_append_request([("a", "MKV")]),
+            protocol.db_retire_request(["a"]),
+            protocol.db_info_request(),
+        ):
+            assert protocol.decode_message(protocol.encode_message(message)) == message
+
+    def test_info_response_swapped_flag(self):
+        info = {"ordinal": 3, "name": "db"}
+        plain = protocol.db_info_response(info)
+        assert plain["type"] == "db_info"
+        assert "swapped" not in plain
+        assert protocol.db_info_response(info, swapped=True)["swapped"] is True
+
+
+class TestAdminValidation:
+    def test_db_info_reports_generation_zero(self, service, db):
+        with SearchClient(*service.address) as client:
+            info = client.db_info()
+        assert info["ordinal"] == 0
+        assert info["fingerprint"] == db.fingerprint()
+        assert info["num_sequences"] == len(db)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"verb": "db_append"},
+            {"verb": "db_append", "sequences": []},
+            {"verb": "db_append", "sequences": ["not-a-dict"]},
+            {"verb": "db_append", "sequences": [{"id": "", "sequence": "MKV"}]},
+            {"verb": "db_append", "sequences": [{"id": "x", "sequence": ""}]},
+            {"verb": "db_append", "sequences": [{"id": "x", "sequence": "M!V"}]},
+            {"verb": "db_retire"},
+            {"verb": "db_retire", "ids": []},
+            {"verb": "db_retire", "ids": ["no_such_id"]},
+        ],
+    )
+    def test_bad_mutations_answer_error_and_do_not_swap(self, service, payload):
+        with SearchClient(*service.address) as client:
+            client._send(payload)
+            answer = client._next_of_types(("db_info", "error"))
+            assert answer["type"] == "error"
+            assert client.db_info()["ordinal"] == 0  # nothing moved
+
+    def test_append_existing_id_rejected(self, service, db):
+        taken = next(iter(db))
+        with SearchClient(*service.address) as client:
+            answer = client.db_append([(taken.id, taken.text)])
+            assert answer["type"] == "error"
+            assert "already" in answer["reason"]
+
+    def test_retiring_everything_rejected(self, service, db):
+        with SearchClient(*service.address) as client:
+            answer = client.db_retire([s.id for s in db])
+            assert answer["type"] == "error"
+            assert "empty" in answer["reason"]
+
+
+class TestGenerationSurfaces:
+    def test_stats_and_metrics_track_swaps(self, service, db, queries):
+        with SearchClient(*service.address) as client:
+            stats = client.stats()
+            assert stats["database"]["ordinal"] == 0
+            assert stats["database"]["swaps"] == 0
+            copy = Sequence.from_text("surf_0", queries[0].text, alphabet=db.alphabet)
+            answer = client.db_append([copy])
+            assert answer["type"] == "db_info"
+            stats = client.stats()
+            assert stats["database"]["ordinal"] == 1
+            assert stats["database"]["swaps"] == 1
+            assert stats["database"]["num_sequences"] == len(db) + 1
+            body = client.metrics()
+        assert "swdual_db_generation 1" in body
+        assert "swdual_db_swaps_total 1" in body
+        assert f"swdual_db_sequences {len(db) + 1}" in body
+
+    def test_queries_keep_matching_after_swap(self, service, db, queries):
+        """The cache-invalidation contract, end to end: the same
+        connection queries before and after a swap and sees the planted
+        hit appear."""
+        query = queries[0]
+        with SearchClient(*service.address) as client:
+            before = client.query(query, top=TOP)
+            assert "planted" not in [h[0] for h in before["hits"]]
+            client.db_append(
+                [Sequence.from_text("planted", query.text, alphabet=db.alphabet)]
+            )
+            after = client.query(query, top=TOP)
+            assert "planted" in [h[0] for h in after["hits"]]
+
+
+@needs_shm
+class TestServiceLevelLeaks:
+    def test_swaps_and_sigkill_leave_no_segments(self, db, queries):
+        before = _live_segments()
+        service = SearchService(
+            db,
+            num_cpu_workers=2,
+            num_gpu_workers=0,
+            backend="processes",
+            data_plane="shm",
+            top_hits=TOP,
+        )
+        service.start()
+        try:
+            with SearchClient(*service.address) as client:
+                for i in range(3):
+                    answer = client.db_append(
+                        [
+                            Sequence.from_text(
+                                f"leak_{i}", queries[0].text, alphabet=db.alphabet
+                            )
+                        ]
+                    )
+                    assert answer["type"] == "db_info"
+                    assert len(_live_segments() - before) == 1
+                # One worker dies violently under the live service; the
+                # next swap must still converge and stay leak-free.
+                service.pool._proc_pool._processes[0].kill()
+                service.pool._proc_pool._processes[0].join(timeout=10)
+                answer = client.db_retire(["leak_0"])
+                assert answer["type"] == "db_info"
+                assert len(_live_segments() - before) == 1
+                result = client.query(queries[0], top=TOP)
+                assert result["type"] == "result"
+        finally:
+            service.shutdown()
+        assert _live_segments() == before

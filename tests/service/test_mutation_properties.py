@@ -1,0 +1,190 @@
+"""Property test for the swap barrier: queries *admitted before* a
+database mutation always complete on the generation that admitted them,
+and queries submitted after the swap acknowledgement always see the new
+generation — under process workers with chunk dispatch (stealing), the
+plane where a torn swap would be most visible.
+
+The scheduler's :meth:`~repro.service.server.SearchService.hold` gate
+makes the interleaving deterministic: held, the scheduler drains a
+batch and parks *before* running it, so a swap requested while queries
+sit in flight must queue behind the admission watermark; released, the
+old-generation batch runs first and only then may the swap apply.
+Hypothesis drives the schedule — how many queries ride ahead of each
+swap, and which mutation each swap performs."""
+
+import functools
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import live_search
+from repro.sequences import Sequence, SequenceDatabase, small_database
+from repro.sequences import standard_query_set
+from repro.sequences.shm import shm_available
+from repro.service import SearchClient, SearchService
+
+TOP_HITS = 4
+CHUNK_CELLS = 1_500
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+DB = small_database(num_sequences=14, mean_length=40, seed=91)
+QUERIES = list(standard_query_set(count=3).scaled(0.012).materialize(seed=92))
+
+_ORACLE_CACHE: dict = {}
+
+
+def _oracle(db: SequenceDatabase, query) -> list:
+    """Reference hits for one query against *db*, JSON-shaped."""
+    key = (db.fingerprint(), query.id)
+    if key not in _ORACLE_CACHE:
+        report = live_search([query], db, 1, 0, policy="self", top_hits=TOP_HITS)
+        _ORACLE_CACHE[key] = [
+            [h.subject_id, h.score] for h in report.query_results[0].hits
+        ]
+    return _ORACLE_CACHE[key]
+
+
+def _wait_for(predicate, timeout: float = 30.0) -> None:
+    stop = threading.Event()
+    deadline_timer = threading.Timer(timeout, stop.set)
+    deadline_timer.start()
+    try:
+        while not predicate():
+            if stop.is_set():
+                raise AssertionError("timed out waiting for service state")
+            stop.wait(0.01)
+    finally:
+        deadline_timer.cancel()
+
+
+# One swap step: how many of the three standard queries ride ahead of
+# it (0 = the swap applies against an idle scheduler), and what it
+# mutates (append n novel sequences, or retire the oldest appendee /
+# a seed sequence).
+_STEP = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.sampled_from(["append1", "append2", "retire_seed", "retire_new"]),
+)
+
+
+@needs_shm
+class TestSwapBarrierProperty:
+    @settings(max_examples=5, deadline=None)
+    @given(schedule=st.lists(_STEP, min_size=1, max_size=3))
+    def test_pre_swap_queries_complete_on_old_generation(self, schedule):
+        service = SearchService(
+            DB,
+            num_cpu_workers=2,
+            num_gpu_workers=0,
+            backend="processes",
+            dispatch="chunk",
+            data_plane="shm",
+            chunk_cells=CHUNK_CELLS,
+            top_hits=TOP_HITS,
+            max_batch=2,  # smaller than the ride-ahead, so swaps span batches
+        )
+        service.start()
+        current_db = DB
+        appended: list[str] = []
+        retired_seeds = 0
+        try:
+            with SearchClient(*service.address) as runner, SearchClient(
+                *service.address
+            ) as admin:
+                for step_no, (n_ahead, mutation) in enumerate(schedule):
+                    old_db = current_db
+
+                    # 1. Park the scheduler and put queries in flight.
+                    service.hold()
+                    admitted_before = service._admitted_seq
+                    ids = []
+                    for i in range(n_ahead):
+                        query = QUERIES[i]
+                        ids.append(
+                            runner.submit(query, id=f"s{step_no}_{query.id}")
+                        )
+                    _wait_for(
+                        lambda: service._admitted_seq == admitted_before + n_ahead
+                    )
+
+                    # 2. Decide and request the mutation (blocking verb,
+                    #    so it runs on a helper thread).
+                    if mutation == "retire_new" and not appended:
+                        mutation = "append1"
+                    if mutation.startswith("append"):
+                        count = int(mutation[-1])
+                        fresh = [
+                            Sequence.from_text(
+                                f"app{step_no}_{i}",
+                                QUERIES[0].text,
+                                alphabet=DB.alphabet,
+                            )
+                            for i in range(count)
+                        ]
+                        current_db = SequenceDatabase(
+                            old_db.name, list(old_db) + fresh
+                        )
+                        appended.extend(s.id for s in fresh)
+                        request = functools.partial(admin.db_append, fresh)
+                    elif mutation == "retire_new":
+                        victim = appended.pop(0)
+                        current_db = SequenceDatabase(
+                            old_db.name,
+                            [s for s in old_db if s.id != victim],
+                        )
+                        request = functools.partial(admin.db_retire, [victim])
+                    else:  # retire one of the original seed sequences
+                        victim = f"toy_{retired_seeds}"
+                        retired_seeds += 1
+                        current_db = SequenceDatabase(
+                            old_db.name,
+                            [s for s in old_db if s.id != victim],
+                        )
+                        request = functools.partial(admin.db_retire, [victim])
+
+                    answer: dict = {}
+
+                    def swap_request():
+                        answer.update(request())
+
+                    swapper = threading.Thread(target=swap_request)
+                    swapper.start()
+                    # The mutation is registered (tip advanced) before we
+                    # let the scheduler move: its watermark now fences
+                    # every query admitted above.
+                    _wait_for(lambda: service._tip.ordinal == step_no + 1)
+
+                    # 3. Release; old-generation work must drain first.
+                    service.release()
+                    outs = runner.collect(n_ahead)
+                    swapper.join(timeout=60)
+                    assert not swapper.is_alive()
+                    assert answer.get("type") == "db_info", answer
+                    assert answer.get("swapped") is True
+                    assert answer["generation"]["ordinal"] == step_no + 1
+
+                    by_id = {out["id"]: out for out in outs}
+                    for qid, query in zip(ids, QUERIES):
+                        out = by_id[qid]
+                        assert out["type"] == "result", out
+                        # The property: pre-swap admissions scored
+                        # against the generation that admitted them.
+                        assert out["hits"] == _oracle(old_db, query)
+
+                    # 4. A query after the acknowledged swap sees the
+                    #    new generation.
+                    post = runner.query(QUERIES[0], top=TOP_HITS)
+                    assert post["type"] == "result"
+                    assert post["hits"] == _oracle(current_db, QUERIES[0])
+
+                info = admin.db_info()
+                assert info["ordinal"] == len(schedule)
+                assert info["fingerprint"] == current_db.fingerprint()
+        finally:
+            service.release()
+            service.shutdown()

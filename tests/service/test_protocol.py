@@ -96,6 +96,12 @@ class TestMessageShapes:
             "metrics",
             "ping",
             "shutdown",
+            "db_append",
+            "db_retire",
+            "db_info",
         }
-        for t in ("result", "rejected", "error", "stats", "metrics", "pong", "bye"):
+        for t in (
+            "result", "rejected", "error", "stats", "metrics", "pong", "bye",
+            "db_info",
+        ):
             assert t in protocol.RESPONSE_TYPES

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
-from repro.sequences import small_database, standard_query_set, write_fasta
+from repro.sequences import Sequence, small_database, standard_query_set, write_fasta
 
 
 @pytest.fixture()
@@ -252,6 +252,70 @@ class TestServiceCommands:
         empty = tmp_path / "empty.fasta"
         empty.write_text("")
         assert main(["query", str(empty), "--port", "1"]) == 1
+
+    def test_serve_db_admin_roundtrip(self, files, capsys, monkeypatch):
+        """`swdual db append/retire/info` against a live `swdual serve`
+        — the acceptance criterion: mutations land without a restart."""
+        import json
+        import threading
+
+        from repro.sequences import read_fasta
+        from repro.service import SearchClient, SearchService
+
+        q, db, tmp = files
+        template = read_fasta(db)[0]
+        extra = tmp / "extra.fasta"
+        write_fasta(
+            [
+                Sequence.from_text("cli_a", template.text, alphabet=template.alphabet),
+                Sequence.from_text("cli_b", template.text, alphabet=template.alphabet),
+            ],
+            extra,
+        )
+        started = threading.Event()
+        address = {}
+        real_start = SearchService.start
+
+        def capturing_start(self):
+            real_start(self)
+            address["addr"] = self.address
+            started.set()
+
+        monkeypatch.setattr(SearchService, "start", capturing_start)
+        server = threading.Thread(
+            target=main, args=(["serve", db, "--port", "0", "--gpus", "0"],)
+        )
+        server.start()
+        try:
+            assert started.wait(timeout=30)
+            host, port = address["addr"]
+            at = ["--host", host, "--port", str(port)]
+            assert main(["db", "info", *at]) == 0
+            assert "generation 0" in capsys.readouterr().out
+            assert main(["db", "append", str(extra), *at]) == 0
+            out = capsys.readouterr().out
+            assert "generation 1" in out and "+2 appended" in out
+            assert main(["db", "retire", "cli_a", *at]) == 0
+            assert "generation 2" in capsys.readouterr().out
+            # Unknown id: clean error, exit 1, generation unmoved.
+            assert main(["db", "retire", "never_existed", *at]) == 1
+            capsys.readouterr()
+            assert main(["db", "info", "--json", *at]) == 0
+            answer = json.loads(capsys.readouterr().out)
+            assert answer["generation"]["ordinal"] == 2
+            assert answer["generation"]["num_sequences"] == 9  # 8 seeds + 2 - 1
+        finally:
+            host, port = address["addr"]
+            with SearchClient(host, port) as client:
+                client.shutdown_server()
+            server.join(timeout=30)
+        assert not server.is_alive()
+
+    def test_db_append_empty_fasta_returns_1(self, tmp_path, capsys):
+        empty = tmp_path / "empty.fasta"
+        empty.write_text("")
+        assert main(["db", "append", str(empty), "--port", "1"]) == 1
+        assert "no records" in capsys.readouterr().err
 
 
 class TestTraceCommand:
